@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the core algorithms.
+//!
+//! Covers the costs a runtime system would actually pay: one CLB2C pass
+//! (centralized reference), one pairwise DLB2C exchange (the decentralized
+//! inner loop), the baselines, and the lower-bound computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::baselines::{ect_in_order, lpt_schedule};
+use lb_core::{clb2c, Dlb2cBalance, PairwiseBalancer};
+use lb_model::bounds::combined_lower_bound;
+use lb_model::prelude::*;
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use std::hint::black_box;
+
+fn bench_clb2c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clb2c");
+    for &(m1, m2, jobs) in &[(64usize, 32usize, 768usize), (512, 256, 6144)] {
+        let inst = paper_two_cluster(m1, m2, jobs, 1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m1}+{m2}x{jobs}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(clb2c(inst).expect("two-cluster"))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_pairwise_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dlb2c-pair-exchange");
+    for &jobs in &[768usize, 6144] {
+        let inst = paper_two_cluster(64, 32, jobs, 2);
+        let asg = random_assignment(&inst, 3);
+        // One inter-cluster and one intra-cluster exchange per iteration;
+        // clone to keep the workload identical across iterations.
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &(), |b, ()| {
+            b.iter(|| {
+                let mut a = asg.clone();
+                Dlb2cBalance.balance(&inst, &mut a, MachineId(0), MachineId(70));
+                Dlb2cBalance.balance(&inst, &mut a, MachineId(0), MachineId(1));
+                black_box(a.makespan())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_extended_algorithms(c: &mut Criterion) {
+    use lb_core::baselines::d_choices_schedule;
+    use lb_core::local_search::{local_search_schedule, LocalSearchLimits};
+    let inst = paper_two_cluster(16, 8, 192, 9);
+    let mut g = c.benchmark_group("extended");
+    g.sample_size(20);
+    g.bench_function("local-search-192", |b| {
+        b.iter(|| black_box(local_search_schedule(&inst, LocalSearchLimits::default())))
+    });
+    g.bench_function("d-choices-2-192", |b| {
+        b.iter(|| black_box(d_choices_schedule(&inst, 2, 5)))
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let inst = paper_two_cluster(64, 32, 768, 4);
+    c.bench_function("ect-list-schedule-768", |b| {
+        b.iter(|| black_box(ect_in_order(&inst)))
+    });
+    c.bench_function("lpt-schedule-768", |b| {
+        b.iter(|| black_box(lpt_schedule(&inst)))
+    });
+    c.bench_function("combined-lower-bound-768", |b| {
+        b.iter(|| black_box(combined_lower_bound(&inst)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clb2c,
+    bench_pairwise_exchange,
+    bench_baselines,
+    bench_extended_algorithms
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the simulation substrate.
+//!
+//! A figure run is thousands of gossip rounds (or one work-stealing
+//! simulation) per replication; these benches size that cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::Dlb2cBalance;
+use lb_distsim::{
+    run_concurrent, run_gossip, simulate_work_stealing, ConcurrentConfig, GossipConfig,
+};
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use std::hint::black_box;
+
+fn bench_gossip_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip-1000-rounds");
+    g.sample_size(20);
+    for &(m1, m2, jobs) in &[(16usize, 8usize, 192usize), (64, 32, 768)] {
+        let inst = paper_two_cluster(m1, m2, jobs, 5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m1}+{m2}x{jobs}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut asg = random_assignment(inst, 9);
+                    let cfg = GossipConfig {
+                        max_rounds: 1000,
+                        seed: 1,
+                        ..GossipConfig::default()
+                    };
+                    black_box(run_gossip(inst, &mut asg, &Dlb2cBalance, &cfg))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_worksteal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worksteal-sim");
+    g.sample_size(20);
+    for &(machines, jobs) in &[(24usize, 192usize), (96, 768)] {
+        let inst = paper_two_cluster(machines * 2 / 3, machines / 3, jobs, 6);
+        let asg = random_assignment(&inst, 10);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{machines}x{jobs}")),
+            &(),
+            |b, ()| b.iter(|| black_box(simulate_work_stealing(&inst, &asg, 2))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    // Same 10k-exchange budget, sequential vs threaded: measures the
+    // locking overhead and the scaling headroom of the concurrent engine.
+    let mut g = c.benchmark_group("dlb2c-10k-exchanges");
+    g.sample_size(10);
+    let inst = paper_two_cluster(64, 32, 768, 7);
+    let init = random_assignment(&inst, 8);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut asg = init.clone();
+            let cfg = GossipConfig {
+                max_rounds: 10_000,
+                seed: 1,
+                ..GossipConfig::default()
+            };
+            black_box(run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg))
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("concurrent", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let cfg = ConcurrentConfig {
+                        total_exchanges: 10_000,
+                        seed: 1,
+                        max_threads: threads,
+                        sample_every: 0,
+                    };
+                    black_box(run_concurrent(&inst, &init, &Dlb2cBalance, &cfg))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gossip_rounds,
+    bench_worksteal,
+    bench_concurrent
+);
+criterion_main!(benches);

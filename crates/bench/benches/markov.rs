@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks of the Markov substrate.
+//!
+//! Chain construction and power iteration dominate the Figure 2
+//! regeneration time; the paper notes "the computational cost quickly
+//! increases with m and p_max" — these benches quantify that wall.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_markov::{ChainParams, LoadChain};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain-build");
+    g.sample_size(10);
+    for &(m, p_max) in &[(4usize, 2u64), (5, 2), (5, 4), (6, 2)] {
+        let params = ChainParams::paper_total(m, p_max);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}-p{p_max}")),
+            &params,
+            |b, &params| b.iter(|| black_box(LoadChain::build(params))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_stationary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stationary");
+    g.sample_size(10);
+    for &(m, p_max) in &[(4usize, 2u64), (5, 4)] {
+        let chain = LoadChain::build(ChainParams::paper_total(m, p_max));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}-p{p_max}-{}states", chain.num_states())),
+            &chain,
+            |b, chain| b.iter(|| black_box(chain.stationary(1e-10, 1_000_000))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_stationary);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablation A3 — centralized algorithms across heterogeneity regimes.
+//!
+//! CLB2C vs List Scheduling (ECT) vs LPT vs the fractional lower bound on
+//! two-cluster workloads with different cost correlation structures:
+//! independent (the paper's regime), correlated (mild heterogeneity),
+//! inverted (strong affinity contrast), and related-by-a-factor (the "GPU
+//! is k x faster" folk model). Shows where CLB2C's ratio-sorting pays off.
+//!
+//! Run: `cargo run --release -p lb-bench --bin ablation_centralized`
+
+use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_core::baselines::{d_choices_schedule, ect_in_order, lpt_schedule};
+use lb_core::clb2c;
+use lb_model::bounds::combined_lower_bound;
+use lb_model::prelude::*;
+use lb_stats::csv::CsvCell;
+use lb_stats::Summary;
+use lb_workloads::two_cluster;
+
+fn main() {
+    banner("A3", "centralized algorithms across heterogeneity regimes");
+    let reps = 20u64;
+    json_sidecar(
+        "ablation_centralized",
+        &serde_json::json!({"reps": reps, "m": "64+32", "jobs": 768}),
+    );
+    let mut csv = csv_out(
+        "ablation_centralized",
+        &["regime", "replication", "algorithm", "cmax", "lb", "ratio"],
+    );
+
+    type Maker = Box<dyn Fn(u64) -> Instance>;
+    let regimes: Vec<(&str, Maker)> = vec![
+        (
+            "independent",
+            Box::new(|r| two_cluster::independent(64, 32, 768, 1, 1000, 11 + r)),
+        ),
+        (
+            "correlated-10%",
+            Box::new(|r| two_cluster::correlated(64, 32, 768, 1, 1000, 10, 22 + r)),
+        ),
+        (
+            "inverted",
+            Box::new(|r| two_cluster::inverted(64, 32, 768, 1, 1000, 33 + r)),
+        ),
+        (
+            "related-4x",
+            Box::new(|r| two_cluster::related_factor(64, 32, 768, 4, 1000, 4, 44 + r)),
+        ),
+    ];
+
+    println!(
+        "{:>15} {:>12} {:>12} {:>12} {:>14}",
+        "regime", "CLB2C/LB", "ECT/LB", "LPT/LB", "2-choices/LB"
+    );
+    for (name, make) in &regimes {
+        let mut ratios: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+        for r in 0..reps {
+            let inst = make(r);
+            let lb = combined_lower_bound(&inst);
+            let algos: [(&str, Assignment); 4] = [
+                ("clb2c", clb2c(&inst).expect("two-cluster")),
+                ("ect", ect_in_order(&inst)),
+                ("lpt", lpt_schedule(&inst)),
+                ("dchoices", d_choices_schedule(&inst, 2, 555 + r)),
+            ];
+            for (algo, asg) in algos {
+                let ratio = asg.makespan() as f64 / lb as f64;
+                ratios.entry(algo).or_default().push(ratio);
+                row(
+                    &mut csv,
+                    vec![
+                        (*name).into(),
+                        CsvCell::Uint(r),
+                        algo.into(),
+                        CsvCell::Uint(asg.makespan()),
+                        CsvCell::Uint(lb),
+                        CsvCell::Float(ratio),
+                    ],
+                );
+            }
+        }
+        let med = |a: &str| Summary::of(&ratios[a]).expect("non-empty").median;
+        println!(
+            "{name:>15} {:>12.3} {:>12.3} {:>12.3} {:>14.3}",
+            med("clb2c"),
+            med("ect"),
+            med("lpt"),
+            med("dchoices")
+        );
+    }
+    println!(
+        "\nreading: every algorithm stays within ~1.2x of the lower bound on these \
+         workloads. LPT-ordered ECT is strongest under mild heterogeneity (big jobs \
+         placed cost-aware first), but it degrades on the inverted regime where \
+         affinity contrast is extreme — exactly where CLB2C's ratio-sorting takes \
+         the lead. CLB2C is the only one of the three with a proven 2-approximation."
+    );
+}

@@ -1,0 +1,113 @@
+//! Ablation A4 — network usage of DLB2C and the move-frugal variant.
+//!
+//! The paper's conclusion flags that the model "ignores the amount of
+//! tasks exchanged; minimizing the number of tasks exchanged (or network
+//! usage) would certainly be of interest". This ablation measures job
+//! migrations on the 64+32 workload for plain DLB2C vs the
+//! [`lb_core::MoveFrugal`] wrapper (commit only strictly
+//! improving exchanges), at equal round budgets.
+//!
+//! Run: `cargo run --release -p lb-bench --bin ablation_migration`
+
+use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_core::{clb2c, Dlb2cBalance, MoveFrugal};
+use lb_distsim::{run_gossip, GossipConfig};
+use lb_stats::csv::CsvCell;
+use lb_stats::Summary;
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use rayon::prelude::*;
+
+fn main() {
+    banner("A4", "job migrations: plain DLB2C vs move-frugal DLB2C");
+    let reps = 20u64;
+    json_sidecar(
+        "ablation_migration",
+        &serde_json::json!({"reps": reps, "rounds": 20000}),
+    );
+    let mut csv = csv_out(
+        "ablation_migration",
+        &[
+            "variant",
+            "replication",
+            "migrations",
+            "final_cmax_over_cent",
+        ],
+    );
+
+    let results: Vec<(u64, f64, u64, f64)> = (0..reps)
+        .into_par_iter()
+        .map(|r| {
+            let inst = paper_two_cluster(64, 32, 768, 600 + r);
+            let cent = clb2c(&inst).expect("two-cluster").makespan() as f64;
+            let cfg = GossipConfig {
+                max_rounds: 20_000,
+                seed: 42 + r,
+                ..GossipConfig::default()
+            };
+            let mut plain = random_assignment(&inst, 800 + r);
+            let rp = run_gossip(&inst, &mut plain, &Dlb2cBalance, &cfg);
+            let mut frugal = random_assignment(&inst, 800 + r);
+            let rf = run_gossip(&inst, &mut frugal, &MoveFrugal(Dlb2cBalance), &cfg);
+            (
+                rp.jobs_migrated,
+                rp.final_makespan as f64 / cent,
+                rf.jobs_migrated,
+                rf.final_makespan as f64 / cent,
+            )
+        })
+        .collect();
+
+    for (r, &(pm, pf, fm, ff)) in results.iter().enumerate() {
+        row(
+            &mut csv,
+            vec![
+                "plain".into(),
+                CsvCell::Uint(r as u64),
+                CsvCell::Uint(pm),
+                CsvCell::Float(pf),
+            ],
+        );
+        row(
+            &mut csv,
+            vec![
+                "frugal".into(),
+                CsvCell::Uint(r as u64),
+                CsvCell::Uint(fm),
+                CsvCell::Float(ff),
+            ],
+        );
+    }
+    let plain_m =
+        Summary::of(&results.iter().map(|&(m, ..)| m as f64).collect::<Vec<_>>()).unwrap();
+    let frugal_m = Summary::of(
+        &results
+            .iter()
+            .map(|&(_, _, m, _)| m as f64)
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let plain_q = Summary::of(&results.iter().map(|&(_, q, ..)| q).collect::<Vec<_>>()).unwrap();
+    let frugal_q = Summary::of(&results.iter().map(|&(.., q)| q).collect::<Vec<_>>()).unwrap();
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "variant", "migrations (med)", "final/cent (med)"
+    );
+    println!(
+        "{:>8} {:>18.0} {:>18.4}",
+        "plain", plain_m.median, plain_q.median
+    );
+    println!(
+        "{:>8} {:>18.0} {:>18.4}",
+        "frugal", frugal_m.median, frugal_q.median
+    );
+    println!(
+        "\nreading: committing only strictly improving exchanges cuts migrations by \
+         ~{:.0}% (median quality ratio frugal/plain = {:.3}). Frugal dynamics are \
+         monotone, so the final state is also the best state — plain DLB2C's final \
+         snapshot sits somewhere in its oscillation band (Figure 4), which is why \
+         frugal can even end up *better* at the same budget.",
+        100.0 * (1.0 - frugal_m.median / plain_m.median),
+        frugal_q.median / plain_q.median
+    );
+}

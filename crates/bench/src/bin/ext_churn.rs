@@ -1,0 +1,115 @@
+//! Extension E4 — resilience to machine churn.
+//!
+//! Decentralized balancing's raison d'être (Section I) is that no single
+//! machine is load-bearing. This experiment fails a heavily loaded
+//! machine mid-run (its jobs scatter to random survivors), lets it rejoin
+//! later, and measures how many rounds the gossip dynamics need to pull
+//! the makespan back into its pre-failure band.
+//!
+//! Run: `cargo run --release -p lb-bench --bin ext_churn`
+
+use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_core::Dlb2cBalance;
+use lb_distsim::{run_with_churn, ChurnPlan};
+use lb_model::prelude::*;
+use lb_stats::csv::CsvCell;
+use lb_stats::Summary;
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use rayon::prelude::*;
+
+fn main() {
+    banner("E4", "makespan recovery after a machine failure");
+    let reps = 15u64;
+    let (fail_at, rejoin_at, total) = (6_000u64, 12_000u64, 20_000u64);
+    json_sidecar(
+        "ext_churn",
+        &serde_json::json!({"reps": reps, "fail_at": fail_at, "rejoin_at": rejoin_at, "total": total}),
+    );
+    let mut csv = csv_out(
+        "ext_churn",
+        &[
+            "replication",
+            "pre_failure_cmax",
+            "spike_cmax",
+            "recovery_rounds",
+            "final_cmax",
+        ],
+    );
+
+    let results: Vec<(Time, Time, Option<u64>, Time)> = (0..reps)
+        .into_par_iter()
+        .map(|r| {
+            let inst = paper_two_cluster(16, 8, 240, 300 + r);
+            let mut asg = random_assignment(&inst, 400 + r);
+            let plan = ChurnPlan::one_blip(MachineId(0), fail_at, rejoin_at);
+            let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, total, 500 + r, 50);
+
+            // Pre-failure equilibrium level: the minimum before the event.
+            let pre: Time = run
+                .makespan_series
+                .iter()
+                .filter(|&&(round, _)| round < fail_at)
+                .map(|&(_, c)| c)
+                .min()
+                .expect("samples before failure");
+            // Spike: worst makespan at/after the failure, before recovery.
+            let spike: Time = run
+                .makespan_series
+                .iter()
+                .filter(|&&(round, _)| round >= fail_at)
+                .map(|&(_, c)| c)
+                .max()
+                .expect("samples after failure");
+            // Recovery: first round after the failure at which the
+            // makespan is back within 5% of the pre-failure level.
+            let band = pre + pre / 20;
+            let recovery = run
+                .makespan_series
+                .iter()
+                .filter(|&&(round, c)| round > fail_at && c <= band)
+                .map(|&(round, _)| round - fail_at)
+                .next();
+            (pre, spike, recovery, run.final_makespan)
+        })
+        .collect();
+
+    println!(
+        "{:>4} {:>10} {:>10} {:>16} {:>10}",
+        "rep", "pre Cmax", "spike", "recovery rounds", "final"
+    );
+    for (r, &(pre, spike, rec, fin)) in results.iter().enumerate() {
+        println!(
+            "{r:>4} {pre:>10} {spike:>10} {:>16} {fin:>10}",
+            rec.map_or("never".to_string(), |x| x.to_string())
+        );
+        row(
+            &mut csv,
+            vec![
+                CsvCell::Uint(r as u64),
+                CsvCell::Uint(pre),
+                CsvCell::Uint(spike),
+                rec.map_or("".into(), CsvCell::Uint),
+                CsvCell::Uint(fin),
+            ],
+        );
+    }
+    let recoveries: Vec<f64> = results
+        .iter()
+        .filter_map(|&(_, _, r, _)| r.map(|x| x as f64))
+        .collect();
+    let recovered = recoveries.len();
+    if let Some(s) = Summary::of(&recoveries) {
+        println!(
+            "\n{recovered}/{reps} runs recovered to within 5% of the pre-failure level; \
+             median recovery {:.0} rounds (~{:.1} exchanges per machine).",
+            s.median,
+            s.median / 24.0
+        );
+    }
+    println!(
+        "reading: the spike from scattering one machine's jobs is absorbed in a \
+         few exchanges per machine — no coordinator, no recovery protocol, just \
+         the same gossip that balanced the initial distribution."
+    );
+}

@@ -1,0 +1,84 @@
+//! Extension E2 — mixing time of the one-cluster chain.
+//!
+//! Model-side companion to Figure 5: starting from the *worst* sink
+//! state, how many random pairwise exchanges does the chain need to get
+//! within total-variation `eps` of stationarity? Normalized per machine,
+//! the answer is "a handful" — matching the simulation's observation that
+//! machines reach the 1.5x threshold within a few exchanges each.
+//!
+//! Run: `cargo run --release -p lb-bench --bin ext_mixing_time`
+
+use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_markov::mixing::{mixing_time, tv_trajectory, worst_state};
+use lb_markov::spectral::{relaxation_time, second_eigenvalue};
+use lb_markov::{ChainParams, LoadChain};
+use lb_stats::csv::CsvCell;
+use lb_stats::plot::sparkline;
+
+fn main() {
+    banner(
+        "E2",
+        "mixing time of the one-cluster chain (model-side Figure 5)",
+    );
+    json_sidecar(
+        "ext_mixing_time",
+        &serde_json::json!({"eps": [0.25, 0.05], "configs": "m in 3..=6"}),
+    );
+    let mut csv = csv_out(
+        "ext_mixing_time",
+        &[
+            "m",
+            "p_max",
+            "states",
+            "tmix_025",
+            "tmix_005",
+            "tmix_025_per_machine",
+            "lambda2",
+            "t_relax",
+        ],
+    );
+
+    println!(
+        "{:>3} {:>6} {:>8} {:>10} {:>10} {:>12} {:>9} {:>8}",
+        "m", "p_max", "states", "tmix(.25)", "tmix(.05)", "tmix(.25)/m", "lambda2", "t_rel"
+    );
+    for (m, p_max) in [(3usize, 4u64), (4, 4), (5, 4), (6, 4), (4, 2), (4, 8)] {
+        let chain = LoadChain::build(ChainParams::paper_total(m, p_max));
+        let pi = chain.stationary(1e-12, 5_000_000).expect("converged");
+        let start = worst_state(&chain);
+        let t25 = mixing_time(&chain, &start, &pi, 0.25, 100_000).expect("mixes");
+        let t05 = mixing_time(&chain, &start, &pi, 0.05, 100_000).expect("mixes");
+        let l2 = second_eigenvalue(&chain, &pi, 1e-10, 200_000).unwrap_or(f64::NAN);
+        let t_rel = relaxation_time(l2);
+        println!(
+            "{m:>3} {p_max:>6} {:>8} {t25:>10} {t05:>10} {:>12.2} {l2:>9.4} {t_rel:>8.1}",
+            chain.num_states(),
+            t25 as f64 / m as f64
+        );
+        row(
+            &mut csv,
+            vec![
+                CsvCell::Uint(m as u64),
+                CsvCell::Uint(p_max),
+                CsvCell::Uint(chain.num_states() as u64),
+                CsvCell::Uint(t25 as u64),
+                CsvCell::Uint(t05 as u64),
+                CsvCell::Float(t25 as f64 / m as f64),
+                CsvCell::Float(l2),
+                CsvCell::Float(t_rel),
+            ],
+        );
+        if m == 5 {
+            let traj = tv_trajectory(&chain, &start, &pi, 60).expect("in component");
+            println!("      TV decay (m=5): {}", sparkline(&traj));
+        }
+    }
+    println!(
+        "\nreading: t_mix(0.25) stays at a small multiple of the machine count — \
+         per machine, a handful of exchanges suffices to forget even the worst \
+         starting state, which is exactly Figure 5's empirical finding. The \
+         spectral column makes it sharp: lambda2 = (m-2)/(m-1) independent of \
+         p_max (the classic random-pair-averaging gap), so the relaxation time \
+         is m-1 exchanges — O(1) per machine."
+    );
+}

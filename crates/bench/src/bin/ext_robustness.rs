@@ -1,0 +1,100 @@
+//! Extension E3 — robustness to cost misprediction.
+//!
+//! The introduction motivates decentralized balancing partly by "the
+//! inherent imprecision of all scheduling systems (runtimes are typically
+//! difficult to predict)". Here the schedulers plan against *predicted*
+//! costs perturbed by ±e% and are evaluated under the *true* costs, for
+//! e ∈ {0, 10, 25, 50}. Compared: CLB2C, DLB2C, and centralized local
+//! search, all normalized by the true lower bound.
+//!
+//! Run: `cargo run --release -p lb-bench --bin ext_robustness`
+
+use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_core::local_search::{local_search_schedule, LocalSearchLimits};
+use lb_core::{clb2c, run_pairwise, Dlb2cBalance};
+use lb_model::bounds::combined_lower_bound;
+use lb_model::perturb::{evaluate_under, perturbed_instance};
+use lb_stats::csv::CsvCell;
+use lb_stats::Summary;
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use rayon::prelude::*;
+
+fn main() {
+    banner(
+        "E3",
+        "robustness to cost misprediction (plan on predictions, run on truth)",
+    );
+    let reps = 15u64;
+    json_sidecar(
+        "ext_robustness",
+        &serde_json::json!({"reps": reps, "errors": [0,10,25,50]}),
+    );
+    let mut csv = csv_out(
+        "ext_robustness",
+        &[
+            "error_percent",
+            "replication",
+            "algorithm",
+            "true_cmax_over_lb",
+        ],
+    );
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>14}",
+        "error%", "CLB2C/LB", "DLB2C/LB", "local-search/LB"
+    );
+    for error in [0u32, 10, 25, 50] {
+        let results: Vec<(f64, f64, f64)> = (0..reps)
+            .into_par_iter()
+            .map(|r| {
+                let truth = paper_two_cluster(16, 8, 192, 900 + r);
+                let predicted = perturbed_instance(&truth, error, 31 + r);
+                let lb = combined_lower_bound(&truth) as f64;
+
+                // Plan every algorithm against `predicted`, score under `truth`.
+                let central = clb2c(&predicted).expect("two-cluster");
+                let c_ratio = evaluate_under(&truth, &central) as f64 / lb;
+
+                let mut asg = random_assignment(&predicted, 50 + r);
+                run_pairwise(&predicted, &mut asg, &Dlb2cBalance, 60 + r, 15_000);
+                let d_ratio = evaluate_under(&truth, &asg) as f64 / lb;
+
+                let ls = local_search_schedule(&predicted, LocalSearchLimits::default());
+                let l_ratio = evaluate_under(&truth, &ls) as f64 / lb;
+                (c_ratio, d_ratio, l_ratio)
+            })
+            .collect();
+
+        for (r, &(c, d, l)) in results.iter().enumerate() {
+            for (algo, v) in [("clb2c", c), ("dlb2c", d), ("local-search", l)] {
+                row(
+                    &mut csv,
+                    vec![
+                        CsvCell::Uint(u64::from(error)),
+                        CsvCell::Uint(r as u64),
+                        algo.into(),
+                        CsvCell::Float(v),
+                    ],
+                );
+            }
+        }
+        let med = |f: fn(&(f64, f64, f64)) -> f64| {
+            Summary::of(&results.iter().map(f).collect::<Vec<_>>())
+                .unwrap()
+                .median
+        };
+        println!(
+            "{error:>7} {:>12.3} {:>12.3} {:>14.3}",
+            med(|t| t.0),
+            med(|t| t.1),
+            med(|t| t.2)
+        );
+    }
+    println!(
+        "\nreading: all three degrade gracefully — the true makespan grows roughly \
+         with the prediction error band, with no cliff. DLB2C inherits CLB2C's \
+         robustness: pairwise decisions use the same ratio ordering, which is \
+         stable under moderate multiplicative noise."
+    );
+}

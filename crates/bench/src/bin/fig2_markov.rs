@@ -1,0 +1,108 @@
+//! Experiment F2 — paper Figure 2.
+//!
+//! Stationary distribution of the makespan of the one-cluster chain,
+//! plotted as the deviation from perfect balance in units of `p_max`:
+//!
+//! * panel (a): fixed `m = 6`, varying `p_max` in the paper's
+//!   `{2, 4, 6, 8}` (`--quick` shrinks to `{2, 3, 4, 5}`),
+//! * panel (b): fixed `p_max = 4`, varying `m` in `{3, 4, 5, 6, 7}`.
+//!
+//! Expected shapes (paper): unimodal distributions with mode at deviation
+//! 0.5; larger `p_max` only smooths the shape; larger `m` shifts mass from
+//! below the mode to above it; and `Cmax <= S/m + 1.5 p_max` with very
+//! high probability.
+//!
+//! Run: `cargo run --release -p lb-bench --bin fig2_markov [--panel a|b] [--quick]`
+
+use lb_bench::{banner, csv_out, json_sidecar, row, Args};
+use lb_markov::theory::verify_theorem10;
+use lb_markov::{ChainParams, LoadChain};
+use lb_stats::csv::CsvCell;
+use lb_stats::plot::bar_chart;
+
+fn run_config(
+    panel: &str,
+    m: usize,
+    p_max: u64,
+    csv: &mut lb_stats::csv::CsvWriter<std::io::BufWriter<std::fs::File>>,
+) {
+    let params = ChainParams::paper_total(m, p_max);
+    let chain = LoadChain::build(params);
+    let worst = verify_theorem10(&chain).expect("Theorem 10 must hold on the sink");
+    let pi = chain
+        .stationary(1e-12, 5_000_000)
+        .expect("power iteration converged");
+    let dev = chain.deviation_distribution(&pi);
+
+    println!(
+        "\npanel {panel}: m={m}, p_max={p_max}, S={}, {} sink states, worst sink Cmax {worst}",
+        params.total,
+        chain.num_states()
+    );
+    let rows: Vec<(String, f64)> = dev.iter().map(|&(d, p)| (format!("{d:>5.2}"), p)).collect();
+    print!("{}", bar_chart(&rows, 46));
+
+    let mode = dev
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|&(d, _)| d)
+        .unwrap_or(f64::NAN);
+    let p_below_15: f64 = dev
+        .iter()
+        .filter(|&&(d, _)| d <= 1.5)
+        .map(|&(_, p)| p)
+        .sum();
+    println!("mode = {mode:.2}, P[deviation <= 1.5] = {p_below_15:.6}");
+
+    for &(d, p) in &dev {
+        row(
+            csv,
+            vec![
+                CsvCell::Str(panel.to_string()),
+                CsvCell::Uint(m as u64),
+                CsvCell::Uint(p_max),
+                CsvCell::Float(d),
+                CsvCell::Float(p),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("--quick");
+    let panel = args.value("--panel").unwrap_or("both");
+    banner(
+        "F2",
+        "Figure 2: stationary makespan distribution of the one-cluster chain",
+    );
+    json_sidecar(
+        "fig2_markov",
+        &serde_json::json!({"quick": quick, "panel": panel}),
+    );
+    let mut csv = csv_out(
+        "fig2_markov",
+        &["panel", "m", "p_max", "deviation", "probability"],
+    );
+
+    if panel == "a" || panel == "both" {
+        let pmaxes: &[u64] = if quick { &[2, 3, 4, 5] } else { &[2, 4, 6, 8] };
+        for &p_max in pmaxes {
+            run_config("a", 6, p_max, &mut csv);
+        }
+    }
+    if panel == "b" || panel == "both" {
+        let ms: &[usize] = if quick {
+            &[3, 4, 5, 6]
+        } else {
+            &[3, 4, 5, 6, 7]
+        };
+        for &m in ms {
+            run_config("b", m, 4, &mut csv);
+        }
+    }
+    println!(
+        "\nshape check: unimodal, mode near 0.5, Cmax <= S/m + 1.5 p_max w.h.p. \
+         (compare the P[deviation <= 1.5] column)."
+    );
+}

@@ -1,0 +1,112 @@
+//! Experiment F3 — paper Figure 3.
+//!
+//! "The two clusters case behaves like the one cluster case": run DLB2C to
+//! its dynamic equilibrium on (a) a heterogeneous 64+32 two-cluster system
+//! and (b) a homogeneous 96-machine cluster (implemented as a two-cluster
+//! instance with `p1 = p2`, which *is* a homogeneous system), 768 jobs
+//! `U[1, 1000]` each, many replications; compare the distributions of the
+//! equilibrium makespan normalized by each instance's lower bound.
+//!
+//! Expected shape: both distributions are concentrated a little above 1
+//! with similar spread — qualitatively the same.
+//!
+//! Run: `cargo run --release -p lb-bench --bin fig3_hetero_vs_homo [--reps N]`
+
+use lb_bench::{banner, csv_out, json_sidecar, row, Args};
+use lb_core::Dlb2cBalance;
+use lb_distsim::{replicate, GossipConfig};
+use lb_model::bounds::combined_lower_bound;
+use lb_model::prelude::*;
+use lb_stats::csv::CsvCell;
+use lb_stats::Summary;
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use lb_workloads::uniform::uniform_instance;
+
+/// A homogeneous 96-machine system expressed as a degenerate two-cluster
+/// instance (p1 = p2), so DLB2C runs exactly as in the heterogeneous case.
+fn homogeneous_as_two_cluster(m1: usize, m2: usize, jobs: usize, seed: u64) -> Instance {
+    let base = uniform_instance(m1 + m2, jobs, 1, 1000, seed);
+    let costs: Vec<(Time, Time)> = base
+        .jobs()
+        .map(|j| {
+            let c = base.cost(MachineId(0), j);
+            (c, c)
+        })
+        .collect();
+    Instance::two_cluster(m1, m2, costs).expect("valid by construction")
+}
+
+fn equilibrium_ratios(
+    label: &str,
+    reps: u64,
+    make_inst: impl Fn(u64) -> Instance + Sync,
+) -> Vec<f64> {
+    let cfg = GossipConfig {
+        max_rounds: 30_000,
+        seed: 1000,
+        ..GossipConfig::default()
+    };
+    let runs = replicate(&cfg, &Dlb2cBalance, reps, |r| {
+        let inst = make_inst(r);
+        let asg = random_assignment(&inst, 5000 + r);
+        (inst, asg)
+    });
+    runs.iter()
+        .enumerate()
+        .map(|(r, run)| {
+            let inst = make_inst(r as u64);
+            let lb = combined_lower_bound(&inst) as f64;
+            let _ = label;
+            run.final_makespan as f64 / lb
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps: u64 = args
+        .value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    banner(
+        "F3",
+        "Figure 3: heterogeneous vs homogeneous equilibrium makespan",
+    );
+    json_sidecar(
+        "fig3_hetero_vs_homo",
+        &serde_json::json!({"reps": reps, "jobs": 768, "config": "64+32 vs 96 homogeneous"}),
+    );
+    let mut csv = csv_out(
+        "fig3_hetero_vs_homo",
+        &["case", "replication", "cmax_over_lb"],
+    );
+
+    let hetero = equilibrium_ratios("hetero", reps, |r| paper_two_cluster(64, 32, 768, 42 + r));
+    let homo = equilibrium_ratios("homo", reps, |r| {
+        homogeneous_as_two_cluster(64, 32, 768, 42 + r)
+    });
+
+    for (r, &v) in hetero.iter().enumerate() {
+        row(
+            &mut csv,
+            vec!["hetero".into(), CsvCell::Uint(r as u64), CsvCell::Float(v)],
+        );
+    }
+    for (r, &v) in homo.iter().enumerate() {
+        row(
+            &mut csv,
+            vec!["homo".into(), CsvCell::Uint(r as u64), CsvCell::Float(v)],
+        );
+    }
+
+    let sh = Summary::of(&hetero).expect("non-empty");
+    let so = Summary::of(&homo).expect("non-empty");
+    println!("two clusters (64+32): {}", sh.line());
+    println!("one cluster  (96):    {}", so.line());
+    println!(
+        "\nshape check: both concentrated near 1 x LB with similar spread \
+         (paper: 'qualitatively similar'). hetero mean {:.3} vs homo mean {:.3}",
+        sh.mean, so.mean
+    );
+}

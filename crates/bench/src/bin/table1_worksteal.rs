@@ -1,0 +1,63 @@
+//! Experiment T1 — paper Table I / Theorem 1.
+//!
+//! Work stealing on unrelated machines can be unboundedly worse than the
+//! optimum: on the trap instance the first steal cannot happen before the
+//! long jobs finish, so the schedule completes in Θ(n) while `OPT = 2`.
+//!
+//! Regenerates the table for growing `n`, reporting the simulated
+//! work-stealing makespan, the exact optimum, and the ratio (which the
+//! theorem says diverges).
+//!
+//! Run: `cargo run --release -p lb-bench --bin table1_worksteal`
+
+use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_distsim::simulate_work_stealing;
+use lb_model::exact::{opt_makespan, ExactLimits};
+use lb_stats::csv::CsvCell;
+use lb_workloads::adversarial::worksteal_trap;
+
+fn main() {
+    banner(
+        "T1",
+        "Table I / Theorem 1: work stealing is unbounded on unrelated machines",
+    );
+    json_sidecar(
+        "table1_worksteal",
+        &serde_json::json!({"ns": [10, 100, 1000, 10000, 100000]}),
+    );
+    let mut csv = csv_out(
+        "table1_worksteal",
+        &["n", "worksteal_cmax", "opt", "ratio", "steals"],
+    );
+
+    println!(
+        "{:>8} {:>16} {:>6} {:>10} {:>7}",
+        "n", "worksteal Cmax", "OPT", "ratio", "steals"
+    );
+    for n in [10u64, 100, 1000, 10_000, 100_000] {
+        let (inst, initial) = worksteal_trap(n);
+        let ws = simulate_work_stealing(&inst, &initial, 1);
+        let opt = opt_makespan(&inst, ExactLimits::default()).expect("5-job instance");
+        let ratio = ws.makespan as f64 / opt as f64;
+        println!(
+            "{n:>8} {:>16} {opt:>6} {ratio:>10.1} {:>7}",
+            ws.makespan, ws.steals
+        );
+        row(
+            &mut csv,
+            vec![
+                CsvCell::Uint(n),
+                CsvCell::Uint(ws.makespan),
+                CsvCell::Uint(opt),
+                CsvCell::Float(ratio),
+                CsvCell::Uint(ws.steals),
+            ],
+        );
+        assert_eq!(opt, 2, "the trap's optimum is 2 by construction");
+        assert!(
+            ws.makespan >= n,
+            "the trap must delay completion to at least n"
+        );
+    }
+    println!("\nshape check: ratio grows linearly in n (paper: unbounded). OK.");
+}

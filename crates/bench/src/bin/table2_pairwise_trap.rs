@@ -1,0 +1,62 @@
+//! Experiment T2 — paper Table II / Proposition 2.
+//!
+//! A schedule in which *every pair* of machines is optimally balanced can
+//! still be a factor `n` from the optimum: pairwise optimality is a local
+//! property. The binary verifies, for growing `n`, that the trap state is
+//! a fixed point of an exact pairwise balancer while `Cmax / OPT = n`.
+//!
+//! Run: `cargo run --release -p lb-bench --bin table2_pairwise_trap`
+
+use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_core::optimal_pair::OptimalPairBalance;
+use lb_core::stability::is_stable;
+use lb_model::exact::{opt_makespan, ExactLimits};
+use lb_stats::csv::CsvCell;
+use lb_workloads::adversarial::pairwise_trap;
+
+fn main() {
+    banner(
+        "T2",
+        "Table II / Proposition 2: pairwise-optimal yet unboundedly bad",
+    );
+    json_sidecar(
+        "table2_pairwise_trap",
+        &serde_json::json!({"ns": [10, 100, 1000, 10000]}),
+    );
+    let mut csv = csv_out(
+        "table2_pairwise_trap",
+        &["n", "trap_cmax", "opt", "ratio", "pairwise_stable"],
+    );
+
+    println!(
+        "{:>8} {:>10} {:>6} {:>10} {:>16}",
+        "n", "trap Cmax", "OPT", "ratio", "pairwise stable"
+    );
+    for n in [10u64, 100, 1000, 10_000] {
+        let (inst, asg) = pairwise_trap(n);
+        let stable = is_stable(&inst, &asg, &OptimalPairBalance::default());
+        let opt = opt_makespan(&inst, ExactLimits::default()).expect("3-job instance");
+        let cmax = asg.makespan();
+        println!(
+            "{n:>8} {cmax:>10} {opt:>6} {:>10.1} {stable:>16}",
+            cmax as f64 / opt as f64
+        );
+        row(
+            &mut csv,
+            vec![
+                CsvCell::Uint(n),
+                CsvCell::Uint(cmax),
+                CsvCell::Uint(opt),
+                CsvCell::Float(cmax as f64 / opt as f64),
+                CsvCell::Str(stable.to_string()),
+            ],
+        );
+        assert!(
+            stable,
+            "the trap must be a fixed point of optimal pairwise balancing"
+        );
+        assert_eq!(opt, 1);
+        assert_eq!(cmax, n);
+    }
+    println!("\nshape check: stuck at ratio = n for every n (paper: unbounded). OK.");
+}

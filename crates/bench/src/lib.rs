@@ -1,0 +1,109 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every table/figure of the paper has a binary under `src/bin/` that
+//! prints human-readable rows *and* writes a CSV (plus a JSON sidecar with
+//! the parameters) under `results/`, so EXPERIMENTS.md numbers can be
+//! regenerated and diffed. This module holds the tiny bits they share:
+//! output-directory handling, a minimal flag parser, and experiment
+//! banners.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lb_stats::csv::{CsvCell, CsvWriter};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+/// Where experiment outputs land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("LB_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Opens `results/<name>.csv` with the given header.
+pub fn csv_out(name: &str, header: &[&str]) -> CsvWriter<BufWriter<File>> {
+    let path = results_dir().join(format!("{name}.csv"));
+    let file = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    CsvWriter::new(BufWriter::new(file), header).expect("write CSV header")
+}
+
+/// Writes a JSON parameter sidecar next to the CSV.
+pub fn json_sidecar<T: serde::Serialize>(name: &str, params: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let file = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    serde_json::to_writer_pretty(BufWriter::new(file), params).expect("serialize parameters");
+}
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, what: &str) {
+    println!("==========================================================");
+    println!("{id}: {what}");
+    println!("==========================================================");
+}
+
+/// Minimal flag reader: `flag("--full")` / `value("--panel")`.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// True if the flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value following `name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+}
+
+/// Convenience: one CSV row from mixed cells.
+pub fn row(w: &mut CsvWriter<BufWriter<File>>, cells: Vec<CsvCell>) {
+    w.row(&cells).expect("write CSV row");
+}
+
+/// Asserts a results path exists (used by integration smoke tests).
+pub fn results_file_exists(name: &str) -> bool {
+    Path::new(&results_dir()).join(name).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_flag_and_value() {
+        let args = Args {
+            raw: vec!["--full".into(), "--panel".into(), "a".into()],
+        };
+        assert!(args.flag("--full"));
+        assert!(!args.flag("--quick"));
+        assert_eq!(args.value("--panel"), Some("a"));
+        assert_eq!(args.value("--missing"), None);
+        assert_eq!(args.value("a"), None);
+    }
+
+    #[test]
+    fn results_dir_respects_env() {
+        // Can't mutate env safely in parallel tests; just verify the
+        // default path shape.
+        let d = results_dir();
+        assert!(d.ends_with("results") || d.is_dir());
+    }
+}

@@ -1,0 +1,184 @@
+//! Centralized baselines the paper compares against or builds on.
+//!
+//! * [`ect_list_schedule`] — List Scheduling generalized to unrelated
+//!   machines by Earliest Completion Time: place each job (in submission
+//!   order) on the machine that finishes it soonest. On identical
+//!   machines this is Graham's 2-approximation; on unrelated machines it
+//!   carries no guarantee but is the standard submission-time strategy the
+//!   paper's Section IV discusses.
+//! * [`lpt_schedule`] — Largest Processing Time first: same greedy after
+//!   sorting jobs by decreasing (minimum) cost; a 3/2-approximation on
+//!   identical machines.
+//! * [`least_loaded_schedule`] — the "least loaded machine first" policy
+//!   of the introduction (ignores the job's cost on the target, which is
+//!   exactly why it breaks on heterogeneous machines).
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The "balls in bins" d-choices policy the related work discusses
+/// (Azar et al. / Berenbrink et al.): each job probes `d` machines chosen
+/// uniformly at random and takes the one with the earliest completion
+/// time. Fully decentralized if machine loads can be probed remotely; the
+/// paper notes it does *not* extend to fully heterogeneous systems with
+/// guarantees — this implementation is the natural ECT adaptation used as
+/// a baseline.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn d_choices_schedule(inst: &Instance, d: usize, seed: u64) -> Assignment {
+    assert!(d >= 1, "need at least one choice");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = inst.num_machines();
+    let mut loads = vec![0u128; m];
+    let mut machine_of = vec![MachineId(0); inst.num_jobs()];
+    for j in inst.jobs() {
+        let mut best: Option<(u128, usize)> = None;
+        for _ in 0..d.min(m) {
+            let mi = rng.gen_range(0..m);
+            let c = loads[mi] + u128::from(inst.cost(MachineId::from_idx(mi), j));
+            if best.is_none_or(|(bc, _)| c < bc) {
+                best = Some((c, mi));
+            }
+        }
+        let (_, mi) = best.expect("d >= 1 probes at least one machine");
+        loads[mi] += u128::from(inst.cost(MachineId::from_idx(mi), j));
+        machine_of[j.idx()] = MachineId::from_idx(mi);
+    }
+    Assignment::from_vec(inst, machine_of).expect("schedule built over valid ids")
+}
+
+/// List Scheduling by Earliest Completion Time over the given job order.
+pub fn ect_list_schedule(inst: &Instance, order: &[JobId]) -> Assignment {
+    let mut loads = vec![0u128; inst.num_machines()];
+    let mut machine_of = vec![MachineId(0); inst.num_jobs()];
+    for &j in order {
+        let (mi, _) = loads
+            .iter()
+            .enumerate()
+            .map(|(mi, &l)| (mi, l + u128::from(inst.cost(MachineId::from_idx(mi), j))))
+            .min_by_key(|&(_, l)| l)
+            .expect("at least one machine");
+        loads[mi] += u128::from(inst.cost(MachineId::from_idx(mi), j));
+        machine_of[j.idx()] = MachineId::from_idx(mi);
+    }
+    Assignment::from_vec(inst, machine_of).expect("schedule built over valid ids")
+}
+
+/// List Scheduling in job-id (submission) order.
+pub fn ect_in_order(inst: &Instance) -> Assignment {
+    let order: Vec<JobId> = inst.jobs().collect();
+    ect_list_schedule(inst, &order)
+}
+
+/// LPT: jobs sorted by decreasing minimum cost, then ECT.
+pub fn lpt_schedule(inst: &Instance) -> Assignment {
+    let mut order: Vec<JobId> = inst.jobs().collect();
+    order.sort_by_key(|&j| (std::cmp::Reverse(inst.min_cost_of(j)), j));
+    ect_list_schedule(inst, &order)
+}
+
+/// "Least loaded machine first": each job goes to the machine with the
+/// smallest current load, regardless of the job's cost there.
+pub fn least_loaded_schedule(inst: &Instance) -> Assignment {
+    let mut loads = vec![0u128; inst.num_machines()];
+    let mut machine_of = vec![MachineId(0); inst.num_jobs()];
+    for j in inst.jobs() {
+        let (mi, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("at least one machine");
+        loads[mi] += u128::from(inst.cost(MachineId::from_idx(mi), j));
+        machine_of[j.idx()] = MachineId::from_idx(mi);
+    }
+    Assignment::from_vec(inst, machine_of).expect("schedule built over valid ids")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_model::exact::{opt_makespan, ExactLimits};
+
+    #[test]
+    fn ect_is_2_approx_on_identical_machines() {
+        // Graham's bound: Cmax <= 2 OPT on identical machines, any order.
+        let inst = Instance::uniform(3, vec![7, 3, 9, 2, 5, 8, 1, 4]).unwrap();
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let asg = ect_in_order(&inst);
+        assert!(asg.makespan() <= 2 * opt);
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn lpt_beats_or_ties_plain_ect_here() {
+        let inst = Instance::uniform(3, vec![1, 1, 1, 1, 9, 9, 9]).unwrap();
+        let lpt = lpt_schedule(&inst).makespan();
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        // LPT is a 3/2-approximation on identical machines; here it is
+        // outright optimal (big jobs spread first).
+        assert_eq!(lpt, opt);
+    }
+
+    #[test]
+    fn ect_respects_heterogeneity_least_loaded_does_not() {
+        // Machine 0 is terrible for every job; ECT avoids it, least-loaded
+        // naively alternates onto it.
+        let inst = Instance::dense(2, 4, vec![100, 100, 100, 100, 1, 1, 1, 1]).unwrap();
+        let ect = ect_in_order(&inst);
+        assert_eq!(ect.makespan(), 4);
+        let ll = least_loaded_schedule(&inst);
+        assert!(ll.makespan() >= 100, "least-loaded should have stumbled");
+    }
+
+    #[test]
+    fn ect_single_machine() {
+        let inst = Instance::uniform(1, vec![2, 3]).unwrap();
+        assert_eq!(ect_in_order(&inst).makespan(), 5);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        let inst = Instance::uniform(2, vec![]).unwrap();
+        assert_eq!(ect_in_order(&inst).makespan(), 0);
+        assert_eq!(lpt_schedule(&inst).makespan(), 0);
+        assert_eq!(least_loaded_schedule(&inst).makespan(), 0);
+    }
+
+    #[test]
+    fn lpt_deterministic_with_ties() {
+        let inst = Instance::uniform(2, vec![5, 5, 5, 5]).unwrap();
+        assert_eq!(lpt_schedule(&inst), lpt_schedule(&inst));
+    }
+
+    #[test]
+    fn d_choices_improves_with_d() {
+        // Classic balls-in-bins: more choices, better balance. Compare
+        // d = 1 (random placement) with d = full ECT on a big uniform
+        // instance; d = 2 should land in between on average.
+        let inst = Instance::uniform(16, vec![1; 400]).unwrap();
+        let d1 = d_choices_schedule(&inst, 1, 7).makespan();
+        let d2 = d_choices_schedule(&inst, 2, 7).makespan();
+        let full = ect_in_order(&inst).makespan();
+        assert!(d2 <= d1, "two choices should not be worse: {d2} vs {d1}");
+        assert!(full <= d2);
+        assert_eq!(full, 25);
+    }
+
+    #[test]
+    fn d_choices_deterministic_and_valid() {
+        let inst = Instance::dense(3, 9, (1..=27).collect()).unwrap();
+        let a = d_choices_schedule(&inst, 2, 42);
+        let b = d_choices_schedule(&inst, 2, 42);
+        assert_eq!(a, b);
+        a.validate(&inst).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn d_choices_rejects_zero() {
+        let inst = Instance::uniform(2, vec![1]).unwrap();
+        let _ = d_choices_schedule(&inst, 0, 0);
+    }
+}

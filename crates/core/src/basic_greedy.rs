@@ -1,0 +1,189 @@
+//! Algorithm 2, *Basic Greedy*: Earliest-Completion-Time redistribution
+//! of two machines' jobs.
+//!
+//! Pool both machines' jobs, then hand each job to whichever machine
+//! finishes it earlier given what it already received. When all jobs have
+//! the same processing time per machine (one job type, Section V.A), this
+//! yields the *optimal* two-machine distribution (Lemma 3), which makes
+//! the OJTB loop converge to a globally optimal schedule (Lemma 4).
+//!
+//! On arbitrary instances the same rule is still a sensible greedy — it is
+//! exactly two-machine List Scheduling — but carries no guarantee
+//! (Proposition 2's trap applies; see `lb-workloads::adversarial`).
+
+use crate::pairwise::{commit_pair, PairwiseBalancer};
+use lb_model::prelude::*;
+
+/// Basic Greedy (Algorithm 2) as a pairwise balancer.
+///
+/// Jobs are pooled and re-dealt in increasing job-id order (the paper
+/// leaves the order unspecified: with one job type all orders give the
+/// same loads, and a fixed order keeps the balancer deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EctPairBalance;
+
+impl PairwiseBalancer for EctPairBalance {
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+        // Canonical orientation: the rule must not depend on which machine
+        // initiated the exchange, or optimal states would not be fixed
+        // points (two peers would keep swapping equivalent jobs).
+        let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let (new1, new2) = redistribute_ect(inst, asg, m1, m2);
+        commit_pair(inst, asg, m1, m2, new1, new2)
+    }
+
+    fn name(&self) -> &'static str {
+        "basic-greedy"
+    }
+}
+
+/// The pure redistribution: pooled jobs dealt by earliest completion time.
+///
+/// Exposed for reuse by [`crate::mjtb`] (which applies it per job type).
+pub fn redistribute_ect(
+    inst: &Instance,
+    asg: &Assignment,
+    m1: MachineId,
+    m2: MachineId,
+) -> (Vec<JobId>, Vec<JobId>) {
+    let mut pool: Vec<JobId> = asg
+        .jobs_on(m1)
+        .iter()
+        .chain(asg.jobs_on(m2))
+        .copied()
+        .collect();
+    pool.sort_unstable();
+    deal_ect(inst, m1, m2, &pool)
+}
+
+/// Deals `pool` (in order) to `m1`/`m2` by earliest completion time,
+/// starting from empty machines. Ties go to `m1`, matching Algorithm 2's
+/// `<=` comparison.
+pub(crate) fn deal_ect(
+    inst: &Instance,
+    m1: MachineId,
+    m2: MachineId,
+    pool: &[JobId],
+) -> (Vec<JobId>, Vec<JobId>) {
+    let mut l1 = 0u128;
+    let mut l2 = 0u128;
+    let mut new1 = Vec::with_capacity(pool.len());
+    let mut new2 = Vec::with_capacity(pool.len());
+    for &j in pool {
+        let c1 = u128::from(inst.cost(m1, j));
+        let c2 = u128::from(inst.cost(m2, j));
+        if l1 + c1 <= l2 + c2 {
+            l1 += c1;
+            new1.push(j);
+        } else {
+            l2 += c2;
+            new2.push(j);
+        }
+    }
+    (new1, new2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Optimal two-machine makespan for identical jobs of size `p1` on m1
+    /// and `p2` on m2 (`n` jobs total): min over split k of
+    /// max(k*p1, (n-k)*p2).
+    fn one_type_opt(n: u64, p1: u64, p2: u64) -> u64 {
+        (0..=n).map(|k| (k * p1).max((n - k) * p2)).min().unwrap()
+    }
+
+    #[test]
+    fn optimal_for_one_job_type() {
+        // Machines with different speeds for the single type.
+        for (n, p1, p2) in [
+            (1u64, 3u64, 5u64),
+            (7, 2, 3),
+            (10, 1, 10),
+            (5, 4, 4),
+            (0, 1, 1),
+        ] {
+            let inst = Instance::dense(
+                2,
+                n as usize,
+                (0..2 * n).map(|i| if i < n { p1 } else { p2 }).collect(),
+            )
+            .unwrap();
+            let mut asg = Assignment::all_on(&inst, MachineId(0));
+            EctPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1));
+            assert_eq!(
+                asg.makespan(),
+                one_type_opt(n, p1, p2),
+                "n={n} p1={p1} p2={p2}"
+            );
+            asg.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn balance_reports_change_correctly() {
+        let inst = Instance::uniform(2, vec![5, 5]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(EctPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1)));
+        // Already balanced: dealing again reproduces the same partition.
+        assert!(!EctPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1)));
+    }
+
+    #[test]
+    fn never_increases_pair_makespan_single_type() {
+        // Lemma 4's monotonicity argument relies on the pair op being
+        // optimal, hence non-increasing, for one job type.
+        let sizes = vec![7u64; 9];
+        let inst = Instance::uniform(3, sizes).unwrap();
+        let mut asg = Assignment::from_vec(
+            &inst,
+            vec![
+                MachineId(0),
+                MachineId(0),
+                MachineId(0),
+                MachineId(0),
+                MachineId(1),
+                MachineId(1),
+                MachineId(2),
+                MachineId(2),
+                MachineId(2),
+            ],
+        )
+        .unwrap();
+        let pairs = [(0u32, 1u32), (1, 2), (0, 2), (0, 1)];
+        let mut prev = asg.makespan();
+        for (a, b) in pairs {
+            EctPairBalance.balance(&inst, &mut asg, MachineId(a), MachineId(b));
+            let cur = asg.load(MachineId(a)).max(asg.load(MachineId(b)));
+            let global = asg.makespan();
+            assert!(global <= prev, "pair ({a},{b}) increased Cmax");
+            assert!(cur <= prev);
+            prev = global;
+        }
+    }
+
+    #[test]
+    fn untouched_machines_unaffected() {
+        let inst = Instance::uniform(3, vec![2, 2, 2, 2]).unwrap();
+        let mut asg = Assignment::from_vec(
+            &inst,
+            vec![MachineId(0), MachineId(0), MachineId(2), MachineId(2)],
+        )
+        .unwrap();
+        let before = asg.load(MachineId(2));
+        EctPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1));
+        assert_eq!(asg.load(MachineId(2)), before);
+        assert_eq!(asg.jobs_on(MachineId(2)).len(), 2);
+    }
+
+    #[test]
+    fn infeasible_jobs_flow_to_feasible_machine() {
+        // Job 0 cannot run on machine 0; ECT sends it to machine 1.
+        let inst = Instance::dense(2, 2, vec![INFEASIBLE, 1, 4, 1]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        EctPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1));
+        assert_eq!(asg.machine_of(JobId(0)), MachineId(1));
+        assert!(asg.makespan() < INFEASIBLE);
+    }
+}

@@ -1,0 +1,272 @@
+//! Algorithm 5, *CLB2C* (Centralized Load Balancing for Two Clusters).
+//!
+//! Sort the jobs by `p1[j] / p2[j]` so jobs relatively faster on cluster 1
+//! sit at the front and jobs faster on cluster 2 at the back. Repeatedly
+//! compare two candidate placements — front job onto the least-loaded
+//! machine of cluster 1 vs back job onto the least-loaded machine of
+//! cluster 2 — and commit whichever leaves those two machines with the
+//! smaller completion time.
+//!
+//! Theorem 6: under the hypothesis `max_{i,j} p[i][j] <= OPT` this is a
+//! 2-approximation. The proof's pivot — the job sort guarantees that when
+//! a job is placed on its "wrong" cluster, the work argument bounds
+//! `min(C1, C2) <= OPT` — is exercised directly by the property tests.
+
+use crate::pairwise::cmp_ratio;
+use lb_model::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The jobs of a two-cluster instance sorted by `p1/p2` ascending
+/// (job id as the deterministic tiebreak).
+pub fn ratio_order(inst: &Instance) -> Result<Vec<JobId>> {
+    if !inst.is_two_cluster() {
+        return Err(LbError::NotTwoClusters {
+            num_clusters: inst.num_clusters(),
+        });
+    }
+    let rep1 = inst.machines_in(ClusterId::ONE)[0];
+    let rep2 = inst.machines_in(ClusterId::TWO)[0];
+    let mut order: Vec<JobId> = inst.jobs().collect();
+    order.sort_by(|&a, &b| {
+        cmp_ratio(
+            (inst.cost(rep1, a), inst.cost(rep2, a)),
+            (inst.cost(rep1, b), inst.cost(rep2, b)),
+        )
+        .then(a.cmp(&b))
+    });
+    Ok(order)
+}
+
+/// CLB2C (Algorithm 5): centralized two-cluster balancing.
+///
+/// Requires a two-cluster instance whose machines are identical within
+/// each cluster (the [`Instance::two_cluster`] constructor guarantees
+/// this; for re-clustered dense instances it is the caller's contract).
+///
+/// Runs in `O(|J| (log |J| + log |M|))`.
+///
+/// ```
+/// use lb_core::clb2c;
+/// use lb_model::prelude::*;
+///
+/// // 1 CPU + 1 GPU; two jobs each strongly affine to one side.
+/// let inst = Instance::two_cluster(1, 1, vec![(1, 50), (50, 1)]).unwrap();
+/// let schedule = clb2c(&inst).unwrap();
+/// assert_eq!(schedule.makespan(), 1); // each job on its fast cluster
+/// ```
+pub fn clb2c(inst: &Instance) -> Result<Assignment> {
+    let order = ratio_order(inst)?;
+    let rep1 = inst.machines_in(ClusterId::ONE)[0];
+    let rep2 = inst.machines_in(ClusterId::TWO)[0];
+
+    // Min-heaps of (load, machine) per cluster. Only the popped entry's
+    // machine changes load, so entries never go stale.
+    let mut heap1: BinaryHeap<Reverse<(u128, u32)>> = inst
+        .machines_in(ClusterId::ONE)
+        .iter()
+        .map(|m| Reverse((0u128, m.0)))
+        .collect();
+    let mut heap2: BinaryHeap<Reverse<(u128, u32)>> = inst
+        .machines_in(ClusterId::TWO)
+        .iter()
+        .map(|m| Reverse((0u128, m.0)))
+        .collect();
+
+    let mut machine_of = vec![MachineId(0); inst.num_jobs()];
+    let (mut lo, mut hi) = (0usize, order.len());
+    while lo < hi {
+        let &Reverse((l1, m1)) = heap1.peek().expect("cluster 1 is non-empty");
+        let &Reverse((l2, m2)) = heap2.peek().expect("cluster 2 is non-empty");
+        let front = order[lo];
+        let back = order[hi - 1];
+        let c1 = u128::from(inst.cost(rep1, front));
+        let c2 = u128::from(inst.cost(rep2, back));
+        if l1 + c1 <= l2 + c2 {
+            machine_of[front.idx()] = MachineId(m1);
+            heap1.pop();
+            heap1.push(Reverse((l1 + c1, m1)));
+            lo += 1;
+        } else {
+            machine_of[back.idx()] = MachineId(m2);
+            heap2.pop();
+            heap2.push(Reverse((l2 + c2, m2)));
+            hi -= 1;
+        }
+    }
+    Assignment::from_vec(inst, machine_of)
+}
+
+/// Two-pointer CLB2C restricted to a single pair of machines, as used by
+/// DLB2C for inter-cluster exchanges ("two sub-clusters of one machine
+/// each"). `pool` must already be sorted by `cost(m1, ·) / cost(m2, ·)`.
+///
+/// Returns the new job lists for `(m1, m2)`.
+pub(crate) fn deal_two_pointer(
+    inst: &Instance,
+    m1: MachineId,
+    m2: MachineId,
+    pool: &[JobId],
+) -> (Vec<JobId>, Vec<JobId>) {
+    let mut l1 = 0u128;
+    let mut l2 = 0u128;
+    let mut new1 = Vec::new();
+    let mut new2 = Vec::new();
+    let (mut lo, mut hi) = (0usize, pool.len());
+    while lo < hi {
+        let front = pool[lo];
+        let back = pool[hi - 1];
+        let c1 = u128::from(inst.cost(m1, front));
+        let c2 = u128::from(inst.cost(m2, back));
+        if l1 + c1 <= l2 + c2 {
+            new1.push(front);
+            l1 += c1;
+            lo += 1;
+        } else {
+            new2.push(back);
+            l2 += c2;
+            hi -= 1;
+        }
+    }
+    (new1, new2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_model::bounds::combined_lower_bound;
+    use lb_model::exact::{opt_makespan, ExactLimits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ratio_order_sorts_by_affinity() {
+        // Job 0: (1, 10) ratio 0.1; job 1: (10, 1) ratio 10; job 2: (5, 5) ratio 1.
+        let inst = Instance::two_cluster(1, 1, vec![(1, 10), (10, 1), (5, 5)]).unwrap();
+        let order = ratio_order(&inst).unwrap();
+        assert_eq!(order, vec![JobId(0), JobId(2), JobId(1)]);
+    }
+
+    #[test]
+    fn ratio_order_requires_two_clusters() {
+        let inst = Instance::uniform(3, vec![1]).unwrap();
+        assert!(matches!(
+            ratio_order(&inst),
+            Err(LbError::NotTwoClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn clb2c_sends_jobs_to_affine_cluster() {
+        // Jobs strongly affine to one side end up there.
+        let inst =
+            Instance::two_cluster(2, 2, vec![(1, 100), (1, 100), (100, 1), (100, 1)]).unwrap();
+        let asg = clb2c(&inst).unwrap();
+        assert_eq!(inst.cluster(asg.machine_of(JobId(0))), ClusterId::ONE);
+        assert_eq!(inst.cluster(asg.machine_of(JobId(1))), ClusterId::ONE);
+        assert_eq!(inst.cluster(asg.machine_of(JobId(2))), ClusterId::TWO);
+        assert_eq!(inst.cluster(asg.machine_of(JobId(3))), ClusterId::TWO);
+        assert_eq!(asg.makespan(), 1);
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn clb2c_balances_within_cluster() {
+        // 4 identical jobs, only cluster 1 is sensible: spread 2 + 2.
+        let inst = Instance::two_cluster(2, 1, vec![(3, 1000); 4]).unwrap();
+        let asg = clb2c(&inst).unwrap();
+        // All jobs should go to cluster 1 (placing any on cluster 2 costs
+        // 1000 vs at most 12 total on cluster 1), split evenly.
+        assert_eq!(asg.load(MachineId(0)), 6);
+        assert_eq!(asg.load(MachineId(1)), 6);
+        assert_eq!(asg.load(MachineId(2)), 0);
+    }
+
+    #[test]
+    fn clb2c_two_approximation_vs_exact_opt() {
+        // Random small instances where the Theorem 6 hypothesis
+        // (max p <= OPT) holds by construction: costs in [1, 6] and
+        // enough jobs that OPT >= 6.
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for trial in 0..40 {
+            let n = rng.gen_range(8..=11);
+            let costs: Vec<(Time, Time)> = (0..n)
+                .map(|_| (rng.gen_range(1..=6), rng.gen_range(1..=6)))
+                .collect();
+            let m1 = rng.gen_range(1..=2);
+            let m2 = rng.gen_range(1..=2);
+            let inst = Instance::two_cluster(m1, m2, costs).unwrap();
+            let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+            let asg = clb2c(&inst).unwrap();
+            if inst.max_finite_cost().unwrap() <= opt {
+                assert!(
+                    asg.makespan() <= 2 * opt,
+                    "trial {trial}: CLB2C {} > 2*OPT {}",
+                    asg.makespan(),
+                    2 * opt
+                );
+            }
+            assert!(asg.makespan() >= opt);
+        }
+    }
+
+    #[test]
+    fn clb2c_close_to_lower_bound_on_large_instances() {
+        // On the paper's simulation workload CLB2C lands within 2x of the
+        // fractional lower bound (in practice much closer).
+        let mut rng = StdRng::seed_from_u64(7);
+        let costs: Vec<(Time, Time)> = (0..768)
+            .map(|_| (rng.gen_range(1..=1000), rng.gen_range(1..=1000)))
+            .collect();
+        let inst = Instance::two_cluster(64, 32, costs).unwrap();
+        let asg = clb2c(&inst).unwrap();
+        let lb = combined_lower_bound(&inst);
+        assert!(lb > 0);
+        assert!(
+            asg.makespan() <= 2 * lb,
+            "Cmax {} vs LB {lb}",
+            asg.makespan()
+        );
+    }
+
+    #[test]
+    fn clb2c_empty_jobs() {
+        let inst = Instance::two_cluster(2, 2, vec![]).unwrap();
+        let asg = clb2c(&inst).unwrap();
+        assert_eq!(asg.makespan(), 0);
+    }
+
+    #[test]
+    fn clb2c_single_job_goes_to_cheaper_side() {
+        let inst = Instance::two_cluster(1, 1, vec![(9, 4)]).unwrap();
+        let asg = clb2c(&inst).unwrap();
+        assert_eq!(asg.machine_of(JobId(0)), MachineId(1));
+        assert_eq!(asg.makespan(), 4);
+    }
+
+    #[test]
+    fn deal_two_pointer_matches_clb2c_on_pair() {
+        // A pair of single-machine clusters: deal_two_pointer must equal
+        // the full algorithm restricted to those machines.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..=9);
+            let costs: Vec<(Time, Time)> = (0..n)
+                .map(|_| (rng.gen_range(1..=9), rng.gen_range(1..=9)))
+                .collect();
+            let inst = Instance::two_cluster(1, 1, costs).unwrap();
+            let full = clb2c(&inst).unwrap();
+            let order = ratio_order(&inst).unwrap();
+            let (j1, j2) = deal_two_pointer(&inst, MachineId(0), MachineId(1), &order);
+            let mut rebuilt = vec![MachineId(0); inst.num_jobs()];
+            for &j in &j2 {
+                rebuilt[j.idx()] = MachineId(1);
+            }
+            for &j in &j1 {
+                rebuilt[j.idx()] = MachineId(0);
+            }
+            let pair_asg = Assignment::from_vec(&inst, rebuilt).unwrap();
+            assert_eq!(pair_asg.makespan(), full.makespan());
+        }
+    }
+}

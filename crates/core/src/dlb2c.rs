@@ -1,0 +1,220 @@
+//! Algorithm 7, *DLB2C* (Decentralized Load Balancing for Two Clusters),
+//! and its unrelated-machines generalization.
+//!
+//! Each machine repeatedly selects a random peer:
+//!
+//! * same cluster → *Greedy Load Balancing* (Algorithm 6);
+//! * different clusters → *CLB2C* restricted to the pair ("two
+//!   sub-clusters of one machine each").
+//!
+//! Theorem 7: if the system reaches a state where no pair exchange changes
+//! anything (stability), the schedule is a 2-approximation (under the
+//! `max p <= OPT` hypothesis). Proposition 8: stability may never be
+//! reached — the dynamics can enter a limit cycle, studied in `lb-markov`
+//! and `lb-distsim`.
+
+use crate::clb2c::deal_two_pointer;
+use crate::greedy_lb::{deal_least_loaded, greedy_pair_balance};
+use crate::pairwise::{cmp_ratio, commit_pair, PairwiseBalancer};
+use lb_model::prelude::*;
+
+/// DLB2C's pairwise step.
+///
+/// On a two-cluster instance this is Algorithm 7 verbatim. On a
+/// single-cluster instance (the Section VII.A homogeneous study applies
+/// "DLB2C on only one cluster") every pair is intra-cluster and the
+/// affinity sort degenerates, so jobs are dealt in job-id order
+/// least-loaded-first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dlb2cBalance;
+
+impl PairwiseBalancer for Dlb2cBalance {
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+        // Canonical orientation: intra-cluster and homogeneous exchanges
+        // are symmetric rules; inter-cluster exchanges re-orient by
+        // cluster below anyway.
+        let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        if inst.is_two_cluster() {
+            if inst.cluster(m1) == inst.cluster(m2) {
+                let (new1, new2) = greedy_pair_balance(inst, asg, m1, m2);
+                commit_pair(inst, asg, m1, m2, new1, new2)
+            } else {
+                // Orient so the first role is played by the cluster-1
+                // machine, as in Algorithm 7's `M1 := {m}; M2 := {i}`.
+                let (a, b) = if inst.cluster(m1) == ClusterId::ONE {
+                    (m1, m2)
+                } else {
+                    (m2, m1)
+                };
+                let pool = ratio_sorted_pool(inst, asg, a, b);
+                let (new_a, new_b) = deal_two_pointer(inst, a, b, &pool);
+                commit_pair(inst, asg, a, b, new_a, new_b)
+            }
+        } else {
+            // Homogeneous degenerate case: least-loaded dealing.
+            let mut pool: Vec<JobId> = asg
+                .jobs_on(m1)
+                .iter()
+                .chain(asg.jobs_on(m2))
+                .copied()
+                .collect();
+            pool.sort_unstable();
+            let (new1, new2) = deal_least_loaded(inst, m1, m2, &pool);
+            commit_pair(inst, asg, m1, m2, new1, new2)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dlb2c"
+    }
+}
+
+/// The Section VIII extension: a pairwise balancer for *arbitrary*
+/// unrelated machines (any number of clusters, or none).
+///
+/// For any pair it sorts the pooled jobs by the pair-local ratio
+/// `p[m1][j] / p[m2][j]` and runs the CLB2C two-pointer deal. On a
+/// two-cluster instance an inter-cluster exchange coincides with DLB2C's;
+/// an intra-cluster exchange differs (pair-local ratios are all equal, so
+/// it degenerates to a two-pointer least-loaded deal). No approximation
+/// guarantee is claimed — Proposition 2's trap applies and is exercised in
+/// the tests — but it is a sensible heuristic for multi-cluster systems.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnrelatedPairBalance;
+
+impl PairwiseBalancer for UnrelatedPairBalance {
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+        // Canonical orientation (see `EctPairBalance::balance`).
+        let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let pool = ratio_sorted_pool(inst, asg, m1, m2);
+        let (new1, new2) = deal_two_pointer(inst, m1, m2, &pool);
+        commit_pair(inst, asg, m1, m2, new1, new2)
+    }
+
+    fn name(&self) -> &'static str {
+        "unrelated-pair"
+    }
+}
+
+/// The pooled jobs of the pair sorted by `p[m1][j] / p[m2][j]` ascending,
+/// job id as tiebreak.
+fn ratio_sorted_pool(
+    inst: &Instance,
+    asg: &Assignment,
+    m1: MachineId,
+    m2: MachineId,
+) -> Vec<JobId> {
+    let mut pool: Vec<JobId> = asg
+        .jobs_on(m1)
+        .iter()
+        .chain(asg.jobs_on(m2))
+        .copied()
+        .collect();
+    pool.sort_by(|&a, &b| {
+        cmp_ratio(
+            (inst.cost(m1, a), inst.cost(m2, a)),
+            (inst.cost(m1, b), inst.cost(m2, b)),
+        )
+        .then(a.cmp(&b))
+    });
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_cluster_exchange_moves_affine_jobs() {
+        let inst =
+            Instance::two_cluster(1, 1, vec![(1, 100), (100, 1), (1, 100), (100, 1)]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(Dlb2cBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1)));
+        // Each job lands on its cheap side.
+        assert_eq!(asg.load(MachineId(0)), 2);
+        assert_eq!(asg.load(MachineId(1)), 2);
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn orientation_is_symmetric() {
+        // balance(m1, m2) and balance(m2, m1) must produce the same result
+        // for an inter-cluster pair (roles are assigned by cluster).
+        let inst = Instance::two_cluster(1, 1, vec![(3, 5), (9, 2), (4, 4), (1, 7)]).unwrap();
+        let mut a = Assignment::all_on(&inst, MachineId(0));
+        let mut b = a.clone();
+        Dlb2cBalance.balance(&inst, &mut a, MachineId(0), MachineId(1));
+        Dlb2cBalance.balance(&inst, &mut b, MachineId(1), MachineId(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intra_cluster_uses_greedy_lb() {
+        let inst = Instance::two_cluster(2, 1, vec![(4, 9), (4, 9), (4, 9), (4, 9)]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(Dlb2cBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1)));
+        assert_eq!(asg.load(MachineId(0)), 8);
+        assert_eq!(asg.load(MachineId(1)), 8);
+    }
+
+    #[test]
+    fn homogeneous_instance_supported() {
+        // Section VII.A: DLB2C on one cluster.
+        let inst = Instance::uniform(2, vec![5, 3, 2, 8]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(Dlb2cBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1)));
+        let (l1, l2) = (asg.load(MachineId(0)), asg.load(MachineId(1)));
+        assert_eq!(l1 + l2, 18);
+        // Post-balance imbalance bounded by p_max (the Markov model's edge
+        // condition).
+        assert!(l1.abs_diff(l2) <= 8, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn unrelated_balancer_works_anywhere() {
+        let inst = Instance::dense(3, 3, vec![1, 5, 9, 9, 1, 5, 5, 9, 1]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(UnrelatedPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1)));
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn unrelated_balancer_carries_no_guarantee() {
+        // On Proposition 2's trap the heuristic two-pointer deal is
+        // allowed to (and does) *worsen* the pair it touches — the
+        // documented absence of a guarantee outside the two-cluster
+        // setting. The exact pairwise balancer's behaviour on this trap is
+        // tested in `optimal_pair`.
+        let n: Time = 10;
+        let n2 = n * n;
+        #[rustfmt::skip]
+        let costs = vec![
+            1,  n2, n,
+            n,  1,  n2,
+            n2, n,  1,
+        ];
+        let inst = Instance::dense(3, 3, costs).unwrap();
+        let mut asg =
+            Assignment::from_vec(&inst, vec![MachineId(1), MachineId(2), MachineId(0)]).unwrap();
+        let before = asg.makespan();
+        UnrelatedPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1));
+        asg.validate(&inst).unwrap();
+        // Jobs are conserved whatever happens to the makespan.
+        let total: usize = inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+        assert_eq!(total, 3);
+        assert_eq!(before, n);
+    }
+
+    #[test]
+    fn never_loses_jobs() {
+        let inst =
+            Instance::two_cluster(2, 2, vec![(3, 7), (8, 2), (5, 5), (1, 9), (6, 4)]).unwrap();
+        let mut asg = Assignment::round_robin(&inst);
+        for (a, b) in [(0u32, 2u32), (1, 3), (0, 1), (2, 3), (0, 3)] {
+            Dlb2cBalance.balance(&inst, &mut asg, MachineId(a), MachineId(b));
+            asg.validate(&inst).unwrap();
+        }
+        let total: usize = inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+        assert_eq!(total, 5);
+    }
+}

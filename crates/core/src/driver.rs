@@ -1,0 +1,172 @@
+//! A minimal sequential driver for pairwise balancers.
+//!
+//! The paper's decentralized loops (Algorithms 3, 4, 7) run concurrently
+//! on every machine; their *sequentialized* semantics — one random pair
+//! exchange per step — is what both the paper's own simulator and this
+//! driver execute. The richer engine with per-round metrics, exchange
+//! counters, and limit-cycle detection lives in `lb-distsim`; this one
+//! covers library use and doctests.
+
+use crate::pairwise::PairwiseBalancer;
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a [`run_pairwise`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseReport {
+    /// Rounds actually executed (may be fewer than requested when the
+    /// quiescence heuristic fires).
+    pub rounds_run: u64,
+    /// Rounds whose exchange changed the assignment.
+    pub exchanges: u64,
+    /// Makespan before the first round.
+    pub initial_makespan: Time,
+    /// Makespan after the last round.
+    pub final_makespan: Time,
+}
+
+/// Runs `rounds` random pair exchanges of `balancer` over the assignment.
+///
+/// Each round picks an ordered pair of distinct machines uniformly at
+/// random (the "host" machine and its random target). Stops early if
+/// `4 * |M|^2` consecutive rounds change nothing — by then every pair has
+/// been tried with high probability, so the state is almost surely stable.
+/// Deterministic given `seed`.
+pub fn run_pairwise(
+    inst: &Instance,
+    asg: &mut Assignment,
+    balancer: &dyn PairwiseBalancer,
+    seed: u64,
+    rounds: u64,
+) -> PairwiseReport {
+    let m = inst.num_machines();
+    let initial_makespan = asg.makespan();
+    if m < 2 {
+        return PairwiseReport {
+            rounds_run: 0,
+            exchanges: 0,
+            initial_makespan,
+            final_makespan: initial_makespan,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let quiescence_window = 4 * (m as u64) * (m as u64);
+    let mut since_last_change = 0u64;
+    let mut exchanges = 0u64;
+    let mut rounds_run = 0u64;
+    for _ in 0..rounds {
+        rounds_run += 1;
+        let a = rng.gen_range(0..m);
+        let b = {
+            let x = rng.gen_range(0..m - 1);
+            if x >= a {
+                x + 1
+            } else {
+                x
+            }
+        };
+        let changed = balancer.balance(inst, asg, MachineId::from_idx(a), MachineId::from_idx(b));
+        if changed {
+            exchanges += 1;
+            since_last_change = 0;
+        } else {
+            since_last_change += 1;
+            if since_last_change >= quiescence_window {
+                break;
+            }
+        }
+    }
+    PairwiseReport {
+        rounds_run,
+        exchanges,
+        initial_makespan,
+        final_makespan: asg.makespan(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic_greedy::EctPairBalance;
+    use crate::dlb2c::Dlb2cBalance;
+
+    #[test]
+    fn ojtb_converges_to_optimum_single_type() {
+        // Lemma 4: OJTB (random pairs + Basic Greedy) reaches the optimal
+        // distribution for one job type. 3 machines with speeds 1, 2, 3 and
+        // 11 identical jobs of size 6: loads multiples of 6, 12, 18.
+        let inst = Instance::dense(
+            3,
+            11,
+            (0..33)
+                .map(|i| match i / 11 {
+                    0 => 6u64,
+                    1 => 12,
+                    _ => 18,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(2));
+        let report = run_pairwise(&inst, &mut asg, &EctPairBalance, 42, 100_000);
+        // Optimal: minimize max over (a,b,c), a+b+c=11 of max(6a, 12b, 18c):
+        // a=6,b=3,c=2 -> max(36, 36, 36) = 36.
+        assert_eq!(report.final_makespan, 36);
+        assert!(report.final_makespan <= report.initial_makespan);
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn quiescence_stops_early() {
+        // Already balanced: the driver should bail out long before the
+        // requested round count.
+        let inst = Instance::uniform(3, vec![5, 5, 5]).unwrap();
+        let mut asg =
+            Assignment::from_vec(&inst, vec![MachineId(0), MachineId(1), MachineId(2)]).unwrap();
+        let report = run_pairwise(&inst, &mut asg, &EctPairBalance, 7, 1_000_000);
+        assert!(report.rounds_run < 1_000_000);
+        assert_eq!(report.exchanges, 0);
+        assert_eq!(report.final_makespan, 5);
+    }
+
+    #[test]
+    fn single_machine_is_noop() {
+        let inst = Instance::uniform(1, vec![1, 2, 3]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let report = run_pairwise(&inst, &mut asg, &EctPairBalance, 0, 100);
+        assert_eq!(report.rounds_run, 0);
+        assert_eq!(report.final_makespan, 6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst =
+            Instance::two_cluster(2, 2, vec![(3, 8), (7, 2), (5, 5), (9, 1), (1, 9), (4, 6)])
+                .unwrap();
+        let mut a = Assignment::all_on(&inst, MachineId(0));
+        let mut b = Assignment::all_on(&inst, MachineId(0));
+        let ra = run_pairwise(&inst, &mut a, &Dlb2cBalance, 123, 1000);
+        let rb = run_pairwise(&inst, &mut b, &Dlb2cBalance, 123, 1000);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dlb2c_improves_skewed_start() {
+        let inst = Instance::two_cluster(
+            4,
+            4,
+            (0..40).map(|i| ((i % 9) + 1, ((i * 7) % 9) + 1)).collect(),
+        )
+        .unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let report = run_pairwise(&inst, &mut asg, &Dlb2cBalance, 5, 50_000);
+        assert!(
+            report.final_makespan < report.initial_makespan / 2,
+            "no substantial improvement: {} -> {}",
+            report.initial_makespan,
+            report.final_makespan
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! A centralized local-search reference solver.
+//!
+//! On instances too large for [`lb_model::exact`] the experiments need a
+//! strong empirical reference for "how good can a schedule get". This is
+//! a classic move/swap first-improvement descent from an ECT start:
+//!
+//! * **move**: relocate a job from the most-loaded machine to the machine
+//!   minimizing the resulting pair makespan;
+//! * **swap**: exchange a job on the most-loaded machine with a job on a
+//!   less-loaded machine when that lowers the pair makespan.
+//!
+//! Descent on `(Cmax, #machines at Cmax)` terminates at a local optimum;
+//! typically within a few percent of the lower bound on the paper's
+//! workloads. This is *not* one of the paper's algorithms — it is a
+//! centralized yardstick with full information, the thing the
+//! decentralized algorithms are giving up.
+
+use crate::baselines::ect_in_order;
+use lb_model::prelude::*;
+
+/// Budget limits for the descent.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchLimits {
+    /// Maximum number of accepted improving steps.
+    pub max_steps: u64,
+}
+
+impl Default for LocalSearchLimits {
+    fn default() -> Self {
+        Self { max_steps: 100_000 }
+    }
+}
+
+/// Runs move/swap descent from an ECT start; returns the local optimum.
+pub fn local_search_schedule(inst: &Instance, limits: LocalSearchLimits) -> Assignment {
+    let mut asg = ect_in_order(inst);
+    descend(inst, &mut asg, limits);
+    asg
+}
+
+/// Runs the descent from a given starting assignment (in place).
+/// Returns the number of accepted steps.
+pub fn descend(inst: &Instance, asg: &mut Assignment, limits: LocalSearchLimits) -> u64 {
+    let mut steps = 0u64;
+    while steps < limits.max_steps {
+        if !improve_once(inst, asg) {
+            break;
+        }
+        steps += 1;
+    }
+    steps
+}
+
+/// One first-improvement step targeting the most-loaded machine.
+///
+/// Accepts a move/swap iff it strictly reduces `max(load(src), load(dst))`
+/// — which strictly reduces either the makespan or the number of machines
+/// attaining it, so the descent terminates.
+fn improve_once(inst: &Instance, asg: &mut Assignment) -> bool {
+    let src = asg.makespan_machine();
+    let src_load = asg.load(src);
+    let src_jobs: Vec<JobId> = asg.jobs_on(src).to_vec();
+
+    // Try moves first (cheaper and usually sufficient).
+    for &j in &src_jobs {
+        let cj_src = inst.cost(src, j);
+        for dst in inst.machines() {
+            if dst == src {
+                continue;
+            }
+            let new_dst = u128::from(asg.load(dst)) + u128::from(inst.cost(dst, j));
+            let new_src = src_load - cj_src;
+            if new_dst < u128::from(src_load) && u128::from(new_src) < u128::from(src_load) {
+                asg.move_job(inst, j, dst);
+                return true;
+            }
+        }
+    }
+    // Swaps: exchange j (on src) with k (on dst).
+    for &j in &src_jobs {
+        let cj_src = inst.cost(src, j);
+        for dst in inst.machines() {
+            if dst == src {
+                continue;
+            }
+            let dst_load = asg.load(dst);
+            for &k in asg.jobs_on(dst) {
+                let ck_dst = inst.cost(dst, k);
+                let new_src =
+                    u128::from(src_load) - u128::from(cj_src) + u128::from(inst.cost(src, k));
+                let new_dst =
+                    u128::from(dst_load) - u128::from(ck_dst) + u128::from(inst.cost(dst, j));
+                if new_src.max(new_dst) < u128::from(src_load) {
+                    // Commit the swap via two moves through a temporary
+                    // parking step is unnecessary: move both directly.
+                    asg.move_job(inst, j, dst);
+                    asg.move_job(inst, k, src);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_model::bounds::combined_lower_bound;
+    use lb_model::exact::{opt_makespan, ExactLimits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn never_worse_than_ect() {
+        let mut rng = StdRng::seed_from_u64(0x10CA1);
+        for _ in 0..10 {
+            let m = rng.gen_range(2..=5);
+            let n = rng.gen_range(5..=30);
+            let costs: Vec<Time> = (0..m * n).map(|_| rng.gen_range(1..=50)).collect();
+            let inst = Instance::dense(m, n, costs).unwrap();
+            let ect = ect_in_order(&inst).makespan();
+            let ls = local_search_schedule(&inst, LocalSearchLimits::default());
+            ls.validate(&inst).unwrap();
+            assert!(ls.makespan() <= ect);
+        }
+    }
+
+    #[test]
+    fn close_to_opt_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        for _ in 0..15 {
+            let m = rng.gen_range(2..=3);
+            let n = rng.gen_range(4..=9);
+            let costs: Vec<Time> = (0..m * n).map(|_| rng.gen_range(1..=9)).collect();
+            let inst = Instance::dense(m, n, costs).unwrap();
+            let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+            let ls = local_search_schedule(&inst, LocalSearchLimits::default()).makespan();
+            assert!(ls >= opt);
+            assert!(ls <= 2 * opt, "local search {ls} vs OPT {opt}");
+        }
+    }
+
+    #[test]
+    fn tight_on_paper_workload() {
+        let inst = lb_workloads::two_cluster::paper_two_cluster(16, 8, 192, 3);
+        let ls = local_search_schedule(&inst, LocalSearchLimits::default());
+        let lb = combined_lower_bound(&inst);
+        assert!(
+            (ls.makespan() as f64) <= 1.5 * lb as f64,
+            "local search {} vs LB {lb}",
+            ls.makespan()
+        );
+    }
+
+    #[test]
+    fn respects_step_budget() {
+        let inst = lb_workloads::two_cluster::paper_two_cluster(8, 4, 96, 9);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let steps = descend(&inst, &mut asg, LocalSearchLimits { max_steps: 3 });
+        assert!(steps <= 3);
+    }
+
+    #[test]
+    fn terminates_at_local_optimum() {
+        let inst = Instance::uniform(3, vec![5, 4, 3, 3, 2]).unwrap();
+        let mut asg = ect_in_order(&inst);
+        descend(&inst, &mut asg, LocalSearchLimits::default());
+        // One more call finds nothing.
+        assert!(!improve_once(&inst, &mut asg));
+    }
+}

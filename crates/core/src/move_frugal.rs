@@ -1,0 +1,129 @@
+//! Exchange-frugal balancing (paper Section VIII future work).
+//!
+//! "The current model ignores the amount of tasks exchanged; minimizing
+//! the number of tasks exchanged (or network usage) would certainly be of
+//! interest." Re-dealing a pair from scratch often produces a partition
+//! with the *same* pair makespan but different job placement — pure
+//! network waste when tasks carry data. [`MoveFrugal`] wraps any balancer
+//! and commits its result only when the pair makespan strictly improves;
+//! otherwise the current placement is kept.
+//!
+//! The wrapped dynamics keep every *strict-improvement* property of the
+//! inner balancer (in particular Theorem 7 still applies at stable points:
+//! a `MoveFrugal`-stable state admits no strictly improving pair exchange,
+//! and the theorem's proof only uses non-improvability), while cutting
+//! job migrations drastically — quantified by the `ablation_migration`
+//! experiment.
+
+use crate::pairwise::PairwiseBalancer;
+use lb_model::prelude::*;
+
+/// Wraps a balancer; commits only strictly improving exchanges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MoveFrugal<B>(pub B);
+
+impl<B: PairwiseBalancer> PairwiseBalancer for MoveFrugal<B> {
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+        let before = asg.load(m1).max(asg.load(m2));
+        // Probe on a clone; commit only on strict improvement.
+        let mut probe = asg.clone();
+        if !self.0.balance(inst, &mut probe, m1, m2) {
+            return false;
+        }
+        let after = probe.load(m1).max(probe.load(m2));
+        if after < before {
+            *asg = probe;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "move-frugal"
+    }
+}
+
+/// Number of jobs whose machine differs between two assignments — the
+/// migration count a runtime would pay to move from `a` to `b`.
+pub fn migration_count(inst: &Instance, a: &Assignment, b: &Assignment) -> usize {
+    inst.jobs()
+        .filter(|&j| a.machine_of(j) != b.machine_of(j))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic_greedy::EctPairBalance;
+    use crate::dlb2c::Dlb2cBalance;
+    use crate::driver::run_pairwise;
+
+    #[test]
+    fn skips_lateral_moves() {
+        // Two machines, two identical jobs, one on each: plain ECT
+        // re-deals (possibly swapping which job sits where after a
+        // non-canonical start); MoveFrugal never touches an already
+        // optimal pair.
+        let inst = Instance::uniform(2, vec![5, 5]).unwrap();
+        let asg0 = Assignment::from_vec(&inst, vec![MachineId(1), MachineId(0)]).unwrap();
+        let mut frugal = asg0.clone();
+        let changed =
+            MoveFrugal(EctPairBalance).balance(&inst, &mut frugal, MachineId(0), MachineId(1));
+        assert!(!changed);
+        assert_eq!(frugal, asg0);
+        // The raw balancer does "change" things (canonicalizes placement).
+        let mut raw = asg0.clone();
+        assert!(EctPairBalance.balance(&inst, &mut raw, MachineId(0), MachineId(1)));
+        assert_eq!(raw.makespan(), frugal.makespan());
+    }
+
+    #[test]
+    fn commits_strict_improvements() {
+        let inst = Instance::uniform(2, vec![4, 4, 4, 4]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let changed =
+            MoveFrugal(EctPairBalance).balance(&inst, &mut asg, MachineId(0), MachineId(1));
+        assert!(changed);
+        assert_eq!(asg.makespan(), 8);
+    }
+
+    #[test]
+    fn frugal_dlb2c_reaches_comparable_quality_with_fewer_moves() {
+        let inst = Instance::two_cluster(
+            4,
+            4,
+            (0..64)
+                .map(|i| (1 + (i * 13) % 97, 1 + (i * 29) % 97))
+                .collect(),
+        )
+        .unwrap();
+        let start = Assignment::all_on(&inst, MachineId(0));
+
+        let mut plain = start.clone();
+        let rp = run_pairwise(&inst, &mut plain, &Dlb2cBalance, 5, 20_000);
+        let mut frugal = start.clone();
+        let rf = run_pairwise(&inst, &mut frugal, &MoveFrugal(Dlb2cBalance), 5, 20_000);
+
+        // Comparable quality (within 30%)...
+        assert!(
+            rf.final_makespan as f64 <= 1.3 * rp.final_makespan as f64,
+            "frugal {} vs plain {}",
+            rf.final_makespan,
+            rp.final_makespan
+        );
+        // ...with no more effective exchanges than the plain dynamics.
+        assert!(rf.exchanges <= rp.exchanges);
+    }
+
+    #[test]
+    fn migration_count_counts() {
+        let inst = Instance::uniform(2, vec![1, 1, 1]).unwrap();
+        let a =
+            Assignment::from_vec(&inst, vec![MachineId(0), MachineId(0), MachineId(1)]).unwrap();
+        let b =
+            Assignment::from_vec(&inst, vec![MachineId(1), MachineId(0), MachineId(1)]).unwrap();
+        assert_eq!(migration_count(&inst, &a, &b), 1);
+        assert_eq!(migration_count(&inst, &a, &a), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The Section VIII extension: more than two clusters of identical
+//! machines.
+//!
+//! The paper closes with "its extension to more than two clusters of
+//! machines [is a] possible future work". This module provides that
+//! extension as engineering (no approximation guarantee is claimed — the
+//! paper's own Proposition 2 rules out generic pairwise guarantees):
+//!
+//! * [`sufferage_schedule`] — a centralized c-cluster reference: at each
+//!   step place the job that would *suffer* most from losing its best
+//!   cluster (max regret = second-best minus best completion time), onto
+//!   its best cluster's least-loaded machine. For `c = 2` this plays the
+//!   same "how wrong can a misplacement be" card as CLB2C's ratio sort.
+//! * [`MultiClusterBalance`] — the decentralized pairwise rule: intra-
+//!   cluster pairs equalize loads (Algorithm 6's degenerate deal);
+//!   inter-cluster pairs run the CLB2C two-pointer on the pair-local
+//!   cost ratio (the same rule DLB2C uses across its two clusters).
+
+use crate::clb2c::deal_two_pointer;
+use crate::greedy_lb::deal_least_loaded;
+use crate::pairwise::{cmp_ratio, commit_pair, PairwiseBalancer};
+use lb_model::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Centralized max-regret ("sufferage") scheduling over any number of
+/// clusters of identical machines.
+///
+/// At each step, for every unscheduled job compute the completion time on
+/// the least-loaded machine of its best and second-best clusters; place
+/// the job with the largest regret (second-best − best) on its best
+/// cluster. `O(|J|^2 c)` in this straightforward form — a reference, not
+/// an inner loop.
+pub fn sufferage_schedule(inst: &Instance) -> Assignment {
+    let c = inst.num_clusters();
+    // Min-heap of (load, machine) per cluster; only popped entries change.
+    let mut heaps: Vec<BinaryHeap<Reverse<(u128, u32)>>> = (0..c)
+        .map(|ci| {
+            inst.machines_in(ClusterId::from_idx(ci))
+                .iter()
+                .map(|m| Reverse((0u128, m.0)))
+                .collect()
+        })
+        .collect();
+    let mut machine_of = vec![MachineId(0); inst.num_jobs()];
+    let mut remaining: Vec<JobId> = inst.jobs().collect();
+
+    while !remaining.is_empty() {
+        // Current least loads per cluster.
+        let cluster_min: Vec<(u128, u32)> = heaps
+            .iter()
+            .map(|h| h.peek().map(|&Reverse(x)| x).expect("non-empty cluster"))
+            .collect();
+        // Pick the job with maximal regret.
+        let mut best_idx = 0usize;
+        let mut best_key: Option<(u128, usize)> = None; // (regret, job idx)
+        let mut best_cluster = 0usize;
+        for (idx, &j) in remaining.iter().enumerate() {
+            let mut completions: Vec<(u128, usize)> = (0..c)
+                .map(|ci| {
+                    let rep = inst.machines_in(ClusterId::from_idx(ci))[0];
+                    (cluster_min[ci].0 + u128::from(inst.cost(rep, j)), ci)
+                })
+                .collect();
+            completions.sort_unstable();
+            let regret = if completions.len() >= 2 {
+                completions[1].0 - completions[0].0
+            } else {
+                completions[0].0
+            };
+            if best_key.is_none_or(|(r, _)| regret > r) {
+                best_key = Some((regret, idx));
+                best_idx = idx;
+                best_cluster = completions[0].1;
+            }
+        }
+        let j = remaining.swap_remove(best_idx);
+        let Reverse((load, mi)) = heaps[best_cluster].pop().expect("non-empty cluster");
+        let rep = inst.machines_in(ClusterId::from_idx(best_cluster))[0];
+        heaps[best_cluster].push(Reverse((load + u128::from(inst.cost(rep, j)), mi)));
+        machine_of[j.idx()] = MachineId(mi);
+    }
+    Assignment::from_vec(inst, machine_of).expect("schedule built over valid ids")
+}
+
+/// DLBMC: the decentralized pairwise rule for c clusters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiClusterBalance;
+
+impl PairwiseBalancer for MultiClusterBalance {
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+        // Canonical orientation (see `EctPairBalance::balance`).
+        let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let mut pool: Vec<JobId> = asg
+            .jobs_on(m1)
+            .iter()
+            .chain(asg.jobs_on(m2))
+            .copied()
+            .collect();
+        if inst.cluster(m1) == inst.cluster(m2) {
+            pool.sort_unstable();
+            let (new1, new2) = deal_least_loaded(inst, m1, m2, &pool);
+            commit_pair(inst, asg, m1, m2, new1, new2)
+        } else {
+            pool.sort_by(|&a, &b| {
+                cmp_ratio(
+                    (inst.cost(m1, a), inst.cost(m2, a)),
+                    (inst.cost(m1, b), inst.cost(m2, b)),
+                )
+                .then(a.cmp(&b))
+            });
+            let (new1, new2) = deal_two_pointer(inst, m1, m2, &pool);
+            commit_pair(inst, asg, m1, m2, new1, new2)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-cluster"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_pairwise;
+    use lb_model::bounds::combined_lower_bound;
+    use lb_model::exact::{opt_makespan, ExactLimits};
+
+    fn three_cluster_affine() -> Instance {
+        // Jobs strongly affine to exactly one of three clusters.
+        Instance::multi_cluster(
+            &[2, 2, 2],
+            vec![
+                vec![1, 50, 50],
+                vec![1, 50, 50],
+                vec![50, 1, 50],
+                vec![50, 1, 50],
+                vec![50, 50, 1],
+                vec![50, 50, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sufferage_routes_by_affinity() {
+        let inst = three_cluster_affine();
+        let asg = sufferage_schedule(&inst);
+        asg.validate(&inst).unwrap();
+        assert_eq!(
+            asg.makespan(),
+            1,
+            "each job on its own cluster, one per machine"
+        );
+    }
+
+    #[test]
+    fn sufferage_matches_exact_on_small_instances() {
+        // 3 clusters, small costs: sufferage within 2x of OPT here.
+        let inst = Instance::multi_cluster(
+            &[1, 1, 1],
+            vec![vec![3, 5, 9], vec![7, 2, 4], vec![6, 6, 1], vec![2, 8, 5]],
+        )
+        .unwrap();
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let suf = sufferage_schedule(&inst).makespan();
+        assert!(suf >= opt);
+        assert!(suf <= 2 * opt, "sufferage {suf} vs OPT {opt}");
+    }
+
+    #[test]
+    fn dlbmc_improves_cold_start_on_three_clusters() {
+        let inst = three_cluster_affine();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let report = run_pairwise(&inst, &mut asg, &MultiClusterBalance, 7, 20_000);
+        asg.validate(&inst).unwrap();
+        assert!(
+            report.final_makespan <= 3,
+            "decentralized should land near 1-2"
+        );
+        let lb = combined_lower_bound(&inst);
+        assert!(report.final_makespan >= lb);
+    }
+
+    #[test]
+    fn dlbmc_idempotent_and_conserving() {
+        let inst = Instance::multi_cluster(
+            &[2, 1, 1],
+            (0..12)
+                .map(|i| vec![1 + (i * 3) % 7, 1 + (i * 5) % 7, 1 + (i * 2) % 7])
+                .collect(),
+        )
+        .unwrap();
+        let mut asg = Assignment::round_robin(&inst);
+        MultiClusterBalance.balance(&inst, &mut asg, MachineId(0), MachineId(3));
+        let snapshot = asg.clone();
+        assert!(!MultiClusterBalance.balance(&inst, &mut asg, MachineId(0), MachineId(3)));
+        assert_eq!(asg, snapshot);
+        let total: usize = inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn reduces_to_dlb2c_flavor_on_two_clusters() {
+        // On a two-cluster instance, the inter-cluster rule is the same
+        // two-pointer deal DLB2C uses, so results agree for cross pairs.
+        let inst = Instance::two_cluster(1, 1, vec![(3, 8), (9, 2), (5, 5), (1, 7)]).unwrap();
+        let mut a = Assignment::all_on(&inst, MachineId(0));
+        let mut b = a.clone();
+        MultiClusterBalance.balance(&inst, &mut a, MachineId(0), MachineId(1));
+        crate::dlb2c::Dlb2cBalance.balance(&inst, &mut b, MachineId(0), MachineId(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,102 @@
+//! Algorithm 3, *OJTB* (One Job Type Balancing) — the paper-named entry
+//! point.
+//!
+//! OJTB is the composition of Basic Greedy (Algorithm 2) with the random
+//! pairwise loop; this module packages that composition under the paper's
+//! name, with the convergence check Lemma 4 promises. The building blocks
+//! remain available separately ([`crate::basic_greedy::EctPairBalance`] +
+//! [`crate::driver::run_pairwise`]) for callers composing their own
+//! loops.
+
+use crate::basic_greedy::EctPairBalance;
+use crate::driver::{run_pairwise, PairwiseReport};
+use crate::mjtb::TypedPairBalance;
+use crate::stability::stabilize;
+use lb_model::prelude::*;
+
+/// Runs OJTB: random pairwise Basic Greedy exchanges until quiescence or
+/// the round budget runs out.
+///
+/// Lemma 4: on a single-job-type instance the fixpoint is a globally
+/// optimal distribution.
+pub fn run_ojtb(
+    inst: &Instance,
+    asg: &mut Assignment,
+    seed: u64,
+    max_rounds: u64,
+) -> PairwiseReport {
+    run_pairwise(inst, asg, &EctPairBalance, seed, max_rounds)
+}
+
+/// Runs MJTB (Algorithm 4): random pairwise per-type exchanges.
+///
+/// Theorem 5: at a stable point on a `k`-type instance the schedule is a
+/// `k`-approximation.
+pub fn run_mjtb(
+    inst: &Instance,
+    asg: &mut Assignment,
+    seed: u64,
+    max_rounds: u64,
+) -> PairwiseReport {
+    run_pairwise(inst, asg, &TypedPairBalance, seed, max_rounds)
+}
+
+/// Drives OJTB to a *provably* stable point by deterministic sweeps
+/// (bounded by `max_sweeps`); returns whether stability was certified.
+///
+/// On one-job-type instances stability always arrives (the dynamics are
+/// monotone in `Cmax` by Lemma 4's argument), so `false` here means the
+/// sweep budget was too small, not a limit cycle.
+pub fn ojtb_to_stability(inst: &Instance, asg: &mut Assignment, max_sweeps: usize) -> bool {
+    stabilize(inst, asg, &EctPairBalance, max_sweeps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_model::exact::{opt_makespan, ExactLimits};
+
+    fn one_type_instance(machine_costs: &[Time], n: usize) -> Instance {
+        let costs: Vec<Time> = machine_costs
+            .iter()
+            .flat_map(|&c| std::iter::repeat_n(c, n))
+            .collect();
+        Instance::dense(machine_costs.len(), n, costs).unwrap()
+    }
+
+    #[test]
+    fn lemma4_random_loop_reaches_optimum() {
+        let inst = one_type_instance(&[2, 3, 5], 12);
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let report = run_ojtb(&inst, &mut asg, 5, 100_000);
+        assert_eq!(report.final_makespan, opt);
+    }
+
+    #[test]
+    fn stability_certified_on_one_type() {
+        let inst = one_type_instance(&[1, 4], 9);
+        let mut asg = Assignment::all_on(&inst, MachineId(1));
+        assert!(ojtb_to_stability(&inst, &mut asg, 200));
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        assert_eq!(asg.makespan(), opt);
+    }
+
+    #[test]
+    fn mjtb_runner_improves_typed_instance() {
+        let inst = Instance::typed(
+            3,
+            vec![JobTypeId(0); 6]
+                .into_iter()
+                .chain(vec![JobTypeId(1); 6])
+                .collect(),
+            vec![vec![2, 5, 9], vec![7, 3, 4]],
+        )
+        .unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(2));
+        let before = asg.makespan();
+        let report = run_mjtb(&inst, &mut asg, 9, 50_000);
+        assert!(report.final_makespan < before);
+        asg.validate(&inst).unwrap();
+    }
+}

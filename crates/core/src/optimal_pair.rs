@@ -1,0 +1,164 @@
+//! An exact two-machine balancer, for Proposition 2.
+//!
+//! Proposition 2 states that a generic algorithm balancing each *pair* of
+//! machines **optimally** can still be stuck at an unbounded makespan.
+//! Demonstrating that requires an actually-optimal pair balancer, which
+//! greedy deals are not; this module provides one by exhaustive subset
+//! enumeration (the pools in the paper's constructions are tiny).
+//!
+//! It is also a useful reference implementation: on one-job-type
+//! instances it must agree with Basic Greedy's makespan (Lemma 3), which
+//! the tests check.
+
+use crate::pairwise::{commit_pair, PairwiseBalancer};
+use lb_model::prelude::*;
+
+/// Exact pairwise balancer: enumerates all `2^k` splits of the pooled
+/// jobs and commits a split of minimal pair makespan.
+///
+/// If the *current* split is already optimal it is kept (no change), so a
+/// pairwise-optimal schedule is a fixed point — exactly the notion
+/// Proposition 2 needs. Pools larger than `max_pool` jobs are left
+/// untouched (returns `false`) to bound the exponential cost.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimalPairBalance {
+    /// Largest pool size that will be enumerated (default 20).
+    pub max_pool: usize,
+}
+
+impl Default for OptimalPairBalance {
+    fn default() -> Self {
+        Self { max_pool: 20 }
+    }
+}
+
+impl PairwiseBalancer for OptimalPairBalance {
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+        // Canonical orientation (see `EctPairBalance::balance`).
+        let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let mut pool: Vec<JobId> = asg
+            .jobs_on(m1)
+            .iter()
+            .chain(asg.jobs_on(m2))
+            .copied()
+            .collect();
+        if pool.len() > self.max_pool {
+            return false;
+        }
+        pool.sort_unstable();
+        let current = asg.load(m1).max(asg.load(m2));
+        let mut best = u128::from(current);
+        let mut best_mask: Option<u32> = None;
+        for mask in 0..(1u32 << pool.len()) {
+            let (mut l1, mut l2) = (0u128, 0u128);
+            for (bit, &j) in pool.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    l1 += u128::from(inst.cost(m1, j));
+                } else {
+                    l2 += u128::from(inst.cost(m2, j));
+                }
+            }
+            let cmax = l1.max(l2);
+            if cmax < best {
+                best = cmax;
+                best_mask = Some(mask);
+            }
+        }
+        match best_mask {
+            None => false, // current split is optimal: keep it
+            Some(mask) => {
+                let mut new1 = Vec::new();
+                let mut new2 = Vec::new();
+                for (bit, &j) in pool.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        new1.push(j);
+                    } else {
+                        new2.push(j);
+                    }
+                }
+                commit_pair(inst, asg, m1, m2, new1, new2)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "optimal-pair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic_greedy::EctPairBalance;
+
+    #[test]
+    fn strictly_improves_or_keeps() {
+        let inst = Instance::dense(2, 4, vec![3, 5, 2, 7, 4, 1, 9, 2]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let before = asg.makespan();
+        OptimalPairBalance::default().balance(&inst, &mut asg, MachineId(0), MachineId(1));
+        assert!(asg.makespan() <= before);
+        // Second application is a no-op: the pair is now optimal.
+        let snapshot = asg.clone();
+        assert!(!OptimalPairBalance::default().balance(
+            &inst,
+            &mut asg,
+            MachineId(0),
+            MachineId(1)
+        ));
+        assert_eq!(asg, snapshot);
+    }
+
+    #[test]
+    fn matches_basic_greedy_on_one_type() {
+        // Lemma 3: Basic Greedy is optimal for one job type, so the exact
+        // balancer cannot beat it.
+        for (n, p1, p2) in [(6u64, 3u64, 4u64), (9, 2, 5), (4, 7, 7)] {
+            let inst = Instance::dense(
+                2,
+                n as usize,
+                (0..2 * n).map(|i| if i < n { p1 } else { p2 }).collect(),
+            )
+            .unwrap();
+            let mut greedy = Assignment::all_on(&inst, MachineId(0));
+            EctPairBalance.balance(&inst, &mut greedy, MachineId(0), MachineId(1));
+            let mut exact = Assignment::all_on(&inst, MachineId(0));
+            OptimalPairBalance::default().balance(&inst, &mut exact, MachineId(0), MachineId(1));
+            assert_eq!(greedy.makespan(), exact.makespan(), "n={n} p1={p1} p2={p2}");
+        }
+    }
+
+    #[test]
+    fn proposition2_trap_is_a_fixed_point() {
+        // The paper's Table II: every pair is optimally balanced already,
+        // so the exact pair balancer never moves anything, yet the global
+        // makespan is n while OPT = 1.
+        let n: Time = 50;
+        let n2 = n * n;
+        #[rustfmt::skip]
+        let costs = vec![
+            1,  n2, n,
+            n,  1,  n2,
+            n2, n,  1,
+        ];
+        let inst = Instance::dense(3, 3, costs).unwrap();
+        let mut asg =
+            Assignment::from_vec(&inst, vec![MachineId(1), MachineId(2), MachineId(0)]).unwrap();
+        let bal = OptimalPairBalance::default();
+        for _ in 0..3 {
+            for (a, b) in [(0u32, 1u32), (0, 2), (1, 2)] {
+                assert!(!bal.balance(&inst, &mut asg, MachineId(a), MachineId(b)));
+            }
+        }
+        assert_eq!(asg.makespan(), n);
+    }
+
+    #[test]
+    fn oversized_pool_untouched() {
+        let inst = Instance::uniform(2, vec![1; 30]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let bal = OptimalPairBalance { max_pool: 8 };
+        assert!(!bal.balance(&inst, &mut asg, MachineId(0), MachineId(1)));
+        assert_eq!(asg.num_jobs_on(MachineId(0)), 30);
+    }
+}

@@ -1,0 +1,122 @@
+//! The pairwise-balancer abstraction.
+//!
+//! Every decentralized algorithm in the paper follows the same skeleton
+//! (Algorithms 3, 4 and 7): in an infinite loop, pick a random peer and
+//! deterministically redistribute the two machines' jobs. The
+//! redistribution rule is the only thing that differs, so it is the trait;
+//! peer-selection loops live in [`crate::driver`] and in `lb-distsim`.
+
+use lb_model::prelude::*;
+
+/// A deterministic rule for redistributing the jobs of two machines.
+///
+/// Implementations must be *deterministic* functions of the instance, the
+/// pair's current job sets, and the machine identities — determinism is
+/// what makes stability ([`crate::stability`]) and limit-cycle detection
+/// well defined.
+pub trait PairwiseBalancer {
+    /// Redistributes the jobs currently on `m1` and `m2`.
+    ///
+    /// Returns `true` iff the assignment changed (some job moved between
+    /// the two machines). Must not touch any other machine.
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool;
+
+    /// Short name for reports and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Commits `new1`/`new2` as the pair's new job sets, reporting whether
+/// anything moved. Shared by all balancer implementations.
+pub(crate) fn commit_pair(
+    inst: &Instance,
+    asg: &mut Assignment,
+    m1: MachineId,
+    m2: MachineId,
+    mut new1: Vec<JobId>,
+    mut new2: Vec<JobId>,
+) -> bool {
+    let mut old1: Vec<JobId> = asg.jobs_on(m1).to_vec();
+    let mut old2: Vec<JobId> = asg.jobs_on(m2).to_vec();
+    old1.sort_unstable();
+    old2.sort_unstable();
+    new1.sort_unstable();
+    new2.sort_unstable();
+    if old1 == new1 && old2 == new2 {
+        return false;
+    }
+    asg.set_pair(inst, m1, m2, new1, new2);
+    true
+}
+
+/// Compares two cost ratios `a.0/a.1` vs `b.0/b.1` without division,
+/// via `u128` cross-multiplication (exact for all `Time` values).
+///
+/// Ordering places jobs *relatively cheaper on the first coordinate*
+/// first. Ties broken as equal; callers append a job-id tiebreak where
+/// determinism of the order matters.
+#[inline]
+pub(crate) fn cmp_ratio(a: (Time, Time), b: (Time, Time)) -> std::cmp::Ordering {
+    let lhs = u128::from(a.0) * u128::from(b.1);
+    let rhs = u128::from(b.0) * u128::from(a.1);
+    lhs.cmp(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_ratio_orders_by_quotient() {
+        // 1/2 < 2/3
+        assert_eq!(cmp_ratio((1, 2), (2, 3)), Ordering::Less);
+        // 4/2 > 3/2
+        assert_eq!(cmp_ratio((4, 2), (3, 2)), Ordering::Greater);
+        // 2/4 == 1/2
+        assert_eq!(cmp_ratio((2, 4), (1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_ratio_handles_zero_denominators() {
+        // x/0 is "infinitely cluster-2-averse": larger than any finite ratio.
+        assert_eq!(cmp_ratio((1, 0), (5, 1)), Ordering::Greater);
+        assert_eq!(cmp_ratio((5, 1), (1, 0)), Ordering::Less);
+        // 0/0 compares equal to anything by cross-multiplication; callers
+        // must tolerate that (it only happens for zero-cost jobs).
+        assert_eq!(cmp_ratio((0, 0), (3, 4)), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_ratio_no_overflow_at_extremes() {
+        let big = Time::MAX;
+        assert_eq!(cmp_ratio((big, 1), (1, big)), Ordering::Greater);
+        assert_eq!(cmp_ratio((big, big), (1, 1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn commit_pair_detects_noop() {
+        let inst = Instance::uniform(2, vec![1, 2, 3]).unwrap();
+        let mut asg =
+            Assignment::from_vec(&inst, vec![MachineId(0), MachineId(1), MachineId(0)]).unwrap();
+        // Same partition, different list order: still a no-op.
+        let changed = commit_pair(
+            &inst,
+            &mut asg,
+            MachineId(0),
+            MachineId(1),
+            vec![JobId(2), JobId(0)],
+            vec![JobId(1)],
+        );
+        assert!(!changed);
+        let changed = commit_pair(
+            &inst,
+            &mut asg,
+            MachineId(0),
+            MachineId(1),
+            vec![JobId(0)],
+            vec![JobId(1), JobId(2)],
+        );
+        assert!(changed);
+        assert_eq!(asg.machine_of(JobId(2)), MachineId(1));
+    }
+}

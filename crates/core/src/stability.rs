@@ -1,0 +1,175 @@
+//! Stability of pairwise-balanced schedules.
+//!
+//! DLB2C's guarantee (Theorem 7) holds *at stable points*: schedules where
+//! no pair exchange changes anything. These helpers decide stability,
+//! drive a schedule toward it deterministically, and expose the
+//! distinction the paper draws between converging runs and limit cycles
+//! (Proposition 8).
+
+use crate::pairwise::PairwiseBalancer;
+use lb_model::prelude::*;
+
+/// Would balancing this pair change the assignment?
+///
+/// Non-destructive: operates on a clone.
+pub fn would_change(
+    inst: &Instance,
+    asg: &Assignment,
+    balancer: &dyn PairwiseBalancer,
+    m1: MachineId,
+    m2: MachineId,
+) -> bool {
+    let mut probe = asg.clone();
+    balancer.balance(inst, &mut probe, m1, m2)
+}
+
+/// True iff *no* pair of machines would be changed by `balancer` — the
+/// paper's stability condition.
+///
+/// `O(|M|^2)` balancer applications on clones; intended for tests and
+/// small experiment instances.
+pub fn is_stable(inst: &Instance, asg: &Assignment, balancer: &dyn PairwiseBalancer) -> bool {
+    let m = inst.num_machines();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            if would_change(
+                inst,
+                asg,
+                balancer,
+                MachineId::from_idx(a),
+                MachineId::from_idx(b),
+            ) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Deterministically sweeps all pairs until a full sweep changes nothing.
+///
+/// Returns `true` if stability was reached within `max_sweeps` sweeps;
+/// `false` means the dynamics did not settle (possibly a limit cycle —
+/// Proposition 8 — or just not enough sweeps).
+pub fn stabilize(
+    inst: &Instance,
+    asg: &mut Assignment,
+    balancer: &dyn PairwiseBalancer,
+    max_sweeps: usize,
+) -> bool {
+    let m = inst.num_machines();
+    for _ in 0..max_sweeps {
+        let mut any = false;
+        for a in 0..m {
+            for b in (a + 1)..m {
+                if balancer.balance(inst, asg, MachineId::from_idx(a), MachineId::from_idx(b)) {
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return true;
+        }
+    }
+    is_stable(inst, asg, balancer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic_greedy::EctPairBalance;
+    use crate::dlb2c::Dlb2cBalance;
+    use crate::optimal_pair::OptimalPairBalance;
+    use lb_model::exact::{opt_makespan, ExactLimits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn balanced_state_is_stable() {
+        let inst = Instance::uniform(3, vec![4, 4, 4]).unwrap();
+        let asg =
+            Assignment::from_vec(&inst, vec![MachineId(0), MachineId(1), MachineId(2)]).unwrap();
+        assert!(is_stable(&inst, &asg, &EctPairBalance));
+    }
+
+    #[test]
+    fn skewed_state_is_not_stable() {
+        let inst = Instance::uniform(3, vec![4, 4, 4]).unwrap();
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(!is_stable(&inst, &asg, &EctPairBalance));
+    }
+
+    #[test]
+    fn stabilize_reaches_fixpoint_single_type() {
+        let inst = Instance::uniform(4, vec![3; 13]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(stabilize(&inst, &mut asg, &EctPairBalance, 100));
+        assert!(is_stable(&inst, &asg, &EctPairBalance));
+        // Lemma 4: the stable point is optimal: 13 jobs of 3 over 4
+        // machines -> ceil(13/4)*3 = 12.
+        assert_eq!(asg.makespan(), 12);
+    }
+
+    #[test]
+    fn theorem7_stable_dlb2c_is_2_approx() {
+        // Random small two-cluster instances with the max-cost hypothesis;
+        // whenever `stabilize` reaches a stable point, Theorem 7 promises
+        // Cmax <= 2 OPT.
+        let mut rng = StdRng::seed_from_u64(0xD1B2);
+        let mut stable_seen = 0;
+        for _ in 0..60 {
+            let n = rng.gen_range(6..=10);
+            let costs: Vec<(Time, Time)> = (0..n)
+                .map(|_| (rng.gen_range(1..=5), rng.gen_range(1..=5)))
+                .collect();
+            let inst =
+                Instance::two_cluster(rng.gen_range(1..=2), rng.gen_range(1..=2), costs).unwrap();
+            let mut asg = Assignment::all_on(&inst, MachineId(0));
+            if !stabilize(&inst, &mut asg, &Dlb2cBalance, 200) {
+                continue; // limit cycle: Theorem 7 does not apply
+            }
+            stable_seen += 1;
+            let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+            if inst.max_finite_cost().unwrap() <= opt {
+                assert!(
+                    asg.makespan() <= 2 * opt,
+                    "stable DLB2C {} > 2 OPT {opt}",
+                    asg.makespan()
+                );
+            }
+        }
+        assert!(
+            stable_seen >= 10,
+            "too few runs stabilized ({stable_seen}) to be meaningful"
+        );
+    }
+
+    #[test]
+    fn proposition2_trap_stable_under_optimal_pairs() {
+        let n: Time = 30;
+        let n2 = n * n;
+        #[rustfmt::skip]
+        let costs = vec![
+            1,  n2, n,
+            n,  1,  n2,
+            n2, n,  1,
+        ];
+        let inst = Instance::dense(3, 3, costs).unwrap();
+        let asg =
+            Assignment::from_vec(&inst, vec![MachineId(1), MachineId(2), MachineId(0)]).unwrap();
+        let bal = OptimalPairBalance::default();
+        assert!(is_stable(&inst, &asg, &bal));
+        // ... yet arbitrarily far from optimal.
+        assert_eq!(asg.makespan(), n);
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 1);
+    }
+
+    #[test]
+    fn would_change_does_not_mutate() {
+        let inst = Instance::uniform(2, vec![1, 2, 3]).unwrap();
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let snapshot = asg.clone();
+        let _ = would_change(&inst, &asg, &EctPairBalance, MachineId(0), MachineId(1));
+        assert_eq!(asg, snapshot);
+    }
+}

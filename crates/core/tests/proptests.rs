@@ -1,0 +1,142 @@
+//! Property tests of the algorithm crate's guarantees and invariants.
+
+use lb_core::baselines::{d_choices_schedule, ect_in_order, lpt_schedule};
+use lb_core::local_search::{local_search_schedule, LocalSearchLimits};
+use lb_core::mjtb::per_type_makespans;
+use lb_core::{
+    clb2c, stabilize, Dlb2cBalance, EctPairBalance, MoveFrugal, PairwiseBalancer, TypedPairBalance,
+};
+use lb_model::exact::{opt_makespan, ExactLimits};
+use lb_model::prelude::*;
+use proptest::prelude::*;
+
+fn small_two_cluster() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=3, 1usize..=8).prop_flat_map(|(m1, m2, n)| {
+        proptest::collection::vec((1u64..=6, 1u64..=6), n)
+            .prop_map(move |costs| Instance::two_cluster(m1, m2, costs).unwrap())
+    })
+}
+
+fn small_typed() -> impl Strategy<Value = Instance> {
+    (2usize..=3, 1usize..=3, 1usize..=8).prop_flat_map(|(m, k, n)| {
+        let type_costs = proptest::collection::vec(proptest::collection::vec(1u64..=8, m), k);
+        let type_of = proptest::collection::vec(0..k, n);
+        (type_costs, type_of).prop_map(move |(tc, to)| {
+            Instance::typed(m, to.into_iter().map(JobTypeId::from_idx).collect(), tc).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CLB2C output is always a valid schedule bounded below by OPT, and
+    /// satisfies Theorem 6 whenever the hypothesis applies.
+    #[test]
+    fn clb2c_theorem6(inst in small_two_cluster()) {
+        let asg = clb2c(&inst).unwrap();
+        prop_assert!(asg.validate(&inst).is_ok());
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        prop_assert!(asg.makespan() >= opt);
+        if inst.max_finite_cost().unwrap() <= opt {
+            prop_assert!(asg.makespan() <= 2 * opt);
+        }
+    }
+
+    /// Theorem 7 (via deterministic sweeps): stable DLB2C points are
+    /// 2-approximations under the hypothesis.
+    #[test]
+    fn dlb2c_theorem7(inst in small_two_cluster(), seed in 0u64..100) {
+        let mut asg = Assignment::all_on(
+            &inst,
+            MachineId((seed % inst.num_machines() as u64) as u32),
+        );
+        if stabilize(&inst, &mut asg, &Dlb2cBalance, 150) {
+            let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+            if inst.max_finite_cost().unwrap() <= opt {
+                prop_assert!(
+                    asg.makespan() <= 2 * opt,
+                    "stable at {} vs OPT {opt}", asg.makespan()
+                );
+            }
+        }
+    }
+
+    /// MJTB's Theorem 5 decomposition: Cmax <= sum of per-type makespans,
+    /// and at stable points Cmax <= k * OPT.
+    #[test]
+    fn mjtb_theorem5(inst in small_typed()) {
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let stable = stabilize(&inst, &mut asg, &TypedPairBalance, 200);
+        let per_type = per_type_makespans(&inst, &asg).unwrap();
+        let envelope: u64 = per_type.iter().sum();
+        prop_assert!(asg.makespan() <= envelope);
+        if stable {
+            let k = inst.num_job_types().unwrap() as u64;
+            let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+            prop_assert!(asg.makespan() <= k * opt);
+        }
+    }
+
+    /// The move-frugal wrapper never changes a pair without strictly
+    /// improving its local makespan.
+    #[test]
+    fn move_frugal_strictness(
+        (inst, machine_of) in small_two_cluster().prop_flat_map(|inst| {
+            let m = inst.num_machines() as u32;
+            let v = proptest::collection::vec(0..m, inst.num_jobs());
+            (Just(inst), v)
+        }),
+    ) {
+        let machine_of: Vec<MachineId> = machine_of.into_iter().map(MachineId).collect();
+        let mut asg = Assignment::from_vec(&inst, machine_of).unwrap();
+        let before = asg.load(MachineId(0)).max(asg.load(MachineId(1)));
+        let changed = MoveFrugal(Dlb2cBalance).balance(&inst, &mut asg, MachineId(0), MachineId(1));
+        let after = asg.load(MachineId(0)).max(asg.load(MachineId(1)));
+        if changed {
+            prop_assert!(after < before);
+        } else {
+            prop_assert_eq!(after, before);
+        }
+    }
+
+    /// Baselines always emit valid schedules whose makespan is >= OPT.
+    #[test]
+    fn baselines_sound(inst in small_two_cluster(), seed in 0u64..50) {
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        for asg in [
+            ect_in_order(&inst),
+            lpt_schedule(&inst),
+            d_choices_schedule(&inst, 2, seed),
+            local_search_schedule(&inst, LocalSearchLimits::default()),
+        ] {
+            prop_assert!(asg.validate(&inst).is_ok());
+            prop_assert!(asg.makespan() >= opt);
+        }
+    }
+
+    /// Local search never loses to plain ECT.
+    #[test]
+    fn local_search_dominates_ect(inst in small_two_cluster()) {
+        let ect = ect_in_order(&inst).makespan();
+        let ls = local_search_schedule(&inst, LocalSearchLimits::default()).makespan();
+        prop_assert!(ls <= ect);
+    }
+
+    /// ECT pair balancing on one job type is optimal for the pair
+    /// (Lemma 3), checked against subset enumeration.
+    #[test]
+    fn basic_greedy_lemma3(n in 0usize..=8, p1 in 1u64..=9, p2 in 1u64..=9) {
+        let costs: Vec<Time> = std::iter::repeat_n(p1, n)
+            .chain(std::iter::repeat_n(p2, n))
+            .collect();
+        let inst = Instance::dense(2, n, costs).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        EctPairBalance.balance(&inst, &mut asg, MachineId(0), MachineId(1));
+        let best = (0..=n as u64)
+            .map(|k| (k * p1).max((n as u64 - k) * p2))
+            .min()
+            .unwrap_or(0);
+        prop_assert_eq!(asg.makespan(), best);
+    }
+}

@@ -1,0 +1,473 @@
+//! A truly concurrent implementation of the decentralized protocol.
+//!
+//! The gossip [`engine`](crate::engine) *sequentializes* the paper's
+//! algorithms (one exchange at a time), which is what the theory reasons
+//! about. A real deployment runs Algorithm 7's loop **on every machine
+//! concurrently**: each machine repeatedly picks a random peer and the
+//! two swap jobs while other pairs are doing the same. This module is
+//! that implementation — one OS thread per simulated machine, per-machine
+//! locks, and deadlock-free pair locking — useful both as a correctness
+//! check (the sequential theory's conclusions survive real concurrency)
+//! and as a template for embedding the protocol in a runtime system.
+//!
+//! Concurrency design:
+//!
+//! * Each machine's job queue lives in its own `parking_lot::Mutex`; a
+//!   pair exchange locks the two queues **in machine-id order** (a total
+//!   lock order, hence no deadlock).
+//! * Loads are mirrored in `AtomicU64`s so threads can read a consistent
+//!   enough view of the global makespan without taking locks.
+//! * Termination: a shared round budget (`AtomicU64`) counts down; every
+//!   thread stops when it hits zero.
+//! * The pairwise rules themselves are pure functions from the pair's
+//!   pooled jobs (see [`lb_core::pairwise::PairwiseBalancer`]); here they
+//!   are re-run through the same code paths on a thread-local
+//!   [`Assignment`] view rebuilt from the pair's queues, so concurrent
+//!   and sequential runs execute identical balancing logic.
+
+use lb_core::PairwiseBalancer;
+use lb_model::prelude::*;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Total number of pair exchanges across all machine threads.
+    pub total_exchanges: u64,
+    /// Base RNG seed (thread `i` uses `seed + i`).
+    pub seed: u64,
+    /// Cap on worker threads (0 = one per machine, capped at the machine
+    /// count; useful to avoid oversubscription for large clusters).
+    pub max_threads: usize,
+    /// Sample the (approximate, lock-free) makespan every this many
+    /// claimed exchanges (0 disables sampling).
+    pub sample_every: u64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        Self {
+            total_exchanges: 50_000,
+            seed: 0,
+            max_threads: 0,
+            sample_every: 0,
+        }
+    }
+}
+
+/// Result of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentResult {
+    /// The final (quiesced) assignment.
+    pub assignment: Assignment,
+    /// Exchanges that changed something, per worker thread.
+    pub effective_per_thread: Vec<u64>,
+    /// Final makespan.
+    pub final_makespan: Time,
+    /// Lock-free makespan samples taken by worker 0 while the others kept
+    /// exchanging: `(exchanges_claimed_so_far, approximate_makespan)`.
+    /// "Approximate" because the atomics are read without freezing the
+    /// queues; each individual load is exact at some recent instant.
+    pub makespan_samples: Vec<(u64, Time)>,
+}
+
+struct Shared {
+    queues: Vec<Mutex<Vec<JobId>>>,
+    loads: Vec<AtomicU64>,
+    budget: AtomicU64,
+}
+
+/// Runs the decentralized protocol concurrently and returns the final
+/// assignment.
+///
+/// The result is *not* deterministic across runs (true concurrency), but
+/// every invariant the sequential theory needs — job conservation, only
+/// pair-local movement, monotone improvement for monotone balancers — is
+/// preserved, which the tests assert.
+pub fn run_concurrent<B: PairwiseBalancer + Sync>(
+    inst: &Instance,
+    initial: &Assignment,
+    balancer: &B,
+    cfg: &ConcurrentConfig,
+) -> ConcurrentResult {
+    let m = inst.num_machines();
+    let shared = Arc::new(Shared {
+        queues: (0..m)
+            .map(|mi| Mutex::new(initial.jobs_on(MachineId::from_idx(mi)).to_vec()))
+            .collect(),
+        loads: (0..m)
+            .map(|mi| AtomicU64::new(initial.load(MachineId::from_idx(mi))))
+            .collect(),
+        budget: AtomicU64::new(cfg.total_exchanges),
+    });
+
+    let threads = if cfg.max_threads == 0 {
+        m
+    } else {
+        cfg.max_threads.min(m)
+    }
+    .max(1);
+    let mut effective_per_thread = vec![0u64; threads];
+    let mut makespan_samples: Vec<(u64, Time)> = Vec::new();
+    if m >= 2 {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let shared = Arc::clone(&shared);
+                let seed = cfg.seed.wrapping_add(t as u64);
+                let sample_every = if t == 0 { cfg.sample_every } else { 0 };
+                let total = cfg.total_exchanges;
+                handles.push(
+                    scope.spawn(move || {
+                        worker(inst, balancer, &shared, seed, m, sample_every, total)
+                    }),
+                );
+            }
+            for (t, h) in handles.into_iter().enumerate() {
+                let (eff, samples) = h.join().expect("worker panicked");
+                effective_per_thread[t] = eff;
+                if !samples.is_empty() {
+                    makespan_samples = samples;
+                }
+            }
+        });
+    }
+
+    // Rebuild the final assignment from the queues.
+    let mut machine_of = vec![MachineId(0); inst.num_jobs()];
+    for (mi, q) in shared.queues.iter().enumerate() {
+        for &j in q.lock().iter() {
+            machine_of[j.idx()] = MachineId::from_idx(mi);
+        }
+    }
+    let assignment = Assignment::from_vec(inst, machine_of).expect("queues partition the job set");
+    let final_makespan = assignment.makespan();
+    ConcurrentResult {
+        assignment,
+        effective_per_thread,
+        final_makespan,
+        makespan_samples,
+    }
+}
+
+/// One machine thread: draw budget, pick a random pair, lock in id order,
+/// balance through the shared [`PairwiseBalancer`] code path.
+fn worker(
+    inst: &Instance,
+    balancer: &dyn PairwiseBalancer,
+    shared: &Shared,
+    seed: u64,
+    m: usize,
+    sample_every: u64,
+    total_budget: u64,
+) -> (u64, Vec<(u64, Time)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut effective = 0u64;
+    let mut samples: Vec<(u64, Time)> = Vec::new();
+    let mut last_bucket = 0u64;
+    loop {
+        // Claim one unit of budget; stop when exhausted.
+        let prev = shared
+            .budget
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1));
+        let remaining = match prev {
+            Ok(r) => r,
+            Err(_) => return (effective, samples),
+        };
+        #[allow(clippy::manual_checked_ops)] // the guard is a feature flag, not overflow protection
+        if sample_every > 0 {
+            // Sample whenever the *global* claim counter crosses into a
+            // new bucket since this sampler's last look (other threads
+            // claim most units, so exact multiples would rarely be ours).
+            let claimed = total_budget - remaining;
+            let bucket = claimed / sample_every;
+            if bucket > last_bucket || claimed <= 1 {
+                last_bucket = bucket;
+                let cmax = shared
+                    .loads
+                    .iter()
+                    .map(|l| l.load(Ordering::Acquire))
+                    .max()
+                    .unwrap_or(0);
+                samples.push((claimed, cmax));
+            }
+        }
+        let a = rng.gen_range(0..m);
+        let mut b = rng.gen_range(0..m - 1);
+        if b >= a {
+            b += 1;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Total lock order by machine id: no deadlock possible.
+        let mut qlo = shared.queues[lo].lock();
+        let mut qhi = shared.queues[hi].lock();
+
+        // Rebuild a two-machine view and run the *same* balancer code the
+        // sequential engine uses. Jobs of other machines are irrelevant —
+        // balancers only touch the pair — so we park them implicitly by
+        // building a pair-local pool.
+        let (new_lo, new_hi, changed) = balance_pool(
+            inst,
+            balancer,
+            MachineId::from_idx(lo),
+            MachineId::from_idx(hi),
+            &qlo,
+            &qhi,
+        );
+        if changed {
+            effective += 1;
+            let load = |mi: usize, jobs: &[JobId]| -> u64 {
+                jobs.iter().fold(0u64, |acc, &j| {
+                    acc.saturating_add(inst.cost(MachineId::from_idx(mi), j))
+                })
+            };
+            shared.loads[lo].store(load(lo, &new_lo), Ordering::Release);
+            shared.loads[hi].store(load(hi, &new_hi), Ordering::Release);
+            *qlo = new_lo;
+            *qhi = new_hi;
+        }
+    }
+}
+
+/// Applies `balancer` to the pooled jobs of one pair without a global
+/// `Assignment`: the pool is mapped onto a two-machine *sub-instance*
+/// that preserves the original costs (and, for inter-cluster pairs, the
+/// two-cluster structure the balancer dispatches on), so the concurrent
+/// path executes exactly the same balancing code as the sequential one.
+fn balance_pool(
+    inst: &Instance,
+    balancer: &dyn PairwiseBalancer,
+    mlo: MachineId,
+    mhi: MachineId,
+    qlo: &[JobId],
+    qhi: &[JobId],
+) -> (Vec<JobId>, Vec<JobId>, bool) {
+    let pool: Vec<JobId> = qlo.iter().chain(qhi.iter()).copied().collect();
+    if pool.is_empty() {
+        return (Vec::new(), Vec::new(), false);
+    }
+    // Sub-instance: 2 machines x |pool| jobs with the original costs.
+    // Cluster structure is preserved when the machines are in different
+    // clusters (two-cluster balancers dispatch on it). `sub_of_lo` is the
+    // sub-machine playing `mlo`'s part: for inter-cluster pairs the
+    // two-cluster constructor fixes sub-machine 0 as cluster 1, so when
+    // `mlo` is the cluster-2 machine both the costs *and* the job
+    // placement must swap sides together.
+    let same_cluster = inst.cluster(mlo) == inst.cluster(mhi);
+    let (sub, sub_of_lo) = if same_cluster {
+        let costs: Vec<Time> = pool
+            .iter()
+            .map(|&j| inst.cost(mlo, j))
+            .chain(pool.iter().map(|&j| inst.cost(mhi, j)))
+            .collect();
+        (
+            Instance::dense(2, pool.len(), costs).expect("valid sub-instance"),
+            MachineId(0),
+        )
+    } else if inst.cluster(mlo) == ClusterId::ONE {
+        let pairs: Vec<(Time, Time)> = pool
+            .iter()
+            .map(|&j| (inst.cost(mlo, j), inst.cost(mhi, j)))
+            .collect();
+        (
+            Instance::two_cluster(1, 1, pairs).expect("valid sub-instance"),
+            MachineId(0),
+        )
+    } else {
+        let pairs: Vec<(Time, Time)> = pool
+            .iter()
+            .map(|&j| (inst.cost(mhi, j), inst.cost(mlo, j)))
+            .collect();
+        (
+            Instance::two_cluster(1, 1, pairs).expect("valid sub-instance"),
+            MachineId(1),
+        )
+    };
+    let sub_of_hi = MachineId(1 - sub_of_lo.0);
+    let sub_machine_of: Vec<MachineId> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, _)| if i < qlo.len() { sub_of_lo } else { sub_of_hi })
+        .collect();
+    let mut sub_asg = Assignment::from_vec(&sub, sub_machine_of).expect("valid sub-assignment");
+    let changed = balancer.balance(&sub, &mut sub_asg, MachineId(0), MachineId(1));
+    if !changed {
+        return (qlo.to_vec(), qhi.to_vec(), false);
+    }
+    let new_lo: Vec<JobId> = sub_asg
+        .jobs_on(sub_of_lo)
+        .iter()
+        .map(|&sj| pool[sj.idx()])
+        .collect();
+    let new_hi: Vec<JobId> = sub_asg
+        .jobs_on(sub_of_hi)
+        .iter()
+        .map(|&sj| pool[sj.idx()])
+        .collect();
+    (new_lo, new_hi, true)
+}
+
+#[cfg(test)]
+mod orientation_tests {
+    use super::*;
+    use lb_core::Dlb2cBalance;
+
+    /// Regression test for the inter-cluster orientation: whichever of
+    /// the pair has the lower machine id, each job must end on the
+    /// machine where *it* is cheap — under its own costs, not its
+    /// partner's.
+    #[test]
+    fn inter_cluster_orientation_correct_both_ways() {
+        // Machine 0 in cluster 2, machine 2 in cluster 1 (cluster map
+        // interleaved so that the lower-id machine is cluster TWO).
+        let inst = Instance::new(
+            vec![ClusterId::TWO, ClusterId::TWO, ClusterId::ONE],
+            lb_model::Costs::TwoCluster {
+                costs: vec![(1, 100), (100, 1), (1, 100), (100, 1)],
+            },
+        )
+        .unwrap();
+        // Jobs 0, 2 cheap on cluster 1 (machine 2); jobs 1, 3 cheap on
+        // cluster 2 (machines 0, 1). Start everything on machine 0.
+        let qlo: Vec<JobId> = (0..4).map(JobId).collect(); // machine 0 (cluster 2)
+        let qhi: Vec<JobId> = vec![]; // machine 2 (cluster 1)
+        let (new_lo, new_hi, changed) =
+            balance_pool(&inst, &Dlb2cBalance, MachineId(0), MachineId(2), &qlo, &qhi);
+        assert!(changed);
+        // Cheap-on-cluster-2 jobs stay on machine 0; the others move.
+        assert!(
+            new_lo.contains(&JobId(1)) && new_lo.contains(&JobId(3)),
+            "{new_lo:?}"
+        );
+        assert!(
+            new_hi.contains(&JobId(0)) && new_hi.contains(&JobId(2)),
+            "{new_hi:?}"
+        );
+        let load =
+            |m: MachineId, jobs: &[JobId]| -> Time { jobs.iter().map(|&j| inst.cost(m, j)).sum() };
+        assert_eq!(load(MachineId(0), &new_lo), 2);
+        assert_eq!(load(MachineId(2), &new_hi), 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::{Dlb2cBalance, EctPairBalance};
+    use lb_model::bounds::combined_lower_bound;
+    use lb_workloads::initial::random_assignment;
+    use lb_workloads::two_cluster::paper_two_cluster;
+    use lb_workloads::uniform::paper_uniform;
+
+    #[test]
+    fn conserves_jobs_under_concurrency() {
+        let inst = paper_two_cluster(8, 4, 120, 1);
+        let init = random_assignment(&inst, 2);
+        let cfg = ConcurrentConfig {
+            total_exchanges: 20_000,
+            seed: 3,
+            max_threads: 0,
+            ..ConcurrentConfig::default()
+        };
+        let res = run_concurrent(&inst, &init, &Dlb2cBalance, &cfg);
+        res.assignment.validate(&inst).unwrap();
+        let total: usize = inst.machines().map(|m| res.assignment.num_jobs_on(m)).sum();
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn concurrent_run_reaches_sequential_quality() {
+        let inst = paper_two_cluster(8, 4, 120, 5);
+        let init = Assignment::all_on(&inst, MachineId(0));
+        let cfg = ConcurrentConfig {
+            total_exchanges: 30_000,
+            seed: 7,
+            max_threads: 0,
+            ..ConcurrentConfig::default()
+        };
+        let res = run_concurrent(&inst, &init, &Dlb2cBalance, &cfg);
+        let lb = combined_lower_bound(&inst);
+        assert!(
+            res.final_makespan <= 2 * lb + inst.max_finite_cost().unwrap(),
+            "concurrent DLB2C at {} vs LB {lb}",
+            res.final_makespan
+        );
+        assert!(res.final_makespan < init.makespan() / 2);
+    }
+
+    #[test]
+    fn homogeneous_concurrent_balancing() {
+        let inst = paper_uniform(6, 90, 9);
+        let init = Assignment::all_on(&inst, MachineId(2));
+        let cfg = ConcurrentConfig {
+            total_exchanges: 20_000,
+            seed: 1,
+            max_threads: 3,
+            ..ConcurrentConfig::default()
+        };
+        let res = run_concurrent(&inst, &init, &EctPairBalance, &cfg);
+        res.assignment.validate(&inst).unwrap();
+        let total_work: Time = init.total_work();
+        // Near-perfect balance: within one max job of the average.
+        let avg = total_work / 6;
+        let p_max = inst.max_finite_cost().unwrap();
+        assert!(
+            res.final_makespan <= avg + 2 * p_max,
+            "imbalanced: {} vs avg {avg} (p_max {p_max})",
+            res.final_makespan
+        );
+    }
+
+    #[test]
+    fn budget_is_respected_and_split() {
+        let inst = paper_uniform(4, 24, 3);
+        let init = random_assignment(&inst, 4);
+        let cfg = ConcurrentConfig {
+            total_exchanges: 500,
+            seed: 5,
+            max_threads: 4,
+            ..ConcurrentConfig::default()
+        };
+        let res = run_concurrent(&inst, &init, &EctPairBalance, &cfg);
+        let total_effective: u64 = res.effective_per_thread.iter().sum();
+        assert!(total_effective <= 500);
+        assert_eq!(res.effective_per_thread.len(), 4);
+    }
+
+    #[test]
+    fn single_machine_or_zero_budget() {
+        let inst = paper_uniform(1, 5, 0);
+        let init = Assignment::all_on(&inst, MachineId(0));
+        let res = run_concurrent(
+            &inst,
+            &init,
+            &EctPairBalance,
+            &ConcurrentConfig {
+                total_exchanges: 100,
+                seed: 0,
+                max_threads: 0,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(res.final_makespan, init.makespan());
+
+        let inst2 = paper_uniform(3, 9, 1);
+        let init2 = random_assignment(&inst2, 1);
+        let res2 = run_concurrent(
+            &inst2,
+            &init2,
+            &EctPairBalance,
+            &ConcurrentConfig {
+                total_exchanges: 0,
+                seed: 0,
+                max_threads: 0,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(res2.assignment, init2);
+    }
+}

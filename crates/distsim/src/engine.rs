@@ -1,0 +1,521 @@
+//! The gossip engine: instrumented pairwise-exchange simulation.
+//!
+//! Each *round* one pair of machines is selected (by the configured
+//! [`PairSchedule`]) and balanced by the configured
+//! [`lb_core::PairwiseBalancer`]. This sequentialized
+//! semantics matches both the paper's own simulator and the theory
+//! (Lemma 4, Theorems 7, 9, 10 all reason about one exchange at a time).
+//!
+//! Instrumentation:
+//! * per-round makespan series (Figure 4),
+//! * per-machine counts of *participations in effective exchanges* and
+//!   first-passage exchange counts under a makespan threshold (Figure 5),
+//! * quiescence-based early stop (the paper's "stable" outcome),
+//! * exact limit-cycle detection under deterministic schedules
+//!   (Proposition 8) by state-snapshot comparison.
+
+use lb_core::PairwiseBalancer;
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// How the pair of machines for each round is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PairSchedule {
+    /// Uniformly random ordered pair of distinct machines (the paper's
+    /// model: every machine randomly selects a target).
+    UniformRandom,
+    /// Round `r` is hosted by machine `r mod |M|`, which picks a random
+    /// target — closer to "every machine runs the loop" with a fair host
+    /// rotation.
+    RotatingHost,
+    /// Deterministic cyclic enumeration of all unordered pairs, in order.
+    /// The dynamics become a deterministic map, so a repeated state proves
+    /// a limit cycle (used for the Proposition 8 experiment).
+    RoundRobin,
+    /// Random pair biased toward inter-cluster exchanges: with this
+    /// probability (percent) the pair is drawn across clusters when the
+    /// instance has two clusters (ablation A2).
+    InterClusterBiased {
+        /// Percent chance (0–100) of forcing an inter-cluster pair.
+        percent: u8,
+    },
+}
+
+/// Gossip run configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Maximum number of rounds (pair exchanges attempted).
+    pub max_rounds: u64,
+    /// RNG seed (pair selection only; balancers are deterministic).
+    pub seed: u64,
+    /// Pair selection schedule.
+    pub schedule: PairSchedule,
+    /// Record the makespan every `record_every` rounds (0 = only first and
+    /// last; 1 = every round).
+    pub record_every: u64,
+    /// Stop after this many consecutive ineffective rounds (0 disables the
+    /// quiescence stop).
+    pub quiescence_window: u64,
+    /// Detect exact state repetitions (meaningful under
+    /// [`PairSchedule::RoundRobin`]; costs a snapshot per *sweep*).
+    pub detect_cycles: bool,
+    /// Makespan threshold for first-passage tracking (e.g. `1.5 × CLB2C`
+    /// for Figure 5); 0 disables tracking.
+    pub threshold: Time,
+    /// Machines excluded from pair selection (offline under churn; see
+    /// `lb_distsim::churn`). They keep whatever jobs they hold.
+    pub offline: Vec<MachineId>,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 100_000,
+            seed: 0,
+            schedule: PairSchedule::UniformRandom,
+            record_every: 0,
+            quiescence_window: 0,
+            detect_cycles: false,
+            threshold: 0,
+            offline: Vec::new(),
+        }
+    }
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The round budget was exhausted.
+    BudgetExhausted,
+    /// `quiescence_window` consecutive rounds changed nothing.
+    Quiescent,
+    /// Under a deterministic schedule, an earlier state recurred at the
+    /// same schedule position: the dynamics are in a limit cycle.
+    CycleDetected {
+        /// Sweep index at which the repeated state was first seen.
+        first_seen_sweep: u64,
+        /// Cycle length in sweeps.
+        period_sweeps: u64,
+    },
+}
+
+/// Results of one gossip run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipRun {
+    /// `(round, makespan)` samples per `record_every` (always includes
+    /// round 0 and the final round).
+    pub makespan_series: Vec<(u64, Time)>,
+    /// Rounds executed.
+    pub rounds_run: u64,
+    /// Rounds whose exchange moved at least one job.
+    pub effective_exchanges: u64,
+    /// Total number of job migrations across all exchanges — the network
+    /// usage the paper's conclusion flags as a cost the model ignores.
+    pub jobs_migrated: u64,
+    /// Per machine: number of effective exchanges it participated in.
+    pub exchanges_per_machine: Vec<u64>,
+    /// Per machine: its exchange count at the first moment its *load*
+    /// dropped to `<= threshold` (`None` if never); 0 for machines that
+    /// start below the threshold.
+    pub machine_threshold_hits: Vec<Option<u64>>,
+    /// Total effective exchanges when the *global makespan* first dropped
+    /// to `<= threshold` (`None` if never).
+    pub global_threshold_hit: Option<u64>,
+    /// Makespan before any exchange.
+    pub initial_makespan: Time,
+    /// Final makespan.
+    pub final_makespan: Time,
+    /// Smallest makespan observed at any recorded point.
+    pub best_makespan: Time,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// Runs the gossip process. Deterministic given the config.
+///
+/// ```
+/// use lb_core::Dlb2cBalance;
+/// use lb_distsim::{run_gossip, GossipConfig};
+/// use lb_model::prelude::*;
+///
+/// let inst = Instance::two_cluster(2, 2, vec![(3, 9), (9, 3), (5, 5), (2, 8)]).unwrap();
+/// let mut asg = Assignment::all_on(&inst, MachineId(0));
+/// let cfg = GossipConfig { max_rounds: 1_000, seed: 7, ..GossipConfig::default() };
+/// let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+/// assert!(run.final_makespan <= run.initial_makespan);
+/// ```
+pub fn run_gossip(
+    inst: &Instance,
+    asg: &mut Assignment,
+    balancer: &dyn PairwiseBalancer,
+    cfg: &GossipConfig,
+) -> GossipRun {
+    let m = inst.num_machines();
+    let initial_makespan = asg.makespan();
+    let mut run = GossipRun {
+        makespan_series: vec![(0, initial_makespan)],
+        rounds_run: 0,
+        effective_exchanges: 0,
+        jobs_migrated: 0,
+        exchanges_per_machine: vec![0; m],
+        machine_threshold_hits: vec![None; m],
+        global_threshold_hit: None,
+        initial_makespan,
+        final_makespan: initial_makespan,
+        best_makespan: initial_makespan,
+        outcome: RunOutcome::BudgetExhausted,
+    };
+    // Pair selection draws from the *active* (online) machines only.
+    let active: Vec<MachineId> = inst
+        .machines()
+        .filter(|mm| !cfg.offline.contains(mm))
+        .collect();
+    if active.len() < 2 {
+        run.outcome = RunOutcome::Quiescent;
+        return run;
+    }
+    if cfg.threshold > 0 {
+        for mi in 0..m {
+            if asg.load(MachineId::from_idx(mi)) <= cfg.threshold {
+                run.machine_threshold_hits[mi] = Some(0);
+            }
+        }
+        if initial_makespan <= cfg.threshold {
+            run.global_threshold_hit = Some(0);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_active = active.len();
+    let pairs_per_sweep = (n_active * (n_active - 1) / 2) as u64;
+    let mut seen_states: HashMap<u64, (u64, Vec<MachineId>)> = HashMap::new();
+    let mut quiet = 0u64;
+
+    for round in 0..cfg.max_rounds {
+        // Cycle detection snapshots at sweep boundaries (deterministic
+        // schedules only make sense there).
+        if cfg.detect_cycles
+            && cfg.schedule == PairSchedule::RoundRobin
+            && round % pairs_per_sweep == 0
+        {
+            let sweep = round / pairs_per_sweep;
+            let state: Vec<MachineId> = inst.jobs().map(|j| asg.machine_of(j)).collect();
+            let mut h = DefaultHasher::new();
+            state.hash(&mut h);
+            let key = h.finish();
+            if let Some((first_sweep, first_state)) = seen_states.get(&key) {
+                if *first_state == state {
+                    run.outcome = RunOutcome::CycleDetected {
+                        first_seen_sweep: *first_sweep,
+                        period_sweeps: sweep - first_sweep,
+                    };
+                    break;
+                }
+            } else {
+                seen_states.insert(key, (sweep, state));
+            }
+        }
+
+        let (a, b) = select_pair(inst, cfg.schedule, round, &active, &mut rng);
+        let owners_before: Vec<(JobId, MachineId)> = asg
+            .jobs_on(a)
+            .iter()
+            .map(|&j| (j, a))
+            .chain(asg.jobs_on(b).iter().map(|&j| (j, b)))
+            .collect();
+        let changed = balancer.balance(inst, asg, a, b);
+        run.rounds_run = round + 1;
+        if changed {
+            run.jobs_migrated += owners_before
+                .iter()
+                .filter(|&&(j, owner)| asg.machine_of(j) != owner)
+                .count() as u64;
+            run.effective_exchanges += 1;
+            run.exchanges_per_machine[a.idx()] += 1;
+            run.exchanges_per_machine[b.idx()] += 1;
+            quiet = 0;
+            if cfg.threshold > 0 {
+                for mm in [a, b] {
+                    if run.machine_threshold_hits[mm.idx()].is_none()
+                        && asg.load(mm) <= cfg.threshold
+                    {
+                        run.machine_threshold_hits[mm.idx()] =
+                            Some(run.exchanges_per_machine[mm.idx()]);
+                    }
+                }
+                if run.global_threshold_hit.is_none() && asg.makespan() <= cfg.threshold {
+                    run.global_threshold_hit = Some(run.effective_exchanges);
+                }
+            }
+        } else {
+            quiet += 1;
+        }
+
+        let record = cfg.record_every > 0 && (round + 1) % cfg.record_every == 0;
+        if record {
+            let cmax = asg.makespan();
+            run.makespan_series.push((round + 1, cmax));
+            run.best_makespan = run.best_makespan.min(cmax);
+        }
+
+        if cfg.quiescence_window > 0 && quiet >= cfg.quiescence_window {
+            run.outcome = RunOutcome::Quiescent;
+            break;
+        }
+    }
+
+    run.final_makespan = asg.makespan();
+    run.best_makespan = run.best_makespan.min(run.final_makespan);
+    if run.makespan_series.last().map(|&(r, _)| r) != Some(run.rounds_run) {
+        run.makespan_series
+            .push((run.rounds_run, run.final_makespan));
+    }
+    run
+}
+
+/// Selects the round's pair from the `active` (online) machines.
+fn select_pair(
+    inst: &Instance,
+    schedule: PairSchedule,
+    round: u64,
+    active: &[MachineId],
+    rng: &mut StdRng,
+) -> (MachineId, MachineId) {
+    let m = active.len();
+    let uniform = |rng: &mut StdRng| {
+        let a = rng.gen_range(0..m);
+        let mut b = rng.gen_range(0..m - 1);
+        if b >= a {
+            b += 1;
+        }
+        (active[a], active[b])
+    };
+    match schedule {
+        PairSchedule::UniformRandom => uniform(rng),
+        PairSchedule::RotatingHost => {
+            let a = (round % m as u64) as usize;
+            let mut b = rng.gen_range(0..m - 1);
+            if b >= a {
+                b += 1;
+            }
+            (active[a], active[b])
+        }
+        PairSchedule::RoundRobin => {
+            // Enumerate unordered pairs lexicographically.
+            let pairs = (m * (m - 1) / 2) as u64;
+            let mut k = round % pairs;
+            let mut a = 0usize;
+            let mut remaining = (m - 1) as u64;
+            while k >= remaining {
+                k -= remaining;
+                a += 1;
+                remaining = (m - a - 1) as u64;
+            }
+            let b = a + 1 + k as usize;
+            (active[a], active[b])
+        }
+        PairSchedule::InterClusterBiased { percent } => {
+            let force_cross = inst.is_two_cluster() && rng.gen_range(0..100) < u32::from(percent);
+            if force_cross {
+                let ms1: Vec<MachineId> = inst
+                    .machines_in(ClusterId::ONE)
+                    .iter()
+                    .filter(|mm| active.contains(mm))
+                    .copied()
+                    .collect();
+                let ms2: Vec<MachineId> = inst
+                    .machines_in(ClusterId::TWO)
+                    .iter()
+                    .filter(|mm| active.contains(mm))
+                    .copied()
+                    .collect();
+                if ms1.is_empty() || ms2.is_empty() {
+                    uniform(rng)
+                } else {
+                    (
+                        ms1[rng.gen_range(0..ms1.len())],
+                        ms2[rng.gen_range(0..ms2.len())],
+                    )
+                }
+            } else {
+                uniform(rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::{Dlb2cBalance, EctPairBalance};
+    use lb_workloads::initial::random_assignment;
+    use lb_workloads::two_cluster::paper_two_cluster;
+    use lb_workloads::uniform::paper_uniform;
+
+    fn base_cfg() -> GossipConfig {
+        GossipConfig {
+            max_rounds: 20_000,
+            seed: 11,
+            ..GossipConfig::default()
+        }
+    }
+
+    #[test]
+    fn makespan_series_brackets_run() {
+        let inst = paper_uniform(8, 64, 1);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let cfg = GossipConfig {
+            record_every: 10,
+            ..base_cfg()
+        };
+        let run = run_gossip(&inst, &mut asg, &EctPairBalance, &cfg);
+        assert_eq!(run.makespan_series.first().unwrap().0, 0);
+        assert_eq!(run.makespan_series.last().unwrap().0, run.rounds_run);
+        assert_eq!(run.final_makespan, asg.makespan());
+        assert!(run.best_makespan <= run.initial_makespan);
+        assert!(run.final_makespan < run.initial_makespan);
+    }
+
+    #[test]
+    fn quiescence_outcome() {
+        let inst = paper_uniform(4, 32, 2);
+        let mut asg = random_assignment(&inst, 3);
+        let cfg = GossipConfig {
+            quiescence_window: 500,
+            ..base_cfg()
+        };
+        let run = run_gossip(&inst, &mut asg, &EctPairBalance, &cfg);
+        // Uniform instances always stabilize under ECT balancing.
+        assert_eq!(run.outcome, RunOutcome::Quiescent);
+        assert!(run.rounds_run < 20_000);
+    }
+
+    #[test]
+    fn exchanges_per_machine_consistent() {
+        let inst = paper_two_cluster(4, 4, 64, 5);
+        let mut asg = random_assignment(&inst, 7);
+        let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &base_cfg());
+        let total: u64 = run.exchanges_per_machine.iter().sum();
+        assert_eq!(total, 2 * run.effective_exchanges);
+        // Every effective exchange migrates at least one job.
+        assert!(run.jobs_migrated >= run.effective_exchanges);
+    }
+
+    #[test]
+    fn move_frugal_migrates_less() {
+        use lb_core::MoveFrugal;
+        let inst = paper_two_cluster(4, 4, 96, 8);
+        let cfg = base_cfg();
+        let mut plain = random_assignment(&inst, 9);
+        let rp = run_gossip(&inst, &mut plain, &Dlb2cBalance, &cfg);
+        let mut frugal = random_assignment(&inst, 9);
+        let rf = run_gossip(&inst, &mut frugal, &MoveFrugal(Dlb2cBalance), &cfg);
+        assert!(
+            rf.jobs_migrated < rp.jobs_migrated,
+            "frugal {} vs plain {} migrations",
+            rf.jobs_migrated,
+            rp.jobs_migrated
+        );
+        // Quality stays in the same band.
+        assert!(rf.final_makespan as f64 <= 1.5 * rp.final_makespan as f64);
+    }
+
+    #[test]
+    fn threshold_tracking() {
+        let inst = paper_two_cluster(4, 2, 48, 9);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let threshold = asg.makespan() / 2;
+        let cfg = GossipConfig {
+            threshold,
+            ..base_cfg()
+        };
+        let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+        // Machines other than 0 start empty: hit at 0 exchanges.
+        for mi in 1..6 {
+            assert_eq!(run.machine_threshold_hits[mi], Some(0));
+        }
+        // Machine 0 must eventually get under half its starting load.
+        let hit0 = run.machine_threshold_hits[0];
+        assert!(hit0.is_some());
+        assert!(hit0.unwrap() >= 1);
+        assert!(run.global_threshold_hit.is_some());
+    }
+
+    #[test]
+    fn round_robin_is_deterministic_and_covers_pairs() {
+        let inst = paper_uniform(5, 10, 0);
+        let active: Vec<MachineId> = inst.machines().collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..10u64 {
+            let (a, b) = select_pair(&inst, PairSchedule::RoundRobin, round, &active, &mut rng);
+            assert!(a < b);
+            seen.insert((a, b));
+        }
+        assert_eq!(seen.len(), 10); // C(5,2) = 10 distinct pairs
+    }
+
+    #[test]
+    fn offline_machines_never_selected() {
+        let inst = paper_uniform(6, 60, 3);
+        let mut asg = random_assignment(&inst, 4);
+        let before_jobs_on_0 = asg.jobs_on(MachineId(0)).len();
+        let cfg = GossipConfig {
+            max_rounds: 5_000,
+            seed: 5,
+            offline: vec![MachineId(0)],
+            ..GossipConfig::default()
+        };
+        let run = run_gossip(&inst, &mut asg, &EctPairBalance, &cfg);
+        // Machine 0 kept exactly its jobs: never touched.
+        assert_eq!(asg.jobs_on(MachineId(0)).len(), before_jobs_on_0);
+        assert_eq!(run.exchanges_per_machine[0], 0);
+    }
+
+    #[test]
+    fn cycle_detection_on_static_state() {
+        // A state no exchange can change: the cycle detector must fire at
+        // the second sweep (period 1), not run the budget out.
+        let inst = Instance::uniform(3, vec![4, 4, 4]).unwrap();
+        let mut asg =
+            Assignment::from_vec(&inst, vec![MachineId(0), MachineId(1), MachineId(2)]).unwrap();
+        let cfg = GossipConfig {
+            schedule: PairSchedule::RoundRobin,
+            detect_cycles: true,
+            max_rounds: 1000,
+            ..GossipConfig::default()
+        };
+        let run = run_gossip(&inst, &mut asg, &EctPairBalance, &cfg);
+        match run.outcome {
+            RunOutcome::CycleDetected { period_sweeps, .. } => assert_eq!(period_sweeps, 1),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn biased_schedule_runs() {
+        let inst = paper_two_cluster(3, 3, 36, 4);
+        let mut asg = random_assignment(&inst, 5);
+        let cfg = GossipConfig {
+            schedule: PairSchedule::InterClusterBiased { percent: 80 },
+            ..base_cfg()
+        };
+        let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+        assert!(run.final_makespan <= run.initial_makespan);
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn single_machine_trivial() {
+        let inst = paper_uniform(1, 5, 0);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let run = run_gossip(&inst, &mut asg, &EctPairBalance, &base_cfg());
+        assert_eq!(run.outcome, RunOutcome::Quiescent);
+        assert_eq!(run.rounds_run, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Decentralized execution substrate.
+//!
+//! The paper evaluates its algorithms with a simulator (Section VII.B);
+//! this crate is that simulator, split into:
+//!
+//! * [`engine`] — the gossip engine: sequentialized pairwise exchanges
+//!   with a pluggable peer-selection schedule, per-round makespan series,
+//!   per-machine exchange counters, threshold tracking (Figure 5), and
+//!   limit-cycle detection under deterministic schedules (Proposition 8).
+//! * [`worksteal`] — a discrete-event work-stealing simulator
+//!   (Algorithm 1) used as the a-posteriori baseline and to reproduce the
+//!   Theorem 1 trap.
+//! * [`dynamic`] — online simulation with job arrivals and *periodic*
+//!   rebalancing of queued jobs, the deployment mode Section IV argues a
+//!   priori balancers enable.
+//! * [`concurrent`] — a truly multi-threaded implementation of the
+//!   gossip protocol (one thread per machine, ordered pair locking),
+//!   verifying that the sequential theory's conclusions survive real
+//!   concurrency.
+//! * [`mod@replicate`] — parallel Monte-Carlo replication of gossip runs
+//!   (rayon) with derived seeds, feeding the figure-regeneration binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod concurrent;
+pub mod dynamic;
+pub mod engine;
+pub mod replicate;
+pub mod worksteal;
+
+pub use churn::{run_with_churn, ChurnEvent, ChurnPlan, ChurnRun};
+
+pub use concurrent::{run_concurrent, ConcurrentConfig, ConcurrentResult};
+pub use dynamic::{simulate_dynamic, Arrival, DynamicConfig, DynamicResult};
+pub use engine::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
+pub use replicate::replicate;
+pub use worksteal::{
+    simulate_work_stealing, simulate_work_stealing_with, StealPolicy, WorkStealResult,
+};

@@ -1,0 +1,346 @@
+//! Discrete-event work-stealing simulator (Algorithm 1).
+//!
+//! Work stealing is the paper's *a posteriori* baseline: each machine
+//! executes its local queue; when the queue empties it steals half of a
+//! victim's **non-running** jobs. Theorem 1 shows this can be unboundedly
+//! bad on unrelated machines because rebalancing only starts when someone
+//! goes idle — which can be arbitrarily late under a bad initial
+//! distribution.
+//!
+//! Model (documented deviations from the pseudo-code, which does not
+//! terminate as written):
+//!
+//! * Time is continuous; a machine runs one job at a time, non-preemptive,
+//!   at its own speed `p[i][j]`.
+//! * When a machine finishes its queue, it attempts a steal *immediately*:
+//!   a victim is drawn uniformly among machines with non-empty queues
+//!   (drawing an empty victim and retrying forever would not terminate; a
+//!   uniformly random *eligible* victim is the standard fix and matches
+//!   the algorithm's intent).
+//! * A steal transfers the ⌈k/2⌉ *tail* jobs of the victim's queue.
+//! * If no machine has queued jobs, the idle machine sleeps until the next
+//!   completion event and retries. The run ends when no jobs are queued or
+//!   running.
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// How much of a victim's queue a thief takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StealPolicy {
+    /// `ceil(k/2)` tail jobs — Algorithm 1's "steal half".
+    Half,
+    /// A single tail job — classic Cilk-style deque stealing.
+    One,
+    /// The entire queue — aggressive rebalancing.
+    All,
+}
+
+impl StealPolicy {
+    /// Number of jobs to take from a queue of length `k >= 1`.
+    pub fn take_from(self, k: usize) -> usize {
+        match self {
+            StealPolicy::Half => k.div_ceil(2),
+            StealPolicy::One => 1,
+            StealPolicy::All => k,
+        }
+    }
+}
+
+/// Outcome of a work-stealing simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkStealResult {
+    /// Completion time of the last job (the schedule's makespan).
+    pub makespan: Time,
+    /// Number of successful steal operations.
+    pub steals: u64,
+    /// Number of jobs that were executed on a machine other than their
+    /// initial one.
+    pub migrated_jobs: u64,
+    /// Time of the first successful steal (`None` if no steal happened).
+    pub first_steal_at: Option<Time>,
+    /// Per-machine completion time of its last executed job.
+    pub machine_finish_times: Vec<Time>,
+}
+
+/// Simulates work stealing (steal-half, Algorithm 1) from the given
+/// initial distribution.
+///
+/// Deterministic given `seed` (victim selection is the only randomness).
+pub fn simulate_work_stealing(inst: &Instance, initial: &Assignment, seed: u64) -> WorkStealResult {
+    simulate_work_stealing_with(inst, initial, seed, StealPolicy::Half)
+}
+
+/// Work-stealing simulation with a configurable steal amount.
+pub fn simulate_work_stealing_with(
+    inst: &Instance,
+    initial: &Assignment,
+    seed: u64,
+    policy: StealPolicy,
+) -> WorkStealResult {
+    let m = inst.num_machines();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Local FIFO queues, jobs in id order (submission order).
+    let mut queues: Vec<VecDeque<JobId>> = (0..m)
+        .map(|mi| {
+            let mut q: Vec<JobId> = initial.jobs_on(MachineId::from_idx(mi)).to_vec();
+            q.sort_unstable();
+            q.into()
+        })
+        .collect();
+
+    // (completion_time, machine, job) events; machine idle events are
+    // implicit (handled when its event fires).
+    let mut events: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    let mut running: Vec<Option<JobId>> = vec![None; m];
+    let mut finish: Vec<Time> = vec![0; m];
+    let mut queued_total: usize = 0;
+    for q in &queues {
+        queued_total += q.len();
+    }
+
+    let mut steals = 0u64;
+    let mut migrated = 0u64;
+    let mut first_steal_at: Option<Time> = None;
+    let mut makespan: Time = 0;
+
+    // Start: every machine with a queue begins its first job at t = 0.
+    // Idle machines join the steal loop at t = 0 via a sentinel event.
+    let mut idle: Vec<u32> = Vec::new();
+    for mi in 0..m {
+        if let Some(j) = queues[mi].pop_front() {
+            queued_total -= 1;
+            running[mi] = Some(j);
+            let t = inst.cost(MachineId::from_idx(mi as u32 as usize), j);
+            events.push(Reverse((t, mi as u32)));
+        } else {
+            idle.push(mi as u32);
+        }
+    }
+
+    // Steal attempts by the currently idle machines at time `now`.
+    // Returns machines that remain idle.
+    #[allow(clippy::too_many_arguments)] // inner helper threading simulator state
+    fn attempt_steals(
+        idle: &mut Vec<u32>,
+        queues: &mut [VecDeque<JobId>],
+        running: &mut [Option<JobId>],
+        events: &mut BinaryHeap<Reverse<(Time, u32)>>,
+        inst: &Instance,
+        initial: &Assignment,
+        queued_total: &mut usize,
+        now: Time,
+        policy: StealPolicy,
+        rng: &mut StdRng,
+        steals: &mut u64,
+        migrated: &mut u64,
+        first_steal_at: &mut Option<Time>,
+    ) {
+        // Keep trying as long as someone is idle and work is queued.
+        loop {
+            if idle.is_empty() || *queued_total == 0 {
+                return;
+            }
+            let thief = idle.remove(0) as usize;
+            // Victim: uniform among machines with non-empty queues.
+            let candidates: Vec<usize> = (0..queues.len())
+                .filter(|&v| v != thief && !queues[v].is_empty())
+                .collect();
+            if candidates.is_empty() {
+                // Only the thief itself has queued jobs (impossible: thief
+                // is idle with an empty queue) — so really nothing to do.
+                idle.push(thief as u32);
+                return;
+            }
+            let victim = candidates[rng.gen_range(0..candidates.len())];
+            let k = queues[victim].len();
+            let take = policy.take_from(k);
+            *steals += 1;
+            first_steal_at.get_or_insert(now);
+            let mut stolen: Vec<JobId> = Vec::with_capacity(take);
+            for _ in 0..take {
+                stolen.push(queues[victim].pop_back().expect("victim had >= take jobs"));
+            }
+            stolen.reverse(); // preserve victim-queue order
+            for j in stolen {
+                if initial.machine_of(j).idx() != thief {
+                    *migrated += 1;
+                }
+                queues[thief].push_back(j);
+            }
+            // Thief starts its first stolen job immediately.
+            let j = queues[thief].pop_front().expect("just stole >= 1 job");
+            *queued_total -= 1;
+            running[thief] = Some(j);
+            let c = inst.cost(MachineId::from_idx(thief), j);
+            events.push(Reverse((now.saturating_add(c), thief as u32)));
+        }
+    }
+
+    attempt_steals(
+        &mut idle,
+        &mut queues,
+        &mut running,
+        &mut events,
+        inst,
+        initial,
+        &mut queued_total,
+        0,
+        policy,
+        &mut rng,
+        &mut steals,
+        &mut migrated,
+        &mut first_steal_at,
+    );
+
+    while let Some(Reverse((now, mi))) = events.pop() {
+        let mi_us = mi as usize;
+        running[mi_us] = None;
+        finish[mi_us] = now;
+        makespan = makespan.max(now);
+        if let Some(j) = queues[mi_us].pop_front() {
+            queued_total -= 1;
+            running[mi_us] = Some(j);
+            let c = inst.cost(MachineId::from_idx(mi_us), j);
+            events.push(Reverse((now.saturating_add(c), mi)));
+        } else {
+            idle.push(mi);
+        }
+        attempt_steals(
+            &mut idle,
+            &mut queues,
+            &mut running,
+            &mut events,
+            inst,
+            initial,
+            &mut queued_total,
+            now,
+            policy,
+            &mut rng,
+            &mut steals,
+            &mut migrated,
+            &mut first_steal_at,
+        );
+    }
+
+    WorkStealResult {
+        makespan,
+        steals,
+        migrated_jobs: migrated,
+        first_steal_at,
+        machine_finish_times: finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_workloads::adversarial::worksteal_trap;
+    use lb_workloads::initial::random_assignment;
+    use lb_workloads::uniform::paper_uniform;
+
+    #[test]
+    fn theorem1_trap_finishes_at_n() {
+        for n in [10u64, 100, 5000] {
+            let (inst, asg) = worksteal_trap(n);
+            let res = simulate_work_stealing(&inst, &asg, 1);
+            // B and C run their single n-cost job with nothing stealable,
+            // so the schedule cannot beat n; OPT is 2 (Theorem 1).
+            assert_eq!(res.makespan, n, "n = {n}");
+            // Nothing was ever stealable: queues hold at most the running job.
+            assert_eq!(res.steals, 0);
+            assert_eq!(res.first_steal_at, None);
+        }
+    }
+
+    #[test]
+    fn balanced_homogeneous_run_completes_all_work() {
+        let inst = paper_uniform(4, 40, 3);
+        let asg = random_assignment(&inst, 4);
+        let res = simulate_work_stealing(&inst, &asg, 5);
+        // Work conservation: makespan is at least total/m and at most total.
+        let total: Time = inst.jobs().map(|j| inst.cost(MachineId(0), j)).sum();
+        assert!(res.makespan >= total / 4);
+        assert!(res.makespan <= total);
+        // All machines that had work finished at some positive time.
+        assert!(res.machine_finish_times.contains(&res.makespan));
+    }
+
+    #[test]
+    fn stealing_helps_skewed_start() {
+        // All jobs start on one machine of a homogeneous cluster: work
+        // stealing must spread them and beat the no-stealing makespan.
+        let inst = paper_uniform(8, 64, 6);
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let serial: Time = inst.jobs().map(|j| inst.cost(MachineId(0), j)).sum();
+        let res = simulate_work_stealing(&inst, &asg, 7);
+        assert!(res.steals > 0);
+        assert_eq!(res.first_steal_at, Some(0));
+        assert!(
+            res.makespan < serial / 2,
+            "stealing barely helped: {} vs serial {serial}",
+            res.makespan
+        );
+        assert!(res.migrated_jobs > 0);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = paper_uniform(3, 0, 0);
+        let asg = Assignment::from_vec(&inst, vec![]).unwrap();
+        let res = simulate_work_stealing(&inst, &asg, 0);
+        assert_eq!(res.makespan, 0);
+        assert_eq!(res.steals, 0);
+    }
+
+    #[test]
+    fn single_machine_executes_serially() {
+        let inst = Instance::uniform(1, vec![3, 4, 5]).unwrap();
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let res = simulate_work_stealing(&inst, &asg, 0);
+        assert_eq!(res.makespan, 12);
+        assert_eq!(res.steals, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = paper_uniform(6, 48, 8);
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let a = simulate_work_stealing(&inst, &asg, 9);
+        let b = simulate_work_stealing(&inst, &asg, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn steal_policies_take_expected_amounts() {
+        assert_eq!(StealPolicy::Half.take_from(7), 4);
+        assert_eq!(StealPolicy::Half.take_from(1), 1);
+        assert_eq!(StealPolicy::One.take_from(7), 1);
+        assert_eq!(StealPolicy::All.take_from(7), 7);
+    }
+
+    #[test]
+    fn steal_one_needs_more_steals_than_steal_half() {
+        // From a fully skewed start, taking one job per steal requires
+        // many more steal operations than taking half the queue.
+        let inst = paper_uniform(8, 64, 12);
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let half = simulate_work_stealing_with(&inst, &asg, 3, StealPolicy::Half);
+        let one = simulate_work_stealing_with(&inst, &asg, 3, StealPolicy::One);
+        assert!(
+            one.steals > half.steals,
+            "one: {} half: {}",
+            one.steals,
+            half.steals
+        );
+        // Both still complete all the work.
+        let total: Time = inst.jobs().map(|j| inst.cost(MachineId(0), j)).sum();
+        assert!(half.makespan <= total && one.makespan <= total);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the simulation substrate.
+
+use lb_core::{Dlb2cBalance, EctPairBalance};
+use lb_distsim::dynamic::{poissonish_arrivals, simulate_dynamic, DynamicConfig};
+use lb_distsim::{
+    run_concurrent, run_gossip, simulate_work_stealing_with, ConcurrentConfig, GossipConfig,
+    StealPolicy,
+};
+use lb_model::prelude::*;
+use proptest::prelude::*;
+
+fn small_two_cluster() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=3, 1usize..=10).prop_flat_map(|(m1, m2, n)| {
+        proptest::collection::vec((1u64..=9, 1u64..=9), n)
+            .prop_map(move |costs| Instance::two_cluster(m1, m2, costs).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gossip runs conserve jobs and never worsen the makespan tracking
+    /// invariants, for arbitrary instances and assignments.
+    #[test]
+    fn gossip_invariants(
+        (inst, machine_of) in small_two_cluster().prop_flat_map(|inst| {
+            let m = inst.num_machines() as u32;
+            let v = proptest::collection::vec(0..m, inst.num_jobs());
+            (Just(inst), v)
+        }),
+        seed in 0u64..200,
+    ) {
+        let machine_of: Vec<MachineId> = machine_of.into_iter().map(MachineId).collect();
+        let mut asg = Assignment::from_vec(&inst, machine_of).unwrap();
+        let cfg = GossipConfig { max_rounds: 500, seed, ..GossipConfig::default() };
+        let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+        prop_assert!(asg.validate(&inst).is_ok());
+        prop_assert_eq!(run.final_makespan, asg.makespan());
+        prop_assert!(run.best_makespan <= run.initial_makespan);
+        let participations: u64 = run.exchanges_per_machine.iter().sum();
+        prop_assert_eq!(participations, 2 * run.effective_exchanges);
+        prop_assert!(run.jobs_migrated >= run.effective_exchanges);
+    }
+
+    /// Work stealing completes all work under every steal policy. While
+    /// any job is queued or running, some machine is busy (idle machines
+    /// steal immediately), so the makespan is at most the total worst-case
+    /// work `sum_j max_i p[i][j]`; and someone must run each job, so it is
+    /// at least the min-cost lower bound.
+    #[test]
+    fn worksteal_work_conservation(
+        inst in small_two_cluster(),
+        seed in 0u64..100,
+        policy_pick in 0usize..3,
+    ) {
+        let policy = [StealPolicy::Half, StealPolicy::One, StealPolicy::All][policy_pick];
+        let init = Assignment::all_on(&inst, MachineId(0));
+        let res = simulate_work_stealing_with(&inst, &init, seed, policy);
+        let worst_work: u64 = inst
+            .jobs()
+            .map(|j| inst.machines().map(|m| inst.cost(m, j)).max().unwrap())
+            .sum();
+        prop_assert!(res.makespan <= worst_work);
+        let lb = lb_model::bounds::min_cost_lower_bound(&inst);
+        prop_assert!(res.makespan >= lb);
+    }
+
+    /// The concurrent engine conserves jobs for arbitrary thread counts.
+    #[test]
+    fn concurrent_conserves(inst in small_two_cluster(), threads in 1usize..=4, seed in 0u64..50) {
+        let init = Assignment::all_on(&inst, MachineId(0));
+        let cfg = ConcurrentConfig {
+            total_exchanges: 300,
+            seed,
+            max_threads: threads,
+            sample_every: 0,
+        };
+        let res = run_concurrent(&inst, &init, &EctPairBalance, &cfg);
+        prop_assert!(res.assignment.validate(&inst).is_ok());
+        let total: usize = inst.machines().map(|m| res.assignment.num_jobs_on(m)).sum();
+        prop_assert_eq!(total, inst.num_jobs());
+    }
+
+    /// The dynamic simulator completes every arrived job exactly once,
+    /// with completion >= arrival.
+    #[test]
+    fn dynamic_completes_all(
+        inst in small_two_cluster(),
+        horizon in 1u64..200,
+        period in 0u64..50,
+        seed in 0u64..50,
+    ) {
+        let arrivals = poissonish_arrivals(&inst, horizon, seed);
+        let cfg = DynamicConfig {
+            balance_every: period,
+            exchanges_per_epoch: 4,
+            seed,
+        };
+        let res = simulate_dynamic(&inst, &arrivals, &Dlb2cBalance, &cfg);
+        for (j, flow) in res.flow_times.iter().enumerate() {
+            prop_assert!(flow.is_some(), "job {j} never completed");
+        }
+        prop_assert!(res.makespan >= arrivals.iter().map(|a| a.time).max().unwrap_or(0));
+    }
+}

@@ -1,0 +1,358 @@
+//! Construction of the sink-component chain and its stationary
+//! distribution.
+
+use crate::state::LoadVector;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Parameters of the one-cluster load chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainParams {
+    /// Number of machines `m`.
+    pub machines: usize,
+    /// Largest task size `p_max` (bounds the residual imbalance of an
+    /// exchange).
+    pub p_max: u64,
+    /// Total load `S = sum p_i` (conserved by every exchange).
+    pub total: u64,
+}
+
+impl ChainParams {
+    /// The paper's choice of total load: large enough that the Theorem 10
+    /// worst case `S/m + (m-1)/2 * p_max` is reachable, i.e.
+    /// `S = m * (m-1)/2 * p_max` (so the recursive chain of loads
+    /// `X - k p_max` stays nonnegative).
+    pub fn paper_total(machines: usize, p_max: u64) -> Self {
+        let m = machines as u64;
+        ChainParams {
+            machines,
+            p_max,
+            total: m * (m - 1) / 2 * p_max,
+        }
+    }
+}
+
+/// The lumped Markov chain over canonical load vectors, restricted to the
+/// sink component (all states reachable from the perfectly balanced one).
+#[derive(Debug, Clone)]
+pub struct LoadChain {
+    params: ChainParams,
+    states: Vec<LoadVector>,
+    index: HashMap<LoadVector, u32>,
+    /// Sparse rows: `rows[s]` lists `(target, probability)` with
+    /// probabilities summing to 1.
+    rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl LoadChain {
+    /// Builds the chain by breadth-first closure from the balanced state.
+    ///
+    /// By Theorem 9 the balanced state's forward closure *is* the sink
+    /// component: the sink is closed and contains the balanced state, and
+    /// it is strongly connected, so everything reachable from balanced is
+    /// in it and everything in it is reachable.
+    ///
+    /// # Panics
+    /// Panics if `machines < 2` or `p_max == 0` (the chain is degenerate).
+    pub fn build(params: ChainParams) -> Self {
+        assert!(params.machines >= 2, "need at least two machines");
+        assert!(params.p_max >= 1, "p_max must be positive");
+        let start = LoadVector::balanced(params.machines, params.total);
+        let mut index: HashMap<LoadVector, u32> = HashMap::new();
+        let mut states: Vec<LoadVector> = Vec::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        index.insert(start.clone(), 0);
+        states.push(start);
+        queue.push_back(0);
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::new();
+
+        while let Some(si) = queue.pop_front() {
+            let state = states[si as usize].clone();
+            let transitions = Self::transitions_of(&params, &state);
+            let mut row: HashMap<u32, f64> = HashMap::new();
+            for (target, prob) in transitions {
+                let ti = match index.get(&target) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len() as u32;
+                        index.insert(target.clone(), t);
+                        states.push(target);
+                        queue.push_back(t);
+                        t
+                    }
+                };
+                *row.entry(ti).or_insert(0.0) += prob;
+            }
+            let mut row: Vec<(u32, f64)> = row.into_iter().collect();
+            row.sort_unstable_by_key(|&(t, _)| t);
+            debug_assert!(
+                (row.iter().map(|&(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-9,
+                "row must be stochastic"
+            );
+            if rows.len() <= si as usize {
+                rows.resize(si as usize + 1, Vec::new());
+            }
+            rows[si as usize] = row;
+        }
+        Self {
+            params,
+            states,
+            index,
+            rows,
+        }
+    }
+
+    /// One state's outgoing transitions (with multiplicity, uncombined).
+    ///
+    /// A pair of machine *positions* `(a, b)` is chosen uniformly among
+    /// the `C(m, 2)` pairs; the pooled load `s = L_a + L_b` is re-split
+    /// with residual `r` uniform over `{r : 0 <= r <= min(p_max, s),
+    /// r ≡ s (mod 2)}`.
+    fn transitions_of(params: &ChainParams, state: &LoadVector) -> Vec<(LoadVector, f64)> {
+        let m = params.machines;
+        let pair_prob = 1.0 / (m * (m - 1) / 2) as f64;
+        let mut out = Vec::new();
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let s = state.loads()[a] + state.loads()[b];
+                let residuals = feasible_residuals(s, params.p_max);
+                let r_prob = pair_prob / residuals.len() as f64;
+                for r in residuals {
+                    let hi = (s + r) / 2;
+                    let lo = s - hi;
+                    out.push((state.with_pair_replaced(a, b, hi, lo), r_prob));
+                }
+            }
+        }
+        out
+    }
+
+    /// The chain's parameters.
+    pub fn params(&self) -> ChainParams {
+        self.params
+    }
+
+    /// Number of states in the sink component.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The states (canonical load vectors) in index order.
+    pub fn states(&self) -> &[LoadVector] {
+        &self.states
+    }
+
+    /// Index of a state, if it belongs to the sink component.
+    pub fn index_of(&self, state: &LoadVector) -> Option<u32> {
+        self.index.get(state).copied()
+    }
+
+    /// Stationary distribution by power iteration.
+    ///
+    /// The sink component is strongly connected and aperiodic (every state
+    /// has a self-loop: the residual can reproduce the current split), so
+    /// the iteration converges to the unique stationary distribution.
+    /// Returns `None` if the L1 change never fell below `tol` within
+    /// `max_iters` iterations.
+    pub fn stationary(&self, tol: f64, max_iters: u64) -> Option<Vec<f64>> {
+        let n = self.states.len();
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..max_iters {
+            let next = self.step(&pi);
+            let diff: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if diff < tol {
+                // Normalize away accumulated floating-point drift.
+                let sum: f64 = pi.iter().sum();
+                pi.iter_mut().for_each(|x| *x /= sum);
+                return Some(pi);
+            }
+        }
+        None
+    }
+
+    /// One application of the transition kernel: `dist * P`.
+    ///
+    /// # Panics
+    /// Panics if `dist.len()` differs from the state count.
+    pub fn step(&self, dist: &[f64]) -> Vec<f64> {
+        assert_eq!(dist.len(), self.states.len(), "distribution size mismatch");
+        let mut next = vec![0.0; dist.len()];
+        for (s, row) in self.rows.iter().enumerate() {
+            let mass = dist[s];
+            if mass == 0.0 {
+                continue;
+            }
+            for &(t, p) in row {
+                next[t as usize] += mass * p;
+            }
+        }
+        next
+    }
+
+    /// Probability distribution of the makespan under a distribution over
+    /// states: sorted `(makespan, probability)` pairs.
+    pub fn makespan_distribution(&self, pi: &[f64]) -> Vec<(u64, f64)> {
+        assert_eq!(pi.len(), self.states.len(), "distribution size mismatch");
+        let mut acc: HashMap<u64, f64> = HashMap::new();
+        for (s, &p) in pi.iter().enumerate() {
+            *acc.entry(self.states[s].makespan()).or_insert(0.0) += p;
+        }
+        let mut out: Vec<(u64, f64)> = acc.into_iter().collect();
+        out.sort_unstable_by_key(|&(c, _)| c);
+        out
+    }
+
+    /// The paper's Figure 2 normalization: deviation of the makespan from
+    /// the perfectly balanced value, in units of `p_max`:
+    /// `(Cmax - ceil(S/m)) / p_max`, with the makespan pmf attached.
+    pub fn deviation_distribution(&self, pi: &[f64]) -> Vec<(f64, f64)> {
+        let balanced = self.params.total.div_ceil(self.params.machines as u64);
+        self.makespan_distribution(pi)
+            .into_iter()
+            .map(|(c, p)| ((c as f64 - balanced as f64) / self.params.p_max as f64, p))
+            .collect()
+    }
+
+    /// Largest makespan over the sink component (for Theorem 10 checks).
+    pub fn max_sink_makespan(&self) -> u64 {
+        self.states
+            .iter()
+            .map(LoadVector::makespan)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The feasible residual imbalances after pooling a load of `s`:
+/// `{r : 0 <= r <= min(p_max, s), r ≡ s (mod 2)}`. Never empty (contains
+/// `s mod 2` whenever `p_max >= 1`).
+pub fn feasible_residuals(s: u64, p_max: u64) -> Vec<u64> {
+    let cap = p_max.min(s);
+    let start = s % 2;
+    (start..=cap).step_by(2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residuals_respect_parity_and_cap() {
+        assert_eq!(feasible_residuals(10, 4), vec![0, 2, 4]);
+        assert_eq!(feasible_residuals(7, 4), vec![1, 3]);
+        assert_eq!(feasible_residuals(1, 4), vec![1]);
+        assert_eq!(feasible_residuals(0, 4), vec![0]);
+        assert_eq!(feasible_residuals(9, 1), vec![1]);
+        assert_eq!(feasible_residuals(8, 1), vec![0]);
+    }
+
+    #[test]
+    fn two_machines_chain() {
+        // m=2, p_max=2, S=4: states reachable from (2,2): pooling 4 with
+        // r in {0,2} -> (2,2) and (1,3). From (1,3): same pool -> same two.
+        let chain = LoadChain::build(ChainParams {
+            machines: 2,
+            p_max: 2,
+            total: 4,
+        });
+        assert_eq!(chain.num_states(), 2);
+        let pi = chain.stationary(1e-13, 10_000).unwrap();
+        // Transition matrix is uniform over the two states from both:
+        // stationary = (1/2, 1/2).
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+        assert!((pi[1] - 0.5).abs() < 1e-9);
+        let dist = chain.makespan_distribution(&pi);
+        assert_eq!(dist.len(), 2);
+        assert_eq!(dist[0].0, 2);
+        assert_eq!(dist[1].0, 3);
+    }
+
+    #[test]
+    fn rows_are_stochastic_and_contain_self_loop() {
+        let chain = LoadChain::build(ChainParams {
+            machines: 4,
+            p_max: 3,
+            total: 18,
+        });
+        for (s, row) in chain.rows.iter().enumerate() {
+            let sum: f64 = row.iter().map(|&(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "state {s} row sums to {sum}");
+            assert!(
+                row.iter().any(|&(t, _)| t as usize == s),
+                "state {s} lacks a self-loop"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_state_is_included_and_reachable() {
+        let params = ChainParams {
+            machines: 5,
+            p_max: 2,
+            total: 20,
+        };
+        let chain = LoadChain::build(params);
+        let balanced = LoadVector::balanced(5, 20);
+        assert!(chain.index_of(&balanced).is_some());
+        // Theorem 9 (containment direction): the balanced state is in the
+        // sink, and the whole component is its forward closure.
+        assert!(chain.num_states() > 1);
+    }
+
+    #[test]
+    fn totals_conserved_across_states() {
+        let chain = LoadChain::build(ChainParams {
+            machines: 3,
+            p_max: 4,
+            total: 12,
+        });
+        for s in chain.states() {
+            assert_eq!(s.total(), 12);
+            assert_eq!(s.machines(), 3);
+        }
+    }
+
+    #[test]
+    fn stationary_is_a_distribution() {
+        let chain = LoadChain::build(ChainParams {
+            machines: 4,
+            p_max: 2,
+            total: 12,
+        });
+        let pi = chain.stationary(1e-12, 100_000).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+        let dist = chain.makespan_distribution(&pi);
+        let mass: f64 = dist.iter().map(|&(_, p)| p).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_normalization() {
+        let params = ChainParams {
+            machines: 4,
+            p_max: 2,
+            total: 12,
+        };
+        let chain = LoadChain::build(params);
+        let pi = chain.stationary(1e-12, 100_000).unwrap();
+        let dev = chain.deviation_distribution(&pi);
+        // Balanced makespan is 3; deviations are (c - 3) / 2 >= 0.
+        for &(d, _) in &dev {
+            assert!(d >= 0.0);
+            assert!(d <= 1.5 * 3.0); // loose sanity cap
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two machines")]
+    fn rejects_single_machine() {
+        let _ = LoadChain::build(ChainParams {
+            machines: 1,
+            p_max: 1,
+            total: 5,
+        });
+    }
+}

@@ -1,0 +1,314 @@
+//! The full state graph of Section VII.A and a direct verification of
+//! Theorem 9.
+//!
+//! [`crate::chain::LoadChain`] builds only the sink component (the
+//! forward closure of the balanced state) — which is what Theorem 9
+//! *licenses*. This module checks the license itself: it enumerates the
+//! **entire** directed graph over all valid load vectors (every partition
+//! of `S` into `m` nonnegative loads), decomposes it into strongly
+//! connected components (iterative Tarjan), and verifies the theorem's
+//! two claims:
+//!
+//! 1. exactly one SCC has no outgoing edges (the *sink component*), and
+//! 2. that component contains the perfectly balanced state(s).
+//!
+//! It also confirms the closure the chain construction relies on: the
+//! sink component equals the forward closure of the balanced state.
+
+use crate::chain::{feasible_residuals, ChainParams};
+use crate::state::LoadVector;
+use std::collections::HashMap;
+
+/// The full transition graph over canonical load vectors.
+#[derive(Debug)]
+pub struct FullGraph {
+    params: ChainParams,
+    states: Vec<LoadVector>,
+    index: HashMap<LoadVector, u32>,
+    /// Adjacency: `succ[s]` lists the distinct successor states of `s`
+    /// (self-loops included).
+    succ: Vec<Vec<u32>>,
+}
+
+impl FullGraph {
+    /// Enumerates every valid load vector (partition of `total` into
+    /// `machines` nonnegative parts, canonical order) and its DLB2C
+    /// successors.
+    ///
+    /// # Panics
+    /// Panics if `machines < 2` or `p_max == 0`.
+    pub fn build(params: ChainParams) -> Self {
+        assert!(params.machines >= 2, "need at least two machines");
+        assert!(params.p_max >= 1, "p_max must be positive");
+        let mut states = Vec::new();
+        let mut index = HashMap::new();
+        enumerate_partitions(
+            params.total,
+            params.machines,
+            &mut Vec::new(),
+            &mut |loads| {
+                let v = LoadVector::new(loads.to_vec());
+                let id = states.len() as u32;
+                index.insert(v.clone(), id);
+                states.push(v);
+            },
+        );
+        let succ: Vec<Vec<u32>> = states
+            .iter()
+            .map(|s| {
+                let mut out: Vec<u32> = successors(&params, s)
+                    .into_iter()
+                    .map(|t| index[&t])
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        Self {
+            params,
+            states,
+            index,
+            succ,
+        }
+    }
+
+    /// Number of states in the full graph.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> ChainParams {
+        self.params
+    }
+
+    /// Strongly connected components (iterative Tarjan); each state maps
+    /// to a component id, and components are returned as state lists.
+    pub fn sccs(&self) -> Vec<Vec<u32>> {
+        let n = self.states.len();
+        let mut ids = vec![u32::MAX; n]; // tarjan index
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        let mut counter = 0u32;
+
+        // Explicit DFS stack: (node, next child position).
+        for root in 0..n as u32 {
+            if ids[root as usize] != u32::MAX {
+                continue;
+            }
+            let mut dfs: Vec<(u32, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut child)) = dfs.last_mut() {
+                let vi = v as usize;
+                if *child == 0 {
+                    ids[vi] = counter;
+                    low[vi] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[vi] = true;
+                }
+                if let Some(&w) = self.succ[vi].get(*child) {
+                    *child += 1;
+                    let wi = w as usize;
+                    if ids[wi] == u32::MAX {
+                        dfs.push((w, 0));
+                    } else if on_stack[wi] {
+                        low[vi] = low[vi].min(ids[wi]);
+                    }
+                } else {
+                    // v is done.
+                    if low[vi] == ids[vi] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack non-empty");
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comps.push(comp);
+                    }
+                    dfs.pop();
+                    if let Some(&mut (u, _)) = dfs.last_mut() {
+                        let ui = u as usize;
+                        low[ui] = low[ui].min(low[vi]);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// The components with no edges leaving them (candidate sinks).
+    pub fn closed_components(&self) -> Vec<Vec<u32>> {
+        let comps = self.sccs();
+        let mut comp_of = vec![0usize; self.states.len()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &s in comp {
+                comp_of[s as usize] = ci;
+            }
+        }
+        comps
+            .iter()
+            .enumerate()
+            .filter(|(ci, comp)| {
+                comp.iter().all(|&s| {
+                    self.succ[s as usize]
+                        .iter()
+                        .all(|&t| comp_of[t as usize] == *ci)
+                })
+            })
+            .map(|(_, comp)| comp.clone())
+            .collect()
+    }
+
+    /// Direct verification of Theorem 9: exactly one closed SCC, and it
+    /// contains the perfectly balanced state. Returns the sink's states.
+    pub fn verify_theorem9(&self) -> Result<Vec<LoadVector>, String> {
+        let closed = self.closed_components();
+        if closed.len() != 1 {
+            return Err(format!(
+                "expected exactly one closed SCC, found {}",
+                closed.len()
+            ));
+        }
+        let balanced = LoadVector::balanced(self.params.machines, self.params.total);
+        let bid = self.index[&balanced];
+        if !closed[0].contains(&bid) {
+            return Err("the closed SCC does not contain the balanced state".to_string());
+        }
+        Ok(closed[0]
+            .iter()
+            .map(|&s| self.states[s as usize].clone())
+            .collect())
+    }
+}
+
+/// All DLB2C successors of a state (one pair exchange).
+fn successors(params: &ChainParams, state: &LoadVector) -> Vec<LoadVector> {
+    let m = params.machines;
+    let mut out = Vec::new();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let s = state.loads()[a] + state.loads()[b];
+            for r in feasible_residuals(s, params.p_max) {
+                let hi = (s + r) / 2;
+                let lo = s - hi;
+                out.push(state.with_pair_replaced(a, b, hi, lo));
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates partitions of `total` into exactly `parts` nonnegative
+/// parts in nondecreasing order (canonical form), invoking `f` on each.
+fn enumerate_partitions(
+    total: u64,
+    parts: usize,
+    prefix: &mut Vec<u64>,
+    f: &mut impl FnMut(&[u64]),
+) {
+    if parts == 1 {
+        prefix.push(total);
+        f(prefix);
+        prefix.pop();
+        return;
+    }
+    let min = prefix.last().copied().unwrap_or(0);
+    // The current part must be >= the previous part (nondecreasing) and
+    // leave enough room: the remaining parts are each >= this one, so
+    // value * parts <= total is required.
+    let mut v = min;
+    while v * parts as u64 <= total {
+        prefix.push(v);
+        enumerate_partitions(total - v, parts - 1, prefix, f);
+        prefix.pop();
+        v += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::LoadChain;
+
+    #[test]
+    fn partition_enumeration_counts() {
+        // Partitions of 6 into <= 3 parts (as 3 nonneg nondecreasing):
+        // 006, 015, 024, 033, 114, 123, 222 -> 7.
+        let mut count = 0;
+        enumerate_partitions(6, 3, &mut Vec::new(), &mut |loads| {
+            assert_eq!(loads.iter().sum::<u64>(), 6);
+            assert!(loads.windows(2).all(|w| w[0] <= w[1]));
+            count += 1;
+        });
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn theorem9_direct_verification() {
+        for (m, p_max) in [(2usize, 2u64), (3, 2), (3, 4), (4, 3), (5, 2)] {
+            let params = ChainParams::paper_total(m, p_max);
+            let graph = FullGraph::build(params);
+            let sink = graph
+                .verify_theorem9()
+                .unwrap_or_else(|e| panic!("m={m} p_max={p_max}: {e}"));
+            assert!(!sink.is_empty());
+        }
+    }
+
+    #[test]
+    fn sink_equals_chain_component() {
+        // The forward closure the chain builds must be exactly the unique
+        // closed SCC of the full graph.
+        let params = ChainParams::paper_total(4, 3);
+        let graph = FullGraph::build(params);
+        let sink = graph.verify_theorem9().unwrap();
+        let chain = LoadChain::build(params);
+        assert_eq!(sink.len(), chain.num_states());
+        for s in &sink {
+            assert!(
+                chain.index_of(s).is_some(),
+                "sink state {s:?} missing from chain"
+            );
+        }
+    }
+
+    #[test]
+    fn full_graph_is_larger_than_sink() {
+        // The graph contains transient states outside the sink (extreme
+        // imbalances the dynamics can leave but never re-enter).
+        let params = ChainParams::paper_total(4, 2);
+        let graph = FullGraph::build(params);
+        let chain = LoadChain::build(params);
+        assert!(
+            graph.num_states() > chain.num_states(),
+            "full {} vs sink {}",
+            graph.num_states(),
+            chain.num_states()
+        );
+    }
+
+    #[test]
+    fn sccs_partition_the_states() {
+        let graph = FullGraph::build(ChainParams {
+            machines: 3,
+            p_max: 2,
+            total: 8,
+        });
+        let comps = graph.sccs();
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, graph.num_states());
+        // No state in two components.
+        let mut seen = std::collections::HashSet::new();
+        for comp in &comps {
+            for &s in comp {
+                assert!(seen.insert(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Markov-chain analysis of DLB2C's dynamic equilibrium on one cluster
+//! (paper Section VII.A).
+//!
+//! The system state is an integer *load vector* `L = (L_1, ..., L_m)` with
+//! `L_j >= 0` and `sum L_j = sum p_i` fixed. One DLB2C exchange picks a
+//! pair of machines uniformly, pools their load `s = L_a + L_b`, and
+//! leaves a residual imbalance `|L'_a - L'_b| = r <= p_max`; the paper
+//! models `r` as uniform. This crate builds that chain, restricted to the
+//! *sink component* (Theorem 9: the unique closed strongly connected
+//! component, which contains the perfectly balanced states), computes its
+//! stationary distribution by power iteration, and derives the
+//! probability distribution of the makespan — the paper's Figure 2.
+//!
+//! Model note (documented substitution): with integer loads the residual
+//! `r` must have the parity of `s`, so "uniform in `{0, ..., p_max}`" is
+//! implemented as uniform over the feasible set
+//! `{r : 0 <= r <= min(p_max, s), r ≡ s (mod 2)}`.
+//!
+//! # Example
+//!
+//! ```
+//! use lb_markov::{ChainParams, LoadChain};
+//!
+//! let chain = LoadChain::build(ChainParams { machines: 4, p_max: 2, total: 12 });
+//! let pi = chain.stationary(1e-12, 100_000).unwrap();
+//! let dist = chain.makespan_distribution(&pi);
+//! // Theorem 10: no sink state exceeds S/m + (m-1)/2 * p_max.
+//! assert!(dist.iter().all(|&(cmax, _)| cmax as f64 <= 12.0 / 4.0 + 1.5 * 2.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod graph;
+pub mod mixing;
+pub mod spectral;
+pub mod state;
+pub mod theory;
+
+pub use chain::{ChainParams, LoadChain};
+pub use mixing::{mixing_time, tv_distance, tv_trajectory};
+pub use state::LoadVector;
+pub use theory::theorem10_bound;

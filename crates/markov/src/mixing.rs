@@ -1,0 +1,125 @@
+//! Mixing behaviour of the load chain: how fast does DLB2C's one-cluster
+//! dynamics forget its starting point?
+//!
+//! The paper computes the *stationary* distribution (Figure 2) but leaves
+//! the speed of convergence to the simulations (Figures 4–5). This module
+//! quantifies it on the model side: total-variation distance to
+//! stationarity as a function of the number of exchanges, and the mixing
+//! time `t_mix(eps)` — giving a model-level explanation for why Figure 5
+//! sees the threshold reached within a few exchanges per machine.
+
+use crate::chain::LoadChain;
+use crate::state::LoadVector;
+
+/// Total-variation distance between two distributions over the same
+/// state space: `0.5 * sum |a_i - b_i|`.
+pub fn tv_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Evolves a point mass at `start` and records the TV distance to `pi`
+/// after each step, for `steps` steps.
+///
+/// Returns `None` if `start` is not a sink-component state.
+pub fn tv_trajectory(
+    chain: &LoadChain,
+    start: &LoadVector,
+    pi: &[f64],
+    steps: usize,
+) -> Option<Vec<f64>> {
+    let s0 = chain.index_of(start)? as usize;
+    let n = chain.num_states();
+    let mut dist = vec![0.0; n];
+    dist[s0] = 1.0;
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        dist = chain.step(&dist);
+        out.push(tv_distance(&dist, pi));
+    }
+    Some(out)
+}
+
+/// The mixing time from `start`: the first step at which the TV distance
+/// to stationarity drops below `eps` (searching up to `max_steps`).
+pub fn mixing_time(
+    chain: &LoadChain,
+    start: &LoadVector,
+    pi: &[f64],
+    eps: f64,
+    max_steps: usize,
+) -> Option<usize> {
+    let traj = tv_trajectory(chain, start, pi, max_steps)?;
+    traj.iter().position(|&d| d < eps).map(|t| t + 1)
+}
+
+/// The worst-makespan state of the sink component — the natural "bad"
+/// starting point for mixing measurements.
+pub fn worst_state(chain: &LoadChain) -> LoadVector {
+    chain
+        .states()
+        .iter()
+        .max_by_key(|s| s.makespan())
+        .cloned()
+        .expect("chain has at least one state")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainParams;
+
+    #[test]
+    fn tv_distance_basics() {
+        assert_eq!(tv_distance(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((tv_distance(&[0.5, 0.5], &[0.25, 0.75]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_decreases_to_zero() {
+        let chain = LoadChain::build(ChainParams {
+            machines: 3,
+            p_max: 2,
+            total: 9,
+        });
+        let pi = chain.stationary(1e-13, 1_000_000).unwrap();
+        let start = worst_state(&chain);
+        let traj = tv_trajectory(&chain, &start, &pi, 200).unwrap();
+        // Monotone-ish decay (TV under a single kernel is non-increasing
+        // in expectation; for an aperiodic chain it converges to 0).
+        assert!(
+            traj.last().unwrap() < &1e-6,
+            "did not mix: {:?}",
+            traj.last()
+        );
+        assert!(traj[0] >= *traj.last().unwrap());
+    }
+
+    #[test]
+    fn mixing_time_is_small() {
+        // The paper's observation (Figure 5): a handful of exchanges per
+        // machine suffices. In the model, t_mix(0.25) from the *worst*
+        // state is a small multiple of the pair count.
+        let chain = LoadChain::build(ChainParams::paper_total(4, 2));
+        let pi = chain.stationary(1e-13, 1_000_000).unwrap();
+        let start = worst_state(&chain);
+        let t = mixing_time(&chain, &start, &pi, 0.25, 10_000).unwrap();
+        // 4 machines -> 6 pairs; mixing within ~10 sweeps is "fast".
+        assert!(t <= 60, "t_mix(0.25) = {t}");
+    }
+
+    #[test]
+    fn unknown_start_state() {
+        let chain = LoadChain::build(ChainParams {
+            machines: 3,
+            p_max: 2,
+            total: 9,
+        });
+        let pi = chain.stationary(1e-13, 1_000_000).unwrap();
+        // A vector with the wrong total is not in the component.
+        let bogus = LoadVector::new(vec![100, 0, 0]);
+        assert!(tv_trajectory(&chain, &bogus, &pi, 10).is_none());
+        assert!(mixing_time(&chain, &bogus, &pi, 0.25, 10).is_none());
+    }
+}

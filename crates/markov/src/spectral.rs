@@ -1,0 +1,136 @@
+//! Spectral view of the chain: second eigenvalue and relaxation time.
+//!
+//! The mixing-time measurements in [`crate::mixing`] are trajectory-based;
+//! the spectral gap `1 - |lambda_2|` gives the asymptotic rate directly:
+//! TV distance decays like `|lambda_2|^t`, and the relaxation time
+//! `1 / (1 - |lambda_2|)` is the natural "exchanges to forget one unit of
+//! information" scale. Estimated by power iteration on the kernel
+//! deflated by the stationary distribution.
+
+use crate::chain::LoadChain;
+
+/// Estimates `|lambda_2|`, the magnitude of the chain's second-largest
+/// eigenvalue, by power iteration on the deflated operator
+/// `x -> xP - (sum x) pi` (which annihilates the top eigenpair).
+///
+/// Single-step norm ratios oscillate when the subdominant spectrum has
+/// several eigenvalues of similar magnitude (or complex pairs), so the
+/// rate is measured as a *lagged geometric mean*: the per-step decay over
+/// a 32-step window, which averages the oscillation out. Returns `None`
+/// if the iterate collapses (e.g. a 1-state chain) before the estimate
+/// stabilizes to `tol`.
+pub fn second_eigenvalue(chain: &LoadChain, pi: &[f64], tol: f64, max_iters: u64) -> Option<f64> {
+    const LAG: usize = 32;
+    let n = chain.num_states();
+    if n < 2 {
+        return None;
+    }
+    // Start orthogonal-ish to pi: mass +1 on state 0, -1 on the last.
+    let mut x = vec![0.0f64; n];
+    x[0] = 1.0;
+    x[n - 1] = -1.0;
+    // Accumulated log-norm (the iterate is renormalized each step to stay
+    // well-scaled; the true norm is tracked through this accumulator).
+    let mut log_norm_acc = 0.0f64;
+    let mut window: Vec<f64> = Vec::with_capacity(LAG + 1);
+    window.push(0.0);
+    let mut prev_est = f64::NAN;
+    for it in 0..max_iters {
+        let mut y = chain.step(&x);
+        // Deflate: remove the component along the top eigenpair
+        // (right eigenvector 1, left eigenvector pi).
+        let s: f64 = y.iter().sum();
+        for (yi, &p) in y.iter_mut().zip(pi) {
+            *yi -= s * p;
+        }
+        let norm = l1(&y);
+        if norm < 1e-300 {
+            return None;
+        }
+        log_norm_acc += norm.ln();
+        for yi in y.iter_mut() {
+            *yi /= norm;
+        }
+        x = y;
+        window.push(log_norm_acc);
+        if window.len() > LAG + 1 {
+            window.remove(0);
+            let rate = (window[LAG] - window[0]) / LAG as f64;
+            let est = rate.exp();
+            if it > 2 * LAG as u64 && (est - prev_est).abs() < tol {
+                return Some(est.min(1.0));
+            }
+            prev_est = est;
+        }
+    }
+    if prev_est.is_finite() {
+        Some(prev_est.min(1.0))
+    } else {
+        None
+    }
+}
+
+/// The relaxation time `1 / (1 - |lambda_2|)` (in exchanges).
+pub fn relaxation_time(lambda2: f64) -> f64 {
+    if lambda2 >= 1.0 {
+        f64::INFINITY
+    } else {
+        1.0 / (1.0 - lambda2)
+    }
+}
+
+fn l1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainParams, LoadChain};
+    use crate::mixing::{mixing_time, worst_state};
+
+    #[test]
+    fn lambda2_in_unit_interval() {
+        let chain = LoadChain::build(ChainParams::paper_total(4, 3));
+        let pi = chain.stationary(1e-13, 1_000_000).unwrap();
+        let l2 = second_eigenvalue(&chain, &pi, 1e-10, 100_000).unwrap();
+        assert!((0.0..1.0).contains(&l2), "lambda2 = {l2}");
+    }
+
+    #[test]
+    fn relaxation_time_consistent_with_mixing_time() {
+        // t_mix(eps) ~ t_rel * log(1/(eps*pi_min)); loosely, t_mix and
+        // t_rel should be the same order of magnitude for these small
+        // chains.
+        let chain = LoadChain::build(ChainParams::paper_total(4, 4));
+        let pi = chain.stationary(1e-13, 1_000_000).unwrap();
+        let l2 = second_eigenvalue(&chain, &pi, 1e-10, 100_000).unwrap();
+        let t_rel = relaxation_time(l2);
+        let t_mix = mixing_time(&chain, &worst_state(&chain), &pi, 0.25, 100_000).unwrap();
+        assert!(t_rel.is_finite());
+        assert!(
+            (t_mix as f64) <= 30.0 * t_rel + 10.0,
+            "t_mix {t_mix} wildly exceeds t_rel {t_rel}"
+        );
+    }
+
+    #[test]
+    fn relaxation_time_edges() {
+        assert!(relaxation_time(1.0).is_infinite());
+        assert!((relaxation_time(0.5) - 2.0).abs() < 1e-12);
+        assert!((relaxation_time(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_chains_have_smaller_lambda2() {
+        // Fewer machines -> pairs rebalance a larger fraction of the load
+        // each step -> smaller lambda2 (faster forgetting).
+        let small = LoadChain::build(ChainParams::paper_total(3, 4));
+        let big = LoadChain::build(ChainParams::paper_total(6, 4));
+        let pi_s = small.stationary(1e-13, 1_000_000).unwrap();
+        let pi_b = big.stationary(1e-13, 1_000_000).unwrap();
+        let l2_s = second_eigenvalue(&small, &pi_s, 1e-10, 100_000).unwrap();
+        let l2_b = second_eigenvalue(&big, &pi_b, 1e-10, 100_000).unwrap();
+        assert!(l2_s < l2_b, "lambda2 small={l2_s} big={l2_b}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Load vectors: the states of the one-cluster chain.
+
+use serde::{Deserialize, Serialize};
+
+/// A load vector in canonical (sorted ascending) form.
+///
+/// The chain's transition rule is permutation-equivariant — machines are
+/// interchangeable — so states are *lumped* by sorting. Lumping is exact
+/// here (the aggregated transition probabilities between sorted classes do
+/// not depend on the representative), and it shrinks the state space by up
+/// to `m!`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LoadVector(Vec<u64>);
+
+impl LoadVector {
+    /// Canonicalizes (sorts) and wraps a load vector.
+    pub fn new(mut loads: Vec<u64>) -> Self {
+        loads.sort_unstable();
+        Self(loads)
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total load (invariant under transitions).
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// The makespan: the largest load.
+    pub fn makespan(&self) -> u64 {
+        self.0.last().copied().unwrap_or(0)
+    }
+
+    /// The smallest load.
+    pub fn min_load(&self) -> u64 {
+        self.0.first().copied().unwrap_or(0)
+    }
+
+    /// The loads, sorted ascending.
+    pub fn loads(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Perfectly balanced (paper definition): every load is
+    /// `floor(S/m)` or `ceil(S/m)`.
+    pub fn is_perfectly_balanced(&self) -> bool {
+        if self.0.is_empty() {
+            return true;
+        }
+        let m = self.0.len() as u64;
+        let s = self.total();
+        let lo = s / m;
+        let hi = s.div_ceil(m);
+        self.0.iter().all(|&l| l == lo || l == hi)
+    }
+
+    /// *The* perfectly balanced state for `m` machines and total `s`
+    /// (unique up to permutation, hence unique in canonical form).
+    pub fn balanced(m: usize, s: u64) -> Self {
+        let lo = s / m as u64;
+        let rem = (s % m as u64) as usize;
+        let mut v = vec![lo; m];
+        for x in v.iter_mut().rev().take(rem) {
+            *x += 1;
+        }
+        Self(v)
+    }
+
+    /// The state after replacing the loads at sorted positions `a` and `b`
+    /// with `x` and `y` (re-canonicalized).
+    pub fn with_pair_replaced(&self, a: usize, b: usize, x: u64, y: u64) -> Self {
+        debug_assert_ne!(a, b);
+        let mut v = self.0.clone();
+        v[a] = x;
+        v[b] = y;
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_sorts() {
+        let v = LoadVector::new(vec![5, 1, 3]);
+        assert_eq!(v.loads(), &[1, 3, 5]);
+        assert_eq!(v, LoadVector::new(vec![3, 5, 1]));
+        assert_eq!(v.makespan(), 5);
+        assert_eq!(v.min_load(), 1);
+        assert_eq!(v.total(), 9);
+    }
+
+    #[test]
+    fn balanced_state() {
+        let b = LoadVector::balanced(4, 10);
+        assert_eq!(b.loads(), &[2, 2, 3, 3]);
+        assert!(b.is_perfectly_balanced());
+        assert!(LoadVector::balanced(3, 9).is_perfectly_balanced());
+        assert_eq!(LoadVector::balanced(3, 9).loads(), &[3, 3, 3]);
+        assert!(!LoadVector::new(vec![1, 4, 4]).is_perfectly_balanced());
+        // Off-by-one spreads still count as balanced.
+        assert!(LoadVector::new(vec![2, 3, 3, 2]).is_perfectly_balanced());
+    }
+
+    #[test]
+    fn with_pair_replaced_recanonicalizes() {
+        let v = LoadVector::new(vec![1, 3, 5]);
+        let w = v.with_pair_replaced(0, 2, 6, 0);
+        assert_eq!(w.loads(), &[0, 3, 6]);
+        assert_eq!(w.total(), v.total());
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = LoadVector::new(vec![]);
+        assert_eq!(v.makespan(), 0);
+        assert!(v.is_perfectly_balanced());
+    }
+}

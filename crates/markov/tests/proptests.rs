@@ -1,0 +1,97 @@
+//! Property tests of the Markov substrate.
+
+use lb_markov::chain::feasible_residuals;
+use lb_markov::mixing::{tv_distance, tv_trajectory, worst_state};
+use lb_markov::state::LoadVector;
+use lb_markov::theory::{theorem10_bound, verify_theorem10, verify_theorem9};
+use lb_markov::{ChainParams, LoadChain};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chains of arbitrary small parameters satisfy Theorems 9 and 10.
+    #[test]
+    fn theorems_hold(m in 2usize..=5, p_max in 1u64..=4) {
+        let params = ChainParams::paper_total(m, p_max);
+        let chain = LoadChain::build(params);
+        prop_assert!(verify_theorem9(&chain));
+        let worst = verify_theorem10(&chain).expect("Theorem 10");
+        prop_assert!(worst as f64 <= theorem10_bound(m, p_max, params.total));
+    }
+
+    /// The kernel preserves probability mass and total load.
+    #[test]
+    fn kernel_preserves_mass(m in 2usize..=4, p_max in 1u64..=3, steps in 1usize..=5) {
+        let params = ChainParams::paper_total(m, p_max);
+        let chain = LoadChain::build(params);
+        let n = chain.num_states();
+        let mut dist = vec![0.0; n];
+        dist[0] = 1.0;
+        for _ in 0..steps {
+            dist = chain.step(&dist);
+            let mass: f64 = dist.iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-9);
+            prop_assert!(dist.iter().all(|&p| p >= -1e-15));
+        }
+        for s in chain.states() {
+            prop_assert_eq!(s.total(), params.total);
+        }
+    }
+
+    /// TV distance to stationarity never increases along the trajectory
+    /// (data-processing inequality for Markov kernels).
+    #[test]
+    fn tv_nonincreasing(m in 2usize..=4, p_max in 1u64..=3) {
+        let params = ChainParams::paper_total(m, p_max);
+        let chain = LoadChain::build(params);
+        let pi = chain.stationary(1e-13, 1_000_000).unwrap();
+        let traj = tv_trajectory(&chain, &worst_state(&chain), &pi, 50).unwrap();
+        for w in traj.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "TV increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// Residual sets: non-empty, parity-correct, capped; and every
+    /// residual leads to a valid re-split.
+    #[test]
+    fn residuals_split_correctly(s in 0u64..500, p_max in 1u64..30) {
+        for r in feasible_residuals(s, p_max) {
+            let hi = (s + r) / 2;
+            let lo = s - hi;
+            prop_assert_eq!(hi + lo, s);
+            prop_assert_eq!(hi - lo, r);
+        }
+    }
+
+    /// LoadVector canonicalization is idempotent and order-insensitive.
+    #[test]
+    fn canonicalization(loads in proptest::collection::vec(0u64..100, 1..8)) {
+        let a = LoadVector::new(loads.clone());
+        let mut rev = loads.clone();
+        rev.reverse();
+        let b = LoadVector::new(rev);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.total(), loads.iter().sum::<u64>());
+        prop_assert_eq!(a.makespan(), loads.iter().copied().max().unwrap());
+    }
+
+    /// tv_distance is a metric-ish: symmetric, zero on identical, in [0,1]
+    /// for distributions.
+    #[test]
+    fn tv_metric(
+        a in proptest::collection::vec(0.0f64..1.0, 4),
+        b in proptest::collection::vec(0.0f64..1.0, 4),
+    ) {
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum();
+            if s == 0.0 { vec![0.25; 4] } else { v.iter().map(|x| x / s).collect() }
+        };
+        let (a, b) = (norm(&a), norm(&b));
+        let d_ab = tv_distance(&a, &b);
+        let d_ba = tv_distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_ab));
+        prop_assert!(tv_distance(&a, &a) < 1e-12);
+    }
+}

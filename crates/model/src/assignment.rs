@@ -1,0 +1,422 @@
+//! A mutable assignment (partition) of jobs to machines.
+//!
+//! This is the `S` of the paper: `S(i)` is the set of jobs on machine `i`,
+//! `C(S, i) = sum_{j in S(i)} p[i][j]` its completion time, and
+//! `Cmax(S) = max_i C(S, i)` the makespan.
+//!
+//! Loads are tracked incrementally so that the pairwise balancing
+//! operations at the heart of OJTB/MJTB/DLB2C are cheap. Internally loads
+//! accumulate in `u128` so that even [`crate::INFEASIBLE`]
+//! entries are handled exactly (additions never saturate, so removals
+//! restore the precise previous load); the public [`Assignment::load`]
+//! saturates back to [`Time`].
+
+use crate::cost::{Time, INFEASIBLE};
+use crate::error::{LbError, Result};
+use crate::ids::{ClusterId, JobId, MachineId};
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// A partition of the jobs over the machines, with per-machine load
+/// bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    machine_of: Vec<MachineId>,
+    jobs_on: Vec<Vec<JobId>>,
+    loads: Vec<u128>,
+}
+
+impl Assignment {
+    /// Builds an assignment from a per-job machine vector.
+    pub fn from_vec(inst: &Instance, machine_of: Vec<MachineId>) -> Result<Self> {
+        if machine_of.len() != inst.num_jobs() {
+            return Err(LbError::DimensionMismatch {
+                expected: inst.num_jobs(),
+                actual: machine_of.len(),
+            });
+        }
+        for (j, &m) in machine_of.iter().enumerate() {
+            if m.idx() >= inst.num_machines() {
+                let _ = j;
+                return Err(LbError::InvalidMachine {
+                    machine: m.idx(),
+                    num_machines: inst.num_machines(),
+                });
+            }
+        }
+        let mut jobs_on = vec![Vec::new(); inst.num_machines()];
+        let mut loads = vec![0u128; inst.num_machines()];
+        for (j, &m) in machine_of.iter().enumerate() {
+            let job = JobId::from_idx(j);
+            jobs_on[m.idx()].push(job);
+            loads[m.idx()] += u128::from(inst.cost(m, job));
+        }
+        Ok(Self {
+            machine_of,
+            jobs_on,
+            loads,
+        })
+    }
+
+    /// Builds an assignment by evaluating `f` for every job.
+    pub fn from_fn(inst: &Instance, f: impl FnMut(JobId) -> MachineId) -> Result<Self> {
+        let machine_of = inst.jobs().map(f).collect();
+        Self::from_vec(inst, machine_of)
+    }
+
+    /// Places every job on a single machine (a deliberately bad starting
+    /// point, useful for convergence experiments).
+    pub fn all_on(inst: &Instance, machine: MachineId) -> Self {
+        Self::from_vec(inst, vec![machine; inst.num_jobs()])
+            .expect("machine id validated by caller")
+    }
+
+    /// Deals jobs round-robin over the machines.
+    pub fn round_robin(inst: &Instance) -> Self {
+        let m = inst.num_machines();
+        Self::from_fn(inst, |j| MachineId::from_idx(j.idx() % m))
+            .expect("round robin is always valid")
+    }
+
+    /// The machine currently executing `job`.
+    #[inline]
+    pub fn machine_of(&self, job: JobId) -> MachineId {
+        self.machine_of[job.idx()]
+    }
+
+    /// Completion time `C(i)` of a machine (saturating at
+    /// [`INFEASIBLE`]).
+    #[inline]
+    pub fn load(&self, machine: MachineId) -> Time {
+        saturate(self.loads[machine.idx()])
+    }
+
+    /// All machine loads, in machine order.
+    pub fn loads(&self) -> Vec<Time> {
+        self.loads.iter().map(|&l| saturate(l)).collect()
+    }
+
+    /// The makespan `Cmax = max_i C(i)`.
+    pub fn makespan(&self) -> Time {
+        self.loads.iter().map(|&l| saturate(l)).max().unwrap_or(0)
+    }
+
+    /// A machine achieving the makespan.
+    pub fn makespan_machine(&self) -> MachineId {
+        let i = self
+            .loads
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        MachineId::from_idx(i)
+    }
+
+    /// The least-loaded machine overall.
+    pub fn min_loaded_machine(&self) -> MachineId {
+        let i = self
+            .loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        MachineId::from_idx(i)
+    }
+
+    /// The least-loaded machine among `machines`.
+    ///
+    /// Returns `None` when `machines` is empty.
+    pub fn min_loaded_in(&self, machines: &[MachineId]) -> Option<MachineId> {
+        machines.iter().copied().min_by_key(|m| self.loads[m.idx()])
+    }
+
+    /// The jobs currently assigned to `machine` (order is not meaningful).
+    #[inline]
+    pub fn jobs_on(&self, machine: MachineId) -> &[JobId] {
+        &self.jobs_on[machine.idx()]
+    }
+
+    /// Number of jobs on `machine`.
+    #[inline]
+    pub fn num_jobs_on(&self, machine: MachineId) -> usize {
+        self.jobs_on[machine.idx()].len()
+    }
+
+    /// Moves one job to another machine, updating loads incrementally.
+    pub fn move_job(&mut self, inst: &Instance, job: JobId, to: MachineId) {
+        let from = self.machine_of[job.idx()];
+        if from == to {
+            return;
+        }
+        self.loads[from.idx()] -= u128::from(inst.cost(from, job));
+        self.loads[to.idx()] += u128::from(inst.cost(to, job));
+        let list = &mut self.jobs_on[from.idx()];
+        let pos = list
+            .iter()
+            .position(|&x| x == job)
+            .expect("job tracked on its machine");
+        list.swap_remove(pos);
+        self.jobs_on[to.idx()].push(job);
+        self.machine_of[job.idx()] = to;
+    }
+
+    /// Atomically redistributes the jobs of machines `m1` and `m2`.
+    ///
+    /// `jobs1`/`jobs2` must partition the union of the two machines'
+    /// current jobs; this is the primitive every pairwise balancer
+    /// (Basic Greedy, Greedy Load Balancing, two-machine CLB2C) uses to
+    /// commit its result. Verified with `debug_assert` (tests run with
+    /// debug assertions on).
+    pub fn set_pair(
+        &mut self,
+        inst: &Instance,
+        m1: MachineId,
+        m2: MachineId,
+        jobs1: Vec<JobId>,
+        jobs2: Vec<JobId>,
+    ) {
+        debug_assert_ne!(m1, m2, "set_pair requires two distinct machines");
+        #[cfg(debug_assertions)]
+        {
+            let mut before: Vec<JobId> = self.jobs_on[m1.idx()]
+                .iter()
+                .chain(self.jobs_on[m2.idx()].iter())
+                .copied()
+                .collect();
+            let mut after: Vec<JobId> = jobs1.iter().chain(jobs2.iter()).copied().collect();
+            before.sort_unstable();
+            after.sort_unstable();
+            debug_assert_eq!(before, after, "set_pair must preserve the job multiset");
+        }
+        let mut l1 = 0u128;
+        for &j in &jobs1 {
+            self.machine_of[j.idx()] = m1;
+            l1 += u128::from(inst.cost(m1, j));
+        }
+        let mut l2 = 0u128;
+        for &j in &jobs2 {
+            self.machine_of[j.idx()] = m2;
+            l2 += u128::from(inst.cost(m2, j));
+        }
+        self.loads[m1.idx()] = l1;
+        self.loads[m2.idx()] = l2;
+        self.jobs_on[m1.idx()] = jobs1;
+        self.jobs_on[m2.idx()] = jobs2;
+    }
+
+    /// Sum of all machine loads (total work), saturating.
+    pub fn total_work(&self) -> Time {
+        saturate(self.loads.iter().sum())
+    }
+
+    /// Total work executed by the machines of `cluster`.
+    pub fn cluster_work(&self, inst: &Instance, cluster: ClusterId) -> Time {
+        saturate(
+            inst.machines_in(cluster)
+                .iter()
+                .map(|m| self.loads[m.idx()])
+                .sum(),
+        )
+    }
+
+    /// Recomputes all loads from scratch and checks internal consistency.
+    ///
+    /// Intended for tests and debugging; library code keeps the invariants
+    /// incrementally.
+    pub fn validate(&self, inst: &Instance) -> Result<()> {
+        if self.machine_of.len() != inst.num_jobs() {
+            return Err(LbError::DimensionMismatch {
+                expected: inst.num_jobs(),
+                actual: self.machine_of.len(),
+            });
+        }
+        let mut loads = vec![0u128; inst.num_machines()];
+        let mut counts = vec![0usize; inst.num_machines()];
+        for j in inst.jobs() {
+            let m = self.machine_of[j.idx()];
+            loads[m.idx()] += u128::from(inst.cost(m, j));
+            counts[m.idx()] += 1;
+            if !self.jobs_on[m.idx()].contains(&j) {
+                return Err(LbError::InvalidJob {
+                    job: j.idx(),
+                    num_jobs: inst.num_jobs(),
+                });
+            }
+        }
+        for m in inst.machines() {
+            if loads[m.idx()] != self.loads[m.idx()]
+                || counts[m.idx()] != self.jobs_on[m.idx()].len()
+            {
+                return Err(LbError::InvalidMachine {
+                    machine: m.idx(),
+                    num_machines: inst.num_machines(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn saturate(l: u128) -> Time {
+    Time::try_from(l).unwrap_or(INFEASIBLE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst3x4() -> Instance {
+        // 3 machines x 4 jobs.
+        Instance::dense(
+            3,
+            4,
+            vec![
+                2, 4, 6, 8, // machine 0
+                1, 1, 1, 1, // machine 1
+                5, 5, 5, 5, // machine 2
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_vec_tracks_loads() {
+        let inst = inst3x4();
+        let asg = Assignment::from_vec(
+            &inst,
+            vec![MachineId(0), MachineId(1), MachineId(1), MachineId(2)],
+        )
+        .unwrap();
+        assert_eq!(asg.load(MachineId(0)), 2);
+        assert_eq!(asg.load(MachineId(1)), 2);
+        assert_eq!(asg.load(MachineId(2)), 5);
+        assert_eq!(asg.makespan(), 5);
+        assert_eq!(asg.makespan_machine(), MachineId(2));
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_shapes() {
+        let inst = inst3x4();
+        assert!(matches!(
+            Assignment::from_vec(&inst, vec![MachineId(0)]).unwrap_err(),
+            LbError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            Assignment::from_vec(&inst, vec![MachineId(9); 4]).unwrap_err(),
+            LbError::InvalidMachine { machine: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn all_on_and_round_robin() {
+        let inst = inst3x4();
+        let asg = Assignment::all_on(&inst, MachineId(1));
+        assert_eq!(asg.load(MachineId(1)), 4);
+        assert_eq!(asg.num_jobs_on(MachineId(1)), 4);
+        assert_eq!(asg.num_jobs_on(MachineId(0)), 0);
+
+        let rr = Assignment::round_robin(&inst);
+        assert_eq!(rr.machine_of(JobId(0)), MachineId(0));
+        assert_eq!(rr.machine_of(JobId(1)), MachineId(1));
+        assert_eq!(rr.machine_of(JobId(2)), MachineId(2));
+        assert_eq!(rr.machine_of(JobId(3)), MachineId(0));
+        rr.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn move_job_updates_everything() {
+        let inst = inst3x4();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert_eq!(asg.makespan(), 2 + 4 + 6 + 8);
+        asg.move_job(&inst, JobId(3), MachineId(1));
+        assert_eq!(asg.load(MachineId(0)), 12);
+        assert_eq!(asg.load(MachineId(1)), 1);
+        assert_eq!(asg.machine_of(JobId(3)), MachineId(1));
+        // Self-move is a no-op.
+        asg.move_job(&inst, JobId(3), MachineId(1));
+        assert_eq!(asg.load(MachineId(1)), 1);
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn set_pair_redistributes() {
+        let inst = inst3x4();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        asg.set_pair(
+            &inst,
+            MachineId(0),
+            MachineId(1),
+            vec![JobId(0), JobId(1)],
+            vec![JobId(2), JobId(3)],
+        );
+        assert_eq!(asg.load(MachineId(0)), 6);
+        assert_eq!(asg.load(MachineId(1)), 2);
+        assert_eq!(asg.machine_of(JobId(2)), MachineId(1));
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "job multiset")]
+    fn set_pair_rejects_job_loss() {
+        let inst = inst3x4();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        // Drops JobId(3): must be caught in debug builds.
+        asg.set_pair(
+            &inst,
+            MachineId(0),
+            MachineId(1),
+            vec![JobId(0), JobId(1)],
+            vec![JobId(2)],
+        );
+    }
+
+    #[test]
+    fn min_loaded_helpers() {
+        let inst = inst3x4();
+        let asg = Assignment::from_vec(
+            &inst,
+            vec![MachineId(0), MachineId(0), MachineId(2), MachineId(2)],
+        )
+        .unwrap();
+        assert_eq!(asg.min_loaded_machine(), MachineId(1));
+        assert_eq!(
+            asg.min_loaded_in(&[MachineId(0), MachineId(2)]),
+            Some(MachineId(0))
+        );
+        assert_eq!(asg.min_loaded_in(&[]), None);
+    }
+
+    #[test]
+    fn infeasible_loads_saturate_but_stay_reversible() {
+        let inst = Instance::dense(2, 2, vec![INFEASIBLE, 3, 1, 1]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert_eq!(asg.load(MachineId(0)), INFEASIBLE);
+        assert_eq!(asg.makespan(), INFEASIBLE);
+        // Moving the infeasible job away restores the exact finite load.
+        asg.move_job(&inst, JobId(0), MachineId(1));
+        assert_eq!(asg.load(MachineId(0)), 3);
+        assert_eq!(asg.load(MachineId(1)), 1);
+    }
+
+    #[test]
+    fn cluster_work() {
+        let inst = Instance::two_cluster(1, 1, vec![(10, 1), (2, 20)]).unwrap();
+        let asg = Assignment::from_vec(&inst, vec![MachineId(0), MachineId(1)]).unwrap();
+        assert_eq!(asg.cluster_work(&inst, ClusterId::ONE), 10);
+        assert_eq!(asg.cluster_work(&inst, ClusterId::TWO), 20);
+        assert_eq!(asg.total_work(), 30);
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let inst = inst3x4();
+        let mut asg = Assignment::round_robin(&inst);
+        // Corrupt the load table directly.
+        asg.loads[0] += 1;
+        assert!(asg.validate(&inst).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Provable lower bounds on the optimal makespan `OPT`.
+//!
+//! Exact `OPT` is NP-hard (`R||Cmax`), so experiments measure
+//! approximation quality against these bounds on instances too large for
+//! the exact solvers of [`crate::exact`]. Every function here returns a
+//! value that is *provably* `<= OPT`, so `Cmax / bound` over-estimates the
+//! true ratio `Cmax / OPT` — a conservative direction for validating the
+//! paper's guarantees.
+
+use crate::cost::{Time, INFEASIBLE};
+use crate::ids::ClusterId;
+use crate::instance::Instance;
+
+/// `max_j min_i p[i][j]`: some machine must run each job, so the optimum
+/// is at least the cheapest cost of the most expensive job.
+pub fn min_cost_lower_bound(inst: &Instance) -> Time {
+    inst.jobs().map(|j| inst.min_cost_of(j)).max().unwrap_or(0)
+}
+
+/// `ceil( sum_j min_i p[i][j] / |M| )`: the total work is at least the sum
+/// of per-job minima and must be spread over `|M|` machines, so some
+/// machine carries at least the average.
+pub fn average_work_lower_bound(inst: &Instance) -> Time {
+    let total: u128 = inst.jobs().map(|j| u128::from(inst.min_cost_of(j))).sum();
+    let m = inst.num_machines() as u128;
+    Time::try_from(total.div_ceil(m)).unwrap_or(INFEASIBLE)
+}
+
+/// Exact optimum of the fractional two-cluster relaxation, as a real.
+///
+/// Relaxation: jobs may be split between the clusters and the machines of
+/// a cluster share work perfectly (cluster makespan = cluster work /
+/// cluster size). By a standard exchange argument the optimal fractional
+/// solution sorts jobs by `p1/p2` and sends a prefix (plus at most one
+/// split job) to cluster 1; we evaluate every prefix with its optimal
+/// split and take the minimum. The result is `<= OPT`.
+///
+/// Returns `None` if the instance is not a two-cluster instance or any
+/// cost is [`INFEASIBLE`] (the relaxation's arithmetic would be
+/// meaningless).
+pub fn two_cluster_fractional_lower_bound(inst: &Instance) -> Option<f64> {
+    if !inst.is_two_cluster() {
+        return None;
+    }
+    let m1 = inst.machines_in(ClusterId::ONE).len() as f64;
+    let m2 = inst.machines_in(ClusterId::TWO).len() as f64;
+    let rep1 = inst.machines_in(ClusterId::ONE)[0];
+    let rep2 = inst.machines_in(ClusterId::TWO)[0];
+    let mut jobs: Vec<(f64, f64)> = Vec::with_capacity(inst.num_jobs());
+    for j in inst.jobs() {
+        let p1 = inst.cost(rep1, j);
+        let p2 = inst.cost(rep2, j);
+        if p1 == INFEASIBLE || p2 == INFEASIBLE {
+            return None;
+        }
+        jobs.push((p1 as f64, p2 as f64));
+    }
+    // Sort by p1/p2 ascending: cheapest-for-cluster-1 first. Compare by
+    // cross-multiplication to avoid dividing by zero-cost jobs.
+    jobs.sort_by(|a, b| (a.0 * b.1).partial_cmp(&(b.0 * a.1)).expect("finite costs"));
+
+    let total2: f64 = jobs.iter().map(|&(_, p2)| p2).sum();
+    let mut w1 = 0.0; // work of the prefix strictly before the split job, on cluster 1
+    let mut w2_suffix = total2; // work of the split job and everything after, on cluster 2
+    let mut best = f64::INFINITY;
+    // Candidate k: jobs[..k] fully on cluster 1, jobs[k] split by x in
+    // [0,1], jobs[k+1..] fully on cluster 2.
+    for k in 0..=jobs.len() {
+        if k == jobs.len() {
+            best = best.min((w1 / m1).max(0.0));
+            break;
+        }
+        let (p1, p2) = jobs[k];
+        let w2_after = w2_suffix - p2; // suffix excluding the split job
+        let eval = |x: f64| ((w1 + x * p1) / m1).max((w2_after + (1.0 - x) * p2) / m2);
+        // Unconstrained equalizing split.
+        let denom = m2 * p1 + m1 * p2;
+        let x_star = if denom > 0.0 {
+            ((m1 * (w2_after + p2) - m2 * w1) / denom).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        best = best.min(eval(0.0)).min(eval(1.0)).min(eval(x_star));
+        w1 += p1;
+        w2_suffix -= p2;
+    }
+    Some(best.max(0.0))
+}
+
+/// The strongest combined integer lower bound available for the instance.
+///
+/// Takes the max of [`min_cost_lower_bound`], [`average_work_lower_bound`]
+/// and (for two-cluster instances) the fractional relaxation rounded *up*
+/// with a small epsilon guard against floating-point noise (`OPT` is an
+/// integer, so `OPT >= ceil(fractional)`; the guard only ever weakens the
+/// bound).
+pub fn combined_lower_bound(inst: &Instance) -> Time {
+    let mut lb = min_cost_lower_bound(inst).max(average_work_lower_bound(inst));
+    if let Some(frac) = two_cluster_fractional_lower_bound(inst) {
+        let guarded = (frac - 1e-6).ceil();
+        if guarded.is_finite() && guarded > 0.0 && (guarded as u128) <= u128::from(Time::MAX) {
+            lb = lb.max(guarded as Time);
+        }
+    }
+    lb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use crate::ids::MachineId;
+
+    #[test]
+    fn min_cost_bound_basic() {
+        // Job 0: min 2, job 1: min 7 -> bound 7.
+        let inst = Instance::dense(2, 2, vec![2, 9, 5, 7]).unwrap();
+        assert_eq!(min_cost_lower_bound(&inst), 7);
+    }
+
+    #[test]
+    fn min_cost_bound_empty_jobs() {
+        let inst = Instance::dense(2, 0, vec![]).unwrap();
+        assert_eq!(min_cost_lower_bound(&inst), 0);
+        assert_eq!(average_work_lower_bound(&inst), 0);
+        assert_eq!(combined_lower_bound(&inst), 0);
+    }
+
+    #[test]
+    fn average_work_bound_rounds_up() {
+        // 3 jobs of min-cost 1 on 2 machines: ceil(3/2) = 2.
+        let inst = Instance::uniform(2, vec![1, 1, 1]).unwrap();
+        assert_eq!(average_work_lower_bound(&inst), 2);
+    }
+
+    #[test]
+    fn fractional_bound_only_for_two_clusters() {
+        let inst = Instance::uniform(3, vec![1, 2]).unwrap();
+        assert_eq!(two_cluster_fractional_lower_bound(&inst), None);
+    }
+
+    #[test]
+    fn fractional_bound_balanced_case() {
+        // Two single-machine clusters; jobs are (10,10) and (10,10):
+        // best fractional spreads 20 units over 2 machines -> 10.
+        let inst = Instance::two_cluster(1, 1, vec![(10, 10), (10, 10)]).unwrap();
+        let lb = two_cluster_fractional_lower_bound(&inst).unwrap();
+        assert!((lb - 10.0).abs() < 1e-9, "lb = {lb}");
+    }
+
+    #[test]
+    fn fractional_bound_prefers_cheap_cluster() {
+        // One job, much cheaper on cluster 2: fractional sends it there
+        // almost entirely. With m1 = m2 = 1, optimum splits x so that
+        // 100x = 10(1-x) -> x = 1/11 -> value 100/11 ≈ 9.09.
+        let inst = Instance::two_cluster(1, 1, vec![(100, 10)]).unwrap();
+        let lb = two_cluster_fractional_lower_bound(&inst).unwrap();
+        assert!((lb - 100.0 / 11.0).abs() < 1e-9, "lb = {lb}");
+    }
+
+    #[test]
+    fn fractional_bound_none_on_infeasible() {
+        let inst = Instance::two_cluster(1, 1, vec![(INFEASIBLE, 10)]).unwrap();
+        assert_eq!(two_cluster_fractional_lower_bound(&inst), None);
+    }
+
+    #[test]
+    fn bounds_never_exceed_any_schedule() {
+        // Whatever schedule we build, every bound must stay below its
+        // makespan (bounds are on OPT <= any schedule).
+        let inst =
+            Instance::two_cluster(2, 2, vec![(5, 9), (7, 2), (3, 3), (8, 1), (2, 6)]).unwrap();
+        let lb = combined_lower_bound(&inst);
+        for pattern in 0..(4u32.pow(5)) {
+            let mut p = pattern;
+            let machine_of: Vec<MachineId> = (0..5)
+                .map(|_| {
+                    let m = MachineId(p % 4);
+                    p /= 4;
+                    m
+                })
+                .collect();
+            let asg = Assignment::from_vec(&inst, machine_of).unwrap();
+            assert!(
+                lb <= asg.makespan(),
+                "lb {lb} > makespan {}",
+                asg.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn combined_bound_takes_max() {
+        // min-cost bound: 7 (job 1); avg work: ceil((2+7)/2) = 5 -> 7 wins.
+        let inst = Instance::dense(2, 2, vec![2, 9, 5, 7]).unwrap();
+        assert_eq!(combined_lower_bound(&inst), 7);
+    }
+
+    #[test]
+    fn zero_cost_jobs_do_not_break_sort() {
+        let inst = Instance::two_cluster(1, 1, vec![(0, 5), (5, 0), (0, 0)]).unwrap();
+        let lb = two_cluster_fractional_lower_bound(&inst).unwrap();
+        assert!((lb - 0.0).abs() < 1e-9, "lb = {lb}");
+    }
+}

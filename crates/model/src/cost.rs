@@ -1,0 +1,295 @@
+//! Cost structures: how long does job `j` take on machine `i`?
+//!
+//! The paper's problem is `R||Cmax`: processing times `p[i][j]` are
+//! arbitrary. Its algorithms however exploit *structure* in the cost
+//! matrix (identical machines, job types, two clusters of identical
+//! machines). [`Costs`] captures each structure explicitly so algorithms
+//! can pattern-match on it, while [`Costs::cost`] always exposes the flat
+//! `p[i][j]` view.
+
+use crate::ids::{ClusterId, JobTypeId};
+use serde::{Deserialize, Serialize};
+
+/// Processing times are integer "work units".
+///
+/// The paper's Markov model (Section VII.A) requires integer loads, and its
+/// simulations draw job lengths uniformly from `[1, 1000]`, so `u64` loses
+/// nothing while keeping makespans exact (no floating-point accumulation
+/// error when comparing two schedules that differ by one unit).
+pub type Time = u64;
+
+/// A processing time denoting that a job cannot run on a machine.
+///
+/// The problem definition allows `p[i][j]` to be infinite. All load
+/// arithmetic in this workspace uses saturating addition so a machine
+/// holding an infeasible job has load `INFEASIBLE`, which dominates every
+/// makespan comparison, as intended.
+pub const INFEASIBLE: Time = Time::MAX;
+
+/// The cost structure of an instance.
+///
+/// Machine count is implied by [`crate::Instance`] (which also carries the
+/// machine-to-cluster map); variants embed only what they intrinsically
+/// define. All variants answer [`Costs::cost`] in `O(1)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Costs {
+    /// Fully heterogeneous (unrelated) machines: a dense `|M| x |J|`
+    /// matrix, row-major by machine.
+    Dense {
+        /// Number of machines (rows).
+        num_machines: usize,
+        /// Number of jobs (columns).
+        num_jobs: usize,
+        /// `costs[i * num_jobs + j]` is `p[i][j]`.
+        costs: Vec<Time>,
+    },
+    /// Identical machines: every machine processes job `j` in `sizes[j]`.
+    Uniform {
+        /// Per-job processing time, identical on all machines.
+        sizes: Vec<Time>,
+    },
+    /// Related machines: `p[i][j] = sizes[j] * slowdowns[i]`.
+    ///
+    /// A slowdown of 1 is the fastest machine; larger slowdowns are
+    /// proportionally slower. Integer slowdowns keep the arithmetic exact.
+    Related {
+        /// Per-job base size.
+        sizes: Vec<Time>,
+        /// Per-machine integer slowdown factor (must be >= 1).
+        slowdowns: Vec<u64>,
+    },
+    /// Jobs grouped by type (Section V): two jobs of the same type have the
+    /// same processing-time vector.
+    Typed {
+        /// Number of machines (columns of `type_costs`).
+        num_machines: usize,
+        /// Type of each job.
+        type_of: Vec<JobTypeId>,
+        /// `type_costs[t][i]` is the processing time of a type-`t` job on
+        /// machine `i`.
+        type_costs: Vec<Vec<Time>>,
+    },
+    /// Two clusters of identical machines (Section VI): each job has one
+    /// cost per cluster; the cluster of each machine comes from the
+    /// instance's cluster map.
+    TwoCluster {
+        /// `(p1[j], p2[j])`: processing time of job `j` on any machine of
+        /// cluster 1 / cluster 2.
+        costs: Vec<(Time, Time)>,
+    },
+    /// `c >= 2` clusters of identical machines — the Section VIII
+    /// extension setting ("its extension to more than two clusters").
+    /// Each job has one cost per cluster.
+    MultiCluster {
+        /// Number of clusters `c`.
+        num_clusters: usize,
+        /// Job-major: `costs[j * num_clusters + c]` is the processing
+        /// time of job `j` on any machine of cluster `c`.
+        costs: Vec<Time>,
+    },
+}
+
+impl Costs {
+    /// Number of jobs this cost structure describes.
+    pub fn num_jobs(&self) -> usize {
+        match self {
+            Costs::Dense { num_jobs, .. } => *num_jobs,
+            Costs::Uniform { sizes } => sizes.len(),
+            Costs::Related { sizes, .. } => sizes.len(),
+            Costs::Typed { type_of, .. } => type_of.len(),
+            Costs::TwoCluster { costs } => costs.len(),
+            Costs::MultiCluster {
+                num_clusters,
+                costs,
+            } => costs.len() / num_clusters.max(&1),
+        }
+    }
+
+    /// Number of machines, when the structure intrinsically fixes it.
+    ///
+    /// `Uniform` and `TwoCluster` structures describe costs for *any*
+    /// number of machines, so they return `None`; the instance supplies
+    /// the machine count.
+    pub fn num_machines(&self) -> Option<usize> {
+        match self {
+            Costs::Dense { num_machines, .. } => Some(*num_machines),
+            Costs::Related { slowdowns, .. } => Some(slowdowns.len()),
+            Costs::Typed { num_machines, .. } => Some(*num_machines),
+            Costs::Uniform { .. } | Costs::TwoCluster { .. } | Costs::MultiCluster { .. } => None,
+        }
+    }
+
+    /// `p[i][j]` for machine index `machine` belonging to `cluster`.
+    ///
+    /// `cluster` is only consulted by the `TwoCluster` variant; the caller
+    /// ([`crate::Instance::cost`]) owns the machine-to-cluster map.
+    #[inline]
+    pub fn cost(&self, machine: usize, cluster: ClusterId, job: usize) -> Time {
+        match self {
+            Costs::Dense {
+                num_jobs, costs, ..
+            } => costs[machine * num_jobs + job],
+            Costs::Uniform { sizes } => sizes[job],
+            Costs::Related { sizes, slowdowns } => sizes[job].saturating_mul(slowdowns[machine]),
+            Costs::Typed {
+                type_of,
+                type_costs,
+                ..
+            } => type_costs[type_of[job].idx()][machine],
+            Costs::TwoCluster { costs } => {
+                let (p1, p2) = costs[job];
+                if cluster == ClusterId::ONE {
+                    p1
+                } else {
+                    p2
+                }
+            }
+            Costs::MultiCluster {
+                num_clusters,
+                costs,
+            } => costs[job * num_clusters + cluster.idx()],
+        }
+    }
+
+    /// The number of distinct job types, when the structure tracks types.
+    ///
+    /// * `Typed` — the declared number of types.
+    /// * `Uniform` with all-equal sizes — 1 (the Section V.A case).
+    /// * otherwise `None` (types would have to be recovered by comparing
+    ///   whole cost columns, which callers can do if they need it).
+    pub fn num_job_types(&self) -> Option<usize> {
+        match self {
+            Costs::Typed { type_costs, .. } => Some(type_costs.len()),
+            Costs::Uniform { sizes } => {
+                if sizes.windows(2).all(|w| w[0] == w[1]) {
+                    Some(usize::from(!sizes.is_empty()))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The type of a job, when the structure tracks types.
+    pub fn job_type(&self, job: usize) -> Option<JobTypeId> {
+        match self {
+            Costs::Typed { type_of, .. } => Some(type_of[job]),
+            _ => None,
+        }
+    }
+
+    /// True if every machine sees the same processing time for every job.
+    pub fn is_uniform(&self) -> bool {
+        match self {
+            Costs::Uniform { .. } => true,
+            Costs::Related { slowdowns, .. } => slowdowns.windows(2).all(|w| w[0] == w[1]),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_cost_lookup() {
+        let c = Costs::Dense {
+            num_machines: 2,
+            num_jobs: 3,
+            costs: vec![1, 2, 3, 4, 5, 6],
+        };
+        assert_eq!(c.cost(0, ClusterId::ONE, 0), 1);
+        assert_eq!(c.cost(0, ClusterId::ONE, 2), 3);
+        assert_eq!(c.cost(1, ClusterId::ONE, 0), 4);
+        assert_eq!(c.cost(1, ClusterId::ONE, 2), 6);
+        assert_eq!(c.num_jobs(), 3);
+        assert_eq!(c.num_machines(), Some(2));
+        assert_eq!(c.num_job_types(), None);
+    }
+
+    #[test]
+    fn uniform_ignores_machine() {
+        let c = Costs::Uniform { sizes: vec![7, 8] };
+        assert_eq!(c.cost(0, ClusterId::ONE, 0), 7);
+        assert_eq!(c.cost(99, ClusterId::TWO, 1), 8);
+        assert!(c.is_uniform());
+        assert_eq!(c.num_machines(), None);
+    }
+
+    #[test]
+    fn uniform_single_type_detection() {
+        assert_eq!(
+            Costs::Uniform {
+                sizes: vec![5, 5, 5]
+            }
+            .num_job_types(),
+            Some(1)
+        );
+        assert_eq!(Costs::Uniform { sizes: vec![5, 6] }.num_job_types(), None);
+        assert_eq!(Costs::Uniform { sizes: vec![] }.num_job_types(), Some(0));
+    }
+
+    #[test]
+    fn related_multiplies() {
+        let c = Costs::Related {
+            sizes: vec![3, 10],
+            slowdowns: vec![1, 4],
+        };
+        assert_eq!(c.cost(0, ClusterId::ONE, 0), 3);
+        assert_eq!(c.cost(1, ClusterId::ONE, 0), 12);
+        assert_eq!(c.cost(1, ClusterId::ONE, 1), 40);
+        assert!(!c.is_uniform());
+        assert!(Costs::Related {
+            sizes: vec![1],
+            slowdowns: vec![2, 2]
+        }
+        .is_uniform());
+    }
+
+    #[test]
+    fn related_saturates_on_infeasible() {
+        let c = Costs::Related {
+            sizes: vec![INFEASIBLE],
+            slowdowns: vec![3],
+        };
+        assert_eq!(c.cost(0, ClusterId::ONE, 0), INFEASIBLE);
+    }
+
+    #[test]
+    fn typed_lookup() {
+        let c = Costs::Typed {
+            num_machines: 2,
+            type_of: vec![JobTypeId(0), JobTypeId(1), JobTypeId(0)],
+            type_costs: vec![vec![10, 20], vec![5, 1]],
+        };
+        assert_eq!(c.cost(0, ClusterId::ONE, 0), 10);
+        assert_eq!(c.cost(1, ClusterId::ONE, 0), 20);
+        assert_eq!(c.cost(1, ClusterId::ONE, 1), 1);
+        assert_eq!(c.cost(0, ClusterId::ONE, 2), 10);
+        assert_eq!(c.num_job_types(), Some(2));
+        assert_eq!(c.job_type(1), Some(JobTypeId(1)));
+        assert_eq!(c.job_type(2), Some(JobTypeId(0)));
+    }
+
+    #[test]
+    fn two_cluster_uses_cluster_of_machine() {
+        let c = Costs::TwoCluster {
+            costs: vec![(2, 9)],
+        };
+        assert_eq!(c.cost(0, ClusterId::ONE, 0), 2);
+        assert_eq!(c.cost(5, ClusterId::TWO, 0), 9);
+        assert_eq!(c.num_jobs(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Costs::TwoCluster {
+            costs: vec![(2, 9), (4, 4)],
+        };
+        let s = serde_json::to_string(&c).unwrap();
+        let back: Costs = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error type shared by the workspace.
+
+use std::fmt;
+
+/// Errors produced while building or manipulating problem instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LbError {
+    /// A cost matrix or vector had the wrong number of entries.
+    DimensionMismatch {
+        /// What was expected (e.g. `machines * jobs`).
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// A machine identifier was out of range.
+    InvalidMachine {
+        /// The offending identifier.
+        machine: usize,
+        /// Number of machines in the instance.
+        num_machines: usize,
+    },
+    /// A job identifier was out of range.
+    InvalidJob {
+        /// The offending identifier.
+        job: usize,
+        /// Number of jobs in the instance.
+        num_jobs: usize,
+    },
+    /// A cluster identifier was out of range.
+    InvalidCluster {
+        /// The offending identifier.
+        cluster: usize,
+        /// Number of clusters in the instance.
+        num_clusters: usize,
+    },
+    /// The instance has no machines.
+    NoMachines,
+    /// An operation that requires exactly two clusters was invoked on an
+    /// instance with a different cluster structure.
+    NotTwoClusters {
+        /// Number of clusters actually present.
+        num_clusters: usize,
+    },
+    /// An exact solver refused an instance that exceeds its size limits.
+    InstanceTooLarge {
+        /// Human-readable description of the violated limit.
+        limit: String,
+    },
+    /// A job-type identifier was out of range.
+    InvalidJobType {
+        /// The offending identifier.
+        job_type: usize,
+        /// Number of job types in the instance.
+        num_types: usize,
+    },
+    /// A numeric parameter was invalid (e.g. a zero machine speed).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for LbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LbError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} entries, got {actual}"
+                )
+            }
+            LbError::InvalidMachine {
+                machine,
+                num_machines,
+            } => {
+                write!(
+                    f,
+                    "machine {machine} out of range (instance has {num_machines})"
+                )
+            }
+            LbError::InvalidJob { job, num_jobs } => {
+                write!(f, "job {job} out of range (instance has {num_jobs})")
+            }
+            LbError::InvalidCluster {
+                cluster,
+                num_clusters,
+            } => {
+                write!(
+                    f,
+                    "cluster {cluster} out of range (instance has {num_clusters})"
+                )
+            }
+            LbError::NoMachines => write!(f, "instance has no machines"),
+            LbError::NotTwoClusters { num_clusters } => {
+                write!(
+                    f,
+                    "operation requires exactly 2 clusters, instance has {num_clusters}"
+                )
+            }
+            LbError::InstanceTooLarge { limit } => {
+                write!(f, "instance too large for exact solver: {limit}")
+            }
+            LbError::InvalidJobType {
+                job_type,
+                num_types,
+            } => {
+                write!(
+                    f,
+                    "job type {job_type} out of range (instance has {num_types})"
+                )
+            }
+            LbError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LbError {}
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, LbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LbError::DimensionMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("expected 6"));
+        let e = LbError::InvalidMachine {
+            machine: 9,
+            num_machines: 3,
+        };
+        assert!(e.to_string().contains("machine 9"));
+        let e = LbError::NotTwoClusters { num_clusters: 3 };
+        assert!(e.to_string().contains("2 clusters"));
+        let e = LbError::InstanceTooLarge {
+            limit: "jobs <= 16".into(),
+        };
+        assert!(e.to_string().contains("jobs <= 16"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LbError::NoMachines);
+        assert_eq!(e.to_string(), "instance has no machines");
+    }
+}

@@ -1,0 +1,342 @@
+//! Exact optimal-makespan solvers for small instances.
+//!
+//! `R||Cmax` is NP-complete, but tests of the paper's approximation
+//! guarantees (Theorems 5, 6 and 7) need true optima on small instances.
+//! [`opt_makespan`] runs a branch-and-bound search with lower-bound
+//! pruning; [`brute_force_opt`] is a dead-simple enumerator used to
+//! validate the branch-and-bound itself.
+
+use crate::cost::{Time, INFEASIBLE};
+use crate::error::{LbError, Result};
+use crate::ids::{JobId, MachineId};
+use crate::instance::Instance;
+
+/// Limits protecting the exact solvers from accidentally huge inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactLimits {
+    /// Maximum number of jobs accepted.
+    pub max_jobs: usize,
+    /// Maximum number of search nodes expanded before giving up.
+    pub max_nodes: u64,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        Self {
+            max_jobs: 18,
+            max_nodes: 50_000_000,
+        }
+    }
+}
+
+/// Exhaustive enumeration of all `|M|^|J|` assignments.
+///
+/// Only for validating [`opt_makespan`]; refuses anything with more than
+/// a few million states.
+pub fn brute_force_opt(inst: &Instance) -> Result<Time> {
+    let m = inst.num_machines();
+    let n = inst.num_jobs();
+    let states = (m as f64).powi(n as i32);
+    if states > 5e7 {
+        return Err(LbError::InstanceTooLarge {
+            limit: format!("brute force needs |M|^|J| <= 5e7, got {states:.2e}"),
+        });
+    }
+    if n == 0 {
+        return Ok(0);
+    }
+    let mut best = INFEASIBLE;
+    let mut choice = vec![0usize; n];
+    loop {
+        let mut loads = vec![0u128; m];
+        for (j, &mi) in choice.iter().enumerate() {
+            loads[mi] += u128::from(inst.cost(MachineId::from_idx(mi), JobId::from_idx(j)));
+        }
+        let cmax = loads.iter().copied().max().unwrap_or(0);
+        let cmax = Time::try_from(cmax).unwrap_or(INFEASIBLE);
+        best = best.min(cmax);
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return Ok(best);
+            }
+            choice[k] += 1;
+            if choice[k] < m {
+                break;
+            }
+            choice[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Optimal makespan via depth-first branch-and-bound.
+///
+/// Jobs are branched in decreasing order of their minimum cost (hard jobs
+/// first shrinks the tree). Pruning uses three bounds at each node:
+/// the incumbent, the per-job minimum-cost bound over remaining jobs, and
+/// the average-work bound `(assigned + remaining minima) / |M|`. Machines
+/// with identical current load and identical cost for the branching job
+/// are explored only once (symmetry breaking), which makes identical- and
+/// two-cluster instances tractable far beyond the brute-force range.
+pub fn opt_makespan(inst: &Instance, limits: ExactLimits) -> Result<Time> {
+    let n = inst.num_jobs();
+    let m = inst.num_machines();
+    if n > limits.max_jobs {
+        return Err(LbError::InstanceTooLarge {
+            limit: format!(
+                "branch-and-bound accepts at most {} jobs, got {n}",
+                limits.max_jobs
+            ),
+        });
+    }
+    if n == 0 {
+        return Ok(0);
+    }
+
+    // Branch order: hardest (largest min-cost) jobs first.
+    let mut order: Vec<JobId> = inst.jobs().collect();
+    order.sort_by_key(|&j| std::cmp::Reverse(inst.min_cost_of(j)));
+
+    // Suffix sums of min costs for the average-work pruning bound.
+    let mut suffix_min: Vec<u128> = vec![0; n + 1];
+    for i in (0..n).rev() {
+        suffix_min[i] = suffix_min[i + 1] + u128::from(inst.min_cost_of(order[i]));
+    }
+
+    // Greedy incumbent: place each job on the machine minimizing the
+    // resulting completion time (Earliest Completion Time).
+    let mut greedy_loads = vec![0u128; m];
+    for &j in &order {
+        let (mi, _) = (0..m)
+            .map(|mi| {
+                (
+                    mi,
+                    greedy_loads[mi] + u128::from(inst.cost(MachineId::from_idx(mi), j)),
+                )
+            })
+            .min_by_key(|&(_, l)| l)
+            .expect("at least one machine");
+        greedy_loads[mi] += u128::from(inst.cost(MachineId::from_idx(mi), j));
+    }
+    let mut best: u128 = greedy_loads.iter().copied().max().unwrap_or(0);
+
+    // Machine equivalence classes: two machines are interchangeable for
+    // symmetry breaking only if their *entire* cost column is identical
+    // (same current load + same cost for just the branching job is not
+    // enough on unrelated machines).
+    let mut class = vec![0u32; m];
+    let mut reps: Vec<usize> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // index feeds MachineId construction
+    for mi in 0..m {
+        let found = reps.iter().position(|&r| {
+            inst.jobs().all(|j| {
+                inst.cost(MachineId::from_idx(r), j) == inst.cost(MachineId::from_idx(mi), j)
+            })
+        });
+        class[mi] = match found {
+            Some(c) => c as u32,
+            None => {
+                reps.push(mi);
+                (reps.len() - 1) as u32
+            }
+        };
+    }
+
+    struct Ctx<'a> {
+        inst: &'a Instance,
+        order: &'a [JobId],
+        suffix_min: &'a [u128],
+        class: &'a [u32],
+        best: &'a mut u128,
+        nodes: u64,
+        max_nodes: u64,
+    }
+
+    fn dfs(ctx: &mut Ctx<'_>, depth: usize, loads: &mut [u128]) -> Result<()> {
+        ctx.nodes += 1;
+        if ctx.nodes > ctx.max_nodes {
+            return Err(LbError::InstanceTooLarge {
+                limit: format!("branch-and-bound node budget {} exhausted", ctx.max_nodes),
+            });
+        }
+        let current_max = loads.iter().copied().max().unwrap_or(0);
+        if current_max >= *ctx.best {
+            return Ok(()); // dominated: can only get worse
+        }
+        if depth == ctx.order.len() {
+            *ctx.best = current_max;
+            return Ok(());
+        }
+        // Average-work bound: even perfect balancing of the remaining
+        // minima cannot beat this.
+        let assigned: u128 = loads.iter().copied().sum();
+        let avg = (assigned + ctx.suffix_min[depth]).div_ceil(loads.len() as u128);
+        if avg >= *ctx.best {
+            return Ok(());
+        }
+        let job = ctx.order[depth];
+        let mut tried: Vec<(u128, u32)> = Vec::with_capacity(loads.len());
+        for mi in 0..loads.len() {
+            let c = ctx.inst.cost(MachineId::from_idx(mi), job);
+            // Symmetry breaking: a machine with the same load and a fully
+            // identical cost column leads to an isomorphic subtree.
+            if tried
+                .iter()
+                .any(|&(l, cl)| l == loads[mi] && cl == ctx.class[mi])
+            {
+                continue;
+            }
+            tried.push((loads[mi], ctx.class[mi]));
+            if c == INFEASIBLE {
+                continue;
+            }
+            loads[mi] += u128::from(c);
+            dfs(ctx, depth + 1, loads)?;
+            loads[mi] -= u128::from(c);
+        }
+        Ok(())
+    }
+
+    let mut loads = vec![0u128; m];
+    let mut ctx = Ctx {
+        inst,
+        order: &order,
+        suffix_min: &suffix_min,
+        class: &class,
+        best: &mut best,
+        nodes: 0,
+        max_nodes: limits.max_nodes,
+    };
+    dfs(&mut ctx, 0, &mut loads)?;
+    Ok(Time::try_from(best).unwrap_or(INFEASIBLE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::uniform(2, vec![]).unwrap();
+        assert_eq!(brute_force_opt(&inst).unwrap(), 0);
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_job_picks_best_machine() {
+        let inst = Instance::dense(3, 1, vec![9, 4, 7]).unwrap();
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 4);
+        assert_eq!(brute_force_opt(&inst).unwrap(), 4);
+    }
+
+    #[test]
+    fn identical_machines_partition() {
+        // Jobs 3,3,2,2,2 on 2 identical machines: OPT = 6.
+        let inst = Instance::uniform(2, vec![3, 3, 2, 2, 2]).unwrap();
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 6);
+    }
+
+    #[test]
+    fn table1_instance_opt_is_2() {
+        // Paper Table I (Theorem 1): OPT = 2 for any n.
+        let n = 100;
+        #[rustfmt::skip]
+        let costs = vec![
+            // machine A   (jobs 1..=5 columns)
+            1, 1, 1, 1, 1,
+            // machine B
+            n, 1, 1, 1, 1,
+            // machine C
+            n, n, 1, 1, 1,
+        ];
+        let inst = Instance::dense(3, 5, costs).unwrap();
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 2);
+        assert_eq!(brute_force_opt(&inst).unwrap(), 2);
+    }
+
+    #[test]
+    fn table2_instance_opt_is_1() {
+        // Paper Table II (Proposition 2): diagonal of fast machines, OPT = 1.
+        let n2 = 10_000;
+        #[rustfmt::skip]
+        let costs = vec![
+            1, n2, 1,
+            n2, 1, n2,
+            n2, n2, 1, // machine C runs job 3 fast
+        ];
+        // Columns are jobs: p[A][1]=1, p[A][2]=n2, p[A][3]=1 ... matching
+        // the paper's Table II with the transpose convention used here.
+        let inst = Instance::dense(3, 3, costs).unwrap();
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 1);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_brute_force_randomish() {
+        // Deterministic pseudo-random small matrices.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..30 {
+            let m = 2 + (next() % 3) as usize; // 2..=4 machines
+            let n = 1 + (next() % 7) as usize; // 1..=7 jobs
+            let costs: Vec<Time> = (0..m * n).map(|_| 1 + next() % 20).collect();
+            let inst = Instance::dense(m, n, costs).unwrap();
+            let bf = brute_force_opt(&inst).unwrap();
+            let bb = opt_makespan(&inst, ExactLimits::default()).unwrap();
+            assert_eq!(bf, bb, "trial {trial}: brute force {bf} != B&B {bb}");
+            assert!(bounds::combined_lower_bound(&inst) <= bb);
+        }
+    }
+
+    #[test]
+    fn respects_job_limit() {
+        let inst = Instance::uniform(2, vec![1; 30]).unwrap();
+        let err = opt_makespan(
+            &inst,
+            ExactLimits {
+                max_jobs: 10,
+                max_nodes: 1000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LbError::InstanceTooLarge { .. }));
+    }
+
+    #[test]
+    fn brute_force_refuses_huge() {
+        let inst = Instance::uniform(10, vec![1; 20]).unwrap();
+        assert!(brute_force_opt(&inst).is_err());
+    }
+
+    #[test]
+    fn infeasible_machine_avoided() {
+        let inst = Instance::dense(2, 2, vec![INFEASIBLE, INFEASIBLE, 5, 6]).unwrap();
+        // Machine 0 cannot run anything; OPT places both jobs on machine 1.
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 11);
+    }
+
+    #[test]
+    fn symmetry_breaking_handles_many_identical_machines() {
+        // 8 identical machines, 12 unit jobs: OPT = 2; would be 8^12
+        // states without symmetry breaking.
+        let inst = Instance::uniform(8, vec![1; 12]).unwrap();
+        assert_eq!(
+            opt_makespan(
+                &inst,
+                ExactLimits {
+                    max_jobs: 18,
+                    max_nodes: 2_000_000
+                }
+            )
+            .unwrap(),
+            2
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Strongly-typed identifiers.
+//!
+//! Using newtypes instead of bare `usize` prevents an entire class of
+//! index-confusion bugs (machine index used as job index and vice versa)
+//! that are easy to introduce in pairwise-balancing code where both kinds
+//! of indices fly around together.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The identifier as a `usize`, for indexing into dense arrays.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds the identifier from a dense array index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit the underlying representation.
+            #[inline]
+            pub fn from_idx(i: usize) -> Self {
+                Self(<$repr>::try_from(i).expect("id out of range"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a machine (the paper uses "machine" and "processor"
+    /// interchangeably).
+    MachineId,
+    u32
+);
+id_type!(
+    /// Identifies a job (the paper uses "job" and "task" interchangeably).
+    JobId,
+    u32
+);
+id_type!(
+    /// Identifies a cluster of identical machines (Section VI limits the
+    /// system to two clusters, e.g. the CPUs and the GPUs of a hybrid
+    /// cluster).
+    ClusterId,
+    u16
+);
+id_type!(
+    /// Identifies a *type* of job (Section V groups jobs whose processing
+    /// time vectors are identical).
+    JobTypeId,
+    u16
+);
+
+/// The two clusters of the Section VI setting.
+impl ClusterId {
+    /// First cluster (`M^1` in the paper).
+    pub const ONE: ClusterId = ClusterId(0);
+    /// Second cluster (`M^2` in the paper).
+    pub const TWO: ClusterId = ClusterId(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_idx() {
+        for i in [0usize, 1, 7, 1000] {
+            assert_eq!(MachineId::from_idx(i).idx(), i);
+            assert_eq!(JobId::from_idx(i).idx(), i);
+            assert_eq!(ClusterId::from_idx(i).idx(), i);
+            assert_eq!(JobTypeId::from_idx(i).idx(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "id out of range")]
+    fn cluster_id_overflow_panics() {
+        let _ = ClusterId::from_idx(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let set: HashSet<MachineId> = (0..10).map(MachineId).collect();
+        assert_eq!(set.len(), 10);
+        assert!(MachineId(1) < MachineId(2));
+        assert!(JobId(3) > JobId(0));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", MachineId(4)), "4");
+        assert_eq!(format!("{:?}", JobId(9)), "JobId(9)");
+        assert_eq!(ClusterId::ONE.idx(), 0);
+        assert_eq!(ClusterId::TWO.idx(), 1);
+    }
+
+    #[test]
+    fn from_repr() {
+        let m: MachineId = 5u32.into();
+        assert_eq!(m, MachineId(5));
+    }
+}

@@ -1,0 +1,503 @@
+//! An immutable problem instance: machines (grouped into clusters) plus a
+//! cost structure.
+
+use crate::cost::{Costs, Time, INFEASIBLE};
+use crate::error::{LbError, Result};
+use crate::ids::{ClusterId, JobId, JobTypeId, MachineId};
+use serde::{Deserialize, Serialize};
+
+/// A load-balancing problem instance.
+///
+/// Combines a [`Costs`] structure with a machine-to-cluster map. The
+/// cluster map is always present: instances built by [`Instance::dense`],
+/// [`Instance::uniform`], etc. place every machine in one cluster, while
+/// [`Instance::two_cluster`] builds the Section VI setting. Use
+/// [`Instance::with_clusters`] to impose an arbitrary partition.
+///
+/// Instances are immutable once constructed; assignments of jobs to
+/// machines live in [`crate::Assignment`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    clusters: Vec<ClusterId>,
+    num_clusters: usize,
+    machines_by_cluster: Vec<Vec<MachineId>>,
+    costs: Costs,
+}
+
+impl Instance {
+    /// Builds an instance from parts, validating consistency.
+    pub fn new(clusters: Vec<ClusterId>, costs: Costs) -> Result<Self> {
+        if clusters.is_empty() {
+            return Err(LbError::NoMachines);
+        }
+        if let Some(nm) = costs.num_machines() {
+            if nm != clusters.len() {
+                return Err(LbError::DimensionMismatch {
+                    expected: nm,
+                    actual: clusters.len(),
+                });
+            }
+        }
+        let num_clusters = clusters.iter().map(|c| c.idx() + 1).max().unwrap_or(0);
+        // Cluster ids must form a contiguous range starting at 0 so that
+        // `machines_by_cluster` has no silent empty buckets.
+        let mut machines_by_cluster = vec![Vec::new(); num_clusters];
+        for (i, c) in clusters.iter().enumerate() {
+            machines_by_cluster[c.idx()].push(MachineId::from_idx(i));
+        }
+        if let Some(empty) = machines_by_cluster.iter().position(Vec::is_empty) {
+            return Err(LbError::InvalidCluster {
+                cluster: empty,
+                num_clusters,
+            });
+        }
+        if matches!(costs, Costs::TwoCluster { .. }) && num_clusters != 2 {
+            return Err(LbError::NotTwoClusters { num_clusters });
+        }
+        if let Costs::MultiCluster {
+            num_clusters: nc,
+            costs: flat,
+        } = &costs
+        {
+            if *nc != num_clusters {
+                return Err(LbError::InvalidCluster {
+                    cluster: *nc,
+                    num_clusters,
+                });
+            }
+            if flat.len() % nc != 0 {
+                return Err(LbError::DimensionMismatch {
+                    expected: nc * (flat.len() / nc + 1),
+                    actual: flat.len(),
+                });
+            }
+        }
+        if let Costs::Typed {
+            type_of,
+            type_costs,
+            num_machines,
+        } = &costs
+        {
+            if *num_machines != clusters.len() {
+                return Err(LbError::DimensionMismatch {
+                    expected: *num_machines,
+                    actual: clusters.len(),
+                });
+            }
+            for row in type_costs {
+                if row.len() != *num_machines {
+                    return Err(LbError::DimensionMismatch {
+                        expected: *num_machines,
+                        actual: row.len(),
+                    });
+                }
+            }
+            for t in type_of {
+                if t.idx() >= type_costs.len() {
+                    return Err(LbError::InvalidJobType {
+                        job_type: t.idx(),
+                        num_types: type_costs.len(),
+                    });
+                }
+            }
+        }
+        if let Costs::Dense {
+            num_machines,
+            num_jobs,
+            costs: m,
+        } = &costs
+        {
+            if m.len() != num_machines * num_jobs {
+                return Err(LbError::DimensionMismatch {
+                    expected: num_machines * num_jobs,
+                    actual: m.len(),
+                });
+            }
+        }
+        if let Costs::Related { slowdowns, .. } = &costs {
+            if slowdowns.contains(&0) {
+                return Err(LbError::InvalidParameter(
+                    "machine slowdown must be >= 1".into(),
+                ));
+            }
+        }
+        Ok(Self {
+            clusters,
+            num_clusters,
+            machines_by_cluster,
+            costs,
+        })
+    }
+
+    /// Fully heterogeneous instance from a row-major `|M| x |J|` matrix,
+    /// all machines in a single cluster.
+    pub fn dense(num_machines: usize, num_jobs: usize, costs: Vec<Time>) -> Result<Self> {
+        Self::new(
+            vec![ClusterId::ONE; num_machines],
+            Costs::Dense {
+                num_machines,
+                num_jobs,
+                costs,
+            },
+        )
+    }
+
+    /// Identical machines; job `j` takes `sizes[j]` everywhere.
+    pub fn uniform(num_machines: usize, sizes: Vec<Time>) -> Result<Self> {
+        Self::new(vec![ClusterId::ONE; num_machines], Costs::Uniform { sizes })
+    }
+
+    /// Related machines; `p[i][j] = sizes[j] * slowdowns[i]`.
+    pub fn related(sizes: Vec<Time>, slowdowns: Vec<u64>) -> Result<Self> {
+        let m = slowdowns.len();
+        Self::new(vec![ClusterId::ONE; m], Costs::Related { sizes, slowdowns })
+    }
+
+    /// Typed jobs (Section V): `type_costs[t][i]` is the time of a type-`t`
+    /// job on machine `i`; `type_of[j]` the type of job `j`.
+    pub fn typed(
+        num_machines: usize,
+        type_of: Vec<JobTypeId>,
+        type_costs: Vec<Vec<Time>>,
+    ) -> Result<Self> {
+        Self::new(
+            vec![ClusterId::ONE; num_machines],
+            Costs::Typed {
+                num_machines,
+                type_of,
+                type_costs,
+            },
+        )
+    }
+
+    /// Two clusters of identical machines (Section VI): `m1` machines in
+    /// cluster 1, `m2` in cluster 2, and per-job costs `(p1, p2)`.
+    pub fn two_cluster(m1: usize, m2: usize, costs: Vec<(Time, Time)>) -> Result<Self> {
+        if m1 == 0 || m2 == 0 {
+            return Err(LbError::NoMachines);
+        }
+        let mut clusters = vec![ClusterId::ONE; m1];
+        clusters.extend(std::iter::repeat_n(ClusterId::TWO, m2));
+        Self::new(clusters, Costs::TwoCluster { costs })
+    }
+
+    /// `c` clusters of identical machines (the Section VIII extension):
+    /// `sizes[c]` machines in cluster `c`, and per-job costs
+    /// `job_costs[j][c]`.
+    pub fn multi_cluster(sizes: &[usize], job_costs: Vec<Vec<Time>>) -> Result<Self> {
+        let c = sizes.len();
+        if c < 2 {
+            return Err(LbError::InvalidParameter(
+                "multi_cluster needs at least 2 clusters".into(),
+            ));
+        }
+        if sizes.contains(&0) {
+            return Err(LbError::NoMachines);
+        }
+        let mut flat = Vec::with_capacity(job_costs.len() * c);
+        for (j, row) in job_costs.iter().enumerate() {
+            if row.len() != c {
+                let _ = j;
+                return Err(LbError::DimensionMismatch {
+                    expected: c,
+                    actual: row.len(),
+                });
+            }
+            flat.extend_from_slice(row);
+        }
+        let clusters: Vec<ClusterId> = sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, &s)| std::iter::repeat_n(ClusterId::from_idx(ci), s))
+            .collect();
+        Self::new(
+            clusters,
+            Costs::MultiCluster {
+                num_clusters: c,
+                costs: flat,
+            },
+        )
+    }
+
+    /// Replaces the machine-to-cluster map, revalidating.
+    pub fn with_clusters(self, clusters: Vec<ClusterId>) -> Result<Self> {
+        Self::new(clusters, self.costs)
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.costs.num_jobs()
+    }
+
+    /// Number of clusters (1 unless constructed otherwise).
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Processing time of `job` on `machine` (`p[i][j]`).
+    #[inline]
+    pub fn cost(&self, machine: MachineId, job: JobId) -> Time {
+        self.costs
+            .cost(machine.idx(), self.clusters[machine.idx()], job.idx())
+    }
+
+    /// The cluster of a machine.
+    #[inline]
+    pub fn cluster(&self, machine: MachineId) -> ClusterId {
+        self.clusters[machine.idx()]
+    }
+
+    /// The machines belonging to a cluster.
+    #[inline]
+    pub fn machines_in(&self, cluster: ClusterId) -> &[MachineId] {
+        &self.machines_by_cluster[cluster.idx()]
+    }
+
+    /// Iterator over all machine ids.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> + '_ {
+        (0..self.num_machines()).map(MachineId::from_idx)
+    }
+
+    /// Iterator over all job ids.
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        (0..self.num_jobs()).map(JobId::from_idx)
+    }
+
+    /// The underlying cost structure.
+    #[inline]
+    pub fn costs(&self) -> &Costs {
+        &self.costs
+    }
+
+    /// The type of a job, if the cost structure tracks types.
+    pub fn job_type(&self, job: JobId) -> Option<JobTypeId> {
+        self.costs.job_type(job.idx())
+    }
+
+    /// Number of job types, if tracked (see [`Costs::num_job_types`]).
+    pub fn num_job_types(&self) -> Option<usize> {
+        self.costs.num_job_types()
+    }
+
+    /// The cheapest processing time of a job over all machines.
+    pub fn min_cost_of(&self, job: JobId) -> Time {
+        self.machines()
+            .map(|m| self.cost(m, job))
+            .min()
+            .unwrap_or(INFEASIBLE)
+    }
+
+    /// A machine achieving [`Instance::min_cost_of`].
+    pub fn best_machine_for(&self, job: JobId) -> MachineId {
+        self.machines()
+            .min_by_key(|&m| self.cost(m, job))
+            .expect("instance has at least one machine")
+    }
+
+    /// The largest finite processing time in the instance, or `None` if
+    /// every entry is [`INFEASIBLE`].
+    pub fn max_finite_cost(&self) -> Option<Time> {
+        let mut max = None;
+        for m in self.machines() {
+            for j in self.jobs() {
+                let c = self.cost(m, j);
+                if c != INFEASIBLE {
+                    max = Some(max.map_or(c, |x: Time| x.max(c)));
+                }
+            }
+        }
+        max
+    }
+
+    /// True if the instance has exactly two clusters (Section VI setting).
+    pub fn is_two_cluster(&self) -> bool {
+        self.num_clusters == 2
+    }
+
+    /// Sum over jobs of the processing time on `machine` — the load if all
+    /// jobs were placed there. Saturates at [`INFEASIBLE`].
+    pub fn total_work_on(&self, machine: MachineId) -> Time {
+        self.jobs()
+            .fold(0u64, |acc, j| acc.saturating_add(self.cost(machine, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let inst = Instance::dense(2, 3, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(inst.num_machines(), 2);
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(inst.cost(MachineId(1), JobId(2)), 6);
+        assert_eq!(inst.num_clusters(), 1);
+        assert_eq!(inst.machines_in(ClusterId::ONE).len(), 2);
+    }
+
+    #[test]
+    fn dense_dimension_mismatch() {
+        let err = Instance::dense(2, 3, vec![1, 2, 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            LbError::DimensionMismatch {
+                expected: 6,
+                actual: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn no_machines_rejected() {
+        assert!(matches!(
+            Instance::uniform(0, vec![1]).unwrap_err(),
+            LbError::NoMachines
+        ));
+        assert!(matches!(
+            Instance::two_cluster(0, 3, vec![(1, 1)]).unwrap_err(),
+            LbError::NoMachines
+        ));
+    }
+
+    #[test]
+    fn two_cluster_construction() {
+        let inst = Instance::two_cluster(2, 3, vec![(10, 1), (4, 4)]).unwrap();
+        assert_eq!(inst.num_machines(), 5);
+        assert!(inst.is_two_cluster());
+        assert_eq!(
+            inst.machines_in(ClusterId::ONE),
+            &[MachineId(0), MachineId(1)]
+        );
+        assert_eq!(inst.machines_in(ClusterId::TWO).len(), 3);
+        // Machines 0..2 are in cluster 1 -> p1; machines 2..5 -> p2.
+        assert_eq!(inst.cost(MachineId(0), JobId(0)), 10);
+        assert_eq!(inst.cost(MachineId(4), JobId(0)), 1);
+        assert_eq!(inst.cost(MachineId(3), JobId(1)), 4);
+    }
+
+    #[test]
+    fn two_cluster_costs_require_two_clusters() {
+        let err = Instance::new(
+            vec![ClusterId::ONE; 4],
+            Costs::TwoCluster {
+                costs: vec![(1, 2)],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LbError::NotTwoClusters { num_clusters: 1 }));
+    }
+
+    #[test]
+    fn cluster_ids_must_be_contiguous() {
+        // Cluster 1 is skipped: machines in clusters {0, 2}.
+        let err = Instance::new(
+            vec![ClusterId(0), ClusterId(2)],
+            Costs::Uniform { sizes: vec![1] },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LbError::InvalidCluster { cluster: 1, .. }));
+    }
+
+    #[test]
+    fn typed_validation() {
+        let ok = Instance::typed(
+            2,
+            vec![JobTypeId(0), JobTypeId(1)],
+            vec![vec![1, 2], vec![3, 4]],
+        );
+        assert!(ok.is_ok());
+        let bad_type = Instance::typed(2, vec![JobTypeId(5)], vec![vec![1, 2]]);
+        assert!(matches!(
+            bad_type.unwrap_err(),
+            LbError::InvalidJobType { job_type: 5, .. }
+        ));
+        let bad_row = Instance::typed(2, vec![JobTypeId(0)], vec![vec![1]]);
+        assert!(matches!(
+            bad_row.unwrap_err(),
+            LbError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn related_zero_slowdown_rejected() {
+        assert!(Instance::related(vec![1], vec![1, 0]).is_err());
+        let inst = Instance::related(vec![2], vec![1, 3]).unwrap();
+        assert_eq!(inst.cost(MachineId(1), JobId(0)), 6);
+    }
+
+    #[test]
+    fn min_cost_and_best_machine() {
+        let inst = Instance::dense(3, 2, vec![5, 9, 2, 9, 7, 1]).unwrap();
+        assert_eq!(inst.min_cost_of(JobId(0)), 2);
+        assert_eq!(inst.best_machine_for(JobId(0)), MachineId(1));
+        assert_eq!(inst.min_cost_of(JobId(1)), 1);
+        assert_eq!(inst.best_machine_for(JobId(1)), MachineId(2));
+    }
+
+    #[test]
+    fn max_finite_cost_skips_infeasible() {
+        let inst = Instance::dense(1, 2, vec![INFEASIBLE, 7]).unwrap();
+        assert_eq!(inst.max_finite_cost(), Some(7));
+        let all_inf = Instance::dense(1, 1, vec![INFEASIBLE]).unwrap();
+        assert_eq!(all_inf.max_finite_cost(), None);
+    }
+
+    #[test]
+    fn total_work_on_saturates() {
+        let inst = Instance::dense(1, 2, vec![INFEASIBLE, 7]).unwrap();
+        assert_eq!(inst.total_work_on(MachineId(0)), INFEASIBLE);
+    }
+
+    #[test]
+    fn with_clusters_recluster() {
+        let inst = Instance::uniform(4, vec![1, 2]).unwrap();
+        let re = inst
+            .with_clusters(vec![ClusterId(0), ClusterId(0), ClusterId(1), ClusterId(1)])
+            .unwrap();
+        assert_eq!(re.num_clusters(), 2);
+        assert!(re.is_two_cluster());
+    }
+
+    #[test]
+    fn multi_cluster_construction() {
+        let inst = Instance::multi_cluster(&[2, 1, 3], vec![vec![5, 9, 2], vec![7, 1, 4]]).unwrap();
+        assert_eq!(inst.num_machines(), 6);
+        assert_eq!(inst.num_clusters(), 3);
+        assert_eq!(inst.num_jobs(), 2);
+        // Machines 0,1 in cluster 0; 2 in cluster 1; 3..6 in cluster 2.
+        assert_eq!(inst.cost(MachineId(0), JobId(0)), 5);
+        assert_eq!(inst.cost(MachineId(1), JobId(0)), 5);
+        assert_eq!(inst.cost(MachineId(2), JobId(0)), 9);
+        assert_eq!(inst.cost(MachineId(5), JobId(1)), 4);
+    }
+
+    #[test]
+    fn multi_cluster_validation() {
+        assert!(Instance::multi_cluster(&[2], vec![vec![1]]).is_err());
+        assert!(Instance::multi_cluster(&[1, 0], vec![vec![1, 2]]).is_err());
+        assert!(matches!(
+            Instance::multi_cluster(&[1, 1], vec![vec![1, 2, 3]]).unwrap_err(),
+            LbError::DimensionMismatch { .. }
+        ));
+        // Two clusters via multi_cluster is a legal two-cluster instance.
+        let inst = Instance::multi_cluster(&[1, 1], vec![vec![3, 4]]).unwrap();
+        assert!(inst.is_two_cluster());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = Instance::two_cluster(1, 2, vec![(3, 4)]).unwrap();
+        let s = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&s).unwrap();
+        assert_eq!(inst, back);
+    }
+}

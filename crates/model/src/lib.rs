@@ -1,0 +1,75 @@
+//! Problem substrate for load balancing on fully heterogeneous (unrelated)
+//! machines, as studied in Cheriere & Saule, *"Considerations on Distributed
+//! Load Balancing for Fully Heterogeneous Machines: Two Particular Cases"*
+//! (2015).
+//!
+//! The crate models the classical `R||Cmax` setting: a set of sequential,
+//! independent jobs must be partitioned over a set of machines that do not
+//! share memory, minimizing the **makespan** (the time at which the last
+//! machine finishes). Processing times `p[i][j]` are arbitrary per
+//! machine/job pair, which subsumes the identical, related, typed-job, and
+//! two-cluster special cases the paper builds its algorithms on.
+//!
+//! # Layout
+//!
+//! * [`ids`] — strongly-typed identifiers for machines, jobs, clusters and
+//!   job types.
+//! * [`cost`] — the [`cost::Costs`] enumeration of cost structures
+//!   (dense unrelated, uniform, related, typed, two-cluster).
+//! * [`instance`] — an immutable problem [`instance::Instance`]
+//!   combining a cost structure with a machine-to-cluster map.
+//! * [`assignment`] — a mutable [`assignment::Assignment`] of
+//!   jobs to machines with incremental load bookkeeping.
+//! * [`bounds`] — provable lower bounds on the optimal makespan.
+//! * [`exact`] — exact solvers (brute force and branch-and-bound) for small
+//!   instances, used to validate approximation guarantees in tests.
+//! * [`metrics`] — schedule quality metrics beyond the makespan
+//!   (imbalance, fairness, utilization).
+//! * [`perturb`] — cost misprediction: derive a "predicted" instance and
+//!   evaluate schedules under the true one.
+//!
+//! # Example
+//!
+//! ```
+//! use lb_model::prelude::*;
+//!
+//! // Two machines, three jobs, fully heterogeneous costs.
+//! let inst = Instance::dense(2, 3, vec![
+//!     1, 10, 4, // machine 0
+//!     8, 2, 4, // machine 1
+//! ]).unwrap();
+//!
+//! let mut asg = Assignment::all_on(&inst, MachineId(0));
+//! assert_eq!(asg.makespan(), 15);
+//! asg.move_job(&inst, JobId(1), MachineId(1));
+//! assert_eq!(asg.makespan(), 5);
+//! assert!(lb_model::bounds::combined_lower_bound(&inst) <= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod bounds;
+pub mod cost;
+pub mod error;
+pub mod exact;
+pub mod ids;
+pub mod instance;
+pub mod metrics;
+pub mod perturb;
+
+pub use assignment::Assignment;
+pub use cost::{Costs, Time, INFEASIBLE};
+pub use error::{LbError, Result};
+pub use ids::{ClusterId, JobId, JobTypeId, MachineId};
+pub use instance::Instance;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::assignment::Assignment;
+    pub use crate::cost::{Costs, Time, INFEASIBLE};
+    pub use crate::error::{LbError, Result};
+    pub use crate::ids::{ClusterId, JobId, JobTypeId, MachineId};
+    pub use crate::instance::Instance;
+}

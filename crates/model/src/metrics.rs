@@ -1,0 +1,127 @@
+//! Schedule quality metrics beyond the makespan.
+//!
+//! The paper optimizes `Cmax` only, but a runtime adopting these
+//! algorithms cares about the broader picture: how even is the load, how
+//! busy is each cluster, how fair is the split. These metrics are used by
+//! the experiment binaries' CSV outputs and by downstream users.
+
+use crate::assignment::Assignment;
+use crate::cost::Time;
+use crate::ids::ClusterId;
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate quality metrics of an assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// The makespan `max_i C(i)`.
+    pub makespan: Time,
+    /// The smallest machine load.
+    pub min_load: Time,
+    /// Mean machine load.
+    pub mean_load: f64,
+    /// Coefficient of variation of machine loads (std / mean; 0 when the
+    /// mean is 0).
+    pub load_cv: f64,
+    /// Jain's fairness index over machine loads: `(sum x)^2 / (n * sum
+    /// x^2)`, 1.0 = perfectly even, 1/n = maximally skewed.
+    pub jain_fairness: f64,
+    /// Machine utilization if the schedule ran to the makespan:
+    /// `sum_i C(i) / (|M| * Cmax)` (1.0 = no idle time; 0 for an empty
+    /// schedule).
+    pub utilization: f64,
+    /// Per-cluster total work, in cluster-id order.
+    pub cluster_work: Vec<Time>,
+}
+
+/// Computes all metrics in one pass over the machines.
+pub fn schedule_metrics(inst: &Instance, asg: &Assignment) -> ScheduleMetrics {
+    let loads: Vec<Time> = asg.loads();
+    let n = loads.len() as f64;
+    let makespan = loads.iter().copied().max().unwrap_or(0);
+    let min_load = loads.iter().copied().min().unwrap_or(0);
+    let sum: f64 = loads.iter().map(|&l| l as f64).sum();
+    let mean = sum / n;
+    let var = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let load_cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    let sum_sq: f64 = loads.iter().map(|&l| (l as f64).powi(2)).sum();
+    let jain_fairness = if sum_sq > 0.0 {
+        sum * sum / (n * sum_sq)
+    } else {
+        1.0
+    };
+    let utilization = if makespan > 0 {
+        sum / (n * makespan as f64)
+    } else {
+        0.0
+    };
+    let cluster_work = (0..inst.num_clusters())
+        .map(|c| asg.cluster_work(inst, ClusterId::from_idx(c)))
+        .collect();
+    ScheduleMetrics {
+        makespan,
+        min_load,
+        mean_load: mean,
+        load_cv,
+        jain_fairness,
+        utilization,
+        cluster_work,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MachineId;
+
+    #[test]
+    fn perfectly_balanced_metrics() {
+        let inst = Instance::uniform(4, vec![3, 3, 3, 3]).unwrap();
+        let asg = Assignment::round_robin(&inst);
+        let m = schedule_metrics(&inst, &asg);
+        assert_eq!(m.makespan, 3);
+        assert_eq!(m.min_load, 3);
+        assert!((m.load_cv - 0.0).abs() < 1e-12);
+        assert!((m.jain_fairness - 1.0).abs() < 1e-12);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(m.cluster_work, vec![12]);
+    }
+
+    #[test]
+    fn maximally_skewed_metrics() {
+        let inst = Instance::uniform(4, vec![3, 3, 3, 3]).unwrap();
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let m = schedule_metrics(&inst, &asg);
+        assert_eq!(m.makespan, 12);
+        assert_eq!(m.min_load, 0);
+        assert!(
+            (m.jain_fairness - 0.25).abs() < 1e-12,
+            "Jain = 1/n when one machine has all"
+        );
+        assert!((m.utilization - 0.25).abs() < 1e-12);
+        assert!(m.load_cv > 1.0);
+    }
+
+    #[test]
+    fn per_cluster_work() {
+        let inst = Instance::two_cluster(1, 1, vec![(4, 9), (7, 2)]).unwrap();
+        let asg = Assignment::from_vec(&inst, vec![MachineId(0), MachineId(1)]).unwrap();
+        let m = schedule_metrics(&inst, &asg);
+        assert_eq!(m.cluster_work, vec![4, 2]);
+        assert_eq!(m.makespan, 4);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let inst = Instance::uniform(3, vec![]).unwrap();
+        let asg = Assignment::from_vec(&inst, vec![]).unwrap();
+        let m = schedule_metrics(&inst, &asg);
+        assert_eq!(m.makespan, 0);
+        assert_eq!(m.utilization, 0.0);
+        assert!((m.jain_fairness - 1.0).abs() < 1e-12);
+    }
+}

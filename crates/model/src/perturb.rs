@@ -1,0 +1,231 @@
+//! Cost misprediction: predicted vs. true processing times.
+//!
+//! The paper's introduction motivates decentralization partly by "the
+//! inherent imprecision of all scheduling systems (runtimes are typically
+//! difficult to predict)". This module makes that first-class: derive a
+//! *perturbed* instance from a true one (or vice versa), balance against
+//! the predictions, then evaluate the resulting assignment under the true
+//! costs. The `ext_robustness` experiment quantifies how much prediction
+//! error the paper's algorithms tolerate.
+//!
+//! Perturbation is multiplicative and deterministic per `(seed, machine,
+//! job)`, via a splitmix-style hash — so a perturbed instance is a pure
+//! function of `(instance, error_percent, seed)` with no RNG state to
+//! thread around, and any single entry can be recomputed independently.
+
+use crate::cost::{Costs, Time, INFEASIBLE};
+use crate::instance::Instance;
+use crate::prelude::Assignment;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Multiplies `value` by a factor drawn (deterministically from the hash
+/// of `(seed, machine, job)`) uniformly from
+/// `[1 - error_percent/100, 1 + error_percent/100]`, rounding to the
+/// nearest integer and clamping to at least 1. [`INFEASIBLE`] entries are
+/// preserved.
+fn perturb_one(value: Time, error_percent: u32, seed: u64, machine: usize, job: usize) -> Time {
+    if value == INFEASIBLE || error_percent == 0 {
+        return value;
+    }
+    let h = mix(seed ^ mix((machine as u64) << 32 | job as u64));
+    // Map the hash to [-e, +e] percent.
+    let span = 2 * u64::from(error_percent) + 1;
+    let offset = (h % span) as i64 - i64::from(error_percent);
+    let scaled = value as i128 * (100 + offset as i128) / 100;
+    Time::try_from(scaled.max(1)).unwrap_or(INFEASIBLE - 1)
+}
+
+/// Derives the "predicted" instance a scheduler would see when every cost
+/// estimate is off by up to ±`error_percent`%.
+///
+/// The structure of the cost model is preserved (a typed instance stays
+/// typed — all jobs of a type get the same perturbed vector; a
+/// two-cluster instance stays two-cluster), because the paper's
+/// algorithms dispatch on that structure.
+pub fn perturbed_instance(inst: &Instance, error_percent: u32, seed: u64) -> Instance {
+    let clusters: Vec<_> = inst.machines().map(|m| inst.cluster(m)).collect();
+    let costs = match inst.costs() {
+        Costs::Dense {
+            num_machines,
+            num_jobs,
+            costs,
+        } => Costs::Dense {
+            num_machines: *num_machines,
+            num_jobs: *num_jobs,
+            costs: costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| perturb_one(c, error_percent, seed, i / num_jobs, i % num_jobs))
+                .collect(),
+        },
+        Costs::Uniform { sizes } => Costs::Uniform {
+            sizes: sizes
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| perturb_one(c, error_percent, seed, 0, j))
+                .collect(),
+        },
+        Costs::Related { sizes, slowdowns } => Costs::Related {
+            sizes: sizes
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| perturb_one(c, error_percent, seed, 0, j))
+                .collect(),
+            slowdowns: slowdowns.clone(),
+        },
+        Costs::Typed {
+            num_machines,
+            type_of,
+            type_costs,
+        } => Costs::Typed {
+            num_machines: *num_machines,
+            type_of: type_of.clone(),
+            type_costs: type_costs
+                .iter()
+                .enumerate()
+                .map(|(t, row)| {
+                    row.iter()
+                        .enumerate()
+                        // Perturb per (type, machine) so same-type jobs
+                        // keep identical vectors.
+                        .map(|(i, &c)| perturb_one(c, error_percent, seed, i, t))
+                        .collect()
+                })
+                .collect(),
+        },
+        Costs::MultiCluster {
+            num_clusters,
+            costs,
+        } => Costs::MultiCluster {
+            num_clusters: *num_clusters,
+            costs: costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    // Perturb per (cluster, job) so cluster-uniformity holds.
+                    perturb_one(c, error_percent, seed, i % num_clusters, i / num_clusters)
+                })
+                .collect(),
+        },
+        Costs::TwoCluster { costs } => Costs::TwoCluster {
+            costs: costs
+                .iter()
+                .enumerate()
+                .map(|(j, &(p1, p2))| {
+                    (
+                        perturb_one(p1, error_percent, seed, 0, j),
+                        perturb_one(p2, error_percent, seed, 1, j),
+                    )
+                })
+                .collect(),
+        },
+    };
+    Instance::new(clusters, costs).expect("perturbation preserves validity")
+}
+
+/// Evaluates an assignment built against one instance under another
+/// (typically: planned with predictions, executed with true costs).
+///
+/// Returns the makespan under `truth`. The two instances must have the
+/// same shape.
+pub fn evaluate_under(truth: &Instance, asg: &Assignment) -> Time {
+    let mut loads = vec![0u128; truth.num_machines()];
+    for j in truth.jobs() {
+        let m = asg.machine_of(j);
+        loads[m.idx()] += u128::from(truth.cost(m, j));
+    }
+    loads
+        .into_iter()
+        .map(|l| Time::try_from(l).unwrap_or(INFEASIBLE))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, JobTypeId, MachineId};
+
+    #[test]
+    fn zero_error_is_identity() {
+        let inst = Instance::dense(2, 3, vec![5, 9, 2, 7, 1, 8]).unwrap();
+        assert_eq!(perturbed_instance(&inst, 0, 42), inst);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = Instance::two_cluster(2, 2, vec![(100, 200), (300, 50)]).unwrap();
+        let a = perturbed_instance(&inst, 20, 7);
+        let b = perturbed_instance(&inst, 20, 7);
+        assert_eq!(a, b);
+        let c = perturbed_instance(&inst, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stays_within_error_band() {
+        let inst = Instance::dense(3, 10, (0..30).map(|i| 100 + i * 10).collect()).unwrap();
+        let p = perturbed_instance(&inst, 25, 3);
+        for m in inst.machines() {
+            for j in inst.jobs() {
+                let orig = inst.cost(m, j) as f64;
+                let pert = p.cost(m, j) as f64;
+                assert!(
+                    (pert - orig).abs() <= orig * 0.25 + 1.0,
+                    "{pert} vs {orig} out of band"
+                );
+                assert!(p.cost(m, j) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_structure() {
+        let typed = Instance::typed(
+            2,
+            vec![JobTypeId(0), JobTypeId(0), JobTypeId(1)],
+            vec![vec![50, 70], vec![90, 20]],
+        )
+        .unwrap();
+        let p = perturbed_instance(&typed, 30, 1);
+        // Same-type jobs still share cost vectors.
+        for m in p.machines() {
+            assert_eq!(p.cost(m, JobId(0)), p.cost(m, JobId(1)));
+        }
+        assert_eq!(p.num_job_types(), Some(2));
+
+        let tc = Instance::two_cluster(2, 3, vec![(10, 20)]).unwrap();
+        let ptc = perturbed_instance(&tc, 30, 2);
+        assert!(ptc.is_two_cluster());
+        // Cluster-uniformity preserved.
+        assert_eq!(
+            ptc.cost(MachineId(0), JobId(0)),
+            ptc.cost(MachineId(1), JobId(0))
+        );
+    }
+
+    #[test]
+    fn infeasible_preserved() {
+        let inst = Instance::dense(1, 2, vec![INFEASIBLE, 10]).unwrap();
+        let p = perturbed_instance(&inst, 50, 9);
+        assert_eq!(p.cost(MachineId(0), JobId(0)), INFEASIBLE);
+    }
+
+    #[test]
+    fn evaluate_under_other_costs() {
+        let predicted = Instance::dense(2, 2, vec![1, 1, 10, 10]).unwrap();
+        let truth = Instance::dense(2, 2, vec![6, 6, 2, 2]).unwrap();
+        // Scheduler puts both jobs on machine 0 (cheap under predictions).
+        let asg = Assignment::all_on(&predicted, MachineId(0));
+        assert_eq!(asg.makespan(), 2); // predicted view
+        assert_eq!(evaluate_under(&truth, &asg), 12); // reality
+    }
+}

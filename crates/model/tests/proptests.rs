@@ -1,0 +1,150 @@
+//! Property tests of the model substrate's invariants.
+
+use lb_model::bounds::{
+    average_work_lower_bound, combined_lower_bound, min_cost_lower_bound,
+    two_cluster_fractional_lower_bound,
+};
+use lb_model::exact::{brute_force_opt, opt_makespan, ExactLimits};
+use lb_model::metrics::schedule_metrics;
+use lb_model::perturb::{evaluate_under, perturbed_instance};
+use lb_model::prelude::*;
+use proptest::prelude::*;
+
+fn small_dense() -> impl Strategy<Value = Instance> {
+    (2usize..=4, 0usize..=7).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(1u64..=15, m * n)
+            .prop_map(move |costs| Instance::dense(m, n, costs).unwrap())
+    })
+}
+
+fn small_two_cluster() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=3, 1usize..=7).prop_flat_map(|(m1, m2, n)| {
+        proptest::collection::vec((1u64..=9, 1u64..=9), n)
+            .prop_map(move |costs| Instance::two_cluster(m1, m2, costs).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Assignment loads stay consistent under arbitrary move sequences.
+    #[test]
+    fn moves_preserve_consistency(
+        (inst, moves) in small_dense().prop_flat_map(|inst| {
+            let m = inst.num_machines() as u32;
+            let n = inst.num_jobs() as u32;
+            let moves = proptest::collection::vec((0..n.max(1), 0..m), 0..20);
+            (Just(inst), moves)
+        }),
+    ) {
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        for (j, m) in moves {
+            if (j as usize) < inst.num_jobs() {
+                asg.move_job(&inst, JobId(j), MachineId(m));
+            }
+        }
+        prop_assert!(asg.validate(&inst).is_ok());
+        // Makespan equals the max over recomputed loads.
+        let recomputed: Time = inst
+            .machines()
+            .map(|m| {
+                inst.jobs()
+                    .filter(|&j| asg.machine_of(j) == m)
+                    .map(|j| inst.cost(m, j))
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(asg.makespan(), recomputed);
+    }
+
+    /// All three generic bounds are below the brute-force optimum, and the
+    /// combined bound dominates its components.
+    #[test]
+    fn bounds_hierarchy(inst in small_dense()) {
+        let opt = brute_force_opt(&inst).unwrap();
+        let mc = min_cost_lower_bound(&inst);
+        let aw = average_work_lower_bound(&inst);
+        let cb = combined_lower_bound(&inst);
+        prop_assert!(mc <= opt);
+        prop_assert!(aw <= opt);
+        prop_assert!(cb <= opt);
+        prop_assert!(cb >= mc && cb >= aw);
+    }
+
+    /// The fractional two-cluster bound is sandwiched between zero and the
+    /// exact optimum.
+    #[test]
+    fn fractional_bound_sound(inst in small_two_cluster()) {
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let frac = two_cluster_fractional_lower_bound(&inst).unwrap();
+        prop_assert!(frac >= 0.0);
+        prop_assert!(frac <= opt as f64 + 1e-9, "frac {frac} > OPT {opt}");
+    }
+
+    /// Perturbation respects its error band and keeps costs positive.
+    #[test]
+    fn perturbation_band(inst in small_dense(), error in 0u32..=60, seed in 0u64..1000) {
+        let p = perturbed_instance(&inst, error, seed);
+        prop_assert_eq!(p.num_machines(), inst.num_machines());
+        prop_assert_eq!(p.num_jobs(), inst.num_jobs());
+        for m in inst.machines() {
+            for j in inst.jobs() {
+                let orig = inst.cost(m, j) as f64;
+                let pert = p.cost(m, j) as f64;
+                prop_assert!(pert >= 1.0);
+                prop_assert!(
+                    (pert - orig).abs() <= orig * (error as f64) / 100.0 + 1.0,
+                    "cost {orig} perturbed to {pert} with error {error}%"
+                );
+            }
+        }
+    }
+
+    /// `evaluate_under(inst, asg)` equals the assignment's own makespan
+    /// when the evaluating instance is the planning instance.
+    #[test]
+    fn evaluate_under_identity(
+        (inst, machine_of) in small_dense().prop_flat_map(|inst| {
+            let m = inst.num_machines() as u32;
+            let v = proptest::collection::vec(0..m, inst.num_jobs());
+            (Just(inst), v)
+        }),
+    ) {
+        let machine_of: Vec<MachineId> = machine_of.into_iter().map(MachineId).collect();
+        let asg = Assignment::from_vec(&inst, machine_of).unwrap();
+        prop_assert_eq!(evaluate_under(&inst, &asg), asg.makespan());
+    }
+
+    /// Metrics stay in their defined ranges on arbitrary assignments.
+    #[test]
+    fn metrics_ranges(
+        (inst, machine_of) in small_dense().prop_flat_map(|inst| {
+            let m = inst.num_machines() as u32;
+            let v = proptest::collection::vec(0..m, inst.num_jobs());
+            (Just(inst), v)
+        }),
+    ) {
+        let machine_of: Vec<MachineId> = machine_of.into_iter().map(MachineId).collect();
+        let asg = Assignment::from_vec(&inst, machine_of).unwrap();
+        let met = schedule_metrics(&inst, &asg);
+        let n = inst.num_machines() as f64;
+        prop_assert!(met.jain_fairness >= 1.0 / n - 1e-9 && met.jain_fairness <= 1.0 + 1e-9);
+        prop_assert!(met.utilization >= 0.0 && met.utilization <= 1.0 + 1e-9);
+        prop_assert!(met.load_cv >= 0.0);
+        prop_assert!(met.min_load <= met.makespan);
+        prop_assert_eq!(met.makespan, asg.makespan());
+    }
+
+    /// Branch-and-bound never exceeds any concrete schedule and matches
+    /// brute force.
+    #[test]
+    fn exact_solver_consistent(inst in small_dense()) {
+        let bb = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let bf = brute_force_opt(&inst).unwrap();
+        prop_assert_eq!(bb, bf);
+        // Round-robin is a concrete schedule: an upper bound on OPT.
+        let rr = Assignment::round_robin(&inst);
+        prop_assert!(bb <= rr.makespan());
+    }
+}

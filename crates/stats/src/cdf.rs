@@ -1,0 +1,120 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+///
+/// Used for Figure 5-style plots ("fraction of machines that reached the
+/// threshold within x exchanges").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from samples; non-finite samples are dropped.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite after retain"));
+        Self { sorted: samples }
+    }
+
+    /// Number of (finite) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point: number of samples <= x.
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (inverse CDF), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// The step points `(x, P(X <= x))` of the CDF, deduplicated by x.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let p = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = p,
+                _ => out.push((x, p)),
+            }
+        }
+        out
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_quantile() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.len(), 4);
+        assert!((e.eval(0.5) - 0.0).abs() < 1e-12);
+        assert!((e.eval(1.0) - 0.25).abs() < 1e-12);
+        assert!((e.eval(2.0) - 0.75).abs() < 1e-12);
+        assert!((e.eval(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(e.quantile(0.25), Some(1.0));
+        assert_eq!(e.quantile(0.5), Some(2.0));
+        assert_eq!(e.quantile(1.0), Some(3.0));
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        let e = Ecdf::new(vec![f64::NAN, f64::INFINITY]);
+        // Infinity is dropped too (non-finite), so the ECDF is empty.
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+    }
+
+    #[test]
+    fn steps_deduplicate() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        let steps = e.steps();
+        assert_eq!(steps.len(), 2);
+        assert!((steps[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((steps[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let e = Ecdf::new(vec![5.0]);
+        assert_eq!(e.quantile(-0.1), None);
+        assert_eq!(e.quantile(1.1), None);
+        assert_eq!(e.quantile(0.0), Some(5.0));
+    }
+}

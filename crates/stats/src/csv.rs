@@ -1,0 +1,142 @@
+//! Minimal CSV emission for experiment results.
+//!
+//! The experiment binaries write one CSV per figure/table so results can
+//! be re-plotted externally; this writer covers exactly that need (numeric
+//! and simple string cells) without pulling in a full CSV dependency.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Writes rows of cells as CSV to any [`Write`] sink.
+pub struct CsvWriter<W: Write> {
+    sink: W,
+    columns: usize,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Creates the writer and emits the header row.
+    pub fn new(mut sink: W, header: &[&str]) -> io::Result<Self> {
+        let columns = header.len();
+        writeln!(
+            sink,
+            "{}",
+            header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
+        Ok(Self { sink, columns })
+    }
+
+    /// Writes one row; the cell count must match the header.
+    pub fn row(&mut self, cells: &[CsvCell]) -> io::Result<()> {
+        assert_eq!(cells.len(), self.columns, "CSV row width must match header");
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            match c {
+                CsvCell::Int(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                CsvCell::Uint(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                CsvCell::Float(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                CsvCell::Str(s) => line.push_str(&escape(s)),
+            }
+        }
+        writeln!(self.sink, "{line}")
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// One CSV cell.
+#[derive(Debug, Clone)]
+pub enum CsvCell {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Real number (written with full precision).
+    Float(f64),
+    /// String (quoted if needed).
+    Str(String),
+}
+
+impl From<u64> for CsvCell {
+    fn from(v: u64) -> Self {
+        CsvCell::Uint(v)
+    }
+}
+impl From<i64> for CsvCell {
+    fn from(v: i64) -> Self {
+        CsvCell::Int(v)
+    }
+}
+impl From<f64> for CsvCell {
+    fn from(v: f64) -> Self {
+        CsvCell::Float(v)
+    }
+}
+impl From<&str> for CsvCell {
+    fn from(v: &str) -> Self {
+        CsvCell::Str(v.to_string())
+    }
+}
+impl From<String> for CsvCell {
+    fn from(v: String) -> Self {
+        CsvCell::Str(v)
+    }
+}
+
+fn escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let buf = Vec::new();
+        let mut w = CsvWriter::new(buf, &["a", "b", "c"]).unwrap();
+        w.row(&[CsvCell::Uint(1), CsvCell::Float(2.5), "x".into()])
+            .unwrap();
+        w.row(&[CsvCell::Int(-3), CsvCell::Float(0.125), "y,z".into()])
+            .unwrap();
+        let out = String::from_utf8(w.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "a,b,c");
+        assert_eq!(lines[1], "1,2.5,x");
+        assert_eq!(lines[2], "-3,0.125,\"y,z\"");
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "\"a\"\"b\"");
+        assert_eq!(escape("a\nb"), "\"a\nb\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut w = CsvWriter::new(Vec::new(), &["a", "b"]).unwrap();
+        let _ = w.row(&[CsvCell::Uint(1)]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Histograms over integer and real-valued observations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An exact histogram over `u64` observations (one bucket per distinct
+/// value, sparse).
+///
+/// Used for makespan distributions where values are integral work units;
+/// exactness matters because the Markov-chain experiments compare
+/// probability masses bucket by bucket.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records an observation with multiplicity `count`.
+    pub fn add_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &c) in &other.counts {
+            self.add_n(v, c);
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations of exactly `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(value, count)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// `(value, probability)` pairs (empirical PDF).
+    pub fn pdf(&self) -> Vec<(u64, f64)> {
+        let t = self.total as f64;
+        self.iter().map(|(v, c)| (v, c as f64 / t)).collect()
+    }
+
+    /// The smallest observed value.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// The largest observed value.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Mean of the observations.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: f64 = self.iter().map(|(v, c)| v as f64 * c as f64).sum();
+        Some(sum / self.total as f64)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by the inverse-CDF definition: the
+    /// smallest value whose cumulative count reaches `ceil(q * total)`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (v, c) in self.iter() {
+            acc += c;
+            if acc >= target {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Fraction of observations `<= value`.
+    pub fn cdf_at(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.counts.range(..=value).map(|(_, &c)| c).sum();
+        below as f64 / self.total as f64
+    }
+}
+
+/// A fixed-bin-width histogram over `f64` observations.
+///
+/// Used for normalized quantities such as "deviation from perfect balance
+/// as a fraction of `p_max`" (paper Figure 2's X axis).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FloatHistogram {
+    origin: f64,
+    width: f64,
+    counts: BTreeMap<i64, f64>,
+    total: f64,
+}
+
+impl FloatHistogram {
+    /// Bins of width `width`, aligned so a bin boundary falls on `origin`.
+    ///
+    /// # Panics
+    /// Panics if `width` is not strictly positive and finite.
+    pub fn new(origin: f64, width: f64) -> Self {
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "bin width must be positive"
+        );
+        Self {
+            origin,
+            width,
+            counts: BTreeMap::new(),
+            total: 0.0,
+        }
+    }
+
+    fn bin_of(&self, value: f64) -> i64 {
+        ((value - self.origin) / self.width).floor() as i64
+    }
+
+    /// Records an observation with weight 1.
+    pub fn add(&mut self, value: f64) {
+        self.add_weighted(value, 1.0);
+    }
+
+    /// Records an observation with an arbitrary nonnegative weight
+    /// (probability masses from the Markov stationary distribution).
+    pub fn add_weighted(&mut self, value: f64, weight: f64) {
+        if weight <= 0.0 {
+            return;
+        }
+        *self.counts.entry(self.bin_of(value)).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// Total weight recorded.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// `(bin_center, density)` pairs where densities integrate to 1.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        if self.total <= 0.0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .map(|(&b, &w)| {
+                let center = self.origin + (b as f64 + 0.5) * self.width;
+                (center, w / (self.total * self.width))
+            })
+            .collect()
+    }
+
+    /// `(bin_center, probability_mass)` pairs summing to 1.
+    pub fn masses(&self) -> Vec<(f64, f64)> {
+        if self.total <= 0.0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .map(|(&b, &w)| {
+                let center = self.origin + (b as f64 + 0.5) * self.width;
+                (center, w / self.total)
+            })
+            .collect()
+    }
+
+    /// The bin center with the largest mass (the mode), if any.
+    pub fn mode(&self) -> Option<f64> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(&b, _)| self.origin + (b as f64 + 0.5) * self.width)
+    }
+
+    /// Weighted mean of the observations (by bin center).
+    pub fn mean(&self) -> Option<f64> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        Some(self.masses().iter().map(|(c, m)| c * m).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [5, 1, 3, 3, 9] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert!((h.mean().unwrap() - 4.2).abs() < 1e-12);
+        assert!((h.cdf_at(3) - 0.6).abs() < 1e-12);
+        assert_eq!(h.cdf_at(0), 0.0);
+        assert!((h.cdf_at(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.cdf_at(10), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_and_add_n() {
+        let mut a = Histogram::new();
+        a.add_n(2, 3);
+        a.add_n(2, 0); // no-op
+        let mut b = Histogram::new();
+        b.add_n(2, 1);
+        b.add_n(7, 2);
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.count(2), 4);
+        assert_eq!(a.count(7), 2);
+    }
+
+    #[test]
+    fn histogram_pdf_sums_to_one() {
+        let mut h = Histogram::new();
+        for v in 0..10 {
+            h.add_n(v, v + 1);
+        }
+        let s: f64 = h.pdf().iter().map(|(_, p)| p).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_histogram_bins() {
+        let mut h = FloatHistogram::new(0.0, 0.5);
+        h.add(0.1); // bin 0 -> center 0.25
+        h.add(0.4);
+        h.add(0.6); // bin 1 -> center 0.75
+        h.add(-0.1); // bin -1 -> center -0.25
+        let masses = h.masses();
+        assert_eq!(masses.len(), 3);
+        assert!((h.total() - 4.0).abs() < 1e-12);
+        assert_eq!(h.mode(), Some(0.25));
+        let total_mass: f64 = masses.iter().map(|(_, m)| m).sum();
+        assert!((total_mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_histogram_density_integrates_to_one() {
+        let mut h = FloatHistogram::new(0.0, 0.25);
+        for i in 0..100 {
+            h.add(i as f64 * 0.01);
+        }
+        let integral: f64 = h.density().iter().map(|(_, d)| d * 0.25).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn float_histogram_weighted() {
+        let mut h = FloatHistogram::new(0.0, 1.0);
+        h.add_weighted(0.5, 0.75);
+        h.add_weighted(1.5, 0.25);
+        h.add_weighted(2.5, 0.0); // ignored
+        h.add_weighted(2.5, -1.0); // ignored
+        let masses = h.masses();
+        assert_eq!(masses.len(), 2);
+        assert!((masses[0].1 - 0.75).abs() < 1e-12);
+        assert!((h.mean().unwrap() - (0.5 * 0.75 + 1.5 * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn float_histogram_rejects_bad_width() {
+        let _ = FloatHistogram::new(0.0, 0.0);
+    }
+}

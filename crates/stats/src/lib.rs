@@ -1,0 +1,21 @@
+//! Statistics utilities shared by the experiment harnesses.
+//!
+//! Nothing here is specific to scheduling: histograms over integer loads,
+//! empirical CDFs/PDFs, scalar summaries, a minimal CSV writer, and
+//! terminal plots used by the figure-regeneration binaries so their output
+//! is readable without an external plotting stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod csv;
+pub mod histogram;
+pub mod online;
+pub mod plot;
+pub mod summary;
+
+pub use cdf::Ecdf;
+pub use histogram::{FloatHistogram, Histogram};
+pub use online::OnlineStats;
+pub use summary::Summary;

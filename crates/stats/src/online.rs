@@ -1,0 +1,179 @@
+//! Streaming (online) statistics — Welford's algorithm.
+//!
+//! The gossip engine and the concurrent runtime observe long streams of
+//! makespans/loads; buffering every observation for a [`crate::Summary`]
+//! is wasteful when only moments are needed. `OnlineStats` accumulates
+//! count/mean/variance in O(1) space with Welford's numerically stable
+//! update, and merges across parallel replications (Chan et al.).
+
+use serde::{Deserialize, Serialize};
+
+/// Running count, mean, and variance of a stream of reals.
+///
+/// ```
+/// use lb_stats::OnlineStats;
+///
+/// let stats: OnlineStats = [2.0, 4.0, 6.0].into_iter().collect();
+/// assert_eq!(stats.mean(), Some(4.0));
+/// assert_eq!(stats.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation (non-finite values are ignored).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (`None` for fewer than 2 observations).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator (parallel aggregation).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch_summary() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s: OnlineStats = data.iter().copied().collect();
+        let batch = crate::Summary::of(&data).unwrap();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - batch.mean).abs() < 1e-12);
+        assert!((s.std().unwrap() - batch.std).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        let mut s = OnlineStats::new();
+        s.push(7.0);
+        assert_eq!(s.mean(), Some(7.0));
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.std(), None);
+    }
+
+    #[test]
+    fn ignores_nonfinite() {
+        let mut s = OnlineStats::new();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: OnlineStats = data.iter().copied().collect();
+        let mut left: OnlineStats = data[..37].iter().copied().collect();
+        let right: OnlineStats = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
+        assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let b = OnlineStats::new();
+        let snapshot = a;
+        a.merge(&b);
+        assert_eq!(a, snapshot);
+        let mut c = OnlineStats::new();
+        c.merge(&snapshot);
+        assert_eq!(c, snapshot);
+    }
+}

@@ -1,0 +1,146 @@
+//! Terminal plots so experiment binaries are readable without an external
+//! plotting stack.
+
+/// Renders a horizontal bar chart of `(label, value)` pairs.
+///
+/// Bars are scaled so the maximum value spans `width` characters. Values
+/// must be nonnegative; negative values are clamped to zero.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| v.max(0.0)).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let v = value.max(0.0);
+        let n = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {v:.4}\n",
+            "#".repeat(n),
+            "",
+        ));
+    }
+    out
+}
+
+/// Renders an XY series as a fixed-size character grid (scatter / line).
+///
+/// Intended for quick visual inspection of distributions and trajectories
+/// in the experiment binaries' stdout.
+pub fn ascii_plot(points: &[(f64, f64)], cols: usize, rows: usize) -> String {
+    if points.is_empty() || cols == 0 || rows == 0 {
+        return String::new();
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if !xmin.is_finite() || !ymin.is_finite() {
+        return String::new();
+    }
+    let xspan = if xmax > xmin { xmax - xmin } else { 1.0 };
+    let yspan = if ymax > ymin { ymax - ymin } else { 1.0 };
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y) in points {
+        let cx = (((x - xmin) / xspan) * (cols - 1) as f64).round() as usize;
+        let cy = (((y - ymin) / yspan) * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - cy][cx] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: [{ymin:.3}, {ymax:.3}]\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push('\n');
+    out.push_str(&format!("x: [{xmin:.3}, {xmax:.3}]\n"));
+    out
+}
+
+/// A compact sparkline of a series using block characters.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        return String::new();
+    }
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales() {
+        let rows = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let chart = bar_chart(&rows, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains(&"#".repeat(10)));
+        assert!(lines[0].contains(&"#".repeat(5)));
+        assert!(lines[0].starts_with("a "));
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_and_negative() {
+        let rows = vec![("z".to_string(), 0.0), ("n".to_string(), -5.0)];
+        let chart = bar_chart(&rows, 10);
+        assert!(!chart.contains('#'));
+    }
+
+    #[test]
+    fn ascii_plot_dimensions() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        let plot = ascii_plot(&pts, 40, 10);
+        // Header + 10 rows + axis + footer.
+        assert_eq!(plot.lines().count(), 13);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn ascii_plot_empty() {
+        assert_eq!(ascii_plot(&[], 10, 5), "");
+    }
+
+    #[test]
+    fn sparkline_range() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_constant_and_empty() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[2.0, 2.0]);
+        assert_eq!(s.chars().count(), 2);
+    }
+}

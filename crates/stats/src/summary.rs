@@ -1,0 +1,127 @@
+//! Scalar sample summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-plus summary of a sample of reals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n-1` denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; returns `None` for an empty (or all-NaN) one.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let h = p * (n as f64 - 1.0);
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+            }
+        };
+        Some(Self {
+            n,
+            mean,
+            std,
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: v[n - 1],
+        })
+    }
+
+    /// Summarizes integer samples.
+    pub fn of_u64(samples: &[u64]) -> Option<Self> {
+        let v: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Self::of(&v)
+    }
+
+    /// One-line human-readable rendering.
+    pub fn line(&self) -> String {
+        format!(
+            "n={} mean={:.3} std={:.3} min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3}",
+            self.n, self.mean, self.std, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+        // std of 1,2,3,4 (unbiased) = sqrt(5/3)
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn empty_and_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        // NaNs are filtered, finite values kept.
+        let s = Summary::of(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn of_u64() {
+        let s = Summary::of_u64(&[10, 20, 30]).unwrap();
+        assert!((s.mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_is_readable() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        let line = s.line();
+        assert!(line.contains("n=2"));
+        assert!(line.contains("mean=1.500"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the statistics utilities.
+
+use lb_stats::{Ecdf, FloatHistogram, Histogram, OnlineStats, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram totals, quantile monotonicity, and CDF bounds.
+    #[test]
+    fn histogram_invariants(values in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.add(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.min(), values.iter().copied().min());
+        prop_assert_eq!(h.max(), values.iter().copied().max());
+        // Quantiles are monotone in q.
+        let qs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let quantiles: Vec<u64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        prop_assert!(quantiles.windows(2).all(|w| w[0] <= w[1]));
+        // CDF is within [0, 1] and reaches 1 at the max.
+        prop_assert!((h.cdf_at(h.max().unwrap()) - 1.0).abs() < 1e-12);
+        // PDF sums to 1.
+        let mass: f64 = h.pdf().iter().map(|&(_, p)| p).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    /// ECDF is a monotone step function from ~0 to 1.
+    #[test]
+    fn ecdf_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::new(values.clone());
+        let lo = e.min().unwrap();
+        let hi = e.max().unwrap();
+        prop_assert!(e.eval(lo - 1.0) == 0.0);
+        prop_assert!((e.eval(hi) - 1.0).abs() < 1e-12);
+        let steps = e.steps();
+        prop_assert!(steps.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        // Quantile inverts eval: eval(quantile(q)) >= q.
+        for q in [0.1, 0.5, 0.9] {
+            let x = e.quantile(q).unwrap();
+            prop_assert!(e.eval(x) >= q - 1e-12);
+        }
+    }
+
+    /// Welford accumulation matches the batch summary.
+    #[test]
+    fn online_matches_batch(values in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+        let online: OnlineStats = values.iter().copied().collect();
+        let batch = Summary::of(&values).unwrap();
+        prop_assert!((online.mean().unwrap() - batch.mean).abs() < 1e-6);
+        prop_assert!((online.std().unwrap() - batch.std).abs() < 1e-6);
+        prop_assert_eq!(online.count(), values.len() as u64);
+    }
+
+    /// Merging arbitrary splits reproduces whole-stream moments.
+    #[test]
+    fn online_merge_associative(
+        values in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let k = split % values.len();
+        let whole: OnlineStats = values.iter().copied().collect();
+        let mut a: OnlineStats = values[..k].iter().copied().collect();
+        let b: OnlineStats = values[k..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+    }
+
+    /// Float histogram masses always sum to 1 and the mode is a bin with
+    /// maximal mass.
+    #[test]
+    fn float_histogram_masses(
+        values in proptest::collection::vec(-100.0f64..100.0, 1..100),
+        width in 0.1f64..10.0,
+    ) {
+        let mut h = FloatHistogram::new(0.0, width);
+        for &v in &values {
+            h.add(v);
+        }
+        let masses = h.masses();
+        let total: f64 = masses.iter().map(|&(_, m)| m).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let mode = h.mode().unwrap();
+        let mode_mass = masses
+            .iter()
+            .find(|&&(c, _)| (c - mode).abs() < width / 2.0)
+            .map(|&(_, m)| m)
+            .unwrap();
+        prop_assert!(masses.iter().all(|&(_, m)| m <= mode_mass + 1e-12));
+    }
+
+    /// Summary quantiles are ordered and bracketed by min/max.
+    #[test]
+    fn summary_ordering(values in proptest::collection::vec(-1e6f64..1e6, 1..150)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's hand-built counterexample instances.
+//!
+//! * [`worksteal_trap`] — Table I (Theorem 1): work stealing left at the
+//!   mercy of a bad initial distribution finishes in Θ(n) while `OPT = 2`.
+//! * [`pairwise_trap`] — Table II (Proposition 2): a schedule where every
+//!   *pair* of machines is optimally balanced, yet the global makespan is
+//!   `n` against an optimum of 1.
+//! * [`prop8_candidate`] — small random two-cluster instances used by the
+//!   Proposition 8 / Figure 1 cycle search (the figure's exact numbers are
+//!   not machine-readable in the paper; non-convergence is demonstrated by
+//!   searching this family for a DLB2C limit cycle, which `lb-distsim`'s
+//!   cycle detector finds reliably).
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Table I (Theorem 1): the work-stealing trap.
+///
+/// Three machines `A, B, C`, five jobs. Machine `A` runs everything in 1
+/// unit; job 0 takes `n` on `B` and `C`; job 1 takes `n` on `C`.
+/// The returned assignment is the paper's circled one: job 0 on `B`,
+/// job 1 on `C`, jobs 2–4 on `A`.
+///
+/// Under work stealing, `B` and `C` immediately start their single job
+/// and have nothing stealable, so the schedule finishes at time `n`
+/// (the paper reports `n + 1` under its steal-accounting convention)
+/// while the optimum is 2 (`A:{0,1}`, `B:{2,3}`, `C:{4}`).
+pub fn worksteal_trap(n: Time) -> (Instance, Assignment) {
+    assert!(n >= 2, "the trap needs n >= 2 to dominate OPT");
+    #[rustfmt::skip]
+    let costs = vec![
+        // jobs:   0  1  2  3  4
+        /* A */    1, 1, 1, 1, 1,
+        /* B */    n, 1, 1, 1, 1,
+        /* C */    n, n, 1, 1, 1,
+    ];
+    let inst = Instance::dense(3, 5, costs).expect("static dimensions");
+    let asg = Assignment::from_vec(
+        &inst,
+        vec![
+            MachineId(1),
+            MachineId(2),
+            MachineId(0),
+            MachineId(0),
+            MachineId(0),
+        ],
+    )
+    .expect("static assignment");
+    (inst, asg)
+}
+
+/// Table II (Proposition 2): the pairwise-optimal trap.
+///
+/// Three machines, three jobs, cyclic costs: job `j` runs in 1 on machine
+/// `j`, in `n` on machine `j+1 (mod 3)`, and in `n^2` on the remaining
+/// machine. The returned assignment places each job on its `n`-cost
+/// machine: every *pair* of machines is then optimally balanced (verified
+/// exhaustively in the tests), yet `Cmax = n` while `OPT = 1`.
+pub fn pairwise_trap(n: Time) -> (Instance, Assignment) {
+    assert!(n >= 2, "the trap needs n >= 2");
+    let n2 = n.saturating_mul(n);
+    #[rustfmt::skip]
+    let costs = vec![
+        // jobs:   0   1   2
+        /* A */    1,  n2, n,
+        /* B */    n,  1,  n2,
+        /* C */    n2, n,  1,
+    ];
+    let inst = Instance::dense(3, 3, costs).expect("static dimensions");
+    // Job j on machine j+1 (its n-cost machine).
+    let asg = Assignment::from_vec(&inst, vec![MachineId(1), MachineId(2), MachineId(0)])
+        .expect("static assignment");
+    (inst, asg)
+}
+
+/// A small random two-cluster instance (2 + 1 machines, 5 jobs, costs in
+/// `[1, 9]`) with a random initial distribution — the search family for
+/// DLB2C limit cycles (Proposition 8 / Figure 1).
+pub fn prop8_candidate(seed: u64) -> (Instance, Assignment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs: Vec<(Time, Time)> = (0..5)
+        .map(|_| (rng.gen_range(1..=9), rng.gen_range(1..=9)))
+        .collect();
+    let inst = Instance::two_cluster(2, 1, costs).expect("static dimensions");
+    let asg = crate::initial::random_assignment(&inst, rng.gen());
+    (inst, asg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_model::exact::{opt_makespan, ExactLimits};
+
+    #[test]
+    fn worksteal_trap_opt_is_two() {
+        for n in [2, 10, 1000] {
+            let (inst, asg) = worksteal_trap(n);
+            asg.validate(&inst).unwrap();
+            assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 2);
+            // The circled distribution costs n on both B and C.
+            assert_eq!(asg.load(MachineId(1)), n);
+            assert_eq!(asg.load(MachineId(2)), n);
+            assert_eq!(asg.load(MachineId(0)), 3);
+            assert_eq!(asg.makespan(), n.max(3));
+        }
+    }
+
+    #[test]
+    fn pairwise_trap_opt_is_one_and_circled_is_n() {
+        for n in [2, 10, 100] {
+            let (inst, asg) = pairwise_trap(n);
+            asg.validate(&inst).unwrap();
+            assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 1);
+            assert_eq!(asg.makespan(), n);
+            // Each machine carries exactly one job at cost n.
+            for m in inst.machines() {
+                assert_eq!(asg.load(m), n);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_trap_is_pairwise_optimal() {
+        // For every pair of machines, no redistribution of their jobs
+        // lowers the pair's local makespan below n.
+        let n = 10;
+        let (inst, asg) = pairwise_trap(n);
+        let pairs = [(0u32, 1u32), (0, 2), (1, 2)];
+        for (a, b) in pairs {
+            let (ma, mb) = (MachineId(a), MachineId(b));
+            let jobs: Vec<JobId> = asg
+                .jobs_on(ma)
+                .iter()
+                .chain(asg.jobs_on(mb))
+                .copied()
+                .collect();
+            let current = asg.load(ma).max(asg.load(mb));
+            let mut best = Time::MAX;
+            for mask in 0..(1u32 << jobs.len()) {
+                let (mut la, mut lb) = (0u64, 0u64);
+                for (bit, &j) in jobs.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        la += inst.cost(ma, j);
+                    } else {
+                        lb += inst.cost(mb, j);
+                    }
+                }
+                best = best.min(la.max(lb));
+            }
+            assert_eq!(best, current, "pair ({a},{b}) should already be optimal");
+        }
+    }
+
+    #[test]
+    fn prop8_candidate_is_small_two_cluster() {
+        let (inst, asg) = prop8_candidate(7);
+        assert_eq!(inst.num_machines(), 3);
+        assert_eq!(inst.num_jobs(), 5);
+        assert!(inst.is_two_cluster());
+        asg.validate(&inst).unwrap();
+        // Deterministic.
+        let (i2, a2) = prop8_candidate(7);
+        assert_eq!(inst, i2);
+        assert_eq!(asg, a2);
+    }
+}

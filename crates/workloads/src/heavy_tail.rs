@@ -1,0 +1,160 @@
+//! Heavy-tailed and bimodal job-size distributions.
+//!
+//! The paper's simulations draw lengths from `U[1, 1000]`, but real
+//! batch workloads are famously skewed: a few elephants among many mice.
+//! These generators stress the algorithms where the `max p <= OPT`
+//! hypothesis of Theorems 6–7 starts to strain — the `ext_robustness`
+//! and ablation experiments use them to probe that boundary.
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one bounded-Pareto-ish sample in `[lo, hi]` with shape `alpha`
+/// (smaller alpha = heavier tail), by inverse-transform sampling.
+fn bounded_pareto(rng: &mut StdRng, lo: f64, hi: f64, alpha: f64) -> Time {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // Inverse CDF of the bounded Pareto distribution.
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    let x = (-(u * (ha - la) - ha) / (ha * la)).powf(-1.0 / alpha);
+    (x.round() as u64).clamp(lo as u64, hi as u64)
+}
+
+/// Homogeneous machines, bounded-Pareto job sizes in `[lo, hi]`.
+pub fn pareto_uniform_cluster(
+    num_machines: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    alpha: f64,
+    seed: u64,
+) -> Instance {
+    assert!(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = (0..num_jobs)
+        .map(|_| bounded_pareto(&mut rng, lo as f64, hi as f64, alpha))
+        .collect();
+    Instance::uniform(num_machines, sizes).expect("valid by construction")
+}
+
+/// Two clusters with bounded-Pareto base sizes and independent per-cluster
+/// speed noise: elephants and mice on a hybrid cluster.
+pub fn pareto_two_cluster(
+    m1: usize,
+    m2: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    alpha: f64,
+    seed: u64,
+) -> Instance {
+    assert!(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = (0..num_jobs)
+        .map(|_| {
+            let base = bounded_pareto(&mut rng, lo as f64, hi as f64, alpha);
+            // Each cluster runs the job at 50%–150% of the base.
+            let f1 = rng.gen_range(50..=150);
+            let f2 = rng.gen_range(50..=150);
+            ((base * f1 / 100).max(1), (base * f2 / 100).max(1))
+        })
+        .collect();
+    Instance::two_cluster(m1, m2, costs).expect("valid by construction")
+}
+
+/// Bimodal sizes: `mice_fraction` (percent) of jobs are mice of size
+/// `U[1, small]`, the rest are elephants of size `U[big/2, big]`.
+pub fn bimodal_cluster(
+    num_machines: usize,
+    num_jobs: usize,
+    small: Time,
+    big: Time,
+    mice_percent: u32,
+    seed: u64,
+) -> Instance {
+    assert!(small >= 1 && small < big, "need 1 <= small < big");
+    assert!(mice_percent <= 100);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = (0..num_jobs)
+        .map(|_| {
+            if rng.gen_range(0..100) < mice_percent {
+                rng.gen_range(1..=small)
+            } else {
+                rng.gen_range(big / 2..=big)
+            }
+        })
+        .collect();
+    Instance::uniform(num_machines, sizes).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_in_range_and_skewed() {
+        let inst = pareto_uniform_cluster(4, 2000, 1, 1000, 1.1, 7);
+        let sizes: Vec<Time> = inst.jobs().map(|j| inst.cost(MachineId(0), j)).collect();
+        assert!(sizes.iter().all(|&s| (1..=1000).contains(&s)));
+        // Heavy tail: the mean is far above the median.
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / sizes.len() as f64;
+        assert!(
+            mean > 2.0 * median,
+            "mean {mean} vs median {median}: not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn pareto_two_cluster_shape() {
+        let inst = pareto_two_cluster(4, 2, 100, 1, 1000, 1.5, 9);
+        assert!(inst.is_two_cluster());
+        assert_eq!(inst.num_machines(), 6);
+        for j in inst.jobs() {
+            assert!(inst.cost(MachineId(0), j) >= 1);
+            assert!(inst.cost(MachineId(5), j) >= 1);
+        }
+    }
+
+    #[test]
+    fn bimodal_has_two_modes() {
+        let inst = bimodal_cluster(2, 1000, 10, 1000, 80, 3);
+        let mut mice = 0;
+        let mut elephants = 0;
+        for j in inst.jobs() {
+            let c = inst.cost(MachineId(0), j);
+            if c <= 10 {
+                mice += 1;
+            } else {
+                assert!(c >= 500);
+                elephants += 1;
+            }
+        }
+        // Roughly 80/20.
+        assert!(mice > 700 && mice < 900, "mice = {mice}");
+        assert!(elephants > 100, "elephants = {elephants}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            pareto_uniform_cluster(3, 50, 1, 100, 2.0, 5),
+            pareto_uniform_cluster(3, 50, 1, 100, 2.0, 5)
+        );
+        assert_eq!(
+            bimodal_cluster(3, 50, 5, 500, 50, 5),
+            bimodal_cluster(3, 50, 5, 500, 50, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = pareto_uniform_cluster(2, 10, 1, 100, 0.0, 1);
+    }
+}

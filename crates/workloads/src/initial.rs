@@ -1,0 +1,95 @@
+//! Initial distributions of jobs to machines.
+//!
+//! The decentralized algorithms assume jobs start with "an arbitrary
+//! initial distribution" (Section II): pre-distributed statically,
+//! spawned locally, or submitted to particular processors. These helpers
+//! produce the initial [`Assignment`]s the experiments start from.
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Each job lands on a machine chosen uniformly at random — the paper's
+/// simulation starting point ("jobs are randomly distributed at the
+/// beginning of each experiment").
+pub fn random_assignment(inst: &Instance, seed: u64) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = inst.num_machines();
+    Assignment::from_fn(inst, |_| MachineId::from_idx(rng.gen_range(0..m)))
+        .expect("random machine ids are in range")
+}
+
+/// All jobs land on a random machine of the given cluster — models tasks
+/// submitted through a head node of one side of a hybrid cluster.
+pub fn cluster_local_assignment(inst: &Instance, cluster: ClusterId, seed: u64) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let machines = inst.machines_in(cluster);
+    Assignment::from_fn(inst, |_| machines[rng.gen_range(0..machines.len())])
+        .expect("cluster machine ids are in range")
+}
+
+/// Jobs land uniformly on the first `ceil(fraction * |M|)` machines —
+/// a tunably bad skew (fraction 0 degenerates to "all on machine 0").
+///
+/// # Panics
+/// Panics if `fraction` is not within `[0, 1]`.
+pub fn skewed_assignment(inst: &Instance, fraction: f64, seed: u64) -> Assignment {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = ((fraction * inst.num_machines() as f64).ceil() as usize).clamp(1, inst.num_machines());
+    Assignment::from_fn(inst, |_| MachineId::from_idx(rng.gen_range(0..k)))
+        .expect("skewed machine ids are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_cluster::paper_two_cluster;
+    use crate::uniform::paper_uniform;
+
+    #[test]
+    fn random_assignment_covers_machines() {
+        let inst = paper_uniform(8, 400, 1);
+        let asg = random_assignment(&inst, 2);
+        asg.validate(&inst).unwrap();
+        // With 400 jobs over 8 machines, every machine should see jobs.
+        for m in inst.machines() {
+            assert!(asg.num_jobs_on(m) > 0, "machine {m} empty");
+        }
+        // Deterministic.
+        assert_eq!(asg, random_assignment(&inst, 2));
+    }
+
+    #[test]
+    fn cluster_local_stays_in_cluster() {
+        let inst = paper_two_cluster(4, 4, 50, 3);
+        let asg = cluster_local_assignment(&inst, ClusterId::TWO, 4);
+        for j in inst.jobs() {
+            assert_eq!(inst.cluster(asg.machine_of(j)), ClusterId::TWO);
+        }
+    }
+
+    #[test]
+    fn skewed_uses_prefix() {
+        let inst = paper_uniform(10, 200, 5);
+        let asg = skewed_assignment(&inst, 0.2, 6);
+        for j in inst.jobs() {
+            assert!(asg.machine_of(j).idx() < 2);
+        }
+        // fraction 0 clamps to a single machine.
+        let asg0 = skewed_assignment(&inst, 0.0, 6);
+        for j in inst.jobs() {
+            assert_eq!(asg0.machine_of(j), MachineId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn skew_fraction_checked() {
+        let inst = paper_uniform(2, 2, 0);
+        let _ = skewed_assignment(&inst, 1.5, 0);
+    }
+}

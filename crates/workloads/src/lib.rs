@@ -1,0 +1,32 @@
+//! Workload and instance generators for the load-balancing experiments.
+//!
+//! Four families:
+//!
+//! * [`uniform`] — homogeneous-cluster workloads with job lengths drawn
+//!   uniformly (the paper draws from `[1, 1000]`).
+//! * [`two_cluster`] — Section VI workloads: two clusters of identical
+//!   machines with per-cluster job costs, in several correlation regimes.
+//! * [`typed`] — Section V workloads: jobs grouped into `k` types with a
+//!   per-type processing-time vector.
+//! * [`adversarial`] — the paper's hand-built counterexamples (Table I,
+//!   Table II) and a searcher for DLB2C non-convergence instances
+//!   (Proposition 8 / Figure 1).
+//!
+//! Plus [`initial`] — initial job distributions (random, skewed) for the
+//! decentralized algorithms, which assume jobs start *somewhere*.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod heavy_tail;
+pub mod initial;
+pub mod multi_cluster;
+pub mod scenario;
+pub mod two_cluster;
+pub mod typed;
+pub mod uniform;
+
+pub use initial::{random_assignment, skewed_assignment};

@@ -1,0 +1,89 @@
+//! Multi-cluster workloads (the Section VIII extension setting).
+//!
+//! `c` clusters of identical machines with per-cluster job costs — think
+//! CPU + GPU + FPGA tiers. Each job draws one cost per cluster.
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Independent per-cluster costs `U[lo, hi]` for `sizes.len()` clusters
+/// of `sizes[c]` machines each.
+pub fn independent(sizes: &[usize], num_jobs: usize, lo: Time, hi: Time, seed: u64) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    let c = sizes.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let job_costs: Vec<Vec<Time>> = (0..num_jobs)
+        .map(|_| (0..c).map(|_| rng.gen_range(lo..=hi)).collect())
+        .collect();
+    Instance::multi_cluster(sizes, job_costs).expect("valid by construction")
+}
+
+/// Affine clusters: each job is fast (`U[lo, hi]`) on one uniformly
+/// chosen home cluster and `penalty`x slower elsewhere — maximal
+/// cross-tier contrast.
+pub fn affine(
+    sizes: &[usize],
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    penalty: u64,
+    seed: u64,
+) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    assert!(penalty >= 1, "penalty must be >= 1");
+    let c = sizes.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let job_costs: Vec<Vec<Time>> = (0..num_jobs)
+        .map(|_| {
+            let home = rng.gen_range(0..c);
+            let base = rng.gen_range(lo..=hi);
+            (0..c)
+                .map(|ci| {
+                    if ci == home {
+                        base
+                    } else {
+                        base.saturating_mul(penalty)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Instance::multi_cluster(sizes, job_costs).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_shape() {
+        let inst = independent(&[4, 2, 2], 40, 1, 100, 3);
+        assert_eq!(inst.num_machines(), 8);
+        assert_eq!(inst.num_clusters(), 3);
+        for j in inst.jobs() {
+            for m in inst.machines() {
+                assert!((1..=100).contains(&inst.cost(m, j)));
+            }
+        }
+        assert_eq!(inst, independent(&[4, 2, 2], 40, 1, 100, 3));
+    }
+
+    #[test]
+    fn affine_penalizes_away_clusters() {
+        let inst = affine(&[1, 1, 1], 60, 10, 100, 10, 5);
+        for j in inst.jobs() {
+            let mut costs: Vec<Time> = inst.machines().map(|m| inst.cost(m, j)).collect();
+            costs.sort_unstable();
+            // Exactly one home cost; the others are 10x it.
+            assert_eq!(costs[1], costs[0] * 10);
+            assert_eq!(costs[2], costs[0] * 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty")]
+    fn affine_rejects_zero_penalty() {
+        let _ = affine(&[1, 1], 2, 1, 5, 0, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Declarative workload scenarios (serde-able experiment configs).
+//!
+//! Experiment configurations as data: a [`Scenario`] names a generator
+//! family and its parameters, and `build` materializes the instance.
+//! Used by the CLI (`--scenario file.json`) and by experiment sidecars so
+//! a results CSV can always be traced back to the exact workload that
+//! produced it.
+
+use crate::{heavy_tail, two_cluster, typed, uniform};
+use lb_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A workload scenario, fully describing an instance generator call.
+///
+/// ```
+/// use lb_workloads::scenario::Scenario;
+///
+/// let json = r#"{"family":"two-cluster","m1":4,"m2":2,"jobs":24,"lo":1,"hi":100}"#;
+/// let scenario: Scenario = serde_json::from_str(json).unwrap();
+/// let inst = scenario.build(42);
+/// assert_eq!(inst.num_machines(), 6);
+/// assert!(inst.is_two_cluster());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "family", rename_all = "kebab-case")]
+pub enum Scenario {
+    /// One homogeneous cluster, `U[lo, hi]` lengths.
+    Uniform {
+        /// Number of machines.
+        machines: usize,
+        /// Number of jobs.
+        jobs: usize,
+        /// Smallest job length.
+        lo: Time,
+        /// Largest job length.
+        hi: Time,
+    },
+    /// Two clusters, independent `U[lo, hi]` per-cluster costs.
+    TwoCluster {
+        /// Machines in cluster 1.
+        m1: usize,
+        /// Machines in cluster 2.
+        m2: usize,
+        /// Number of jobs.
+        jobs: usize,
+        /// Smallest cost.
+        lo: Time,
+        /// Largest cost.
+        hi: Time,
+    },
+    /// Two clusters, anti-correlated costs (`p2 = lo + hi - p1`).
+    Inverted {
+        /// Machines in cluster 1.
+        m1: usize,
+        /// Machines in cluster 2.
+        m2: usize,
+        /// Number of jobs.
+        jobs: usize,
+        /// Smallest cost.
+        lo: Time,
+        /// Largest cost.
+        hi: Time,
+    },
+    /// Typed jobs with uniformly random per-type costs.
+    Typed {
+        /// Number of machines.
+        machines: usize,
+        /// Number of jobs.
+        jobs: usize,
+        /// Number of job types.
+        types: usize,
+        /// Smallest cost.
+        lo: Time,
+        /// Largest cost.
+        hi: Time,
+    },
+    /// Heavy-tailed (bounded Pareto) homogeneous cluster.
+    Pareto {
+        /// Number of machines.
+        machines: usize,
+        /// Number of jobs.
+        jobs: usize,
+        /// Smallest length.
+        lo: Time,
+        /// Largest length.
+        hi: Time,
+        /// Pareto shape (smaller = heavier tail).
+        alpha: f64,
+    },
+    /// `c` clusters of identical machines with independent per-cluster
+    /// costs (the Section VIII extension setting).
+    MultiCluster {
+        /// Machines per cluster.
+        sizes: Vec<usize>,
+        /// Number of jobs.
+        jobs: usize,
+        /// Smallest cost.
+        lo: Time,
+        /// Largest cost.
+        hi: Time,
+    },
+    /// Bimodal mice/elephants homogeneous cluster.
+    Bimodal {
+        /// Number of machines.
+        machines: usize,
+        /// Number of jobs.
+        jobs: usize,
+        /// Largest mouse size.
+        small: Time,
+        /// Largest elephant size.
+        big: Time,
+        /// Percentage of mice.
+        mice_percent: u32,
+    },
+}
+
+impl Scenario {
+    /// Materializes the instance for this scenario with the given seed.
+    pub fn build(&self, seed: u64) -> Instance {
+        match *self {
+            Scenario::Uniform {
+                machines,
+                jobs,
+                lo,
+                hi,
+            } => uniform::uniform_instance(machines, jobs, lo, hi, seed),
+            Scenario::TwoCluster {
+                m1,
+                m2,
+                jobs,
+                lo,
+                hi,
+            } => two_cluster::independent(m1, m2, jobs, lo, hi, seed),
+            Scenario::Inverted {
+                m1,
+                m2,
+                jobs,
+                lo,
+                hi,
+            } => two_cluster::inverted(m1, m2, jobs, lo, hi, seed),
+            Scenario::Typed {
+                machines,
+                jobs,
+                types,
+                lo,
+                hi,
+            } => typed::typed_uniform(machines, jobs, types, lo, hi, seed),
+            Scenario::Pareto {
+                machines,
+                jobs,
+                lo,
+                hi,
+                alpha,
+            } => heavy_tail::pareto_uniform_cluster(machines, jobs, lo, hi, alpha, seed),
+            Scenario::MultiCluster {
+                ref sizes,
+                jobs,
+                lo,
+                hi,
+            } => crate::multi_cluster::independent(sizes, jobs, lo, hi, seed),
+            Scenario::Bimodal {
+                machines,
+                jobs,
+                small,
+                big,
+                mice_percent,
+            } => heavy_tail::bimodal_cluster(machines, jobs, small, big, mice_percent, seed),
+        }
+    }
+
+    /// The paper's standard heterogeneous scenario (64+32, 768 jobs).
+    pub fn paper_default() -> Self {
+        Scenario::TwoCluster {
+            m1: 64,
+            m2: 32,
+            jobs: 768,
+            lo: 1,
+            hi: 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_each_family() {
+        let scenarios = [
+            Scenario::Uniform {
+                machines: 3,
+                jobs: 10,
+                lo: 1,
+                hi: 9,
+            },
+            Scenario::TwoCluster {
+                m1: 2,
+                m2: 2,
+                jobs: 10,
+                lo: 1,
+                hi: 9,
+            },
+            Scenario::Inverted {
+                m1: 2,
+                m2: 2,
+                jobs: 10,
+                lo: 1,
+                hi: 9,
+            },
+            Scenario::Typed {
+                machines: 3,
+                jobs: 10,
+                types: 2,
+                lo: 1,
+                hi: 9,
+            },
+            Scenario::Pareto {
+                machines: 3,
+                jobs: 10,
+                lo: 1,
+                hi: 100,
+                alpha: 1.5,
+            },
+            Scenario::MultiCluster {
+                sizes: vec![2, 1, 1],
+                jobs: 10,
+                lo: 1,
+                hi: 9,
+            },
+            Scenario::Bimodal {
+                machines: 3,
+                jobs: 10,
+                small: 5,
+                big: 90,
+                mice_percent: 70,
+            },
+        ];
+        for s in scenarios {
+            let inst = s.build(1);
+            assert_eq!(inst.num_jobs(), 10);
+            assert!(inst.num_machines() >= 3);
+            // Deterministic per seed.
+            assert_eq!(inst, s.build(1));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::paper_default();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("two-cluster"));
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn json_is_human_editable() {
+        let json = r#"{"family":"uniform","machines":4,"jobs":8,"lo":1,"hi":10}"#;
+        let s: Scenario = serde_json::from_str(json).unwrap();
+        let inst = s.build(0);
+        assert_eq!(inst.num_machines(), 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Section VI workloads: two clusters of identical machines.
+//!
+//! Each job `j` has a pair `(p1[j], p2[j])`: its processing time on any
+//! machine of cluster 1 / cluster 2. The regimes below model different
+//! relationships between the two clusters (think CPU vs GPU):
+//!
+//! * [`independent`] — `p1` and `p2` drawn independently; a job can be
+//!   arbitrarily better on either side (the paper's simulation setup:
+//!   "the time to execute a job on each cluster is a probability
+//!   distribution", lengths `U[1, 1000]`).
+//! * [`correlated`] — a shared base length plus independent noise; mild
+//!   heterogeneity.
+//! * [`inverted`] — anti-correlated: jobs fast on cluster 1 are slow on
+//!   cluster 2 and vice versa; maximal affinity contrast.
+//! * [`related_factor`] — cluster 2 is a uniformly faster copy of cluster
+//!   1 (the "GPU is k× faster" folk model the paper argues against).
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Independent per-cluster costs `U[lo, hi]` (the paper's regime).
+pub fn independent(
+    m1: usize,
+    m2: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    seed: u64,
+) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = (0..num_jobs)
+        .map(|_| (rng.gen_range(lo..=hi), rng.gen_range(lo..=hi)))
+        .collect();
+    Instance::two_cluster(m1, m2, costs).expect("valid by construction")
+}
+
+/// The paper's standard two-cluster workload: independent `U[1, 1000]`.
+pub fn paper_two_cluster(m1: usize, m2: usize, num_jobs: usize, seed: u64) -> Instance {
+    independent(m1, m2, num_jobs, 1, 1000, seed)
+}
+
+/// Shared base length `U[lo, hi]` plus ±`noise`% independent per-cluster
+/// perturbation.
+pub fn correlated(
+    m1: usize,
+    m2: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    noise_percent: u32,
+    seed: u64,
+) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perturb = |base: Time, rng: &mut StdRng| -> Time {
+        let span = base.saturating_mul(u64::from(noise_percent)) / 100;
+        let delta = rng.gen_range(0..=2 * span);
+        (base + delta).saturating_sub(span).max(1)
+    };
+    let costs = (0..num_jobs)
+        .map(|_| {
+            let base = rng.gen_range(lo..=hi);
+            (perturb(base, &mut rng), perturb(base, &mut rng))
+        })
+        .collect();
+    Instance::two_cluster(m1, m2, costs).expect("valid by construction")
+}
+
+/// Anti-correlated costs: `p2 = lo + hi - p1`, so a job fast on one
+/// cluster is slow on the other.
+pub fn inverted(m1: usize, m2: usize, num_jobs: usize, lo: Time, hi: Time, seed: u64) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = (0..num_jobs)
+        .map(|_| {
+            let p1 = rng.gen_range(lo..=hi);
+            (p1, lo + hi - p1)
+        })
+        .collect();
+    Instance::two_cluster(m1, m2, costs).expect("valid by construction")
+}
+
+/// Cluster 2 runs every job `factor`× faster (integer division, min 1).
+pub fn related_factor(
+    m1: usize,
+    m2: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    factor: u64,
+    seed: u64,
+) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    assert!(factor >= 1, "factor must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = (0..num_jobs)
+        .map(|_| {
+            let p1 = rng.gen_range(lo..=hi);
+            (p1, (p1 / factor).max(1))
+        })
+        .collect();
+    Instance::two_cluster(m1, m2, costs).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_shape_and_determinism() {
+        let a = paper_two_cluster(64, 32, 768, 9);
+        let b = paper_two_cluster(64, 32, 768, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.num_machines(), 96);
+        assert_eq!(a.num_jobs(), 768);
+        assert!(a.is_two_cluster());
+        assert_eq!(a.machines_in(ClusterId::ONE).len(), 64);
+        assert_eq!(a.machines_in(ClusterId::TWO).len(), 32);
+        for j in a.jobs() {
+            let p1 = a.cost(MachineId(0), j);
+            let p2 = a.cost(MachineId(64), j);
+            assert!((1..=1000).contains(&p1));
+            assert!((1..=1000).contains(&p2));
+        }
+    }
+
+    #[test]
+    fn inverted_is_anticorrelated() {
+        let inst = inverted(1, 1, 50, 1, 1000, 3);
+        for j in inst.jobs() {
+            let p1 = inst.cost(MachineId(0), j);
+            let p2 = inst.cost(MachineId(1), j);
+            assert_eq!(p1 + p2, 1001);
+        }
+    }
+
+    #[test]
+    fn correlated_stays_near_base() {
+        let inst = correlated(1, 1, 100, 100, 1000, 10, 5);
+        for j in inst.jobs() {
+            let p1 = inst.cost(MachineId(0), j) as f64;
+            let p2 = inst.cost(MachineId(1), j) as f64;
+            // Both within ±10% of a shared base -> ratio within ~[0.81, 1.23].
+            let ratio = p1 / p2;
+            assert!(ratio > 0.8 && ratio < 1.25, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn related_factor_divides() {
+        let inst = related_factor(2, 2, 40, 10, 1000, 4, 6);
+        for j in inst.jobs() {
+            let p1 = inst.cost(MachineId(0), j);
+            let p2 = inst.cost(MachineId(2), j);
+            assert_eq!(p2, (p1 / 4).max(1));
+        }
+    }
+
+    #[test]
+    fn correlated_never_zero() {
+        let inst = correlated(1, 1, 200, 1, 3, 100, 8);
+        for j in inst.jobs() {
+            assert!(inst.cost(MachineId(0), j) >= 1);
+            assert!(inst.cost(MachineId(1), j) >= 1);
+        }
+    }
+}

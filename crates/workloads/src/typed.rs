@@ -1,0 +1,146 @@
+//! Section V workloads: jobs grouped into `k` types.
+//!
+//! Jobs of the same type have the same processing-time vector across
+//! machines ("simple queries can represent most of the jobs of a
+//! system"). MJTB's guarantee is `k × OPT`, so generators expose `k`
+//! directly.
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `k` job types with per-type per-machine costs drawn from `U[lo, hi]`,
+/// and `num_jobs` jobs with types assigned uniformly at random.
+pub fn typed_uniform(
+    num_machines: usize,
+    num_jobs: usize,
+    k: usize,
+    lo: Time,
+    hi: Time,
+    seed: u64,
+) -> Instance {
+    assert!(k >= 1, "need at least one job type");
+    assert!(lo <= hi, "lo must be <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let type_costs: Vec<Vec<Time>> = (0..k)
+        .map(|_| (0..num_machines).map(|_| rng.gen_range(lo..=hi)).collect())
+        .collect();
+    let type_of = (0..num_jobs)
+        .map(|_| JobTypeId::from_idx(rng.gen_range(0..k)))
+        .collect();
+    Instance::typed(num_machines, type_of, type_costs).expect("valid by construction")
+}
+
+/// Like [`typed_uniform`] but with a skewed (geometric-ish) type mix:
+/// type `t` is roughly twice as common as type `t+1`, mimicking systems
+/// where a few query types dominate.
+pub fn typed_skewed(
+    num_machines: usize,
+    num_jobs: usize,
+    k: usize,
+    lo: Time,
+    hi: Time,
+    seed: u64,
+) -> Instance {
+    assert!(k >= 1, "need at least one job type");
+    assert!(lo <= hi, "lo must be <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let type_costs: Vec<Vec<Time>> = (0..k)
+        .map(|_| (0..num_machines).map(|_| rng.gen_range(lo..=hi)).collect())
+        .collect();
+    // Geometric weights 2^(k-1), ..., 2, 1.
+    let weights: Vec<u64> = (0..k).map(|t| 1u64 << (k - 1 - t).min(62)).collect();
+    let total: u64 = weights.iter().sum();
+    let type_of = (0..num_jobs)
+        .map(|_| {
+            let mut x = rng.gen_range(0..total);
+            let mut t = 0;
+            while x >= weights[t] {
+                x -= weights[t];
+                t += 1;
+            }
+            JobTypeId::from_idx(t)
+        })
+        .collect();
+    Instance::typed(num_machines, type_of, type_costs).expect("valid by construction")
+}
+
+/// A single-type instance (Section V.A): all jobs identical, but machines
+/// arbitrary — the setting where OJTB is provably optimal.
+pub fn single_type(
+    num_machines: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    seed: u64,
+) -> Instance {
+    typed_uniform(num_machines, num_jobs, 1, lo, hi, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_uniform_types_in_range() {
+        let inst = typed_uniform(4, 100, 3, 1, 50, 2);
+        assert_eq!(inst.num_job_types(), Some(3));
+        for j in inst.jobs() {
+            let t = inst.job_type(j).unwrap();
+            assert!(t.idx() < 3);
+        }
+        // Same-type jobs have identical cost vectors.
+        let (mut a, mut b) = (None, None);
+        for j in inst.jobs() {
+            if inst.job_type(j).unwrap() == JobTypeId(0) {
+                if a.is_none() {
+                    a = Some(j);
+                } else if b.is_none() {
+                    b = Some(j);
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (a, b) {
+            for m in inst.machines() {
+                assert_eq!(inst.cost(m, a), inst.cost(m, b));
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_early_types() {
+        let inst = typed_skewed(2, 4000, 4, 1, 10, 3);
+        let mut counts = [0usize; 4];
+        for j in inst.jobs() {
+            counts[inst.job_type(j).unwrap().idx()] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn single_type_has_one_type() {
+        let inst = single_type(5, 30, 1, 100, 4);
+        assert_eq!(inst.num_job_types(), Some(1));
+        // All jobs identical on each machine.
+        for m in inst.machines() {
+            let c = inst.cost(m, JobId(0));
+            for j in inst.jobs() {
+                assert_eq!(inst.cost(m, j), c);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            typed_uniform(3, 20, 2, 1, 9, 7),
+            typed_uniform(3, 20, 2, 1, 9, 7)
+        );
+        assert_eq!(
+            typed_skewed(3, 20, 2, 1, 9, 7),
+            typed_skewed(3, 20, 2, 1, 9, 7)
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Homogeneous (identical machines) workloads.
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One cluster of `num_machines` identical machines and `num_jobs` jobs
+/// with lengths drawn uniformly from `[lo, hi]` (inclusive).
+///
+/// The paper's simulations use `lo = 1`, `hi = 1000`.
+///
+/// # Panics
+/// Panics if `lo > hi` or `num_machines == 0`.
+pub fn uniform_instance(
+    num_machines: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    seed: u64,
+) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = (0..num_jobs).map(|_| rng.gen_range(lo..=hi)).collect();
+    Instance::uniform(num_machines, sizes).expect("valid by construction")
+}
+
+/// The paper's standard homogeneous workload: lengths `U[1, 1000]`.
+pub fn paper_uniform(num_machines: usize, num_jobs: usize, seed: u64) -> Instance {
+    uniform_instance(num_machines, num_jobs, 1, 1000, seed)
+}
+
+/// Related machines: identical job length distribution but per-machine
+/// integer slowdowns drawn uniformly from `[1, max_slowdown]`.
+pub fn related_instance(
+    num_machines: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    max_slowdown: u64,
+    seed: u64,
+) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    assert!(max_slowdown >= 1, "max_slowdown must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes: Vec<Time> = (0..num_jobs).map(|_| rng.gen_range(lo..=hi)).collect();
+    let slowdowns: Vec<u64> = (0..num_machines)
+        .map(|_| rng.gen_range(1..=max_slowdown))
+        .collect();
+    Instance::related(sizes, slowdowns).expect("valid by construction")
+}
+
+/// Fully heterogeneous (dense unrelated) instance with every `p[i][j]`
+/// drawn independently from `U[lo, hi]`.
+pub fn dense_uniform(
+    num_machines: usize,
+    num_jobs: usize,
+    lo: Time,
+    hi: Time,
+    seed: u64,
+) -> Instance {
+    assert!(lo <= hi, "lo must be <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = (0..num_machines * num_jobs)
+        .map(|_| rng.gen_range(lo..=hi))
+        .collect();
+    Instance::dense(num_machines, num_jobs, costs).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let a = paper_uniform(4, 100, 42);
+        let b = paper_uniform(4, 100, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.num_machines(), 4);
+        assert_eq!(a.num_jobs(), 100);
+        for j in a.jobs() {
+            let c = a.cost(MachineId(0), j);
+            assert!((1..=1000).contains(&c));
+            // Identical machines: same cost everywhere.
+            assert_eq!(c, a.cost(MachineId(3), j));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = paper_uniform(4, 50, 1);
+        let b = paper_uniform(4, 50, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn related_slowdowns_in_range() {
+        let inst = related_instance(5, 20, 1, 10, 4, 7);
+        assert_eq!(inst.num_machines(), 5);
+        // Cost ratios between machines are consistent across jobs.
+        let c0 =
+            inst.cost(MachineId(0), JobId(0)) as f64 / inst.cost(MachineId(1), JobId(0)) as f64;
+        let c1 =
+            inst.cost(MachineId(0), JobId(5)) as f64 / inst.cost(MachineId(1), JobId(5)) as f64;
+        assert!((c0 - c1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_uniform_shape() {
+        let inst = dense_uniform(3, 7, 5, 9, 11);
+        for m in inst.machines() {
+            for j in inst.jobs() {
+                assert!((5..=9).contains(&inst.cost(m, j)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be <= hi")]
+    fn bad_range_panics() {
+        let _ = uniform_instance(2, 2, 10, 1, 0);
+    }
+}

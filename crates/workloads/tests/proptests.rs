@@ -1,0 +1,136 @@
+//! Property tests of the workload generators.
+
+use lb_model::prelude::*;
+use lb_workloads::adversarial::{pairwise_trap, worksteal_trap};
+use lb_workloads::heavy_tail::{bimodal_cluster, pareto_uniform_cluster};
+use lb_workloads::initial::{random_assignment, skewed_assignment};
+use lb_workloads::scenario::Scenario;
+use lb_workloads::two_cluster::{correlated, independent, inverted};
+use lb_workloads::typed::typed_uniform;
+use lb_workloads::uniform::uniform_instance;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator produces costs in its declared range and is
+    /// deterministic per seed.
+    #[test]
+    fn generators_in_range(
+        m in 1usize..=6,
+        n in 0usize..=40,
+        lo in 1u64..=10,
+        span in 0u64..=100,
+        seed in 0u64..500,
+    ) {
+        let hi = lo + span;
+        let inst = uniform_instance(m, n, lo, hi, seed);
+        for mm in inst.machines() {
+            for j in inst.jobs() {
+                prop_assert!((lo..=hi).contains(&inst.cost(mm, j)));
+            }
+        }
+        prop_assert_eq!(inst, uniform_instance(m, n, lo, hi, seed));
+    }
+
+    /// Two-cluster regimes keep cluster-uniform costs in range.
+    #[test]
+    fn two_cluster_regimes_sound(
+        m1 in 1usize..=4,
+        m2 in 1usize..=4,
+        n in 1usize..=30,
+        seed in 0u64..200,
+        regime in 0usize..3,
+    ) {
+        let inst = match regime {
+            0 => independent(m1, m2, n, 1, 100, seed),
+            1 => correlated(m1, m2, n, 1, 100, 20, seed),
+            _ => inverted(m1, m2, n, 1, 100, seed),
+        };
+        prop_assert!(inst.is_two_cluster());
+        prop_assert_eq!(inst.num_machines(), m1 + m2);
+        // Cluster-uniformity: all machines of a cluster agree.
+        for j in inst.jobs() {
+            let c1 = inst.cost(inst.machines_in(ClusterId::ONE)[0], j);
+            for &mm in inst.machines_in(ClusterId::ONE) {
+                prop_assert_eq!(inst.cost(mm, j), c1);
+            }
+            prop_assert!(c1 >= 1);
+        }
+    }
+
+    /// Typed generators: declared type count respected, same-type jobs
+    /// identical everywhere.
+    #[test]
+    fn typed_generator_sound(
+        m in 2usize..=5,
+        n in 1usize..=30,
+        k in 1usize..=4,
+        seed in 0u64..200,
+    ) {
+        let inst = typed_uniform(m, n, k, 1, 50, seed);
+        prop_assert_eq!(inst.num_job_types(), Some(k));
+        for a in inst.jobs() {
+            for b in inst.jobs() {
+                if inst.job_type(a) == inst.job_type(b) {
+                    for mm in inst.machines() {
+                        prop_assert_eq!(inst.cost(mm, a), inst.cost(mm, b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heavy-tail generators stay in range with positive costs.
+    #[test]
+    fn heavy_tail_sound(m in 1usize..=4, n in 1usize..=60, seed in 0u64..100) {
+        let pareto = pareto_uniform_cluster(m, n, 1, 500, 1.2, seed);
+        let bimodal = bimodal_cluster(m, n, 10, 400, 70, seed);
+        for j in pareto.jobs() {
+            prop_assert!((1..=500).contains(&pareto.cost(MachineId(0), j)));
+        }
+        for j in bimodal.jobs() {
+            let c = bimodal.cost(MachineId(0), j);
+            prop_assert!((1..=400).contains(&c));
+        }
+    }
+
+    /// Initial distributions are valid assignments of every job.
+    #[test]
+    fn initial_distributions_valid(
+        m in 2usize..=6,
+        n in 0usize..=50,
+        seed in 0u64..200,
+        fraction in 1u32..=100,
+    ) {
+        let inst = uniform_instance(m, n, 1, 9, seed);
+        let r = random_assignment(&inst, seed);
+        prop_assert!(r.validate(&inst).is_ok());
+        let s = skewed_assignment(&inst, f64::from(fraction) / 100.0, seed);
+        prop_assert!(s.validate(&inst).is_ok());
+    }
+
+    /// The adversarial constructions keep their defining properties for
+    /// every n.
+    #[test]
+    fn adversarial_invariants(n in 2u64..10_000) {
+        let (wt_inst, wt_asg) = worksteal_trap(n);
+        prop_assert_eq!(wt_asg.load(MachineId(1)), n);
+        prop_assert_eq!(wt_asg.load(MachineId(2)), n);
+        prop_assert_eq!(wt_asg.load(MachineId(0)), 3);
+        let (pt_inst, pt_asg) = pairwise_trap(n);
+        for mm in pt_inst.machines() {
+            prop_assert_eq!(pt_asg.load(mm), n);
+        }
+        let _ = wt_inst;
+    }
+
+    /// Scenario JSON round-trips and rebuilds the identical instance.
+    #[test]
+    fn scenario_roundtrip(m in 1usize..=4, n in 1usize..=20, seed in 0u64..100) {
+        let s = Scenario::Uniform { machines: m, jobs: n, lo: 1, hi: 9 };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(s.build(seed), back.build(seed));
+    }
+}

@@ -1,0 +1,74 @@
+//! The dynamic equilibrium of DLB2C on one homogeneous cluster
+//! (paper Section VII.A).
+//!
+//! Builds the paper's Markov chain over load vectors, computes its
+//! stationary distribution, and prints the distribution of the makespan's
+//! deviation from perfect balance (in units of `p_max`) — a miniature of
+//! the paper's Figure 2. Then cross-checks the *model* against the
+//! *simulator*: a long DLB2C gossip run on an actual homogeneous instance
+//! should concentrate in the same deviation band.
+//!
+//! Run with: `cargo run --release --example equilibrium_study`
+
+use decent_lb::markov::theory::verify_theorem10;
+use decent_lb::prelude::*;
+use decent_lb::stats::plot::bar_chart;
+use decent_lb::workloads::initial::random_assignment;
+use decent_lb::workloads::uniform::uniform_instance;
+
+fn main() {
+    let (m, p_max) = (5usize, 4u64);
+    let params = ChainParams::paper_total(m, p_max);
+    let chain = LoadChain::build(params);
+    println!(
+        "chain: m={m}, p_max={p_max}, S={} -> {} sink states",
+        params.total,
+        chain.num_states()
+    );
+    let worst = verify_theorem10(&chain).expect("Theorem 10 must hold");
+    println!(
+        "Theorem 10: worst sink makespan {worst} <= {:.1}",
+        decent_lb::markov::theorem10_bound(m, p_max, params.total)
+    );
+
+    let pi = chain
+        .stationary(1e-12, 1_000_000)
+        .expect("power iteration converges");
+    let dev = chain.deviation_distribution(&pi);
+    let rows: Vec<(String, f64)> = dev.iter().map(|&(d, p)| (format!("{d:>5.2}"), p)).collect();
+    println!("\nstationary deviation distribution ((Cmax - S/m) / p_max):");
+    print!("{}", bar_chart(&rows, 50));
+
+    let mode = dev
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|&(d, _)| d)
+        .unwrap_or(0.0);
+    println!("mode at deviation {mode:.2} (the paper observes 0.5)");
+
+    // Simulator cross-check: run DLB2C on a real homogeneous instance with
+    // the same m and p_max and sample the equilibrium makespan.
+    let inst = uniform_instance(m, 40, 1, p_max, 11);
+    let total: u64 = inst.jobs().map(|j| inst.cost(MachineId(0), j)).sum();
+    let mut asg = random_assignment(&inst, 3);
+    let cfg = GossipConfig {
+        max_rounds: 50_000,
+        seed: 23,
+        record_every: 10,
+        ..Default::default()
+    };
+    let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+    // Sample the tail of the trajectory (the equilibrium regime).
+    let tail: Vec<f64> = run
+        .makespan_series
+        .iter()
+        .rev()
+        .take(1000)
+        .map(|&(_, c)| (c as f64 - (total as f64 / m as f64)) / p_max as f64)
+        .collect();
+    let mean_dev = tail.iter().sum::<f64>() / tail.len() as f64;
+    println!(
+        "\nsimulated equilibrium on a real instance (m={m}, 40 jobs U[1,{p_max}]): \
+         mean deviation {mean_dev:.2} x p_max"
+    );
+}

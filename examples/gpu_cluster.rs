@@ -1,0 +1,63 @@
+//! The paper's flagship scenario: a GPU-accelerated cluster.
+//!
+//! 64 CPU machines + 32 GPU machines, 768 jobs with independent
+//! per-cluster costs `U[1, 1000]` (Section VII.B's setup). Shows DLB2C
+//! converging from a random initial distribution, the makespan trajectory,
+//! and how quickly machines get under the `1.5 × CLB2C` threshold that
+//! the paper's Figure 5 studies.
+//!
+//! Run with: `cargo run --release --example gpu_cluster`
+
+use decent_lb::model::bounds::combined_lower_bound;
+use decent_lb::prelude::*;
+use decent_lb::stats::plot::sparkline;
+use decent_lb::stats::Ecdf;
+use decent_lb::workloads::initial::random_assignment;
+use decent_lb::workloads::two_cluster::paper_two_cluster;
+
+fn main() {
+    let inst = paper_two_cluster(64, 32, 768, 2015);
+    let lb = combined_lower_bound(&inst);
+    let cent = clb2c(&inst).expect("two-cluster instance").makespan();
+    println!("96-machine hybrid cluster (64 CPU + 32 GPU), 768 jobs U[1,1000]");
+    println!("lower bound {lb}, CLB2C centralized reference {cent}");
+
+    let mut asg = random_assignment(&inst, 99);
+    let cfg = GossipConfig {
+        max_rounds: 20_000,
+        seed: 7,
+        record_every: 100,
+        threshold: cent + cent / 2, // 1.5 x cent
+        ..GossipConfig::default()
+    };
+    let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+
+    println!(
+        "DLB2C: {} -> {} in {} rounds ({} effective exchanges)",
+        run.initial_makespan, run.final_makespan, run.rounds_run, run.effective_exchanges
+    );
+    println!(
+        "final / CLB2C = {:.3}, final / LB = {:.3}",
+        run.final_makespan as f64 / cent as f64,
+        run.final_makespan as f64 / lb as f64
+    );
+
+    let series: Vec<f64> = run.makespan_series.iter().map(|&(_, c)| c as f64).collect();
+    println!("makespan trajectory: {}", sparkline(&series));
+
+    // Figure 5's question: how many exchanges does each machine need
+    // before its load first drops under 1.5 x cent?
+    let hits: Vec<f64> = run
+        .machine_threshold_hits
+        .iter()
+        .map(|h| h.map_or(f64::NAN, |x| x as f64))
+        .collect();
+    let ecdf = Ecdf::new(hits);
+    println!(
+        "machines under 1.5 x CLB2C: {}/{} (median {} exchanges, p90 {})",
+        ecdf.len(),
+        inst.num_machines(),
+        ecdf.quantile(0.5).unwrap_or(f64::NAN),
+        ecdf.quantile(0.9).unwrap_or(f64::NAN),
+    );
+}

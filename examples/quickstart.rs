@@ -1,0 +1,76 @@
+//! Quickstart: balance a small CPU+GPU cluster three ways.
+//!
+//! Builds a toy two-cluster instance, then compares:
+//! 1. the centralized 2-approximation CLB2C (Algorithm 5),
+//! 2. the decentralized DLB2C gossip process (Algorithm 7),
+//! 3. the work-stealing baseline (Algorithm 1),
+//!
+//! against the exact optimum and a provable lower bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use decent_lb::distsim::simulate_work_stealing;
+use decent_lb::model::bounds::combined_lower_bound;
+use decent_lb::model::exact::{opt_makespan, ExactLimits};
+use decent_lb::prelude::*;
+use decent_lb::workloads::initial::random_assignment;
+
+fn main() {
+    // 3 CPU machines (cluster 1) + 2 GPU machines (cluster 2).
+    // Each job has a (CPU, GPU) processing time; some love the GPU,
+    // some don't, some don't care.
+    let inst = Instance::two_cluster(
+        3,
+        2,
+        vec![
+            (10, 40),
+            (12, 35),
+            (50, 8),
+            (45, 9),
+            (20, 20),
+            (30, 15),
+            (8, 60),
+            (25, 25),
+            (14, 30),
+            (40, 10),
+        ],
+    )
+    .expect("valid instance");
+
+    let lb = combined_lower_bound(&inst);
+    let opt = opt_makespan(&inst, ExactLimits::default()).expect("small instance");
+    println!(
+        "instance: {} machines in 2 clusters, {} jobs",
+        inst.num_machines(),
+        inst.num_jobs()
+    );
+    println!("lower bound on OPT: {lb}; exact OPT: {opt}");
+
+    // 1. Centralized CLB2C.
+    let central = clb2c(&inst).expect("two-cluster instance");
+    println!(
+        "CLB2C (centralized):   Cmax = {:>4}  ({:.2} x OPT)",
+        central.makespan(),
+        central.makespan() as f64 / opt as f64
+    );
+
+    // 2. Decentralized DLB2C from a random initial distribution.
+    let mut asg = random_assignment(&inst, 7);
+    let start = asg.makespan();
+    let report = run_pairwise(&inst, &mut asg, &Dlb2cBalance, 42, 10_000);
+    println!(
+        "DLB2C (decentralized): Cmax = {:>4}  ({:.2} x OPT), from {start} in {} exchanges",
+        report.final_makespan,
+        report.final_makespan as f64 / opt as f64,
+        report.exchanges
+    );
+
+    // 3. Work stealing from the same random initial distribution.
+    let ws = simulate_work_stealing(&inst, &random_assignment(&inst, 7), 42);
+    println!(
+        "Work stealing:         Cmax = {:>4}  ({:.2} x OPT), {} steals",
+        ws.makespan,
+        ws.makespan as f64 / opt as f64,
+        ws.steals
+    );
+}

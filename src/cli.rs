@@ -1,0 +1,598 @@
+//! The `decent-lb` command-line interface.
+//!
+//! Thin, dependency-free argument handling over the library: generate a
+//! workload, run an algorithm, print makespans and bounds. The parsing
+//! and execution logic lives here (testable); `main.rs` only dispatches.
+//!
+//! ```text
+//! decent-lb solve  --workload two-cluster --m1 64 --m2 32 --jobs 768 \
+//!                  --algo dlb2c --rounds 20000 --seed 42
+//! decent-lb bounds --workload two-cluster --m1 4 --m2 4 --jobs 32 --seed 1
+//! decent-lb markov --machines 5 --pmax 4
+//! ```
+
+use crate::algorithms::baselines::{d_choices_schedule, ect_in_order, lpt_schedule};
+use crate::algorithms::local_search::{local_search_schedule, LocalSearchLimits};
+use crate::algorithms::{
+    clb2c, run_pairwise, Dlb2cBalance, TypedPairBalance, UnrelatedPairBalance,
+};
+use crate::distsim::{run_concurrent, simulate_work_stealing, ConcurrentConfig};
+use crate::markov::{ChainParams, LoadChain};
+use crate::model::bounds;
+use crate::model::metrics::schedule_metrics;
+use crate::prelude::*;
+use crate::workloads::initial::random_assignment;
+use crate::workloads::scenario::Scenario;
+use crate::workloads::{two_cluster, typed, uniform};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Result alias for CLI operations (the model prelude shadows `Result`).
+pub type CliResult<T> = std::result::Result<T, CliError>;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// The subcommand (`solve`, `bounds`, `markov`).
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for CliError {}
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> CliResult<Self> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or_else(|| CliError(usage()))?;
+        let mut options = HashMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --option, got '{key}'")))?
+                .to_string();
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+            options.insert(key, value);
+        }
+        Ok(Self { command, options })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> CliResult<T> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value for --{key}: '{v}'"))),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Boolean option: `--key true|1|yes|on`.
+    fn flag_on(&self, key: &str) -> bool {
+        matches!(
+            self.options.get(key).map(String::as_str),
+            Some("true") | Some("1") | Some("yes") | Some("on")
+        )
+    }
+
+    /// Builds the workload described by the options.
+    ///
+    /// `--scenario file.json` (a serialized
+    /// [`crate::workloads::scenario::Scenario`]) takes
+    /// precedence over the inline `--workload` family options.
+    pub fn build_instance(&self) -> CliResult<Instance> {
+        let jobs: usize = self.get("jobs", 768)?;
+        let seed: u64 = self.get("seed", 42)?;
+        if let Some(path) = self.options.get("instance") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read instance {path}: {e}")))?;
+            return serde_json::from_str(&text)
+                .map_err(|e| CliError(format!("invalid instance {path}: {e}")));
+        }
+        if let Some(path) = self.options.get("scenario") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read scenario {path}: {e}")))?;
+            let scenario: Scenario = serde_json::from_str(&text)
+                .map_err(|e| CliError(format!("invalid scenario {path}: {e}")))?;
+            return Ok(scenario.build(seed));
+        }
+        match self.get_str("workload", "two-cluster").as_str() {
+            "two-cluster" => {
+                let m1: usize = self.get("m1", 64)?;
+                let m2: usize = self.get("m2", 32)?;
+                Ok(two_cluster::paper_two_cluster(m1, m2, jobs, seed))
+            }
+            "uniform" => {
+                let m: usize = self.get("machines", 96)?;
+                Ok(uniform::paper_uniform(m, jobs, seed))
+            }
+            "typed" => {
+                let m: usize = self.get("machines", 16)?;
+                let k: usize = self.get("types", 3)?;
+                Ok(typed::typed_uniform(m, jobs, k, 1, 1000, seed))
+            }
+            "dense" => {
+                let m: usize = self.get("machines", 16)?;
+                Ok(uniform::dense_uniform(m, jobs, 1, 1000, seed))
+            }
+            other => Err(CliError(format!(
+                "unknown workload '{other}' (two-cluster | uniform | typed | dense)"
+            ))),
+        }
+    }
+
+    /// Runs the subcommand and returns its stdout text.
+    pub fn run(&self) -> CliResult<String> {
+        match self.command.as_str() {
+            "solve" => self.run_solve(),
+            "generate" => self.run_generate(),
+            "bounds" => self.run_bounds(),
+            "markov" => self.run_markov(),
+            "help" | "--help" | "-h" => Ok(usage()),
+            other => Err(CliError(format!("unknown command '{other}'\n{}", usage()))),
+        }
+    }
+
+    fn run_solve(&self) -> CliResult<String> {
+        let inst = self.build_instance()?;
+        let seed: u64 = self.get("seed", 42)?;
+        let rounds: u64 = self.get("rounds", 20_000)?;
+        let algo = self.get_str("algo", "dlb2c");
+        let lb = bounds::combined_lower_bound(&inst);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "instance: {} machines ({} clusters), {} jobs; lower bound {lb}",
+            inst.num_machines(),
+            inst.num_clusters(),
+            inst.num_jobs()
+        );
+        let schedule: Option<Assignment> = match algo.as_str() {
+            "clb2c" => Some(clb2c(&inst).map_err(|e| CliError(e.to_string()))?),
+            "ect" => Some(ect_in_order(&inst)),
+            "lpt" => Some(lpt_schedule(&inst)),
+            "local-search" => Some(local_search_schedule(&inst, LocalSearchLimits::default())),
+            "dchoices" => {
+                let d: usize = self.get("d", 2)?;
+                Some(d_choices_schedule(&inst, d, seed))
+            }
+            "worksteal" => {
+                let init = random_assignment(&inst, seed);
+                let ws = simulate_work_stealing(&inst, &init, seed);
+                let _ = writeln!(out, "worksteal: {} steals", ws.steals);
+                let _ = writeln!(
+                    out,
+                    "makespan: {} ({:.3} x lower bound)",
+                    ws.makespan,
+                    ws.makespan as f64 / lb.max(1) as f64
+                );
+                None
+            }
+            "concurrent" => {
+                let threads: usize = self.get("threads", 0)?;
+                let init = random_assignment(&inst, seed);
+                let cfg = ConcurrentConfig {
+                    total_exchanges: rounds,
+                    seed,
+                    max_threads: threads,
+                    sample_every: 0,
+                };
+                let res = run_concurrent(&inst, &init, &Dlb2cBalance, &cfg);
+                let _ = writeln!(
+                    out,
+                    "concurrent dlb2c: {} -> {} ({} effective exchanges)",
+                    init.makespan(),
+                    res.final_makespan,
+                    res.effective_per_thread.iter().sum::<u64>()
+                );
+                Some(res.assignment)
+            }
+            "dlb2c" | "mjtb" | "unrelated" => {
+                let mut asg = random_assignment(&inst, seed);
+                let report = match algo.as_str() {
+                    "dlb2c" => run_pairwise(&inst, &mut asg, &Dlb2cBalance, seed, rounds),
+                    "mjtb" => run_pairwise(&inst, &mut asg, &TypedPairBalance, seed, rounds),
+                    _ => run_pairwise(&inst, &mut asg, &UnrelatedPairBalance, seed, rounds),
+                };
+                let _ = writeln!(
+                    out,
+                    "{algo}: {} -> {} in {} rounds ({} exchanges)",
+                    report.initial_makespan,
+                    report.final_makespan,
+                    report.rounds_run,
+                    report.exchanges
+                );
+                Some(asg)
+            }
+            other => {
+                return Err(CliError(format!(
+                    "unknown algorithm '{other}' (clb2c | dlb2c | mjtb | unrelated | ect | \
+                     lpt | local-search | dchoices | worksteal | concurrent)"
+                )))
+            }
+        };
+        if let Some(asg) = schedule {
+            let makespan = asg.makespan();
+            let _ = writeln!(
+                out,
+                "makespan: {makespan} ({:.3} x lower bound)",
+                makespan as f64 / lb.max(1) as f64
+            );
+            if self.flag_on("metrics") {
+                let m = schedule_metrics(&inst, &asg);
+                let _ = writeln!(
+                    out,
+                    "metrics: cv={:.4} jain={:.4} utilization={:.4} min_load={} \
+                     cluster_work={:?}",
+                    m.load_cv, m.jain_fairness, m.utilization, m.min_load, m.cluster_work
+                );
+            }
+        }
+        Ok(out)
+    }
+
+    /// Generates a workload and writes it as instance JSON (stdout or
+    /// `--out file`), loadable later via `--instance`.
+    fn run_generate(&self) -> CliResult<String> {
+        let inst = self.build_instance()?;
+        let json = serde_json::to_string_pretty(&inst)
+            .map_err(|e| CliError(format!("serialize instance: {e}")))?;
+        match self.options.get("out") {
+            Some(path) => {
+                std::fs::write(path, &json)
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                Ok(format!(
+                    "wrote {} machines x {} jobs to {path}\n",
+                    inst.num_machines(),
+                    inst.num_jobs()
+                ))
+            }
+            None => Ok(json),
+        }
+    }
+
+    fn run_bounds(&self) -> CliResult<String> {
+        let inst = self.build_instance()?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "min-cost bound:      {}",
+            bounds::min_cost_lower_bound(&inst)
+        );
+        let _ = writeln!(
+            out,
+            "average-work bound:  {}",
+            bounds::average_work_lower_bound(&inst)
+        );
+        if let Some(f) = bounds::two_cluster_fractional_lower_bound(&inst) {
+            let _ = writeln!(out, "fractional bound:    {f:.3}");
+        }
+        let _ = writeln!(
+            out,
+            "combined bound:      {}",
+            bounds::combined_lower_bound(&inst)
+        );
+        Ok(out)
+    }
+
+    fn run_markov(&self) -> CliResult<String> {
+        let m: usize = self.get("machines", 5)?;
+        let p_max: u64 = self.get("pmax", 4)?;
+        if m < 2 || p_max == 0 {
+            return Err(CliError(
+                "markov needs --machines >= 2 and --pmax >= 1".into(),
+            ));
+        }
+        let default_total = ChainParams::paper_total(m, p_max).total;
+        let total: u64 = self.get("total", default_total)?;
+        let chain = LoadChain::build(ChainParams {
+            machines: m,
+            p_max,
+            total,
+        });
+        let pi = chain
+            .stationary(1e-12, 5_000_000)
+            .ok_or_else(|| CliError("power iteration did not converge".into()))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "m={m} p_max={p_max} S={total}: {} sink states",
+            chain.num_states()
+        );
+        let _ = writeln!(out, "deviation  probability");
+        for (d, p) in chain.deviation_distribution(&pi) {
+            let _ = writeln!(out, "{d:>9.3}  {p:.6}");
+        }
+        Ok(out)
+    }
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "decent-lb — decentralized load balancing for heterogeneous machines\n\
+     \n\
+     USAGE: decent-lb <command> [--option value ...]\n\
+     \n\
+     COMMANDS:\n\
+       solve   run an algorithm on a generated workload\n\
+               --workload two-cluster|uniform|typed|dense  --jobs N --seed N\n\
+               --m1 N --m2 N | --machines N  [--types K]\n\
+               --scenario file.json   (overrides --workload; see\n\
+                                       lb_workloads::scenario::Scenario)\n\
+               --algo clb2c|dlb2c|mjtb|unrelated|ect|lpt|local-search|\n\
+                      dchoices|worksteal|concurrent\n\
+               [--rounds N] [--d N] [--threads N] [--metrics true]\n\
+       generate  write a workload as instance JSON (--out file); load it\n\
+                 anywhere else with --instance file\n\
+       bounds  print the lower bounds for a generated workload\n\
+       markov  stationary makespan distribution of the one-cluster chain\n\
+               --machines N --pmax P [--total S]\n\
+       help    this message\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let c = cli(&["solve", "--algo", "clb2c", "--jobs", "10"]);
+        assert_eq!(c.command, "solve");
+        assert_eq!(c.options["algo"], "clb2c");
+        assert_eq!(c.options["jobs"], "10");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Cli::parse(std::iter::empty()).is_err());
+        assert!(Cli::parse(["solve".to_string(), "oops".to_string()]).is_err());
+        assert!(Cli::parse(["solve".to_string(), "--k".to_string()]).is_err());
+    }
+
+    #[test]
+    fn solve_all_algorithms() {
+        for algo in [
+            "clb2c",
+            "dlb2c",
+            "mjtb",
+            "unrelated",
+            "ect",
+            "lpt",
+            "local-search",
+            "dchoices",
+            "worksteal",
+            "concurrent",
+        ] {
+            let c = cli(&[
+                "solve",
+                "--workload",
+                "two-cluster",
+                "--m1",
+                "3",
+                "--m2",
+                "2",
+                "--jobs",
+                "24",
+                "--rounds",
+                "2000",
+                "--algo",
+                algo,
+            ]);
+            let out = c.run().unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains("makespan:"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_unknown() {
+        let c = cli(&["solve", "--algo", "quantum"]);
+        assert!(c.run().is_err());
+        let c = cli(&["solve", "--workload", "cloud"]);
+        assert!(c.run().is_err());
+        let c = cli(&["frobnicate"]);
+        assert!(c.run().is_err());
+    }
+
+    #[test]
+    fn bounds_output() {
+        let c = cli(&[
+            "bounds",
+            "--workload",
+            "two-cluster",
+            "--m1",
+            "2",
+            "--m2",
+            "2",
+            "--jobs",
+            "8",
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("combined bound"));
+        assert!(out.contains("fractional bound"));
+        // Uniform workload has no fractional bound (single cluster).
+        let c = cli(&[
+            "bounds",
+            "--workload",
+            "uniform",
+            "--machines",
+            "4",
+            "--jobs",
+            "8",
+        ]);
+        let out = c.run().unwrap();
+        assert!(!out.contains("fractional"));
+    }
+
+    #[test]
+    fn markov_output() {
+        let c = cli(&["markov", "--machines", "3", "--pmax", "2"]);
+        let out = c.run().unwrap();
+        assert!(out.contains("sink states"));
+        assert!(out.contains("deviation"));
+        let c = cli(&["markov", "--machines", "1", "--pmax", "2"]);
+        assert!(c.run().is_err());
+    }
+
+    #[test]
+    fn typed_workload_and_mjtb() {
+        let c = cli(&[
+            "solve",
+            "--workload",
+            "typed",
+            "--machines",
+            "4",
+            "--types",
+            "2",
+            "--jobs",
+            "20",
+            "--algo",
+            "mjtb",
+            "--rounds",
+            "3000",
+        ]);
+        assert!(c.run().unwrap().contains("mjtb:"));
+    }
+
+    #[test]
+    fn help_works() {
+        assert!(cli(&["help"]).run().unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn metrics_flag() {
+        let c = cli(&[
+            "solve",
+            "--workload",
+            "uniform",
+            "--machines",
+            "3",
+            "--jobs",
+            "12",
+            "--algo",
+            "ect",
+            "--metrics",
+            "true",
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("jain="), "{out}");
+        assert!(out.contains("utilization="));
+    }
+
+    #[test]
+    fn generate_and_reload_instance() {
+        let dir = std::env::temp_dir().join("decent-lb-cli-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let c = cli(&[
+            "generate",
+            "--workload",
+            "two-cluster",
+            "--m1",
+            "2",
+            "--m2",
+            "3",
+            "--jobs",
+            "15",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("wrote 5 machines x 15 jobs"), "{out}");
+        // Reload and solve; the dimensions must round-trip.
+        let c = cli(&[
+            "solve",
+            "--instance",
+            path.to_str().unwrap(),
+            "--algo",
+            "clb2c",
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("5 machines (2 clusters), 15 jobs"), "{out}");
+        // generate without --out dumps JSON to stdout.
+        let c = cli(&[
+            "generate",
+            "--workload",
+            "uniform",
+            "--machines",
+            "2",
+            "--jobs",
+            "3",
+        ]);
+        let json = c.run().unwrap();
+        assert!(json.contains("Uniform"), "{json}");
+        // Unreadable instance errors cleanly.
+        let c = cli(&["solve", "--instance", "/nonexistent-inst.json"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("cannot read")));
+    }
+
+    #[test]
+    fn scenario_file() {
+        let dir = std::env::temp_dir().join("decent-lb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(
+            &path,
+            r#"{"family":"two-cluster","m1":2,"m2":2,"jobs":12,"lo":1,"hi":9}"#,
+        )
+        .unwrap();
+        let c = cli(&[
+            "solve",
+            "--scenario",
+            path.to_str().unwrap(),
+            "--algo",
+            "clb2c",
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("4 machines (2 clusters), 12 jobs"), "{out}");
+        // Bad file surfaces a readable error.
+        let c = cli(&["solve", "--scenario", "/nonexistent.json"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("cannot read")));
+    }
+
+    #[test]
+    fn worksteal_reports_makespan_without_metrics() {
+        let c = cli(&[
+            "solve",
+            "--workload",
+            "uniform",
+            "--machines",
+            "3",
+            "--jobs",
+            "9",
+            "--algo",
+            "worksteal",
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("steals"));
+        assert!(out.contains("makespan:"));
+    }
+
+    #[test]
+    fn invalid_numeric_option() {
+        let c = cli(&["solve", "--jobs", "banana"]);
+        assert!(matches!(c.run(), Err(CliError(msg)) if msg.contains("--jobs")));
+    }
+}

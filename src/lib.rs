@@ -1,0 +1,62 @@
+//! # decent-lb
+//!
+//! A faithful, production-quality reproduction of Cheriere & Saule,
+//! *"Considerations on Distributed Load Balancing for Fully Heterogeneous
+//! Machines: Two Particular Cases"* (2015): **a priori decentralized load
+//! balancing** of independent jobs on unrelated machines.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`model`] — instances, cost structures, assignments, lower bounds,
+//!   exact solvers (`lb-model`).
+//! * [`algorithms`] — Basic Greedy / OJTB / MJTB / CLB2C / Greedy Load
+//!   Balancing / DLB2C, baselines, stability (`lb-core`).
+//! * [`distsim`] — the gossip engine, work-stealing simulator, and
+//!   Monte-Carlo replication (`lb-distsim`).
+//! * [`markov`] — the one-cluster dynamic-equilibrium chain (`lb-markov`).
+//! * [`workloads`] — workload generators and the paper's adversarial
+//!   instances (`lb-workloads`).
+//! * [`stats`] — histograms, CDFs, summaries, CSV, terminal plots
+//!   (`lb-stats`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use decent_lb::prelude::*;
+//!
+//! // A CPU+GPU cluster: 3 + 2 machines, 8 jobs with per-cluster costs.
+//! let inst = Instance::two_cluster(3, 2, vec![
+//!     (10, 40), (12, 35), (50, 8), (45, 9), (20, 20), (30, 15), (8, 60), (25, 25),
+//! ]).unwrap();
+//!
+//! // Centralized reference: CLB2C (Theorem 6: a 2-approximation).
+//! let central = clb2c(&inst).unwrap();
+//!
+//! // Decentralized: DLB2C by random pairwise exchanges from a bad start.
+//! let mut asg = Assignment::all_on(&inst, MachineId(0));
+//! let report = run_pairwise(&inst, &mut asg, &Dlb2cBalance, 42, 10_000);
+//!
+//! let lb = decent_lb::model::bounds::combined_lower_bound(&inst);
+//! assert!(central.makespan() <= 2 * lb.max(inst.max_finite_cost().unwrap()));
+//! assert!(report.final_makespan <= report.initial_makespan);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use lb_core as algorithms;
+pub use lb_distsim as distsim;
+pub use lb_markov as markov;
+pub use lb_model as model;
+pub use lb_stats as stats;
+pub use lb_workloads as workloads;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use lb_core::prelude::*;
+    pub use lb_distsim::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
+    pub use lb_markov::{ChainParams, LoadChain};
+    pub use lb_model::prelude::*;
+}

@@ -1,0 +1,20 @@
+//! `decent-lb` binary entry point; all logic lives in [`decent_lb::cli`].
+
+use decent_lb::cli::Cli;
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match cli.run() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

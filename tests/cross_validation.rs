@@ -1,0 +1,108 @@
+//! Cross-validation between the analytic substrate (lb-markov) and the
+//! simulation substrate (lb-distsim): the two must tell the same story
+//! about the one-cluster equilibrium, which is the paper's core Section
+//! VII claim.
+
+use decent_lb::distsim::{run_gossip, GossipConfig};
+use decent_lb::markov::theory::theorem10_bound;
+use decent_lb::markov::{ChainParams, LoadChain};
+use decent_lb::prelude::*;
+use decent_lb::workloads::initial::random_assignment;
+use decent_lb::workloads::uniform::uniform_instance;
+
+/// The simulated equilibrium of DLB2C on a homogeneous cluster respects
+/// the Markov model's Theorem 10 envelope: every sampled makespan after
+/// burn-in is below `S/m + (m-1)/2 * p_max` plus slack for the
+/// job-granularity the model abstracts away.
+#[test]
+fn simulation_respects_theorem10_envelope() {
+    let (m, p_max) = (6usize, 8u64);
+    let inst = uniform_instance(m, 60, 1, p_max, 3);
+    let total: u64 = inst.jobs().map(|j| inst.cost(MachineId(0), j)).sum();
+    let bound = theorem10_bound(m, p_max, total);
+
+    let mut asg = random_assignment(&inst, 4);
+    let cfg = GossipConfig {
+        max_rounds: 30_000,
+        seed: 9,
+        record_every: 25,
+        ..GossipConfig::default()
+    };
+    let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+    let burn_in = run.makespan_series.len() / 4;
+    for &(round, cmax) in run.makespan_series.iter().skip(burn_in) {
+        assert!(
+            (cmax as f64) <= bound + p_max as f64,
+            "round {round}: Cmax {cmax} above Theorem 10 envelope {bound:.1}"
+        );
+    }
+}
+
+/// The simulated equilibrium *deviation* (in units of p_max) concentrates
+/// where the stationary distribution puts its mass: below 1.5, like the
+/// model's `P[deviation <= 1.5] ~ 1`.
+#[test]
+fn simulation_deviation_matches_model_band() {
+    let (m, p_max) = (5usize, 4u64);
+    // Model side.
+    let chain = LoadChain::build(ChainParams::paper_total(m, p_max));
+    let pi = chain.stationary(1e-12, 1_000_000).unwrap();
+    let model_mass_below: f64 = chain
+        .deviation_distribution(&pi)
+        .into_iter()
+        .filter(|&(d, _)| d <= 1.5)
+        .map(|(_, p)| p)
+        .sum();
+    assert!(model_mass_below > 0.999);
+
+    // Simulation side: sample the equilibrium deviations.
+    let inst = uniform_instance(m, 50, 1, p_max, 11);
+    let total: u64 = inst.jobs().map(|j| inst.cost(MachineId(0), j)).sum();
+    let mut asg = random_assignment(&inst, 12);
+    let cfg = GossipConfig {
+        max_rounds: 40_000,
+        seed: 13,
+        record_every: 20,
+        ..GossipConfig::default()
+    };
+    let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+    let burn_in = run.makespan_series.len() / 4;
+    let samples: Vec<f64> = run
+        .makespan_series
+        .iter()
+        .skip(burn_in)
+        .map(|&(_, c)| (c as f64 - total as f64 / m as f64) / p_max as f64)
+        .collect();
+    let sim_mass_below =
+        samples.iter().filter(|&&d| d <= 1.5).count() as f64 / samples.len() as f64;
+    assert!(
+        sim_mass_below > 0.95,
+        "simulation puts only {sim_mass_below:.3} mass below deviation 1.5"
+    );
+}
+
+/// Theorem 10's bound is *attained* in the model's state space (the sink
+/// really contains extreme states) while the random dynamics almost never
+/// visit them — the paper's point that the worst case needs adversarial
+/// pair choices.
+#[test]
+fn worst_sink_state_exists_but_is_rare() {
+    let params = ChainParams::paper_total(4, 4);
+    let chain = LoadChain::build(params);
+    let bound = theorem10_bound(4, 4, params.total);
+    let worst = chain.max_sink_makespan();
+    // The worst state sits near the bound...
+    assert!(
+        worst as f64 > bound * 0.7,
+        "worst {worst} far from bound {bound:.1}"
+    );
+    // ...but carries negligible stationary probability.
+    let pi = chain.stationary(1e-12, 1_000_000).unwrap();
+    let mass_at_worst: f64 = chain
+        .makespan_distribution(&pi)
+        .into_iter()
+        .filter(|&(c, _)| c == worst)
+        .map(|(_, p)| p)
+        .sum();
+    assert!(mass_at_worst < 0.01, "worst state mass {mass_at_worst}");
+}

@@ -1,0 +1,161 @@
+//! Cross-crate end-to-end scenarios exercising the whole stack through
+//! the facade crate's public API, the way a downstream user would.
+
+use decent_lb::algorithms::baselines::{ect_in_order, least_loaded_schedule, lpt_schedule};
+use decent_lb::algorithms::{clb2c, run_pairwise, Dlb2cBalance, UnrelatedPairBalance};
+use decent_lb::distsim::{replicate, run_gossip, simulate_work_stealing, GossipConfig};
+use decent_lb::model::bounds::{
+    average_work_lower_bound, combined_lower_bound, min_cost_lower_bound,
+};
+use decent_lb::prelude::*;
+use decent_lb::workloads::initial::{cluster_local_assignment, random_assignment};
+use decent_lb::workloads::two_cluster::{inverted, paper_two_cluster};
+use decent_lb::workloads::uniform::{dense_uniform, paper_uniform};
+
+#[test]
+fn full_pipeline_two_cluster() {
+    // Generate -> bound -> centralized -> decentralized -> compare.
+    let inst = paper_two_cluster(8, 4, 96, 77);
+    let lb = combined_lower_bound(&inst);
+    assert!(lb >= min_cost_lower_bound(&inst));
+    assert!(lb >= average_work_lower_bound(&inst));
+
+    let central = clb2c(&inst).unwrap();
+    central.validate(&inst).unwrap();
+    assert!(central.makespan() >= lb);
+
+    let mut asg = random_assignment(&inst, 3);
+    let report = run_pairwise(&inst, &mut asg, &Dlb2cBalance, 11, 30_000);
+    asg.validate(&inst).unwrap();
+    assert!(report.final_makespan >= lb);
+    // Decentralized lands within 2x of the centralized reference on this
+    // benign workload (in practice much closer).
+    assert!(report.final_makespan <= 2 * central.makespan());
+}
+
+#[test]
+fn decentralized_beats_work_stealing_on_inverted_costs() {
+    // Strong affinity contrast + all jobs submitted to the wrong cluster:
+    // a priori balancing moves them before execution, work stealing only
+    // reacts to idleness.
+    let inst = inverted(6, 6, 72, 1, 1000, 13);
+    let init = cluster_local_assignment(&inst, ClusterId::ONE, 17);
+
+    let ws = simulate_work_stealing(&inst, &init, 3);
+
+    let mut asg = init.clone();
+    let report = run_pairwise(&inst, &mut asg, &Dlb2cBalance, 19, 30_000);
+
+    assert!(
+        report.final_makespan <= ws.makespan,
+        "DLB2C {} should not lose to work stealing {}",
+        report.final_makespan,
+        ws.makespan
+    );
+}
+
+#[test]
+fn baselines_agree_on_identical_machines() {
+    // On identical machines ECT and least-loaded coincide step by step.
+    let inst = paper_uniform(6, 60, 5);
+    let a = ect_in_order(&inst);
+    let b = least_loaded_schedule(&inst);
+    assert_eq!(a.makespan(), b.makespan());
+    let lpt = lpt_schedule(&inst);
+    assert!(lpt.makespan() <= a.makespan());
+}
+
+#[test]
+fn unrelated_balancer_on_three_clusters() {
+    // The Section VIII extension: three machine classes via a dense
+    // instance; UnrelatedPairBalance still conserves jobs and improves a
+    // cold start.
+    let inst = dense_uniform(9, 90, 1, 100, 23);
+    let mut asg = Assignment::all_on(&inst, MachineId(0));
+    let before = asg.makespan();
+    let report = run_pairwise(&inst, &mut asg, &UnrelatedPairBalance, 29, 20_000);
+    asg.validate(&inst).unwrap();
+    assert!(report.final_makespan < before);
+    let total_jobs: usize = inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+    assert_eq!(total_jobs, 90);
+}
+
+#[test]
+fn replication_aggregates_are_stable() {
+    let cfg = GossipConfig {
+        max_rounds: 4000,
+        seed: 55,
+        ..GossipConfig::default()
+    };
+    let runs = replicate(&cfg, &Dlb2cBalance, 8, |r| {
+        let inst = paper_two_cluster(6, 3, 54, 800 + r);
+        let asg = random_assignment(&inst, 900 + r);
+        (inst, asg)
+    });
+    assert_eq!(runs.len(), 8);
+    for run in &runs {
+        assert!(run.final_makespan <= run.initial_makespan);
+        assert!(run.best_makespan <= run.final_makespan.max(run.initial_makespan));
+    }
+}
+
+#[test]
+fn gossip_run_respects_budget_and_series_invariants() {
+    let inst = paper_two_cluster(4, 4, 64, 5);
+    let mut asg = random_assignment(&inst, 6);
+    let cfg = GossipConfig {
+        max_rounds: 777,
+        record_every: 10,
+        seed: 3,
+        ..Default::default()
+    };
+    let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+    assert!(run.rounds_run <= 777);
+    // Series rounds strictly increase and end at rounds_run.
+    let rounds: Vec<u64> = run.makespan_series.iter().map(|&(r, _)| r).collect();
+    assert!(rounds.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(*rounds.last().unwrap(), run.rounds_run);
+}
+
+#[test]
+fn multicluster_pipeline() {
+    // The Section VIII extension end-to-end: generate a 3-tier workload,
+    // balance it decentralized, compare against the centralized
+    // references through the facade API.
+    use decent_lb::algorithms::{sufferage_schedule, MultiClusterBalance};
+    use decent_lb::workloads::multi_cluster::affine;
+    let inst = affine(&[4, 2, 2], 64, 1, 100, 6, 31);
+    assert_eq!(inst.num_clusters(), 3);
+    let suf = sufferage_schedule(&inst);
+    suf.validate(&inst).unwrap();
+    let mut asg = random_assignment(&inst, 32);
+    let report = run_pairwise(&inst, &mut asg, &MultiClusterBalance, 33, 30_000);
+    asg.validate(&inst).unwrap();
+    // Decentralized lands within 2x of the centralized reference.
+    assert!(
+        report.final_makespan <= 2 * suf.makespan(),
+        "DLBMC {} vs sufferage {}",
+        report.final_makespan,
+        suf.makespan()
+    );
+}
+
+#[test]
+fn infeasible_jobs_end_up_feasible() {
+    // Jobs that can only run on cluster 2 must all land there under
+    // DLB2C (any stable or near-stable state has finite makespan).
+    let costs: Vec<(Time, Time)> = (0..12)
+        .map(|i| if i % 2 == 0 { (INFEASIBLE, 5) } else { (5, 5) })
+        .collect();
+    let inst = Instance::two_cluster(3, 3, costs).unwrap();
+    let mut asg = Assignment::all_on(&inst, MachineId(0));
+    assert_eq!(asg.makespan(), INFEASIBLE);
+    let report = run_pairwise(&inst, &mut asg, &Dlb2cBalance, 41, 20_000);
+    assert!(
+        report.final_makespan < INFEASIBLE,
+        "an infeasible job is stranded"
+    );
+    for j in inst.jobs() {
+        assert!(inst.cost(asg.machine_of(j), j) < INFEASIBLE);
+    }
+}

