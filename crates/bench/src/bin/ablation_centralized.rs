@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ablation_centralized`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::baselines::{d_choices_schedule, ect_in_order, lpt_schedule};
 use lb_core::clb2c;
 use lb_model::bounds::combined_lower_bound;
@@ -18,16 +18,11 @@ use lb_stats::Summary;
 use lb_workloads::two_cluster;
 
 fn main() {
-    banner("A3", "centralized algorithms across heterogeneity regimes");
+    let runner = SimRunner::new("ablation_centralized");
+    runner.banner("A3", "centralized algorithms across heterogeneity regimes");
     let reps = 20u64;
-    json_sidecar(
-        "ablation_centralized",
-        &serde_json::json!({"reps": reps, "m": "64+32", "jobs": 768}),
-    );
-    let mut csv = csv_out(
-        "ablation_centralized",
-        &["regime", "replication", "algorithm", "cmax", "lb", "ratio"],
-    );
+    runner.sidecar(&serde_json::json!({"reps": reps, "m": "64+32", "jobs": 768}));
+    let mut csv = runner.csv(&["regime", "replication", "algorithm", "cmax", "lb", "ratio"]);
 
     type Maker = Box<dyn Fn(u64) -> Instance>;
     let regimes: Vec<(&str, Maker)> = vec![

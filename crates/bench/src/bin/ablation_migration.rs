@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ablation_migration`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::{clb2c, Dlb2cBalance, MoveFrugal};
 use lb_distsim::{run_gossip, GossipConfig};
 use lb_stats::csv::CsvCell;
@@ -19,21 +19,16 @@ use lb_workloads::two_cluster::paper_two_cluster;
 use rayon::prelude::*;
 
 fn main() {
-    banner("A4", "job migrations: plain DLB2C vs move-frugal DLB2C");
+    let runner = SimRunner::new("ablation_migration");
+    runner.banner("A4", "job migrations: plain DLB2C vs move-frugal DLB2C");
     let reps = 20u64;
-    json_sidecar(
-        "ablation_migration",
-        &serde_json::json!({"reps": reps, "rounds": 20000}),
-    );
-    let mut csv = csv_out(
-        "ablation_migration",
-        &[
-            "variant",
-            "replication",
-            "migrations",
-            "final_cmax_over_cent",
-        ],
-    );
+    runner.sidecar(&serde_json::json!({"reps": reps, "rounds": 20000}));
+    let mut csv = runner.csv(&[
+        "variant",
+        "replication",
+        "migrations",
+        "final_cmax_over_cent",
+    ]);
 
     let results: Vec<(u64, f64, u64, f64)> = (0..reps)
         .into_par_iter()

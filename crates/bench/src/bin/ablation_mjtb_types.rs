@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ablation_mjtb_types`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::mjtb::per_type_makespans;
 use lb_core::{run_pairwise, TypedPairBalance};
 use lb_model::exact::{opt_makespan, ExactLimits};
@@ -18,23 +18,18 @@ use lb_workloads::initial::skewed_assignment;
 use lb_workloads::typed::typed_uniform;
 
 fn main() {
-    banner("A1", "MJTB ratio vs number of job types k");
-    json_sidecar(
-        "ablation_mjtb_types",
-        &serde_json::json!({"ks": [1,2,3,4,6,8], "sizes": "small+large"}),
-    );
-    let mut csv = csv_out(
-        "ablation_mjtb_types",
-        &[
-            "k",
-            "size",
-            "cmax",
-            "envelope",
-            "reference",
-            "ratio",
-            "theorem5_bound",
-        ],
-    );
+    let runner = SimRunner::new("ablation_mjtb_types");
+    runner.banner("A1", "MJTB ratio vs number of job types k");
+    runner.sidecar(&serde_json::json!({"ks": [1,2,3,4,6,8], "sizes": "small+large"}));
+    let mut csv = runner.csv(&[
+        "k",
+        "size",
+        "cmax",
+        "envelope",
+        "reference",
+        "ratio",
+        "theorem5_bound",
+    ]);
 
     println!("small instances (exact OPT):");
     println!(

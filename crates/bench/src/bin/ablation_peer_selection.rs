@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ablation_peer_selection`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::{clb2c, Dlb2cBalance};
 use lb_distsim::{run_gossip, GossipConfig, PairSchedule};
 use lb_stats::csv::CsvCell;
@@ -18,21 +18,16 @@ use lb_workloads::two_cluster::paper_two_cluster;
 use rayon::prelude::*;
 
 fn main() {
-    banner("A2", "DLB2C peer-selection policies on the 64+32 workload");
+    let runner = SimRunner::new("ablation_peer_selection");
+    runner.banner("A2", "DLB2C peer-selection policies on the 64+32 workload");
     let reps = 20u64;
-    json_sidecar(
-        "ablation_peer_selection",
-        &serde_json::json!({"reps": reps}),
-    );
-    let mut csv = csv_out(
-        "ablation_peer_selection",
-        &[
-            "policy",
-            "replication",
-            "rounds_to_threshold",
-            "final_cmax_over_cent",
-        ],
-    );
+    runner.sidecar(&serde_json::json!({"reps": reps}));
+    let mut csv = runner.csv(&[
+        "policy",
+        "replication",
+        "rounds_to_threshold",
+        "final_cmax_over_cent",
+    ]);
 
     let policies: Vec<(&str, PairSchedule)> = vec![
         ("uniform", PairSchedule::UniformRandom),

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ablation_steal_policy`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::{run_pairwise, Dlb2cBalance};
 use lb_distsim::{simulate_work_stealing_with, StealPolicy};
 use lb_stats::csv::CsvCell;
@@ -19,19 +19,17 @@ use lb_workloads::initial::{random_assignment, skewed_assignment};
 use lb_workloads::two_cluster::paper_two_cluster;
 
 fn main() {
-    banner("A5", "steal policies vs a priori balancing");
+    let runner = SimRunner::new("ablation_steal_policy");
+    runner.banner("A5", "steal policies vs a priori balancing");
     let reps = 15u64;
-    json_sidecar("ablation_steal_policy", &serde_json::json!({"reps": reps}));
-    let mut csv = csv_out(
-        "ablation_steal_policy",
-        &[
-            "start",
-            "policy",
-            "replication",
-            "makespan",
-            "steals_or_exchanges",
-        ],
-    );
+    runner.sidecar(&serde_json::json!({"reps": reps}));
+    let mut csv = runner.csv(&[
+        "start",
+        "policy",
+        "replication",
+        "makespan",
+        "steals_or_exchanges",
+    ]);
 
     let policies = [
         ("steal-half", StealPolicy::Half),

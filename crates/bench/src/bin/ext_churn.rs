@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ext_churn`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::Dlb2cBalance;
 use lb_distsim::{run_with_churn, ChurnPlan};
 use lb_model::prelude::*;
@@ -19,23 +19,19 @@ use lb_workloads::two_cluster::paper_two_cluster;
 use rayon::prelude::*;
 
 fn main() {
-    banner("E4", "makespan recovery after a machine failure");
+    let runner = SimRunner::new("ext_churn");
+    runner.banner("E4", "makespan recovery after a machine failure");
     let reps = 15u64;
     let (fail_at, rejoin_at, total) = (6_000u64, 12_000u64, 20_000u64);
-    json_sidecar(
-        "ext_churn",
-        &serde_json::json!({"reps": reps, "fail_at": fail_at, "rejoin_at": rejoin_at, "total": total}),
+    runner.sidecar(&serde_json::json!({"reps": reps, "fail_at": fail_at, "rejoin_at": rejoin_at, "total": total}),
     );
-    let mut csv = csv_out(
-        "ext_churn",
-        &[
-            "replication",
-            "pre_failure_cmax",
-            "spike_cmax",
-            "recovery_rounds",
-            "final_cmax",
-        ],
-    );
+    let mut csv = runner.csv(&[
+        "replication",
+        "pre_failure_cmax",
+        "spike_cmax",
+        "recovery_rounds",
+        "final_cmax",
+    ]);
 
     let results: Vec<(Time, Time, Option<u64>, Time)> = (0..reps)
         .into_par_iter()

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ext_dynamic_arrivals`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::Dlb2cBalance;
 use lb_distsim::dynamic::{poissonish_arrivals, simulate_dynamic, DynamicConfig};
 use lb_stats::csv::CsvCell;
@@ -19,25 +19,20 @@ use lb_workloads::two_cluster::paper_two_cluster;
 use rayon::prelude::*;
 
 fn main() {
-    banner(
+    let runner = SimRunner::new("ext_dynamic_arrivals");
+    runner.banner(
         "E1",
         "periodic balancing under online arrivals (Section IV scenario)",
     );
     let reps = 10u64;
-    json_sidecar(
-        "ext_dynamic_arrivals",
-        &serde_json::json!({"reps": reps, "m": "16+8", "jobs": 240, "horizon": 2000}),
-    );
-    let mut csv = csv_out(
-        "ext_dynamic_arrivals",
-        &[
-            "period",
-            "replication",
-            "makespan",
-            "mean_flow",
-            "migrations",
-        ],
-    );
+    runner.sidecar(&serde_json::json!({"reps": reps, "m": "16+8", "jobs": 240, "horizon": 2000}));
+    let mut csv = runner.csv(&[
+        "period",
+        "replication",
+        "makespan",
+        "mean_flow",
+        "migrations",
+    ]);
 
     // period 0 = never balance (jobs run where they arrive).
     let periods: [u64; 5] = [0, 25, 100, 400, 1600];

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ext_mixing_time`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_markov::mixing::{mixing_time, tv_trajectory, worst_state};
 use lb_markov::spectral::{relaxation_time, second_eigenvalue};
 use lb_markov::{ChainParams, LoadChain};
@@ -16,27 +16,22 @@ use lb_stats::csv::CsvCell;
 use lb_stats::plot::sparkline;
 
 fn main() {
-    banner(
+    let runner = SimRunner::new("ext_mixing_time");
+    runner.banner(
         "E2",
         "mixing time of the one-cluster chain (model-side Figure 5)",
     );
-    json_sidecar(
-        "ext_mixing_time",
-        &serde_json::json!({"eps": [0.25, 0.05], "configs": "m in 3..=6"}),
-    );
-    let mut csv = csv_out(
-        "ext_mixing_time",
-        &[
-            "m",
-            "p_max",
-            "states",
-            "tmix_025",
-            "tmix_005",
-            "tmix_025_per_machine",
-            "lambda2",
-            "t_relax",
-        ],
-    );
+    runner.sidecar(&serde_json::json!({"eps": [0.25, 0.05], "configs": "m in 3..=6"}));
+    let mut csv = runner.csv(&[
+        "m",
+        "p_max",
+        "states",
+        "tmix_025",
+        "tmix_005",
+        "tmix_025_per_machine",
+        "lambda2",
+        "t_relax",
+    ]);
 
     println!(
         "{:>3} {:>6} {:>8} {:>10} {:>10} {:>12} {:>9} {:>8}",

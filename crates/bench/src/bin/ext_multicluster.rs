@@ -13,7 +13,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ext_multicluster`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::baselines::ect_in_order;
 use lb_core::{run_pairwise, sufferage_schedule, MultiClusterBalance};
 use lb_model::bounds::combined_lower_bound;
@@ -25,19 +25,14 @@ use lb_workloads::multi_cluster::{affine, independent};
 use rayon::prelude::*;
 
 fn main() {
-    banner(
+    let runner = SimRunner::new("ext_multicluster");
+    runner.banner(
         "E5",
         "three clusters (CPU+GPU+FPGA): decentralized DLBMC vs references",
     );
     let reps = 15u64;
-    json_sidecar(
-        "ext_multicluster",
-        &serde_json::json!({"reps": reps, "sizes": [32, 16, 8], "jobs": 448}),
-    );
-    let mut csv = csv_out(
-        "ext_multicluster",
-        &["regime", "replication", "algorithm", "cmax", "lb", "ratio"],
-    );
+    runner.sidecar(&serde_json::json!({"reps": reps, "sizes": [32, 16, 8], "jobs": 448}));
+    let mut csv = runner.csv(&["regime", "replication", "algorithm", "cmax", "lb", "ratio"]);
 
     type Maker = Box<dyn Fn(u64) -> Instance + Sync>;
     let regimes: Vec<(&str, Maker)> = vec![

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin ext_robustness`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::local_search::{local_search_schedule, LocalSearchLimits};
 use lb_core::{clb2c, run_pairwise, Dlb2cBalance};
 use lb_model::bounds::combined_lower_bound;
@@ -21,24 +21,19 @@ use lb_workloads::two_cluster::paper_two_cluster;
 use rayon::prelude::*;
 
 fn main() {
-    banner(
+    let runner = SimRunner::new("ext_robustness");
+    runner.banner(
         "E3",
         "robustness to cost misprediction (plan on predictions, run on truth)",
     );
     let reps = 15u64;
-    json_sidecar(
-        "ext_robustness",
-        &serde_json::json!({"reps": reps, "errors": [0,10,25,50]}),
-    );
-    let mut csv = csv_out(
-        "ext_robustness",
-        &[
-            "error_percent",
-            "replication",
-            "algorithm",
-            "true_cmax_over_lb",
-        ],
-    );
+    runner.sidecar(&serde_json::json!({"reps": reps, "errors": [0,10,25,50]}));
+    let mut csv = runner.csv(&[
+        "error_percent",
+        "replication",
+        "algorithm",
+        "true_cmax_over_lb",
+    ]);
 
     println!(
         "{:>7} {:>12} {:>12} {:>14}",

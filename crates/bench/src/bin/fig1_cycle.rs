@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin fig1_cycle`
 
-use lb_bench::{banner, csv_out, json_sidecar, row, Args};
+use lb_bench::{row, Args, SimRunner};
 use lb_core::Dlb2cBalance;
 use lb_distsim::{run_gossip, GossipConfig, PairSchedule, RunOutcome};
 use lb_stats::csv::CsvCell;
@@ -22,24 +22,20 @@ fn main() {
         .value("--seeds")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
-    banner(
+    let runner = SimRunner::new("fig1_cycle");
+    runner.banner(
         "F1",
         "Figure 1 / Proposition 8: DLB2C limit cycles (existence by search)",
     );
-    json_sidecar(
-        "fig1_cycle",
-        &serde_json::json!({"family": "2+1 machines, 5 jobs, costs U[1,9]", "max_seeds": max_seeds}),
+    runner.sidecar(&serde_json::json!({"family": "2+1 machines, 5 jobs, costs U[1,9]", "max_seeds": max_seeds}),
     );
-    let mut csv = csv_out(
-        "fig1_cycle",
-        &[
-            "seed",
-            "first_seen_sweep",
-            "period_sweeps",
-            "costs",
-            "initial_assignment",
-        ],
-    );
+    let mut csv = runner.csv(&[
+        "seed",
+        "first_seen_sweep",
+        "period_sweeps",
+        "costs",
+        "initial_assignment",
+    ]);
 
     let mut found = 0u32;
     let mut tried = 0u64;

@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin fig2_markov [--panel a|b] [--quick]`
 
-use lb_bench::{banner, csv_out, json_sidecar, row, Args};
+use lb_bench::{row, Args, SimRunner};
 use lb_markov::theory::verify_theorem10;
 use lb_markov::{ChainParams, LoadChain};
 use lb_stats::csv::CsvCell;
@@ -72,18 +72,13 @@ fn main() {
     let args = Args::parse();
     let quick = args.flag("--quick");
     let panel = args.value("--panel").unwrap_or("both");
-    banner(
+    let runner = SimRunner::new("fig2_markov");
+    runner.banner(
         "F2",
         "Figure 2: stationary makespan distribution of the one-cluster chain",
     );
-    json_sidecar(
-        "fig2_markov",
-        &serde_json::json!({"quick": quick, "panel": panel}),
-    );
-    let mut csv = csv_out(
-        "fig2_markov",
-        &["panel", "m", "p_max", "deviation", "probability"],
-    );
+    runner.sidecar(&serde_json::json!({"quick": quick, "panel": panel}));
+    let mut csv = runner.csv(&["panel", "m", "p_max", "deviation", "probability"]);
 
     if panel == "a" || panel == "both" {
         let pmaxes: &[u64] = if quick { &[2, 3, 4, 5] } else { &[2, 4, 6, 8] };

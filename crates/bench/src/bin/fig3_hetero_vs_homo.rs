@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin fig3_hetero_vs_homo [--reps N]`
 
-use lb_bench::{banner, csv_out, json_sidecar, row, Args};
+use lb_bench::{row, Args, SimRunner};
 use lb_core::Dlb2cBalance;
 use lb_distsim::{replicate, GossipConfig};
 use lb_model::bounds::combined_lower_bound;
@@ -69,18 +69,15 @@ fn main() {
         .value("--reps")
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    banner(
+    let runner = SimRunner::new("fig3_hetero_vs_homo");
+    runner.banner(
         "F3",
         "Figure 3: heterogeneous vs homogeneous equilibrium makespan",
     );
-    json_sidecar(
-        "fig3_hetero_vs_homo",
+    runner.sidecar(
         &serde_json::json!({"reps": reps, "jobs": 768, "config": "64+32 vs 96 homogeneous"}),
     );
-    let mut csv = csv_out(
-        "fig3_hetero_vs_homo",
-        &["case", "replication", "cmax_over_lb"],
-    );
+    let mut csv = runner.csv(&["case", "replication", "cmax_over_lb"]);
 
     let hetero = equilibrium_ratios("hetero", reps, |r| paper_two_cluster(64, 32, 768, 42 + r));
     let homo = equilibrium_ratios("homo", reps, |r| {

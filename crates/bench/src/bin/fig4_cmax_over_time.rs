@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin fig4_cmax_over_time`
 
-use lb_bench::{banner, csv_out, json_sidecar, row, Args};
+use lb_bench::{row, Args, SimRunner};
 use lb_core::Dlb2cBalance;
 use lb_distsim::{run_gossip, GossipConfig};
 use lb_model::prelude::*;
@@ -35,15 +35,13 @@ fn main() {
         .value("--rounds")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
-    banner(
+    let runner = SimRunner::new("fig4_cmax_over_time");
+    runner.banner(
         "F4",
         "Figure 4: Cmax trajectories oscillate near the run minimum",
     );
-    json_sidecar(
-        "fig4_cmax_over_time",
-        &serde_json::json!({"rounds": rounds, "seeds": [1, 2, 3]}),
-    );
-    let mut csv = csv_out("fig4_cmax_over_time", &["case", "seed", "round", "cmax"]);
+    runner.sidecar(&serde_json::json!({"rounds": rounds, "seeds": [1, 2, 3]}));
+    let mut csv = runner.csv(&["case", "seed", "round", "cmax"]);
 
     for (case, inst) in [
         ("hetero-64+32", paper_two_cluster(64, 32, 768, 7)),

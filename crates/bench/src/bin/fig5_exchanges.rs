@@ -20,7 +20,7 @@
 //! Run: `cargo run --release -p lb-bench --bin fig5_exchanges \
 //!       [--reps N] [--quick] [--start random|skewed]`
 
-use lb_bench::{banner, csv_out, json_sidecar, row, Args};
+use lb_bench::{row, Args, SimRunner};
 use lb_core::{clb2c, Dlb2cBalance};
 use lb_distsim::GossipConfig;
 use lb_model::prelude::*;
@@ -59,20 +59,15 @@ fn main() {
         .value("--reps")
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 3 } else { 10 });
-    banner("F5", "Figure 5: exchanges per machine to reach 1.5 x CLB2C");
-    json_sidecar(
-        "fig5_exchanges",
-        &serde_json::json!({
-            "reps": reps,
-            "quick": quick,
-            "start": if skewed { "skewed" } else { "random" },
-        }),
-    );
-    let mut csv = csv_out(
-        "fig5_exchanges",
-        &["config", "replication", "machine", "exchanges_to_threshold"],
-    );
-    let mut run_csv = csv_out(
+    let runner = SimRunner::new("fig5_exchanges");
+    runner.banner("F5", "Figure 5: exchanges per machine to reach 1.5 x CLB2C");
+    runner.sidecar(&serde_json::json!({
+        "reps": reps,
+        "quick": quick,
+        "start": if skewed { "skewed" } else { "random" },
+    }));
+    let mut csv = runner.csv(&["config", "replication", "machine", "exchanges_to_threshold"]);
+    let mut run_csv = runner.csv_named(
         "fig5_exchanges_runlevel",
         &["config", "replication", "global_exchanges_per_machine"],
     );

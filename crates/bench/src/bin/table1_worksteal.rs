@@ -10,25 +10,20 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin table1_worksteal`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_distsim::simulate_work_stealing;
 use lb_model::exact::{opt_makespan, ExactLimits};
 use lb_stats::csv::CsvCell;
 use lb_workloads::adversarial::worksteal_trap;
 
 fn main() {
-    banner(
+    let runner = SimRunner::new("table1_worksteal");
+    runner.banner(
         "T1",
         "Table I / Theorem 1: work stealing is unbounded on unrelated machines",
     );
-    json_sidecar(
-        "table1_worksteal",
-        &serde_json::json!({"ns": [10, 100, 1000, 10000, 100000]}),
-    );
-    let mut csv = csv_out(
-        "table1_worksteal",
-        &["n", "worksteal_cmax", "opt", "ratio", "steals"],
-    );
+    runner.sidecar(&serde_json::json!({"ns": [10, 100, 1000, 10000, 100000]}));
+    let mut csv = runner.csv(&["n", "worksteal_cmax", "opt", "ratio", "steals"]);
 
     println!(
         "{:>8} {:>16} {:>6} {:>10} {:>7}",

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p lb-bench --bin table2_pairwise_trap`
 
-use lb_bench::{banner, csv_out, json_sidecar, row};
+use lb_bench::{row, SimRunner};
 use lb_core::optimal_pair::OptimalPairBalance;
 use lb_core::stability::is_stable;
 use lb_model::exact::{opt_makespan, ExactLimits};
@@ -15,18 +15,13 @@ use lb_stats::csv::CsvCell;
 use lb_workloads::adversarial::pairwise_trap;
 
 fn main() {
-    banner(
+    let runner = SimRunner::new("table2_pairwise_trap");
+    runner.banner(
         "T2",
         "Table II / Proposition 2: pairwise-optimal yet unboundedly bad",
     );
-    json_sidecar(
-        "table2_pairwise_trap",
-        &serde_json::json!({"ns": [10, 100, 1000, 10000]}),
-    );
-    let mut csv = csv_out(
-        "table2_pairwise_trap",
-        &["n", "trap_cmax", "opt", "ratio", "pairwise_stable"],
-    );
+    runner.sidecar(&serde_json::json!({"ns": [10, 100, 1000, 10000]}));
+    let mut csv = runner.csv(&["n", "trap_cmax", "opt", "ratio", "pairwise_stable"]);
 
     println!(
         "{:>8} {:>10} {:>6} {:>10} {:>16}",

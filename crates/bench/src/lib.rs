@@ -3,46 +3,26 @@
 //! Every table/figure of the paper has a binary under `src/bin/` that
 //! prints human-readable rows *and* writes a CSV (plus a JSON sidecar with
 //! the parameters) under `results/`, so EXPERIMENTS.md numbers can be
-//! regenerated and diffed. This module holds the tiny bits they share:
-//! output-directory handling, a minimal flag parser, and experiment
-//! banners.
+//! regenerated and diffed. Result emission itself lives in
+//! [`lb_stats::runner::SimRunner`] — shared with the `decent-lb simulate`
+//! subcommand — and is re-exported here; this module keeps only the bits
+//! specific to standalone binaries: a minimal flag parser and results-path
+//! helpers for the smoke tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use lb_stats::csv::{CsvCell, CsvWriter};
-use std::fs::File;
-use std::io::BufWriter;
+pub use lb_stats::runner::{row, SimRunner};
 use std::path::{Path, PathBuf};
 
-/// Where experiment outputs land (created on demand).
+/// Where experiment outputs land (created on demand): `LB_RESULTS_DIR`
+/// or `results/`, same resolution as [`SimRunner::new`].
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var_os("LB_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
     std::fs::create_dir_all(&dir).expect("create results directory");
     dir
-}
-
-/// Opens `results/<name>.csv` with the given header.
-pub fn csv_out(name: &str, header: &[&str]) -> CsvWriter<BufWriter<File>> {
-    let path = results_dir().join(format!("{name}.csv"));
-    let file = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
-    CsvWriter::new(BufWriter::new(file), header).expect("write CSV header")
-}
-
-/// Writes a JSON parameter sidecar next to the CSV.
-pub fn json_sidecar<T: serde::Serialize>(name: &str, params: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    let file = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
-    serde_json::to_writer_pretty(BufWriter::new(file), params).expect("serialize parameters");
-}
-
-/// Prints the experiment banner.
-pub fn banner(id: &str, what: &str) {
-    println!("==========================================================");
-    println!("{id}: {what}");
-    println!("==========================================================");
 }
 
 /// Minimal flag reader: `flag("--full")` / `value("--panel")`.
@@ -73,11 +53,6 @@ impl Args {
     }
 }
 
-/// Convenience: one CSV row from mixed cells.
-pub fn row(w: &mut CsvWriter<BufWriter<File>>, cells: Vec<CsvCell>) {
-    w.row(&cells).expect("write CSV row");
-}
-
 /// Asserts a results path exists (used by integration smoke tests).
 pub fn results_file_exists(name: &str) -> bool {
     Path::new(&results_dir()).join(name).exists()
@@ -105,5 +80,12 @@ mod tests {
         // default path shape.
         let d = results_dir();
         assert!(d.ends_with("results") || d.is_dir());
+    }
+
+    #[test]
+    fn runner_matches_results_dir_resolution() {
+        // SimRunner::new and results_dir must resolve to the same place.
+        let runner = SimRunner::new("resolution_check");
+        assert_eq!(runner.dir(), results_dir().as_path());
     }
 }

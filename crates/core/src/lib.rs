@@ -72,7 +72,7 @@ pub use move_frugal::MoveFrugal;
 pub use multi_cluster::{sufferage_schedule, MultiClusterBalance};
 pub use ojtb::{ojtb_to_stability, run_mjtb, run_ojtb};
 pub use optimal_pair::OptimalPairBalance;
-pub use pairwise::PairwiseBalancer;
+pub use pairwise::{balance_counting_moves, PairwiseBalancer};
 pub use stability::{is_stable, stabilize};
 
 /// Convenient glob import.

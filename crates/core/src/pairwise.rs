@@ -48,6 +48,37 @@ pub(crate) fn commit_pair(
     true
 }
 
+/// Runs `balancer` on the pair and reports `(changed, jobs_moved)`.
+///
+/// `jobs_moved` is the number of jobs whose machine differs from before
+/// the exchange — the network traffic a deployment would pay, which the
+/// paper's conclusion flags as a cost the model ignores. Simulation
+/// drivers (`lb-distsim`) share this helper so every protocol counts
+/// migrations identically.
+pub fn balance_counting_moves(
+    inst: &Instance,
+    asg: &mut Assignment,
+    balancer: &dyn PairwiseBalancer,
+    m1: MachineId,
+    m2: MachineId,
+) -> (bool, u64) {
+    let owners_before: Vec<(JobId, MachineId)> = asg
+        .jobs_on(m1)
+        .iter()
+        .map(|&j| (j, m1))
+        .chain(asg.jobs_on(m2).iter().map(|&j| (j, m2)))
+        .collect();
+    let changed = balancer.balance(inst, asg, m1, m2);
+    if !changed {
+        return (false, 0);
+    }
+    let moved = owners_before
+        .iter()
+        .filter(|&&(j, owner)| asg.machine_of(j) != owner)
+        .count() as u64;
+    (true, moved)
+}
+
 /// Compares two cost ratios `a.0/a.1` vs `b.0/b.1` without division,
 /// via `u128` cross-multiplication (exact for all `Time` values).
 ///
@@ -91,6 +122,31 @@ mod tests {
         let big = Time::MAX;
         assert_eq!(cmp_ratio((big, 1), (1, big)), Ordering::Greater);
         assert_eq!(cmp_ratio((big, big), (1, 1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn balance_counting_moves_counts_migrations() {
+        let inst = Instance::uniform(2, vec![4, 4]).unwrap();
+        let mut asg = Assignment::from_vec(&inst, vec![MachineId(0), MachineId(0)]).unwrap();
+        let (changed, moved) = balance_counting_moves(
+            &inst,
+            &mut asg,
+            &crate::EctPairBalance,
+            MachineId(0),
+            MachineId(1),
+        );
+        assert!(changed);
+        assert_eq!(moved, 1);
+        // Re-running on the balanced pair is a no-op with zero moves.
+        let (changed, moved) = balance_counting_moves(
+            &inst,
+            &mut asg,
+            &crate::EctPairBalance,
+            MachineId(0),
+            MachineId(1),
+        );
+        assert!(!changed);
+        assert_eq!(moved, 0);
     }
 
     #[test]

@@ -8,47 +8,44 @@
 //! a replicated-storage runtime would re-materialize them — or rejoins
 //! empty. The experiment `ext_churn` measures how quickly the gossip
 //! dynamics re-absorb the disturbance.
+//!
+//! Since the `SimCore` refactor churn is not gossip-specific: a
+//! [`TopologyPlan`] is a property of the *driver*
+//! ([`crate::protocol::drive_with_plan`]), so the same plan composes with
+//! work stealing or the dynamic simulator (see
+//! `tests/sim_architecture.rs`). [`run_with_churn`] remains the
+//! gossip-flavored convenience entry point; [`ChurnEvent`] and
+//! [`ChurnPlan`] are aliases of the topology types it predates.
+//!
+//! Unlike the segmented pre-refactor runner (which restarted the gossip
+//! engine per segment with per-segment seeds and scattered from a
+//! dedicated `seed ^ 0xC0FFEE` stream), a churned run is now one
+//! continuous run: pair selection *and* failure scatter draw from the
+//! run's single RNG stream (stream 0 of `seed`, see
+//! [`crate::simcore::stream_rng`]). With an empty plan this makes
+//! `run_with_churn` draw-for-draw identical to [`run_gossip`].
 
-use crate::engine::{run_gossip, GossipConfig, GossipRun};
+use crate::gossip::{GossipProtocol, PairSchedule};
+use crate::probe::{ProbeHub, SeriesProbe, TopologyProbe};
+use crate::protocol::drive_with_plan;
+use crate::simcore::SimCore;
 use lb_core::PairwiseBalancer;
 use lb_model::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// One churn event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ChurnEvent {
-    /// The machine goes offline; its jobs scatter to random survivors.
-    Fail(MachineId),
-    /// The machine comes back online (empty).
-    Rejoin(MachineId),
-}
+/// One churn event (alias of [`crate::topology::TopologyEvent`]).
+pub type ChurnEvent = crate::topology::TopologyEvent;
 
-/// A schedule of churn events by gossip round.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ChurnPlan {
-    /// `(round, event)` pairs, sorted by round.
-    pub events: Vec<(u64, ChurnEvent)>,
-}
-
-impl ChurnPlan {
-    /// A single failure at `fail_round` and rejoin at `rejoin_round`.
-    pub fn one_blip(machine: MachineId, fail_round: u64, rejoin_round: u64) -> Self {
-        assert!(fail_round < rejoin_round, "rejoin must come after failure");
-        Self {
-            events: vec![
-                (fail_round, ChurnEvent::Fail(machine)),
-                (rejoin_round, ChurnEvent::Rejoin(machine)),
-            ],
-        }
-    }
-}
+/// A schedule of churn events by round (alias of
+/// [`crate::topology::TopologyPlan`]).
+pub type ChurnPlan = crate::topology::TopologyPlan;
 
 /// Result of a churned gossip run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChurnRun {
     /// Makespan samples over the *online* machines: `(round, cmax)`.
+    /// Every applied event forces a (post-scatter) sample, so
+    /// disturbances are visible at exact event rounds.
     pub makespan_series: Vec<(u64, Time)>,
     /// Rounds at which each event was applied.
     pub applied_events: Vec<(u64, ChurnEvent)>,
@@ -58,14 +55,15 @@ pub struct ChurnRun {
     pub jobs_scattered: u64,
 }
 
-/// Runs gossip in segments between churn events.
+/// Runs gossip with churn: one continuous run under
+/// [`crate::protocol::drive_with_plan`].
 ///
-/// Between events the ordinary engine runs (same balancer, derived seeds)
-/// with the currently offline machines excluded from pair selection
-/// ([`GossipConfig::offline`]), so a failed machine neither gives nor
-/// receives jobs until it rejoins. At a failure the machine's jobs are
-/// re-dealt uniformly at random to the online survivors (as a
-/// replicated-storage runtime would re-materialize them).
+/// Offline machines are excluded from pair selection, so a failed machine
+/// neither gives nor receives jobs until it rejoins. At a failure the
+/// machine's jobs are re-dealt uniformly at random to the online
+/// survivors (the default [`crate::protocol::Protocol::on_topology_event`]
+/// behavior). Uses [`PairSchedule::UniformRandom`]; embedders wanting
+/// another schedule or probe set compose `drive_with_plan` directly.
 pub fn run_with_churn(
     inst: &Instance,
     asg: &mut Assignment,
@@ -75,85 +73,27 @@ pub fn run_with_churn(
     seed: u64,
     record_every: u64,
 ) -> ChurnRun {
-    debug_assert!(
-        plan.events.windows(2).all(|w| w[0].0 <= w[1].0),
-        "events sorted"
-    );
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-    let mut offline: Vec<bool> = vec![false; inst.num_machines()];
-    let mut series: Vec<(u64, Time)> = vec![(0, asg.makespan())];
-    let mut applied = Vec::new();
-    let mut scattered = 0u64;
-    let mut cursor = 0u64;
-
-    let mut segments: Vec<(u64, Option<ChurnEvent>)> = plan
-        .events
-        .iter()
-        .map(|&(r, e)| (r.min(total_rounds), Some(e)))
-        .collect();
-    segments.push((total_rounds, None));
-
-    for (segment_idx, (until, event)) in segments.into_iter().enumerate() {
-        let span = until.saturating_sub(cursor);
-        if span > 0 {
-            let offline_now: Vec<MachineId> = offline
-                .iter()
-                .enumerate()
-                .filter(|&(_, &off)| off)
-                .map(|(i, _)| MachineId::from_idx(i))
-                .collect();
-            let cfg = GossipConfig {
-                max_rounds: span,
-                seed: seed.wrapping_add(segment_idx as u64),
-                record_every,
-                offline: offline_now,
-                ..GossipConfig::default()
-            };
-            let run: GossipRun = run_gossip(inst, asg, balancer, &cfg);
-            series.extend(
-                run.makespan_series
-                    .iter()
-                    .skip(1)
-                    .map(|&(r, c)| (cursor + r, c)),
-            );
-            cursor = until;
-        }
-        match event {
-            Some(ChurnEvent::Fail(machine)) => {
-                offline[machine.idx()] = true;
-                let survivors: Vec<MachineId> = inst
-                    .machines()
-                    .filter(|m| !offline[m.idx()] && *m != machine)
-                    .collect();
-                assert!(!survivors.is_empty(), "cannot fail the last machine");
-                let jobs: Vec<JobId> = asg.jobs_on(machine).to_vec();
-                for j in jobs {
-                    let target = survivors[rng.gen_range(0..survivors.len())];
-                    asg.move_job(inst, j, target);
-                    scattered += 1;
-                }
-                applied.push((cursor, ChurnEvent::Fail(machine)));
-                series.push((cursor, asg.makespan()));
-            }
-            Some(ChurnEvent::Rejoin(machine)) => {
-                offline[machine.idx()] = false;
-                applied.push((cursor, ChurnEvent::Rejoin(machine)));
-                series.push((cursor, asg.makespan()));
-            }
-            None => {}
-        }
+    let mut core = SimCore::new(inst, asg, seed);
+    let mut series = SeriesProbe::new(record_every);
+    let mut topo = TopologyProbe::new();
+    let mut protocol = GossipProtocol::new(balancer, PairSchedule::UniformRandom);
+    {
+        let mut hub = ProbeHub::new();
+        hub.push(&mut series).push(&mut topo);
+        drive_with_plan(&mut core, &mut protocol, &mut hub, total_rounds, plan);
     }
     ChurnRun {
         final_makespan: asg.makespan(),
-        makespan_series: series,
-        applied_events: applied,
-        jobs_scattered: scattered,
+        makespan_series: series.series,
+        applied_events: topo.applied,
+        jobs_scattered: topo.jobs_scattered,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{run_gossip, GossipConfig};
     use lb_core::Dlb2cBalance;
     use lb_workloads::initial::random_assignment;
     use lb_workloads::two_cluster::paper_two_cluster;
@@ -202,6 +142,8 @@ mod tests {
         assert_eq!(run.final_makespan, plain.final_makespan);
         assert_eq!(a, b);
         assert_eq!(run.jobs_scattered, 0);
+        // One continuous run: even the series matches the plain engine's.
+        assert_eq!(run.makespan_series, plain.makespan_series);
     }
 
     #[test]
@@ -212,5 +154,7 @@ mod tests {
         let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, 2_000, 3, 50);
         let rounds: Vec<u64> = run.makespan_series.iter().map(|&(r, _)| r).collect();
         assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "{rounds:?}");
+        // The two events each forced a sample.
+        assert_eq!(run.applied_events.len(), 2);
     }
 }

@@ -24,12 +24,20 @@
 //!   are re-run through the same code paths on a thread-local
 //!   [`Assignment`] view rebuilt from the pair's queues, so concurrent
 //!   and sequential runs execute identical balancing logic.
+//! * Exchange accounting is *sharded*: effective/migration counts
+//!   accumulate thread-locally and per-machine participation in
+//!   per-machine `AtomicU64`s, then everything aggregates into the same
+//!   [`ExchangeStats`] type the sequential
+//!   [`ExchangeProbe`](crate::probe::ExchangeProbe) reports — one result
+//!   shape whatever the runtime. Worker thread `t` draws from RNG stream
+//!   `t` ([`stream_rng`]).
 
+use crate::probe::ExchangeStats;
+use crate::simcore::stream_rng;
 use lb_core::PairwiseBalancer;
 use lb_model::prelude::*;
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -38,7 +46,7 @@ use std::sync::Arc;
 pub struct ConcurrentConfig {
     /// Total number of pair exchanges across all machine threads.
     pub total_exchanges: u64,
-    /// Base RNG seed (thread `i` uses `seed + i`).
+    /// Base RNG seed (thread `t` draws from stream `t`, i.e. `seed + t`).
     pub seed: u64,
     /// Cap on worker threads (0 = one per machine, capped at the machine
     /// count; useful to avoid oversubscription for large clusters).
@@ -66,6 +74,11 @@ pub struct ConcurrentResult {
     pub assignment: Assignment,
     /// Exchanges that changed something, per worker thread.
     pub effective_per_thread: Vec<u64>,
+    /// Aggregated exchange accounting, in the same shape the sequential
+    /// probes report (`effective_exchanges` is the sum of
+    /// `effective_per_thread`; per-machine counts come from the sharded
+    /// atomics).
+    pub exchange_stats: ExchangeStats,
     /// Final makespan.
     pub final_makespan: Time,
     /// Lock-free makespan samples taken by worker 0 while the others kept
@@ -79,6 +92,8 @@ struct Shared {
     queues: Vec<Mutex<Vec<JobId>>>,
     loads: Vec<AtomicU64>,
     budget: AtomicU64,
+    /// Sharded per-machine effective-exchange participation counts.
+    exchanges_per_machine: Vec<AtomicU64>,
 }
 
 /// Runs the decentralized protocol concurrently and returns the final
@@ -103,6 +118,7 @@ pub fn run_concurrent<B: PairwiseBalancer + Sync>(
             .map(|mi| AtomicU64::new(initial.load(MachineId::from_idx(mi))))
             .collect(),
         budget: AtomicU64::new(cfg.total_exchanges),
+        exchanges_per_machine: (0..m).map(|_| AtomicU64::new(0)).collect(),
     });
 
     let threads = if cfg.max_threads == 0 {
@@ -112,30 +128,51 @@ pub fn run_concurrent<B: PairwiseBalancer + Sync>(
     }
     .max(1);
     let mut effective_per_thread = vec![0u64; threads];
+    let mut migrated_per_thread = vec![0u64; threads];
     let mut makespan_samples: Vec<(u64, Time)> = Vec::new();
     if m >= 2 {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let shared = Arc::clone(&shared);
-                let seed = cfg.seed.wrapping_add(t as u64);
+                let seed = cfg.seed;
                 let sample_every = if t == 0 { cfg.sample_every } else { 0 };
                 let total = cfg.total_exchanges;
-                handles.push(
-                    scope.spawn(move || {
-                        worker(inst, balancer, &shared, seed, m, sample_every, total)
-                    }),
-                );
+                handles.push(scope.spawn(move || {
+                    worker(
+                        inst,
+                        balancer,
+                        &shared,
+                        seed,
+                        t as u64,
+                        m,
+                        sample_every,
+                        total,
+                    )
+                }));
             }
             for (t, h) in handles.into_iter().enumerate() {
-                let (eff, samples) = h.join().expect("worker panicked");
+                let (eff, migrated, samples) = h.join().expect("worker panicked");
                 effective_per_thread[t] = eff;
+                migrated_per_thread[t] = migrated;
                 if !samples.is_empty() {
                     makespan_samples = samples;
                 }
             }
         });
     }
+
+    // Aggregate the sharded counters into the one stats shape the
+    // sequential probes use.
+    let exchange_stats = ExchangeStats {
+        effective_exchanges: effective_per_thread.iter().sum(),
+        jobs_migrated: migrated_per_thread.iter().sum(),
+        exchanges_per_machine: shared
+            .exchanges_per_machine
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect(),
+    };
 
     // Rebuild the final assignment from the queues.
     let mut machine_of = vec![MachineId(0); inst.num_jobs()];
@@ -149,24 +186,29 @@ pub fn run_concurrent<B: PairwiseBalancer + Sync>(
     ConcurrentResult {
         assignment,
         effective_per_thread,
+        exchange_stats,
         final_makespan,
         makespan_samples,
     }
 }
 
 /// One machine thread: draw budget, pick a random pair, lock in id order,
-/// balance through the shared [`PairwiseBalancer`] code path.
+/// balance through the shared [`PairwiseBalancer`] code path. Returns
+/// `(effective, jobs_migrated, samples)`.
+#[allow(clippy::too_many_arguments)] // internal worker threading run state
 fn worker(
     inst: &Instance,
     balancer: &dyn PairwiseBalancer,
     shared: &Shared,
     seed: u64,
+    stream: u64,
     m: usize,
     sample_every: u64,
     total_budget: u64,
-) -> (u64, Vec<(u64, Time)>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+) -> (u64, u64, Vec<(u64, Time)>) {
+    let mut rng = stream_rng(seed, stream);
     let mut effective = 0u64;
+    let mut migrated = 0u64;
     let mut samples: Vec<(u64, Time)> = Vec::new();
     let mut last_bucket = 0u64;
     loop {
@@ -176,7 +218,7 @@ fn worker(
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1));
         let remaining = match prev {
             Ok(r) => r,
-            Err(_) => return (effective, samples),
+            Err(_) => return (effective, migrated, samples),
         };
         #[allow(clippy::manual_checked_ops)] // the guard is a feature flag, not overflow protection
         if sample_every > 0 {
@@ -210,7 +252,7 @@ fn worker(
         // sequential engine uses. Jobs of other machines are irrelevant —
         // balancers only touch the pair — so we park them implicitly by
         // building a pair-local pool.
-        let (new_lo, new_hi, changed) = balance_pool(
+        let (new_lo, new_hi, changed, moved) = balance_pool(
             inst,
             balancer,
             MachineId::from_idx(lo),
@@ -220,6 +262,9 @@ fn worker(
         );
         if changed {
             effective += 1;
+            migrated += moved;
+            shared.exchanges_per_machine[lo].fetch_add(1, Ordering::AcqRel);
+            shared.exchanges_per_machine[hi].fetch_add(1, Ordering::AcqRel);
             let load = |mi: usize, jobs: &[JobId]| -> u64 {
                 jobs.iter().fold(0u64, |acc, &j| {
                     acc.saturating_add(inst.cost(MachineId::from_idx(mi), j))
@@ -238,6 +283,7 @@ fn worker(
 /// that preserves the original costs (and, for inter-cluster pairs, the
 /// two-cluster structure the balancer dispatches on), so the concurrent
 /// path executes exactly the same balancing code as the sequential one.
+/// Returns `(new_lo, new_hi, changed, jobs_moved)`.
 fn balance_pool(
     inst: &Instance,
     balancer: &dyn PairwiseBalancer,
@@ -245,10 +291,10 @@ fn balance_pool(
     mhi: MachineId,
     qlo: &[JobId],
     qhi: &[JobId],
-) -> (Vec<JobId>, Vec<JobId>, bool) {
+) -> (Vec<JobId>, Vec<JobId>, bool, u64) {
     let pool: Vec<JobId> = qlo.iter().chain(qhi.iter()).copied().collect();
     if pool.is_empty() {
-        return (Vec::new(), Vec::new(), false);
+        return (Vec::new(), Vec::new(), false, 0);
     }
     // Sub-instance: 2 machines x |pool| jobs with the original costs.
     // Cluster structure is preserved when the machines are in different
@@ -296,19 +342,32 @@ fn balance_pool(
     let mut sub_asg = Assignment::from_vec(&sub, sub_machine_of).expect("valid sub-assignment");
     let changed = balancer.balance(&sub, &mut sub_asg, MachineId(0), MachineId(1));
     if !changed {
-        return (qlo.to_vec(), qhi.to_vec(), false);
+        return (qlo.to_vec(), qhi.to_vec(), false, 0);
     }
+    // A sub-job with index >= |qlo| started on the hi side; count the
+    // jobs whose side changed.
+    let mut moved = 0u64;
     let new_lo: Vec<JobId> = sub_asg
         .jobs_on(sub_of_lo)
         .iter()
-        .map(|&sj| pool[sj.idx()])
+        .map(|&sj| {
+            if sj.idx() >= qlo.len() {
+                moved += 1;
+            }
+            pool[sj.idx()]
+        })
         .collect();
     let new_hi: Vec<JobId> = sub_asg
         .jobs_on(sub_of_hi)
         .iter()
-        .map(|&sj| pool[sj.idx()])
+        .map(|&sj| {
+            if sj.idx() < qlo.len() {
+                moved += 1;
+            }
+            pool[sj.idx()]
+        })
         .collect();
-    (new_lo, new_hi, true)
+    (new_lo, new_hi, true, moved)
 }
 
 #[cfg(test)]
@@ -335,7 +394,7 @@ mod orientation_tests {
         // cluster 2 (machines 0, 1). Start everything on machine 0.
         let qlo: Vec<JobId> = (0..4).map(JobId).collect(); // machine 0 (cluster 2)
         let qhi: Vec<JobId> = vec![]; // machine 2 (cluster 1)
-        let (new_lo, new_hi, changed) =
+        let (new_lo, new_hi, changed, moved) =
             balance_pool(&inst, &Dlb2cBalance, MachineId(0), MachineId(2), &qlo, &qhi);
         assert!(changed);
         // Cheap-on-cluster-2 jobs stay on machine 0; the others move.
@@ -347,6 +406,7 @@ mod orientation_tests {
             new_hi.contains(&JobId(0)) && new_hi.contains(&JobId(2)),
             "{new_hi:?}"
         );
+        assert_eq!(moved, 2);
         let load =
             |m: MachineId, jobs: &[JobId]| -> Time { jobs.iter().map(|&j| inst.cost(m, j)).sum() };
         assert_eq!(load(MachineId(0), &new_lo), 2);
@@ -439,6 +499,26 @@ mod tests {
     }
 
     #[test]
+    fn sharded_stats_match_per_thread_counts() {
+        let inst = paper_two_cluster(6, 3, 90, 2);
+        let init = Assignment::all_on(&inst, MachineId(0));
+        let cfg = ConcurrentConfig {
+            total_exchanges: 10_000,
+            seed: 11,
+            max_threads: 0,
+            ..ConcurrentConfig::default()
+        };
+        let res = run_concurrent(&inst, &init, &Dlb2cBalance, &cfg);
+        let eff: u64 = res.effective_per_thread.iter().sum();
+        assert_eq!(res.exchange_stats.effective_exchanges, eff);
+        // Each effective exchange involves exactly two machines and moves
+        // at least one job.
+        let per_machine: u64 = res.exchange_stats.exchanges_per_machine.iter().sum();
+        assert_eq!(per_machine, 2 * eff);
+        assert!(res.exchange_stats.jobs_migrated >= eff);
+    }
+
+    #[test]
     fn single_machine_or_zero_budget() {
         let inst = paper_uniform(1, 5, 0);
         let init = Assignment::all_on(&inst, MachineId(0));
@@ -454,6 +534,7 @@ mod tests {
             },
         );
         assert_eq!(res.final_makespan, init.makespan());
+        assert_eq!(res.exchange_stats.effective_exchanges, 0);
 
         let inst2 = paper_uniform(3, 9, 1);
         let init2 = random_assignment(&inst2, 1);

@@ -13,7 +13,21 @@
 //! Balancing operates through the same [`PairwiseBalancer`] abstraction as
 //! the static engine — on a *virtual* assignment over the not-yet-started
 //! jobs — so DLB2C, MJTB or any other rule can be plugged in unchanged.
+//!
+//! Since the `SimCore` refactor the simulator is a [`Protocol`] whose
+//! round is one *interesting time instant* (an arrival, completion, or
+//! epoch boundary), so a [`crate::topology::TopologyPlan`] composes with
+//! it: plan rounds index instants, a failing machine's queued jobs
+//! scatter to online survivors (its in-flight job completes — failure is
+//! graceful, matching the work-stealing model), offline machines neither
+//! start jobs nor participate in balancing epochs, and a rejoined machine
+//! resumes both. [`simulate_dynamic`] remains the stable churn-free entry
+//! point with pre-refactor bit-identical results.
 
+use crate::probe::{ProbeHub, StopReason};
+use crate::protocol::{drive, Protocol, StepOutcome};
+use crate::simcore::SimCore;
+use crate::topology::TopologyEvent;
 use lb_core::PairwiseBalancer;
 use lb_model::prelude::*;
 use rand::rngs::StdRng;
@@ -59,6 +73,207 @@ pub struct DynamicResult {
     pub epochs: u64,
 }
 
+/// Arrivals + execution + periodic balancing as a [`Protocol`]: one
+/// round processes one time instant.
+///
+/// The core's assignment is an unused scratch (work lives in the
+/// protocol's queues); the core's RNG drives epoch pair selection.
+pub struct DynamicProtocol<'a, 'b> {
+    arrivals: &'a [Arrival],
+    balancer: &'b dyn PairwiseBalancer,
+    balance_every: Time,
+    exchanges_per_epoch: u32,
+    queued: Vec<Vec<JobId>>,
+    running: Vec<Option<(JobId, Time)>>, // (job, finish time)
+    arrival_time: Vec<Option<Time>>,
+    completion: Vec<Option<Time>>,
+    migrations: u64,
+    epochs: u64,
+    next_arrival: usize,
+    now: Time,
+    remaining: usize,
+}
+
+impl<'a, 'b> DynamicProtocol<'a, 'b> {
+    /// A dynamic protocol over `arrivals` (sorted by time) balancing with
+    /// `balancer` per `cfg`'s epoch settings (`cfg.seed` is consumed by
+    /// the core, not here).
+    pub fn new(
+        arrivals: &'a [Arrival],
+        balancer: &'b dyn PairwiseBalancer,
+        cfg: &DynamicConfig,
+    ) -> Self {
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].time <= w[1].time),
+            "arrivals sorted"
+        );
+        Self {
+            arrivals,
+            balancer,
+            balance_every: cfg.balance_every,
+            exchanges_per_epoch: cfg.exchanges_per_epoch,
+            queued: Vec::new(),
+            running: Vec::new(),
+            arrival_time: Vec::new(),
+            completion: Vec::new(),
+            migrations: 0,
+            epochs: 0,
+            next_arrival: 0,
+            now: 0,
+            remaining: arrivals.len(),
+        }
+    }
+
+    /// The result of a finished run.
+    pub fn into_result(self) -> DynamicResult {
+        let makespan = self.completion.iter().flatten().copied().max().unwrap_or(0);
+        let flow_times: Vec<Option<Time>> = self
+            .completion
+            .iter()
+            .zip(&self.arrival_time)
+            .map(|(c, a)| match (c, a) {
+                (Some(c), Some(a)) => Some(c - a),
+                _ => None,
+            })
+            .collect();
+        let flows: Vec<Time> = flow_times.iter().flatten().copied().collect();
+        let mean_flow_time = if flows.is_empty() {
+            0.0
+        } else {
+            flows.iter().map(|&f| f as f64).sum::<f64>() / flows.len() as f64
+        };
+        DynamicResult {
+            makespan,
+            flow_times,
+            mean_flow_time,
+            migrations: self.migrations,
+            epochs: self.epochs,
+        }
+    }
+}
+
+impl Protocol for DynamicProtocol<'_, '_> {
+    fn on_start(&mut self, core: &mut SimCore, _probes: &mut ProbeHub) {
+        let m = core.inst.num_machines();
+        self.queued = vec![Vec::new(); m];
+        self.running = vec![None; m];
+        self.arrival_time = vec![None; core.inst.num_jobs()];
+        self.completion = vec![None; core.inst.num_jobs()];
+    }
+
+    fn step(&mut self, core: &mut SimCore, _probes: &mut ProbeHub) -> StepOutcome {
+        let now = self.now;
+
+        // 1. Arrivals at `now` (landing on their machine's queue even if
+        //    it is offline — the submission site is the job's home until
+        //    churn or balancing moves it).
+        while self.next_arrival < self.arrivals.len()
+            && self.arrivals[self.next_arrival].time == now
+        {
+            let a = self.arrivals[self.next_arrival];
+            self.queued[a.machine.idx()].push(a.job);
+            self.arrival_time[a.job.idx()] = Some(now);
+            self.next_arrival += 1;
+        }
+
+        // 2. Balancing epoch (before starts, so fresh arrivals can move).
+        //    Pairs are drawn from the online machines; with everything
+        //    online the draw is index-identical to the pre-refactor code.
+        let online = core.topology.online_machines();
+        if self.balance_every > 0 && now.is_multiple_of(self.balance_every) && online.len() >= 2 {
+            self.epochs += 1;
+            let k = online.len();
+            for _ in 0..self.exchanges_per_epoch {
+                let a = core.rng.gen_range(0..k);
+                let mut b = core.rng.gen_range(0..k - 1);
+                if b >= a {
+                    b += 1;
+                }
+                self.migrations += balance_queued(
+                    core.inst,
+                    &mut self.queued,
+                    self.balancer,
+                    online[a].idx(),
+                    online[b].idx(),
+                );
+            }
+        }
+
+        // 3. Completions and starts (offline machines finish their
+        //    in-flight job but start nothing new).
+        for mi in 0..core.inst.num_machines() {
+            if let Some((job, finish)) = self.running[mi] {
+                if finish == now {
+                    self.completion[job.idx()] = Some(now);
+                    self.remaining -= 1;
+                    self.running[mi] = None;
+                }
+            }
+            if self.running[mi].is_none() && core.topology.is_online(MachineId::from_idx(mi)) {
+                if let Some(job) = pop_front(&mut self.queued[mi]) {
+                    let c = core.inst.cost(MachineId::from_idx(mi), job);
+                    self.running[mi] = Some((job, now.saturating_add(c.max(1))));
+                }
+            }
+        }
+
+        if self.remaining == 0 && self.next_arrival == self.arrivals.len() {
+            return StepOutcome::Stop(StopReason::Quiescent);
+        }
+
+        // Advance time: next interesting instant (next completion,
+        // arrival, or balancing epoch boundary).
+        let mut next: Time = Time::MAX;
+        for r in self.running.iter().flatten() {
+            next = next.min(r.1);
+        }
+        if self.next_arrival < self.arrivals.len() {
+            next = next.min(self.arrivals[self.next_arrival].time);
+        }
+        #[allow(clippy::manual_checked_ops)] // balance_every == 0 means 'disabled'
+        if self.balance_every > 0 {
+            let next_epoch = (now / self.balance_every + 1) * self.balance_every;
+            // Only relevant while jobs are queued on *online* machines or
+            // still arriving (queued work on an offline machine cannot be
+            // started or balanced, so epochs alone must not keep time
+            // ticking forever).
+            let online_queued = (0..self.queued.len()).any(|mi| {
+                !self.queued[mi].is_empty() && core.topology.is_online(MachineId::from_idx(mi))
+            });
+            if online_queued || self.next_arrival < self.arrivals.len() {
+                next = next.min(next_epoch);
+            }
+        }
+        debug_assert!(next > now, "time must advance");
+        if next == Time::MAX {
+            // Nothing running or arriving, and any queued work is
+            // stranded on offline machines: the run cannot progress.
+            return StepOutcome::Stop(StopReason::Quiescent);
+        }
+        self.now = next;
+        StepOutcome::Continue
+    }
+
+    /// Queue-based churn: a failing machine's *queued* jobs scatter to
+    /// online survivors' queues; its in-flight job completes normally.
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> u64 {
+        match ev {
+            TopologyEvent::Fail(machine) => {
+                let survivors = core.topology.online_machines();
+                assert!(!survivors.is_empty(), "cannot fail the last machine");
+                let jobs: Vec<JobId> = std::mem::take(&mut self.queued[machine.idx()]);
+                let scattered = jobs.len() as u64;
+                for j in jobs {
+                    let target = survivors[core.rng.gen_range(0..survivors.len())];
+                    self.queued[target.idx()].push(j);
+                }
+                scattered
+            }
+            TopologyEvent::Rejoin(_) => 0,
+        }
+    }
+}
+
 /// Simulates job arrivals + execution + periodic pairwise balancing.
 ///
 /// Time is discrete. At each tick: (1) arrivals land in their machine's
@@ -75,115 +290,14 @@ pub fn simulate_dynamic(
     balancer: &dyn PairwiseBalancer,
     cfg: &DynamicConfig,
 ) -> DynamicResult {
-    let m = inst.num_machines();
-    debug_assert!(
-        arrivals.windows(2).all(|w| w[0].time <= w[1].time),
-        "arrivals sorted"
-    );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    // Virtual assignment over queued jobs: jobs not yet arrived or already
-    // started are parked on a sentinel... the Assignment type needs every
-    // job somewhere, so we track queued jobs per machine directly and
-    // rebuild tiny pair-assignments only for balancing.
-    let mut queued: Vec<Vec<JobId>> = vec![Vec::new(); m];
-    let mut running: Vec<Option<(JobId, Time)>> = vec![None; m]; // (job, finish time)
-    let mut arrival_time: Vec<Option<Time>> = vec![None; inst.num_jobs()];
-    let mut completion: Vec<Option<Time>> = vec![None; inst.num_jobs()];
-    let mut migrations = 0u64;
-    let mut epochs = 0u64;
-
-    let mut next_arrival = 0usize;
-    let mut now: Time = 0;
-    let mut remaining = arrivals.len();
-    loop {
-        // 1. Arrivals at `now`.
-        while next_arrival < arrivals.len() && arrivals[next_arrival].time == now {
-            let a = arrivals[next_arrival];
-            queued[a.machine.idx()].push(a.job);
-            arrival_time[a.job.idx()] = Some(now);
-            next_arrival += 1;
-        }
-
-        // 2. Balancing epoch (before starts, so fresh arrivals can move).
-        if cfg.balance_every > 0 && now.is_multiple_of(cfg.balance_every) && m >= 2 {
-            epochs += 1;
-            for _ in 0..cfg.exchanges_per_epoch {
-                let a = rng.gen_range(0..m);
-                let mut b = rng.gen_range(0..m - 1);
-                if b >= a {
-                    b += 1;
-                }
-                migrations += balance_queued(inst, &mut queued, balancer, a, b);
-            }
-        }
-
-        // 3. Completions and starts.
-        for mi in 0..m {
-            if let Some((job, finish)) = running[mi] {
-                if finish == now {
-                    completion[job.idx()] = Some(now);
-                    remaining -= 1;
-                    running[mi] = None;
-                }
-            }
-            if running[mi].is_none() {
-                if let Some(job) = pop_front(&mut queued[mi]) {
-                    let c = inst.cost(MachineId::from_idx(mi), job);
-                    running[mi] = Some((job, now.saturating_add(c.max(1))));
-                }
-            }
-        }
-
-        if remaining == 0 && next_arrival == arrivals.len() {
-            break;
-        }
-        // Advance time: next interesting instant (next completion,
-        // arrival, or balancing epoch boundary).
-        let mut next: Time = Time::MAX;
-        for r in running.iter().flatten() {
-            next = next.min(r.1);
-        }
-        if next_arrival < arrivals.len() {
-            next = next.min(arrivals[next_arrival].time);
-        }
-        #[allow(clippy::manual_checked_ops)] // balance_every == 0 means 'disabled'
-        if cfg.balance_every > 0 {
-            let next_epoch = (now / cfg.balance_every + 1) * cfg.balance_every;
-            // Only relevant while jobs are queued or still arriving.
-            if queued.iter().any(|q| !q.is_empty()) || next_arrival < arrivals.len() {
-                next = next.min(next_epoch);
-            }
-        }
-        debug_assert!(next > now, "time must advance");
-        if next == Time::MAX {
-            break; // nothing running, queued, or arriving
-        }
-        now = next;
-    }
-
-    let makespan = completion.iter().flatten().copied().max().unwrap_or(0);
-    let flow_times: Vec<Option<Time>> = completion
-        .iter()
-        .zip(&arrival_time)
-        .map(|(c, a)| match (c, a) {
-            (Some(c), Some(a)) => Some(c - a),
-            _ => None,
-        })
-        .collect();
-    let flows: Vec<Time> = flow_times.iter().flatten().copied().collect();
-    let mean_flow_time = if flows.is_empty() {
-        0.0
-    } else {
-        flows.iter().map(|&f| f as f64).sum::<f64>() / flows.len() as f64
-    };
-    DynamicResult {
-        makespan,
-        flow_times,
-        mean_flow_time,
-        migrations,
-        epochs,
-    }
+    // The assignment is a scratch the dynamic protocol never touches —
+    // work lives in arrival order, not in a static distribution.
+    let mut scratch = Assignment::all_on(inst, MachineId(0));
+    let mut core = SimCore::new(inst, &mut scratch, cfg.seed);
+    let mut protocol = DynamicProtocol::new(arrivals, balancer, cfg);
+    let mut hub = ProbeHub::new();
+    drive(&mut core, &mut protocol, &mut hub, u64::MAX);
+    protocol.into_result()
 }
 
 fn pop_front(q: &mut Vec<JobId>) -> Option<JobId> {

@@ -1,10 +1,13 @@
 //! The gossip engine: instrumented pairwise-exchange simulation.
 //!
-//! Each *round* one pair of machines is selected (by the configured
-//! [`PairSchedule`]) and balanced by the configured
-//! [`lb_core::PairwiseBalancer`]. This sequentialized
-//! semantics matches both the paper's own simulator and the theory
-//! (Lemma 4, Theorems 7, 9, 10 all reason about one exchange at a time).
+//! This is the stable entry point for gossip runs. Since the `SimCore`
+//! refactor it is a thin assembly: [`run_gossip`] wires a
+//! [`GossipProtocol`](crate::gossip::GossipProtocol) to the standard
+//! probe set — series, exchange counters, threshold first-passage,
+//! quiescence, limit-cycle detection — and hands the loop to
+//! [`crate::protocol::drive`]. The output ([`GossipRun`]) is bit-for-bit
+//! what the pre-refactor monolithic loop produced (asserted by
+//! `tests/gossip_equivalence.rs`).
 //!
 //! Instrumentation:
 //! * per-round makespan series (Figure 4),
@@ -14,49 +17,35 @@
 //! * exact limit-cycle detection under deterministic schedules
 //!   (Proposition 8) by state-snapshot comparison.
 
+use crate::gossip::GossipProtocol;
+use crate::probe::{
+    CycleProbe, ExchangeProbe, ProbeHub, QuiescenceProbe, SeriesProbe, ThresholdProbe,
+};
+use crate::protocol::drive;
+use crate::simcore::SimCore;
 use lb_core::PairwiseBalancer;
 use lb_model::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
-/// How the pair of machines for each round is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum PairSchedule {
-    /// Uniformly random ordered pair of distinct machines (the paper's
-    /// model: every machine randomly selects a target).
-    UniformRandom,
-    /// Round `r` is hosted by machine `r mod |M|`, which picks a random
-    /// target — closer to "every machine runs the loop" with a fair host
-    /// rotation.
-    RotatingHost,
-    /// Deterministic cyclic enumeration of all unordered pairs, in order.
-    /// The dynamics become a deterministic map, so a repeated state proves
-    /// a limit cycle (used for the Proposition 8 experiment).
-    RoundRobin,
-    /// Random pair biased toward inter-cluster exchanges: with this
-    /// probability (percent) the pair is drawn across clusters when the
-    /// instance has two clusters (ablation A2).
-    InterClusterBiased {
-        /// Percent chance (0–100) of forcing an inter-cluster pair.
-        percent: u8,
-    },
-}
+pub use crate::gossip::PairSchedule;
+pub use crate::protocol::RunOutcome;
 
 /// Gossip run configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GossipConfig {
     /// Maximum number of rounds (pair exchanges attempted).
     pub max_rounds: u64,
-    /// RNG seed (pair selection only; balancers are deterministic).
+    /// RNG seed (pair selection only; balancers are deterministic). The
+    /// run draws from stream 0 of this seed — see
+    /// [`crate::simcore::stream_rng`].
     pub seed: u64,
     /// Pair selection schedule.
     pub schedule: PairSchedule,
-    /// Record the makespan every `record_every` rounds (0 = only first and
-    /// last; 1 = every round).
+    /// Record the makespan every `record_every` rounds. `0` means only
+    /// the first and last samples are recorded; `1` means every round.
+    /// Whatever the cadence, the series always ends at
+    /// `(rounds_run, final_makespan)` — even when `max_rounds` is not a
+    /// multiple of `record_every`.
     pub record_every: u64,
     /// Stop after this many consecutive ineffective rounds (0 disables the
     /// quiescence stop).
@@ -87,25 +76,8 @@ impl Default for GossipConfig {
     }
 }
 
-/// Why the run ended.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RunOutcome {
-    /// The round budget was exhausted.
-    BudgetExhausted,
-    /// `quiescence_window` consecutive rounds changed nothing.
-    Quiescent,
-    /// Under a deterministic schedule, an earlier state recurred at the
-    /// same schedule position: the dynamics are in a limit cycle.
-    CycleDetected {
-        /// Sweep index at which the repeated state was first seen.
-        first_seen_sweep: u64,
-        /// Cycle length in sweeps.
-        period_sweeps: u64,
-    },
-}
-
 /// Results of one gossip run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GossipRun {
     /// `(round, makespan)` samples per `record_every` (always includes
     /// round 0 and the final round).
@@ -157,195 +129,41 @@ pub fn run_gossip(
 ) -> GossipRun {
     let m = inst.num_machines();
     let initial_makespan = asg.makespan();
-    let mut run = GossipRun {
-        makespan_series: vec![(0, initial_makespan)],
-        rounds_run: 0,
-        effective_exchanges: 0,
-        jobs_migrated: 0,
-        exchanges_per_machine: vec![0; m],
-        machine_threshold_hits: vec![None; m],
-        global_threshold_hit: None,
+    let mut core = SimCore::new(inst, asg, cfg.seed).with_offline(&cfg.offline);
+
+    let mut cycle = CycleProbe::new(cfg.detect_cycles && cfg.schedule == PairSchedule::RoundRobin);
+    let mut series = SeriesProbe::new(cfg.record_every);
+    let mut exchanges = ExchangeProbe::new(m);
+    let mut threshold = ThresholdProbe::new(m, cfg.threshold);
+    let mut quiescence = QuiescenceProbe::new(cfg.quiescence_window);
+    let mut protocol = GossipProtocol::new(balancer, cfg.schedule);
+
+    let result = {
+        let mut hub = ProbeHub::new();
+        // Registration order is semantic: the cycle check runs before the
+        // round, and the series sample lands before the quiescence stop —
+        // matching the pre-refactor loop exactly.
+        hub.push(&mut cycle)
+            .push(&mut series)
+            .push(&mut exchanges)
+            .push(&mut threshold)
+            .push(&mut quiescence);
+        drive(&mut core, &mut protocol, &mut hub, cfg.max_rounds)
+    };
+
+    let final_makespan = asg.makespan();
+    GossipRun {
+        makespan_series: series.series,
+        rounds_run: result.rounds_run,
+        effective_exchanges: exchanges.stats.effective_exchanges,
+        jobs_migrated: exchanges.stats.jobs_migrated,
+        exchanges_per_machine: exchanges.stats.exchanges_per_machine,
+        machine_threshold_hits: threshold.machine_hits,
+        global_threshold_hit: threshold.global_hit,
         initial_makespan,
-        final_makespan: initial_makespan,
-        best_makespan: initial_makespan,
-        outcome: RunOutcome::BudgetExhausted,
-    };
-    // Pair selection draws from the *active* (online) machines only.
-    let active: Vec<MachineId> = inst
-        .machines()
-        .filter(|mm| !cfg.offline.contains(mm))
-        .collect();
-    if active.len() < 2 {
-        run.outcome = RunOutcome::Quiescent;
-        return run;
-    }
-    if cfg.threshold > 0 {
-        for mi in 0..m {
-            if asg.load(MachineId::from_idx(mi)) <= cfg.threshold {
-                run.machine_threshold_hits[mi] = Some(0);
-            }
-        }
-        if initial_makespan <= cfg.threshold {
-            run.global_threshold_hit = Some(0);
-        }
-    }
-
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let n_active = active.len();
-    let pairs_per_sweep = (n_active * (n_active - 1) / 2) as u64;
-    let mut seen_states: HashMap<u64, (u64, Vec<MachineId>)> = HashMap::new();
-    let mut quiet = 0u64;
-
-    for round in 0..cfg.max_rounds {
-        // Cycle detection snapshots at sweep boundaries (deterministic
-        // schedules only make sense there).
-        if cfg.detect_cycles
-            && cfg.schedule == PairSchedule::RoundRobin
-            && round % pairs_per_sweep == 0
-        {
-            let sweep = round / pairs_per_sweep;
-            let state: Vec<MachineId> = inst.jobs().map(|j| asg.machine_of(j)).collect();
-            let mut h = DefaultHasher::new();
-            state.hash(&mut h);
-            let key = h.finish();
-            if let Some((first_sweep, first_state)) = seen_states.get(&key) {
-                if *first_state == state {
-                    run.outcome = RunOutcome::CycleDetected {
-                        first_seen_sweep: *first_sweep,
-                        period_sweeps: sweep - first_sweep,
-                    };
-                    break;
-                }
-            } else {
-                seen_states.insert(key, (sweep, state));
-            }
-        }
-
-        let (a, b) = select_pair(inst, cfg.schedule, round, &active, &mut rng);
-        let owners_before: Vec<(JobId, MachineId)> = asg
-            .jobs_on(a)
-            .iter()
-            .map(|&j| (j, a))
-            .chain(asg.jobs_on(b).iter().map(|&j| (j, b)))
-            .collect();
-        let changed = balancer.balance(inst, asg, a, b);
-        run.rounds_run = round + 1;
-        if changed {
-            run.jobs_migrated += owners_before
-                .iter()
-                .filter(|&&(j, owner)| asg.machine_of(j) != owner)
-                .count() as u64;
-            run.effective_exchanges += 1;
-            run.exchanges_per_machine[a.idx()] += 1;
-            run.exchanges_per_machine[b.idx()] += 1;
-            quiet = 0;
-            if cfg.threshold > 0 {
-                for mm in [a, b] {
-                    if run.machine_threshold_hits[mm.idx()].is_none()
-                        && asg.load(mm) <= cfg.threshold
-                    {
-                        run.machine_threshold_hits[mm.idx()] =
-                            Some(run.exchanges_per_machine[mm.idx()]);
-                    }
-                }
-                if run.global_threshold_hit.is_none() && asg.makespan() <= cfg.threshold {
-                    run.global_threshold_hit = Some(run.effective_exchanges);
-                }
-            }
-        } else {
-            quiet += 1;
-        }
-
-        let record = cfg.record_every > 0 && (round + 1) % cfg.record_every == 0;
-        if record {
-            let cmax = asg.makespan();
-            run.makespan_series.push((round + 1, cmax));
-            run.best_makespan = run.best_makespan.min(cmax);
-        }
-
-        if cfg.quiescence_window > 0 && quiet >= cfg.quiescence_window {
-            run.outcome = RunOutcome::Quiescent;
-            break;
-        }
-    }
-
-    run.final_makespan = asg.makespan();
-    run.best_makespan = run.best_makespan.min(run.final_makespan);
-    if run.makespan_series.last().map(|&(r, _)| r) != Some(run.rounds_run) {
-        run.makespan_series
-            .push((run.rounds_run, run.final_makespan));
-    }
-    run
-}
-
-/// Selects the round's pair from the `active` (online) machines.
-fn select_pair(
-    inst: &Instance,
-    schedule: PairSchedule,
-    round: u64,
-    active: &[MachineId],
-    rng: &mut StdRng,
-) -> (MachineId, MachineId) {
-    let m = active.len();
-    let uniform = |rng: &mut StdRng| {
-        let a = rng.gen_range(0..m);
-        let mut b = rng.gen_range(0..m - 1);
-        if b >= a {
-            b += 1;
-        }
-        (active[a], active[b])
-    };
-    match schedule {
-        PairSchedule::UniformRandom => uniform(rng),
-        PairSchedule::RotatingHost => {
-            let a = (round % m as u64) as usize;
-            let mut b = rng.gen_range(0..m - 1);
-            if b >= a {
-                b += 1;
-            }
-            (active[a], active[b])
-        }
-        PairSchedule::RoundRobin => {
-            // Enumerate unordered pairs lexicographically.
-            let pairs = (m * (m - 1) / 2) as u64;
-            let mut k = round % pairs;
-            let mut a = 0usize;
-            let mut remaining = (m - 1) as u64;
-            while k >= remaining {
-                k -= remaining;
-                a += 1;
-                remaining = (m - a - 1) as u64;
-            }
-            let b = a + 1 + k as usize;
-            (active[a], active[b])
-        }
-        PairSchedule::InterClusterBiased { percent } => {
-            let force_cross = inst.is_two_cluster() && rng.gen_range(0..100) < u32::from(percent);
-            if force_cross {
-                let ms1: Vec<MachineId> = inst
-                    .machines_in(ClusterId::ONE)
-                    .iter()
-                    .filter(|mm| active.contains(mm))
-                    .copied()
-                    .collect();
-                let ms2: Vec<MachineId> = inst
-                    .machines_in(ClusterId::TWO)
-                    .iter()
-                    .filter(|mm| active.contains(mm))
-                    .copied()
-                    .collect();
-                if ms1.is_empty() || ms2.is_empty() {
-                    uniform(rng)
-                } else {
-                    (
-                        ms1[rng.gen_range(0..ms1.len())],
-                        ms2[rng.gen_range(0..ms2.len())],
-                    )
-                }
-            } else {
-                uniform(rng)
-            }
-        }
+        final_makespan,
+        best_makespan: series.best,
+        outcome: result.outcome,
     }
 }
 
@@ -379,6 +197,43 @@ mod tests {
         assert_eq!(run.final_makespan, asg.makespan());
         assert!(run.best_makespan <= run.initial_makespan);
         assert!(run.final_makespan < run.initial_makespan);
+    }
+
+    #[test]
+    fn record_every_zero_keeps_only_first_and_last() {
+        let inst = paper_uniform(6, 48, 2);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let cfg = GossipConfig {
+            max_rounds: 1_000,
+            record_every: 0,
+            ..base_cfg()
+        };
+        let run = run_gossip(&inst, &mut asg, &EctPairBalance, &cfg);
+        assert_eq!(
+            run.makespan_series,
+            vec![
+                (0, run.initial_makespan),
+                (run.rounds_run, run.final_makespan)
+            ]
+        );
+    }
+
+    #[test]
+    fn series_includes_final_round_when_not_a_multiple() {
+        // 1000 rounds sampled every 333: samples at 0, 333, 666, 999 —
+        // and the guaranteed final sample at 1000.
+        let inst = paper_uniform(6, 48, 3);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let cfg = GossipConfig {
+            max_rounds: 1_000,
+            record_every: 333,
+            ..base_cfg()
+        };
+        let run = run_gossip(&inst, &mut asg, &EctPairBalance, &cfg);
+        assert_eq!(run.rounds_run, 1_000);
+        let rounds: Vec<u64> = run.makespan_series.iter().map(|&(r, _)| r).collect();
+        assert_eq!(rounds, vec![0, 333, 666, 999, 1_000]);
+        assert_eq!(run.makespan_series.last().unwrap().1, run.final_makespan);
     }
 
     #[test]
@@ -444,20 +299,6 @@ mod tests {
         assert!(hit0.is_some());
         assert!(hit0.unwrap() >= 1);
         assert!(run.global_threshold_hit.is_some());
-    }
-
-    #[test]
-    fn round_robin_is_deterministic_and_covers_pairs() {
-        let inst = paper_uniform(5, 10, 0);
-        let active: Vec<MachineId> = inst.machines().collect();
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut seen = std::collections::HashSet::new();
-        for round in 0..10u64 {
-            let (a, b) = select_pair(&inst, PairSchedule::RoundRobin, round, &active, &mut rng);
-            assert!(a < b);
-            seen.insert((a, b));
-        }
-        assert_eq!(seen.len(), 10); // C(5,2) = 10 distinct pairs
     }
 
     #[test]

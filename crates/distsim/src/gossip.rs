@@ -1,0 +1,211 @@
+//! The gossip dynamic as a [`Protocol`]: one pairwise exchange per round.
+//!
+//! Each round one pair of online machines is selected (by the configured
+//! [`PairSchedule`]) and balanced by the configured
+//! [`lb_core::PairwiseBalancer`]. This sequentialized semantics matches
+//! both the paper's own simulator and the theory (Lemma 4, Theorems 7, 9,
+//! 10 all reason about one exchange at a time).
+//!
+//! The legacy entry point [`crate::engine::run_gossip`] assembles this
+//! protocol with the standard probe set; embedders can instead drive it
+//! directly with any probe combination (see
+//! [`crate::protocol::drive_with_plan`] for churn composition).
+
+use crate::probe::{ProbeHub, SimEvent, StopReason};
+use crate::protocol::{Protocol, StepOutcome};
+use crate::simcore::SimCore;
+use lb_core::{balance_counting_moves, PairwiseBalancer};
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the pair of machines for each round is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PairSchedule {
+    /// Uniformly random ordered pair of distinct machines (the paper's
+    /// model: every machine randomly selects a target).
+    UniformRandom,
+    /// Round `r` is hosted by machine `r mod |M|`, which picks a random
+    /// target — closer to "every machine runs the loop" with a fair host
+    /// rotation.
+    RotatingHost,
+    /// Deterministic cyclic enumeration of all unordered pairs, in order.
+    /// The dynamics become a deterministic map, so a repeated state proves
+    /// a limit cycle (used for the Proposition 8 experiment).
+    RoundRobin,
+    /// Random pair biased toward inter-cluster exchanges: with this
+    /// probability (percent) the pair is drawn across clusters when the
+    /// instance has two clusters (ablation A2).
+    InterClusterBiased {
+        /// Percent chance (0–100) of forcing an inter-cluster pair.
+        percent: u8,
+    },
+}
+
+/// The gossip protocol: one schedule-selected pairwise exchange per
+/// round, through any [`PairwiseBalancer`].
+pub struct GossipProtocol<'b> {
+    balancer: &'b dyn PairwiseBalancer,
+    schedule: PairSchedule,
+    /// Cached online-machine list, keyed by the topology version.
+    active: Vec<MachineId>,
+    active_version: Option<u64>,
+}
+
+impl<'b> GossipProtocol<'b> {
+    /// A gossip protocol over `balancer` with the given schedule.
+    pub fn new(balancer: &'b dyn PairwiseBalancer, schedule: PairSchedule) -> Self {
+        Self {
+            balancer,
+            schedule,
+            active: Vec::new(),
+            active_version: None,
+        }
+    }
+
+    fn refresh_active(&mut self, core: &SimCore) {
+        let version = core.topology.version();
+        if self.active_version != Some(version) {
+            self.active = core.topology.online_machines();
+            self.active_version = Some(version);
+        }
+    }
+}
+
+impl Protocol for GossipProtocol<'_> {
+    fn step(&mut self, core: &mut SimCore, probes: &mut ProbeHub) -> StepOutcome {
+        self.refresh_active(core);
+        if self.active.len() < 2 {
+            return StepOutcome::Stop(StopReason::Quiescent);
+        }
+        let (a, b) = select_pair(
+            core.inst,
+            self.schedule,
+            core.round,
+            &self.active,
+            &mut core.rng,
+        );
+        let (changed, jobs_moved) =
+            balance_counting_moves(core.inst, core.asg, self.balancer, a, b);
+        probes.emit(
+            core,
+            &SimEvent::Exchange {
+                a,
+                b,
+                changed,
+                jobs_moved,
+            },
+        );
+        StepOutcome::Continue
+    }
+}
+
+/// Selects the round's pair from the `active` (online) machines.
+pub(crate) fn select_pair(
+    inst: &Instance,
+    schedule: PairSchedule,
+    round: u64,
+    active: &[MachineId],
+    rng: &mut StdRng,
+) -> (MachineId, MachineId) {
+    let m = active.len();
+    let uniform = |rng: &mut StdRng| {
+        let a = rng.gen_range(0..m);
+        let mut b = rng.gen_range(0..m - 1);
+        if b >= a {
+            b += 1;
+        }
+        (active[a], active[b])
+    };
+    match schedule {
+        PairSchedule::UniformRandom => uniform(rng),
+        PairSchedule::RotatingHost => {
+            let a = (round % m as u64) as usize;
+            let mut b = rng.gen_range(0..m - 1);
+            if b >= a {
+                b += 1;
+            }
+            (active[a], active[b])
+        }
+        PairSchedule::RoundRobin => {
+            // Enumerate unordered pairs lexicographically.
+            let pairs = (m * (m - 1) / 2) as u64;
+            let mut k = round % pairs;
+            let mut a = 0usize;
+            let mut remaining = (m - 1) as u64;
+            while k >= remaining {
+                k -= remaining;
+                a += 1;
+                remaining = (m - a - 1) as u64;
+            }
+            let b = a + 1 + k as usize;
+            (active[a], active[b])
+        }
+        PairSchedule::InterClusterBiased { percent } => {
+            let force_cross = inst.is_two_cluster() && rng.gen_range(0..100) < u32::from(percent);
+            if force_cross {
+                let ms1: Vec<MachineId> = inst
+                    .machines_in(ClusterId::ONE)
+                    .iter()
+                    .filter(|mm| active.contains(mm))
+                    .copied()
+                    .collect();
+                let ms2: Vec<MachineId> = inst
+                    .machines_in(ClusterId::TWO)
+                    .iter()
+                    .filter(|mm| active.contains(mm))
+                    .copied()
+                    .collect();
+                if ms1.is_empty() || ms2.is_empty() {
+                    uniform(rng)
+                } else {
+                    (
+                        ms1[rng.gen_range(0..ms1.len())],
+                        ms2[rng.gen_range(0..ms2.len())],
+                    )
+                }
+            } else {
+                uniform(rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_workloads::uniform::paper_uniform;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_is_deterministic_and_covers_pairs() {
+        let inst = paper_uniform(5, 10, 0);
+        let active: Vec<MachineId> = inst.machines().collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..10u64 {
+            let (a, b) = select_pair(&inst, PairSchedule::RoundRobin, round, &active, &mut rng);
+            assert!(a < b);
+            seen.insert((a, b));
+        }
+        assert_eq!(seen.len(), 10); // C(5,2) = 10 distinct pairs
+    }
+
+    #[test]
+    fn gossip_protocol_caches_active_list() {
+        use lb_core::EctPairBalance;
+        let inst = paper_uniform(4, 16, 1);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let mut core = SimCore::new(&inst, &mut asg, 3);
+        let mut proto = GossipProtocol::new(&EctPairBalance, PairSchedule::UniformRandom);
+        let mut hub = ProbeHub::new();
+        assert_eq!(proto.step(&mut core, &mut hub), StepOutcome::Continue);
+        let v = proto.active_version;
+        assert_eq!(proto.active.len(), 4);
+        core.topology.set_online(MachineId(3), false);
+        assert_eq!(proto.step(&mut core, &mut hub), StepOutcome::Continue);
+        assert_ne!(proto.active_version, v);
+        assert_eq!(proto.active.len(), 3);
+    }
+}

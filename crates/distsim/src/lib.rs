@@ -1,24 +1,41 @@
 //! Decentralized execution substrate.
 //!
 //! The paper evaluates its algorithms with a simulator (Section VII.B);
-//! this crate is that simulator, split into:
+//! this crate is that simulator. One architecture underlies every
+//! simulation mode:
 //!
-//! * [`engine`] — the gossip engine: sequentialized pairwise exchanges
-//!   with a pluggable peer-selection schedule, per-round makespan series,
-//!   per-machine exchange counters, threshold tracking (Figure 5), and
-//!   limit-cycle detection under deterministic schedules (Proposition 8).
+//! * [`simcore`] — [`SimCore`]: the state all protocols share (instance,
+//!   assignment, RNG, round clock, online-machine [`Topology`]) and the
+//!   workspace RNG-stream convention ([`stream_rng`]).
+//! * [`protocol`] — the [`Protocol`] trait (one dynamic = one per-round
+//!   step) and the single driver loop ([`drive`] / [`drive_with_plan`])
+//!   that owns budget, probes, early stops, and topology churn.
+//! * [`probe`] — composable [`Probe`] observability: makespan series,
+//!   exchange accounting, threshold first-passage, quiescence,
+//!   limit-cycle snapshots, migration counting.
+//! * [`topology`] — the online-machine mask and churn event plans
+//!   ([`TopologyPlan`]), applicable to *any* protocol.
+//!
+//! The simulation modes are protocols (plus stable entry points):
+//!
+//! * [`gossip`] / [`engine`] — sequentialized pairwise exchanges with a
+//!   pluggable peer-selection schedule; `run_gossip` assembles the
+//!   standard probe set (Figures 3–5, Proposition 8).
 //! * [`worksteal`] — a discrete-event work-stealing simulator
 //!   (Algorithm 1) used as the a-posteriori baseline and to reproduce the
 //!   Theorem 1 trap.
 //! * [`dynamic`] — online simulation with job arrivals and *periodic*
 //!   rebalancing of queued jobs, the deployment mode Section IV argues a
 //!   priori balancers enable.
+//! * [`churn`] — gossip under machine failures/rejoins (`ext_churn`),
+//!   now a thin composition of the driver's topology plans.
 //! * [`concurrent`] — a truly multi-threaded implementation of the
-//!   gossip protocol (one thread per machine, ordered pair locking),
-//!   verifying that the sequential theory's conclusions survive real
-//!   concurrency.
-//! * [`mod@replicate`] — parallel Monte-Carlo replication of gossip runs
-//!   (rayon) with derived seeds, feeding the figure-regeneration binaries.
+//!   gossip protocol (one thread per machine, ordered pair locking)
+//!   reporting through the same [`ExchangeStats`] shape via sharded
+//!   atomic counters.
+//! * [`mod@replicate`] — parallel Monte-Carlo replication ([`fan_out`])
+//!   of any protocol + probe combination (rayon) with derived seeds,
+//!   feeding the figure-regeneration binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,15 +44,29 @@ pub mod churn;
 pub mod concurrent;
 pub mod dynamic;
 pub mod engine;
+pub mod gossip;
+pub mod probe;
+pub mod protocol;
 pub mod replicate;
+pub mod simcore;
+pub mod topology;
 pub mod worksteal;
 
 pub use churn::{run_with_churn, ChurnEvent, ChurnPlan, ChurnRun};
 
 pub use concurrent::{run_concurrent, ConcurrentConfig, ConcurrentResult};
-pub use dynamic::{simulate_dynamic, Arrival, DynamicConfig, DynamicResult};
+pub use dynamic::{simulate_dynamic, Arrival, DynamicConfig, DynamicProtocol, DynamicResult};
 pub use engine::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
-pub use replicate::replicate;
+pub use gossip::GossipProtocol;
+pub use probe::{
+    CycleProbe, ExchangeProbe, ExchangeStats, MigrationProbe, Probe, ProbeHub, QuiescenceProbe,
+    SeriesProbe, SimEvent, StopReason, ThresholdProbe, TopologyProbe,
+};
+pub use protocol::{drive, drive_with_plan, DriveResult, Protocol, StepOutcome};
+pub use replicate::{fan_out, replicate};
+pub use simcore::{stream_rng, SimCore};
+pub use topology::{Topology, TopologyEvent, TopologyPlan};
 pub use worksteal::{
-    simulate_work_stealing, simulate_work_stealing_with, StealPolicy, WorkStealResult,
+    simulate_work_stealing, simulate_work_stealing_with, StealPolicy, WorkStealProtocol,
+    WorkStealResult,
 };

@@ -1,0 +1,522 @@
+//! Composable observability for simulation runs.
+//!
+//! A [`Probe`] watches a run without steering it (except to stop it):
+//! the driver calls [`Probe::before_round`] ahead of every protocol
+//! step, protocols emit [`SimEvent`]s as they mutate the core, and the
+//! driver calls [`Probe::after_round`] once the round is done. Either
+//! hook may return a [`StopReason`] to end the run early.
+//!
+//! The probes in this module reproduce every piece of instrumentation
+//! the five pre-refactor simulation loops had baked in:
+//!
+//! | probe | replaces |
+//! |---|---|
+//! | [`SeriesProbe`] | the engine's per-round makespan series (Figure 4) |
+//! | [`ExchangeProbe`] | effective-exchange / migration / per-machine counters |
+//! | [`ThresholdProbe`] | first-passage-under-threshold tracking (Figure 5) |
+//! | [`QuiescenceProbe`] | the quiescence early stop |
+//! | [`CycleProbe`] | exact limit-cycle snapshots (Proposition 8) |
+//! | [`TopologyProbe`] | churn event/scatter accounting (`ext_churn`) |
+//! | [`MigrationProbe`] | migration counting across *any* protocol |
+//!
+//! Probes are registered in a [`ProbeHub`]; hooks run in registration
+//! order, which is observable (e.g. `run_gossip` registers the series
+//! probe before the quiescence probe so the stopping round is still
+//! recorded, exactly as the old engine did).
+
+use crate::simcore::SimCore;
+use crate::topology::TopologyEvent;
+use lb_model::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Something a protocol did this round, announced to the probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A pairwise exchange was attempted between `a` and `b`.
+    Exchange {
+        /// First machine of the pair.
+        a: MachineId,
+        /// Second machine of the pair.
+        b: MachineId,
+        /// Whether the exchange moved at least one job.
+        changed: bool,
+        /// Number of jobs that switched machines.
+        jobs_moved: u64,
+    },
+    /// A work-stealing operation: `thief` took jobs from `victim`.
+    Steal {
+        /// The stealing machine.
+        thief: MachineId,
+        /// The machine stolen from.
+        victim: MachineId,
+        /// Jobs transferred.
+        jobs_moved: u64,
+        /// Simulated time of the steal.
+        at: Time,
+    },
+    /// A topology event was applied (see
+    /// [`crate::protocol::drive_with_plan`]).
+    Topology {
+        /// The event.
+        event: TopologyEvent,
+        /// Jobs the protocol re-homed in response (scattered on failure).
+        jobs_scattered: u64,
+    },
+}
+
+/// Why a probe (or protocol) wants the run to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Nothing left to do / nothing changed for the configured window.
+    Quiescent,
+    /// An earlier state recurred at the same schedule position
+    /// (Proposition 8).
+    CycleDetected {
+        /// Sweep index at which the repeated state was first seen.
+        first_seen_sweep: u64,
+        /// Cycle length in sweeps.
+        period_sweeps: u64,
+    },
+}
+
+/// An observer of a simulation run.
+///
+/// All hooks default to no-ops so probes implement only what they need.
+pub trait Probe {
+    /// Called once before the first round.
+    fn on_start(&mut self, _core: &SimCore) {}
+    /// Called before each protocol step; may stop the run (the round is
+    /// then *not* counted).
+    fn before_round(&mut self, _core: &SimCore) -> Option<StopReason> {
+        None
+    }
+    /// Called for every event a protocol (or the driver) emits.
+    fn observe(&mut self, _core: &SimCore, _ev: &SimEvent) {}
+    /// Called after each completed round; may stop the run (the round
+    /// *is* counted).
+    fn after_round(&mut self, _core: &SimCore) -> Option<StopReason> {
+        None
+    }
+    /// Called once after the run ends, whatever the outcome.
+    fn on_finish(&mut self, _core: &SimCore) {}
+}
+
+/// An ordered set of probes; hooks fan out in registration order.
+#[derive(Default)]
+pub struct ProbeHub<'p> {
+    probes: Vec<&'p mut dyn Probe>,
+}
+
+impl<'p> ProbeHub<'p> {
+    /// An empty hub (a run without observation).
+    pub fn new() -> Self {
+        Self { probes: Vec::new() }
+    }
+
+    /// Registers a probe; hooks run in registration order.
+    pub fn push(&mut self, p: &'p mut dyn Probe) -> &mut Self {
+        self.probes.push(p);
+        self
+    }
+
+    /// Fans out [`Probe::on_start`].
+    pub fn on_start(&mut self, core: &SimCore) {
+        for p in &mut self.probes {
+            p.on_start(core);
+        }
+    }
+
+    /// Fans out [`Probe::before_round`]; every probe runs, the first
+    /// stop reason (in registration order) wins.
+    pub fn before_round(&mut self, core: &SimCore) -> Option<StopReason> {
+        let mut stop = None;
+        for p in &mut self.probes {
+            let s = p.before_round(core);
+            if stop.is_none() {
+                stop = s;
+            }
+        }
+        stop
+    }
+
+    /// Fans out an event to [`Probe::observe`].
+    pub fn emit(&mut self, core: &SimCore, ev: &SimEvent) {
+        for p in &mut self.probes {
+            p.observe(core, ev);
+        }
+    }
+
+    /// Fans out [`Probe::after_round`]; every probe runs, the first stop
+    /// reason (in registration order) wins.
+    pub fn after_round(&mut self, core: &SimCore) -> Option<StopReason> {
+        let mut stop = None;
+        for p in &mut self.probes {
+            let s = p.after_round(core);
+            if stop.is_none() {
+                stop = s;
+            }
+        }
+        stop
+    }
+
+    /// Fans out [`Probe::on_finish`].
+    pub fn on_finish(&mut self, core: &SimCore) {
+        for p in &mut self.probes {
+            p.on_finish(core);
+        }
+    }
+}
+
+/// Records the `(round, makespan)` series and the best makespan seen.
+///
+/// Sampling cadence is `record_every` rounds; `0` means **only the first
+/// and last samples are recorded** (the series brackets the run with its
+/// initial and final makespan and nothing in between). Whatever the
+/// cadence, the final round is always included — even when the round
+/// count is not a multiple of `record_every` — so the series always ends
+/// at `(rounds_run, final_makespan)`. A topology event also forces a
+/// sample (post-scatter), so churn disturbances are visible at exact
+/// event rounds.
+#[derive(Debug, Clone)]
+pub struct SeriesProbe {
+    record_every: u64,
+    /// The collected `(round, makespan)` samples.
+    pub series: Vec<(u64, Time)>,
+    /// Smallest makespan observed at any recorded point.
+    pub best: Time,
+}
+
+impl SeriesProbe {
+    /// A series probe sampling every `record_every` rounds (see the type
+    /// docs for the `0` convention).
+    pub fn new(record_every: u64) -> Self {
+        Self {
+            record_every,
+            series: Vec::new(),
+            best: Time::MAX,
+        }
+    }
+}
+
+impl Probe for SeriesProbe {
+    fn on_start(&mut self, core: &SimCore) {
+        let initial = core.makespan();
+        self.series.push((0, initial));
+        self.best = initial;
+    }
+
+    fn observe(&mut self, core: &SimCore, ev: &SimEvent) {
+        if let SimEvent::Topology { .. } = ev {
+            self.series.push((core.round, core.makespan()));
+        }
+    }
+
+    fn after_round(&mut self, core: &SimCore) -> Option<StopReason> {
+        if self.record_every > 0 && core.round.is_multiple_of(self.record_every) {
+            let cmax = core.makespan();
+            self.series.push((core.round, cmax));
+            self.best = self.best.min(cmax);
+        }
+        None
+    }
+
+    fn on_finish(&mut self, core: &SimCore) {
+        let final_makespan = core.makespan();
+        self.best = self.best.min(final_makespan);
+        if self.series.last().map(|&(r, _)| r) != Some(core.round) {
+            self.series.push((core.round, final_makespan));
+        }
+    }
+}
+
+/// Aggregate exchange accounting — shared between the sequential probes
+/// and the concurrent runtime's sharded atomic counters (see
+/// [`crate::concurrent`]), so both report through one type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Exchanges that moved at least one job.
+    pub effective_exchanges: u64,
+    /// Total jobs moved across all exchanges.
+    pub jobs_migrated: u64,
+    /// Per machine: effective exchanges it participated in.
+    pub exchanges_per_machine: Vec<u64>,
+}
+
+impl ExchangeStats {
+    /// Zeroed stats for `m` machines.
+    pub fn new(m: usize) -> Self {
+        Self {
+            effective_exchanges: 0,
+            jobs_migrated: 0,
+            exchanges_per_machine: vec![0; m],
+        }
+    }
+}
+
+/// Counts effective exchanges, migrations, and per-machine participation.
+#[derive(Debug, Clone)]
+pub struct ExchangeProbe {
+    /// The running totals.
+    pub stats: ExchangeStats,
+}
+
+impl ExchangeProbe {
+    /// A zeroed probe for `m` machines.
+    pub fn new(m: usize) -> Self {
+        Self {
+            stats: ExchangeStats::new(m),
+        }
+    }
+}
+
+impl Probe for ExchangeProbe {
+    fn observe(&mut self, _core: &SimCore, ev: &SimEvent) {
+        if let SimEvent::Exchange {
+            a,
+            b,
+            changed: true,
+            jobs_moved,
+        } = *ev
+        {
+            self.stats.effective_exchanges += 1;
+            self.stats.jobs_migrated += jobs_moved;
+            self.stats.exchanges_per_machine[a.idx()] += 1;
+            self.stats.exchanges_per_machine[b.idx()] += 1;
+        }
+    }
+}
+
+/// First-passage tracking under a makespan/load threshold (Figure 5).
+///
+/// Per machine: its effective-exchange count at the first moment its
+/// load dropped to `<= threshold` (0 for machines starting below it).
+/// Globally: the total effective-exchange count when the makespan first
+/// dropped to `<= threshold`. The probe keeps its own counters, so it
+/// composes independently of [`ExchangeProbe`].
+#[derive(Debug, Clone)]
+pub struct ThresholdProbe {
+    threshold: Time,
+    effective: u64,
+    per_machine: Vec<u64>,
+    /// Per-machine first-passage exchange counts (`None` if never hit).
+    pub machine_hits: Vec<Option<u64>>,
+    /// Global first-passage effective-exchange count (`None` if never).
+    pub global_hit: Option<u64>,
+}
+
+impl ThresholdProbe {
+    /// A probe for `m` machines and the given threshold (0 disables all
+    /// tracking).
+    pub fn new(m: usize, threshold: Time) -> Self {
+        Self {
+            threshold,
+            effective: 0,
+            per_machine: vec![0; m],
+            machine_hits: vec![None; m],
+            global_hit: None,
+        }
+    }
+}
+
+impl Probe for ThresholdProbe {
+    fn on_start(&mut self, core: &SimCore) {
+        if self.threshold == 0 {
+            return;
+        }
+        for mi in 0..core.inst.num_machines() {
+            if core.asg.load(MachineId::from_idx(mi)) <= self.threshold {
+                self.machine_hits[mi] = Some(0);
+            }
+        }
+        if core.makespan() <= self.threshold {
+            self.global_hit = Some(0);
+        }
+    }
+
+    fn observe(&mut self, core: &SimCore, ev: &SimEvent) {
+        if self.threshold == 0 {
+            return;
+        }
+        if let SimEvent::Exchange {
+            a,
+            b,
+            changed: true,
+            ..
+        } = *ev
+        {
+            self.effective += 1;
+            self.per_machine[a.idx()] += 1;
+            self.per_machine[b.idx()] += 1;
+            for mm in [a, b] {
+                if self.machine_hits[mm.idx()].is_none() && core.asg.load(mm) <= self.threshold {
+                    self.machine_hits[mm.idx()] = Some(self.per_machine[mm.idx()]);
+                }
+            }
+            if self.global_hit.is_none() && core.makespan() <= self.threshold {
+                self.global_hit = Some(self.effective);
+            }
+        }
+    }
+}
+
+/// Stops the run after `window` consecutive ineffective exchanges
+/// (0 disables the stop).
+#[derive(Debug, Clone)]
+pub struct QuiescenceProbe {
+    window: u64,
+    quiet: u64,
+}
+
+impl QuiescenceProbe {
+    /// A probe stopping after `window` quiet rounds (0 = never).
+    pub fn new(window: u64) -> Self {
+        Self { window, quiet: 0 }
+    }
+}
+
+impl Probe for QuiescenceProbe {
+    fn observe(&mut self, _core: &SimCore, ev: &SimEvent) {
+        if let SimEvent::Exchange { changed, .. } = *ev {
+            if changed {
+                self.quiet = 0;
+            } else {
+                self.quiet += 1;
+            }
+        }
+    }
+
+    fn after_round(&mut self, _core: &SimCore) -> Option<StopReason> {
+        if self.window > 0 && self.quiet >= self.window {
+            Some(StopReason::Quiescent)
+        } else {
+            None
+        }
+    }
+}
+
+/// Exact limit-cycle detection by state snapshot at sweep boundaries
+/// (Proposition 8; meaningful under deterministic schedules).
+///
+/// A *sweep* is `pairs_per_sweep` rounds, fixed at run start from the
+/// number of online machines. At each sweep boundary the full
+/// job-to-machine state is snapshotted; a recurrence stops the run with
+/// [`StopReason::CycleDetected`] *before* the boundary round executes.
+#[derive(Debug, Clone)]
+pub struct CycleProbe {
+    enabled: bool,
+    pairs_per_sweep: u64,
+    seen_states: HashMap<u64, (u64, Vec<MachineId>)>,
+}
+
+impl CycleProbe {
+    /// A cycle probe; `enabled = false` makes every hook a no-op.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            pairs_per_sweep: 0,
+            seen_states: HashMap::new(),
+        }
+    }
+}
+
+impl Probe for CycleProbe {
+    fn on_start(&mut self, core: &SimCore) {
+        let n = core.topology.num_online() as u64;
+        self.pairs_per_sweep = n * n.saturating_sub(1) / 2;
+    }
+
+    fn before_round(&mut self, core: &SimCore) -> Option<StopReason> {
+        if !self.enabled || self.pairs_per_sweep == 0 {
+            return None;
+        }
+        if !core.round.is_multiple_of(self.pairs_per_sweep) {
+            return None;
+        }
+        let sweep = core.round / self.pairs_per_sweep;
+        let state: Vec<MachineId> = core.inst.jobs().map(|j| core.asg.machine_of(j)).collect();
+        let mut h = DefaultHasher::new();
+        state.hash(&mut h);
+        let key = h.finish();
+        if let Some((first_sweep, first_state)) = self.seen_states.get(&key) {
+            if *first_state == state {
+                return Some(StopReason::CycleDetected {
+                    first_seen_sweep: *first_sweep,
+                    period_sweeps: sweep - first_sweep,
+                });
+            }
+        } else {
+            self.seen_states.insert(key, (sweep, state));
+        }
+        None
+    }
+}
+
+/// Records applied topology events and scatter totals (`ext_churn`).
+#[derive(Debug, Clone, Default)]
+pub struct TopologyProbe {
+    /// `(round, event)` pairs, in application order.
+    pub applied: Vec<(u64, TopologyEvent)>,
+    /// Total jobs re-homed by failures.
+    pub jobs_scattered: u64,
+}
+
+impl TopologyProbe {
+    /// An empty topology probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Probe for TopologyProbe {
+    fn observe(&mut self, core: &SimCore, ev: &SimEvent) {
+        if let SimEvent::Topology {
+            event,
+            jobs_scattered,
+        } = *ev
+        {
+            self.applied.push((core.round, event));
+            self.jobs_scattered += jobs_scattered;
+        }
+    }
+}
+
+/// Counts job movements across *any* protocol: exchange migrations,
+/// stolen jobs, and churn scatters all land in one total.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MigrationProbe {
+    /// Jobs moved by exchanges.
+    pub exchanged: u64,
+    /// Jobs moved by steals.
+    pub stolen: u64,
+    /// Jobs moved by churn scatters.
+    pub scattered: u64,
+}
+
+impl MigrationProbe {
+    /// A zeroed migration probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total jobs moved, whatever the mechanism.
+    pub fn total(&self) -> u64 {
+        self.exchanged + self.stolen + self.scattered
+    }
+}
+
+impl Probe for MigrationProbe {
+    fn observe(&mut self, _core: &SimCore, ev: &SimEvent) {
+        match *ev {
+            SimEvent::Exchange {
+                changed: true,
+                jobs_moved,
+                ..
+            } => self.exchanged += jobs_moved,
+            SimEvent::Steal { jobs_moved, .. } => self.stolen += jobs_moved,
+            SimEvent::Topology { jobs_scattered, .. } => self.scattered += jobs_scattered,
+            _ => {}
+        }
+    }
+}

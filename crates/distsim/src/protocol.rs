@@ -1,0 +1,269 @@
+//! The protocol abstraction and the one driver loop all simulations use.
+//!
+//! A [`Protocol`] is one simulation dynamic — gossip exchanges, work
+//! stealing, dynamic arrivals — expressed as a per-round step over a
+//! [`SimCore`]. The driver ([`drive`] / [`drive_with_plan`]) owns the
+//! loop every pre-refactor module duplicated: round budget, probe hooks,
+//! early stops, and (optionally) a [`TopologyPlan`] applying churn to
+//! *any* protocol.
+//!
+//! Per-round order (observable through probes, and relied on by the
+//! seed-for-seed equivalence tests):
+//!
+//! 1. topology events scheduled for this round are applied,
+//! 2. [`Probe::before_round`] (a stop here leaves the round uncounted),
+//! 3. [`Protocol::step`] (a stop here also leaves the round uncounted),
+//! 4. the round clock advances,
+//! 5. [`Probe::after_round`] (a stop here counts the round).
+
+use crate::probe::{ProbeHub, SimEvent, StopReason};
+use crate::simcore::SimCore;
+use crate::topology::{TopologyEvent, TopologyPlan};
+use lb_model::prelude::*;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Why a driven run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The round budget was exhausted.
+    BudgetExhausted,
+    /// The protocol ran out of work, or a quiescence probe fired.
+    Quiescent,
+    /// Under a deterministic schedule, an earlier state recurred at the
+    /// same schedule position: the dynamics are in a limit cycle.
+    CycleDetected {
+        /// Sweep index at which the repeated state was first seen.
+        first_seen_sweep: u64,
+        /// Cycle length in sweeps.
+        period_sweeps: u64,
+    },
+}
+
+impl From<StopReason> for RunOutcome {
+    fn from(s: StopReason) -> Self {
+        match s {
+            StopReason::Quiescent => RunOutcome::Quiescent,
+            StopReason::CycleDetected {
+                first_seen_sweep,
+                period_sweeps,
+            } => RunOutcome::CycleDetected {
+                first_seen_sweep,
+                period_sweeps,
+            },
+        }
+    }
+}
+
+/// What one protocol step decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The round executed; keep going.
+    Continue,
+    /// The protocol cannot (or need not) continue; the current round is
+    /// not counted.
+    Stop(StopReason),
+}
+
+/// One simulation dynamic, driven one round at a time.
+pub trait Protocol {
+    /// One-time setup after probes have seen the initial state (e.g.
+    /// work stealing starts the first job on every machine here).
+    fn on_start(&mut self, _core: &mut SimCore, _probes: &mut ProbeHub) {}
+
+    /// Executes one round, emitting [`SimEvent`]s through `probes`.
+    fn step(&mut self, core: &mut SimCore, probes: &mut ProbeHub) -> StepOutcome;
+
+    /// Reacts to a topology event (the driver has already flipped the
+    /// online flag). Returns the number of jobs re-homed.
+    ///
+    /// The default implements assignment-based churn, matching the
+    /// `ext_churn` semantics for gossip-style protocols: on failure the
+    /// machine's assigned jobs are scattered uniformly at random (via
+    /// `core.rng`) to online survivors; a rejoin needs no state change.
+    /// Queue-based protocols (work stealing, dynamic arrivals) override
+    /// this to re-home their queued jobs instead.
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> u64 {
+        match ev {
+            TopologyEvent::Fail(machine) => scatter_assigned_jobs(core, machine),
+            TopologyEvent::Rejoin(_) => 0,
+        }
+    }
+}
+
+/// Scatters `machine`'s assigned jobs uniformly at random to online
+/// survivors, as a replicated-storage runtime would re-materialize them.
+/// Returns the number of jobs moved.
+pub fn scatter_assigned_jobs(core: &mut SimCore, machine: MachineId) -> u64 {
+    let survivors = core.topology.online_machines();
+    assert!(!survivors.is_empty(), "cannot fail the last machine");
+    let jobs: Vec<JobId> = core.asg.jobs_on(machine).to_vec();
+    let mut scattered = 0u64;
+    for j in jobs {
+        let target = survivors[core.rng.gen_range(0..survivors.len())];
+        core.asg.move_job(core.inst, j, target);
+        scattered += 1;
+    }
+    scattered
+}
+
+/// Result of a driven run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveResult {
+    /// Rounds executed (counted steps).
+    pub rounds_run: u64,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// Drives `protocol` for up to `max_rounds` rounds with no topology
+/// churn. See [`drive_with_plan`].
+pub fn drive(
+    core: &mut SimCore,
+    protocol: &mut dyn Protocol,
+    probes: &mut ProbeHub,
+    max_rounds: u64,
+) -> DriveResult {
+    drive_with_plan(core, protocol, probes, max_rounds, &TopologyPlan::empty())
+}
+
+/// Drives `protocol` for up to `max_rounds` rounds, applying `plan`'s
+/// topology events before their scheduled round executes. Events
+/// scheduled at or past the stopping round are applied after the loop
+/// (matching the segmented churn runner this replaces), so every event
+/// is always accounted for.
+pub fn drive_with_plan(
+    core: &mut SimCore,
+    protocol: &mut dyn Protocol,
+    probes: &mut ProbeHub,
+    max_rounds: u64,
+    plan: &TopologyPlan,
+) -> DriveResult {
+    debug_assert!(
+        plan.events.windows(2).all(|w| w[0].0 <= w[1].0),
+        "topology events sorted by round"
+    );
+    probes.on_start(core);
+    protocol.on_start(core, probes);
+    let mut outcome = RunOutcome::BudgetExhausted;
+    let mut next_event = 0usize;
+    for round in 0..max_rounds {
+        while next_event < plan.events.len() && plan.events[next_event].0 <= round {
+            apply_topology_event(core, protocol, probes, plan.events[next_event].1);
+            next_event += 1;
+        }
+        if let Some(stop) = probes.before_round(core) {
+            outcome = stop.into();
+            break;
+        }
+        match protocol.step(core, probes) {
+            StepOutcome::Continue => {}
+            StepOutcome::Stop(reason) => {
+                outcome = reason.into();
+                break;
+            }
+        }
+        core.round = round + 1;
+        if let Some(stop) = probes.after_round(core) {
+            outcome = stop.into();
+            break;
+        }
+    }
+    while next_event < plan.events.len() {
+        apply_topology_event(core, protocol, probes, plan.events[next_event].1);
+        next_event += 1;
+    }
+    probes.on_finish(core);
+    DriveResult {
+        rounds_run: core.round,
+        outcome,
+    }
+}
+
+fn apply_topology_event(
+    core: &mut SimCore,
+    protocol: &mut dyn Protocol,
+    probes: &mut ProbeHub,
+    ev: TopologyEvent,
+) {
+    match ev {
+        TopologyEvent::Fail(machine) => core.topology.set_online(machine, false),
+        TopologyEvent::Rejoin(machine) => core.topology.set_online(machine, true),
+    }
+    let jobs_scattered = protocol.on_topology_event(core, ev);
+    probes.emit(
+        core,
+        &SimEvent::Topology {
+            event: ev,
+            jobs_scattered,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::TopologyProbe;
+
+    /// A protocol that does nothing, for driver-shape tests.
+    struct Inert;
+    impl Protocol for Inert {
+        fn step(&mut self, _core: &mut SimCore, _probes: &mut ProbeHub) -> StepOutcome {
+            StepOutcome::Continue
+        }
+    }
+
+    #[test]
+    fn budget_and_round_clock() {
+        let inst = Instance::uniform(2, vec![1, 2, 3]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let mut core = SimCore::new(&inst, &mut asg, 0);
+        let mut hub = ProbeHub::new();
+        let res = drive(&mut core, &mut Inert, &mut hub, 17);
+        assert_eq!(res.rounds_run, 17);
+        assert_eq!(res.outcome, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn late_events_still_apply() {
+        // An event scheduled past the budget is applied at the end.
+        let inst = Instance::uniform(3, vec![1, 2, 3]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let mut core = SimCore::new(&inst, &mut asg, 0);
+        let mut topo = TopologyProbe::new();
+        let mut hub = ProbeHub::new();
+        hub.push(&mut topo);
+        let plan = TopologyPlan {
+            events: vec![(100, TopologyEvent::Fail(MachineId(0)))],
+        };
+        let res = drive_with_plan(&mut core, &mut Inert, &mut hub, 5, &plan);
+        assert_eq!(res.rounds_run, 5);
+        assert_eq!(topo.applied, vec![(5, TopologyEvent::Fail(MachineId(0)))]);
+        // Machine 0 held all three jobs; the default handler scattered
+        // them to the survivors.
+        assert_eq!(topo.jobs_scattered, 3);
+        assert_eq!(asg.num_jobs_on(MachineId(0)), 0);
+    }
+
+    #[test]
+    fn protocol_stop_leaves_round_uncounted() {
+        struct StopAtThree(u64);
+        impl Protocol for StopAtThree {
+            fn step(&mut self, _c: &mut SimCore, _p: &mut ProbeHub) -> StepOutcome {
+                if self.0 == 0 {
+                    StepOutcome::Stop(StopReason::Quiescent)
+                } else {
+                    self.0 -= 1;
+                    StepOutcome::Continue
+                }
+            }
+        }
+        let inst = Instance::uniform(2, vec![1]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let mut core = SimCore::new(&inst, &mut asg, 0);
+        let mut hub = ProbeHub::new();
+        let res = drive(&mut core, &mut StopAtThree(3), &mut hub, 100);
+        assert_eq!(res.rounds_run, 3);
+        assert_eq!(res.outcome, RunOutcome::Quiescent);
+    }
+}

@@ -1,15 +1,35 @@
-//! Parallel Monte-Carlo replication of gossip runs.
+//! Parallel Monte-Carlo replication of simulation runs.
 //!
 //! The paper's figures aggregate over many independent runs; this module
 //! fans replications out over a rayon pool. Replication `r` derives its
-//! RNG streams from `base_seed + r`, so a figure is reproducible from a
+//! RNG streams from `base_seed + r` (the workspace convention — see
+//! [`crate::simcore::stream_rng`]), so a figure is reproducible from a
 //! single seed while runs stay independent and the result is identical
 //! whatever the thread count.
+//!
+//! [`fan_out`] replicates *any* protocol + probe combination (build the
+//! core, protocol, and probes inside the closure from the replication
+//! index); [`replicate`] is the gossip-specific convenience over it.
 
 use crate::engine::{run_gossip, GossipConfig, GossipRun};
 use lb_core::PairwiseBalancer;
 use lb_model::prelude::*;
 use rayon::prelude::*;
+
+/// Runs `replications` independent experiments in parallel, collecting
+/// results in replication order.
+///
+/// The closure receives the replication index `r`; by convention it
+/// should seed its run with `base_seed + r`
+/// ([`crate::simcore::stream_rng`] with stream `r`), which is what
+/// [`replicate`] does for gossip.
+pub fn fan_out<T, F>(replications: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    (0..replications).into_par_iter().map(f).collect()
+}
 
 /// Runs `replications` independent gossip experiments in parallel.
 ///
@@ -27,17 +47,14 @@ where
     B: PairwiseBalancer + Sync,
     F: Fn(u64) -> (Instance, Assignment) + Sync,
 {
-    (0..replications)
-        .into_par_iter()
-        .map(|r| {
-            let (inst, mut asg) = make_start(r);
-            let run_cfg = GossipConfig {
-                seed: cfg.seed.wrapping_add(r),
-                ..cfg.clone()
-            };
-            run_gossip(&inst, &mut asg, balancer, &run_cfg)
-        })
-        .collect()
+    fan_out(replications, |r| {
+        let (inst, mut asg) = make_start(r);
+        let run_cfg = GossipConfig {
+            seed: cfg.seed.wrapping_add(r),
+            ..cfg.clone()
+        };
+        run_gossip(&inst, &mut asg, balancer, &run_cfg)
+    })
 }
 
 #[cfg(test)]
@@ -70,6 +87,26 @@ mod tests {
         // makespans should not all coincide.
         let first = a[0].final_makespan;
         assert!(a.iter().any(|r| r.final_makespan != first));
+    }
+
+    #[test]
+    fn fan_out_preserves_order_for_any_task() {
+        let squares = fan_out(10, |r| r * r);
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn fan_out_over_work_stealing() {
+        // fan_out is protocol-agnostic: replicate the work-stealing
+        // simulator with the same seed convention.
+        use crate::worksteal::simulate_work_stealing;
+        use lb_workloads::uniform::paper_uniform;
+        let inst = paper_uniform(4, 32, 5);
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let runs = fan_out(4, |r| simulate_work_stealing(&inst, &asg, 10 + r));
+        assert_eq!(runs.len(), 4);
+        let rerun = simulate_work_stealing(&inst, &asg, 12);
+        assert_eq!(runs[2], rerun);
     }
 
     #[test]

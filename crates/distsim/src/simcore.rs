@@ -1,0 +1,110 @@
+//! The shared simulation core: the state every protocol drives.
+//!
+//! [`SimCore`] owns the four things all five simulation modes share — the
+//! instance, the (mutable) assignment, the RNG, and the round clock —
+//! plus the [`Topology`] online mask. Protocols
+//! ([`crate::protocol::Protocol`]) mutate it one round at a time; probes
+//! ([`crate::probe::Probe`]) read it.
+//!
+//! # RNG streams
+//!
+//! Every simulation in this workspace derives its RNG the same way:
+//! stream `r` of base seed `s` is `StdRng::seed_from_u64(s + r)`
+//! (wrapping). The main run is stream 0, Monte-Carlo replication `r` is
+//! stream `r` ([`crate::replicate`]), and concurrent worker thread `t` is
+//! stream `t` ([`crate::concurrent`]). [`stream_rng`] is the one place
+//! that convention is spelled, and `tests/sim_architecture.rs` asserts
+//! it.
+
+use crate::topology::Topology;
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives the RNG for stream `stream` of base seed `seed`:
+/// `StdRng::seed_from_u64(seed.wrapping_add(stream))`.
+///
+/// This is the workspace-wide seeding convention (see the module docs).
+pub fn stream_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_add(stream))
+}
+
+/// Mutable state shared by every simulation protocol.
+pub struct SimCore<'a> {
+    /// The (immutable) problem instance.
+    pub inst: &'a Instance,
+    /// The job-to-machine assignment the protocol rebalances. Protocols
+    /// that track work in their own queues (work stealing, dynamic
+    /// arrivals) leave it untouched and document what it means for them.
+    pub asg: &'a mut Assignment,
+    /// The run's RNG — stream 0 of the configured seed (see
+    /// [`stream_rng`]). All randomness of a run (pair selection, victim
+    /// selection, churn scatter) draws from this single stream, so a run
+    /// is a deterministic function of `(instance, assignment, seed)`.
+    pub rng: StdRng,
+    /// Rounds completed so far (the driver increments it after each
+    /// successful protocol step).
+    pub round: u64,
+    /// Which machines are online.
+    pub topology: Topology,
+}
+
+impl<'a> SimCore<'a> {
+    /// A core over `asg` with all machines online and the RNG at stream 0
+    /// of `seed`.
+    pub fn new(inst: &'a Instance, asg: &'a mut Assignment, seed: u64) -> Self {
+        let m = inst.num_machines();
+        Self {
+            inst,
+            asg,
+            rng: stream_rng(seed, 0),
+            round: 0,
+            topology: Topology::all_online(m),
+        }
+    }
+
+    /// Marks the listed machines offline before the run starts.
+    pub fn with_offline(mut self, offline: &[MachineId]) -> Self {
+        for &mm in offline {
+            self.topology.set_online(mm, false);
+        }
+        self
+    }
+
+    /// Current makespan of the assignment.
+    pub fn makespan(&self) -> Time {
+        self.asg.makespan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn stream_zero_is_plain_seeding() {
+        let mut a = stream_rng(42, 0);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_wrap() {
+        let mut a = stream_rng(u64::MAX, 2);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn core_starts_all_online_at_round_zero() {
+        let inst = Instance::uniform(3, vec![1, 2]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let core = SimCore::new(&inst, &mut asg, 7).with_offline(&[MachineId(1)]);
+        assert_eq!(core.round, 0);
+        assert_eq!(core.topology.num_online(), 2);
+        assert_eq!(core.makespan(), 3);
+    }
+}

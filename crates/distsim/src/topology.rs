@@ -1,0 +1,166 @@
+//! The online-machine view of the cluster and scheduled changes to it.
+//!
+//! Every simulation protocol draws its participants from a [`Topology`]:
+//! the set of machines currently online. Churn — failures and rejoins —
+//! is expressed as a [`TopologyPlan`], a round-indexed schedule of
+//! [`TopologyEvent`]s the driver ([`crate::protocol::drive_with_plan`])
+//! applies to *any* protocol, so the `ext_churn` experiment shape works
+//! for gossip, work stealing, or dynamic arrivals alike.
+
+use lb_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which machines are online. Offline machines are excluded from pair
+/// selection, stealing, and job starts; they keep whatever state the
+/// protocol assigns to them until the protocol reacts to the event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    online: Vec<bool>,
+    version: u64,
+}
+
+impl Topology {
+    /// All `m` machines online.
+    pub fn all_online(m: usize) -> Self {
+        Self {
+            online: vec![true; m],
+            version: 0,
+        }
+    }
+
+    /// All machines online except the listed ones.
+    pub fn with_offline(m: usize, offline: &[MachineId]) -> Self {
+        let mut t = Self::all_online(m);
+        for &mm in offline {
+            t.set_online(mm, false);
+        }
+        t
+    }
+
+    /// Total number of machines (online or not).
+    pub fn num_machines(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Whether `m` is currently online.
+    pub fn is_online(&self, m: MachineId) -> bool {
+        self.online[m.idx()]
+    }
+
+    /// Sets a machine's online flag (bumps the change [`version`]).
+    ///
+    /// [`version`]: Topology::version
+    pub fn set_online(&mut self, m: MachineId, online: bool) {
+        if self.online[m.idx()] != online {
+            self.online[m.idx()] = online;
+            self.version += 1;
+        }
+    }
+
+    /// Number of online machines.
+    pub fn num_online(&self) -> usize {
+        self.online.iter().filter(|&&o| o).count()
+    }
+
+    /// The online machines, in machine-id order.
+    pub fn online_machines(&self) -> Vec<MachineId> {
+        self.online
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o)
+            .map(|(i, _)| MachineId::from_idx(i))
+            .collect()
+    }
+
+    /// Monotone counter bumped by every effective [`set_online`] call;
+    /// protocols use it to cache derived views (e.g. the active list)
+    /// without re-scanning per round.
+    ///
+    /// [`set_online`]: Topology::set_online
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// One scheduled topology change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyEvent {
+    /// The machine goes offline; the running protocol re-homes its
+    /// pending work (e.g. the gossip default scatters its jobs to random
+    /// online survivors).
+    Fail(MachineId),
+    /// The machine comes back online (empty).
+    Rejoin(MachineId),
+}
+
+/// A schedule of topology events by simulation round, applied by
+/// [`crate::protocol::drive_with_plan`] before the named round executes.
+/// Events scheduled at or past the round budget are applied at the end of
+/// the run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyPlan {
+    /// `(round, event)` pairs, sorted by round.
+    pub events: Vec<(u64, TopologyEvent)>,
+}
+
+impl TopologyPlan {
+    /// The empty plan: no churn, identical dynamics to a plain run.
+    pub fn empty() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// A single failure at `fail_round` and rejoin at `rejoin_round`.
+    pub fn one_blip(machine: MachineId, fail_round: u64, rejoin_round: u64) -> Self {
+        assert!(fail_round < rejoin_round, "rejoin must come after failure");
+        Self {
+            events: vec![
+                (fail_round, TopologyEvent::Fail(machine)),
+                (rejoin_round, TopologyEvent::Rejoin(machine)),
+            ],
+        }
+    }
+}
+
+impl Default for TopologyPlan {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_mask_and_version() {
+        let mut t = Topology::all_online(4);
+        assert_eq!(t.num_online(), 4);
+        assert_eq!(t.version(), 0);
+        t.set_online(MachineId(2), false);
+        assert_eq!(t.version(), 1);
+        assert!(!t.is_online(MachineId(2)));
+        assert_eq!(
+            t.online_machines(),
+            vec![MachineId(0), MachineId(1), MachineId(3)]
+        );
+        // Redundant set is not a change.
+        t.set_online(MachineId(2), false);
+        assert_eq!(t.version(), 1);
+        t.set_online(MachineId(2), true);
+        assert_eq!(t.num_online(), 4);
+    }
+
+    #[test]
+    fn with_offline_matches_set_calls() {
+        let t = Topology::with_offline(3, &[MachineId(1)]);
+        assert!(t.is_online(MachineId(0)));
+        assert!(!t.is_online(MachineId(1)));
+        assert_eq!(t.num_online(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejoin must come after failure")]
+    fn one_blip_rejects_bad_order() {
+        let _ = TopologyPlan::one_blip(MachineId(0), 10, 10);
+    }
+}

@@ -21,10 +21,23 @@
 //! * If no machine has queued jobs, the idle machine sleeps until the next
 //!   completion event and retries. The run ends when no jobs are queued or
 //!   running.
+//!
+//! Since the `SimCore` refactor the simulator is a [`Protocol`]: one
+//! driver round pops one completion event off the event heap, so a
+//! [`crate::topology::TopologyPlan`] composes with work stealing exactly
+//! as it does with gossip (churn rounds are event indices here). Failure
+//! is *graceful*: the in-flight job completes, queued jobs scatter to
+//! online survivors' queues, and the machine neither steals nor is stolen
+//! from until it rejoins. [`simulate_work_stealing`] remains the stable
+//! churn-free entry point and reproduces the pre-refactor results
+//! bit-for-bit (`tests/seed_regressions.rs`).
 
+use crate::probe::{ProbeHub, SimEvent, StopReason};
+use crate::protocol::{drive, Protocol, StepOutcome};
+use crate::simcore::SimCore;
+use crate::topology::TopologyEvent;
 use lb_model::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -60,12 +73,232 @@ pub struct WorkStealResult {
     /// Number of successful steal operations.
     pub steals: u64,
     /// Number of jobs that were executed on a machine other than their
-    /// initial one.
+    /// initial one. Counts steal transfers only, not churn scatters
+    /// (those show up in [`crate::probe::MigrationProbe::scattered`]).
     pub migrated_jobs: u64,
     /// Time of the first successful steal (`None` if no steal happened).
     pub first_steal_at: Option<Time>,
     /// Per-machine completion time of its last executed job.
     pub machine_finish_times: Vec<Time>,
+}
+
+/// Work stealing as a [`Protocol`]: one completion event per round.
+///
+/// The core's assignment is treated as the *initial* distribution and is
+/// never mutated — execution state lives in the protocol's local queues.
+/// (Migration counts compare against `core.asg`, so it must stay as the
+/// run began.)
+pub struct WorkStealProtocol {
+    policy: StealPolicy,
+    /// Local FIFO queues, jobs in id order (submission order).
+    queues: Vec<VecDeque<JobId>>,
+    /// (completion_time, machine) events.
+    events: BinaryHeap<Reverse<(Time, u32)>>,
+    running: Vec<Option<JobId>>,
+    finish: Vec<Time>,
+    queued_total: usize,
+    idle: Vec<u32>,
+    now: Time,
+    makespan: Time,
+    steals: u64,
+    migrated: u64,
+    first_steal_at: Option<Time>,
+}
+
+impl WorkStealProtocol {
+    /// A work-stealing protocol with the given steal amount. Queues are
+    /// built from the core's assignment in
+    /// [`Protocol::on_start`].
+    pub fn new(policy: StealPolicy) -> Self {
+        Self {
+            policy,
+            queues: Vec::new(),
+            events: BinaryHeap::new(),
+            running: Vec::new(),
+            finish: Vec::new(),
+            queued_total: 0,
+            idle: Vec::new(),
+            now: 0,
+            makespan: 0,
+            steals: 0,
+            migrated: 0,
+            first_steal_at: None,
+        }
+    }
+
+    /// Jobs not yet completed (queued or in flight). A run that drained
+    /// all work ends at 0; under churn, jobs stranded on a failed machine
+    /// would show up here.
+    pub fn remaining_jobs(&self) -> usize {
+        self.queued_total + self.running.iter().flatten().count()
+    }
+
+    /// The result of a finished run.
+    pub fn into_result(self) -> WorkStealResult {
+        WorkStealResult {
+            makespan: self.makespan,
+            steals: self.steals,
+            migrated_jobs: self.migrated,
+            first_steal_at: self.first_steal_at,
+            machine_finish_times: self.finish,
+        }
+    }
+
+    /// Steal attempts by the currently idle online machines at time
+    /// `self.now`. Machines that find no eligible victim stay idle.
+    fn attempt_steals(&mut self, core: &mut SimCore, probes: &mut ProbeHub) {
+        // Keep trying as long as someone online is idle and work is
+        // queued on an online machine.
+        loop {
+            if self.queued_total == 0 {
+                return;
+            }
+            // First online idle machine; with no churn this is always
+            // index 0, matching the pre-refactor `idle.remove(0)`.
+            let Some(pos) = self
+                .idle
+                .iter()
+                .position(|&t| core.topology.is_online(MachineId::from_idx(t as usize)))
+            else {
+                return;
+            };
+            let thief = self.idle.remove(pos) as usize;
+            // Victim: uniform among online machines with non-empty queues.
+            let candidates: Vec<usize> = (0..self.queues.len())
+                .filter(|&v| {
+                    v != thief
+                        && !self.queues[v].is_empty()
+                        && core.topology.is_online(MachineId::from_idx(v))
+                })
+                .collect();
+            if candidates.is_empty() {
+                // All queued work sits on offline machines (or, without
+                // churn, only the thief itself would qualify — impossible
+                // since it is idle with an empty queue).
+                self.idle.push(thief as u32);
+                return;
+            }
+            let victim = candidates[core.rng.gen_range(0..candidates.len())];
+            let k = self.queues[victim].len();
+            let take = self.policy.take_from(k);
+            self.steals += 1;
+            self.first_steal_at.get_or_insert(self.now);
+            let mut stolen: Vec<JobId> = Vec::with_capacity(take);
+            for _ in 0..take {
+                stolen.push(
+                    self.queues[victim]
+                        .pop_back()
+                        .expect("victim had >= take jobs"),
+                );
+            }
+            stolen.reverse(); // preserve victim-queue order
+            for j in stolen {
+                if core.asg.machine_of(j).idx() != thief {
+                    self.migrated += 1;
+                }
+                self.queues[thief].push_back(j);
+            }
+            probes.emit(
+                core,
+                &SimEvent::Steal {
+                    thief: MachineId::from_idx(thief),
+                    victim: MachineId::from_idx(victim),
+                    jobs_moved: take as u64,
+                    at: self.now,
+                },
+            );
+            // Thief starts its first stolen job immediately.
+            let j = self.queues[thief].pop_front().expect("just stole >= 1 job");
+            self.queued_total -= 1;
+            self.running[thief] = Some(j);
+            let c = core.inst.cost(MachineId::from_idx(thief), j);
+            self.events
+                .push(Reverse((self.now.saturating_add(c), thief as u32)));
+        }
+    }
+}
+
+impl Protocol for WorkStealProtocol {
+    fn on_start(&mut self, core: &mut SimCore, probes: &mut ProbeHub) {
+        let m = core.inst.num_machines();
+        self.queues = (0..m)
+            .map(|mi| {
+                let mut q: Vec<JobId> = core.asg.jobs_on(MachineId::from_idx(mi)).to_vec();
+                q.sort_unstable();
+                q.into()
+            })
+            .collect();
+        self.running = vec![None; m];
+        self.finish = vec![0; m];
+        self.queued_total = self.queues.iter().map(|q| q.len()).sum();
+
+        // Start: every online machine with a queue begins its first job
+        // at t = 0. The rest join the steal loop via the idle list.
+        for mi in 0..m {
+            let online = core.topology.is_online(MachineId::from_idx(mi));
+            if let Some(j) = (online && !self.queues[mi].is_empty())
+                .then(|| self.queues[mi].pop_front())
+                .flatten()
+            {
+                self.queued_total -= 1;
+                self.running[mi] = Some(j);
+                let t = core.inst.cost(MachineId::from_idx(mi), j);
+                self.events.push(Reverse((t, mi as u32)));
+            } else {
+                self.idle.push(mi as u32);
+            }
+        }
+        self.attempt_steals(core, probes);
+    }
+
+    fn step(&mut self, core: &mut SimCore, probes: &mut ProbeHub) -> StepOutcome {
+        let Some(Reverse((now, mi))) = self.events.pop() else {
+            return StepOutcome::Stop(StopReason::Quiescent);
+        };
+        self.now = now;
+        let mi_us = mi as usize;
+        self.running[mi_us] = None;
+        self.finish[mi_us] = now;
+        self.makespan = self.makespan.max(now);
+        let online = core.topology.is_online(MachineId::from_idx(mi_us));
+        if let Some(j) = online.then(|| self.queues[mi_us].pop_front()).flatten() {
+            self.queued_total -= 1;
+            self.running[mi_us] = Some(j);
+            let c = core.inst.cost(MachineId::from_idx(mi_us), j);
+            self.events.push(Reverse((now.saturating_add(c), mi)));
+        } else {
+            self.idle.push(mi);
+        }
+        self.attempt_steals(core, probes);
+        StepOutcome::Continue
+    }
+
+    /// Queue-based churn: a failing machine's *queued* jobs scatter to
+    /// online survivors' queues (its in-flight job still completes); a
+    /// rejoining machine re-enters the steal loop immediately. The
+    /// assignment is left untouched — it stays the initial distribution.
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> u64 {
+        match ev {
+            TopologyEvent::Fail(machine) => {
+                let survivors = core.topology.online_machines();
+                assert!(!survivors.is_empty(), "cannot fail the last machine");
+                let jobs: Vec<JobId> = self.queues[machine.idx()].drain(..).collect();
+                let scattered = jobs.len() as u64;
+                for j in jobs {
+                    let target = survivors[core.rng.gen_range(0..survivors.len())];
+                    self.queues[target.idx()].push_back(j);
+                }
+                scattered
+            }
+            TopologyEvent::Rejoin(_) => {
+                // The machine is (or will be, once its last pre-failure
+                // job completes) in the idle list; let it steal now.
+                let mut hub = ProbeHub::new();
+                self.attempt_steals(core, &mut hub);
+                0
+            }
+        }
+    }
 }
 
 /// Simulates work stealing (steal-half, Algorithm 1) from the given
@@ -83,159 +316,12 @@ pub fn simulate_work_stealing_with(
     seed: u64,
     policy: StealPolicy,
 ) -> WorkStealResult {
-    let m = inst.num_machines();
-    let mut rng = StdRng::seed_from_u64(seed);
-
-    // Local FIFO queues, jobs in id order (submission order).
-    let mut queues: Vec<VecDeque<JobId>> = (0..m)
-        .map(|mi| {
-            let mut q: Vec<JobId> = initial.jobs_on(MachineId::from_idx(mi)).to_vec();
-            q.sort_unstable();
-            q.into()
-        })
-        .collect();
-
-    // (completion_time, machine, job) events; machine idle events are
-    // implicit (handled when its event fires).
-    let mut events: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
-    let mut running: Vec<Option<JobId>> = vec![None; m];
-    let mut finish: Vec<Time> = vec![0; m];
-    let mut queued_total: usize = 0;
-    for q in &queues {
-        queued_total += q.len();
-    }
-
-    let mut steals = 0u64;
-    let mut migrated = 0u64;
-    let mut first_steal_at: Option<Time> = None;
-    let mut makespan: Time = 0;
-
-    // Start: every machine with a queue begins its first job at t = 0.
-    // Idle machines join the steal loop at t = 0 via a sentinel event.
-    let mut idle: Vec<u32> = Vec::new();
-    for mi in 0..m {
-        if let Some(j) = queues[mi].pop_front() {
-            queued_total -= 1;
-            running[mi] = Some(j);
-            let t = inst.cost(MachineId::from_idx(mi as u32 as usize), j);
-            events.push(Reverse((t, mi as u32)));
-        } else {
-            idle.push(mi as u32);
-        }
-    }
-
-    // Steal attempts by the currently idle machines at time `now`.
-    // Returns machines that remain idle.
-    #[allow(clippy::too_many_arguments)] // inner helper threading simulator state
-    fn attempt_steals(
-        idle: &mut Vec<u32>,
-        queues: &mut [VecDeque<JobId>],
-        running: &mut [Option<JobId>],
-        events: &mut BinaryHeap<Reverse<(Time, u32)>>,
-        inst: &Instance,
-        initial: &Assignment,
-        queued_total: &mut usize,
-        now: Time,
-        policy: StealPolicy,
-        rng: &mut StdRng,
-        steals: &mut u64,
-        migrated: &mut u64,
-        first_steal_at: &mut Option<Time>,
-    ) {
-        // Keep trying as long as someone is idle and work is queued.
-        loop {
-            if idle.is_empty() || *queued_total == 0 {
-                return;
-            }
-            let thief = idle.remove(0) as usize;
-            // Victim: uniform among machines with non-empty queues.
-            let candidates: Vec<usize> = (0..queues.len())
-                .filter(|&v| v != thief && !queues[v].is_empty())
-                .collect();
-            if candidates.is_empty() {
-                // Only the thief itself has queued jobs (impossible: thief
-                // is idle with an empty queue) — so really nothing to do.
-                idle.push(thief as u32);
-                return;
-            }
-            let victim = candidates[rng.gen_range(0..candidates.len())];
-            let k = queues[victim].len();
-            let take = policy.take_from(k);
-            *steals += 1;
-            first_steal_at.get_or_insert(now);
-            let mut stolen: Vec<JobId> = Vec::with_capacity(take);
-            for _ in 0..take {
-                stolen.push(queues[victim].pop_back().expect("victim had >= take jobs"));
-            }
-            stolen.reverse(); // preserve victim-queue order
-            for j in stolen {
-                if initial.machine_of(j).idx() != thief {
-                    *migrated += 1;
-                }
-                queues[thief].push_back(j);
-            }
-            // Thief starts its first stolen job immediately.
-            let j = queues[thief].pop_front().expect("just stole >= 1 job");
-            *queued_total -= 1;
-            running[thief] = Some(j);
-            let c = inst.cost(MachineId::from_idx(thief), j);
-            events.push(Reverse((now.saturating_add(c), thief as u32)));
-        }
-    }
-
-    attempt_steals(
-        &mut idle,
-        &mut queues,
-        &mut running,
-        &mut events,
-        inst,
-        initial,
-        &mut queued_total,
-        0,
-        policy,
-        &mut rng,
-        &mut steals,
-        &mut migrated,
-        &mut first_steal_at,
-    );
-
-    while let Some(Reverse((now, mi))) = events.pop() {
-        let mi_us = mi as usize;
-        running[mi_us] = None;
-        finish[mi_us] = now;
-        makespan = makespan.max(now);
-        if let Some(j) = queues[mi_us].pop_front() {
-            queued_total -= 1;
-            running[mi_us] = Some(j);
-            let c = inst.cost(MachineId::from_idx(mi_us), j);
-            events.push(Reverse((now.saturating_add(c), mi)));
-        } else {
-            idle.push(mi);
-        }
-        attempt_steals(
-            &mut idle,
-            &mut queues,
-            &mut running,
-            &mut events,
-            inst,
-            initial,
-            &mut queued_total,
-            now,
-            policy,
-            &mut rng,
-            &mut steals,
-            &mut migrated,
-            &mut first_steal_at,
-        );
-    }
-
-    WorkStealResult {
-        makespan,
-        steals,
-        migrated_jobs: migrated,
-        first_steal_at,
-        machine_finish_times: finish,
-    }
+    let mut scratch = initial.clone();
+    let mut core = SimCore::new(inst, &mut scratch, seed);
+    let mut protocol = WorkStealProtocol::new(policy);
+    let mut hub = ProbeHub::new();
+    drive(&mut core, &mut protocol, &mut hub, u64::MAX);
+    protocol.into_result()
 }
 
 #[cfg(test)]
@@ -315,6 +401,15 @@ mod tests {
         let a = simulate_work_stealing(&inst, &asg, 9);
         let b = simulate_work_stealing(&inst, &asg, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn initial_assignment_is_not_mutated() {
+        let inst = paper_uniform(4, 24, 2);
+        let asg = Assignment::all_on(&inst, MachineId(0));
+        let before = asg.clone();
+        let _ = simulate_work_stealing(&inst, &asg, 3);
+        assert_eq!(asg, before);
     }
 
     #[test]

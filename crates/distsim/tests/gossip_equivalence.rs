@@ -1,0 +1,373 @@
+//! Seed-for-seed equivalence: the refactored `run_gossip` (SimCore +
+//! GossipProtocol + probes) must reproduce the pre-refactor monolithic
+//! engine **byte for byte** — same series, same counters, same outcome,
+//! same final assignment — for every seed and schedule.
+//!
+//! `reference_run_gossip` below is the pre-refactor loop copied verbatim
+//! (modulo renames) from the engine as it stood before the refactor.
+//! Both implementations run in the same build against the same `rand`,
+//! so equal outputs mean the refactor consumes RNG draws in the exact
+//! same sequence and applies the exact same updates — the strongest
+//! regression guarantee available without golden files.
+//!
+//! One intentional divergence exists and is *excluded* from these
+//! configs (see CHANGELOG.md): with fewer than two online machines the
+//! old engine skipped the threshold pre-pass; the new `ThresholdProbe`
+//! always runs it.
+
+use lb_core::{Dlb2cBalance, EctPairBalance, MoveFrugal, PairwiseBalancer};
+use lb_distsim::engine::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
+use lb_distsim::replicate;
+use lb_model::prelude::*;
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use lb_workloads::uniform::paper_uniform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The pre-refactor gossip engine, kept as the equivalence reference.
+fn reference_run_gossip(
+    inst: &Instance,
+    asg: &mut Assignment,
+    balancer: &dyn PairwiseBalancer,
+    cfg: &GossipConfig,
+) -> GossipRun {
+    let m = inst.num_machines();
+    let initial_makespan = asg.makespan();
+    let mut run = GossipRun {
+        makespan_series: vec![(0, initial_makespan)],
+        rounds_run: 0,
+        effective_exchanges: 0,
+        jobs_migrated: 0,
+        exchanges_per_machine: vec![0; m],
+        machine_threshold_hits: vec![None; m],
+        global_threshold_hit: None,
+        initial_makespan,
+        final_makespan: initial_makespan,
+        best_makespan: initial_makespan,
+        outcome: RunOutcome::BudgetExhausted,
+    };
+    // Pair selection draws from the *active* (online) machines only.
+    let active: Vec<MachineId> = inst
+        .machines()
+        .filter(|mm| !cfg.offline.contains(mm))
+        .collect();
+    if active.len() < 2 {
+        run.outcome = RunOutcome::Quiescent;
+        return run;
+    }
+    if cfg.threshold > 0 {
+        for mi in 0..m {
+            if asg.load(MachineId::from_idx(mi)) <= cfg.threshold {
+                run.machine_threshold_hits[mi] = Some(0);
+            }
+        }
+        if initial_makespan <= cfg.threshold {
+            run.global_threshold_hit = Some(0);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_active = active.len();
+    let pairs_per_sweep = (n_active * (n_active - 1) / 2) as u64;
+    let mut seen_states: HashMap<u64, (u64, Vec<MachineId>)> = HashMap::new();
+    let mut quiet = 0u64;
+
+    for round in 0..cfg.max_rounds {
+        // Cycle detection snapshots at sweep boundaries (deterministic
+        // schedules only make sense there).
+        if cfg.detect_cycles
+            && cfg.schedule == PairSchedule::RoundRobin
+            && round % pairs_per_sweep == 0
+        {
+            let sweep = round / pairs_per_sweep;
+            let state: Vec<MachineId> = inst.jobs().map(|j| asg.machine_of(j)).collect();
+            let mut h = DefaultHasher::new();
+            state.hash(&mut h);
+            let key = h.finish();
+            if let Some((first_sweep, first_state)) = seen_states.get(&key) {
+                if *first_state == state {
+                    run.outcome = RunOutcome::CycleDetected {
+                        first_seen_sweep: *first_sweep,
+                        period_sweeps: sweep - first_sweep,
+                    };
+                    break;
+                }
+            } else {
+                seen_states.insert(key, (sweep, state));
+            }
+        }
+
+        let (a, b) = reference_select_pair(inst, cfg.schedule, round, &active, &mut rng);
+        let owners_before: Vec<(JobId, MachineId)> = asg
+            .jobs_on(a)
+            .iter()
+            .map(|&j| (j, a))
+            .chain(asg.jobs_on(b).iter().map(|&j| (j, b)))
+            .collect();
+        let changed = balancer.balance(inst, asg, a, b);
+        run.rounds_run = round + 1;
+        if changed {
+            run.jobs_migrated += owners_before
+                .iter()
+                .filter(|&&(j, owner)| asg.machine_of(j) != owner)
+                .count() as u64;
+            run.effective_exchanges += 1;
+            run.exchanges_per_machine[a.idx()] += 1;
+            run.exchanges_per_machine[b.idx()] += 1;
+            quiet = 0;
+            if cfg.threshold > 0 {
+                for mm in [a, b] {
+                    if run.machine_threshold_hits[mm.idx()].is_none()
+                        && asg.load(mm) <= cfg.threshold
+                    {
+                        run.machine_threshold_hits[mm.idx()] =
+                            Some(run.exchanges_per_machine[mm.idx()]);
+                    }
+                }
+                if run.global_threshold_hit.is_none() && asg.makespan() <= cfg.threshold {
+                    run.global_threshold_hit = Some(run.effective_exchanges);
+                }
+            }
+        } else {
+            quiet += 1;
+        }
+
+        let record = cfg.record_every > 0 && (round + 1) % cfg.record_every == 0;
+        if record {
+            let cmax = asg.makespan();
+            run.makespan_series.push((round + 1, cmax));
+            run.best_makespan = run.best_makespan.min(cmax);
+        }
+
+        if cfg.quiescence_window > 0 && quiet >= cfg.quiescence_window {
+            run.outcome = RunOutcome::Quiescent;
+            break;
+        }
+    }
+
+    run.final_makespan = asg.makespan();
+    run.best_makespan = run.best_makespan.min(run.final_makespan);
+    if run.makespan_series.last().map(|&(r, _)| r) != Some(run.rounds_run) {
+        run.makespan_series
+            .push((run.rounds_run, run.final_makespan));
+    }
+    run
+}
+
+/// The pre-refactor pair selector, copied verbatim.
+fn reference_select_pair(
+    inst: &Instance,
+    schedule: PairSchedule,
+    round: u64,
+    active: &[MachineId],
+    rng: &mut StdRng,
+) -> (MachineId, MachineId) {
+    let m = active.len();
+    let uniform = |rng: &mut StdRng| {
+        let a = rng.gen_range(0..m);
+        let mut b = rng.gen_range(0..m - 1);
+        if b >= a {
+            b += 1;
+        }
+        (active[a], active[b])
+    };
+    match schedule {
+        PairSchedule::UniformRandom => uniform(rng),
+        PairSchedule::RotatingHost => {
+            let a = (round % m as u64) as usize;
+            let mut b = rng.gen_range(0..m - 1);
+            if b >= a {
+                b += 1;
+            }
+            (active[a], active[b])
+        }
+        PairSchedule::RoundRobin => {
+            // Enumerate unordered pairs lexicographically.
+            let pairs = (m * (m - 1) / 2) as u64;
+            let mut k = round % pairs;
+            let mut a = 0usize;
+            let mut remaining = (m - 1) as u64;
+            while k >= remaining {
+                k -= remaining;
+                a += 1;
+                remaining = (m - a - 1) as u64;
+            }
+            let b = a + 1 + k as usize;
+            (active[a], active[b])
+        }
+        PairSchedule::InterClusterBiased { percent } => {
+            let force_cross = inst.is_two_cluster() && rng.gen_range(0..100) < u32::from(percent);
+            if force_cross {
+                let ms1: Vec<MachineId> = inst
+                    .machines_in(ClusterId::ONE)
+                    .iter()
+                    .filter(|mm| active.contains(mm))
+                    .copied()
+                    .collect();
+                let ms2: Vec<MachineId> = inst
+                    .machines_in(ClusterId::TWO)
+                    .iter()
+                    .filter(|mm| active.contains(mm))
+                    .copied()
+                    .collect();
+                if ms1.is_empty() || ms2.is_empty() {
+                    uniform(rng)
+                } else {
+                    (
+                        ms1[rng.gen_range(0..ms1.len())],
+                        ms2[rng.gen_range(0..ms2.len())],
+                    )
+                }
+            } else {
+                uniform(rng)
+            }
+        }
+    }
+}
+
+/// Runs both engines from identical copies of the start state and
+/// asserts the full `GossipRun` *and* the final assignment agree.
+fn assert_equivalent(
+    inst: &Instance,
+    start: &Assignment,
+    balancer: &dyn PairwiseBalancer,
+    cfg: &GossipConfig,
+) {
+    let mut asg_new = start.clone();
+    let run_new = run_gossip(inst, &mut asg_new, balancer, cfg);
+    let mut asg_ref = start.clone();
+    let run_ref = reference_run_gossip(inst, &mut asg_ref, balancer, cfg);
+    assert_eq!(run_new, run_ref, "GossipRun diverged for cfg {cfg:?}");
+    assert_eq!(asg_new, asg_ref, "assignments diverged for cfg {cfg:?}");
+}
+
+#[test]
+fn figure3_style_uniform_random_replications() {
+    // Figure 3 sweeps seeds on two-cluster workloads under DLB2C.
+    let inst = paper_two_cluster(8, 4, 120, 42);
+    for seed in [0u64, 1, 7, 13, 1_000_003] {
+        let start = random_assignment(&inst, seed.wrapping_mul(3) + 1);
+        let cfg = GossipConfig {
+            max_rounds: 20_000,
+            seed,
+            ..GossipConfig::default()
+        };
+        assert_equivalent(&inst, &start, &Dlb2cBalance, &cfg);
+    }
+}
+
+#[test]
+fn figure4_style_series_with_quiescence() {
+    // Figure 4 plots the makespan series with an early quiescence stop.
+    let inst = paper_two_cluster(6, 6, 144, 9);
+    let start = Assignment::all_on(&inst, MachineId(0));
+    let cfg = GossipConfig {
+        max_rounds: 50_000,
+        seed: 23,
+        record_every: 50,
+        quiescence_window: 2_000,
+        ..GossipConfig::default()
+    };
+    assert_equivalent(&inst, &start, &Dlb2cBalance, &cfg);
+}
+
+#[test]
+fn figure5_style_threshold_tracking() {
+    // Figure 5 tracks per-machine first passage under 1.5x the bound.
+    let inst = paper_two_cluster(4, 4, 96, 5);
+    let start = Assignment::all_on(&inst, MachineId(1));
+    let threshold = start.makespan() / 4;
+    let cfg = GossipConfig {
+        max_rounds: 30_000,
+        seed: 31,
+        threshold,
+        ..GossipConfig::default()
+    };
+    assert_equivalent(&inst, &start, &Dlb2cBalance, &cfg);
+}
+
+#[test]
+fn round_robin_cycle_detection_equivalent() {
+    let inst = paper_uniform(5, 40, 3);
+    let start = random_assignment(&inst, 8);
+    let cfg = GossipConfig {
+        max_rounds: 100_000,
+        seed: 2,
+        schedule: PairSchedule::RoundRobin,
+        detect_cycles: true,
+        ..GossipConfig::default()
+    };
+    assert_equivalent(&inst, &start, &EctPairBalance, &cfg);
+}
+
+#[test]
+fn rotating_host_and_biased_schedules_equivalent() {
+    let inst = paper_two_cluster(5, 3, 80, 17);
+    let start = random_assignment(&inst, 4);
+    for schedule in [
+        PairSchedule::RotatingHost,
+        PairSchedule::InterClusterBiased { percent: 60 },
+    ] {
+        let cfg = GossipConfig {
+            max_rounds: 10_000,
+            seed: 19,
+            schedule,
+            record_every: 500,
+            ..GossipConfig::default()
+        };
+        assert_equivalent(&inst, &start, &Dlb2cBalance, &cfg);
+    }
+}
+
+#[test]
+fn offline_machines_equivalent() {
+    let inst = paper_uniform(6, 60, 11);
+    let start = random_assignment(&inst, 6);
+    let cfg = GossipConfig {
+        max_rounds: 8_000,
+        seed: 3,
+        offline: vec![MachineId(1), MachineId(4)],
+        ..GossipConfig::default()
+    };
+    assert_equivalent(&inst, &start, &EctPairBalance, &cfg);
+}
+
+#[test]
+fn move_frugal_wrapper_equivalent() {
+    let inst = paper_two_cluster(4, 4, 64, 21);
+    let start = random_assignment(&inst, 2);
+    let cfg = GossipConfig {
+        max_rounds: 15_000,
+        seed: 77,
+        ..GossipConfig::default()
+    };
+    assert_equivalent(&inst, &start, &MoveFrugal(Dlb2cBalance), &cfg);
+}
+
+#[test]
+fn replicate_matches_reference_per_seed() {
+    // `replicate` fans out seed + r: replication r must equal a direct
+    // reference run with that derived seed.
+    let inst = paper_two_cluster(3, 3, 45, 33);
+    let cfg = GossipConfig {
+        max_rounds: 5_000,
+        seed: 100,
+        ..GossipConfig::default()
+    };
+    let runs = replicate(&cfg, &Dlb2cBalance, 5, |r| {
+        (inst.clone(), random_assignment(&inst, 500 + r))
+    });
+    for (r, run) in runs.iter().enumerate() {
+        let mut asg = random_assignment(&inst, 500 + r as u64);
+        let ref_cfg = GossipConfig {
+            seed: cfg.seed + r as u64,
+            ..cfg.clone()
+        };
+        let expected = reference_run_gossip(&inst, &mut asg, &Dlb2cBalance, &ref_cfg);
+        assert_eq!(*run, expected, "replication {r} diverged");
+    }
+}

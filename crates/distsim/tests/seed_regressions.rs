@@ -1,0 +1,33 @@
+//! Pinned re-runs of recorded proptest regression cases, as plain unit
+//! tests so they run even when proptest's persistence file is ignored.
+
+use lb_distsim::{simulate_work_stealing_with, StealPolicy};
+use lb_model::prelude::*;
+
+/// Case recorded in `proptests.proptest-regressions`: a 1+1 two-cluster
+/// instance where job 1 costs (1, 3), everything starts on machine 0, and
+/// machine 1 steals. The makespan must stay within the work-conservation
+/// envelope `[min-cost lower bound, sum_j max_i p(i,j)]`.
+#[test]
+fn worksteal_regression_1p1_two_cluster() {
+    let inst = Instance::two_cluster(1, 1, vec![(1, 1), (1, 3)]).unwrap();
+    let init = Assignment::all_on(&inst, MachineId(0));
+    for policy in [StealPolicy::Half, StealPolicy::One, StealPolicy::All] {
+        let res = simulate_work_stealing_with(&inst, &init, 0, policy);
+        let worst_work: u64 = inst
+            .jobs()
+            .map(|j| inst.machines().map(|m| inst.cost(m, j)).max().unwrap())
+            .sum();
+        let lb = lb_model::bounds::min_cost_lower_bound(&inst);
+        assert!(
+            res.makespan <= worst_work,
+            "{policy:?}: makespan {} above worst-case work {worst_work}",
+            res.makespan
+        );
+        assert!(
+            res.makespan >= lb,
+            "{policy:?}: makespan {} below lower bound {lb}",
+            res.makespan
+        );
+    }
+}

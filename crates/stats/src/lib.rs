@@ -1,9 +1,10 @@
 //! Statistics utilities shared by the experiment harnesses.
 //!
 //! Nothing here is specific to scheduling: histograms over integer loads,
-//! empirical CDFs/PDFs, scalar summaries, a minimal CSV writer, and
-//! terminal plots used by the figure-regeneration binaries so their output
-//! is readable without an external plotting stack.
+//! empirical CDFs/PDFs, scalar summaries, a minimal CSV writer, terminal
+//! plots used by the figure-regeneration binaries so their output is
+//! readable without an external plotting stack, and the [`SimRunner`]
+//! that owns CSV/JSON result emission for every experiment surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,9 +14,11 @@ pub mod csv;
 pub mod histogram;
 pub mod online;
 pub mod plot;
+pub mod runner;
 pub mod summary;
 
 pub use cdf::Ecdf;
 pub use histogram::{FloatHistogram, Histogram};
 pub use online::OnlineStats;
+pub use runner::SimRunner;
 pub use summary::Summary;

@@ -1,0 +1,121 @@
+//! Shared experiment-output runner: one place that owns CSV/JSON
+//! emission for every simulation surface (bench binaries and the CLI).
+//!
+//! A [`SimRunner`] is named after the experiment; it resolves the output
+//! directory once (`LB_RESULTS_DIR` or `results/`, unless an explicit
+//! directory is given), writes `<name>.csv` / `<name>.json` artifacts,
+//! and prints the banner — so the seventeen experiment binaries and the
+//! `decent-lb simulate` subcommand cannot drift apart in how results
+//! land on disk.
+
+use crate::csv::{CsvCell, CsvWriter};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+/// Owns result emission (banner, CSVs, JSON parameter sidecar) for one
+/// named experiment.
+#[derive(Debug, Clone)]
+pub struct SimRunner {
+    name: String,
+    dir: PathBuf,
+}
+
+impl SimRunner {
+    /// A runner writing under `LB_RESULTS_DIR` (or `results/`). The
+    /// directory is created on demand.
+    pub fn new(name: &str) -> Self {
+        let dir = std::env::var_os("LB_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        Self::with_dir(name, dir)
+    }
+
+    /// A runner writing under an explicit directory (used by the CLI's
+    /// `--out-dir`, and by tests to avoid environment mutation).
+    pub fn with_dir(name: &str, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).expect("create results directory");
+        Self {
+            name: name.to_string(),
+            dir,
+        }
+    }
+
+    /// The experiment name (base of the artifact file names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resolved output directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Full path of an artifact file under the output directory.
+    pub fn path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    /// Prints the experiment banner.
+    pub fn banner(&self, id: &str, what: &str) {
+        println!("==========================================================");
+        println!("{id}: {what}");
+        println!("==========================================================");
+    }
+
+    /// Opens the experiment's primary CSV (`<name>.csv`) with the given
+    /// header.
+    pub fn csv(&self, header: &[&str]) -> CsvWriter<BufWriter<File>> {
+        self.csv_named(&self.name.clone(), header)
+    }
+
+    /// Opens an additional CSV (`<file>.csv`) for experiments emitting
+    /// more than one table (e.g. per-machine and run-level views).
+    pub fn csv_named(&self, file: &str, header: &[&str]) -> CsvWriter<BufWriter<File>> {
+        let path = self.path(&format!("{file}.csv"));
+        let f = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+        CsvWriter::new(BufWriter::new(f), header).expect("write CSV header")
+    }
+
+    /// Writes the JSON parameter sidecar (`<name>.json`) next to the CSV.
+    pub fn sidecar<T: serde::Serialize + 'static>(&self, params: &T) {
+        let path = self.path(&format!("{}.json", self.name));
+        let f = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+        serde_json::to_writer_pretty(BufWriter::new(f), params).expect("serialize parameters");
+    }
+}
+
+/// Convenience: one CSV row from mixed cells.
+pub fn row(w: &mut CsvWriter<BufWriter<File>>, cells: Vec<CsvCell>) {
+    w.row(&cells).expect("write CSV row");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_csv_and_sidecar_under_explicit_dir() {
+        let dir = std::env::temp_dir().join("lb_stats_runner_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = SimRunner::with_dir("unit_experiment", &dir);
+        runner.sidecar(&serde_json::json!({"k": 1u64}));
+        {
+            let mut w = runner.csv(&["a", "b"]);
+            row(&mut w, vec![CsvCell::from(1u64), CsvCell::from(2u64)]);
+            w.finish().unwrap();
+        }
+        {
+            let mut w = runner.csv_named("unit_experiment_extra", &["x"]);
+            row(&mut w, vec![CsvCell::from(9u64)]);
+            w.finish().unwrap();
+        }
+        assert!(runner.path("unit_experiment.csv").exists());
+        assert!(runner.path("unit_experiment.json").exists());
+        assert!(runner.path("unit_experiment_extra.csv").exists());
+        let csv = std::fs::read_to_string(runner.path("unit_experiment.csv")).unwrap();
+        assert!(csv.starts_with("a,b\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -14,13 +14,18 @@
 use crate::algorithms::baselines::{d_choices_schedule, ect_in_order, lpt_schedule};
 use crate::algorithms::local_search::{local_search_schedule, LocalSearchLimits};
 use crate::algorithms::{
-    clb2c, run_pairwise, Dlb2cBalance, TypedPairBalance, UnrelatedPairBalance,
+    clb2c, run_pairwise, Dlb2cBalance, PairwiseBalancer, TypedPairBalance, UnrelatedPairBalance,
 };
-use crate::distsim::{run_concurrent, simulate_work_stealing, ConcurrentConfig};
+use crate::distsim::{
+    replicate, run_concurrent, simulate_work_stealing, ConcurrentConfig, GossipConfig,
+    PairSchedule, RunOutcome,
+};
 use crate::markov::{ChainParams, LoadChain};
 use crate::model::bounds;
 use crate::model::metrics::schedule_metrics;
 use crate::prelude::*;
+use crate::stats::csv::CsvCell;
+use crate::stats::runner::{row, SimRunner};
 use crate::workloads::initial::random_assignment;
 use crate::workloads::scenario::Scenario;
 use crate::workloads::{two_cluster, typed, uniform};
@@ -143,6 +148,7 @@ impl Cli {
     pub fn run(&self) -> CliResult<String> {
         match self.command.as_str() {
             "solve" => self.run_solve(),
+            "simulate" => self.run_simulate(),
             "generate" => self.run_generate(),
             "bounds" => self.run_bounds(),
             "markov" => self.run_markov(),
@@ -249,6 +255,146 @@ impl Cli {
         Ok(out)
     }
 
+    /// Runs replicated gossip simulations and emits the results through
+    /// the shared [`SimRunner`] (same CSV/JSON shape as the `lb-bench`
+    /// binaries): a per-replication summary CSV, a `<name>_series.csv`
+    /// with the makespan trajectories, and a JSON parameter sidecar.
+    fn run_simulate(&self) -> CliResult<String> {
+        let inst = self.build_instance()?;
+        let seed: u64 = self.get("seed", 42)?;
+        let rounds: u64 = self.get("rounds", 20_000)?;
+        let record_every: u64 = self.get("record-every", 0)?;
+        let quiescence: u64 = self.get("quiescence", 0)?;
+        let reps: u64 = self.get("replications", 1)?;
+        if reps == 0 {
+            return Err(CliError("--replications must be >= 1".into()));
+        }
+        let schedule = match self.get_str("schedule", "uniform").as_str() {
+            "uniform" => PairSchedule::UniformRandom,
+            "rotating" => PairSchedule::RotatingHost,
+            "round-robin" => PairSchedule::RoundRobin,
+            other => {
+                return Err(CliError(format!(
+                    "unknown schedule '{other}' (uniform | rotating | round-robin)"
+                )))
+            }
+        };
+        let cfg = GossipConfig {
+            max_rounds: rounds,
+            seed,
+            schedule,
+            record_every,
+            quiescence_window: quiescence,
+            ..GossipConfig::default()
+        };
+        let name = self.get_str("name", "simulate");
+        let runner = match self.options.get("out-dir") {
+            Some(dir) => SimRunner::with_dir(&name, dir),
+            None => SimRunner::new(&name),
+        };
+        match self.get_str("algo", "dlb2c").as_str() {
+            "dlb2c" => self.simulate_with(&inst, &cfg, reps, &Dlb2cBalance, &runner),
+            "mjtb" => self.simulate_with(&inst, &cfg, reps, &TypedPairBalance, &runner),
+            "unrelated" => self.simulate_with(&inst, &cfg, reps, &UnrelatedPairBalance, &runner),
+            other => Err(CliError(format!(
+                "unknown algorithm '{other}' (dlb2c | mjtb | unrelated)"
+            ))),
+        }
+    }
+
+    fn simulate_with<B: PairwiseBalancer + Sync>(
+        &self,
+        inst: &Instance,
+        cfg: &GossipConfig,
+        reps: u64,
+        balancer: &B,
+        runner: &SimRunner,
+    ) -> CliResult<String> {
+        runner.sidecar(&serde_json::json!({
+            "machines": inst.num_machines(),
+            "jobs": inst.num_jobs(),
+            "rounds": cfg.max_rounds,
+            "seed": cfg.seed,
+            "record_every": cfg.record_every,
+            "quiescence_window": cfg.quiescence_window,
+            "replications": reps,
+        }));
+        let runs = replicate(cfg, balancer, reps, |r| {
+            (
+                inst.clone(),
+                random_assignment(inst, cfg.seed.wrapping_add(r)),
+            )
+        });
+        let mut csv = runner.csv(&[
+            "replication",
+            "rounds_run",
+            "initial_makespan",
+            "final_makespan",
+            "best_makespan",
+            "effective_exchanges",
+            "jobs_migrated",
+            "outcome",
+        ]);
+        let mut series_csv = runner.csv_named(
+            &format!("{}_series", runner.name()),
+            &["replication", "round", "cmax"],
+        );
+        let mut out = String::new();
+        let lb = bounds::combined_lower_bound(inst);
+        for (r, run) in runs.iter().enumerate() {
+            let outcome = match run.outcome {
+                RunOutcome::BudgetExhausted => "budget",
+                RunOutcome::Quiescent => "quiescent",
+                RunOutcome::CycleDetected { .. } => "cycle",
+            };
+            row(
+                &mut csv,
+                vec![
+                    CsvCell::Uint(r as u64),
+                    CsvCell::Uint(run.rounds_run),
+                    CsvCell::Uint(run.initial_makespan),
+                    CsvCell::Uint(run.final_makespan),
+                    CsvCell::Uint(run.best_makespan),
+                    CsvCell::Uint(run.effective_exchanges),
+                    CsvCell::Uint(run.jobs_migrated),
+                    outcome.into(),
+                ],
+            );
+            for &(round, cmax) in &run.makespan_series {
+                row(
+                    &mut series_csv,
+                    vec![
+                        CsvCell::Uint(r as u64),
+                        CsvCell::Uint(round),
+                        CsvCell::Uint(cmax),
+                    ],
+                );
+            }
+            let _ = writeln!(
+                out,
+                "replication {r}: {} -> {} in {} rounds ({outcome}, {:.3} x lower bound)",
+                run.initial_makespan,
+                run.final_makespan,
+                run.rounds_run,
+                run.final_makespan as f64 / lb.max(1) as f64
+            );
+        }
+        csv.finish()
+            .map_err(|e| CliError(format!("write results CSV: {e}")))?;
+        series_csv
+            .finish()
+            .map_err(|e| CliError(format!("write series CSV: {e}")))?;
+        let _ = writeln!(
+            out,
+            "wrote {}.csv, {}_series.csv, {}.json under {}",
+            runner.name(),
+            runner.name(),
+            runner.name(),
+            runner.dir().display()
+        );
+        Ok(out)
+    }
+
     /// Generates a workload and writes it as instance JSON (stdout or
     /// `--out file`), loadable later via `--instance`.
     fn run_generate(&self) -> CliResult<String> {
@@ -340,6 +486,13 @@ pub fn usage() -> String {
                --algo clb2c|dlb2c|mjtb|unrelated|ect|lpt|local-search|\n\
                       dchoices|worksteal|concurrent\n\
                [--rounds N] [--d N] [--threads N] [--metrics true]\n\
+       simulate  replicated gossip runs with CSV/JSON results (same\n\
+                 emission path as the lb-bench experiment binaries)\n\
+               workload options as for solve, plus:\n\
+               --algo dlb2c|mjtb|unrelated  --schedule uniform|rotating|\n\
+                      round-robin\n\
+               [--rounds N] [--replications R] [--record-every N]\n\
+               [--quiescence W] [--name base] [--out-dir dir]\n\
        generate  write a workload as instance JSON (--out file); load it\n\
                  anywhere else with --instance file\n\
        bounds  print the lower bounds for a generated workload\n\
@@ -588,6 +741,54 @@ mod tests {
         let out = c.run().unwrap();
         assert!(out.contains("steals"));
         assert!(out.contains("makespan:"));
+    }
+
+    #[test]
+    fn simulate_writes_results_via_runner() {
+        let dir = std::env::temp_dir().join("decent-lb-cli-simulate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "simulate",
+            "--workload",
+            "two-cluster",
+            "--m1",
+            "3",
+            "--m2",
+            "2",
+            "--jobs",
+            "30",
+            "--rounds",
+            "2000",
+            "--replications",
+            "2",
+            "--record-every",
+            "500",
+            "--name",
+            "cli_sim",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("replication 0:"), "{out}");
+        assert!(out.contains("replication 1:"), "{out}");
+        assert!(dir.join("cli_sim.csv").exists());
+        assert!(dir.join("cli_sim_series.csv").exists());
+        assert!(dir.join("cli_sim.json").exists());
+        let csv = std::fs::read_to_string(dir.join("cli_sim.csv")).unwrap();
+        assert!(csv.starts_with("replication,rounds_run,"), "{csv}");
+        // Header + one row per replication.
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_options() {
+        let c = cli(&["simulate", "--schedule", "telepathy"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("schedule")));
+        let c = cli(&["simulate", "--algo", "clb2c"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("algorithm")));
+        let c = cli(&["simulate", "--replications", "0"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("replications")));
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Offline stub of `criterion` (see `tools/offline-stubs/README.md`).
+//!
+//! Bench targets compile against the same API surface but each routine runs
+//! exactly once with no measurement — enough for `cargo check`/`clippy
+//! --all-targets` offline and a smoke-run under `cargo bench`.
+
+use std::fmt;
+
+/// Stand-in for `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Runs a single benchmark (once, unmeasured).
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("bench (stub): {id}");
+        f(&mut Bencher { _priv: () });
+        self
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored by the stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored by the stub.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group (once, unmeasured).
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("bench (stub): {}/{id}", self.name);
+        f(&mut Bencher { _priv: () });
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group (once, unmeasured).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        eprintln!("bench (stub): {}/{id}", self.name);
+        f(&mut Bencher { _priv: () }, input);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::Bencher`; `iter` runs the routine once.
+pub struct Bencher {
+    _priv: (),
+}
+
+impl Bencher {
+    /// Runs the routine a single time, discarding the result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// A function-name + parameter id.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { repr: format!("{name}/{param}") }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { repr: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Re-export for code that imports `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

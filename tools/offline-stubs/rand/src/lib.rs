@@ -1,0 +1,421 @@
+//! Offline stub of `rand` 0.8 (see `tools/offline-stubs/README.md`).
+//!
+//! Implements the slice of the API this workspace uses: `RngCore`,
+//! `SeedableRng::{from_seed, seed_from_u64}`, `rngs::StdRng` (ChaCha12),
+//! `Rng::{gen, gen_range, gen_bool, fill}` over integer ranges, using the
+//! same algorithms as the real crate (rand_core's PCG-based
+//! `seed_from_u64`, widening-multiply rejection sampling for uniform
+//! integers) so that seeded streams are interchangeable with it.
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator seedable from fixed entropy.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with the same
+    /// PCG32-based expansion rand_core 0.6 uses.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Marker for types `Rng::gen` can produce (stand-in for
+/// `Standard: Distribution<T>`).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 31) != 0
+    }
+}
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 Standard for f64: 53 random bits scaled into [0, 1).
+        let fraction = rng.next_u64() >> 11;
+        fraction as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+/// A range `gen_range` accepts (stand-in for `SampleRange<T>`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types `gen_range` can sample (stand-in for `SampleUniform`).
+///
+/// The blanket [`SampleRange`] impls below key type inference off this
+/// trait exactly like rand 0.8's, so an integer-literal range such as
+/// `0..100` unifies with the surrounding expression's type instead of
+/// falling back to `i32`.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[start, end)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $uty:ty, $u_large:ty, $wide:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                assert!(start < end, "gen_range: empty range");
+                let range = end.wrapping_sub(start) as $uty as $u_large;
+                sample_below::<R, $u_large>(rng, range)
+                    .map(|hi| start.wrapping_add(hi as $ty))
+                    .unwrap_or_else(|| <$u_large as StandardSample>::sample_standard(rng) as $ty)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                assert!(start <= end, "gen_range: empty range");
+                let range = (end.wrapping_sub(start) as $uty as $u_large).wrapping_add(1);
+                if range == 0 {
+                    // Full span of the type.
+                    return <$u_large as StandardSample>::sample_standard(rng) as $ty;
+                }
+                sample_below::<R, $u_large>(rng, range)
+                    .map(|hi| start.wrapping_add(hi as $ty))
+                    .expect("range != 0")
+            }
+        }
+    };
+}
+
+/// Widening-multiply rejection sampling below `range` (rand 0.8's
+/// `sample_single` core). Returns `None` when `range == 0` (caller draws
+/// the full span).
+fn sample_below<R, U>(rng: &mut R, range: U) -> Option<U>
+where
+    R: RngCore + ?Sized,
+    U: StandardSample + WideMul + Copy + PartialOrd + Default,
+{
+    if range == U::default() {
+        return None;
+    }
+    let zone = range.zone();
+    loop {
+        let v = U::sample_standard(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return Some(hi);
+        }
+    }
+}
+
+/// Widening multiplication helper mirroring rand's `WideningMultiply`.
+pub trait WideMul: Sized {
+    /// The double-width product type.
+    type Wide;
+    /// `(high, low)` halves of `self * rhs`.
+    fn wmul(self, rhs: Self) -> (Self, Self);
+    /// rand 0.8's rejection zone for `sample_single`.
+    fn zone(self) -> Self;
+}
+
+macro_rules! wide_mul_impl {
+    ($ty:ty, $wide:ty, $bits:expr) => {
+        impl WideMul for $ty {
+            type Wide = $wide;
+            #[inline]
+            fn wmul(self, rhs: Self) -> (Self, Self) {
+                let t = (self as $wide) * (rhs as $wide);
+                ((t >> $bits) as $ty, t as $ty)
+            }
+            #[inline]
+            fn zone(self) -> Self {
+                (self << self.leading_zeros()).wrapping_sub(1)
+            }
+        }
+    };
+}
+
+wide_mul_impl!(u32, u64, 32);
+wide_mul_impl!(u64, u128, 64);
+wide_mul_impl!(usize, u128, 64);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                assert!(start < end, "gen_range: empty range");
+                let unit = <$ty as StandardSample>::sample_standard(rng);
+                start + (end - start) * unit
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                assert!(start <= end, "gen_range: empty range");
+                let unit = <$ty as StandardSample>::sample_standard(rng);
+                start + (end - start) * unit
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f64);
+
+uniform_int_impl!(u8, u8, u32, u64);
+uniform_int_impl!(u16, u16, u32, u64);
+uniform_int_impl!(u32, u32, u32, u64);
+uniform_int_impl!(u64, u64, u64, u128);
+uniform_int_impl!(usize, usize, usize, u128);
+uniform_int_impl!(i32, u32, u32, u64);
+uniform_int_impl!(i64, u64, u64, u128);
+
+// u8/u16 widen through u32: route their ranges through u32 sampling.
+impl StandardSample for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// User-facing generator methods.
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills a byte slice.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: ChaCha12, as in rand 0.8.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// Key words (state words 4..12).
+        key: [u32; 8],
+        /// 64-bit block counter (state words 12..14).
+        counter: u64,
+        /// Buffered keystream block.
+        buf: [u32; 16],
+        /// Next unread word in `buf`; 16 means exhausted.
+        index: usize,
+    }
+
+    const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    #[inline(always)]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            // Words 14/15: stream id, fixed at 0 (rand's default stream).
+            let mut working = state;
+            for _ in 0..6 {
+                // One double round (column + diagonal); 6 of them = ChaCha12.
+                quarter_round(&mut working, 0, 4, 8, 12);
+                quarter_round(&mut working, 1, 5, 9, 13);
+                quarter_round(&mut working, 2, 6, 10, 14);
+                quarter_round(&mut working, 3, 7, 11, 15);
+                quarter_round(&mut working, 0, 5, 10, 15);
+                quarter_round(&mut working, 1, 6, 11, 12);
+                quarter_round(&mut working, 2, 7, 8, 13);
+                quarter_round(&mut working, 3, 4, 9, 14);
+            }
+            for i in 0..16 {
+                self.buf[i] = working[i].wrapping_add(state[i]);
+            }
+            self.counter = self.counter.wrapping_add(1);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            Self {
+                key,
+                counter: 0,
+                buf: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let bytes = self.next_u32().to_le_bytes();
+                let len = chunk.len();
+                chunk.copy_from_slice(&bytes[..len]);
+            }
+        }
+    }
+}
+
+/// `rand::prelude` stand-in.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u64..=5);
+            assert!(y <= 5);
+            let z = rng.gen_range(0u32..100);
+            assert!(z < 100);
+        }
+    }
+
+    #[test]
+    fn full_span_inclusive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stub of `rayon` (see `tools/offline-stubs/README.md`).
+//!
+//! `into_par_iter()` returns the ordinary sequential iterator, so code
+//! written against rayon's `map/collect` pipelines compiles and runs
+//! single-threaded offline. Results are identical to the parallel run for
+//! this workspace because every replication derives its own seed and the
+//! outputs are collected in input order either way.
+
+/// Sequential re-implementations of the rayon parallel-iterator entry points.
+pub mod prelude {
+    /// Stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The "parallel" iterator type — here the plain sequential one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Converts `self` into a (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The "parallel" iterator type — here the plain sequential one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a reference).
+        type Item: 'data;
+        /// Iterates `&self` (sequentially).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fanout() {
+        let squares: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

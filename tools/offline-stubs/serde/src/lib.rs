@@ -1,0 +1,36 @@
+//! Offline stub of `serde` (see `tools/offline-stubs/README.md`).
+//!
+//! `Serialize`/`Deserialize` are marker traits with blanket impls, so any
+//! type satisfies serde bounds; the derive macros expand to nothing.
+//! Actual serialization is not available offline.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::Serializer` (unused, kept for signatures).
+pub trait Serializer {}
+
+/// Marker stand-in for `serde::Deserializer` (unused, kept for signatures).
+pub trait Deserializer<'de> {}
+
+/// Deserialization marker traits.
+pub mod de {
+    /// Stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+
+    pub use super::Deserialize;
+}
+
+/// Serialization marker traits.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,406 @@
+//! Offline stub of `serde_json` (see `tools/offline-stubs/README.md`).
+//!
+//! The [`Value`] tree and the [`json!`] macro are functional, including
+//! compact and pretty (`{:#}`) `Display` output, so sidecar emission works
+//! offline. The generic `to_string`/`from_str` entry points return errors:
+//! without real serde there is no derived (de)serialization to drive them.
+//! Tests that round-trip domain types through JSON fail locally and pass in
+//! CI with the real crate.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`'s public face.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn unsupported(op: &str) -> Self {
+        Error {
+            msg: format!("serde_json offline stub: {op} is not supported (see tools/offline-stubs/README.md)"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// JSON number: integer representations are kept exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// JSON value tree, the stub's functional core. Object entries preserve
+/// insertion order (like `preserve_order`); duplicate keys are kept as-is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>, pretty: bool, depth: usize) -> fmt::Result {
+        const INDENT: &str = "  ";
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    return f.write_str("[]");
+                }
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    if pretty {
+                        f.write_str("\n")?;
+                        f.write_str(&INDENT.repeat(depth + 1))?;
+                    }
+                    item.write(f, pretty, depth + 1)?;
+                }
+                if pretty {
+                    f.write_str("\n")?;
+                    f.write_str(&INDENT.repeat(depth))?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    return f.write_str("{}");
+                }
+                f.write_str("{")?;
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    if pretty {
+                        f.write_str("\n")?;
+                        f.write_str(&INDENT.repeat(depth + 1))?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    if pretty {
+                        f.write_str(" ")?;
+                    }
+                    value.write(f, pretty, depth + 1)?;
+                }
+                if pretty {
+                    f.write_str("\n")?;
+                    f.write_str(&INDENT.repeat(depth))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// `{}` prints compact JSON; `{:#}` pretty-prints with two-space
+    /// indentation, matching real serde_json's two formatters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, f.alternate(), 0)
+    }
+}
+
+macro_rules! value_from_unsigned {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! value_from_signed {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                if v < 0 {
+                    Value::Number(Number::NegInt(v as i64))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+    )*};
+}
+
+value_from_unsigned!(u8, u16, u32, u64, usize);
+value_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(f64::from(v)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Supports `null`, literals,
+/// arbitrary expressions (converted via `Into<Value>`), arrays, and objects
+/// with string-literal keys — the subset this workspace uses.
+#[macro_export]
+macro_rules! json {
+    () => { $crate::Value::Null };
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Implementation detail of [`json!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array element muncher (commas inside nested groups are opaque) ----
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr,)*] $($rest:tt)+) => {
+        $crate::json_internal!(@elem [$($elems,)*] () $($rest)+)
+    };
+    (@elem [$($elems:expr,)*] ($($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($($buf)+),] $($rest)*)
+    };
+    (@elem [$($elems:expr,)*] ($($buf:tt)+)) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($($buf)+),])
+    };
+    (@elem [$($elems:expr,)*] ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@elem [$($elems,)*] ($($buf)* $next) $($rest)*)
+    };
+    // ---- object entry muncher (string-literal keys) ----
+    (@object [$($pairs:expr,)*]) => { vec![$($pairs,)*] };
+    (@object [$($pairs:expr,)*] $key:literal : $($rest:tt)+) => {
+        $crate::json_internal!(@value [$($pairs,)*] ($key) () $($rest)+)
+    };
+    (@value [$($pairs:expr,)*] ($key:literal) ($($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json_internal!($($buf)+)),] $($rest)*)
+    };
+    (@value [$($pairs:expr,)*] ($key:literal) ($($buf:tt)+)) => {
+        $crate::json_internal!(@object
+            [$($pairs,)* ($key.to_string(), $crate::json_internal!($($buf)+)),])
+    };
+    (@value [$($pairs:expr,)*] ($key:literal) ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@value [$($pairs,)*] ($key) ($($buf)* $next) $($rest)*)
+    };
+    // ---- entry points ----
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::json_internal!(@object [] $($tt)*)) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Unsupported offline; returns an error unless `T` is irrelevant.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error::unsupported("to_string"))
+}
+
+/// Unsupported offline; returns an error.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error::unsupported("to_string_pretty"))
+}
+
+/// Offline, only [`Value`] trees serialize (rendered by the stub's own
+/// formatter, matching real serde_json's pretty output); anything else
+/// returns an error. The extra `Any` bound enables the runtime `Value`
+/// fast path and is satisfied by every call site in this workspace.
+pub fn to_writer_pretty<W, T>(mut writer: W, value: &T) -> Result<()>
+where
+    W: std::io::Write,
+    T: serde::Serialize + std::any::Any,
+{
+    match (value as &dyn std::any::Any).downcast_ref::<Value>() {
+        Some(v) => {
+            writeln!(writer, "{v:#}").map_err(|_| Error::unsupported("to_writer_pretty (io)"))
+        }
+        None => Err(Error::unsupported("to_writer_pretty (non-Value type)")),
+    }
+}
+
+/// Unsupported offline; returns an error.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error::unsupported("from_str"))
+}
+
+/// Unsupported offline; returns an error.
+pub fn from_reader<R: std::io::Read, T: serde::de::DeserializeOwned>(_reader: R) -> Result<T> {
+    Err(Error::unsupported("from_reader"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "fig3",
+            "machines": 4 + 4,
+            "ratio": 2.5,
+            "flag": true,
+            "nested": { "seeds": [1, 2, 3], "none": null },
+        });
+        assert_eq!(v.get("machines").and_then(Value::as_u64), Some(8));
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("seeds")),
+            Some(&Value::Array(vec![1u64.into(), 2u64.into(), 3u64.into()]))
+        );
+    }
+
+    #[test]
+    fn display_compact_and_pretty() {
+        let v = json!({ "a": [1, 2], "b": "x\"y" });
+        assert_eq!(format!("{v}"), r#"{"a":[1,2],"b":"x\"y"}"#);
+        let pretty = format!("{v:#}");
+        assert!(pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"));
+    }
+
+    #[test]
+    fn multi_token_exprs_in_macro() {
+        struct Cfg {
+            seed: u64,
+        }
+        let cfg = Cfg { seed: 42 };
+        let reps: usize = 3;
+        let v = json!({ "seed": cfg.seed, "reps": reps, "ids": (0..reps).collect::<Vec<_>>() });
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(42));
+        assert_eq!(format!("{}", v.get("ids").unwrap()), "[0,1,2]");
+    }
+}
