@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks of the incremental load index in the
+//! simulation hot path.
+//!
+//! Probes call `SimCore::makespan()` every round; these benches size
+//! that query (O(1) via the tournament-tree index vs the naive O(m)
+//! rescan), the `move_job` update that maintains it (O(log m)), and the
+//! full per-round gossip cost with a per-round-sampling probe attached,
+//! at m ∈ {10², 10³, 10⁴, 10⁵}.
+//!
+//! Bench IDs end in `m=<size>`, so CI can smoke the smallest size only
+//! with the regex filter `m=100$`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::EctPairBalance;
+use lb_distsim::gossip::GossipProtocol;
+use lb_distsim::probe::{Probe, ProbeHub, SeriesProbe, StopReason};
+use lb_distsim::protocol::drive;
+use lb_distsim::simcore::SimCore;
+use lb_distsim::PairSchedule;
+use lb_model::prelude::*;
+use lb_workloads::uniform::paper_uniform;
+use std::hint::black_box;
+
+/// The four machine counts of the acceptance criteria.
+const SIZES: &[usize] = &[100, 1_000, 10_000, 100_000];
+
+/// A uniform instance with `2 m` jobs (O(n + m) memory, so m = 10⁵ does
+/// not materialize a dense cost matrix) and a round-robin start.
+fn setup(m: usize) -> (Instance, Assignment) {
+    let inst = paper_uniform(m, 2 * m, 42);
+    let asg = Assignment::round_robin(&inst);
+    (inst, asg)
+}
+
+/// The pre-index per-round makespan path: a full O(m) rescan of the
+/// loads, used as the baseline the index is measured against.
+fn naive_makespan(asg: &Assignment) -> Time {
+    asg.loads_iter().max().unwrap_or(0)
+}
+
+fn bench_makespan_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("makespan-query");
+    for &m in SIZES {
+        let (_inst, asg) = setup(m);
+        g.bench_with_input(BenchmarkId::new("indexed", format!("m={m}")), &m, |b, _| {
+            b.iter(|| black_box(asg.makespan()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("naive-scan", format!("m={m}")),
+            &m,
+            |b, _| b.iter(|| black_box(naive_makespan(&asg))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_move_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("move-job");
+    for &m in SIZES {
+        let (inst, mut asg) = setup(m);
+        let n = inst.num_jobs();
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("update", format!("m={m}")), &m, |b, _| {
+            b.iter(|| {
+                // Cycle jobs through machines; each call is a real move.
+                let job = JobId::from_idx(i % n);
+                let to = MachineId::from_idx((i * 7 + 1) % m);
+                asg.move_job(&inst, job, to);
+                i += 1;
+                black_box(asg.load(to))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A probe reproducing the pre-index per-round sampling cost: a naive
+/// O(m) load rescan after every round.
+struct NaiveSeriesProbe {
+    series: Vec<(u64, Time)>,
+}
+
+impl Probe for NaiveSeriesProbe {
+    fn after_round(&mut self, core: &SimCore) -> Option<StopReason> {
+        self.series.push((core.round, naive_makespan(core.asg)));
+        None
+    }
+}
+
+fn run_rounds(inst: &Instance, asg: &mut Assignment, probe: &mut dyn Probe, rounds: u64) {
+    let mut core = SimCore::new(inst, asg, 3);
+    let mut protocol = GossipProtocol::new(&EctPairBalance, PairSchedule::UniformRandom);
+    let mut hub = ProbeHub::new();
+    hub.push(probe);
+    drive(&mut core, &mut protocol, &mut hub, rounds);
+}
+
+fn bench_gossip_round(c: &mut Criterion) {
+    // 256 full gossip rounds with a per-round-sampling series probe:
+    // the indexed probe reads the O(1) root, the naive probe rescans all
+    // m loads each round — the per-round speedup of the acceptance
+    // criteria is this pair at m = 10⁴.
+    const ROUNDS: u64 = 256;
+    let mut g = c.benchmark_group("gossip-round");
+    g.sample_size(10);
+    for &m in SIZES {
+        let (inst, asg) = setup(m);
+        g.bench_with_input(BenchmarkId::new("indexed", format!("m={m}")), &m, |b, _| {
+            b.iter(|| {
+                let mut work = asg.clone();
+                let mut probe = SeriesProbe::with_round_budget(1, ROUNDS);
+                run_rounds(&inst, &mut work, &mut probe, ROUNDS);
+                black_box(probe.best)
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("naive-probe", format!("m={m}")),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    let mut work = asg.clone();
+                    let mut probe = NaiveSeriesProbe { series: Vec::new() };
+                    run_rounds(&inst, &mut work, &mut probe, ROUNDS);
+                    black_box(probe.series.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_makespan_query,
+    bench_move_job,
+    bench_gossip_round
+);
+criterion_main!(benches);

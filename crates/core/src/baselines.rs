@@ -81,16 +81,19 @@ pub fn lpt_schedule(inst: &Instance) -> Assignment {
 
 /// "Least loaded machine first": each job goes to the machine with the
 /// smallest current load, regardless of the job's cost there.
+///
+/// Uses a [`lb_model::LoadIndex`] for the running argmin, so placing `n`
+/// jobs costs O(n log m) instead of the naive O(n·m) rescan (the index's
+/// first-minimum tie-breaking matches the scan it replaces).
 pub fn least_loaded_schedule(inst: &Instance) -> Assignment {
     let mut loads = vec![0u128; inst.num_machines()];
+    let mut index = lb_model::LoadIndex::new(&loads);
     let mut machine_of = vec![MachineId(0); inst.num_jobs()];
     for j in inst.jobs() {
-        let (mi, _) = loads
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &l)| l)
-            .expect("at least one machine");
+        let mi = index.argmin_active().expect("at least one machine");
+        let old = loads[mi];
         loads[mi] += u128::from(inst.cost(MachineId::from_idx(mi), j));
+        index.update(&loads, mi, old);
         machine_of[j.idx()] = MachineId::from_idx(mi);
     }
     Assignment::from_vec(inst, machine_of).expect("schedule built over valid ids")

@@ -74,7 +74,7 @@ pub fn run_with_churn(
     record_every: u64,
 ) -> ChurnRun {
     let mut core = SimCore::new(inst, asg, seed);
-    let mut series = SeriesProbe::new(record_every);
+    let mut series = SeriesProbe::with_round_budget(record_every, total_rounds);
     let mut topo = TopologyProbe::new();
     let mut protocol = GossipProtocol::new(balancer, PairSchedule::UniformRandom);
     {

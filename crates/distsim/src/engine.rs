@@ -132,7 +132,7 @@ pub fn run_gossip(
     let mut core = SimCore::new(inst, asg, cfg.seed).with_offline(&cfg.offline);
 
     let mut cycle = CycleProbe::new(cfg.detect_cycles && cfg.schedule == PairSchedule::RoundRobin);
-    let mut series = SeriesProbe::new(cfg.record_every);
+    let mut series = SeriesProbe::with_round_budget(cfg.record_every, cfg.max_rounds);
     let mut exchanges = ExchangeProbe::new(m);
     let mut threshold = ThresholdProbe::new(m, cfg.threshold);
     let mut quiescence = QuiescenceProbe::new(cfg.quiescence_window);

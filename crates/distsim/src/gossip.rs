@@ -64,10 +64,17 @@ impl<'b> GossipProtocol<'b> {
         }
     }
 
+    /// Refreshes the cached online-machine list when the topology
+    /// changed, reusing the buffer (first refresh pre-sizes it to the
+    /// machine count; later refreshes never reallocate).
     fn refresh_active(&mut self, core: &SimCore) {
         let version = core.topology.version();
         if self.active_version != Some(version) {
-            self.active = core.topology.online_machines();
+            if self.active.capacity() == 0 {
+                self.active.reserve_exact(core.topology.num_machines());
+            }
+            self.active.clear();
+            self.active.extend(core.topology.online_iter());
             self.active_version = Some(version);
         }
     }

@@ -189,12 +189,32 @@ pub struct SeriesProbe {
 }
 
 impl SeriesProbe {
+    /// Capacity cap for pre-sized series buffers, so a huge round budget
+    /// cannot trigger a huge upfront allocation.
+    const MAX_PRESIZE: usize = 1 << 16;
+
     /// A series probe sampling every `record_every` rounds (see the type
     /// docs for the `0` convention).
     pub fn new(record_every: u64) -> Self {
         Self {
             record_every,
             series: Vec::new(),
+            best: Time::MAX,
+        }
+    }
+
+    /// Like [`SeriesProbe::new`], but pre-sizes the series buffer for a
+    /// run of up to `max_rounds` rounds so steady-state sampling never
+    /// reallocates mid-run (capped at a sane bound; churn events can
+    /// still push past the estimate).
+    pub fn with_round_budget(record_every: u64, max_rounds: u64) -> Self {
+        let samples = max_rounds.checked_div(record_every).unwrap_or(0) + 2;
+        let capacity = usize::try_from(samples)
+            .unwrap_or(Self::MAX_PRESIZE)
+            .min(Self::MAX_PRESIZE);
+        Self {
+            record_every,
+            series: Vec::with_capacity(capacity),
             best: Time::MAX,
         }
     }

@@ -187,8 +187,8 @@ fn apply_topology_event(
     ev: TopologyEvent,
 ) {
     match ev {
-        TopologyEvent::Fail(machine) => core.topology.set_online(machine, false),
-        TopologyEvent::Rejoin(machine) => core.topology.set_online(machine, true),
+        TopologyEvent::Fail(machine) => core.set_online(machine, false),
+        TopologyEvent::Rejoin(machine) => core.set_online(machine, true),
     }
     let jobs_scattered = protocol.on_topology_event(core, ev);
     probes.emit(

@@ -51,9 +51,14 @@ pub struct SimCore<'a> {
 
 impl<'a> SimCore<'a> {
     /// A core over `asg` with all machines online and the RNG at stream 0
-    /// of `seed`.
+    /// of `seed`. Resets the assignment's active mask to all-active so a
+    /// reused assignment (e.g. one left masked by a previous churn run)
+    /// starts in sync with the topology.
     pub fn new(inst: &'a Instance, asg: &'a mut Assignment, seed: u64) -> Self {
         let m = inst.num_machines();
+        for i in 0..m {
+            asg.set_machine_active(MachineId::from_idx(i), true);
+        }
         Self {
             inst,
             asg,
@@ -66,14 +71,37 @@ impl<'a> SimCore<'a> {
     /// Marks the listed machines offline before the run starts.
     pub fn with_offline(mut self, offline: &[MachineId]) -> Self {
         for &mm in offline {
-            self.topology.set_online(mm, false);
+            self.set_online(mm, false);
         }
         self
     }
 
-    /// Current makespan of the assignment.
+    /// Sets a machine's online flag, keeping the [`Topology`] mask and
+    /// the assignment's active mask (which steers its O(1)
+    /// argmin/argmax selection helpers) in sync. All topology changes —
+    /// initial offline sets and churn events alike — must go through
+    /// here rather than mutating `topology` directly.
+    pub fn set_online(&mut self, machine: MachineId, online: bool) {
+        self.topology.set_online(machine, online);
+        self.asg.set_machine_active(machine, online);
+    }
+
+    /// Current makespan of the assignment (O(1) via the load index;
+    /// defined over all machines, online or not).
     pub fn makespan(&self) -> Time {
         self.asg.makespan()
+    }
+
+    /// The least-loaded **online** machine, or `None` when every machine
+    /// is offline. O(1).
+    pub fn min_loaded_online(&self) -> Option<MachineId> {
+        self.asg.min_loaded_active()
+    }
+
+    /// The most-loaded **online** machine, or `None` when every machine
+    /// is offline. O(1).
+    pub fn max_loaded_online(&self) -> Option<MachineId> {
+        self.asg.max_loaded_active()
     }
 }
 

@@ -63,13 +63,21 @@ impl Topology {
     }
 
     /// The online machines, in machine-id order.
+    ///
+    /// Allocates a fresh vector; callers refreshing a cached list should
+    /// prefer [`Topology::online_iter`] and reuse their buffer.
     pub fn online_machines(&self) -> Vec<MachineId> {
+        self.online_iter().collect()
+    }
+
+    /// Iterates over the online machines in machine-id order without
+    /// allocating.
+    pub fn online_iter(&self) -> impl Iterator<Item = MachineId> + '_ {
         self.online
             .iter()
             .enumerate()
             .filter(|&(_, &o)| o)
             .map(|(i, _)| MachineId::from_idx(i))
-            .collect()
     }
 
     /// Monotone counter bumped by every effective [`set_online`] call;

@@ -171,6 +171,88 @@ fn worksteal_rng_stream_is_stream_zero() {
 }
 
 #[test]
+fn offline_machines_never_selected_as_victims() {
+    // Regression test for victim selection under churn: after a failure
+    // the assignment's masked argmin/argmax helpers must skip the
+    // offline machine, even when it is (by load) the natural pick — an
+    // empty failed machine is exactly the least-loaded one.
+    let inst = paper_uniform(5, 40, 11);
+    let mut asg = random_assignment(&inst, 4);
+    // Fail only — no rejoin, so the machine is still offline at run end
+    // (the driver applies even late-scheduled events after the loop).
+    let plan = TopologyPlan {
+        events: vec![(5, lb_distsim::topology::TopologyEvent::Fail(MachineId(2)))],
+    };
+    let mut core = SimCore::new(&inst, &mut asg, 8);
+    let mut protocol = GossipProtocol::new(&EctPairBalance, PairSchedule::UniformRandom);
+    let mut hub = ProbeHub::new();
+    drive_with_plan(&mut core, &mut protocol, &mut hub, 50, &plan);
+    // The failure has fired (round 5): machine 2 is offline and was
+    // scattered empty.
+    assert!(!core.topology.is_online(MachineId(2)));
+    assert_eq!(core.asg.num_jobs_on(MachineId(2)), 0);
+    // Despite load 0, the masked helpers refuse to name it.
+    assert_ne!(core.min_loaded_online(), Some(MachineId(2)));
+    assert_ne!(core.max_loaded_online(), Some(MachineId(2)));
+    assert_ne!(core.asg.min_loaded_machine(), MachineId(2));
+    let all: Vec<MachineId> = inst.machines().collect();
+    assert_ne!(core.asg.min_loaded_in(&all), Some(MachineId(2)));
+    // The unmasked makespan still ranges over every machine.
+    let naive_max = core.asg.loads_iter().max().unwrap();
+    assert_eq!(core.makespan(), naive_max);
+}
+
+#[test]
+fn load_index_tracks_naive_scans_through_churn() {
+    // End-to-end equivalence of the tree-backed queries against naive
+    // full scans across a real driven run with failures and rejoins:
+    // every few rounds the O(1)/O(log m) answers must equal a rescan,
+    // and validate() (which rebuilds the index from scratch) must pass.
+    struct ScanCheck;
+    impl lb_distsim::probe::Probe for ScanCheck {
+        fn after_round(&mut self, core: &SimCore) -> Option<lb_distsim::probe::StopReason> {
+            if core.round.is_multiple_of(7) {
+                let naive_max = core.asg.loads_iter().max().unwrap_or(0);
+                assert_eq!(core.makespan(), naive_max);
+                let naive_arg_min = core
+                    .asg
+                    .loads_iter()
+                    .enumerate()
+                    .filter(|&(i, _)| core.topology.is_online(MachineId::from_idx(i)))
+                    .min_by_key(|&(_, l)| l)
+                    .map(|(i, _)| MachineId::from_idx(i));
+                assert_eq!(core.min_loaded_online(), naive_arg_min);
+                assert!(core.asg.validate(core.inst).is_ok());
+            }
+            None
+        }
+    }
+    let inst = paper_two_cluster(4, 3, 70, 13);
+    let mut asg = random_assignment(&inst, 6);
+    let plan = TopologyPlan {
+        events: vec![
+            (10, lb_distsim::topology::TopologyEvent::Fail(MachineId(1))),
+            (25, lb_distsim::topology::TopologyEvent::Fail(MachineId(4))),
+            (
+                60,
+                lb_distsim::topology::TopologyEvent::Rejoin(MachineId(1)),
+            ),
+            (
+                90,
+                lb_distsim::topology::TopologyEvent::Rejoin(MachineId(4)),
+            ),
+        ],
+    };
+    let mut core = SimCore::new(&inst, &mut asg, 17);
+    let mut protocol = GossipProtocol::new(&Dlb2cBalance, PairSchedule::UniformRandom);
+    let mut check = ScanCheck;
+    let mut hub = ProbeHub::new();
+    hub.push(&mut check);
+    drive_with_plan(&mut core, &mut protocol, &mut hub, 200, &plan);
+    assert!(asg.validate(&inst).is_ok());
+}
+
+#[test]
 fn gossip_protocol_is_quiescent_with_one_online_machine() {
     // The driver + protocol handle the degenerate topology the old
     // engine special-cased: with < 2 online machines gossip stops

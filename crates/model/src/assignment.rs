@@ -10,21 +10,99 @@
 //! entries are handled exactly (additions never saturate, so removals
 //! restore the precise previous load); the public [`Assignment::load`]
 //! saturates back to [`Time`].
+//!
+//! # Hot-path complexity
+//!
+//! On top of the load vector, the assignment maintains a
+//! [`LoadIndex`] — tournament trees over the loads — and a cached
+//! total-work accumulator, both repaired on every mutation:
+//!
+//! | operation | cost |
+//! |---|---|
+//! | [`Assignment::move_job`] | O(log m) (+ jobs-on-list upkeep) |
+//! | [`Assignment::set_pair`] | O(jobs moved + log m) |
+//! | [`Assignment::makespan`], [`Assignment::makespan_machine`] | O(1) |
+//! | [`Assignment::min_loaded_machine`] | O(1) |
+//! | [`Assignment::total_work`] | O(1) |
+//! | [`Assignment::min_loaded_in`] | O(len of the candidate list) |
+//! | [`Assignment::validate`] | O(n + m) full recompute |
+//!
+//! The index is the source of truth for these queries; the naive
+//! full-scan recomputation survives inside [`Assignment::validate`],
+//! which rebuilds loads, counts, the trees, and the total from scratch
+//! and cross-checks them against the incremental state.
+//!
+//! Machines can be marked inactive (offline) via
+//! [`Assignment::set_machine_active`]; argmin/argmax selection helpers
+//! then skip them, which is how the distributed simulator keeps churn
+//! runs from picking offline victims. The mask does not affect
+//! [`Assignment::makespan`], which stays defined over all machines, and
+//! it is *transient*: it participates in neither equality comparison nor
+//! serialization (deserialized assignments start all-active).
 
 use crate::cost::{Time, INFEASIBLE};
 use crate::error::{LbError, Result};
 use crate::ids::{ClusterId, JobId, MachineId};
 use crate::instance::Instance;
+use crate::load_index::LoadIndex;
 use serde::{Deserialize, Serialize};
 
 /// A partition of the jobs over the machines, with per-machine load
-/// bookkeeping.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// bookkeeping and an incremental argmax/argmin index over the loads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "AssignmentData", into = "AssignmentData")]
 pub struct Assignment {
     machine_of: Vec<MachineId>,
     jobs_on: Vec<Vec<JobId>>,
     loads: Vec<u128>,
+    index: LoadIndex,
 }
+
+/// Serialized form of [`Assignment`]: exactly the logical state, with the
+/// derived [`LoadIndex`] rebuilt on deserialization (all machines
+/// active). Field names and order match the pre-index wire format.
+#[derive(Serialize, Deserialize)]
+struct AssignmentData {
+    machine_of: Vec<MachineId>,
+    jobs_on: Vec<Vec<JobId>>,
+    loads: Vec<u128>,
+}
+
+impl From<AssignmentData> for Assignment {
+    fn from(d: AssignmentData) -> Self {
+        let index = LoadIndex::new(&d.loads);
+        Self {
+            machine_of: d.machine_of,
+            jobs_on: d.jobs_on,
+            loads: d.loads,
+            index,
+        }
+    }
+}
+
+impl From<Assignment> for AssignmentData {
+    fn from(a: Assignment) -> Self {
+        Self {
+            machine_of: a.machine_of,
+            jobs_on: a.jobs_on,
+            loads: a.loads,
+        }
+    }
+}
+
+/// Equality is over the logical schedule only (job placement and loads);
+/// the derived index and the transient active mask are excluded so that
+/// e.g. a deserialized assignment compares equal to its original even if
+/// machines had been marked offline in between.
+impl PartialEq for Assignment {
+    fn eq(&self, other: &Self) -> bool {
+        self.machine_of == other.machine_of
+            && self.jobs_on == other.jobs_on
+            && self.loads == other.loads
+    }
+}
+
+impl Eq for Assignment {}
 
 impl Assignment {
     /// Builds an assignment from a per-job machine vector.
@@ -51,10 +129,12 @@ impl Assignment {
             jobs_on[m.idx()].push(job);
             loads[m.idx()] += u128::from(inst.cost(m, job));
         }
+        let index = LoadIndex::new(&loads);
         Ok(Self {
             machine_of,
             jobs_on,
             loads,
+            index,
         })
     }
 
@@ -92,44 +172,88 @@ impl Assignment {
     }
 
     /// All machine loads, in machine order.
-    pub fn loads(&self) -> Vec<Time> {
-        self.loads.iter().map(|&l| saturate(l)).collect()
-    }
-
-    /// The makespan `Cmax = max_i C(i)`.
-    pub fn makespan(&self) -> Time {
-        self.loads.iter().map(|&l| saturate(l)).max().unwrap_or(0)
-    }
-
-    /// A machine achieving the makespan.
-    pub fn makespan_machine(&self) -> MachineId {
-        let i = self
-            .loads
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &l)| l)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        MachineId::from_idx(i)
-    }
-
-    /// The least-loaded machine overall.
-    pub fn min_loaded_machine(&self) -> MachineId {
-        let i = self
-            .loads
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &l)| l)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        MachineId::from_idx(i)
-    }
-
-    /// The least-loaded machine among `machines`.
     ///
-    /// Returns `None` when `machines` is empty.
+    /// Allocates a fresh vector; callers that only fold over the loads
+    /// should prefer [`Assignment::loads_iter`].
+    pub fn loads(&self) -> Vec<Time> {
+        self.loads_iter().collect()
+    }
+
+    /// Iterates over all machine loads in machine order, saturating each
+    /// at [`INFEASIBLE`], without allocating.
+    #[inline]
+    pub fn loads_iter(&self) -> impl Iterator<Item = Time> + '_ {
+        self.loads.iter().map(|&l| saturate(l))
+    }
+
+    /// Number of machines this assignment spans.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The makespan `Cmax = max_i C(i)`, over all machines (online or
+    /// not), in O(1) via the load index.
+    #[inline]
+    pub fn makespan(&self) -> Time {
+        match self.index.argmax() {
+            Some(i) => saturate(self.loads[i]),
+            None => 0,
+        }
+    }
+
+    /// A machine achieving the makespan (the highest-indexed one on
+    /// ties, matching a forward `max_by_key` scan), in O(1).
+    pub fn makespan_machine(&self) -> MachineId {
+        MachineId::from_idx(self.index.argmax().unwrap_or(0))
+    }
+
+    /// The least-loaded **active** machine (the lowest-indexed one on
+    /// ties, matching a forward `min_by_key` scan), in O(1).
+    ///
+    /// All machines are active unless [`Assignment::set_machine_active`]
+    /// marked some offline; falls back to machine 0 when none is active.
+    pub fn min_loaded_machine(&self) -> MachineId {
+        MachineId::from_idx(self.index.argmin_active().unwrap_or(0))
+    }
+
+    /// The most-loaded **active** machine (the highest-indexed one on
+    /// ties), in O(1). `None` when no machine is active.
+    pub fn max_loaded_active(&self) -> Option<MachineId> {
+        self.index.argmax_active().map(MachineId::from_idx)
+    }
+
+    /// The least-loaded **active** machine, or `None` when every machine
+    /// is offline. O(1).
+    pub fn min_loaded_active(&self) -> Option<MachineId> {
+        self.index.argmin_active().map(MachineId::from_idx)
+    }
+
+    /// The least-loaded machine among `machines`, skipping machines
+    /// marked inactive.
+    ///
+    /// Returns `None` when `machines` is empty or contains no active
+    /// machine. O(len of `machines`).
     pub fn min_loaded_in(&self, machines: &[MachineId]) -> Option<MachineId> {
-        machines.iter().copied().min_by_key(|m| self.loads[m.idx()])
+        machines
+            .iter()
+            .copied()
+            .filter(|m| self.index.is_active(m.idx()))
+            .min_by_key(|m| self.loads[m.idx()])
+    }
+
+    /// Whether `machine` is currently marked active (online).
+    #[inline]
+    pub fn machine_active(&self, machine: MachineId) -> bool {
+        self.index.is_active(machine.idx())
+    }
+
+    /// Marks `machine` active (online) or inactive (offline) for the
+    /// argmin/argmax selection helpers, in O(log m). The mask is
+    /// transient: it does not affect [`Assignment::makespan`], equality,
+    /// or serialization.
+    pub fn set_machine_active(&mut self, machine: MachineId, active: bool) {
+        self.index.set_active(&self.loads, machine.idx(), active);
     }
 
     /// The jobs currently assigned to `machine` (order is not meaningful).
@@ -144,14 +268,19 @@ impl Assignment {
         self.jobs_on[machine.idx()].len()
     }
 
-    /// Moves one job to another machine, updating loads incrementally.
+    /// Moves one job to another machine, updating loads and the index
+    /// incrementally (O(log m) plus jobs-on-list upkeep).
     pub fn move_job(&mut self, inst: &Instance, job: JobId, to: MachineId) {
         let from = self.machine_of[job.idx()];
         if from == to {
             return;
         }
+        let old_from = self.loads[from.idx()];
+        let old_to = self.loads[to.idx()];
         self.loads[from.idx()] -= u128::from(inst.cost(from, job));
         self.loads[to.idx()] += u128::from(inst.cost(to, job));
+        self.index.update(&self.loads, from.idx(), old_from);
+        self.index.update(&self.loads, to.idx(), old_to);
         let list = &mut self.jobs_on[from.idx()];
         let pos = list
             .iter()
@@ -200,15 +329,20 @@ impl Assignment {
             self.machine_of[j.idx()] = m2;
             l2 += u128::from(inst.cost(m2, j));
         }
+        let old_l1 = self.loads[m1.idx()];
+        let old_l2 = self.loads[m2.idx()];
         self.loads[m1.idx()] = l1;
         self.loads[m2.idx()] = l2;
+        self.index.update(&self.loads, m1.idx(), old_l1);
+        self.index.update(&self.loads, m2.idx(), old_l2);
         self.jobs_on[m1.idx()] = jobs1;
         self.jobs_on[m2.idx()] = jobs2;
     }
 
-    /// Sum of all machine loads (total work), saturating.
+    /// Sum of all machine loads (total work), saturating. O(1) via the
+    /// cached accumulator.
     pub fn total_work(&self) -> Time {
-        saturate(self.loads.iter().sum())
+        saturate(self.index.total())
     }
 
     /// Total work executed by the machines of `cluster`.
@@ -221,7 +355,9 @@ impl Assignment {
         )
     }
 
-    /// Recomputes all loads from scratch and checks internal consistency.
+    /// Recomputes all loads from scratch and checks internal consistency,
+    /// including that the incremental [`LoadIndex`] and cached total
+    /// agree with a fresh full-scan rebuild.
     ///
     /// Intended for tests and debugging; library code keeps the invariants
     /// incrementally.
@@ -254,6 +390,9 @@ impl Assignment {
                     num_machines: inst.num_machines(),
                 });
             }
+        }
+        if !self.index.is_consistent_with(&self.loads) {
+            return Err(LbError::IndexOutOfSync);
         }
         Ok(())
     }
@@ -391,6 +530,77 @@ mod tests {
     }
 
     #[test]
+    fn queries_match_naive_scans() {
+        let inst = inst3x4();
+        let mut asg = Assignment::round_robin(&inst);
+        for (job, to) in [(0usize, 1usize), (3, 2), (1, 0), (2, 1), (0, 2)] {
+            asg.move_job(&inst, JobId::from_idx(job), MachineId::from_idx(to));
+            let naive_max = asg.loads_iter().max().unwrap_or(0);
+            assert_eq!(asg.makespan(), naive_max);
+            let naive_arg = asg
+                .loads_iter()
+                .enumerate()
+                .max_by_key(|&(_, l)| l)
+                .map(|(i, _)| MachineId::from_idx(i))
+                .unwrap();
+            assert_eq!(asg.makespan_machine(), naive_arg);
+            let naive_min = asg
+                .loads_iter()
+                .enumerate()
+                .min_by_key(|&(_, l)| l)
+                .map(|(i, _)| MachineId::from_idx(i))
+                .unwrap();
+            assert_eq!(asg.min_loaded_machine(), naive_min);
+            let naive_total: u128 = asg.loads_iter().map(u128::from).sum();
+            assert_eq!(u128::from(asg.total_work()), naive_total);
+            asg.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn active_mask_steers_selection_helpers() {
+        let inst = inst3x4();
+        // Loads: m0 = 2, m1 = 1 + 1 = 2, m2 = 5.
+        let mut asg = Assignment::from_vec(
+            &inst,
+            vec![MachineId(0), MachineId(1), MachineId(1), MachineId(2)],
+        )
+        .unwrap();
+        assert_eq!(asg.min_loaded_machine(), MachineId(0), "tie goes first");
+        asg.set_machine_active(MachineId(0), false);
+        assert!(!asg.machine_active(MachineId(0)));
+        assert_eq!(asg.min_loaded_machine(), MachineId(1));
+        assert_eq!(asg.min_loaded_active(), Some(MachineId(1)));
+        assert_eq!(asg.max_loaded_active(), Some(MachineId(2)));
+        // The offline machine is filtered out of candidate lists too.
+        assert_eq!(
+            asg.min_loaded_in(&[MachineId(0), MachineId(2)]),
+            Some(MachineId(2))
+        );
+        // The makespan stays global.
+        asg.set_machine_active(MachineId(2), false);
+        assert_eq!(asg.makespan(), 5);
+        assert_eq!(asg.makespan_machine(), MachineId(2));
+        // The mask survives mutation and validate still passes.
+        asg.move_job(&inst, JobId(3), MachineId(1));
+        asg.validate(&inst).unwrap();
+        assert_eq!(asg.max_loaded_active(), Some(MachineId(1)));
+        // Reactivating restores the global argmin (m2 is now empty).
+        asg.set_machine_active(MachineId(0), true);
+        asg.set_machine_active(MachineId(2), true);
+        assert_eq!(asg.min_loaded_machine(), MachineId(2));
+    }
+
+    #[test]
+    fn mask_is_transient_for_equality() {
+        let inst = inst3x4();
+        let a = Assignment::round_robin(&inst);
+        let mut b = Assignment::round_robin(&inst);
+        b.set_machine_active(MachineId(1), false);
+        assert_eq!(a, b, "active mask must not affect equality");
+    }
+
+    #[test]
     fn infeasible_loads_saturate_but_stay_reversible() {
         let inst = Instance::dense(2, 2, vec![INFEASIBLE, 3, 1, 1]).unwrap();
         let mut asg = Assignment::all_on(&inst, MachineId(0));
@@ -418,5 +628,29 @@ mod tests {
         // Corrupt the load table directly.
         asg.loads[0] += 1;
         assert!(asg.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn validate_detects_stale_index() {
+        let inst = inst3x4();
+        let mut asg = Assignment::round_robin(&inst);
+        // Rebuild the index over a different load vector so the trees and
+        // cached total no longer match `loads`; the job-derived loads
+        // themselves stay valid, so only the index check can catch this.
+        asg.index = LoadIndex::new(&[0, 0, 0]);
+        assert_eq!(asg.validate(&inst).unwrap_err(), LbError::IndexOutOfSync);
+    }
+
+    #[test]
+    fn serde_round_trip_resets_mask() {
+        let inst = inst3x4();
+        let mut asg = Assignment::round_robin(&inst);
+        asg.set_machine_active(MachineId(2), false);
+        let data = AssignmentData::from(asg.clone());
+        let back = Assignment::from(data);
+        assert_eq!(asg, back);
+        assert!(back.machine_active(MachineId(2)), "mask resets to active");
+        assert_eq!(back.makespan(), asg.makespan());
+        back.validate(&inst).unwrap();
     }
 }

@@ -56,6 +56,9 @@ pub enum LbError {
     },
     /// A numeric parameter was invalid (e.g. a zero machine speed).
     InvalidParameter(String),
+    /// The incremental load index (tournament trees / cached total) has
+    /// drifted from the load vector it summarizes.
+    IndexOutOfSync,
 }
 
 impl fmt::Display for LbError {
@@ -108,6 +111,9 @@ impl fmt::Display for LbError {
                 )
             }
             LbError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            LbError::IndexOutOfSync => {
+                write!(f, "incremental load index disagrees with the load vector")
+            }
         }
     }
 }

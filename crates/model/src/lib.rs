@@ -20,6 +20,8 @@
 //!   combining a cost structure with a machine-to-cluster map.
 //! * [`assignment`] — a mutable [`assignment::Assignment`] of
 //!   jobs to machines with incremental load bookkeeping.
+//! * [`load_index`] — tournament trees over machine loads giving the
+//!   assignment O(1) makespan/argmin queries with O(log m) updates.
 //! * [`bounds`] — provable lower bounds on the optimal makespan.
 //! * [`exact`] — exact solvers (brute force and branch-and-bound) for small
 //!   instances, used to validate approximation guarantees in tests.
@@ -56,6 +58,7 @@ pub mod error;
 pub mod exact;
 pub mod ids;
 pub mod instance;
+pub mod load_index;
 pub mod metrics;
 pub mod perturb;
 
@@ -64,6 +67,7 @@ pub use cost::{Costs, Time, INFEASIBLE};
 pub use error::{LbError, Result};
 pub use ids::{ClusterId, JobId, JobTypeId, MachineId};
 pub use instance::Instance;
+pub use load_index::LoadIndex;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {

@@ -1,0 +1,324 @@
+//! An incremental tournament-tree index over machine loads.
+//!
+//! [`LoadIndex`] is a pair of segment trees (argmax / argmin) over a slice
+//! of `u128` machine loads, maintained leaf-by-leaf: updating one
+//! machine's load costs O(log m), and the global argmax ("which machine
+//! attains the makespan"), the argmin over *active* machines ("cheapest
+//! online victim"), and the argmax over active machines are all O(1)
+//! reads of a tree root. [`crate::Assignment`] embeds one so that
+//! `makespan()` — which simulation probes call every round — stops being
+//! an O(m) rescan of all loads.
+//!
+//! The index does not own the loads: every query and update takes the
+//! load slice as a parameter, and the caller (the assignment) guarantees
+//! the slice it passes is the one the tree was built over. Tie-breaking
+//! matches the naive scans the index replaces exactly, so swapping it in
+//! is observationally invisible:
+//!
+//! * argmax ties resolve to the **highest** machine index (like
+//!   `Iterator::max_by_key`, which keeps the last maximum);
+//! * argmin ties resolve to the **lowest** machine index (like
+//!   `Iterator::min_by_key`, which keeps the first minimum).
+//!
+//! Each machine additionally carries an *active* flag (all machines start
+//! active). Inactive machines are invisible to the `*_active` queries but
+//! still participate in the global argmax — the makespan of an assignment
+//! is defined over all machines, while victim/target selection under
+//! churn must skip offline ones.
+
+/// Sentinel meaning "no machine" inside the trees.
+const NONE: u32 = u32::MAX;
+
+/// A tournament tree (segment tree) over machine loads with O(log m)
+/// point updates and O(1) argmax / argmin-over-active / argmax-over-active
+/// queries. See the [module docs](self) for tie-breaking guarantees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadIndex {
+    /// Number of leaf slots; a power of two (0 for an empty index).
+    size: usize,
+    /// Per-machine active flag.
+    active: Vec<bool>,
+    /// Argmax over all machines. Implicit heap: node `i` has children
+    /// `2i`/`2i+1`, leaves at `size + machine`; entries are machine
+    /// indices (or [`NONE`] for padding).
+    max_all: Vec<u32>,
+    /// Argmin over active machines.
+    min_act: Vec<u32>,
+    /// Argmax over active machines.
+    max_act: Vec<u32>,
+    /// Cached sum of all loads (exact, in `u128`).
+    total: u128,
+}
+
+impl LoadIndex {
+    /// Builds the index over `loads` in O(m), with every machine active.
+    pub fn new(loads: &[u128]) -> Self {
+        let m = loads.len();
+        let size = m.next_power_of_two().max(usize::from(m > 0));
+        let mut idx = Self {
+            size,
+            active: vec![true; m],
+            max_all: vec![NONE; 2 * size],
+            min_act: vec![NONE; 2 * size],
+            max_act: vec![NONE; 2 * size],
+            total: loads.iter().sum(),
+        };
+        if m == 0 {
+            return idx;
+        }
+        for i in 0..m {
+            idx.max_all[size + i] = i as u32;
+            idx.min_act[size + i] = i as u32;
+            idx.max_act[size + i] = i as u32;
+        }
+        for n in (1..size).rev() {
+            idx.max_all[n] = combine_max(loads, idx.max_all[2 * n], idx.max_all[2 * n + 1]);
+            idx.min_act[n] = combine_min(loads, idx.min_act[2 * n], idx.min_act[2 * n + 1]);
+            idx.max_act[n] = combine_max(loads, idx.max_act[2 * n], idx.max_act[2 * n + 1]);
+        }
+        idx
+    }
+
+    /// Number of machines indexed.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether the index covers no machines.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Cached total work `sum_i load(i)` (exact).
+    #[inline]
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Records that machine `i`'s load changed from `old` to `loads[i]`,
+    /// repairing the O(log m) path to each tree root. `loads` must be the
+    /// post-change slice.
+    pub fn update(&mut self, loads: &[u128], i: usize, old: u128) {
+        self.total = self.total - old + loads[i];
+        self.repair(loads, i);
+    }
+
+    /// Whether machine `i` is active.
+    #[inline]
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// Sets machine `i`'s active flag, repairing the active trees in
+    /// O(log m). A no-op when the flag already has that value.
+    pub fn set_active(&mut self, loads: &[u128], i: usize, active: bool) {
+        if self.active[i] == active {
+            return;
+        }
+        self.active[i] = active;
+        self.repair(loads, i);
+    }
+
+    /// The machine with the maximal load, ties to the highest index
+    /// (`None` only when the index is empty).
+    #[inline]
+    pub fn argmax(&self) -> Option<usize> {
+        leaf(self.max_all.get(1))
+    }
+
+    /// The *active* machine with the minimal load, ties to the lowest
+    /// index (`None` when no machine is active).
+    #[inline]
+    pub fn argmin_active(&self) -> Option<usize> {
+        leaf(self.min_act.get(1))
+    }
+
+    /// The *active* machine with the maximal load, ties to the highest
+    /// index (`None` when no machine is active).
+    #[inline]
+    pub fn argmax_active(&self) -> Option<usize> {
+        leaf(self.max_act.get(1))
+    }
+
+    /// Recomputes the O(log m) root paths for leaf `i`.
+    fn repair(&mut self, loads: &[u128], i: usize) {
+        let leaf = self.size + i;
+        self.min_act[leaf] = if self.active[i] { i as u32 } else { NONE };
+        self.max_act[leaf] = self.min_act[leaf];
+        let mut n = leaf / 2;
+        while n >= 1 {
+            self.max_all[n] = combine_max(loads, self.max_all[2 * n], self.max_all[2 * n + 1]);
+            self.min_act[n] = combine_min(loads, self.min_act[2 * n], self.min_act[2 * n + 1]);
+            self.max_act[n] = combine_max(loads, self.max_act[2 * n], self.max_act[2 * n + 1]);
+            n /= 2;
+        }
+    }
+
+    /// Full-scan cross-check used by `Assignment::validate`: rebuilds the
+    /// index from scratch and compares every node and the cached total.
+    pub fn is_consistent_with(&self, loads: &[u128]) -> bool {
+        if loads.len() != self.active.len() {
+            return false;
+        }
+        let mut fresh = Self::new(loads);
+        for (i, &a) in self.active.iter().enumerate() {
+            fresh.set_active(loads, i, a);
+        }
+        fresh == *self
+    }
+}
+
+#[inline]
+fn leaf(node: Option<&u32>) -> Option<usize> {
+    match node {
+        Some(&i) if i != NONE => Some(i as usize),
+        _ => None,
+    }
+}
+
+/// Argmax combine; `b` is the right (higher-index) child's candidate, so
+/// `>=` keeps the highest index on ties — matching `max_by_key`.
+#[inline]
+fn combine_max(loads: &[u128], a: u32, b: u32) -> u32 {
+    match (a, b) {
+        (NONE, x) => x,
+        (x, NONE) => x,
+        (a, b) => {
+            if loads[b as usize] >= loads[a as usize] {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+/// Argmin combine; `a` is the left (lower-index) child's candidate, so
+/// `<=` keeps the lowest index on ties — matching `min_by_key`.
+#[inline]
+fn combine_min(loads: &[u128], a: u32, b: u32) -> u32 {
+    match (a, b) {
+        (NONE, x) => x,
+        (x, NONE) => x,
+        (a, b) => {
+            if loads[a as usize] <= loads[b as usize] {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_argmax(loads: &[u128]) -> Option<usize> {
+        loads
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+    }
+
+    fn naive_argmin_active(loads: &[u128], active: &[bool]) -> Option<usize> {
+        loads
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| active[i])
+            .min_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = LoadIndex::new(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.argmax(), None);
+        assert_eq!(idx.argmin_active(), None);
+        assert_eq!(idx.argmax_active(), None);
+        assert_eq!(idx.total(), 0);
+    }
+
+    #[test]
+    fn singleton_and_non_power_of_two() {
+        for m in [1usize, 3, 5, 6, 7, 9] {
+            let loads: Vec<u128> = (0..m).map(|i| ((i * 7) % 5) as u128).collect();
+            let idx = LoadIndex::new(&loads);
+            assert_eq!(idx.argmax(), naive_argmax(&loads), "m={m}");
+            assert_eq!(
+                idx.argmin_active(),
+                naive_argmin_active(&loads, &vec![true; m]),
+                "m={m}"
+            );
+            assert_eq!(idx.total(), loads.iter().sum::<u128>());
+        }
+    }
+
+    #[test]
+    fn tie_breaking_matches_naive_scans() {
+        // All-equal loads: argmax must be the LAST index, argmin the FIRST.
+        let loads = vec![4u128; 6];
+        let idx = LoadIndex::new(&loads);
+        assert_eq!(idx.argmax(), Some(5));
+        assert_eq!(idx.argmin_active(), Some(0));
+        assert_eq!(idx.argmax_active(), Some(5));
+    }
+
+    #[test]
+    fn updates_track_the_naive_scan() {
+        let mut loads: Vec<u128> = vec![10, 3, 7, 3, 9];
+        let mut idx = LoadIndex::new(&loads);
+        let updates = [(0usize, 1u128), (4, 1), (2, 20), (1, 20), (2, 2)];
+        for (i, v) in updates {
+            let old = loads[i];
+            loads[i] = v;
+            idx.update(&loads, i, old);
+            assert_eq!(idx.argmax(), naive_argmax(&loads), "after {i} <- {v}");
+            assert_eq!(idx.argmin_active(), naive_argmin_active(&loads, &[true; 5]));
+            assert_eq!(idx.total(), loads.iter().sum::<u128>());
+            assert!(idx.is_consistent_with(&loads));
+        }
+    }
+
+    #[test]
+    fn active_mask_hides_machines_from_active_queries_only() {
+        let loads: Vec<u128> = vec![5, 1, 8, 2];
+        let mut idx = LoadIndex::new(&loads);
+        idx.set_active(&loads, 1, false); // the global minimum goes offline
+        idx.set_active(&loads, 2, false); // the global maximum goes offline
+        assert_eq!(idx.argmax(), Some(2), "global argmax ignores the mask");
+        assert_eq!(idx.argmin_active(), Some(3));
+        assert_eq!(idx.argmax_active(), Some(0));
+        assert!(!idx.is_active(1) && idx.is_active(0));
+        // Reactivation restores the original answers.
+        idx.set_active(&loads, 1, true);
+        idx.set_active(&loads, 2, true);
+        assert_eq!(idx.argmin_active(), Some(1));
+        assert_eq!(idx.argmax_active(), Some(2));
+        assert!(idx.is_consistent_with(&loads));
+    }
+
+    #[test]
+    fn all_inactive_yields_none() {
+        let loads: Vec<u128> = vec![3, 3];
+        let mut idx = LoadIndex::new(&loads);
+        idx.set_active(&loads, 0, false);
+        idx.set_active(&loads, 1, false);
+        assert_eq!(idx.argmin_active(), None);
+        assert_eq!(idx.argmax_active(), None);
+        assert_eq!(idx.argmax(), Some(1), "global query unaffected");
+    }
+
+    #[test]
+    fn consistency_check_detects_stale_trees() {
+        let loads: Vec<u128> = vec![1, 2, 3];
+        let idx = LoadIndex::new(&loads);
+        // The caller mutated a load without telling the index.
+        let corrupted: Vec<u128> = vec![1, 2, 30];
+        assert!(idx.is_consistent_with(&loads));
+        assert!(!idx.is_consistent_with(&corrupted));
+        assert!(!idx.is_consistent_with(&loads[..2]));
+    }
+}

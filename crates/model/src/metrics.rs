@@ -34,21 +34,21 @@ pub struct ScheduleMetrics {
     pub cluster_work: Vec<Time>,
 }
 
-/// Computes all metrics in one pass over the machines.
+/// Computes all metrics by folding over the machine loads (via the
+/// non-allocating [`Assignment::loads_iter`]).
 pub fn schedule_metrics(inst: &Instance, asg: &Assignment) -> ScheduleMetrics {
-    let loads: Vec<Time> = asg.loads();
-    let n = loads.len() as f64;
-    let makespan = loads.iter().copied().max().unwrap_or(0);
-    let min_load = loads.iter().copied().min().unwrap_or(0);
-    let sum: f64 = loads.iter().map(|&l| l as f64).sum();
+    let n = asg.num_machines() as f64;
+    let makespan = asg.makespan();
+    let min_load = asg.loads_iter().min().unwrap_or(0);
+    let sum: f64 = asg.loads_iter().map(|l| l as f64).sum();
     let mean = sum / n;
-    let var = loads
-        .iter()
-        .map(|&l| (l as f64 - mean).powi(2))
+    let var = asg
+        .loads_iter()
+        .map(|l| (l as f64 - mean).powi(2))
         .sum::<f64>()
         / n;
     let load_cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
-    let sum_sq: f64 = loads.iter().map(|&l| (l as f64).powi(2)).sum();
+    let sum_sq: f64 = asg.loads_iter().map(|l| (l as f64).powi(2)).sum();
     let jain_fairness = if sum_sq > 0.0 {
         sum * sum / (n * sum_sq)
     } else {

@@ -136,6 +136,101 @@ proptest! {
         prop_assert_eq!(met.makespan, asg.makespan());
     }
 
+    /// The tree-backed queries (`makespan`, `makespan_machine`,
+    /// `min_loaded_machine`, `min_loaded_in`, `total_work`) stay exactly
+    /// equivalent to naive full scans — including tie-breaking — across
+    /// arbitrary interleavings of `move_job`, `set_pair`, and
+    /// offline-mask toggles.
+    #[test]
+    fn load_index_matches_naive_scans(
+        (inst, ops) in small_dense().prop_flat_map(|inst| {
+            let ops = proptest::collection::vec(
+                (0u8..=2, 0u32..64, 0u32..64),
+                0..40,
+            );
+            (Just(inst), ops)
+        }),
+    ) {
+        let m = inst.num_machines();
+        let n = inst.num_jobs();
+        let mut asg = Assignment::round_robin(&inst);
+        let mut active = vec![true; m];
+        for (kind, a, b) in ops {
+            match kind {
+                0 if n > 0 => {
+                    asg.move_job(
+                        &inst,
+                        JobId::from_idx(a as usize % n),
+                        MachineId::from_idx(b as usize % m),
+                    );
+                }
+                1 => {
+                    let m1 = a as usize % m;
+                    let m2 = b as usize % m;
+                    if m1 != m2 {
+                        // Deterministic re-split: alternate the union.
+                        let union: Vec<JobId> = asg
+                            .jobs_on(MachineId::from_idx(m1))
+                            .iter()
+                            .chain(asg.jobs_on(MachineId::from_idx(m2)).iter())
+                            .copied()
+                            .collect();
+                        let jobs1: Vec<JobId> =
+                            union.iter().copied().step_by(2).collect();
+                        let jobs2: Vec<JobId> =
+                            union.iter().copied().skip(1).step_by(2).collect();
+                        asg.set_pair(
+                            &inst,
+                            MachineId::from_idx(m1),
+                            MachineId::from_idx(m2),
+                            jobs1,
+                            jobs2,
+                        );
+                    }
+                }
+                2 => {
+                    let mi = a as usize % m;
+                    active[mi] = !active[mi];
+                    asg.set_machine_active(MachineId::from_idx(mi), active[mi]);
+                }
+                _ => {}
+            }
+            prop_assert!(asg.validate(&inst).is_ok());
+            // Naive references, scanning the saturated loads directly.
+            let loads: Vec<Time> = asg.loads();
+            prop_assert_eq!(
+                asg.makespan(),
+                loads.iter().copied().max().unwrap_or(0)
+            );
+            let arg_max = loads
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &l)| l)
+                .map(|(i, _)| MachineId::from_idx(i))
+                .unwrap();
+            prop_assert_eq!(asg.makespan_machine(), arg_max);
+            if let Some(arg_min) = loads
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| active[i])
+                .min_by_key(|(_, &l)| l)
+                .map(|(i, _)| MachineId::from_idx(i))
+            {
+                prop_assert_eq!(asg.min_loaded_machine(), arg_min);
+            }
+            let candidates: Vec<MachineId> =
+                (0..m).step_by(2).map(MachineId::from_idx).collect();
+            let naive_in = candidates
+                .iter()
+                .copied()
+                .filter(|mm| active[mm.idx()])
+                .min_by_key(|mm| loads[mm.idx()]);
+            prop_assert_eq!(asg.min_loaded_in(&candidates), naive_in);
+            let naive_total: u128 = asg.loads_iter().map(u128::from).sum();
+            prop_assert_eq!(u128::from(asg.total_work()), naive_total);
+        }
+    }
+
     /// Branch-and-bound never exceeds any concrete schedule and matches
     /// brute force.
     #[test]

@@ -1,0 +1,171 @@
+//! Emits `BENCH_simcore.json`: wall-clock timings of the load-index hot
+//! paths at the four benchmark sizes, as a perf baseline future changes
+//! regress against.
+//!
+//! Three measurements per machine count m ∈ {10², 10³, 10⁴, 10⁵}:
+//!
+//! * **query** — `Assignment::makespan()` (O(1) via the tournament-tree
+//!   index) vs the naive O(m) load rescan it replaced;
+//! * **update** — one `Assignment::move_job` (O(log m) index repair);
+//! * **round** — one full gossip round with a per-round-sampling series
+//!   probe attached, indexed probe vs naive-rescan probe. The
+//!   acceptance criterion (≥ 5× at m = 10⁴) reads from this pair.
+//!
+//! Usage: `bench-report [--quick] [--out PATH]`. `--quick` shrinks the
+//! iteration counts for CI smoke runs (the JSON shape is unchanged).
+
+use lb_core::EctPairBalance;
+use lb_distsim::gossip::GossipProtocol;
+use lb_distsim::probe::{Probe, ProbeHub, SeriesProbe, StopReason};
+use lb_distsim::protocol::drive;
+use lb_distsim::simcore::SimCore;
+use lb_distsim::PairSchedule;
+use lb_model::prelude::*;
+use lb_workloads::uniform::paper_uniform;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: &[usize] = &[100, 1_000, 10_000, 100_000];
+
+struct Config {
+    query_iters: u64,
+    update_iters: u64,
+    rounds: u64,
+    round_reps: u64,
+    out: String,
+}
+
+fn naive_makespan(asg: &Assignment) -> Time {
+    asg.loads_iter().max().unwrap_or(0)
+}
+
+/// Per-round naive O(m) sampling, reproducing the pre-index probe cost.
+struct NaiveSeriesProbe {
+    last: Time,
+}
+
+impl Probe for NaiveSeriesProbe {
+    fn after_round(&mut self, core: &SimCore) -> Option<StopReason> {
+        self.last = naive_makespan(core.asg);
+        None
+    }
+}
+
+fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn run_rounds(inst: &Instance, asg: &mut Assignment, probe: &mut dyn Probe, rounds: u64) {
+    let mut core = SimCore::new(inst, asg, 3);
+    let mut protocol = GossipProtocol::new(&EctPairBalance, PairSchedule::UniformRandom);
+    let mut hub = ProbeHub::new();
+    hub.push(probe);
+    drive(&mut core, &mut protocol, &mut hub, rounds);
+}
+
+fn measure_size(m: usize, cfg: &Config) -> serde_json::Value {
+    let inst = paper_uniform(m, 2 * m, 42);
+    let mut asg = Assignment::round_robin(&inst);
+
+    let query_indexed_ns = time_per_iter(cfg.query_iters, || {
+        black_box(asg.makespan());
+    });
+    let query_naive_ns = time_per_iter(cfg.query_iters, || {
+        black_box(naive_makespan(&asg));
+    });
+
+    let n = inst.num_jobs();
+    let mut i = 0usize;
+    let update_ns = time_per_iter(cfg.update_iters, || {
+        let job = JobId::from_idx(i % n);
+        let to = MachineId::from_idx((i * 7 + 1) % m);
+        asg.move_job(&inst, job, to);
+        i += 1;
+    });
+
+    let start = Assignment::round_robin(&inst);
+    let round_indexed_ns = time_per_iter(cfg.round_reps, || {
+        let mut work = start.clone();
+        let mut probe = SeriesProbe::with_round_budget(1, cfg.rounds);
+        run_rounds(&inst, &mut work, &mut probe, cfg.rounds);
+        black_box(probe.best);
+    }) / cfg.rounds as f64;
+    let round_naive_ns = time_per_iter(cfg.round_reps, || {
+        let mut work = start.clone();
+        let mut probe = NaiveSeriesProbe { last: 0 };
+        run_rounds(&inst, &mut work, &mut probe, cfg.rounds);
+        black_box(probe.last);
+    }) / cfg.rounds as f64;
+
+    let round_speedup = round_naive_ns / round_indexed_ns.max(1e-9);
+    eprintln!(
+        "m={m}: query {query_indexed_ns:.1} ns (naive {query_naive_ns:.1} ns), \
+         update {update_ns:.1} ns, round {round_indexed_ns:.1} ns \
+         (naive {round_naive_ns:.1} ns, {round_speedup:.1}x)"
+    );
+
+    json!({
+        "machines": m,
+        "jobs": 2 * m,
+        "query_indexed_ns": query_indexed_ns,
+        "query_naive_ns": query_naive_ns,
+        "query_speedup": query_naive_ns / query_indexed_ns.max(1e-9),
+        "update_move_job_ns": update_ns,
+        "round_indexed_ns": round_indexed_ns,
+        "round_naive_ns": round_naive_ns,
+        "round_speedup": round_speedup,
+    })
+}
+
+fn main() {
+    let mut cfg = Config {
+        query_iters: 2_000_000,
+        update_iters: 1_000_000,
+        // Enough rounds that the per-rep assignment clone (O(m)
+        // allocations) amortizes to noise against the per-round cost.
+        rounds: 8_192,
+        round_reps: 3,
+        out: "BENCH_simcore.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                cfg.query_iters = 50_000;
+                cfg.update_iters = 50_000;
+                cfg.rounds = 64;
+                cfg.round_reps = 2;
+            }
+            "--out" => {
+                cfg.out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    eprintln!("usage: bench-report [--quick] [--out PATH]");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench-report [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sizes: Vec<serde_json::Value> = SIZES.iter().map(|&m| measure_size(m, &cfg)).collect();
+    let report = json!({
+        "suite": "simcore",
+        "unit": "ns",
+        "rounds_per_rep": cfg.rounds,
+        "sizes": sizes,
+    });
+    // `Display` (with `{:#}` for pretty) works under both the real
+    // serde_json and the offline stub, unlike `to_string_pretty`.
+    let rendered = format!("{report:#}\n");
+    std::fs::write(&cfg.out, &rendered).expect("write report");
+    eprintln!("wrote {}", cfg.out);
+}
