@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the message-passing network simulator.
+//!
+//! The event loop is the net layer's hot path: every message is a heap
+//! push/pop plus an agent state transition, and a figure run processes
+//! hundreds of thousands of them. These benches size (a) raw event
+//! throughput on a perfect network, (b) the surcharge of fault
+//! injection (drop/duplicate rolls and retry traffic), and (c) a full
+//! run to quiescence, the unit a latency/drop sweep repeats per cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::Dlb2cBalance;
+use lb_net::{run_net, FaultPlan, LatencyModel, NetConfig};
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use std::hint::black_box;
+
+/// A fixed exchange budget isolates event-loop cost from convergence
+/// speed: every iteration processes the same amount of protocol work.
+fn capped(seed: u64) -> NetConfig {
+    NetConfig {
+        max_exchanges: 2_000,
+        quiescence_window: 0,
+        seed,
+        ..NetConfig::default()
+    }
+}
+
+fn bench_net_exchanges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net-2k-exchanges");
+    g.sample_size(20);
+    for &(m1, m2, jobs) in &[(16usize, 8usize, 192usize), (64, 32, 768)] {
+        let inst = paper_two_cluster(m1, m2, jobs, 5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m1}+{m2}x{jobs}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut asg = random_assignment(inst, 9);
+                    black_box(run_net(inst, &mut asg, &Dlb2cBalance, &capped(1)))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_net_faults(c: &mut Criterion) {
+    // Same exchange budget under increasing loss: measures what the
+    // fault rolls and the retry/timeout machinery add per useful unit
+    // of work.
+    let mut g = c.benchmark_group("net-2k-exchanges-lossy");
+    g.sample_size(10);
+    let inst = paper_two_cluster(16, 8, 192, 5);
+    for drop in [0u16, 150, 300] {
+        g.bench_with_input(BenchmarkId::from_parameter(drop), &drop, |b, &drop| {
+            b.iter(|| {
+                let mut asg = random_assignment(&inst, 9);
+                let cfg = NetConfig {
+                    latency: LatencyModel::UniformJitter { min: 1, max: 9 },
+                    faults: FaultPlan::with_drop(drop),
+                    ..capped(1)
+                };
+                black_box(run_net(&inst, &mut asg, &Dlb2cBalance, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_net_to_quiescence(c: &mut Criterion) {
+    // The sweep unit: one full run to the quiescence stop on the
+    // paper's workload, perfect network.
+    let mut g = c.benchmark_group("net-to-quiescence");
+    g.sample_size(10);
+    let inst = paper_two_cluster(16, 8, 192, 5);
+    g.bench_function("16+8x192", |b| {
+        b.iter(|| {
+            let mut asg = random_assignment(&inst, 9);
+            let cfg = NetConfig {
+                seed: 1,
+                ..NetConfig::default()
+            };
+            black_box(run_net(&inst, &mut asg, &Dlb2cBalance, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_net_exchanges,
+    bench_net_faults,
+    bench_net_to_quiescence
+);
+criterion_main!(benches);

@@ -39,7 +39,8 @@ fn main() {
             let inst = paper_two_cluster(16, 8, 240, 300 + r);
             let mut asg = random_assignment(&inst, 400 + r);
             let plan = ChurnPlan::one_blip(MachineId(0), fail_at, rejoin_at);
-            let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, total, 500 + r, 50);
+            let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, total, 500 + r, 50)
+                .expect("one-blip plan always leaves survivors");
 
             // Pre-failure equilibrium level: the minimum before the event.
             let pre: Time = run

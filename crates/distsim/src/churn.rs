@@ -64,6 +64,10 @@ pub struct ChurnRun {
 /// survivors (the default [`crate::protocol::Protocol::on_topology_event`]
 /// behavior). Uses [`PairSchedule::UniformRandom`]; embedders wanting
 /// another schedule or probe set compose `drive_with_plan` directly.
+///
+/// Errors when the plan cannot be absorbed (e.g. it fails the last
+/// online machine while it still holds jobs:
+/// [`lb_model::LbError::NoOnlineMachines`]).
 pub fn run_with_churn(
     inst: &Instance,
     asg: &mut Assignment,
@@ -72,7 +76,7 @@ pub fn run_with_churn(
     total_rounds: u64,
     seed: u64,
     record_every: u64,
-) -> ChurnRun {
+) -> Result<ChurnRun> {
     let mut core = SimCore::new(inst, asg, seed);
     let mut series = SeriesProbe::with_round_budget(record_every, total_rounds);
     let mut topo = TopologyProbe::new();
@@ -80,14 +84,14 @@ pub fn run_with_churn(
     {
         let mut hub = ProbeHub::new();
         hub.push(&mut series).push(&mut topo);
-        drive_with_plan(&mut core, &mut protocol, &mut hub, total_rounds, plan);
+        drive_with_plan(&mut core, &mut protocol, &mut hub, total_rounds, plan)?;
     }
-    ChurnRun {
+    Ok(ChurnRun {
         final_makespan: asg.makespan(),
         makespan_series: series.series,
         applied_events: topo.applied,
         jobs_scattered: topo.jobs_scattered,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -103,7 +107,7 @@ mod tests {
         let inst = paper_two_cluster(6, 3, 90, 4);
         let mut asg = random_assignment(&inst, 5);
         let plan = ChurnPlan::one_blip(MachineId(0), 2_000, 4_000);
-        let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, 10_000, 7, 100);
+        let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, 10_000, 7, 100).unwrap();
         assert_eq!(run.applied_events.len(), 2);
         assert!(
             run.jobs_scattered > 0,
@@ -127,11 +131,26 @@ mod tests {
     }
 
     #[test]
+    fn killing_every_machine_surfaces_an_error() {
+        let inst = paper_two_cluster(2, 1, 12, 4);
+        let mut asg = random_assignment(&inst, 5);
+        let plan = ChurnPlan {
+            events: vec![
+                (10, ChurnEvent::Fail(MachineId(0))),
+                (20, ChurnEvent::Fail(MachineId(1))),
+                (30, ChurnEvent::Fail(MachineId(2))),
+            ],
+        };
+        let err = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, 1_000, 7, 0).unwrap_err();
+        assert_eq!(err, LbError::NoOnlineMachines);
+    }
+
+    #[test]
     fn no_events_equals_plain_gossip() {
         let inst = paper_two_cluster(4, 2, 36, 8);
         let plan = ChurnPlan { events: vec![] };
         let mut a = random_assignment(&inst, 9);
-        let run = run_with_churn(&inst, &mut a, &Dlb2cBalance, &plan, 3_000, 11, 0);
+        let run = run_with_churn(&inst, &mut a, &Dlb2cBalance, &plan, 3_000, 11, 0).unwrap();
         let mut b = random_assignment(&inst, 9);
         let cfg = GossipConfig {
             max_rounds: 3_000,
@@ -151,7 +170,7 @@ mod tests {
         let inst = paper_two_cluster(4, 2, 36, 1);
         let mut asg = random_assignment(&inst, 2);
         let plan = ChurnPlan::one_blip(MachineId(1), 500, 900);
-        let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, 2_000, 3, 50);
+        let run = run_with_churn(&inst, &mut asg, &Dlb2cBalance, &plan, 2_000, 3, 50).unwrap();
         let rounds: Vec<u64> = run.makespan_series.iter().map(|&(r, _)| r).collect();
         assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "{rounds:?}");
         // The two events each forced a sample.

@@ -256,20 +256,22 @@ impl Protocol for DynamicProtocol<'_, '_> {
 
     /// Queue-based churn: a failing machine's *queued* jobs scatter to
     /// online survivors' queues; its in-flight job completes normally.
-    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> u64 {
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> Result<u64> {
         match ev {
             TopologyEvent::Fail(machine) => {
                 let survivors = core.topology.online_machines();
-                assert!(!survivors.is_empty(), "cannot fail the last machine");
+                if survivors.is_empty() && !self.queued[machine.idx()].is_empty() {
+                    return Err(LbError::NoOnlineMachines);
+                }
                 let jobs: Vec<JobId> = std::mem::take(&mut self.queued[machine.idx()]);
                 let scattered = jobs.len() as u64;
                 for j in jobs {
                     let target = survivors[core.rng.gen_range(0..survivors.len())];
                     self.queued[target.idx()].push(j);
                 }
-                scattered
+                Ok(scattered)
             }
-            TopologyEvent::Rejoin(_) => 0,
+            TopologyEvent::Rejoin(_) => Ok(0),
         }
     }
 }

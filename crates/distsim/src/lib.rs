@@ -59,8 +59,9 @@ pub use dynamic::{simulate_dynamic, Arrival, DynamicConfig, DynamicProtocol, Dyn
 pub use engine::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
 pub use gossip::GossipProtocol;
 pub use probe::{
-    CycleProbe, ExchangeProbe, ExchangeStats, MigrationProbe, Probe, ProbeHub, QuiescenceProbe,
-    SeriesProbe, SimEvent, StopReason, ThresholdProbe, TopologyProbe,
+    CycleProbe, ExchangeProbe, ExchangeStats, MigrationProbe, MsgKind, NetMsgProbe, NetMsgStats,
+    Probe, ProbeHub, QuiescenceProbe, SeriesProbe, SimEvent, StopReason, ThresholdProbe,
+    TopologyProbe,
 };
 pub use protocol::{drive, drive_with_plan, DriveResult, Protocol, StepOutcome};
 pub use replicate::{fan_out, replicate};

@@ -31,6 +31,56 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
+/// The wire-level kind of a message in the event-driven network layer
+/// (`lb-net`), mirrored here so probes can account for traffic without
+/// depending on that crate. The kinds cover the load-probe handshake and
+/// the three-phase job-transfer exchange (offer / accept-or-reject /
+/// commit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A load query (the "how loaded are you?" half of gossip).
+    ProbeRequest,
+    /// The queried machine's load snapshot (stale by one latency).
+    ProbeResponse,
+    /// A job-transfer offer: the sender proposes a pairwise exchange.
+    Offer,
+    /// The target locks itself to the exchange and accepts.
+    Accept,
+    /// The target is busy (or offline logic rejected); try elsewhere.
+    Reject,
+    /// The initiator finalizes the exchange and releases the target.
+    Commit,
+}
+
+impl MsgKind {
+    /// Number of message kinds (array-index bound for per-kind counters).
+    pub const COUNT: usize = 6;
+
+    /// Dense index for per-kind counter arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            MsgKind::ProbeRequest => 0,
+            MsgKind::ProbeResponse => 1,
+            MsgKind::Offer => 2,
+            MsgKind::Accept => 3,
+            MsgKind::Reject => 4,
+            MsgKind::Commit => 5,
+        }
+    }
+
+    /// Short stable name (CSV column suffixes, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::ProbeRequest => "probe_req",
+            MsgKind::ProbeResponse => "probe_resp",
+            MsgKind::Offer => "offer",
+            MsgKind::Accept => "accept",
+            MsgKind::Reject => "reject",
+            MsgKind::Commit => "commit",
+        }
+    }
+}
+
 /// Something a protocol did this round, announced to the probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimEvent {
@@ -63,6 +113,35 @@ pub enum SimEvent {
         event: TopologyEvent,
         /// Jobs the protocol re-homed in response (scattered on failure).
         jobs_scattered: u64,
+    },
+    /// A message was handed to the network (emitted at send time by the
+    /// event-driven net layer; delivery may still fail).
+    MsgSent {
+        /// Sending machine.
+        from: MachineId,
+        /// Destination machine.
+        to: MachineId,
+        /// Wire-level kind.
+        kind: MsgKind,
+    },
+    /// The network lost a message: random drop, a severed partition
+    /// link, or delivery to an offline machine.
+    MsgDropped {
+        /// Sending machine.
+        from: MachineId,
+        /// Destination machine.
+        to: MachineId,
+        /// Wire-level kind.
+        kind: MsgKind,
+    },
+    /// A pending request (or an accepted exchange's lease) timed out.
+    ExchangeTimedOut {
+        /// The machine whose request expired.
+        agent: MachineId,
+        /// The peer it was waiting on.
+        peer: MachineId,
+        /// Retry attempt that expired (0 = first try).
+        attempt: u32,
     },
 }
 
@@ -536,6 +615,58 @@ impl Probe for MigrationProbe {
             } => self.exchanged += jobs_moved,
             SimEvent::Steal { jobs_moved, .. } => self.stolen += jobs_moved,
             SimEvent::Topology { jobs_scattered, .. } => self.scattered += jobs_scattered,
+            _ => {}
+        }
+    }
+}
+
+/// Aggregate message accounting for the event-driven network layer
+/// (`lb-net`): totals plus per-[`MsgKind`] sent counts. The net
+/// simulator emits [`SimEvent::MsgSent`] / [`SimEvent::MsgDropped`] /
+/// [`SimEvent::ExchangeTimedOut`]; this shape is shared with `lb-stats`
+/// reporting so CLI and bench output cannot drift apart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetMsgStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages the network lost (drop, partition, offline target).
+    pub dropped: u64,
+    /// Request/lease expiries observed by agents.
+    pub timeouts: u64,
+    /// Sent messages by [`MsgKind::idx`].
+    pub sent_by_kind: [u64; MsgKind::COUNT],
+}
+
+impl NetMsgStats {
+    /// Messages that reached their destination (sent minus dropped).
+    pub fn delivered(&self) -> u64 {
+        self.sent.saturating_sub(self.dropped)
+    }
+}
+
+/// Counts network-layer message events (see [`NetMsgStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct NetMsgProbe {
+    /// The running totals.
+    pub stats: NetMsgStats,
+}
+
+impl NetMsgProbe {
+    /// A zeroed message probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Probe for NetMsgProbe {
+    fn observe(&mut self, _core: &SimCore, ev: &SimEvent) {
+        match *ev {
+            SimEvent::MsgSent { kind, .. } => {
+                self.stats.sent += 1;
+                self.stats.sent_by_kind[kind.idx()] += 1;
+            }
+            SimEvent::MsgDropped { .. } => self.stats.dropped += 1,
+            SimEvent::ExchangeTimedOut { .. } => self.stats.timeouts += 1,
             _ => {}
         }
     }

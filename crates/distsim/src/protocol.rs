@@ -75,7 +75,10 @@ pub trait Protocol {
     fn step(&mut self, core: &mut SimCore, probes: &mut ProbeHub) -> StepOutcome;
 
     /// Reacts to a topology event (the driver has already flipped the
-    /// online flag). Returns the number of jobs re-homed.
+    /// online flag). Returns the number of jobs re-homed, or an error
+    /// when re-homing is impossible (e.g. [`LbError::NoOnlineMachines`]
+    /// when a plan kills the last machine) — the driver surfaces it
+    /// instead of crashing.
     ///
     /// The default implements assignment-based churn, matching the
     /// `ext_churn` semantics for gossip-style protocols: on failure the
@@ -83,20 +86,24 @@ pub trait Protocol {
     /// `core.rng`) to online survivors; a rejoin needs no state change.
     /// Queue-based protocols (work stealing, dynamic arrivals) override
     /// this to re-home their queued jobs instead.
-    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> u64 {
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> Result<u64> {
         match ev {
             TopologyEvent::Fail(machine) => scatter_assigned_jobs(core, machine),
-            TopologyEvent::Rejoin(_) => 0,
+            TopologyEvent::Rejoin(_) => Ok(0),
         }
     }
 }
 
 /// Scatters `machine`'s assigned jobs uniformly at random to online
 /// survivors, as a replicated-storage runtime would re-materialize them.
-/// Returns the number of jobs moved.
-pub fn scatter_assigned_jobs(core: &mut SimCore, machine: MachineId) -> u64 {
+/// Returns the number of jobs moved, or [`LbError::NoOnlineMachines`]
+/// when no survivor is left to take them (a fault/topology plan that
+/// failed every machine).
+pub fn scatter_assigned_jobs(core: &mut SimCore, machine: MachineId) -> Result<u64> {
     let survivors = core.topology.online_machines();
-    assert!(!survivors.is_empty(), "cannot fail the last machine");
+    if survivors.is_empty() && !core.asg.jobs_on(machine).is_empty() {
+        return Err(LbError::NoOnlineMachines);
+    }
     let jobs: Vec<JobId> = core.asg.jobs_on(machine).to_vec();
     let mut scattered = 0u64;
     for j in jobs {
@@ -104,7 +111,7 @@ pub fn scatter_assigned_jobs(core: &mut SimCore, machine: MachineId) -> u64 {
         core.asg.move_job(core.inst, j, target);
         scattered += 1;
     }
-    scattered
+    Ok(scattered)
 }
 
 /// Result of a driven run.
@@ -118,6 +125,9 @@ pub struct DriveResult {
 
 /// Drives `protocol` for up to `max_rounds` rounds with no topology
 /// churn. See [`drive_with_plan`].
+///
+/// Infallible: with an empty plan no topology event fires, so the only
+/// error source in [`drive_with_plan`] is unreachable.
 pub fn drive(
     core: &mut SimCore,
     protocol: &mut dyn Protocol,
@@ -125,6 +135,7 @@ pub fn drive(
     max_rounds: u64,
 ) -> DriveResult {
     drive_with_plan(core, protocol, probes, max_rounds, &TopologyPlan::empty())
+        .expect("a drive without topology events cannot fail")
 }
 
 /// Drives `protocol` for up to `max_rounds` rounds, applying `plan`'s
@@ -132,13 +143,17 @@ pub fn drive(
 /// scheduled at or past the stopping round are applied after the loop
 /// (matching the segmented churn runner this replaces), so every event
 /// is always accounted for.
+///
+/// Errors when a topology event cannot be absorbed — e.g. a plan that
+/// fails the last online machine while it still holds jobs surfaces
+/// [`LbError::NoOnlineMachines`] instead of crashing the process.
 pub fn drive_with_plan(
     core: &mut SimCore,
     protocol: &mut dyn Protocol,
     probes: &mut ProbeHub,
     max_rounds: u64,
     plan: &TopologyPlan,
-) -> DriveResult {
+) -> Result<DriveResult> {
     debug_assert!(
         plan.events.windows(2).all(|w| w[0].0 <= w[1].0),
         "topology events sorted by round"
@@ -149,7 +164,7 @@ pub fn drive_with_plan(
     let mut next_event = 0usize;
     for round in 0..max_rounds {
         while next_event < plan.events.len() && plan.events[next_event].0 <= round {
-            apply_topology_event(core, protocol, probes, plan.events[next_event].1);
+            apply_topology_event(core, protocol, probes, plan.events[next_event].1)?;
             next_event += 1;
         }
         if let Some(stop) = probes.before_round(core) {
@@ -170,14 +185,14 @@ pub fn drive_with_plan(
         }
     }
     while next_event < plan.events.len() {
-        apply_topology_event(core, protocol, probes, plan.events[next_event].1);
+        apply_topology_event(core, protocol, probes, plan.events[next_event].1)?;
         next_event += 1;
     }
     probes.on_finish(core);
-    DriveResult {
+    Ok(DriveResult {
         rounds_run: core.round,
         outcome,
-    }
+    })
 }
 
 fn apply_topology_event(
@@ -185,12 +200,12 @@ fn apply_topology_event(
     protocol: &mut dyn Protocol,
     probes: &mut ProbeHub,
     ev: TopologyEvent,
-) {
+) -> Result<()> {
     match ev {
         TopologyEvent::Fail(machine) => core.set_online(machine, false),
         TopologyEvent::Rejoin(machine) => core.set_online(machine, true),
     }
-    let jobs_scattered = protocol.on_topology_event(core, ev);
+    let jobs_scattered = protocol.on_topology_event(core, ev)?;
     probes.emit(
         core,
         &SimEvent::Topology {
@@ -198,6 +213,7 @@ fn apply_topology_event(
             jobs_scattered,
         },
     );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -236,7 +252,7 @@ mod tests {
         let plan = TopologyPlan {
             events: vec![(100, TopologyEvent::Fail(MachineId(0)))],
         };
-        let res = drive_with_plan(&mut core, &mut Inert, &mut hub, 5, &plan);
+        let res = drive_with_plan(&mut core, &mut Inert, &mut hub, 5, &plan).unwrap();
         assert_eq!(res.rounds_run, 5);
         assert_eq!(topo.applied, vec![(5, TopologyEvent::Fail(MachineId(0)))]);
         // Machine 0 held all three jobs; the default handler scattered
@@ -265,5 +281,35 @@ mod tests {
         let res = drive(&mut core, &mut StopAtThree(3), &mut hub, 100);
         assert_eq!(res.rounds_run, 3);
         assert_eq!(res.outcome, RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn failing_last_machine_is_an_error_not_a_panic() {
+        let inst = Instance::uniform(2, vec![1, 2, 3]).unwrap();
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let mut core = SimCore::new(&inst, &mut asg, 0);
+        let mut hub = ProbeHub::new();
+        let plan = TopologyPlan {
+            events: vec![
+                (1, TopologyEvent::Fail(MachineId(1))),
+                (2, TopologyEvent::Fail(MachineId(0))),
+            ],
+        };
+        let err = drive_with_plan(&mut core, &mut Inert, &mut hub, 10, &plan).unwrap_err();
+        assert_eq!(err, LbError::NoOnlineMachines);
+    }
+
+    #[test]
+    fn failing_empty_last_machine_is_fine() {
+        // With no jobs to re-home, losing the last machine is absorbable.
+        let inst = Instance::uniform(1, vec![]).unwrap();
+        let mut asg = Assignment::from_vec(&inst, vec![]).unwrap();
+        let mut core = SimCore::new(&inst, &mut asg, 0);
+        let mut hub = ProbeHub::new();
+        let plan = TopologyPlan {
+            events: vec![(1, TopologyEvent::Fail(MachineId(0)))],
+        };
+        let res = drive_with_plan(&mut core, &mut Inert, &mut hub, 3, &plan).unwrap();
+        assert_eq!(res.rounds_run, 3);
     }
 }

@@ -277,25 +277,27 @@ impl Protocol for WorkStealProtocol {
     /// online survivors' queues (its in-flight job still completes); a
     /// rejoining machine re-enters the steal loop immediately. The
     /// assignment is left untouched — it stays the initial distribution.
-    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> u64 {
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> Result<u64> {
         match ev {
             TopologyEvent::Fail(machine) => {
                 let survivors = core.topology.online_machines();
-                assert!(!survivors.is_empty(), "cannot fail the last machine");
+                if survivors.is_empty() && !self.queues[machine.idx()].is_empty() {
+                    return Err(LbError::NoOnlineMachines);
+                }
                 let jobs: Vec<JobId> = self.queues[machine.idx()].drain(..).collect();
                 let scattered = jobs.len() as u64;
                 for j in jobs {
                     let target = survivors[core.rng.gen_range(0..survivors.len())];
                     self.queues[target.idx()].push_back(j);
                 }
-                scattered
+                Ok(scattered)
             }
             TopologyEvent::Rejoin(_) => {
                 // The machine is (or will be, once its last pre-failure
                 // job completes) in the idle list; let it steal now.
                 let mut hub = ProbeHub::new();
                 self.attempt_steals(core, &mut hub);
-                0
+                Ok(0)
             }
         }
     }

@@ -80,7 +80,7 @@ fn churn_composes_with_work_stealing() {
     {
         let mut hub = ProbeHub::new();
         hub.push(&mut topo).push(&mut migration);
-        drive_with_plan(&mut core, &mut protocol, &mut hub, u64::MAX, &plan);
+        drive_with_plan(&mut core, &mut protocol, &mut hub, u64::MAX, &plan).unwrap();
     }
     assert_eq!(topo.applied.len(), 2, "both blip events applied");
     assert_eq!(
@@ -114,7 +114,7 @@ fn churn_composes_with_dynamic_arrivals() {
     {
         let mut hub = ProbeHub::new();
         hub.push(&mut topo);
-        drive_with_plan(&mut core, &mut protocol, &mut hub, u64::MAX, &plan);
+        drive_with_plan(&mut core, &mut protocol, &mut hub, u64::MAX, &plan).unwrap();
     }
     assert_eq!(topo.applied.len(), 2);
     let res = protocol.into_result();
@@ -186,7 +186,7 @@ fn offline_machines_never_selected_as_victims() {
     let mut core = SimCore::new(&inst, &mut asg, 8);
     let mut protocol = GossipProtocol::new(&EctPairBalance, PairSchedule::UniformRandom);
     let mut hub = ProbeHub::new();
-    drive_with_plan(&mut core, &mut protocol, &mut hub, 50, &plan);
+    drive_with_plan(&mut core, &mut protocol, &mut hub, 50, &plan).unwrap();
     // The failure has fired (round 5): machine 2 is offline and was
     // scattered empty.
     assert!(!core.topology.is_online(MachineId(2)));
@@ -248,7 +248,7 @@ fn load_index_tracks_naive_scans_through_churn() {
     let mut check = ScanCheck;
     let mut hub = ProbeHub::new();
     hub.push(&mut check);
-    drive_with_plan(&mut core, &mut protocol, &mut hub, 200, &plan);
+    drive_with_plan(&mut core, &mut protocol, &mut hub, 200, &plan).unwrap();
     assert!(asg.validate(&inst).is_ok());
 }
 

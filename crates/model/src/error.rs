@@ -59,6 +59,9 @@ pub enum LbError {
     /// The incremental load index (tournament trees / cached total) has
     /// drifted from the load vector it summarizes.
     IndexOutOfSync,
+    /// A topology event (or fault plan) left no machine online, so work
+    /// cannot be re-homed (e.g. the last machine failed).
+    NoOnlineMachines,
 }
 
 impl fmt::Display for LbError {
@@ -113,6 +116,9 @@ impl fmt::Display for LbError {
             LbError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             LbError::IndexOutOfSync => {
                 write!(f, "incremental load index disagrees with the load vector")
+            }
+            LbError::NoOnlineMachines => {
+                write!(f, "no machine is online to take over the re-homed work")
             }
         }
     }

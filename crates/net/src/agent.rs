@@ -1,0 +1,147 @@
+//! Per-machine agent state.
+//!
+//! Each machine runs one [`Agent`]: a small state machine over the
+//! exchange handshake. The states mirror the message flow
+//!
+//! ```text
+//! initiator                         target
+//!   Idle --ProbeRequest-->            (any state: replies with load)
+//!   AwaitProbe <--ProbeResponse--
+//!   AwaitProbe --Offer-->             Idle | Engaged(same initiator)
+//!   AwaitAccept <--Accept--           Engaged (lease armed)
+//!   (balance applied)
+//!   Idle --Commit-->                  Idle (lease released)
+//! ```
+//!
+//! Every transition bumps the agent's `epoch`, invalidating any timer
+//! scheduled for the previous state; the timer that *is* armed depends
+//! on the state (think pause when `Idle`, request timeout when awaiting,
+//! lease expiry when `Engaged`). All recovery paths — lost probe, lost
+//! offer, lost accept, lost commit — are timer-driven, so no message
+//! needs to be reliable.
+
+use lb_model::prelude::*;
+
+/// What an agent is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentState {
+    /// The machine is offline (failed); it ignores everything until a
+    /// rejoin event revives it.
+    Offline,
+    /// Between exchanges; the armed timer is the next initiation wake.
+    Idle,
+    /// Sent a `ProbeRequest` to `peer`; waiting for its load.
+    AwaitProbe {
+        /// The probed peer.
+        peer: MachineId,
+        /// Serial of the outstanding request.
+        serial: u64,
+        /// Retry attempt (0 = first try).
+        attempt: u32,
+    },
+    /// Sent an `Offer` to `peer`; waiting for `Accept` or `Reject`.
+    AwaitAccept {
+        /// The offered peer.
+        peer: MachineId,
+        /// Serial of the outstanding offer.
+        serial: u64,
+        /// Retry attempt (0 = first try).
+        attempt: u32,
+    },
+    /// Accepted `peer`'s offer and holds the exchange lease until the
+    /// matching `Commit` arrives (or the lease expires).
+    Engaged {
+        /// The exchange initiator this agent is locked to.
+        peer: MachineId,
+        /// Serial of the accepted offer.
+        serial: u64,
+    },
+}
+
+/// One machine's protocol engine state.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    /// Current state.
+    pub state: AgentState,
+    /// Timer-invalidation counter: a timer fires only when its recorded
+    /// epoch still equals this.
+    pub epoch: u64,
+    /// Next request serial this agent will mint as initiator.
+    pub next_serial: u64,
+}
+
+impl Agent {
+    /// A fresh idle agent.
+    pub fn new() -> Self {
+        Self {
+            state: AgentState::Idle,
+            epoch: 0,
+            next_serial: 0,
+        }
+    }
+
+    /// Moves to `state`, invalidating all previously armed timers.
+    /// Returns the new epoch, to be recorded in the replacement timer.
+    pub fn transition(&mut self, state: AgentState) -> u64 {
+        self.state = state;
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Mints a fresh request serial.
+    pub fn fresh_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial += 1;
+        s
+    }
+
+    /// True when the agent would answer an `Offer` with `Accept`: it is
+    /// idle, or already engaged to the *same* initiator (a retried offer
+    /// after a lost `Accept` must be re-accepted, not rejected).
+    pub fn accepts_offer_from(&self, initiator: MachineId) -> bool {
+        match self.state {
+            AgentState::Idle => true,
+            AgentState::Engaged { peer, .. } => peer == initiator,
+            _ => false,
+        }
+    }
+}
+
+impl Default for Agent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_bump_epoch() {
+        let mut a = Agent::new();
+        let e1 = a.transition(AgentState::Idle);
+        let e2 = a.transition(AgentState::Offline);
+        assert!(e2 > e1);
+        assert_eq!(a.epoch, e2);
+    }
+
+    #[test]
+    fn serials_are_monotone() {
+        let mut a = Agent::new();
+        assert_eq!(a.fresh_serial(), 0);
+        assert_eq!(a.fresh_serial(), 1);
+    }
+
+    #[test]
+    fn engaged_target_reaccepts_only_its_initiator() {
+        let mut a = Agent::new();
+        assert!(a.accepts_offer_from(MachineId(3)));
+        a.transition(AgentState::Engaged {
+            peer: MachineId(3),
+            serial: 0,
+        });
+        assert!(a.accepts_offer_from(MachineId(3)));
+        assert!(!a.accepts_offer_from(MachineId(4)));
+    }
+}

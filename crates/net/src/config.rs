@@ -1,0 +1,130 @@
+//! Configuration of a network run.
+
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+use serde::{Deserialize, Serialize};
+
+/// All knobs of a network simulation. A run is a pure function of
+/// `(instance, initial assignment, NetConfig)` — the seed lives here so
+/// the whole tuple is one value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Message latency model.
+    pub latency: LatencyModel,
+    /// Loss / duplication / partition / churn plan.
+    pub faults: FaultPlan,
+    /// Base request timeout in ticks (clamped to `>= 1`). Attempt `a`
+    /// waits `min(timeout << a, backoff_cap)` — capped exponential
+    /// backoff.
+    pub timeout: u64,
+    /// Retries per request phase after the first attempt; retry `a` uses
+    /// a fresh [`crate::msg::ReqId`] serial so stale responses miss.
+    pub max_retries: u32,
+    /// Upper bound on a backed-off timeout.
+    pub backoff_cap: u64,
+    /// Idle pause between an agent finishing one exchange attempt and
+    /// initiating the next (clamped to `>= 1`; the initial wake of each
+    /// machine is jittered inside `[1, think_time]` to de-synchronize
+    /// the fleet).
+    pub think_time: u64,
+    /// How long an accepting target holds its exchange lease before
+    /// concluding the initiator's `Commit` was lost and releasing
+    /// itself.
+    pub lease_time: u64,
+    /// Stop after this many consecutive *completed* exchanges that moved
+    /// no job (0 disables the stop). Counting completed exchanges —
+    /// rather than wall ticks — makes the criterion robust to loss:
+    /// dropped conversations don't advance it.
+    pub quiescence_window: u64,
+    /// Hard virtual-time budget (livelock guard).
+    pub max_time: u64,
+    /// Hard message budget (livelock guard; counts send attempts).
+    pub max_msgs: u64,
+    /// Budget of completed exchanges (the net analogue of `max_rounds`).
+    pub max_exchanges: u64,
+    /// Makespan series cadence in completed exchanges (0 = first and
+    /// last sample only), as in the round-driven engine.
+    pub record_every: u64,
+    /// Base seed; the run draws from stream 0 (see
+    /// [`lb_distsim::stream_rng`]).
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::default(),
+            faults: FaultPlan::none(),
+            timeout: 32,
+            max_retries: 3,
+            backoff_cap: 256,
+            think_time: 8,
+            lease_time: 128,
+            quiescence_window: 256,
+            max_time: 4_000_000,
+            max_msgs: 4_000_000,
+            max_exchanges: u64::MAX,
+            record_every: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The timeout for retry attempt `attempt` (0 = first try):
+    /// `min(timeout << attempt, backoff_cap)`, at least 1 tick.
+    pub fn timeout_for(&self, attempt: u32) -> u64 {
+        let base = self.timeout.max(1);
+        // `checked_shl` only guards the shift amount, not bit overflow,
+        // so go through saturating multiplication instead.
+        let backed_off = if attempt >= 64 {
+            u64::MAX
+        } else {
+            base.saturating_mul(1u64 << attempt)
+        };
+        backed_off.min(self.backoff_cap.max(base)).max(1)
+    }
+
+    /// Think-time clamped to at least one tick.
+    pub fn think(&self) -> u64 {
+        self.think_time.max(1)
+    }
+
+    /// Lease clamped to at least one tick.
+    pub fn lease(&self) -> u64 {
+        self.lease_time.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let cfg = NetConfig {
+            timeout: 10,
+            backoff_cap: 35,
+            ..NetConfig::default()
+        };
+        assert_eq!(cfg.timeout_for(0), 10);
+        assert_eq!(cfg.timeout_for(1), 20);
+        assert_eq!(cfg.timeout_for(2), 35);
+        assert_eq!(cfg.timeout_for(3), 35);
+        assert_eq!(cfg.timeout_for(63), 35);
+    }
+
+    #[test]
+    fn zero_knobs_are_clamped_not_livelocked() {
+        let cfg = NetConfig {
+            timeout: 0,
+            think_time: 0,
+            lease_time: 0,
+            backoff_cap: 0,
+            ..NetConfig::default()
+        };
+        assert!(cfg.timeout_for(0) >= 1);
+        assert!(cfg.think() >= 1);
+        assert!(cfg.lease() >= 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The deterministic discrete-event queue.
+//!
+//! Every future occurrence in a network simulation — a message delivery,
+//! an agent timer — is an [`Event`] scheduled at a virtual time. The
+//! queue pops events in `(time, seq)` order, where `seq` is the global
+//! push counter: two events at the same virtual instant fire in the
+//! order they were scheduled. Since scheduling order is itself fully
+//! determined by the run's single RNG stream, a run is a pure function
+//! of `(instance, seed, NetConfig)` — the property the determinism tests
+//! in `tests/net_determinism.rs` assert across thread counts.
+
+use crate::msg::Envelope;
+use lb_model::MachineId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Something scheduled to happen at a virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A message arrives at its destination (which may have gone offline
+    /// in the meantime — the simulator then counts a drop).
+    Deliver(Envelope),
+    /// An agent timer fires: the end of an idle think pause, a request
+    /// timeout, or an exchange-lease expiry — the agent's state decides
+    /// which. Stale timers are invalidated by the epoch: the agent bumps
+    /// its epoch on every state change, so a timer scheduled for an
+    /// abandoned state misses and is ignored.
+    Timer {
+        /// The agent whose timer this is.
+        machine: MachineId,
+        /// The agent's epoch at scheduling time.
+        epoch: u64,
+    },
+}
+
+/// An event with its schedule key. Ordered by `(time, seq)` so
+/// [`BinaryHeap`] pops the earliest event, FIFO within an instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of [`Event`]s keyed by `(time, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at virtual time `time`. Events at equal times
+    /// pop in push order.
+    pub fn push(&mut self, time: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, event }));
+    }
+
+    /// Pops the earliest event as `(time, event)`, or `None` when the
+    /// simulation has run dry.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(m: usize) -> Event {
+        Event::Timer {
+            machine: MachineId::from_idx(m),
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, timer(0));
+        q.push(10, timer(1));
+        q.push(20, timer(2));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_push_order() {
+        let mut q = EventQueue::new();
+        for m in 0..5 {
+            q.push(7, timer(m));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Timer { machine, .. } => machine.idx(),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

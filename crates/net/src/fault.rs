@@ -1,0 +1,129 @@
+//! Fault injection: message loss, duplication, link partitions, churn.
+//!
+//! A [`FaultPlan`] layers network-level faults on top of the machine-level
+//! [`TopologyPlan`] the driver already understands:
+//!
+//! * **loss** — each message is dropped with `drop_permille / 1000`
+//!   probability, decided at *send* time from the run's RNG stream (so
+//!   the decision sequence, and with it the whole run, stays
+//!   deterministic);
+//! * **duplication** — each surviving message is sent twice with
+//!   `dup_permille / 1000` probability, the copies taking independent
+//!   latency samples (they may arrive out of order);
+//! * **partitions** — timed [`LinkPartition`]s sever every link between
+//!   two machine groups during a window; cross-partition sends are
+//!   dropped at send time;
+//! * **churn** — the embedded [`TopologyPlan`], whose event key is
+//!   reinterpreted as *virtual time* (the net simulator has a clock,
+//!   not rounds). Failing machines scatter their jobs to online
+//!   survivors exactly as in round-driven churn.
+
+use lb_distsim::{TopologyEvent, TopologyPlan};
+use lb_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A timed severing of all links between machine groups `a` and `b`.
+///
+/// Messages between the groups (either direction) sent during
+/// `[start, end)` are dropped; traffic within a group is unaffected.
+/// Machines in neither group are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkPartition {
+    /// First virtual time at which the partition holds.
+    pub start: u64,
+    /// First virtual time at which the partition no longer holds.
+    pub end: u64,
+    /// One side of the cut.
+    pub a: Vec<MachineId>,
+    /// The other side.
+    pub b: Vec<MachineId>,
+}
+
+impl LinkPartition {
+    /// True when a message `from -> to` sent at time `t` crosses this
+    /// partition while it is active.
+    pub fn severs(&self, t: u64, from: MachineId, to: MachineId) -> bool {
+        if t < self.start || t >= self.end {
+            return false;
+        }
+        (self.a.contains(&from) && self.b.contains(&to))
+            || (self.b.contains(&from) && self.a.contains(&to))
+    }
+}
+
+/// The full fault model of a run. [`FaultPlan::none`] (the default) is a
+/// perfect network, under which the simulator reduces to a
+/// latency-reordered gossip process.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-message drop probability in permille (0..=1000).
+    pub drop_permille: u16,
+    /// Per-message duplication probability in permille (0..=1000).
+    pub dup_permille: u16,
+    /// Timed link partitions.
+    pub partitions: Vec<LinkPartition>,
+    /// Machine fail/rejoin events keyed by **virtual time**.
+    pub topology: TopologyPlan,
+}
+
+impl FaultPlan {
+    /// A perfect network: no loss, no duplication, no partitions, no
+    /// churn.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan that only drops messages, at the given permille rate.
+    pub fn with_drop(drop_permille: u16) -> Self {
+        Self {
+            drop_permille,
+            ..Self::default()
+        }
+    }
+
+    /// True when a `from -> to` message sent at `t` crosses an active
+    /// partition.
+    pub fn partitioned(&self, t: u64, from: MachineId, to: MachineId) -> bool {
+        self.partitions.iter().any(|p| p.severs(t, from, to))
+    }
+
+    /// The topology events, validated sorted by time (mirrors the
+    /// driver's debug assertion for round-keyed plans).
+    pub fn sorted_topology_events(&self) -> &[(u64, TopologyEvent)] {
+        debug_assert!(
+            self.topology.events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "topology events sorted by time"
+        );
+        &self.topology.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_windowed_and_symmetric() {
+        let p = LinkPartition {
+            start: 10,
+            end: 20,
+            a: vec![MachineId(0)],
+            b: vec![MachineId(1)],
+        };
+        assert!(!p.severs(9, MachineId(0), MachineId(1)));
+        assert!(p.severs(10, MachineId(0), MachineId(1)));
+        assert!(p.severs(19, MachineId(1), MachineId(0)));
+        assert!(!p.severs(20, MachineId(0), MachineId(1)));
+        // Unrelated machines pass through.
+        assert!(!p.severs(15, MachineId(0), MachineId(2)));
+    }
+
+    #[test]
+    fn default_plan_is_faultless() {
+        let f = FaultPlan::none();
+        assert_eq!(f.drop_permille, 0);
+        assert_eq!(f.dup_permille, 0);
+        assert!(!f.partitioned(0, MachineId(0), MachineId(1)));
+        assert!(f.sorted_topology_events().is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Pluggable message-latency models.
+//!
+//! Latency is sampled per message at send time from the run's single RNG
+//! stream, so the model choice changes delivery *order* (and therefore
+//! the whole interleaving) while keeping every run deterministic in
+//! `(instance, seed, NetConfig)`. Samples are clamped to `>= 1` tick:
+//! a message never arrives at its own send instant, which (together
+//! with minimum think/timeout delays) rules out zero-delay livelock.
+
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How long a message takes from send to delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks (the degenerate model
+    /// the cross-validation tests use to recover the paper's
+    /// instantaneous-exchange semantics).
+    Constant(u64),
+    /// Uniform in `[min, max]` (inclusive), independently per message.
+    UniformJitter {
+        /// Smallest latency.
+        min: u64,
+        /// Largest latency (clamped up to `min` if smaller).
+        max: u64,
+    },
+    /// Two-cluster topology: `local` within a machine's cluster, `cross`
+    /// between clusters. On instances without the two-cluster structure
+    /// every pair counts as local.
+    TwoCluster {
+        /// Latency within a cluster.
+        local: u64,
+        /// Latency across the inter-cluster link (the penalty models the
+        /// CPU/GPU-enclosure split of the paper's Section II platform).
+        cross: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples the latency for one `from -> to` message.
+    pub fn sample(&self, inst: &Instance, from: MachineId, to: MachineId, rng: &mut StdRng) -> u64 {
+        let raw = match *self {
+            LatencyModel::Constant(l) => l,
+            LatencyModel::UniformJitter { min, max } => {
+                let hi = max.max(min);
+                rng.gen_range(min..=hi)
+            }
+            LatencyModel::TwoCluster { local, cross } => {
+                if inst.is_two_cluster() && inst.cluster(from) != inst.cluster(to) {
+                    cross
+                } else {
+                    local
+                }
+            }
+        };
+        raw.max(1)
+    }
+}
+
+impl Default for LatencyModel {
+    /// A small constant latency — messages are ordered but not free.
+    fn default() -> Self {
+        LatencyModel::Constant(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant_and_at_least_one() {
+        let inst = Instance::uniform(2, vec![1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = LatencyModel::Constant(0);
+        for _ in 0..8 {
+            assert_eq!(m.sample(&inst, MachineId(0), MachineId(1), &mut rng), 1);
+        }
+        let m = LatencyModel::Constant(9);
+        assert_eq!(m.sample(&inst, MachineId(0), MachineId(1), &mut rng), 9);
+    }
+
+    #[test]
+    fn jitter_stays_in_range() {
+        let inst = Instance::uniform(2, vec![1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::UniformJitter { min: 2, max: 6 };
+        for _ in 0..64 {
+            let l = m.sample(&inst, MachineId(0), MachineId(1), &mut rng);
+            assert!((2..=6).contains(&l));
+        }
+    }
+
+    #[test]
+    fn two_cluster_penalizes_cross_links() {
+        // 1 machine in cluster one, 1 in cluster two.
+        let inst = Instance::two_cluster(1, 1, vec![(1, 5), (5, 1)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = LatencyModel::TwoCluster {
+            local: 2,
+            cross: 20,
+        };
+        assert_eq!(m.sample(&inst, MachineId(0), MachineId(1), &mut rng), 20);
+        assert_eq!(m.sample(&inst, MachineId(0), MachineId(0), &mut rng), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Event-driven message-passing network layer for decentralized
+//! balancing.
+//!
+//! The paper's simulator (and the round-driven engine in `lb-distsim`)
+//! treats a pairwise exchange as instantaneous and reliable: a round
+//! picks a pair, the balancer runs, done. Real gossip runs over a
+//! network where load reports go stale in flight, messages are lost or
+//! duplicated, links partition, and every request needs a timeout. This
+//! crate drops the paper's algorithms into that world:
+//!
+//! * [`event`] — the deterministic `(time, seq)` discrete-event queue;
+//! * [`msg`] — wire messages and request correlation ([`msg::ReqId`]);
+//! * [`agent`] — the per-machine exchange state machine
+//!   (probe → offer → accept → commit, with an engagement lease);
+//! * [`latency`] — pluggable latency models (constant, uniform jitter,
+//!   two-cluster with a cross-cluster penalty);
+//! * [`fault`] — loss, duplication, timed link partitions, and churn
+//!   layered on the driver's `TopologyPlan`;
+//! * [`config`] — all knobs in one [`config::NetConfig`], including
+//!   timeout / retry-budget / backoff-cap semantics;
+//! * [`sim`] — the simulator itself ([`sim::NetSim`], [`sim::run_net`]).
+//!
+//! The protocol carried over the messages is the same gossip dynamic the
+//! rest of the workspace studies — the pair is balanced by any
+//! [`lb_core::PairwiseBalancer`], so `Dlb2cBalance` yields a
+//! message-passing DLB2C (Algorithm 7) and `EctPairBalance` an
+//! OJTB-style port (Algorithm 3). State and observability are shared
+//! with `lb-distsim`: the simulator mutates a `SimCore`, counts a
+//! completed exchange as a round, and reports through the same
+//! `ProbeHub` / `SimEvent` machinery (plus the message-level events
+//! `MsgSent`, `MsgDropped`, `ExchangeTimedOut`), so every existing
+//! probe, CSV column, and stats helper works unchanged.
+//!
+//! Runs are deterministic: a run is a pure function of
+//! `(instance, initial assignment, NetConfig)` — see the [`sim`] module
+//! docs for the three properties that guarantee it.
+//!
+//! ```
+//! use lb_core::Dlb2cBalance;
+//! use lb_model::prelude::*;
+//! use lb_net::{run_net, NetConfig};
+//!
+//! let inst = Instance::two_cluster(2, 2, vec![
+//!     (2, 10), (2, 10), (10, 2), (10, 2), (4, 4), (4, 4),
+//! ]).unwrap();
+//! let mut asg = Assignment::all_on(&inst, MachineId(0));
+//! let cfg = NetConfig { seed: 7, ..NetConfig::default() };
+//! let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+//! assert!(run.final_makespan <= 2 * lb_model::bounds::combined_lower_bound(&inst));
+//! assert!(run.msg.delivered() <= run.msg.sent);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod config;
+pub mod event;
+pub mod fault;
+pub mod latency;
+pub mod msg;
+pub mod sim;
+
+pub use agent::{Agent, AgentState};
+pub use config::NetConfig;
+pub use event::{Event, EventQueue};
+pub use fault::{FaultPlan, LinkPartition};
+pub use latency::LatencyModel;
+pub use msg::{Envelope, Msg, ReqId};
+pub use sim::{run_net, NetRun, NetSim, NetSummary};

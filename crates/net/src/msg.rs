@@ -1,0 +1,100 @@
+//! Wire messages: payloads, request correlation, envelopes.
+//!
+//! Agents correlate every in-flight conversation with a [`ReqId`] —
+//! `(origin, serial)` where `serial` is the origin's private counter.
+//! A response only acts on the receiver when the receiver is waiting on
+//! exactly that id, which is what makes duplicated and late messages
+//! harmless: a stale `Accept` after the initiator gave up, or the second
+//! copy of a duplicated `ProbeResponse`, matches nothing and is ignored.
+//!
+//! The payload kinds mirror [`lb_distsim::MsgKind`] one-to-one (probes
+//! count traffic by that enum without depending on this crate); the
+//! mapping is [`Msg::kind`] and `tests` pin it.
+
+use lb_distsim::MsgKind;
+use lb_model::prelude::*;
+
+/// Correlates a request with its responses across the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqId {
+    /// The machine that started the conversation (the exchange
+    /// initiator).
+    pub origin: MachineId,
+    /// The origin's private monotone counter. Every retry uses a fresh
+    /// serial, so responses to an abandoned attempt cannot be confused
+    /// with the retry's.
+    pub serial: u64,
+}
+
+/// A message payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// "How loaded are you?" — opens an exchange attempt.
+    ProbeRequest,
+    /// The queried machine's load at response time (stale by one network
+    /// latency when it arrives — the staleness the paper's
+    /// instantaneous-gossip model ignores).
+    ProbeResponse {
+        /// The responder's load when it answered.
+        load: Time,
+    },
+    /// The initiator proposes a pairwise exchange.
+    Offer,
+    /// The target locks itself to this exchange (it will reject other
+    /// offers until the matching [`Msg::Commit`] or its lease expires).
+    Accept,
+    /// The target is busy with another exchange; the initiator gives up
+    /// this attempt.
+    Reject,
+    /// The initiator applied the exchange and releases the target.
+    Commit,
+}
+
+impl Msg {
+    /// The wire-level kind, for probe accounting.
+    pub fn kind(self) -> MsgKind {
+        match self {
+            Msg::ProbeRequest => MsgKind::ProbeRequest,
+            Msg::ProbeResponse { .. } => MsgKind::ProbeResponse,
+            Msg::Offer => MsgKind::Offer,
+            Msg::Accept => MsgKind::Accept,
+            Msg::Reject => MsgKind::Reject,
+            Msg::Commit => MsgKind::Commit,
+        }
+    }
+}
+
+/// A message in flight: payload plus addressing and correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending machine.
+    pub from: MachineId,
+    /// Destination machine.
+    pub to: MachineId,
+    /// The conversation this message belongs to.
+    pub req: ReqId,
+    /// The payload.
+    pub msg: Msg,
+    /// Virtual send time (delivery time minus sampled latency).
+    pub sent_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_one_to_one() {
+        let msgs = [
+            Msg::ProbeRequest,
+            Msg::ProbeResponse { load: 3 },
+            Msg::Offer,
+            Msg::Accept,
+            Msg::Reject,
+            Msg::Commit,
+        ];
+        let mut idxs: Vec<usize> = msgs.iter().map(|m| m.kind().idx()).collect();
+        idxs.sort_unstable();
+        assert_eq!(idxs, (0..MsgKind::COUNT).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,589 @@
+//! The event-driven network simulator.
+//!
+//! [`NetSim`] runs one [`Agent`] per machine against the
+//! [`EventQueue`]: agents exchange [`Envelope`]s through a network that
+//! delays ([`crate::latency::LatencyModel`]), loses, duplicates, and
+//! partitions them ([`crate::fault::FaultPlan`]), and recover from every
+//! loss through epoch-guarded timers with capped exponential backoff.
+//!
+//! The protocol carried over the messages is the paper's gossip
+//! dynamic: an initiator probes a random peer's load, offers an
+//! exchange, and on `Accept` applies the configured
+//! [`PairwiseBalancer`] to the pair — `Dlb2cBalance` gives the
+//! message-passing port of DLB2C (Algorithm 7), `EctPairBalance` the
+//! OJTB-style port (Algorithm 3). A *completed* exchange (an `Accept`
+//! that arrived) is the net analogue of a driver round: it advances
+//! `SimCore::round`, so the round-keyed probes (`SeriesProbe`,
+//! `QuiescenceProbe`, CSV series) work unchanged.
+//!
+//! # Determinism
+//!
+//! A run is a pure function of `(instance, initial assignment,
+//! NetConfig)`:
+//!
+//! * the queue pops in `(time, seq)` order — ties resolve by push order,
+//!   never by pointer identity or hash order;
+//! * every random decision (peer choice, latency sample, drop /
+//!   duplication rolls, initial wake jitter, churn scatter) draws from
+//!   the run's single RNG stream (stream 0 of the seed) in event order;
+//! * drop and partition outcomes are decided at *send* time, so a
+//!   message's fate is sealed before any concurrent event can reorder
+//!   the stream.
+//!
+//! `tests/net_determinism.rs` asserts trace-digest equality across
+//! repeated runs and across rayon thread-pool sizes.
+
+use crate::agent::{Agent, AgentState};
+use crate::config::NetConfig;
+use crate::event::{Event, EventQueue};
+use crate::msg::{Envelope, Msg, ReqId};
+use lb_core::{balance_counting_moves, PairwiseBalancer};
+use lb_distsim::probe::{NetMsgProbe, NetMsgStats, SeriesProbe};
+use lb_distsim::protocol::scatter_assigned_jobs;
+use lb_distsim::{ProbeHub, RunOutcome, SimCore, SimEvent, StopReason, TopologyEvent};
+use lb_model::prelude::*;
+use rand::Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+
+/// Result of a network run (see [`run_net`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetRun {
+    /// Final makespan over all machines.
+    pub final_makespan: Time,
+    /// Completed exchanges (`Accept`s that arrived) — the net round
+    /// count.
+    pub exchanges: u64,
+    /// Completed exchanges that moved at least one job.
+    pub effective_exchanges: u64,
+    /// Total jobs moved by completed exchanges (churn scatters not
+    /// included).
+    pub jobs_moved: u64,
+    /// Message accounting (sent / dropped / timeouts, per kind).
+    pub msg: NetMsgStats,
+    /// Virtual time at which the run ended.
+    pub end_time: u64,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// `(completed exchanges, makespan)` series at the configured
+    /// cadence.
+    pub makespan_series: Vec<(u64, Time)>,
+    /// Order-sensitive digest of every processed event; equal digests
+    /// mean identical runs (the determinism tests compare these).
+    pub trace_digest: u64,
+}
+
+impl NetRun {
+    /// Whether the run settled (stopped by quiescence rather than a
+    /// budget).
+    pub fn settled(&self) -> bool {
+        self.outcome == RunOutcome::Quiescent
+    }
+}
+
+/// What [`NetSim::run`] measured (the probe-independent core of a
+/// [`NetRun`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Virtual time at which the run ended.
+    pub end_time: u64,
+    /// Completed exchanges.
+    pub exchanges: u64,
+    /// Completed exchanges that moved at least one job.
+    pub effective_exchanges: u64,
+    /// Jobs moved by completed exchanges.
+    pub jobs_moved: u64,
+    /// Final makespan over all machines.
+    pub final_makespan: Time,
+    /// Order-sensitive digest of every processed event.
+    pub trace_digest: u64,
+}
+
+/// The simulator: composable with any [`ProbeHub`] (see [`run_net`] for
+/// the batteries-included entry point).
+pub struct NetSim<'a, 'b> {
+    core: SimCore<'a>,
+    balancer: &'b dyn PairwiseBalancer,
+    cfg: &'b NetConfig,
+    queue: EventQueue,
+    agents: Vec<Agent>,
+    now: u64,
+    next_topo: usize,
+    msgs_sent: u64,
+    exchanges: u64,
+    effective: u64,
+    jobs_moved_total: u64,
+    quiet: u64,
+    pending_stop: Option<RunOutcome>,
+    hasher: DefaultHasher,
+}
+
+impl<'a, 'b> NetSim<'a, 'b> {
+    /// A simulator over `asg`, balancing with `balancer` under `cfg`.
+    pub fn new(
+        inst: &'a Instance,
+        asg: &'a mut Assignment,
+        balancer: &'b dyn PairwiseBalancer,
+        cfg: &'b NetConfig,
+    ) -> Self {
+        let m = inst.num_machines();
+        Self {
+            core: SimCore::new(inst, asg, cfg.seed),
+            balancer,
+            cfg,
+            queue: EventQueue::new(),
+            agents: vec![Agent::new(); m],
+            now: 0,
+            next_topo: 0,
+            msgs_sent: 0,
+            exchanges: 0,
+            effective: 0,
+            jobs_moved_total: 0,
+            quiet: 0,
+            pending_stop: None,
+            hasher: DefaultHasher::new(),
+        }
+    }
+
+    /// Runs the simulation to completion, reporting through `probes`.
+    ///
+    /// Errors when the fault plan's churn cannot be absorbed
+    /// ([`LbError::NoOnlineMachines`]).
+    pub fn run(&mut self, probes: &mut ProbeHub) -> Result<NetSummary> {
+        probes.on_start(&self.core);
+        // Initial wakes, jittered inside [1, think] to de-synchronize
+        // the fleet (machine index order, so the draws are reproducible).
+        let think = self.cfg.think();
+        for i in 0..self.core.inst.num_machines() {
+            let machine = MachineId::from_idx(i);
+            if self.core.topology.is_online(machine) {
+                let delay = self.core.rng.gen_range(1..=think);
+                self.schedule_timer(machine, delay, self.agents[i].epoch);
+            }
+        }
+        let mut outcome = RunOutcome::Quiescent; // queue drained = nothing to do
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.max_time {
+                outcome = RunOutcome::BudgetExhausted;
+                break;
+            }
+            self.apply_topology_up_to(t, probes)?;
+            self.now = self.now.max(t);
+            self.digest_event(t, &ev);
+            match ev {
+                Event::Timer { machine, epoch } => {
+                    if epoch == self.agents[machine.idx()].epoch {
+                        self.handle_timer(machine, probes);
+                    }
+                }
+                Event::Deliver(env) => {
+                    if !self.core.topology.is_online(env.to) {
+                        probes.emit(
+                            &self.core,
+                            &SimEvent::MsgDropped {
+                                from: env.from,
+                                to: env.to,
+                                kind: env.msg.kind(),
+                            },
+                        );
+                    } else {
+                        self.handle_msg(env, probes);
+                    }
+                }
+            }
+            if self.msgs_sent >= self.cfg.max_msgs {
+                self.pending_stop.get_or_insert(RunOutcome::BudgetExhausted);
+            }
+            if let Some(stop) = self.pending_stop.take() {
+                outcome = stop;
+                break;
+            }
+        }
+        // Late churn events still apply (mirrors `drive_with_plan`).
+        self.apply_topology_up_to(u64::MAX, probes)?;
+        probes.on_finish(&self.core);
+        self.hasher.write_u64(self.exchanges);
+        self.hasher.write_u64(self.msgs_sent);
+        Ok(NetSummary {
+            outcome,
+            end_time: self.now,
+            exchanges: self.exchanges,
+            effective_exchanges: self.effective,
+            jobs_moved: self.jobs_moved_total,
+            final_makespan: self.core.makespan(),
+            trace_digest: self.hasher.finish(),
+        })
+    }
+
+    /// Messages handed to the network so far (send attempts, duplicates
+    /// included).
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent
+    }
+
+    fn digest_event(&mut self, t: u64, ev: &Event) {
+        self.hasher.write_u64(t);
+        match ev {
+            Event::Timer { machine, epoch } => {
+                self.hasher.write_u8(0);
+                self.hasher.write_u64(machine.idx() as u64);
+                self.hasher.write_u64(*epoch);
+            }
+            Event::Deliver(env) => {
+                self.hasher.write_u8(1);
+                self.hasher.write_u64(env.from.idx() as u64);
+                self.hasher.write_u64(env.to.idx() as u64);
+                self.hasher.write_u64(env.req.serial);
+                self.hasher.write_u8(env.msg.kind().idx() as u8);
+            }
+        }
+    }
+
+    fn apply_topology_up_to(&mut self, t: u64, probes: &mut ProbeHub) -> Result<()> {
+        let events = self.cfg.faults.sorted_topology_events();
+        while self.next_topo < events.len() && events[self.next_topo].0 <= t {
+            let (te, ev) = events[self.next_topo];
+            self.next_topo += 1;
+            let jobs_scattered = match ev {
+                TopologyEvent::Fail(machine) => {
+                    self.core.set_online(machine, false);
+                    self.agents[machine.idx()].transition(AgentState::Offline);
+                    scatter_assigned_jobs(&mut self.core, machine)?
+                }
+                TopologyEvent::Rejoin(machine) => {
+                    self.core.set_online(machine, true);
+                    let epoch = self.agents[machine.idx()].transition(AgentState::Idle);
+                    let base = te.max(self.now);
+                    let think = self.cfg.think();
+                    self.queue
+                        .push(base + think, Event::Timer { machine, epoch });
+                    0
+                }
+            };
+            probes.emit(
+                &self.core,
+                &SimEvent::Topology {
+                    event: ev,
+                    jobs_scattered,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
+        self.queue
+            .push(self.now + delay.max(1), Event::Timer { machine, epoch });
+    }
+
+    /// Returns the agent to `Idle` and arms its next initiation wake.
+    ///
+    /// The pause is drawn uniformly from `[1, think]` rather than fixed:
+    /// with constant latencies a fixed pause makes every agent's
+    /// probe/offer/reject cycle exactly periodic, and an unlucky initial
+    /// phase alignment then rejects *every* offer forever (a lockstep
+    /// livelock the first smoke test actually hit). Randomizing the
+    /// pause drifts the phases apart, so accept windows always reopen.
+    fn go_idle(&mut self, machine: MachineId) {
+        let epoch = self.agents[machine.idx()].transition(AgentState::Idle);
+        let pause = self.core.rng.gen_range(1..=self.cfg.think());
+        self.schedule_timer(machine, pause, epoch);
+    }
+
+    fn handle_timer(&mut self, machine: MachineId, probes: &mut ProbeHub) {
+        match self.agents[machine.idx()].state {
+            AgentState::Idle => self.initiate(machine, probes),
+            AgentState::AwaitProbe { peer, attempt, .. } => {
+                self.on_request_timeout(machine, peer, attempt, Msg::ProbeRequest, probes);
+            }
+            AgentState::AwaitAccept { peer, attempt, .. } => {
+                self.on_request_timeout(machine, peer, attempt, Msg::Offer, probes);
+            }
+            AgentState::Engaged { peer, .. } => {
+                // The initiator's Commit never arrived: release the lease
+                // so the machine can exchange again.
+                probes.emit(
+                    &self.core,
+                    &SimEvent::ExchangeTimedOut {
+                        agent: machine,
+                        peer,
+                        attempt: 0,
+                    },
+                );
+                self.go_idle(machine);
+            }
+            AgentState::Offline => {}
+        }
+    }
+
+    /// A request timed out: retry the phase with a fresh serial under
+    /// backoff, or give up once the retry budget is spent.
+    fn on_request_timeout(
+        &mut self,
+        machine: MachineId,
+        peer: MachineId,
+        attempt: u32,
+        resend: Msg,
+        probes: &mut ProbeHub,
+    ) {
+        probes.emit(
+            &self.core,
+            &SimEvent::ExchangeTimedOut {
+                agent: machine,
+                peer,
+                attempt,
+            },
+        );
+        if attempt >= self.cfg.max_retries {
+            self.go_idle(machine);
+            return;
+        }
+        let next_attempt = attempt + 1;
+        let serial = self.agents[machine.idx()].fresh_serial();
+        let req = ReqId {
+            origin: machine,
+            serial,
+        };
+        let state = match resend {
+            Msg::ProbeRequest => AgentState::AwaitProbe {
+                peer,
+                serial,
+                attempt: next_attempt,
+            },
+            _ => AgentState::AwaitAccept {
+                peer,
+                serial,
+                attempt: next_attempt,
+            },
+        };
+        let epoch = self.agents[machine.idx()].transition(state);
+        self.send(machine, peer, resend, req, probes);
+        self.schedule_timer(machine, self.cfg.timeout_for(next_attempt), epoch);
+    }
+
+    /// An idle agent's wake fired: probe a random online peer.
+    fn initiate(&mut self, machine: MachineId, probes: &mut ProbeHub) {
+        if self.core.topology.num_online() < 2 {
+            // Nobody to talk to. If churn may still revive someone, keep
+            // waking; otherwise the process is over.
+            let events = self.cfg.faults.sorted_topology_events();
+            if self.next_topo >= events.len() {
+                self.pending_stop.get_or_insert(RunOutcome::Quiescent);
+            } else {
+                let epoch = self.agents[machine.idx()].epoch;
+                self.schedule_timer(machine, self.cfg.think(), epoch);
+            }
+            return;
+        }
+        let peers: Vec<MachineId> = self
+            .core
+            .topology
+            .online_iter()
+            .filter(|&p| p != machine)
+            .collect();
+        let peer = peers[self.core.rng.gen_range(0..peers.len())];
+        let serial = self.agents[machine.idx()].fresh_serial();
+        let req = ReqId {
+            origin: machine,
+            serial,
+        };
+        let epoch = self.agents[machine.idx()].transition(AgentState::AwaitProbe {
+            peer,
+            serial,
+            attempt: 0,
+        });
+        self.send(machine, peer, Msg::ProbeRequest, req, probes);
+        self.schedule_timer(machine, self.cfg.timeout_for(0), epoch);
+    }
+
+    fn handle_msg(&mut self, env: Envelope, probes: &mut ProbeHub) {
+        let me = env.to;
+        match env.msg {
+            Msg::ProbeRequest => {
+                // Load queries are stateless: answer whatever we're doing.
+                let load = self.core.asg.load(me);
+                self.send(me, env.from, Msg::ProbeResponse { load }, env.req, probes);
+            }
+            Msg::ProbeResponse { .. } => {
+                let AgentState::AwaitProbe { peer, serial, .. } = self.agents[me.idx()].state
+                else {
+                    return;
+                };
+                if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                    return; // stale or duplicated response
+                }
+                // The peer answered: propose the exchange. The offer
+                // keeps the conversation's ReqId; the retry budget
+                // restarts for the new phase.
+                let epoch = self.agents[me.idx()].transition(AgentState::AwaitAccept {
+                    peer,
+                    serial,
+                    attempt: 0,
+                });
+                self.send(me, peer, Msg::Offer, env.req, probes);
+                self.schedule_timer(me, self.cfg.timeout_for(0), epoch);
+            }
+            Msg::Offer => {
+                if self.agents[me.idx()].accepts_offer_from(env.from) {
+                    let epoch = self.agents[me.idx()].transition(AgentState::Engaged {
+                        peer: env.from,
+                        serial: env.req.serial,
+                    });
+                    self.send(me, env.from, Msg::Accept, env.req, probes);
+                    self.schedule_timer(me, self.cfg.lease(), epoch);
+                } else {
+                    self.send(me, env.from, Msg::Reject, env.req, probes);
+                }
+            }
+            Msg::Accept => {
+                let AgentState::AwaitAccept { peer, serial, .. } = self.agents[me.idx()].state
+                else {
+                    return;
+                };
+                if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                    return; // stale accept; the sender's lease will expire
+                }
+                let (changed, jobs_moved) =
+                    balance_counting_moves(self.core.inst, self.core.asg, self.balancer, me, peer);
+                probes.emit(
+                    &self.core,
+                    &SimEvent::Exchange {
+                        a: me,
+                        b: peer,
+                        changed,
+                        jobs_moved,
+                    },
+                );
+                self.core.round += 1;
+                self.exchanges += 1;
+                if changed {
+                    self.effective += 1;
+                    self.jobs_moved_total += jobs_moved;
+                    self.quiet = 0;
+                } else {
+                    self.quiet += 1;
+                }
+                self.send(me, peer, Msg::Commit, env.req, probes);
+                self.go_idle(me);
+                if let Some(stop) = probes.after_round(&self.core) {
+                    self.pending_stop.get_or_insert(stop.into());
+                }
+                if self.cfg.quiescence_window > 0 && self.quiet >= self.cfg.quiescence_window {
+                    self.pending_stop
+                        .get_or_insert(StopReason::Quiescent.into());
+                }
+                if self.exchanges >= self.cfg.max_exchanges {
+                    self.pending_stop.get_or_insert(RunOutcome::BudgetExhausted);
+                }
+            }
+            Msg::Reject => {
+                let AgentState::AwaitAccept { peer, serial, .. } = self.agents[me.idx()].state
+                else {
+                    return;
+                };
+                if env.from == peer && env.req.origin == me && env.req.serial == serial {
+                    self.go_idle(me);
+                }
+            }
+            Msg::Commit => {
+                let AgentState::Engaged { peer, serial } = self.agents[me.idx()].state else {
+                    return;
+                };
+                if env.from == peer && env.req.serial == serial {
+                    self.go_idle(me);
+                }
+            }
+        }
+    }
+
+    /// Hands a message to the network. The message's fate (partition
+    /// cut, random drop, duplication) is decided here, at send time,
+    /// from the run's RNG stream; surviving copies are scheduled for
+    /// delivery after a sampled latency.
+    fn send(
+        &mut self,
+        from: MachineId,
+        to: MachineId,
+        msg: Msg,
+        req: ReqId,
+        probes: &mut ProbeHub,
+    ) {
+        let kind = msg.kind();
+        self.msgs_sent += 1;
+        probes.emit(&self.core, &SimEvent::MsgSent { from, to, kind });
+        let cut = self.cfg.faults.partitioned(self.now, from, to);
+        let dropped = cut || self.roll(self.cfg.faults.drop_permille);
+        if dropped {
+            probes.emit(&self.core, &SimEvent::MsgDropped { from, to, kind });
+            return;
+        }
+        let copies = if self.roll(self.cfg.faults.dup_permille) {
+            2
+        } else {
+            1
+        };
+        for copy in 0..copies {
+            if copy > 0 {
+                // The duplicate is its own network-level send.
+                self.msgs_sent += 1;
+                probes.emit(&self.core, &SimEvent::MsgSent { from, to, kind });
+            }
+            let lat = self
+                .cfg
+                .latency
+                .sample(self.core.inst, from, to, &mut self.core.rng);
+            self.queue.push(
+                self.now + lat,
+                Event::Deliver(Envelope {
+                    from,
+                    to,
+                    req,
+                    msg,
+                    sent_at: self.now,
+                }),
+            );
+        }
+    }
+
+    /// Bernoulli roll at `permille / 1000`; never touches the RNG when
+    /// the probability is zero.
+    fn roll(&mut self, permille: u16) -> bool {
+        permille > 0 && self.core.rng.gen_range(0..1000) < u32::from(permille)
+    }
+}
+
+/// Runs the message-passing gossip protocol to completion and collects
+/// the standard result set.
+///
+/// The convenience entry point mirroring `run_gossip`: assembles the
+/// series and message probes, drives [`NetSim`], and packages a
+/// [`NetRun`]. Embedders wanting custom observation build a [`NetSim`]
+/// and pass their own [`ProbeHub`].
+pub fn run_net(
+    inst: &Instance,
+    asg: &mut Assignment,
+    balancer: &dyn PairwiseBalancer,
+    cfg: &NetConfig,
+) -> Result<NetRun> {
+    let mut series = SeriesProbe::new(cfg.record_every);
+    let mut msgs = NetMsgProbe::new();
+    let summary = {
+        let mut hub = ProbeHub::new();
+        hub.push(&mut series).push(&mut msgs);
+        let mut sim = NetSim::new(inst, asg, balancer, cfg);
+        sim.run(&mut hub)?
+    };
+    Ok(NetRun {
+        final_makespan: summary.final_makespan,
+        exchanges: summary.exchanges,
+        effective_exchanges: summary.effective_exchanges,
+        jobs_moved: summary.jobs_moved,
+        msg: msgs.stats,
+        end_time: summary.end_time,
+        outcome: summary.outcome,
+        makespan_series: series.series,
+        trace_digest: summary.trace_digest,
+    })
+}

@@ -1,0 +1,137 @@
+//! Convergence under message loss, partitions, and churn.
+//!
+//! The regression gate from the issue: a 30% drop rate on the paper's
+//! two-cluster workload must still converge (retries pay for loss, they
+//! don't prevent progress), and it must do so within a bounded message
+//! budget — loss may multiply traffic by a constant, not change its
+//! complexity class.
+
+use lb_core::Dlb2cBalance;
+use lb_distsim::{RunOutcome, TopologyEvent, TopologyPlan};
+use lb_model::bounds::combined_lower_bound;
+use lb_model::prelude::*;
+use lb_net::{run_net, FaultPlan, LatencyModel, LinkPartition, NetConfig};
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+
+#[test]
+fn thirty_percent_drop_still_converges() {
+    let inst = paper_two_cluster(6, 3, 90, 4);
+    let mut asg = random_assignment(&inst, 5);
+    const MSG_BUDGET: u64 = 1_500_000;
+    let cfg = NetConfig {
+        latency: LatencyModel::UniformJitter { min: 2, max: 8 },
+        faults: FaultPlan::with_drop(300),
+        max_msgs: MSG_BUDGET,
+        max_time: 10_000_000,
+        seed: 17,
+        ..NetConfig::default()
+    };
+    let initial = asg.makespan();
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(
+        run.settled(),
+        "30% drop must still reach quiescence, got {:?} after {} msgs",
+        run.outcome,
+        run.msg.sent
+    );
+    assert!(
+        run.msg.sent < MSG_BUDGET,
+        "convergence must fit the message budget"
+    );
+    // The faults were actually exercised, and recovery actually ran.
+    assert!(run.msg.dropped > 0, "a 30% drop rate must drop something");
+    assert!(
+        run.msg.timeouts > 0,
+        "lost requests must surface as timeouts"
+    );
+    // And it still balanced: down from the random start, within the
+    // always-valid 2x provable-lower-bound envelope of Theorem 7.
+    assert!(run.final_makespan < initial);
+    assert!(run.final_makespan <= 2 * combined_lower_bound(&inst));
+    asg.validate(&inst).unwrap();
+}
+
+#[test]
+fn temporary_partition_delays_but_does_not_prevent_convergence() {
+    let inst = paper_two_cluster(3, 3, 48, 8);
+    let mut asg = random_assignment(&inst, 2);
+    // Sever the inter-cluster link for a window at the start: while it
+    // holds, cross-cluster offers are lost and only intra-cluster
+    // exchanges proceed; after it lifts, the run must still settle.
+    let cluster_one: Vec<MachineId> = inst.machines_in(ClusterId::ONE).to_vec();
+    let cluster_two: Vec<MachineId> = inst.machines_in(ClusterId::TWO).to_vec();
+    let cfg = NetConfig {
+        faults: FaultPlan {
+            partitions: vec![LinkPartition {
+                start: 0,
+                end: 3_000,
+                a: cluster_one,
+                b: cluster_two,
+            }],
+            ..FaultPlan::none()
+        },
+        seed: 23,
+        ..NetConfig::default()
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(run.settled(), "got {:?}", run.outcome);
+    assert!(run.msg.dropped > 0, "the partition must cut some messages");
+    assert!(run.end_time > 3_000, "must outlive the partition window");
+    asg.validate(&inst).unwrap();
+}
+
+#[test]
+fn churn_during_a_lossy_run_is_absorbed() {
+    let inst = paper_two_cluster(4, 2, 60, 1);
+    let mut asg = random_assignment(&inst, 3);
+    let cfg = NetConfig {
+        faults: FaultPlan {
+            drop_permille: 100,
+            topology: TopologyPlan::one_blip(MachineId(0), 2_000, 6_000),
+            ..FaultPlan::none()
+        },
+        seed: 31,
+        ..NetConfig::default()
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(run.settled(), "got {:?}", run.outcome);
+    asg.validate(&inst).unwrap();
+    let total: usize = inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+    assert_eq!(total, 60, "churn must conserve jobs");
+}
+
+#[test]
+fn killing_every_machine_surfaces_an_error() {
+    let inst = paper_two_cluster(1, 1, 10, 0);
+    let mut asg = random_assignment(&inst, 0);
+    let cfg = NetConfig {
+        faults: FaultPlan {
+            topology: TopologyPlan {
+                events: vec![
+                    (100, TopologyEvent::Fail(MachineId(0))),
+                    (200, TopologyEvent::Fail(MachineId(1))),
+                ],
+            },
+            ..FaultPlan::none()
+        },
+        seed: 1,
+        ..NetConfig::default()
+    };
+    let err = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap_err();
+    assert_eq!(err, LbError::NoOnlineMachines);
+}
+
+#[test]
+fn budget_outcomes_are_reported_not_hidden() {
+    let inst = paper_two_cluster(3, 2, 30, 6);
+    let mut asg = random_assignment(&inst, 7);
+    let cfg = NetConfig {
+        max_msgs: 50, // far too small to finish anything
+        quiescence_window: 0,
+        seed: 2,
+        ..NetConfig::default()
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert_eq!(run.outcome, RunOutcome::BudgetExhausted);
+}

@@ -1,0 +1,127 @@
+//! Cross-validation against the paper's theory (Theorem 7).
+//!
+//! Over a perfect, (near-)zero-latency network the message-passing
+//! DLB2C must inherit the round-driven engine's guarantee: a stable
+//! state is a 2-approximation whenever `max_j p_j <= OPT` (Theorem 7).
+//! The tests drive the net simulator to quiescence, *verify* the state
+//! really is stable, and compare against the exact branch-and-bound
+//! optimum. A proptest then checks the invariant that makes the theorem
+//! transfer to asynchronous networks at all: a stable state stays
+//! untouched under arbitrary message interleavings — jitter, loss and
+//! duplication can delay convergence, but never un-converge a stable
+//! schedule.
+
+use lb_core::stability::is_stable;
+use lb_core::{stabilize, Dlb2cBalance};
+use lb_model::exact::{opt_makespan, ExactLimits};
+use lb_model::prelude::*;
+use lb_net::{run_net, FaultPlan, LatencyModel, NetConfig};
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+use proptest::prelude::*;
+
+/// A perfect network with the minimum possible latency (1 tick).
+fn zero_latency_config(seed: u64) -> NetConfig {
+    NetConfig {
+        latency: LatencyModel::Constant(1),
+        faults: FaultPlan::none(),
+        // 400 consecutive ineffective completed exchanges: with at most
+        // C(6,2)=15 pairs, the chance any changeable pair went unprobed
+        // that long is negligible, and the test then *proves* stability
+        // with `is_stable` rather than trusting the heuristic stop.
+        quiescence_window: 400,
+        seed,
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn zero_latency_stable_dlb2c_is_2_approx() {
+    let mut checked = 0;
+    for inst_seed in 0..8u64 {
+        // Small enough for exact OPT (<= 18 jobs).
+        let inst = paper_two_cluster(3, 2, 14, inst_seed);
+        let opt = opt_makespan(&inst, ExactLimits::default()).unwrap();
+        if inst.max_finite_cost().unwrap() > opt {
+            continue; // outside Theorem 7's hypothesis
+        }
+        let mut asg = random_assignment(&inst, inst_seed ^ 0xA5);
+        let run = run_net(&inst, &mut asg, &Dlb2cBalance, &zero_latency_config(7)).unwrap();
+        assert!(
+            run.settled(),
+            "perfect network must reach quiescence (instance seed {inst_seed})"
+        );
+        assert!(
+            is_stable(&inst, &asg, &Dlb2cBalance),
+            "quiescent net DLB2C state must be pairwise-stable (instance seed {inst_seed})"
+        );
+        assert!(
+            run.final_makespan <= 2 * opt,
+            "Theorem 7 violated: cmax {} > 2*OPT {} (instance seed {inst_seed})",
+            run.final_makespan,
+            2 * opt
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "hypothesis filter left too few instances");
+}
+
+/// The net run must agree with the sequential engine on *what* a stable
+/// point is, not just reach one: its final state satisfies exactly the
+/// condition `stabilize` enforces.
+#[test]
+fn net_fixed_points_are_engine_fixed_points() {
+    let inst = paper_two_cluster(3, 3, 24, 2);
+    let mut asg = random_assignment(&inst, 9);
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &zero_latency_config(1)).unwrap();
+    assert!(run.settled());
+    // Running the deterministic stabilizer on the net result is a no-op.
+    let before = asg.clone();
+    let settled = stabilize(&inst, &mut asg, &Dlb2cBalance, 64);
+    assert!(settled);
+    assert_eq!(before, asg);
+}
+
+fn small_two_cluster() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=3, 2usize..=12).prop_flat_map(|(m1, m2, n)| {
+        proptest::collection::vec((1u64..=9, 1u64..=9), n)
+            .prop_map(move |costs| Instance::two_cluster(m1, m2, costs).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stability survives arbitrary message interleavings: start from a
+    /// stabilized schedule, run the net protocol under random jitter,
+    /// loss and duplication, and the schedule must come out untouched.
+    /// (Every completed exchange applies the balancer to a stable pair,
+    /// which is a no-op by definition — whatever order messages land in.)
+    #[test]
+    fn stable_states_survive_any_interleaving(
+        inst in small_two_cluster(),
+        asg_seed in 0u64..50,
+        net_seed in 0u64..1000,
+        jitter_max in 1u64..20,
+        drop_permille in 0u16..400,
+    ) {
+        let mut asg = random_assignment(&inst, asg_seed);
+        prop_assume!(stabilize(&inst, &mut asg, &Dlb2cBalance, 128));
+        let before = asg.clone();
+        let cfg = NetConfig {
+            latency: LatencyModel::UniformJitter { min: 1, max: jitter_max },
+            faults: FaultPlan { drop_permille, dup_permille: 100, ..FaultPlan::none() },
+            max_exchanges: 300,
+            quiescence_window: 0,
+            max_time: 400_000,
+            max_msgs: 400_000,
+            seed: net_seed,
+            ..NetConfig::default()
+        };
+        let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+        prop_assert_eq!(&before, &asg, "an interleaving changed a stable schedule");
+        prop_assert_eq!(run.effective_exchanges, 0);
+        prop_assert_eq!(run.jobs_moved, 0);
+        prop_assert!(is_stable(&inst, &asg, &Dlb2cBalance));
+    }
+}

@@ -1,0 +1,77 @@
+//! Sweep message latency and drop rate over the message-passing DLB2C.
+//!
+//! Runs the lb-net simulator on the paper's two-cluster workload across
+//! a (latency x drop-rate) grid and prints, for each cell, the final
+//! makespan (as a multiple of the provable lower bound), the number of
+//! messages it took, and the virtual time to quiescence. The point the
+//! table makes: latency and loss slow convergence down and inflate
+//! traffic, but the quality of the stable state — Theorem 7's
+//! 2-approximation — does not degrade.
+//!
+//! Run with: `cargo run --release --example net_latency_sweep`
+
+use decent_lb::model::bounds::combined_lower_bound;
+use decent_lb::net::{run_net, FaultPlan, LatencyModel, NetConfig};
+use decent_lb::prelude::*;
+use decent_lb::workloads::initial::random_assignment;
+use decent_lb::workloads::two_cluster::paper_two_cluster;
+
+fn main() {
+    let inst = paper_two_cluster(6, 3, 90, 4);
+    let lb = combined_lower_bound(&inst);
+    println!(
+        "instance: {} machines in 2 clusters, {} jobs; lower bound {lb}",
+        inst.num_machines(),
+        inst.num_jobs()
+    );
+    println!();
+    println!("latency   drop   Cmax/LB   exchanges      msgs   drop'd  end_time  outcome");
+
+    for &latency in &[1u64, 8, 32] {
+        for &drop in &[0u16, 150, 300] {
+            let cfg = NetConfig {
+                latency: LatencyModel::Constant(latency),
+                faults: FaultPlan {
+                    drop_permille: drop,
+                    ..FaultPlan::none()
+                },
+                max_time: 10_000_000,
+                seed: 42,
+                ..NetConfig::default()
+            };
+            let mut asg = random_assignment(&inst, 5);
+            let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).expect("machines stay up");
+            println!(
+                "{latency:>7}  {:>4.0}%  {:>8.3}  {:>9} {:>9}  {:>7}  {:>8}  {:?}",
+                f64::from(drop) / 10.0,
+                run.final_makespan as f64 / lb.max(1) as f64,
+                run.exchanges,
+                run.msg.sent,
+                run.msg.dropped,
+                run.end_time,
+                run.outcome
+            );
+        }
+    }
+
+    println!();
+    println!("A cross-cluster penalty (slow WAN link between the clusters):");
+    let cfg = NetConfig {
+        latency: LatencyModel::TwoCluster {
+            local: 2,
+            cross: 64,
+        },
+        max_time: 10_000_000,
+        seed: 42,
+        ..NetConfig::default()
+    };
+    let mut asg = random_assignment(&inst, 5);
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).expect("machines stay up");
+    println!(
+        "local 2 / cross 64: Cmax/LB {:.3}, {} exchanges, {} msgs, end_time {}",
+        run.final_makespan as f64 / lb.max(1) as f64,
+        run.exchanges,
+        run.msg.sent,
+        run.end_time
+    );
+}

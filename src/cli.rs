@@ -23,6 +23,7 @@ use crate::distsim::{
 use crate::markov::{ChainParams, LoadChain};
 use crate::model::bounds;
 use crate::model::metrics::schedule_metrics;
+use crate::net::{run_net, FaultPlan, LatencyModel, NetConfig};
 use crate::prelude::*;
 use crate::stats::csv::CsvCell;
 use crate::stats::runner::{row, SimRunner};
@@ -260,6 +261,9 @@ impl Cli {
     /// binaries): a per-replication summary CSV, a `<name>_series.csv`
     /// with the makespan trajectories, and a JSON parameter sidecar.
     fn run_simulate(&self) -> CliResult<String> {
+        if self.flag_on("net") {
+            return self.run_simulate_net();
+        }
         let inst = self.build_instance()?;
         let seed: u64 = self.get("seed", 42)?;
         let rounds: u64 = self.get("rounds", 20_000)?;
@@ -395,6 +399,183 @@ impl Cli {
         Ok(out)
     }
 
+    /// Builds the [`LatencyModel`] from the `--latency*` options:
+    /// `--latency-min/--latency-max` select uniform jitter,
+    /// `--latency-cross` the two-cluster penalty model (local leg from
+    /// `--latency`), plain `--latency` a constant delay.
+    fn build_latency(&self) -> CliResult<LatencyModel> {
+        let has = |k: &str| self.options.contains_key(k);
+        if has("latency-min") || has("latency-max") {
+            let min: u64 = self.get("latency-min", 1)?;
+            let max: u64 = self.get("latency-max", 8)?;
+            if min > max {
+                return Err(CliError("--latency-min must be <= --latency-max".into()));
+            }
+            Ok(LatencyModel::UniformJitter { min, max })
+        } else if has("latency-cross") {
+            Ok(LatencyModel::TwoCluster {
+                local: self.get("latency", 4)?,
+                cross: self.get("latency-cross", 40)?,
+            })
+        } else {
+            Ok(LatencyModel::Constant(self.get("latency", 4)?))
+        }
+    }
+
+    /// `simulate --net true`: replicated runs of the message-passing
+    /// simulator, emitted through the same [`SimRunner`] shape as the
+    /// round-driven path but with message-accounting columns.
+    fn run_simulate_net(&self) -> CliResult<String> {
+        let inst = self.build_instance()?;
+        let seed: u64 = self.get("seed", 42)?;
+        let reps: u64 = self.get("replications", 1)?;
+        if reps == 0 {
+            return Err(CliError("--replications must be >= 1".into()));
+        }
+        let drop_permille: u16 = self.get("drop", 0)?;
+        let dup_permille: u16 = self.get("dup", 0)?;
+        if drop_permille > 1000 || dup_permille > 1000 {
+            return Err(CliError(
+                "--drop/--dup are per-mille rates in 0..=1000".into(),
+            ));
+        }
+        let defaults = NetConfig::default();
+        let cfg = NetConfig {
+            latency: self.build_latency()?,
+            faults: FaultPlan {
+                drop_permille,
+                dup_permille,
+                ..FaultPlan::none()
+            },
+            timeout: self.get("timeout", defaults.timeout)?,
+            max_retries: self.get("retries", defaults.max_retries)?,
+            backoff_cap: self.get("backoff-cap", defaults.backoff_cap)?,
+            think_time: self.get("think", defaults.think_time)?,
+            quiescence_window: self.get("quiescence", defaults.quiescence_window)?,
+            max_time: self.get("max-time", defaults.max_time)?,
+            max_msgs: self.get("max-msgs", defaults.max_msgs)?,
+            max_exchanges: self.get("exchanges", defaults.max_exchanges)?,
+            record_every: self.get("record-every", 0)?,
+            seed,
+            ..defaults
+        };
+        let balancer: &dyn PairwiseBalancer = match self.get_str("algo", "dlb2c").as_str() {
+            "dlb2c" => &Dlb2cBalance,
+            "mjtb" => &TypedPairBalance,
+            "unrelated" => &UnrelatedPairBalance,
+            other => {
+                return Err(CliError(format!(
+                    "unknown algorithm '{other}' (dlb2c | mjtb | unrelated)"
+                )))
+            }
+        };
+        let name = self.get_str("name", "simulate_net");
+        let runner = match self.options.get("out-dir") {
+            Some(dir) => SimRunner::with_dir(&name, dir),
+            None => SimRunner::new(&name),
+        };
+        runner.sidecar(&serde_json::json!({
+            "machines": inst.num_machines(),
+            "jobs": inst.num_jobs(),
+            "seed": cfg.seed,
+            "latency": format!("{:?}", cfg.latency),
+            "drop_permille": drop_permille,
+            "dup_permille": dup_permille,
+            "timeout": cfg.timeout,
+            "max_retries": cfg.max_retries,
+            "backoff_cap": cfg.backoff_cap,
+            "quiescence_window": cfg.quiescence_window,
+            "replications": reps,
+        }));
+        let mut csv = runner.csv(&[
+            "replication",
+            "exchanges",
+            "effective_exchanges",
+            "initial_makespan",
+            "final_makespan",
+            "jobs_moved",
+            "msgs_sent",
+            "msgs_delivered",
+            "msgs_dropped",
+            "timeouts",
+            "end_time",
+            "outcome",
+        ]);
+        let mut series_csv = runner.csv_named(
+            &format!("{}_series", runner.name()),
+            &["replication", "exchange", "cmax"],
+        );
+        let mut out = String::new();
+        let lb = bounds::combined_lower_bound(&inst);
+        for r in 0..reps {
+            let mut asg = random_assignment(&inst, cfg.seed.wrapping_add(r));
+            let initial = asg.makespan();
+            let rep_cfg = NetConfig {
+                seed: cfg.seed.wrapping_add(r),
+                ..cfg.clone()
+            };
+            let run = run_net(&inst, &mut asg, balancer, &rep_cfg)
+                .map_err(|e| CliError(format!("replication {r}: {e}")))?;
+            let outcome = match run.outcome {
+                RunOutcome::BudgetExhausted => "budget",
+                RunOutcome::Quiescent => "quiescent",
+                RunOutcome::CycleDetected { .. } => "cycle",
+            };
+            row(
+                &mut csv,
+                vec![
+                    CsvCell::Uint(r),
+                    CsvCell::Uint(run.exchanges),
+                    CsvCell::Uint(run.effective_exchanges),
+                    CsvCell::Uint(initial),
+                    CsvCell::Uint(run.final_makespan),
+                    CsvCell::Uint(run.jobs_moved),
+                    CsvCell::Uint(run.msg.sent),
+                    CsvCell::Uint(run.msg.delivered()),
+                    CsvCell::Uint(run.msg.dropped),
+                    CsvCell::Uint(run.msg.timeouts),
+                    CsvCell::Uint(run.end_time),
+                    outcome.into(),
+                ],
+            );
+            for &(exchange, cmax) in &run.makespan_series {
+                row(
+                    &mut series_csv,
+                    vec![
+                        CsvCell::Uint(r),
+                        CsvCell::Uint(exchange),
+                        CsvCell::Uint(cmax),
+                    ],
+                );
+            }
+            let _ = writeln!(
+                out,
+                "replication {r}: {initial} -> {} in {} exchanges, {} msgs \
+                 ({} dropped, {} timeouts; {outcome}, {:.3} x lower bound)",
+                run.final_makespan,
+                run.exchanges,
+                run.msg.sent,
+                run.msg.dropped,
+                run.msg.timeouts,
+                run.final_makespan as f64 / lb.max(1) as f64
+            );
+        }
+        csv.finish()
+            .map_err(|e| CliError(format!("write results CSV: {e}")))?;
+        series_csv
+            .finish()
+            .map_err(|e| CliError(format!("write series CSV: {e}")))?;
+        let _ = writeln!(
+            out,
+            "wrote {}.csv, {}_series.csv, {}.json under {}",
+            runner.name(),
+            runner.name(),
+            runner.name(),
+            runner.dir().display()
+        );
+        Ok(out)
+    }
+
     /// Generates a workload and writes it as instance JSON (stdout or
     /// `--out file`), loadable later via `--instance`.
     fn run_generate(&self) -> CliResult<String> {
@@ -493,6 +674,14 @@ pub fn usage() -> String {
                       round-robin\n\
                [--rounds N] [--replications R] [--record-every N]\n\
                [--quiescence W] [--name base] [--out-dir dir]\n\
+               --net true   switch to the message-passing simulator\n\
+                            (lb-net) with latency/loss/retry knobs and\n\
+                            message-count CSV columns:\n\
+               [--latency T | --latency-min A --latency-max B |\n\
+                --latency T --latency-cross X]  [--drop PERMILLE]\n\
+               [--dup PERMILLE] [--timeout T] [--retries N]\n\
+               [--backoff-cap T] [--think T] [--max-time T]\n\
+               [--max-msgs N] [--exchanges N]\n\
        generate  write a workload as instance JSON (--out file); load it\n\
                  anywhere else with --instance file\n\
        bounds  print the lower bounds for a generated workload\n\
@@ -779,6 +968,102 @@ mod tests {
         // Header + one row per replication.
         assert_eq!(csv.lines().count(), 3, "{csv}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_net_writes_message_columns() {
+        let dir = std::env::temp_dir().join("decent-lb-cli-simulate-net");
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "simulate",
+            "--net",
+            "true",
+            "--workload",
+            "two-cluster",
+            "--m1",
+            "3",
+            "--m2",
+            "2",
+            "--jobs",
+            "30",
+            "--latency-min",
+            "1",
+            "--latency-max",
+            "6",
+            "--drop",
+            "100",
+            "--retries",
+            "4",
+            "--replications",
+            "2",
+            "--record-every",
+            "25",
+            "--name",
+            "cli_net",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("replication 0:"), "{out}");
+        assert!(out.contains("replication 1:"), "{out}");
+        assert!(out.contains("msgs"), "{out}");
+        assert!(dir.join("cli_net.csv").exists());
+        assert!(dir.join("cli_net_series.csv").exists());
+        assert!(dir.join("cli_net.json").exists());
+        let csv = std::fs::read_to_string(dir.join("cli_net.csv")).unwrap();
+        let header = csv.lines().next().unwrap();
+        for col in ["msgs_sent", "msgs_delivered", "msgs_dropped", "timeouts"] {
+            assert!(header.contains(col), "missing {col} in {header}");
+        }
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        // Message accounting is non-trivial: sent > 0 in every row.
+        for line in csv.lines().skip(1) {
+            let sent: u64 = line.split(',').nth(6).unwrap().parse().unwrap();
+            assert!(sent > 0, "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_net_rejects_bad_options() {
+        let c = cli(&["simulate", "--net", "true", "--drop", "1500"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("per-mille")));
+        let c = cli(&[
+            "simulate",
+            "--net",
+            "true",
+            "--latency-min",
+            "9",
+            "--latency-max",
+            "2",
+        ]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("latency-min")));
+        let c = cli(&["simulate", "--net", "true", "--algo", "worksteal"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("algorithm")));
+        let c = cli(&["simulate", "--net", "true", "--replications", "0"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("replications")));
+    }
+
+    #[test]
+    fn simulate_net_latency_models_parse() {
+        // Constant.
+        let c = cli(&["simulate", "--latency", "7"]);
+        assert_eq!(c.build_latency().unwrap(), LatencyModel::Constant(7));
+        // Jitter (either bound implies the model).
+        let c = cli(&["simulate", "--latency-max", "12"]);
+        assert_eq!(
+            c.build_latency().unwrap(),
+            LatencyModel::UniformJitter { min: 1, max: 12 }
+        );
+        // Two-cluster penalty: --latency is the local leg.
+        let c = cli(&["simulate", "--latency", "2", "--latency-cross", "50"]);
+        assert_eq!(
+            c.build_latency().unwrap(),
+            LatencyModel::TwoCluster {
+                local: 2,
+                cross: 50
+            }
+        );
     }
 
     #[test]

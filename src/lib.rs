@@ -13,6 +13,8 @@
 //!   Balancing / DLB2C, baselines, stability (`lb-core`).
 //! * [`distsim`] — the gossip engine, work-stealing simulator, and
 //!   Monte-Carlo replication (`lb-distsim`).
+//! * [`net`] — the event-driven message-passing network layer: latency
+//!   models, loss/partition fault plans, timeout/retry agents (`lb-net`).
 //! * [`markov`] — the one-cluster dynamic-equilibrium chain (`lb-markov`).
 //! * [`workloads`] — workload generators and the paper's adversarial
 //!   instances (`lb-workloads`).
@@ -50,6 +52,7 @@ pub use lb_core as algorithms;
 pub use lb_distsim as distsim;
 pub use lb_markov as markov;
 pub use lb_model as model;
+pub use lb_net as net;
 pub use lb_stats as stats;
 pub use lb_workloads as workloads;
 
@@ -59,4 +62,5 @@ pub mod prelude {
     pub use lb_distsim::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
     pub use lb_markov::{ChainParams, LoadChain};
     pub use lb_model::prelude::*;
+    pub use lb_net::{run_net, FaultPlan, LatencyModel, NetConfig, NetRun};
 }

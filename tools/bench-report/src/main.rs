@@ -11,16 +11,24 @@
 //!   probe attached, indexed probe vs naive-rescan probe. The
 //!   acceptance criterion (≥ 5× at m = 10⁴) reads from this pair.
 //!
+//! A fourth section sizes the lb-net message-passing simulator: raw
+//! delivered-message throughput (msgs/sec of wall clock) and
+//! time-to-stable (virtual ticks and wall nanoseconds to quiescence) on
+//! the paper's two-cluster workload, perfect network and 15% loss.
+//!
 //! Usage: `bench-report [--quick] [--out PATH]`. `--quick` shrinks the
 //! iteration counts for CI smoke runs (the JSON shape is unchanged).
 
-use lb_core::EctPairBalance;
+use lb_core::{Dlb2cBalance, EctPairBalance};
 use lb_distsim::gossip::GossipProtocol;
 use lb_distsim::probe::{Probe, ProbeHub, SeriesProbe, StopReason};
 use lb_distsim::protocol::drive;
 use lb_distsim::simcore::SimCore;
 use lb_distsim::PairSchedule;
 use lb_model::prelude::*;
+use lb_net::{run_net, FaultPlan, NetConfig};
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
 use lb_workloads::uniform::paper_uniform;
 use serde_json::json;
 use std::hint::black_box;
@@ -33,6 +41,7 @@ struct Config {
     update_iters: u64,
     rounds: u64,
     round_reps: u64,
+    net_reps: u64,
     out: String,
 }
 
@@ -122,6 +131,49 @@ fn measure_size(m: usize, cfg: &Config) -> serde_json::Value {
     })
 }
 
+/// Times the lb-net simulator to quiescence: delivered-message
+/// throughput against wall clock, and time-to-stable in both virtual
+/// ticks and wall nanoseconds. Each rep varies the net seed so the
+/// figures average distinct (deterministic) interleavings.
+fn measure_net(drop_permille: u16, cfg: &Config) -> serde_json::Value {
+    let inst = paper_two_cluster(16, 8, 192, 42);
+    let init = random_assignment(&inst, 9);
+    let (mut delivered, mut msgs, mut ticks, mut wall_ns) = (0u64, 0u64, 0u64, 0f64);
+    let start = Instant::now();
+    for rep in 0..cfg.net_reps {
+        let net_cfg = NetConfig {
+            faults: FaultPlan::with_drop(drop_permille),
+            max_time: 20_000_000,
+            seed: rep,
+            ..NetConfig::default()
+        };
+        let mut asg = init.clone();
+        let run = run_net(&inst, &mut asg, &Dlb2cBalance, &net_cfg).expect("no churn plan");
+        assert!(run.settled(), "bench run must reach quiescence");
+        delivered += run.msg.delivered();
+        msgs += run.msg.sent;
+        ticks += run.end_time;
+        black_box(run.final_makespan);
+    }
+    wall_ns += start.elapsed().as_nanos() as f64;
+    let reps = cfg.net_reps as f64;
+    let per_run_ns = wall_ns / reps;
+    let msgs_per_sec = delivered as f64 / (wall_ns / 1e9);
+    let mean_ticks = ticks as f64 / reps;
+    eprintln!(
+        "net drop={drop_permille}permille: {msgs_per_sec:.0} delivered msgs/s, \
+         time-to-stable {mean_ticks:.0} ticks / {per_run_ns:.0} ns"
+    );
+    json!({
+        "drop_permille": drop_permille,
+        "reps": cfg.net_reps,
+        "delivered_msgs_per_sec": msgs_per_sec,
+        "mean_msgs_sent": msgs as f64 / reps,
+        "time_to_stable_ticks": mean_ticks,
+        "time_to_stable_wall_ns": per_run_ns,
+    })
+}
+
 fn main() {
     let mut cfg = Config {
         query_iters: 2_000_000,
@@ -130,6 +182,7 @@ fn main() {
         // allocations) amortizes to noise against the per-round cost.
         rounds: 8_192,
         round_reps: 3,
+        net_reps: 3,
         out: "BENCH_simcore.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -140,6 +193,7 @@ fn main() {
                 cfg.update_iters = 50_000;
                 cfg.rounds = 64;
                 cfg.round_reps = 2;
+                cfg.net_reps = 1;
             }
             "--out" => {
                 cfg.out = args.next().unwrap_or_else(|| {
@@ -157,11 +211,16 @@ fn main() {
     }
 
     let sizes: Vec<serde_json::Value> = SIZES.iter().map(|&m| measure_size(m, &cfg)).collect();
+    let net: Vec<serde_json::Value> = [0u16, 150]
+        .iter()
+        .map(|&drop| measure_net(drop, &cfg))
+        .collect();
     let report = json!({
         "suite": "simcore",
         "unit": "ns",
         "rounds_per_rep": cfg.rounds,
         "sizes": sizes,
+        "net": net,
     });
     // `Display` (with `{:#}` for pretty) works under both the real
     // serde_json and the offline stub, unlike `to_string_pretty`.
