@@ -6,21 +6,32 @@
 //! time (rounds and effective exchanges) to first reach `1.5 × CLB2C`
 //! globally, and the final makespan after a fixed budget.
 //!
-//! Run: `cargo run --release -p lb-bench --bin ablation_peer_selection`
+//! All `policy x replication` cells run through the shared campaign
+//! engine (`--threads N`, 0 = all cores); output order is fixed by the
+//! grid.
+//!
+//! Run: `cargo run --release -p lb-bench --bin ablation_peer_selection [--reps N] [--threads N]`
 
-use lb_bench::{row, SimRunner};
+use lb_bench::{row, Args, SimRunner};
 use lb_core::{clb2c, Dlb2cBalance};
 use lb_distsim::{run_gossip, GossipConfig, PairSchedule};
 use lb_stats::csv::CsvCell;
-use lb_stats::Summary;
+use lb_stats::{run_campaign, CampaignSpec, Summary};
 use lb_workloads::initial::random_assignment;
 use lb_workloads::two_cluster::paper_two_cluster;
-use rayon::prelude::*;
 
 fn main() {
+    let args = Args::parse();
+    let reps: u64 = args
+        .value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let runner = SimRunner::new("ablation_peer_selection");
     runner.banner("A2", "DLB2C peer-selection policies on the 64+32 workload");
-    let reps = 20u64;
     runner.sidecar(&serde_json::json!({"reps": reps}));
     let mut csv = runner.csv(&[
         "policy",
@@ -46,34 +57,44 @@ fn main() {
         ),
     ];
 
+    let spec = CampaignSpec {
+        base_seed: 42,
+        replications: reps,
+        threads,
+        progress_every: 0,
+    };
+    let campaign = run_campaign(
+        &spec,
+        &policies,
+        |&(_, schedule), cell| -> (Option<u64>, f64) {
+            let r = cell.replication;
+            let inst = paper_two_cluster(64, 32, 768, 500 + r);
+            let cent = clb2c(&inst).expect("two-cluster").makespan();
+            let mut asg = random_assignment(&inst, 700 + r);
+            let cfg = GossipConfig {
+                max_rounds: 20_000,
+                seed: 42 + r,
+                schedule,
+                threshold: cent + cent / 2,
+                ..GossipConfig::default()
+            };
+            let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+            // Rounds until the *global* makespan passed the threshold:
+            // approximate from effective exchanges at the hit.
+            (
+                run.global_threshold_hit,
+                run.final_makespan as f64 / cent as f64,
+            )
+        },
+    )
+    .expect("campaign pool");
+
     println!(
         "{:>14} {:>22} {:>20}",
         "policy", "rounds to 1.5 x cent", "final Cmax / cent"
     );
-    for (name, schedule) in policies {
-        let results: Vec<(Option<u64>, f64)> = (0..reps)
-            .into_par_iter()
-            .map(|r| {
-                let inst = paper_two_cluster(64, 32, 768, 500 + r);
-                let cent = clb2c(&inst).expect("two-cluster").makespan();
-                let mut asg = random_assignment(&inst, 700 + r);
-                let cfg = GossipConfig {
-                    max_rounds: 20_000,
-                    seed: 42 + r,
-                    schedule,
-                    threshold: cent + cent / 2,
-                    ..GossipConfig::default()
-                };
-                let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
-                // Rounds until the *global* makespan passed the threshold:
-                // approximate from effective exchanges at the hit.
-                (
-                    run.global_threshold_hit,
-                    run.final_makespan as f64 / cent as f64,
-                )
-            })
-            .collect();
-
+    for (pi, (name, _)) in policies.iter().enumerate() {
+        let results = campaign.point_results(pi);
         let hits: Vec<f64> = results
             .iter()
             .filter_map(|(h, _)| h.map(|x| x as f64))
@@ -91,7 +112,7 @@ fn main() {
             row(
                 &mut csv,
                 vec![
-                    name.into(),
+                    name.to_string().into(),
                     CsvCell::Uint(r as u64),
                     hit.map_or("".into(), CsvCell::Uint),
                     CsvCell::Float(*fin),
@@ -99,6 +120,13 @@ fn main() {
             );
         }
     }
+    println!(
+        "\n{} cells in {:.2}s ({:.1} reps/s, threads={})",
+        campaign.cells(),
+        campaign.wall_secs,
+        campaign.reps_per_sec(),
+        campaign.threads
+    );
     println!(
         "\nreading: moderate cross-cluster bias speeds up the drop below the \
          threshold (inter-cluster exchanges are where CLB2C-style decisions \

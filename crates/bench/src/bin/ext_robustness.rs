@@ -7,26 +7,36 @@
 //! e ∈ {0, 10, 25, 50}. Compared: CLB2C, DLB2C, and centralized local
 //! search, all normalized by the true lower bound.
 //!
-//! Run: `cargo run --release -p lb-bench --bin ext_robustness`
+//! All `error x replication` cells run through the shared campaign engine
+//! (`--threads N`, 0 = all cores); output order is fixed by the grid.
+//!
+//! Run: `cargo run --release -p lb-bench --bin ext_robustness [--reps N] [--threads N]`
 
-use lb_bench::{row, SimRunner};
+use lb_bench::{row, Args, SimRunner};
 use lb_core::local_search::{local_search_schedule, LocalSearchLimits};
 use lb_core::{clb2c, run_pairwise, Dlb2cBalance};
 use lb_model::bounds::combined_lower_bound;
 use lb_model::perturb::{evaluate_under, perturbed_instance};
 use lb_stats::csv::CsvCell;
-use lb_stats::Summary;
+use lb_stats::{run_campaign, CampaignSpec, Summary};
 use lb_workloads::initial::random_assignment;
 use lb_workloads::two_cluster::paper_two_cluster;
-use rayon::prelude::*;
 
 fn main() {
+    let args = Args::parse();
+    let reps: u64 = args
+        .value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let runner = SimRunner::new("ext_robustness");
     runner.banner(
         "E3",
         "robustness to cost misprediction (plan on predictions, run on truth)",
     );
-    let reps = 15u64;
     runner.sidecar(&serde_json::json!({"reps": reps, "errors": [0,10,25,50]}));
     let mut csv = runner.csv(&[
         "error_percent",
@@ -35,32 +45,39 @@ fn main() {
         "true_cmax_over_lb",
     ]);
 
+    let errors = [0u32, 10, 25, 50];
+    let spec = CampaignSpec {
+        base_seed: 900,
+        replications: reps,
+        threads,
+        progress_every: 0,
+    };
+    let campaign = run_campaign(&spec, &errors, |&error, cell| -> (f64, f64, f64) {
+        let r = cell.replication;
+        let truth = paper_two_cluster(16, 8, 192, 900 + r);
+        let predicted = perturbed_instance(&truth, error, 31 + r);
+        let lb = combined_lower_bound(&truth) as f64;
+
+        // Plan every algorithm against `predicted`, score under `truth`.
+        let central = clb2c(&predicted).expect("two-cluster");
+        let c_ratio = evaluate_under(&truth, &central) as f64 / lb;
+
+        let mut asg = random_assignment(&predicted, 50 + r);
+        run_pairwise(&predicted, &mut asg, &Dlb2cBalance, 60 + r, 15_000);
+        let d_ratio = evaluate_under(&truth, &asg) as f64 / lb;
+
+        let ls = local_search_schedule(&predicted, LocalSearchLimits::default());
+        let l_ratio = evaluate_under(&truth, &ls) as f64 / lb;
+        (c_ratio, d_ratio, l_ratio)
+    })
+    .expect("campaign pool");
+
     println!(
         "{:>7} {:>12} {:>12} {:>14}",
         "error%", "CLB2C/LB", "DLB2C/LB", "local-search/LB"
     );
-    for error in [0u32, 10, 25, 50] {
-        let results: Vec<(f64, f64, f64)> = (0..reps)
-            .into_par_iter()
-            .map(|r| {
-                let truth = paper_two_cluster(16, 8, 192, 900 + r);
-                let predicted = perturbed_instance(&truth, error, 31 + r);
-                let lb = combined_lower_bound(&truth) as f64;
-
-                // Plan every algorithm against `predicted`, score under `truth`.
-                let central = clb2c(&predicted).expect("two-cluster");
-                let c_ratio = evaluate_under(&truth, &central) as f64 / lb;
-
-                let mut asg = random_assignment(&predicted, 50 + r);
-                run_pairwise(&predicted, &mut asg, &Dlb2cBalance, 60 + r, 15_000);
-                let d_ratio = evaluate_under(&truth, &asg) as f64 / lb;
-
-                let ls = local_search_schedule(&predicted, LocalSearchLimits::default());
-                let l_ratio = evaluate_under(&truth, &ls) as f64 / lb;
-                (c_ratio, d_ratio, l_ratio)
-            })
-            .collect();
-
+    for (ei, &error) in errors.iter().enumerate() {
+        let results = campaign.point_results(ei);
         for (r, &(c, d, l)) in results.iter().enumerate() {
             for (algo, v) in [("clb2c", c), ("dlb2c", d), ("local-search", l)] {
                 row(
@@ -86,6 +103,13 @@ fn main() {
             med(|t| t.2)
         );
     }
+    println!(
+        "\n{} cells in {:.2}s ({:.1} reps/s, threads={})",
+        campaign.cells(),
+        campaign.wall_secs,
+        campaign.reps_per_sec(),
+        campaign.threads
+    );
     println!(
         "\nreading: all three degrade gracefully — the true makespan grows roughly \
          with the prediction error band, with no cliff. DLB2C inherits CLB2C's \

@@ -12,59 +12,44 @@
 //! below the mode to above it; and `Cmax <= S/m + 1.5 p_max` with very
 //! high probability.
 //!
-//! Run: `cargo run --release -p lb-bench --bin fig2_markov [--panel a|b] [--quick]`
+//! The grid is solved through the shared campaign engine: points run in
+//! parallel (`--threads N`, 0 = all cores) and are emitted in grid
+//! order, so the CSV is byte-identical for any thread count.
+//!
+//! Run: `cargo run --release -p lb-bench --bin fig2_markov [--panel a|b] [--quick] [--threads N]`
 
 use lb_bench::{row, Args, SimRunner};
 use lb_markov::theory::verify_theorem10;
 use lb_markov::{ChainParams, LoadChain};
 use lb_stats::csv::CsvCell;
 use lb_stats::plot::bar_chart;
+use lb_stats::{run_campaign, CampaignSpec};
 
-fn run_config(
-    panel: &str,
+struct PointOut {
+    panel: &'static str,
     m: usize,
     p_max: u64,
-    csv: &mut lb_stats::csv::CsvWriter<std::io::BufWriter<std::fs::File>>,
-) {
+    total: u64,
+    states: usize,
+    worst: u64,
+    dev: Vec<(f64, f64)>,
+}
+
+fn solve(panel: &'static str, m: usize, p_max: u64) -> PointOut {
     let params = ChainParams::paper_total(m, p_max);
     let chain = LoadChain::build(params);
     let worst = verify_theorem10(&chain).expect("Theorem 10 must hold on the sink");
     let pi = chain
         .stationary(1e-12, 5_000_000)
         .expect("power iteration converged");
-    let dev = chain.deviation_distribution(&pi);
-
-    println!(
-        "\npanel {panel}: m={m}, p_max={p_max}, S={}, {} sink states, worst sink Cmax {worst}",
-        params.total,
-        chain.num_states()
-    );
-    let rows: Vec<(String, f64)> = dev.iter().map(|&(d, p)| (format!("{d:>5.2}"), p)).collect();
-    print!("{}", bar_chart(&rows, 46));
-
-    let mode = dev
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .map(|&(d, _)| d)
-        .unwrap_or(f64::NAN);
-    let p_below_15: f64 = dev
-        .iter()
-        .filter(|&&(d, _)| d <= 1.5)
-        .map(|&(_, p)| p)
-        .sum();
-    println!("mode = {mode:.2}, P[deviation <= 1.5] = {p_below_15:.6}");
-
-    for &(d, p) in &dev {
-        row(
-            csv,
-            vec![
-                CsvCell::Str(panel.to_string()),
-                CsvCell::Uint(m as u64),
-                CsvCell::Uint(p_max),
-                CsvCell::Float(d),
-                CsvCell::Float(p),
-            ],
-        );
+    PointOut {
+        panel,
+        m,
+        p_max,
+        total: params.total,
+        states: chain.num_states(),
+        worst,
+        dev: chain.deviation_distribution(&pi),
     }
 }
 
@@ -72,6 +57,10 @@ fn main() {
     let args = Args::parse();
     let quick = args.flag("--quick");
     let panel = args.value("--panel").unwrap_or("both");
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let runner = SimRunner::new("fig2_markov");
     runner.banner(
         "F2",
@@ -80,11 +69,10 @@ fn main() {
     runner.sidecar(&serde_json::json!({"quick": quick, "panel": panel}));
     let mut csv = runner.csv(&["panel", "m", "p_max", "deviation", "probability"]);
 
+    let mut grid: Vec<(&'static str, usize, u64)> = Vec::new();
     if panel == "a" || panel == "both" {
         let pmaxes: &[u64] = if quick { &[2, 3, 4, 5] } else { &[2, 4, 6, 8] };
-        for &p_max in pmaxes {
-            run_config("a", 6, p_max, &mut csv);
-        }
+        grid.extend(pmaxes.iter().map(|&p| ("a", 6, p)));
     }
     if panel == "b" || panel == "both" {
         let ms: &[usize] = if quick {
@@ -92,12 +80,64 @@ fn main() {
         } else {
             &[3, 4, 5, 6, 7]
         };
-        for &m in ms {
-            run_config("b", m, 4, &mut csv);
+        grid.extend(ms.iter().map(|&m| ("b", m, 4)));
+    }
+
+    let spec = CampaignSpec {
+        threads,
+        ..CampaignSpec::default()
+    };
+    let run = run_campaign(&spec, &grid, |&(panel, m, p_max), _| solve(panel, m, p_max))
+        .expect("campaign pool");
+
+    for out in &run.results {
+        println!(
+            "\npanel {}: m={}, p_max={}, S={}, {} sink states, worst sink Cmax {}",
+            out.panel, out.m, out.p_max, out.total, out.states, out.worst
+        );
+        let rows: Vec<(String, f64)> = out
+            .dev
+            .iter()
+            .map(|&(d, p)| (format!("{d:>5.2}"), p))
+            .collect();
+        print!("{}", bar_chart(&rows, 46));
+
+        let mode = out
+            .dev
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(d, _)| d)
+            .unwrap_or(f64::NAN);
+        let p_below_15: f64 = out
+            .dev
+            .iter()
+            .filter(|&&(d, _)| d <= 1.5)
+            .map(|&(_, p)| p)
+            .sum();
+        println!("mode = {mode:.2}, P[deviation <= 1.5] = {p_below_15:.6}");
+
+        for &(d, p) in &out.dev {
+            row(
+                &mut csv,
+                vec![
+                    CsvCell::Str(out.panel.to_string()),
+                    CsvCell::Uint(out.m as u64),
+                    CsvCell::Uint(out.p_max),
+                    CsvCell::Float(d),
+                    CsvCell::Float(p),
+                ],
+            );
         }
     }
     println!(
-        "\nshape check: unimodal, mode near 0.5, Cmax <= S/m + 1.5 p_max w.h.p. \
+        "\nsolved {} grid points in {:.2}s ({:.1} points/s, threads={})",
+        run.points,
+        run.wall_secs,
+        run.reps_per_sec(),
+        run.threads
+    );
+    println!(
+        "shape check: unimodal, mode near 0.5, Cmax <= S/m + 1.5 p_max w.h.p. \
          (compare the P[deviation <= 1.5] column)."
     );
 }

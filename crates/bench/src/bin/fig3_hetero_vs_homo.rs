@@ -10,15 +10,20 @@
 //! Expected shape: both distributions are concentrated a little above 1
 //! with similar spread — qualitatively the same.
 //!
-//! Run: `cargo run --release -p lb-bench --bin fig3_hetero_vs_homo [--reps N]`
+//! Both cases run through the shared campaign engine (2 points x `--reps`
+//! replications). Replication `r` of either case uses the same workload
+//! seed, keeping the comparison paired; the lower bound is computed
+//! inside the cell, so the instance is built exactly once per cell.
+//!
+//! Run: `cargo run --release -p lb-bench --bin fig3_hetero_vs_homo [--reps N] [--threads N]`
 
 use lb_bench::{row, Args, SimRunner};
 use lb_core::Dlb2cBalance;
-use lb_distsim::{replicate, GossipConfig};
+use lb_distsim::{run_gossip, GossipConfig};
 use lb_model::bounds::combined_lower_bound;
 use lb_model::prelude::*;
 use lb_stats::csv::CsvCell;
-use lb_stats::Summary;
+use lb_stats::{run_campaign, CampaignSpec, Summary};
 use lb_workloads::initial::random_assignment;
 use lb_workloads::two_cluster::paper_two_cluster;
 use lb_workloads::uniform::uniform_instance;
@@ -37,30 +42,19 @@ fn homogeneous_as_two_cluster(m1: usize, m2: usize, jobs: usize, seed: u64) -> I
     Instance::two_cluster(m1, m2, costs).expect("valid by construction")
 }
 
-fn equilibrium_ratios(
-    label: &str,
-    reps: u64,
-    make_inst: impl Fn(u64) -> Instance + Sync,
-) -> Vec<f64> {
-    let cfg = GossipConfig {
-        max_rounds: 30_000,
-        seed: 1000,
-        ..GossipConfig::default()
-    };
-    let runs = replicate(&cfg, &Dlb2cBalance, reps, |r| {
-        let inst = make_inst(r);
-        let asg = random_assignment(&inst, 5000 + r);
-        (inst, asg)
-    });
-    runs.iter()
-        .enumerate()
-        .map(|(r, run)| {
-            let inst = make_inst(r as u64);
-            let lb = combined_lower_bound(&inst) as f64;
-            let _ = label;
-            run.final_makespan as f64 / lb
-        })
-        .collect()
+#[derive(Clone, Copy)]
+enum Case {
+    Hetero,
+    Homo,
+}
+
+impl Case {
+    fn label(self) -> &'static str {
+        match self {
+            Case::Hetero => "hetero",
+            Case::Homo => "homo",
+        }
+    }
 }
 
 fn main() {
@@ -69,6 +63,10 @@ fn main() {
         .value("--reps")
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let runner = SimRunner::new("fig3_hetero_vs_homo");
     runner.banner(
         "F3",
@@ -79,28 +77,56 @@ fn main() {
     );
     let mut csv = runner.csv(&["case", "replication", "cmax_over_lb"]);
 
-    let hetero = equilibrium_ratios("hetero", reps, |r| paper_two_cluster(64, 32, 768, 42 + r));
-    let homo = equilibrium_ratios("homo", reps, |r| {
-        homogeneous_as_two_cluster(64, 32, 768, 42 + r)
-    });
+    let spec = CampaignSpec {
+        base_seed: 1000,
+        replications: reps,
+        threads,
+        progress_every: 0,
+    };
+    let cases = [Case::Hetero, Case::Homo];
+    let run = run_campaign(&spec, &cases, |case, cell| {
+        // Pair the cases: replication r of either case sees the same
+        // workload seed (42 + r) and initial-assignment seed (5000 + r).
+        let r = cell.replication;
+        let inst = match case {
+            Case::Hetero => paper_two_cluster(64, 32, 768, 42 + r),
+            Case::Homo => homogeneous_as_two_cluster(64, 32, 768, 42 + r),
+        };
+        let mut asg = random_assignment(&inst, 5000 + r);
+        let cfg = GossipConfig {
+            max_rounds: 30_000,
+            seed: 1000u64.wrapping_add(r),
+            ..GossipConfig::default()
+        };
+        let g = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+        g.final_makespan as f64 / combined_lower_bound(&inst) as f64
+    })
+    .expect("campaign pool");
 
-    for (r, &v) in hetero.iter().enumerate() {
-        row(
-            &mut csv,
-            vec!["hetero".into(), CsvCell::Uint(r as u64), CsvCell::Float(v)],
-        );
-    }
-    for (r, &v) in homo.iter().enumerate() {
-        row(
-            &mut csv,
-            vec!["homo".into(), CsvCell::Uint(r as u64), CsvCell::Float(v)],
-        );
+    for (case_idx, case) in cases.iter().enumerate() {
+        for (r, &v) in run.point_results(case_idx).iter().enumerate() {
+            row(
+                &mut csv,
+                vec![
+                    case.label().into(),
+                    CsvCell::Uint(r as u64),
+                    CsvCell::Float(v),
+                ],
+            );
+        }
     }
 
-    let sh = Summary::of(&hetero).expect("non-empty");
-    let so = Summary::of(&homo).expect("non-empty");
+    let sh = Summary::of(run.point_results(0)).expect("non-empty");
+    let so = Summary::of(run.point_results(1)).expect("non-empty");
     println!("two clusters (64+32): {}", sh.line());
     println!("one cluster  (96):    {}", so.line());
+    println!(
+        "replications: {} per case in {:.2}s ({:.1} reps/s, threads={})",
+        reps,
+        run.wall_secs,
+        run.reps_per_sec(),
+        run.threads
+    );
     println!(
         "\nshape check: both concentrated near 1 x LB with similar spread \
          (paper: 'qualitatively similar'). hetero mean {:.3} vs homo mean {:.3}",

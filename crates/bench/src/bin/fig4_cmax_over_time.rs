@@ -5,14 +5,19 @@
 //! convergence), for both the heterogeneous 64+32 and the homogeneous 96
 //! configurations.
 //!
-//! Run: `cargo run --release -p lb-bench --bin fig4_cmax_over_time`
+//! The 2 cases x 3 seeds = 6 trajectories run through the shared campaign
+//! engine (`--threads N`, 0 = all cores); rows are emitted in grid order,
+//! so the CSV is identical for any thread count.
+//!
+//! Run: `cargo run --release -p lb-bench --bin fig4_cmax_over_time [--rounds N] [--threads N]`
 
 use lb_bench::{row, Args, SimRunner};
 use lb_core::Dlb2cBalance;
-use lb_distsim::{run_gossip, GossipConfig};
+use lb_distsim::{run_gossip, GossipConfig, GossipRun};
 use lb_model::prelude::*;
 use lb_stats::csv::CsvCell;
 use lb_stats::plot::sparkline;
+use lb_stats::{run_campaign, CampaignSpec};
 use lb_workloads::initial::random_assignment;
 use lb_workloads::two_cluster::paper_two_cluster;
 use lb_workloads::uniform::uniform_instance;
@@ -35,6 +40,10 @@ fn main() {
         .value("--rounds")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let runner = SimRunner::new("fig4_cmax_over_time");
     runner.banner(
         "F4",
@@ -43,51 +52,73 @@ fn main() {
     runner.sidecar(&serde_json::json!({"rounds": rounds, "seeds": [1, 2, 3]}));
     let mut csv = runner.csv(&["case", "seed", "round", "cmax"]);
 
-    for (case, inst) in [
+    let cases = [
         ("hetero-64+32", paper_two_cluster(64, 32, 768, 7)),
         ("homo-96", homogeneous_as_two_cluster(64, 32, 768, 7)),
-    ] {
-        for seed in [1u64, 2, 3] {
-            let mut asg = random_assignment(&inst, 100 + seed);
-            let cfg = GossipConfig {
-                max_rounds: rounds,
-                seed,
-                record_every: 50,
-                ..GossipConfig::default()
-            };
-            let run = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
-            for &(round, cmax) in &run.makespan_series {
-                row(
-                    &mut csv,
-                    vec![
-                        case.into(),
-                        CsvCell::Uint(seed),
-                        CsvCell::Uint(round),
-                        CsvCell::Uint(cmax),
-                    ],
-                );
-            }
-            // Oscillation analysis: after the drop phase (first quarter),
-            // how far above the run minimum does the trajectory wander?
-            let tail: Vec<u64> = run
-                .makespan_series
-                .iter()
-                .skip(run.makespan_series.len() / 4)
-                .map(|&(_, c)| c)
-                .collect();
-            let min = *tail.iter().min().expect("non-empty tail");
-            let max = *tail.iter().max().expect("non-empty tail");
-            let series: Vec<f64> = run.makespan_series.iter().map(|&(_, c)| c as f64).collect();
-            println!(
-                "{case} seed {seed}: {} -> {} | equilibrium band [{min}, {max}] \
-                 (width {:.1}% of min)",
-                run.initial_makespan,
-                run.final_makespan,
-                100.0 * (max - min) as f64 / min as f64
+    ];
+    let grid: Vec<(usize, u64)> = cases
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| [1u64, 2, 3].into_iter().map(move |s| (ci, s)))
+        .collect();
+
+    let spec = CampaignSpec {
+        threads,
+        ..CampaignSpec::default()
+    };
+    let run = run_campaign(&spec, &grid, |&(ci, seed), _| -> GossipRun {
+        let inst = &cases[ci].1;
+        let mut asg = random_assignment(inst, 100 + seed);
+        let cfg = GossipConfig {
+            max_rounds: rounds,
+            seed,
+            record_every: 50,
+            ..GossipConfig::default()
+        };
+        run_gossip(inst, &mut asg, &Dlb2cBalance, &cfg)
+    })
+    .expect("campaign pool");
+
+    for (&(ci, seed), g) in grid.iter().zip(&run.results) {
+        let case = cases[ci].0;
+        for &(round, cmax) in &g.makespan_series {
+            row(
+                &mut csv,
+                vec![
+                    case.into(),
+                    CsvCell::Uint(seed),
+                    CsvCell::Uint(round),
+                    CsvCell::Uint(cmax),
+                ],
             );
-            println!("  {}", sparkline(&series));
         }
+        // Oscillation analysis: after the drop phase (first quarter),
+        // how far above the run minimum does the trajectory wander?
+        let tail: Vec<u64> = g
+            .makespan_series
+            .iter()
+            .skip(g.makespan_series.len() / 4)
+            .map(|&(_, c)| c)
+            .collect();
+        let min = *tail.iter().min().expect("non-empty tail");
+        let max = *tail.iter().max().expect("non-empty tail");
+        let series: Vec<f64> = g.makespan_series.iter().map(|&(_, c)| c as f64).collect();
+        println!(
+            "{case} seed {seed}: {} -> {} | equilibrium band [{min}, {max}] \
+             (width {:.1}% of min)",
+            g.initial_makespan,
+            g.final_makespan,
+            100.0 * (max - min) as f64 / min as f64
+        );
+        println!("  {}", sparkline(&series));
     }
+    println!(
+        "\n{} trajectories in {:.2}s ({:.1} runs/s, threads={})",
+        run.points,
+        run.wall_secs,
+        run.reps_per_sec(),
+        run.threads
+    );
     println!(
         "\nshape check: fast initial drop, then a narrow oscillation band; \
          homogeneous and heterogeneous trajectories look alike (paper Fig. 4)."

@@ -17,19 +17,22 @@
 //! first-passage counts visibly larger — useful to see the CDF's shape
 //! away from the near-trivial random-start regime.
 //!
+//! All `config x replication` cells run through the shared campaign
+//! engine (`--threads N`, 0 = all cores); output order is fixed by the
+//! grid, so results are identical for any thread count.
+//!
 //! Run: `cargo run --release -p lb-bench --bin fig5_exchanges \
-//!       [--reps N] [--quick] [--start random|skewed]`
+//!       [--reps N] [--quick] [--start random|skewed] [--threads N]`
 
 use lb_bench::{row, Args, SimRunner};
 use lb_core::{clb2c, Dlb2cBalance};
-use lb_distsim::GossipConfig;
+use lb_distsim::{GossipConfig, GossipRun};
 use lb_model::prelude::*;
 use lb_stats::csv::CsvCell;
-use lb_stats::Ecdf;
+use lb_stats::{run_campaign, CampaignSpec, Ecdf};
 use lb_workloads::initial::{random_assignment, skewed_assignment};
 use lb_workloads::two_cluster::paper_two_cluster;
 use lb_workloads::uniform::uniform_instance;
-use rayon::prelude::*;
 
 fn homogeneous_as_two_cluster(m1: usize, m2: usize, jobs: usize, seed: u64) -> Instance {
     let base = uniform_instance(m1 + m2, jobs, 1, 1000, seed);
@@ -59,6 +62,10 @@ fn main() {
         .value("--reps")
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 3 } else { 10 });
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let runner = SimRunner::new("fig5_exchanges");
     runner.banner("F5", "Figure 5: exchanges per machine to reach 1.5 x CLB2C");
     runner.sidecar(&serde_json::json!({
@@ -98,36 +105,41 @@ fn main() {
         });
     }
 
-    for c in &configs {
+    // Each replication gets its own threshold: 1.5 x CLB2C on its
+    // instance. All cells fan out through one campaign.
+    let spec = CampaignSpec {
+        base_seed: 2_000,
+        replications: reps,
+        threads,
+        progress_every: 0,
+    };
+    let campaign = run_campaign(&spec, &configs, |c, cell| -> GossipRun {
+        let r = cell.replication;
         let m = c.m1 + c.m2;
-        let make_inst = |r: u64| -> Instance {
-            if c.homogeneous {
-                homogeneous_as_two_cluster(c.m1, c.m2, c.jobs, 33 + r)
-            } else {
-                paper_two_cluster(c.m1, c.m2, c.jobs, 33 + r)
-            }
+        let inst = if c.homogeneous {
+            homogeneous_as_two_cluster(c.m1, c.m2, c.jobs, 33 + r)
+        } else {
+            paper_two_cluster(c.m1, c.m2, c.jobs, 33 + r)
         };
-        // Each replication gets its own threshold: 1.5 x CLB2C on its
-        // instance. Fan the replications out over the rayon pool.
-        let runs: Vec<_> = (0..reps)
-            .into_par_iter()
-            .map(|r| {
-                let inst = make_inst(r);
-                let cent = clb2c(&inst).expect("two-cluster instance").makespan();
-                let mut asg = if skewed {
-                    skewed_assignment(&inst, 0.05, 900 + r)
-                } else {
-                    random_assignment(&inst, 900 + r)
-                };
-                let cfg = GossipConfig {
-                    max_rounds: 80 * m as u64,
-                    seed: 2_000 + r,
-                    threshold: cent + cent / 2,
-                    ..GossipConfig::default()
-                };
-                lb_distsim::run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg)
-            })
-            .collect();
+        let cent = clb2c(&inst).expect("two-cluster instance").makespan();
+        let mut asg = if skewed {
+            skewed_assignment(&inst, 0.05, 900 + r)
+        } else {
+            random_assignment(&inst, 900 + r)
+        };
+        let cfg = GossipConfig {
+            max_rounds: 80 * m as u64,
+            seed: 2_000 + r,
+            threshold: cent + cent / 2,
+            ..GossipConfig::default()
+        };
+        lb_distsim::run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg)
+    })
+    .expect("campaign pool");
+
+    for (ci, c) in configs.iter().enumerate() {
+        let m = c.m1 + c.m2;
+        let runs = campaign.point_results(ci);
 
         let mut samples: Vec<f64> = Vec::new();
         for (r, run) in runs.iter().enumerate() {
@@ -186,6 +198,13 @@ fn main() {
             );
         }
     }
+    println!(
+        "\n{} cells in {:.2}s ({:.1} reps/s, threads={})",
+        campaign.cells(),
+        campaign.wall_secs,
+        campaign.reps_per_sec(),
+        campaign.threads
+    );
     println!(
         "\nshape check: ~90% of machines under the threshold within a handful of \
          exchanges; the larger configuration needs fewer (paper Fig. 5)."

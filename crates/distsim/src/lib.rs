@@ -64,7 +64,7 @@ pub use probe::{
     TopologyProbe,
 };
 pub use protocol::{drive, drive_with_plan, DriveResult, Protocol, StepOutcome};
-pub use replicate::{fan_out, replicate};
+pub use replicate::{fan_out, fan_out_threads, replicate};
 pub use simcore::{stream_rng, SimCore};
 pub use topology::{Topology, TopologyEvent, TopologyPlan};
 pub use worksteal::{

@@ -31,6 +31,25 @@ where
     (0..replications).into_par_iter().map(f).collect()
 }
 
+/// [`fan_out`] on a dedicated pool of `threads` workers (0 = rayon
+/// default). Results are in replication order either way — the thread
+/// count only changes scheduling, never output — which is what lets the
+/// campaign engine assert byte-identical artifacts across `--threads`.
+pub fn fan_out_threads<T, F>(replications: u64, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    if threads == 0 {
+        return fan_out(replications, f);
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| fan_out(replications, f))
+}
+
 /// Runs `replications` independent gossip experiments in parallel.
 ///
 /// For replication `r`, `make_start(r)` builds the instance and initial
@@ -93,6 +112,14 @@ mod tests {
     fn fan_out_preserves_order_for_any_task() {
         let squares = fan_out(10, |r| r * r);
         assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn fan_out_threads_matches_global_pool() {
+        let global = fan_out(16, |r| r * 3 + 1);
+        for threads in [0, 1, 3] {
+            assert_eq!(fan_out_threads(16, threads, |r| r * 3 + 1), global);
+        }
     }
 
     #[test]

@@ -36,9 +36,11 @@ pub mod graph;
 pub mod mixing;
 pub mod spectral;
 pub mod state;
+pub mod sweep;
 pub mod theory;
 
 pub use chain::{ChainParams, LoadChain};
 pub use mixing::{mixing_time, tv_distance, tv_trajectory};
 pub use state::LoadVector;
+pub use sweep::{paper_grid, solve_point, stationary_sweep, SweepResult, SweepSettings};
 pub use theory::theorem10_bound;

@@ -9,6 +9,10 @@
 
 use crate::chain::LoadChain;
 
+/// Lag window for the geometric-mean decay rate, and the number of
+/// consecutive sub-tolerance estimate deltas required before accepting.
+const LAG: usize = 32;
+
 /// Estimates `|lambda_2|`, the magnitude of the chain's second-largest
 /// eigenvalue, by power iteration on the deflated operator
 /// `x -> xP - (sum x) pi` (which annihilates the top eigenpair).
@@ -16,12 +20,35 @@ use crate::chain::LoadChain;
 /// Single-step norm ratios oscillate when the subdominant spectrum has
 /// several eigenvalues of similar magnitude (or complex pairs), so the
 /// rate is measured as a *lagged geometric mean*: the per-step decay over
-/// a 32-step window, which averages the oscillation out. Returns `None`
-/// if the iterate collapses (e.g. a 1-state chain) before the estimate
-/// stabilizes to `tol`.
+/// a 32-step window, which averages the oscillation out. Convergence is
+/// accepted only after a full lag window of consecutive sub-`tol` deltas:
+/// a single small delta can occur at a turning point of a slowly
+/// oscillating estimate long before the rate is actually stable. Returns
+/// `None` if the iterate collapses (e.g. a 1-state chain) before the
+/// estimate stabilizes to `tol`.
 pub fn second_eigenvalue(chain: &LoadChain, pi: &[f64], tol: f64, max_iters: u64) -> Option<f64> {
-    const LAG: usize = 32;
-    let n = chain.num_states();
+    power_lambda2(
+        chain.num_states(),
+        |x| chain.step(x),
+        pi,
+        tol,
+        max_iters,
+        LAG,
+    )
+}
+
+/// Power-iteration core, generic over the kernel so tests can drive it
+/// with arbitrary stochastic matrices, and parameterized by how many
+/// consecutive sub-tolerance deltas are required before accepting
+/// (`stable_needed`; the public entry point uses a full lag window).
+fn power_lambda2(
+    n: usize,
+    step: impl Fn(&[f64]) -> Vec<f64>,
+    pi: &[f64],
+    tol: f64,
+    max_iters: u64,
+    stable_needed: usize,
+) -> Option<f64> {
     if n < 2 {
         return None;
     }
@@ -34,9 +61,13 @@ pub fn second_eigenvalue(chain: &LoadChain, pi: &[f64], tol: f64, max_iters: u64
     let mut log_norm_acc = 0.0f64;
     let mut window: Vec<f64> = Vec::with_capacity(LAG + 1);
     window.push(0.0);
+    // Recent estimates; the stable stretch is averaged on acceptance so a
+    // slowly turning estimate is not sampled at an extreme.
+    let mut ests: Vec<f64> = Vec::with_capacity(LAG + 1);
     let mut prev_est = f64::NAN;
+    let mut stable = 0usize;
     for it in 0..max_iters {
-        let mut y = chain.step(&x);
+        let mut y = step(&x);
         // Deflate: remove the component along the top eigenpair
         // (right eigenvector 1, left eigenvector pi).
         let s: f64 = y.iter().sum();
@@ -57,16 +88,32 @@ pub fn second_eigenvalue(chain: &LoadChain, pi: &[f64], tol: f64, max_iters: u64
             window.remove(0);
             let rate = (window[LAG] - window[0]) / LAG as f64;
             let est = rate.exp();
+            ests.push(est);
+            if ests.len() > LAG + 1 {
+                ests.remove(0);
+            }
             if it > 2 * LAG as u64 && (est - prev_est).abs() < tol {
-                return Some(est.min(1.0));
+                stable += 1;
+                if stable >= stable_needed {
+                    // Mean over the stable stretch, not the last point.
+                    let k = (stable + 1).min(ests.len());
+                    let m = ests[ests.len() - k..].iter().sum::<f64>() / k as f64;
+                    return Some(m.min(1.0));
+                }
+            } else {
+                stable = 0;
             }
             prev_est = est;
         }
     }
-    if prev_est.is_finite() {
-        Some(prev_est.min(1.0))
-    } else {
+    if ests.is_empty() {
         None
+    } else {
+        // Never stabilized: report the window mean, which averages out a
+        // persistent oscillation instead of sampling it at an arbitrary
+        // phase.
+        let m = ests.iter().sum::<f64>() / ests.len() as f64;
+        Some(m.min(1.0))
     }
 }
 
@@ -119,6 +166,70 @@ mod tests {
         assert!(relaxation_time(1.0).is_infinite());
         assert!((relaxation_time(0.5) - 2.0).abs() < 1e-12);
         assert!((relaxation_time(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    /// One multiplication by the lazy cyclic-rotation kernel
+    /// `P = a*I + (1-a)*R` on `n` states (`R` shifts mass to the next
+    /// state). Its subdominant eigenvalues are the complex pair
+    /// `a + (1-a) e^{+-2*pi*i/n}`, which makes the windowed decay-rate
+    /// estimate oscillate persistently.
+    fn lazy_rotation_step(a: f64, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|j| a * x[j] + (1.0 - a) * x[(j + n - 1) % n])
+            .collect()
+    }
+
+    #[test]
+    fn two_state_slow_chain_is_exact() {
+        // For ANY 2-state chain the start vector (1, -1) is exactly the
+        // second left eigenvector, so the windowed estimate is exact from
+        // the first window onward — which is why the premature-exit bug
+        // cannot manifest at n = 2 and the oscillation regression below
+        // needs three states. Slow mixing (lambda2 close to 1) does not
+        // change that.
+        let eps = 0.01; // leaves the current state w.p. eps
+        let step = |x: &[f64]| {
+            vec![
+                (1.0 - eps) * x[0] + eps * x[1],
+                eps * x[0] + (1.0 - eps) * x[1],
+            ]
+        };
+        let pi = [0.5, 0.5];
+        let l2 = power_lambda2(2, step, &pi, 1e-12, 10_000, LAG).unwrap();
+        assert!((l2 - (1.0 - 2.0 * eps)).abs() < 1e-9, "l2 = {l2}");
+    }
+
+    #[test]
+    fn lag_window_guard_rejects_turning_point_convergence() {
+        // Regression for the old early exit `it > 2*LAG && delta < tol`:
+        // on a slowly-mixing chain whose subdominant eigenvalues are a
+        // complex pair, the windowed estimate oscillates slowly around
+        // the true magnitude, and a single sub-tolerance delta occurs at
+        // every turning point of that oscillation — long before the rate
+        // is stable. `stable_needed = 1` reproduces the old check;
+        // requiring a full lag window of consecutive sub-tol deltas
+        // (`stable_needed = LAG`) rides through the turning points.
+        let a = 0.95;
+        let step = |x: &[f64]| lazy_rotation_step(a, x);
+        let pi = [1.0 / 3.0; 3];
+        // |a + (1-a) e^{2 pi i/3}|^2 = 3a^2 - 3a + 1.
+        let truth = (3.0 * a * a - 3.0 * a + 1.0f64).sqrt();
+        let tol = 1e-4;
+        let old = power_lambda2(3, step, &pi, tol, 20_000, 1).unwrap();
+        let new = power_lambda2(3, step, &pi, tol, 20_000, LAG).unwrap();
+        let old_err = (old - truth).abs();
+        let new_err = (new - truth).abs();
+        assert!(
+            old_err > 10.0 * tol,
+            "old single-delta check should accept a wrong value at a \
+             turning point; got error {old_err:.2e}"
+        );
+        assert!(
+            new_err < old_err / 4.0,
+            "lag-window check should be much closer to the truth: \
+             new {new_err:.2e} vs old {old_err:.2e}"
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Parameter-grid sweeps of the stationary equilibrium (the Figure 2
+//! family), driven by the shared `lb-stats` campaign engine.
+//!
+//! A sweep point is a full [`ChainParams`]; each point builds the sink
+//! chain, solves for the stationary distribution, and reduces it to the
+//! scalar equilibrium descriptors plotted in the paper (mean/mode/max
+//! deviation from perfect balance in units of `p_max`) plus the spectral
+//! relaxation time. The computation per point is deterministic, so the
+//! campaign runs one replication per point and parallelism only changes
+//! wall-clock time, never results.
+
+use crate::chain::{ChainParams, LoadChain};
+use crate::spectral::{relaxation_time, second_eigenvalue};
+use lb_stats::{run_campaign, CampaignError, CampaignRun, CampaignSpec};
+
+/// Equilibrium descriptors of one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The parameters the chain was built from.
+    pub params: ChainParams,
+    /// Number of states in the sink component.
+    pub states: usize,
+    /// Mean of `(Cmax - ceil(S/m)) / p_max` under the stationary law.
+    pub mean_deviation: f64,
+    /// The most likely deviation (mode of the stationary makespan law).
+    pub mode_deviation: f64,
+    /// Largest deviation with nonzero stationary mass.
+    pub max_deviation: f64,
+    /// `|lambda_2|` of the sink chain, when power iteration converged.
+    pub lambda2: Option<f64>,
+    /// Relaxation time `1 / (1 - |lambda_2|)` in exchanges.
+    pub relaxation: Option<f64>,
+}
+
+/// Numerical settings for one sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSettings {
+    /// Power-iteration tolerance for the stationary distribution.
+    pub tol: f64,
+    /// Power-iteration budget.
+    pub max_iters: u64,
+    /// Worker threads (0 = rayon default). Results are identical for any
+    /// value.
+    pub threads: usize,
+}
+
+impl Default for SweepSettings {
+    fn default() -> Self {
+        Self {
+            tol: 1e-12,
+            max_iters: 200_000,
+            threads: 0,
+        }
+    }
+}
+
+/// The paper's Figure 2 grid: every `(machines, p_max)` pair with the
+/// canonical total from [`ChainParams::paper_total`].
+pub fn paper_grid(machines: &[usize], p_maxes: &[u64]) -> Vec<ChainParams> {
+    let mut grid = Vec::with_capacity(machines.len() * p_maxes.len());
+    for &m in machines {
+        for &p in p_maxes {
+            grid.push(ChainParams::paper_total(m, p));
+        }
+    }
+    grid
+}
+
+/// Solves every grid point (in parallel across points, deterministically)
+/// and returns the per-point equilibrium descriptors in grid order.
+pub fn stationary_sweep(
+    grid: &[ChainParams],
+    settings: SweepSettings,
+) -> Result<CampaignRun<SweepResult>, CampaignError> {
+    let spec = CampaignSpec {
+        replications: 1,
+        threads: settings.threads,
+        ..CampaignSpec::default()
+    };
+    run_campaign(&spec, grid, |params, _cell| solve_point(*params, settings))
+}
+
+/// Builds and solves one chain; shared by the sweep and the CLI.
+pub fn solve_point(params: ChainParams, settings: SweepSettings) -> SweepResult {
+    let chain = LoadChain::build(params);
+    let pi = chain
+        .stationary(settings.tol, settings.max_iters)
+        .unwrap_or_else(|| vec![1.0 / chain.num_states() as f64; chain.num_states()]);
+    let dev = chain.deviation_distribution(&pi);
+    let mean_deviation = dev.iter().map(|&(d, p)| d * p).sum();
+    let mode_deviation = dev
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(d, _)| d)
+        .unwrap_or(0.0);
+    let max_deviation = dev
+        .iter()
+        .filter(|&&(_, p)| p > 1e-15)
+        .map(|&(d, _)| d)
+        .fold(0.0f64, f64::max);
+    let lambda2 = second_eigenvalue(&chain, &pi, 1e-10, settings.max_iters);
+    SweepResult {
+        params,
+        states: chain.num_states(),
+        mean_deviation,
+        mode_deviation,
+        max_deviation,
+        lambda2,
+        relaxation: lambda2.map(relaxation_time),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_grid_in_order() {
+        let grid = paper_grid(&[2, 3], &[1, 2]);
+        assert_eq!(grid.len(), 4);
+        let run = stationary_sweep(&grid, SweepSettings::default()).unwrap();
+        assert_eq!(run.results.len(), 4);
+        for (r, g) in run.results.iter().zip(&grid) {
+            assert_eq!(r.params.machines, g.machines);
+            assert_eq!(r.params.p_max, g.p_max);
+            assert!(r.states >= 1);
+            assert!(r.mean_deviation >= 0.0);
+            assert!(r.max_deviation >= r.mode_deviation - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let grid = paper_grid(&[3, 4], &[2]);
+        let one = stationary_sweep(
+            &grid,
+            SweepSettings {
+                threads: 1,
+                ..SweepSettings::default()
+            },
+        )
+        .unwrap();
+        let many = stationary_sweep(
+            &grid,
+            SweepSettings {
+                threads: 4,
+                ..SweepSettings::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in one.results.iter().zip(&many.results) {
+            // Bitwise equality: same points solved in the same way, only
+            // scheduled differently.
+            assert_eq!(a.mean_deviation.to_bits(), b.mean_deviation.to_bits());
+            assert_eq!(a.states, b.states);
+        }
+    }
+
+    #[test]
+    fn deviations_respect_theorem10() {
+        // Theorem 10: sink makespans stay within (m-1)/2 * p_max of the
+        // balanced level, so deviations in p_max units stay within
+        // (m-1)/2.
+        let s = solve_point(ChainParams::paper_total(4, 3), SweepSettings::default());
+        assert!(s.max_deviation <= (4.0 - 1.0) / 2.0 + 1e-12);
+    }
+}

@@ -57,7 +57,7 @@ pub fn two_cluster_fractional_lower_bound(inst: &Instance) -> Option<f64> {
     }
     // Sort by p1/p2 ascending: cheapest-for-cluster-1 first. Compare by
     // cross-multiplication to avoid dividing by zero-cost jobs.
-    jobs.sort_by(|a, b| (a.0 * b.1).partial_cmp(&(b.0 * a.1)).expect("finite costs"));
+    jobs.sort_by(|a, b| (a.0 * b.1).total_cmp(&(b.0 * a.1)));
 
     let total2: f64 = jobs.iter().map(|&(_, p2)| p2).sum();
     let mut w1 = 0.0; // work of the prefix strictly before the split job, on cluster 1

@@ -67,4 +67,4 @@ pub use event::{Event, EventQueue};
 pub use fault::{FaultPlan, LinkPartition};
 pub use latency::LatencyModel;
 pub use msg::{Envelope, Msg, ReqId};
-pub use sim::{run_net, NetRun, NetSim, NetSummary};
+pub use sim::{replicate_net, run_net, NetRun, NetSim, NetSummary};

@@ -587,3 +587,30 @@ pub fn run_net(
         trace_digest: summary.trace_digest,
     })
 }
+
+/// Runs `replications` independent network experiments in parallel on
+/// `threads` workers (0 = rayon default), in replication order.
+///
+/// The network analogue of [`lb_distsim::replicate`]: replication `r`
+/// builds its start state from `make_start(r)` and seeds the run with
+/// `cfg.seed + r` (the workspace stream convention), so results are
+/// reproducible from one base seed and identical for any thread count.
+pub fn replicate_net<F>(
+    cfg: &NetConfig,
+    balancer: &(dyn PairwiseBalancer + Sync),
+    replications: u64,
+    threads: usize,
+    make_start: F,
+) -> Vec<Result<NetRun>>
+where
+    F: Fn(u64) -> (Instance, Assignment) + Sync,
+{
+    lb_distsim::fan_out_threads(replications, threads, |r| {
+        let (inst, mut asg) = make_start(r);
+        let run_cfg = NetConfig {
+            seed: cfg.seed.wrapping_add(r),
+            ..cfg.clone()
+        };
+        run_net(&inst, &mut asg, balancer, &run_cfg)
+    })
+}

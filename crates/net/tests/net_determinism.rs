@@ -75,6 +75,30 @@ fn identical_across_thread_counts() {
     }
 }
 
+/// The parallel replication driver is thread-count invariant: the same
+/// `(config, replications)` fan-out yields identical digests whether it
+/// runs on one worker or several, because each replication's seed is a
+/// pure function of the replication index.
+#[test]
+fn replicate_net_is_thread_count_invariant() {
+    let cfg = lossy_config(21);
+    let make = |r: u64| {
+        let inst = paper_two_cluster(3, 3, 40, 30 + r);
+        let asg = random_assignment(&inst, 60 + r);
+        (inst, asg)
+    };
+    let digests = |threads: usize| -> Vec<u64> {
+        lb_net::replicate_net(&cfg, &Dlb2cBalance, 6, threads, make)
+            .into_iter()
+            .map(|run| run.unwrap().trace_digest)
+            .collect()
+    };
+    let one = digests(1);
+    assert_eq!(one.len(), 6);
+    assert_eq!(one, digests(4));
+    assert_eq!(one, digests(0));
+}
+
 /// Changing only the latency model changes the interleaving (the model
 /// is part of the deterministic input, not noise on top of it).
 #[test]

@@ -1,0 +1,406 @@
+//! Deterministic parallel experiment campaigns.
+//!
+//! The paper's empirical claims (Figures 2–4) are Monte-Carlo
+//! replications over seeds and parameter grids. This module is the one
+//! engine that fans a `(parameter-point × replication)` product out
+//! across a rayon pool while keeping the results **byte-identical
+//! regardless of thread count**:
+//!
+//! * every cell of the product gets a fixed *stream id*
+//!   (`point_index * replications + replication`), and derives all of its
+//!   randomness from `base_seed + stream` — the workspace-wide
+//!   `stream_rng` convention (`lb_distsim::simcore::stream_rng`);
+//! * results are collected **in cell order** (rayon's indexed collect),
+//!   never in completion order, so work stealing cannot reorder them;
+//! * statistics are folded from cell results **sequentially in cell
+//!   order** ([`fold_by_point`]), so floating-point merge order — and
+//!   therefore every emitted byte — is a function of the spec alone.
+//!
+//! [`BaselineCache`] memoizes expensive per-instance baselines (exact
+//! OPT, CLB2C) keyed by instance content, so a 1000-seed sweep over a
+//! shared instance grid computes each baseline exactly once no matter
+//! how many cells reference it.
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The shape of a campaign: seed range, replication count, parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Base seed; cell `(point, rep)` uses stream
+    /// `point * replications + rep` of it (seed `base_seed + stream`,
+    /// wrapping — the workspace `stream_rng` convention).
+    pub base_seed: u64,
+    /// Replications per parameter point (the seed range).
+    pub replications: u64,
+    /// Worker threads; `0` uses one per available core.
+    pub threads: usize,
+    /// Print a progress line to stderr every this many completed cells
+    /// (`0` disables progress reporting).
+    pub progress_every: u64,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        Self {
+            base_seed: 42,
+            replications: 1,
+            threads: 0,
+            progress_every: 0,
+        }
+    }
+}
+
+/// One cell of the campaign product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Index of the parameter point in the grid.
+    pub point: usize,
+    /// Replication index within the point (`0..replications`).
+    pub replication: u64,
+    /// Global stream id (`point * replications + replication`); feed it
+    /// to `stream_rng(base_seed, stream)` or use [`Cell::seed`].
+    pub stream: u64,
+}
+
+impl Cell {
+    /// The cell's derived seed: `base_seed + stream` (wrapping), i.e.
+    /// the seed whose stream 0 is this cell's RNG under the workspace
+    /// convention.
+    pub fn seed(&self, base_seed: u64) -> u64 {
+        base_seed.wrapping_add(self.stream)
+    }
+}
+
+/// A completed campaign: per-cell results in deterministic cell order,
+/// plus throughput accounting.
+#[derive(Debug, Clone)]
+pub struct CampaignRun<R> {
+    /// One result per cell, ordered by `(point, replication)` —
+    /// independent of thread count and work-stealing order.
+    pub results: Vec<R>,
+    /// Number of parameter points.
+    pub points: usize,
+    /// Replications per point.
+    pub replications: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for the parallel section.
+    pub wall_secs: f64,
+}
+
+impl<R> CampaignRun<R> {
+    /// Total number of cells executed.
+    pub fn cells(&self) -> u64 {
+        self.points as u64 * self.replications
+    }
+
+    /// Replication throughput (cells per wall-clock second).
+    pub fn reps_per_sec(&self) -> f64 {
+        self.cells() as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// The results of one parameter point (a `replications`-long slice).
+    pub fn point_results(&self, point: usize) -> &[R] {
+        let reps = self.replications as usize;
+        &self.results[point * reps..(point + 1) * reps]
+    }
+}
+
+/// Campaign-engine failure (thread-pool construction).
+#[derive(Debug)]
+pub struct CampaignError(String);
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign: {}", self.0)
+    }
+}
+impl std::error::Error for CampaignError {}
+
+/// Runs the full `(points × replications)` product in parallel.
+///
+/// `run(point, cell)` executes one replication; it must derive **all**
+/// of its randomness from `cell.seed(spec.base_seed)` (or equivalently
+/// stream `cell.stream`) so the cell is a pure function of the spec.
+/// Results come back in cell order whatever the thread count.
+///
+/// ```
+/// use lb_stats::campaign::{run_campaign, CampaignSpec};
+///
+/// let spec = CampaignSpec { base_seed: 7, replications: 3, ..CampaignSpec::default() };
+/// let run = run_campaign(&spec, &[10u64, 20], |&p, cell| p + cell.seed(spec.base_seed)).unwrap();
+/// assert_eq!(run.results, vec![17, 18, 19, 30, 31, 32]);
+/// ```
+pub fn run_campaign<P, R, F>(
+    spec: &CampaignSpec,
+    points: &[P],
+    run: F,
+) -> Result<CampaignRun<R>, CampaignError>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, Cell) -> R + Sync,
+{
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(spec.threads)
+        .build()
+        .map_err(|e| CampaignError(format!("cannot build thread pool: {e}")))?;
+    let threads = pool.current_num_threads();
+    let reps = spec.replications;
+    let total = points.len() as u64 * reps;
+    let done = AtomicU64::new(0);
+    let progress_every = spec.progress_every;
+    let start = Instant::now();
+    let results: Vec<R> = pool.install(|| {
+        (0..total)
+            .into_par_iter()
+            .map(|i| {
+                let cell = Cell {
+                    point: (i / reps) as usize,
+                    replication: i % reps,
+                    stream: i,
+                };
+                let r = run(&points[cell.point], cell);
+                if progress_every > 0 {
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if n.is_multiple_of(progress_every) || n == total {
+                        let secs = start.elapsed().as_secs_f64().max(1e-9);
+                        eprintln!(
+                            "campaign: {n}/{total} cells ({:.1} reps/s, {threads} threads)",
+                            n as f64 / secs
+                        );
+                    }
+                }
+                r
+            })
+            .collect()
+    });
+    Ok(CampaignRun {
+        results,
+        points: points.len(),
+        replications: reps,
+        threads,
+        wall_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Folds per-cell results into one accumulator per parameter point,
+/// **sequentially in cell order** — the deterministic merge step that
+/// makes campaign statistics byte-identical across thread counts
+/// (floating-point accumulation is order-sensitive, so the order is
+/// pinned here rather than left to the scheduler).
+pub fn fold_by_point<R, A: Default>(
+    results: &[R],
+    replications: u64,
+    mut fold: impl FnMut(&mut A, &R),
+) -> Vec<A> {
+    let reps = (replications as usize).max(1);
+    assert!(
+        results.len().is_multiple_of(reps),
+        "result count {} is not a multiple of replications {reps}",
+        results.len()
+    );
+    let mut out: Vec<A> = Vec::with_capacity(results.len() / reps);
+    for chunk in results.chunks(reps) {
+        let mut acc = A::default();
+        for r in chunk {
+            fold(&mut acc, r);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// A memoized baseline cache: each distinct key's value is computed
+/// exactly once, even when many cells race for it from different
+/// threads. Values must be deterministic functions of the key so a
+/// cache hit is indistinguishable from a recompute.
+///
+/// Keyed by whatever identifies the instance — typically a content hash
+/// of the cost matrix — so a 1000-seed sweep over a shared instance
+/// grid performs each exact-solver / CLB2C baseline run once.
+#[derive(Debug, Default)]
+pub struct BaselineCache<K: Eq + Hash + Clone, V: Clone> {
+    slots: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    computes: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BaselineCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            computes: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing it with `compute`
+    /// on first access. Concurrent callers for the same key block until
+    /// the single computation finishes (the map lock is *not* held
+    /// while computing, so distinct keys compute in parallel).
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut map = self.slots.lock().expect("baseline cache lock");
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            compute()
+        })
+        .clone()
+    }
+
+    /// Number of distinct keys computed so far.
+    pub fn computes(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups (hits + computes).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, OnlineStats};
+
+    #[test]
+    fn cells_enumerate_the_product_in_order() {
+        let spec = CampaignSpec {
+            base_seed: 100,
+            replications: 2,
+            ..CampaignSpec::default()
+        };
+        let run = run_campaign(&spec, &["a", "b", "c"], |&p, cell| {
+            (p, cell.point, cell.replication, cell.seed(spec.base_seed))
+        })
+        .unwrap();
+        assert_eq!(run.points, 3);
+        assert_eq!(run.cells(), 6);
+        assert_eq!(
+            run.results,
+            vec![
+                ("a", 0, 0, 100),
+                ("a", 0, 1, 101),
+                ("b", 1, 0, 102),
+                ("b", 1, 1, 103),
+                ("c", 2, 0, 104),
+                ("c", 2, 1, 105),
+            ]
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mk = |threads| {
+            let spec = CampaignSpec {
+                base_seed: 9,
+                replications: 16,
+                threads,
+                ..CampaignSpec::default()
+            };
+            run_campaign(&spec, &[1u64, 2, 3], |&p, cell| {
+                // A deterministic function of (point, seed) only.
+                let s = cell.seed(spec.base_seed);
+                (p * 1_000_003).wrapping_mul(s ^ (s >> 13))
+            })
+            .unwrap()
+            .results
+        };
+        assert_eq!(mk(1), mk(4));
+        assert_eq!(mk(1), mk(0));
+    }
+
+    #[test]
+    fn point_results_slices_the_right_rows() {
+        let spec = CampaignSpec {
+            replications: 3,
+            ..CampaignSpec::default()
+        };
+        let run = run_campaign(&spec, &[10u64, 20], |&p, cell| p + cell.replication).unwrap();
+        assert_eq!(run.point_results(0), &[10, 11, 12]);
+        assert_eq!(run.point_results(1), &[20, 21, 22]);
+    }
+
+    #[test]
+    fn fold_by_point_merges_in_cell_order() {
+        #[derive(Default)]
+        struct Acc {
+            stats: OnlineStats,
+            hist: Histogram,
+            seen: Vec<u64>,
+        }
+        let results: Vec<u64> = vec![3, 1, 2, 30, 10, 20];
+        let accs: Vec<Acc> = fold_by_point(&results, 3, |acc: &mut Acc, &r| {
+            acc.stats.push(r as f64);
+            acc.hist.add(r);
+            acc.seen.push(r);
+        });
+        assert_eq!(accs.len(), 2);
+        assert_eq!(accs[0].seen, vec![3, 1, 2]);
+        assert_eq!(accs[1].seen, vec![30, 10, 20]);
+        assert_eq!(accs[0].stats.mean(), Some(2.0));
+        assert_eq!(accs[1].hist.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of replications")]
+    fn fold_by_point_rejects_ragged_results() {
+        let _ = fold_by_point(&[1u64, 2, 3], 2, |acc: &mut Vec<u64>, &r| acc.push(r));
+    }
+
+    #[test]
+    fn zero_replication_campaign_is_degenerate_but_sound() {
+        // A zero-replication campaign must not panic anywhere in the
+        // pipeline: no cells, empty folds, empty (None) summaries.
+        let spec = CampaignSpec {
+            replications: 0,
+            ..CampaignSpec::default()
+        };
+        let run = run_campaign(&spec, &[1u64, 2], |&p, _| p).unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.cells(), 0);
+        let accs: Vec<OnlineStats> = fold_by_point(&run.results, 0, |acc: &mut OnlineStats, &r| {
+            acc.push(r as f64)
+        });
+        assert!(accs.is_empty());
+        assert_eq!(crate::Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn baseline_cache_computes_each_key_once() {
+        let cache: BaselineCache<u64, u64> = BaselineCache::new();
+        let calls = AtomicU64::new(0);
+        let spec = CampaignSpec {
+            replications: 25,
+            threads: 4,
+            ..CampaignSpec::default()
+        };
+        // 4 points × 25 reps, but only 4 distinct keys: 4 computations.
+        let run = run_campaign(&spec, &[0u64, 1, 2, 3], |&p, _cell| {
+            cache.get_or_compute(p, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                p * 10
+            })
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        assert_eq!(cache.computes(), 4);
+        assert_eq!(cache.lookups(), 100);
+        for (i, &v) in run.results.iter().enumerate() {
+            assert_eq!(v, (i as u64 / 25) * 10);
+        }
+    }
+}

@@ -15,7 +15,9 @@ impl Ecdf {
     /// Builds the ECDF from samples; non-finite samples are dropped.
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite after retain"));
+        // total_cmp, not partial_cmp().unwrap(): sorting must never be
+        // the thing that panics if the retain above is ever changed.
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 

@@ -151,8 +151,10 @@ impl FloatHistogram {
 
     /// Records an observation with an arbitrary nonnegative weight
     /// (probability masses from the Markov stationary distribution).
+    /// Non-finite values and weights that are not strictly positive and
+    /// finite are ignored (a NaN weight must not poison the totals).
     pub fn add_weighted(&mut self, value: f64, weight: f64) {
-        if weight <= 0.0 {
+        if !(weight > 0.0 && weight.is_finite() && value.is_finite()) {
             return;
         }
         *self.counts.entry(self.bin_of(value)).or_insert(0.0) += weight;
@@ -196,7 +198,7 @@ impl FloatHistogram {
     pub fn mode(&self) -> Option<f64> {
         self.counts
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(&b, _)| self.origin + (b as f64 + 0.5) * self.width)
     }
 
@@ -308,5 +310,23 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn float_histogram_rejects_bad_width() {
         let _ = FloatHistogram::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn float_histogram_ignores_nan_samples_and_weights() {
+        // Regression: a NaN weight used to slip past the `<= 0.0` guard,
+        // poison `total`, and make `mode()` panic in partial_cmp.
+        let mut h = FloatHistogram::new(0.0, 1.0);
+        h.add_weighted(0.5, f64::NAN);
+        h.add_weighted(0.5, f64::INFINITY);
+        h.add_weighted(f64::NAN, 1.0);
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0.0);
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.mean(), None);
+        h.add_weighted(1.5, 0.5);
+        h.add_weighted(0.5, f64::NAN); // still ignored after real data
+        assert_eq!(h.mode(), Some(1.5));
+        assert!((h.total() - 0.5).abs() < 1e-12);
     }
 }

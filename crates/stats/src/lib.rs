@@ -3,12 +3,15 @@
 //! Nothing here is specific to scheduling: histograms over integer loads,
 //! empirical CDFs/PDFs, scalar summaries, a minimal CSV writer, terminal
 //! plots used by the figure-regeneration binaries so their output is
-//! readable without an external plotting stack, and the [`SimRunner`]
-//! that owns CSV/JSON result emission for every experiment surface.
+//! readable without an external plotting stack, the [`SimRunner`]
+//! that owns CSV/JSON result emission for every experiment surface, and
+//! the deterministic parallel [`campaign`] engine that fans
+//! `(parameter-point × replication)` products across cores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cdf;
 pub mod csv;
 pub mod histogram;
@@ -17,6 +20,9 @@ pub mod plot;
 pub mod runner;
 pub mod summary;
 
+pub use campaign::{
+    fold_by_point, run_campaign, BaselineCache, CampaignError, CampaignRun, CampaignSpec, Cell,
+};
 pub use cdf::Ecdf;
 pub use histogram::{FloatHistogram, Histogram};
 pub use online::OnlineStats;

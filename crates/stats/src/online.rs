@@ -17,13 +17,22 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(stats.mean(), Some(4.0));
 /// assert_eq!(stats.count(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    /// Same as [`OnlineStats::new`]. (A derived `Default` would zero the
+    /// min/max sentinels, silently reporting `min = 0` for any positive
+    /// stream pushed into a `Default`-built accumulator.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -163,6 +172,19 @@ mod tests {
         assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-10);
         assert_eq!(left.min(), whole.min());
         assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // Regression: the derived Default zeroed the min/max sentinels,
+        // so a Default-built accumulator reported min = 0 for positive
+        // streams.
+        assert_eq!(OnlineStats::default(), OnlineStats::new());
+        let mut s = OnlineStats::default();
+        s.push(5.0);
+        s.push(9.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(9.0));
     }
 
     #[test]

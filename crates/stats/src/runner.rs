@@ -10,7 +10,7 @@
 
 use crate::csv::{CsvCell, CsvWriter};
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{self, BufWriter};
 use std::path::{Path, PathBuf};
 
 /// Owns result emission (banner, CSVs, JSON parameter sidecar) for one
@@ -33,13 +33,23 @@ impl SimRunner {
 
     /// A runner writing under an explicit directory (used by the CLI's
     /// `--out-dir`, and by tests to avoid environment mutation).
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created; surfaces that want an
+    /// error instead (the CLI) use [`SimRunner::try_with_dir`].
     pub fn with_dir(name: &str, dir: impl Into<PathBuf>) -> Self {
+        Self::try_with_dir(name, dir).expect("create results directory")
+    }
+
+    /// Fallible [`SimRunner::with_dir`]: returns the `create_dir_all`
+    /// error (e.g. an unwritable `--out-dir`) instead of panicking.
+    pub fn try_with_dir(name: &str, dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).expect("create results directory");
-        Self {
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
             name: name.to_string(),
             dir,
-        }
+        })
     }
 
     /// The experiment name (base of the artifact file names).
@@ -66,23 +76,59 @@ impl SimRunner {
 
     /// Opens the experiment's primary CSV (`<name>.csv`) with the given
     /// header.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be created; the CLI uses
+    /// [`SimRunner::try_csv`] to surface an error instead.
     pub fn csv(&self, header: &[&str]) -> CsvWriter<BufWriter<File>> {
         self.csv_named(&self.name.clone(), header)
     }
 
     /// Opens an additional CSV (`<file>.csv`) for experiments emitting
     /// more than one table (e.g. per-machine and run-level views).
+    ///
+    /// # Panics
+    /// Panics if the file cannot be created; see
+    /// [`SimRunner::try_csv_named`].
     pub fn csv_named(&self, file: &str, header: &[&str]) -> CsvWriter<BufWriter<File>> {
+        self.try_csv_named(file, header)
+            .unwrap_or_else(|e| panic!("create {file}.csv: {e}"))
+    }
+
+    /// Fallible [`SimRunner::csv`].
+    pub fn try_csv(&self, header: &[&str]) -> io::Result<CsvWriter<BufWriter<File>>> {
+        self.try_csv_named(&self.name.clone(), header)
+    }
+
+    /// Fallible [`SimRunner::csv_named`]: returns the create/write error
+    /// (e.g. a results directory that vanished or is not writable)
+    /// instead of panicking.
+    pub fn try_csv_named(
+        &self,
+        file: &str,
+        header: &[&str],
+    ) -> io::Result<CsvWriter<BufWriter<File>>> {
         let path = self.path(&format!("{file}.csv"));
-        let f = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
-        CsvWriter::new(BufWriter::new(f), header).expect("write CSV header")
+        let f = File::create(&path)?;
+        CsvWriter::new(BufWriter::new(f), header)
     }
 
     /// Writes the JSON parameter sidecar (`<name>.json`) next to the CSV.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be created; see
+    /// [`SimRunner::try_sidecar`].
     pub fn sidecar<T: serde::Serialize + 'static>(&self, params: &T) {
+        self.try_sidecar(params)
+            .unwrap_or_else(|e| panic!("write {}.json: {e}", self.name));
+    }
+
+    /// Fallible [`SimRunner::sidecar`].
+    pub fn try_sidecar<T: serde::Serialize + 'static>(&self, params: &T) -> io::Result<()> {
         let path = self.path(&format!("{}.json", self.name));
-        let f = File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
-        serde_json::to_writer_pretty(BufWriter::new(f), params).expect("serialize parameters");
+        let f = File::create(&path)?;
+        serde_json::to_writer_pretty(BufWriter::new(f), params)
+            .map_err(|e| io::Error::other(format!("serialize parameters: {e}")))
     }
 }
 

@@ -30,7 +30,7 @@ impl Summary {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(f64::total_cmp);
         let n = v.len();
         let mean = v.iter().sum::<f64>() / n as f64;
         let std = if n > 1 {
@@ -109,6 +109,19 @@ mod tests {
         // NaNs are filtered, finite values kept.
         let s = Summary::of(&[f64::NAN, 2.0]).unwrap();
         assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn nan_samples_never_panic_the_sort() {
+        // Regression for the partial_cmp().expect sort: a sample vector
+        // riddled with NaN/±inf must summarize the finite residue, and a
+        // degenerate all-NaN (zero-replication) sample must yield None,
+        // not a panic.
+        let s = Summary::of(&[f64::NAN, 3.0, f64::NEG_INFINITY, 1.0, f64::NAN, 2.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::of(&[f64::NAN, f64::NAN]).is_none());
     }
 
     #[test]

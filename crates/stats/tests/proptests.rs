@@ -92,6 +92,100 @@ proptest! {
         prop_assert!(masses.iter().all(|&(_, m)| m <= mode_mass + 1e-12));
     }
 
+    /// Sharded histogram accumulation is exactly associative and
+    /// order-independent: splitting the stream into arbitrary shards and
+    /// merging them in any order (left-fold or pairwise tree) reproduces
+    /// the single-pass histogram bit for bit. This is what lets the
+    /// campaign engine accumulate per-worker histograms and merge them
+    /// deterministically regardless of thread count.
+    #[test]
+    fn histogram_shard_merge_is_associative_and_order_independent(
+        values in proptest::collection::vec(0u64..500, 1..200),
+        cuts in proptest::collection::vec(0usize..200, 1..6),
+        rotate in 0usize..6,
+    ) {
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.add(v);
+        }
+        // Split into shards at the (sorted, deduped, in-range) cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % values.len()).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut shards: Vec<Histogram> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut h = Histogram::new();
+                for &v in &values[w[0]..w[1]] {
+                    h.add(v);
+                }
+                h
+            })
+            .collect();
+        // Order independence: merge the shards after an arbitrary rotation.
+        let k = rotate % shards.len();
+        shards.rotate_left(k);
+        let mut folded = Histogram::new();
+        for s in &shards {
+            folded.merge(s);
+        }
+        prop_assert_eq!(&folded, &whole);
+        // Associativity: pairwise tree reduction gives the same result.
+        while shards.len() > 1 {
+            let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+            for pair in shards.chunks(2) {
+                let mut h = pair[0].clone();
+                if let Some(rhs) = pair.get(1) {
+                    h.merge(rhs);
+                }
+                next.push(h);
+            }
+            shards = next;
+        }
+        prop_assert_eq!(&shards[0], &whole);
+    }
+
+    /// Sharded OnlineStats merge is order-independent and associative up
+    /// to floating-point tolerance: count/min/max exactly, moments to
+    /// 1e-8 relative error.
+    #[test]
+    fn online_shard_merge_is_order_independent(
+        values in proptest::collection::vec(-1e3f64..1e3, 4..200),
+        cut1 in 0usize..200,
+        cut2 in 0usize..200,
+    ) {
+        let n = values.len();
+        let (a, b) = (cut1 % n, cut2 % n);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let whole: OnlineStats = values.iter().copied().collect();
+        let shards: Vec<OnlineStats> = [&values[..lo], &values[lo..hi], &values[hi..]]
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        // (s0 + s1) + s2 vs s0 + (s1 + s2) vs reversed order.
+        let mut left = shards[0];
+        left.merge(&shards[1]);
+        left.merge(&shards[2]);
+        let mut right = shards[2];
+        right.merge(&shards[1]);
+        right.merge(&shards[0]);
+        let mut assoc = shards[1];
+        assoc.merge(&shards[2]);
+        let mut head = shards[0];
+        head.merge(&assoc);
+        for merged in [left, right, head] {
+            prop_assert_eq!(merged.count(), whole.count());
+            prop_assert_eq!(merged.min(), whole.min());
+            prop_assert_eq!(merged.max(), whole.max());
+            prop_assert!((merged.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-8);
+            if let (Some(v1), Some(v2)) = (merged.variance(), whole.variance()) {
+                prop_assert!((v1 - v2).abs() <= 1e-8 * (1.0 + v2.abs()));
+            }
+        }
+    }
+
     /// Summary quantiles are ordered and bracketed by min/max.
     #[test]
     fn summary_ordering(values in proptest::collection::vec(-1e6f64..1e6, 1..150)) {

@@ -1,0 +1,77 @@
+//! Drive a parameter-grid experiment through the campaign engine.
+//!
+//! Sweeps the job count over the paper's 64+32 two-cluster workload,
+//! running several DLB2C replications per grid point in parallel, and
+//! prints a per-point table of the equilibrium makespan against the
+//! combined lower bound. The engine's guarantee — per-cell seed streams
+//! and collection in cell order — means the numbers printed here are the
+//! same whatever the thread count; flip `threads` in [`CampaignSpec`] to
+//! see that only the wall clock changes.
+//!
+//! The expensive per-instance reference value (here CLB2C's centralized
+//! makespan) goes through a [`BaselineCache`] keyed by the instance
+//! digest, so shared instances are solved once, not once per replication.
+//!
+//! Run with: `cargo run --release --example campaign_sweep`
+
+use decent_lb::algorithms::{clb2c, Dlb2cBalance};
+use decent_lb::distsim::{run_gossip, GossipConfig};
+use decent_lb::stats::{fold_by_point, run_campaign, BaselineCache, CampaignSpec, OnlineStats};
+use decent_lb::workloads::initial::random_assignment;
+use decent_lb::workloads::two_cluster::paper_two_cluster;
+
+fn main() {
+    let jobs_grid = [192usize, 384, 768, 1536];
+    let reps = 8u64;
+    let spec = CampaignSpec {
+        base_seed: 42,
+        replications: reps,
+        threads: 0, // 0 = all cores; results are identical for any value
+        progress_every: 0,
+    };
+
+    // One instance per grid point (all replications of a point share it),
+    // so the CLB2C reference is computed once per point via the cache.
+    let cache: BaselineCache<usize, u64> = BaselineCache::new();
+
+    let run = run_campaign(&spec, &jobs_grid, |&jobs, cell| {
+        let inst = paper_two_cluster(64, 32, jobs, 42 + cell.point as u64);
+        let cent = cache.get_or_compute(cell.point, || {
+            clb2c(&inst).expect("two-cluster instance").makespan()
+        });
+        let mut asg = random_assignment(&inst, cell.seed(42));
+        let cfg = GossipConfig {
+            max_rounds: 20_000,
+            seed: cell.seed(42),
+            ..GossipConfig::default()
+        };
+        let g = run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg);
+        g.final_makespan as f64 / cent as f64
+    })
+    .expect("campaign pool");
+
+    println!("   jobs   reps   mean Cmax/CLB2C     std       min       max");
+    let accs: Vec<OnlineStats> = fold_by_point(&run.results, reps, |acc: &mut OnlineStats, &r| {
+        acc.push(r);
+    });
+    for (jobs, acc) in jobs_grid.iter().zip(&accs) {
+        println!(
+            "{jobs:>7} {:>6}   {:>15.4} {:>7.4} {:>9.4} {:>9.4}",
+            acc.count(),
+            acc.mean().unwrap_or(f64::NAN),
+            acc.std().unwrap_or(0.0),
+            acc.min().unwrap_or(f64::NAN),
+            acc.max().unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\n{} cells in {:.2}s ({:.1} reps/s, threads={}); \
+         baseline cache: {} computes for {} lookups",
+        run.cells(),
+        run.wall_secs,
+        run.reps_per_sec(),
+        run.threads,
+        cache.computes(),
+        cache.lookups()
+    );
+}

@@ -41,7 +41,7 @@ fn main() {
 
     let mode = dev
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|&(d, _)| d)
         .unwrap_or(0.0);
     println!("mode at deviation {mode:.2} (the paper observes 0.5)");

@@ -33,6 +33,8 @@ use crate::workloads::{two_cluster, typed, uniform};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+pub mod campaign;
+
 /// Result alias for CLI operations (the model prelude shadows `Result`).
 pub type CliResult<T> = std::result::Result<T, CliError>;
 
@@ -150,6 +152,7 @@ impl Cli {
         match self.command.as_str() {
             "solve" => self.run_solve(),
             "simulate" => self.run_simulate(),
+            "campaign" => self.run_campaign_cmd(),
             "generate" => self.run_generate(),
             "bounds" => self.run_bounds(),
             "markov" => self.run_markov(),
@@ -682,6 +685,16 @@ pub fn usage() -> String {
                [--dup PERMILLE] [--timeout T] [--retries N]\n\
                [--backoff-cap T] [--think T] [--max-time T]\n\
                [--max-msgs N] [--exchanges N]\n\
+       campaign  parallel experiment campaign over a parameter grid with\n\
+                 deterministic per-cell seed streams; merged CSV/stats are\n\
+                 byte-identical for any --threads value\n\
+               --mode gossip|net|markov  [--threads N] [--seed S]\n\
+               [--progress N] [--name base] [--out-dir dir]\n\
+               gossip/net: workload options as for solve, plus\n\
+               [--jobs-grid N,N,...] [--replications R] [--rounds N]\n\
+               [--baseline none|lb|clb2c|opt] [--shared-instance true]\n\
+               (net also accepts the simulate --net latency/fault knobs)\n\
+               markov: [--machines-grid N,N,...] [--pmax-grid P,P,...]\n\
        generate  write a workload as instance JSON (--out file); load it\n\
                  anywhere else with --instance file\n\
        bounds  print the lower bounds for a generated workload\n\
@@ -1080,5 +1093,83 @@ mod tests {
     fn invalid_numeric_option() {
         let c = cli(&["solve", "--jobs", "banana"]);
         assert!(matches!(c.run(), Err(CliError(msg)) if msg.contains("--jobs")));
+    }
+
+    #[test]
+    fn campaign_smoke_gossip() {
+        let dir =
+            std::env::temp_dir().join(format!("decent-lb-cli-campaign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "campaign",
+            "--mode",
+            "gossip",
+            "--workload",
+            "two-cluster",
+            "--m1",
+            "4",
+            "--m2",
+            "2",
+            "--jobs-grid",
+            "24,48",
+            "--replications",
+            "3",
+            "--rounds",
+            "500",
+            "--baseline",
+            "lb",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().expect("campaign runs");
+        assert!(out.contains("2 points x 3 replications = 6 cells"), "{out}");
+        assert!(dir.join("campaign.csv").exists());
+        assert!(dir.join("campaign_stats.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_rejects_bad_options_with_usage_hint() {
+        // Every error path must carry the focused usage text, not panic.
+        let cases: &[&[&str]] = &[
+            &["campaign", "--mode", "psychic"],
+            &["campaign", "--baseline", "oracle"],
+            &["campaign", "--algo", "quantum"],
+            &["campaign", "--workload", "cloud"],
+            &["campaign", "--jobs-grid", "10,twenty"],
+            &["campaign", "--replications", "0"],
+            &["campaign", "--schedule", "telepathy"],
+            &["campaign", "--mode", "markov", "--machines-grid", "1"],
+            &["campaign", "--mode", "net", "--drop", "2000"],
+            &["campaign", "--instance", "foo.json"],
+        ];
+        for args in cases {
+            let c = cli(args);
+            match c.run() {
+                Err(CliError(msg)) => assert!(
+                    msg.contains("usage: decent-lb campaign"),
+                    "{args:?}: error lacks usage hint: {msg}"
+                ),
+                Ok(out) => panic!("{args:?}: expected an error, got: {out}"),
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_unwritable_out_dir_is_an_error_not_a_panic() {
+        let c = cli(&[
+            "campaign",
+            "--mode",
+            "markov",
+            "--out-dir",
+            "/proc/definitely/not/writable",
+        ]);
+        match c.run() {
+            Err(CliError(msg)) => {
+                assert!(msg.contains("--out-dir"), "{msg}");
+                assert!(msg.contains("usage: decent-lb campaign"), "{msg}");
+            }
+            Ok(out) => panic!("expected an error, got: {out}"),
+        }
     }
 }

@@ -1,0 +1,652 @@
+//! The `decent-lb campaign` subcommand: parallel experiment campaigns
+//! over a `(workload family x parameter grid x seed range)` product with
+//! deterministic seed streams.
+//!
+//! A campaign fans its cells (one cell = one grid point x one
+//! replication) over a rayon pool via [`crate::stats::run_campaign`].
+//! Cell `i` of point `p` always uses seed stream `p * replications + r`
+//! of the base seed, results are collected in cell order, and per-point
+//! statistics are folded sequentially in that order — so the emitted
+//! artifacts are **byte-identical for any `--threads` value**.
+//!
+//! Artifacts (per `--name`):
+//! * `<name>.csv` — one row per cell, in cell order;
+//! * `<name>_stats.csv` — per-point merged statistics (gossip/net modes);
+//! * `<name>.json` — the experiment definition. Scheduling knobs
+//!   (`--threads`, `--progress`) are deliberately excluded: they change
+//!   wall-clock behavior, never results, so the sidecar identifies the
+//!   experiment rather than one execution of it.
+
+use super::{Cli, CliError, CliResult};
+use crate::algorithms::{
+    clb2c, Dlb2cBalance, PairwiseBalancer, TypedPairBalance, UnrelatedPairBalance,
+};
+use crate::distsim::{run_gossip, GossipConfig, PairSchedule, RunOutcome};
+use crate::markov::sweep::{paper_grid, stationary_sweep, SweepSettings};
+use crate::model::bounds;
+use crate::model::exact::{opt_makespan, ExactLimits};
+use crate::net::{run_net, FaultPlan, NetConfig};
+use crate::prelude::*;
+use crate::stats::csv::{CsvCell, CsvWriter};
+use crate::stats::runner::SimRunner;
+use crate::stats::{fold_by_point, run_campaign, BaselineCache, CampaignSpec, OnlineStats};
+use crate::workloads::initial::random_assignment;
+use crate::workloads::{two_cluster, typed, uniform};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufWriter;
+
+/// Focused usage text appended to campaign option errors.
+pub fn campaign_usage() -> String {
+    "usage: decent-lb campaign --mode gossip|net|markov\n\
+     \x20 common: [--name base] [--out-dir dir] [--threads N] [--seed S]\n\
+     \x20         [--progress N]\n\
+     \x20 gossip | net: --workload two-cluster|uniform|typed|dense\n\
+     \x20         [--jobs-grid N,N,...] [--replications R] [--rounds N]\n\
+     \x20         [--algo dlb2c|mjtb|unrelated] [--baseline none|lb|clb2c|opt]\n\
+     \x20         [--shared-instance true] (net adds the simulate --net knobs)\n\
+     \x20 markov: [--machines-grid N,N,...] [--pmax-grid P,P,...]\n"
+        .to_string()
+}
+
+/// Which reference value each instance is scored against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BaselineKind {
+    /// Combined lower bound (cheap, always available).
+    Lb,
+    /// CLB2C's centralized makespan (Theorem 6 reference).
+    Clb2c,
+    /// Exact OPT via branch-and-bound (small instances only).
+    Opt,
+}
+
+/// Content digest of an instance: the baseline-cache key. Two cells with
+/// identical instances (e.g. `--shared-instance`) hit the same slot, so
+/// the expensive reference solve runs once per distinct instance.
+fn instance_digest(inst: &Instance) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+    let mut h = DefaultHasher::new();
+    h.write_usize(inst.num_machines());
+    h.write_usize(inst.num_jobs());
+    for m in inst.machines() {
+        h.write_usize(inst.cluster(m).idx());
+        for j in inst.jobs() {
+            h.write_u64(inst.cost(m, j));
+        }
+    }
+    h.finish()
+}
+
+fn compute_baseline(kind: BaselineKind, inst: &Instance) -> Option<u64> {
+    match kind {
+        BaselineKind::Lb => Some(bounds::combined_lower_bound(inst)),
+        BaselineKind::Clb2c => clb2c(inst).ok().map(|a| a.makespan()),
+        BaselineKind::Opt => opt_makespan(inst, ExactLimits::default()).ok(),
+    }
+}
+
+/// One gossip/net cell's emitted measurements.
+#[derive(Debug, Clone)]
+struct CellOut {
+    jobs: usize,
+    seed: u64,
+    initial: u64,
+    final_makespan: u64,
+    rounds: u64,
+    effective: u64,
+    moved: u64,
+    /// Net mode only: (sent, delivered, dropped, timeouts, end_time).
+    msg: Option<(u64, u64, u64, u64, u64)>,
+    outcome: &'static str,
+    baseline: Option<u64>,
+}
+
+impl CellOut {
+    fn ratio(&self) -> Option<f64> {
+        self.baseline
+            .filter(|&b| b > 0)
+            .map(|b| self.final_makespan as f64 / b as f64)
+    }
+}
+
+/// Per-point accumulator folded over cells in cell order (sequentially,
+/// so float accumulation is independent of the thread count).
+#[derive(Default)]
+struct PointAcc {
+    fin: OnlineStats,
+    eff: OnlineStats,
+    ratio: OnlineStats,
+}
+
+fn outcome_str(o: &RunOutcome) -> &'static str {
+    match o {
+        RunOutcome::BudgetExhausted => "budget",
+        RunOutcome::Quiescent => "quiescent",
+        RunOutcome::CycleDetected { .. } => "cycle",
+    }
+}
+
+fn opt_cell(v: Option<u64>) -> CsvCell {
+    match v {
+        Some(b) => CsvCell::Uint(b),
+        None => CsvCell::Str(String::new()),
+    }
+}
+
+fn opt_float_cell(v: Option<f64>) -> CsvCell {
+    match v {
+        Some(x) => CsvCell::Float(x),
+        None => CsvCell::Str(String::new()),
+    }
+}
+
+type Csv = CsvWriter<BufWriter<File>>;
+
+fn wrow(w: &mut Csv, cells: Vec<CsvCell>) -> CliResult<()> {
+    w.row(&cells)
+        .map_err(|e| CliError(format!("write campaign CSV row: {e}")))
+}
+
+fn wfinish(w: Csv) -> CliResult<()> {
+    w.finish()
+        .map_err(|e| CliError(format!("write campaign CSV: {e}")))
+        .map(|_| ())
+}
+
+impl Cli {
+    /// Entry point for `decent-lb campaign`.
+    pub(super) fn run_campaign_cmd(&self) -> CliResult<String> {
+        let name = self.get_str("name", "campaign");
+        let runner = match self.options.get("out-dir") {
+            Some(dir) => SimRunner::try_with_dir(&name, dir).map_err(|e| {
+                CliError(format!(
+                    "cannot create --out-dir {dir}: {e}\n{}",
+                    campaign_usage()
+                ))
+            })?,
+            None => {
+                let dir = std::env::var_os("LB_RESULTS_DIR")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| std::path::PathBuf::from("results"));
+                SimRunner::try_with_dir(&name, &dir).map_err(|e| {
+                    CliError(format!(
+                        "cannot create results directory {}: {e}\n{}",
+                        dir.display(),
+                        campaign_usage()
+                    ))
+                })?
+            }
+        };
+        match self.get_str("mode", "gossip").as_str() {
+            "gossip" => self.campaign_sim(&runner, false),
+            "net" => self.campaign_sim(&runner, true),
+            "markov" => self.campaign_markov(&runner),
+            other => Err(CliError(format!(
+                "unknown campaign mode '{other}' (gossip | net | markov)\n{}",
+                campaign_usage()
+            ))),
+        }
+    }
+
+    fn campaign_spec(&self, replications: u64) -> CliResult<CampaignSpec> {
+        Ok(CampaignSpec {
+            base_seed: self.get("seed", 42)?,
+            replications,
+            threads: self.get("threads", 0)?,
+            progress_every: self.get("progress", 0)?,
+        })
+    }
+
+    /// Comma-separated grid option (`--key 1,2,4`); a single plain value
+    /// also parses, and an absent option falls back to `fallback`.
+    fn grid<T: std::str::FromStr>(&self, key: &str, fallback: T) -> CliResult<Vec<T>> {
+        match self.options.get(key) {
+            None => Ok(vec![fallback]),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim().parse::<T>().map_err(|_| {
+                        CliError(format!(
+                            "invalid value in --{key}: '{s}' (expected comma-separated \
+                             values)\n{}",
+                            campaign_usage()
+                        ))
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn baseline_kind(&self) -> CliResult<Option<BaselineKind>> {
+        match self.get_str("baseline", "none").as_str() {
+            "none" => Ok(None),
+            "lb" => Ok(Some(BaselineKind::Lb)),
+            "clb2c" => Ok(Some(BaselineKind::Clb2c)),
+            "opt" => Ok(Some(BaselineKind::Opt)),
+            other => Err(CliError(format!(
+                "unknown baseline '{other}' (none | lb | clb2c | opt)\n{}",
+                campaign_usage()
+            ))),
+        }
+    }
+
+    /// Builds the campaign workload for one cell: the family options come
+    /// from the command line, `jobs` from the grid point, and `seed` from
+    /// the cell's deterministic stream.
+    fn campaign_instance(&self, jobs: usize, seed: u64) -> CliResult<Instance> {
+        if self.options.contains_key("instance") || self.options.contains_key("scenario") {
+            return Err(CliError(format!(
+                "campaign generates workloads from --workload per grid point; \
+                 --instance/--scenario are not supported here\n{}",
+                campaign_usage()
+            )));
+        }
+        match self.get_str("workload", "two-cluster").as_str() {
+            "two-cluster" => {
+                let m1: usize = self.get("m1", 64)?;
+                let m2: usize = self.get("m2", 32)?;
+                Ok(two_cluster::paper_two_cluster(m1, m2, jobs, seed))
+            }
+            "uniform" => {
+                let m: usize = self.get("machines", 96)?;
+                Ok(uniform::paper_uniform(m, jobs, seed))
+            }
+            "typed" => {
+                let m: usize = self.get("machines", 16)?;
+                let k: usize = self.get("types", 3)?;
+                Ok(typed::typed_uniform(m, jobs, k, 1, 1000, seed))
+            }
+            "dense" => {
+                let m: usize = self.get("machines", 16)?;
+                Ok(uniform::dense_uniform(m, jobs, 1, 1000, seed))
+            }
+            other => Err(CliError(format!(
+                "unknown workload '{other}' (two-cluster | uniform | typed | dense)\n{}",
+                campaign_usage()
+            ))),
+        }
+    }
+
+    fn campaign_balancer(&self) -> CliResult<&'static (dyn PairwiseBalancer + Sync)> {
+        match self.get_str("algo", "dlb2c").as_str() {
+            "dlb2c" => Ok(&Dlb2cBalance),
+            "mjtb" => Ok(&TypedPairBalance),
+            "unrelated" => Ok(&UnrelatedPairBalance),
+            other => Err(CliError(format!(
+                "unknown algorithm '{other}' (dlb2c | mjtb | unrelated)\n{}",
+                campaign_usage()
+            ))),
+        }
+    }
+
+    /// Gossip and net campaigns share everything except the per-cell run
+    /// function and the message-accounting columns.
+    fn campaign_sim(&self, runner: &SimRunner, net: bool) -> CliResult<String> {
+        let reps: u64 = self.get("replications", 8)?;
+        if reps == 0 {
+            return Err(CliError(format!(
+                "--replications must be >= 1\n{}",
+                campaign_usage()
+            )));
+        }
+        let spec = self.campaign_spec(reps)?;
+        let base_seed = spec.base_seed;
+        let jobs_grid: Vec<usize> = self.grid("jobs-grid", self.get("jobs", 768)?)?;
+        let shared = self.flag_on("shared-instance");
+        let baseline = self.baseline_kind()?;
+        let balancer = self.campaign_balancer()?;
+        // Validate the workload family and engine options once, before
+        // fanning out.
+        self.campaign_instance(jobs_grid[0], base_seed)?;
+        let rounds: u64 = self.get("rounds", 20_000)?;
+        let quiescence: u64 = self.get("quiescence", 0)?;
+        let schedule = match self.get_str("schedule", "uniform").as_str() {
+            "uniform" => PairSchedule::UniformRandom,
+            "rotating" => PairSchedule::RotatingHost,
+            "round-robin" => PairSchedule::RoundRobin,
+            other => {
+                return Err(CliError(format!(
+                    "unknown schedule '{other}' (uniform | rotating | round-robin)\n{}",
+                    campaign_usage()
+                )))
+            }
+        };
+        let net_cfg = if net {
+            Some(self.build_net_config(base_seed)?)
+        } else {
+            None
+        };
+        let cache: BaselineCache<u64, Option<u64>> = BaselineCache::new();
+
+        let run = run_campaign(&spec, &jobs_grid, |&jobs, cell| -> CliResult<CellOut> {
+            let cell_seed = cell.seed(base_seed);
+            // Shared mode: every replication of a point reuses the
+            // point's instance (seeded by the point index), only the
+            // initial assignment and engine stream vary.
+            let inst_seed = if shared {
+                base_seed.wrapping_add(cell.point as u64)
+            } else {
+                cell_seed
+            };
+            let inst = self.campaign_instance(jobs, inst_seed)?;
+            let mut asg = random_assignment(&inst, cell_seed);
+            let initial = asg.makespan();
+            let b = baseline.and_then(|k| {
+                cache.get_or_compute(instance_digest(&inst), || compute_baseline(k, &inst))
+            });
+            let out = if let Some(cfg) = &net_cfg {
+                let rep_cfg = NetConfig {
+                    seed: cell_seed,
+                    ..cfg.clone()
+                };
+                let r = run_net(&inst, &mut asg, balancer, &rep_cfg)
+                    .map_err(|e| CliError(format!("cell {}: {e}", cell.stream)))?;
+                CellOut {
+                    jobs,
+                    seed: cell_seed,
+                    initial,
+                    final_makespan: r.final_makespan,
+                    rounds: r.exchanges,
+                    effective: r.effective_exchanges,
+                    moved: r.jobs_moved,
+                    msg: Some((
+                        r.msg.sent,
+                        r.msg.delivered(),
+                        r.msg.dropped,
+                        r.msg.timeouts,
+                        r.end_time,
+                    )),
+                    outcome: outcome_str(&r.outcome),
+                    baseline: b,
+                }
+            } else {
+                let cfg = GossipConfig {
+                    max_rounds: rounds,
+                    seed: cell_seed,
+                    schedule,
+                    quiescence_window: quiescence,
+                    ..GossipConfig::default()
+                };
+                let r = run_gossip(&inst, &mut asg, balancer, &cfg);
+                CellOut {
+                    jobs,
+                    seed: cell_seed,
+                    initial,
+                    final_makespan: r.final_makespan,
+                    rounds: r.rounds_run,
+                    effective: r.effective_exchanges,
+                    moved: r.jobs_migrated,
+                    msg: None,
+                    outcome: outcome_str(&r.outcome),
+                    baseline: b,
+                }
+            };
+            Ok(out)
+        })
+        .map_err(|e| CliError(e.to_string()))?;
+        let cells: Vec<CellOut> = run.results.iter().cloned().collect::<CliResult<Vec<_>>>()?;
+
+        // Cell-level CSV, in cell order.
+        let mut header = vec![
+            "point",
+            "jobs",
+            "replication",
+            "seed",
+            "initial_makespan",
+            "final_makespan",
+            "rounds",
+            "effective_exchanges",
+            "jobs_moved",
+        ];
+        if net {
+            header.extend([
+                "msgs_sent",
+                "msgs_delivered",
+                "msgs_dropped",
+                "timeouts",
+                "end_time",
+            ]);
+        }
+        header.extend(["outcome", "baseline", "ratio"]);
+        let mut csv = runner
+            .try_csv(&header)
+            .map_err(|e| CliError(format!("create campaign CSV: {e}")))?;
+        for (i, c) in cells.iter().enumerate() {
+            let mut cols = vec![
+                CsvCell::Uint(i as u64 / reps),
+                CsvCell::Uint(c.jobs as u64),
+                CsvCell::Uint(i as u64 % reps),
+                CsvCell::Uint(c.seed),
+                CsvCell::Uint(c.initial),
+                CsvCell::Uint(c.final_makespan),
+                CsvCell::Uint(c.rounds),
+                CsvCell::Uint(c.effective),
+                CsvCell::Uint(c.moved),
+            ];
+            if let Some((sent, delivered, dropped, timeouts, end_time)) = c.msg {
+                cols.extend([
+                    CsvCell::Uint(sent),
+                    CsvCell::Uint(delivered),
+                    CsvCell::Uint(dropped),
+                    CsvCell::Uint(timeouts),
+                    CsvCell::Uint(end_time),
+                ]);
+            }
+            cols.extend([
+                CsvCell::Str(c.outcome.to_string()),
+                opt_cell(c.baseline),
+                opt_float_cell(c.ratio()),
+            ]);
+            wrow(&mut csv, cols)?;
+        }
+        wfinish(csv)?;
+
+        // Per-point merged statistics, folded sequentially in cell order.
+        let accs: Vec<PointAcc> = fold_by_point(&cells, reps, |acc: &mut PointAcc, c| {
+            acc.fin.push(c.final_makespan as f64);
+            acc.eff.push(c.effective as f64);
+            if let Some(r) = c.ratio() {
+                acc.ratio.push(r);
+            }
+        });
+        let mut stats_csv = runner
+            .try_csv_named(
+                &format!("{}_stats", runner.name()),
+                &[
+                    "point",
+                    "jobs",
+                    "replications",
+                    "mean_final",
+                    "std_final",
+                    "min_final",
+                    "max_final",
+                    "mean_effective",
+                    "mean_ratio",
+                ],
+            )
+            .map_err(|e| CliError(format!("create campaign stats CSV: {e}")))?;
+        for (p, acc) in accs.iter().enumerate() {
+            wrow(
+                &mut stats_csv,
+                vec![
+                    CsvCell::Uint(p as u64),
+                    CsvCell::Uint(jobs_grid[p] as u64),
+                    CsvCell::Uint(reps),
+                    opt_float_cell(acc.fin.mean()),
+                    opt_float_cell(acc.fin.std()),
+                    opt_float_cell(acc.fin.min()),
+                    opt_float_cell(acc.fin.max()),
+                    opt_float_cell(acc.eff.mean()),
+                    opt_float_cell(acc.ratio.mean()),
+                ],
+            )?;
+        }
+        wfinish(stats_csv)?;
+
+        runner
+            .try_sidecar(&serde_json::json!({
+                "command": "campaign",
+                "mode": if net { "net" } else { "gossip" },
+                "workload": self.get_str("workload", "two-cluster"),
+                "jobs_grid": jobs_grid,
+                "replications": reps,
+                "seed": base_seed,
+                "rounds": rounds,
+                "algo": self.get_str("algo", "dlb2c"),
+                "baseline": self.get_str("baseline", "none"),
+                "shared_instance": shared,
+            }))
+            .map_err(|e| CliError(format!("write campaign sidecar: {e}")))?;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign {} [{}]: {} points x {} replications = {} cells",
+            runner.name(),
+            if net { "net" } else { "gossip" },
+            run.points,
+            reps,
+            run.cells()
+        );
+        let _ = writeln!(
+            out,
+            "threads={} wall={:.2}s throughput={:.1} reps/s",
+            run.threads,
+            run.wall_secs,
+            run.reps_per_sec()
+        );
+        if baseline.is_some() {
+            let _ = writeln!(
+                out,
+                "baseline cache: {} computes for {} lookups",
+                cache.computes(),
+                cache.lookups()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "wrote {0}.csv, {0}_stats.csv, {0}.json under {1}",
+            runner.name(),
+            runner.dir().display()
+        );
+        Ok(out)
+    }
+
+    /// Builds the net-mode [`NetConfig`] from the same options as
+    /// `simulate --net true`.
+    fn build_net_config(&self, seed: u64) -> CliResult<NetConfig> {
+        let drop_permille: u16 = self.get("drop", 0)?;
+        let dup_permille: u16 = self.get("dup", 0)?;
+        if drop_permille > 1000 || dup_permille > 1000 {
+            return Err(CliError(format!(
+                "--drop/--dup are per-mille rates in 0..=1000\n{}",
+                campaign_usage()
+            )));
+        }
+        let defaults = NetConfig::default();
+        Ok(NetConfig {
+            latency: self.build_latency()?,
+            faults: FaultPlan {
+                drop_permille,
+                dup_permille,
+                ..FaultPlan::none()
+            },
+            timeout: self.get("timeout", defaults.timeout)?,
+            max_retries: self.get("retries", defaults.max_retries)?,
+            backoff_cap: self.get("backoff-cap", defaults.backoff_cap)?,
+            think_time: self.get("think", defaults.think_time)?,
+            quiescence_window: self.get("quiescence", defaults.quiescence_window)?,
+            max_time: self.get("max-time", defaults.max_time)?,
+            max_msgs: self.get("max-msgs", defaults.max_msgs)?,
+            max_exchanges: self.get("exchanges", defaults.max_exchanges)?,
+            record_every: 0,
+            seed,
+            ..defaults
+        })
+    }
+
+    /// Markov campaign: a stationary-distribution sweep over the
+    /// `(machines x p_max)` grid — the Figure 2 family. Fully
+    /// deterministic (no RNG anywhere), which also makes it the mode the
+    /// CI golden-digest check pins down.
+    fn campaign_markov(&self, runner: &SimRunner) -> CliResult<String> {
+        let machines_grid: Vec<usize> = self.grid("machines-grid", self.get("machines", 4)?)?;
+        let pmax_grid: Vec<u64> = self.grid("pmax-grid", self.get("pmax", 3)?)?;
+        if machines_grid.iter().any(|&m| m < 2) || pmax_grid.contains(&0) {
+            return Err(CliError(format!(
+                "markov campaign needs --machines-grid entries >= 2 and --pmax-grid \
+                 entries >= 1\n{}",
+                campaign_usage()
+            )));
+        }
+        let spec = self.campaign_spec(1)?;
+        let grid = paper_grid(&machines_grid, &pmax_grid);
+        let settings = SweepSettings {
+            threads: spec.threads,
+            ..SweepSettings::default()
+        };
+        let run = stationary_sweep(&grid, settings).map_err(|e| CliError(e.to_string()))?;
+        let mut csv = runner
+            .try_csv(&[
+                "point",
+                "machines",
+                "p_max",
+                "total",
+                "states",
+                "mean_deviation",
+                "mode_deviation",
+                "max_deviation",
+                "lambda2",
+                "relaxation",
+            ])
+            .map_err(|e| CliError(format!("create campaign CSV: {e}")))?;
+        for (p, r) in run.results.iter().enumerate() {
+            wrow(
+                &mut csv,
+                vec![
+                    CsvCell::Uint(p as u64),
+                    CsvCell::Uint(r.params.machines as u64),
+                    CsvCell::Uint(r.params.p_max),
+                    CsvCell::Uint(r.params.total),
+                    CsvCell::Uint(r.states as u64),
+                    CsvCell::Float(r.mean_deviation),
+                    CsvCell::Float(r.mode_deviation),
+                    CsvCell::Float(r.max_deviation),
+                    opt_float_cell(r.lambda2),
+                    opt_float_cell(r.relaxation),
+                ],
+            )?;
+        }
+        wfinish(csv)?;
+        runner
+            .try_sidecar(&serde_json::json!({
+                "command": "campaign",
+                "mode": "markov",
+                "machines_grid": machines_grid,
+                "pmax_grid": pmax_grid,
+            }))
+            .map_err(|e| CliError(format!("write campaign sidecar: {e}")))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign {} [markov]: {} grid points",
+            runner.name(),
+            run.points
+        );
+        let _ = writeln!(
+            out,
+            "threads={} wall={:.2}s throughput={:.1} points/s",
+            run.threads,
+            run.wall_secs,
+            run.reps_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "wrote {0}.csv, {0}.json under {1}",
+            runner.name(),
+            runner.dir().display()
+        );
+        Ok(out)
+    }
+}

@@ -1,0 +1,157 @@
+//! Campaign determinism: the artifacts written by `decent-lb campaign`
+//! must be byte-identical for any `--threads` value.
+//!
+//! The engine guarantees this by construction — per-cell seed streams,
+//! collection in cell order, sequential per-point folds — and these tests
+//! pin it down end to end through the CLI: same campaign at `--threads 1`
+//! vs `--threads 8` (and the rayon-default `--threads 0`), compared as
+//! raw bytes.
+
+use decent_lb::cli::Cli;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("decent-lb-campaign-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_campaign(dir: &Path, extra: &[&str]) -> String {
+    let mut args: Vec<String> = vec![
+        "campaign".into(),
+        "--out-dir".into(),
+        dir.display().to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let cli = Cli::parse(args).expect("args parse");
+    cli.run().expect("campaign runs")
+}
+
+fn artifact(dir: &Path, file: &str) -> Vec<u8> {
+    let path = dir.join(file);
+    fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn gossip_campaign_is_byte_identical_across_thread_counts() {
+    let common = [
+        "--mode",
+        "gossip",
+        "--workload",
+        "two-cluster",
+        "--m1",
+        "8",
+        "--m2",
+        "4",
+        "--jobs-grid",
+        "48,96",
+        "--replications",
+        "6",
+        "--rounds",
+        "1500",
+        "--baseline",
+        "lb",
+        "--seed",
+        "7",
+    ];
+    let mut outputs = Vec::new();
+    for threads in ["1", "8", "0"] {
+        let dir = temp_dir(&format!("gossip-t{threads}"));
+        let mut args = common.to_vec();
+        args.extend(["--threads", threads]);
+        run_campaign(&dir, &args);
+        outputs.push((
+            threads,
+            artifact(&dir, "campaign.csv"),
+            artifact(&dir, "campaign_stats.csv"),
+            artifact(&dir, "campaign.json"),
+            dir,
+        ));
+    }
+    let (_, csv1, stats1, json1, _) = &outputs[0];
+    assert!(!csv1.is_empty() && !stats1.is_empty());
+    for (threads, csv, stats, json, _) in &outputs[1..] {
+        assert_eq!(
+            csv, csv1,
+            "campaign.csv differs between --threads 1 and --threads {threads}"
+        );
+        assert_eq!(
+            stats, stats1,
+            "campaign_stats.csv differs between --threads 1 and --threads {threads}"
+        );
+        // The sidecar must not encode scheduling knobs, so it is also
+        // invariant across thread counts.
+        assert_eq!(
+            json, json1,
+            "campaign.json differs between --threads 1 and --threads {threads}"
+        );
+    }
+    for (_, _, _, _, dir) in outputs {
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn markov_campaign_is_byte_identical_across_thread_counts() {
+    let common = [
+        "--mode",
+        "markov",
+        "--machines-grid",
+        "3,4",
+        "--pmax-grid",
+        "2,3",
+    ];
+    let dir1 = temp_dir("markov-t1");
+    let dir8 = temp_dir("markov-t8");
+    let mut a = common.to_vec();
+    a.extend(["--threads", "1"]);
+    run_campaign(&dir1, &a);
+    let mut b = common.to_vec();
+    b.extend(["--threads", "8"]);
+    run_campaign(&dir8, &b);
+    let c1 = artifact(&dir1, "campaign.csv");
+    let c8 = artifact(&dir8, "campaign.csv");
+    assert!(!c1.is_empty());
+    assert_eq!(c1, c8, "markov campaign.csv differs across thread counts");
+    let _ = fs::remove_dir_all(dir1);
+    let _ = fs::remove_dir_all(dir8);
+}
+
+#[test]
+fn shared_instance_campaign_reuses_baseline_across_replications() {
+    // With --shared-instance every replication of a point scores against
+    // the same instance, so the summary must report one baseline compute
+    // per point, not per cell — and stay deterministic in parallel.
+    let dir = temp_dir("shared");
+    let out = run_campaign(
+        &dir,
+        &[
+            "--mode",
+            "gossip",
+            "--workload",
+            "two-cluster",
+            "--m1",
+            "6",
+            "--m2",
+            "3",
+            "--jobs-grid",
+            "30,60",
+            "--replications",
+            "5",
+            "--rounds",
+            "800",
+            "--baseline",
+            "clb2c",
+            "--shared-instance",
+            "true",
+            "--threads",
+            "4",
+        ],
+    );
+    assert!(
+        out.contains("baseline cache: 2 computes for 10 lookups"),
+        "expected 2 computes / 10 lookups in summary, got:\n{out}"
+    );
+    let _ = fs::remove_dir_all(dir);
+}

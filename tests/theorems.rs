@@ -232,7 +232,7 @@ fn figure2_stationary_shape() {
     assert!(p_under > 0.999, "P[dev <= 1.5] = {p_under}");
     let mode = dev
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|&(d, _)| d)
         .unwrap();
     assert!(

@@ -16,17 +16,27 @@
 //! time-to-stable (virtual ticks and wall nanoseconds to quiescence) on
 //! the paper's two-cluster workload, perfect network and 15% loss.
 //!
-//! Usage: `bench-report [--quick] [--out PATH]`. `--quick` shrinks the
-//! iteration counts for CI smoke runs (the JSON shape is unchanged).
+//! A second report, `BENCH_campaign.json` (`--campaign-out PATH`), times
+//! the shared campaign engine on two representative sweeps — the Figure-2
+//! Markov stationary-distribution grid and a Figure-3-style gossip
+//! replication fan — serial (`threads = 1`) vs parallel (all cores), and
+//! records the replications/sec and the speedup alongside the core count,
+//! so single-core runners report an honest ~1x rather than a fake win.
+//!
+//! Usage: `bench-report [--quick] [--out PATH] [--campaign-out PATH]`.
+//! `--quick` shrinks the iteration counts for CI smoke runs (the JSON
+//! shape is unchanged).
 
 use lb_core::{Dlb2cBalance, EctPairBalance};
 use lb_distsim::gossip::GossipProtocol;
 use lb_distsim::probe::{Probe, ProbeHub, SeriesProbe, StopReason};
 use lb_distsim::protocol::drive;
 use lb_distsim::simcore::SimCore;
-use lb_distsim::PairSchedule;
+use lb_distsim::{run_gossip, GossipConfig, PairSchedule};
+use lb_markov::sweep::{paper_grid, stationary_sweep, SweepSettings};
 use lb_model::prelude::*;
 use lb_net::{run_net, FaultPlan, NetConfig};
+use lb_stats::{run_campaign, CampaignSpec};
 use lb_workloads::initial::random_assignment;
 use lb_workloads::two_cluster::paper_two_cluster;
 use lb_workloads::uniform::paper_uniform;
@@ -43,6 +53,8 @@ struct Config {
     round_reps: u64,
     net_reps: u64,
     out: String,
+    campaign_out: String,
+    quick: bool,
 }
 
 fn naive_makespan(asg: &Assignment) -> Time {
@@ -174,6 +186,99 @@ fn measure_net(drop_permille: u16, cfg: &Config) -> serde_json::Value {
     })
 }
 
+/// The Figure-2 stationary-distribution grid through the campaign
+/// engine: serial vs all-cores wall clock, with a cross-check that the
+/// two runs produced identical results (the engine's core guarantee).
+fn measure_campaign_markov(quick: bool) -> serde_json::Value {
+    let grid = if quick {
+        paper_grid(&[3, 4], &[2, 3])
+    } else {
+        paper_grid(&[3, 4, 5, 6], &[2, 3, 4])
+    };
+    let serial = stationary_sweep(
+        &grid,
+        SweepSettings {
+            threads: 1,
+            ..SweepSettings::default()
+        },
+    )
+    .expect("serial sweep");
+    let parallel = stationary_sweep(&grid, SweepSettings::default()).expect("parallel sweep");
+    assert_eq!(
+        serial.results.len(),
+        parallel.results.len(),
+        "thread count must not change the result set"
+    );
+    for (s, p) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(
+            s.mean_deviation.to_bits(),
+            p.mean_deviation.to_bits(),
+            "campaign results must be bitwise thread-count-invariant"
+        );
+    }
+    let speedup = parallel.reps_per_sec() / serial.reps_per_sec().max(1e-9);
+    eprintln!(
+        "campaign markov: {} points, serial {:.1} points/s, parallel {:.1} points/s ({speedup:.1}x)",
+        serial.points,
+        serial.reps_per_sec(),
+        parallel.reps_per_sec()
+    );
+    json!({
+        "sweep": "figure2-stationary",
+        "points": serial.points,
+        "serial_reps_per_sec": serial.reps_per_sec(),
+        "parallel_reps_per_sec": parallel.reps_per_sec(),
+        "parallel_threads": parallel.threads,
+        "speedup": speedup,
+    })
+}
+
+/// A Figure-3-style gossip replication fan through the campaign engine.
+fn measure_campaign_gossip(quick: bool) -> serde_json::Value {
+    let reps: u64 = if quick { 4 } else { 16 };
+    let jobs_grid = [768usize];
+    let run_one = |threads: usize| {
+        let spec = CampaignSpec {
+            base_seed: 42,
+            replications: reps,
+            threads,
+            progress_every: 0,
+        };
+        run_campaign(&spec, &jobs_grid, |&jobs, cell| {
+            let inst = paper_two_cluster(64, 32, jobs, 42 + cell.replication);
+            let mut asg = random_assignment(&inst, 5000 + cell.replication);
+            let cfg = GossipConfig {
+                max_rounds: 20_000,
+                seed: cell.seed(42),
+                ..GossipConfig::default()
+            };
+            run_gossip(&inst, &mut asg, &Dlb2cBalance, &cfg).final_makespan
+        })
+        .expect("campaign pool")
+    };
+    let serial = run_one(1);
+    let parallel = run_one(0);
+    assert_eq!(
+        serial.results, parallel.results,
+        "campaign results must be thread-count-invariant"
+    );
+    let speedup = parallel.reps_per_sec() / serial.reps_per_sec().max(1e-9);
+    eprintln!(
+        "campaign gossip: {} cells, serial {:.1} reps/s, parallel {:.1} reps/s ({speedup:.1}x)",
+        serial.cells(),
+        serial.reps_per_sec(),
+        parallel.reps_per_sec()
+    );
+    json!({
+        "sweep": "figure3-gossip",
+        "cells": serial.cells(),
+        "serial_reps_per_sec": serial.reps_per_sec(),
+        "parallel_reps_per_sec": parallel.reps_per_sec(),
+        "parallel_threads": parallel.threads,
+        "speedup": speedup,
+    })
+}
+
 fn main() {
     let mut cfg = Config {
         query_iters: 2_000_000,
@@ -184,7 +289,10 @@ fn main() {
         round_reps: 3,
         net_reps: 3,
         out: "BENCH_simcore.json".to_string(),
+        campaign_out: "BENCH_campaign.json".to_string(),
+        quick: false,
     };
+    const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--campaign-out PATH]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -194,17 +302,25 @@ fn main() {
                 cfg.rounds = 64;
                 cfg.round_reps = 2;
                 cfg.net_reps = 1;
+                cfg.quick = true;
             }
             "--out" => {
                 cfg.out = args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
-                    eprintln!("usage: bench-report [--quick] [--out PATH]");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--campaign-out" => {
+                cfg.campaign_out = args.next().unwrap_or_else(|| {
+                    eprintln!("--campaign-out requires a path");
+                    eprintln!("{USAGE}");
                     std::process::exit(2);
                 });
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench-report [--quick] [--out PATH]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -227,4 +343,17 @@ fn main() {
     let rendered = format!("{report:#}\n");
     std::fs::write(&cfg.out, &rendered).expect("write report");
     eprintln!("wrote {}", cfg.out);
+
+    let campaign = json!({
+        "suite": "campaign",
+        "cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "quick": cfg.quick,
+        "sweeps": [
+            measure_campaign_markov(cfg.quick),
+            measure_campaign_gossip(cfg.quick),
+        ],
+    });
+    let rendered = format!("{campaign:#}\n");
+    std::fs::write(&cfg.campaign_out, &rendered).expect("write campaign report");
+    eprintln!("wrote {}", cfg.campaign_out);
 }

@@ -48,9 +48,86 @@ pub mod prelude {
     }
 }
 
+/// Stand-in for `rayon::ThreadPoolBuilder`: holds the requested thread
+/// count but always builds the sequential [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type matching `rayon::ThreadPoolBuildError` (never produced by
+/// the stub, which cannot fail to build a sequential "pool").
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (stub)")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the sequential stand-in pool; never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Sequential stand-in for `rayon::ThreadPool`: `install` runs the
+/// closure on the calling thread, so "parallel" work inside it uses the
+/// sequential iterator stubs above. Results are identical to the real
+/// pool for this workspace because merge order is fixed by cell id, not
+/// completion order.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` (on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The thread count the pool was built with (at least 1).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Stand-in for `rayon::current_num_threads`: the stub is sequential.
+pub fn current_num_threads() -> usize {
+    1
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn pool_builder_installs_sequentially() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let out: Vec<u32> = pool.install(|| (0u32..4).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
 
     #[test]
     fn sequential_fanout() {
