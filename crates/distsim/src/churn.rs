@@ -24,6 +24,16 @@
 //! run's single RNG stream (stream 0 of `seed`, see
 //! [`crate::simcore::stream_rng`]). With an empty plan this makes
 //! `run_with_churn` draw-for-draw identical to [`run_gossip`].
+//!
+//! The instantaneous scatter-at-failure above is an *oracle* semantics:
+//! no distributed system can re-deal a dead machine's jobs in the same
+//! instant it dies. [`crate::custody`] replaces it with crash-safe job
+//! custody — crash-stop and crash-recovery semantics, lease-based
+//! parking and reclamation, optional runtime invariant auditing — via
+//! [`crate::custody::run_with_churn_semantics`], which reproduces this
+//! module draw-for-draw under
+//! [`crate::custody::FaultSemantics::OracleScatter`]. See docs/FAULTS.md
+//! for the full fault taxonomy.
 
 use crate::gossip::{GossipProtocol, PairSchedule};
 use crate::probe::{ProbeHub, SeriesProbe, TopologyProbe};

@@ -1,0 +1,467 @@
+//! Crash-safe job custody for round-driven churn.
+//!
+//! The legacy churn model ([`crate::churn::run_with_churn`]) teleports a
+//! failed machine's jobs to survivors at the instant of the failure — an
+//! omniscient *oracle scatter* no real deployment has. This module
+//! replaces the oracle with **lease-based reclamation** and two
+//! machine-fault semantics from the distributed-systems literature:
+//!
+//! * **crash-stop** — a failed machine never returns as the same node.
+//!   Its jobs stay *parked* on it (at risk, owned by exactly one machine
+//!   throughout) until a custody lease of `lease_rounds` rounds expires;
+//!   only then does the replicated store re-materialize them on online
+//!   survivors. A rejoin is a *fresh, empty* node: any jobs still parked
+//!   are reclaimed to the other machines at the rejoin.
+//! * **crash-recovery** — a failed machine may come back with its state
+//!   intact. If it rejoins before its lease expires, the pending
+//!   reclamation is cancelled and the machine re-syncs, keeping its
+//!   parked jobs; after expiry it rejoins empty like a crash-stop node.
+//!
+//! [`FaultSemantics::OracleScatter`] keeps the legacy behavior, so every
+//! existing experiment is reproducible bit-for-bit.
+//!
+//! The event-driven network layer (`lb-net`) implements the same lease
+//! semantics over virtual time; this module is the round-keyed analogue
+//! so `ext_robustness` can compare semantics through the shared campaign
+//! engine.
+
+use crate::churn::{ChurnPlan, ChurnRun};
+use crate::gossip::{GossipProtocol, PairSchedule};
+use crate::probe::{ProbeHub, SeriesProbe, SimEvent, StopReason, TopologyProbe};
+use crate::protocol::{drive_with_plan, Protocol, StepOutcome};
+use crate::simcore::SimCore;
+use crate::topology::TopologyEvent;
+use lb_core::PairwiseBalancer;
+use lb_model::prelude::*;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How machine failures treat the jobs of the failed machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSemantics {
+    /// Legacy oracle: jobs are scattered to survivors at the instant of
+    /// the failure (the pre-custody behavior).
+    OracleScatter,
+    /// Crash-stop: jobs park on the dead machine until the custody lease
+    /// expires, then are reclaimed by survivors; rejoins come back empty.
+    CrashStop {
+        /// Rounds a dead machine's jobs stay parked before reclamation.
+        lease_rounds: u64,
+    },
+    /// Crash-recovery: like crash-stop, but a rejoin *before* lease
+    /// expiry cancels the reclamation and keeps the machine's jobs.
+    CrashRecovery {
+        /// Rounds a dead machine's jobs stay parked before reclamation.
+        lease_rounds: u64,
+    },
+}
+
+impl FaultSemantics {
+    fn lease_rounds(self) -> u64 {
+        match self {
+            FaultSemantics::OracleScatter => 0,
+            FaultSemantics::CrashStop { lease_rounds }
+            | FaultSemantics::CrashRecovery { lease_rounds } => lease_rounds,
+        }
+    }
+}
+
+/// Scatters `machine`'s assigned jobs uniformly at random over `targets`
+/// (drawing from `core.rng`). Shared by reclamation and the legacy
+/// oracle path. Errors with [`LbError::NoOnlineMachines`] when jobs are
+/// present but `targets` is empty.
+fn scatter_to(core: &mut SimCore, machine: MachineId, targets: &[MachineId]) -> Result<u64> {
+    let jobs: Vec<JobId> = core.asg.jobs_on(machine).to_vec();
+    if jobs.is_empty() {
+        return Ok(0);
+    }
+    if targets.is_empty() {
+        return Err(LbError::NoOnlineMachines);
+    }
+    let mut moved = 0u64;
+    for j in jobs {
+        let target = targets[core.rng.gen_range(0..targets.len())];
+        core.asg.move_job(core.inst, j, target);
+        moved += 1;
+    }
+    Ok(moved)
+}
+
+/// Wraps any [`Protocol`] with lease-based custody over churn events.
+///
+/// Failures park jobs instead of scattering them; reclamations fire at
+/// the start of the first round at or past the lease deadline (or are
+/// cancelled by a crash-recovery rejoin). Counters expose what the
+/// robustness experiments report: jobs put at risk by failures, jobs
+/// reclaimed by survivors, jobs kept through a re-sync.
+pub struct CustodyProtocol<P> {
+    inner: P,
+    semantics: FaultSemantics,
+    /// Parked machines and the round their custody lease expires.
+    parked: Vec<(MachineId, u64)>,
+    /// Re-sync events to announce at the next step (the topology hook
+    /// has no probe handle).
+    pending_sync: Vec<(MachineId, u64)>,
+    /// Jobs that were on a machine at the moment it failed.
+    pub jobs_at_risk: u64,
+    /// Jobs re-homed to survivors by lease expiry or empty rejoins.
+    pub jobs_reclaimed: u64,
+    /// Jobs kept by crash-recovery machines that re-synced in time.
+    pub jobs_resynced: u64,
+}
+
+impl<P> CustodyProtocol<P> {
+    /// Wraps `inner` under `semantics`.
+    pub fn new(inner: P, semantics: FaultSemantics) -> Self {
+        Self {
+            inner,
+            semantics,
+            parked: Vec::new(),
+            pending_sync: Vec::new(),
+            jobs_at_risk: 0,
+            jobs_reclaimed: 0,
+            jobs_resynced: 0,
+        }
+    }
+
+    /// Machines whose custody lease has expired but whose jobs could not
+    /// yet be reclaimed (no online survivor).
+    pub fn still_parked(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Reclaims every parked machine that is due (lease expired) and
+    /// still offline. Machines that cannot be reclaimed yet (no online
+    /// survivor) stay parked and are retried on the next call.
+    fn reclaim_due(&mut self, core: &mut SimCore, probes: &mut ProbeHub, due_by: u64) {
+        let mut i = 0;
+        while i < self.parked.len() {
+            let (machine, due) = self.parked[i];
+            if due > due_by || core.topology.is_online(machine) {
+                i += 1;
+                continue;
+            }
+            let targets = core.topology.online_machines();
+            match scatter_to(core, machine, &targets) {
+                Ok(jobs) => {
+                    self.parked.remove(i);
+                    self.jobs_reclaimed += jobs;
+                    probes.emit(core, &SimEvent::Reclaimed { machine, jobs });
+                }
+                Err(_) => i += 1, // no survivor yet; retry later
+            }
+        }
+    }
+
+    /// Drains reclamations after the driver loop: every parked machine
+    /// still offline is reclaimed (the lease would expire past the
+    /// horizon; late application mirrors the driver's late-event rule).
+    /// Errors when jobs remain parked with no online survivor.
+    pub fn flush(&mut self, core: &mut SimCore, probes: &mut ProbeHub) -> Result<()> {
+        while let Some(&(machine, _)) = self.parked.first() {
+            if core.topology.is_online(machine) {
+                self.parked.remove(0);
+                continue;
+            }
+            let targets = core.topology.online_machines();
+            let jobs = scatter_to(core, machine, &targets)?;
+            self.parked.remove(0);
+            self.jobs_reclaimed += jobs;
+            probes.emit(core, &SimEvent::Reclaimed { machine, jobs });
+        }
+        Ok(())
+    }
+}
+
+impl<P: Protocol> Protocol for CustodyProtocol<P> {
+    fn on_start(&mut self, core: &mut SimCore, probes: &mut ProbeHub) {
+        self.inner.on_start(core, probes);
+    }
+
+    fn step(&mut self, core: &mut SimCore, probes: &mut ProbeHub) -> StepOutcome {
+        for (machine, jobs) in std::mem::take(&mut self.pending_sync) {
+            probes.emit(core, &SimEvent::RejoinSynced { machine, jobs });
+        }
+        self.reclaim_due(core, probes, core.round);
+        self.inner.step(core, probes)
+    }
+
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> Result<u64> {
+        if self.semantics == FaultSemantics::OracleScatter {
+            return self.inner.on_topology_event(core, ev);
+        }
+        match ev {
+            TopologyEvent::Fail(machine) => {
+                self.jobs_at_risk += core.asg.num_jobs_on(machine) as u64;
+                self.parked.retain(|&(m, _)| m != machine);
+                self.parked
+                    .push((machine, core.round + self.semantics.lease_rounds()));
+                Ok(0)
+            }
+            TopologyEvent::Rejoin(machine) => {
+                let Some(pos) = self.parked.iter().position(|&(m, _)| m == machine) else {
+                    return Ok(0); // lease already expired; rejoined empty
+                };
+                match self.semantics {
+                    FaultSemantics::CrashRecovery { .. } => {
+                        // Re-sync: the machine kept its state; cancel the
+                        // pending reclamation.
+                        self.parked.remove(pos);
+                        let kept = core.asg.num_jobs_on(machine) as u64;
+                        self.jobs_resynced += kept;
+                        self.pending_sync.push((machine, kept));
+                        Ok(0)
+                    }
+                    FaultSemantics::CrashStop { .. } => {
+                        // A crash-stop rejoin is a fresh empty node: its
+                        // lost jobs are reclaimed by the *other* online
+                        // machines now.
+                        self.parked.remove(pos);
+                        let targets: Vec<MachineId> = core
+                            .topology
+                            .online_machines()
+                            .into_iter()
+                            .filter(|&m| m != machine)
+                            .collect();
+                        let jobs = scatter_to(core, machine, &targets)?;
+                        self.jobs_reclaimed += jobs;
+                        Ok(jobs)
+                    }
+                    FaultSemantics::OracleScatter => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+/// Result of a churned run under explicit fault semantics: the usual
+/// [`ChurnRun`] plus custody accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CustodyChurnRun {
+    /// The standard churn result (series, applied events, scatter total).
+    pub run: ChurnRun,
+    /// Jobs that sat on a machine at the moment it failed.
+    pub jobs_at_risk: u64,
+    /// Jobs re-homed to survivors (lease expiry, empty rejoin, or final
+    /// flush).
+    pub jobs_reclaimed: u64,
+    /// Jobs kept by crash-recovery machines that re-synced before their
+    /// lease expired.
+    pub jobs_resynced: u64,
+    /// Invariant violations, when auditing was requested (empty
+    /// otherwise).
+    pub invariant_violations: Vec<String>,
+}
+
+/// [`crate::churn::run_with_churn`] with explicit fault semantics and
+/// optional invariant auditing.
+///
+/// With [`FaultSemantics::OracleScatter`] this reproduces
+/// `run_with_churn` draw-for-draw (the wrapper delegates to the default
+/// topology handler, and the probe set matches). With the custody
+/// semantics, failed machines keep their jobs parked under a lease as
+/// described in the module docs; any machine still offline when the run
+/// ends has its parked jobs reclaimed in a final flush, which errors
+/// with [`LbError::NoOnlineMachines`] when no survivor exists.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_churn_semantics(
+    inst: &Instance,
+    asg: &mut Assignment,
+    balancer: &dyn PairwiseBalancer,
+    plan: &ChurnPlan,
+    total_rounds: u64,
+    seed: u64,
+    record_every: u64,
+    semantics: FaultSemantics,
+    check_invariants: bool,
+) -> Result<CustodyChurnRun> {
+    let mut core = SimCore::new(inst, asg, seed);
+    let mut series = SeriesProbe::with_round_budget(record_every, total_rounds);
+    let mut topo = TopologyProbe::new();
+    let mut invariants = crate::invariant::InvariantProbe::new();
+    let mut protocol = CustodyProtocol::new(
+        GossipProtocol::new(balancer, PairSchedule::UniformRandom),
+        semantics,
+    );
+    {
+        let mut hub = ProbeHub::new();
+        hub.push(&mut series).push(&mut topo);
+        if check_invariants {
+            hub.push(&mut invariants);
+        }
+        drive_with_plan(&mut core, &mut protocol, &mut hub, total_rounds, plan)?;
+        protocol.flush(&mut core, &mut hub)?;
+    }
+    let _ = StopReason::Quiescent; // (referenced for doc visibility)
+    Ok(CustodyChurnRun {
+        run: ChurnRun {
+            final_makespan: asg.makespan(),
+            makespan_series: series.series,
+            applied_events: topo.applied,
+            jobs_scattered: topo.jobs_scattered,
+        },
+        jobs_at_risk: protocol.jobs_at_risk,
+        jobs_reclaimed: protocol.jobs_reclaimed,
+        jobs_resynced: protocol.jobs_resynced,
+        invariant_violations: invariants.reports(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::run_with_churn;
+    use lb_core::Dlb2cBalance;
+    use lb_workloads::initial::random_assignment;
+    use lb_workloads::two_cluster::paper_two_cluster;
+
+    fn blip_plan(fail: u64, rejoin: u64) -> ChurnPlan {
+        ChurnPlan::one_blip(MachineId(0), fail, rejoin)
+    }
+
+    #[test]
+    fn oracle_semantics_match_legacy_runner() {
+        let inst = paper_two_cluster(5, 3, 64, 6);
+        let plan = blip_plan(1_000, 3_000);
+        let mut a = random_assignment(&inst, 4);
+        let legacy = run_with_churn(&inst, &mut a, &Dlb2cBalance, &plan, 8_000, 13, 100).unwrap();
+        let mut b = random_assignment(&inst, 4);
+        let custody = run_with_churn_semantics(
+            &inst,
+            &mut b,
+            &Dlb2cBalance,
+            &plan,
+            8_000,
+            13,
+            100,
+            FaultSemantics::OracleScatter,
+            false,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(legacy.final_makespan, custody.run.final_makespan);
+        assert_eq!(legacy.makespan_series, custody.run.makespan_series);
+        assert_eq!(legacy.jobs_scattered, custody.run.jobs_scattered);
+        assert_eq!(custody.jobs_at_risk, 0);
+        assert_eq!(custody.jobs_reclaimed, 0);
+    }
+
+    #[test]
+    fn crash_recovery_rejoin_keeps_jobs() {
+        let inst = paper_two_cluster(4, 2, 48, 5);
+        let mut asg = random_assignment(&inst, 8);
+        // Rejoin (round 600) well before the lease expires (round 500 +
+        // 1000): the machine must re-sync and keep its jobs.
+        let custody = run_with_churn_semantics(
+            &inst,
+            &mut asg,
+            &Dlb2cBalance,
+            &blip_plan(500, 600),
+            5_000,
+            21,
+            0,
+            FaultSemantics::CrashRecovery {
+                lease_rounds: 1_000,
+            },
+            true,
+        )
+        .unwrap();
+        assert!(custody.jobs_at_risk > 0);
+        assert_eq!(custody.jobs_reclaimed, 0);
+        assert_eq!(custody.jobs_resynced, custody.jobs_at_risk);
+        assert_eq!(custody.run.jobs_scattered, 0);
+        assert!(
+            custody.invariant_violations.is_empty(),
+            "{:?}",
+            custody.invariant_violations
+        );
+        asg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn crash_stop_rejoin_comes_back_empty() {
+        let inst = paper_two_cluster(4, 2, 48, 5);
+        let mut asg = random_assignment(&inst, 8);
+        let custody = run_with_churn_semantics(
+            &inst,
+            &mut asg,
+            &Dlb2cBalance,
+            &blip_plan(500, 600),
+            5_000,
+            21,
+            0,
+            FaultSemantics::CrashStop {
+                lease_rounds: 1_000,
+            },
+            true,
+        )
+        .unwrap();
+        assert!(custody.jobs_at_risk > 0);
+        // The rejoin reclaimed everything that was parked.
+        assert_eq!(custody.jobs_reclaimed, custody.jobs_at_risk);
+        assert_eq!(custody.jobs_resynced, 0);
+        assert!(
+            custody.invariant_violations.is_empty(),
+            "{:?}",
+            custody.invariant_violations
+        );
+        let total: usize = inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+        assert_eq!(total, 48);
+    }
+
+    #[test]
+    fn lease_expiry_reclaims_without_rejoin() {
+        let inst = paper_two_cluster(4, 2, 48, 5);
+        let mut asg = random_assignment(&inst, 8);
+        let plan = ChurnPlan {
+            events: vec![(500, TopologyEvent::Fail(MachineId(0)))],
+        };
+        let custody = run_with_churn_semantics(
+            &inst,
+            &mut asg,
+            &Dlb2cBalance,
+            &plan,
+            5_000,
+            21,
+            0,
+            FaultSemantics::CrashRecovery { lease_rounds: 200 },
+            true,
+        )
+        .unwrap();
+        assert!(custody.jobs_at_risk > 0);
+        assert_eq!(custody.jobs_reclaimed, custody.jobs_at_risk);
+        // Machine 0 stayed offline: it must end empty.
+        assert_eq!(asg.num_jobs_on(MachineId(0)), 0);
+        assert!(
+            custody.invariant_violations.is_empty(),
+            "{:?}",
+            custody.invariant_violations
+        );
+    }
+
+    #[test]
+    fn killing_every_machine_surfaces_an_error() {
+        let inst = paper_two_cluster(2, 1, 12, 4);
+        let mut asg = random_assignment(&inst, 5);
+        let plan = ChurnPlan {
+            events: vec![
+                (10, TopologyEvent::Fail(MachineId(0))),
+                (20, TopologyEvent::Fail(MachineId(1))),
+                (30, TopologyEvent::Fail(MachineId(2))),
+            ],
+        };
+        let err = run_with_churn_semantics(
+            &inst,
+            &mut asg,
+            &Dlb2cBalance,
+            &plan,
+            1_000,
+            7,
+            0,
+            FaultSemantics::CrashStop { lease_rounds: 50 },
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(err, LbError::NoOnlineMachines);
+    }
+}

@@ -59,6 +59,11 @@ pub struct GossipConfig {
     /// Machines excluded from pair selection (offline under churn; see
     /// `lb_distsim::churn`). They keep whatever jobs they hold.
     pub offline: Vec<MachineId>,
+    /// Audit custody/consistency invariants after every event and round
+    /// (see [`crate::invariant::InvariantProbe`]); violations are
+    /// reported in [`GossipRun::invariant_violations`]. Off by default —
+    /// each audit costs `O(jobs + machines)`.
+    pub check_invariants: bool,
 }
 
 impl Default for GossipConfig {
@@ -72,6 +77,7 @@ impl Default for GossipConfig {
             detect_cycles: false,
             threshold: 0,
             offline: Vec::new(),
+            check_invariants: false,
         }
     }
 }
@@ -106,6 +112,11 @@ pub struct GossipRun {
     pub best_makespan: Time,
     /// Why the run ended.
     pub outcome: RunOutcome,
+    /// Invariant violations found when
+    /// [`GossipConfig::check_invariants`] is on (always empty
+    /// otherwise). A non-empty list means the run reached a state where
+    /// job custody or internal bookkeeping was broken.
+    pub invariant_violations: Vec<String>,
 }
 
 /// Runs the gossip process. Deterministic given the config.
@@ -136,6 +147,7 @@ pub fn run_gossip(
     let mut exchanges = ExchangeProbe::new(m);
     let mut threshold = ThresholdProbe::new(m, cfg.threshold);
     let mut quiescence = QuiescenceProbe::new(cfg.quiescence_window);
+    let mut invariants = crate::invariant::InvariantProbe::new();
     let mut protocol = GossipProtocol::new(balancer, cfg.schedule);
 
     let result = {
@@ -148,6 +160,11 @@ pub fn run_gossip(
             .push(&mut exchanges)
             .push(&mut threshold)
             .push(&mut quiescence);
+        if cfg.check_invariants {
+            // Registered last: auditing observes, never steers, so the
+            // probe order above stays byte-identical with auditing off.
+            hub.push(&mut invariants);
+        }
         drive(&mut core, &mut protocol, &mut hub, cfg.max_rounds)
     };
 
@@ -164,6 +181,7 @@ pub fn run_gossip(
         final_makespan,
         best_makespan: series.best,
         outcome: result.outcome,
+        invariant_violations: invariants.reports(),
     }
 }
 

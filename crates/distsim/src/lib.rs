@@ -29,6 +29,12 @@
 //!   priori balancers enable.
 //! * [`churn`] — gossip under machine failures/rejoins (`ext_churn`),
 //!   now a thin composition of the driver's topology plans.
+//! * [`custody`] — crash-safe job custody over churn: lease-based
+//!   reclamation with crash-stop vs crash-recovery fault semantics
+//!   ([`FaultSemantics`]) replacing the legacy oracle scatter.
+//! * [`invariant`] — [`InvariantProbe`], a runtime checker re-auditing
+//!   job conservation / single custody / clock monotonicity after every
+//!   work-moving event (opt-in via `check_invariants`).
 //! * [`concurrent`] — a truly multi-threaded implementation of the
 //!   gossip protocol (one thread per machine, ordered pair locking)
 //!   reporting through the same [`ExchangeStats`] shape via sharded
@@ -42,9 +48,11 @@
 
 pub mod churn;
 pub mod concurrent;
+pub mod custody;
 pub mod dynamic;
 pub mod engine;
 pub mod gossip;
+pub mod invariant;
 pub mod probe;
 pub mod protocol;
 pub mod replicate;
@@ -55,9 +63,11 @@ pub mod worksteal;
 pub use churn::{run_with_churn, ChurnEvent, ChurnPlan, ChurnRun};
 
 pub use concurrent::{run_concurrent, ConcurrentConfig, ConcurrentResult};
+pub use custody::{run_with_churn_semantics, CustodyChurnRun, CustodyProtocol, FaultSemantics};
 pub use dynamic::{simulate_dynamic, Arrival, DynamicConfig, DynamicProtocol, DynamicResult};
 pub use engine::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
 pub use gossip::GossipProtocol;
+pub use invariant::InvariantProbe;
 pub use probe::{
     CycleProbe, ExchangeProbe, ExchangeStats, MigrationProbe, MsgKind, NetMsgProbe, NetMsgStats,
     Probe, ProbeHub, QuiescenceProbe, SeriesProbe, SimEvent, StopReason, ThresholdProbe,

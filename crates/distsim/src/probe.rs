@@ -34,8 +34,8 @@ use std::hash::{Hash, Hasher};
 /// The wire-level kind of a message in the event-driven network layer
 /// (`lb-net`), mirrored here so probes can account for traffic without
 /// depending on that crate. The kinds cover the load-probe handshake and
-/// the three-phase job-transfer exchange (offer / accept-or-reject /
-/// commit).
+/// the two-phase job-transfer exchange (offer / accept-or-reject, then
+/// prepare / prepared / commit / ack).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     /// A load query (the "how loaded are you?" half of gossip).
@@ -48,13 +48,22 @@ pub enum MsgKind {
     Accept,
     /// The target is busy (or offline logic rejected); try elsewhere.
     Reject,
-    /// The initiator finalizes the exchange and releases the target.
+    /// Phase one of the transfer commit: the initiator ships the planned
+    /// job moves for the target to stage (nothing is applied yet).
+    Prepare,
+    /// The target staged the plan and holds it under its lease.
+    Prepared,
+    /// Phase two: the initiator's commit point — the target applies the
+    /// staged moves.
     Commit,
+    /// The target applied (or idempotently re-confirmed) the commit; the
+    /// initiator may retire its intent-log entry.
+    Ack,
 }
 
 impl MsgKind {
     /// Number of message kinds (array-index bound for per-kind counters).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 9;
 
     /// Dense index for per-kind counter arrays.
     pub fn idx(self) -> usize {
@@ -64,7 +73,10 @@ impl MsgKind {
             MsgKind::Offer => 2,
             MsgKind::Accept => 3,
             MsgKind::Reject => 4,
-            MsgKind::Commit => 5,
+            MsgKind::Prepare => 5,
+            MsgKind::Prepared => 6,
+            MsgKind::Commit => 7,
+            MsgKind::Ack => 8,
         }
     }
 
@@ -76,7 +88,10 @@ impl MsgKind {
             MsgKind::Offer => "offer",
             MsgKind::Accept => "accept",
             MsgKind::Reject => "reject",
+            MsgKind::Prepare => "prepare",
+            MsgKind::Prepared => "prepared",
             MsgKind::Commit => "commit",
+            MsgKind::Ack => "ack",
         }
     }
 }
@@ -143,6 +158,24 @@ pub enum SimEvent {
         /// Retry attempt that expired (0 = first try).
         attempt: u32,
     },
+    /// Jobs parked on a failed machine were reclaimed — re-homed to
+    /// online survivors — after its custody lease expired (or, under
+    /// crash-stop semantics, when the machine rejoined empty).
+    Reclaimed {
+        /// The machine whose parked jobs were re-homed.
+        machine: MachineId,
+        /// Number of jobs reclaimed.
+        jobs: u64,
+    },
+    /// A crash-recovery machine rejoined before its custody lease
+    /// expired and re-synced: it kept the jobs parked on it, and the
+    /// pending reclamation was cancelled.
+    RejoinSynced {
+        /// The machine that rejoined with its state intact.
+        machine: MachineId,
+        /// Number of parked jobs it kept.
+        jobs: u64,
+    },
 }
 
 /// Why a probe (or protocol) wants the run to end.
@@ -158,6 +191,9 @@ pub enum StopReason {
         /// Cycle length in sweeps.
         period_sweeps: u64,
     },
+    /// A runtime invariant check failed (see [`crate::invariant`]); the
+    /// violating state is preserved for inspection.
+    InvariantViolated,
 }
 
 /// An observer of a simulation run.
@@ -570,13 +606,19 @@ impl TopologyProbe {
 
 impl Probe for TopologyProbe {
     fn observe(&mut self, core: &SimCore, ev: &SimEvent) {
-        if let SimEvent::Topology {
-            event,
-            jobs_scattered,
-        } = *ev
-        {
-            self.applied.push((core.round, event));
-            self.jobs_scattered += jobs_scattered;
+        match *ev {
+            SimEvent::Topology {
+                event,
+                jobs_scattered,
+            } => {
+                self.applied.push((core.round, event));
+                self.jobs_scattered += jobs_scattered;
+            }
+            // Lease-based custody re-homes jobs *after* the failure
+            // event; count those toward the same scatter total so churn
+            // accounting is comparable across fault semantics.
+            SimEvent::Reclaimed { jobs, .. } => self.jobs_scattered += jobs,
+            _ => {}
         }
     }
 }
@@ -615,6 +657,7 @@ impl Probe for MigrationProbe {
             } => self.exchanged += jobs_moved,
             SimEvent::Steal { jobs_moved, .. } => self.stolen += jobs_moved,
             SimEvent::Topology { jobs_scattered, .. } => self.scattered += jobs_scattered,
+            SimEvent::Reclaimed { jobs, .. } => self.scattered += jobs,
             _ => {}
         }
     }

@@ -38,6 +38,10 @@ pub enum RunOutcome {
         /// Cycle length in sweeps.
         period_sweeps: u64,
     },
+    /// A runtime invariant check failed mid-run (opt-in auditing, see
+    /// [`crate::invariant::InvariantProbe`]); the run stopped on the
+    /// violating state.
+    InvariantViolated,
 }
 
 impl From<StopReason> for RunOutcome {
@@ -51,6 +55,7 @@ impl From<StopReason> for RunOutcome {
                 first_seen_sweep,
                 period_sweeps,
             },
+            StopReason::InvariantViolated => RunOutcome::InvariantViolated,
         }
     }
 }

@@ -49,6 +49,7 @@ fn reference_run_gossip(
         final_makespan: initial_makespan,
         best_makespan: initial_makespan,
         outcome: RunOutcome::BudgetExhausted,
+        invariant_violations: Vec::new(),
     };
     // Pair selection draws from the *active* (online) machines only.
     let active: Vec<MachineId> = inst

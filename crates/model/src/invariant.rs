@@ -1,0 +1,262 @@
+//! Runtime safety invariants over an [`Assignment`].
+//!
+//! The simulators in this workspace promise that rebalancing never
+//! creates or destroys work: every job is owned by exactly one machine
+//! at every instant, whatever faults the network injects. This module is
+//! the checkable form of that promise. [`check_custody`] audits a full
+//! custody snapshot — job conservation (the multiset of [`JobId`]s is
+//! constant), single custody (each job appears on exactly one machine,
+//! and that machine agrees with the job→machine map), and `LoadIndex`
+//! consistency (the incremental makespan structures match a from-scratch
+//! recompute via [`Assignment::validate`]).
+//!
+//! The checker is pure and dependency-free so every layer can use it:
+//! `lb-distsim` wraps it in an `InvariantProbe` that re-audits after
+//! every applied simulation event (opt-in via `--check-invariants`), and
+//! the chaos harness treats any reported [`InvariantViolation`] as a
+//! reproducer worth shrinking. Cost is `O(jobs + machines)` per audit.
+
+use crate::assignment::Assignment;
+use crate::error::LbError;
+use crate::ids::{JobId, MachineId};
+use crate::instance::Instance;
+use std::fmt;
+
+/// One detected breach of a custody/consistency invariant.
+///
+/// The monotonicity variants are produced by stateful wrappers (the
+/// simulation probes) that watch clocks across events; the custody
+/// variants come from [`check_custody`] snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InvariantViolation {
+    /// The number of jobs across all machines differs from the
+    /// instance's job count: work was created or destroyed.
+    JobCountMismatch {
+        /// Jobs the instance defines.
+        expected: usize,
+        /// Jobs found across all machine queues.
+        actual: usize,
+    },
+    /// A job appears in no machine's job list.
+    MissingJob {
+        /// The orphaned job.
+        job: JobId,
+    },
+    /// A job appears in more than one machine's job list.
+    DuplicateCustody {
+        /// The doubly-owned job.
+        job: JobId,
+        /// The machine that listed it first.
+        first: MachineId,
+        /// The machine that also lists it.
+        second: MachineId,
+    },
+    /// A machine's job list and the job→machine map disagree.
+    CustodyMismatch {
+        /// The inconsistent job.
+        job: JobId,
+        /// The machine whose list contains the job.
+        listed_on: MachineId,
+        /// The machine the map claims owns it.
+        mapped_to: MachineId,
+    },
+    /// [`Assignment::validate`] failed: the incremental load index (or
+    /// another internal structure) drifted from the job lists.
+    Inconsistent(
+        /// The underlying validation error.
+        LbError,
+    ),
+    /// A round/clock value decreased between observations.
+    NonMonotonicClock {
+        /// Which clock regressed (e.g. `"round"`, `"virtual time"`).
+        clock: &'static str,
+        /// The previously observed value.
+        last: u64,
+        /// The smaller value observed after it.
+        seen: u64,
+    },
+    /// An agent's timer-invalidation epoch decreased.
+    NonMonotonicEpoch {
+        /// The machine whose epoch regressed.
+        machine: MachineId,
+        /// The previously observed epoch.
+        last: u64,
+        /// The smaller epoch observed after it.
+        seen: u64,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::JobCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "job conservation: expected {expected} jobs, found {actual}"
+                )
+            }
+            InvariantViolation::MissingJob { job } => {
+                write!(f, "job {} is on no machine", job.0)
+            }
+            InvariantViolation::DuplicateCustody { job, first, second } => {
+                write!(
+                    f,
+                    "job {} owned by both machine {} and machine {}",
+                    job.0, first.0, second.0
+                )
+            }
+            InvariantViolation::CustodyMismatch {
+                job,
+                listed_on,
+                mapped_to,
+            } => {
+                write!(
+                    f,
+                    "job {} listed on machine {} but mapped to machine {}",
+                    job.0, listed_on.0, mapped_to.0
+                )
+            }
+            InvariantViolation::Inconsistent(e) => {
+                write!(f, "assignment validation failed: {e}")
+            }
+            InvariantViolation::NonMonotonicClock { clock, last, seen } => {
+                write!(f, "{clock} went backwards: {last} -> {seen}")
+            }
+            InvariantViolation::NonMonotonicEpoch {
+                machine,
+                last,
+                seen,
+            } => {
+                write!(
+                    f,
+                    "machine {} epoch went backwards: {last} -> {seen}",
+                    machine.0
+                )
+            }
+        }
+    }
+}
+
+/// Audits one custody snapshot, returning every violation found (empty
+/// when the state is sound).
+///
+/// Checks, in order:
+/// 1. **conservation** — the machines' job lists together hold exactly
+///    the instance's jobs (no job lost, none minted);
+/// 2. **single custody** — no job is listed on two machines, and each
+///    listing agrees with [`Assignment::machine_of`];
+/// 3. **index consistency** — [`Assignment::validate`] recomputes the
+///    load vector and tournament trees from scratch and compares.
+///
+/// `O(jobs + machines)` time, one `jobs`-sized scratch allocation.
+pub fn check_custody(inst: &Instance, asg: &Assignment) -> Vec<InvariantViolation> {
+    let n = inst.num_jobs();
+    let mut violations = Vec::new();
+    let mut owner: Vec<Option<MachineId>> = vec![None; n];
+    let mut listed = 0usize;
+    for machine in inst.machines() {
+        for &job in asg.jobs_on(machine) {
+            listed += 1;
+            if job.idx() >= n {
+                violations.push(InvariantViolation::Inconsistent(LbError::InvalidJob {
+                    job: job.idx(),
+                    num_jobs: n,
+                }));
+                continue;
+            }
+            match owner[job.idx()] {
+                None => owner[job.idx()] = Some(machine),
+                Some(first) => violations.push(InvariantViolation::DuplicateCustody {
+                    job,
+                    first,
+                    second: machine,
+                }),
+            }
+            let mapped = asg.machine_of(job);
+            if mapped != machine {
+                violations.push(InvariantViolation::CustodyMismatch {
+                    job,
+                    listed_on: machine,
+                    mapped_to: mapped,
+                });
+            }
+        }
+    }
+    if listed != n {
+        violations.push(InvariantViolation::JobCountMismatch {
+            expected: n,
+            actual: listed,
+        });
+    }
+    for (j, o) in owner.iter().enumerate() {
+        if o.is_none() {
+            violations.push(InvariantViolation::MissingJob {
+                job: JobId::from_idx(j),
+            });
+        }
+    }
+    if let Err(e) = asg.validate(inst) {
+        violations.push(InvariantViolation::Inconsistent(e));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Instance, Assignment) {
+        let inst = Instance::uniform(3, vec![2, 3, 5, 7]).unwrap();
+        let asg = Assignment::round_robin(&inst);
+        (inst, asg)
+    }
+
+    #[test]
+    fn sound_state_has_no_violations() {
+        let (inst, asg) = small();
+        assert!(check_custody(&inst, &asg).is_empty());
+    }
+
+    #[test]
+    fn every_constructor_passes() {
+        let inst = Instance::uniform(2, vec![1, 1, 1]).unwrap();
+        for asg in [
+            Assignment::all_on(&inst, MachineId(0)),
+            Assignment::round_robin(&inst),
+            Assignment::from_vec(&inst, vec![MachineId(1), MachineId(0), MachineId(1)]).unwrap(),
+        ] {
+            assert!(check_custody(&inst, &asg).is_empty());
+        }
+    }
+
+    #[test]
+    fn moves_preserve_soundness() {
+        let (inst, mut asg) = small();
+        asg.move_job(&inst, JobId(0), MachineId(2));
+        asg.move_job(&inst, JobId(3), MachineId(0));
+        assert!(check_custody(&inst, &asg).is_empty());
+    }
+
+    #[test]
+    fn violations_display_names_the_job() {
+        let v = InvariantViolation::DuplicateCustody {
+            job: JobId(7),
+            first: MachineId(0),
+            second: MachineId(2),
+        };
+        let s = v.to_string();
+        assert!(s.contains("job 7"), "{s}");
+        assert!(s.contains("machine 0"), "{s}");
+    }
+
+    #[test]
+    fn clock_violation_display() {
+        let v = InvariantViolation::NonMonotonicClock {
+            clock: "round",
+            last: 9,
+            seen: 3,
+        };
+        assert!(v.to_string().contains("round went backwards"));
+    }
+}

@@ -25,6 +25,9 @@
 //! * [`bounds`] — provable lower bounds on the optimal makespan.
 //! * [`exact`] — exact solvers (brute force and branch-and-bound) for small
 //!   instances, used to validate approximation guarantees in tests.
+//! * [`invariant`] — runtime safety auditing: job conservation, single
+//!   custody, and load-index consistency checks used by the simulators'
+//!   `--check-invariants` mode and the chaos harness.
 //! * [`metrics`] — schedule quality metrics beyond the makespan
 //!   (imbalance, fairness, utilization).
 //! * [`perturb`] — cost misprediction: derive a "predicted" instance and
@@ -58,6 +61,7 @@ pub mod error;
 pub mod exact;
 pub mod ids;
 pub mod instance;
+pub mod invariant;
 pub mod load_index;
 pub mod metrics;
 pub mod perturb;
@@ -67,6 +71,7 @@ pub use cost::{Costs, Time, INFEASIBLE};
 pub use error::{LbError, Result};
 pub use ids::{ClusterId, JobId, JobTypeId, MachineId};
 pub use instance::Instance;
+pub use invariant::{check_custody, InvariantViolation};
 pub use load_index::LoadIndex;
 
 /// Convenient glob import for downstream crates.

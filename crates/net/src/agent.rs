@@ -1,7 +1,7 @@
 //! Per-machine agent state.
 //!
 //! Each machine runs one [`Agent`]: a small state machine over the
-//! exchange handshake. The states mirror the message flow
+//! two-phase exchange handshake. The states mirror the message flow
 //!
 //! ```text
 //! initiator                         target
@@ -9,17 +9,30 @@
 //!   AwaitProbe <--ProbeResponse--
 //!   AwaitProbe --Offer-->             Idle | Engaged(same initiator)
 //!   AwaitAccept <--Accept--           Engaged (lease armed)
-//!   (balance applied)
-//!   Idle --Commit-->                  Idle (lease released)
+//!   (plan computed, intent logged)
+//!   AwaitPrepared --Prepare-->        Engaged (intent logged, lease re-armed)
+//!   AwaitPrepared <--Prepared--
+//!   (intent marked committed)
+//!   AwaitAck --Commit-->              Idle (moves applied, intent cleared)
+//!   AwaitAck <--Ack--
+//!   Idle (intent cleared)
 //! ```
 //!
 //! Every transition bumps the agent's `epoch`, invalidating any timer
 //! scheduled for the previous state; the timer that *is* armed depends
 //! on the state (think pause when `Idle`, request timeout when awaiting,
 //! lease expiry when `Engaged`). All recovery paths — lost probe, lost
-//! offer, lost accept, lost commit — are timer-driven, so no message
-//! needs to be reliable.
+//! offer, lost accept, lost prepare, lost commit, dead peer — are
+//! timer-driven, so no message needs to be reliable.
+//!
+//! The [`TransferIntent`] each side logs is what makes a mid-exchange
+//! crash safe: the plan is applied *only* by the target, *only* on
+//! `Commit`, with each move guarded by its recorded `from` owner. An
+//! intent that never commits is discarded (initiator: retries
+//! exhausted or crash; target: lease expiry or crash) and every job
+//! stays exactly where it was.
 
+use crate::msg::TransferPlan;
 use lb_model::prelude::*;
 
 /// What an agent is currently doing.
@@ -48,14 +61,54 @@ pub enum AgentState {
         /// Retry attempt (0 = first try).
         attempt: u32,
     },
-    /// Accepted `peer`'s offer and holds the exchange lease until the
-    /// matching `Commit` arrives (or the lease expires).
+    /// Initiator: sent `Prepare` with the move plan; waiting for
+    /// `Prepared`. Retries re-send the *same* intent under the same
+    /// serial.
+    AwaitPrepared {
+        /// The exchange target.
+        peer: MachineId,
+        /// Serial of the exchange (fixed since the probe).
+        serial: u64,
+        /// Retry attempt (0 = first try).
+        attempt: u32,
+    },
+    /// Initiator: sent `Commit`; waiting for `Ack`. The intent is marked
+    /// committed — the target may already have applied it, so a retry
+    /// must re-send `Commit` (idempotent at the target), never abandon.
+    AwaitAck {
+        /// The exchange target.
+        peer: MachineId,
+        /// Serial of the exchange (fixed since the probe).
+        serial: u64,
+        /// Retry attempt (0 = first try).
+        attempt: u32,
+    },
+    /// Target: accepted `peer`'s offer and holds the exchange lease
+    /// until the commit applies (or the lease expires).
     Engaged {
         /// The exchange initiator this agent is locked to.
         peer: MachineId,
         /// Serial of the accepted offer.
         serial: u64,
     },
+}
+
+/// One logged transfer: the durable record each side keeps from the
+/// moment a plan exists until the exchange resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferIntent {
+    /// The other side of the exchange.
+    pub peer: MachineId,
+    /// The exchange serial (shared by `Prepare`, `Prepared`, `Commit`
+    /// and `Ack`).
+    pub serial: u64,
+    /// The moves to apply at commit.
+    pub plan: TransferPlan,
+    /// Initiator-side: set once `Prepared` arrived and `Commit` was
+    /// sent. From then on the target may have applied the plan, so the
+    /// intent may only resolve through `Ack` (or the run's reclamation
+    /// machinery) — never by silently un-preparing.
+    pub committed: bool,
 }
 
 /// One machine's protocol engine state.
@@ -68,6 +121,10 @@ pub struct Agent {
     pub epoch: u64,
     /// Next request serial this agent will mint as initiator.
     pub next_serial: u64,
+    /// The in-flight transfer this agent has logged, if any (initiator:
+    /// from plan computation to `Ack`; target: from `Prepare` to the
+    /// commit's application).
+    pub intent: Option<TransferIntent>,
 }
 
 impl Agent {
@@ -77,6 +134,7 @@ impl Agent {
             state: AgentState::Idle,
             epoch: 0,
             next_serial: 0,
+            intent: None,
         }
     }
 
@@ -104,6 +162,14 @@ impl Agent {
             AgentState::Engaged { peer, .. } => peer == initiator,
             _ => false,
         }
+    }
+
+    /// The logged intent, if it matches `(peer, serial)` — the guard
+    /// every `Prepare`/`Commit`/`Ack` handler runs before acting.
+    pub fn intent_matching(&self, peer: MachineId, serial: u64) -> Option<&TransferIntent> {
+        self.intent
+            .as_ref()
+            .filter(|i| i.peer == peer && i.serial == serial)
     }
 }
 
@@ -143,5 +209,20 @@ mod tests {
         });
         assert!(a.accepts_offer_from(MachineId(3)));
         assert!(!a.accepts_offer_from(MachineId(4)));
+    }
+
+    #[test]
+    fn intent_guard_matches_peer_and_serial() {
+        let mut a = Agent::new();
+        assert!(a.intent_matching(MachineId(1), 7).is_none());
+        a.intent = Some(TransferIntent {
+            peer: MachineId(1),
+            serial: 7,
+            plan: TransferPlan::default(),
+            committed: false,
+        });
+        assert!(a.intent_matching(MachineId(1), 7).is_some());
+        assert!(a.intent_matching(MachineId(1), 8).is_none());
+        assert!(a.intent_matching(MachineId(2), 7).is_none());
     }
 }

@@ -28,9 +28,20 @@ pub struct NetConfig {
     /// the fleet).
     pub think_time: u64,
     /// How long an accepting target holds its exchange lease before
-    /// concluding the initiator's `Commit` was lost and releasing
-    /// itself.
+    /// concluding the initiator gave up and releasing itself (any
+    /// un-committed prepared intent is discarded with it).
     pub lease_time: u64,
+    /// Custody lease on a failed machine's jobs: how long after the
+    /// failure they stay parked on it before survivors reclaim them. A
+    /// crash-recovery machine that rejoins within the lease keeps its
+    /// jobs (see [`crate::fault::CrashSemantics`]).
+    pub job_lease_time: u64,
+    /// Run the [`lb_distsim::InvariantProbe`] after every applied event
+    /// (job conservation, single custody, clock monotonicity, load-index
+    /// consistency). Off by default; cheap enough for tests and the
+    /// chaos harness. The probe is registered after the standard set so
+    /// enabling it never perturbs existing probe accounting.
+    pub check_invariants: bool,
     /// Stop after this many consecutive *completed* exchanges that moved
     /// no job (0 disables the stop). Counting completed exchanges —
     /// rather than wall ticks — makes the criterion robust to loss:
@@ -60,6 +71,8 @@ impl Default for NetConfig {
             backoff_cap: 256,
             think_time: 8,
             lease_time: 128,
+            job_lease_time: 512,
+            check_invariants: false,
             quiescence_window: 256,
             max_time: 4_000_000,
             max_msgs: 4_000_000,
@@ -94,6 +107,11 @@ impl NetConfig {
     pub fn lease(&self) -> u64 {
         self.lease_time.max(1)
     }
+
+    /// Job-custody lease clamped to at least one tick.
+    pub fn job_lease(&self) -> u64 {
+        self.job_lease_time.max(1)
+    }
 }
 
 #[cfg(test)]
@@ -120,11 +138,13 @@ mod tests {
             timeout: 0,
             think_time: 0,
             lease_time: 0,
+            job_lease_time: 0,
             backoff_cap: 0,
             ..NetConfig::default()
         };
         assert!(cfg.timeout_for(0) >= 1);
         assert!(cfg.think() >= 1);
         assert!(cfg.lease() >= 1);
+        assert!(cfg.job_lease() >= 1);
     }
 }

@@ -15,8 +15,12 @@
 //!   dropped at send time;
 //! * **churn** — the embedded [`TopologyPlan`], whose event key is
 //!   reinterpreted as *virtual time* (the net simulator has a clock,
-//!   not rounds). Failing machines scatter their jobs to online
-//!   survivors exactly as in round-driven churn.
+//!   not rounds). A failing machine's jobs *park* on it under a custody
+//!   lease (`NetConfig::job_lease_time`); survivors reclaim them only
+//!   after the lease expires. How a rejoin behaves is the plan's
+//!   [`CrashSemantics`]: crash-stop machines come back empty,
+//!   crash-recovery machines that return within the lease keep their
+//!   jobs and re-sync.
 
 use lb_distsim::{TopologyEvent, TopologyPlan};
 use lb_model::prelude::*;
@@ -51,6 +55,22 @@ impl LinkPartition {
     }
 }
 
+/// Machine-failure semantics: what a rejoin means for the jobs that
+/// were parked on the machine when it failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CrashSemantics {
+    /// A failed machine never returns as the same node; a rejoin is a
+    /// fresh, empty machine. Jobs still parked at the rejoin are
+    /// reclaimed by the *other* online machines.
+    #[default]
+    Stop,
+    /// A failed machine may come back with its state intact: a rejoin
+    /// *before* the custody lease expires cancels the reclamation and
+    /// keeps the parked jobs (re-sync). After expiry it behaves like
+    /// crash-stop.
+    Recovery,
+}
+
 /// The full fault model of a run. [`FaultPlan::none`] (the default) is a
 /// perfect network, under which the simulator reduces to a
 /// latency-reordered gossip process.
@@ -64,6 +84,8 @@ pub struct FaultPlan {
     pub partitions: Vec<LinkPartition>,
     /// Machine fail/rejoin events keyed by **virtual time**.
     pub topology: TopologyPlan,
+    /// What a rejoin means for jobs parked on the failed machine.
+    pub crash: CrashSemantics,
 }
 
 impl FaultPlan {

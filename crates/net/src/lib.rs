@@ -11,11 +11,13 @@
 //! * [`event`] — the deterministic `(time, seq)` discrete-event queue;
 //! * [`msg`] — wire messages and request correlation ([`msg::ReqId`]);
 //! * [`agent`] — the per-machine exchange state machine
-//!   (probe → offer → accept → commit, with an engagement lease);
+//!   (probe → offer → accept, then a two-phase prepare → commit → ack
+//!   transfer with per-agent intent logs and an engagement lease);
 //! * [`latency`] — pluggable latency models (constant, uniform jitter,
 //!   two-cluster with a cross-cluster penalty);
 //! * [`fault`] — loss, duplication, timed link partitions, and churn
-//!   layered on the driver's `TopologyPlan`;
+//!   layered on the driver's `TopologyPlan`, with crash-stop vs
+//!   crash-recovery machine semantics ([`fault::CrashSemantics`]);
 //! * [`config`] — all knobs in one [`config::NetConfig`], including
 //!   timeout / retry-budget / backoff-cap semantics;
 //! * [`sim`] — the simulator itself ([`sim::NetSim`], [`sim::run_net`]).
@@ -61,10 +63,10 @@ pub mod latency;
 pub mod msg;
 pub mod sim;
 
-pub use agent::{Agent, AgentState};
+pub use agent::{Agent, AgentState, TransferIntent};
 pub use config::NetConfig;
 pub use event::{Event, EventQueue};
-pub use fault::{FaultPlan, LinkPartition};
+pub use fault::{CrashSemantics, FaultPlan, LinkPartition};
 pub use latency::LatencyModel;
-pub use msg::{Envelope, Msg, ReqId};
+pub use msg::{Envelope, JobMove, Msg, ReqId, TransferPlan};
 pub use sim::{replicate_net, run_net, NetRun, NetSim, NetSummary};

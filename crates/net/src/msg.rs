@@ -7,6 +7,19 @@
 //! harmless: a stale `Accept` after the initiator gave up, or the second
 //! copy of a duplicated `ProbeResponse`, matches nothing and is ignored.
 //!
+//! Job transfers commit in **two phases**. The initiator never applies a
+//! plan unilaterally: it sends the explicit move list in
+//! [`Msg::Prepare`], the target persists it as a pending intent and
+//! answers [`Msg::Prepared`], and only [`Msg::Commit`] makes the target
+//! apply the moves (acknowledged with [`Msg::Ack`]). A crash on either
+//! side between any two of these messages leaves every job owned by
+//! exactly one machine: un-committed intents are discarded when the
+//! target's lease expires, and the initiator keeps custody of its jobs
+//! until the target has durably committed. `Prepare` and `Commit`
+//! retries reuse the *same* serial — they re-send an existing intent,
+//! they do not open a new conversation — and a duplicate `Commit` is
+//! answered with an idempotent `Ack`.
+//!
 //! The payload kinds mirror [`lb_distsim::MsgKind`] one-to-one (probes
 //! count traffic by that enum without depending on this crate); the
 //! mapping is [`Msg::kind`] and `tests` pin it.
@@ -20,14 +33,49 @@ pub struct ReqId {
     /// The machine that started the conversation (the exchange
     /// initiator).
     pub origin: MachineId,
-    /// The origin's private monotone counter. Every retry uses a fresh
-    /// serial, so responses to an abandoned attempt cannot be confused
-    /// with the retry's.
+    /// The origin's private monotone counter. Probe/offer retries use a
+    /// fresh serial, so responses to an abandoned attempt cannot be
+    /// confused with the retry's; `Prepare`/`Commit` retries reuse the
+    /// serial of the intent they re-send.
     pub serial: u64,
 }
 
-/// A message payload.
+/// One job movement of a transfer plan: move `job` from `from` to `to`.
+///
+/// The `from` machine is recorded so a commit can be applied *guarded*:
+/// if the job is no longer on `from` when the `Commit` arrives (a
+/// reclamation raced the exchange), that move is skipped rather than
+/// stealing the job from its new owner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobMove {
+    /// The job to move.
+    pub job: JobId,
+    /// The machine expected to own the job at commit time.
+    pub from: MachineId,
+    /// The destination machine.
+    pub to: MachineId,
+}
+
+/// The explicit move list of one pairwise exchange, computed by the
+/// initiator's balancer and shipped in [`Msg::Prepare`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransferPlan {
+    /// The moves, in application order.
+    pub moves: Vec<JobMove>,
+}
+
+impl TransferPlan {
+    /// True when the exchange moves no jobs (the pair was already
+    /// balanced). Empty plans still run the full
+    /// prepare/commit handshake so both sides agree the exchange
+    /// happened — quiescence detection counts on it.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// A message payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     /// "How loaded are you?" — opens an exchange attempt.
     ProbeRequest,
@@ -41,31 +89,50 @@ pub enum Msg {
     /// The initiator proposes a pairwise exchange.
     Offer,
     /// The target locks itself to this exchange (it will reject other
-    /// offers until the matching [`Msg::Commit`] or its lease expires).
+    /// offers until the exchange completes or its lease expires).
     Accept,
     /// The target is busy with another exchange; the initiator gives up
     /// this attempt.
     Reject,
-    /// The initiator applied the exchange and releases the target.
+    /// Phase one: the initiator ships the balancer's move list. The
+    /// target records it as a pending intent and answers
+    /// [`Msg::Prepared`] without applying anything.
+    Prepare {
+        /// The moves this exchange will apply on commit.
+        plan: TransferPlan,
+    },
+    /// The target holds the prepared intent and re-armed its lease; the
+    /// initiator may now commit.
+    Prepared,
+    /// Phase two: apply the prepared intent. The target applies the
+    /// guarded moves, releases its lease, and answers [`Msg::Ack`]. A
+    /// `Commit` for an already-applied intent is re-acknowledged
+    /// idempotently.
     Commit,
+    /// The target applied (or had already applied) the commit; the
+    /// initiator forgets the intent and goes idle.
+    Ack,
 }
 
 impl Msg {
     /// The wire-level kind, for probe accounting.
-    pub fn kind(self) -> MsgKind {
+    pub fn kind(&self) -> MsgKind {
         match self {
             Msg::ProbeRequest => MsgKind::ProbeRequest,
             Msg::ProbeResponse { .. } => MsgKind::ProbeResponse,
             Msg::Offer => MsgKind::Offer,
             Msg::Accept => MsgKind::Accept,
             Msg::Reject => MsgKind::Reject,
+            Msg::Prepare { .. } => MsgKind::Prepare,
+            Msg::Prepared => MsgKind::Prepared,
             Msg::Commit => MsgKind::Commit,
+            Msg::Ack => MsgKind::Ack,
         }
     }
 }
 
 /// A message in flight: payload plus addressing and correlation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Sending machine.
     pub from: MachineId,
@@ -91,10 +158,28 @@ mod tests {
             Msg::Offer,
             Msg::Accept,
             Msg::Reject,
+            Msg::Prepare {
+                plan: TransferPlan::default(),
+            },
+            Msg::Prepared,
             Msg::Commit,
+            Msg::Ack,
         ];
         let mut idxs: Vec<usize> = msgs.iter().map(|m| m.kind().idx()).collect();
         idxs.sort_unstable();
         assert_eq!(idxs, (0..MsgKind::COUNT).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(TransferPlan::default().is_empty());
+        let plan = TransferPlan {
+            moves: vec![JobMove {
+                job: JobId::from_idx(0),
+                from: MachineId(0),
+                to: MachineId(1),
+            }],
+        };
+        assert!(!plan.is_empty());
     }
 }

@@ -8,13 +8,35 @@
 //!
 //! The protocol carried over the messages is the paper's gossip
 //! dynamic: an initiator probes a random peer's load, offers an
-//! exchange, and on `Accept` applies the configured
-//! [`PairwiseBalancer`] to the pair — `Dlb2cBalance` gives the
-//! message-passing port of DLB2C (Algorithm 7), `EctPairBalance` the
-//! OJTB-style port (Algorithm 3). A *completed* exchange (an `Accept`
-//! that arrived) is the net analogue of a driver round: it advances
-//! `SimCore::round`, so the round-keyed probes (`SeriesProbe`,
-//! `QuiescenceProbe`, CSV series) work unchanged.
+//! exchange, and on `Accept` runs the configured [`PairwiseBalancer`]
+//! on the pair — `Dlb2cBalance` gives the message-passing port of DLB2C
+//! (Algorithm 7), `EctPairBalance` the OJTB-style port (Algorithm 3).
+//!
+//! # Two-phase job custody
+//!
+//! The balancer's move list is **not** applied where it is computed.
+//! The initiator logs it as a [`TransferIntent`] and ships it in
+//! `Prepare`; the target logs the intent, answers `Prepared`, and
+//! applies the moves only when the initiator's `Commit` arrives —
+//! each move guarded by its recorded owner, so a move whose job was
+//! reclaimed in the meantime (or whose destination died) is skipped
+//! instead of stealing the job back. A crash at *any* point of the
+//! handshake leaves every job owned by exactly one machine:
+//! un-committed intents die with the target's lease, and an initiator
+//! that gives up before `Prepared` has applied nothing.
+//!
+//! A *completed* exchange (a `Commit` the target applied) is the net
+//! analogue of a driver round: it advances `SimCore::round`, so the
+//! round-keyed probes (`SeriesProbe`, `QuiescenceProbe`, CSV series)
+//! work unchanged.
+//!
+//! Machine failures park the dead machine's jobs on it under a custody
+//! lease ([`NetConfig::job_lease_time`]); online survivors reclaim
+//! whatever is still parked when the lease expires. What a rejoin means
+//! is the plan's [`crate::fault::CrashSemantics`]: a crash-recovery
+//! machine returning within the lease keeps its jobs (`RejoinSynced`),
+//! a crash-stop machine returns empty and its jobs are reclaimed by the
+//! *other* survivors at the rejoin.
 //!
 //! # Determinism
 //!
@@ -24,8 +46,9 @@
 //! * the queue pops in `(time, seq)` order — ties resolve by push order,
 //!   never by pointer identity or hash order;
 //! * every random decision (peer choice, latency sample, drop /
-//!   duplication rolls, initial wake jitter, churn scatter) draws from
-//!   the run's single RNG stream (stream 0 of the seed) in event order;
+//!   duplication rolls, initial wake jitter, reclamation scatter) draws
+//!   from the run's single RNG stream (stream 0 of the seed) in event
+//!   order;
 //! * drop and partition outcomes are decided at *send* time, so a
 //!   message's fate is sealed before any concurrent event can reorder
 //!   the stream.
@@ -33,14 +56,16 @@
 //! `tests/net_determinism.rs` asserts trace-digest equality across
 //! repeated runs and across rayon thread-pool sizes.
 
-use crate::agent::{Agent, AgentState};
+use crate::agent::{Agent, AgentState, TransferIntent};
 use crate::config::NetConfig;
 use crate::event::{Event, EventQueue};
-use crate::msg::{Envelope, Msg, ReqId};
-use lb_core::{balance_counting_moves, PairwiseBalancer};
+use crate::fault::CrashSemantics;
+use crate::msg::{Envelope, JobMove, Msg, ReqId, TransferPlan};
+use lb_core::PairwiseBalancer;
 use lb_distsim::probe::{NetMsgProbe, NetMsgStats, SeriesProbe};
-use lb_distsim::protocol::scatter_assigned_jobs;
-use lb_distsim::{ProbeHub, RunOutcome, SimCore, SimEvent, StopReason, TopologyEvent};
+use lb_distsim::{
+    InvariantProbe, ProbeHub, RunOutcome, SimCore, SimEvent, StopReason, TopologyEvent,
+};
 use lb_model::prelude::*;
 use rand::Rng;
 use std::collections::hash_map::DefaultHasher;
@@ -51,12 +76,12 @@ use std::hash::Hasher;
 pub struct NetRun {
     /// Final makespan over all machines.
     pub final_makespan: Time,
-    /// Completed exchanges (`Accept`s that arrived) — the net round
-    /// count.
+    /// Completed exchanges (`Commit`s the target applied) — the net
+    /// round count.
     pub exchanges: u64,
     /// Completed exchanges that moved at least one job.
     pub effective_exchanges: u64,
-    /// Total jobs moved by completed exchanges (churn scatters not
+    /// Total jobs moved by completed exchanges (custody reclamations not
     /// included).
     pub jobs_moved: u64,
     /// Message accounting (sent / dropped / timeouts, per kind).
@@ -71,6 +96,17 @@ pub struct NetRun {
     /// Order-sensitive digest of every processed event; equal digests
     /// mean identical runs (the determinism tests compare these).
     pub trace_digest: u64,
+    /// Jobs that sat on a machine at the moment it failed.
+    pub jobs_at_risk: u64,
+    /// Jobs re-homed to survivors by custody-lease expiry or crash-stop
+    /// rejoins.
+    pub jobs_reclaimed: u64,
+    /// Jobs kept by crash-recovery machines that rejoined within their
+    /// custody lease.
+    pub jobs_resynced: u64,
+    /// Invariant violations, when [`NetConfig::check_invariants`] was
+    /// set (empty otherwise, and hopefully also with it set).
+    pub invariant_violations: Vec<String>,
 }
 
 impl NetRun {
@@ -99,6 +135,12 @@ pub struct NetSummary {
     pub final_makespan: Time,
     /// Order-sensitive digest of every processed event.
     pub trace_digest: u64,
+    /// Jobs parked on machines when they failed.
+    pub jobs_at_risk: u64,
+    /// Jobs re-homed to survivors by the custody machinery.
+    pub jobs_reclaimed: u64,
+    /// Jobs kept through crash-recovery re-syncs.
+    pub jobs_resynced: u64,
 }
 
 /// The simulator: composable with any [`ProbeHub`] (see [`run_net`] for
@@ -111,10 +153,17 @@ pub struct NetSim<'a, 'b> {
     agents: Vec<Agent>,
     now: u64,
     next_topo: usize,
+    /// Custody leases of failed machines: `(machine, expiry time)`.
+    /// Jobs stay parked on the dead machine until the expiry fires (or a
+    /// rejoin resolves the entry first).
+    reclaims: Vec<(MachineId, u64)>,
     msgs_sent: u64,
     exchanges: u64,
     effective: u64,
     jobs_moved_total: u64,
+    jobs_at_risk: u64,
+    jobs_reclaimed: u64,
+    jobs_resynced: u64,
     quiet: u64,
     pending_stop: Option<RunOutcome>,
     hasher: DefaultHasher,
@@ -137,10 +186,14 @@ impl<'a, 'b> NetSim<'a, 'b> {
             agents: vec![Agent::new(); m],
             now: 0,
             next_topo: 0,
+            reclaims: Vec::new(),
             msgs_sent: 0,
             exchanges: 0,
             effective: 0,
             jobs_moved_total: 0,
+            jobs_at_risk: 0,
+            jobs_reclaimed: 0,
+            jobs_resynced: 0,
             quiet: 0,
             pending_stop: None,
             hasher: DefaultHasher::new(),
@@ -150,7 +203,8 @@ impl<'a, 'b> NetSim<'a, 'b> {
     /// Runs the simulation to completion, reporting through `probes`.
     ///
     /// Errors when the fault plan's churn cannot be absorbed
-    /// ([`LbError::NoOnlineMachines`]).
+    /// ([`LbError::NoOnlineMachines`]: jobs await reclamation but no
+    /// machine will ever be online again).
     pub fn run(&mut self, probes: &mut ProbeHub) -> Result<NetSummary> {
         probes.on_start(&self.core);
         // Initial wakes, jittered inside [1, think] to de-synchronize
@@ -201,7 +255,8 @@ impl<'a, 'b> NetSim<'a, 'b> {
                 break;
             }
         }
-        // Late churn events still apply (mirrors `drive_with_plan`).
+        // Late churn events and pending reclamations still apply
+        // (mirrors `drive_with_plan`).
         self.apply_topology_up_to(u64::MAX, probes)?;
         probes.on_finish(&self.core);
         self.hasher.write_u64(self.exchanges);
@@ -214,6 +269,9 @@ impl<'a, 'b> NetSim<'a, 'b> {
             jobs_moved: self.jobs_moved_total,
             final_makespan: self.core.makespan(),
             trace_digest: self.hasher.finish(),
+            jobs_at_risk: self.jobs_at_risk,
+            jobs_reclaimed: self.jobs_reclaimed,
+            jobs_resynced: self.jobs_resynced,
         })
     }
 
@@ -241,36 +299,170 @@ impl<'a, 'b> NetSim<'a, 'b> {
         }
     }
 
+    /// Applies topology events and due custody reclamations with time
+    /// key `<= t`, in merged time order (topology first on ties, so a
+    /// rejoin at the lease's expiry instant still re-syncs).
     fn apply_topology_up_to(&mut self, t: u64, probes: &mut ProbeHub) -> Result<()> {
-        let events = self.cfg.faults.sorted_topology_events();
-        while self.next_topo < events.len() && events[self.next_topo].0 <= t {
-            let (te, ev) = events[self.next_topo];
-            self.next_topo += 1;
-            let jobs_scattered = match ev {
-                TopologyEvent::Fail(machine) => {
-                    self.core.set_online(machine, false);
-                    self.agents[machine.idx()].transition(AgentState::Offline);
-                    scatter_assigned_jobs(&mut self.core, machine)?
-                }
-                TopologyEvent::Rejoin(machine) => {
-                    self.core.set_online(machine, true);
-                    let epoch = self.agents[machine.idx()].transition(AgentState::Idle);
-                    let base = te.max(self.now);
-                    let think = self.cfg.think();
-                    self.queue
-                        .push(base + think, Event::Timer { machine, epoch });
-                    0
-                }
-            };
-            probes.emit(
-                &self.core,
-                &SimEvent::Topology {
-                    event: ev,
-                    jobs_scattered,
-                },
-            );
+        loop {
+            let events = self.cfg.faults.sorted_topology_events();
+            let next_te = (self.next_topo < events.len())
+                .then(|| events[self.next_topo].0)
+                .filter(|&te| te <= t);
+            let next_rc = self
+                .reclaims
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, due))| due <= t)
+                .min_by_key(|(_, &(_, due))| due)
+                .map(|(i, &(_, due))| (i, due));
+            match (next_te, next_rc) {
+                (None, None) => return Ok(()),
+                (Some(te), Some((_, due))) if te <= due => self.apply_one_topo(te, probes)?,
+                (Some(te), None) => self.apply_one_topo(te, probes)?,
+                (None, Some((i, _))) | (Some(_), Some((i, _))) => self.reclaim_one(i, probes)?,
+            }
         }
+    }
+
+    fn apply_one_topo(&mut self, te: u64, probes: &mut ProbeHub) -> Result<()> {
+        let (_, ev) = self.cfg.faults.sorted_topology_events()[self.next_topo];
+        self.next_topo += 1;
+        let jobs_scattered = match ev {
+            TopologyEvent::Fail(machine) => {
+                self.core.set_online(machine, false);
+                let agent = &mut self.agents[machine.idx()];
+                agent.transition(AgentState::Offline);
+                // The crash loses the in-flight exchange (a logged but
+                // un-committed intent applies nothing anywhere); the
+                // machine's *jobs* stay parked on it under the custody
+                // lease instead of teleporting to survivors.
+                agent.intent = None;
+                self.jobs_at_risk += self.core.asg.num_jobs_on(machine) as u64;
+                self.reclaims.retain(|&(m, _)| m != machine);
+                self.reclaims
+                    .push((machine, te.saturating_add(self.cfg.job_lease())));
+                0
+            }
+            TopologyEvent::Rejoin(machine) => {
+                self.core.set_online(machine, true);
+                let agent = &mut self.agents[machine.idx()];
+                let epoch = agent.transition(AgentState::Idle);
+                agent.intent = None;
+                let base = te.max(self.now);
+                let think = self.cfg.think();
+                self.queue
+                    .push(base + think, Event::Timer { machine, epoch });
+                self.resolve_rejoin_custody(machine, probes)?
+            }
+        };
+        probes.emit(
+            &self.core,
+            &SimEvent::Topology {
+                event: ev,
+                jobs_scattered,
+            },
+        );
         Ok(())
+    }
+
+    /// A machine rejoined while (possibly) holding a custody lease.
+    /// Resolves the lease per the plan's [`CrashSemantics`]; returns the
+    /// jobs re-homed off the machine, for the `Topology` event.
+    fn resolve_rejoin_custody(&mut self, machine: MachineId, probes: &mut ProbeHub) -> Result<u64> {
+        let Some(pos) = self.reclaims.iter().position(|&(m, _)| m == machine) else {
+            return Ok(0); // lease already resolved; the machine rejoins empty-handed
+        };
+        self.reclaims.remove(pos);
+        let parked = self.core.asg.num_jobs_on(machine) as u64;
+        match self.cfg.faults.crash {
+            CrashSemantics::Recovery => {
+                // Came back with state intact, inside the lease: keep
+                // the jobs and re-sync.
+                self.jobs_resynced += parked;
+                probes.emit(
+                    &self.core,
+                    &SimEvent::RejoinSynced {
+                        machine,
+                        jobs: parked,
+                    },
+                );
+                Ok(0)
+            }
+            CrashSemantics::Stop => {
+                // A crash-stop rejoin is a fresh empty node: whatever is
+                // still parked moves to the *other* online machines.
+                let targets: Vec<MachineId> = self
+                    .core
+                    .topology
+                    .online_iter()
+                    .filter(|&m| m != machine)
+                    .collect();
+                if targets.is_empty() {
+                    // Sole survivor: there is no other replica to
+                    // reclaim to, so the node keeps the only copy
+                    // (conservation beats semantics purity here).
+                    self.jobs_resynced += parked;
+                    probes.emit(
+                        &self.core,
+                        &SimEvent::RejoinSynced {
+                            machine,
+                            jobs: parked,
+                        },
+                    );
+                    return Ok(0);
+                }
+                let moved = self.scatter_jobs(machine, &targets);
+                self.jobs_reclaimed += moved;
+                Ok(moved)
+            }
+        }
+    }
+
+    /// Reclaims entry `i` of the lease table (its expiry is due): the
+    /// jobs still parked on the dead machine scatter to online
+    /// survivors. With no survivor the entry is deferred until the next
+    /// topology event can revive one — or the run errors if none ever
+    /// will.
+    fn reclaim_one(&mut self, i: usize, probes: &mut ProbeHub) -> Result<()> {
+        let (machine, _) = self.reclaims[i];
+        if self.core.topology.is_online(machine) {
+            // A rejoin resolved this lease already (defensive; rejoins
+            // remove their entry).
+            self.reclaims.remove(i);
+            return Ok(());
+        }
+        let targets: Vec<MachineId> = self.core.topology.online_iter().collect();
+        if targets.is_empty() {
+            let events = self.cfg.faults.sorted_topology_events();
+            if self.next_topo >= events.len() {
+                if self.core.asg.num_jobs_on(machine) == 0 {
+                    self.reclaims.remove(i);
+                    return Ok(());
+                }
+                return Err(LbError::NoOnlineMachines);
+            }
+            // Defer to the next topology event (a rejoin may provide a
+            // survivor); the merged loop processes that event first.
+            self.reclaims[i].1 = events[self.next_topo].0;
+            return Ok(());
+        }
+        self.reclaims.remove(i);
+        let jobs = self.scatter_jobs(machine, &targets);
+        self.jobs_reclaimed += jobs;
+        probes.emit(&self.core, &SimEvent::Reclaimed { machine, jobs });
+        Ok(())
+    }
+
+    /// Moves every job on `machine` to a uniformly random member of
+    /// `targets` (one draw per job, in job-list order). Returns the
+    /// number moved.
+    fn scatter_jobs(&mut self, machine: MachineId, targets: &[MachineId]) -> u64 {
+        let jobs: Vec<JobId> = self.core.asg.jobs_on(machine).to_vec();
+        for &j in &jobs {
+            let target = targets[self.core.rng.gen_range(0..targets.len())];
+            self.core.asg.move_job(self.core.inst, j, target);
+        }
+        jobs.len() as u64
     }
 
     fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
@@ -301,9 +493,26 @@ impl<'a, 'b> NetSim<'a, 'b> {
             AgentState::AwaitAccept { peer, attempt, .. } => {
                 self.on_request_timeout(machine, peer, attempt, Msg::Offer, probes);
             }
+            AgentState::AwaitPrepared {
+                peer,
+                serial,
+                attempt,
+            } => {
+                self.on_intent_timeout(machine, peer, serial, attempt, false, probes);
+            }
+            AgentState::AwaitAck {
+                peer,
+                serial,
+                attempt,
+            } => {
+                self.on_intent_timeout(machine, peer, serial, attempt, true, probes);
+            }
             AgentState::Engaged { peer, .. } => {
-                // The initiator's Commit never arrived: release the lease
-                // so the machine can exchange again.
+                // The initiator went quiet: release the lease so the
+                // machine can exchange again, discarding any prepared
+                // but never-committed intent — the crash-safety rule
+                // that lets an initiator die between Prepare and Commit
+                // without stranding custody.
                 probes.emit(
                     &self.core,
                     &SimEvent::ExchangeTimedOut {
@@ -312,6 +521,7 @@ impl<'a, 'b> NetSim<'a, 'b> {
                         attempt: 0,
                     },
                 );
+                self.agents[machine.idx()].intent = None;
                 self.go_idle(machine);
             }
             AgentState::Offline => {}
@@ -363,11 +573,78 @@ impl<'a, 'b> NetSim<'a, 'b> {
         self.schedule_timer(machine, self.cfg.timeout_for(next_attempt), epoch);
     }
 
+    /// A `Prepare` or `Commit` went unanswered. Unlike the probe/offer
+    /// phases these re-send the logged intent under the **same** serial
+    /// — they continue one exchange, they do not open a new
+    /// conversation. Once the retry budget is spent the initiator drops
+    /// the intent and idles: nothing was applied on this side, and the
+    /// target either never prepared (nothing to undo) or will release
+    /// its lease (un-committed intent discarded) or has applied the
+    /// commit (it owns the result) — jobs are conserved in every case.
+    fn on_intent_timeout(
+        &mut self,
+        machine: MachineId,
+        peer: MachineId,
+        serial: u64,
+        attempt: u32,
+        committed: bool,
+        probes: &mut ProbeHub,
+    ) {
+        probes.emit(
+            &self.core,
+            &SimEvent::ExchangeTimedOut {
+                agent: machine,
+                peer,
+                attempt,
+            },
+        );
+        let agent = &mut self.agents[machine.idx()];
+        if attempt >= self.cfg.max_retries {
+            agent.intent = None;
+            self.go_idle(machine);
+            return;
+        }
+        let next_attempt = attempt + 1;
+        let resend = if committed {
+            Msg::Commit
+        } else {
+            let Some(intent) = agent.intent_matching(peer, serial) else {
+                // Intent lost (cannot normally happen): abandon cleanly.
+                self.go_idle(machine);
+                return;
+            };
+            Msg::Prepare {
+                plan: intent.plan.clone(),
+            }
+        };
+        let state = if committed {
+            AgentState::AwaitAck {
+                peer,
+                serial,
+                attempt: next_attempt,
+            }
+        } else {
+            AgentState::AwaitPrepared {
+                peer,
+                serial,
+                attempt: next_attempt,
+            }
+        };
+        let epoch = self.agents[machine.idx()].transition(state);
+        let req = ReqId {
+            origin: machine,
+            serial,
+        };
+        self.send(machine, peer, resend, req, probes);
+        self.schedule_timer(machine, self.cfg.timeout_for(next_attempt), epoch);
+    }
+
     /// An idle agent's wake fired: probe a random online peer.
     fn initiate(&mut self, machine: MachineId, probes: &mut ProbeHub) {
         if self.core.topology.num_online() < 2 {
             // Nobody to talk to. If churn may still revive someone, keep
-            // waking; otherwise the process is over.
+            // waking; otherwise the process is over (pending custody
+            // reclamations flush after the loop).
             let events = self.cfg.faults.sorted_topology_events();
             if self.next_topo >= events.len() {
                 self.pending_stop.get_or_insert(RunOutcome::Quiescent);
@@ -396,6 +673,106 @@ impl<'a, 'b> NetSim<'a, 'b> {
         });
         self.send(machine, peer, Msg::ProbeRequest, req, probes);
         self.schedule_timer(machine, self.cfg.timeout_for(0), epoch);
+    }
+
+    /// Runs the balancer on the pair **without applying anything**:
+    /// snapshots both job lists, lets the balancer rewrite the pair,
+    /// diffs, then reverts every move. The returned plan is what
+    /// `Prepare` ships and what the target applies at commit.
+    fn plan_pair_moves(&mut self, a: MachineId, b: MachineId) -> TransferPlan {
+        let before_a: Vec<JobId> = self.core.asg.jobs_on(a).to_vec();
+        let before_b: Vec<JobId> = self.core.asg.jobs_on(b).to_vec();
+        let changed = self.balancer.balance(self.core.inst, self.core.asg, a, b);
+        if !changed {
+            return TransferPlan::default();
+        }
+        let mut moves = Vec::new();
+        for &j in self.core.asg.jobs_on(b) {
+            if before_a.contains(&j) {
+                moves.push(JobMove {
+                    job: j,
+                    from: a,
+                    to: b,
+                });
+            }
+        }
+        for &j in self.core.asg.jobs_on(a) {
+            if before_b.contains(&j) {
+                moves.push(JobMove {
+                    job: j,
+                    from: b,
+                    to: a,
+                });
+            }
+        }
+        // Revert: custody only changes when the target commits.
+        for mv in &moves {
+            self.core.asg.move_job(self.core.inst, mv.job, mv.from);
+        }
+        TransferPlan { moves }
+    }
+
+    /// Applies a committed plan, move by move, each move guarded: a job
+    /// no longer owned by its recorded `from` (reclaimed while the
+    /// handshake was in flight) is skipped, as is a move whose
+    /// destination is offline (jobs never move *onto* a dead machine —
+    /// dead machines only drain, which keeps the one-shot reclamation at
+    /// lease expiry airtight). Returns `(any move applied, moves
+    /// applied)`.
+    fn apply_plan(&mut self, plan: &TransferPlan) -> (bool, u64) {
+        let mut moved = 0u64;
+        for mv in &plan.moves {
+            if self.core.asg.machine_of(mv.job) != mv.from {
+                continue;
+            }
+            if !self.core.topology.is_online(mv.to) {
+                continue;
+            }
+            self.core.asg.move_job(self.core.inst, mv.job, mv.to);
+            moved += 1;
+        }
+        (moved > 0, moved)
+    }
+
+    /// The target applied a commit (or an exchange completed without
+    /// one): account the completed exchange and run the round-keyed stop
+    /// checks.
+    fn complete_exchange(
+        &mut self,
+        initiator: MachineId,
+        target: MachineId,
+        changed: bool,
+        jobs_moved: u64,
+        probes: &mut ProbeHub,
+    ) {
+        probes.emit(
+            &self.core,
+            &SimEvent::Exchange {
+                a: initiator,
+                b: target,
+                changed,
+                jobs_moved,
+            },
+        );
+        self.core.round += 1;
+        self.exchanges += 1;
+        if changed {
+            self.effective += 1;
+            self.jobs_moved_total += jobs_moved;
+            self.quiet = 0;
+        } else {
+            self.quiet += 1;
+        }
+        if let Some(stop) = probes.after_round(&self.core) {
+            self.pending_stop.get_or_insert(stop.into());
+        }
+        if self.cfg.quiescence_window > 0 && self.quiet >= self.cfg.quiescence_window {
+            self.pending_stop
+                .get_or_insert(StopReason::Quiescent.into());
+        }
+        if self.exchanges >= self.cfg.max_exchanges {
+            self.pending_stop.get_or_insert(RunOutcome::BudgetExhausted);
+        }
     }
 
     fn handle_msg(&mut self, env: Envelope, probes: &mut ProbeHub) {
@@ -427,7 +804,15 @@ impl<'a, 'b> NetSim<'a, 'b> {
             }
             Msg::Offer => {
                 if self.agents[me.idx()].accepts_offer_from(env.from) {
-                    let epoch = self.agents[me.idx()].transition(AgentState::Engaged {
+                    let agent = &mut self.agents[me.idx()];
+                    // A *new* conversation invalidates any intent left
+                    // from an older serial with the same peer; a
+                    // re-offer of the current conversation keeps its
+                    // prepared intent.
+                    if agent.intent_matching(env.from, env.req.serial).is_none() {
+                        agent.intent = None;
+                    }
+                    let epoch = agent.transition(AgentState::Engaged {
                         peer: env.from,
                         serial: env.req.serial,
                     });
@@ -445,38 +830,25 @@ impl<'a, 'b> NetSim<'a, 'b> {
                 if env.from != peer || env.req.origin != me || env.req.serial != serial {
                     return; // stale accept; the sender's lease will expire
                 }
-                let (changed, jobs_moved) =
-                    balance_counting_moves(self.core.inst, self.core.asg, self.balancer, me, peer);
-                probes.emit(
-                    &self.core,
-                    &SimEvent::Exchange {
-                        a: me,
-                        b: peer,
-                        changed,
-                        jobs_moved,
-                    },
-                );
-                self.core.round += 1;
-                self.exchanges += 1;
-                if changed {
-                    self.effective += 1;
-                    self.jobs_moved_total += jobs_moved;
-                    self.quiet = 0;
-                } else {
-                    self.quiet += 1;
-                }
-                self.send(me, peer, Msg::Commit, env.req, probes);
-                self.go_idle(me);
-                if let Some(stop) = probes.after_round(&self.core) {
-                    self.pending_stop.get_or_insert(stop.into());
-                }
-                if self.cfg.quiescence_window > 0 && self.quiet >= self.cfg.quiescence_window {
-                    self.pending_stop
-                        .get_or_insert(StopReason::Quiescent.into());
-                }
-                if self.exchanges >= self.cfg.max_exchanges {
-                    self.pending_stop.get_or_insert(RunOutcome::BudgetExhausted);
-                }
+                // Phase one: compute the plan, log the intent, ship it.
+                // Nothing is applied yet on either side. An *empty* plan
+                // still runs the full handshake so the completed
+                // exchange is counted on the target — quiescence
+                // detection counts completed no-op exchanges.
+                let plan = self.plan_pair_moves(me, peer);
+                self.agents[me.idx()].intent = Some(TransferIntent {
+                    peer,
+                    serial,
+                    plan: plan.clone(),
+                    committed: false,
+                });
+                let epoch = self.agents[me.idx()].transition(AgentState::AwaitPrepared {
+                    peer,
+                    serial,
+                    attempt: 0,
+                });
+                self.send(me, peer, Msg::Prepare { plan }, env.req, probes);
+                self.schedule_timer(me, self.cfg.timeout_for(0), epoch);
             }
             Msg::Reject => {
                 let AgentState::AwaitAccept { peer, serial, .. } = self.agents[me.idx()].state
@@ -487,13 +859,85 @@ impl<'a, 'b> NetSim<'a, 'b> {
                     self.go_idle(me);
                 }
             }
-            Msg::Commit => {
+            Msg::Prepare { plan } => {
+                // Target side: log the intent and hold it under the
+                // lease. Only an engaged target for exactly this
+                // conversation prepares; otherwise the lease has expired
+                // and the initiator's Prepare retries will too.
                 let AgentState::Engaged { peer, serial } = self.agents[me.idx()].state else {
                     return;
                 };
-                if env.from == peer && env.req.serial == serial {
-                    self.go_idle(me);
+                if env.from != peer || env.req.serial != serial {
+                    return;
                 }
+                let agent = &mut self.agents[me.idx()];
+                agent.intent = Some(TransferIntent {
+                    peer,
+                    serial,
+                    plan,
+                    committed: false,
+                });
+                // Re-arm the lease: the clock protects the *prepared*
+                // intent now.
+                let epoch = agent.transition(AgentState::Engaged { peer, serial });
+                self.send(me, peer, Msg::Prepared, env.req, probes);
+                self.schedule_timer(me, self.cfg.lease(), epoch);
+            }
+            Msg::Prepared => {
+                let AgentState::AwaitPrepared { peer, serial, .. } = self.agents[me.idx()].state
+                else {
+                    return; // duplicate or stale
+                };
+                if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                    return;
+                }
+                // Phase two: the target holds the plan durably — commit.
+                // From here on the exchange may have been applied, so the
+                // intent is marked committed and only resolves forward.
+                if let Some(intent) = self.agents[me.idx()].intent.as_mut() {
+                    intent.committed = true;
+                }
+                let epoch = self.agents[me.idx()].transition(AgentState::AwaitAck {
+                    peer,
+                    serial,
+                    attempt: 0,
+                });
+                self.send(me, peer, Msg::Commit, env.req, probes);
+                self.schedule_timer(me, self.cfg.timeout_for(0), epoch);
+            }
+            Msg::Commit => {
+                // Target side: apply the prepared intent exactly once.
+                if self.agents[me.idx()]
+                    .intent_matching(env.from, env.req.serial)
+                    .is_some()
+                {
+                    let plan = self.agents[me.idx()]
+                        .intent
+                        .take()
+                        .expect("matched above")
+                        .plan;
+                    let (changed, jobs_moved) = self.apply_plan(&plan);
+                    self.send(me, env.from, Msg::Ack, env.req, probes);
+                    self.go_idle(me);
+                    self.complete_exchange(env.from, me, changed, jobs_moved, probes);
+                } else {
+                    // No pending intent: this commit was already applied
+                    // (duplicate / retry after a lost Ack) or its lease
+                    // expired. Re-ack idempotently; never re-apply.
+                    self.send(me, env.from, Msg::Ack, env.req, probes);
+                }
+            }
+            Msg::Ack => {
+                let AgentState::AwaitAck { peer, serial, .. } = self.agents[me.idx()].state else {
+                    return; // stale ack (already resolved)
+                };
+                if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                    return;
+                }
+                // The exchange is fully resolved on the target; forget
+                // the intent.
+                self.agents[me.idx()].intent = None;
+                self.go_idle(me);
             }
         }
     }
@@ -540,7 +984,7 @@ impl<'a, 'b> NetSim<'a, 'b> {
                     from,
                     to,
                     req,
-                    msg,
+                    msg: msg.clone(),
                     sent_at: self.now,
                 }),
             );
@@ -558,9 +1002,11 @@ impl<'a, 'b> NetSim<'a, 'b> {
 /// the standard result set.
 ///
 /// The convenience entry point mirroring `run_gossip`: assembles the
-/// series and message probes, drives [`NetSim`], and packages a
-/// [`NetRun`]. Embedders wanting custom observation build a [`NetSim`]
-/// and pass their own [`ProbeHub`].
+/// series and message probes (plus the invariant checker when
+/// [`NetConfig::check_invariants`] is set — registered last, so probe
+/// accounting is identical with it off), drives [`NetSim`], and
+/// packages a [`NetRun`]. Embedders wanting custom observation build a
+/// [`NetSim`] and pass their own [`ProbeHub`].
 pub fn run_net(
     inst: &Instance,
     asg: &mut Assignment,
@@ -569,9 +1015,13 @@ pub fn run_net(
 ) -> Result<NetRun> {
     let mut series = SeriesProbe::new(cfg.record_every);
     let mut msgs = NetMsgProbe::new();
+    let mut invariants = InvariantProbe::fail_fast();
     let summary = {
         let mut hub = ProbeHub::new();
         hub.push(&mut series).push(&mut msgs);
+        if cfg.check_invariants {
+            hub.push(&mut invariants);
+        }
         let mut sim = NetSim::new(inst, asg, balancer, cfg);
         sim.run(&mut hub)?
     };
@@ -585,6 +1035,10 @@ pub fn run_net(
         outcome: summary.outcome,
         makespan_series: series.series,
         trace_digest: summary.trace_digest,
+        jobs_at_risk: summary.jobs_at_risk,
+        jobs_reclaimed: summary.jobs_reclaimed,
+        jobs_resynced: summary.jobs_resynced,
+        invariant_violations: invariants.reports(),
     })
 }
 

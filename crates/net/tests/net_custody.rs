@@ -1,0 +1,287 @@
+//! Crash-safe job custody under the two-phase exchange commit.
+//!
+//! The regression gate from the issue: killing a machine mid-exchange —
+//! including exactly between `Prepare` and `Commit` — must preserve the
+//! exact job multiset. The pre-custody code path failed this two ways:
+//! a failing machine's jobs teleported to survivors at the instant of
+//! the failure (oracle scatter, `jobs_scattered > 0` on the `Fail`
+//! event), and an initiator holding an in-flight `Accept` from a peer
+//! that died under it would balance against the offline machine. With
+//! two-phase custody the `Fail` event parks jobs (`jobs_scattered == 0`)
+//! and every commit is guarded per job, so the runtime invariant
+//! checker stays silent for *any* kill time.
+
+use lb_core::Dlb2cBalance;
+use lb_distsim::{InvariantProbe, Probe, ProbeHub, SimCore, SimEvent, TopologyEvent, TopologyPlan};
+use lb_model::prelude::*;
+use lb_net::{run_net, CrashSemantics, FaultPlan, LatencyModel, NetConfig, NetSim};
+use lb_workloads::initial::random_assignment;
+use lb_workloads::two_cluster::paper_two_cluster;
+
+const JOBS: usize = 60;
+
+fn custody_cfg(seed: u64, topology: TopologyPlan, crash: CrashSemantics) -> NetConfig {
+    NetConfig {
+        latency: LatencyModel::UniformJitter { min: 2, max: 10 },
+        faults: FaultPlan {
+            topology,
+            crash,
+            ..FaultPlan::none()
+        },
+        check_invariants: true,
+        seed,
+        ..NetConfig::default()
+    }
+}
+
+fn assert_multiset_preserved(inst: &Instance, asg: &Assignment) {
+    asg.validate(inst).unwrap();
+    let total: usize = inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+    assert_eq!(total, JOBS, "job multiset must be preserved");
+}
+
+/// The acceptance regression: a machine dies mid-exchange and the job
+/// multiset survives bit-for-bit. The kill time sweeps a window dense
+/// enough to land in every phase of the handshake — probe in flight,
+/// offer in flight, between `Prepare` and `Commit`, `Commit` in flight,
+/// `Ack` lost — across several seeds. Any custody bug anywhere in the
+/// two-phase protocol trips the invariant probe at the event that
+/// breaks it.
+#[test]
+fn kill_at_any_point_of_the_handshake_conserves_jobs() {
+    for seed in [3u64, 17, 40] {
+        for fail_time in (40..640).step_by(40) {
+            let inst = paper_two_cluster(4, 2, JOBS, 1);
+            let mut asg = random_assignment(&inst, seed ^ 0x5A);
+            let cfg = custody_cfg(
+                seed,
+                TopologyPlan {
+                    events: vec![(fail_time, TopologyEvent::Fail(MachineId(0)))],
+                },
+                CrashSemantics::Stop,
+            );
+            let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+            assert!(
+                run.invariant_violations.is_empty(),
+                "seed {seed} fail_time {fail_time}: {:?}",
+                run.invariant_violations
+            );
+            assert_multiset_preserved(&inst, &asg);
+            // The dead machine never rejoined: after the lease its jobs
+            // belong to survivors.
+            assert_eq!(asg.num_jobs_on(MachineId(0)), 0);
+            assert!(run.jobs_reclaimed + run.jobs_resynced <= run.jobs_at_risk);
+        }
+    }
+}
+
+/// The direct anti-oracle assertion: the `Fail` topology event itself
+/// moves **zero** jobs — they stay parked on the dead machine under its
+/// custody lease. (The pre-custody simulator scattered them in the same
+/// event; this is the test that fails on that code path even when the
+/// end state happens to conserve jobs.)
+#[test]
+fn failure_parks_jobs_instead_of_scattering() {
+    let inst = paper_two_cluster(4, 2, JOBS, 1);
+    let mut asg = random_assignment(&inst, 9);
+    let cfg = custody_cfg(
+        11,
+        TopologyPlan {
+            events: vec![(500, TopologyEvent::Fail(MachineId(0)))],
+        },
+        CrashSemantics::Stop,
+    );
+    /// Records each applied topology event with its own scatter count.
+    #[derive(Default)]
+    struct PerEventScatter(Vec<(TopologyEvent, u64)>);
+    impl Probe for PerEventScatter {
+        fn observe(&mut self, _core: &SimCore, ev: &SimEvent) {
+            if let SimEvent::Topology {
+                event,
+                jobs_scattered,
+            } = *ev
+            {
+                self.0.push((event, jobs_scattered));
+            }
+        }
+    }
+
+    let mut topo = PerEventScatter::default();
+    let mut invariants = InvariantProbe::new();
+    {
+        let mut hub = ProbeHub::new();
+        hub.push(&mut topo).push(&mut invariants);
+        let mut sim = NetSim::new(&inst, &mut asg, &Dlb2cBalance, &cfg);
+        sim.run(&mut hub).unwrap();
+    }
+    let fail_events: Vec<_> = topo
+        .0
+        .iter()
+        .filter(|(ev, _)| matches!(ev, TopologyEvent::Fail(_)))
+        .collect();
+    assert_eq!(fail_events.len(), 1);
+    assert_eq!(
+        fail_events[0].1, 0,
+        "a failure must park jobs (custody lease), not scatter them"
+    );
+    assert!(invariants.clean(), "{:?}", invariants.reports());
+    assert_multiset_preserved(&inst, &asg);
+}
+
+/// Crash-recovery semantics: a machine that rejoins within its custody
+/// lease keeps its jobs (re-sync), and nothing is reclaimed.
+#[test]
+fn crash_recovery_rejoin_keeps_its_jobs() {
+    let inst = paper_two_cluster(4, 2, JOBS, 1);
+    let mut asg = random_assignment(&inst, 5);
+    let cfg = NetConfig {
+        job_lease_time: 5_000,
+        ..custody_cfg(
+            13,
+            TopologyPlan::one_blip(MachineId(0), 2_000, 2_500),
+            CrashSemantics::Recovery,
+        )
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(
+        run.invariant_violations.is_empty(),
+        "{:?}",
+        run.invariant_violations
+    );
+    assert!(run.jobs_at_risk > 0, "the blip must put jobs at risk");
+    assert_eq!(
+        run.jobs_reclaimed, 0,
+        "rejoin within the lease cancels reclamation"
+    );
+    assert!(
+        run.jobs_resynced > 0,
+        "the rejoining machine re-syncs its jobs"
+    );
+    assert_multiset_preserved(&inst, &asg);
+}
+
+/// Crash-stop semantics: the same blip, but the rejoin is a fresh empty
+/// node — its parked jobs move to the *other* survivors at the rejoin.
+#[test]
+fn crash_stop_rejoin_comes_back_empty() {
+    let inst = paper_two_cluster(4, 2, JOBS, 1);
+    let mut asg = random_assignment(&inst, 5);
+    let cfg = NetConfig {
+        job_lease_time: 5_000,
+        ..custody_cfg(
+            13,
+            TopologyPlan::one_blip(MachineId(0), 2_000, 2_500),
+            CrashSemantics::Stop,
+        )
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(
+        run.invariant_violations.is_empty(),
+        "{:?}",
+        run.invariant_violations
+    );
+    assert!(run.jobs_at_risk > 0);
+    assert!(
+        run.jobs_reclaimed > 0,
+        "a crash-stop rejoin reclaims parked jobs"
+    );
+    assert_eq!(run.jobs_resynced, 0);
+    assert_multiset_preserved(&inst, &asg);
+}
+
+/// Lease expiry without a rejoin: the jobs sit parked for exactly the
+/// lease, then survivors reclaim them mid-run and keep balancing.
+#[test]
+fn lease_expiry_reclaims_midrun() {
+    let inst = paper_two_cluster(4, 2, JOBS, 1);
+    let mut asg = random_assignment(&inst, 29);
+    let cfg = NetConfig {
+        job_lease_time: 400,
+        ..custody_cfg(
+            19,
+            TopologyPlan {
+                events: vec![(1_000, TopologyEvent::Fail(MachineId(0)))],
+            },
+            CrashSemantics::Recovery,
+        )
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(
+        run.invariant_violations.is_empty(),
+        "{:?}",
+        run.invariant_violations
+    );
+    assert!(run.settled(), "got {:?}", run.outcome);
+    assert!(run.jobs_reclaimed > 0);
+    assert_eq!(asg.num_jobs_on(MachineId(0)), 0);
+    assert!(
+        run.end_time > 1_400,
+        "reclamation happened during the run, not in the final flush"
+    );
+    assert_multiset_preserved(&inst, &asg);
+}
+
+/// Epoch-guarded timers, perfect network: every `Accept` arms a lease
+/// timer and every `Prepare` re-arms it, so stale timers fire all run
+/// long — and every one of them must be swallowed by the epoch guard.
+/// A single spurious abort shows up as a timeout event.
+#[test]
+fn epoch_guard_no_spurious_timeouts_on_perfect_network() {
+    let inst = paper_two_cluster(3, 3, 48, 2);
+    let mut asg = random_assignment(&inst, 7);
+    let cfg = NetConfig {
+        latency: LatencyModel::Constant(3),
+        check_invariants: true,
+        seed: 41,
+        ..NetConfig::default()
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(run.settled(), "got {:?}", run.outcome);
+    assert_eq!(
+        run.msg.timeouts, 0,
+        "perfect network: every stale timer must be epoch-filtered"
+    );
+    assert!(
+        run.invariant_violations.is_empty(),
+        "{:?}",
+        run.invariant_violations
+    );
+    asg.validate(&inst).unwrap();
+}
+
+/// The lease-recovery path of the epoch guard: with `2·latency <
+/// lease < 4·latency`, the lease armed at `Accept` expires *before*
+/// the `Commit` can arrive — only the re-arm at `Prepare` keeps the
+/// target engaged, and the stale `Accept`-lease timer that still fires
+/// must be ignored (epoch was bumped by the re-arm). If either half
+/// breaks, exchanges abort and timeouts appear.
+#[test]
+fn stale_lease_timer_after_prepare_re_arm_is_ignored() {
+    let inst = paper_two_cluster(3, 2, 40, 4);
+    let mut asg = random_assignment(&inst, 3);
+    let cfg = NetConfig {
+        latency: LatencyModel::Constant(50),
+        lease_time: 128, // 2*50 < 128 < 4*50
+        timeout: 256,    // patient requests: only the lease clock is tight
+        backoff_cap: 512,
+        check_invariants: true,
+        seed: 23,
+        ..NetConfig::default()
+    };
+    let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+    assert!(run.settled(), "got {:?}", run.outcome);
+    assert!(
+        run.exchanges > 0,
+        "exchanges must complete despite the tight lease"
+    );
+    assert_eq!(
+        run.msg.timeouts, 0,
+        "stale lease timers after the Prepare re-arm must be epoch-filtered"
+    );
+    assert!(
+        run.invariant_violations.is_empty(),
+        "{:?}",
+        run.invariant_violations
+    );
+    asg.validate(&inst).unwrap();
+}

@@ -1,0 +1,90 @@
+//! Property tests for [`LinkPartition`] window boundaries.
+//!
+//! The partition window is start-inclusive / end-exclusive and the cut
+//! is symmetric in direction — exactly the contract `FaultPlan::
+//! partitioned` and the send path rely on. These properties pin the
+//! boundary behavior at *exactly* `t == start` and `t == end`, where an
+//! off-by-one would silently widen or narrow every partition window in
+//! every experiment.
+
+use lb_model::prelude::*;
+use lb_net::LinkPartition;
+use proptest::prelude::*;
+
+fn arb_partition() -> impl Strategy<Value = LinkPartition> {
+    // Non-empty window, small machine universe so group overlap and
+    // unrelated machines both occur.
+    (
+        0u64..1_000,
+        1u64..500,
+        proptest::collection::vec(0u32..8, 1..4),
+        proptest::collection::vec(0u32..8, 1..4),
+    )
+        .prop_map(|(start, len, a, b)| LinkPartition {
+            start,
+            end: start + len,
+            a: a.into_iter().map(MachineId).collect(),
+            b: b.into_iter().map(MachineId).collect(),
+        })
+}
+
+proptest! {
+    /// Severing is symmetric: a cut for `from -> to` is a cut for
+    /// `to -> from`, at every time.
+    #[test]
+    fn severs_is_symmetric(p in arb_partition(), t in 0u64..2_000, from in 0u32..8, to in 0u32..8) {
+        let (from, to) = (MachineId(from), MachineId(to));
+        prop_assert_eq!(p.severs(t, from, to), p.severs(t, to, from));
+    }
+
+    /// The window is start-inclusive: a cross-partition message at
+    /// exactly `t == start` is severed, and one tick earlier is not.
+    #[test]
+    fn start_is_inclusive(p in arb_partition()) {
+        let from = p.a[0];
+        let to = p.b[0];
+        let crosses = !p.b.contains(&from) && !p.a.contains(&to);
+        prop_assume!(crosses); // overlapping groups make direction moot
+        prop_assert!(p.severs(p.start, from, to));
+        if p.start > 0 {
+            prop_assert!(!p.severs(p.start - 1, from, to));
+        }
+    }
+
+    /// The window is end-exclusive: at exactly `t == end` the partition
+    /// no longer holds, while the last tick inside (`end - 1`) does.
+    #[test]
+    fn end_is_exclusive(p in arb_partition()) {
+        let from = p.a[0];
+        let to = p.b[0];
+        let crosses = !p.b.contains(&from) && !p.a.contains(&to);
+        prop_assume!(crosses);
+        prop_assert!(!p.severs(p.end, from, to));
+        prop_assert!(p.severs(p.end - 1, from, to));
+    }
+
+    /// Outside the window nothing is ever severed, for any pair.
+    #[test]
+    fn outside_window_never_severs(
+        p in arb_partition(),
+        dt in 0u64..1_000,
+        from in 0u32..8,
+        to in 0u32..8,
+    ) {
+        let (from, to) = (MachineId(from), MachineId(to));
+        prop_assert!(!p.severs(p.end + dt, from, to));
+        if p.start > 0 {
+            prop_assert!(!p.severs(p.start.saturating_sub(1 + dt), from, to));
+        }
+    }
+
+    /// Machines in neither group always pass, even inside the window.
+    #[test]
+    fn unrelated_machines_pass_through(p in arb_partition(), t in 0u64..2_000) {
+        let outsider = MachineId(8); // outside the 0..8 universe of groups
+        for m in 0..9 {
+            prop_assert!(!p.severs(t, outsider, MachineId(m)));
+            prop_assert!(!p.severs(t, MachineId(m), outsider));
+        }
+    }
+}

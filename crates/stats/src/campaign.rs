@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// The shape of a campaign: seed range, replication count, parallelism.
@@ -226,9 +226,16 @@ pub fn fold_by_point<R, A: Default>(
 /// Keyed by whatever identifies the instance — typically a content hash
 /// of the cost matrix — so a 1000-seed sweep over a shared instance
 /// grid performs each exact-solver / CLB2C baseline run once.
+///
+/// The cache is panic-tolerant: a computation that panics (one exploded
+/// replication) poisons only its own slot's mutex, and every lock here
+/// recovers from [`PoisonError`] — the next caller for that key simply
+/// recomputes. One bad replication must never sink the whole campaign.
+/// (Deliberately plain `std::sync::Mutex`: the cache's consistency is
+/// the `Option` inside, never the poison flag.)
 #[derive(Debug, Default)]
 pub struct BaselineCache<K: Eq + Hash + Clone, V: Clone> {
-    slots: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    slots: Mutex<HashMap<K, Arc<Mutex<Option<V>>>>>,
     computes: AtomicU64,
     lookups: AtomicU64,
 }
@@ -250,14 +257,23 @@ impl<K: Eq + Hash + Clone, V: Clone> BaselineCache<K, V> {
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let slot = {
-            let mut map = self.slots.lock().expect("baseline cache lock");
+            // `into_inner` on poison: the map is only ever mutated by
+            // `entry().or_default()`, which leaves it consistent even if
+            // a panic unwound through a caller holding the lock.
+            let mut map = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
-        slot.get_or_init(|| {
-            self.computes.fetch_add(1, Ordering::Relaxed);
-            compute()
-        })
-        .clone()
+        // A panicked computation poisons its slot with the `Option`
+        // still `None`; recovering the guard makes the next caller
+        // recompute instead of propagating the old panic forever.
+        let mut value = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(v) = value.as_ref() {
+            return v.clone();
+        }
+        self.computes.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        *value = Some(v.clone());
+        v
     }
 
     /// Number of distinct keys computed so far.
@@ -402,5 +418,46 @@ mod tests {
         for (i, &v) in run.results.iter().enumerate() {
             assert_eq!(v, (i as u64 / 25) * 10);
         }
+    }
+
+    #[test]
+    fn panicked_computation_does_not_sink_the_cache() {
+        let cache: BaselineCache<u64, u64> = BaselineCache::new();
+        // One replication explodes mid-baseline…
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(7, || panic!("replication exploded"))
+        }));
+        assert!(boom.is_err());
+        // …and the poisoned slot recovers: the next caller recomputes
+        // and the key caches normally from then on.
+        assert_eq!(cache.get_or_compute(7, || 42), 42);
+        assert_eq!(cache.get_or_compute(7, || 99), 42);
+        // Other keys were never affected.
+        assert_eq!(cache.get_or_compute(8, || 8), 8);
+        assert_eq!(cache.computes(), 3); // panicked attempt + 7 + 8
+    }
+
+    #[test]
+    fn campaign_survives_one_panicking_cell() {
+        // The whole-campaign version of the property: a cache shared
+        // across cells stays usable for every cell after one panicked
+        // computation.
+        let cache: BaselineCache<u64, u64> = BaselineCache::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(0, || panic!("seed 0 baseline exploded"))
+        }));
+        let spec = CampaignSpec {
+            replications: 5,
+            threads: 2,
+            ..CampaignSpec::default()
+        };
+        let run = run_campaign(&spec, &[0u64, 1], |&p, _| {
+            cache.get_or_compute(p, || p + 100)
+        })
+        .unwrap();
+        assert_eq!(
+            run.results,
+            vec![100, 100, 100, 100, 100, 101, 101, 101, 101, 101]
+        );
     }
 }

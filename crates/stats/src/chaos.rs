@@ -1,0 +1,169 @@
+//! Chaos-harness core: delta-debugging shrinker for fault schedules.
+//!
+//! The chaos harness (`decent-lb chaos`) throws seeded random fault
+//! schedules at a simulator until an invariant breaks, then wants the
+//! *smallest* schedule that still breaks it — a minimal reproducer is
+//! worth a thousand-event one. This module holds the domain-agnostic
+//! half of that: [`shrink_schedule`], a deterministic
+//! ddmin-style minimizer over any event type. (The domain half — what
+//! an event is and what "fails" means — lives with the CLI, keeping
+//! this crate free of simulator dependencies.)
+//!
+//! The algorithm is Zeller's delta debugging: repeatedly try dropping
+//! chunks of the schedule (halves, then quarters, …), keeping any
+//! candidate that still fails, and finish with a one-at-a-time
+//! elimination pass so the result is **1-minimal**: removing any single
+//! remaining event makes the failure disappear. The oracle must be
+//! deterministic — same subsequence, same verdict — which the
+//! simulators guarantee by re-running the full seeded simulation per
+//! candidate.
+
+/// Outcome of a [`shrink_schedule`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shrunk<T> {
+    /// The minimized failing subsequence (original relative order).
+    pub events: Vec<T>,
+    /// How many times the oracle was invoked.
+    pub oracle_calls: u64,
+}
+
+/// Minimizes `events` to a 1-minimal subsequence on which `fails` still
+/// returns `true`, preserving relative order.
+///
+/// `fails(&events)` must hold on entry (the caller found a failing
+/// schedule); if it does not, the input is returned unchanged with
+/// `oracle_calls == 1`. The oracle is called on subsequences only —
+/// never on reorderings — so any schedule invariant that is closed
+/// under deletion (e.g. "events sorted by time") is preserved.
+pub fn shrink_schedule<T: Clone>(events: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Shrunk<T> {
+    let mut calls = 0u64;
+    let mut oracle = |c: &[T]| {
+        calls += 1;
+        fails(c)
+    };
+    if !oracle(events) {
+        return Shrunk {
+            events: events.to_vec(),
+            oracle_calls: calls,
+        };
+    }
+    let mut current: Vec<T> = events.to_vec();
+    // Phase 1: ddmin chunk removal — drop ever-finer chunks while the
+    // failure persists.
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && oracle(&candidate) {
+                current = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (2 * n).min(current.len());
+        }
+    }
+    // Phase 2: single-event elimination until a fixed point — this is
+    // what makes the result 1-minimal even when chunk boundaries hid a
+    // removable event.
+    loop {
+        let mut removed = false;
+        for i in 0..current.len() {
+            if current.len() <= 1 {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if oracle(&candidate) {
+                current = candidate;
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    Shrunk {
+        events: current,
+        oracle_calls: calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_two_culprits() {
+        let events: Vec<u32> = (0..20).collect();
+        let shrunk = shrink_schedule(&events, |c| c.contains(&3) && c.contains(&11));
+        assert_eq!(shrunk.events, vec![3, 11]);
+    }
+
+    #[test]
+    fn shrinks_to_a_single_culprit() {
+        let events: Vec<u32> = (0..50).collect();
+        let shrunk = shrink_schedule(&events, |c| c.contains(&37));
+        assert_eq!(shrunk.events, vec![37]);
+    }
+
+    #[test]
+    fn preserves_relative_order() {
+        let events = vec![5u32, 1, 9, 2, 7];
+        // Fails whenever 5 appears before 7 (both present).
+        let shrunk = shrink_schedule(&events, |c| {
+            let i5 = c.iter().position(|&x| x == 5);
+            let i7 = c.iter().position(|&x| x == 7);
+            matches!((i5, i7), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(shrunk.events, vec![5, 7]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let events = vec![1u32, 2, 3];
+        let shrunk = shrink_schedule(&events, |_| false);
+        assert_eq!(shrunk.events, events);
+        assert_eq!(shrunk.oracle_calls, 1);
+    }
+
+    #[test]
+    fn whole_schedule_needed_stays_whole() {
+        let events = vec![1u32, 2, 3, 4];
+        // Only the complete schedule fails.
+        let shrunk = shrink_schedule(&events, |c| c.len() == 4);
+        assert_eq!(shrunk.events, events);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Fails iff at least 3 even numbers are present.
+        let events: Vec<u32> = (0..30).collect();
+        let shrunk = shrink_schedule(&events, |c| c.iter().filter(|&&x| x % 2 == 0).count() >= 3);
+        assert_eq!(shrunk.events.len(), 3);
+        for i in 0..shrunk.events.len() {
+            let mut cand = shrunk.events.clone();
+            cand.remove(i);
+            assert!(
+                cand.iter().filter(|&&x| x % 2 == 0).count() < 3,
+                "not 1-minimal: {:?}",
+                shrunk.events
+            );
+        }
+    }
+}

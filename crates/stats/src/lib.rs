@@ -4,15 +4,18 @@
 //! empirical CDFs/PDFs, scalar summaries, a minimal CSV writer, terminal
 //! plots used by the figure-regeneration binaries so their output is
 //! readable without an external plotting stack, the [`SimRunner`]
-//! that owns CSV/JSON result emission for every experiment surface, and
-//! the deterministic parallel [`campaign`] engine that fans
-//! `(parameter-point × replication)` products across cores.
+//! that owns CSV/JSON result emission for every experiment surface, the
+//! deterministic parallel [`campaign`] engine that fans
+//! `(parameter-point × replication)` products across cores, and the
+//! [`chaos`] shrinker that minimizes failing fault schedules to
+//! 1-minimal reproducers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod cdf;
+pub mod chaos;
 pub mod csv;
 pub mod histogram;
 pub mod online;
@@ -24,6 +27,7 @@ pub use campaign::{
     fold_by_point, run_campaign, BaselineCache, CampaignError, CampaignRun, CampaignSpec, Cell,
 };
 pub use cdf::Ecdf;
+pub use chaos::{shrink_schedule, Shrunk};
 pub use histogram::{FloatHistogram, Histogram};
 pub use online::OnlineStats;
 pub use runner::SimRunner;

@@ -34,6 +34,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 pub mod campaign;
+pub mod chaos;
 
 /// Result alias for CLI operations (the model prelude shadows `Result`).
 pub type CliResult<T> = std::result::Result<T, CliError>;
@@ -153,6 +154,7 @@ impl Cli {
             "solve" => self.run_solve(),
             "simulate" => self.run_simulate(),
             "campaign" => self.run_campaign_cmd(),
+            "chaos" => self.run_chaos(),
             "generate" => self.run_generate(),
             "bounds" => self.run_bounds(),
             "markov" => self.run_markov(),
@@ -292,6 +294,7 @@ impl Cli {
             schedule,
             record_every,
             quiescence_window: quiescence,
+            check_invariants: self.flag_on("check-invariants"),
             ..GossipConfig::default()
         };
         let name = self.get_str("name", "simulate");
@@ -353,6 +356,7 @@ impl Cli {
                 RunOutcome::BudgetExhausted => "budget",
                 RunOutcome::Quiescent => "quiescent",
                 RunOutcome::CycleDetected { .. } => "cycle",
+                RunOutcome::InvariantViolated => "invariant-violated",
             };
             row(
                 &mut csv,
@@ -385,6 +389,9 @@ impl Cli {
                 run.rounds_run,
                 run.final_makespan as f64 / lb.max(1) as f64
             );
+            for v in &run.invariant_violations {
+                let _ = writeln!(out, "  invariant violation: {v}");
+            }
         }
         csv.finish()
             .map_err(|e| CliError(format!("write results CSV: {e}")))?;
@@ -459,6 +466,7 @@ impl Cli {
             max_msgs: self.get("max-msgs", defaults.max_msgs)?,
             max_exchanges: self.get("exchanges", defaults.max_exchanges)?,
             record_every: self.get("record-every", 0)?,
+            check_invariants: self.flag_on("check-invariants"),
             seed,
             ..defaults
         };
@@ -523,6 +531,7 @@ impl Cli {
                 RunOutcome::BudgetExhausted => "budget",
                 RunOutcome::Quiescent => "quiescent",
                 RunOutcome::CycleDetected { .. } => "cycle",
+                RunOutcome::InvariantViolated => "invariant-violated",
             };
             row(
                 &mut csv,
@@ -562,6 +571,9 @@ impl Cli {
                 run.msg.timeouts,
                 run.final_makespan as f64 / lb.max(1) as f64
             );
+            for v in &run.invariant_violations {
+                let _ = writeln!(out, "  invariant violation: {v}");
+            }
         }
         csv.finish()
             .map_err(|e| CliError(format!("write results CSV: {e}")))?;
@@ -685,6 +697,10 @@ pub fn usage() -> String {
                [--dup PERMILLE] [--timeout T] [--retries N]\n\
                [--backoff-cap T] [--think T] [--max-time T]\n\
                [--max-msgs N] [--exchanges N]\n\
+               [--check-invariants true]  audit every applied event with\n\
+                            the runtime invariant checker (job\n\
+                            conservation, single custody, monotone\n\
+                            clocks, load-index consistency)\n\
        campaign  parallel experiment campaign over a parameter grid with\n\
                  deterministic per-cell seed streams; merged CSV/stats are\n\
                  byte-identical for any --threads value\n\
@@ -693,8 +709,21 @@ pub fn usage() -> String {
                gossip/net: workload options as for solve, plus\n\
                [--jobs-grid N,N,...] [--replications R] [--rounds N]\n\
                [--baseline none|lb|clb2c|opt] [--shared-instance true]\n\
-               (net also accepts the simulate --net latency/fault knobs)\n\
+               (net also accepts the simulate --net latency/fault knobs;\n\
+               gossip/net honor [--check-invariants true])\n\
                markov: [--machines-grid N,N,...] [--pmax-grid P,P,...]\n\
+       chaos   seeded random fault schedules (loss, duplication, link\n\
+               partitions, crash-stop/crash-recovery churn) over the\n\
+               campaign pool, every run audited by the runtime invariant\n\
+               checker; a violating schedule is delta-debugged to a\n\
+               1-minimal reproducer and written as a replay artifact\n\
+               [--trials N] [--max-events N] [--seed S] [--threads N]\n\
+               [--crash stop|recovery|mixed] [--job-lease T]\n\
+               [--fail-on invariants|reclaim|resync] [--theorem7 false]\n\
+               [--latency-min A --latency-max B] [--name base]\n\
+               [--out-dir dir]  (small workload defaults so the exact-OPT\n\
+               Theorem 7 cross-check stays tractable)\n\
+               --replay artifact.json   re-run a written reproducer\n\
        generate  write a workload as instance JSON (--out file); load it\n\
                  anywhere else with --instance file\n\
        bounds  print the lower bounds for a generated workload\n\

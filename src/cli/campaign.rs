@@ -119,11 +119,12 @@ struct PointAcc {
     ratio: OnlineStats,
 }
 
-fn outcome_str(o: &RunOutcome) -> &'static str {
+pub(super) fn outcome_str(o: &RunOutcome) -> &'static str {
     match o {
         RunOutcome::BudgetExhausted => "budget",
         RunOutcome::Quiescent => "quiescent",
         RunOutcome::CycleDetected { .. } => "cycle",
+        RunOutcome::InvariantViolated => "invariant-violated",
     }
 }
 
@@ -366,6 +367,7 @@ impl Cli {
                     seed: cell_seed,
                     schedule,
                     quiescence_window: quiescence,
+                    check_invariants: self.flag_on("check-invariants"),
                     ..GossipConfig::default()
                 };
                 let r = run_gossip(&inst, &mut asg, balancer, &cfg);
@@ -560,6 +562,7 @@ impl Cli {
             max_time: self.get("max-time", defaults.max_time)?,
             max_msgs: self.get("max-msgs", defaults.max_msgs)?,
             max_exchanges: self.get("exchanges", defaults.max_exchanges)?,
+            check_invariants: self.flag_on("check-invariants"),
             record_every: 0,
             seed,
             ..defaults

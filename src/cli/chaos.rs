@@ -1,0 +1,1266 @@
+//! The `decent-lb chaos` subcommand: randomized fault-schedule testing
+//! of the message-passing simulator with automatic shrinking.
+//!
+//! Each **trial** draws a seeded random fault schedule — message loss
+//! and duplication rates, timed link partitions, and machine
+//! fail/rejoin churn under crash-stop or crash-recovery semantics — and
+//! runs the net simulator under the runtime invariant checker
+//! ([`lb_distsim::InvariantProbe`]). A trial *fails* when the checker
+//! reports a violation, the final job multiset is broken, or (for
+//! DLB2C on instances small enough for exact OPT) a settled, provably
+//! stable state breaks the Theorem 7 2-approximation bound.
+//!
+//! Trials fan over the shared campaign pool
+//! ([`crate::stats::run_campaign`]) with deterministic per-trial seed
+//! streams, so a chaos run is reproducible for any `--threads` value.
+//! The first failing trial is delta-debugged with
+//! [`crate::stats::shrink_schedule`] to a **1-minimal** event
+//! subsequence and written as a replay artifact
+//! (`<name>_repro.json`: seed + schedule + workload echo); `--replay
+//! artifact.json` re-runs exactly that reproducer. The artifact is
+//! plain JSON emitted through `serde_json::Value`; reading it back uses
+//! the hand-rolled parser in [`mini_json`] (the offline `serde_json`
+//! stub prints values but cannot parse).
+//!
+//! `--fail-on reclaim|resync` turns a benign custody statistic into the
+//! failure predicate — a self-test mode that exercises the full
+//! find → shrink → replay pipeline on demand (CI's `chaos-smoke` uses
+//! the default `invariants` predicate and expects zero failures).
+
+use super::campaign::outcome_str;
+use super::{Cli, CliError, CliResult};
+use crate::algorithms::stability::is_stable;
+use crate::algorithms::{Dlb2cBalance, PairwiseBalancer, TypedPairBalance, UnrelatedPairBalance};
+use crate::distsim::{TopologyEvent, TopologyPlan};
+use crate::model::exact::{opt_makespan, ExactLimits};
+use crate::net::{run_net, CrashSemantics, FaultPlan, LatencyModel, LinkPartition, NetConfig};
+use crate::prelude::*;
+use crate::stats::csv::CsvCell;
+use crate::stats::runner::SimRunner;
+use crate::stats::{run_campaign, shrink_schedule, CampaignSpec};
+use crate::workloads::initial::random_assignment;
+use crate::workloads::{two_cluster, typed, uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// Focused usage text appended to chaos option errors.
+pub fn chaos_usage() -> String {
+    "usage: decent-lb chaos\n\
+     \x20 [--trials N] [--max-events N] [--seed S] [--threads N]\n\
+     \x20 [--crash stop|recovery|mixed] [--fail-on invariants|reclaim|resync]\n\
+     \x20 [--job-lease T] [--quiescence W] [--max-time T] [--theorem7 false]\n\
+     \x20 [--latency-min A --latency-max B] [--algo dlb2c|mjtb|unrelated]\n\
+     \x20 [--name base] [--out-dir dir]\n\
+     \x20 workload: --workload two-cluster|uniform|typed|dense with small\n\
+     \x20           defaults (two-cluster 3+2, 14 jobs)\n\
+     \x20 --replay artifact.json   re-run a written reproducer\n"
+        .to_string()
+}
+
+/// One shrinkable unit of a fault schedule. Fail/rejoin events map to
+/// the plan's [`TopologyPlan`]; partitions to [`LinkPartition`]s (one
+/// machine per side — enough to sever any single link). Any
+/// *subsequence* of a schedule is itself a valid schedule (times stay
+/// sorted), which is exactly what the ddmin shrinker needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChaosEvent {
+    /// Machine goes offline at `t`; its jobs park under the custody lease.
+    Fail { t: u64, machine: u32 },
+    /// Machine comes back at `t` (crash semantics decide its jobs).
+    Rejoin { t: u64, machine: u32 },
+    /// The `a <-> b` link is severed during `[start, end)`.
+    Partition {
+        start: u64,
+        end: u64,
+        a: u32,
+        b: u32,
+    },
+}
+
+/// A full per-trial fault schedule: scalar knobs plus the event list.
+#[derive(Debug, Clone)]
+struct Schedule {
+    drop_permille: u16,
+    dup_permille: u16,
+    crash: CrashSemantics,
+    events: Vec<ChaosEvent>,
+}
+
+/// What makes a trial count as failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailOn {
+    /// Invariant violations / broken conservation / Theorem 7 breaches
+    /// (the real chaos predicate; CI expects zero of these).
+    Invariants,
+    /// Self-test: any lease reclamation counts as a failure.
+    Reclaim,
+    /// Self-test: any crash-recovery re-sync counts as a failure.
+    Resync,
+}
+
+impl FailOn {
+    fn name(self) -> &'static str {
+        match self {
+            FailOn::Invariants => "invariants",
+            FailOn::Reclaim => "reclaim",
+            FailOn::Resync => "resync",
+        }
+    }
+}
+
+fn crash_str(c: CrashSemantics) -> &'static str {
+    match c {
+        CrashSemantics::Stop => "stop",
+        CrashSemantics::Recovery => "recovery",
+    }
+}
+
+/// How `--crash` picks each trial's semantics.
+#[derive(Debug, Clone, Copy)]
+enum CrashChoice {
+    Stop,
+    Recovery,
+    /// Per-trial coin flip from the trial's RNG stream.
+    Mixed,
+}
+
+/// Draws one random fault schedule. Fail/rejoin generation tracks the
+/// online set so the unshrunk schedule never kills the last machine
+/// (shrunk candidates may — the oracle then simply sees a run error,
+/// which never matches the original violation).
+fn generate_schedule(
+    rng: &mut StdRng,
+    machines: usize,
+    max_events: usize,
+    crash: CrashChoice,
+) -> Schedule {
+    let crash = match crash {
+        CrashChoice::Stop => CrashSemantics::Stop,
+        CrashChoice::Recovery => CrashSemantics::Recovery,
+        CrashChoice::Mixed => {
+            if rng.gen_range(0..2u64) == 0 {
+                CrashSemantics::Stop
+            } else {
+                CrashSemantics::Recovery
+            }
+        }
+    };
+    let drop_permille = rng.gen_range(0..=120u64) as u16;
+    let dup_permille = rng.gen_range(0..=80u64) as u16;
+    let n = rng.gen_range(1..=max_events as u64) as usize;
+    let mut online = vec![true; machines];
+    let mut t = 0u64;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        t += rng.gen_range(60..=400u64);
+        let n_online = online.iter().filter(|&&o| o).count();
+        let roll = rng.gen_range(0..4u64);
+        match roll {
+            // Failures are the interesting half of the space: two of the
+            // four outcomes, but only while a survivor would remain.
+            0 | 1 if n_online >= 2 => {
+                let pick = rng.gen_range(0..n_online as u64) as usize;
+                let (machine, _) = online
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &o)| o)
+                    .nth(pick)
+                    .expect("pick < n_online");
+                online[machine] = false;
+                events.push(ChaosEvent::Fail {
+                    t,
+                    machine: machine as u32,
+                });
+            }
+            2 if n_online < machines => {
+                let n_off = machines - n_online;
+                let pick = rng.gen_range(0..n_off as u64) as usize;
+                let (machine, _) = online
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &o)| !o)
+                    .nth(pick)
+                    .expect("pick < n_off");
+                online[machine] = true;
+                events.push(ChaosEvent::Rejoin {
+                    t,
+                    machine: machine as u32,
+                });
+            }
+            _ => {
+                let a = rng.gen_range(0..machines as u64) as u32;
+                let mut b = rng.gen_range(0..machines as u64 - 1) as u32;
+                if b >= a {
+                    b += 1;
+                }
+                let len = rng.gen_range(80..=500u64);
+                events.push(ChaosEvent::Partition {
+                    start: t,
+                    end: t + len,
+                    a,
+                    b,
+                });
+            }
+        }
+    }
+    Schedule {
+        drop_permille,
+        dup_permille,
+        crash,
+        events,
+    }
+}
+
+/// Materializes a (possibly shrunk) event subsequence into the net
+/// simulator's fault plan.
+fn fault_plan(sched: &Schedule, events: &[ChaosEvent]) -> FaultPlan {
+    let mut topology = Vec::new();
+    let mut partitions = Vec::new();
+    for ev in events {
+        match *ev {
+            ChaosEvent::Fail { t, machine } => {
+                topology.push((t, TopologyEvent::Fail(MachineId(machine))));
+            }
+            ChaosEvent::Rejoin { t, machine } => {
+                topology.push((t, TopologyEvent::Rejoin(MachineId(machine))));
+            }
+            ChaosEvent::Partition { start, end, a, b } => partitions.push(LinkPartition {
+                start,
+                end,
+                a: vec![MachineId(a)],
+                b: vec![MachineId(b)],
+            }),
+        }
+    }
+    FaultPlan {
+        drop_permille: sched.drop_permille,
+        dup_permille: sched.dup_permille,
+        partitions,
+        topology: TopologyPlan { events: topology },
+        crash: sched.crash,
+    }
+}
+
+/// Everything a trial (or a shrink-oracle call) needs besides the
+/// schedule itself.
+struct ChaosCtx<'a> {
+    inst: &'a Instance,
+    balancer: &'a (dyn PairwiseBalancer + Sync),
+    base: NetConfig,
+    fail_on: FailOn,
+    /// Exact OPT for the Theorem 7 cross-check (`None` disables it).
+    opt: Option<u64>,
+}
+
+/// One trial's outcome: custody accounting plus whatever made it fail.
+#[derive(Debug, Clone)]
+struct TrialOut {
+    outcome: String,
+    exchanges: u64,
+    at_risk: u64,
+    reclaimed: u64,
+    resynced: u64,
+    violations: Vec<String>,
+}
+
+impl ChaosCtx<'_> {
+    /// Runs one seeded schedule (with `events` substituted — the shrink
+    /// oracle passes subsequences) and collects its failure evidence.
+    fn run(&self, seed: u64, sched: &Schedule, events: &[ChaosEvent]) -> TrialOut {
+        let cfg = NetConfig {
+            faults: fault_plan(sched, events),
+            check_invariants: true,
+            seed,
+            ..self.base.clone()
+        };
+        let mut asg = random_assignment(self.inst, seed ^ 0xA5);
+        let run = match run_net(self.inst, &mut asg, self.balancer, &cfg) {
+            Ok(run) => run,
+            Err(e) => {
+                return TrialOut {
+                    outcome: "error".to_string(),
+                    exchanges: 0,
+                    at_risk: 0,
+                    reclaimed: 0,
+                    resynced: 0,
+                    violations: vec![format!("run error: {e}")],
+                }
+            }
+        };
+        let mut violations = run.invariant_violations.clone();
+        let total: usize = self.inst.machines().map(|m| asg.num_jobs_on(m)).sum();
+        if total != self.inst.num_jobs() {
+            violations.push(format!(
+                "job conservation broken: {total} jobs in final state, expected {}",
+                self.inst.num_jobs()
+            ));
+        } else if let Err(e) = asg.validate(self.inst) {
+            violations.push(format!("final assignment invalid: {e}"));
+        }
+        match self.fail_on {
+            FailOn::Invariants => {}
+            FailOn::Reclaim if run.jobs_reclaimed > 0 => violations.push(format!(
+                "self-test predicate: {} job(s) reclaimed",
+                run.jobs_reclaimed
+            )),
+            FailOn::Resync if run.jobs_resynced > 0 => violations.push(format!(
+                "self-test predicate: {} job(s) re-synced",
+                run.jobs_resynced
+            )),
+            _ => {}
+        }
+        // Theorem 7 cross-validation: a settled state that is provably
+        // pairwise-stable must be a 2-approximation whenever
+        // `max_j p_j <= OPT` — chaos can delay convergence, never
+        // un-prove the bound.
+        if let Some(opt) = self.opt {
+            if violations.is_empty()
+                && run.settled()
+                && self.inst.max_finite_cost().is_some_and(|c| c <= opt)
+                && is_stable(self.inst, &asg, self.balancer)
+                && run.final_makespan > 2 * opt
+            {
+                violations.push(format!(
+                    "theorem 7 violated under chaos: stable cmax {} > 2*OPT {}",
+                    run.final_makespan,
+                    2 * opt
+                ));
+            }
+        }
+        TrialOut {
+            outcome: outcome_str(&run.outcome).to_string(),
+            exchanges: run.exchanges,
+            at_risk: run.jobs_at_risk,
+            reclaimed: run.jobs_reclaimed,
+            resynced: run.jobs_resynced,
+            violations,
+        }
+    }
+}
+
+fn event_value(ev: &ChaosEvent) -> Value {
+    match *ev {
+        ChaosEvent::Fail { t, machine } => Value::Object(vec![
+            ("kind".to_string(), Value::from("fail")),
+            ("t".to_string(), Value::from(t)),
+            ("machine".to_string(), Value::from(u64::from(machine))),
+        ]),
+        ChaosEvent::Rejoin { t, machine } => Value::Object(vec![
+            ("kind".to_string(), Value::from("rejoin")),
+            ("t".to_string(), Value::from(t)),
+            ("machine".to_string(), Value::from(u64::from(machine))),
+        ]),
+        ChaosEvent::Partition { start, end, a, b } => Value::Object(vec![
+            ("kind".to_string(), Value::from("partition")),
+            ("start".to_string(), Value::from(start)),
+            ("end".to_string(), Value::from(end)),
+            ("a".to_string(), Value::from(u64::from(a))),
+            ("b".to_string(), Value::from(u64::from(b))),
+        ]),
+    }
+}
+
+/// Required-field accessors for the replay artifact.
+fn req<'a>(v: &'a Value, key: &str) -> CliResult<&'a Value> {
+    v.get(key)
+        .ok_or_else(|| CliError(format!("replay artifact missing '{key}'")))
+}
+
+fn req_u64(v: &Value, key: &str) -> CliResult<u64> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| CliError(format!("replay artifact field '{key}' is not an integer")))
+}
+
+fn req_str<'a>(v: &'a Value, key: &str) -> CliResult<&'a str> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| CliError(format!("replay artifact field '{key}' is not a string")))
+}
+
+impl Cli {
+    /// Entry point for `decent-lb chaos`.
+    pub(super) fn run_chaos(&self) -> CliResult<String> {
+        if let Some(path) = self.options.get("replay") {
+            return self.run_chaos_replay(&path.clone());
+        }
+        let trials: u64 = self.get("trials", 16)?;
+        if trials == 0 {
+            return Err(CliError(format!(
+                "--trials must be >= 1\n{}",
+                chaos_usage()
+            )));
+        }
+        let max_events: usize = self.get("max-events", 6)?;
+        if max_events == 0 {
+            return Err(CliError(format!(
+                "--max-events must be >= 1\n{}",
+                chaos_usage()
+            )));
+        }
+        let crash_choice = match self.get_str("crash", "mixed").as_str() {
+            "stop" => CrashChoice::Stop,
+            "recovery" => CrashChoice::Recovery,
+            "mixed" => CrashChoice::Mixed,
+            other => {
+                return Err(CliError(format!(
+                    "unknown crash semantics '{other}' (stop | recovery | mixed)\n{}",
+                    chaos_usage()
+                )))
+            }
+        };
+        let fail_on = self.chaos_fail_on()?;
+        let base_seed: u64 = self.get("seed", 42)?;
+        let inst = self.chaos_instance(base_seed)?;
+        if inst.num_machines() < 2 {
+            return Err(CliError(format!(
+                "chaos needs at least 2 machines\n{}",
+                chaos_usage()
+            )));
+        }
+        let algo = self.get_str("algo", "dlb2c");
+        let balancer = self.chaos_balancer(&algo)?;
+        let base = self.chaos_net_config()?;
+        let theorem7 = self.get_str("theorem7", "true") == "true" && algo == "dlb2c";
+        // One instance for the whole chaos run, so OPT is solved once.
+        let opt = if theorem7 {
+            opt_makespan(&inst, ExactLimits::default()).ok()
+        } else {
+            None
+        };
+        let ctx = ChaosCtx {
+            inst: &inst,
+            balancer,
+            base,
+            fail_on,
+            opt,
+        };
+        let name = self.get_str("name", "chaos");
+        let runner = self.chaos_runner(&name)?;
+        let spec = CampaignSpec {
+            base_seed,
+            replications: 1,
+            threads: self.get("threads", 0)?,
+            progress_every: self.get("progress", 0)?,
+        };
+        let points: Vec<u64> = (0..trials).collect();
+        let machines = inst.num_machines();
+        let run = run_campaign(&spec, &points, |_, cell| {
+            let seed = cell.seed(base_seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sched = generate_schedule(&mut rng, machines, max_events, crash_choice);
+            let out = ctx.run(seed, &sched, &sched.events);
+            (seed, sched, out)
+        })
+        .map_err(|e| CliError(e.to_string()))?;
+
+        let mut csv = runner
+            .try_csv(&[
+                "trial",
+                "seed",
+                "events",
+                "drop_permille",
+                "dup_permille",
+                "crash",
+                "outcome",
+                "exchanges",
+                "jobs_at_risk",
+                "jobs_reclaimed",
+                "jobs_resynced",
+                "violations",
+            ])
+            .map_err(|e| CliError(format!("create chaos CSV: {e}")))?;
+        for (trial, (seed, sched, out)) in run.results.iter().enumerate() {
+            csv.row(&[
+                CsvCell::Uint(trial as u64),
+                CsvCell::Uint(*seed),
+                CsvCell::Uint(sched.events.len() as u64),
+                CsvCell::Uint(u64::from(sched.drop_permille)),
+                CsvCell::Uint(u64::from(sched.dup_permille)),
+                CsvCell::Str(crash_str(sched.crash).to_string()),
+                CsvCell::Str(out.outcome.clone()),
+                CsvCell::Uint(out.exchanges),
+                CsvCell::Uint(out.at_risk),
+                CsvCell::Uint(out.reclaimed),
+                CsvCell::Uint(out.resynced),
+                CsvCell::Uint(out.violations.len() as u64),
+            ])
+            .map_err(|e| CliError(format!("write chaos CSV row: {e}")))?;
+        }
+        csv.finish()
+            .map_err(|e| CliError(format!("write chaos CSV: {e}")))?;
+
+        let failing: Vec<usize> = run
+            .results
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, out))| !out.violations.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "chaos {}: {trials} trials ({} machines, {} jobs, fail-on {}{}), {} failing",
+            runner.name(),
+            inst.num_machines(),
+            inst.num_jobs(),
+            fail_on.name(),
+            if ctx.opt.is_some() {
+                ", theorem-7 check on"
+            } else {
+                ""
+            },
+            failing.len()
+        );
+        let _ = writeln!(
+            out,
+            "threads={} wall={:.2}s; wrote {}.csv under {}",
+            run.threads,
+            run.wall_secs,
+            runner.name(),
+            runner.dir().display()
+        );
+
+        if let Some(&first) = failing.first() {
+            let (seed, sched, trial_out) = &run.results[first];
+            for v in &trial_out.violations {
+                let _ = writeln!(out, "trial {first}: {v}");
+            }
+            // Shrink the first failing schedule to a 1-minimal
+            // reproducer: a candidate "fails" when re-running the same
+            // seeded simulation on the subsequence still violates.
+            let shrunk = shrink_schedule(&sched.events, |cand| {
+                !ctx.run(*seed, sched, cand).violations.is_empty()
+            });
+            let final_out = ctx.run(*seed, sched, &shrunk.events);
+            let events: Vec<Value> = shrunk.events.iter().map(event_value).collect();
+            let violations: Vec<Value> = final_out
+                .violations
+                .iter()
+                .map(|s| Value::from(s.as_str()))
+                .collect();
+            let (lat_min, lat_max) = match ctx.base.latency {
+                LatencyModel::UniformJitter { min, max } => (min, max),
+                LatencyModel::Constant(c) => (c, c),
+                LatencyModel::TwoCluster { local, cross } => (local, cross),
+            };
+            let artifact = Value::Object(vec![
+                ("tool".to_string(), Value::from("decent-lb chaos")),
+                ("trial".to_string(), Value::from(first as u64)),
+                ("seed".to_string(), Value::from(*seed)),
+                ("algo".to_string(), Value::from(algo.as_str())),
+                ("fail_on".to_string(), Value::from(fail_on.name())),
+                ("theorem7".to_string(), Value::Bool(ctx.opt.is_some())),
+                (
+                    "drop_permille".to_string(),
+                    Value::from(u64::from(sched.drop_permille)),
+                ),
+                (
+                    "dup_permille".to_string(),
+                    Value::from(u64::from(sched.dup_permille)),
+                ),
+                ("crash".to_string(), Value::from(crash_str(sched.crash))),
+                ("latency_min".to_string(), Value::from(lat_min)),
+                ("latency_max".to_string(), Value::from(lat_max)),
+                (
+                    "job_lease".to_string(),
+                    Value::from(ctx.base.job_lease_time),
+                ),
+                (
+                    "quiescence".to_string(),
+                    Value::from(ctx.base.quiescence_window),
+                ),
+                ("max_time".to_string(), Value::from(ctx.base.max_time)),
+                ("workload".to_string(), self.chaos_workload_echo(base_seed)?),
+                ("events".to_string(), Value::Array(events)),
+                ("violations".to_string(), Value::Array(violations)),
+                ("oracle_calls".to_string(), Value::from(shrunk.oracle_calls)),
+            ]);
+            let path = runner.dir().join(format!("{}_repro.json", runner.name()));
+            std::fs::write(&path, format!("{artifact:#}\n"))
+                .map_err(|e| CliError(format!("write replay artifact: {e}")))?;
+            let _ = writeln!(
+                out,
+                "shrunk trial {first} from {} to {} event(s) in {} oracle calls",
+                sched.events.len(),
+                shrunk.events.len(),
+                shrunk.oracle_calls
+            );
+            let _ = writeln!(out, "replay artifact: {}", path.display());
+            let _ = writeln!(
+                out,
+                "re-run with: decent-lb chaos --replay {}",
+                path.display()
+            );
+        }
+        Ok(out)
+    }
+
+    /// `chaos --replay artifact.json`: re-runs a written reproducer and
+    /// reports whether the violation recurs.
+    fn run_chaos_replay(&self, path: &str) -> CliResult<String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read replay artifact {path}: {e}")))?;
+        let v = mini_json::parse(&text)
+            .map_err(|e| CliError(format!("invalid replay artifact {path}: {e}")))?;
+        let w = req(&v, "workload")?;
+        let jobs = req_u64(w, "jobs")? as usize;
+        let wseed = req_u64(w, "seed")?;
+        let inst = match req_str(w, "family")? {
+            "two-cluster" => two_cluster::paper_two_cluster(
+                req_u64(w, "m1")? as usize,
+                req_u64(w, "m2")? as usize,
+                jobs,
+                wseed,
+            ),
+            "uniform" => uniform::paper_uniform(req_u64(w, "machines")? as usize, jobs, wseed),
+            "typed" => typed::typed_uniform(
+                req_u64(w, "machines")? as usize,
+                jobs,
+                req_u64(w, "types")? as usize,
+                1,
+                1000,
+                wseed,
+            ),
+            "dense" => {
+                uniform::dense_uniform(req_u64(w, "machines")? as usize, jobs, 1, 1000, wseed)
+            }
+            other => {
+                return Err(CliError(format!(
+                    "replay artifact has unknown workload family '{other}'"
+                )))
+            }
+        };
+        let crash = match req_str(&v, "crash")? {
+            "stop" => CrashSemantics::Stop,
+            "recovery" => CrashSemantics::Recovery,
+            other => {
+                return Err(CliError(format!(
+                    "replay artifact has unknown crash semantics '{other}'"
+                )))
+            }
+        };
+        let fail_on = match req_str(&v, "fail_on")? {
+            "invariants" => FailOn::Invariants,
+            "reclaim" => FailOn::Reclaim,
+            "resync" => FailOn::Resync,
+            other => {
+                return Err(CliError(format!(
+                    "replay artifact has unknown fail_on '{other}'"
+                )))
+            }
+        };
+        let mut events = Vec::new();
+        match req(&v, "events")? {
+            Value::Array(items) => {
+                for item in items {
+                    let ev = match req_str(item, "kind")? {
+                        "fail" => ChaosEvent::Fail {
+                            t: req_u64(item, "t")?,
+                            machine: req_u64(item, "machine")? as u32,
+                        },
+                        "rejoin" => ChaosEvent::Rejoin {
+                            t: req_u64(item, "t")?,
+                            machine: req_u64(item, "machine")? as u32,
+                        },
+                        "partition" => ChaosEvent::Partition {
+                            start: req_u64(item, "start")?,
+                            end: req_u64(item, "end")?,
+                            a: req_u64(item, "a")? as u32,
+                            b: req_u64(item, "b")? as u32,
+                        },
+                        other => {
+                            return Err(CliError(format!(
+                                "replay artifact has unknown event kind '{other}'"
+                            )))
+                        }
+                    };
+                    events.push(ev);
+                }
+            }
+            _ => return Err(CliError("replay artifact 'events' is not an array".into())),
+        }
+        let sched = Schedule {
+            drop_permille: req_u64(&v, "drop_permille")? as u16,
+            dup_permille: req_u64(&v, "dup_permille")? as u16,
+            crash,
+            events,
+        };
+        let seed = req_u64(&v, "seed")?;
+        let algo = req_str(&v, "algo")?.to_string();
+        let balancer = self.chaos_balancer(&algo)?;
+        let theorem7 = matches!(v.get("theorem7"), Some(Value::Bool(true)));
+        let opt = if theorem7 && algo == "dlb2c" {
+            opt_makespan(&inst, ExactLimits::default()).ok()
+        } else {
+            None
+        };
+        let base = NetConfig {
+            latency: LatencyModel::UniformJitter {
+                min: req_u64(&v, "latency_min")?,
+                max: req_u64(&v, "latency_max")?,
+            },
+            job_lease_time: req_u64(&v, "job_lease")?,
+            quiescence_window: req_u64(&v, "quiescence")?,
+            max_time: req_u64(&v, "max_time")?,
+            check_invariants: true,
+            ..NetConfig::default()
+        };
+        let ctx = ChaosCtx {
+            inst: &inst,
+            balancer,
+            base,
+            fail_on,
+            opt,
+        };
+        let out_run = ctx.run(seed, &sched, &sched.events);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay {path}: seed {seed}, {} event(s), fail-on {}",
+            sched.events.len(),
+            fail_on.name()
+        );
+        if out_run.violations.is_empty() {
+            let _ = writeln!(
+                out,
+                "violation NOT reproduced (outcome {}, {} exchanges)",
+                out_run.outcome, out_run.exchanges
+            );
+        } else {
+            let _ = writeln!(out, "reproduced {} violation(s):", out_run.violations.len());
+            for viol in &out_run.violations {
+                let _ = writeln!(out, "  {viol}");
+            }
+        }
+        Ok(out)
+    }
+
+    fn chaos_fail_on(&self) -> CliResult<FailOn> {
+        match self.get_str("fail-on", "invariants").as_str() {
+            "invariants" => Ok(FailOn::Invariants),
+            "reclaim" => Ok(FailOn::Reclaim),
+            "resync" => Ok(FailOn::Resync),
+            other => Err(CliError(format!(
+                "unknown failure predicate '{other}' (invariants | reclaim | resync)\n{}",
+                chaos_usage()
+            ))),
+        }
+    }
+
+    fn chaos_balancer(&self, algo: &str) -> CliResult<&'static (dyn PairwiseBalancer + Sync)> {
+        match algo {
+            "dlb2c" => Ok(&Dlb2cBalance),
+            "mjtb" => Ok(&TypedPairBalance),
+            "unrelated" => Ok(&UnrelatedPairBalance),
+            other => Err(CliError(format!(
+                "unknown algorithm '{other}' (dlb2c | mjtb | unrelated)\n{}",
+                chaos_usage()
+            ))),
+        }
+    }
+
+    /// The chaos workload: the same families as `solve`, with small
+    /// defaults so exact OPT (Theorem 7 check) stays tractable.
+    fn chaos_instance(&self, seed: u64) -> CliResult<Instance> {
+        if self.options.contains_key("instance") || self.options.contains_key("scenario") {
+            return Err(CliError(format!(
+                "chaos generates workloads from --workload; --instance/--scenario \
+                 are not supported here\n{}",
+                chaos_usage()
+            )));
+        }
+        let jobs: usize = self.get("jobs", 14)?;
+        match self.get_str("workload", "two-cluster").as_str() {
+            "two-cluster" => {
+                let m1: usize = self.get("m1", 3)?;
+                let m2: usize = self.get("m2", 2)?;
+                Ok(two_cluster::paper_two_cluster(m1, m2, jobs, seed))
+            }
+            "uniform" => {
+                let m: usize = self.get("machines", 5)?;
+                Ok(uniform::paper_uniform(m, jobs, seed))
+            }
+            "typed" => {
+                let m: usize = self.get("machines", 6)?;
+                let k: usize = self.get("types", 2)?;
+                Ok(typed::typed_uniform(m, jobs, k, 1, 1000, seed))
+            }
+            "dense" => {
+                let m: usize = self.get("machines", 5)?;
+                Ok(uniform::dense_uniform(m, jobs, 1, 1000, seed))
+            }
+            other => Err(CliError(format!(
+                "unknown workload '{other}' (two-cluster | uniform | typed | dense)\n{}",
+                chaos_usage()
+            ))),
+        }
+    }
+
+    /// The workload echo embedded in replay artifacts — everything
+    /// [`Cli::run_chaos_replay`] needs to rebuild the instance.
+    fn chaos_workload_echo(&self, seed: u64) -> CliResult<Value> {
+        Ok(Value::Object(vec![
+            (
+                "family".to_string(),
+                Value::from(self.get_str("workload", "two-cluster")),
+            ),
+            (
+                "m1".to_string(),
+                Value::from(self.get("m1", 3usize)? as u64),
+            ),
+            (
+                "m2".to_string(),
+                Value::from(self.get("m2", 2usize)? as u64),
+            ),
+            (
+                "machines".to_string(),
+                Value::from(self.get("machines", 5usize)? as u64),
+            ),
+            (
+                "types".to_string(),
+                Value::from(self.get("types", 2usize)? as u64),
+            ),
+            (
+                "jobs".to_string(),
+                Value::from(self.get("jobs", 14usize)? as u64),
+            ),
+            ("seed".to_string(), Value::from(seed)),
+        ]))
+    }
+
+    fn chaos_net_config(&self) -> CliResult<NetConfig> {
+        let min: u64 = self.get("latency-min", 2)?;
+        let max: u64 = self.get("latency-max", 10)?;
+        if min > max {
+            return Err(CliError(format!(
+                "--latency-min must be <= --latency-max\n{}",
+                chaos_usage()
+            )));
+        }
+        let defaults = NetConfig::default();
+        Ok(NetConfig {
+            latency: LatencyModel::UniformJitter { min, max },
+            job_lease_time: self.get("job-lease", defaults.job_lease_time)?,
+            quiescence_window: self.get("quiescence", defaults.quiescence_window)?,
+            max_time: self.get("max-time", 60_000)?,
+            check_invariants: true,
+            ..defaults
+        })
+    }
+
+    fn chaos_runner(&self, name: &str) -> CliResult<SimRunner> {
+        match self.options.get("out-dir") {
+            Some(dir) => SimRunner::try_with_dir(name, dir).map_err(|e| {
+                CliError(format!(
+                    "cannot create --out-dir {dir}: {e}\n{}",
+                    chaos_usage()
+                ))
+            }),
+            None => {
+                let dir = std::env::var_os("LB_RESULTS_DIR")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| std::path::PathBuf::from("results"));
+                SimRunner::try_with_dir(name, &dir).map_err(|e| {
+                    CliError(format!(
+                        "cannot create results directory {}: {e}\n{}",
+                        dir.display(),
+                        chaos_usage()
+                    ))
+                })
+            }
+        }
+    }
+}
+
+/// Minimal recursive-descent JSON parser producing `serde_json::Value`
+/// trees. The offline `serde_json` stub can *print* values (which is
+/// how artifacts are written) but `from_str` is unsupported, so replay
+/// brings its own reader. Handles the full artifact grammar: objects,
+/// arrays, strings with escapes (incl. `\uXXXX`), non-negative
+/// integers, floats, booleans, null.
+mod mini_json {
+    use serde_json::Value;
+
+    /// Parses a complete JSON document.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.i))
+            }
+        }
+
+        fn lit(&mut self, s: &str, v: Value) -> Result<Value, String> {
+            if self.b[self.i..].starts_with(s.as_bytes()) {
+                self.i += s.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.i))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string().map(Value::from),
+                Some(b't') => self.lit("true", Value::Bool(true)),
+                Some(b'f') => self.lit("false", Value::Bool(false)),
+                Some(b'n') => self.lit("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.i)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut entries = Vec::new();
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                self.ws();
+                let val = self.value()?;
+                entries.push((key, val));
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.ws();
+                items.push(self.value()?);
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.i + 1..self.i + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "invalid \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                                self.i += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.i)),
+                        }
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input is a &str,
+                        // so boundaries are valid).
+                        let rest = &self.b[self.i..];
+                        let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8 in string")?;
+                        let ch = s.chars().next().expect("peeked non-empty");
+                        out.push(ch);
+                        self.i += ch.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            let mut float = false;
+            if self.peek() == Some(b'.') {
+                float = true;
+                self.i += 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                float = true;
+                self.i += 1;
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.i += 1;
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.b[start..self.i])
+                .map_err(|_| "invalid number".to_string())?;
+            if float || text.starts_with('-') {
+                text.parse::<f64>()
+                    .map(Value::from)
+                    .map_err(|e| format!("invalid number '{text}': {e}"))
+            } else {
+                text.parse::<u64>()
+                    .map(Value::from)
+                    .map_err(|e| format!("invalid number '{text}': {e}"))
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trips_the_stub_writer() {
+            let v = serde_json::json!({
+                "name": "chaos",
+                "seed": 42,
+                "nested": {"list": [1, 2, 3], "flag": true, "none": null},
+                "text": "line\nbreak \"quoted\"",
+            });
+            let parsed = parse(&format!("{v:#}")).unwrap();
+            assert_eq!(parsed, v);
+            let parsed_compact = parse(&format!("{v}")).unwrap();
+            assert_eq!(parsed_compact, v);
+        }
+
+        #[test]
+        fn rejects_garbage() {
+            assert!(parse("").is_err());
+            assert!(parse("{").is_err());
+            assert!(parse("[1, 2,]").is_err());
+            assert!(parse("{\"a\": 1} trailing").is_err());
+            assert!(parse("\"unterminated").is_err());
+        }
+
+        #[test]
+        fn parses_numbers() {
+            assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+            assert_eq!(parse("-3").unwrap().as_f64(), Some(-3.0));
+            assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn generated_schedules_are_deterministic_and_sorted() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let s1 = generate_schedule(&mut a, 5, 8, CrashChoice::Mixed);
+        let s2 = generate_schedule(&mut b, 5, 8, CrashChoice::Mixed);
+        assert_eq!(s1.events, s2.events);
+        assert_eq!(s1.drop_permille, s2.drop_permille);
+        // Topology times must be sorted (the simulator asserts this).
+        let times: Vec<u64> = s1
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::Fail { t, .. } | ChaosEvent::Rejoin { t, .. } => Some(*t),
+                ChaosEvent::Partition { .. } => None,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn chaos_smoke_finds_no_violations() {
+        let dir =
+            std::env::temp_dir().join(format!("decent-lb-chaos-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "chaos",
+            "--trials",
+            "6",
+            "--max-events",
+            "4",
+            "--seed",
+            "7",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().expect("chaos runs");
+        assert!(out.contains("6 trials"), "{out}");
+        assert!(out.contains("0 failing"), "{out}");
+        assert!(dir.join("chaos.csv").exists());
+        assert!(
+            !dir.join("chaos_repro.json").exists(),
+            "clean runs must not write a reproducer"
+        );
+        let csv = std::fs::read_to_string(dir.join("chaos.csv")).unwrap();
+        assert!(csv.starts_with("trial,seed,events,"), "{csv}");
+        assert_eq!(csv.lines().count(), 7, "{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The end-to-end acceptance path: force failures with the
+    /// `reclaim` self-test predicate, shrink to a 1-minimal schedule
+    /// (a reclamation needs exactly one `Fail` event), write the replay
+    /// artifact, and reproduce the violation from it.
+    #[test]
+    fn chaos_shrinks_and_replays_a_minimal_reproducer() {
+        let dir = std::env::temp_dir().join(format!("decent-lb-chaos-e2e-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "chaos",
+            "--trials",
+            "8",
+            "--max-events",
+            "6",
+            "--seed",
+            "3",
+            "--crash",
+            "stop",
+            "--job-lease",
+            "50",
+            "--fail-on",
+            "reclaim",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().expect("chaos runs");
+        assert!(out.contains("failing"), "{out}");
+        assert!(!out.contains(" 0 failing"), "{out}");
+        assert!(out.contains("shrunk trial"), "{out}");
+        // A reclamation is caused by a single Fail event: the 1-minimal
+        // reproducer must be exactly one event.
+        assert!(out.contains("to 1 event(s)"), "{out}");
+        let repro = dir.join("chaos_repro.json");
+        assert!(repro.exists(), "{out}");
+
+        let c = cli(&["chaos", "--replay", repro.to_str().unwrap()]);
+        let out = c.run().expect("replay runs");
+        assert!(out.contains("reproduced 1 violation(s)"), "{out}");
+        assert!(out.contains("reclaimed"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_rejects_bad_options_with_usage_hint() {
+        let cases: &[&[&str]] = &[
+            &["chaos", "--trials", "0"],
+            &["chaos", "--max-events", "0"],
+            &["chaos", "--crash", "byzantine"],
+            &["chaos", "--fail-on", "vibes"],
+            &["chaos", "--algo", "quantum"],
+            &["chaos", "--workload", "cloud"],
+            &["chaos", "--latency-min", "9", "--latency-max", "2"],
+            &["chaos", "--instance", "foo.json"],
+        ];
+        for args in cases {
+            let c = cli(args);
+            match c.run() {
+                Err(CliError(msg)) => assert!(
+                    msg.contains("usage: decent-lb chaos"),
+                    "{args:?}: error lacks usage hint: {msg}"
+                ),
+                Ok(out) => panic!("{args:?}: expected an error, got: {out}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_of_missing_or_broken_artifact_errors_cleanly() {
+        let c = cli(&["chaos", "--replay", "/nonexistent-repro.json"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("cannot read")));
+        let dir = std::env::temp_dir().join(format!("decent-lb-chaos-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"seed\": 1}").unwrap();
+        let c = cli(&["chaos", "--replay", path.to_str().unwrap()]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("missing")));
+        std::fs::write(&path, "not json").unwrap();
+        let c = cli(&["chaos", "--replay", path.to_str().unwrap()]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("invalid replay artifact")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
