@@ -2,13 +2,15 @@
 //! simulation hot path.
 //!
 //! Probes call `SimCore::makespan()` every round; these benches size
-//! that query (O(1) via the tournament-tree index vs the naive O(m)
-//! rescan), the `move_job` update that maintains it (O(log m)), and the
-//! full per-round gossip cost with a per-round-sampling probe attached,
-//! at m ∈ {10², 10³, 10⁴, 10⁵}.
+//! that query (O(1) via the fused load-index caches vs the naive O(m)
+//! rescan), the `move_job` update that maintains it (amortized O(1)),
+//! the full per-round gossip cost with a per-round-sampling probe
+//! attached, and the sharded parallel round driver, at
+//! m ∈ {10², 10³, 10⁴, 10⁵, 10⁶}.
 //!
 //! Bench IDs end in `m=<size>`, so CI can smoke the smallest size only
-//! with the regex filter `m=100$`.
+//! with the regex filter `m=100$` (which the `m=1000000` tier does not
+//! match).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lb_core::EctPairBalance;
@@ -21,8 +23,10 @@ use lb_model::prelude::*;
 use lb_workloads::uniform::paper_uniform;
 use std::hint::black_box;
 
-/// The four machine counts of the acceptance criteria.
-const SIZES: &[usize] = &[100, 1_000, 10_000, 100_000];
+/// The five machine counts of the acceptance criteria. All sizes use
+/// O(n + m)-storage cost models (`paper_uniform`), so the 10⁶ tier never
+/// materializes a dense cost matrix.
+const SIZES: &[usize] = &[100, 1_000, 10_000, 100_000, 1_000_000];
 
 /// A uniform instance with `2 m` jobs (O(n + m) memory, so m = 10⁵ does
 /// not materialize a dense cost matrix) and a round-robin start.
@@ -129,10 +133,44 @@ fn bench_gossip_round(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_round(c: &mut Criterion) {
+    // The sharded batch driver: 64 rounds per iteration on a persistent
+    // core (no per-iteration clone — the m = 10⁶ acceptance budget is a
+    // per-round number, so the clone would drown the signal). Shard-local
+    // exchanges run through disjoint `ShardView`s; output is
+    // byte-identical to the sequential driver at any shard count.
+    const BATCH: u64 = 64;
+    let mut g = c.benchmark_group("parallel-round");
+    g.sample_size(10);
+    for &m in SIZES {
+        let (inst, asg) = setup(m);
+        for shards in [1usize, 8] {
+            let mut work = asg.clone();
+            work.set_shards(shards);
+            let mut core = SimCore::new(&inst, &mut work, 3);
+            g.bench_with_input(
+                BenchmarkId::new(format!("shards={shards}"), format!("m={m}")),
+                &m,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(core.run_parallel_rounds(
+                            &EctPairBalance,
+                            PairSchedule::UniformRandom,
+                            BATCH,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_makespan_query,
     bench_move_job,
-    bench_gossip_round
+    bench_gossip_round,
+    bench_parallel_round
 );
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! exactly two-machine List Scheduling — but carries no guarantee
 //! (Proposition 2's trap applies; see `lb-workloads::adversarial`).
 
-use crate::pairwise::{commit_pair, PairwiseBalancer};
+use crate::pairwise::{PairContext, PairPlan, PairwiseBalancer};
 use lb_model::prelude::*;
 
 /// Basic Greedy (Algorithm 2) as a pairwise balancer.
@@ -23,13 +23,24 @@ use lb_model::prelude::*;
 pub struct EctPairBalance;
 
 impl PairwiseBalancer for EctPairBalance {
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan> {
         // Canonical orientation: the rule must not depend on which machine
         // initiated the exchange, or optimal states would not be fixed
         // points (two peers would keep swapping equivalent jobs).
         let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
-        let (new1, new2) = redistribute_ect(inst, asg, m1, m2);
-        commit_pair(inst, asg, m1, m2, new1, new2)
+        let (new1, new2) = redistribute_ect(inst, ctx, m1, m2);
+        Some(PairPlan {
+            m1,
+            m2,
+            jobs1: new1,
+            jobs2: new2,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -42,14 +53,14 @@ impl PairwiseBalancer for EctPairBalance {
 /// Exposed for reuse by [`crate::mjtb`] (which applies it per job type).
 pub fn redistribute_ect(
     inst: &Instance,
-    asg: &Assignment,
+    ctx: &dyn PairContext,
     m1: MachineId,
     m2: MachineId,
 ) -> (Vec<JobId>, Vec<JobId>) {
-    let mut pool: Vec<JobId> = asg
+    let mut pool: Vec<JobId> = ctx
         .jobs_on(m1)
         .iter()
-        .chain(asg.jobs_on(m2))
+        .chain(ctx.jobs_on(m2))
         .copied()
         .collect();
     pool.sort_unstable();

@@ -15,7 +15,7 @@
 
 use crate::clb2c::deal_two_pointer;
 use crate::greedy_lb::{deal_least_loaded, greedy_pair_balance};
-use crate::pairwise::{cmp_ratio, commit_pair, PairwiseBalancer};
+use crate::pairwise::{cmp_ratio, PairContext, PairPlan, PairwiseBalancer};
 use lb_model::prelude::*;
 
 /// DLB2C's pairwise step.
@@ -29,15 +29,26 @@ use lb_model::prelude::*;
 pub struct Dlb2cBalance;
 
 impl PairwiseBalancer for Dlb2cBalance {
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan> {
         // Canonical orientation: intra-cluster and homogeneous exchanges
         // are symmetric rules; inter-cluster exchanges re-orient by
         // cluster below anyway.
         let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
         if inst.is_two_cluster() {
             if inst.cluster(m1) == inst.cluster(m2) {
-                let (new1, new2) = greedy_pair_balance(inst, asg, m1, m2);
-                commit_pair(inst, asg, m1, m2, new1, new2)
+                let (new1, new2) = greedy_pair_balance(inst, ctx, m1, m2);
+                Some(PairPlan {
+                    m1,
+                    m2,
+                    jobs1: new1,
+                    jobs2: new2,
+                })
             } else {
                 // Orient so the first role is played by the cluster-1
                 // machine, as in Algorithm 7's `M1 := {m}; M2 := {i}`.
@@ -46,21 +57,31 @@ impl PairwiseBalancer for Dlb2cBalance {
                 } else {
                     (m2, m1)
                 };
-                let pool = ratio_sorted_pool(inst, asg, a, b);
+                let pool = ratio_sorted_pool(inst, ctx, a, b);
                 let (new_a, new_b) = deal_two_pointer(inst, a, b, &pool);
-                commit_pair(inst, asg, a, b, new_a, new_b)
+                Some(PairPlan {
+                    m1: a,
+                    m2: b,
+                    jobs1: new_a,
+                    jobs2: new_b,
+                })
             }
         } else {
             // Homogeneous degenerate case: least-loaded dealing.
-            let mut pool: Vec<JobId> = asg
+            let mut pool: Vec<JobId> = ctx
                 .jobs_on(m1)
                 .iter()
-                .chain(asg.jobs_on(m2))
+                .chain(ctx.jobs_on(m2))
                 .copied()
                 .collect();
             pool.sort_unstable();
             let (new1, new2) = deal_least_loaded(inst, m1, m2, &pool);
-            commit_pair(inst, asg, m1, m2, new1, new2)
+            Some(PairPlan {
+                m1,
+                m2,
+                jobs1: new1,
+                jobs2: new2,
+            })
         }
     }
 
@@ -83,12 +104,23 @@ impl PairwiseBalancer for Dlb2cBalance {
 pub struct UnrelatedPairBalance;
 
 impl PairwiseBalancer for UnrelatedPairBalance {
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
-        // Canonical orientation (see `EctPairBalance::balance`).
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan> {
+        // Canonical orientation (see `EctPairBalance::plan`).
         let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
-        let pool = ratio_sorted_pool(inst, asg, m1, m2);
+        let pool = ratio_sorted_pool(inst, ctx, m1, m2);
         let (new1, new2) = deal_two_pointer(inst, m1, m2, &pool);
-        commit_pair(inst, asg, m1, m2, new1, new2)
+        Some(PairPlan {
+            m1,
+            m2,
+            jobs1: new1,
+            jobs2: new2,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -100,14 +132,14 @@ impl PairwiseBalancer for UnrelatedPairBalance {
 /// job id as tiebreak.
 fn ratio_sorted_pool(
     inst: &Instance,
-    asg: &Assignment,
+    ctx: &dyn PairContext,
     m1: MachineId,
     m2: MachineId,
 ) -> Vec<JobId> {
-    let mut pool: Vec<JobId> = asg
+    let mut pool: Vec<JobId> = ctx
         .jobs_on(m1)
         .iter()
-        .chain(asg.jobs_on(m2))
+        .chain(ctx.jobs_on(m2))
         .copied()
         .collect();
     pool.sort_by(|&a, &b| {

@@ -11,7 +11,7 @@
 //! `j_max` of maximal ratio on the most-loaded machine and compare it
 //! against the least-loaded machine of the other cluster.
 
-use crate::pairwise::cmp_ratio;
+use crate::pairwise::{cmp_ratio, PairContext};
 use lb_model::prelude::*;
 
 /// The pooled jobs of `m1`/`m2` sorted by own-cluster affinity, then dealt
@@ -20,7 +20,7 @@ use lb_model::prelude::*;
 /// Both machines must be in the same cluster of a two-cluster instance.
 pub fn greedy_pair_balance(
     inst: &Instance,
-    asg: &Assignment,
+    ctx: &dyn PairContext,
     m1: MachineId,
     m2: MachineId,
 ) -> (Vec<JobId>, Vec<JobId>) {
@@ -38,10 +38,10 @@ pub fn greedy_pair_balance(
     let rep_own = inst.machines_in(own)[0];
     let rep_other = inst.machines_in(other)[0];
 
-    let mut pool: Vec<JobId> = asg
+    let mut pool: Vec<JobId> = ctx
         .jobs_on(m1)
         .iter()
-        .chain(asg.jobs_on(m2))
+        .chain(ctx.jobs_on(m2))
         .copied()
         .collect();
     pool.sort_by(|&a, &b| {

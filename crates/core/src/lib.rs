@@ -72,7 +72,10 @@ pub use move_frugal::MoveFrugal;
 pub use multi_cluster::{sufferage_schedule, MultiClusterBalance};
 pub use ojtb::{ojtb_to_stability, run_mjtb, run_ojtb};
 pub use optimal_pair::OptimalPairBalance;
-pub use pairwise::{balance_counting_moves, PairwiseBalancer};
+pub use pairwise::{
+    balance_counting_moves, commit_pair_to, plan_and_commit, PairContext, PairPlan, PairTarget,
+    PairwiseBalancer,
+};
 pub use stability::{is_stable, stabilize};
 
 /// Convenient glob import.
@@ -85,6 +88,6 @@ pub mod prelude {
     pub use crate::mjtb::TypedPairBalance;
     pub use crate::move_frugal::MoveFrugal;
     pub use crate::optimal_pair::OptimalPairBalance;
-    pub use crate::pairwise::PairwiseBalancer;
+    pub use crate::pairwise::{PairContext, PairPlan, PairTarget, PairwiseBalancer};
     pub use crate::stability::{is_stable, stabilize};
 }

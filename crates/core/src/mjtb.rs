@@ -8,7 +8,7 @@
 //! `Cmax <= sum_t C(T_t) <= k * OPT` for `k` job types.
 
 use crate::basic_greedy::deal_ect;
-use crate::pairwise::{commit_pair, PairwiseBalancer};
+use crate::pairwise::{PairContext, PairPlan, PairwiseBalancer};
 use lb_model::prelude::*;
 use std::collections::BTreeMap;
 
@@ -24,13 +24,19 @@ use std::collections::BTreeMap;
 pub struct TypedPairBalance;
 
 impl PairwiseBalancer for TypedPairBalance {
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
-        // Canonical orientation (see `EctPairBalance::balance`).
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan> {
+        // Canonical orientation (see `EctPairBalance::plan`).
         let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
         // Group the pooled jobs. BTreeMap keeps group iteration (and thus
         // the whole balancer) deterministic.
         let mut groups: BTreeMap<(u64, Time, Time), Vec<JobId>> = BTreeMap::new();
-        for &j in asg.jobs_on(m1).iter().chain(asg.jobs_on(m2)) {
+        for &j in ctx.jobs_on(m1).iter().chain(ctx.jobs_on(m2)) {
             let key = match inst.job_type(j) {
                 Some(t) => (t.idx() as u64, 0, 0),
                 None => (u64::MAX, inst.cost(m1, j), inst.cost(m2, j)),
@@ -47,7 +53,12 @@ impl PairwiseBalancer for TypedPairBalance {
             new1.extend(g1);
             new2.extend(g2);
         }
-        commit_pair(inst, asg, m1, m2, new1, new2)
+        Some(PairPlan {
+            m1,
+            m2,
+            jobs1: new1,
+            jobs2: new2,
+        })
     }
 
     fn name(&self) -> &'static str {

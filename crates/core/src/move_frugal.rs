@@ -15,7 +15,7 @@
 //! job migrations drastically — quantified by the `ablation_migration`
 //! experiment.
 
-use crate::pairwise::PairwiseBalancer;
+use crate::pairwise::{plan_is_noop, PairContext, PairPlan, PairwiseBalancer};
 use lb_model::prelude::*;
 
 /// Wraps a balancer; commits only strictly improving exchanges.
@@ -23,20 +23,27 @@ use lb_model::prelude::*;
 pub struct MoveFrugal<B>(pub B);
 
 impl<B: PairwiseBalancer> PairwiseBalancer for MoveFrugal<B> {
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
-        let before = asg.load(m1).max(asg.load(m2));
-        // Probe on a clone; commit only on strict improvement.
-        let mut probe = asg.clone();
-        if !self.0.balance(inst, &mut probe, m1, m2) {
-            return false;
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan> {
+        let plan = self.0.plan(inst, ctx, m1, m2)?;
+        if plan_is_noop(ctx, &plan) {
+            return None;
         }
-        let after = probe.load(m1).max(probe.load(m2));
-        if after < before {
-            *asg = probe;
-            true
-        } else {
-            false
-        }
+        // Evaluate the plan's pair makespan straight from the proposed
+        // lists — the same cost sums `set_pair` would compute — so no
+        // clone-and-probe of the whole assignment is needed.
+        let before = ctx.load(plan.m1).max(ctx.load(plan.m2));
+        let sum = |m: MachineId, jobs: &[JobId]| {
+            let total: u128 = jobs.iter().map(|&j| u128::from(inst.cost(m, j))).sum();
+            Time::try_from(total).unwrap_or(INFEASIBLE)
+        };
+        let after = sum(plan.m1, &plan.jobs1).max(sum(plan.m2, &plan.jobs2));
+        (after < before).then_some(plan)
     }
 
     fn name(&self) -> &'static str {

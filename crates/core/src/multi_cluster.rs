@@ -18,7 +18,7 @@
 
 use crate::clb2c::deal_two_pointer;
 use crate::greedy_lb::deal_least_loaded;
-use crate::pairwise::{cmp_ratio, commit_pair, PairwiseBalancer};
+use crate::pairwise::{cmp_ratio, PairContext, PairPlan, PairwiseBalancer};
 use lb_model::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -88,19 +88,24 @@ pub fn sufferage_schedule(inst: &Instance) -> Assignment {
 pub struct MultiClusterBalance;
 
 impl PairwiseBalancer for MultiClusterBalance {
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
-        // Canonical orientation (see `EctPairBalance::balance`).
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan> {
+        // Canonical orientation (see `EctPairBalance::plan`).
         let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
-        let mut pool: Vec<JobId> = asg
+        let mut pool: Vec<JobId> = ctx
             .jobs_on(m1)
             .iter()
-            .chain(asg.jobs_on(m2))
+            .chain(ctx.jobs_on(m2))
             .copied()
             .collect();
-        if inst.cluster(m1) == inst.cluster(m2) {
+        let (new1, new2) = if inst.cluster(m1) == inst.cluster(m2) {
             pool.sort_unstable();
-            let (new1, new2) = deal_least_loaded(inst, m1, m2, &pool);
-            commit_pair(inst, asg, m1, m2, new1, new2)
+            deal_least_loaded(inst, m1, m2, &pool)
         } else {
             pool.sort_by(|&a, &b| {
                 cmp_ratio(
@@ -109,9 +114,14 @@ impl PairwiseBalancer for MultiClusterBalance {
                 )
                 .then(a.cmp(&b))
             });
-            let (new1, new2) = deal_two_pointer(inst, m1, m2, &pool);
-            commit_pair(inst, asg, m1, m2, new1, new2)
-        }
+            deal_two_pointer(inst, m1, m2, &pool)
+        };
+        Some(PairPlan {
+            m1,
+            m2,
+            jobs1: new1,
+            jobs2: new2,
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -10,7 +10,7 @@
 //! instances it must agree with Basic Greedy's makespan (Lemma 3), which
 //! the tests check.
 
-use crate::pairwise::{commit_pair, PairwiseBalancer};
+use crate::pairwise::{PairContext, PairPlan, PairwiseBalancer};
 use lb_model::prelude::*;
 
 /// Exact pairwise balancer: enumerates all `2^k` splits of the pooled
@@ -33,20 +33,26 @@ impl Default for OptimalPairBalance {
 }
 
 impl PairwiseBalancer for OptimalPairBalance {
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
-        // Canonical orientation (see `EctPairBalance::balance`).
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan> {
+        // Canonical orientation (see `EctPairBalance::plan`).
         let (m1, m2) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
-        let mut pool: Vec<JobId> = asg
+        let mut pool: Vec<JobId> = ctx
             .jobs_on(m1)
             .iter()
-            .chain(asg.jobs_on(m2))
+            .chain(ctx.jobs_on(m2))
             .copied()
             .collect();
         if pool.len() > self.max_pool {
-            return false;
+            return None;
         }
         pool.sort_unstable();
-        let current = asg.load(m1).max(asg.load(m2));
+        let current = ctx.load(m1).max(ctx.load(m2));
         let mut best = u128::from(current);
         let mut best_mask: Option<u32> = None;
         for mask in 0..(1u32 << pool.len()) {
@@ -64,21 +70,23 @@ impl PairwiseBalancer for OptimalPairBalance {
                 best_mask = Some(mask);
             }
         }
-        match best_mask {
-            None => false, // current split is optimal: keep it
-            Some(mask) => {
-                let mut new1 = Vec::new();
-                let mut new2 = Vec::new();
-                for (bit, &j) in pool.iter().enumerate() {
-                    if mask & (1 << bit) != 0 {
-                        new1.push(j);
-                    } else {
-                        new2.push(j);
-                    }
-                }
-                commit_pair(inst, asg, m1, m2, new1, new2)
+        // `None` mask means the current split is already optimal: keep it.
+        let mask = best_mask?;
+        let mut new1 = Vec::new();
+        let mut new2 = Vec::new();
+        for (bit, &j) in pool.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                new1.push(j);
+            } else {
+                new2.push(j);
             }
         }
+        Some(PairPlan {
+            m1,
+            m2,
+            jobs1: new1,
+            jobs2: new2,
+        })
     }
 
     fn name(&self) -> &'static str {

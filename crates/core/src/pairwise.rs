@@ -5,8 +5,115 @@
 //! deterministically redistribute the two machines' jobs. The
 //! redistribution rule is the only thing that differs, so it is the trait;
 //! peer-selection loops live in [`crate::driver`] and in `lb-distsim`.
+//!
+//! # Plan / commit split
+//!
+//! A balancer's rule is a *pure* function of the pair's current job sets
+//! and loads: [`PairwiseBalancer::plan`] computes the proposed
+//! redistribution against any read-only [`PairContext`] without mutating
+//! anything, and the provided [`PairwiseBalancer::balance`] commits it
+//! through [`commit_pair_to`]. The split is what lets `lb-distsim`'s
+//! sharded round driver run many exchanges concurrently: each rayon
+//! worker plans and commits against its own disjoint
+//! [`lb_model::ShardView`] while sequential callers keep committing
+//! straight into the [`Assignment`] — both paths share the exact same
+//! planning and no-op-detection code, so their results are
+//! byte-identical.
 
 use lb_model::prelude::*;
+
+/// Read-only pair-local state a balancer consults while planning: the
+/// two machines' job lists and (saturated) loads. Implemented by the
+/// whole [`Assignment`] and by the per-shard
+/// [`ShardView`](lb_model::ShardView).
+pub trait PairContext {
+    /// The jobs currently assigned to `machine`.
+    fn jobs_on(&self, machine: MachineId) -> &[JobId];
+    /// Completion time of `machine`, saturating at
+    /// [`INFEASIBLE`](lb_model::INFEASIBLE).
+    fn load(&self, machine: MachineId) -> Time;
+}
+
+impl PairContext for Assignment {
+    #[inline]
+    fn jobs_on(&self, machine: MachineId) -> &[JobId] {
+        Assignment::jobs_on(self, machine)
+    }
+    #[inline]
+    fn load(&self, machine: MachineId) -> Time {
+        Assignment::load(self, machine)
+    }
+}
+
+impl PairContext for ShardView<'_> {
+    #[inline]
+    fn jobs_on(&self, machine: MachineId) -> &[JobId] {
+        ShardView::jobs_on(self, machine)
+    }
+    #[inline]
+    fn load(&self, machine: MachineId) -> Time {
+        ShardView::load(self, machine)
+    }
+}
+
+/// A commit target for a [`PairPlan`]: a [`PairContext`] that can also
+/// atomically re-partition a pair's jobs.
+pub trait PairTarget: PairContext {
+    /// Atomically redistributes the pair's jobs — the semantics of
+    /// [`Assignment::set_pair`].
+    fn set_pair(
+        &mut self,
+        inst: &Instance,
+        m1: MachineId,
+        m2: MachineId,
+        jobs1: Vec<JobId>,
+        jobs2: Vec<JobId>,
+    );
+}
+
+impl PairTarget for Assignment {
+    #[inline]
+    fn set_pair(
+        &mut self,
+        inst: &Instance,
+        m1: MachineId,
+        m2: MachineId,
+        jobs1: Vec<JobId>,
+        jobs2: Vec<JobId>,
+    ) {
+        Assignment::set_pair(self, inst, m1, m2, jobs1, jobs2);
+    }
+}
+
+impl PairTarget for ShardView<'_> {
+    #[inline]
+    fn set_pair(
+        &mut self,
+        inst: &Instance,
+        m1: MachineId,
+        m2: MachineId,
+        jobs1: Vec<JobId>,
+        jobs2: Vec<JobId>,
+    ) {
+        ShardView::set_pair(self, inst, m1, m2, jobs1, jobs2);
+    }
+}
+
+/// A proposed redistribution of one pair's jobs. `m1`/`m2` are the
+/// balancer's *oriented* machines (balancers canonicalize the pair
+/// order, and DLB2C re-orients inter-cluster exchanges by cluster), so
+/// they are a permutation of the machines passed to `plan`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairPlan {
+    /// First machine of the oriented pair.
+    pub m1: MachineId,
+    /// Second machine of the oriented pair.
+    pub m2: MachineId,
+    /// Proposed job set of `m1`.
+    pub jobs1: Vec<JobId>,
+    /// Proposed job set of `m2`.
+    pub jobs2: Vec<JobId>,
+}
 
 /// A deterministic rule for redistributing the jobs of two machines.
 ///
@@ -15,28 +122,64 @@ use lb_model::prelude::*;
 /// what makes stability ([`crate::stability`]) and limit-cycle detection
 /// well defined.
 pub trait PairwiseBalancer {
-    /// Redistributes the jobs currently on `m1` and `m2`.
+    /// Plans the redistribution of the jobs currently on `m1` and `m2`
+    /// without mutating anything. `None` means "keep the current
+    /// placement" (e.g. the pool is too large to enumerate, or the rule
+    /// found no improvement); `Some` plans may still be no-ops, which
+    /// [`commit_pair_to`] detects. Must not consult any other machine.
+    fn plan(
+        &self,
+        inst: &Instance,
+        ctx: &dyn PairContext,
+        m1: MachineId,
+        m2: MachineId,
+    ) -> Option<PairPlan>;
+
+    /// Redistributes the jobs currently on `m1` and `m2` by committing
+    /// [`PairwiseBalancer::plan`] into the assignment.
     ///
     /// Returns `true` iff the assignment changed (some job moved between
     /// the two machines). Must not touch any other machine.
-    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool;
+    fn balance(&self, inst: &Instance, asg: &mut Assignment, m1: MachineId, m2: MachineId) -> bool {
+        match self.plan(inst, asg, m1, m2) {
+            Some(plan) => commit_pair_to(inst, asg, plan.m1, plan.m2, plan.jobs1, plan.jobs2),
+            None => false,
+        }
+    }
 
     /// Short name for reports and logs.
     fn name(&self) -> &'static str;
 }
 
-/// Commits `new1`/`new2` as the pair's new job sets, reporting whether
-/// anything moved. Shared by all balancer implementations.
-pub(crate) fn commit_pair(
+/// Whether committing `plan` against `ctx` would change nothing (same
+/// partition, in any order). Shared by [`commit_pair_to`] and the
+/// improvement gates ([`crate::MoveFrugal`], [`crate::stability`]).
+pub(crate) fn plan_is_noop(ctx: &dyn PairContext, plan: &PairPlan) -> bool {
+    let mut old1: Vec<JobId> = ctx.jobs_on(plan.m1).to_vec();
+    let mut old2: Vec<JobId> = ctx.jobs_on(plan.m2).to_vec();
+    old1.sort_unstable();
+    old2.sort_unstable();
+    let mut new1 = plan.jobs1.clone();
+    let mut new2 = plan.jobs2.clone();
+    new1.sort_unstable();
+    new2.sort_unstable();
+    old1 == new1 && old2 == new2
+}
+
+/// Commits `new1`/`new2` as the pair's new job sets on any
+/// [`PairTarget`] (the assignment, or one shard view of it), reporting
+/// whether anything moved. Shared by the sequential and the parallel
+/// commit paths.
+pub fn commit_pair_to<T: PairTarget + ?Sized>(
     inst: &Instance,
-    asg: &mut Assignment,
+    target: &mut T,
     m1: MachineId,
     m2: MachineId,
     mut new1: Vec<JobId>,
     mut new2: Vec<JobId>,
 ) -> bool {
-    let mut old1: Vec<JobId> = asg.jobs_on(m1).to_vec();
-    let mut old2: Vec<JobId> = asg.jobs_on(m2).to_vec();
+    let mut old1: Vec<JobId> = target.jobs_on(m1).to_vec();
+    let mut old2: Vec<JobId> = target.jobs_on(m2).to_vec();
     old1.sort_unstable();
     old2.sort_unstable();
     new1.sort_unstable();
@@ -44,8 +187,38 @@ pub(crate) fn commit_pair(
     if old1 == new1 && old2 == new2 {
         return false;
     }
-    asg.set_pair(inst, m1, m2, new1, new2);
+    target.set_pair(inst, m1, m2, new1, new2);
     true
+}
+
+/// Plans `balancer` on the pair and commits the result into `target` —
+/// the one-call form of the plan/commit split used by the parallel
+/// round driver. Returns `true` iff the target changed.
+pub fn plan_and_commit<T: PairTarget>(
+    inst: &Instance,
+    target: &mut T,
+    balancer: &dyn PairwiseBalancer,
+    m1: MachineId,
+    m2: MachineId,
+) -> bool {
+    match balancer.plan(inst, target, m1, m2) {
+        Some(plan) => commit_pair_to(inst, target, plan.m1, plan.m2, plan.jobs1, plan.jobs2),
+        None => false,
+    }
+}
+
+/// Commits `new1`/`new2` into the assignment (legacy name kept for the
+/// in-crate tests).
+#[cfg(test)]
+pub(crate) fn commit_pair(
+    inst: &Instance,
+    asg: &mut Assignment,
+    m1: MachineId,
+    m2: MachineId,
+    new1: Vec<JobId>,
+    new2: Vec<JobId>,
+) -> bool {
+    commit_pair_to(inst, asg, m1, m2, new1, new2)
 }
 
 /// Runs `balancer` on the pair and reports `(changed, jobs_moved)`.

@@ -6,12 +6,13 @@
 //! distinction the paper draws between converging runs and limit cycles
 //! (Proposition 8).
 
-use crate::pairwise::PairwiseBalancer;
+use crate::pairwise::{plan_is_noop, PairwiseBalancer};
 use lb_model::prelude::*;
 
 /// Would balancing this pair change the assignment?
 ///
-/// Non-destructive: operates on a clone.
+/// Non-destructive: plans the exchange and checks it against the current
+/// job lists, without cloning the assignment.
 pub fn would_change(
     inst: &Instance,
     asg: &Assignment,
@@ -19,8 +20,10 @@ pub fn would_change(
     m1: MachineId,
     m2: MachineId,
 ) -> bool {
-    let mut probe = asg.clone();
-    balancer.balance(inst, &mut probe, m1, m2)
+    match balancer.plan(inst, asg, m1, m2) {
+        Some(plan) => !plan_is_noop(asg, &plan),
+        None => false,
+    }
 }
 
 /// True iff *no* pair of machines would be changed by `balancer` — the

@@ -39,6 +39,11 @@
 //!   gossip protocol (one thread per machine, ordered pair locking)
 //!   reporting through the same [`ExchangeStats`] shape via sharded
 //!   atomic counters.
+//! * [`parallel`] — [`SimCore::run_parallel_rounds`], the sharded
+//!   batch round driver: gossip pairs drawn up front from the
+//!   sequential RNG stream, shard-local exchanges executed in rayon
+//!   waves over disjoint shard views, cross-shard exchanges in
+//!   between — draw-for-draw equivalent to the sequential loop.
 //! * [`mod@replicate`] — parallel Monte-Carlo replication ([`fan_out`])
 //!   of any protocol + probe combination (rayon) with derived seeds,
 //!   feeding the figure-regeneration binaries.
@@ -53,6 +58,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod gossip;
 pub mod invariant;
+pub mod parallel;
 pub mod probe;
 pub mod protocol;
 pub mod replicate;
@@ -68,6 +74,7 @@ pub use dynamic::{simulate_dynamic, Arrival, DynamicConfig, DynamicProtocol, Dyn
 pub use engine::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
 pub use gossip::GossipProtocol;
 pub use invariant::InvariantProbe;
+pub use parallel::ParallelRoundsReport;
 pub use probe::{
     CycleProbe, ExchangeProbe, ExchangeStats, MigrationProbe, MsgKind, NetMsgProbe, NetMsgStats,
     Probe, ProbeHub, QuiescenceProbe, SeriesProbe, SimEvent, StopReason, ThresholdProbe,

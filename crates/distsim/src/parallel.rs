@@ -1,0 +1,339 @@
+//! Rayon-parallel gossip rounds over a sharded assignment.
+//!
+//! The sequential gossip semantics (one pairwise exchange per round,
+//! [`crate::gossip::GossipProtocol`]) is the paper's model and what all
+//! the theory reasons about. At a million machines, though, a round is
+//! dominated by cache misses on the pair's job lists, and consecutive
+//! rounds almost never touch the same machines — so they can run
+//! concurrently *when their machine pairs live in different shards* of
+//! the assignment's [`lb_model::ShardedLoadIndex`].
+//!
+//! [`run_parallel_rounds`] exploits exactly that and nothing more:
+//!
+//! 1. All pair selections for the batch are drawn **sequentially** from
+//!    the core RNG, in round order — bit-for-bit the draws the
+//!    sequential driver would make.
+//! 2. The drawn pairs are walked in order, accumulating a maximal *wave*
+//!    of shard-local pairs (both machines in the same shard). A wave is
+//!    executed by handing each shard's pairs, **in draw order**, to its
+//!    own [`lb_model::ShardView`] via rayon.
+//! 3. A cross-shard pair flushes the current wave and executes
+//!    sequentially on the whole assignment.
+//!
+//! Exchanges in different shards touch disjoint machines and therefore
+//! commute; exchanges within one shard retain their sequential order. So
+//! the final assignment — every job placement, every load, every
+//! tie-break — is **identical to the sequential execution** of the same
+//! rounds, for any shard count and any rayon thread count. The tests in
+//! this module and the `sharded_round_equivalence` proptest pin that
+//! down.
+
+use crate::gossip::{select_pair, PairSchedule};
+use crate::simcore::SimCore;
+use lb_core::{balance_counting_moves, plan_and_commit, PairwiseBalancer};
+use lb_model::prelude::*;
+use rayon::prelude::*;
+
+/// What a batch of parallel rounds did, summed over all shards (the
+/// counts are per-exchange and commutative, so the sum is deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelRoundsReport {
+    /// Rounds executed (= pairs drawn).
+    pub rounds: u64,
+    /// Exchanges that changed the assignment.
+    pub exchanges: u64,
+    /// Jobs that changed machine, summed over exchanges.
+    pub jobs_moved: u64,
+    /// Parallel waves flushed (each wave is one rayon scatter).
+    pub waves: u64,
+    /// Pairs that straddled a shard boundary and ran sequentially.
+    pub cross_shard: u64,
+}
+
+/// Runs one shard-local pair exchange through a view, counting moved
+/// jobs the same way [`balance_counting_moves`] does.
+fn exchange_on_view(
+    inst: &Instance,
+    view: &mut ShardView<'_>,
+    balancer: &(dyn PairwiseBalancer + Sync),
+    a: MachineId,
+    b: MachineId,
+) -> (bool, u64) {
+    let owners_before: Vec<(JobId, MachineId)> = view
+        .jobs_on(a)
+        .iter()
+        .map(|&j| (j, a))
+        .chain(view.jobs_on(b).iter().map(|&j| (j, b)))
+        .collect();
+    if !plan_and_commit(inst, view, balancer, a, b) {
+        return (false, 0);
+    }
+    let moved = owners_before
+        .iter()
+        .filter(|&&(j, owner)| !view.jobs_on(owner).contains(&j))
+        .count() as u64;
+    (true, moved)
+}
+
+impl SimCore<'_> {
+    /// Executes `rounds` gossip rounds, running shard-local exchanges in
+    /// parallel (see the [module docs](self)). The result — assignment,
+    /// RNG state, and round counter — is identical to stepping the
+    /// sequential [`crate::gossip::GossipProtocol`] `rounds` times.
+    ///
+    /// With a single shard (the default) every pair is "cross-shard
+    /// relative to parallelism" and the whole batch runs sequentially;
+    /// call [`Assignment::set_shards`] first to enable parallelism.
+    pub fn run_parallel_rounds(
+        &mut self,
+        balancer: &(dyn PairwiseBalancer + Sync),
+        schedule: PairSchedule,
+        rounds: u64,
+    ) -> ParallelRoundsReport {
+        let mut report = ParallelRoundsReport::default();
+        self.refresh_active_cache();
+        if self.active_cache.len() < 2 {
+            return report;
+        }
+        // Phase 1: draw every pair in round order from the single RNG
+        // stream, exactly as the sequential driver would. The active
+        // list is version-cached on the core, so consecutive batches
+        // (e.g. a benchmark or campaign loop) don't pay O(m) per call.
+        let pairs: Vec<(MachineId, MachineId)> = (0..rounds)
+            .map(|r| {
+                select_pair(
+                    self.inst,
+                    schedule,
+                    self.round + r,
+                    &self.active_cache,
+                    &mut self.rng,
+                )
+            })
+            .collect();
+        self.round += rounds;
+        report.rounds = rounds;
+
+        let num_shards = self.asg.num_shards();
+        let inst = self.inst;
+        let mut i = 0;
+        while i < pairs.len() {
+            let (a, b) = pairs[i];
+            if num_shards <= 1 || self.asg.shard_of(a) != self.asg.shard_of(b) {
+                // Cross-shard (or unsharded): sequential exchange.
+                let (changed, moved) = balance_counting_moves(inst, self.asg, balancer, a, b);
+                if changed {
+                    report.exchanges += 1;
+                    report.jobs_moved += moved;
+                }
+                report.cross_shard += 1;
+                i += 1;
+                continue;
+            }
+            // Maximal run of shard-local pairs starting at i.
+            let start = i;
+            while i < pairs.len() {
+                let (a, b) = pairs[i];
+                if self.asg.shard_of(a) != self.asg.shard_of(b) {
+                    break;
+                }
+                i += 1;
+            }
+            // Group the wave per shard, preserving draw order within
+            // each shard (exchanges in one shard must stay FIFO).
+            let mut work: Vec<Vec<(MachineId, MachineId)>> = vec![Vec::new(); num_shards];
+            for &(a, b) in &pairs[start..i] {
+                work[self.asg.shard_of(a)].push((a, b));
+            }
+            let (ex, moved) = self.asg.with_shard_views(|views| {
+                let per_shard: Vec<(u64, u64)> = views
+                    .par_iter_mut()
+                    .zip(&work)
+                    .map(|(view, shard_pairs)| {
+                        let mut ex = 0u64;
+                        let mut moved = 0u64;
+                        for &(a, b) in shard_pairs {
+                            let (changed, m) = exchange_on_view(inst, view, balancer, a, b);
+                            if changed {
+                                ex += 1;
+                                moved += m;
+                            }
+                        }
+                        (ex, moved)
+                    })
+                    .collect();
+                per_shard
+                    .into_iter()
+                    .fold((0u64, 0u64), |(e, m), (de, dm)| (e + de, m + dm))
+            });
+            report.exchanges += ex;
+            report.jobs_moved += moved;
+            report.waves += 1;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simcore::stream_rng;
+    use lb_core::{Dlb2cBalance, EctPairBalance, UnrelatedPairBalance};
+    use lb_workloads::uniform::paper_uniform;
+
+    /// The sequential reference: the exact per-round loop the gossip
+    /// protocol runs, without probes.
+    fn run_sequential(
+        core: &mut SimCore,
+        balancer: &dyn PairwiseBalancer,
+        schedule: PairSchedule,
+        rounds: u64,
+    ) -> (u64, u64) {
+        let active: Vec<MachineId> = core.topology.online_iter().collect();
+        let (mut ex, mut moved) = (0u64, 0u64);
+        for _ in 0..rounds {
+            let (a, b) = select_pair(core.inst, schedule, core.round, &active, &mut core.rng);
+            let (changed, m) = balance_counting_moves(core.inst, core.asg, balancer, a, b);
+            if changed {
+                ex += 1;
+                moved += m;
+            }
+            core.round += 1;
+        }
+        (ex, moved)
+    }
+
+    fn assert_equivalent(
+        inst: &Instance,
+        balancer: &(dyn PairwiseBalancer + Sync),
+        schedule: PairSchedule,
+        shards: usize,
+        rounds: u64,
+        seed: u64,
+    ) {
+        let mut seq_asg = Assignment::all_on(inst, MachineId(0));
+        let mut par_asg = seq_asg.clone();
+        par_asg.set_shards(shards);
+
+        let mut seq_core = SimCore::new(inst, &mut seq_asg, seed);
+        let (seq_ex, seq_moved) = run_sequential(&mut seq_core, balancer, schedule, rounds);
+        let seq_round = seq_core.round;
+
+        let mut par_core = SimCore::new(inst, &mut par_asg, seed);
+        let report = par_core.run_parallel_rounds(balancer, schedule, rounds);
+        assert_eq!(par_core.round, seq_round);
+
+        assert_eq!(report.exchanges, seq_ex, "shards={shards}");
+        assert_eq!(report.jobs_moved, seq_moved, "shards={shards}");
+        // Draw-for-draw identical placement, not just equal makespan.
+        for j in inst.jobs() {
+            assert_eq!(
+                seq_asg.machine_of(j),
+                par_asg.machine_of(j),
+                "job {j:?} diverged at shards={shards}"
+            );
+        }
+        assert_eq!(seq_asg, par_asg);
+        par_asg.validate(inst).unwrap();
+    }
+
+    #[test]
+    fn parallel_rounds_match_sequential_for_every_shard_count() {
+        let inst = paper_uniform(12, 96, 3);
+        for shards in [1usize, 2, 3, 5, 12] {
+            assert_equivalent(
+                &inst,
+                &EctPairBalance,
+                PairSchedule::UniformRandom,
+                shards,
+                300,
+                0xABCD,
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rounds_match_sequential_across_schedules_and_balancers() {
+        let inst = paper_uniform(8, 64, 11);
+        for schedule in [
+            PairSchedule::UniformRandom,
+            PairSchedule::RotatingHost,
+            PairSchedule::RoundRobin,
+        ] {
+            assert_equivalent(&inst, &EctPairBalance, schedule, 4, 200, 7);
+            assert_equivalent(&inst, &UnrelatedPairBalance, schedule, 4, 200, 7);
+        }
+        let tc = Instance::two_cluster(
+            4,
+            4,
+            (0..48)
+                .map(|i| (1 + (i * 13) % 31, 1 + (i * 7) % 31))
+                .collect(),
+        )
+        .unwrap();
+        assert_equivalent(&tc, &Dlb2cBalance, PairSchedule::UniformRandom, 4, 250, 99);
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        // Byte-identical output regardless of rayon pool width — the
+        // determinism contract `--shards` makes to campaign replays.
+        // (Under the offline rayon stub every pool is sequential, so the
+        // assertion is trivially true locally; in CI with real rayon it
+        // exercises genuine thread interleavings.)
+        let inst = paper_uniform(10, 120, 5);
+        let run_with_threads = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut asg = Assignment::all_on(&inst, MachineId(0));
+            asg.set_shards(5);
+            let mut core = SimCore::new(&inst, &mut asg, 0xFEED);
+            let report = pool.install(|| {
+                core.run_parallel_rounds(&EctPairBalance, PairSchedule::UniformRandom, 400)
+            });
+            let placements: Vec<MachineId> = inst.jobs().map(|j| asg.machine_of(j)).collect();
+            (report, placements, asg.makespan())
+        };
+        let one = run_with_threads(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run_with_threads(threads), one, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rng_stream_matches_sequential_driver_exactly() {
+        // After a parallel batch the RNG must sit exactly where the
+        // sequential driver would leave it, so mixing batch and
+        // single-round execution stays reproducible.
+        let inst = paper_uniform(6, 30, 2);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        asg.set_shards(3);
+        let mut core = SimCore::new(&inst, &mut asg, 42);
+        core.run_parallel_rounds(&EctPairBalance, PairSchedule::UniformRandom, 100);
+
+        let mut reference = stream_rng(42, 0);
+        let active: Vec<MachineId> = (0..6).map(MachineId::from_idx).collect();
+        for round in 0..100u64 {
+            select_pair(
+                &inst,
+                PairSchedule::UniformRandom,
+                round,
+                &active,
+                &mut reference,
+            );
+        }
+        use rand::Rng;
+        assert_eq!(core.rng.gen::<u64>(), reference.gen::<u64>());
+    }
+
+    #[test]
+    fn empty_and_tiny_topologies() {
+        let inst = paper_uniform(2, 4, 0);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let mut core = SimCore::new(&inst, &mut asg, 1).with_offline(&[MachineId(1)]);
+        let report = core.run_parallel_rounds(&EctPairBalance, PairSchedule::UniformRandom, 10);
+        assert_eq!(report, ParallelRoundsReport::default());
+        assert_eq!(core.round, 0);
+    }
+}

@@ -47,6 +47,11 @@ pub struct SimCore<'a> {
     pub round: u64,
     /// Which machines are online.
     pub topology: Topology,
+    /// Version-keyed cache of the online-machine list; rebuilt lazily by
+    /// [`SimCore::refresh_active_cache`] so repeated batch drivers don't
+    /// pay the O(m) collection per call.
+    pub(crate) active_cache: Vec<MachineId>,
+    active_cache_version: Option<u64>,
 }
 
 impl<'a> SimCore<'a> {
@@ -65,6 +70,25 @@ impl<'a> SimCore<'a> {
             rng: stream_rng(seed, 0),
             round: 0,
             topology: Topology::all_online(m),
+            active_cache: Vec::new(),
+            active_cache_version: None,
+        }
+    }
+
+    /// Brings [`SimCore::active_cache`] up to date with the topology.
+    /// O(1) when the topology hasn't changed since the last call (the
+    /// cache is keyed by [`Topology::version`]), O(m) on rebuild; the
+    /// buffer is pre-sized once and never reallocates afterwards.
+    pub(crate) fn refresh_active_cache(&mut self) {
+        let version = self.topology.version();
+        if self.active_cache_version != Some(version) {
+            if self.active_cache.capacity() == 0 {
+                self.active_cache
+                    .reserve_exact(self.topology.num_machines());
+            }
+            self.active_cache.clear();
+            self.active_cache.extend(self.topology.online_iter());
+            self.active_cache_version = Some(version);
         }
     }
 

@@ -1,0 +1,147 @@
+//! Draw-for-draw equivalence of the sharded parallel round driver.
+//!
+//! `SimCore::run_parallel_rounds` promises that sharding is *purely* a
+//! parallelism knob: for the same seed and round budget, any shard count
+//! produces the byte-identical assignment (every job placement, load and
+//! tie-break) the unsharded sequential execution produces. These
+//! property tests pin that promise through the public API only, plus the
+//! companion determinism contract across rayon thread counts.
+
+use lb_core::{Dlb2cBalance, EctPairBalance, PairwiseBalancer, UnrelatedPairBalance};
+use lb_distsim::{PairSchedule, SimCore};
+use lb_model::prelude::*;
+use proptest::prelude::*;
+
+/// Runs `rounds` parallel rounds at the given shard count and returns
+/// the final placement vector plus the exchange/move counters.
+fn run_at_shards(
+    inst: &Instance,
+    balancer: &(dyn PairwiseBalancer + Sync),
+    schedule: PairSchedule,
+    shards: usize,
+    rounds: u64,
+    seed: u64,
+) -> (Vec<MachineId>, u64, u64, Time) {
+    let mut asg = Assignment::all_on(inst, MachineId(0));
+    asg.set_shards(shards);
+    let mut core = SimCore::new(inst, &mut asg, seed);
+    let report = core.run_parallel_rounds(balancer, schedule, rounds);
+    asg.validate(inst).unwrap();
+    (
+        inst.jobs().map(|j| asg.machine_of(j)).collect(),
+        report.exchanges,
+        report.jobs_moved,
+        asg.makespan(),
+    )
+}
+
+fn small_dense() -> impl Strategy<Value = Instance> {
+    (4usize..=10, 8usize..=40).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(1u64..=20, m * n)
+            .prop_map(move |costs| Instance::dense(m, n, costs).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any shard count reproduces the unsharded run exactly.
+    #[test]
+    fn sharded_round_equivalence(
+        inst in small_dense(),
+        shards in 2usize..=8,
+        seed in 0u64..1000,
+    ) {
+        let rounds = 150;
+        let reference = run_at_shards(
+            &inst, &EctPairBalance, PairSchedule::UniformRandom, 1, rounds, seed,
+        );
+        let sharded = run_at_shards(
+            &inst, &EctPairBalance, PairSchedule::UniformRandom, shards, rounds, seed,
+        );
+        prop_assert_eq!(sharded, reference);
+    }
+
+    /// The equivalence holds for ratio-based balancers too (they plan
+    /// through the same `PairContext` the sequential path uses).
+    #[test]
+    fn sharded_round_equivalence_unrelated(
+        inst in small_dense(),
+        shards in 2usize..=6,
+        seed in 0u64..500,
+    ) {
+        let rounds = 100;
+        let reference = run_at_shards(
+            &inst, &UnrelatedPairBalance, PairSchedule::RotatingHost, 1, rounds, seed,
+        );
+        let sharded = run_at_shards(
+            &inst, &UnrelatedPairBalance, PairSchedule::RotatingHost, shards, rounds, seed,
+        );
+        prop_assert_eq!(sharded, reference);
+    }
+}
+
+#[test]
+fn two_cluster_dlb2c_equivalent_across_shards() {
+    let inst = Instance::two_cluster(
+        6,
+        6,
+        (0..72)
+            .map(|i| (1 + (i * 17) % 43, 1 + (i * 11) % 43))
+            .collect(),
+    )
+    .unwrap();
+    let reference = run_at_shards(
+        &inst,
+        &Dlb2cBalance,
+        PairSchedule::UniformRandom,
+        1,
+        400,
+        0xC0FFEE,
+    );
+    for shards in [2usize, 3, 4, 6, 12] {
+        let sharded = run_at_shards(
+            &inst,
+            &Dlb2cBalance,
+            PairSchedule::UniformRandom,
+            shards,
+            400,
+            0xC0FFEE,
+        );
+        assert_eq!(sharded, reference, "shards={shards}");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    // The cross-thread-count determinism contract (mirrors
+    // tests/campaign_determinism.rs for the parallel driver). Under the
+    // offline rayon stub all pools are sequential; in CI with real rayon
+    // this exercises genuine work distribution.
+    let inst = Instance::dense(
+        8,
+        64,
+        (0..8 * 64).map(|i| 1 + (i as u64 * 29) % 59).collect(),
+    )
+    .unwrap();
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            run_at_shards(
+                &inst,
+                &EctPairBalance,
+                PairSchedule::UniformRandom,
+                4,
+                500,
+                7,
+            )
+        })
+    };
+    let reference = run(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(run(threads), reference, "threads={threads}");
+    }
+}

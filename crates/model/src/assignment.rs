@@ -14,16 +14,17 @@
 //! # Hot-path complexity
 //!
 //! On top of the load vector, the assignment maintains a
-//! [`LoadIndex`] — tournament trees over the loads — and a cached
-//! total-work accumulator, both repaired on every mutation:
+//! [`ShardedLoadIndex`] — a fused, lazily-repaired extremum arena over
+//! the loads, split into S contiguous shards (S = 1 by default; see
+//! [`Assignment::set_shards`]) — and a cached total-work accumulator:
 //!
 //! | operation | cost |
 //! |---|---|
-//! | [`Assignment::move_job`] | O(log m) (+ jobs-on-list upkeep) |
-//! | [`Assignment::set_pair`] | O(jobs moved + log m) |
-//! | [`Assignment::makespan`], [`Assignment::makespan_machine`] | O(1) |
-//! | [`Assignment::min_loaded_machine`] | O(1) |
-//! | [`Assignment::total_work`] | O(1) |
+//! | [`Assignment::move_job`] | O(1) amortized (+ jobs-on-list upkeep) |
+//! | [`Assignment::set_pair`] | O(jobs moved) amortized |
+//! | [`Assignment::makespan`], [`Assignment::makespan_machine`] | O(S) |
+//! | [`Assignment::min_loaded_machine`] | O(S) |
+//! | [`Assignment::total_work`] | O(S) |
 //! | [`Assignment::min_loaded_in`] | O(len of the candidate list) |
 //! | [`Assignment::validate`] | O(n + m) full recompute |
 //!
@@ -44,7 +45,8 @@ use crate::cost::{Time, INFEASIBLE};
 use crate::error::{LbError, Result};
 use crate::ids::{ClusterId, JobId, MachineId};
 use crate::instance::Instance;
-use crate::load_index::LoadIndex;
+use crate::shard_view::ShardView;
+use crate::sharded_index::ShardedLoadIndex;
 use serde::{Deserialize, Serialize};
 
 /// A partition of the jobs over the machines, with per-machine load
@@ -55,12 +57,13 @@ pub struct Assignment {
     machine_of: Vec<MachineId>,
     jobs_on: Vec<Vec<JobId>>,
     loads: Vec<u128>,
-    index: LoadIndex,
+    index: ShardedLoadIndex,
 }
 
 /// Serialized form of [`Assignment`]: exactly the logical state, with the
-/// derived [`LoadIndex`] rebuilt on deserialization (all machines
-/// active). Field names and order match the pre-index wire format.
+/// derived [`ShardedLoadIndex`] rebuilt on deserialization (one shard,
+/// all machines active). Field names and order match the pre-index wire
+/// format.
 #[derive(Serialize, Deserialize)]
 struct AssignmentData {
     machine_of: Vec<MachineId>,
@@ -70,7 +73,7 @@ struct AssignmentData {
 
 impl From<AssignmentData> for Assignment {
     fn from(d: AssignmentData) -> Self {
-        let index = LoadIndex::new(&d.loads);
+        let index = ShardedLoadIndex::new(&d.loads, 1);
         Self {
             machine_of: d.machine_of,
             jobs_on: d.jobs_on,
@@ -129,7 +132,7 @@ impl Assignment {
             jobs_on[m.idx()].push(job);
             loads[m.idx()] += u128::from(inst.cost(m, job));
         }
-        let index = LoadIndex::new(&loads);
+        let index = ShardedLoadIndex::new(&loads, 1);
         Ok(Self {
             machine_of,
             jobs_on,
@@ -355,8 +358,74 @@ impl Assignment {
         )
     }
 
+    /// Number of shards the load index is split into (1 unless
+    /// [`Assignment::set_shards`] was called; at least 1 even for an
+    /// empty assignment).
+    pub fn num_shards(&self) -> usize {
+        self.index.num_shards().max(1)
+    }
+
+    /// The index shard `machine` belongs to (shards cover contiguous
+    /// machine ranges of `ceil(m / S)` machines each).
+    #[inline]
+    pub fn shard_of(&self, machine: MachineId) -> usize {
+        self.index.shard_of(machine.idx())
+    }
+
+    /// Re-partitions the load index into (up to) `shards` contiguous
+    /// shards, preserving the active mask. Sharding never changes any
+    /// query answer — argmax/argmin/makespan and all tie-breaks are
+    /// merged across shards exactly as an unsharded scan would resolve
+    /// them — it only changes how the index can be split for parallel
+    /// rounds (see [`Assignment::with_shard_views`]). O(m).
+    pub fn set_shards(&mut self, shards: usize) {
+        let active: Vec<bool> = (0..self.loads.len())
+            .map(|i| self.index.is_active(i))
+            .collect();
+        self.index = ShardedLoadIndex::new(&self.loads, shards);
+        for (i, &a) in active.iter().enumerate() {
+            self.index.set_active(&self.loads, i, a);
+        }
+    }
+
+    /// Splits the assignment into one disjoint mutable [`ShardView`] per
+    /// index shard and runs `f` over them; job → machine writes recorded
+    /// by the views are applied (in shard order) after `f` returns.
+    ///
+    /// The views borrow disjoint ranges of the job lists, loads, and
+    /// index, so `f` may hand them to parallel workers. Each view may
+    /// only move jobs between machines of its own shard, which keeps the
+    /// recorded patches disjoint across shards.
+    pub fn with_shard_views<R>(&mut self, f: impl FnOnce(&mut [ShardView<'_>]) -> R) -> R {
+        if self.loads.is_empty() {
+            return f(&mut []);
+        }
+        let width = self.index.width();
+        let mut views: Vec<ShardView<'_>> = self
+            .jobs_on
+            .chunks_mut(width)
+            .zip(self.loads.chunks_mut(width))
+            .zip(self.index.shards_mut().iter_mut())
+            .enumerate()
+            .map(|(s, ((jobs_on, loads), index))| ShardView {
+                start: s * width,
+                jobs_on,
+                loads,
+                index,
+                patches: Vec::new(),
+            })
+            .collect();
+        let result = f(&mut views);
+        for view in &mut views {
+            for (job, machine) in view.take_patches() {
+                self.machine_of[job.idx()] = machine;
+            }
+        }
+        result
+    }
+
     /// Recomputes all loads from scratch and checks internal consistency,
-    /// including that the incremental [`LoadIndex`] and cached total
+    /// including that the incremental [`ShardedLoadIndex`] and cached total
     /// agree with a fresh full-scan rebuild.
     ///
     /// Intended for tests and debugging; library code keeps the invariants
@@ -399,7 +468,7 @@ impl Assignment {
 }
 
 #[inline]
-fn saturate(l: u128) -> Time {
+pub(crate) fn saturate(l: u128) -> Time {
     Time::try_from(l).unwrap_or(INFEASIBLE)
 }
 
@@ -634,10 +703,10 @@ mod tests {
     fn validate_detects_stale_index() {
         let inst = inst3x4();
         let mut asg = Assignment::round_robin(&inst);
-        // Rebuild the index over a different load vector so the trees and
+        // Rebuild the index over a different load vector so the arena and
         // cached total no longer match `loads`; the job-derived loads
         // themselves stay valid, so only the index check can catch this.
-        asg.index = LoadIndex::new(&[0, 0, 0]);
+        asg.index = ShardedLoadIndex::new(&[0, 0, 0], 1);
         assert_eq!(asg.validate(&inst).unwrap_err(), LbError::IndexOutOfSync);
     }
 

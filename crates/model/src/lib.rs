@@ -20,8 +20,15 @@
 //!   combining a cost structure with a machine-to-cluster map.
 //! * [`assignment`] — a mutable [`assignment::Assignment`] of
 //!   jobs to machines with incremental load bookkeeping.
-//! * [`load_index`] — tournament trees over machine loads giving the
-//!   assignment O(1) makespan/argmin queries with O(log m) updates.
+//! * [`load_index`] — a fused, lazily-repaired d-ary arena over machine
+//!   loads giving the assignment O(1) makespan/argmin queries with O(1)
+//!   amortized updates.
+//! * [`sharded_index`] — [`sharded_index::ShardedLoadIndex`]: the load
+//!   index partitioned into S contiguous shards, merged at query time;
+//!   the basis of parallel round execution in `lb-distsim`.
+//! * [`shard_view`] — [`shard_view::ShardView`]: a mutable per-shard
+//!   window over an assignment (disjoint across shards), handed out by
+//!   [`assignment::Assignment::with_shard_views`].
 //! * [`bounds`] — provable lower bounds on the optimal makespan.
 //! * [`exact`] — exact solvers (brute force and branch-and-bound) for small
 //!   instances, used to validate approximation guarantees in tests.
@@ -65,6 +72,8 @@ pub mod invariant;
 pub mod load_index;
 pub mod metrics;
 pub mod perturb;
+pub mod shard_view;
+pub mod sharded_index;
 
 pub use assignment::Assignment;
 pub use cost::{Costs, Time, INFEASIBLE};
@@ -73,6 +82,8 @@ pub use ids::{ClusterId, JobId, JobTypeId, MachineId};
 pub use instance::Instance;
 pub use invariant::{check_custody, InvariantViolation};
 pub use load_index::LoadIndex;
+pub use shard_view::ShardView;
+pub use sharded_index::ShardedLoadIndex;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -81,4 +92,6 @@ pub mod prelude {
     pub use crate::error::{LbError, Result};
     pub use crate::ids::{ClusterId, JobId, JobTypeId, MachineId};
     pub use crate::instance::Instance;
+    pub use crate::shard_view::ShardView;
+    pub use crate::sharded_index::ShardedLoadIndex;
 }

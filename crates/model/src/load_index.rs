@@ -1,19 +1,57 @@
-//! An incremental tournament-tree index over machine loads.
+//! An incremental fused-arena index over machine loads.
 //!
-//! [`LoadIndex`] is a pair of segment trees (argmax / argmin) over a slice
-//! of `u128` machine loads, maintained leaf-by-leaf: updating one
-//! machine's load costs O(log m), and the global argmax ("which machine
-//! attains the makespan"), the argmin over *active* machines ("cheapest
-//! online victim"), and the argmax over active machines are all O(1)
-//! reads of a tree root. [`crate::Assignment`] embeds one so that
-//! `makespan()` — which simulation probes call every round — stops being
-//! an O(m) rescan of all loads.
+//! [`LoadIndex`] answers three extremum queries over a slice of `u128`
+//! machine loads — the global argmax ("which machine attains the
+//! makespan"), the argmin over *active* machines ("cheapest online
+//! victim"), and the argmax over active machines — each in O(1), while a
+//! point update costs O(1) amortized. [`crate::Assignment`] embeds one so
+//! that `makespan()` — which simulation probes call every round — stops
+//! being an O(m) rescan of all loads.
 //!
-//! The index does not own the loads: every query and update takes the
-//! load slice as a parameter, and the caller (the assignment) guarantees
-//! the slice it passes is the one the tree was built over. Tie-breaking
-//! matches the naive scans the index replaces exactly, so swapping it in
-//! is observationally invisible:
+//! # Layout: one arena, not three trees
+//!
+//! Earlier revisions kept three independent implicit heaps (`max_all`,
+//! `min_act`, `max_act`), each a separate `Vec<u32>` padded to the next
+//! power of two, whose combine step chased candidate ids back into the
+//! loads slice. Every update walked three root paths through three cold
+//! vectors plus random lookups into `loads[]` — at m ≥ 1e5 the split
+//! working set fell out of cache and `move_job` degraded ~10x
+//! (BENCH_simcore.json). The index is now a single struct-of-arrays
+//! arena of d-ary tree [`Node`]s (d = [`FANOUT`]), sized to the *exact*
+//! node count (no power-of-two padding): each node fuses all three
+//! (load, machine-id) extremum records in one 64-byte, cache-line-sized
+//! record, so one repair step touches one line instead of three trees
+//! plus the loads array. Level 0 summarizes groups of [`FANOUT`]
+//! contiguous machines straight from the loads slice; level k summarizes
+//! groups of [`FANOUT`] level-(k-1) nodes.
+//!
+//! # Lazy repair, eager answers
+//!
+//! On top of the arena sit three always-valid O(1) caches, one per
+//! query. An update adjusts the caches directly (the algebra below) and
+//! only marks the machine's level-0 group *dirty*; the arena is repaired
+//! lazily, in bulk, the next time a cache is actually invalidated:
+//!
+//! * a non-champion's load changed: compare against the cached champion
+//!   — O(1), the arena stays stale;
+//! * the champion's load moved *favorably* (argmax grew, argmin shrank):
+//!   it stays champion — O(1);
+//! * the champion's load moved *adversely* or the champion went
+//!   offline: the cache is unknowable locally, so the dirty groups are
+//!   flushed (path repair per group, or a full rebuild when most groups
+//!   are dirty) and all three caches are re-read from the root.
+//!
+//! Queries therefore never see the stale arena and take `&self` (no
+//! interior mutability — the index stays `Sync`); adverse champion
+//! updates are rare in balancing workloads (the victim of an exchange is
+//! picked *because* it is extremal, and then both pair loads are
+//! re-written at once), so `move_job` costs a handful of compares.
+//!
+//! The index does not own the loads: every update takes the load slice
+//! as a parameter, and the caller (the assignment) guarantees the slice
+//! it passes is the one the index was built over. Tie-breaking matches
+//! the naive scans the index replaces exactly, so swapping it in is
+//! observationally invisible:
 //!
 //! * argmax ties resolve to the **highest** machine index (like
 //!   `Iterator::max_by_key`, which keeps the last maximum);
@@ -26,67 +64,132 @@
 //! is defined over all machines, while victim/target selection under
 //! churn must skip offline ones.
 
-/// Sentinel meaning "no machine" inside the trees.
+/// Sentinel meaning "no machine" inside nodes and caches.
 const NONE: u32 = u32::MAX;
 
-/// A tournament tree (segment tree) over machine loads with O(log m)
-/// point updates and O(1) argmax / argmin-over-active / argmax-over-active
-/// queries. See the [module docs](self) for tie-breaking guarantees.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Arity of the arena tree: each node summarizes up to this many
+/// machines (level 0) or children (upper levels). 8 keeps the whole
+/// internal arena ≈ m/7 nodes — about 9 MB at m = 1e6 versus 24 MB for
+/// the three padded binary trees it replaced — and makes a root path
+/// log8 m ≈ 7 levels deep at a million machines.
+const FANOUT: usize = 8;
+
+/// One fused record of the arena: the three extremum candidates of a
+/// machine group, each as an exact `u128` load plus a machine id.
+/// `repr(C)` keeps the three loads contiguous; the whole node is 64
+/// bytes (one cache line), so a combine reads each child in one line.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Node {
+    max_all_load: u128,
+    min_act_load: u128,
+    max_act_load: u128,
+    max_all_id: u32,
+    min_act_id: u32,
+    max_act_id: u32,
+}
+
+impl Node {
+    const EMPTY: Node = Node {
+        max_all_load: 0,
+        min_act_load: 0,
+        max_act_load: 0,
+        max_all_id: NONE,
+        min_act_id: NONE,
+        max_act_id: NONE,
+    };
+}
+
+/// `(load, id)` beats the current maximum candidate `(cur_load, cur_id)`
+/// lexicographically — load first, then *higher* id (so scanning in
+/// ascending id order keeps the last maximum, matching `max_by_key`).
+#[inline]
+pub(crate) fn beats_max(load: u128, id: u32, cur_load: u128, cur_id: u32) -> bool {
+    cur_id == NONE || load > cur_load || (load == cur_load && id > cur_id)
+}
+
+/// `(load, id)` beats the current minimum candidate: load first, then
+/// *lower* id (scanning in ascending id order keeps the first minimum,
+/// matching `min_by_key`).
+#[inline]
+pub(crate) fn beats_min(load: u128, id: u32, cur_load: u128, cur_id: u32) -> bool {
+    cur_id == NONE || load < cur_load || (load == cur_load && id < cur_id)
+}
+
+/// A fused, lazily-repaired d-ary extremum index over machine loads with
+/// O(1) amortized point updates and O(1) argmax / argmin-over-active /
+/// argmax-over-active queries. See the [module docs](self) for the
+/// layout and tie-breaking guarantees.
+#[derive(Debug, Clone)]
 pub struct LoadIndex {
-    /// Number of leaf slots; a power of two (0 for an empty index).
-    size: usize,
+    /// Number of machines indexed.
+    len: usize,
     /// Per-machine active flag.
     active: Vec<bool>,
-    /// Argmax over all machines. Implicit heap: node `i` has children
-    /// `2i`/`2i+1`, leaves at `size + machine`; entries are machine
-    /// indices (or [`NONE`] for padding).
-    max_all: Vec<u32>,
-    /// Argmin over active machines.
-    min_act: Vec<u32>,
-    /// Argmax over active machines.
-    max_act: Vec<u32>,
+    /// The arena: `levels[0]` summarizes machine groups of [`FANOUT`],
+    /// `levels[k]` summarizes groups of `levels[k-1]` nodes; the last
+    /// level holds the single root. Every level is sized to its exact
+    /// node count. Empty when `len == 0`.
+    levels: Vec<Vec<Node>>,
     /// Cached sum of all loads (exact, in `u128`).
     total: u128,
+    /// Always-valid caches (the authoritative query answers).
+    max_all_load: u128,
+    max_all_id: u32,
+    min_act_load: u128,
+    min_act_id: u32,
+    max_act_load: u128,
+    max_act_id: u32,
+    /// Level-0 groups whose arena nodes are stale (deduplicated).
+    dirty: Vec<u32>,
+    /// Dedup flags for `dirty`, one per level-0 group.
+    group_dirty: Vec<bool>,
 }
 
 impl LoadIndex {
     /// Builds the index over `loads` in O(m), with every machine active.
     pub fn new(loads: &[u128]) -> Self {
         let m = loads.len();
-        let size = m.next_power_of_two().max(usize::from(m > 0));
         let mut idx = Self {
-            size,
+            len: m,
             active: vec![true; m],
-            max_all: vec![NONE; 2 * size],
-            min_act: vec![NONE; 2 * size],
-            max_act: vec![NONE; 2 * size],
+            levels: Vec::new(),
             total: loads.iter().sum(),
+            max_all_load: 0,
+            max_all_id: NONE,
+            min_act_load: 0,
+            min_act_id: NONE,
+            max_act_load: 0,
+            max_act_id: NONE,
+            dirty: Vec::new(),
+            group_dirty: Vec::new(),
         };
         if m == 0 {
             return idx;
         }
-        for i in 0..m {
-            idx.max_all[size + i] = i as u32;
-            idx.min_act[size + i] = i as u32;
-            idx.max_act[size + i] = i as u32;
+        let groups = m.div_ceil(FANOUT);
+        idx.group_dirty = vec![false; groups];
+        let mut level_len = groups;
+        loop {
+            idx.levels.push(vec![Node::EMPTY; level_len]);
+            if level_len == 1 {
+                break;
+            }
+            level_len = level_len.div_ceil(FANOUT);
         }
-        for n in (1..size).rev() {
-            idx.max_all[n] = combine_max(loads, idx.max_all[2 * n], idx.max_all[2 * n + 1]);
-            idx.min_act[n] = combine_min(loads, idx.min_act[2 * n], idx.min_act[2 * n + 1]);
-            idx.max_act[n] = combine_max(loads, idx.max_act[2 * n], idx.max_act[2 * n + 1]);
-        }
+        idx.rebuild_arena(loads);
+        idx.read_caches_from_root();
         idx
     }
 
     /// Number of machines indexed.
     pub fn len(&self) -> usize {
-        self.active.len()
+        self.len
     }
 
     /// Whether the index covers no machines.
     pub fn is_empty(&self) -> bool {
-        self.active.is_empty()
+        self.len == 0
     }
 
     /// Cached total work `sum_i load(i)` (exact).
@@ -95,12 +198,54 @@ impl LoadIndex {
         self.total
     }
 
-    /// Records that machine `i`'s load changed from `old` to `loads[i]`,
-    /// repairing the O(log m) path to each tree root. `loads` must be the
-    /// post-change slice.
+    /// Records that machine `i`'s load changed from `old` to `loads[i]`.
+    /// `loads` must be the post-change slice. O(1) amortized: the arena
+    /// repair is deferred; only an *adverse* champion change (cached
+    /// argmax shrank / cached active argmin grew) flushes dirty groups.
     pub fn update(&mut self, loads: &[u128], i: usize, old: u128) {
-        self.total = self.total - old + loads[i];
-        self.repair(loads, i);
+        let new = loads[i];
+        self.total = self.total - old + new;
+        if new == old {
+            return;
+        }
+        self.mark_dirty(i / FANOUT);
+        let id = i as u32;
+        let mut stale = false;
+        if self.max_all_id == id {
+            if new >= old {
+                self.max_all_load = new;
+            } else {
+                stale = true;
+            }
+        } else if beats_max(new, id, self.max_all_load, self.max_all_id) {
+            self.max_all_load = new;
+            self.max_all_id = id;
+        }
+        if self.active[i] {
+            if self.min_act_id == id {
+                if new <= old {
+                    self.min_act_load = new;
+                } else {
+                    stale = true;
+                }
+            } else if beats_min(new, id, self.min_act_load, self.min_act_id) {
+                self.min_act_load = new;
+                self.min_act_id = id;
+            }
+            if self.max_act_id == id {
+                if new >= old {
+                    self.max_act_load = new;
+                } else {
+                    stale = true;
+                }
+            } else if beats_max(new, id, self.max_act_load, self.max_act_id) {
+                self.max_act_load = new;
+                self.max_act_id = id;
+            }
+        }
+        if stale {
+            self.refresh_caches(loads);
+        }
     }
 
     /// Whether machine `i` is active.
@@ -109,105 +254,250 @@ impl LoadIndex {
         self.active[i]
     }
 
-    /// Sets machine `i`'s active flag, repairing the active trees in
-    /// O(log m). A no-op when the flag already has that value.
+    /// Sets machine `i`'s active flag. A no-op when the flag already has
+    /// that value; O(1) unless the machine was a cached `*_active`
+    /// champion, in which case the dirty groups are flushed.
     pub fn set_active(&mut self, loads: &[u128], i: usize, active: bool) {
         if self.active[i] == active {
             return;
         }
         self.active[i] = active;
-        self.repair(loads, i);
+        self.mark_dirty(i / FANOUT);
+        let id = i as u32;
+        if active {
+            let load = loads[i];
+            if beats_min(load, id, self.min_act_load, self.min_act_id) {
+                self.min_act_load = load;
+                self.min_act_id = id;
+            }
+            if beats_max(load, id, self.max_act_load, self.max_act_id) {
+                self.max_act_load = load;
+                self.max_act_id = id;
+            }
+        } else if self.min_act_id == id || self.max_act_id == id {
+            self.refresh_caches(loads);
+        }
     }
 
     /// The machine with the maximal load, ties to the highest index
     /// (`None` only when the index is empty).
     #[inline]
     pub fn argmax(&self) -> Option<usize> {
-        leaf(self.max_all.get(1))
+        entry(self.max_all_id)
     }
 
     /// The *active* machine with the minimal load, ties to the lowest
     /// index (`None` when no machine is active).
     #[inline]
     pub fn argmin_active(&self) -> Option<usize> {
-        leaf(self.min_act.get(1))
+        entry(self.min_act_id)
     }
 
     /// The *active* machine with the maximal load, ties to the highest
     /// index (`None` when no machine is active).
     #[inline]
     pub fn argmax_active(&self) -> Option<usize> {
-        leaf(self.max_act.get(1))
+        entry(self.max_act_id)
     }
 
-    /// Recomputes the O(log m) root paths for leaf `i`.
-    fn repair(&mut self, loads: &[u128], i: usize) {
-        let leaf = self.size + i;
-        self.min_act[leaf] = if self.active[i] { i as u32 } else { NONE };
-        self.max_act[leaf] = self.min_act[leaf];
-        let mut n = leaf / 2;
-        while n >= 1 {
-            self.max_all[n] = combine_max(loads, self.max_all[2 * n], self.max_all[2 * n + 1]);
-            self.min_act[n] = combine_min(loads, self.min_act[2 * n], self.min_act[2 * n + 1]);
-            self.max_act[n] = combine_max(loads, self.max_act[2 * n], self.max_act[2 * n + 1]);
-            n /= 2;
+    /// The maximal `(load, machine)` over all machines, exact. Used by
+    /// [`crate::ShardedLoadIndex`] to merge shard roots.
+    #[inline]
+    pub fn max_all_entry(&self) -> Option<(u128, usize)> {
+        entry(self.max_all_id).map(|i| (self.max_all_load, i))
+    }
+
+    /// The minimal `(load, machine)` over active machines, exact.
+    #[inline]
+    pub fn min_active_entry(&self) -> Option<(u128, usize)> {
+        entry(self.min_act_id).map(|i| (self.min_act_load, i))
+    }
+
+    /// The maximal `(load, machine)` over active machines, exact.
+    #[inline]
+    pub fn max_active_entry(&self) -> Option<(u128, usize)> {
+        entry(self.max_act_id).map(|i| (self.max_act_load, i))
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, group: usize) {
+        if !self.group_dirty[group] {
+            self.group_dirty[group] = true;
+            self.dirty.push(group as u32);
         }
     }
 
-    /// Full-scan cross-check used by `Assignment::validate`: rebuilds the
-    /// index from scratch and compares every node and the cached total.
+    /// Total number of arena nodes (all levels).
+    fn node_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Brings every arena node up to date: repairs the root path of each
+    /// dirty group, or rebuilds all levels when most of the arena is
+    /// stale anyway.
+    fn flush(&mut self, loads: &[u128]) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        for &g in &dirty {
+            self.group_dirty[g as usize] = false;
+        }
+        if dirty.len() * self.levels.len() >= self.node_count() {
+            self.rebuild_arena(loads);
+        } else {
+            for &g in &dirty {
+                self.repair_path(loads, g as usize);
+            }
+        }
+    }
+
+    /// Recomputes the level-0 node of `group` and its ancestor chain.
+    ///
+    /// When several groups are repaired back to back, shared ancestors
+    /// are recomputed more than once; since each pass goes bottom-up, the
+    /// *last* pass over an ancestor sees only repaired descendants, so
+    /// the final arena is exact regardless of repair order.
+    fn repair_path(&mut self, loads: &[u128], group: usize) {
+        self.levels[0][group] = compute_leaf(loads, &self.active, self.len, group);
+        let mut i = group;
+        for k in 1..self.levels.len() {
+            i /= FANOUT;
+            let (lower, upper) = self.levels.split_at_mut(k);
+            upper[0][i] = compute_inner(&lower[k - 1], i);
+        }
+    }
+
+    /// Recomputes every arena node bottom-up in O(m).
+    fn rebuild_arena(&mut self, loads: &[u128]) {
+        for g in 0..self.levels[0].len() {
+            self.levels[0][g] = compute_leaf(loads, &self.active, self.len, g);
+        }
+        for k in 1..self.levels.len() {
+            let (lower, upper) = self.levels.split_at_mut(k);
+            for i in 0..upper[0].len() {
+                upper[0][i] = compute_inner(&lower[k - 1], i);
+            }
+        }
+    }
+
+    /// Flushes the arena and re-reads all three caches from the root.
+    fn refresh_caches(&mut self, loads: &[u128]) {
+        self.flush(loads);
+        self.read_caches_from_root();
+    }
+
+    fn read_caches_from_root(&mut self) {
+        let root = match self.levels.last() {
+            Some(level) => level[0],
+            None => Node::EMPTY,
+        };
+        self.max_all_load = root.max_all_load;
+        self.max_all_id = root.max_all_id;
+        self.min_act_load = root.min_act_load;
+        self.min_act_id = root.min_act_id;
+        self.max_act_load = root.max_act_load;
+        self.max_act_id = root.max_act_id;
+    }
+
+    /// Full-scan cross-check used by `Assignment::validate`: compares
+    /// the cached total, the caches, and the (flushed) arena against a
+    /// fresh from-scratch rebuild over `loads`.
     pub fn is_consistent_with(&self, loads: &[u128]) -> bool {
-        if loads.len() != self.active.len() {
+        if loads.len() != self.len {
+            return false;
+        }
+        if self.total != loads.iter().sum::<u128>() {
             return false;
         }
         let mut fresh = Self::new(loads);
         for (i, &a) in self.active.iter().enumerate() {
             fresh.set_active(loads, i, a);
         }
-        fresh == *self
+        fresh.flush(loads);
+        let mut mine = self.clone();
+        mine.flush(loads);
+        mine.levels == fresh.levels
+            && (mine.max_all_load, mine.max_all_id) == (fresh.max_all_load, fresh.max_all_id)
+            && (mine.min_act_load, mine.min_act_id) == (fresh.min_act_load, fresh.min_act_id)
+            && (mine.max_act_load, mine.max_act_id) == (fresh.max_act_load, fresh.max_act_id)
     }
 }
 
 #[inline]
-fn leaf(node: Option<&u32>) -> Option<usize> {
-    match node {
-        Some(&i) if i != NONE => Some(i as usize),
-        _ => None,
-    }
+fn entry(id: u32) -> Option<usize> {
+    (id != NONE).then_some(id as usize)
 }
 
-/// Argmax combine; `b` is the right (higher-index) child's candidate, so
-/// `>=` keeps the highest index on ties — matching `max_by_key`.
-#[inline]
-fn combine_max(loads: &[u128], a: u32, b: u32) -> u32 {
-    match (a, b) {
-        (NONE, x) => x,
-        (x, NONE) => x,
-        (a, b) => {
-            if loads[b as usize] >= loads[a as usize] {
-                b
-            } else {
-                a
+/// Summarizes machines `[group*FANOUT, min((group+1)*FANOUT, len))`
+/// directly from the loads slice and active flags.
+fn compute_leaf(loads: &[u128], active: &[bool], len: usize, group: usize) -> Node {
+    let lo = group * FANOUT;
+    let hi = (lo + FANOUT).min(len);
+    let mut node = Node::EMPTY;
+    for (i, &load) in loads.iter().enumerate().take(hi).skip(lo) {
+        let id = i as u32;
+        if beats_max(load, id, node.max_all_load, node.max_all_id) {
+            node.max_all_load = load;
+            node.max_all_id = id;
+        }
+        if active[i] {
+            if beats_min(load, id, node.min_act_load, node.min_act_id) {
+                node.min_act_load = load;
+                node.min_act_id = id;
+            }
+            if beats_max(load, id, node.max_act_load, node.max_act_id) {
+                node.max_act_load = load;
+                node.max_act_id = id;
             }
         }
     }
+    node
 }
 
-/// Argmin combine; `a` is the left (lower-index) child's candidate, so
-/// `<=` keeps the lowest index on ties — matching `min_by_key`.
-#[inline]
-fn combine_min(loads: &[u128], a: u32, b: u32) -> u32 {
-    match (a, b) {
-        (NONE, x) => x,
-        (x, NONE) => x,
-        (a, b) => {
-            if loads[a as usize] <= loads[b as usize] {
-                a
-            } else {
-                b
-            }
+/// Combines children `[i*FANOUT, min((i+1)*FANOUT, level.len()))` of the
+/// lower level into one node. Lexicographic `(load, id)` selection makes
+/// the combine order-independent and preserves the scan tie-breaks.
+fn compute_inner(lower: &[Node], i: usize) -> Node {
+    let lo = i * FANOUT;
+    let hi = (lo + FANOUT).min(lower.len());
+    let mut node = Node::EMPTY;
+    for child in &lower[lo..hi] {
+        if child.max_all_id != NONE
+            && beats_max(
+                child.max_all_load,
+                child.max_all_id,
+                node.max_all_load,
+                node.max_all_id,
+            )
+        {
+            node.max_all_load = child.max_all_load;
+            node.max_all_id = child.max_all_id;
+        }
+        if child.min_act_id != NONE
+            && beats_min(
+                child.min_act_load,
+                child.min_act_id,
+                node.min_act_load,
+                node.min_act_id,
+            )
+        {
+            node.min_act_load = child.min_act_load;
+            node.min_act_id = child.min_act_id;
+        }
+        if child.max_act_id != NONE
+            && beats_max(
+                child.max_act_load,
+                child.max_act_id,
+                node.max_act_load,
+                node.max_act_id,
+            )
+        {
+            node.max_act_load = child.max_act_load;
+            node.max_act_id = child.max_act_id;
         }
     }
+    node
 }
 
 #[cfg(test)]
@@ -229,6 +519,20 @@ mod tests {
             .filter(|&(i, _)| active[i])
             .min_by_key(|(_, &l)| l)
             .map(|(i, _)| i)
+    }
+
+    fn naive_argmax_active(loads: &[u128], active: &[bool]) -> Option<usize> {
+        loads
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| active[i])
+            .max_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+    }
+
+    #[test]
+    fn node_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<Node>(), 64);
     }
 
     #[test]
@@ -257,6 +561,29 @@ mod tests {
     }
 
     #[test]
+    fn arena_is_exactly_sized_for_non_power_of_two_m() {
+        // No power-of-two padding: each level holds exactly
+        // ceil(prev / FANOUT) nodes, down to a single root.
+        for m in [1usize, 7, 8, 9, 63, 64, 65, 100, 1000, 1_000_001] {
+            let loads = vec![1u128; m];
+            let idx = LoadIndex::new(&loads);
+            let mut expect = m.div_ceil(FANOUT);
+            for (k, level) in idx.levels.iter().enumerate() {
+                assert_eq!(level.len(), expect, "m={m} level={k}");
+                expect = expect.div_ceil(FANOUT);
+            }
+            assert_eq!(idx.levels.last().unwrap().len(), 1, "m={m} root");
+            // The whole arena is < m/(FANOUT-1) + levels nodes — strictly
+            // smaller than the machine count it indexes (for m > 1).
+            let nodes = idx.node_count();
+            assert!(
+                nodes <= m.div_ceil(FANOUT - 1) + idx.levels.len(),
+                "m={m}: {nodes} nodes"
+            );
+        }
+    }
+
+    #[test]
     fn tie_breaking_matches_naive_scans() {
         // All-equal loads: argmax must be the LAST index, argmin the FIRST.
         let loads = vec![4u128; 6];
@@ -280,6 +607,30 @@ mod tests {
             assert_eq!(idx.total(), loads.iter().sum::<u128>());
             assert!(idx.is_consistent_with(&loads));
         }
+    }
+
+    #[test]
+    fn adverse_champion_updates_recover_across_groups() {
+        // m > FANOUT so the arena has two levels; repeatedly demote the
+        // current champion so every update takes the flush path.
+        let mut loads: Vec<u128> = (0..20).map(|i| 100 + i as u128).collect();
+        let mut idx = LoadIndex::new(&loads);
+        for step in 0..40 {
+            let champ = idx.argmax().unwrap();
+            let old = loads[champ];
+            loads[champ] = step % 7; // crash the maximum
+            idx.update(&loads, champ, old);
+            assert_eq!(idx.argmax(), naive_argmax(&loads), "step {step}");
+            assert_eq!(
+                idx.argmin_active(),
+                naive_argmin_active(&loads, &[true; 20])
+            );
+            assert_eq!(
+                idx.argmax_active(),
+                naive_argmax_active(&loads, &[true; 20])
+            );
+        }
+        assert!(idx.is_consistent_with(&loads));
     }
 
     #[test]
@@ -312,6 +663,15 @@ mod tests {
     }
 
     #[test]
+    fn entries_expose_exact_loads() {
+        let loads: Vec<u128> = vec![5, 1, 8, 2];
+        let idx = LoadIndex::new(&loads);
+        assert_eq!(idx.max_all_entry(), Some((8, 2)));
+        assert_eq!(idx.min_active_entry(), Some((1, 1)));
+        assert_eq!(idx.max_active_entry(), Some((8, 2)));
+    }
+
+    #[test]
     fn consistency_check_detects_stale_trees() {
         let loads: Vec<u128> = vec![1, 2, 3];
         let idx = LoadIndex::new(&loads);
@@ -320,5 +680,50 @@ mod tests {
         assert!(idx.is_consistent_with(&loads));
         assert!(!idx.is_consistent_with(&corrupted));
         assert!(!idx.is_consistent_with(&loads[..2]));
+    }
+
+    #[test]
+    fn randomized_ops_match_naive_scans() {
+        // Deterministic pseudo-random op mix across group boundaries.
+        let m = 37usize; // non-power-of-two, two arena levels
+        let mut loads: Vec<u128> = (0..m).map(|i| (i * 13 % 29) as u128).collect();
+        let mut active = vec![true; m];
+        let mut idx = LoadIndex::new(&loads);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let i = (next() % m as u64) as usize;
+            match next() % 4 {
+                0 => {
+                    let old = loads[i];
+                    loads[i] = u128::from(next() % 50);
+                    idx.update(&loads, i, old);
+                }
+                1 => {
+                    active[i] = !active[i];
+                    idx.set_active(&loads, i, active[i]);
+                }
+                2 => {
+                    let old = loads[i];
+                    loads[i] = old.saturating_sub(u128::from(next() % 5));
+                    idx.update(&loads, i, old);
+                }
+                _ => {
+                    let old = loads[i];
+                    loads[i] = old + u128::from(next() % 5);
+                    idx.update(&loads, i, old);
+                }
+            }
+            assert_eq!(idx.argmax(), naive_argmax(&loads));
+            assert_eq!(idx.argmin_active(), naive_argmin_active(&loads, &active));
+            assert_eq!(idx.argmax_active(), naive_argmax_active(&loads, &active));
+            assert_eq!(idx.total(), loads.iter().sum::<u128>());
+        }
+        assert!(idx.is_consistent_with(&loads));
     }
 }

@@ -1,0 +1,191 @@
+//! A mutable per-shard window over an [`crate::Assignment`].
+//!
+//! [`Assignment::with_shard_views`](crate::Assignment::with_shard_views)
+//! splits an assignment into one [`ShardView`] per index shard: each view
+//! owns `&mut` access to its shard's job lists, load accumulators, and
+//! [`LoadIndex`], and the views are *disjoint*, so a parallel round
+//! driver (see `lb-distsim`) can hand each shard to a different rayon
+//! worker without locks or `unsafe` — the borrow checker sees S
+//! non-overlapping `&mut` windows.
+//!
+//! The one piece of assignment state a view cannot write is the global
+//! job → machine map (it is indexed by job, not by machine, so it does
+//! not split along shard boundaries). Views record those writes as
+//! *patches* instead; `with_shard_views` applies them after the closure
+//! returns. Within one parallel wave only a job's owning shard may move
+//! it, so patches from different shards touch disjoint jobs and their
+//! application order across shards is irrelevant.
+//!
+//! [`ShardView::set_pair`] mirrors
+//! [`Assignment::set_pair`](crate::Assignment::set_pair) exactly
+//! (including the debug multiset check and the order in which loads and
+//! the index are refreshed), which is what makes a sharded parallel
+//! round byte-identical to the sequential round that commits through the
+//! assignment — the property `lb-distsim`'s equivalence proptests pin.
+
+use crate::cost::Time;
+use crate::ids::{JobId, MachineId};
+use crate::instance::Instance;
+use crate::load_index::LoadIndex;
+
+/// A disjoint mutable window over one shard of an assignment: machines
+/// `[start, start + loads.len())`. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardView<'a> {
+    pub(crate) start: usize,
+    pub(crate) jobs_on: &'a mut [Vec<JobId>],
+    pub(crate) loads: &'a mut [u128],
+    pub(crate) index: &'a mut LoadIndex,
+    pub(crate) patches: Vec<(JobId, MachineId)>,
+}
+
+impl ShardView<'_> {
+    /// First (global) machine id covered by this shard.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last (global) machine id covered by this shard.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.start + self.loads.len()
+    }
+
+    /// Whether `machine` falls inside this shard.
+    #[inline]
+    pub fn contains(&self, machine: MachineId) -> bool {
+        (self.start..self.end()).contains(&machine.idx())
+    }
+
+    #[inline]
+    fn local(&self, machine: MachineId) -> usize {
+        debug_assert!(
+            self.contains(machine),
+            "machine {machine:?} outside shard [{}, {})",
+            self.start,
+            self.end()
+        );
+        machine.idx() - self.start
+    }
+
+    /// The jobs currently assigned to `machine` (must be in-shard).
+    #[inline]
+    pub fn jobs_on(&self, machine: MachineId) -> &[JobId] {
+        &self.jobs_on[self.local(machine)]
+    }
+
+    /// Completion time of `machine` (must be in-shard), saturating like
+    /// [`crate::Assignment::load`].
+    #[inline]
+    pub fn load(&self, machine: MachineId) -> Time {
+        crate::assignment::saturate(self.loads[self.local(machine)])
+    }
+
+    /// Atomically redistributes the jobs of two in-shard machines —
+    /// [`crate::Assignment::set_pair`] scoped to this shard. Job →
+    /// machine writes are recorded as patches (applied by
+    /// `with_shard_views` when the closure returns).
+    pub fn set_pair(
+        &mut self,
+        inst: &Instance,
+        m1: MachineId,
+        m2: MachineId,
+        jobs1: Vec<JobId>,
+        jobs2: Vec<JobId>,
+    ) {
+        debug_assert_ne!(m1, m2, "set_pair requires two distinct machines");
+        let (l1idx, l2idx) = (self.local(m1), self.local(m2));
+        #[cfg(debug_assertions)]
+        {
+            let mut before: Vec<JobId> = self.jobs_on[l1idx]
+                .iter()
+                .chain(self.jobs_on[l2idx].iter())
+                .copied()
+                .collect();
+            let mut after: Vec<JobId> = jobs1.iter().chain(jobs2.iter()).copied().collect();
+            before.sort_unstable();
+            after.sort_unstable();
+            debug_assert_eq!(before, after, "set_pair must preserve the job multiset");
+        }
+        let mut l1 = 0u128;
+        for &j in &jobs1 {
+            self.patches.push((j, m1));
+            l1 += u128::from(inst.cost(m1, j));
+        }
+        let mut l2 = 0u128;
+        for &j in &jobs2 {
+            self.patches.push((j, m2));
+            l2 += u128::from(inst.cost(m2, j));
+        }
+        let old_l1 = self.loads[l1idx];
+        let old_l2 = self.loads[l2idx];
+        self.loads[l1idx] = l1;
+        self.loads[l2idx] = l2;
+        self.index.update(self.loads, l1idx, old_l1);
+        self.index.update(self.loads, l2idx, old_l2);
+        self.jobs_on[l1idx] = jobs1;
+        self.jobs_on[l2idx] = jobs2;
+    }
+
+    /// Drains the recorded job → machine patches (crate-internal; called
+    /// by `with_shard_views`).
+    pub(crate) fn take_patches(&mut self) -> Vec<(JobId, MachineId)> {
+        std::mem::take(&mut self.patches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn inst3x4() -> Instance {
+        Instance::dense(3, 4, vec![2, 4, 6, 8, 1, 1, 1, 1, 5, 5, 5, 5]).unwrap()
+    }
+
+    #[test]
+    fn set_pair_through_a_view_matches_assignment_set_pair() {
+        let inst = inst3x4();
+        let mut via_view = Assignment::all_on(&inst, MachineId(0));
+        let mut direct = via_view.clone();
+        via_view.set_shards(1);
+        via_view.with_shard_views(|views| {
+            assert_eq!(views.len(), 1);
+            views[0].set_pair(
+                &inst,
+                MachineId(0),
+                MachineId(1),
+                vec![JobId(0), JobId(1)],
+                vec![JobId(2), JobId(3)],
+            );
+            assert_eq!(views[0].load(MachineId(0)), 6);
+            assert_eq!(views[0].jobs_on(MachineId(1)), &[JobId(2), JobId(3)]);
+        });
+        direct.set_pair(
+            &inst,
+            MachineId(0),
+            MachineId(1),
+            vec![JobId(0), JobId(1)],
+            vec![JobId(2), JobId(3)],
+        );
+        assert_eq!(via_view, direct);
+        assert_eq!(via_view.machine_of(JobId(2)), MachineId(1));
+        via_view.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn views_split_machines_along_shard_boundaries() {
+        let inst = inst3x4();
+        let mut asg = Assignment::round_robin(&inst);
+        asg.set_shards(2); // width 2: shards {0,1} and {2}
+        asg.with_shard_views(|views| {
+            assert_eq!(views.len(), 2);
+            assert_eq!((views[0].start(), views[0].end()), (0, 2));
+            assert_eq!((views[1].start(), views[1].end()), (2, 3));
+            assert!(views[0].contains(MachineId(1)));
+            assert!(!views[0].contains(MachineId(2)));
+            assert_eq!(views[1].load(MachineId(2)), 5);
+        });
+        asg.validate(&inst).unwrap();
+    }
+}

@@ -1,0 +1,252 @@
+//! A sharded wrapper over [`LoadIndex`]: machines partitioned into S
+//! contiguous shards, each with its own flat index.
+//!
+//! [`ShardedLoadIndex`] is what [`crate::Assignment`] actually embeds
+//! (with S = 1 by default). Global queries merge the S shard roots at
+//! query time — an O(S) fold over exact `(load, machine)` entries, still
+//! effectively O(1) for S ≤ 64 — so every answer, including every
+//! tie-break, is **identical for any shard count**: sharding is purely a
+//! parallelism/locality knob, never a semantics knob. That invariance is
+//! what lets `decent-lb simulate --shards N` promise byte-identical
+//! output to the unsharded run, and what the `sharded_index_equivalence`
+//! proptest pins down.
+//!
+//! The payoff of the partition is mutation locality: a shard's index can
+//! be repaired independently of every other shard, which is how
+//! `Assignment::with_shard_views` hands disjoint `&mut` shard views to a
+//! rayon-parallel round driver (`lb-distsim`).
+
+use crate::load_index::{beats_max, beats_min, LoadIndex};
+
+/// S contiguous-range shards of a [`LoadIndex`], merged at query time.
+/// See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ShardedLoadIndex {
+    /// Machines per shard (the last shard may be smaller). 1 when empty.
+    width: usize,
+    /// Total number of machines.
+    len: usize,
+    shards: Vec<LoadIndex>,
+}
+
+impl ShardedLoadIndex {
+    /// Builds the index over `loads` split into (up to) `shards`
+    /// contiguous shards, every machine active. Shard counts are clamped
+    /// to `[1, m]`; each shard spans `ceil(m / S)` machines.
+    pub fn new(loads: &[u128], shards: usize) -> Self {
+        let len = loads.len();
+        let s = shards.clamp(1, len.max(1));
+        let width = len.div_ceil(s).max(1);
+        Self {
+            width,
+            len,
+            shards: loads.chunks(width).map(LoadIndex::new).collect(),
+        }
+    }
+
+    /// Number of shards (0 only when the index covers no machines).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Machines per shard (the last shard may cover fewer).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The shard machine `i` belongs to.
+    #[inline]
+    pub fn shard_of(&self, i: usize) -> usize {
+        i / self.width
+    }
+
+    /// Number of machines indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index covers no machines.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to the per-shard indexes, for
+    /// `Assignment::with_shard_views` (shard s indexes machines
+    /// `[s * width, min((s+1) * width, m))` with shard-local ids).
+    pub(crate) fn shards_mut(&mut self) -> &mut [LoadIndex] {
+        &mut self.shards
+    }
+
+    /// The global-loads subrange covered by shard `s`.
+    #[inline]
+    fn range(&self, s: usize) -> (usize, usize) {
+        let lo = s * self.width;
+        (lo, (lo + self.width).min(self.len))
+    }
+
+    /// Total work `sum_i load(i)` (exact), folded over shard totals.
+    pub fn total(&self) -> u128 {
+        self.shards.iter().map(LoadIndex::total).sum()
+    }
+
+    /// Records that machine `i`'s load changed from `old` to `loads[i]`.
+    /// `loads` is the full (global) post-change slice.
+    #[inline]
+    pub fn update(&mut self, loads: &[u128], i: usize, old: u128) {
+        let s = i / self.width;
+        let (lo, hi) = self.range(s);
+        self.shards[s].update(&loads[lo..hi], i - lo, old);
+    }
+
+    /// Whether machine `i` is active.
+    #[inline]
+    pub fn is_active(&self, i: usize) -> bool {
+        self.shards[i / self.width].is_active(i % self.width)
+    }
+
+    /// Sets machine `i`'s active flag (no-op when unchanged).
+    pub fn set_active(&mut self, loads: &[u128], i: usize, active: bool) {
+        let s = i / self.width;
+        let (lo, hi) = self.range(s);
+        self.shards[s].set_active(&loads[lo..hi], i - lo, active);
+    }
+
+    /// The machine with the maximal load, ties to the highest index;
+    /// merged over shard roots in O(S).
+    pub fn argmax(&self) -> Option<usize> {
+        self.merge(LoadIndex::max_all_entry, beats_max)
+    }
+
+    /// The *active* machine with the minimal load, ties to the lowest
+    /// index; merged over shard roots in O(S).
+    pub fn argmin_active(&self) -> Option<usize> {
+        self.merge(LoadIndex::min_active_entry, beats_min)
+    }
+
+    /// The *active* machine with the maximal load, ties to the highest
+    /// index; merged over shard roots in O(S).
+    pub fn argmax_active(&self) -> Option<usize> {
+        self.merge(LoadIndex::max_active_entry, beats_max)
+    }
+
+    /// Folds one `(load, local-id)` entry per shard into the global
+    /// winner under the given lexicographic predicate. Shards cover
+    /// disjoint contiguous id ranges, so translating the winner's local
+    /// id to `s * width + local` preserves every scan tie-break.
+    fn merge(
+        &self,
+        per_shard: impl Fn(&LoadIndex) -> Option<(u128, usize)>,
+        beats: impl Fn(u128, u32, u128, u32) -> bool,
+    ) -> Option<usize> {
+        let mut best_load = 0u128;
+        let mut best_id = u32::MAX;
+        let mut found = false;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Some((load, local)) = per_shard(shard) {
+                let gid = (s * self.width + local) as u32;
+                if !found || beats(load, gid, best_load, best_id) {
+                    best_load = load;
+                    best_id = gid;
+                    found = true;
+                }
+            }
+        }
+        found.then_some(best_id as usize)
+    }
+
+    /// Full-scan cross-check used by `Assignment::validate`: every shard
+    /// must be consistent with its slice of `loads`, and the shard
+    /// geometry must cover `loads` exactly.
+    pub fn is_consistent_with(&self, loads: &[u128]) -> bool {
+        if loads.len() != self.len {
+            return false;
+        }
+        if self.shards.len() != self.len.div_ceil(self.width.max(1)) {
+            return false;
+        }
+        self.shards
+            .iter()
+            .zip(loads.chunks(self.width))
+            .all(|(shard, chunk)| shard.is_consistent_with(chunk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_argmax(loads: &[u128]) -> Option<usize> {
+        loads
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx = ShardedLoadIndex::new(&[], 4);
+        assert!(idx.is_empty());
+        assert_eq!(idx.argmax(), None);
+        assert_eq!(idx.num_shards(), 0);
+
+        let idx = ShardedLoadIndex::new(&[7], 4);
+        assert_eq!(idx.num_shards(), 1, "shard count clamps to m");
+        assert_eq!(idx.argmax(), Some(0));
+        assert_eq!(idx.total(), 7);
+    }
+
+    #[test]
+    fn queries_are_shard_count_invariant() {
+        let loads: Vec<u128> = vec![4, 9, 9, 1, 1, 4, 9, 2, 6, 6, 9];
+        let reference = ShardedLoadIndex::new(&loads, 1);
+        for s in 1..=loads.len() + 2 {
+            let idx = ShardedLoadIndex::new(&loads, s);
+            assert_eq!(idx.argmax(), reference.argmax(), "s={s}");
+            assert_eq!(idx.argmin_active(), reference.argmin_active(), "s={s}");
+            assert_eq!(idx.argmax_active(), reference.argmax_active(), "s={s}");
+            assert_eq!(idx.total(), reference.total(), "s={s}");
+            assert!(idx.is_consistent_with(&loads), "s={s}");
+        }
+        // And invariant to the naive scans themselves.
+        assert_eq!(reference.argmax(), naive_argmax(&loads));
+    }
+
+    #[test]
+    fn tie_breaks_cross_shard_boundaries() {
+        // Equal maxima in different shards: the global argmax must be
+        // the highest id, the active argmin the lowest, exactly as an
+        // unsharded scan would pick.
+        let loads = vec![5u128; 10];
+        let idx = ShardedLoadIndex::new(&loads, 3);
+        assert_eq!(idx.argmax(), Some(9));
+        assert_eq!(idx.argmin_active(), Some(0));
+        assert_eq!(idx.argmax_active(), Some(9));
+    }
+
+    #[test]
+    fn updates_and_active_route_to_the_right_shard() {
+        let mut loads: Vec<u128> = (0..10).map(|i| i as u128).collect();
+        let mut idx = ShardedLoadIndex::new(&loads, 3);
+        let old = loads[9];
+        loads[9] = 0;
+        idx.update(&loads, 9, old);
+        assert_eq!(idx.argmax(), Some(8));
+        idx.set_active(&loads, 9, false);
+        assert!(!idx.is_active(9));
+        assert_eq!(idx.argmin_active(), Some(0));
+        idx.set_active(&loads, 0, false);
+        assert_eq!(idx.argmin_active(), Some(1));
+        assert!(idx.is_consistent_with(&loads));
+    }
+
+    #[test]
+    fn consistency_check_detects_wrong_loads() {
+        let loads: Vec<u128> = vec![1, 2, 3, 4, 5];
+        let idx = ShardedLoadIndex::new(&loads, 2);
+        assert!(idx.is_consistent_with(&loads));
+        assert!(!idx.is_consistent_with(&[1, 2, 3, 4, 50]));
+        assert!(!idx.is_consistent_with(&loads[..4]));
+    }
+}

@@ -243,3 +243,81 @@ proptest! {
         prop_assert!(bb <= rr.makespan());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite invariant of the sharded hot path: an assignment whose
+    /// index is split into S shards answers every query — makespan,
+    /// argmax, active argmin/argmax, total work, every tie-break —
+    /// identically to the unsharded (S = 1) assignment, across arbitrary
+    /// interleavings of `move_job`, `set_pair`, and offline toggles.
+    #[test]
+    fn sharded_assignment_equals_unsharded(
+        (inst, ops, shards) in small_dense().prop_flat_map(|inst| {
+            let ops = proptest::collection::vec(
+                (0u8..=2, 0u32..64, 0u32..64),
+                0..40,
+            );
+            (Just(inst), ops, 2usize..=6)
+        }),
+    ) {
+        let m = inst.num_machines();
+        let n = inst.num_jobs();
+        let mut unsharded = Assignment::round_robin(&inst);
+        let mut sharded = unsharded.clone();
+        sharded.set_shards(shards);
+        for (kind, a, b) in ops {
+            match kind {
+                0 if n > 0 => {
+                    let j = JobId::from_idx(a as usize % n);
+                    let to = MachineId::from_idx(b as usize % m);
+                    unsharded.move_job(&inst, j, to);
+                    sharded.move_job(&inst, j, to);
+                }
+                1 => {
+                    let m1 = a as usize % m;
+                    let m2 = b as usize % m;
+                    if m1 != m2 {
+                        let union: Vec<JobId> = unsharded
+                            .jobs_on(MachineId::from_idx(m1))
+                            .iter()
+                            .chain(unsharded.jobs_on(MachineId::from_idx(m2)).iter())
+                            .copied()
+                            .collect();
+                        let jobs1: Vec<JobId> = union.iter().copied().step_by(2).collect();
+                        let jobs2: Vec<JobId> =
+                            union.iter().copied().skip(1).step_by(2).collect();
+                        unsharded.set_pair(
+                            &inst,
+                            MachineId::from_idx(m1),
+                            MachineId::from_idx(m2),
+                            jobs1.clone(),
+                            jobs2.clone(),
+                        );
+                        sharded.set_pair(
+                            &inst,
+                            MachineId::from_idx(m1),
+                            MachineId::from_idx(m2),
+                            jobs1,
+                            jobs2,
+                        );
+                    }
+                }
+                _ => {
+                    let mm = MachineId::from_idx(a as usize % m);
+                    let on = b % 2 == 0;
+                    unsharded.set_machine_active(mm, on);
+                    sharded.set_machine_active(mm, on);
+                }
+            }
+            prop_assert_eq!(sharded.makespan(), unsharded.makespan());
+            prop_assert_eq!(sharded.makespan_machine(), unsharded.makespan_machine());
+            prop_assert_eq!(sharded.min_loaded_active(), unsharded.min_loaded_active());
+            prop_assert_eq!(sharded.max_loaded_active(), unsharded.max_loaded_active());
+            prop_assert_eq!(sharded.total_work(), unsharded.total_work());
+        }
+        prop_assert_eq!(&sharded, &unsharded);
+        prop_assert!(sharded.validate(&inst).is_ok());
+    }
+}

@@ -12,7 +12,18 @@
 //! makespan) goes through a [`BaselineCache`] keyed by the instance
 //! digest, so shared instances are solved once, not once per replication.
 //!
+//! Each replication shards its load index (`SHARDS` below, the
+//! programmatic twin of the CLI's `--shards` flag). Sharding is a pure
+//! layout knob — queries merge the per-shard roots, so every number this
+//! example prints is identical for any shard count; only the memory
+//! layout (and the batch driver's parallelism) changes. Set `SHARDS` to 1
+//! to convince yourself.
+//!
 //! Run with: `cargo run --release --example campaign_sweep`
+//!
+//! The same sweep through the CLI (one grid point, with sharding):
+//! `decent-lb simulate --workload two-cluster --m1 64 --m2 32 \
+//!    --jobs 768 --replications 8 --shards 8 --out-dir results`
 
 use decent_lb::algorithms::{clb2c, Dlb2cBalance};
 use decent_lb::distsim::{run_gossip, GossipConfig};
@@ -23,6 +34,8 @@ use decent_lb::workloads::two_cluster::paper_two_cluster;
 fn main() {
     let jobs_grid = [192usize, 384, 768, 1536];
     let reps = 8u64;
+    // Load-index shard count; results are identical for every value.
+    const SHARDS: usize = 8;
     let spec = CampaignSpec {
         base_seed: 42,
         replications: reps,
@@ -40,6 +53,7 @@ fn main() {
             clb2c(&inst).expect("two-cluster instance").makespan()
         });
         let mut asg = random_assignment(&inst, cell.seed(42));
+        asg.set_shards(SHARDS);
         let cfg = GossipConfig {
             max_rounds: 20_000,
             seed: cell.seed(42),

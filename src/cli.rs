@@ -278,6 +278,7 @@ impl Cli {
         if reps == 0 {
             return Err(CliError("--replications must be >= 1".into()));
         }
+        let shards = self.get_shards()?;
         let schedule = match self.get_str("schedule", "uniform").as_str() {
             "uniform" => PairSchedule::UniformRandom,
             "rotating" => PairSchedule::RotatingHost,
@@ -303,13 +304,29 @@ impl Cli {
             None => SimRunner::new(&name),
         };
         match self.get_str("algo", "dlb2c").as_str() {
-            "dlb2c" => self.simulate_with(&inst, &cfg, reps, &Dlb2cBalance, &runner),
-            "mjtb" => self.simulate_with(&inst, &cfg, reps, &TypedPairBalance, &runner),
-            "unrelated" => self.simulate_with(&inst, &cfg, reps, &UnrelatedPairBalance, &runner),
+            "dlb2c" => self.simulate_with(&inst, &cfg, reps, shards, &Dlb2cBalance, &runner),
+            "mjtb" => self.simulate_with(&inst, &cfg, reps, shards, &TypedPairBalance, &runner),
+            "unrelated" => {
+                self.simulate_with(&inst, &cfg, reps, shards, &UnrelatedPairBalance, &runner)
+            }
             other => Err(CliError(format!(
                 "unknown algorithm '{other}' (dlb2c | mjtb | unrelated)"
             ))),
         }
+    }
+
+    /// Parses `--shards` (load-index shard count, default 1). Sharding
+    /// partitions the assignment's load index so queries merge S shard
+    /// roots and batch drivers can run shard-local exchanges in
+    /// parallel; results are identical for every value (the sharded
+    /// index is draw-for-draw equivalent to the unsharded one), so this
+    /// is purely a layout/parallelism knob.
+    fn get_shards(&self) -> CliResult<usize> {
+        let shards: usize = self.get("shards", 1)?;
+        if shards == 0 {
+            return Err(CliError("--shards must be >= 1".into()));
+        }
+        Ok(shards)
     }
 
     fn simulate_with<B: PairwiseBalancer + Sync>(
@@ -317,6 +334,7 @@ impl Cli {
         inst: &Instance,
         cfg: &GossipConfig,
         reps: u64,
+        shards: usize,
         balancer: &B,
         runner: &SimRunner,
     ) -> CliResult<String> {
@@ -328,12 +346,12 @@ impl Cli {
             "record_every": cfg.record_every,
             "quiescence_window": cfg.quiescence_window,
             "replications": reps,
+            "shards": shards,
         }));
         let runs = replicate(cfg, balancer, reps, |r| {
-            (
-                inst.clone(),
-                random_assignment(inst, cfg.seed.wrapping_add(r)),
-            )
+            let mut asg = random_assignment(inst, cfg.seed.wrapping_add(r));
+            asg.set_shards(shards);
+            (inst.clone(), asg)
         });
         let mut csv = runner.csv(&[
             "replication",
@@ -442,6 +460,7 @@ impl Cli {
         if reps == 0 {
             return Err(CliError("--replications must be >= 1".into()));
         }
+        let shards = self.get_shards()?;
         let drop_permille: u16 = self.get("drop", 0)?;
         let dup_permille: u16 = self.get("dup", 0)?;
         if drop_permille > 1000 || dup_permille > 1000 {
@@ -497,6 +516,7 @@ impl Cli {
             "backoff_cap": cfg.backoff_cap,
             "quiescence_window": cfg.quiescence_window,
             "replications": reps,
+            "shards": shards,
         }));
         let mut csv = runner.csv(&[
             "replication",
@@ -520,6 +540,7 @@ impl Cli {
         let lb = bounds::combined_lower_bound(&inst);
         for r in 0..reps {
             let mut asg = random_assignment(&inst, cfg.seed.wrapping_add(r));
+            asg.set_shards(shards);
             let initial = asg.makespan();
             let rep_cfg = NetConfig {
                 seed: cfg.seed.wrapping_add(r),
@@ -689,6 +710,15 @@ pub fn usage() -> String {
                       round-robin\n\
                [--rounds N] [--replications R] [--record-every N]\n\
                [--quiescence W] [--name base] [--out-dir dir]\n\
+               [--shards S]  partition the load index into S shards\n\
+                            (merged O(S) queries, shard-local parallel\n\
+                            batches); results are identical for every S,\n\
+                            so e.g. these two runs emit the same CSVs:\n\
+                              decent-lb simulate --workload uniform \\\n\
+                                --machines 1000 --jobs 2000 --rounds 5000\n\
+                              decent-lb simulate --workload uniform \\\n\
+                                --machines 1000 --jobs 2000 --rounds 5000 \\\n\
+                                --shards 8\n\
                --net true   switch to the message-passing simulator\n\
                             (lb-net) with latency/loss/retry knobs and\n\
                             message-count CSV columns:\n\
@@ -1010,6 +1040,56 @@ mod tests {
         // Header + one row per replication.
         assert_eq!(csv.lines().count(), 3, "{csv}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_shards_is_a_pure_layout_knob() {
+        // `--shards S` must not change results: it only re-partitions the
+        // load index. Run the same campaign unsharded and with S = 4 and
+        // compare the CSVs byte for byte.
+        let run = |tag: &str, extra: &[&str]| -> (String, String) {
+            let dir = std::env::temp_dir().join(format!("decent-lb-cli-shards-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut args = vec![
+                "simulate",
+                "--workload",
+                "two-cluster",
+                "--m1",
+                "3",
+                "--m2",
+                "2",
+                "--jobs",
+                "30",
+                "--rounds",
+                "2000",
+                "--replications",
+                "2",
+                "--record-every",
+                "500",
+                "--name",
+                "sharded",
+                "--out-dir",
+                dir.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            Cli::parse(args).unwrap().run().unwrap();
+            let csv = std::fs::read_to_string(dir.join("sharded.csv")).unwrap();
+            let series = std::fs::read_to_string(dir.join("sharded_series.csv")).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            (csv, series)
+        };
+        let base = run("base", &[]);
+        let sharded = run("s4", &["--shards", "4"]);
+        assert_eq!(base, sharded, "--shards 4 changed simulate output");
+    }
+
+    #[test]
+    fn simulate_rejects_zero_shards() {
+        let c = cli(&["simulate", "--shards", "0"]);
+        assert!(c.run().is_err());
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub fn campaign_usage() -> String {
      \x20 gossip | net: --workload two-cluster|uniform|typed|dense\n\
      \x20         [--jobs-grid N,N,...] [--replications R] [--rounds N]\n\
      \x20         [--algo dlb2c|mjtb|unrelated] [--baseline none|lb|clb2c|opt]\n\
-     \x20         [--shared-instance true] (net adds the simulate --net knobs)\n\
+     \x20         [--shared-instance true] [--shards S]\n\
+     \x20         (net adds the simulate --net knobs; --shards shards the\n\
+     \x20         load index, results identical for every S)\n\
      \x20 markov: [--machines-grid N,N,...] [--pmax-grid P,P,...]\n"
         .to_string()
 }
@@ -302,6 +304,7 @@ impl Cli {
         self.campaign_instance(jobs_grid[0], base_seed)?;
         let rounds: u64 = self.get("rounds", 20_000)?;
         let quiescence: u64 = self.get("quiescence", 0)?;
+        let shards = self.get_shards()?;
         let schedule = match self.get_str("schedule", "uniform").as_str() {
             "uniform" => PairSchedule::UniformRandom,
             "rotating" => PairSchedule::RotatingHost,
@@ -332,6 +335,7 @@ impl Cli {
             };
             let inst = self.campaign_instance(jobs, inst_seed)?;
             let mut asg = random_assignment(&inst, cell_seed);
+            asg.set_shards(shards);
             let initial = asg.makespan();
             let b = baseline.and_then(|k| {
                 cache.get_or_compute(instance_digest(&inst), || compute_baseline(k, &inst))

@@ -1,15 +1,25 @@
 //! Emits `BENCH_simcore.json`: wall-clock timings of the load-index hot
-//! paths at the four benchmark sizes, as a perf baseline future changes
+//! paths at the five benchmark sizes, as a perf baseline future changes
 //! regress against.
 //!
-//! Three measurements per machine count m ∈ {10², 10³, 10⁴, 10⁵}:
+//! Four measurements per machine count m ∈ {10², 10³, 10⁴, 10⁵, 10⁶}:
 //!
-//! * **query** — `Assignment::makespan()` (O(1) via the tournament-tree
-//!   index) vs the naive O(m) load rescan it replaced;
-//! * **update** — one `Assignment::move_job` (O(log m) index repair);
+//! * **query** — `Assignment::makespan()` (O(1) via the fused
+//!   load-index caches) vs the naive O(m) load rescan it replaced
+//!   (naive iteration counts scale down with m so the 10⁶ tier stays
+//!   tractable);
+//! * **update** — one `Assignment::move_job` (amortized O(1) lazy
+//!   dirty-group repair);
 //! * **round** — one full gossip round with a per-round-sampling series
-//!   probe attached, indexed probe vs naive-rescan probe. The
-//!   acceptance criterion (≥ 5× at m = 10⁴) reads from this pair.
+//!   probe attached, indexed probe vs naive-rescan probe, timed
+//!   *without* the per-repetition assignment clone and core setup (at
+//!   m = 10⁶ the clone would drown the per-round signal). The
+//!   acceptance criteria (≥ 5× at m = 10⁴; < 10 µs at m = 10⁶) read
+//!   from this;
+//! * **sharded round** — the same batch through
+//!   `SimCore::run_parallel_rounds` over the sharded index (`shards`
+//!   column), byte-identical semantics with shard-local exchanges
+//!   parallelizable.
 //!
 //! A fourth section sizes the lb-net message-passing simulator: raw
 //! delivered-message throughput (msgs/sec of wall clock) and
@@ -23,9 +33,11 @@
 //! records the replications/sec and the speedup alongside the core count,
 //! so single-core runners report an honest ~1x rather than a fake win.
 //!
-//! Usage: `bench-report [--quick] [--out PATH] [--campaign-out PATH]`.
-//! `--quick` shrinks the iteration counts for CI smoke runs (the JSON
-//! shape is unchanged).
+//! Usage: `bench-report [--quick] [--out PATH] [--campaign-out PATH]
+//! [--assert-round-budget-ns NS]`. `--quick` shrinks the iteration
+//! counts for CI smoke runs (the JSON shape is unchanged);
+//! `--assert-round-budget-ns` exits nonzero if the largest tier's
+//! sharded round exceeds the given budget (the CI perf gate).
 
 use lb_core::{Dlb2cBalance, EctPairBalance};
 use lb_distsim::gossip::GossipProtocol;
@@ -44,7 +56,10 @@ use serde_json::json;
 use std::hint::black_box;
 use std::time::Instant;
 
-const SIZES: &[usize] = &[100, 1_000, 10_000, 100_000];
+const SIZES: &[usize] = &[100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Shard count used for the sharded-round measurement.
+const BENCH_SHARDS: usize = 8;
 
 struct Config {
     query_iters: u64,
@@ -55,6 +70,17 @@ struct Config {
     out: String,
     campaign_out: String,
     quick: bool,
+    /// When set, fail (exit 1) if the m = 10⁶ sharded round exceeds this
+    /// many nanoseconds — the CI perf-budget smoke (the design budget is
+    /// 10 µs; CI passes a 50 µs threshold to absorb runner noise).
+    assert_round_budget_ns: Option<f64>,
+}
+
+/// The raw per-size numbers, returned alongside the JSON so budget
+/// assertions read measured values instead of re-parsing the report.
+struct SizeStats {
+    machines: usize,
+    round_sharded_ns: f64,
 }
 
 fn naive_makespan(asg: &Assignment) -> Time {
@@ -81,22 +107,47 @@ fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
-fn run_rounds(inst: &Instance, asg: &mut Assignment, probe: &mut dyn Probe, rounds: u64) {
-    let mut core = SimCore::new(inst, asg, 3);
+/// Times `rounds` sequential gossip rounds over a fresh clone of
+/// `start`, excluding the clone and core/protocol setup from the timed
+/// window (both are O(m) and would drown the per-round cost at
+/// m = 10⁶). Returns total nanoseconds for the drive.
+fn timed_rounds(inst: &Instance, start: &Assignment, probe: &mut dyn Probe, rounds: u64) -> f64 {
+    let mut work = start.clone();
+    let mut core = SimCore::new(inst, &mut work, 3);
     let mut protocol = GossipProtocol::new(&EctPairBalance, PairSchedule::UniformRandom);
     let mut hub = ProbeHub::new();
     hub.push(probe);
+    let t = Instant::now();
     drive(&mut core, &mut protocol, &mut hub, rounds);
+    t.elapsed().as_nanos() as f64
 }
 
-fn measure_size(m: usize, cfg: &Config) -> serde_json::Value {
+/// Times `rounds` rounds through the sharded parallel batch driver
+/// (`SimCore::run_parallel_rounds`), same timed window as
+/// [`timed_rounds`].
+fn timed_parallel_rounds(inst: &Instance, start: &Assignment, shards: usize, rounds: u64) -> f64 {
+    let mut work = start.clone();
+    work.set_shards(shards);
+    let mut core = SimCore::new(inst, &mut work, 3);
+    let t = Instant::now();
+    let report = core.run_parallel_rounds(&EctPairBalance, PairSchedule::UniformRandom, rounds);
+    black_box(report);
+    t.elapsed().as_nanos() as f64
+}
+
+fn measure_size(m: usize, cfg: &Config) -> (serde_json::Value, SizeStats) {
     let inst = paper_uniform(m, 2 * m, 42);
     let mut asg = Assignment::round_robin(&inst);
+
+    // Naive O(m) paths get iteration/round counts scaled down with m so
+    // the total naive work stays roughly constant across tiers.
+    let naive_query_iters = (cfg.query_iters * 1_000 / m as u64).clamp(1_000, cfg.query_iters);
+    let naive_rounds = (cfg.rounds * 10_000 / m as u64).clamp(64, cfg.rounds);
 
     let query_indexed_ns = time_per_iter(cfg.query_iters, || {
         black_box(asg.makespan());
     });
-    let query_naive_ns = time_per_iter(cfg.query_iters, || {
+    let query_naive_ns = time_per_iter(naive_query_iters, || {
         black_box(naive_makespan(&asg));
     });
 
@@ -110,27 +161,32 @@ fn measure_size(m: usize, cfg: &Config) -> serde_json::Value {
     });
 
     let start = Assignment::round_robin(&inst);
-    let round_indexed_ns = time_per_iter(cfg.round_reps, || {
-        let mut work = start.clone();
+    let mut indexed_total = 0f64;
+    let mut naive_total = 0f64;
+    let mut sharded_total = 0f64;
+    for _ in 0..cfg.round_reps {
         let mut probe = SeriesProbe::with_round_budget(1, cfg.rounds);
-        run_rounds(&inst, &mut work, &mut probe, cfg.rounds);
+        indexed_total += timed_rounds(&inst, &start, &mut probe, cfg.rounds);
         black_box(probe.best);
-    }) / cfg.rounds as f64;
-    let round_naive_ns = time_per_iter(cfg.round_reps, || {
-        let mut work = start.clone();
-        let mut probe = NaiveSeriesProbe { last: 0 };
-        run_rounds(&inst, &mut work, &mut probe, cfg.rounds);
-        black_box(probe.last);
-    }) / cfg.rounds as f64;
+        let mut naive_probe = NaiveSeriesProbe { last: 0 };
+        naive_total += timed_rounds(&inst, &start, &mut naive_probe, naive_rounds);
+        black_box(naive_probe.last);
+        sharded_total += timed_parallel_rounds(&inst, &start, BENCH_SHARDS, cfg.rounds);
+    }
+    let reps = cfg.round_reps as f64;
+    let round_indexed_ns = indexed_total / (reps * cfg.rounds as f64);
+    let round_naive_ns = naive_total / (reps * naive_rounds as f64);
+    let round_sharded_ns = sharded_total / (reps * cfg.rounds as f64);
 
     let round_speedup = round_naive_ns / round_indexed_ns.max(1e-9);
     eprintln!(
         "m={m}: query {query_indexed_ns:.1} ns (naive {query_naive_ns:.1} ns), \
          update {update_ns:.1} ns, round {round_indexed_ns:.1} ns \
-         (naive {round_naive_ns:.1} ns, {round_speedup:.1}x)"
+         (naive {round_naive_ns:.1} ns, {round_speedup:.1}x; \
+         sharded x{BENCH_SHARDS} {round_sharded_ns:.1} ns)"
     );
 
-    json!({
+    let value = json!({
         "machines": m,
         "jobs": 2 * m,
         "query_indexed_ns": query_indexed_ns,
@@ -140,7 +196,16 @@ fn measure_size(m: usize, cfg: &Config) -> serde_json::Value {
         "round_indexed_ns": round_indexed_ns,
         "round_naive_ns": round_naive_ns,
         "round_speedup": round_speedup,
-    })
+        "shards": BENCH_SHARDS,
+        "round_sharded_ns": round_sharded_ns,
+    });
+    (
+        value,
+        SizeStats {
+            machines: m,
+            round_sharded_ns,
+        },
+    )
 }
 
 /// Times the lb-net simulator to quiescence: delivered-message
@@ -291,15 +356,20 @@ fn main() {
         out: "BENCH_simcore.json".to_string(),
         campaign_out: "BENCH_campaign.json".to_string(),
         quick: false,
+        assert_round_budget_ns: None,
     };
-    const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--campaign-out PATH]";
+    const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--campaign-out PATH] \
+                         [--assert-round-budget-ns NS]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => {
                 cfg.query_iters = 50_000;
                 cfg.update_iters = 50_000;
-                cfg.rounds = 64;
+                // Still enough rounds that one-time O(m) setup (active
+                // list, first-touch) amortizes out of the per-round
+                // figure at m = 10⁶.
+                cfg.rounds = 2_048;
                 cfg.round_reps = 2;
                 cfg.net_reps = 1;
                 cfg.quick = true;
@@ -318,6 +388,14 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--assert-round-budget-ns" => {
+                let ns = args.next().and_then(|s| s.parse::<f64>().ok());
+                cfg.assert_round_budget_ns = Some(ns.unwrap_or_else(|| {
+                    eprintln!("--assert-round-budget-ns requires a number");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("{USAGE}");
@@ -326,7 +404,8 @@ fn main() {
         }
     }
 
-    let sizes: Vec<serde_json::Value> = SIZES.iter().map(|&m| measure_size(m, &cfg)).collect();
+    let (sizes, stats): (Vec<serde_json::Value>, Vec<SizeStats>) =
+        SIZES.iter().map(|&m| measure_size(m, &cfg)).unzip();
     let net: Vec<serde_json::Value> = [0u16, 150]
         .iter()
         .map(|&drop| measure_net(drop, &cfg))
@@ -343,6 +422,24 @@ fn main() {
     let rendered = format!("{report:#}\n");
     std::fs::write(&cfg.out, &rendered).expect("write report");
     eprintln!("wrote {}", cfg.out);
+
+    if let Some(budget) = cfg.assert_round_budget_ns {
+        let biggest = stats
+            .iter()
+            .max_by_key(|s| s.machines)
+            .expect("at least one size measured");
+        if biggest.round_sharded_ns > budget {
+            eprintln!(
+                "BUDGET EXCEEDED: m={} sharded round {:.1} ns > {budget:.1} ns",
+                biggest.machines, biggest.round_sharded_ns
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "budget ok: m={} sharded round {:.1} ns <= {budget:.1} ns",
+            biggest.machines, biggest.round_sharded_ns
+        );
+    }
 
     let campaign = json!({
         "suite": "campaign",

@@ -46,6 +46,27 @@ pub mod prelude {
             self.into_iter()
         }
     }
+
+    /// Stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The "parallel" iterator type — here the plain sequential one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a mutable reference).
+        type Item: 'data;
+        /// Iterates `&mut self` (sequentially).
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        type Item = <&'data mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
 }
 
 /// Stand-in for `rayon::ThreadPoolBuilder`: holds the requested thread
