@@ -166,11 +166,106 @@ fn bench_parallel_round(c: &mut Criterion) {
     g.finish();
 }
 
+/// Two alternating waves of `wave` planned moves over distinct jobs,
+/// strided so consecutive moves touch unrelated machines (a
+/// cold-working-set pattern: every move misses in cache the way a real
+/// scatter/exchange wave does). Applying wave A then wave B then A again
+/// keeps every move a *real* move — nothing degenerates into the
+/// `from == to` fast path across iterations.
+type Wave = Vec<(JobId, MachineId)>;
+
+fn migration_waves(m: usize, n: usize, wave: usize) -> (Wave, Wave) {
+    // Odd prime stride, coprime with n = 2m, so the first `wave` jobs
+    // are distinct and scattered across the whole job array.
+    let stride = 48_271usize;
+    let mut a = Vec::with_capacity(wave);
+    let mut b = Vec::with_capacity(wave);
+    for i in 0..wave {
+        let j = (i * stride) % n;
+        a.push((JobId::from_idx(j), MachineId::from_idx((j * 7 + 1) % m)));
+        b.push((JobId::from_idx(j), MachineId::from_idx((j * 13 + 3) % m)));
+    }
+    (a, b)
+}
+
+fn bench_migration(c: &mut Criterion) {
+    // The move_job memory wall. A stream of single moves chases four
+    // arenas per move (machine_of, two jobs_on lists, loads, then the
+    // index levels) with DRAM-latency-bound dependent loads. The batched
+    // applier commits the *same* stream grouped by machine with the next
+    // run's lines prefetched, and the hugepage tier additionally backs
+    // the arenas with 2 MiB pages to cut TLB walks. All three rows are
+    // draw-for-draw identical in results (see `lb_model::migrate`); only
+    // throughput differs. Waves are *round-scale* — m moves, one per
+    // machine on average, the shape a full exchange round or a
+    // crash-recovery scatter hands the applier; that is where machine
+    // batching amortizes (small waves roughly break even, see the
+    // module docs). Each iteration applies a whole wave, so per-move
+    // numbers are the criterion estimate divided by the wave length
+    // (bench-report does this division when deriving
+    // `move_job_batched_ns`).
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(10);
+    for &m in &[100_000usize, 1_000_000] {
+        let (inst, asg) = setup(m);
+        let (wave_a, wave_b) = migration_waves(m, inst.num_jobs(), m);
+
+        let mut work = asg.clone();
+        let mut flip = false;
+        g.bench_with_input(
+            BenchmarkId::new("per-move", format!("m={m}")),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    let wave = if flip { &wave_b } else { &wave_a };
+                    flip = !flip;
+                    for &(j, to) in wave {
+                        work.move_job(&inst, j, to);
+                    }
+                    black_box(work.makespan())
+                })
+            },
+        );
+
+        let batch_a: MigrationBatch = wave_a.iter().copied().collect();
+        let batch_b: MigrationBatch = wave_b.iter().copied().collect();
+        let mut work = asg.clone();
+        let mut flip = false;
+        g.bench_with_input(BenchmarkId::new("batched", format!("m={m}")), &m, |b, _| {
+            b.iter(|| {
+                let batch = if flip { &batch_b } else { &batch_a };
+                flip = !flip;
+                work.apply_migrations(&inst, batch);
+                black_box(work.makespan())
+            })
+        });
+
+        let mut work = asg.clone();
+        let _ = inst.advise_hugepages();
+        let _ = work.advise_hugepages();
+        let mut flip = false;
+        g.bench_with_input(
+            BenchmarkId::new("batched-hugepages", format!("m={m}")),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    let batch = if flip { &batch_b } else { &batch_a };
+                    flip = !flip;
+                    work.apply_migrations(&inst, batch);
+                    black_box(work.makespan())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_makespan_query,
     bench_move_job,
     bench_gossip_round,
-    bench_parallel_round
+    bench_parallel_round,
+    bench_migration
 );
 criterion_main!(benches);

@@ -93,6 +93,18 @@ impl Protocol for GossipProtocol<'_> {
             &self.active,
             &mut core.rng,
         );
+        // The pair is known before the balancer reads its state: start
+        // pulling both machines' lines (and their cost-table entries)
+        // toward L1 so the plan's first touches aren't DRAM-cold. A pure
+        // hint — results are unchanged (see `lb_model::mem`).
+        core.asg.prefetch_machine(a);
+        core.asg.prefetch_machine(b);
+        if let Some(&j) = core.asg.jobs_on(a).first() {
+            core.inst.prefetch_cost(b, j);
+        }
+        if let Some(&j) = core.asg.jobs_on(b).first() {
+            core.inst.prefetch_cost(a, j);
+        }
         let (changed, jobs_moved) =
             balance_counting_moves(core.inst, core.asg, self.balancer, a, b);
         probes.emit(

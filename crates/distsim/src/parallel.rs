@@ -16,9 +16,13 @@
 //! 2. The drawn pairs are walked in order, accumulating a maximal *wave*
 //!    of shard-local pairs (both machines in the same shard). A wave is
 //!    executed by handing each shard's pairs, **in draw order**, to its
-//!    own [`lb_model::ShardView`] via rayon.
+//!    own [`lb_model::ShardView`] via rayon. Within one shard's slice
+//!    the pairs are pipelined as machine-disjoint plan-ahead runs with
+//!    software prefetch of the next pair's cache lines (see
+//!    [`exchange_run_on_view`] — a pure execution-order change).
 //! 3. A cross-shard pair flushes the current wave and executes
-//!    sequentially on the whole assignment.
+//!    sequentially on the whole assignment, prefetching the next drawn
+//!    pair's lines while it runs.
 //!
 //! Exchanges in different shards touch disjoint machines and therefore
 //! commute; exchanges within one shard retain their sequential order. So
@@ -30,7 +34,7 @@
 
 use crate::gossip::{select_pair, PairSchedule};
 use crate::simcore::SimCore;
-use lb_core::{balance_counting_moves, plan_and_commit, PairwiseBalancer};
+use lb_core::{balance_counting_moves, commit_pair_to, PairPlan, PairwiseBalancer};
 use lb_model::prelude::*;
 use rayon::prelude::*;
 
@@ -50,22 +54,32 @@ pub struct ParallelRoundsReport {
     pub cross_shard: u64,
 }
 
-/// Runs one shard-local pair exchange through a view, counting moved
-/// jobs the same way [`balance_counting_moves`] does.
-fn exchange_on_view(
+/// Cap on how many pairs one pipelined plan-ahead run may cover. Plans
+/// hold the pairs' proposed job vectors alive until their commit, so the
+/// cap bounds transient memory; 16 pairs is plenty to hide a DRAM fetch.
+const MAX_PIPELINE: usize = 16;
+
+/// Commits one planned exchange into the view, counting moved jobs the
+/// same way [`balance_counting_moves`] does. The ownership snapshot is
+/// taken just before the commit — identical to snapshotting before the
+/// plan, since planning is pure.
+fn commit_on_view(
     inst: &Instance,
     view: &mut ShardView<'_>,
-    balancer: &(dyn PairwiseBalancer + Sync),
     a: MachineId,
     b: MachineId,
+    plan: Option<PairPlan>,
 ) -> (bool, u64) {
+    let Some(plan) = plan else {
+        return (false, 0);
+    };
     let owners_before: Vec<(JobId, MachineId)> = view
         .jobs_on(a)
         .iter()
         .map(|&j| (j, a))
         .chain(view.jobs_on(b).iter().map(|&j| (j, b)))
         .collect();
-    if !plan_and_commit(inst, view, balancer, a, b) {
+    if !commit_pair_to(inst, view, plan.m1, plan.m2, plan.jobs1, plan.jobs2) {
         return (false, 0);
     }
     let moved = owners_before
@@ -73,6 +87,74 @@ fn exchange_on_view(
         .filter(|&&(j, owner)| !view.jobs_on(owner).contains(&j))
         .count() as u64;
     (true, moved)
+}
+
+/// Executes one shard's slice of a wave: pairs in draw order, pipelined
+/// as *machine-disjoint runs* that are planned ahead (prefetching the
+/// following pair's lines while each plan computes) and then committed
+/// in order.
+///
+/// The pipelining is exact, not approximate: a run only grows while its
+/// pairs touch pairwise-disjoint machines, so every plan in the run
+/// reads exactly the state it would read under strict plan-commit
+/// interleaving (`PairwiseBalancer::plan` is pure and may not consult
+/// any machine outside its pair), and commits land in draw order. The
+/// module's equivalence tests and the `sharded_round_equivalence`
+/// proptest pin byte-identity to the sequential engine.
+fn exchange_run_on_view(
+    inst: &Instance,
+    view: &mut ShardView<'_>,
+    balancer: &(dyn PairwiseBalancer + Sync),
+    shard_pairs: &[(MachineId, MachineId)],
+) -> (u64, u64) {
+    let mut ex = 0u64;
+    let mut moved = 0u64;
+    // Warm the first pair's lines; every later pair is prefetched from
+    // inside the planning loop below.
+    if let Some(&(a, b)) = shard_pairs.first() {
+        view.prefetch_machine(a);
+        view.prefetch_machine(b);
+    }
+    let mut plans: Vec<Option<PairPlan>> = Vec::with_capacity(MAX_PIPELINE);
+    let mut touched: Vec<MachineId> = Vec::with_capacity(2 * MAX_PIPELINE);
+    let mut k = 0;
+    while k < shard_pairs.len() {
+        // Grow a maximal machine-disjoint run starting at pair k.
+        touched.clear();
+        let mut end = k;
+        while end < shard_pairs.len() && end - k < MAX_PIPELINE {
+            let (a, b) = shard_pairs[end];
+            if end > k && (touched.contains(&a) || touched.contains(&b)) {
+                break;
+            }
+            touched.push(a);
+            touched.push(b);
+            end += 1;
+        }
+        // Plan phase: pure reads. While pair p is planned, pair p+1's
+        // lines (next in this run, or the head of the next run) stream
+        // toward L1.
+        plans.clear();
+        for p in k..end {
+            if let Some(&(na, nb)) = shard_pairs.get(p + 1) {
+                view.prefetch_machine(na);
+                view.prefetch_machine(nb);
+            }
+            let (a, b) = shard_pairs[p];
+            plans.push(balancer.plan(inst, &*view, a, b));
+        }
+        // Commit phase: draw order, on lines the plan phase just warmed.
+        for (p, plan) in plans.drain(..).enumerate() {
+            let (a, b) = shard_pairs[k + p];
+            let (changed, m) = commit_on_view(inst, view, a, b, plan);
+            if changed {
+                ex += 1;
+                moved += m;
+            }
+        }
+        k = end;
+    }
+    (ex, moved)
 }
 
 impl SimCore<'_> {
@@ -119,7 +201,13 @@ impl SimCore<'_> {
         while i < pairs.len() {
             let (a, b) = pairs[i];
             if num_shards <= 1 || self.asg.shard_of(a) != self.asg.shard_of(b) {
-                // Cross-shard (or unsharded): sequential exchange.
+                // Cross-shard (or unsharded): sequential exchange. The
+                // following pair is already drawn, so its lines can
+                // stream in while this exchange plans and commits.
+                if let Some(&(na, nb)) = pairs.get(i + 1) {
+                    self.asg.prefetch_machine(na);
+                    self.asg.prefetch_machine(nb);
+                }
                 let (changed, moved) = balance_counting_moves(inst, self.asg, balancer, a, b);
                 if changed {
                     report.exchanges += 1;
@@ -149,16 +237,7 @@ impl SimCore<'_> {
                     .par_iter_mut()
                     .zip(&work)
                     .map(|(view, shard_pairs)| {
-                        let mut ex = 0u64;
-                        let mut moved = 0u64;
-                        for &(a, b) in shard_pairs {
-                            let (changed, m) = exchange_on_view(inst, view, balancer, a, b);
-                            if changed {
-                                ex += 1;
-                                moved += m;
-                            }
-                        }
-                        (ex, moved)
+                        exchange_run_on_view(inst, view, balancer, shard_pairs)
                     })
                     .collect();
                 per_shard

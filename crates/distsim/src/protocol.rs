@@ -109,13 +109,20 @@ pub fn scatter_assigned_jobs(core: &mut SimCore, machine: MachineId) -> Result<u
     if survivors.is_empty() && !core.asg.jobs_on(machine).is_empty() {
         return Err(LbError::NoOnlineMachines);
     }
+    // Plan first, commit machine-batched: the RNG draws depend only on
+    // the job list snapshot (identical stream to the old per-move loop),
+    // and `apply_migrations` is draw-for-draw equivalent to sequential
+    // `move_job`s, so the state after a scatter is byte-identical — but
+    // each survivor's cache lines are touched once instead of once per
+    // landed job (the failed machine's list can be thousands of jobs).
     let jobs: Vec<JobId> = core.asg.jobs_on(machine).to_vec();
-    let mut scattered = 0u64;
+    let mut batch = MigrationBatch::with_capacity(jobs.len());
     for j in jobs {
         let target = survivors[core.rng.gen_range(0..survivors.len())];
-        core.asg.move_job(core.inst, j, target);
-        scattered += 1;
+        batch.push(j, target);
     }
+    let scattered = batch.len() as u64;
+    core.asg.apply_migrations(core.inst, &batch);
     Ok(scattered)
 }
 

@@ -45,6 +45,8 @@ use crate::cost::{Time, INFEASIBLE};
 use crate::error::{LbError, Result};
 use crate::ids::{ClusterId, JobId, MachineId};
 use crate::instance::Instance;
+use crate::mem::{self, AdviseReport};
+use crate::migrate::MigrationBatch;
 use crate::shard_view::ShardView;
 use crate::sharded_index::ShardedLoadIndex;
 use serde::{Deserialize, Serialize};
@@ -292,6 +294,62 @@ impl Assignment {
         list.swap_remove(pos);
         self.jobs_on[to.idx()].push(job);
         self.machine_of[job.idx()] = to;
+    }
+
+    /// Applies a planned stream of migrations machine-batched: the final
+    /// state (including `jobs_on` list order) is identical to calling
+    /// [`Assignment::move_job`] once per planned move in planning order,
+    /// but each touched machine's cache lines are visited once per batch,
+    /// in ascending machine order, with the next machine's lines
+    /// software-prefetched while the current one commits. See
+    /// [`crate::migrate`] for the equivalence argument and when to prefer
+    /// this over sequential moves.
+    pub fn apply_migrations(&mut self, inst: &Instance, batch: &MigrationBatch) {
+        crate::migrate::apply(
+            inst,
+            &mut self.machine_of,
+            &mut self.jobs_on,
+            &mut self.loads,
+            &mut self.index,
+            batch.moves(),
+        );
+    }
+
+    /// Hints the CPU to pull `machine`'s hot lines (load cell, job-list
+    /// header and buffer) toward L1 ahead of an exchange that is planned
+    /// but not yet committed. A pure scheduling hint: never changes any
+    /// result (see [`crate::mem`]).
+    #[inline]
+    pub fn prefetch_machine(&self, machine: MachineId) {
+        mem::prefetch_index(&self.loads, machine.idx());
+        mem::prefetch_index(&self.jobs_on, machine.idx());
+        if let Some(list) = self.jobs_on.get(machine.idx()) {
+            mem::prefetch_slice_data(list);
+        }
+    }
+
+    /// Hints the CPU to pull `job`'s owner cell (`machine_of[job]`)
+    /// toward L1. Pure hint, like [`Assignment::prefetch_machine`].
+    #[inline]
+    pub fn prefetch_job(&self, job: JobId) {
+        mem::prefetch_index(&self.machine_of, job.idx());
+    }
+
+    /// Requests transparent-hugepage backing for the assignment's big
+    /// flat buffers (`machine_of`, `loads`, the `jobs_on` spine, and the
+    /// load-index arenas), cutting TLB pressure on large instances.
+    ///
+    /// Purely a physical-layout request — contents and every query
+    /// answer are unchanged — and degrades gracefully: buffers too small
+    /// to hold an aligned 2 MiB page are skipped, non-Linux platforms
+    /// report unsupported. See [`crate::mem::advise_hugepages`].
+    pub fn advise_hugepages(&self) -> AdviseReport {
+        let mut report = AdviseReport::default();
+        report.record(mem::advise_hugepages(&self.machine_of));
+        report.record(mem::advise_hugepages(&self.loads));
+        report.record(mem::advise_hugepages(&self.jobs_on));
+        self.index.advise_hugepages(&mut report);
+        report
     }
 
     /// Atomically redistributes the jobs of machines `m1` and `m2`.

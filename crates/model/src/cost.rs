@@ -151,6 +151,50 @@ impl Costs {
         }
     }
 
+    /// Hints the CPU to pull the line holding `p[machine][job]`'s
+    /// backing data toward L1 (row element for `Dense`, per-job entry
+    /// for the compact variants). A pure scheduling hint — see
+    /// [`crate::mem`] — issued when an exchange is planned but the cost
+    /// lookups have not happened yet.
+    #[inline]
+    pub fn prefetch(&self, machine: usize, job: usize) {
+        match self {
+            Costs::Dense {
+                num_jobs, costs, ..
+            } => crate::mem::prefetch_index(costs, machine * num_jobs + job),
+            Costs::Uniform { sizes } => crate::mem::prefetch_index(sizes, job),
+            Costs::Related { sizes, .. } => crate::mem::prefetch_index(sizes, job),
+            Costs::Typed { type_of, .. } => crate::mem::prefetch_index(type_of, job),
+            Costs::TwoCluster { costs } => crate::mem::prefetch_index(costs, job),
+            Costs::MultiCluster {
+                num_clusters,
+                costs,
+            } => crate::mem::prefetch_index(costs, job * num_clusters),
+        }
+    }
+
+    /// Requests hugepage backing for the structure's big flat tables
+    /// (the dense matrix dwarfs every other buffer when present; the
+    /// compact variants advise their per-job vectors). Folded into
+    /// `report`; see [`crate::mem::advise_hugepages`].
+    pub fn advise_hugepages(&self, report: &mut crate::mem::AdviseReport) {
+        match self {
+            Costs::Dense { costs, .. } => report.record(crate::mem::advise_hugepages(costs)),
+            Costs::Uniform { sizes } => report.record(crate::mem::advise_hugepages(sizes)),
+            Costs::Related { sizes, slowdowns } => {
+                report.record(crate::mem::advise_hugepages(sizes));
+                report.record(crate::mem::advise_hugepages(slowdowns));
+            }
+            Costs::Typed { type_of, .. } => {
+                report.record(crate::mem::advise_hugepages(type_of));
+            }
+            Costs::TwoCluster { costs } => report.record(crate::mem::advise_hugepages(costs)),
+            Costs::MultiCluster { costs, .. } => {
+                report.record(crate::mem::advise_hugepages(costs));
+            }
+        }
+    }
+
     /// The number of distinct job types, when the structure tracks types.
     ///
     /// * `Typed` — the declared number of types.

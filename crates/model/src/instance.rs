@@ -249,6 +249,25 @@ impl Instance {
             .cost(machine.idx(), self.clusters[machine.idx()], job.idx())
     }
 
+    /// Hints the CPU to pull the line backing `p[machine][job]` toward
+    /// L1 ahead of the actual [`Instance::cost`] lookups of a planned
+    /// exchange. A pure scheduling hint (see [`crate::mem`]).
+    #[inline]
+    pub fn prefetch_cost(&self, machine: MachineId, job: JobId) {
+        self.costs.prefetch(machine.idx(), job.idx());
+    }
+
+    /// Requests transparent-hugepage backing for the instance's big
+    /// tables (dense cost matrix, per-job vectors, cluster map). Purely
+    /// a physical-layout request with graceful fallback; see
+    /// [`crate::mem::advise_hugepages`].
+    pub fn advise_hugepages(&self) -> crate::mem::AdviseReport {
+        let mut report = crate::mem::AdviseReport::default();
+        self.costs.advise_hugepages(&mut report);
+        report.record(crate::mem::advise_hugepages(&self.clusters));
+        report
+    }
+
     /// The cluster of a machine.
     #[inline]
     pub fn cluster(&self, machine: MachineId) -> ClusterId {

@@ -35,6 +35,12 @@
 //! * [`invariant`] — runtime safety auditing: job conservation, single
 //!   custody, and load-index consistency checks used by the simulators'
 //!   `--check-invariants` mode and the chaos harness.
+//! * [`mem`] — memory-locality primitives (software prefetch, hugepage
+//!   advice) with portable no-op fallbacks; the only module permitted to
+//!   contain `unsafe`.
+//! * [`migrate`] — [`migrate::MigrationBatch`]: a machine-grouped,
+//!   prefetch-pipelined applier for streams of planned job moves,
+//!   draw-for-draw equivalent to sequential `move_job` calls.
 //! * [`metrics`] — schedule quality metrics beyond the makespan
 //!   (imbalance, fairness, utilization).
 //! * [`perturb`] — cost misprediction: derive a "predicted" instance and
@@ -58,7 +64,11 @@
 //! assert!(lb_model::bounds::combined_lower_bound(&inst) <= 5);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `mem` module carries the crate's only
+// `#[allow(unsafe_code)]`, scoped to the prefetch intrinsics and the raw
+// `madvise` syscall (both semantics-free hints). Everything else still
+// refuses unsafe at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assignment;
@@ -70,7 +80,9 @@ pub mod ids;
 pub mod instance;
 pub mod invariant;
 pub mod load_index;
+pub mod mem;
 pub mod metrics;
+pub mod migrate;
 pub mod perturb;
 pub mod shard_view;
 pub mod sharded_index;
@@ -82,6 +94,7 @@ pub use ids::{ClusterId, JobId, JobTypeId, MachineId};
 pub use instance::Instance;
 pub use invariant::{check_custody, InvariantViolation};
 pub use load_index::LoadIndex;
+pub use migrate::MigrationBatch;
 pub use shard_view::ShardView;
 pub use sharded_index::ShardedLoadIndex;
 
@@ -92,6 +105,7 @@ pub mod prelude {
     pub use crate::error::{LbError, Result};
     pub use crate::ids::{ClusterId, JobId, JobTypeId, MachineId};
     pub use crate::instance::Instance;
+    pub use crate::migrate::MigrationBatch;
     pub use crate::shard_view::ShardView;
     pub use crate::sharded_index::ShardedLoadIndex;
 }

@@ -74,6 +74,10 @@ const NONE: u32 = u32::MAX;
 /// log8 m ≈ 7 levels deep at a million machines.
 const FANOUT: usize = 8;
 
+/// How many flush iterations ahead each arena-repair pass prefetches
+/// (see [`LoadIndex::flush`]'s level-by-level walk).
+const FLUSH_LOOKAHEAD: usize = 12;
+
 /// One fused record of the arena: the three extremum candidates of a
 /// machine group, each as an exact `u128` load plus a machine id.
 /// `repr(C)` keeps the three loads contiguous; the whole node is 64
@@ -248,6 +252,35 @@ impl LoadIndex {
         }
     }
 
+    /// [`update`](Self::update) with champion-cache maintenance
+    /// *deferred*: only the running total and the dirty marks are
+    /// touched — O(1) worst case, never a flush. A wave of updates can
+    /// dethrone the cached argmax/argmin many times over; paying one
+    /// exact recompute at the end ([`flush_deferred`](Self::flush_deferred))
+    /// instead of a rescan per dethroning is the batch applier's second
+    /// win next to memory locality. Champion queries are unreliable
+    /// until the matching `flush_deferred` — callers must not interleave
+    /// queries with a deferred run.
+    #[inline]
+    pub(crate) fn update_deferred(&mut self, loads: &[u128], i: usize, old: u128) {
+        let new = loads[i];
+        self.total = self.total - old + new;
+        if new != old {
+            self.mark_dirty(i / FANOUT);
+        }
+    }
+
+    /// Completes a run of [`update_deferred`](Self::update_deferred)s:
+    /// one arena flush and one root read re-derive all three champion
+    /// caches exactly (a pure function of the current loads and active
+    /// mask, so the answers match any sequential update order). No-op
+    /// when nothing is dirty.
+    pub(crate) fn flush_deferred(&mut self, loads: &[u128]) {
+        if !self.dirty.is_empty() {
+            self.refresh_caches(loads);
+        }
+    }
+
     /// Whether machine `i` is active.
     #[inline]
     pub fn is_active(&self, i: usize) -> bool {
@@ -332,6 +365,31 @@ impl LoadIndex {
         self.levels.iter().map(Vec::len).sum()
     }
 
+    /// Requests hugepage backing for the arena's buffers (level-0 is
+    /// ~m/8 64-byte nodes, the only one big enough to matter below
+    /// m ≈ 10⁶; upper levels and the flag vectors are advised too so a
+    /// giant index benefits fully). Folded into `report`; see
+    /// [`crate::mem::advise_hugepages`].
+    pub(crate) fn advise_hugepages(&self, report: &mut crate::mem::AdviseReport) {
+        for level in &self.levels {
+            report.record(crate::mem::advise_hugepages(level));
+        }
+        report.record(crate::mem::advise_hugepages(&self.active));
+        report.record(crate::mem::advise_hugepages(&self.group_dirty));
+    }
+
+    /// Starts pulling the lines an [`update`](Self::update) of machine
+    /// `i` will touch (`active[i]`, its dirty-group flag) toward L1. A
+    /// pure hint for batch appliers that know their update sequence in
+    /// advance; see [`crate::mem`].
+    #[inline]
+    pub(crate) fn prefetch_update(&self, i: usize) {
+        crate::mem::prefetch_index(&self.active, i);
+        // The dirty flag is *written* by `mark_dirty`: ask for the line
+        // in exclusive state so the store skips the ownership upgrade.
+        crate::mem::prefetch_index_write(&self.group_dirty, i / FANOUT);
+    }
+
     /// Brings every arena node up to date: repairs the root path of each
     /// dirty group, or rebuilds all levels when most of the arena is
     /// stale anyway.
@@ -339,32 +397,70 @@ impl LoadIndex {
         if self.dirty.is_empty() {
             return;
         }
-        let dirty = std::mem::take(&mut self.dirty);
+        let mut dirty = std::mem::take(&mut self.dirty);
         for &g in &dirty {
             self.group_dirty[g as usize] = false;
         }
         if dirty.len() * self.levels.len() >= self.node_count() {
             self.rebuild_arena(loads);
-        } else {
-            for &g in &dirty {
-                self.repair_path(loads, g as usize);
+            return;
+        }
+        // Level by level, ascending: the address sequence of every pass
+        // is known before the pass runs, so the next iterations' lines
+        // are prefetched while the current node recombines (a big
+        // wave's flush is DRAM-bound, not compute-bound). A node whose
+        // recompute reproduces the stored value stops propagating — its
+        // ancestors were computed from exactly these child values.
+        dirty.sort_unstable();
+        let mut frontier = dirty;
+        let mut changed: Vec<u32> = Vec::with_capacity(frontier.len());
+        for (pos, &g) in frontier.iter().enumerate() {
+            if let Some(&ahead) = frontier.get(pos + FLUSH_LOOKAHEAD) {
+                let base = ahead as usize * FANOUT;
+                crate::mem::prefetch_index(loads, base);
+                crate::mem::prefetch_index(loads, base + FANOUT / 2);
+                crate::mem::prefetch_index(&self.active, base);
+                crate::mem::prefetch_index_write(&self.levels[0], ahead as usize);
+            }
+            let g = g as usize;
+            let new = compute_leaf(loads, &self.active, self.len, g);
+            if self.levels[0][g] != new {
+                self.levels[0][g] = new;
+                let parent = (g / FANOUT) as u32;
+                if changed.last() != Some(&parent) {
+                    changed.push(parent);
+                }
             }
         }
-    }
-
-    /// Recomputes the level-0 node of `group` and its ancestor chain.
-    ///
-    /// When several groups are repaired back to back, shared ancestors
-    /// are recomputed more than once; since each pass goes bottom-up, the
-    /// *last* pass over an ancestor sees only repaired descendants, so
-    /// the final arena is exact regardless of repair order.
-    fn repair_path(&mut self, loads: &[u128], group: usize) {
-        self.levels[0][group] = compute_leaf(loads, &self.active, self.len, group);
-        let mut i = group;
+        frontier = changed;
         for k in 1..self.levels.len() {
-            i /= FANOUT;
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next: Vec<u32> = Vec::with_capacity(frontier.len());
             let (lower, upper) = self.levels.split_at_mut(k);
-            upper[0][i] = compute_inner(&lower[k - 1], i);
+            let lower = &lower[k - 1][..];
+            let level = &mut upper[0];
+            for (pos, &i) in frontier.iter().enumerate() {
+                if let Some(&ahead) = frontier.get(pos + FLUSH_LOOKAHEAD / 2) {
+                    let base = ahead as usize * FANOUT;
+                    // A child span is up to FANOUT one-line nodes.
+                    for c in 0..FANOUT {
+                        crate::mem::prefetch_index(lower, base + c);
+                    }
+                    crate::mem::prefetch_index_write(level, ahead as usize);
+                }
+                let i = i as usize;
+                let new = compute_inner(lower, i);
+                if level[i] != new {
+                    level[i] = new;
+                    let parent = (i / FANOUT) as u32;
+                    if next.last() != Some(&parent) {
+                        next.push(parent);
+                    }
+                }
+            }
+            frontier = next;
         }
     }
 

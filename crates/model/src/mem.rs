@@ -1,0 +1,510 @@
+//! Memory-locality primitives for the migration hot path: software
+//! prefetch and hugepage advice, behind safe, no-op-capable wrappers.
+//!
+//! At a million machines the assignment's working set (`machine_of`,
+//! the `jobs_on` spines and buffers, the `u128` loads, the load-index
+//! arena) exceeds 100 MB, so a single `move_job` touches ~8–10
+//! DRAM-cold cache lines and the TLB walks that map them (see
+//! `docs/PERFORMANCE.md`). Two hardware levers attack that wall without
+//! changing a single observable byte of any result:
+//!
+//! * **Software prefetch** ([`prefetch_read`]) — issue the load of a
+//!   line we *know* we will touch a few operations from now, so the
+//!   DRAM latency overlaps useful work instead of serializing behind
+//!   it. A prefetch is a pure hint: it cannot fault, cannot trap, and
+//!   cannot change architectural state, so the wrappers are safe.
+//! * **Hugepage advice** ([`advise_hugepages`]) — ask Linux to back a
+//!   large buffer with transparent 2 MiB pages (`madvise(MADV_HUGEPAGE)`),
+//!   cutting TLB entries for a 100 MB buffer from ~25 000 base pages to
+//!   ~50 huge ones. Advice only changes the *physical backing* of the
+//!   mapping, never its contents, so it is safe to issue on a live
+//!   shared buffer.
+//!
+//! # Portability
+//!
+//! Every entry point has a portable no-op fallback that is **always
+//! compiled** (the [`fallback`] module), and is what the public
+//! functions dispatch to on platforms without the fast path:
+//!
+//! | platform | prefetch | hugepages |
+//! |---|---|---|
+//! | `x86_64` | `prefetcht0` | Linux: `madvise` syscall |
+//! | `aarch64` | `prfm pldl1keep` | Linux: `madvise` syscall |
+//! | anything else | no-op | [`Advise::Unsupported`] |
+//!
+//! A unit test exercises the fallback on every platform, so a non-Linux
+//! build cannot silently lose the graceful degradation path.
+//!
+//! This is the one module in `lb-model` allowed to contain `unsafe`
+//! (the crate is otherwise `#![deny(unsafe_code)]`): the prefetch
+//! intrinsics and the raw `madvise` syscall are unsafe *functions* with
+//! safe *semantics* for the arguments this module passes, as argued at
+//! each call site.
+
+#![allow(unsafe_code)]
+
+/// Size (and required alignment) of a transparent huge page on the
+/// platforms we advise: 2 MiB. Used to shrink a buffer to its largest
+/// aligned subrange before calling `madvise`, so the advice is valid
+/// regardless of the kernel's base page size (4 KiB, 16 KiB or 64 KiB —
+/// all divide 2 MiB).
+pub const HUGE_PAGE_BYTES: usize = 2 << 20;
+
+/// Outcome of a [`advise_hugepages`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advise {
+    /// The kernel accepted `madvise(MADV_HUGEPAGE)` for the aligned
+    /// subrange; `bytes` is its length (a multiple of
+    /// [`HUGE_PAGE_BYTES`]).
+    Applied {
+        /// Length of the advised subrange in bytes.
+        bytes: usize,
+    },
+    /// The buffer contains no 2 MiB-aligned subrange, so there was
+    /// nothing to advise (typical for buffers under ~4 MiB).
+    TooSmall,
+    /// The kernel rejected the advice with this errno (e.g. `EINVAL`
+    /// when transparent hugepages are compiled out or set to `never`).
+    Rejected(i32),
+    /// This platform has no hugepage-advice path; the call compiled to
+    /// the no-op fallback.
+    Unsupported,
+}
+
+impl Advise {
+    /// Bytes actually advised (0 unless [`Advise::Applied`]).
+    pub fn bytes(&self) -> usize {
+        match self {
+            Advise::Applied { bytes } => *bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// Aggregated outcome of advising several buffers (see
+/// [`crate::Assignment::advise_hugepages`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdviseReport {
+    /// Buffers for which the kernel accepted the advice.
+    pub applied: usize,
+    /// Total bytes advised across those buffers.
+    pub bytes: usize,
+    /// Buffers skipped because no aligned subrange exists.
+    pub too_small: usize,
+    /// Buffers for which the kernel rejected the advice.
+    pub rejected: usize,
+    /// Whether the platform supports hugepage advice at all.
+    pub supported: bool,
+}
+
+impl AdviseReport {
+    /// Folds one buffer's outcome into the report.
+    pub fn record(&mut self, a: Advise) {
+        match a {
+            Advise::Applied { bytes } => {
+                self.applied += 1;
+                self.bytes += bytes;
+                self.supported = true;
+            }
+            Advise::TooSmall => {
+                self.too_small += 1;
+                self.supported = true;
+            }
+            Advise::Rejected(_) => {
+                self.rejected += 1;
+                self.supported = true;
+            }
+            Advise::Unsupported => {}
+        }
+    }
+}
+
+impl std::fmt::Display for AdviseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.supported {
+            return write!(f, "hugepages unsupported on this platform");
+        }
+        write!(
+            f,
+            "hugepages: {} buffer(s) advised ({} MiB), {} too small, {} rejected",
+            self.applied,
+            self.bytes / (1 << 20),
+            self.too_small,
+            self.rejected
+        )
+    }
+}
+
+/// Hints the CPU to pull the cache line holding `data` into L1, for a
+/// read expected a few operations from now. Never faults, never blocks,
+/// never changes results — a pure scheduling hint (a no-op on platforms
+/// without a prefetch instruction).
+#[inline(always)]
+pub fn prefetch_read<T: ?Sized>(data: &T) {
+    prefetch_ptr(data as *const T as *const u8);
+}
+
+/// Like [`prefetch_read`], but with *write intent*: the line is
+/// requested in exclusive state, so a store a few operations later
+/// skips the read-for-ownership upgrade a plain read prefetch would
+/// leave behind. Same purity guarantees as [`prefetch_read`].
+#[inline(always)]
+pub fn prefetch_write<T: ?Sized>(data: &T) {
+    prefetch_ptr_write(data as *const T as *const u8);
+}
+
+/// Prefetches `slice[i]`'s cache line if `i` is in bounds (out-of-range
+/// indices are silently ignored — callers prefetch *speculatively*,
+/// e.g. "the next planned pair", and the last iteration has no next).
+#[inline(always)]
+pub fn prefetch_index<T>(slice: &[T], i: usize) {
+    if let Some(x) = slice.get(i) {
+        prefetch_read(x);
+    }
+}
+
+/// [`prefetch_write`] for `slice[i]`, silently ignoring out-of-range
+/// indices (same speculative-caller contract as [`prefetch_index`]).
+#[inline(always)]
+pub fn prefetch_index_write<T>(slice: &[T], i: usize) {
+    if let Some(x) = slice.get(i) {
+        prefetch_write(x);
+    }
+}
+
+/// Prefetches the first cache line of a slice's backing buffer (no-op
+/// for empty slices). Pairs with prefetching the slice *header*: a
+/// `jobs_on[m]` read costs one line for the `Vec` header and one for
+/// the buffer it points at.
+#[inline(always)]
+pub fn prefetch_slice_data<T>(slice: &[T]) {
+    if let Some(x) = slice.first() {
+        prefetch_read(x);
+    }
+}
+
+/// [`prefetch_slice_data`] with write intent, for buffers about to be
+/// edited in place (e.g. a `jobs_on[m]` list that a batched migration
+/// wave will `push`/`swap_remove` on).
+#[inline(always)]
+pub fn prefetch_slice_data_write<T>(slice: &[T]) {
+    if let Some(x) = slice.first() {
+        prefetch_write(x);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn prefetch_ptr(p: *const u8) {
+    // SAFETY: PREFETCHT0 is architecturally defined to never fault and
+    // never modify architectural state, for *any* address (valid or
+    // not); it is a pure hint to the cache hierarchy.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn prefetch_ptr_write(p: *const u8) {
+    // SAFETY: the ET0 hint emits PREFETCHW, which shares PREFETCHT0's
+    // contract: never faults, never modifies architectural state (CPUs
+    // without PREFETCHW support execute it as a NOP).
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_ET0 }>(p as *const i8);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[inline(always)]
+fn prefetch_ptr(p: *const u8) {
+    // SAFETY: PRFM PLDL1KEEP is a hint instruction: it cannot generate
+    // a synchronous abort for any address and has no architectural
+    // side effects.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[inline(always)]
+fn prefetch_ptr_write(p: *const u8) {
+    // SAFETY: PRFM PSTL1KEEP (prefetch for store) has the same
+    // hint-only contract as PLDL1KEEP.
+    unsafe {
+        core::arch::asm!("prfm pstl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[inline(always)]
+fn prefetch_ptr(p: *const u8) {
+    fallback::prefetch_ptr(p);
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[inline(always)]
+fn prefetch_ptr_write(p: *const u8) {
+    fallback::prefetch_ptr(p);
+}
+
+/// Requests transparent-hugepage backing for the largest 2 MiB-aligned
+/// subrange of `data`'s buffer.
+///
+/// Purely a physical-layout request: the kernel may promote the range
+/// to 2 MiB pages (cutting TLB misses on large working sets) but the
+/// buffer's contents, addresses, and every computed result are
+/// unchanged. Degrades gracefully everywhere: [`Advise::TooSmall`] for
+/// small buffers, [`Advise::Rejected`] when the kernel refuses (THP
+/// disabled), [`Advise::Unsupported`] off Linux/x86_64/aarch64.
+pub fn advise_hugepages<T>(data: &[T]) -> Advise {
+    let addr = data.as_ptr() as usize;
+    let len = std::mem::size_of_val(data);
+    advise_hugepages_range(addr, len)
+}
+
+/// Core of [`advise_hugepages`], on a raw `(addr, len)` byte range.
+fn advise_hugepages_range(addr: usize, len: usize) -> Advise {
+    let Some((start, bytes)) = aligned_subrange(addr, len) else {
+        return if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            Advise::TooSmall
+        } else {
+            Advise::Unsupported
+        };
+    };
+    madvise_hugepage(start, bytes)
+}
+
+/// The largest [`HUGE_PAGE_BYTES`]-aligned subrange of `[addr, addr+len)`,
+/// as `(start, bytes)`; `None` when no full huge page fits.
+fn aligned_subrange(addr: usize, len: usize) -> Option<(usize, usize)> {
+    let end = addr.checked_add(len)?;
+    let start = addr.checked_add(HUGE_PAGE_BYTES - 1)? & !(HUGE_PAGE_BYTES - 1);
+    let end = end & !(HUGE_PAGE_BYTES - 1);
+    (start < end).then(|| (start, end - start))
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn madvise_hugepage(start: usize, bytes: usize) -> Advise {
+    /// `MADV_HUGEPAGE` from `<linux/mman.h>` (identical on every arch).
+    const MADV_HUGEPAGE: usize = 14;
+    /// `MADV_COLLAPSE` (Linux ≥ 6.1): synchronously collapse the range
+    /// into huge pages *now*, instead of waiting for khugepaged to get
+    /// around to it — without this, a short benchmark can finish before
+    /// the background collapse ever happens.
+    const MADV_COLLAPSE: usize = 25;
+    // SAFETY: `start`/`bytes` lie inside a live allocation borrowed by
+    // the caller and are 2 MiB-aligned (so also base-page-aligned).
+    // Neither advice alters mapping contents or validity — MADV_HUGEPAGE
+    // marks the range as a candidate for transparent huge pages and
+    // MADV_COLLAPSE migrates the same bytes onto huge pages in place —
+    // so no Rust aliasing or validity invariant is affected.
+    let ret = unsafe { sys_madvise(start, bytes, MADV_HUGEPAGE) };
+    if ret == 0 {
+        // Best-effort immediate collapse; failure (older kernel,
+        // fragmented memory) is fine — the range stays eligible for
+        // background collapse either way.
+        let _ = unsafe { sys_madvise(start, bytes, MADV_COLLAPSE) };
+        Advise::Applied { bytes }
+    } else {
+        Advise::Rejected(-ret as i32)
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn madvise_hugepage(start: usize, bytes: usize) -> Advise {
+    fallback::madvise_hugepage(start, bytes)
+}
+
+/// Raw `madvise(2)`, invoked directly so the workspace needs no libc
+/// binding (the offline build has none). Returns 0 or `-errno`, per the
+/// Linux syscall ABI.
+///
+/// # Safety
+///
+/// The caller must pass a page-aligned range within a live mapping and
+/// an advice value that does not alter mapping contents (this module
+/// only ever passes `MADV_HUGEPAGE` and `MADV_COLLAPSE`).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_madvise(addr: usize, len: usize, advice: usize) -> isize {
+    const SYS_MADVISE: usize = 28;
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") SYS_MADVISE as isize => ret,
+        in("rdi") addr,
+        in("rsi") len,
+        in("rdx") advice,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack, preserves_flags)
+    );
+    ret
+}
+
+/// Raw `madvise(2)` for aarch64 Linux; see the x86_64 variant for the
+/// contract.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_madvise(addr: usize, len: usize, advice: usize) -> isize {
+    const SYS_MADVISE: usize = 233;
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") SYS_MADVISE,
+        inlateout("x0") addr => ret,
+        in("x1") len,
+        in("x2") advice,
+        options(nostack, preserves_flags)
+    );
+    ret
+}
+
+/// The portable no-op implementations. Always compiled (not `cfg`-gated
+/// away), so every platform — including the ones with a fast path, where
+/// these are dead code outside tests — type-checks and tests the
+/// graceful-degradation behavior a non-Linux build would run.
+#[allow(dead_code)]
+pub(crate) mod fallback {
+    use super::Advise;
+
+    /// No-op prefetch: the hint is dropped.
+    #[inline(always)]
+    pub fn prefetch_ptr(_p: *const u8) {}
+
+    /// No-op hugepage advice: reports [`Advise::Unsupported`].
+    pub fn madvise_hugepage(_start: usize, _bytes: usize) -> Advise {
+        Advise::Unsupported
+    }
+}
+
+/// The kernel's base page size, read from `/proc/self/auxv`
+/// (`AT_PAGESZ`). `None` off Linux or when the auxv is unreadable —
+/// callers report "unknown" rather than guessing.
+pub fn page_size() -> Option<usize> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    const AT_PAGESZ: usize = 6;
+    let raw = std::fs::read("/proc/self/auxv").ok()?;
+    let word = std::mem::size_of::<usize>();
+    let mut chunks = raw.chunks_exact(2 * word);
+    chunks.find_map(|pair| {
+        let key = usize::from_ne_bytes(pair[..word].try_into().ok()?);
+        (key == AT_PAGESZ).then(|| usize::from_ne_bytes(pair[word..].try_into().unwrap()))
+    })
+}
+
+/// The transparent-hugepage mode string from
+/// `/sys/kernel/mm/transparent_hugepage/enabled` (e.g.
+/// `always [madvise] never`), or `None` when unreadable (non-Linux, or
+/// THP compiled out). `madvise(MADV_HUGEPAGE)` only helps when the
+/// bracketed mode is `always` or `madvise`.
+pub fn thp_mode() -> Option<String> {
+    std::fs::read_to_string("/sys/kernel/mm/transparent_hugepage/enabled")
+        .ok()
+        .map(|s| s.trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_a_pure_hint() {
+        // Values and control flow are unaffected; this exercises the
+        // real instruction on x86_64/aarch64 and the no-op elsewhere.
+        let v: Vec<u64> = (0..1024).collect();
+        prefetch_read(&v[0]);
+        prefetch_index(&v, 512);
+        prefetch_index(&v, usize::MAX); // out of range: ignored
+        prefetch_slice_data(&v);
+        prefetch_slice_data::<u64>(&[]);
+        assert_eq!(v[512], 512);
+    }
+
+    #[test]
+    fn aligned_subrange_math() {
+        let h = HUGE_PAGE_BYTES;
+        // A whole aligned huge page maps to itself.
+        assert_eq!(aligned_subrange(2 * h, h), Some((2 * h, h)));
+        // A misaligned start rounds up, the end rounds down.
+        assert_eq!(aligned_subrange(h + 7, 3 * h), Some((2 * h, 2 * h)));
+        // Buffers smaller than one aligned page have nothing to advise.
+        assert_eq!(aligned_subrange(h + 7, h), None);
+        assert_eq!(aligned_subrange(0, 0), None);
+        // Overflowing ranges are rejected, not wrapped.
+        assert_eq!(aligned_subrange(usize::MAX - 8, 64), None);
+    }
+
+    #[test]
+    fn advise_degrades_gracefully() {
+        // Tiny buffer: never Applied, never panics, on any platform.
+        let small = vec![0u8; 64];
+        assert!(matches!(
+            advise_hugepages(&small),
+            Advise::TooSmall | Advise::Unsupported
+        ));
+        // Large buffer: Applied on a Linux kernel with THP, Rejected
+        // when THP is off, Unsupported elsewhere — all are acceptable;
+        // what must hold is that the contents are untouched.
+        let big = vec![0xa5u8; 8 << 20];
+        let outcome = advise_hugepages(&big);
+        assert!(big.iter().all(|&b| b == 0xa5), "advice must not mutate");
+        if let Advise::Applied { bytes } = outcome {
+            assert!(bytes >= HUGE_PAGE_BYTES);
+            assert_eq!(bytes % HUGE_PAGE_BYTES, 0);
+        }
+    }
+
+    #[test]
+    fn fallback_compiles_and_runs_on_every_platform() {
+        // The no-op path a non-Linux build would take: callable and
+        // inert everywhere, so portability cannot rot unnoticed.
+        fallback::prefetch_ptr(std::ptr::null());
+        assert_eq!(
+            fallback::madvise_hugepage(0, HUGE_PAGE_BYTES),
+            Advise::Unsupported
+        );
+        let mut report = AdviseReport::default();
+        report.record(Advise::Unsupported);
+        assert!(!report.supported);
+        assert_eq!(report.to_string(), "hugepages unsupported on this platform");
+    }
+
+    #[test]
+    fn advise_report_aggregates() {
+        let mut r = AdviseReport::default();
+        r.record(Advise::Applied {
+            bytes: 2 * HUGE_PAGE_BYTES,
+        });
+        r.record(Advise::TooSmall);
+        r.record(Advise::Rejected(22));
+        assert_eq!(r.applied, 1);
+        assert_eq!(r.bytes, 2 * HUGE_PAGE_BYTES);
+        assert_eq!(r.too_small, 1);
+        assert_eq!(r.rejected, 1);
+        assert!(r.supported);
+        assert!(r.to_string().contains("1 buffer(s) advised (4 MiB)"));
+    }
+
+    #[test]
+    fn host_probes_do_not_panic() {
+        // Values are host-dependent; the contract is graceful None.
+        let _ = page_size();
+        let _ = thp_mode();
+        if cfg!(target_os = "linux") {
+            if let Some(ps) = page_size() {
+                assert!(ps.is_power_of_two());
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Machine-batched application of planned job migrations.
+//!
+//! A sequential stream of [`crate::Assignment::move_job`] calls touches,
+//! per move, ~8–10 cache lines scattered across the assignment's big
+//! arrays (`machine_of`, two `jobs_on` headers + buffers, two `u128`
+//! loads, the cost row, index dirty-group metadata). When the working
+//! set exceeds cache (m ≥ 10⁵), nearly every one of those lines is a
+//! DRAM miss, and the *same* machine's lines get re-missed every time a
+//! later move touches it again — the `move_job` memory wall measured in
+//! `docs/PERFORMANCE.md`.
+//!
+//! When the moves of a wave are known up front (the parallel round
+//! driver draws all pairs before executing; a failed machine's scatter
+//! knows every job it must re-home), we can do better: collect them in a
+//! [`MigrationBatch`] and apply with
+//! [`crate::Assignment::apply_migrations`], which groups the work **by
+//! machine** so each machine's load cell, list header, and list buffer
+//! are touched exactly once per wave, in ascending (hardware-prefetcher
+//! friendly) address order, with the next machine's lines
+//! software-prefetched while the current machine commits.
+//!
+//! # Equivalence to sequential `move_job` — why this is safe
+//!
+//! Batched application is **draw-for-draw identical** to replaying the
+//! same moves one `move_job` at a time (pinned by unit tests here and
+//! the `batched_migration_equivalence` proptest):
+//!
+//! * **Job lists.** `move_job` edits `jobs_on[M]` with `swap_remove` /
+//!   `push`, and an operation on machine M reads and writes *only* M's
+//!   list. So the final content (including order!) of `jobs_on[M]`
+//!   depends only on the subsequence of operations targeting M, in
+//!   their original order — which is exactly what the per-machine
+//!   replay preserves (operations are grouped by machine with a
+//!   *stable* radix sort, so each machine keeps its original edit
+//!   order).
+//! * **Loads.** Each machine's final load is its old load plus
+//!   additions minus removals; `u128` integer arithmetic makes the net
+//!   result order-independent, and applying all additions before all
+//!   removals can never underflow where the sequential order did not
+//!   (the intermediate value is only ever larger).
+//! * **Index.** Load-cell updates are recorded with champion-cache
+//!   maintenance *deferred* (`update_deferred`), then one exact
+//!   recompute (`flush_deferred`) closes the wave; the index's queries
+//!   (and `validate`'s rebuild-and-compare check) are a pure function
+//!   of the current loads and active mask, not of the update path, so
+//!   every post-wave answer matches sequential replay bit for bit.
+//! * **`machine_of`.** Each job's final machine is its last destination
+//!   in the stream; sources of repeat-moved jobs are resolved against
+//!   pending destinations during planning, so chains like A→B→C replay
+//!   exactly.
+//!
+//! The batch applier is for *move streams*. Pairwise exchange commits
+//! keep using `set_pair` (which replaces both lists wholesale) — their
+//! list order contract is different and already optimal at one touch
+//! per machine.
+//!
+//! # When batching pays
+//!
+//! The wins compound with wave size. Small waves (≪ m moves) still pay
+//! the per-wave index flush that sequential replay spreads over many
+//! moves, so batching roughly breaks even. At *round-scale* waves
+//! (≈ one move per machine, the shape a full exchange round or a
+//! crash-recovery scatter produces) the commit walks machines in
+//! ascending address order, the flush collapses into one near-linear
+//! arena sweep, and the whole apply runs several times faster than
+//! sequential replay — ~5× measured at m = 10⁶ (see
+//! `docs/PERFORMANCE.md` for the full methodology and numbers).
+
+use crate::ids::{JobId, MachineId};
+use crate::instance::Instance;
+use crate::mem;
+use crate::sharded_index::ShardedLoadIndex;
+
+/// A planned stream of job migrations, applied machine-batched by
+/// [`crate::Assignment::apply_migrations`]. See the [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationBatch {
+    moves: Vec<(JobId, MachineId)>,
+}
+
+impl MigrationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `cap` planned moves.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            moves: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Plans one move: `job` will be re-homed to `to`. Moves are applied
+    /// in planning order; a job may be planned more than once (the later
+    /// destination wins, exactly as sequential replay would).
+    #[inline]
+    pub fn push(&mut self, job: JobId, to: MachineId) {
+        self.moves.push((job, to));
+    }
+
+    /// Number of planned moves.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether no moves are planned.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Clears the plan, keeping the allocation for reuse across waves.
+    pub fn clear(&mut self) {
+        self.moves.clear();
+    }
+
+    /// The planned `(job, destination)` stream, in planning order.
+    pub fn moves(&self) -> &[(JobId, MachineId)] {
+        &self.moves
+    }
+}
+
+impl FromIterator<(JobId, MachineId)> for MigrationBatch {
+    fn from_iter<I: IntoIterator<Item = (JobId, MachineId)>>(iter: I) -> Self {
+        Self {
+            moves: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// One `jobs_on` edit, tagged with its machine. Ops are emitted in
+/// sequential-stream order and grouped by machine with a *stable* sort,
+/// which preserves each machine's edit order without an explicit
+/// sequence key.
+#[derive(Clone, Copy)]
+struct Op {
+    machine: u32,
+    job: JobId,
+    /// `true` = push onto the machine's list, `false` = swap-remove.
+    push: bool,
+}
+
+/// Stable LSD radix sort of `ops` by machine id, 11 bits per pass (two
+/// passes cover 4M machines). A comparison sort of a full round's 2m
+/// ops was the single biggest phase of a large wave's apply; counting
+/// passes over sequential memory replace it at a fraction of the cost.
+/// Stability is what preserves each machine's edit order (the
+/// equivalence linchpin).
+fn radix_sort_by_machine(ops: &mut Vec<Op>, max_machine: u32) {
+    const BITS: u32 = 11;
+    const BUCKETS: usize = 1 << BITS;
+    debug_assert!(u32::try_from(ops.len()).is_ok());
+    let mut scratch: Vec<Op> = vec![ops[0]; ops.len()];
+    let mut counts = vec![0u32; BUCKETS];
+    let bits_needed = (32 - max_machine.leading_zeros()).max(1);
+    let mut shift = 0u32;
+    while shift < bits_needed {
+        counts.fill(0);
+        for op in ops.iter() {
+            counts[(op.machine >> shift) as usize & (BUCKETS - 1)] += 1;
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            sum += std::mem::replace(c, sum);
+        }
+        for &op in ops.iter() {
+            let bucket = (op.machine >> shift) as usize & (BUCKETS - 1);
+            scratch[counts[bucket] as usize] = op;
+            counts[bucket] += 1;
+        }
+        std::mem::swap(ops, &mut scratch);
+        shift += BITS;
+    }
+}
+
+/// How many moves ahead the planning pass prefetches `machine_of`
+/// entries. The per-move plan work is a handful of cycles, so a deep
+/// window is needed to keep many DRAM fetches in flight at once.
+const PLAN_LOOKAHEAD: usize = 16;
+
+/// Far prefetch distance of the commit pipeline, in machine runs: where
+/// the load cell, the list *header*, and the cost entries are requested.
+const FAR: usize = 16;
+
+/// Near prefetch distance, in machine runs: where the list *buffer* is
+/// requested. Staged after [`FAR`] because the buffer address lives in
+/// the header — the pointer must have arrived before its target can be
+/// prefetched.
+const NEAR: usize = 6;
+
+/// Applies `moves` to the raw assignment parts, machine-batched.
+/// Crate-internal: the public entry point is
+/// [`crate::Assignment::apply_migrations`], which owns the fields.
+///
+/// The point of the exercise is **memory-level parallelism**: a
+/// sequential `move_job` stream executes one cache-miss chain at a
+/// time, while each pass below walks a *pre-known* address sequence, so
+/// it can keep `PLAN_LOOKAHEAD`/`FAR` independent DRAM fetches in
+/// flight and hide most of the latency.
+pub(crate) fn apply(
+    inst: &Instance,
+    machine_of: &mut [MachineId],
+    jobs_on: &mut [Vec<JobId>],
+    loads: &mut [u128],
+    index: &mut ShardedLoadIndex,
+    moves: &[(JobId, MachineId)],
+) {
+    if moves.is_empty() {
+        return;
+    }
+    // Plan: resolve every move's source machine and emit the
+    // per-machine edit stream. `machine_of` itself is the resolution
+    // structure — writing each move's destination as we go makes
+    // repeat-moved jobs chain exactly like sequential replay (the next
+    // occurrence reads the previous destination), drops no-op moves
+    // exactly like `move_job` does, and leaves `machine_of` in its
+    // final state after one pass.
+    let mut ops: Vec<Op> = Vec::with_capacity(2 * moves.len());
+    let mut max_machine = 0u32;
+    for (k, &(job, to)) in moves.iter().enumerate() {
+        if let Some(&(ahead, _)) = moves.get(k + PLAN_LOOKAHEAD) {
+            // Read *and* written below: fetch with write intent.
+            mem::prefetch_index_write(machine_of, ahead.idx());
+        }
+        let from = machine_of[job.idx()];
+        if from == to {
+            continue;
+        }
+        machine_of[job.idx()] = to;
+        max_machine = max_machine.max(from.0).max(to.0);
+        ops.push(Op {
+            machine: from.0,
+            job,
+            push: false,
+        });
+        ops.push(Op {
+            machine: to.0,
+            job,
+            push: true,
+        });
+    }
+    if ops.is_empty() {
+        return;
+    }
+    // Ascending machine order; the sort's *stability* keeps each
+    // machine's edits in the original sequential order (the
+    // equivalence linchpin).
+    radix_sort_by_machine(&mut ops, max_machine);
+
+    // Run boundaries: one run of consecutive ops per touched machine.
+    let mut runs: Vec<(u32, u32)> = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let m = ops[i].machine;
+        let mut j = i + 1;
+        while j < ops.len() && ops[j].machine == m {
+            j += 1;
+        }
+        runs.push((i as u32, j as u32));
+        i = j;
+    }
+
+    // Commit machine-at-a-time behind a two-distance prefetch pipeline.
+    for r in 0..runs.len() {
+        if let Some(&(fs, fe)) = runs.get(r + FAR) {
+            // Far stage: load cell, list header, and the run's cost
+            // entries — all at independent addresses, fetched together.
+            let fm = ops[fs as usize].machine as usize;
+            // The load cell and list header are rewritten by the commit:
+            // write-intent prefetch saves the exclusive-state upgrade.
+            mem::prefetch_index_write(loads, fm);
+            mem::prefetch_index_write(jobs_on, fm);
+            index.prefetch_update(fm);
+            let fmid = MachineId::from_idx(fm);
+            for op in &ops[fs as usize..fe as usize] {
+                inst.prefetch_cost(fmid, op.job);
+            }
+        }
+        if let Some(&(ns, _)) = runs.get(r + NEAR) {
+            // Near stage: the header fetched by the far stage has
+            // arrived; chase it to the list buffer.
+            let nm = ops[ns as usize].machine as usize;
+            mem::prefetch_slice_data_write(&jobs_on[nm]);
+        }
+        let (s, e) = runs[r];
+        let m = ops[s as usize].machine as usize;
+        let mid = MachineId::from_idx(m);
+        let old = loads[m];
+        let mut added = 0u128;
+        let mut removed = 0u128;
+        let list = &mut jobs_on[m];
+        for op in &ops[s as usize..e as usize] {
+            if op.push {
+                added += u128::from(inst.cost(mid, op.job));
+                list.push(op.job);
+            } else {
+                removed += u128::from(inst.cost(mid, op.job));
+                let pos = list
+                    .iter()
+                    .position(|&x| x == op.job)
+                    .expect("job tracked on its source machine");
+                list.swap_remove(pos);
+            }
+        }
+        // Additions first: never underflows where sequential order
+        // didn't (see module docs).
+        loads[m] = old + added - removed;
+        index.update_deferred(loads, m, old);
+    }
+    // One exact champion recompute for the whole wave, instead of a
+    // dirty-group rescan every time an update dethrones a cached
+    // champion (a wave that drains the current argmax would otherwise
+    // pay that rescan over and over). Queries after this point see
+    // exactly the state sequential replay would produce.
+    index.flush_deferred(loads);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+
+    fn inst4x8() -> Instance {
+        Instance::dense(
+            4,
+            8,
+            vec![
+                2, 4, 6, 8, 1, 3, 5, 7, // machine 0
+                1, 1, 1, 1, 1, 1, 1, 1, // machine 1
+                5, 5, 5, 5, 5, 5, 5, 5, // machine 2
+                9, 2, 9, 2, 9, 2, 9, 2, // machine 3
+            ],
+        )
+        .unwrap()
+    }
+
+    fn check_equivalence(moves: &[(JobId, MachineId)], shards: usize) {
+        let inst = inst4x8();
+        let mut sequential = Assignment::round_robin(&inst);
+        let mut batched = sequential.clone();
+        batched.set_shards(shards);
+        for &(job, to) in moves {
+            sequential.move_job(&inst, job, to);
+        }
+        let batch: MigrationBatch = moves.iter().copied().collect();
+        batched.apply_migrations(&inst, &batch);
+        assert_eq!(sequential, batched, "shards={shards}");
+        // Job-list *order* must match too (PartialEq covers it, but be
+        // explicit: this is the strongest part of the contract).
+        for m in inst.machines() {
+            assert_eq!(sequential.jobs_on(m), batched.jobs_on(m), "machine {m}");
+        }
+        assert_eq!(sequential.makespan(), batched.makespan());
+        assert_eq!(
+            sequential.min_loaded_machine(),
+            batched.min_loaded_machine()
+        );
+        batched.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn batched_matches_sequential_simple() {
+        for shards in [1, 2, 3, 8] {
+            check_equivalence(
+                &[
+                    (JobId(0), MachineId(1)),
+                    (JobId(4), MachineId(1)),
+                    (JobId(1), MachineId(3)),
+                    (JobId(5), MachineId(0)),
+                ],
+                shards,
+            );
+        }
+    }
+
+    #[test]
+    fn batched_handles_chained_and_noop_moves() {
+        for shards in [1, 2, 3, 8] {
+            check_equivalence(
+                &[
+                    (JobId(0), MachineId(0)), // no-op: already there
+                    (JobId(0), MachineId(2)), // A -> C
+                    (JobId(0), MachineId(1)), // C -> B (chained)
+                    (JobId(0), MachineId(1)), // no-op after chain
+                    (JobId(0), MachineId(0)), // back home
+                    (JobId(6), MachineId(0)),
+                    (JobId(6), MachineId(3)),
+                ],
+                shards,
+            );
+        }
+    }
+
+    #[test]
+    fn batched_drains_a_machine() {
+        // The scatter pattern: every job of one machine re-homed.
+        let inst = inst4x8();
+        let all_on_2 = Assignment::all_on(&inst, MachineId(2));
+        let moves: Vec<(JobId, MachineId)> = all_on_2
+            .jobs_on(MachineId(2))
+            .iter()
+            .enumerate()
+            .map(|(k, &j)| (j, MachineId::from_idx(k % 3)))
+            .collect();
+        let mut sequential = all_on_2.clone();
+        for &(job, to) in &moves {
+            sequential.move_job(&inst, job, to);
+        }
+        let mut batched = all_on_2;
+        batched.apply_migrations(&inst, &moves.iter().copied().collect());
+        assert_eq!(sequential, batched);
+        assert_eq!(batched.num_jobs_on(MachineId(2)), 2, "jobs 2 and 5 return");
+        batched.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn empty_and_all_noop_batches_do_nothing() {
+        let inst = inst4x8();
+        let before = Assignment::round_robin(&inst);
+        let mut asg = before.clone();
+        asg.apply_migrations(&inst, &MigrationBatch::new());
+        assert_eq!(asg, before);
+        let noops: MigrationBatch = (0..8).map(|j| (JobId(j), MachineId(j % 4))).collect();
+        asg.apply_migrations(&inst, &noops);
+        assert_eq!(asg, before, "round-robin sends each job to its own machine");
+    }
+
+    #[test]
+    fn batch_container_basics() {
+        let mut b = MigrationBatch::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(JobId(1), MachineId(0));
+        b.push(JobId(2), MachineId(1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.moves()[1], (JobId(2), MachineId(1)));
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -82,6 +82,21 @@ impl ShardView<'_> {
         crate::assignment::saturate(self.loads[self.local(machine)])
     }
 
+    /// Hints the CPU to pull an in-shard machine's hot lines (load cell,
+    /// job-list header and buffer) toward L1 ahead of a planned exchange
+    /// — the shard-wave counterpart of
+    /// [`crate::Assignment::prefetch_machine`]. Pure hint; never changes
+    /// any result.
+    #[inline]
+    pub fn prefetch_machine(&self, machine: MachineId) {
+        let l = self.local(machine);
+        crate::mem::prefetch_index(self.loads, l);
+        crate::mem::prefetch_index(self.jobs_on, l);
+        if let Some(list) = self.jobs_on.get(l) {
+            crate::mem::prefetch_slice_data(list);
+        }
+    }
+
     /// Atomically redistributes the jobs of two in-shard machines —
     /// [`crate::Assignment::set_pair`] scoped to this shard. Job →
     /// machine writes are recorded as patches (applied by

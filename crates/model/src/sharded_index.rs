@@ -17,6 +17,7 @@
 //! rayon-parallel round driver (`lb-distsim`).
 
 use crate::load_index::{beats_max, beats_min, LoadIndex};
+use crate::mem::AdviseReport;
 
 /// S contiguous-range shards of a [`LoadIndex`], merged at query time.
 /// See the [module docs](self).
@@ -78,6 +79,22 @@ impl ShardedLoadIndex {
         &mut self.shards
     }
 
+    /// Requests hugepage backing for every shard's arena buffers (see
+    /// [`crate::mem::advise_hugepages`]); folded into `report`.
+    pub(crate) fn advise_hugepages(&self, report: &mut AdviseReport) {
+        for shard in &self.shards {
+            shard.advise_hugepages(report);
+        }
+    }
+
+    /// Prefetch hint for an upcoming [`update`](Self::update) of
+    /// machine `i`; see [`LoadIndex::prefetch_update`].
+    #[inline]
+    pub(crate) fn prefetch_update(&self, i: usize) {
+        let s = i / self.width;
+        self.shards[s].prefetch_update(i - s * self.width);
+    }
+
     /// The global-loads subrange covered by shard `s`.
     #[inline]
     fn range(&self, s: usize) -> (usize, usize) {
@@ -97,6 +114,28 @@ impl ShardedLoadIndex {
         let s = i / self.width;
         let (lo, hi) = self.range(s);
         self.shards[s].update(&loads[lo..hi], i - lo, old);
+    }
+
+    /// [`update`](Self::update) with champion maintenance deferred to
+    /// [`flush_deferred`](Self::flush_deferred); see
+    /// [`LoadIndex::update_deferred`]. Queries are unreliable in
+    /// between.
+    #[inline]
+    pub(crate) fn update_deferred(&mut self, loads: &[u128], i: usize, old: u128) {
+        let s = i / self.width;
+        let (lo, hi) = self.range(s);
+        self.shards[s].update_deferred(&loads[lo..hi], i - lo, old);
+    }
+
+    /// Completes a deferred-update run: every shard with dirty groups
+    /// recomputes its caches exactly; untouched shards are a no-op.
+    pub(crate) fn flush_deferred(&mut self, loads: &[u128]) {
+        let width = self.width;
+        let len = self.len;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let lo = s * width;
+            shard.flush_deferred(&loads[lo..(lo + width).min(len)]);
+        }
     }
 
     /// Whether machine `i` is active.

@@ -320,4 +320,45 @@ proptest! {
         prop_assert_eq!(&sharded, &unsharded);
         prop_assert!(sharded.validate(&inst).is_ok());
     }
+
+    /// The memory-locality layer is a pure execution-order knob:
+    /// machine-batched application of an arbitrary move stream (with
+    /// chained and no-op moves) is draw-for-draw identical — placements,
+    /// job-list order, loads, every query — to sequential `move_job`
+    /// replay, for every shard count, and hugepage advice on top changes
+    /// nothing.
+    #[test]
+    fn batched_migration_equivalence(
+        (inst, moves, shards) in small_dense().prop_flat_map(|inst| {
+            let m = inst.num_machines() as u32;
+            let n = inst.num_jobs() as u32;
+            let moves = proptest::collection::vec((0..n.max(1), 0..m), 0..32);
+            (Just(inst), moves, 1usize..=8)
+        }),
+    ) {
+        let n = inst.num_jobs();
+        let mut sequential = Assignment::round_robin(&inst);
+        let mut batched = sequential.clone();
+        batched.set_shards(shards);
+        let _ = batched.advise_hugepages(); // layout hint only, any outcome
+        let mut batch = MigrationBatch::new();
+        for (j, m) in moves {
+            if (j as usize) < n {
+                let job = JobId(j);
+                let to = MachineId(m);
+                sequential.move_job(&inst, job, to);
+                batch.push(job, to);
+            }
+        }
+        batched.apply_migrations(&inst, &batch);
+        prop_assert_eq!(&batched, &sequential);
+        for mm in inst.machines() {
+            prop_assert_eq!(batched.jobs_on(mm), sequential.jobs_on(mm));
+        }
+        prop_assert_eq!(batched.makespan(), sequential.makespan());
+        prop_assert_eq!(batched.makespan_machine(), sequential.makespan_machine());
+        prop_assert_eq!(batched.min_loaded_machine(), sequential.min_loaded_machine());
+        prop_assert_eq!(batched.total_work(), sequential.total_work());
+        prop_assert!(batched.validate(&inst).is_ok());
+    }
 }

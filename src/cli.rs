@@ -329,6 +329,16 @@ impl Cli {
         Ok(shards)
     }
 
+    /// Parses `--hugepages` (opt-in `madvise(MADV_HUGEPAGE)` on the big
+    /// arenas: cost table, load-index levels, job lists). Purely a
+    /// physical page-size knob — every output artifact is byte-identical
+    /// with it on or off, and on unsupported platforms the advice
+    /// degrades to a no-op. The advise outcome is reported on stderr so
+    /// CSV/JSON artifacts stay untouched.
+    fn hugepages_on(&self) -> bool {
+        self.flag_on("hugepages")
+    }
+
     fn simulate_with<B: PairwiseBalancer + Sync>(
         &self,
         inst: &Instance,
@@ -348,10 +358,21 @@ impl Cli {
             "replications": reps,
             "shards": shards,
         }));
+        let hugepages = self.hugepages_on();
+        if hugepages {
+            // Report support/coverage once; the per-replication clones
+            // below get the same advice silently.
+            eprintln!("simulate: {}", inst.advise_hugepages());
+        }
         let runs = replicate(cfg, balancer, reps, |r| {
-            let mut asg = random_assignment(inst, cfg.seed.wrapping_add(r));
+            let inst = inst.clone();
+            let mut asg = random_assignment(&inst, cfg.seed.wrapping_add(r));
             asg.set_shards(shards);
-            (inst.clone(), asg)
+            if hugepages {
+                let _ = inst.advise_hugepages();
+                let _ = asg.advise_hugepages();
+            }
+            (inst, asg)
         });
         let mut csv = runner.csv(&[
             "replication",
@@ -538,9 +559,16 @@ impl Cli {
         );
         let mut out = String::new();
         let lb = bounds::combined_lower_bound(&inst);
+        let hugepages = self.hugepages_on();
+        if hugepages {
+            eprintln!("simulate --net: {}", inst.advise_hugepages());
+        }
         for r in 0..reps {
             let mut asg = random_assignment(&inst, cfg.seed.wrapping_add(r));
             asg.set_shards(shards);
+            if hugepages {
+                let _ = asg.advise_hugepages();
+            }
             let initial = asg.makespan();
             let rep_cfg = NetConfig {
                 seed: cfg.seed.wrapping_add(r),
@@ -719,6 +747,13 @@ pub fn usage() -> String {
                               decent-lb simulate --workload uniform \\\n\
                                 --machines 1000 --jobs 2000 --rounds 5000 \\\n\
                                 --shards 8\n\
+               [--hugepages true]  advise the kernel to back the big\n\
+                            arenas (cost table, load-index levels, job\n\
+                            lists) with transparent hugepages; another\n\
+                            pure layout knob -- outputs stay\n\
+                            byte-identical, and on unsupported\n\
+                            platforms the advice is a no-op (also\n\
+                            honored by campaign)\n\
                --net true   switch to the message-passing simulator\n\
                             (lb-net) with latency/loss/retry knobs and\n\
                             message-count CSV columns:\n\
@@ -1084,6 +1119,103 @@ mod tests {
         let base = run("base", &[]);
         let sharded = run("s4", &["--shards", "4"]);
         assert_eq!(base, sharded, "--shards 4 changed simulate output");
+    }
+
+    #[test]
+    fn simulate_hugepages_is_a_pure_layout_knob() {
+        // `--hugepages true` only advises the kernel about physical page
+        // size (and degrades to a no-op where unsupported); combined
+        // with any shard count it must leave every CSV byte untouched.
+        let run = |tag: &str, extra: &[&str]| -> (String, String) {
+            let dir = std::env::temp_dir().join(format!("decent-lb-cli-hp-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut args = vec![
+                "simulate",
+                "--workload",
+                "two-cluster",
+                "--m1",
+                "3",
+                "--m2",
+                "2",
+                "--jobs",
+                "30",
+                "--rounds",
+                "2000",
+                "--replications",
+                "2",
+                "--record-every",
+                "500",
+                "--name",
+                "advised",
+                "--out-dir",
+                dir.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            Cli::parse(args).unwrap().run().unwrap();
+            let csv = std::fs::read_to_string(dir.join("advised.csv")).unwrap();
+            let series = std::fs::read_to_string(dir.join("advised_series.csv")).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            (csv, series)
+        };
+        let base = run("base", &[]);
+        let advised = run("on", &["--hugepages", "true"]);
+        assert_eq!(base, advised, "--hugepages changed simulate output");
+        let both = run("on8", &["--hugepages", "true", "--shards", "8"]);
+        assert_eq!(
+            base, both,
+            "--hugepages + --shards 8 changed simulate output"
+        );
+    }
+
+    #[test]
+    fn campaign_hugepages_and_shards_leave_artifacts_byte_identical() {
+        // The acceptance bar for the locality layer: batched, prefetched
+        // and hugepage-advised execution must be byte-identical to the
+        // sequential engine on campaign artifacts. Compare the merged
+        // CSVs for shards in {1, 8} with hugepage advice off and on.
+        let run = |tag: &str, extra: &[&str]| -> (String, String) {
+            let dir = std::env::temp_dir().join(format!("decent-lb-cli-camp-hp-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut args = vec![
+                "campaign",
+                "--mode",
+                "gossip",
+                "--workload",
+                "two-cluster",
+                "--m1",
+                "3",
+                "--m2",
+                "2",
+                "--jobs-grid",
+                "24,48",
+                "--replications",
+                "2",
+                "--rounds",
+                "400",
+                "--out-dir",
+                dir.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            Cli::parse(args).unwrap().run().unwrap();
+            let csv = std::fs::read_to_string(dir.join("campaign.csv")).unwrap();
+            let stats = std::fs::read_to_string(dir.join("campaign_stats.csv")).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            (csv, stats)
+        };
+        let base = run("s1", &["--shards", "1"]);
+        for (tag, extra) in [
+            ("s8", &["--shards", "8"][..]),
+            ("s1hp", &["--shards", "1", "--hugepages", "true"][..]),
+            ("s8hp", &["--shards", "8", "--hugepages", "true"][..]),
+        ] {
+            assert_eq!(base, run(tag, extra), "{tag} changed campaign artifacts");
+        }
     }
 
     #[test]

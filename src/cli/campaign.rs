@@ -305,6 +305,7 @@ impl Cli {
         let rounds: u64 = self.get("rounds", 20_000)?;
         let quiescence: u64 = self.get("quiescence", 0)?;
         let shards = self.get_shards()?;
+        let hugepages = self.hugepages_on();
         let schedule = match self.get_str("schedule", "uniform").as_str() {
             "uniform" => PairSchedule::UniformRandom,
             "rotating" => PairSchedule::RotatingHost,
@@ -336,6 +337,12 @@ impl Cli {
             let inst = self.campaign_instance(jobs, inst_seed)?;
             let mut asg = random_assignment(&inst, cell_seed);
             asg.set_shards(shards);
+            if hugepages {
+                // A pure physical-layout hint; cell outputs are
+                // byte-identical with or without it.
+                let _ = inst.advise_hugepages();
+                let _ = asg.advise_hugepages();
+            }
             let initial = asg.makespan();
             let b = baseline.and_then(|k| {
                 cache.get_or_compute(instance_digest(&inst), || compute_baseline(k, &inst))

@@ -26,6 +26,17 @@
 //! time-to-stable (virtual ticks and wall nanoseconds to quiescence) on
 //! the paper's two-cluster workload, perfect network and 15% loss.
 //!
+//! The two largest tiers (m = 10⁵, 10⁶) additionally measure the
+//! **migration wave**: round-scale (m-move) cold-working-set waves —
+//! the shape one full exchange round or a crash-recovery scatter hands
+//! the applier — applied one `move_job` at a time vs through the
+//! machine-batched, prefetch-pipelined [`MigrationBatch`] applier
+//! (`move_job_batched_ns`, `wave_throughput_moves_per_s`).
+//! `--hugepages` backs the arenas with transparent hugepages first (a
+//! pure layout knob — numbers may move, results cannot), and a
+//! `context` section records the page size and THP mode so the
+//! cache/TLB regime behind the figures is explicit.
+//!
 //! A second report, `BENCH_campaign.json` (`--campaign-out PATH`), times
 //! the shared campaign engine on two representative sweeps — the Figure-2
 //! Markov stationary-distribution grid and a Figure-3-style gossip
@@ -33,11 +44,14 @@
 //! records the replications/sec and the speedup alongside the core count,
 //! so single-core runners report an honest ~1x rather than a fake win.
 //!
-//! Usage: `bench-report [--quick] [--out PATH] [--campaign-out PATH]
-//! [--assert-round-budget-ns NS]`. `--quick` shrinks the iteration
+//! Usage: `bench-report [--quick] [--hugepages] [--out PATH]
+//! [--campaign-out PATH] [--assert-round-budget-ns NS]
+//! [--assert-move-budget-ns NS]`. `--quick` shrinks the iteration
 //! counts for CI smoke runs (the JSON shape is unchanged);
 //! `--assert-round-budget-ns` exits nonzero if the largest tier's
-//! sharded round exceeds the given budget (the CI perf gate).
+//! sharded round exceeds the given budget, and
+//! `--assert-move-budget-ns` does the same for the largest tier's
+//! batched per-move migration cost (the CI perf gates).
 
 use lb_core::{Dlb2cBalance, EctPairBalance};
 use lb_distsim::gossip::GossipProtocol;
@@ -61,6 +75,14 @@ const SIZES: &[usize] = &[100, 1_000, 10_000, 100_000, 1_000_000];
 /// Shard count used for the sharded-round measurement.
 const BENCH_SHARDS: usize = 8;
 
+/// Smallest tier that runs the migration-wave measurement: below
+/// m = 10⁵ the working set fits in cache and the memory wall the
+/// batched applier targets does not exist. Waves are *round-scale* —
+/// m moves each, one per machine on average, the shape a full exchange
+/// round or a crash-recovery scatter produces; that is where machine
+/// batching amortizes (small waves roughly break even).
+const MIGRATION_MIN_M: usize = 100_000;
+
 struct Config {
     query_iters: u64,
     update_iters: u64,
@@ -70,10 +92,20 @@ struct Config {
     out: String,
     campaign_out: String,
     quick: bool,
+    /// Advise the kernel to back the measured arenas with transparent
+    /// hugepages before timing (both the per-move and batched paths).
+    /// Purely physical layout: timings may move, results cannot.
+    hugepages: bool,
     /// When set, fail (exit 1) if the m = 10⁶ sharded round exceeds this
     /// many nanoseconds — the CI perf-budget smoke (the design budget is
     /// 10 µs; CI passes a 50 µs threshold to absorb runner noise).
     assert_round_budget_ns: Option<f64>,
+    /// When set, fail (exit 1) if the m = 10⁶ *batched* per-move
+    /// migration cost exceeds this many nanoseconds — the memory-wall
+    /// perf gate (measured ~100 ns/move on the reference host, ≥ 3×
+    /// over sequential replay of the same round-scale wave; CI passes a
+    /// looser threshold to absorb runner noise).
+    assert_move_budget_ns: Option<f64>,
 }
 
 /// The raw per-size numbers, returned alongside the JSON so budget
@@ -81,6 +113,8 @@ struct Config {
 struct SizeStats {
     machines: usize,
     round_sharded_ns: f64,
+    /// Batched per-move migration cost; `None` below [`MIGRATION_MIN_M`].
+    move_batched_ns: Option<f64>,
 }
 
 fn naive_makespan(asg: &Assignment) -> Time {
@@ -135,6 +169,78 @@ fn timed_parallel_rounds(inst: &Instance, start: &Assignment, shards: usize, rou
     t.elapsed().as_nanos() as f64
 }
 
+/// Two alternating round-scale waves (m planned moves each) over
+/// distinct, stride-scattered jobs. Alternating A/B keeps every move a
+/// real move across repetitions — nothing collapses into the
+/// `from == to` fast path.
+type Wave = Vec<(JobId, MachineId)>;
+
+fn migration_waves(m: usize, n: usize) -> (Wave, Wave) {
+    let stride = 48_271usize; // odd prime, coprime with n = 2m
+    let mut a = Vec::with_capacity(m);
+    let mut b = Vec::with_capacity(m);
+    for i in 0..m {
+        let j = (i * stride) % n;
+        a.push((JobId::from_idx(j), MachineId::from_idx((j * 7 + 1) % m)));
+        b.push((JobId::from_idx(j), MachineId::from_idx((j * 13 + 3) % m)));
+    }
+    (a, b)
+}
+
+/// Cold-working-set migration throughput: the same planned round-scale
+/// wave applied one `move_job` at a time vs through the machine-batched,
+/// prefetch-pipelined [`MigrationBatch`] applier. Returns
+/// `(per_move_ns, batched_ns)` — per-move figures, wave size amortized.
+fn measure_migration(inst: &Instance, start: &Assignment, cfg: &Config) -> (f64, f64) {
+    let m = inst.num_machines();
+    let (wave_a, wave_b) = migration_waves(m, inst.num_jobs());
+    let waves: usize = if cfg.quick { 4 } else { 10 };
+    let moves = (waves * m) as f64;
+
+    // One warmup A/B pair before each timed window: the first waves out
+    // of a fresh clone grow every touched list's buffer and fault in
+    // fresh pages — allocator noise, not the steady-state memory
+    // behavior the figure is about.
+    let mut work = start.clone();
+    if cfg.hugepages {
+        let _ = inst.advise_hugepages();
+        let _ = work.advise_hugepages();
+    }
+    for w in 0..2 {
+        let wave = if w % 2 == 0 { &wave_a } else { &wave_b };
+        for &(j, to) in wave {
+            work.move_job(inst, j, to);
+        }
+    }
+    let t = Instant::now();
+    for w in 0..waves {
+        let wave = if w % 2 == 0 { &wave_a } else { &wave_b };
+        for &(j, to) in wave {
+            work.move_job(inst, j, to);
+        }
+    }
+    let per_move_ns = t.elapsed().as_nanos() as f64 / moves;
+    black_box(work.makespan());
+
+    let batch_a: MigrationBatch = wave_a.into_iter().collect();
+    let batch_b: MigrationBatch = wave_b.into_iter().collect();
+    let mut work = start.clone();
+    if cfg.hugepages {
+        let _ = work.advise_hugepages();
+    }
+    for w in 0..2 {
+        work.apply_migrations(inst, if w % 2 == 0 { &batch_a } else { &batch_b });
+    }
+    let t = Instant::now();
+    for w in 0..waves {
+        work.apply_migrations(inst, if w % 2 == 0 { &batch_a } else { &batch_b });
+    }
+    let batched_ns = t.elapsed().as_nanos() as f64 / moves;
+    black_box(work.makespan());
+
+    (per_move_ns, batched_ns)
+}
+
 fn measure_size(m: usize, cfg: &Config) -> (serde_json::Value, SizeStats) {
     let inst = paper_uniform(m, 2 * m, 42);
     let mut asg = Assignment::round_robin(&inst);
@@ -186,6 +292,22 @@ fn measure_size(m: usize, cfg: &Config) -> (serde_json::Value, SizeStats) {
          sharded x{BENCH_SHARDS} {round_sharded_ns:.1} ns)"
     );
 
+    // The memory-wall tier: only measured where the working set spills
+    // out of cache (`MIGRATION_MIN_M`); smaller tiers carry nulls so the
+    // JSON shape stays uniform across sizes.
+    let migration = if m >= MIGRATION_MIN_M {
+        let (per_move_ns, batched_ns) = measure_migration(&inst, &start, cfg);
+        let speedup = per_move_ns / batched_ns.max(1e-9);
+        let moves_per_s = 1e9 / batched_ns.max(1e-9);
+        eprintln!(
+            "m={m}: migration wave ({m} moves) per-move {per_move_ns:.1} ns, \
+             batched {batched_ns:.1} ns ({speedup:.1}x, {:.1}M moves/s)",
+            moves_per_s / 1e6
+        );
+        Some((per_move_ns, batched_ns, speedup, moves_per_s))
+    } else {
+        None
+    };
     let value = json!({
         "machines": m,
         "jobs": 2 * m,
@@ -198,12 +320,18 @@ fn measure_size(m: usize, cfg: &Config) -> (serde_json::Value, SizeStats) {
         "round_speedup": round_speedup,
         "shards": BENCH_SHARDS,
         "round_sharded_ns": round_sharded_ns,
+        "migration_wave_moves": migration.map_or(json!(null), |_| json!(m)),
+        "move_job_wave_ns": migration.map_or(json!(null), |(p, _, _, _)| json!(p)),
+        "move_job_batched_ns": migration.map_or(json!(null), |(_, b, _, _)| json!(b)),
+        "move_batched_speedup": migration.map_or(json!(null), |(_, _, s, _)| json!(s)),
+        "wave_throughput_moves_per_s": migration.map_or(json!(null), |(_, _, _, t)| json!(t)),
     });
     (
         value,
         SizeStats {
             machines: m,
             round_sharded_ns,
+            move_batched_ns: migration.map(|(_, b, _, _)| b),
         },
     )
 }
@@ -356,10 +484,13 @@ fn main() {
         out: "BENCH_simcore.json".to_string(),
         campaign_out: "BENCH_campaign.json".to_string(),
         quick: false,
+        hugepages: false,
         assert_round_budget_ns: None,
+        assert_move_budget_ns: None,
     };
-    const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--campaign-out PATH] \
-                         [--assert-round-budget-ns NS]";
+    const USAGE: &str = "usage: bench-report [--quick] [--hugepages] [--out PATH] \
+                         [--campaign-out PATH] [--assert-round-budget-ns NS] \
+                         [--assert-move-budget-ns NS]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -388,10 +519,21 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--hugepages" => {
+                cfg.hugepages = true;
+            }
             "--assert-round-budget-ns" => {
                 let ns = args.next().and_then(|s| s.parse::<f64>().ok());
                 cfg.assert_round_budget_ns = Some(ns.unwrap_or_else(|| {
                     eprintln!("--assert-round-budget-ns requires a number");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--assert-move-budget-ns" => {
+                let ns = args.next().and_then(|s| s.parse::<f64>().ok());
+                cfg.assert_move_budget_ns = Some(ns.unwrap_or_else(|| {
+                    eprintln!("--assert-move-budget-ns requires a number");
                     eprintln!("{USAGE}");
                     std::process::exit(2);
                 }));
@@ -410,10 +552,32 @@ fn main() {
         .iter()
         .map(|&drop| measure_net(drop, &cfg))
         .collect();
+    // Honest cache/TLB context: the per-move and per-round figures above
+    // depend on the host's paging regime, so record it next to them
+    // instead of letting readers assume a configuration.
+    let page_size = lb_model::mem::page_size();
+    let thp = lb_model::mem::thp_mode();
+    eprintln!(
+        "context: page size {} B, transparent_hugepage [{}], hugepage advice {}; \
+         per-move figures amortize round-scale (m-move) waves, per-round figures \
+         amortize {}-round drives (setup and clones excluded)",
+        page_size.map_or("unknown".to_string(), |p| p.to_string()),
+        thp.as_deref().unwrap_or("unavailable"),
+        if cfg.hugepages { "requested" } else { "off" },
+        cfg.rounds
+    );
     let report = json!({
         "suite": "simcore",
         "unit": "ns",
         "rounds_per_rep": cfg.rounds,
+        "context": {
+            "page_size_bytes": page_size.map_or(json!(null), |p| json!(p)),
+            "transparent_hugepage": thp.map_or(json!(null), |t| json!(t)),
+            "hugepages_advised": cfg.hugepages,
+            "hugepage_bytes": lb_model::mem::HUGE_PAGE_BYTES,
+            "migration_wave": "round-scale: m moves per wave (one per machine on average)",
+            "amortization": "per-move figures divide whole migration waves; per-round figures divide whole drives; setup, clones and report I/O are outside every timed window",
+        },
         "sizes": sizes,
         "net": net,
     });
@@ -438,6 +602,26 @@ fn main() {
         eprintln!(
             "budget ok: m={} sharded round {:.1} ns <= {budget:.1} ns",
             biggest.machines, biggest.round_sharded_ns
+        );
+    }
+
+    if let Some(budget) = cfg.assert_move_budget_ns {
+        let biggest = stats
+            .iter()
+            .filter(|s| s.move_batched_ns.is_some())
+            .max_by_key(|s| s.machines)
+            .expect("at least one size ran the migration measurement");
+        let batched = biggest.move_batched_ns.unwrap();
+        if batched > budget {
+            eprintln!(
+                "BUDGET EXCEEDED: m={} batched migration {batched:.1} ns/move > {budget:.1} ns",
+                biggest.machines
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "budget ok: m={} batched migration {batched:.1} ns/move <= {budget:.1} ns",
+            biggest.machines
         );
     }
 
