@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks of the open-system subsystem.
+//!
+//! Three costs matter for the serve-sim path: end-to-end drain
+//! throughput of the event loop (arrive → queue → exchange → serve →
+//! depart, everything included), the arrival-stream generation in
+//! front of it, and the tail-digest ingest/merge that every departure
+//! funnels into. Bench IDs end in `m=<size>` / `n=<size>`, matching
+//! the CI smoke filter convention of the other suites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_distsim::stream_rng;
+use lb_model::prelude::*;
+use lb_open::{run_open, ArrivalProcess, OpenConfig, Pairing};
+use lb_stats::QuantileDigest;
+use lb_workloads::uniform::paper_uniform;
+use std::hint::black_box;
+
+/// One arrival per machine: the per-tier shape of the BENCH report's
+/// open section (the m = 10⁵ row is the acceptance figure: 10⁵ Poisson
+/// arrivals drained with tails reported).
+const SIZES: &[usize] = &[1_000, 10_000, 100_000];
+
+/// An open world at offered load ρ = 0.8: a uniform instance with one
+/// job per machine and the Poisson gap `S̄ / (ρ·m)` the CLI would
+/// derive. At large m the gap drops below one integer time unit and
+/// the stream collapses toward a burst — the event loop's worst case
+/// (maximal queue pressure), which is exactly what a drain-throughput
+/// figure should measure.
+fn setup(m: usize) -> (Instance, ArrivalProcess, OpenConfig) {
+    let inst = paper_uniform(m, m, 42);
+    let mean_service = inst
+        .jobs()
+        .map(|j| inst.cost(MachineId::from_idx(j.idx() % m), j) as f64)
+        .sum::<f64>()
+        / m as f64;
+    let process = ArrivalProcess::Poisson {
+        mean_gap: mean_service / (0.8 * m as f64),
+    };
+    let cfg = OpenConfig {
+        error_percent: 20,
+        pairing: Pairing::Greedy,
+        seed: 42,
+        ..OpenConfig::default()
+    };
+    (inst, process, cfg)
+}
+
+fn bench_open_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open-drain");
+    g.sample_size(10);
+    for &m in SIZES {
+        let (inst, process, cfg) = setup(m);
+        g.bench_with_input(BenchmarkId::new("poisson", format!("m={m}")), &m, |b, _| {
+            b.iter(|| {
+                let run = run_open(&inst, &process, &cfg);
+                assert_eq!(run.metrics.completed, m as u64, "stream must drain");
+                black_box(run.metrics.response_tail())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_arrival_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open-arrivals");
+    for &m in SIZES {
+        let (inst, process, _) = setup(m);
+        g.bench_with_input(
+            BenchmarkId::new("generate", format!("m={m}")),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = stream_rng(42, 0);
+                    black_box(process.generate(&inst, &mut rng).len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_digest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantile-digest");
+    for &n in &[10_000usize, 100_000] {
+        // Deterministic pseudo-latencies spanning several orders of
+        // magnitude, the shape response-time streams actually have.
+        let samples: Vec<u64> = (0..n as u64).map(|i| (i * 48_271) % 1_000_003).collect();
+        g.bench_with_input(BenchmarkId::new("ingest", format!("n={n}")), &n, |b, _| {
+            b.iter(|| {
+                let d: QuantileDigest = samples.iter().copied().collect();
+                black_box(d.tail_triple())
+            })
+        });
+        let whole: QuantileDigest = samples.iter().copied().collect();
+        g.bench_with_input(BenchmarkId::new("merge", format!("n={n}")), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = whole.clone();
+                acc.merge(&whole);
+                black_box(acc.count())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_open_drain,
+    bench_arrival_generation,
+    bench_digest
+);
+criterion_main!(benches);

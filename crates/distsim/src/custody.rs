@@ -78,12 +78,16 @@ fn scatter_to(core: &mut SimCore, machine: MachineId, targets: &[MachineId]) -> 
     if targets.is_empty() {
         return Err(LbError::NoOnlineMachines);
     }
-    let mut moved = 0u64;
-    for j in jobs {
-        let target = targets[core.rng.gen_range(0..targets.len())];
-        core.asg.move_job(core.inst, j, target);
-        moved += 1;
-    }
+    // Plan the whole scatter, then commit in one wave: the adaptive
+    // applier replays small waves sequentially and machine-batches
+    // round-scale ones, byte-identically either way. Draw order (and
+    // thus the RNG stream) matches the old per-move loop exactly.
+    let batch: MigrationBatch = jobs
+        .iter()
+        .map(|&j| (j, targets[core.rng.gen_range(0..targets.len())]))
+        .collect();
+    let moved = batch.len() as u64;
+    core.asg.apply_migrations(core.inst, &batch);
     Ok(moved)
 }
 

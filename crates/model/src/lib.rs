@@ -94,7 +94,7 @@ pub use ids::{ClusterId, JobId, JobTypeId, MachineId};
 pub use instance::Instance;
 pub use invariant::{check_custody, InvariantViolation};
 pub use load_index::LoadIndex;
-pub use migrate::MigrationBatch;
+pub use migrate::{MigrationBatch, ADAPTIVE_BATCH_MIN};
 pub use shard_view::ShardView;
 pub use sharded_index::ShardedLoadIndex;
 

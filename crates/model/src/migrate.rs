@@ -54,7 +54,7 @@
 //! list order contract is different and already optimal at one touch
 //! per machine.
 //!
-//! # When batching pays
+//! # When batching pays — and why callers no longer choose
 //!
 //! The wins compound with wave size. Small waves (≪ m moves) still pay
 //! the per-wave index flush that sequential replay spreads over many
@@ -65,6 +65,16 @@
 //! arena sweep, and the whole apply runs several times faster than
 //! sequential replay — ~5× measured at m = 10⁶ (see
 //! `docs/PERFORMANCE.md` for the full methodology and numbers).
+//!
+//! That wave-size scaling law is now encoded *here*, not at call
+//! sites: [`apply`] inspects the wave and replays short batches
+//! (< [`ADAPTIVE_BATCH_MIN`] moves) with exact sequential `move_job`
+//! semantics, falling through to the sort + prefetch + deferred-flush
+//! pipeline only when the wave is large enough to amortize it. Both
+//! paths land on byte-identical state (that is the whole equivalence
+//! contract above), so the switch is a pure performance knob and every
+//! caller can — and should — just plan into a [`MigrationBatch`] and
+//! commit, whatever the wave size.
 
 use crate::ids::{JobId, MachineId};
 use crate::instance::Instance;
@@ -173,6 +183,20 @@ fn radix_sort_by_machine(ops: &mut Vec<Op>, max_machine: u32) {
     }
 }
 
+/// Waves shorter than this replay sequentially inside [`apply`]
+/// instead of entering the machine-batched pipeline.
+///
+/// The batched path pays fixed per-wave costs — an ops buffer, a radix
+/// sort, and one exact index `flush_deferred` — that a long wave
+/// amortizes to noise but a handful of moves does not
+/// (`docs/PERFORMANCE.md`, "the wave-size scaling law": small waves
+/// roughly break even, round-scale waves win ~4–5×). Below this
+/// threshold the per-move cache-miss chain is cheaper than the flush
+/// alone, so `apply` takes the sequential branch. The exact value is
+/// uncritical — both paths produce identical bytes — it only needs to
+/// sit comfortably inside the measured break-even plateau.
+pub const ADAPTIVE_BATCH_MIN: usize = 32;
+
 /// How many moves ahead the planning pass prefetches `machine_of`
 /// entries. The per-move plan work is a handful of cycles, so a deep
 /// window is needed to keep many DRAM fetches in flight at once.
@@ -206,6 +230,34 @@ pub(crate) fn apply(
     moves: &[(JobId, MachineId)],
 ) {
     if moves.is_empty() {
+        return;
+    }
+    if moves.len() < ADAPTIVE_BATCH_MIN {
+        // Short wave: the batched pipeline's fixed costs (ops buffer,
+        // radix sort, one exact index flush) exceed its savings here,
+        // so replay the stream with exact `move_job` semantics —
+        // immediate per-cell index updates included. Same bytes either
+        // way; see the module docs' scaling-law section.
+        for &(job, to) in moves {
+            let from = machine_of[job.idx()];
+            if from == to {
+                continue;
+            }
+            let old_from = loads[from.idx()];
+            let old_to = loads[to.idx()];
+            loads[from.idx()] -= u128::from(inst.cost(from, job));
+            loads[to.idx()] += u128::from(inst.cost(to, job));
+            index.update(loads, from.idx(), old_from);
+            index.update(loads, to.idx(), old_to);
+            let list = &mut jobs_on[from.idx()];
+            let pos = list
+                .iter()
+                .position(|&x| x == job)
+                .expect("job tracked on its source machine");
+            list.swap_remove(pos);
+            jobs_on[to.idx()].push(job);
+            machine_of[job.idx()] = to;
+        }
         return;
     }
     // Plan: resolve every move's source machine and emit the
@@ -423,6 +475,30 @@ mod tests {
         let noops: MigrationBatch = (0..8).map(|j| (JobId(j), MachineId(j % 4))).collect();
         asg.apply_migrations(&inst, &noops);
         assert_eq!(asg, before, "round-robin sends each job to its own machine");
+    }
+
+    #[test]
+    fn adaptive_paths_agree_across_the_threshold() {
+        // Wave lengths straddling ADAPTIVE_BATCH_MIN exercise both the
+        // sequential-replay branch and the machine-batched pipeline on
+        // the same move stream shape; equivalence must hold on either
+        // side of (and exactly at) the switch point.
+        let pattern = |len: usize| -> Vec<(JobId, MachineId)> {
+            (0..len)
+                .map(|k| (JobId((k % 8) as u32), MachineId(((k * 3 + 1) % 4) as u32)))
+                .collect()
+        };
+        for len in [
+            1,
+            ADAPTIVE_BATCH_MIN - 1,
+            ADAPTIVE_BATCH_MIN,
+            ADAPTIVE_BATCH_MIN + 1,
+            3 * ADAPTIVE_BATCH_MIN,
+        ] {
+            for shards in [1, 3] {
+                check_equivalence(&pattern(len), shards);
+            }
+        }
     }
 
     #[test]

@@ -457,12 +457,21 @@ impl<'a, 'b> NetSim<'a, 'b> {
     /// `targets` (one draw per job, in job-list order). Returns the
     /// number moved.
     fn scatter_jobs(&mut self, machine: MachineId, targets: &[MachineId]) -> u64 {
-        let jobs: Vec<JobId> = self.core.asg.jobs_on(machine).to_vec();
-        for &j in &jobs {
-            let target = targets[self.core.rng.gen_range(0..targets.len())];
-            self.core.asg.move_job(self.core.inst, j, target);
-        }
-        jobs.len() as u64
+        // Draw destinations in job-list order (the RNG stream is part of
+        // the determinism contract), then commit the wave through the
+        // adaptive applier — sequential replay below its threshold,
+        // machine-batched above, identical bytes either way.
+        let batch: MigrationBatch = self
+            .core
+            .asg
+            .jobs_on(machine)
+            .to_vec()
+            .into_iter()
+            .map(|j| (j, targets[self.core.rng.gen_range(0..targets.len())]))
+            .collect();
+        let moved = batch.len() as u64;
+        self.core.asg.apply_migrations(self.core.inst, &batch);
+        moved
     }
 
     fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
@@ -706,9 +715,8 @@ impl<'a, 'b> NetSim<'a, 'b> {
             }
         }
         // Revert: custody only changes when the target commits.
-        for mv in &moves {
-            self.core.asg.move_job(self.core.inst, mv.job, mv.from);
-        }
+        let revert: MigrationBatch = moves.iter().map(|mv| (mv.job, mv.from)).collect();
+        self.core.asg.apply_migrations(self.core.inst, &revert);
         TransferPlan { moves }
     }
 
@@ -720,17 +728,20 @@ impl<'a, 'b> NetSim<'a, 'b> {
     /// lease expiry airtight). Returns `(any move applied, moves
     /// applied)`.
     fn apply_plan(&mut self, plan: &TransferPlan) -> (bool, u64) {
-        let mut moved = 0u64;
-        for mv in &plan.moves {
-            if self.core.asg.machine_of(mv.job) != mv.from {
-                continue;
-            }
-            if !self.core.topology.is_online(mv.to) {
-                continue;
-            }
-            self.core.asg.move_job(self.core.inst, mv.job, mv.to);
-            moved += 1;
-        }
+        // Every job appears at most once per plan (the two legs of an
+        // exchange are disjoint job sets), so the guards are independent
+        // of each other and can all be evaluated against the pre-commit
+        // state before the surviving moves commit as one wave.
+        let batch: MigrationBatch = plan
+            .moves
+            .iter()
+            .filter(|mv| {
+                self.core.asg.machine_of(mv.job) == mv.from && self.core.topology.is_online(mv.to)
+            })
+            .map(|mv| (mv.job, mv.to))
+            .collect();
+        let moved = batch.len() as u64;
+        self.core.asg.apply_migrations(self.core.inst, &batch);
         (moved > 0, moved)
     }
 

@@ -1,0 +1,32 @@
+//! Open-system simulation: the balancer as a service under sustained
+//! load.
+//!
+//! Everything else in the workspace is a *closed* system — a fixed job
+//! multiset balanced to quiescence, judged by makespan. This crate opens
+//! it: jobs **arrive** over virtual time (Poisson, trace replay, or the
+//! random-order adversary — [`arrivals`]), are served from per-machine
+//! FIFO queues with sizes **revealed only at completion** (protocols
+//! balance on `lb_model::perturb` predictions), and **depart**, leaving
+//! behind response-time and flow-time distributions collected in
+//! mergeable tail digests ([`metrics`], backed by
+//! [`lb_stats::QuantileDigest`]).
+//!
+//! The event loop ([`sim`]) is a [`lb_distsim::Protocol`]: one round per
+//! interesting virtual-time instant, driven by the same `drive` loop,
+//! probes, and topology-churn plans as every closed-system protocol —
+//! so machine failures compose with open-system arrivals for free.
+//!
+//! Determinism contract (docs/OPEN_SYSTEMS.md): a run is a pure function
+//! of `(true instance, arrival process, config, seed)`; the `shards`
+//! knob and the campaign engine's thread count never change a byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod metrics;
+pub mod sim;
+
+pub use arrivals::{parse_trace, trace_instance, ArrivalProcess, TraceRow};
+pub use metrics::OpenMetrics;
+pub use sim::{run_open, run_open_with_arrivals, OpenConfig, OpenProtocol, OpenRun, Pairing};

@@ -1,0 +1,195 @@
+//! Tail metrics of an open-system run.
+//!
+//! A closed system is judged by one number (makespan); an open system is
+//! judged by *distributions*: how long jobs wait and how long they spend
+//! in the system, at the median and deep in the tail. [`OpenMetrics`]
+//! collects both per-job durations into [`QuantileDigest`]s — mergeable,
+//! order-independent sketches — so per-replication metrics can be folded
+//! across the campaign engine's rayon pool without the merge order
+//! leaking into the artifact bytes.
+//!
+//! Terminology (fixed here, used everywhere downstream):
+//!
+//! * **response time** — `service start − arrival`: how long the job sat
+//!   in a queue before a machine first worked on it. The balancer's
+//!   direct lever.
+//! * **flow time** — `completion − arrival`: total time in system
+//!   (response time + service time). What a user experiences.
+
+use lb_model::prelude::Time;
+use lb_stats::QuantileDigest;
+use serde::{Deserialize, Serialize};
+
+/// Mergeable metrics of one (or several folded) open-system runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenMetrics {
+    /// Response-time digest (service start − arrival), one entry per
+    /// completed job.
+    pub response: QuantileDigest,
+    /// Flow-time digest (completion − arrival), one entry per completed
+    /// job.
+    pub flow: QuantileDigest,
+    /// Signed misprediction `Σ (true − predicted)` over completed jobs'
+    /// sizes on their executing machine. Exact integer sum — unlike a
+    /// float Welford accumulator, merging is bit-exact commutative.
+    pub mispredict_sum: i128,
+    /// Absolute misprediction `Σ |true − predicted|` over completed
+    /// jobs.
+    pub mispredict_abs: u128,
+    /// Jobs that arrived.
+    pub arrived: u64,
+    /// Jobs that completed (equals `arrived` when the run drains).
+    pub completed: u64,
+    /// Queued-job migrations committed by exchange epochs.
+    pub migrations: u64,
+    /// Exchange epochs executed.
+    pub epochs: u64,
+    /// Completion instant of the last job (the run's virtual horizon).
+    pub horizon: Time,
+    /// Total *true* work completed, for utilization accounting.
+    pub true_work: u128,
+    /// Machine count (constant across merged runs of one grid point).
+    pub machines: u64,
+}
+
+impl OpenMetrics {
+    /// Empty metrics for a system of `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        Self {
+            response: QuantileDigest::new(),
+            flow: QuantileDigest::new(),
+            mispredict_sum: 0,
+            mispredict_abs: 0,
+            arrived: 0,
+            completed: 0,
+            migrations: 0,
+            epochs: 0,
+            horizon: 0,
+            true_work: 0,
+            machines: machines as u64,
+        }
+    }
+
+    /// Records one completed job.
+    pub fn record_completion(
+        &mut self,
+        response: Time,
+        flow: Time,
+        true_cost: Time,
+        predicted_cost: Time,
+    ) {
+        self.completed += 1;
+        self.response.record(response);
+        self.flow.record(flow);
+        self.true_work += u128::from(true_cost);
+        let diff = i128::from(true_cost) - i128::from(predicted_cost);
+        self.mispredict_sum += diff;
+        self.mispredict_abs += diff.unsigned_abs();
+    }
+
+    /// Mean signed misprediction per completed job (`None` when nothing
+    /// completed). Near 0 for the symmetric perturbation model; drifts
+    /// when predictions are biased.
+    pub fn mean_misprediction(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.mispredict_sum as f64 / self.completed as f64)
+    }
+
+    /// Mean absolute misprediction per completed job.
+    pub fn mean_abs_misprediction(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.mispredict_abs as f64 / self.completed as f64)
+    }
+
+    /// Realized utilization: completed true work over total machine-time
+    /// `m * horizon`. Approaches the offered load ρ when the run drains
+    /// a long stationary stream; `None` before any time has passed.
+    pub fn utilization(&self) -> Option<f64> {
+        (self.horizon > 0 && self.machines > 0)
+            .then(|| self.true_work as f64 / (self.machines as f64 * self.horizon as f64))
+    }
+
+    /// Sustained completion throughput in jobs per 1000 virtual-time
+    /// units; `None` before any time has passed.
+    pub fn jobs_per_kilotime(&self) -> Option<f64> {
+        (self.horizon > 0).then(|| self.completed as f64 * 1000.0 / self.horizon as f64)
+    }
+
+    /// Folds another run's metrics in. Digest merges are element-wise
+    /// integer adds and [`OnlineStats::merge`] is the exact pairwise
+    /// Welford combine, so folding is independent of merge order — the
+    /// property the campaign engine's thread-count invariance rests on.
+    pub fn merge(&mut self, other: &OpenMetrics) {
+        debug_assert_eq!(
+            self.machines, other.machines,
+            "merging metrics across different machine counts"
+        );
+        self.response.merge(&other.response);
+        self.flow.merge(&other.flow);
+        self.mispredict_sum += other.mispredict_sum;
+        self.mispredict_abs += other.mispredict_abs;
+        self.arrived += other.arrived;
+        self.completed += other.completed;
+        self.migrations += other.migrations;
+        self.epochs += other.epochs;
+        self.horizon = self.horizon.max(other.horizon);
+        self.true_work += other.true_work;
+    }
+
+    /// `(p50, p99, p999)` of response time (`None` when nothing
+    /// completed).
+    pub fn response_tail(&self) -> Option<(Time, Time, Time)> {
+        self.response.tail_triple()
+    }
+
+    /// `(p50, p99, p999)` of flow time (`None` when nothing completed).
+    pub fn flow_tail(&self) -> Option<(Time, Time, Time)> {
+        self.flow.tail_triple()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(machines: usize, completions: &[(Time, Time)]) -> OpenMetrics {
+        let mut m = OpenMetrics::new(machines);
+        for &(resp, flow) in completions {
+            m.arrived += 1;
+            m.record_completion(resp, flow, flow - resp, flow - resp);
+            m.horizon = m.horizon.max(flow);
+        }
+        m
+    }
+
+    #[test]
+    fn records_and_reports_tails() {
+        let m = sample(2, &[(0, 5), (3, 10), (1, 4)]);
+        assert_eq!(m.completed, 3);
+        let (p50, p99, p999) = m.flow_tail().unwrap();
+        assert!(p50 <= 5 && p99 <= 10 && p999 <= 10);
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(m.true_work, 5 + 7 + 3);
+        assert_eq!(m.mean_misprediction(), Some(0.0));
+    }
+
+    #[test]
+    fn utilization_and_throughput() {
+        let m = sample(2, &[(0, 10), (0, 10)]);
+        // 20 units of work over 2 machines * 10 time = 1.0.
+        assert!((m.utilization().unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.jobs_per_kilotime().unwrap() - 200.0).abs() < 1e-9);
+        assert_eq!(OpenMetrics::new(2).utilization(), None);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = sample(3, &[(1, 2), (5, 9)]);
+        let b = sample(3, &[(0, 7), (2, 2), (8, 30)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.completed, 5);
+        assert_eq!(ab.horizon, 30);
+    }
+}

@@ -1,0 +1,696 @@
+//! The open-system event loop: arrivals, service, completions, and
+//! periodic predicted-backlog exchange, as a [`Protocol`] round per
+//! virtual-time instant.
+//!
+//! # Event-loop semantics
+//!
+//! Virtual time is discrete ([`Time`]). Each machine serves its FIFO
+//! queue one job at a time, non-preemptively (the paper's model). One
+//! protocol round processes one *interesting instant* `t`, in a fixed
+//! order that the determinism contract (docs/OPEN_SYSTEMS.md) pins:
+//!
+//! 1. **completions** at `t`, in ascending machine id (frees machines,
+//!    records metrics, reveals each job's true size);
+//! 2. **arrivals** at `t`, in stream order (job lands at the back of its
+//!    submission machine's queue);
+//! 3. the **exchange epoch**, when `t` reached an epoch boundary: pairs
+//!    of machines compare *predicted* backlogs and migrate queued jobs
+//!    from richer to poorer (running jobs never move);
+//! 4. **starts**: every woken idle online machine with a non-empty
+//!    queue starts its front job — after the epoch, so a freshly
+//!    migrated job can start immediately on its new machine.
+//!
+//! Starts are driven by a *wake list* (machines whose queue or runner
+//! changed since the last instant), not an O(m) scan, so a round costs
+//! O(events at `t` · log), and a drained run O((n + epochs·moves)·log)
+//! — what lets one loop sustain 1e5 arrivals at m = 1e5 (the BENCH-tier
+//! floor, see `crates/bench`).
+//!
+//! # Stochastic sizes
+//!
+//! The protocol schedules everything it *decides* — queue order, backlog
+//! comparisons, exchange moves — against the **predicted** instance
+//! (`lb_model::perturbed_instance` of the truth). The **true** size is
+//! used in exactly one place: computing a started job's completion
+//! instant, which is indistinguishable from "the size is revealed when
+//! the job finishes" because no decision reads the completion time
+//! before it fires. Truth lands in the metrics (and the misprediction
+//! accounting) at completion.
+//!
+//! # The ledger
+//!
+//! `core.asg` is the *placement ledger*: job → machine where it was (or
+//! will be) executed, over the predicted instance. It starts at the
+//! submission machines; every epoch's moves are committed as one
+//! [`MigrationBatch`] via the adaptive `apply_migrations` path, so at
+//! drain the ledger is the realized placement. `ledger.makespan()` is
+//! then the *predicted* total-work bound and
+//! [`lb_model::perturb::evaluate_under`]`(truth, ledger)` the *realized*
+//! one — the open-system analogue of the closed-system makespan pair,
+//! and the reconciliation of predictions against revealed truth.
+
+use crate::arrivals::ArrivalProcess;
+use crate::metrics::OpenMetrics;
+use lb_distsim::probe::{ProbeHub, StopReason};
+use lb_distsim::protocol::{drive, Protocol, StepOutcome};
+use lb_distsim::simcore::{stream_rng, SimCore};
+use lb_distsim::topology::TopologyEvent;
+use lb_distsim::Arrival;
+use lb_model::perturb::{evaluate_under, perturbed_instance};
+use lb_model::prelude::*;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How an exchange epoch pairs machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pairing {
+    /// Uniformly random distinct pairs drawn from the online machines —
+    /// the paper's decentralized, coordination-free spirit.
+    Random,
+    /// Deterministic max-backlog ↔ min-backlog pairs via the backlog
+    /// index — an omniscient upper bound on what pairing can buy.
+    Greedy,
+}
+
+/// Configuration of an open-system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenConfig {
+    /// Run an exchange epoch every this many time units (0 disables
+    /// balancing: jobs execute where they arrive).
+    pub exchange_every: Time,
+    /// Pairs examined per exchange epoch.
+    pub pairs_per_epoch: u32,
+    /// How epochs pair machines.
+    pub pairing: Pairing,
+    /// Prediction error (±percent) of the sizes the balancer sees; 0 =
+    /// perfect predictions (predicted instance == truth).
+    pub error_percent: u32,
+    /// Base seed; the run consumes stream 0 (`stream_rng(seed, 0)`).
+    pub seed: u64,
+    /// Shard count for the ledger assignment and the backlog index — a
+    /// pure layout knob, never visible in any result.
+    pub shards: usize,
+}
+
+impl Default for OpenConfig {
+    fn default() -> Self {
+        Self {
+            exchange_every: 16,
+            pairs_per_epoch: 8,
+            pairing: Pairing::Random,
+            error_percent: 0,
+            seed: 0,
+            shards: 1,
+        }
+    }
+}
+
+/// Result of a drained open-system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenRun {
+    /// Tail metrics and counters.
+    pub metrics: OpenMetrics,
+    /// Ledger makespan under the *predicted* instance: the total-work
+    /// bound the balancer believed it achieved.
+    pub predicted_makespan: Time,
+    /// Ledger makespan under the *true* instance: what actually ran.
+    pub realized_makespan: Time,
+}
+
+/// Arrivals + service + periodic predicted-backlog exchange as a
+/// [`Protocol`]; one round is one time instant. See the
+/// [module docs](self).
+///
+/// `core.inst` is the **predicted** instance; `core.asg` is the
+/// placement ledger. The true instance stays on the protocol, touched
+/// only to schedule completions and account metrics.
+pub struct OpenProtocol<'a> {
+    truth: &'a Instance,
+    arrivals: &'a [Arrival],
+    cfg: &'a OpenConfig,
+    /// Per-machine FIFO queue of waiting jobs. Arrivals push to the
+    /// back; service pops from the front; exchanges steal from the back
+    /// (the jobs that would wait longest).
+    queues: Vec<VecDeque<JobId>>,
+    /// `(job, completion instant)` per busy machine.
+    running: Vec<Option<(JobId, Time)>>,
+    /// Predicted queued work per machine (running jobs excluded — they
+    /// can never move, so they are not negotiable backlog).
+    backlog: Vec<u128>,
+    /// Standalone index over `backlog`: O(S) argmax/argmin for greedy
+    /// pairing, identical answers for every shard count.
+    index: ShardedLoadIndex,
+    /// Min-heap of `(completion instant, machine)`; at most one entry
+    /// per machine, so pops at equal instants are machine-ordered.
+    completions: BinaryHeap<Reverse<(Time, u32)>>,
+    /// Machines whose queue or runner changed since the last start
+    /// sweep. Sorted + deduped before use, so start order is
+    /// deterministic and the sweep never scans all m machines.
+    wake: Vec<u32>,
+    /// Queued (not running) jobs currently sitting on *online* machines
+    /// — the condition under which epoch boundaries stay interesting.
+    queued_on_online: usize,
+    /// Arrival instant per job (set when the arrival fires).
+    arrived_at: Vec<Option<Time>>,
+    /// Reusable per-epoch migration buffer for the ledger commit.
+    batch: MigrationBatch,
+    metrics: OpenMetrics,
+    next_arrival: usize,
+    now: Time,
+    next_epoch: Time,
+    total_jobs: usize,
+}
+
+impl<'a> OpenProtocol<'a> {
+    /// A protocol over `truth`'s jobs arriving per `arrivals` (sorted by
+    /// time), balancing on the predictions in `core.inst`.
+    pub fn new(truth: &'a Instance, arrivals: &'a [Arrival], cfg: &'a OpenConfig) -> Self {
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].time <= w[1].time),
+            "arrivals sorted"
+        );
+        Self {
+            truth,
+            arrivals,
+            cfg,
+            queues: Vec::new(),
+            running: Vec::new(),
+            backlog: Vec::new(),
+            index: ShardedLoadIndex::new(&[], 1),
+            completions: BinaryHeap::new(),
+            wake: Vec::new(),
+            queued_on_online: 0,
+            arrived_at: Vec::new(),
+            batch: MigrationBatch::new(),
+            metrics: OpenMetrics::new(truth.num_machines()),
+            next_arrival: 0,
+            now: 0,
+            next_epoch: if cfg.exchange_every > 0 {
+                cfg.exchange_every
+            } else {
+                Time::MAX
+            },
+            total_jobs: arrivals.len(),
+        }
+    }
+
+    /// The run's result; call after the drive stops.
+    pub fn into_run(mut self, core: &SimCore) -> OpenRun {
+        self.metrics.horizon = self.now;
+        OpenRun {
+            metrics: self.metrics,
+            predicted_makespan: core.asg.makespan(),
+            realized_makespan: evaluate_under(self.truth, core.asg),
+        }
+    }
+
+    /// Moves queued jobs from the back of `hi`'s queue to `lo` while the
+    /// move lowers the pair's predicted max backlog. Both machines are
+    /// online (the epoch only pairs online machines), so the
+    /// queued-on-online count is unchanged. Returns moved count.
+    fn balance_pair(&mut self, pred: &Instance, hi: usize, lo: usize) -> u64 {
+        let mut moved = 0;
+        let (mhi, mlo) = (MachineId::from_idx(hi), MachineId::from_idx(lo));
+        while let Some(&job) = self.queues[hi].back() {
+            let c_hi = u128::from(pred.cost(mhi, job));
+            let c_lo = u128::from(pred.cost(mlo, job));
+            // The pair max is backlog[hi] (the caller picked hi richer).
+            // Moving the job helps iff the receiver stays below it.
+            if self.backlog[lo] + c_lo >= self.backlog[hi] {
+                break;
+            }
+            self.queues[hi].pop_back();
+            self.queues[lo].push_back(job);
+            self.shift_backlog(hi, |b| b - c_hi);
+            self.shift_backlog(lo, |b| b + c_lo);
+            self.batch.push(job, mlo);
+            moved += 1;
+            if self.backlog[hi] <= self.backlog[lo] {
+                break;
+            }
+        }
+        if moved > 0 {
+            self.wake.push(lo as u32);
+        }
+        moved
+    }
+
+    /// Applies `f` to machine `i`'s backlog and keeps the index in sync.
+    #[inline]
+    fn shift_backlog(&mut self, i: usize, f: impl FnOnce(u128) -> u128) {
+        let old = self.backlog[i];
+        self.backlog[i] = f(old);
+        self.index.update(&self.backlog, i, old);
+    }
+
+    /// One exchange epoch: draw `pairs_per_epoch` pairs, migrate queued
+    /// work, commit the ledger moves machine-batched.
+    fn exchange_epoch(&mut self, core: &mut SimCore) {
+        let online = core.topology.online_machines();
+        if online.len() < 2 {
+            return;
+        }
+        self.metrics.epochs += 1;
+        let k = online.len();
+        let pred = core.inst;
+        for _ in 0..self.cfg.pairs_per_epoch {
+            let (a, b) = match self.cfg.pairing {
+                Pairing::Random => {
+                    // Same two-draw idiom as every gossip-style epoch in
+                    // the workspace (distinct by construction).
+                    let a = core.rng.gen_range(0..k);
+                    let mut b = core.rng.gen_range(0..k - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    (online[a].idx(), online[b].idx())
+                }
+                Pairing::Greedy => {
+                    // Offline machines are deactivated in the backlog
+                    // index, so both ends are online by construction.
+                    match (self.index.argmax_active(), self.index.argmin_active()) {
+                        (Some(hi), Some(lo)) if hi != lo => (hi, lo),
+                        _ => break,
+                    }
+                }
+            };
+            // Richer side gives; predicted backlog decides the roles.
+            let (hi, lo) = if self.backlog[a] >= self.backlog[b] {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            self.metrics.migrations += self.balance_pair(pred, hi, lo);
+        }
+        // One machine-batched ledger commit per epoch; the adaptive
+        // applier picks the per-move path for small waves.
+        if !self.batch.is_empty() {
+            core.asg.apply_migrations(core.inst, &self.batch);
+            self.batch.clear();
+        }
+    }
+
+    /// Jobs not yet completed (arrived or not).
+    fn remaining_completions(&self) -> usize {
+        self.total_jobs - self.metrics.completed as usize
+    }
+}
+
+impl Protocol for OpenProtocol<'_> {
+    fn on_start(&mut self, core: &mut SimCore, _probes: &mut ProbeHub) {
+        let m = core.inst.num_machines();
+        assert_eq!(
+            core.inst.num_jobs(),
+            self.truth.num_jobs(),
+            "predicted and true instances must cover the same jobs"
+        );
+        self.queues = vec![VecDeque::new(); m];
+        self.running = vec![None; m];
+        self.backlog = vec![0; m];
+        self.index = ShardedLoadIndex::new(&self.backlog, self.cfg.shards);
+        for mi in 0..m {
+            if !core.topology.is_online(MachineId::from_idx(mi)) {
+                self.index.set_active(&self.backlog, mi, false);
+            }
+        }
+        self.arrived_at = vec![None; core.inst.num_jobs()];
+    }
+
+    fn step(&mut self, core: &mut SimCore, _probes: &mut ProbeHub) -> StepOutcome {
+        let now = self.now;
+        let pred = core.inst;
+
+        // 1. Completions at `now`: the heap pops (time, machine) in
+        //    ascending order, so equal-instant completions are handled
+        //    in machine order.
+        while let Some(&Reverse((t, mi))) = self.completions.peek() {
+            if t > now {
+                break;
+            }
+            self.completions.pop();
+            let mi = mi as usize;
+            let (job, _) = self.running[mi].take().expect("heap entry has a runner");
+            let arrived = self.arrived_at[job.idx()].expect("completed job arrived");
+            let machine = MachineId::from_idx(mi);
+            let true_cost = self.truth.cost(machine, job);
+            // Service took max(true_cost, 1); response = start − arrival.
+            let response = (now - arrived).saturating_sub(true_cost.max(1));
+            self.metrics.record_completion(
+                response,
+                now - arrived,
+                true_cost,
+                pred.cost(machine, job),
+            );
+            self.wake.push(mi as u32);
+        }
+
+        // 2. Arrivals at `now`, in stream order.
+        while self.next_arrival < self.arrivals.len()
+            && self.arrivals[self.next_arrival].time == now
+        {
+            let a = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            self.arrived_at[a.job.idx()] = Some(now);
+            self.metrics.arrived += 1;
+            let mi = a.machine.idx();
+            self.queues[mi].push_back(a.job);
+            let c = u128::from(pred.cost(a.machine, a.job));
+            self.shift_backlog(mi, |b| b + c);
+            if core.topology.is_online(a.machine) {
+                self.queued_on_online += 1;
+                self.wake.push(mi as u32);
+            }
+        }
+
+        // 3. Exchange epoch once `now` reached the boundary (time may
+        //    jump past several idle boundaries; they collapse into one
+        //    epoch, and the next boundary is realigned past `now`).
+        if self.cfg.exchange_every > 0 && now >= self.next_epoch {
+            self.exchange_epoch(core);
+            self.next_epoch =
+                (now / self.cfg.exchange_every + 1).saturating_mul(self.cfg.exchange_every);
+        }
+
+        // 4. Starts, on woken machines only (ascending id, deduped).
+        self.wake.sort_unstable();
+        self.wake.dedup();
+        let wake = std::mem::take(&mut self.wake);
+        for &mi32 in &wake {
+            let mi = mi32 as usize;
+            if self.queues[mi].is_empty()
+                || self.running[mi].is_some()
+                || !core.topology.is_online(MachineId::from_idx(mi))
+            {
+                continue;
+            }
+            let job = self.queues[mi].pop_front().expect("checked non-empty");
+            self.queued_on_online -= 1;
+            let machine = MachineId::from_idx(mi);
+            let c = u128::from(pred.cost(machine, job));
+            self.shift_backlog(mi, |b| b - c);
+            // The one read of the true size: scheduling the completion.
+            let finish = now.saturating_add(self.truth.cost(machine, job).max(1));
+            self.running[mi] = Some((job, finish));
+            self.completions.push(Reverse((finish, mi32)));
+        }
+        self.wake = wake;
+        self.wake.clear();
+
+        if self.remaining_completions() == 0 && self.next_arrival == self.arrivals.len() {
+            return StepOutcome::Stop(StopReason::Quiescent);
+        }
+
+        // Advance to the next interesting instant.
+        let mut next: Time = Time::MAX;
+        if let Some(&Reverse((t, _))) = self.completions.peek() {
+            next = next.min(t);
+        }
+        if self.next_arrival < self.arrivals.len() {
+            next = next.min(self.arrivals[self.next_arrival].time);
+        }
+        if self.cfg.exchange_every > 0 {
+            // Epochs only matter while work is queued on online machines
+            // or still arriving — otherwise they would tick forever.
+            if self.queued_on_online > 0 || self.next_arrival < self.arrivals.len() {
+                next = next.min(self.next_epoch);
+            }
+        }
+        if next == Time::MAX {
+            // Queued work stranded on offline machines: cannot progress.
+            return StepOutcome::Stop(StopReason::Quiescent);
+        }
+        debug_assert!(next > now, "time must advance");
+        self.now = next;
+        StepOutcome::Continue
+    }
+
+    /// Queue-based churn: a failing machine's *queued* jobs scatter to
+    /// online survivors (its in-flight job completes — failure is
+    /// graceful, as in the work-stealing and dynamic models); the
+    /// machine is deactivated in the backlog index so greedy pairing
+    /// never selects it.
+    fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> Result<u64> {
+        match ev {
+            TopologyEvent::Fail(machine) => {
+                let mi = machine.idx();
+                self.index.set_active(&self.backlog, mi, false);
+                // Its queued jobs were counted while it was online.
+                self.queued_on_online -= self.queues[mi].len();
+                if self.queues[mi].is_empty() {
+                    return Ok(0);
+                }
+                let survivors = core.topology.online_machines();
+                if survivors.is_empty() {
+                    return Err(LbError::NoOnlineMachines);
+                }
+                let jobs: Vec<JobId> = std::mem::take(&mut self.queues[mi]).into();
+                self.shift_backlog(mi, |_| 0);
+                let scattered = jobs.len() as u64;
+                for job in jobs {
+                    let target = survivors[core.rng.gen_range(0..survivors.len())];
+                    let ti = target.idx();
+                    self.queues[ti].push_back(job);
+                    let c = u128::from(core.inst.cost(target, job));
+                    self.shift_backlog(ti, |b| b + c);
+                    self.queued_on_online += 1;
+                    self.wake.push(ti as u32);
+                    self.batch.push(job, target);
+                }
+                core.asg.apply_migrations(core.inst, &self.batch);
+                self.batch.clear();
+                Ok(scattered)
+            }
+            TopologyEvent::Rejoin(machine) => {
+                let mi = machine.idx();
+                self.index.set_active(&self.backlog, mi, true);
+                // Jobs that arrived while it was offline become
+                // startable (and balanceable) again.
+                self.queued_on_online += self.queues[mi].len();
+                if !self.queues[mi].is_empty() {
+                    self.wake.push(mi as u32);
+                }
+                Ok(0)
+            }
+        }
+    }
+}
+
+/// Runs an open-system simulation to drain: generates the arrival stream
+/// from `process`, derives the predicted instance
+/// (`perturbed_instance(truth, cfg.error_percent, cfg.seed)`), places
+/// every job on its submission machine in the ledger, and drives
+/// [`OpenProtocol`] through the standard [`drive`] loop.
+///
+/// The result is a deterministic function of
+/// `(truth, process, cfg.seed, cfg)`; `cfg.shards` never changes a byte
+/// of it (pinned by `tests/determinism.rs`).
+pub fn run_open(truth: &Instance, process: &ArrivalProcess, cfg: &OpenConfig) -> OpenRun {
+    let mut rng = stream_rng(cfg.seed, 0);
+    let arrivals = process.generate(truth, &mut rng);
+    run_open_with_arrivals(truth, &arrivals, cfg)
+}
+
+/// [`run_open`] with a pre-generated arrival stream (sorted by time) —
+/// the entry point trace replay and the benches use. The protocol's RNG
+/// is stream 0 of `cfg.seed` restarted from the top (arrival generation
+/// in [`run_open`] uses its own pass over the same stream), so results
+/// from the two entry points are each internally deterministic.
+pub fn run_open_with_arrivals(truth: &Instance, arrivals: &[Arrival], cfg: &OpenConfig) -> OpenRun {
+    let pred = perturbed_instance(truth, cfg.error_percent, cfg.seed);
+    // The ledger starts with every job on its submission machine; a job
+    // missing from the stream (possible only with hand-built streams)
+    // stays parked on machine 0.
+    let mut at = vec![MachineId(0); truth.num_jobs()];
+    for a in arrivals {
+        at[a.job.idx()] = a.machine;
+    }
+    let mut ledger =
+        Assignment::from_fn(&pred, |j| at[j.idx()]).expect("submission machines are in range");
+    ledger.set_shards(cfg.shards);
+    let mut core = SimCore::new(&pred, &mut ledger, cfg.seed);
+    let mut protocol = OpenProtocol::new(truth, arrivals, cfg);
+    let mut hub = ProbeHub::new();
+    drive(&mut core, &mut protocol, &mut hub, u64::MAX);
+    protocol.into_run(&core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{trace_instance, TraceRow};
+
+    fn uniform(m: usize, sizes: Vec<Time>) -> Instance {
+        Instance::uniform(m, sizes).unwrap()
+    }
+
+    fn poisson(gap: f64) -> ArrivalProcess {
+        ArrivalProcess::Poisson { mean_gap: gap }
+    }
+
+    #[test]
+    fn drains_and_counts_every_job() {
+        let inst = uniform(4, vec![5; 200]);
+        let run = run_open(&inst, &poisson(2.0), &OpenConfig::default());
+        assert_eq!(run.metrics.arrived, 200);
+        assert_eq!(run.metrics.completed, 200);
+        assert_eq!(run.metrics.flow.count(), 200);
+        assert!(run.metrics.horizon > 0);
+        assert!(run.realized_makespan > 0);
+    }
+
+    #[test]
+    fn zero_error_realized_equals_predicted() {
+        let inst = uniform(3, vec![7; 60]);
+        let run = run_open(&inst, &poisson(1.5), &OpenConfig::default());
+        assert_eq!(run.predicted_makespan, run.realized_makespan);
+        assert_eq!(run.metrics.mean_misprediction(), Some(0.0));
+    }
+
+    #[test]
+    fn misprediction_shows_up_under_error() {
+        let inst = uniform(3, vec![100; 80]);
+        let cfg = OpenConfig {
+            error_percent: 30,
+            ..OpenConfig::default()
+        };
+        let run = run_open(&inst, &poisson(2.0), &cfg);
+        assert!(run.metrics.mean_abs_misprediction().unwrap() > 0.0);
+        // Predicted and realized makespans disagree under misprediction
+        // (with overwhelming probability at ±30% on 80 jobs).
+        assert_ne!(run.predicted_makespan, run.realized_makespan);
+    }
+
+    #[test]
+    fn balancing_beats_no_balancing_on_skewed_submission() {
+        // Every job submitted to machine 0 via a trace; balancing must
+        // cut the flow-time tail by a wide margin.
+        let rows: Vec<TraceRow> = (0..64)
+            .map(|k| TraceRow {
+                time: k,
+                size: 40,
+                machine: Some(0),
+            })
+            .collect();
+        let inst = trace_instance(&rows, 8, None).unwrap();
+        let process = ArrivalProcess::Trace { rows };
+        let off = OpenConfig {
+            exchange_every: 0,
+            ..OpenConfig::default()
+        };
+        let on = OpenConfig {
+            exchange_every: 8,
+            pairs_per_epoch: 16,
+            ..OpenConfig::default()
+        };
+        let base = run_open(&inst, &process, &off);
+        let bal = run_open(&inst, &process, &on);
+        assert_eq!(base.metrics.migrations, 0);
+        assert!(bal.metrics.migrations > 0);
+        let (_, base_p99, _) = base.metrics.flow_tail().unwrap();
+        let (_, bal_p99, _) = bal.metrics.flow_tail().unwrap();
+        assert!(
+            bal_p99 * 2 < base_p99,
+            "balancing barely helped: p99 {bal_p99} vs {base_p99}"
+        );
+    }
+
+    #[test]
+    fn greedy_pairing_also_drains_and_helps() {
+        let rows: Vec<TraceRow> = (0..50)
+            .map(|k| TraceRow {
+                time: 2 * k,
+                size: 30,
+                machine: Some(0),
+            })
+            .collect();
+        let inst = trace_instance(&rows, 5, None).unwrap();
+        let process = ArrivalProcess::Trace { rows };
+        let cfg = OpenConfig {
+            exchange_every: 10,
+            pairs_per_epoch: 4,
+            pairing: Pairing::Greedy,
+            ..OpenConfig::default()
+        };
+        let run = run_open(&inst, &process, &cfg);
+        assert_eq!(run.metrics.completed, 50);
+        assert!(run.metrics.migrations > 0);
+    }
+
+    #[test]
+    fn response_flow_identity_holds_per_digest_sums() {
+        // flow = response + service, so Σ flow − Σ response = Σ true
+        // service = completed true work (both sums are exact).
+        let inst = uniform(4, vec![9; 120]);
+        let run = run_open(&inst, &poisson(3.0), &OpenConfig::default());
+        let m = &run.metrics;
+        assert_eq!(m.flow.sum() - m.response.sum(), m.true_work);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = uniform(5, vec![6; 100]);
+        let cfg = OpenConfig {
+            error_percent: 10,
+            ..OpenConfig::default()
+        };
+        let a = run_open(&inst, &poisson(2.0), &cfg);
+        let b = run_open(&inst, &poisson(2.0), &cfg);
+        assert_eq!(a, b);
+        let c = run_open(
+            &inst,
+            &poisson(2.0),
+            &OpenConfig {
+                seed: 1,
+                ..cfg.clone()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_noop() {
+        let inst = uniform(3, vec![]);
+        let run = run_open(&inst, &poisson(1.0), &OpenConfig::default());
+        assert_eq!(run.metrics.arrived, 0);
+        assert_eq!(run.metrics.completed, 0);
+        assert_eq!(run.metrics.flow_tail(), None);
+        assert_eq!(run.predicted_makespan, 0);
+    }
+
+    #[test]
+    fn ledger_matches_execution_sites() {
+        // With balancing off, every job's ledger machine is its
+        // submission machine; the realized makespan is the max
+        // per-machine total work.
+        let rows = vec![
+            TraceRow {
+                time: 0,
+                size: 10,
+                machine: Some(1),
+            },
+            TraceRow {
+                time: 0,
+                size: 3,
+                machine: Some(0),
+            },
+            TraceRow {
+                time: 5,
+                size: 4,
+                machine: Some(1),
+            },
+        ];
+        let inst = trace_instance(&rows, 2, None).unwrap();
+        let cfg = OpenConfig {
+            exchange_every: 0,
+            ..OpenConfig::default()
+        };
+        let run = run_open(&inst, &ArrivalProcess::Trace { rows }, &cfg);
+        assert_eq!(run.realized_makespan, 14, "machine 1 runs 10 + 4");
+        // Flow times: job 0 (size 10, t=0) = 10; job 1 (size 3, t=0) =
+        // 3; job 2 arrives at 5, waits until 10, finishes 14 → flow 9.
+        assert_eq!(run.metrics.flow.max(), Some(10));
+        assert_eq!(run.metrics.response.max(), Some(5), "job 2 waited 5");
+    }
+}

@@ -1,0 +1,99 @@
+//! The open-system determinism contract, pinned:
+//!
+//! * a run is a pure function of `(instance, process, config, seed)`;
+//! * `shards` is a pure layout knob — every result field is identical
+//!   for every shard count (the backlog index and the ledger both
+//!   promise shard-count-invariant answers);
+//! * topology churn composes deterministically through the drive loop.
+
+use lb_distsim::topology::{TopologyEvent, TopologyPlan};
+use lb_distsim::{drive_with_plan, stream_rng, ProbeHub, SimCore};
+use lb_model::perturb::perturbed_instance;
+use lb_model::prelude::*;
+use lb_open::{run_open, ArrivalProcess, OpenConfig, OpenProtocol, Pairing};
+
+fn instance() -> Instance {
+    // Heterogeneous related machines: sizes vary, speeds vary.
+    let sizes: Vec<Time> = (0..300).map(|k| 5 + (k * 7) % 40).collect();
+    Instance::related(sizes, vec![1, 1, 2, 3, 1, 2, 4, 1]).unwrap()
+}
+
+fn config(shards: usize, pairing: Pairing) -> OpenConfig {
+    OpenConfig {
+        exchange_every: 12,
+        pairs_per_epoch: 6,
+        pairing,
+        error_percent: 15,
+        seed: 42,
+        shards,
+    }
+}
+
+#[test]
+fn shards_never_change_a_result_byte() {
+    let inst = instance();
+    let process = ArrivalProcess::Poisson { mean_gap: 2.0 };
+    for pairing in [Pairing::Random, Pairing::Greedy] {
+        let reference = run_open(&inst, &process, &config(1, pairing));
+        assert_eq!(reference.metrics.completed, 300);
+        for shards in [2, 3, 8, 64] {
+            let run = run_open(&inst, &process, &config(shards, pairing));
+            assert_eq!(run, reference, "shards={shards} pairing={pairing:?}");
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_identical_runs_across_processes() {
+    let inst = instance();
+    for process in [
+        ArrivalProcess::Poisson { mean_gap: 3.0 },
+        ArrivalProcess::RandomOrder { horizon: 600 },
+    ] {
+        let a = run_open(&inst, &process, &config(1, Pairing::Random));
+        let b = run_open(&inst, &process, &config(1, Pairing::Random));
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn churn_composes_with_open_arrivals() {
+    // A machine fails mid-run and rejoins later; the run must still
+    // drain every job, deterministically, at any shard count.
+    let inst = instance();
+    let cfg = config(1, Pairing::Greedy);
+    let process = ArrivalProcess::Poisson { mean_gap: 2.0 };
+    let plan = TopologyPlan {
+        events: vec![
+            (40, TopologyEvent::Fail(MachineId(2))),
+            (120, TopologyEvent::Rejoin(MachineId(2))),
+        ],
+    };
+
+    let run_with_plan = |shards: usize| {
+        let cfg = OpenConfig {
+            shards,
+            ..cfg.clone()
+        };
+        let mut rng = stream_rng(cfg.seed, 0);
+        let arrivals = process.generate(&inst, &mut rng);
+        let pred = perturbed_instance(&inst, cfg.error_percent, cfg.seed);
+        let mut at = vec![MachineId(0); inst.num_jobs()];
+        for a in &arrivals {
+            at[a.job.idx()] = a.machine;
+        }
+        let mut ledger = Assignment::from_fn(&pred, |j| at[j.idx()]).unwrap();
+        ledger.set_shards(cfg.shards);
+        let mut core = SimCore::new(&pred, &mut ledger, cfg.seed);
+        let mut protocol = OpenProtocol::new(&inst, &arrivals, &cfg);
+        let mut hub = ProbeHub::new();
+        drive_with_plan(&mut core, &mut protocol, &mut hub, u64::MAX, &plan).unwrap();
+        protocol.into_run(&core)
+    };
+
+    let reference = run_with_plan(1);
+    assert_eq!(reference.metrics.completed, 300, "churned run still drains");
+    for shards in [2, 8] {
+        assert_eq!(run_with_plan(shards), reference, "shards={shards}");
+    }
+}

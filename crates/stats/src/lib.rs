@@ -20,6 +20,7 @@ pub mod csv;
 pub mod histogram;
 pub mod online;
 pub mod plot;
+pub mod quantile;
 pub mod runner;
 pub mod summary;
 
@@ -30,5 +31,6 @@ pub use cdf::Ecdf;
 pub use chaos::{shrink_schedule, Shrunk};
 pub use histogram::{FloatHistogram, Histogram};
 pub use online::OnlineStats;
+pub use quantile::{exact_quantile, QuantileDigest};
 pub use runner::SimRunner;
 pub use summary::Summary;

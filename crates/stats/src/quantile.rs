@@ -1,0 +1,366 @@
+//! Mergeable streaming quantile digest with order-independent merges.
+//!
+//! The open-system simulator ([`lb-open`]) reports response-time and
+//! flow-time tails (p50/p99/p999) from streams of millions of
+//! observations, and the campaign engine merges per-replication results
+//! across a rayon pool whose schedule must never leak into the output.
+//! That rules out sampling sketches (GK, t-digest): their state depends
+//! on insertion order, so merging replication A before B and B before A
+//! produce different bytes.
+//!
+//! [`QuantileDigest`] is a log-bucketed histogram in the DDSketch family
+//! with **fixed, data-independent bucket boundaries**: value `v >= 1`
+//! lands in bucket `floor(ln(v) / ln(gamma))` for a fixed growth factor
+//! `gamma = (1 + alpha) / (1 - alpha)`. Counts are plain `u64`s, so
+//!
+//! * inserts commute: the digest is a pure function of the observation
+//!   *multiset*, never of arrival order;
+//! * merges are element-wise integer adds — exactly associative and
+//!   commutative, byte-for-byte (pinned by proptests in
+//!   `tests/quantile_prop.rs`);
+//! * a reported quantile is the lower boundary of the bucket holding the
+//!   target rank, so it is a value `x` with `x <= q_exact <= x * gamma`,
+//!   i.e. **relative error at most `2 * alpha / (1 + alpha)` below the
+//!   exact order statistic** (and never above it). With the default
+//!   `alpha = 1%`, p99 of a 10-minute tail is exact to ~2%.
+//!
+//! The digest stores `u64` observations (virtual-time durations). Zero
+//! gets its own exact bucket; the ~44/ln(gamma) geometric buckets cover
+//! the full `u64` range, so nothing is ever clamped or dropped.
+
+use serde::{Deserialize, Serialize};
+
+/// Default relative-accuracy parameter: 1% (`gamma ~ 1.0202`).
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A mergeable log-bucketed quantile digest over `u64` observations.
+///
+/// ```
+/// use lb_stats::QuantileDigest;
+///
+/// let mut d = QuantileDigest::new();
+/// for v in 1..=1000u64 {
+///     d.record(v);
+/// }
+/// let p50 = d.quantile(0.50).unwrap();
+/// assert!((p50 as f64) >= 0.97 * 500.0 && p50 <= 500);
+/// assert_eq!(d.count(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileDigest {
+    /// ln(gamma), precomputed; the only float in the hot path. Derived
+    /// deterministically from `alpha`, so two digests built with the
+    /// same accuracy are always structurally compatible.
+    ln_gamma: f64,
+    /// The accuracy parameter the digest was built with.
+    alpha: f64,
+    /// Exact count of zero observations (log buckets start at 1).
+    zeros: u64,
+    /// Geometric bucket counts; index `i` covers
+    /// `[gamma^i, gamma^(i+1))`. Grown on demand, compared as if
+    /// right-padded with zeros (see [`QuantileDigest::eq`] note below).
+    buckets: Vec<u64>,
+    /// Total observations (zeros + all buckets).
+    count: u64,
+    /// Exact running sum, for mean/throughput accounting.
+    sum: u128,
+    /// Exact max (the p100 the bucket bound would otherwise blur).
+    max: u64,
+}
+
+impl Default for QuantileDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileDigest {
+    /// A digest with the default 1% relative accuracy.
+    pub fn new() -> Self {
+        Self::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// A digest with relative accuracy `alpha` (`0 < alpha < 1`).
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `(0, 1)`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0, 1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            ln_gamma: gamma.ln(),
+            alpha,
+            zeros: 0,
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The accuracy parameter this digest was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The bucket index of a non-zero value.
+    #[inline]
+    fn bucket_of(&self, v: u64) -> usize {
+        debug_assert!(v >= 1);
+        // ln(v)/ln(gamma), truncated. (v as f64).ln() is exact enough:
+        // the nearest bucket boundary is a relative 2*alpha away, while
+        // f64 ln error is ~1 ulp; ties at exact powers of gamma cannot
+        // occur because gamma is irrational in binary.
+        ((v as f64).ln() / self.ln_gamma) as usize
+    }
+
+    /// The lower boundary of bucket `i` (`gamma^i`, rounded down, at
+    /// least 1): the value reported for ranks landing in that bucket.
+    #[inline]
+    fn bucket_floor(&self, i: usize) -> u64 {
+        let v = (self.ln_gamma * i as f64).exp();
+        // Saturate: the last representable bucket's floor can round past
+        // u64::MAX in f64 space.
+        if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (v as u64).max(1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+        if v == 0 {
+            self.zeros += 1;
+            return;
+        }
+        let b = self.bucket_of(v);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Exact maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) as a lower bucket boundary:
+    /// the returned `x` satisfies `x <= exact <= x * gamma` where
+    /// `exact` is the order statistic of rank `ceil(q * count)`.
+    /// `None` when the digest is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        debug_assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        // Rank of the target order statistic, 1-based, clamped into the
+        // observed range (q = 0 means the minimum).
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if target <= self.zeros {
+            return Some(0);
+        }
+        let mut seen = self.zeros;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_floor(i));
+            }
+        }
+        // Unreachable when counts are consistent; return the max as a
+        // safe answer rather than panicking on a deserialized digest.
+        Some(self.max)
+    }
+
+    /// p50 / p99 / p999 in one call — the tail triple every open-system
+    /// artifact reports.
+    pub fn tail_triple(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.99)?,
+            self.quantile(0.999)?,
+        ))
+    }
+
+    /// Merges `other` into `self`: element-wise `u64` adds, so the
+    /// result is the digest of the combined multiset — independent of
+    /// merge order and grouping, byte for byte.
+    ///
+    /// # Panics
+    /// Panics when the digests were built with different `alpha`
+    /// (their buckets are incomparable).
+    pub fn merge(&mut self, other: &QuantileDigest) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge digests with alpha {} and {}",
+            self.alpha,
+            other.alpha
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<u64> for QuantileDigest {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut d = QuantileDigest::new();
+        for v in iter {
+            d.record(v);
+        }
+        d
+    }
+}
+
+/// The exact `q`-quantile of a sample by offline sort — the reference
+/// the digest's accuracy bound is checked against (`ceil(q * n)`-th
+/// order statistic, matching [`QuantileDigest::quantile`]'s rank
+/// convention and [`crate::Ecdf::quantile`]).
+pub fn exact_quantile(samples: &[u64], q: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest() {
+        let d = QuantileDigest::new();
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.max(), None);
+        assert_eq!(d.tail_triple(), None);
+    }
+
+    #[test]
+    fn zeros_are_exact() {
+        let d: QuantileDigest = [0, 0, 0, 5].into_iter().collect();
+        assert_eq!(d.quantile(0.5), Some(0));
+        assert_eq!(d.quantile(0.75), Some(0));
+        let p100 = d.quantile(1.0).unwrap();
+        assert!(p100 >= 4 && p100 <= 5, "{p100}");
+        assert_eq!(d.max(), Some(5));
+    }
+
+    #[test]
+    fn quantiles_within_relative_bound() {
+        // A skewed stream: the digest must stay within its advertised
+        // band x <= exact <= x * gamma at every probed quantile.
+        let data: Vec<u64> = (0..10_000u64).map(|i| 1 + (i * i) % 90_000).collect();
+        let d: QuantileDigest = data.iter().copied().collect();
+        let gamma = (1.0 + d.alpha()) / (1.0 - d.alpha());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let approx = d.quantile(q).unwrap();
+            let exact = exact_quantile(&data, q).unwrap();
+            assert!(
+                approx <= exact && exact as f64 <= approx as f64 * gamma + 1.0,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_the_combined_multiset() {
+        let a: QuantileDigest = (1..500u64).collect();
+        let b: QuantileDigest = (500..1000u64).collect();
+        let whole: QuantileDigest = (1..1000u64).collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // And the other order gives the same bytes.
+        let mut rev = b;
+        rev.merge(&a);
+        assert_eq!(rev, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let d: QuantileDigest = [3u64, 7, 9].into_iter().collect();
+        let mut m = d.clone();
+        m.merge(&QuantileDigest::new());
+        assert_eq!(m, d);
+        let mut e = QuantileDigest::new();
+        e.merge(&d);
+        assert_eq!(e, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = QuantileDigest::with_alpha(0.01);
+        a.merge(&QuantileDigest::with_alpha(0.05));
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut d = QuantileDigest::new();
+        d.record(u64::MAX);
+        d.record(1);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.max(), Some(u64::MAX));
+        assert_eq!(d.quantile(0.0), Some(1));
+        // p100 lands in the top bucket; its floor must not wrap.
+        assert!(d.quantile(1.0).unwrap() > u64::MAX / 2);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let fwd: QuantileDigest = (1..2000u64).collect();
+        let rev: QuantileDigest = (1..2000u64).rev().collect();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d: QuantileDigest = (1..100u64).collect();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: QuantileDigest = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn exact_quantile_reference() {
+        assert_eq!(exact_quantile(&[], 0.5), None);
+        assert_eq!(exact_quantile(&[5], 0.5), Some(5));
+        assert_eq!(exact_quantile(&[1, 2, 3, 4], 0.5), Some(2));
+        assert_eq!(exact_quantile(&[1, 2, 3, 4], 1.0), Some(4));
+        assert_eq!(exact_quantile(&[1, 2, 3, 4], 0.0), Some(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the quantile digest's merge algebra and accuracy.
+//!
+//! The open-system campaign folds per-replication digests across a rayon
+//! pool and promises byte-identical artifacts for any thread count. That
+//! promise rests on two properties pinned here:
+//!
+//! * **merge is exactly associative and order-independent** — bucket
+//!   counts are `u64` adds, so any merge tree over the same multiset of
+//!   samples yields the same digest, field for field;
+//! * **quantiles are within the γ relative-error bound** of the exact
+//!   offline-sorted answer, at every probed rank (the golden check).
+
+use lb_stats::quantile::DEFAULT_ALPHA;
+use lb_stats::{exact_quantile, QuantileDigest};
+use proptest::prelude::*;
+
+fn digest_of(samples: &[u64]) -> QuantileDigest {
+    samples.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging in any grouping and order produces identical digests:
+    /// ((a ∪ b) ∪ c) == (a ∪ (b ∪ c)) == ((c ∪ b) ∪ a), field for field.
+    #[test]
+    fn merge_is_associative_and_order_independent(
+        a in proptest::collection::vec(0u64..=1_000_000, 0..60),
+        b in proptest::collection::vec(0u64..=1_000_000, 0..60),
+        c in proptest::collection::vec(0u64..=1_000_000, 0..60),
+    ) {
+        let (da, db, dc) = (digest_of(&a), digest_of(&b), digest_of(&c));
+
+        let mut left = da.clone();
+        left.merge(&db);
+        left.merge(&dc);
+
+        let mut right_inner = db.clone();
+        right_inner.merge(&dc);
+        let mut right = da.clone();
+        right.merge(&right_inner);
+
+        let mut reversed = dc.clone();
+        reversed.merge(&db);
+        reversed.merge(&da);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &reversed);
+
+        // A merge of parts equals one digest over the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &digest_of(&all));
+    }
+
+    /// Splitting a stream at an arbitrary point and merging the halves
+    /// never changes a field (the "campaign fold == single run" shape).
+    #[test]
+    fn split_merge_equals_whole(
+        samples in proptest::collection::vec(0u64..=100_000, 1..120),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let cut = ((samples.len() as f64) * split_frac) as usize;
+        let cut = cut.min(samples.len());
+        let mut merged = digest_of(&samples[..cut]);
+        merged.merge(&digest_of(&samples[cut..]));
+        prop_assert_eq!(&merged, &digest_of(&samples));
+    }
+
+    /// Golden accuracy check against the exact offline sort: at every
+    /// probed rank the digest's answer x satisfies x <= exact <= x·γ
+    /// (γ = (1+α)/(1−α)), i.e. relative error at most γ−1 ≈ 2α. The +1
+    /// slack covers `bucket_floor` truncating γ^i to an integer.
+    #[test]
+    fn quantiles_match_exact_sort_within_gamma(
+        samples in proptest::collection::vec(0u64..=5_000_000, 1..200),
+    ) {
+        let d = digest_of(&samples);
+        let gamma = (1.0 + DEFAULT_ALPHA) / (1.0 - DEFAULT_ALPHA);
+        for &q in &[0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let approx = d.quantile(q).expect("non-empty digest");
+            let exact = exact_quantile(&samples, q).expect("non-empty samples");
+            prop_assert!(approx <= exact, "q={q}: {approx} > exact {exact}");
+            prop_assert!(
+                (approx as f64 + 1.0) * gamma >= exact as f64,
+                "q={q}: exact {exact} above bound ({approx}+1)*{gamma}"
+            );
+        }
+        // Exact aggregates are exact, not sketched.
+        prop_assert_eq!(d.count(), samples.len() as u64);
+        prop_assert_eq!(d.sum(), samples.iter().map(|&v| u128::from(v)).sum::<u128>());
+        prop_assert_eq!(d.max(), samples.iter().copied().max());
+    }
+
+    /// p50/p99/p999 are monotone and bracketed by min/max.
+    #[test]
+    fn tail_triple_is_ordered(
+        samples in proptest::collection::vec(0u64..=1_000_000, 1..150),
+    ) {
+        let d = digest_of(&samples);
+        let (p50, p99, p999) = d.tail_triple().expect("non-empty digest");
+        prop_assert!(p50 <= p99 && p99 <= p999);
+        prop_assert!(p999 <= samples.iter().copied().max().unwrap());
+    }
+}

@@ -35,6 +35,7 @@ use std::fmt::Write as _;
 
 pub mod campaign;
 pub mod chaos;
+pub mod open;
 
 /// Result alias for CLI operations (the model prelude shadows `Result`).
 pub type CliResult<T> = std::result::Result<T, CliError>;
@@ -153,6 +154,7 @@ impl Cli {
         match self.command.as_str() {
             "solve" => self.run_solve(),
             "simulate" => self.run_simulate(),
+            "serve-sim" => self.run_serve_sim(),
             "campaign" => self.run_campaign_cmd(),
             "chaos" => self.run_chaos(),
             "generate" => self.run_generate(),
@@ -766,10 +768,23 @@ pub fn usage() -> String {
                             the runtime invariant checker (job\n\
                             conservation, single custody, monotone\n\
                             clocks, load-index consistency)\n\
+       serve-sim  open-system run: jobs arrive over virtual time (Poisson,\n\
+               trace replay, or the random-order adversary), are served\n\
+               from per-machine FIFO queues with sizes revealed only at\n\
+               completion (protocols balance on predicted costs), and\n\
+               depart; reports response/flow-time p50/p99/p999 from\n\
+               mergeable quantile digests\n\
+               workload options as for solve, or --trace file.csv\n\
+               [--machines N] [--slowdowns a,b,...]\n\
+               [--arrival poisson|random] [--mean-gap G | --rho R]\n\
+               [--horizon T] [--exchange-every T] [--pairs P]\n\
+               [--pairing random|greedy] [--error PCT]\n\
+               [--replications R] [--seed S] [--shards S] [--name base]\n\
+               [--out-dir dir]\n\
        campaign  parallel experiment campaign over a parameter grid with\n\
                  deterministic per-cell seed streams; merged CSV/stats are\n\
                  byte-identical for any --threads value\n\
-               --mode gossip|net|markov  [--threads N] [--seed S]\n\
+               --mode gossip|net|markov|open  [--threads N] [--seed S]\n\
                [--progress N] [--name base] [--out-dir dir]\n\
                gossip/net: workload options as for solve, plus\n\
                [--jobs-grid N,N,...] [--replications R] [--rounds N]\n\
@@ -777,6 +792,12 @@ pub fn usage() -> String {
                (net also accepts the simulate --net latency/fault knobs;\n\
                gossip/net honor [--check-invariants true])\n\
                markov: [--machines-grid N,N,...] [--pmax-grid P,P,...]\n\
+               open (`--open true` shorthand): machines x offered-load\n\
+               sweeps of Poisson open-system runs toward saturation\n\
+               [--machines-grid N,N,...] [--rho-grid R,R,...] [--jobs N]\n\
+               plus the serve-sim exchange knobs; per-point tails come\n\
+               from exactly merged digests, so artifacts are\n\
+               byte-identical for any --threads and --shards\n\
        chaos   seeded random fault schedules (loss, duplication, link\n\
                partitions, crash-stop/crash-recovery churn) over the\n\
                campaign pool, every run audited by the runtime invariant\n\

@@ -38,7 +38,7 @@ use std::io::BufWriter;
 
 /// Focused usage text appended to campaign option errors.
 pub fn campaign_usage() -> String {
-    "usage: decent-lb campaign --mode gossip|net|markov\n\
+    "usage: decent-lb campaign --mode gossip|net|markov|open\n\
      \x20 common: [--name base] [--out-dir dir] [--threads N] [--seed S]\n\
      \x20         [--progress N]\n\
      \x20 gossip | net: --workload two-cluster|uniform|typed|dense\n\
@@ -47,7 +47,12 @@ pub fn campaign_usage() -> String {
      \x20         [--shared-instance true] [--shards S]\n\
      \x20         (net adds the simulate --net knobs; --shards shards the\n\
      \x20         load index, results identical for every S)\n\
-     \x20 markov: [--machines-grid N,N,...] [--pmax-grid P,P,...]\n"
+     \x20 markov: [--machines-grid N,N,...] [--pmax-grid P,P,...]\n\
+     \x20 open:   [--machines-grid N,N,...] [--rho-grid R,R,...] [--jobs N]\n\
+     \x20         [--replications R] [--exchange-every T] [--pairs P]\n\
+     \x20         [--pairing random|greedy] [--error PCT] [--shards S]\n\
+     \x20         (Poisson arrivals at offered load rho per point; tails\n\
+     \x20         from exactly merged digests)\n"
         .to_string()
 }
 
@@ -181,18 +186,26 @@ impl Cli {
                 })?
             }
         };
-        match self.get_str("mode", "gossip").as_str() {
+        // `--open true` is shorthand for `--mode open` (the ISSUE-facing
+        // spelling); an explicit --mode always wins.
+        let default_mode = if self.flag_on("open") {
+            "open"
+        } else {
+            "gossip"
+        };
+        match self.get_str("mode", default_mode).as_str() {
             "gossip" => self.campaign_sim(&runner, false),
             "net" => self.campaign_sim(&runner, true),
             "markov" => self.campaign_markov(&runner),
+            "open" => self.campaign_open(&runner),
             other => Err(CliError(format!(
-                "unknown campaign mode '{other}' (gossip | net | markov)\n{}",
+                "unknown campaign mode '{other}' (gossip | net | markov | open)\n{}",
                 campaign_usage()
             ))),
         }
     }
 
-    fn campaign_spec(&self, replications: u64) -> CliResult<CampaignSpec> {
+    pub(super) fn campaign_spec(&self, replications: u64) -> CliResult<CampaignSpec> {
         Ok(CampaignSpec {
             base_seed: self.get("seed", 42)?,
             replications,
@@ -203,7 +216,7 @@ impl Cli {
 
     /// Comma-separated grid option (`--key 1,2,4`); a single plain value
     /// also parses, and an absent option falls back to `fallback`.
-    fn grid<T: std::str::FromStr>(&self, key: &str, fallback: T) -> CliResult<Vec<T>> {
+    pub(super) fn grid<T: std::str::FromStr>(&self, key: &str, fallback: T) -> CliResult<Vec<T>> {
         match self.options.get(key) {
             None => Ok(vec![fallback]),
             Some(v) => v

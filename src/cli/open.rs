@@ -1,0 +1,736 @@
+//! The `decent-lb serve-sim` subcommand and the `campaign --mode open`
+//! campaign: the balancer as a *service* under sustained load.
+//!
+//! Where `solve`/`simulate` balance a fixed job multiset to quiescence
+//! and report makespan, `serve-sim` drives an [`crate::open`] run — jobs
+//! arrive over virtual time (Poisson, trace replay, or the random-order
+//! adversary), are served from per-machine FIFO queues with sizes
+//! revealed only at completion, and depart — and reports the response-
+//! and flow-time **distributions** (p50/p99/p999) from mergeable
+//! quantile digests.
+//!
+//! The open campaign sweeps `(machines x offered-load ρ)` grids toward
+//! saturation (ρ→1). Per-point statistics are folded by *exact* integer
+//! digest merges in cell order, so — like every other campaign mode —
+//! the emitted artifacts are byte-identical for any `--threads` value,
+//! and (per the lb-open determinism contract) for any `--shards` value.
+
+use super::campaign::campaign_usage;
+use super::{Cli, CliError, CliResult};
+use crate::open::{parse_trace, trace_instance, ArrivalProcess, OpenConfig, OpenRun, Pairing};
+use crate::prelude::*;
+use crate::stats::csv::CsvCell;
+use crate::stats::runner::{row, SimRunner};
+use crate::stats::{fold_by_point, run_campaign};
+use crate::workloads::{two_cluster, typed, uniform};
+use std::fmt::Write as _;
+
+/// Focused usage text appended to serve-sim option errors.
+pub fn serve_sim_usage() -> String {
+    "usage: decent-lb serve-sim [--workload ... | --trace file.csv]\n\
+     \x20 arrivals: [--arrival poisson|random] [--mean-gap G | --rho R]\n\
+     \x20           [--horizon T]  (--trace replays the CSV's own times)\n\
+     \x20 exchange: [--exchange-every T] [--pairs P]\n\
+     \x20           [--pairing random|greedy] [--error PCT]\n\
+     \x20 run:      [--jobs N] [--replications R] [--seed S] [--shards S]\n\
+     \x20           [--name base] [--out-dir dir]\n"
+        .to_string()
+}
+
+/// One cell of an open run, flattened for CSV emission and per-point
+/// folding. Keeps the full [`OpenRun`] so point statistics can merge the
+/// digests exactly instead of averaging pre-extracted quantiles.
+#[derive(Debug, Clone)]
+struct OpenCell {
+    machines: usize,
+    rho: f64,
+    jobs: usize,
+    seed: u64,
+    run: OpenRun,
+}
+
+fn tail_cells(tail: Option<(Time, Time, Time)>) -> [CsvCell; 3] {
+    match tail {
+        Some((p50, p99, p999)) => [CsvCell::Uint(p50), CsvCell::Uint(p99), CsvCell::Uint(p999)],
+        None => [
+            CsvCell::Str(String::new()),
+            CsvCell::Str(String::new()),
+            CsvCell::Str(String::new()),
+        ],
+    }
+}
+
+fn float_cell(v: Option<f64>) -> CsvCell {
+    match v {
+        Some(x) => CsvCell::Float(x),
+        None => CsvCell::Str(String::new()),
+    }
+}
+
+impl Cli {
+    /// Estimates the mean *true* service time of one job, in virtual-time
+    /// units, by sampling one machine per job (`job j` on machine
+    /// `j mod m` — exact for machine-oblivious `Uniform` instances, an
+    /// even speed sample otherwise; infeasible pairs are skipped). O(n),
+    /// so it stays cheap at campaign scale.
+    fn mean_service_estimate(inst: &Instance) -> f64 {
+        let m = inst.num_machines();
+        let mut sum = 0u128;
+        let mut count = 0u64;
+        for j in inst.jobs() {
+            let c = inst.cost(MachineId::from_idx(j.idx() % m), j);
+            if c != INFEASIBLE {
+                sum += u128::from(c);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            1.0
+        } else {
+            (sum as f64 / count as f64).max(1.0)
+        }
+    }
+
+    /// Resolves the Poisson mean inter-arrival gap from `--mean-gap`
+    /// (explicit) or `--rho` (offered load: gap = S̄ / (ρ·m), so the
+    /// arrival rate is ρ times the system's estimated aggregate service
+    /// rate; ρ→1 drives the queues toward saturation).
+    fn open_mean_gap(&self, inst: &Instance) -> CliResult<f64> {
+        if let Some(v) = self.options.get("mean-gap") {
+            let gap: f64 = v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value for --mean-gap: '{v}'")))?;
+            if !(gap.is_finite() && gap > 0.0) {
+                return Err(CliError("--mean-gap must be positive and finite".into()));
+            }
+            return Ok(gap);
+        }
+        let rho: f64 = self.get("rho", 0.7)?;
+        if !(rho.is_finite() && rho > 0.0) {
+            return Err(CliError("--rho must be positive and finite".into()));
+        }
+        Ok(Self::mean_service_estimate(inst) / (rho * inst.num_machines() as f64))
+    }
+
+    /// Builds the exchange/prediction half of an [`OpenConfig`] from the
+    /// command line; the seed comes from the caller's replication stream.
+    fn build_open_config(&self, seed: u64) -> CliResult<OpenConfig> {
+        let defaults = OpenConfig::default();
+        let pairing = match self.get_str("pairing", "random").as_str() {
+            "random" => Pairing::Random,
+            "greedy" => Pairing::Greedy,
+            other => {
+                return Err(CliError(format!(
+                    "unknown pairing '{other}' (random | greedy)"
+                )))
+            }
+        };
+        let exchange_every: Time = self.get("exchange-every", defaults.exchange_every)?;
+        if exchange_every == 0 {
+            return Err(CliError("--exchange-every must be >= 1".into()));
+        }
+        Ok(OpenConfig {
+            exchange_every,
+            pairs_per_epoch: self.get("pairs", defaults.pairs_per_epoch)?,
+            pairing,
+            error_percent: self.get("error", defaults.error_percent)?,
+            seed,
+            shards: self.get_shards()?,
+        })
+    }
+
+    /// Builds the (instance, arrival process) pair for a serve-sim run:
+    /// `--trace file.csv` replays recorded arrivals on `--machines`
+    /// machines (optionally `--slowdowns a,b,...` related speeds), while
+    /// the workload families pair a generated instance with a Poisson or
+    /// random-order process.
+    fn build_open_world(&self) -> CliResult<(Instance, ArrivalProcess)> {
+        if let Some(path) = self.options.get("trace") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read trace {path}: {e}")))?;
+            let rows = parse_trace(&text).map_err(|e| CliError(format!("trace {path}: {e}")))?;
+            let machines: usize = self.get("machines", 16)?;
+            let slowdowns = match self.options.get("slowdowns") {
+                None => None,
+                Some(v) => Some(
+                    v.split(',')
+                        .map(|s| {
+                            s.trim().parse::<u64>().map_err(|_| {
+                                CliError(format!("invalid value in --slowdowns: '{s}'"))
+                            })
+                        })
+                        .collect::<CliResult<Vec<u64>>>()?,
+                ),
+            };
+            let inst = trace_instance(&rows, machines, slowdowns)
+                .map_err(|e| CliError(format!("trace {path}: {e}")))?;
+            return Ok((inst, ArrivalProcess::Trace { rows }));
+        }
+        let inst = self.build_instance()?;
+        let process = match self.get_str("arrival", "poisson").as_str() {
+            "poisson" => ArrivalProcess::Poisson {
+                mean_gap: self.open_mean_gap(&inst)?,
+            },
+            "random" => {
+                // Default horizon: the time a Poisson stream at the same
+                // offered load would span, so --arrival random is a
+                // drop-in adversarial reordering of the default run.
+                let gap = self.open_mean_gap(&inst)?;
+                let horizon: Time =
+                    self.get("horizon", (gap * inst.num_jobs() as f64).ceil() as Time)?;
+                ArrivalProcess::RandomOrder { horizon }
+            }
+            other => {
+                return Err(CliError(format!(
+                    "unknown arrival process '{other}' (poisson | random; --trace file.csv \
+                     for replay)"
+                )))
+            }
+        };
+        Ok((inst, process))
+    }
+
+    /// Entry point for `decent-lb serve-sim`: replicated open-system runs
+    /// emitted through the shared [`SimRunner`] artifact shape (summary
+    /// CSV + JSON sidecar), with the tail triples printed per
+    /// replication and for the exact digest merge across replications.
+    pub(super) fn run_serve_sim(&self) -> CliResult<String> {
+        let (inst, process) = self.build_open_world()?;
+        let seed: u64 = self.get("seed", 42)?;
+        let reps: u64 = self.get("replications", 1)?;
+        if reps == 0 {
+            return Err(CliError(format!(
+                "--replications must be >= 1\n{}",
+                serve_sim_usage()
+            )));
+        }
+        let cfg0 = self.build_open_config(seed)?;
+        let name = self.get_str("name", "serve_sim");
+        let runner = match self.options.get("out-dir") {
+            Some(dir) => SimRunner::with_dir(&name, dir),
+            None => SimRunner::new(&name),
+        };
+        runner.sidecar(&serde_json::json!({
+            "command": "serve-sim",
+            "machines": inst.num_machines(),
+            "jobs": inst.num_jobs(),
+            "arrival": self.get_str("arrival", "poisson"),
+            "exchange_every": cfg0.exchange_every,
+            "pairs_per_epoch": cfg0.pairs_per_epoch,
+            "pairing": format!("{:?}", cfg0.pairing),
+            "error_percent": cfg0.error_percent,
+            "seed": seed,
+            "replications": reps,
+            "shards": cfg0.shards,
+        }));
+        let mut csv = runner.csv(&[
+            "replication",
+            "arrived",
+            "completed",
+            "resp_p50",
+            "resp_p99",
+            "resp_p999",
+            "flow_p50",
+            "flow_p99",
+            "flow_p999",
+            "utilization",
+            "jobs_per_kilotime",
+            "migrations",
+            "epochs",
+            "horizon",
+            "mean_abs_mispredict",
+            "predicted_makespan",
+            "realized_makespan",
+        ]);
+        let mut out = String::new();
+        let mut merged: Option<crate::open::OpenMetrics> = None;
+        for r in 0..reps {
+            let cfg = OpenConfig {
+                seed: seed.wrapping_add(r),
+                ..cfg0.clone()
+            };
+            let run = crate::open::run_open(&inst, &process, &cfg);
+            let m = &run.metrics;
+            let mut cols = vec![
+                CsvCell::Uint(r),
+                CsvCell::Uint(m.arrived),
+                CsvCell::Uint(m.completed),
+            ];
+            cols.extend(tail_cells(m.response_tail()));
+            cols.extend(tail_cells(m.flow_tail()));
+            cols.extend([
+                float_cell(m.utilization()),
+                float_cell(m.jobs_per_kilotime()),
+                CsvCell::Uint(m.migrations),
+                CsvCell::Uint(m.epochs),
+                CsvCell::Uint(m.horizon),
+                float_cell(m.mean_abs_misprediction()),
+                CsvCell::Uint(run.predicted_makespan),
+                CsvCell::Uint(run.realized_makespan),
+            ]);
+            row(&mut csv, cols);
+            let (rp50, rp99, rp999) = m.response_tail().unwrap_or((0, 0, 0));
+            let (fp50, fp99, fp999) = m.flow_tail().unwrap_or((0, 0, 0));
+            let _ = writeln!(
+                out,
+                "replication {r}: {}/{} completed over horizon {}; response p50/p99/p999 = \
+                 {rp50}/{rp99}/{rp999}, flow = {fp50}/{fp99}/{fp999}, utilization {:.3}",
+                m.completed,
+                m.arrived,
+                m.horizon,
+                m.utilization().unwrap_or(0.0),
+            );
+            match &mut merged {
+                Some(acc) => acc.merge(m),
+                None => merged = Some(m.clone()),
+            }
+        }
+        csv.finish()
+            .map_err(|e| CliError(format!("write serve-sim CSV: {e}")))?;
+        if let Some(m) = &merged {
+            if reps > 1 {
+                let (rp50, rp99, rp999) = m.response_tail().unwrap_or((0, 0, 0));
+                let (fp50, fp99, fp999) = m.flow_tail().unwrap_or((0, 0, 0));
+                let _ = writeln!(
+                    out,
+                    "merged over {reps} replications ({} jobs): response p50/p99/p999 = \
+                     {rp50}/{rp99}/{rp999}, flow = {fp50}/{fp99}/{fp999}",
+                    m.completed,
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "wrote {0}.csv, {0}.json under {1}",
+            runner.name(),
+            runner.dir().display()
+        );
+        Ok(out)
+    }
+
+    /// Builds one open-campaign cell's instance: the workload family from
+    /// the command line with the machine count taken from the grid point
+    /// (two-cluster splits it evenly between the clusters).
+    fn open_campaign_instance(
+        &self,
+        machines: usize,
+        jobs: usize,
+        seed: u64,
+    ) -> CliResult<Instance> {
+        match self.get_str("workload", "uniform").as_str() {
+            "two-cluster" => Ok(two_cluster::paper_two_cluster(
+                machines / 2,
+                machines - machines / 2,
+                jobs,
+                seed,
+            )),
+            "uniform" => Ok(uniform::paper_uniform(machines, jobs, seed)),
+            "typed" => {
+                let k: usize = self.get("types", 3)?;
+                Ok(typed::typed_uniform(machines, jobs, k, 1, 1000, seed))
+            }
+            "dense" => Ok(uniform::dense_uniform(machines, jobs, 1, 1000, seed)),
+            other => Err(CliError(format!(
+                "unknown workload '{other}' (two-cluster | uniform | typed | dense)\n{}",
+                campaign_usage()
+            ))),
+        }
+    }
+
+    /// The open campaign: `(machines x offered-load ρ)` grid of Poisson
+    /// open-system runs. Emits one row per cell plus per-point statistics
+    /// whose tail quantiles come from *exactly merged* digests (not
+    /// averaged per-cell quantiles), folded in cell order — byte-identical
+    /// artifacts for any `--threads` and any `--shards`.
+    pub(super) fn campaign_open(&self, runner: &SimRunner) -> CliResult<String> {
+        let reps: u64 = self.get("replications", 8)?;
+        if reps == 0 {
+            return Err(CliError(format!(
+                "--replications must be >= 1\n{}",
+                campaign_usage()
+            )));
+        }
+        let spec = self.campaign_spec(reps)?;
+        let base_seed = spec.base_seed;
+        let machines_grid: Vec<usize> = self.grid("machines-grid", self.get("machines", 64)?)?;
+        let rho_grid: Vec<f64> = self.grid("rho-grid", self.get("rho", 0.7)?)?;
+        if machines_grid.iter().any(|&m| m < 2) {
+            return Err(CliError(format!(
+                "--machines-grid entries must be >= 2\n{}",
+                campaign_usage()
+            )));
+        }
+        if rho_grid.iter().any(|&r| !(r.is_finite() && r > 0.0)) {
+            return Err(CliError(format!(
+                "--rho-grid entries must be positive and finite\n{}",
+                campaign_usage()
+            )));
+        }
+        let jobs: usize = self.get("jobs", 768)?;
+        let cfg0 = self.build_open_config(base_seed)?;
+        // Validate the workload family once before fanning out.
+        self.open_campaign_instance(machines_grid[0], 1, base_seed)?;
+        let points: Vec<(usize, f64)> = machines_grid
+            .iter()
+            .flat_map(|&m| rho_grid.iter().map(move |&r| (m, r)))
+            .collect();
+
+        let run = run_campaign(
+            &spec,
+            &points,
+            |&(machines, rho), cell| -> CliResult<OpenCell> {
+                let cell_seed = cell.seed(base_seed);
+                let inst = self.open_campaign_instance(machines, jobs, cell_seed)?;
+                let mean_gap = Self::mean_service_estimate(&inst) / (rho * machines as f64);
+                let process = ArrivalProcess::Poisson { mean_gap };
+                let cfg = OpenConfig {
+                    seed: cell_seed,
+                    ..cfg0.clone()
+                };
+                Ok(OpenCell {
+                    machines,
+                    rho,
+                    jobs,
+                    seed: cell_seed,
+                    run: crate::open::run_open(&inst, &process, &cfg),
+                })
+            },
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+        let cells: Vec<OpenCell> = run.results.iter().cloned().collect::<CliResult<Vec<_>>>()?;
+
+        let mut csv = runner
+            .try_csv(&[
+                "point",
+                "machines",
+                "rho",
+                "jobs",
+                "replication",
+                "seed",
+                "arrived",
+                "completed",
+                "resp_p50",
+                "resp_p99",
+                "resp_p999",
+                "flow_p50",
+                "flow_p99",
+                "flow_p999",
+                "utilization",
+                "jobs_per_kilotime",
+                "migrations",
+                "epochs",
+                "horizon",
+                "realized_makespan",
+            ])
+            .map_err(|e| CliError(format!("create campaign CSV: {e}")))?;
+        for (i, c) in cells.iter().enumerate() {
+            let m = &c.run.metrics;
+            let mut cols = vec![
+                CsvCell::Uint(i as u64 / reps),
+                CsvCell::Uint(c.machines as u64),
+                CsvCell::Float(c.rho),
+                CsvCell::Uint(c.jobs as u64),
+                CsvCell::Uint(i as u64 % reps),
+                CsvCell::Uint(c.seed),
+                CsvCell::Uint(m.arrived),
+                CsvCell::Uint(m.completed),
+            ];
+            cols.extend(tail_cells(m.response_tail()));
+            cols.extend(tail_cells(m.flow_tail()));
+            cols.extend([
+                float_cell(m.utilization()),
+                float_cell(m.jobs_per_kilotime()),
+                CsvCell::Uint(m.migrations),
+                CsvCell::Uint(m.epochs),
+                CsvCell::Uint(m.horizon),
+                CsvCell::Uint(c.run.realized_makespan),
+            ]);
+            csv.row(&cols)
+                .map_err(|e| CliError(format!("write campaign CSV row: {e}")))?;
+        }
+        csv.finish()
+            .map_err(|e| CliError(format!("write campaign CSV: {e}")))?;
+
+        // Per-point fold: merge the metrics exactly (integer digest adds,
+        // order-independent), then read the merged tails.
+        let accs: Vec<Option<crate::open::OpenMetrics>> = fold_by_point(
+            &cells,
+            reps,
+            |acc: &mut Option<crate::open::OpenMetrics>, c| match acc {
+                Some(a) => a.merge(&c.run.metrics),
+                None => *acc = Some(c.run.metrics.clone()),
+            },
+        );
+        let mut stats_csv = runner
+            .try_csv_named(
+                &format!("{}_stats", runner.name()),
+                &[
+                    "point",
+                    "machines",
+                    "rho",
+                    "replications",
+                    "completed",
+                    "resp_p50",
+                    "resp_p99",
+                    "resp_p999",
+                    "flow_p50",
+                    "flow_p99",
+                    "flow_p999",
+                    "utilization",
+                    "jobs_per_kilotime",
+                ],
+            )
+            .map_err(|e| CliError(format!("create campaign stats CSV: {e}")))?;
+        for (p, acc) in accs.iter().enumerate() {
+            let m = acc.as_ref().expect("every point has >= 1 replication");
+            let mut cols = vec![
+                CsvCell::Uint(p as u64),
+                CsvCell::Uint(points[p].0 as u64),
+                CsvCell::Float(points[p].1),
+                CsvCell::Uint(reps),
+                CsvCell::Uint(m.completed),
+            ];
+            cols.extend(tail_cells(m.response_tail()));
+            cols.extend(tail_cells(m.flow_tail()));
+            cols.extend([
+                float_cell(m.utilization()),
+                float_cell(m.jobs_per_kilotime()),
+            ]);
+            stats_csv
+                .row(&cols)
+                .map_err(|e| CliError(format!("write campaign stats row: {e}")))?;
+        }
+        stats_csv
+            .finish()
+            .map_err(|e| CliError(format!("write campaign stats CSV: {e}")))?;
+
+        runner
+            .try_sidecar(&serde_json::json!({
+                "command": "campaign",
+                "mode": "open",
+                "workload": self.get_str("workload", "uniform"),
+                "machines_grid": machines_grid,
+                "rho_grid": rho_grid,
+                "jobs": jobs,
+                "replications": reps,
+                "seed": base_seed,
+                "exchange_every": cfg0.exchange_every,
+                "pairs_per_epoch": cfg0.pairs_per_epoch,
+                "pairing": format!("{:?}", cfg0.pairing),
+                "error_percent": cfg0.error_percent,
+            }))
+            .map_err(|e| CliError(format!("write campaign sidecar: {e}")))?;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign {} [open]: {} points x {} replications = {} cells",
+            runner.name(),
+            run.points,
+            reps,
+            run.cells()
+        );
+        let _ = writeln!(
+            out,
+            "threads={} wall={:.2}s throughput={:.1} reps/s",
+            run.threads,
+            run.wall_secs,
+            run.reps_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "wrote {0}.csv, {0}_stats.csv, {0}.json under {1}",
+            runner.name(),
+            runner.dir().display()
+        );
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn serve_sim_writes_tail_columns() {
+        let dir = std::env::temp_dir().join("decent-lb-cli-serve-sim");
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "serve-sim",
+            "--workload",
+            "uniform",
+            "--machines",
+            "6",
+            "--jobs",
+            "120",
+            "--rho",
+            "0.8",
+            "--error",
+            "20",
+            "--replications",
+            "2",
+            "--name",
+            "cli_open",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("replication 0:"), "{out}");
+        assert!(out.contains("merged over 2 replications"), "{out}");
+        assert!(out.contains("p50/p99/p999"), "{out}");
+        let csv = std::fs::read_to_string(dir.join("cli_open.csv")).unwrap();
+        let header = csv.lines().next().unwrap();
+        for col in ["resp_p50", "resp_p999", "flow_p99", "utilization"] {
+            assert!(header.contains(col), "missing {col} in {header}");
+        }
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        // Every replication drains: arrived == completed in each row.
+        for line in csv.lines().skip(1) {
+            let mut f = line.split(',');
+            let arrived: u64 = f.nth(1).unwrap().parse().unwrap();
+            let completed: u64 = f.next().unwrap().parse().unwrap();
+            assert_eq!(arrived, completed, "{line}");
+            assert_eq!(arrived, 120, "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_sim_trace_replay() {
+        let dir = std::env::temp_dir().join("decent-lb-cli-serve-trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.csv");
+        std::fs::write(&trace, "time,size\n0,5\n2,9\n2,3\n7,4\n9,12\n").unwrap();
+        let c = cli(&[
+            "serve-sim",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--machines",
+            "3",
+            "--slowdowns",
+            "1,2,4",
+            "--name",
+            "cli_trace",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().unwrap();
+        assert!(out.contains("5/5 completed"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_sim_rejects_bad_options() {
+        let c = cli(&["serve-sim", "--arrival", "psychic"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("arrival")));
+        let c = cli(&["serve-sim", "--pairing", "telepathic"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("pairing")));
+        let c = cli(&["serve-sim", "--rho", "-1"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("rho")));
+        let c = cli(&["serve-sim", "--mean-gap", "0"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("mean-gap")));
+        let c = cli(&["serve-sim", "--exchange-every", "0"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("exchange-every")));
+        let c = cli(&["serve-sim", "--replications", "0"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("replications")));
+        let c = cli(&["serve-sim", "--trace", "/nonexistent-trace.csv"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("cannot read")));
+    }
+
+    #[test]
+    fn campaign_open_smoke() {
+        let dir = std::env::temp_dir().join(format!(
+            "decent-lb-cli-campaign-open-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "campaign",
+            "--mode",
+            "open",
+            "--workload",
+            "uniform",
+            "--machines-grid",
+            "4,8",
+            "--rho-grid",
+            "0.5,0.9",
+            "--jobs",
+            "80",
+            "--replications",
+            "2",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().expect("open campaign runs");
+        assert!(out.contains("4 points x 2 replications = 8 cells"), "{out}");
+        let csv = std::fs::read_to_string(dir.join("campaign.csv")).unwrap();
+        assert!(csv.lines().next().unwrap().contains("rho"), "{csv}");
+        assert_eq!(csv.lines().count(), 9, "{csv}");
+        let stats = std::fs::read_to_string(dir.join("campaign_stats.csv")).unwrap();
+        assert_eq!(stats.lines().count(), 5, "{stats}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_open_threads_and_shards_leave_artifacts_byte_identical() {
+        // The acceptance bar for the open subsystem: `--threads` only
+        // changes scheduling and `--shards` only changes index layout, so
+        // both grids of artifacts must match the reference byte for byte.
+        let run = |tag: &str, extra: &[&str]| -> (String, String) {
+            let dir = std::env::temp_dir().join(format!("decent-lb-cli-camp-open-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut args = vec![
+                "campaign",
+                "--mode",
+                "open",
+                "--workload",
+                "uniform",
+                "--machines-grid",
+                "4,6",
+                "--rho-grid",
+                "0.6,0.95",
+                "--jobs",
+                "60",
+                "--replications",
+                "2",
+                "--out-dir",
+                dir.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            Cli::parse(args).unwrap().run().unwrap();
+            let csv = std::fs::read_to_string(dir.join("campaign.csv")).unwrap();
+            let stats = std::fs::read_to_string(dir.join("campaign_stats.csv")).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            (csv, stats)
+        };
+        let base = run("base", &[]);
+        for (tag, extra) in [
+            ("t1", &["--threads", "1"][..]),
+            ("t8", &["--threads", "8"][..]),
+            ("s8", &["--shards", "8"][..]),
+            ("t8s8", &["--threads", "8", "--shards", "8"][..]),
+        ] {
+            assert_eq!(
+                base,
+                run(tag, extra),
+                "{tag} changed open campaign artifacts"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_open_rejects_bad_grids() {
+        let c = cli(&["campaign", "--mode", "open", "--machines-grid", "1"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("machines-grid")));
+        let c = cli(&["campaign", "--mode", "open", "--rho-grid", "0.5,-2"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("rho-grid")));
+    }
+}

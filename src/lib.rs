@@ -16,6 +16,8 @@
 //! * [`net`] — the event-driven message-passing network layer: latency
 //!   models, loss/partition fault plans, timeout/retry agents (`lb-net`).
 //! * [`markov`] — the one-cluster dynamic-equilibrium chain (`lb-markov`).
+//! * [`open`] — open-system simulation: arrivals, departures, stochastic
+//!   job sizes, and tail metrics (`lb-open`).
 //! * [`workloads`] — workload generators and the paper's adversarial
 //!   instances (`lb-workloads`).
 //! * [`stats`] — histograms, CDFs, summaries, CSV, terminal plots
@@ -53,6 +55,7 @@ pub use lb_distsim as distsim;
 pub use lb_markov as markov;
 pub use lb_model as model;
 pub use lb_net as net;
+pub use lb_open as open;
 pub use lb_stats as stats;
 pub use lb_workloads as workloads;
 

@@ -37,6 +37,12 @@
 //! `context` section records the page size and THP mode so the
 //! cache/TLB regime behind the figures is explicit.
 //!
+//! An `open` section sizes the open-system event loop (lb-open): one
+//! Poisson arrival per machine at m ∈ {10⁵, 10⁶} drained through the
+//! full serve-sim path, reported as sustained arrival throughput
+//! (`arrival_throughput_jobs_per_s`) with the response-time tail
+//! triple alongside.
+//!
 //! A second report, `BENCH_campaign.json` (`--campaign-out PATH`), times
 //! the shared campaign engine on two representative sweeps — the Figure-2
 //! Markov stationary-distribution grid and a Figure-3-style gossip
@@ -62,6 +68,7 @@ use lb_distsim::{run_gossip, GossipConfig, PairSchedule};
 use lb_markov::sweep::{paper_grid, stationary_sweep, SweepSettings};
 use lb_model::prelude::*;
 use lb_net::{run_net, FaultPlan, NetConfig};
+use lb_open::{run_open, ArrivalProcess, OpenConfig, Pairing};
 use lb_stats::{run_campaign, CampaignSpec};
 use lb_workloads::initial::random_assignment;
 use lb_workloads::two_cluster::paper_two_cluster;
@@ -379,6 +386,65 @@ fn measure_net(drop_permille: u16, cfg: &Config) -> serde_json::Value {
     })
 }
 
+/// The open-system BENCH tier: drains one Poisson arrival per machine
+/// (so the m = 10⁵ row is the acceptance figure — 10⁵ arrivals at
+/// m = 10⁵ with tails reported) through the full serve-sim event loop
+/// and reports sustained arrival throughput in jobs per wall-clock
+/// second. The offered load targets ρ = 0.8; at these machine counts
+/// the derived gap `S̄ / (ρ·m)` is below one integer time unit, so the
+/// stream collapses toward a burst — the loop's maximal-queue-pressure
+/// worst case, the honest shape for a throughput figure.
+fn measure_open(m: usize, cfg: &Config) -> serde_json::Value {
+    let jobs = if cfg.quick { m / 2 } else { m };
+    let inst = paper_uniform(m, jobs, 42);
+    let mean_service = inst
+        .jobs()
+        .map(|j| inst.cost(MachineId::from_idx(j.idx() % m), j) as f64)
+        .sum::<f64>()
+        / jobs as f64;
+    let rho = 0.8;
+    let process = ArrivalProcess::Poisson {
+        mean_gap: mean_service / (rho * m as f64),
+    };
+    let open_cfg = OpenConfig {
+        error_percent: 20,
+        pairing: Pairing::Greedy,
+        seed: 42,
+        ..OpenConfig::default()
+    };
+    let t = Instant::now();
+    let run = run_open(&inst, &process, &open_cfg);
+    let wall_ns = t.elapsed().as_nanos() as f64;
+    assert_eq!(
+        run.metrics.completed, jobs as u64,
+        "open bench stream must drain"
+    );
+    let arrivals_per_sec = run.metrics.completed as f64 / (wall_ns / 1e9);
+    let (rp50, rp99, rp999) = run.metrics.response_tail().unwrap_or((0, 0, 0));
+    eprintln!(
+        "open m={m}: {} arrivals drained in {:.0} ms ({:.0} jobs/s), \
+         response p50/p99/p999 = {rp50}/{rp99}/{rp999}, horizon {}",
+        run.metrics.completed,
+        wall_ns / 1e6,
+        arrivals_per_sec,
+        run.metrics.horizon
+    );
+    json!({
+        "machines": m,
+        "arrivals": run.metrics.completed,
+        "rho_offered": rho,
+        "error_percent": open_cfg.error_percent,
+        "wall_ns": wall_ns,
+        "arrival_throughput_jobs_per_s": arrivals_per_sec,
+        "resp_p50": rp50,
+        "resp_p99": rp99,
+        "resp_p999": rp999,
+        "horizon": run.metrics.horizon,
+        "migrations": run.metrics.migrations,
+        "epochs": run.metrics.epochs,
+    })
+}
+
 /// The Figure-2 stationary-distribution grid through the campaign
 /// engine: serial vs all-cores wall clock, with a cross-check that the
 /// two runs produced identical results (the engine's core guarantee).
@@ -552,6 +618,10 @@ fn main() {
         .iter()
         .map(|&drop| measure_net(drop, &cfg))
         .collect();
+    let open: Vec<serde_json::Value> = [100_000usize, 1_000_000]
+        .iter()
+        .map(|&m| measure_open(m, &cfg))
+        .collect();
     // Honest cache/TLB context: the per-move and per-round figures above
     // depend on the host's paging regime, so record it next to them
     // instead of letting readers assume a configuration.
@@ -580,6 +650,7 @@ fn main() {
         },
         "sizes": sizes,
         "net": net,
+        "open": open,
     });
     // `Display` (with `{:#}` for pretty) works under both the real
     // serde_json and the offline stub, unlike `to_string_pretty`.
