@@ -91,6 +91,68 @@ fn scatter_to(core: &mut SimCore, machine: MachineId, targets: &[MachineId]) -> 
     Ok(moved)
 }
 
+/// Custody leases over failed machines: which machines hold parked
+/// (at-risk) work and when each machine's lease expires.
+///
+/// The table is clock-agnostic — deadlines are plain `u64` ticks, rounds
+/// for the closed-system [`CustodyProtocol`] and virtual-time instants
+/// for the open-system event loop (`lb-open`). Entries keep insertion
+/// order, so reclamation sweeps are deterministic without sorting.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    entries: Vec<(MachineId, u64)>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks `machine` under a lease expiring at `deadline`, replacing
+    /// any existing entry for it.
+    pub fn park(&mut self, machine: MachineId, deadline: u64) {
+        self.entries.retain(|&(m, _)| m != machine);
+        self.entries.push((machine, deadline));
+    }
+
+    /// Removes `machine`'s entry, returning its deadline when parked.
+    pub fn unpark(&mut self, machine: MachineId) -> Option<u64> {
+        let pos = self.entries.iter().position(|&(m, _)| m == machine)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Whether `machine` currently holds a lease.
+    pub fn is_parked(&self, machine: MachineId) -> bool {
+        self.entries.iter().any(|&(m, _)| m == machine)
+    }
+
+    /// The earliest deadline in the table, if any machine is parked.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.entries.iter().map(|&(_, d)| d).min()
+    }
+
+    /// Entries in insertion order.
+    pub fn entries(&self) -> &[(MachineId, u64)] {
+        &self.entries
+    }
+
+    /// Removes and returns the entry at `i` (insertion order).
+    pub fn remove_at(&mut self, i: usize) -> (MachineId, u64) {
+        self.entries.remove(i)
+    }
+
+    /// Number of parked machines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no machine is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Wraps any [`Protocol`] with lease-based custody over churn events.
 ///
 /// Failures park jobs instead of scattering them; reclamations fire at
@@ -102,7 +164,7 @@ pub struct CustodyProtocol<P> {
     inner: P,
     semantics: FaultSemantics,
     /// Parked machines and the round their custody lease expires.
-    parked: Vec<(MachineId, u64)>,
+    parked: LeaseTable,
     /// Re-sync events to announce at the next step (the topology hook
     /// has no probe handle).
     pending_sync: Vec<(MachineId, u64)>,
@@ -120,7 +182,7 @@ impl<P> CustodyProtocol<P> {
         Self {
             inner,
             semantics,
-            parked: Vec::new(),
+            parked: LeaseTable::new(),
             pending_sync: Vec::new(),
             jobs_at_risk: 0,
             jobs_reclaimed: 0,
@@ -140,7 +202,7 @@ impl<P> CustodyProtocol<P> {
     fn reclaim_due(&mut self, core: &mut SimCore, probes: &mut ProbeHub, due_by: u64) {
         let mut i = 0;
         while i < self.parked.len() {
-            let (machine, due) = self.parked[i];
+            let (machine, due) = self.parked.entries()[i];
             if due > due_by || core.topology.is_online(machine) {
                 i += 1;
                 continue;
@@ -148,7 +210,7 @@ impl<P> CustodyProtocol<P> {
             let targets = core.topology.online_machines();
             match scatter_to(core, machine, &targets) {
                 Ok(jobs) => {
-                    self.parked.remove(i);
+                    self.parked.remove_at(i);
                     self.jobs_reclaimed += jobs;
                     probes.emit(core, &SimEvent::Reclaimed { machine, jobs });
                 }
@@ -162,14 +224,14 @@ impl<P> CustodyProtocol<P> {
     /// horizon; late application mirrors the driver's late-event rule).
     /// Errors when jobs remain parked with no online survivor.
     pub fn flush(&mut self, core: &mut SimCore, probes: &mut ProbeHub) -> Result<()> {
-        while let Some(&(machine, _)) = self.parked.first() {
+        while let Some(&(machine, _)) = self.parked.entries().first() {
             if core.topology.is_online(machine) {
-                self.parked.remove(0);
+                self.parked.remove_at(0);
                 continue;
             }
             let targets = core.topology.online_machines();
             let jobs = scatter_to(core, machine, &targets)?;
-            self.parked.remove(0);
+            self.parked.remove_at(0);
             self.jobs_reclaimed += jobs;
             probes.emit(core, &SimEvent::Reclaimed { machine, jobs });
         }
@@ -197,20 +259,18 @@ impl<P: Protocol> Protocol for CustodyProtocol<P> {
         match ev {
             TopologyEvent::Fail(machine) => {
                 self.jobs_at_risk += core.asg.num_jobs_on(machine) as u64;
-                self.parked.retain(|&(m, _)| m != machine);
                 self.parked
-                    .push((machine, core.round + self.semantics.lease_rounds()));
+                    .park(machine, core.round + self.semantics.lease_rounds());
                 Ok(0)
             }
             TopologyEvent::Rejoin(machine) => {
-                let Some(pos) = self.parked.iter().position(|&(m, _)| m == machine) else {
+                if self.parked.unpark(machine).is_none() {
                     return Ok(0); // lease already expired; rejoined empty
-                };
+                }
                 match self.semantics {
                     FaultSemantics::CrashRecovery { .. } => {
                         // Re-sync: the machine kept its state; cancel the
                         // pending reclamation.
-                        self.parked.remove(pos);
                         let kept = core.asg.num_jobs_on(machine) as u64;
                         self.jobs_resynced += kept;
                         self.pending_sync.push((machine, kept));
@@ -220,7 +280,6 @@ impl<P: Protocol> Protocol for CustodyProtocol<P> {
                         // A crash-stop rejoin is a fresh empty node: its
                         // lost jobs are reclaimed by the *other* online
                         // machines now.
-                        self.parked.remove(pos);
                         let targets: Vec<MachineId> = core
                             .topology
                             .online_machines()
@@ -321,6 +380,26 @@ mod tests {
 
     fn blip_plan(fail: u64, rejoin: u64) -> ChurnPlan {
         ChurnPlan::one_blip(MachineId(0), fail, rejoin)
+    }
+
+    #[test]
+    fn lease_table_tracks_park_unpark_and_deadlines() {
+        let mut t = LeaseTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.next_deadline(), None);
+        t.park(MachineId(3), 100);
+        t.park(MachineId(1), 40);
+        assert!(t.is_parked(MachineId(3)) && t.is_parked(MachineId(1)));
+        assert_eq!(t.next_deadline(), Some(40));
+        // Re-parking replaces the deadline and keeps one entry.
+        t.park(MachineId(1), 200);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.next_deadline(), Some(100));
+        assert_eq!(t.unpark(MachineId(3)), Some(100));
+        assert_eq!(t.unpark(MachineId(3)), None);
+        assert_eq!(t.entries(), &[(MachineId(1), 200)]);
+        assert_eq!(t.remove_at(0), (MachineId(1), 200));
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub mod worksteal;
 pub use churn::{run_with_churn, ChurnEvent, ChurnPlan, ChurnRun};
 
 pub use concurrent::{run_concurrent, ConcurrentConfig, ConcurrentResult};
-pub use custody::{run_with_churn_semantics, CustodyChurnRun, CustodyProtocol, FaultSemantics};
+pub use custody::{
+    run_with_churn_semantics, CustodyChurnRun, CustodyProtocol, FaultSemantics, LeaseTable,
+};
 pub use dynamic::{simulate_dynamic, Arrival, DynamicConfig, DynamicProtocol, DynamicResult};
 pub use engine::{run_gossip, GossipConfig, GossipRun, PairSchedule, RunOutcome};
 pub use gossip::GossipProtocol;

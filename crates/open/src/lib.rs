@@ -29,4 +29,7 @@ pub mod sim;
 
 pub use arrivals::{parse_trace, trace_instance, ArrivalProcess, TraceRow};
 pub use metrics::OpenMetrics;
-pub use sim::{run_open, run_open_with_arrivals, OpenConfig, OpenProtocol, OpenRun, Pairing};
+pub use sim::{
+    run_open, run_open_with_arrivals, run_open_with_arrivals_and_plan, run_open_with_plan,
+    ChurnSemantics, OpenConfig, OpenProtocol, OpenRun, Pairing, ARRIVAL_STREAM,
+};

@@ -50,6 +50,22 @@ pub struct OpenMetrics {
     pub true_work: u128,
     /// Machine count (constant across merged runs of one grid point).
     pub machines: u64,
+    /// Jobs preempted mid-service by a machine failure and restarted
+    /// from zero (a job killed twice counts twice).
+    pub restarts: u64,
+    /// True service time thrown away by preemptions: the elapsed part of
+    /// each killed job's service, summed over all restarts.
+    pub wasted_work: u128,
+    /// Jobs re-homed to survivors by custody-lease expiry or a
+    /// crash-stop rejoin (open-system analogue of the closed-system
+    /// custody counter).
+    pub jobs_reclaimed: u64,
+    /// Jobs kept by a crash-recovery machine that rejoined before its
+    /// lease expired.
+    pub jobs_resynced: u64,
+    /// Jobs that arrived but never completed because no online machine
+    /// could make progress when the run ended (all holders offline).
+    pub stranded: u64,
 }
 
 impl OpenMetrics {
@@ -67,7 +83,20 @@ impl OpenMetrics {
             horizon: 0,
             true_work: 0,
             machines: machines as u64,
+            restarts: 0,
+            wasted_work: 0,
+            jobs_reclaimed: 0,
+            jobs_resynced: 0,
+            stranded: 0,
         }
+    }
+
+    /// Records a running job killed by a machine failure after `elapsed`
+    /// units of true service (all of it lost — the job restarts from
+    /// zero wherever it lands next).
+    pub fn record_preemption(&mut self, elapsed: Time) {
+        self.restarts += 1;
+        self.wasted_work += u128::from(elapsed);
     }
 
     /// Records one completed job.
@@ -132,6 +161,11 @@ impl OpenMetrics {
         self.epochs += other.epochs;
         self.horizon = self.horizon.max(other.horizon);
         self.true_work += other.true_work;
+        self.restarts += other.restarts;
+        self.wasted_work += other.wasted_work;
+        self.jobs_reclaimed += other.jobs_reclaimed;
+        self.jobs_resynced += other.jobs_resynced;
+        self.stranded += other.stranded;
     }
 
     /// `(p50, p99, p999)` of response time (`None` when nothing
@@ -178,6 +212,27 @@ mod tests {
         assert!((m.utilization().unwrap() - 1.0).abs() < 1e-12);
         assert!((m.jobs_per_kilotime().unwrap() - 200.0).abs() < 1e-9);
         assert_eq!(OpenMetrics::new(2).utilization(), None);
+    }
+
+    #[test]
+    fn preemption_and_custody_counters_merge() {
+        let mut a = sample(2, &[(0, 5)]);
+        a.record_preemption(3);
+        a.jobs_reclaimed += 2;
+        a.stranded += 1;
+        let mut b = sample(2, &[(1, 4)]);
+        b.record_preemption(7);
+        b.jobs_resynced += 4;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.restarts, 2);
+        assert_eq!(ab.wasted_work, 10);
+        assert_eq!(ab.jobs_reclaimed, 2);
+        assert_eq!(ab.jobs_resynced, 4);
+        assert_eq!(ab.stranded, 1);
     }
 
     #[test]

@@ -26,6 +26,21 @@
 //! — what lets one loop sustain 1e5 arrivals at m = 1e5 (the BENCH-tier
 //! floor, see `crates/bench`).
 //!
+//! # Churn
+//!
+//! Topology plans compose with the loop through
+//! [`run_open_with_plan`]; what a failure does to the failed machine's
+//! jobs is the [`ChurnSemantics`] knob. Under the crash semantics the
+//! *running* job is preempted at the failure instant — its elapsed true
+//! service is lost (`OpenMetrics::wasted_work`, `restarts`) and its
+//! scheduled completion becomes a stale heap entry skipped on pop — and
+//! parks with the queue under a custody [`LeaseTable`] lease, reclaimed
+//! by survivors or re-synced on rejoin exactly as the closed-system
+//! custody layer does ([`lb_distsim::custody`]). [`ChurnSemantics::
+//! Graceful`] preserves the pre-custody behavior (the running job
+//! finishes on the dead machine) as the anti-oracle the chaos harness
+//! uses to prove the self-audit catches the bug.
+//!
 //! # Stochastic sizes
 //!
 //! The protocol schedules everything it *decides* — queue order, backlog
@@ -51,10 +66,12 @@
 
 use crate::arrivals::ArrivalProcess;
 use crate::metrics::OpenMetrics;
+use lb_distsim::custody::LeaseTable;
+use lb_distsim::invariant::InvariantProbe;
 use lb_distsim::probe::{ProbeHub, StopReason};
-use lb_distsim::protocol::{drive, Protocol, StepOutcome};
+use lb_distsim::protocol::{drive_with_plan, Protocol, StepOutcome};
 use lb_distsim::simcore::{stream_rng, SimCore};
-use lb_distsim::topology::TopologyEvent;
+use lb_distsim::topology::{TopologyEvent, TopologyPlan};
 use lb_distsim::Arrival;
 use lb_model::perturb::{evaluate_under, perturbed_instance};
 use lb_model::prelude::*;
@@ -74,6 +91,42 @@ pub enum Pairing {
     Greedy,
 }
 
+/// RNG stream (of `stream_rng`) dedicated to arrival generation in
+/// [`run_open`]. The protocol itself consumes stream 0 (via
+/// [`SimCore::new`]), so a generated run and a replay of its own
+/// arrivals through [`run_open_with_arrivals`] are byte-identical. The
+/// constant is far from 0 so that derived replication seeds
+/// (`seed + r`, stream 0) can never alias another replication's arrival
+/// stream (`seed + r' + ARRIVAL_STREAM`).
+pub const ARRIVAL_STREAM: u64 = 0x6F70_656E; // "open"
+
+/// What a machine failure does to the jobs it was holding.
+///
+/// The closed-system analogue is [`lb_distsim::FaultSemantics`]; the
+/// open-system deltas (a *running* job to preempt, virtual-time leases)
+/// are described in `docs/OPEN_SYSTEMS.md` and `docs/FAULTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnSemantics {
+    /// The pre-custody behavior, kept as the anti-oracle: queued jobs
+    /// scatter to survivors at the failure instant, but the running job
+    /// **completes gracefully on the dead machine** — physically
+    /// impossible, and exactly what `--check-invariants` flags.
+    Graceful,
+    /// Crash-stop: the running job is killed (elapsed service lost) and
+    /// parks with the queue; survivors reclaim the jobs at the next
+    /// instant and restart them from zero. A rejoin is a fresh, empty
+    /// node — anything still parked on it is re-homed to the *others*.
+    CrashStop,
+    /// Crash-recovery: the running job is killed, but the machine's jobs
+    /// park under a custody lease of `lease` virtual-time units. A
+    /// rejoin before expiry re-syncs them in place (queue order kept,
+    /// the killed job restarts locally); at expiry survivors reclaim.
+    CrashRecovery {
+        /// Virtual-time units parked jobs wait before reclamation.
+        lease: Time,
+    },
+}
+
 /// Configuration of an open-system run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpenConfig {
@@ -87,11 +140,18 @@ pub struct OpenConfig {
     /// Prediction error (±percent) of the sizes the balancer sees; 0 =
     /// perfect predictions (predicted instance == truth).
     pub error_percent: u32,
-    /// Base seed; the run consumes stream 0 (`stream_rng(seed, 0)`).
+    /// Base seed; the protocol consumes stream 0 (`stream_rng(seed, 0)`)
+    /// and arrival generation [`ARRIVAL_STREAM`].
     pub seed: u64,
     /// Shard count for the ledger assignment and the backlog index — a
     /// pure layout knob, never visible in any result.
     pub shards: usize,
+    /// What a machine failure does to the failed machine's jobs.
+    pub semantics: ChurnSemantics,
+    /// Run the protocol self-audit (conservation, single custody, no
+    /// service on offline machines) at every instant and topology event,
+    /// reporting violations in [`OpenRun::violations`].
+    pub check_invariants: bool,
 }
 
 impl Default for OpenConfig {
@@ -103,6 +163,8 @@ impl Default for OpenConfig {
             error_percent: 0,
             seed: 0,
             shards: 1,
+            semantics: ChurnSemantics::CrashStop,
+            check_invariants: false,
         }
     }
 }
@@ -117,6 +179,10 @@ pub struct OpenRun {
     pub predicted_makespan: Time,
     /// Ledger makespan under the *true* instance: what actually ran.
     pub realized_makespan: Time,
+    /// Invariant violations found when `check_invariants` was on (the
+    /// protocol self-audit plus the ledger-level
+    /// [`InvariantProbe`]); empty otherwise.
+    pub violations: Vec<String>,
 }
 
 /// Arrivals + service + periodic predicted-backlog exchange as a
@@ -134,7 +200,10 @@ pub struct OpenProtocol<'a> {
     /// back; service pops from the front; exchanges steal from the back
     /// (the jobs that would wait longest).
     queues: Vec<VecDeque<JobId>>,
-    /// `(job, completion instant)` per busy machine.
+    /// `(job, completion instant)` per busy machine. Preemption clears
+    /// the slot but leaves the scheduled completion in the heap as a
+    /// *stale* entry; pops only complete a job when the live runner's
+    /// finish instant matches (lazy invalidation).
     running: Vec<Option<(JobId, Time)>>,
     /// Predicted queued work per machine (running jobs excluded — they
     /// can never move, so they are not negotiable backlog).
@@ -142,8 +211,10 @@ pub struct OpenProtocol<'a> {
     /// Standalone index over `backlog`: O(S) argmax/argmin for greedy
     /// pairing, identical answers for every shard count.
     index: ShardedLoadIndex,
-    /// Min-heap of `(completion instant, machine)`; at most one entry
-    /// per machine, so pops at equal instants are machine-ordered.
+    /// Min-heap of `(completion instant, machine)`; pops at equal
+    /// instants are machine-ordered. Preempted runners leave stale
+    /// entries behind (see `running`), so a machine can transiently have
+    /// more than one entry.
     completions: BinaryHeap<Reverse<(Time, u32)>>,
     /// Machines whose queue or runner changed since the last start
     /// sweep. Sorted + deduped before use, so start order is
@@ -154,8 +225,25 @@ pub struct OpenProtocol<'a> {
     queued_on_online: usize,
     /// Arrival instant per job (set when the arrival fires).
     arrived_at: Vec<Option<Time>>,
+    /// Completion flag per job (for the self-audit's conservation
+    /// check).
+    done: Vec<bool>,
     /// Reusable per-epoch migration buffer for the ledger commit.
     batch: MigrationBatch,
+    /// Our own view of each machine's online flag. The driver flips
+    /// `core.topology` *before* invoking `on_topology_event`, so this
+    /// mirror is the only way to recognize (and ignore) a duplicate
+    /// `Fail`/`Rejoin` instead of corrupting `queued_on_online`.
+    online: Vec<bool>,
+    /// Custody leases of failed machines (virtual-time deadlines).
+    leases: LeaseTable,
+    /// At-risk jobs parked per machine under a custody lease: the
+    /// preempted runner first, then the queue in order. Excluded from
+    /// `backlog` (parked work is not negotiable) and from `queues`
+    /// (post-failure arrivals keep queueing there).
+    parked: Vec<Vec<JobId>>,
+    /// Self-audit reports (only populated under `check_invariants`).
+    violations: Vec<String>,
     metrics: OpenMetrics,
     next_arrival: usize,
     now: Time,
@@ -183,7 +271,12 @@ impl<'a> OpenProtocol<'a> {
             wake: Vec::new(),
             queued_on_online: 0,
             arrived_at: Vec::new(),
+            done: Vec::new(),
             batch: MigrationBatch::new(),
+            online: Vec::new(),
+            leases: LeaseTable::new(),
+            parked: Vec::new(),
+            violations: Vec::new(),
             metrics: OpenMetrics::new(truth.num_machines()),
             next_arrival: 0,
             now: 0,
@@ -196,13 +289,18 @@ impl<'a> OpenProtocol<'a> {
         }
     }
 
-    /// The run's result; call after the drive stops.
+    /// The run's result; call after the drive stops. Jobs that arrived
+    /// but never completed — their holders all offline when the run
+    /// ended — are reported as stranded rather than spun on forever
+    /// (the loop terminates the moment no online machine can progress).
     pub fn into_run(mut self, core: &SimCore) -> OpenRun {
         self.metrics.horizon = self.now;
+        self.metrics.stranded = self.metrics.arrived - self.metrics.completed;
         OpenRun {
             metrics: self.metrics,
             predicted_makespan: core.asg.makespan(),
             realized_makespan: evaluate_under(self.truth, core.asg),
+            violations: self.violations,
         }
     }
 
@@ -296,6 +394,223 @@ impl<'a> OpenProtocol<'a> {
     fn remaining_completions(&self) -> usize {
         self.total_jobs - self.metrics.completed as usize
     }
+
+    /// Queues each of `jobs` on a uniformly random member of `targets`
+    /// (drawing from `core.rng`, one draw per job — the workspace-wide
+    /// scatter idiom) and commits the ledger moves in one batch.
+    fn scatter_jobs(&mut self, core: &mut SimCore, jobs: &[JobId], targets: &[MachineId]) -> u64 {
+        debug_assert!(!targets.is_empty(), "scatter needs a target");
+        for &job in jobs {
+            let target = targets[core.rng.gen_range(0..targets.len())];
+            let ti = target.idx();
+            self.queues[ti].push_back(job);
+            let c = u128::from(core.inst.cost(target, job));
+            self.shift_backlog(ti, |b| b + c);
+            self.queued_on_online += 1;
+            self.wake.push(ti as u32);
+            self.batch.push(job, target);
+        }
+        if !self.batch.is_empty() {
+            core.asg.apply_migrations(core.inst, &self.batch);
+            self.batch.clear();
+        }
+        jobs.len() as u64
+    }
+
+    /// Reclaims every parked machine whose custody lease has expired, in
+    /// park order. Blocked reclamations (no online survivor) stay parked
+    /// and retry at the next instant or topology change; if none ever
+    /// comes, the run terminates with the jobs reported as stranded.
+    fn reclaim_due(&mut self, core: &mut SimCore) {
+        let mut i = 0;
+        while i < self.leases.len() {
+            let (machine, due) = self.leases.entries()[i];
+            if due > self.now {
+                i += 1;
+                continue;
+            }
+            let survivors = core.topology.online_machines();
+            if survivors.is_empty() {
+                return; // nobody to reclaim to; retry later
+            }
+            self.leases.remove_at(i);
+            let jobs = std::mem::take(&mut self.parked[machine.idx()]);
+            self.metrics.jobs_reclaimed += jobs.len() as u64;
+            self.scatter_jobs(core, &jobs, &survivors);
+        }
+    }
+
+    /// Whether any machine is online, per the protocol's own mirror.
+    fn any_online(&self) -> bool {
+        self.online.iter().any(|&b| b)
+    }
+
+    /// A machine failed while holding jobs, under one of the crash
+    /// semantics: kill the running job (elapsed service lost), park it
+    /// with the queued jobs under a custody lease. `lease` is `None` for
+    /// crash-stop (due immediately — survivors reclaim at the next
+    /// instant) and the lease length for crash-recovery.
+    fn fail_crash(&mut self, mi: usize, lease: Option<Time>) {
+        let machine = MachineId::from_idx(mi);
+        debug_assert!(self.parked[mi].is_empty(), "failed machine re-parked");
+        let mut at_risk: Vec<JobId> = Vec::new();
+        if let Some((job, finish)) = self.running[mi].take() {
+            // The completion entry stays in the heap; `step` skips it as
+            // stale because the runner slot no longer matches.
+            let tc = self.truth.cost(machine, job).max(1);
+            let elapsed = tc.saturating_sub(finish - self.now);
+            self.metrics.record_preemption(elapsed);
+            at_risk.push(job);
+        }
+        at_risk.extend(self.queues[mi].drain(..));
+        self.shift_backlog(mi, |_| 0);
+        if at_risk.is_empty() {
+            return;
+        }
+        self.parked[mi] = at_risk;
+        let deadline = match lease {
+            Some(l) => self.now.saturating_add(l),
+            None => self.now,
+        };
+        self.leases.park(machine, deadline);
+    }
+
+    /// The pre-custody failure handling, kept as the anti-oracle: queued
+    /// jobs scatter to survivors, the running job keeps running on the
+    /// dead machine. Errors when queued jobs exist but no survivor does.
+    fn fail_graceful(&mut self, core: &mut SimCore, mi: usize) -> Result<u64> {
+        if self.queues[mi].is_empty() {
+            return Ok(0);
+        }
+        let survivors = core.topology.online_machines();
+        if survivors.is_empty() {
+            return Err(LbError::NoOnlineMachines);
+        }
+        let jobs: Vec<JobId> = std::mem::take(&mut self.queues[mi]).into();
+        self.shift_backlog(mi, |_| 0);
+        Ok(self.scatter_jobs(core, &jobs, &survivors))
+    }
+
+    /// Custody side of a rejoin: a machine coming back while its lease
+    /// is still held either re-syncs its parked jobs (crash-recovery) or
+    /// returns empty, its jobs re-homed to the others (crash-stop).
+    fn rejoin_custody(&mut self, core: &mut SimCore, mi: usize) -> u64 {
+        let machine = MachineId::from_idx(mi);
+        if self.leases.unpark(machine).is_none() {
+            return 0; // nothing parked (or already reclaimed)
+        }
+        let jobs = std::mem::take(&mut self.parked[mi]);
+        match self.semantics() {
+            ChurnSemantics::Graceful => unreachable!("graceful never parks"),
+            ChurnSemantics::CrashRecovery { .. } => {
+                // Re-sync: the machine kept its state. Its at-risk jobs
+                // go back to the head of the queue in their original
+                // order (the killed runner first); it restarts locally.
+                self.metrics.jobs_resynced += jobs.len() as u64;
+                for &job in jobs.iter().rev() {
+                    let c = u128::from(core.inst.cost(machine, job));
+                    self.queues[mi].push_front(job);
+                    self.shift_backlog(mi, |b| b + c);
+                    self.queued_on_online += 1;
+                }
+                if !jobs.is_empty() {
+                    self.wake.push(mi as u32);
+                }
+                0
+            }
+            ChurnSemantics::CrashStop => {
+                // A crash-stop rejoin is a fresh empty node: its lost
+                // jobs are re-homed by the *other* online machines — or
+                // by itself when it is the sole survivor (conservation
+                // over purity; the alternative is losing the jobs).
+                let mut targets: Vec<MachineId> = core
+                    .topology
+                    .online_machines()
+                    .into_iter()
+                    .filter(|&m| m != machine)
+                    .collect();
+                if targets.is_empty() {
+                    targets.push(machine);
+                }
+                self.metrics.jobs_reclaimed += jobs.len() as u64;
+                self.scatter_jobs(core, &jobs, &targets)
+            }
+        }
+    }
+
+    fn semantics(&self) -> ChurnSemantics {
+        self.cfg.semantics
+    }
+
+    /// The opt-in self-audit: service only on online machines, every
+    /// arrived-incomplete job held in exactly one place (queue, runner,
+    /// or parked), and the `queued_on_online` count consistent with a
+    /// recount. O(jobs + machines) per call, capped at 64 reports.
+    fn audit(&mut self, core: &SimCore, ctx: &str) {
+        const MAX_REPORTS: usize = 64;
+        if !self.cfg.check_invariants || self.violations.len() >= MAX_REPORTS {
+            return;
+        }
+        let m = self.queues.len();
+        if m == 0 {
+            return; // before on_start
+        }
+        let now = self.now;
+        let report = |violations: &mut Vec<String>, msg: String| {
+            if violations.len() < MAX_REPORTS {
+                violations.push(format!("t={now} [{ctx}]: {msg}"));
+            }
+        };
+        for mi in 0..m {
+            if core.topology.is_online(MachineId::from_idx(mi)) {
+                continue;
+            }
+            if let Some((job, _)) = self.running[mi] {
+                report(
+                    &mut self.violations,
+                    format!("offline machine {mi} is serving job {}", job.idx()),
+                );
+            }
+        }
+        let mut held = vec![0u8; self.arrived_at.len()];
+        for q in &self.queues {
+            for &j in q {
+                held[j.idx()] = held[j.idx()].saturating_add(1);
+            }
+        }
+        for r in &self.running {
+            if let Some((j, _)) = r {
+                held[j.idx()] = held[j.idx()].saturating_add(1);
+            }
+        }
+        for p in &self.parked {
+            for &j in p {
+                held[j.idx()] = held[j.idx()].saturating_add(1);
+            }
+        }
+        for (j, &count) in held.iter().enumerate() {
+            let expected = u8::from(self.arrived_at[j].is_some() && !self.done[j]);
+            if count != expected {
+                report(
+                    &mut self.violations,
+                    format!("job {j} held in {count} places (expected {expected})"),
+                );
+            }
+        }
+        let recount: usize = (0..m)
+            .filter(|&mi| core.topology.is_online(MachineId::from_idx(mi)))
+            .map(|mi| self.queues[mi].len())
+            .sum();
+        if recount != self.queued_on_online {
+            report(
+                &mut self.violations,
+                format!(
+                    "queued_on_online is {} but a recount gives {recount}",
+                    self.queued_on_online
+                ),
+            );
+        }
+    }
 }
 
 impl Protocol for OpenProtocol<'_> {
@@ -309,33 +624,54 @@ impl Protocol for OpenProtocol<'_> {
         self.queues = vec![VecDeque::new(); m];
         self.running = vec![None; m];
         self.backlog = vec![0; m];
+        self.parked = vec![Vec::new(); m];
+        self.online = vec![true; m];
         self.index = ShardedLoadIndex::new(&self.backlog, self.cfg.shards);
         for mi in 0..m {
             if !core.topology.is_online(MachineId::from_idx(mi)) {
                 self.index.set_active(&self.backlog, mi, false);
+                self.online[mi] = false;
             }
         }
         self.arrived_at = vec![None; core.inst.num_jobs()];
+        self.done = vec![false; core.inst.num_jobs()];
     }
 
     fn step(&mut self, core: &mut SimCore, _probes: &mut ProbeHub) -> StepOutcome {
         let now = self.now;
         let pred = core.inst;
 
+        // 0. Custody leases that expired by `now` hand their parked jobs
+        //    to survivors (before completions, so a reclaimed job can
+        //    start at this very instant).
+        if !self.leases.is_empty() {
+            self.reclaim_due(core);
+        }
+
         // 1. Completions at `now`: the heap pops (time, machine) in
         //    ascending order, so equal-instant completions are handled
-        //    in machine order.
+        //    in machine order. Entries whose runner was preempted are
+        //    stale: only a pop matching the live runner's finish instant
+        //    completes a job.
         while let Some(&Reverse((t, mi))) = self.completions.peek() {
             if t > now {
                 break;
             }
             self.completions.pop();
             let mi = mi as usize;
-            let (job, _) = self.running[mi].take().expect("heap entry has a runner");
+            let Some((job, finish)) = self.running[mi] else {
+                continue; // stale: runner was preempted
+            };
+            if finish != t {
+                continue; // stale: a different job is running now
+            }
+            self.running[mi] = None;
             let arrived = self.arrived_at[job.idx()].expect("completed job arrived");
             let machine = MachineId::from_idx(mi);
             let true_cost = self.truth.cost(machine, job);
-            // Service took max(true_cost, 1); response = start − arrival.
+            // Service took max(true_cost, 1); response = start − arrival
+            // (for a restarted job: its *last* start, so response and
+            // flow both include the wasted earlier attempts).
             let response = (now - arrived).saturating_sub(true_cost.max(1));
             self.metrics.record_completion(
                 response,
@@ -343,6 +679,7 @@ impl Protocol for OpenProtocol<'_> {
                 true_cost,
                 pred.cost(machine, job),
             );
+            self.done[job.idx()] = true;
             self.wake.push(mi as u32);
         }
 
@@ -398,6 +735,8 @@ impl Protocol for OpenProtocol<'_> {
         self.wake = wake;
         self.wake.clear();
 
+        self.audit(core, "step");
+
         if self.remaining_completions() == 0 && self.next_arrival == self.arrivals.len() {
             return StepOutcome::Stop(StopReason::Quiescent);
         }
@@ -417,8 +756,19 @@ impl Protocol for OpenProtocol<'_> {
                 next = next.min(self.next_epoch);
             }
         }
+        if let Some(d) = self.leases.next_deadline() {
+            // A held custody lease is an interesting instant — but only
+            // while a survivor exists to reclaim to. An overdue lease
+            // (blocked earlier, survivors online now) fires at the very
+            // next tick rather than re-processing `now`.
+            if self.any_online() {
+                next = next.min(d.max(now.saturating_add(1)));
+            }
+        }
         if next == Time::MAX {
-            // Queued work stranded on offline machines: cannot progress.
+            // Every holder of the remaining work is offline and no lease
+            // can be served: terminate and report the jobs as stranded
+            // (`into_run`) instead of spinning.
             return StepOutcome::Stop(StopReason::Quiescent);
         }
         debug_assert!(next > now, "time must advance");
@@ -426,44 +776,51 @@ impl Protocol for OpenProtocol<'_> {
         StepOutcome::Continue
     }
 
-    /// Queue-based churn: a failing machine's *queued* jobs scatter to
-    /// online survivors (its in-flight job completes — failure is
-    /// graceful, as in the work-stealing and dynamic models); the
-    /// machine is deactivated in the backlog index so greedy pairing
-    /// never selects it.
+    /// Queue-based churn under the configured [`ChurnSemantics`].
+    ///
+    /// A failure deactivates the machine in the backlog index (greedy
+    /// pairing never selects it) and then dispatches: graceful scatters
+    /// the queue and lets the runner finish (the documented anti-oracle
+    /// bug); the crash semantics kill the runner and park it with the
+    /// queue under a custody lease ([`OpenProtocol::fail_crash`]). A
+    /// rejoin re-activates the machine, makes whatever queued on it
+    /// while offline startable again, and settles any held lease
+    /// ([`OpenProtocol::rejoin_custody`]).
+    ///
+    /// The handler is idempotent: the driver flips the topology flag
+    /// *before* invoking it, so a duplicate `Fail`/`Rejoin` (possible in
+    /// hand-built or ddmin-shrunk plans) is recognized via the
+    /// protocol's own `online` mirror and ignored — double-applying
+    /// either event would corrupt `queued_on_online`.
     fn on_topology_event(&mut self, core: &mut SimCore, ev: TopologyEvent) -> Result<u64> {
-        match ev {
+        let applied = match ev {
             TopologyEvent::Fail(machine) => {
                 let mi = machine.idx();
+                if !self.online[mi] {
+                    return Ok(0); // duplicate Fail: already offline
+                }
+                self.online[mi] = false;
                 self.index.set_active(&self.backlog, mi, false);
                 // Its queued jobs were counted while it was online.
                 self.queued_on_online -= self.queues[mi].len();
-                if self.queues[mi].is_empty() {
-                    return Ok(0);
+                match self.semantics() {
+                    ChurnSemantics::Graceful => self.fail_graceful(core, mi)?,
+                    ChurnSemantics::CrashStop => {
+                        self.fail_crash(mi, None);
+                        0
+                    }
+                    ChurnSemantics::CrashRecovery { lease } => {
+                        self.fail_crash(mi, Some(lease));
+                        0
+                    }
                 }
-                let survivors = core.topology.online_machines();
-                if survivors.is_empty() {
-                    return Err(LbError::NoOnlineMachines);
-                }
-                let jobs: Vec<JobId> = std::mem::take(&mut self.queues[mi]).into();
-                self.shift_backlog(mi, |_| 0);
-                let scattered = jobs.len() as u64;
-                for job in jobs {
-                    let target = survivors[core.rng.gen_range(0..survivors.len())];
-                    let ti = target.idx();
-                    self.queues[ti].push_back(job);
-                    let c = u128::from(core.inst.cost(target, job));
-                    self.shift_backlog(ti, |b| b + c);
-                    self.queued_on_online += 1;
-                    self.wake.push(ti as u32);
-                    self.batch.push(job, target);
-                }
-                core.asg.apply_migrations(core.inst, &self.batch);
-                self.batch.clear();
-                Ok(scattered)
             }
             TopologyEvent::Rejoin(machine) => {
                 let mi = machine.idx();
+                if self.online[mi] {
+                    return Ok(0); // duplicate Rejoin: already online
+                }
+                self.online[mi] = true;
                 self.index.set_active(&self.backlog, mi, true);
                 // Jobs that arrived while it was offline become
                 // startable (and balanceable) again.
@@ -471,9 +828,11 @@ impl Protocol for OpenProtocol<'_> {
                 if !self.queues[mi].is_empty() {
                     self.wake.push(mi as u32);
                 }
-                Ok(0)
+                self.rejoin_custody(core, mi)
             }
-        }
+        };
+        self.audit(core, "topology");
+        Ok(applied)
     }
 }
 
@@ -487,17 +846,49 @@ impl Protocol for OpenProtocol<'_> {
 /// `(truth, process, cfg.seed, cfg)`; `cfg.shards` never changes a byte
 /// of it (pinned by `tests/determinism.rs`).
 pub fn run_open(truth: &Instance, process: &ArrivalProcess, cfg: &OpenConfig) -> OpenRun {
-    let mut rng = stream_rng(cfg.seed, 0);
+    run_open_with_plan(truth, process, cfg, &TopologyPlan::empty())
+        .expect("a run without topology events cannot fail")
+}
+
+/// [`run_open`] under a topology (churn) plan: arrivals are generated
+/// from `process` on the dedicated [`ARRIVAL_STREAM`], then the run
+/// proceeds as [`run_open_with_arrivals_and_plan`]. Errors only when an
+/// event cannot be absorbed (graceful semantics failing the last online
+/// machine while it holds queued jobs).
+pub fn run_open_with_plan(
+    truth: &Instance,
+    process: &ArrivalProcess,
+    cfg: &OpenConfig,
+    plan: &TopologyPlan,
+) -> Result<OpenRun> {
+    let mut rng = stream_rng(cfg.seed, ARRIVAL_STREAM);
     let arrivals = process.generate(truth, &mut rng);
-    run_open_with_arrivals(truth, &arrivals, cfg)
+    run_open_with_arrivals_and_plan(truth, &arrivals, cfg, plan)
 }
 
 /// [`run_open`] with a pre-generated arrival stream (sorted by time) —
 /// the entry point trace replay and the benches use. The protocol's RNG
-/// is stream 0 of `cfg.seed` restarted from the top (arrival generation
-/// in [`run_open`] uses its own pass over the same stream), so results
-/// from the two entry points are each internally deterministic.
+/// is stream 0 of `cfg.seed`; arrival generation in [`run_open`] draws
+/// from the dedicated [`ARRIVAL_STREAM`], so replaying a generated run's
+/// own arrivals through this entry point reproduces it byte-for-byte.
 pub fn run_open_with_arrivals(truth: &Instance, arrivals: &[Arrival], cfg: &OpenConfig) -> OpenRun {
+    run_open_with_arrivals_and_plan(truth, arrivals, cfg, &TopologyPlan::empty())
+        .expect("a run without topology events cannot fail")
+}
+
+/// [`run_open_with_arrivals`] under a topology (churn) plan. Event
+/// rounds index protocol *steps* (interesting instants), the same
+/// round-keyed convention every closed-system plan uses; events at or
+/// past the stopping step are applied after the loop. When
+/// `cfg.check_invariants` is set, the ledger-level
+/// [`InvariantProbe`] audit runs alongside the protocol self-audit and
+/// both report into [`OpenRun::violations`].
+pub fn run_open_with_arrivals_and_plan(
+    truth: &Instance,
+    arrivals: &[Arrival],
+    cfg: &OpenConfig,
+    plan: &TopologyPlan,
+) -> Result<OpenRun> {
     let pred = perturbed_instance(truth, cfg.error_percent, cfg.seed);
     // The ledger starts with every job on its submission machine; a job
     // missing from the stream (possible only with hand-built streams)
@@ -511,9 +902,17 @@ pub fn run_open_with_arrivals(truth: &Instance, arrivals: &[Arrival], cfg: &Open
     ledger.set_shards(cfg.shards);
     let mut core = SimCore::new(&pred, &mut ledger, cfg.seed);
     let mut protocol = OpenProtocol::new(truth, arrivals, cfg);
-    let mut hub = ProbeHub::new();
-    drive(&mut core, &mut protocol, &mut hub, u64::MAX);
-    protocol.into_run(&core)
+    let mut invariants = InvariantProbe::new();
+    {
+        let mut hub = ProbeHub::new();
+        if cfg.check_invariants {
+            hub.push(&mut invariants);
+        }
+        drive_with_plan(&mut core, &mut protocol, &mut hub, u64::MAX, plan)?;
+    }
+    let mut run = protocol.into_run(&core);
+    run.violations.extend(invariants.reports());
+    Ok(run)
 }
 
 #[cfg(test)]

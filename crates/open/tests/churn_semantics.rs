@@ -1,0 +1,236 @@
+//! Crash-semantics edge cases for the open-system event loop: the
+//! preemption corners named in the PR (failure at a completion instant,
+//! failure with an empty queue, rejoin before lease expiry, all machines
+//! down), idempotency of duplicate topology events, and a property test
+//! that random churn plans conserve jobs under both crash semantics.
+
+use lb_distsim::topology::{TopologyEvent, TopologyPlan};
+use lb_model::prelude::*;
+use lb_open::{
+    run_open_with_plan, trace_instance, ArrivalProcess, ChurnSemantics, OpenConfig, TraceRow,
+};
+use proptest::prelude::*;
+
+fn row(time: Time, size: Time, machine: u32) -> TraceRow {
+    TraceRow {
+        time,
+        size,
+        machine: Some(machine),
+    }
+}
+
+/// A no-balancing config so instants and steps are easy to enumerate.
+fn cfg(semantics: ChurnSemantics) -> OpenConfig {
+    OpenConfig {
+        exchange_every: 0,
+        semantics,
+        check_invariants: true,
+        ..OpenConfig::default()
+    }
+}
+
+fn run(
+    rows: Vec<TraceRow>,
+    machines: usize,
+    events: Vec<(u64, TopologyEvent)>,
+    semantics: ChurnSemantics,
+) -> lb_open::OpenRun {
+    let inst = trace_instance(&rows, machines, None).unwrap();
+    let process = ArrivalProcess::Trace { rows };
+    run_open_with_plan(&inst, &process, &cfg(semantics), &TopologyPlan { events }).unwrap()
+}
+
+#[test]
+fn failure_exactly_at_a_completion_instant_kills_the_job() {
+    // One size-10 job starts on machine 0 at t=0 (step 0); the failure
+    // applies just before the step that would complete it at t=10, so
+    // the whole service is wasted, the stale heap entry is skipped, and
+    // the job restarts from zero on machine 1.
+    let r = run(
+        vec![row(0, 10, 0)],
+        2,
+        vec![(1, TopologyEvent::Fail(MachineId(0)))],
+        ChurnSemantics::CrashStop,
+    );
+    assert_eq!(r.metrics.arrived, 1);
+    assert_eq!(r.metrics.completed, 1);
+    assert_eq!(r.metrics.restarts, 1);
+    assert_eq!(r.metrics.wasted_work, 10, "full service thrown away");
+    assert_eq!(r.metrics.jobs_reclaimed, 1);
+    assert_eq!(r.metrics.stranded, 0);
+    // Killed at 10, restarted at 10 on machine 1, done at 20.
+    assert_eq!(r.metrics.flow.max(), Some(20));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn failure_with_empty_queue_still_preempts_the_runner() {
+    // Machine 0 serves its only job (queue empty) when it dies at the
+    // instant t=6 (machine 1's completion is the step in between);
+    // elapsed service 6 of 10 is lost.
+    for semantics in [
+        ChurnSemantics::CrashStop,
+        ChurnSemantics::CrashRecovery { lease: 3 },
+    ] {
+        let r = run(
+            vec![row(0, 10, 0), row(4, 2, 1)],
+            2,
+            vec![(2, TopologyEvent::Fail(MachineId(0)))],
+            semantics,
+        );
+        assert_eq!(r.metrics.completed, 2, "{semantics:?}");
+        assert_eq!(r.metrics.restarts, 1, "{semantics:?}");
+        assert_eq!(r.metrics.wasted_work, 6, "{semantics:?}");
+        // No rejoin ever comes, so both semantics end up reclaiming
+        // (crash-stop immediately, crash-recovery at lease expiry).
+        assert_eq!(r.metrics.jobs_reclaimed, 1, "{semantics:?}");
+        assert_eq!(r.metrics.stranded, 0, "{semantics:?}");
+        assert!(r.violations.is_empty(), "{semantics:?}: {:?}", r.violations);
+    }
+}
+
+#[test]
+fn crash_recovery_rejoin_before_lease_expiry_resyncs_in_place() {
+    // Machine 0 dies at t=1 holding a runner (1 of 10 served) and one
+    // queued job; it rejoins well before its 100-tick lease expires, so
+    // both jobs re-sync in place and finish locally — nothing is
+    // reclaimed by machine 1.
+    let r = run(
+        vec![row(0, 10, 0), row(0, 5, 0), row(1, 1, 1)],
+        2,
+        vec![
+            (1, TopologyEvent::Fail(MachineId(0))),
+            (2, TopologyEvent::Rejoin(MachineId(0))),
+        ],
+        ChurnSemantics::CrashRecovery { lease: 100 },
+    );
+    assert_eq!(r.metrics.completed, 3);
+    assert_eq!(r.metrics.restarts, 1);
+    assert_eq!(r.metrics.wasted_work, 1);
+    assert_eq!(r.metrics.jobs_resynced, 2);
+    assert_eq!(r.metrics.jobs_reclaimed, 0);
+    assert_eq!(r.metrics.stranded, 0);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn all_machines_down_terminates_with_stranded_work() {
+    // Both machines die mid-wave and never rejoin: the loop must
+    // terminate (not spin) and report the unfinished jobs as stranded.
+    for semantics in [
+        ChurnSemantics::CrashStop,
+        ChurnSemantics::CrashRecovery { lease: 5 },
+    ] {
+        let r = run(
+            vec![row(0, 10, 0), row(0, 10, 1), row(3, 4, 0)],
+            2,
+            vec![
+                (1, TopologyEvent::Fail(MachineId(0))),
+                (1, TopologyEvent::Fail(MachineId(1))),
+            ],
+            semantics,
+        );
+        assert_eq!(r.metrics.completed, 0, "{semantics:?}");
+        assert_eq!(r.metrics.arrived, 3, "{semantics:?}");
+        assert_eq!(r.metrics.stranded, 3, "{semantics:?}");
+        assert_eq!(r.metrics.restarts, 2, "{semantics:?}");
+        assert!(r.violations.is_empty(), "{semantics:?}: {:?}", r.violations);
+    }
+}
+
+#[test]
+fn graceful_semantics_is_the_anti_oracle() {
+    // The pre-custody behavior: the dead machine keeps serving its
+    // running job. The self-audit must flag it, and no restart happens.
+    let r = run(
+        vec![row(0, 10, 0), row(4, 2, 1)],
+        2,
+        vec![(2, TopologyEvent::Fail(MachineId(0)))],
+        ChurnSemantics::Graceful,
+    );
+    assert_eq!(r.metrics.completed, 2, "the dead machine 'finishes'");
+    assert_eq!(r.metrics.restarts, 0);
+    assert_eq!(r.metrics.wasted_work, 0);
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| v.contains("offline machine 0 is serving")),
+        "self-audit must catch the graceful bug: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn duplicate_topology_events_are_idempotent() {
+    // Double-Fail on an offline machine and Rejoin on an online one are
+    // exactly the degenerate plans ddmin shrinking can produce; they
+    // must be no-ops (satellite regression: each used to corrupt
+    // `queued_on_online`).
+    let rows = vec![row(0, 6, 0), row(1, 6, 0), row(2, 6, 1), row(3, 6, 1)];
+    let noisy = vec![
+        (1, TopologyEvent::Rejoin(MachineId(1))), // already online
+        (2, TopologyEvent::Fail(MachineId(0))),
+        (2, TopologyEvent::Fail(MachineId(0))), // already offline
+        (3, TopologyEvent::Rejoin(MachineId(0))),
+        (3, TopologyEvent::Rejoin(MachineId(0))), // already online
+    ];
+    let clean = vec![
+        (2, TopologyEvent::Fail(MachineId(0))),
+        (3, TopologyEvent::Rejoin(MachineId(0))),
+    ];
+    for semantics in [
+        ChurnSemantics::Graceful,
+        ChurnSemantics::CrashStop,
+        ChurnSemantics::CrashRecovery { lease: 10 },
+    ] {
+        let a = run(rows.clone(), 2, noisy.clone(), semantics);
+        let b = run(rows.clone(), 2, clean.clone(), semantics);
+        assert_eq!(a, b, "{semantics:?}: duplicates must not change a byte");
+        assert_eq!(a.metrics.completed, 4, "{semantics:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random churn plans conserve jobs under both crash semantics:
+    /// every arrival either completes or is reported stranded, and the
+    /// self-audit finds no custody violation at any instant.
+    #[test]
+    fn random_churn_conserves_jobs(
+        machines in 2usize..5,
+        jobs in 1usize..40,
+        seed in 0u64..500,
+        lease in 0u64..40,
+        use_recovery in 0usize..2,
+        raw_events in proptest::collection::vec((0u64..120, 0usize..5, 0usize..2), 0..12),
+    ) {
+        let sizes: Vec<Time> = (0..jobs as u64).map(|k| 1 + (k * 13) % 30).collect();
+        let inst = Instance::uniform(machines, sizes).unwrap();
+        let mut events: Vec<(u64, TopologyEvent)> = raw_events
+            .into_iter()
+            .map(|(round, m, is_fail)| {
+                let machine = MachineId::from_idx(m % machines);
+                (round, if is_fail == 1 { TopologyEvent::Fail(machine) } else { TopologyEvent::Rejoin(machine) })
+            })
+            .collect();
+        events.sort_by_key(|&(round, _)| round);
+        let semantics = if use_recovery == 1 {
+            ChurnSemantics::CrashRecovery { lease }
+        } else {
+            ChurnSemantics::CrashStop
+        };
+        let config = OpenConfig {
+            exchange_every: 8,
+            seed,
+            semantics,
+            check_invariants: true,
+            ..OpenConfig::default()
+        };
+        let process = ArrivalProcess::Poisson { mean_gap: 3.0 };
+        let r = run_open_with_plan(&inst, &process, &config, &TopologyPlan { events }).unwrap();
+        prop_assert_eq!(r.metrics.arrived, jobs as u64);
+        prop_assert_eq!(r.metrics.completed + r.metrics.stranded, jobs as u64);
+        prop_assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+}

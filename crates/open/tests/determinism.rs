@@ -4,13 +4,18 @@
 //! * `shards` is a pure layout knob — every result field is identical
 //!   for every shard count (the backlog index and the ledger both
 //!   promise shard-count-invariant answers);
-//! * topology churn composes deterministically through the drive loop.
+//! * topology churn composes deterministically through the drive loop,
+//!   for every `ChurnSemantics`;
+//! * arrival generation draws from its own RNG stream, so a generated
+//!   run and a replay of its own arrivals are byte-identical.
 
 use lb_distsim::topology::{TopologyEvent, TopologyPlan};
-use lb_distsim::{drive_with_plan, stream_rng, ProbeHub, SimCore};
-use lb_model::perturb::perturbed_instance;
+use lb_distsim::stream_rng;
 use lb_model::prelude::*;
-use lb_open::{run_open, ArrivalProcess, OpenConfig, OpenProtocol, Pairing};
+use lb_open::{
+    run_open, run_open_with_arrivals, run_open_with_plan, ArrivalProcess, ChurnSemantics,
+    OpenConfig, Pairing, ARRIVAL_STREAM,
+};
 
 fn instance() -> Instance {
     // Heterogeneous related machines: sizes vary, speeds vary.
@@ -26,6 +31,17 @@ fn config(shards: usize, pairing: Pairing) -> OpenConfig {
         error_percent: 15,
         seed: 42,
         shards,
+        semantics: ChurnSemantics::CrashStop,
+        check_invariants: false,
+    }
+}
+
+fn blip_plan() -> TopologyPlan {
+    TopologyPlan {
+        events: vec![
+            (40, TopologyEvent::Fail(MachineId(2))),
+            (120, TopologyEvent::Rejoin(MachineId(2))),
+        ],
     }
 }
 
@@ -57,43 +73,57 @@ fn identical_seeds_identical_runs_across_processes() {
 }
 
 #[test]
-fn churn_composes_with_open_arrivals() {
-    // A machine fails mid-run and rejoins later; the run must still
-    // drain every job, deterministically, at any shard count.
+fn generated_run_equals_replay_of_its_own_arrivals() {
+    // Arrival generation draws from ARRIVAL_STREAM, the protocol from
+    // stream 0; replaying the generated stream must reproduce the run
+    // byte-for-byte (this is the RNG-aliasing regression test).
     let inst = instance();
-    let cfg = config(1, Pairing::Greedy);
     let process = ArrivalProcess::Poisson { mean_gap: 2.0 };
-    let plan = TopologyPlan {
-        events: vec![
-            (40, TopologyEvent::Fail(MachineId(2))),
-            (120, TopologyEvent::Rejoin(MachineId(2))),
-        ],
-    };
+    let cfg = config(1, Pairing::Random);
+    let generated = run_open(&inst, &process, &cfg);
+    let mut rng = stream_rng(cfg.seed, ARRIVAL_STREAM);
+    let arrivals = process.generate(&inst, &mut rng);
+    let replayed = run_open_with_arrivals(&inst, &arrivals, &cfg);
+    assert_eq!(generated, replayed);
+}
 
-    let run_with_plan = |shards: usize| {
-        let cfg = OpenConfig {
-            shards,
-            ..cfg.clone()
+#[test]
+fn churn_composes_with_open_arrivals() {
+    // A machine fails mid-run and rejoins later; under every semantics
+    // the run must be deterministic at any shard count, and under the
+    // crash semantics it must still drain every job with a clean
+    // self-audit.
+    let inst = instance();
+    let process = ArrivalProcess::Poisson { mean_gap: 2.0 };
+    let plan = blip_plan();
+    for semantics in [
+        ChurnSemantics::Graceful,
+        ChurnSemantics::CrashStop,
+        ChurnSemantics::CrashRecovery { lease: 64 },
+    ] {
+        let run_at = |shards: usize| {
+            let cfg = OpenConfig {
+                semantics,
+                check_invariants: semantics != ChurnSemantics::Graceful,
+                ..config(shards, Pairing::Greedy)
+            };
+            run_open_with_plan(&inst, &process, &cfg, &plan).unwrap()
         };
-        let mut rng = stream_rng(cfg.seed, 0);
-        let arrivals = process.generate(&inst, &mut rng);
-        let pred = perturbed_instance(&inst, cfg.error_percent, cfg.seed);
-        let mut at = vec![MachineId(0); inst.num_jobs()];
-        for a in &arrivals {
-            at[a.job.idx()] = a.machine;
+        let reference = run_at(1);
+        assert_eq!(
+            reference.metrics.completed, 300,
+            "{semantics:?}: churned run still drains"
+        );
+        assert_eq!(reference.metrics.stranded, 0, "{semantics:?}");
+        if semantics != ChurnSemantics::Graceful {
+            assert!(
+                reference.violations.is_empty(),
+                "{semantics:?}: {:?}",
+                reference.violations
+            );
         }
-        let mut ledger = Assignment::from_fn(&pred, |j| at[j.idx()]).unwrap();
-        ledger.set_shards(cfg.shards);
-        let mut core = SimCore::new(&pred, &mut ledger, cfg.seed);
-        let mut protocol = OpenProtocol::new(&inst, &arrivals, &cfg);
-        let mut hub = ProbeHub::new();
-        drive_with_plan(&mut core, &mut protocol, &mut hub, u64::MAX, &plan).unwrap();
-        protocol.into_run(&core)
-    };
-
-    let reference = run_with_plan(1);
-    assert_eq!(reference.metrics.completed, 300, "churned run still drains");
-    for shards in [2, 8] {
-        assert_eq!(run_with_plan(shards), reference, "shards={shards}");
+        for shards in [2, 8] {
+            assert_eq!(run_at(shards), reference, "{semantics:?} shards={shards}");
+        }
     }
 }

@@ -779,8 +779,24 @@ pub fn usage() -> String {
                [--arrival poisson|random] [--mean-gap G | --rho R]\n\
                [--horizon T] [--exchange-every T] [--pairs P]\n\
                [--pairing random|greedy] [--error PCT]\n\
+               [--churn fail@STEP:M,rejoin@STEP:M,...]  scripted machine\n\
+                            churn; a failure preempts the running job and\n\
+                            routes the machine's work through the custody\n\
+                            lease machinery\n\
+               [--churn-semantics graceful|crash-stop|crash-recovery]\n\
+                            crash-stop scatters parked jobs immediately\n\
+                            (restart from zero on a survivor);\n\
+                            crash-recovery holds them under a --lease T\n\
+                            deadline and re-syncs in place on early\n\
+                            rejoin; graceful is the pre-custody bug\n\
+                            (dead machines finish their job), kept as a\n\
+                            chaos anti-oracle\n\
+               [--check-invariants true]  run the open-system self-audit\n\
+                            (conservation, single custody, no service on\n\
+                            offline machines) at every instant\n\
                [--replications R] [--seed S] [--shards S] [--name base]\n\
-               [--out-dir dir]\n\
+               [--out-dir dir]  (CSV gains restarts/wasted_work/stranded\n\
+               columns)\n\
        campaign  parallel experiment campaign over a parameter grid with\n\
                  deterministic per-cell seed streams; merged CSV/stats are\n\
                  byte-identical for any --threads value\n\
@@ -795,20 +811,30 @@ pub fn usage() -> String {
                open (`--open true` shorthand): machines x offered-load\n\
                sweeps of Poisson open-system runs toward saturation\n\
                [--machines-grid N,N,...] [--rho-grid R,R,...] [--jobs N]\n\
-               plus the serve-sim exchange knobs; per-point tails come\n\
-               from exactly merged digests, so artifacts are\n\
-               byte-identical for any --threads and --shards\n\
-       chaos   seeded random fault schedules (loss, duplication, link\n\
-               partitions, crash-stop/crash-recovery churn) over the\n\
-               campaign pool, every run audited by the runtime invariant\n\
-               checker; a violating schedule is delta-debugged to a\n\
-               1-minimal reproducer and written as a replay artifact\n\
-               [--trials N] [--max-events N] [--seed S] [--threads N]\n\
+               plus the serve-sim exchange and churn knobs; per-point\n\
+               tails come from exactly merged digests, so artifacts are\n\
+               byte-identical for any --threads and --shards; the stats\n\
+               fold adds restarts/wasted_work/stranded columns\n\
+       chaos   seeded random fault schedules over the campaign pool,\n\
+               every run audited by the runtime invariant checker; a\n\
+               violating schedule is delta-debugged to a 1-minimal\n\
+               reproducer and written as a replay artifact\n\
+               [--mode net|open] [--trials N] [--max-events N] [--seed S]\n\
+               [--threads N] [--name base] [--out-dir dir]\n\
+               net (default): loss, duplication, link partitions, and\n\
+               crash-stop/crash-recovery churn against the\n\
+               message-passing simulator\n\
                [--crash stop|recovery|mixed] [--job-lease T]\n\
                [--fail-on invariants|reclaim|resync] [--theorem7 false]\n\
-               [--latency-min A --latency-max B] [--name base]\n\
-               [--out-dir dir]  (small workload defaults so the exact-OPT\n\
-               Theorem 7 cross-check stays tractable)\n\
+               [--latency-min A --latency-max B]  (small workload\n\
+               defaults so the exact-OPT Theorem 7 cross-check stays\n\
+               tractable)\n\
+               open: fail/rejoin churn schedules against the open-system\n\
+               event loop under the protocol self-audit\n\
+               [--churn-semantics graceful|crash-stop|crash-recovery]\n\
+               [--lease T] [--machines M] [--jobs N] [--rho R]\n\
+               (graceful is the anti-oracle: it reproduces the\n\
+               pre-custody crash bug on demand)\n\
                --replay artifact.json   re-run a written reproducer\n\
        generate  write a workload as instance JSON (--out file); load it\n\
                  anywhere else with --instance file\n\

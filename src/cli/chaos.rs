@@ -34,6 +34,7 @@ use crate::algorithms::{Dlb2cBalance, PairwiseBalancer, TypedPairBalance, Unrela
 use crate::distsim::{TopologyEvent, TopologyPlan};
 use crate::model::exact::{opt_makespan, ExactLimits};
 use crate::net::{run_net, CrashSemantics, FaultPlan, LatencyModel, LinkPartition, NetConfig};
+use crate::open::{run_open_with_plan, ArrivalProcess, ChurnSemantics, OpenConfig};
 use crate::prelude::*;
 use crate::stats::csv::CsvCell;
 use crate::stats::runner::SimRunner;
@@ -47,14 +48,18 @@ use std::fmt::Write as _;
 
 /// Focused usage text appended to chaos option errors.
 pub fn chaos_usage() -> String {
-    "usage: decent-lb chaos\n\
+    "usage: decent-lb chaos [--mode net|open]\n\
      \x20 [--trials N] [--max-events N] [--seed S] [--threads N]\n\
+     \x20 net mode:\n\
      \x20 [--crash stop|recovery|mixed] [--fail-on invariants|reclaim|resync]\n\
      \x20 [--job-lease T] [--quiescence W] [--max-time T] [--theorem7 false]\n\
      \x20 [--latency-min A --latency-max B] [--algo dlb2c|mjtb|unrelated]\n\
-     \x20 [--name base] [--out-dir dir]\n\
      \x20 workload: --workload two-cluster|uniform|typed|dense with small\n\
      \x20           defaults (two-cluster 3+2, 14 jobs)\n\
+     \x20 open mode (churn schedules against the open-system event loop):\n\
+     \x20 [--churn-semantics graceful|crash-stop|crash-recovery] [--lease T]\n\
+     \x20 [--machines M] [--jobs N] [--rho R]\n\
+     \x20 common: [--name base] [--out-dir dir]\n\
      \x20 --replay artifact.json   re-run a written reproducer\n"
         .to_string()
 }
@@ -243,6 +248,125 @@ fn fault_plan(sched: &Schedule, events: &[ChaosEvent]) -> FaultPlan {
     }
 }
 
+/// Materializes a (possibly shrunk) churn subsequence into an
+/// open-system topology plan. Open-mode schedules are fail/rejoin only;
+/// event times are *step indexes* into the open event loop, not virtual
+/// time, so the generator keeps them small.
+fn open_plan(events: &[ChaosEvent]) -> TopologyPlan {
+    TopologyPlan {
+        events: events
+            .iter()
+            .filter_map(|ev| match *ev {
+                ChaosEvent::Fail { t, machine } => {
+                    Some((t, TopologyEvent::Fail(MachineId(machine))))
+                }
+                ChaosEvent::Rejoin { t, machine } => {
+                    Some((t, TopologyEvent::Rejoin(MachineId(machine))))
+                }
+                ChaosEvent::Partition { .. } => None,
+            })
+            .collect(),
+    }
+}
+
+/// Draws one random open-mode churn schedule: fail/rejoin events at
+/// small step gaps (the open loop runs one step per arrival/completion
+/// instant, so a few hundred steps cover a whole run). Like the net
+/// generator, it tracks the online set so the unshrunk schedule never
+/// kills the last machine.
+fn generate_open_schedule(rng: &mut StdRng, machines: usize, max_events: usize) -> Vec<ChaosEvent> {
+    let n = rng.gen_range(1..=max_events as u64) as usize;
+    let mut online = vec![true; machines];
+    let mut t = 0u64;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        t += rng.gen_range(1..=14u64);
+        let n_online = online.iter().filter(|&&o| o).count();
+        let want_fail = rng.gen_range(0..3u64) < 2;
+        if (want_fail || n_online == machines) && n_online >= 2 {
+            let pick = rng.gen_range(0..n_online as u64) as usize;
+            let (machine, _) = online
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o)
+                .nth(pick)
+                .expect("pick < n_online");
+            online[machine] = false;
+            events.push(ChaosEvent::Fail {
+                t,
+                machine: machine as u32,
+            });
+        } else if n_online < machines {
+            let n_off = machines - n_online;
+            let pick = rng.gen_range(0..n_off as u64) as usize;
+            let (machine, _) = online
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| !o)
+                .nth(pick)
+                .expect("pick < n_off");
+            online[machine] = true;
+            events.push(ChaosEvent::Rejoin {
+                t,
+                machine: machine as u32,
+            });
+        }
+    }
+    events
+}
+
+fn open_semantics_str(s: ChurnSemantics) -> &'static str {
+    match s {
+        ChurnSemantics::Graceful => "graceful",
+        ChurnSemantics::CrashStop => "crash-stop",
+        ChurnSemantics::CrashRecovery { .. } => "crash-recovery",
+    }
+}
+
+/// Everything an open-mode trial (or shrink-oracle call) needs besides
+/// the churn schedule itself.
+struct OpenChaosCtx<'a> {
+    inst: &'a Instance,
+    process: ArrivalProcess,
+    cfg: OpenConfig,
+}
+
+/// One open-mode trial's outcome.
+#[derive(Debug, Clone)]
+struct OpenTrialOut {
+    completed: u64,
+    stranded: u64,
+    restarts: u64,
+    violations: Vec<String>,
+}
+
+impl OpenChaosCtx<'_> {
+    /// Runs one seeded churn schedule through the open event loop with
+    /// the runtime self-audit on. A run error (e.g. graceful scatter
+    /// with no survivors on a shrunk candidate) counts as a violation so
+    /// the oracle stays total.
+    fn run(&self, seed: u64, events: &[ChaosEvent]) -> OpenTrialOut {
+        let cfg = OpenConfig {
+            seed,
+            ..self.cfg.clone()
+        };
+        match run_open_with_plan(self.inst, &self.process, &cfg, &open_plan(events)) {
+            Ok(run) => OpenTrialOut {
+                completed: run.metrics.completed,
+                stranded: run.metrics.stranded,
+                restarts: run.metrics.restarts,
+                violations: run.violations,
+            },
+            Err(e) => OpenTrialOut {
+                completed: 0,
+                stranded: 0,
+                restarts: 0,
+                violations: vec![format!("run error: {e}")],
+            },
+        }
+    }
+}
+
 /// Everything a trial (or a shrink-oracle call) needs besides the
 /// schedule itself.
 struct ChaosCtx<'a> {
@@ -385,6 +509,16 @@ impl Cli {
     pub(super) fn run_chaos(&self) -> CliResult<String> {
         if let Some(path) = self.options.get("replay") {
             return self.run_chaos_replay(&path.clone());
+        }
+        match self.get_str("mode", "net").as_str() {
+            "net" => {}
+            "open" => return self.run_chaos_open(),
+            other => {
+                return Err(CliError(format!(
+                    "unknown chaos mode '{other}' (net | open)\n{}",
+                    chaos_usage()
+                )))
+            }
         }
         let trials: u64 = self.get("trials", 16)?;
         if trials == 0 {
@@ -598,6 +732,281 @@ impl Cli {
         Ok(out)
     }
 
+    /// `chaos --mode open`: randomized churn schedules against the
+    /// open-system event loop under the runtime self-audit
+    /// (`OpenConfig::check_invariants`) and the ledger-level
+    /// [`lb_distsim::InvariantProbe`]. The same find → shrink → replay
+    /// pipeline as net mode; `--churn-semantics graceful` is the
+    /// anti-oracle self-test (the pre-custody completion bug trips the
+    /// audit), while both crash semantics are expected to run clean.
+    fn run_chaos_open(&self) -> CliResult<String> {
+        let trials: u64 = self.get("trials", 16)?;
+        if trials == 0 {
+            return Err(CliError(format!(
+                "--trials must be >= 1\n{}",
+                chaos_usage()
+            )));
+        }
+        let max_events: usize = self.get("max-events", 6)?;
+        if max_events == 0 {
+            return Err(CliError(format!(
+                "--max-events must be >= 1\n{}",
+                chaos_usage()
+            )));
+        }
+        let base_seed: u64 = self.get("seed", 42)?;
+        let machines: usize = self.get("machines", 4)?;
+        if machines < 2 {
+            return Err(CliError(format!(
+                "chaos needs at least 2 machines\n{}",
+                chaos_usage()
+            )));
+        }
+        let jobs: usize = self.get("jobs", 80)?;
+        let rho: f64 = self.get("rho", 0.9)?;
+        if !(rho.is_finite() && rho > 0.0) {
+            return Err(CliError(format!(
+                "--rho must be positive and finite\n{}",
+                chaos_usage()
+            )));
+        }
+        // Integer offered load so the replay artifact round-trips the
+        // arrival process exactly (no float printing involved).
+        let rho_permille = ((rho * 1000.0).round() as u64).max(1);
+        let mut cfg = self.build_open_config(base_seed)?;
+        cfg.check_invariants = true;
+        let inst = uniform::paper_uniform(machines, jobs, base_seed);
+        let mean_gap =
+            Self::mean_service_estimate(&inst) * 1000.0 / (rho_permille * machines as u64) as f64;
+        let ctx = OpenChaosCtx {
+            inst: &inst,
+            process: ArrivalProcess::Poisson { mean_gap },
+            cfg,
+        };
+        let name = self.get_str("name", "chaos");
+        let runner = self.chaos_runner(&name)?;
+        let spec = CampaignSpec {
+            base_seed,
+            replications: 1,
+            threads: self.get("threads", 0)?,
+            progress_every: self.get("progress", 0)?,
+        };
+        let points: Vec<u64> = (0..trials).collect();
+        let run = run_campaign(&spec, &points, |_, cell| {
+            let seed = cell.seed(base_seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let events = generate_open_schedule(&mut rng, machines, max_events);
+            let out = ctx.run(seed, &events);
+            (seed, events, out)
+        })
+        .map_err(|e| CliError(e.to_string()))?;
+
+        let mut csv = runner
+            .try_csv(&[
+                "trial",
+                "seed",
+                "events",
+                "semantics",
+                "completed",
+                "stranded",
+                "restarts",
+                "violations",
+            ])
+            .map_err(|e| CliError(format!("create chaos CSV: {e}")))?;
+        for (trial, (seed, events, out)) in run.results.iter().enumerate() {
+            csv.row(&[
+                CsvCell::Uint(trial as u64),
+                CsvCell::Uint(*seed),
+                CsvCell::Uint(events.len() as u64),
+                CsvCell::Str(open_semantics_str(ctx.cfg.semantics).to_string()),
+                CsvCell::Uint(out.completed),
+                CsvCell::Uint(out.stranded),
+                CsvCell::Uint(out.restarts),
+                CsvCell::Uint(out.violations.len() as u64),
+            ])
+            .map_err(|e| CliError(format!("write chaos CSV row: {e}")))?;
+        }
+        csv.finish()
+            .map_err(|e| CliError(format!("write chaos CSV: {e}")))?;
+
+        let failing: Vec<usize> = run
+            .results
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, out))| !out.violations.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "chaos {} [open]: {trials} trials ({machines} machines, {jobs} jobs, \
+             {} semantics), {} failing",
+            runner.name(),
+            open_semantics_str(ctx.cfg.semantics),
+            failing.len()
+        );
+        let _ = writeln!(
+            out,
+            "threads={} wall={:.2}s; wrote {}.csv under {}",
+            run.threads,
+            run.wall_secs,
+            runner.name(),
+            runner.dir().display()
+        );
+
+        if let Some(&first) = failing.first() {
+            let (seed, events, trial_out) = &run.results[first];
+            for v in &trial_out.violations {
+                let _ = writeln!(out, "trial {first}: {v}");
+            }
+            let shrunk = shrink_schedule(events, |cand| !ctx.run(*seed, cand).violations.is_empty());
+            let final_out = ctx.run(*seed, &shrunk.events);
+            let event_values: Vec<Value> = shrunk.events.iter().map(event_value).collect();
+            let violations: Vec<Value> = final_out
+                .violations
+                .iter()
+                .map(|s| Value::from(s.as_str()))
+                .collect();
+            let lease = match ctx.cfg.semantics {
+                ChurnSemantics::CrashRecovery { lease } => lease,
+                _ => 0,
+            };
+            let artifact = Value::Object(vec![
+                ("tool".to_string(), Value::from("decent-lb chaos")),
+                ("mode".to_string(), Value::from("open")),
+                ("trial".to_string(), Value::from(first as u64)),
+                ("seed".to_string(), Value::from(*seed)),
+                (
+                    "churn_semantics".to_string(),
+                    Value::from(open_semantics_str(ctx.cfg.semantics)),
+                ),
+                ("lease".to_string(), Value::from(lease)),
+                ("machines".to_string(), Value::from(machines as u64)),
+                ("jobs".to_string(), Value::from(jobs as u64)),
+                ("wseed".to_string(), Value::from(base_seed)),
+                ("rho_permille".to_string(), Value::from(rho_permille)),
+                (
+                    "exchange_every".to_string(),
+                    Value::from(ctx.cfg.exchange_every),
+                ),
+                (
+                    "pairs".to_string(),
+                    Value::from(ctx.cfg.pairs_per_epoch as u64),
+                ),
+                (
+                    "error_percent".to_string(),
+                    Value::from(u64::from(ctx.cfg.error_percent)),
+                ),
+                ("shards".to_string(), Value::from(ctx.cfg.shards as u64)),
+                ("events".to_string(), Value::Array(event_values)),
+                ("violations".to_string(), Value::Array(violations)),
+                ("oracle_calls".to_string(), Value::from(shrunk.oracle_calls)),
+            ]);
+            let path = runner.dir().join(format!("{}_repro.json", runner.name()));
+            std::fs::write(&path, format!("{artifact:#}\n"))
+                .map_err(|e| CliError(format!("write replay artifact: {e}")))?;
+            let _ = writeln!(
+                out,
+                "shrunk trial {first} from {} to {} event(s) in {} oracle calls",
+                events.len(),
+                shrunk.events.len(),
+                shrunk.oracle_calls
+            );
+            let _ = writeln!(out, "replay artifact: {}", path.display());
+            let _ = writeln!(
+                out,
+                "re-run with: decent-lb chaos --replay {}",
+                path.display()
+            );
+        }
+        Ok(out)
+    }
+
+    /// Replays an open-mode reproducer: rebuilds the exact instance,
+    /// arrival process, and config from the artifact and re-runs the
+    /// shrunk churn schedule.
+    fn run_chaos_replay_open(&self, path: &str, v: &Value) -> CliResult<String> {
+        let semantics = match req_str(v, "churn_semantics")? {
+            "graceful" => ChurnSemantics::Graceful,
+            "crash-stop" => ChurnSemantics::CrashStop,
+            "crash-recovery" => ChurnSemantics::CrashRecovery {
+                lease: req_u64(v, "lease")?,
+            },
+            other => {
+                return Err(CliError(format!(
+                    "replay artifact has unknown churn semantics '{other}'"
+                )))
+            }
+        };
+        let machines = req_u64(v, "machines")? as usize;
+        let jobs = req_u64(v, "jobs")? as usize;
+        let inst = uniform::paper_uniform(machines, jobs, req_u64(v, "wseed")?);
+        let rho_permille = req_u64(v, "rho_permille")?.max(1);
+        let mean_gap =
+            Self::mean_service_estimate(&inst) * 1000.0 / (rho_permille * machines as u64) as f64;
+        let seed = req_u64(v, "seed")?;
+        let cfg = OpenConfig {
+            exchange_every: req_u64(v, "exchange_every")?,
+            pairs_per_epoch: req_u64(v, "pairs")? as u32,
+            error_percent: req_u64(v, "error_percent")? as u32,
+            shards: req_u64(v, "shards")? as usize,
+            seed,
+            semantics,
+            check_invariants: true,
+            ..OpenConfig::default()
+        };
+        let mut events = Vec::new();
+        match req(v, "events")? {
+            Value::Array(items) => {
+                for item in items {
+                    let ev = match req_str(item, "kind")? {
+                        "fail" => ChaosEvent::Fail {
+                            t: req_u64(item, "t")?,
+                            machine: req_u64(item, "machine")? as u32,
+                        },
+                        "rejoin" => ChaosEvent::Rejoin {
+                            t: req_u64(item, "t")?,
+                            machine: req_u64(item, "machine")? as u32,
+                        },
+                        other => {
+                            return Err(CliError(format!(
+                                "open replay artifact has unknown event kind '{other}'"
+                            )))
+                        }
+                    };
+                    events.push(ev);
+                }
+            }
+            _ => return Err(CliError("replay artifact 'events' is not an array".into())),
+        }
+        let ctx = OpenChaosCtx {
+            inst: &inst,
+            process: ArrivalProcess::Poisson { mean_gap },
+            cfg,
+        };
+        let out_run = ctx.run(seed, &events);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay {path} [open]: seed {seed}, {} event(s), {} semantics",
+            events.len(),
+            open_semantics_str(ctx.cfg.semantics)
+        );
+        if out_run.violations.is_empty() {
+            let _ = writeln!(
+                out,
+                "violation NOT reproduced ({} completed, {} stranded, {} restarts)",
+                out_run.completed, out_run.stranded, out_run.restarts
+            );
+        } else {
+            let _ = writeln!(out, "reproduced {} violation(s):", out_run.violations.len());
+            for viol in &out_run.violations {
+                let _ = writeln!(out, "  {viol}");
+            }
+        }
+        Ok(out)
+    }
+
     /// `chaos --replay artifact.json`: re-runs a written reproducer and
     /// reports whether the violation recurs.
     fn run_chaos_replay(&self, path: &str) -> CliResult<String> {
@@ -605,6 +1014,9 @@ impl Cli {
             .map_err(|e| CliError(format!("cannot read replay artifact {path}: {e}")))?;
         let v = mini_json::parse(&text)
             .map_err(|e| CliError(format!("invalid replay artifact {path}: {e}")))?;
+        if matches!(v.get("mode"), Some(Value::String(m)) if m == "open") {
+            return self.run_chaos_replay_open(path, &v);
+        }
         let w = req(&v, "workload")?;
         let jobs = req_u64(w, "jobs")? as usize;
         let wseed = req_u64(w, "seed")?;
@@ -1224,6 +1636,99 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The open-mode anti-oracle acceptance path: graceful semantics
+    /// under churn reproduce the pre-custody bug (a dead machine keeps
+    /// serving), the runtime audit flags it, ddmin shrinks the schedule,
+    /// and the written artifact replays the violation.
+    #[test]
+    fn chaos_open_graceful_finds_shrinks_and_replays_the_violation() {
+        let dir = std::env::temp_dir().join(format!(
+            "decent-lb-chaos-open-graceful-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "chaos",
+            "--mode",
+            "open",
+            "--churn-semantics",
+            "graceful",
+            "--trials",
+            "8",
+            "--max-events",
+            "6",
+            "--seed",
+            "5",
+            "--machines",
+            "4",
+            "--jobs",
+            "80",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let out = c.run().expect("open chaos runs");
+        assert!(out.contains("[open]"), "{out}");
+        assert!(out.contains("graceful semantics"), "{out}");
+        assert!(!out.contains(" 0 failing"), "graceful must violate: {out}");
+        assert!(out.contains("shrunk trial"), "{out}");
+        let repro = dir.join("chaos_repro.json");
+        assert!(repro.exists(), "{out}");
+        let text = std::fs::read_to_string(&repro).unwrap();
+        assert!(text.contains("\"mode\": \"open\""), "{text}");
+
+        let c = cli(&["chaos", "--replay", repro.to_str().unwrap()]);
+        let out = c.run().expect("open replay runs");
+        assert!(out.contains("[open]"), "{out}");
+        assert!(out.contains("reproduced"), "{out}");
+        assert!(!out.contains("NOT reproduced"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Post-fix: the same kind of churn schedules run clean under both
+    /// crash semantics — preempted jobs route through custody, nothing
+    /// is double-held, nothing is lost.
+    #[test]
+    fn chaos_open_crash_semantics_run_clean() {
+        for semantics in ["crash-stop", "crash-recovery"] {
+            let dir = std::env::temp_dir().join(format!(
+                "decent-lb-chaos-open-{semantics}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let c = cli(&[
+                "chaos",
+                "--mode",
+                "open",
+                "--churn-semantics",
+                semantics,
+                "--lease",
+                "40",
+                "--trials",
+                "10",
+                "--max-events",
+                "6",
+                "--seed",
+                "5",
+                "--machines",
+                "4",
+                "--jobs",
+                "80",
+                "--out-dir",
+                dir.to_str().unwrap(),
+            ]);
+            let out = c.run().expect("open chaos runs");
+            assert!(out.contains("0 failing"), "{semantics}: {out}");
+            assert!(
+                !dir.join("chaos_repro.json").exists(),
+                "{semantics}: clean runs must not write a reproducer"
+            );
+            let csv = std::fs::read_to_string(dir.join("chaos.csv")).unwrap();
+            assert!(csv.starts_with("trial,seed,events,semantics,"), "{csv}");
+            assert_eq!(csv.lines().count(), 11, "{csv}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     #[test]
     fn chaos_rejects_bad_options_with_usage_hint() {
         let cases: &[&[&str]] = &[
@@ -1235,6 +1740,10 @@ mod tests {
             &["chaos", "--workload", "cloud"],
             &["chaos", "--latency-min", "9", "--latency-max", "2"],
             &["chaos", "--instance", "foo.json"],
+            &["chaos", "--mode", "quantum"],
+            &["chaos", "--mode", "open", "--trials", "0"],
+            &["chaos", "--mode", "open", "--machines", "1"],
+            &["chaos", "--mode", "open", "--rho", "-1"],
         ];
         for args in cases {
             let c = cli(args);

@@ -17,7 +17,11 @@
 
 use super::campaign::campaign_usage;
 use super::{Cli, CliError, CliResult};
-use crate::open::{parse_trace, trace_instance, ArrivalProcess, OpenConfig, OpenRun, Pairing};
+use crate::distsim::topology::{TopologyEvent, TopologyPlan};
+use crate::open::{
+    parse_trace, run_open_with_plan, trace_instance, ArrivalProcess, ChurnSemantics, OpenConfig,
+    OpenRun, Pairing,
+};
 use crate::prelude::*;
 use crate::stats::csv::CsvCell;
 use crate::stats::runner::{row, SimRunner};
@@ -32,6 +36,9 @@ pub fn serve_sim_usage() -> String {
      \x20           [--horizon T]  (--trace replays the CSV's own times)\n\
      \x20 exchange: [--exchange-every T] [--pairs P]\n\
      \x20           [--pairing random|greedy] [--error PCT]\n\
+     \x20 churn:    [--churn fail@STEP:M,rejoin@STEP:M,...]\n\
+     \x20           [--churn-semantics graceful|crash-stop|crash-recovery]\n\
+     \x20           [--lease T] [--check-invariants true]\n\
      \x20 run:      [--jobs N] [--replications R] [--seed S] [--shards S]\n\
      \x20           [--name base] [--out-dir dir]\n"
         .to_string()
@@ -73,7 +80,7 @@ impl Cli {
     /// `j mod m` — exact for machine-oblivious `Uniform` instances, an
     /// even speed sample otherwise; infeasible pairs are skipped). O(n),
     /// so it stays cheap at campaign scale.
-    fn mean_service_estimate(inst: &Instance) -> f64 {
+    pub(super) fn mean_service_estimate(inst: &Instance) -> f64 {
         let m = inst.num_machines();
         let mut sum = 0u128;
         let mut count = 0u64;
@@ -114,7 +121,7 @@ impl Cli {
 
     /// Builds the exchange/prediction half of an [`OpenConfig`] from the
     /// command line; the seed comes from the caller's replication stream.
-    fn build_open_config(&self, seed: u64) -> CliResult<OpenConfig> {
+    pub(super) fn build_open_config(&self, seed: u64) -> CliResult<OpenConfig> {
         let defaults = OpenConfig::default();
         let pairing = match self.get_str("pairing", "random").as_str() {
             "random" => Pairing::Random,
@@ -129,6 +136,18 @@ impl Cli {
         if exchange_every == 0 {
             return Err(CliError("--exchange-every must be >= 1".into()));
         }
+        let semantics = match self.get_str("churn-semantics", "crash-stop").as_str() {
+            "graceful" => ChurnSemantics::Graceful,
+            "crash-stop" => ChurnSemantics::CrashStop,
+            "crash-recovery" => ChurnSemantics::CrashRecovery {
+                lease: self.get("lease", 64)?,
+            },
+            other => {
+                return Err(CliError(format!(
+                    "unknown churn-semantics '{other}' (graceful | crash-stop | crash-recovery)"
+                )))
+            }
+        };
         Ok(OpenConfig {
             exchange_every,
             pairs_per_epoch: self.get("pairs", defaults.pairs_per_epoch)?,
@@ -136,7 +155,38 @@ impl Cli {
             error_percent: self.get("error", defaults.error_percent)?,
             seed,
             shards: self.get_shards()?,
+            semantics,
+            check_invariants: self.flag_on("check-invariants"),
         })
+    }
+
+    /// Parses `--churn fail@STEP:MACHINE,rejoin@STEP:MACHINE,...` into a
+    /// [`TopologyPlan`] (events sorted by step, stable within a step).
+    fn build_churn_plan(&self) -> CliResult<TopologyPlan> {
+        let spec = self.get_str("churn", "");
+        let mut events: Vec<(u64, TopologyEvent)> = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let err = || {
+                CliError(format!(
+                    "invalid churn event '{part}' (expected fail@STEP:MACHINE or \
+                     rejoin@STEP:MACHINE)\n{}",
+                    serve_sim_usage()
+                ))
+            };
+            let (kind, at) = part.split_once('@').ok_or_else(err)?;
+            let (step, machine) = at.split_once(':').ok_or_else(err)?;
+            let step: u64 = step.trim().parse().map_err(|_| err())?;
+            let machine: usize = machine.trim().parse().map_err(|_| err())?;
+            let machine = MachineId::from_idx(machine);
+            let event = match kind.trim() {
+                "fail" => TopologyEvent::Fail(machine),
+                "rejoin" => TopologyEvent::Rejoin(machine),
+                _ => return Err(err()),
+            };
+            events.push((step, event));
+        }
+        events.sort_by_key(|&(step, _)| step);
+        Ok(TopologyPlan { events })
     }
 
     /// Builds the (instance, arrival process) pair for a serve-sim run:
@@ -205,6 +255,19 @@ impl Cli {
             )));
         }
         let cfg0 = self.build_open_config(seed)?;
+        let plan = self.build_churn_plan()?;
+        for &(_, ev) in &plan.events {
+            let m = match ev {
+                TopologyEvent::Fail(m) | TopologyEvent::Rejoin(m) => m,
+            };
+            if m.idx() >= inst.num_machines() {
+                return Err(CliError(format!(
+                    "--churn references machine {} but the instance has {} machines",
+                    m.idx(),
+                    inst.num_machines()
+                )));
+            }
+        }
         let name = self.get_str("name", "serve_sim");
         let runner = match self.options.get("out-dir") {
             Some(dir) => SimRunner::with_dir(&name, dir),
@@ -222,6 +285,10 @@ impl Cli {
             "seed": seed,
             "replications": reps,
             "shards": cfg0.shards,
+            "churn_semantics": format!("{:?}", cfg0.semantics),
+            "churn_events": plan.events.len(),
+            "churn": self.get_str("churn", ""),
+            "check_invariants": cfg0.check_invariants,
         }));
         let mut csv = runner.csv(&[
             "replication",
@@ -241,6 +308,9 @@ impl Cli {
             "mean_abs_mispredict",
             "predicted_makespan",
             "realized_makespan",
+            "restarts",
+            "wasted_work",
+            "stranded",
         ]);
         let mut out = String::new();
         let mut merged: Option<crate::open::OpenMetrics> = None;
@@ -249,7 +319,15 @@ impl Cli {
                 seed: seed.wrapping_add(r),
                 ..cfg0.clone()
             };
-            let run = crate::open::run_open(&inst, &process, &cfg);
+            let run = run_open_with_plan(&inst, &process, &cfg, &plan)
+                .map_err(|e| CliError(format!("replication {r}: {e}")))?;
+            if !run.violations.is_empty() {
+                return Err(CliError(format!(
+                    "replication {r}: {} invariant violation(s), first: {}",
+                    run.violations.len(),
+                    run.violations[0]
+                )));
+            }
             let m = &run.metrics;
             let mut cols = vec![
                 CsvCell::Uint(r),
@@ -267,6 +345,9 @@ impl Cli {
                 float_cell(m.mean_abs_misprediction()),
                 CsvCell::Uint(run.predicted_makespan),
                 CsvCell::Uint(run.realized_makespan),
+                CsvCell::Uint(m.restarts),
+                CsvCell::Uint(m.wasted_work.min(u128::from(u64::MAX)) as u64),
+                CsvCell::Uint(m.stranded),
             ]);
             row(&mut csv, cols);
             let (rp50, rp99, rp999) = m.response_tail().unwrap_or((0, 0, 0));
@@ -280,6 +361,13 @@ impl Cli {
                 m.horizon,
                 m.utilization().unwrap_or(0.0),
             );
+            if m.restarts > 0 || m.stranded > 0 {
+                let _ = writeln!(
+                    out,
+                    "  churn: {} restart(s) wasting {} service units, {} job(s) stranded",
+                    m.restarts, m.wasted_work, m.stranded
+                );
+            }
             match &mut merged {
                 Some(acc) => acc.merge(m),
                 None => merged = Some(m.clone()),
@@ -368,6 +456,22 @@ impl Cli {
         }
         let jobs: usize = self.get("jobs", 768)?;
         let cfg0 = self.build_open_config(base_seed)?;
+        let plan = self.build_churn_plan()?;
+        if let Some(&smallest) = machines_grid.iter().min() {
+            for &(_, ev) in &plan.events {
+                let m = match ev {
+                    TopologyEvent::Fail(m) | TopologyEvent::Rejoin(m) => m,
+                };
+                if m.idx() >= smallest {
+                    return Err(CliError(format!(
+                        "--churn references machine {} but the smallest grid point has {} \
+                         machines",
+                        m.idx(),
+                        smallest
+                    )));
+                }
+            }
+        }
         // Validate the workload family once before fanning out.
         self.open_campaign_instance(machines_grid[0], 1, base_seed)?;
         let points: Vec<(usize, f64)> = machines_grid
@@ -387,12 +491,21 @@ impl Cli {
                     seed: cell_seed,
                     ..cfg0.clone()
                 };
+                let run = run_open_with_plan(&inst, &process, &cfg, &plan)
+                    .map_err(|e| CliError(format!("cell ({machines}, {rho}): {e}")))?;
+                if !run.violations.is_empty() {
+                    return Err(CliError(format!(
+                        "cell ({machines}, {rho}): {} invariant violation(s), first: {}",
+                        run.violations.len(),
+                        run.violations[0]
+                    )));
+                }
                 Ok(OpenCell {
                     machines,
                     rho,
                     jobs,
                     seed: cell_seed,
-                    run: crate::open::run_open(&inst, &process, &cfg),
+                    run,
                 })
             },
         )
@@ -421,6 +534,9 @@ impl Cli {
                 "epochs",
                 "horizon",
                 "realized_makespan",
+                "restarts",
+                "wasted_work",
+                "stranded",
             ])
             .map_err(|e| CliError(format!("create campaign CSV: {e}")))?;
         for (i, c) in cells.iter().enumerate() {
@@ -444,6 +560,9 @@ impl Cli {
                 CsvCell::Uint(m.epochs),
                 CsvCell::Uint(m.horizon),
                 CsvCell::Uint(c.run.realized_makespan),
+                CsvCell::Uint(m.restarts),
+                CsvCell::Uint(m.wasted_work.min(u128::from(u64::MAX)) as u64),
+                CsvCell::Uint(m.stranded),
             ]);
             csv.row(&cols)
                 .map_err(|e| CliError(format!("write campaign CSV row: {e}")))?;
@@ -478,6 +597,9 @@ impl Cli {
                     "flow_p999",
                     "utilization",
                     "jobs_per_kilotime",
+                    "restarts",
+                    "wasted_work",
+                    "stranded",
                 ],
             )
             .map_err(|e| CliError(format!("create campaign stats CSV: {e}")))?;
@@ -495,6 +617,9 @@ impl Cli {
             cols.extend([
                 float_cell(m.utilization()),
                 float_cell(m.jobs_per_kilotime()),
+                CsvCell::Uint(m.restarts),
+                CsvCell::Uint(m.wasted_work.min(u128::from(u64::MAX)) as u64),
+                CsvCell::Uint(m.stranded),
             ]);
             stats_csv
                 .row(&cols)
@@ -518,6 +643,9 @@ impl Cli {
                 "pairs_per_epoch": cfg0.pairs_per_epoch,
                 "pairing": format!("{:?}", cfg0.pairing),
                 "error_percent": cfg0.error_percent,
+                "churn_semantics": format!("{:?}", cfg0.semantics),
+                "churn": self.get_str("churn", ""),
+                "check_invariants": cfg0.check_invariants,
             }))
             .map_err(|e| CliError(format!("write campaign sidecar: {e}")))?;
 
@@ -640,6 +768,107 @@ mod tests {
         assert!(matches!(c.run(), Err(CliError(m)) if m.contains("replications")));
         let c = cli(&["serve-sim", "--trace", "/nonexistent-trace.csv"]);
         assert!(matches!(c.run(), Err(CliError(m)) if m.contains("cannot read")));
+        let c = cli(&["serve-sim", "--churn-semantics", "optimistic"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("churn-semantics")));
+        let c = cli(&["serve-sim", "--churn", "fail@oops"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("churn event")));
+        let c = cli(&["serve-sim", "--churn", "explode@3:0"]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("churn event")));
+        let c = cli(&[
+            "serve-sim",
+            "--workload",
+            "uniform",
+            "--machines",
+            "4",
+            "--churn",
+            "fail@3:9",
+        ]);
+        assert!(matches!(c.run(), Err(CliError(m)) if m.contains("machine 9")));
+    }
+
+    #[test]
+    fn serve_sim_churn_reports_restarts_and_passes_the_audit() {
+        let dir = std::env::temp_dir().join(format!("decent-lb-cli-serve-churn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for semantics in ["crash-stop", "crash-recovery"] {
+            let c = cli(&[
+                "serve-sim",
+                "--workload",
+                "uniform",
+                "--machines",
+                "6",
+                "--jobs",
+                "150",
+                "--rho",
+                "0.9",
+                "--churn",
+                "fail@80:1,rejoin@200:1",
+                "--churn-semantics",
+                semantics,
+                "--lease",
+                "32",
+                "--check-invariants",
+                "true",
+                "--name",
+                "cli_churn",
+                "--out-dir",
+                dir.to_str().unwrap(),
+            ]);
+            let out = c.run().unwrap();
+            assert!(out.contains("churn:"), "{semantics}: {out}");
+            let csv = std::fs::read_to_string(dir.join("cli_churn.csv")).unwrap();
+            let header = csv.lines().next().unwrap();
+            for col in ["restarts", "wasted_work", "stranded"] {
+                assert!(header.contains(col), "missing {col} in {header}");
+            }
+            let data = csv.lines().nth(1).unwrap();
+            let fields: Vec<&str> = data.split(',').collect();
+            let restarts: u64 = fields[fields.len() - 3].parse().unwrap();
+            let stranded: u64 = fields[fields.len() - 1].parse().unwrap();
+            assert!(restarts >= 1, "{semantics}: failure must kill the runner: {data}");
+            assert_eq!(stranded, 0, "{semantics}: machine rejoins, run drains: {data}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn serve_sim_graceful_churn_fails_the_invariant_audit() {
+        // The anti-oracle at the CLI layer: graceful semantics under a
+        // real failure leaves the dead machine serving, and with
+        // --check-invariants the run must be rejected, not reported.
+        let dir = std::env::temp_dir().join(format!(
+            "decent-lb-cli-serve-graceful-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&[
+            "serve-sim",
+            "--workload",
+            "uniform",
+            "--machines",
+            "6",
+            "--jobs",
+            "150",
+            "--rho",
+            "0.9",
+            "--churn",
+            "fail@80:1",
+            "--churn-semantics",
+            "graceful",
+            "--check-invariants",
+            "true",
+            "--name",
+            "cli_graceful",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let err = c.run().unwrap_err();
+        assert!(
+            err.0.contains("invariant violation"),
+            "graceful + churn must trip the audit: {}",
+            err.0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
