@@ -62,6 +62,35 @@ pub enum LbError {
     /// A topology event (or fault plan) left no machine online, so work
     /// cannot be re-homed (e.g. the last machine failed).
     NoOnlineMachines,
+    /// A wire message could not be decoded, or decoded into something
+    /// the protocol state machine must not act on (bad ids, duplicate
+    /// jobs in a plan, truncated frame, trailing garbage). Daemons
+    /// *count and drop* these instead of crashing: a hostile or corrupt
+    /// peer must never take a node down.
+    MalformedMessage {
+        /// What was wrong with the message.
+        reason: String,
+    },
+    /// A frame arrived from an older connection incarnation of a peer
+    /// (late bytes surfacing after a reconnect). The receiver rejects it
+    /// so two-phase custody decisions never act on pre-flap state.
+    StaleSession {
+        /// The peer the frame claimed to come from.
+        machine: usize,
+        /// The session the frame was tagged with.
+        got: u64,
+        /// The newest session seen from that peer.
+        latest: u64,
+    },
+    /// A real-socket transport operation failed (bind, connect,
+    /// handshake). Carried as an error so daemon setup failures surface
+    /// on stderr with context instead of panicking.
+    Transport(String),
+    /// Distributed custody accounting failed: a job was found on two
+    /// machines at once, or vanished from every holding. The coordinator
+    /// raises this instead of silently reporting a "stable" state that
+    /// lost work.
+    CustodyViolation(String),
 }
 
 impl fmt::Display for LbError {
@@ -120,6 +149,21 @@ impl fmt::Display for LbError {
             LbError::NoOnlineMachines => {
                 write!(f, "no machine is online to take over the re-homed work")
             }
+            LbError::MalformedMessage { reason } => {
+                write!(f, "malformed message: {reason}")
+            }
+            LbError::StaleSession {
+                machine,
+                got,
+                latest,
+            } => {
+                write!(
+                    f,
+                    "stale session from machine {machine}: frame session {got} < latest {latest}"
+                )
+            }
+            LbError::Transport(reason) => write!(f, "transport error: {reason}"),
+            LbError::CustodyViolation(reason) => write!(f, "custody violation: {reason}"),
         }
     }
 }
@@ -157,5 +201,33 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(LbError::NoMachines);
         assert_eq!(e.to_string(), "instance has no machines");
+    }
+
+    #[test]
+    fn network_error_displays_carry_the_details() {
+        let e = LbError::MalformedMessage {
+            reason: "duplicate job 7 in plan".into(),
+        };
+        assert!(e.to_string().contains("malformed"));
+        assert!(e.to_string().contains("duplicate job 7"));
+
+        let e = LbError::StaleSession {
+            machine: 3,
+            got: 1,
+            latest: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("machine 3"));
+        assert!(
+            s.contains('1') && s.contains('2'),
+            "both sessions shown: {s}"
+        );
+
+        let e = LbError::Transport("bind 127.0.0.1:0 refused".into());
+        assert!(e.to_string().contains("bind 127.0.0.1:0 refused"));
+
+        let e = LbError::CustodyViolation("job 4 held twice".into());
+        assert!(e.to_string().contains("custody"));
+        assert!(e.to_string().contains("job 4 held twice"));
     }
 }

@@ -1,0 +1,548 @@
+//! The wire codec: length-prefixed frames, hand-rolled little-endian
+//! encoding.
+//!
+//! A frame on the socket is a `u32` little-endian payload length
+//! followed by exactly that many payload bytes (capped at
+//! [`MAX_FRAME_LEN`] so a corrupt or hostile length prefix cannot make
+//! a daemon allocate gigabytes). The payload is one [`Frame`]: either a
+//! protocol [`Envelope`] (tag 0) or a control message (tag 1) for the
+//! coordinator plane. All integers are little-endian; ids are `u32`,
+//! times and serials `u64`.
+//!
+//! The codec is hand-rolled rather than serde/bincode-derived on
+//! purpose: the offline build environment has no real serde backend
+//! (see `tools/offline-stubs/`), and a protocol whose messages are nine
+//! small variants does not need one. What it *does* need — and what the
+//! derive would not give us — is strict decoding at the trust boundary:
+//! [`decode_frame`] consumes the payload **exactly** (a truncated field
+//! or trailing garbage is a [`LbError::MalformedMessage`], never a
+//! partial success), so `tests/codec_prop.rs` can round-trip every
+//! variant and fuzz the rejection paths.
+
+use crate::msg::{Envelope, JobMove, Msg, ReqId, TransferPlan};
+use lb_model::prelude::*;
+
+/// Hard ceiling on a frame payload (16 MiB). Generous — the largest
+/// legitimate frame is a `Prepare` plan or a holdings snapshot, linear
+/// in the job count — while still bounding what a corrupt length prefix
+/// can demand.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Control messages of the coordinator plane (node ⇄ coordinator, plus
+/// the connection handshake). They share framing with protocol
+/// envelopes but never enter the protocol state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// First frame on every outbound connection: who is calling and
+    /// which process incarnation. Receivers remember the highest
+    /// session per peer and drop frames from older ones
+    /// ([`LbError::StaleSession`]) — late bytes of a pre-flap
+    /// connection must not reach the protocol after a reconnect.
+    Hello {
+        /// The connecting machine (or the coordinator id).
+        machine: MachineId,
+        /// The caller's incarnation number (monotone across restarts).
+        session: u64,
+    },
+    /// Periodic node → coordinator heartbeat with counters for
+    /// stability detection and throughput reporting.
+    Report {
+        /// Completed exchanges at this node (target side).
+        exchanges: u64,
+        /// Completed exchanges that moved at least one job.
+        effective: u64,
+        /// Jobs received by completed exchanges.
+        jobs_moved: u64,
+        /// Protocol messages this node has sent.
+        msgs_sent: u64,
+        /// Consecutive completed exchanges that moved nothing.
+        quiet: u64,
+        /// The node's current load.
+        load: Time,
+        /// Number of jobs currently held.
+        holdings: u64,
+    },
+    /// Coordinator → node: report your exact holding (answered with
+    /// [`CtrlMsg::Holdings`] once the node is idle, so the snapshot is
+    /// not torn by an exchange in flight).
+    QueryHoldings {
+        /// Correlates the answer with the sweep that asked.
+        token: u64,
+    },
+    /// Node → coordinator: the exact holding, for conservation checks
+    /// and orphan sweeps.
+    Holdings {
+        /// The sweep token being answered.
+        token: u64,
+        /// Every job this node currently holds.
+        jobs: Vec<JobId>,
+    },
+    /// Coordinator → nodes: a peer is gone for good. Nodes abort any
+    /// conversation with it (applying nothing) and stop picking it.
+    PeerDead {
+        /// The dead machine.
+        machine: MachineId,
+    },
+    /// Coordinator → node: take custody of these orphaned jobs (the
+    /// re-homing half of a custody sweep).
+    Adopt {
+        /// The jobs to adopt.
+        jobs: Vec<JobId>,
+    },
+    /// Coordinator → node: unfreeze after a custody sweep (a node
+    /// freezes — stops initiating and accepting — from the moment it
+    /// answers [`CtrlMsg::Holdings`] until this arrives, so sweep
+    /// snapshots cannot be torn by concurrent exchanges).
+    Resume,
+    /// Coordinator → node: stop exchanging and answer with
+    /// [`CtrlMsg::Goodbye`].
+    Shutdown,
+    /// Node → coordinator: final word of a graceful shutdown — the
+    /// node's entire holding, parked under the coordinator's lease
+    /// table until reassigned.
+    Goodbye {
+        /// Every job the node held at shutdown.
+        jobs: Vec<JobId>,
+    },
+}
+
+/// Anything that travels in one wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A protocol message for the exchange state machine.
+    Proto(Envelope),
+    /// A control-plane message.
+    Ctrl {
+        /// Sending machine (or coordinator id).
+        from: MachineId,
+        /// Destination machine (or coordinator id).
+        to: MachineId,
+        /// The control payload.
+        msg: CtrlMsg,
+    },
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_jobs(buf: &mut Vec<u8>, jobs: &[JobId]) {
+    put_u32(buf, jobs.len() as u32);
+    for j in jobs {
+        put_u32(buf, j.0);
+    }
+}
+
+/// A strict little-endian reader over a frame payload. Every read is
+/// bounds-checked; [`Reader::finish`] fails unless the payload was
+/// consumed exactly.
+struct Reader<'d> {
+    data: &'d [u8],
+    pos: usize,
+}
+
+impl<'d> Reader<'d> {
+    fn new(data: &'d [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn truncated() -> LbError {
+        LbError::MalformedMessage {
+            reason: "truncated frame".into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'d [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(Self::truncated)?;
+        if end > self.data.len() {
+            return Err(Self::truncated());
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn jobs(&mut self) -> Result<Vec<JobId>> {
+        let n = self.u32()? as usize;
+        // The count must be coverable by the remaining bytes before any
+        // allocation happens — a hostile count of u32::MAX must not
+        // reserve 16 GiB.
+        if n.checked_mul(4)
+            .is_none_or(|b| b > self.data.len() - self.pos)
+        {
+            return Err(Self::truncated());
+        }
+        (0..n).map(|_| Ok(JobId(self.u32()?))).collect()
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.data.len() {
+            return Err(LbError::MalformedMessage {
+                reason: format!(
+                    "trailing garbage: {} bytes after payload",
+                    self.data.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn encode_msg(buf: &mut Vec<u8>, msg: &Msg) {
+    match msg {
+        Msg::ProbeRequest => buf.push(0),
+        Msg::ProbeResponse { load } => {
+            buf.push(1);
+            put_u64(buf, *load);
+        }
+        Msg::Offer => buf.push(2),
+        Msg::Accept { jobs } => {
+            buf.push(3);
+            put_jobs(buf, jobs);
+        }
+        Msg::Reject => buf.push(4),
+        Msg::Prepare { plan } => {
+            buf.push(5);
+            put_u32(buf, plan.moves.len() as u32);
+            for mv in &plan.moves {
+                put_u32(buf, mv.job.0);
+                put_u32(buf, mv.from.0);
+                put_u32(buf, mv.to.0);
+            }
+        }
+        Msg::Prepared => buf.push(6),
+        Msg::Commit => buf.push(7),
+        Msg::Ack => buf.push(8),
+    }
+}
+
+fn decode_msg(r: &mut Reader<'_>) -> Result<Msg> {
+    Ok(match r.u8()? {
+        0 => Msg::ProbeRequest,
+        1 => Msg::ProbeResponse { load: r.u64()? },
+        2 => Msg::Offer,
+        3 => Msg::Accept { jobs: r.jobs()? },
+        4 => Msg::Reject,
+        5 => {
+            let n = r.u32()? as usize;
+            if n.checked_mul(12).is_none_or(|b| b > r.data.len() - r.pos) {
+                return Err(Reader::truncated());
+            }
+            let moves = (0..n)
+                .map(|_| {
+                    Ok(JobMove {
+                        job: JobId(r.u32()?),
+                        from: MachineId(r.u32()?),
+                        to: MachineId(r.u32()?),
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Msg::Prepare {
+                plan: TransferPlan { moves },
+            }
+        }
+        6 => Msg::Prepared,
+        7 => Msg::Commit,
+        8 => Msg::Ack,
+        k => {
+            return Err(LbError::MalformedMessage {
+                reason: format!("unknown message kind {k}"),
+            })
+        }
+    })
+}
+
+fn encode_ctrl(buf: &mut Vec<u8>, msg: &CtrlMsg) {
+    match msg {
+        CtrlMsg::Hello { machine, session } => {
+            buf.push(0);
+            put_u32(buf, machine.0);
+            put_u64(buf, *session);
+        }
+        CtrlMsg::Report {
+            exchanges,
+            effective,
+            jobs_moved,
+            msgs_sent,
+            quiet,
+            load,
+            holdings,
+        } => {
+            buf.push(1);
+            put_u64(buf, *exchanges);
+            put_u64(buf, *effective);
+            put_u64(buf, *jobs_moved);
+            put_u64(buf, *msgs_sent);
+            put_u64(buf, *quiet);
+            put_u64(buf, *load);
+            put_u64(buf, *holdings);
+        }
+        CtrlMsg::QueryHoldings { token } => {
+            buf.push(2);
+            put_u64(buf, *token);
+        }
+        CtrlMsg::Holdings { token, jobs } => {
+            buf.push(3);
+            put_u64(buf, *token);
+            put_jobs(buf, jobs);
+        }
+        CtrlMsg::PeerDead { machine } => {
+            buf.push(4);
+            put_u32(buf, machine.0);
+        }
+        CtrlMsg::Adopt { jobs } => {
+            buf.push(5);
+            put_jobs(buf, jobs);
+        }
+        CtrlMsg::Shutdown => buf.push(6),
+        CtrlMsg::Goodbye { jobs } => {
+            buf.push(7);
+            put_jobs(buf, jobs);
+        }
+        CtrlMsg::Resume => buf.push(8),
+    }
+}
+
+fn decode_ctrl(r: &mut Reader<'_>) -> Result<CtrlMsg> {
+    Ok(match r.u8()? {
+        0 => CtrlMsg::Hello {
+            machine: MachineId(r.u32()?),
+            session: r.u64()?,
+        },
+        1 => CtrlMsg::Report {
+            exchanges: r.u64()?,
+            effective: r.u64()?,
+            jobs_moved: r.u64()?,
+            msgs_sent: r.u64()?,
+            quiet: r.u64()?,
+            load: r.u64()?,
+            holdings: r.u64()?,
+        },
+        2 => CtrlMsg::QueryHoldings { token: r.u64()? },
+        3 => CtrlMsg::Holdings {
+            token: r.u64()?,
+            jobs: r.jobs()?,
+        },
+        4 => CtrlMsg::PeerDead {
+            machine: MachineId(r.u32()?),
+        },
+        5 => CtrlMsg::Adopt { jobs: r.jobs()? },
+        6 => CtrlMsg::Shutdown,
+        7 => CtrlMsg::Goodbye { jobs: r.jobs()? },
+        8 => CtrlMsg::Resume,
+        k => {
+            return Err(LbError::MalformedMessage {
+                reason: format!("unknown control kind {k}"),
+            })
+        }
+    })
+}
+
+/// Encodes one frame payload (without the length prefix — transports
+/// add it when writing to a socket).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    match frame {
+        Frame::Proto(env) => {
+            buf.push(0);
+            put_u32(&mut buf, env.from.0);
+            put_u32(&mut buf, env.to.0);
+            put_u32(&mut buf, env.req.origin.0);
+            put_u64(&mut buf, env.req.serial);
+            put_u64(&mut buf, env.sent_at);
+            encode_msg(&mut buf, &env.msg);
+        }
+        Frame::Ctrl { from, to, msg } => {
+            buf.push(1);
+            put_u32(&mut buf, from.0);
+            put_u32(&mut buf, to.0);
+            encode_ctrl(&mut buf, msg);
+        }
+    }
+    buf
+}
+
+/// Decodes one frame payload strictly: every field bounds-checked, the
+/// buffer consumed exactly. Anything else is a
+/// [`LbError::MalformedMessage`].
+pub fn decode_frame(data: &[u8]) -> Result<Frame> {
+    let mut r = Reader::new(data);
+    let frame = match r.u8()? {
+        0 => {
+            let from = MachineId(r.u32()?);
+            let to = MachineId(r.u32()?);
+            let origin = MachineId(r.u32()?);
+            let serial = r.u64()?;
+            let sent_at = r.u64()?;
+            let msg = decode_msg(&mut r)?;
+            Frame::Proto(Envelope {
+                from,
+                to,
+                req: ReqId { origin, serial },
+                msg,
+                sent_at,
+            })
+        }
+        1 => {
+            let from = MachineId(r.u32()?);
+            let to = MachineId(r.u32()?);
+            let msg = decode_ctrl(&mut r)?;
+            Frame::Ctrl { from, to, msg }
+        }
+        t => {
+            return Err(LbError::MalformedMessage {
+                reason: format!("unknown frame tag {t}"),
+            })
+        }
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Writes `frame` to `w` as one length-prefixed wire frame.
+pub fn write_frame<W: std::io::Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
+    let payload = encode_frame(frame);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Reads one length-prefixed frame from `r`. `Ok(None)` is a clean EOF
+/// at a frame boundary; an EOF inside a frame, an oversized length
+/// prefix, or a payload that fails [`decode_frame`] is an error.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    decode_frame(&payload)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn proto_round_trips() {
+        let env = Envelope {
+            from: MachineId(2),
+            to: MachineId(5),
+            req: ReqId {
+                origin: MachineId(2),
+                serial: 77,
+            },
+            msg: Msg::Prepare {
+                plan: TransferPlan {
+                    moves: vec![JobMove {
+                        job: JobId(9),
+                        from: MachineId(2),
+                        to: MachineId(5),
+                    }],
+                },
+            },
+            sent_at: 123_456,
+        };
+        round_trip(Frame::Proto(env));
+    }
+
+    #[test]
+    fn ctrl_round_trips() {
+        round_trip(Frame::Ctrl {
+            from: MachineId(4),
+            to: MachineId(0),
+            msg: CtrlMsg::Holdings {
+                token: 3,
+                jobs: vec![JobId(1), JobId(8)],
+            },
+        });
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_frame(&Frame::Proto(Envelope {
+            from: MachineId(0),
+            to: MachineId(1),
+            req: ReqId {
+                origin: MachineId(0),
+                serial: 0,
+            },
+            msg: Msg::Ack,
+            sent_at: 0,
+        }));
+        bytes.push(0xAB);
+        assert!(decode_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_frame(&Frame::Ctrl {
+            from: MachineId(0),
+            to: MachineId(1),
+            msg: CtrlMsg::Hello {
+                machine: MachineId(0),
+                session: 9,
+            },
+        });
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_count_rejected_before_allocation() {
+        // A Holdings frame claiming u32::MAX jobs with a 4-byte body.
+        let mut bytes = vec![1u8]; // ctrl
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // from
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // to
+        bytes.push(3); // Holdings
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // token
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // one lone job
+        assert!(decode_frame(&bytes).is_err());
+    }
+}

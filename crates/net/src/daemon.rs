@@ -1,0 +1,865 @@
+//! Fleet orchestration: the control-plane coordinator and the harnesses
+//! that run a daemon fleet — deterministically in one process, or over
+//! real TCP sockets.
+//!
+//! The **coordinator** is a pure event-driven state machine over a
+//! [`Transport`], addressed as machine `m` (one past the instance's
+//! machines). It never touches jobs itself; it watches
+//! [`CtrlMsg::Report`] heartbeats, detects dead nodes by silence, runs
+//! **freeze-the-world custody sweeps** ([`CtrlMsg::QueryHoldings`] /
+//! [`CtrlMsg::Holdings`] / [`CtrlMsg::Resume`]), re-homes orphaned jobs
+//! with [`CtrlMsg::Adopt`], and winds the run down with
+//! [`CtrlMsg::Shutdown`], parking each parting node's custody under the
+//! same [`LeaseTable`] the simulator's churn machinery uses.
+//!
+//! Because the coordinator is transport-generic, the *same* control
+//! plane is exercised three ways:
+//!
+//! * [`run_fleet`] — N [`NodeRuntime`]s and the coordinator over one
+//!   [`QueueTransport`] switchboard: fully deterministic, used by the
+//!   conformance and chaos tests;
+//! * [`run_loopback_fleet`] — N node threads each owning a
+//!   [`TcpTransport`](crate::tcp::TcpTransport) on `127.0.0.1`, the
+//!   coordinator on its own socket: real frames, real clocks, one
+//!   process (the bench harness and `decent-lb daemon --nodes`);
+//! * `decent-lb daemon --role …` — one process per machine, the
+//!   CI smoke topology.
+
+use crate::codec::CtrlMsg;
+use crate::config::NetConfig;
+use crate::fault::FaultPlan;
+use crate::node::NodeRuntime;
+use crate::tcp::{BoundListener, TcpOpts, TcpTransport};
+use crate::transport::{FaultyTransport, QueueTransport, Transport, TransportEvent};
+use lb_core::PairwiseBalancer;
+use lb_distsim::custody::LeaseTable;
+use lb_model::prelude::*;
+
+/// Control-plane knobs (clock units are transport ticks: virtual ticks
+/// on the deterministic switchboard, milliseconds over TCP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordOpts {
+    /// A node is stable once its latest report's quiet streak reaches
+    /// this; the fleet is stable when every live node is.
+    pub stable_quiet: u64,
+    /// A node that has not reported for this long is declared dead.
+    pub death_timeout: u64,
+    /// Coordinator housekeeping cadence (death checks, stability
+    /// checks).
+    pub heartbeat: u64,
+    /// Hard wall on the whole run; exceeding it ends the run with
+    /// [`FleetOutcome::timed_out`] set.
+    pub max_runtime: u64,
+}
+
+impl Default for CoordOpts {
+    fn default() -> Self {
+        Self {
+            stable_quiet: 6,
+            death_timeout: 1_000,
+            heartbeat: 50,
+            max_runtime: 60_000,
+        }
+    }
+}
+
+/// What a fleet run produced (the daemon analogue of
+/// [`crate::sim::NetSummary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Transport-clock span of the run.
+    pub elapsed: u64,
+    /// Completed exchanges, summed over the fleet's final reports.
+    pub exchanges: u64,
+    /// Exchanges that moved at least one job.
+    pub effective: u64,
+    /// Jobs that changed custody.
+    pub jobs_moved: u64,
+    /// Protocol messages sent.
+    pub msgs_sent: u64,
+    /// Exchange throughput over the run (`exchanges / elapsed`, in
+    /// exchanges per second when the transport clock is milliseconds).
+    pub exchanges_per_sec: f64,
+    /// Message throughput over the run.
+    pub msgs_per_sec: f64,
+    /// Every job was in exactly one custody at every sweep and at the
+    /// final parting.
+    pub conserved: bool,
+    /// Human-readable conservation/custody violations (empty when
+    /// `conserved`).
+    pub violations: Vec<String>,
+    /// Custody sweeps performed.
+    pub sweeps: u64,
+    /// Nodes declared dead.
+    pub deaths: u64,
+    /// Jobs re-homed from dead nodes.
+    pub adopted: u64,
+    /// Machines whose parting custody is parked in the lease table.
+    pub parked: usize,
+    /// The run hit [`CoordOpts::max_runtime`] (or the deterministic
+    /// schedule ran dry) before a clean shutdown.
+    pub timed_out: bool,
+    /// Per-machine load at the last report (index = machine).
+    pub final_loads: Vec<Time>,
+}
+
+/// Why a sweep was started — decides what happens when it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepReason {
+    /// A node died: adopt orphans, then resume the fleet.
+    Death,
+    /// The fleet went stable: verify conservation, then shut down.
+    Final,
+}
+
+/// Coordinator phase.
+enum CoordState {
+    /// Watching reports.
+    Running,
+    /// A sweep is collecting holdings; `pending[i]` marks nodes whose
+    /// snapshot is still missing.
+    Sweeping {
+        token: u64,
+        reason: SweepReason,
+        pending: Vec<bool>,
+        holdings: Vec<Option<Vec<JobId>>>,
+    },
+    /// Shutdown sent; collecting goodbyes.
+    Draining,
+    /// Every live node parted (or the run timed out).
+    Done,
+}
+
+/// Last known state of one node, from the coordinator's chair.
+#[derive(Debug, Clone, Default)]
+struct NodeView {
+    alive: bool,
+    reported: bool,
+    last_report_at: u64,
+    exchanges: u64,
+    effective: u64,
+    jobs_moved: u64,
+    msgs_sent: u64,
+    quiet: u64,
+    load: Time,
+    parted: bool,
+}
+
+/// The control-plane state machine. Drive it like a node: arm with
+/// [`Coordinator::start`], feed every transport event to
+/// [`Coordinator::on_event`], stop when [`Coordinator::is_done`].
+pub struct Coordinator<'i> {
+    me: MachineId,
+    inst: &'i Instance,
+    opts: CoordOpts,
+    job_lease: u64,
+    nodes: Vec<NodeView>,
+    state: CoordState,
+    leases: LeaseTable,
+    parked_jobs: Vec<Vec<JobId>>,
+    violations: Vec<String>,
+    started_at: u64,
+    next_token: u64,
+    sweeps: u64,
+    deaths: u64,
+    adopted: u64,
+    timed_out: bool,
+}
+
+impl<'i> Coordinator<'i> {
+    /// A coordinator for `inst`'s fleet. Its own transport address is
+    /// `MachineId::from_idx(inst.num_machines())`.
+    pub fn new(inst: &'i Instance, cfg: &NetConfig, opts: CoordOpts) -> Self {
+        let m = inst.num_machines();
+        Self {
+            me: MachineId::from_idx(m),
+            inst,
+            opts,
+            job_lease: cfg.job_lease(),
+            nodes: vec![
+                NodeView {
+                    alive: true,
+                    ..NodeView::default()
+                };
+                m
+            ],
+            state: CoordState::Running,
+            leases: LeaseTable::new(),
+            parked_jobs: vec![Vec::new(); m],
+            violations: Vec::new(),
+            started_at: 0,
+            next_token: 1,
+            sweeps: 0,
+            deaths: 0,
+            adopted: 0,
+            timed_out: false,
+        }
+    }
+
+    /// The coordinator's transport address.
+    pub fn id(&self) -> MachineId {
+        self.me
+    }
+
+    /// Arms the housekeeping heartbeat; call once before the loop.
+    pub fn start<T: Transport>(&mut self, tx: &mut T) {
+        self.started_at = tx.now();
+        for view in &mut self.nodes {
+            view.last_report_at = self.started_at;
+        }
+        tx.schedule_timer(self.me, self.opts.heartbeat, 0);
+    }
+
+    /// Whether the run is over (clean or timed out).
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, CoordState::Done)
+    }
+
+    /// Feeds one transport event through the coordinator.
+    pub fn on_event<T: Transport>(&mut self, ev: TransportEvent, tx: &mut T) {
+        match ev {
+            TransportEvent::Timer { machine, .. } if machine == self.me => {
+                self.on_heartbeat(tx);
+            }
+            TransportEvent::Ctrl { from, to, msg }
+                if to == self.me && from.idx() < self.nodes.len() =>
+            {
+                self.on_ctrl(from, msg, tx);
+            }
+            _ => {}
+        }
+    }
+
+    /// Final tally; meaningful once [`Coordinator::is_done`] (or at the
+    /// harness's deadline).
+    pub fn outcome<T: Transport>(&mut self, tx: &mut T) -> FleetOutcome {
+        let elapsed = tx.now().saturating_sub(self.started_at).max(1);
+        let exchanges: u64 = self.nodes.iter().map(|n| n.exchanges).sum();
+        let msgs_sent: u64 = self.nodes.iter().map(|n| n.msgs_sent).sum();
+        let per_sec = |count: u64| count as f64 * 1_000.0 / elapsed as f64;
+        FleetOutcome {
+            elapsed,
+            exchanges,
+            effective: self.nodes.iter().map(|n| n.effective).sum(),
+            jobs_moved: self.nodes.iter().map(|n| n.jobs_moved).sum(),
+            msgs_sent,
+            exchanges_per_sec: per_sec(exchanges),
+            msgs_per_sec: per_sec(msgs_sent),
+            conserved: self.violations.is_empty(),
+            violations: self.violations.clone(),
+            sweeps: self.sweeps,
+            deaths: self.deaths,
+            adopted: self.adopted,
+            parked: self.leases.len(),
+            timed_out: self.timed_out,
+            final_loads: self.nodes.iter().map(|n| n.load).collect(),
+        }
+    }
+
+    /// Marks the run as hitting its deadline (harness-driven).
+    pub fn abort_timed_out(&mut self) {
+        self.timed_out = true;
+        self.state = CoordState::Done;
+    }
+
+    fn on_heartbeat<T: Transport>(&mut self, tx: &mut T) {
+        let now = tx.now();
+        if now.saturating_sub(self.started_at) >= self.opts.max_runtime {
+            self.abort_timed_out();
+            return;
+        }
+        self.check_deaths(now, tx);
+        if let CoordState::Running = self.state {
+            let stable = self
+                .nodes
+                .iter()
+                .filter(|n| n.alive)
+                .all(|n| n.reported && n.quiet >= self.opts.stable_quiet);
+            let any_alive = self.nodes.iter().any(|n| n.alive);
+            if stable && any_alive {
+                self.begin_sweep(SweepReason::Final, tx);
+            } else if !any_alive {
+                // Everyone died: nothing left to balance or to ask.
+                self.violations.push("entire fleet died".to_string());
+                self.state = CoordState::Done;
+            }
+        }
+        if !self.is_done() {
+            tx.schedule_timer(self.me, self.opts.heartbeat, 0);
+        }
+    }
+
+    fn check_deaths<T: Transport>(&mut self, now: u64, tx: &mut T) {
+        let mut newly_dead = Vec::new();
+        for (i, view) in self.nodes.iter_mut().enumerate() {
+            if view.alive
+                && !view.parted
+                && now.saturating_sub(view.last_report_at) >= self.opts.death_timeout
+            {
+                view.alive = false;
+                newly_dead.push(MachineId::from_idx(i));
+            }
+        }
+        if newly_dead.is_empty() {
+            return;
+        }
+        self.deaths += newly_dead.len() as u64;
+        for &dead in &newly_dead {
+            for i in 0..self.nodes.len() {
+                if self.nodes[i].alive {
+                    tx.send_ctrl(
+                        self.me,
+                        MachineId::from_idx(i),
+                        CtrlMsg::PeerDead { machine: dead },
+                    );
+                }
+            }
+        }
+        match &mut self.state {
+            CoordState::Running => self.begin_sweep(SweepReason::Death, tx),
+            CoordState::Sweeping {
+                pending, reason, ..
+            } => {
+                // The sweep was waiting on a node that just died: stop
+                // waiting for it, and make sure orphan adoption runs
+                // when the sweep lands.
+                *reason = SweepReason::Death;
+                for &dead in &newly_dead {
+                    pending[dead.idx()] = false;
+                }
+                self.try_finish_sweep(tx);
+            }
+            CoordState::Draining => {
+                // A node died holding its parting custody: its goodbye
+                // will never come. Whatever it held is lost to the run;
+                // record the hole rather than hang.
+                for &dead in &newly_dead {
+                    self.violations
+                        .push(format!("machine {} died while draining", dead.idx()));
+                }
+                self.try_finish_drain();
+            }
+            CoordState::Done => {}
+        }
+    }
+
+    fn begin_sweep<T: Transport>(&mut self, reason: SweepReason, tx: &mut T) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.sweeps += 1;
+        let mut pending = vec![false; self.nodes.len()];
+        for (i, view) in self.nodes.iter().enumerate() {
+            if view.alive {
+                pending[i] = true;
+                tx.send_ctrl(
+                    self.me,
+                    MachineId::from_idx(i),
+                    CtrlMsg::QueryHoldings { token },
+                );
+            }
+        }
+        self.state = CoordState::Sweeping {
+            token,
+            reason,
+            pending,
+            holdings: vec![None; self.nodes.len()],
+        };
+        self.try_finish_sweep(tx);
+    }
+
+    fn on_ctrl<T: Transport>(&mut self, from: MachineId, msg: CtrlMsg, tx: &mut T) {
+        let now = tx.now();
+        match msg {
+            CtrlMsg::Report {
+                exchanges,
+                effective,
+                jobs_moved,
+                msgs_sent,
+                quiet,
+                load,
+                holdings: _,
+            } => {
+                let view = &mut self.nodes[from.idx()];
+                view.reported = true;
+                view.last_report_at = now;
+                view.exchanges = exchanges;
+                view.effective = effective;
+                view.jobs_moved = jobs_moved;
+                view.msgs_sent = msgs_sent;
+                view.quiet = quiet;
+                view.load = load;
+            }
+            CtrlMsg::Holdings { token, jobs } => {
+                self.nodes[from.idx()].last_report_at = now;
+                if let CoordState::Sweeping {
+                    token: want,
+                    pending,
+                    holdings,
+                    ..
+                } = &mut self.state
+                {
+                    if token == *want && pending[from.idx()] {
+                        pending[from.idx()] = false;
+                        holdings[from.idx()] = Some(jobs);
+                        self.try_finish_sweep(tx);
+                    }
+                }
+            }
+            CtrlMsg::Goodbye { jobs } => {
+                let view = &mut self.nodes[from.idx()];
+                if !view.parted {
+                    view.parted = true;
+                    self.parked_jobs[from.idx()] = jobs;
+                    self.leases.park(from, now.saturating_add(self.job_lease));
+                    self.try_finish_drain();
+                }
+            }
+            // Node-bound or transport-internal messages; a node never
+            // legitimately sends these up.
+            CtrlMsg::Hello { .. }
+            | CtrlMsg::QueryHoldings { .. }
+            | CtrlMsg::PeerDead { .. }
+            | CtrlMsg::Adopt { .. }
+            | CtrlMsg::Shutdown
+            | CtrlMsg::Resume => {}
+        }
+    }
+
+    /// If the in-flight sweep has every live node's snapshot, audits
+    /// custody and either resumes the fleet (death sweep) or starts the
+    /// shutdown drain (final sweep).
+    fn try_finish_sweep<T: Transport>(&mut self, tx: &mut T) {
+        let CoordState::Sweeping {
+            reason, pending, ..
+        } = &self.state
+        else {
+            return;
+        };
+        if pending.iter().any(|&p| p) {
+            return;
+        }
+        let reason = *reason;
+        let holdings = std::mem::take(match &mut self.state {
+            CoordState::Sweeping { holdings, .. } => holdings,
+            _ => unreachable!("matched above"),
+        });
+        // Custody audit: every job in at most one snapshot; jobs in
+        // none are orphans (their holder died mid-run).
+        let mut holder: Vec<Option<MachineId>> = vec![None; self.inst.num_jobs()];
+        for (i, snap) in holdings.iter().enumerate() {
+            let Some(snap) = snap else { continue };
+            let machine = MachineId::from_idx(i);
+            for &j in snap {
+                if j.idx() >= holder.len() {
+                    self.violations
+                        .push(format!("machine {i} reported unknown job {}", j.idx()));
+                    continue;
+                }
+                if let Some(other) = holder[j.idx()] {
+                    self.violations.push(format!(
+                        "job {} held by both machine {} and machine {i}",
+                        j.idx(),
+                        other.idx()
+                    ));
+                } else {
+                    holder[j.idx()] = Some(machine);
+                }
+            }
+        }
+        let orphans: Vec<JobId> = holder
+            .iter()
+            .enumerate()
+            .filter(|&(_, h)| h.is_none())
+            .map(|(j, _)| JobId::from_idx(j))
+            .collect();
+        match reason {
+            SweepReason::Death => {
+                self.adopt(&orphans, tx);
+                for (i, view) in self.nodes.iter().enumerate() {
+                    if view.alive {
+                        tx.send_ctrl(self.me, MachineId::from_idx(i), CtrlMsg::Resume);
+                    }
+                }
+                self.state = CoordState::Running;
+            }
+            SweepReason::Final => {
+                if !orphans.is_empty() {
+                    // No death preceded this sweep, so a hole in the
+                    // union is real custody loss, not a crash artifact.
+                    self.violations.push(format!(
+                        "{} jobs in no custody at final sweep (first: job {})",
+                        orphans.len(),
+                        orphans[0].idx()
+                    ));
+                }
+                for (i, view) in self.nodes.iter().enumerate() {
+                    if view.alive {
+                        tx.send_ctrl(self.me, MachineId::from_idx(i), CtrlMsg::Shutdown);
+                    }
+                }
+                self.state = CoordState::Draining;
+                self.try_finish_drain();
+            }
+        }
+    }
+
+    /// Round-robins `orphans` over the live nodes via [`CtrlMsg::Adopt`].
+    fn adopt<T: Transport>(&mut self, orphans: &[JobId], tx: &mut T) {
+        if orphans.is_empty() {
+            return;
+        }
+        let alive: Vec<MachineId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.alive)
+            .map(|(i, _)| MachineId::from_idx(i))
+            .collect();
+        if alive.is_empty() {
+            self.violations.push(format!(
+                "{} orphaned jobs with no live machine to adopt them",
+                orphans.len()
+            ));
+            return;
+        }
+        self.adopted += orphans.len() as u64;
+        let mut batches: Vec<Vec<JobId>> = vec![Vec::new(); alive.len()];
+        for (k, &j) in orphans.iter().enumerate() {
+            batches[k % alive.len()].push(j);
+        }
+        for (&machine, jobs) in alive.iter().zip(batches) {
+            if !jobs.is_empty() {
+                tx.send_ctrl(self.me, machine, CtrlMsg::Adopt { jobs });
+            }
+        }
+    }
+
+    /// If every live node has parted, audits the parked custody and
+    /// finishes the run.
+    fn try_finish_drain(&mut self) {
+        let waiting = self.nodes.iter().any(|v| v.alive && !v.parted);
+        if waiting {
+            return;
+        }
+        // Final conservation: the parked snapshots must tile the job
+        // universe (minus anything already flagged as lost).
+        let mut seen = vec![false; self.inst.num_jobs()];
+        let mut dupes = 0u64;
+        for jobs in &self.parked_jobs {
+            for &j in jobs {
+                if j.idx() < seen.len() {
+                    if seen[j.idx()] {
+                        dupes += 1;
+                    }
+                    seen[j.idx()] = true;
+                }
+            }
+        }
+        if dupes > 0 {
+            self.violations
+                .push(format!("{dupes} jobs parked under two custodies"));
+        }
+        let missing = seen.iter().filter(|&&s| !s).count();
+        let dead_unparted = self.nodes.iter().any(|v| !v.alive && !v.parted);
+        if missing > 0 && !dead_unparted {
+            self.violations
+                .push(format!("{missing} jobs missing from parked custody"));
+        }
+        self.state = CoordState::Done;
+    }
+}
+
+/// Drives one node's event loop until it parts with its custody, the
+/// transport goes silent for good, or a deadline passes. Returns `true`
+/// on a clean exit (goodbye sent).
+///
+/// `die_at` abruptly abandons the loop at the given transport time —
+/// the in-process stand-in for `SIGKILL` (dropping a
+/// [`TcpTransport`](crate::tcp::TcpTransport) slams its sockets shut
+/// exactly like a dead process would).
+pub fn run_node<T: Transport>(
+    node: &mut NodeRuntime<'_>,
+    tx: &mut T,
+    deadline: u64,
+    die_at: Option<u64>,
+) -> bool {
+    node.start(tx);
+    loop {
+        if node.is_done() {
+            // A clean part flushes the outbound buffers so the parting
+            // `Goodbye` is on the wire before the caller (possibly a
+            // whole process) exits. Crash paths below skip this: dying
+            // abruptly loses buffered frames, as a real SIGKILL would.
+            tx.drain();
+            return true;
+        }
+        let now = tx.now();
+        if let Some(d) = die_at {
+            if now >= d {
+                return false;
+            }
+        }
+        if now >= deadline {
+            return false;
+        }
+        match tx.poll() {
+            Some((_, ev)) => node.on_event(ev, tx),
+            None => {
+                if !tx.poll_is_momentary() {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Initial custody: jobs dealt round-robin over the machines (the same
+/// opening hand for every harness, so runs are comparable).
+pub fn deal_round_robin(inst: &Instance) -> Vec<Vec<JobId>> {
+    let m = inst.num_machines();
+    let mut hands = vec![Vec::new(); m];
+    for j in 0..inst.num_jobs() {
+        hands[j % m].push(JobId::from_idx(j));
+    }
+    hands
+}
+
+/// Runs a whole fleet — N nodes plus the coordinator — over one
+/// deterministic [`QueueTransport`] switchboard. Same code paths as the
+/// socket harness, reproducible from `cfg.seed`; `plan` (if any) wraps
+/// the switchboard in a [`FaultyTransport`].
+pub fn run_fleet(
+    inst: &Instance,
+    balancer: &dyn PairwiseBalancer,
+    cfg: &NetConfig,
+    opts: CoordOpts,
+    plan: Option<FaultPlan>,
+) -> FleetOutcome {
+    let m = inst.num_machines();
+    let coord_id = MachineId::from_idx(m);
+    let queue = QueueTransport::new(inst, cfg.latency, cfg.seed.wrapping_add(0x7a17));
+    let mut tx = FaultyTransport::new(
+        queue,
+        plan.unwrap_or_else(FaultPlan::none),
+        cfg.seed.wrapping_add(0xfa01),
+    );
+    let hands = deal_round_robin(inst);
+    let mut nodes: Vec<NodeRuntime<'_>> = (0..m)
+        .map(|i| {
+            NodeRuntime::new(
+                MachineId::from_idx(i),
+                inst,
+                balancer,
+                cfg,
+                &hands[i],
+                coord_id,
+            )
+        })
+        .collect();
+    let mut coord = Coordinator::new(inst, cfg, opts);
+    for node in &mut nodes {
+        node.start(&mut tx);
+    }
+    coord.start(&mut tx);
+    while !coord.is_done() {
+        let Some((_, ev)) = tx.poll() else {
+            // The deterministic schedule ran dry before the coordinator
+            // concluded: a stall, reported as a timeout.
+            coord.abort_timed_out();
+            break;
+        };
+        let target = match &ev {
+            TransportEvent::Deliver(env) => env.to,
+            TransportEvent::Timer { machine, .. } => *machine,
+            TransportEvent::Ctrl { to, .. } => *to,
+            TransportEvent::PeerUp { machine, .. } | TransportEvent::PeerDown { machine, .. } => {
+                *machine
+            }
+        };
+        if target == coord_id {
+            coord.on_event(ev, &mut tx);
+        } else if target.idx() < m {
+            let node = &mut nodes[target.idx()];
+            if !node.is_done() {
+                node.on_event(ev, &mut tx);
+            }
+        }
+    }
+    coord.outcome(&mut tx)
+}
+
+/// Knobs for the real-socket loopback harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopbackOpts {
+    /// Control-plane settings.
+    pub coord: CoordOpts,
+    /// Per-node fault plan injected over the real sockets (chaos mode).
+    pub faults: Option<FaultPlanOpt>,
+    /// Kill this machine's node thread abruptly at this transport time
+    /// (ms), simulating `SIGKILL`.
+    pub kill: Option<(MachineId, u64)>,
+}
+
+/// A copyable wrapper so [`LoopbackOpts`] stays `Copy` (FaultPlan holds
+/// a partition list).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlanOpt {
+    /// Drop probability, permille.
+    pub drop_permille: u16,
+    /// Duplication probability, permille.
+    pub dup_permille: u16,
+}
+
+/// Runs N nodes, each on its own thread with its own
+/// [`TcpTransport`](crate::tcp::TcpTransport) bound to `127.0.0.1:0`,
+/// and the coordinator inline — real frames over real sockets, one
+/// process. This is the engine behind `decent-lb daemon --nodes`, the
+/// daemon bench section, and the socket-side conformance tests.
+pub fn run_loopback_fleet(
+    inst: &Instance,
+    balancer: &(dyn PairwiseBalancer + Sync),
+    cfg: &NetConfig,
+    opts: LoopbackOpts,
+) -> Result<FleetOutcome> {
+    let m = inst.num_machines();
+    let mut listeners = Vec::with_capacity(m + 1);
+    let mut addrs = Vec::with_capacity(m + 1);
+    for _ in 0..=m {
+        let l = BoundListener::bind("127.0.0.1:0")?;
+        addrs.push(l.local_addr());
+        listeners.push(l);
+    }
+    let coord_listener = listeners.pop().expect("coordinator listener");
+    let coord_id = MachineId::from_idx(m);
+    let hands = deal_round_robin(inst);
+    let outcome = std::thread::scope(|scope| {
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let me = MachineId::from_idx(i);
+            let addrs = addrs.clone();
+            let hand = hands[i].clone();
+            let die_at = match opts.kill {
+                Some((victim, at)) if victim == me => Some(at),
+                _ => None,
+            };
+            scope.spawn(move || {
+                let tcp = TcpTransport::start(me, listener, addrs, 1, TcpOpts::default());
+                let mut node = NodeRuntime::new(me, inst, balancer, cfg, &hand, coord_id);
+                let deadline = opts.coord.max_runtime.saturating_add(2_000);
+                match opts.faults {
+                    Some(f) => {
+                        let plan = FaultPlan {
+                            drop_permille: f.drop_permille,
+                            dup_permille: f.dup_permille,
+                            ..FaultPlan::none()
+                        };
+                        let mut tx =
+                            FaultyTransport::new(tcp, plan, cfg.seed.wrapping_add(i as u64));
+                        run_node(&mut node, &mut tx, deadline, die_at);
+                    }
+                    None => {
+                        let mut tx = tcp;
+                        run_node(&mut node, &mut tx, deadline, die_at);
+                    }
+                }
+            });
+        }
+        let mut tx = TcpTransport::start(coord_id, coord_listener, addrs, 1, TcpOpts::default());
+        let mut coord = Coordinator::new(inst, cfg, opts.coord);
+        coord.start(&mut tx);
+        while !coord.is_done() {
+            if let Some((_, ev)) = tx.poll() {
+                coord.on_event(ev, &mut tx);
+            }
+            // A silent interval is fine over TCP; the heartbeat timer
+            // keeps the loop moving and enforces max_runtime.
+        }
+        tx.drain();
+        coord.outcome(&mut tx)
+        // Leaving the scope joins the node threads: the coordinator's
+        // shutdown (or the deadline backstop) has already released them.
+    });
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::EctPairBalance;
+    use lb_workloads::uniform::paper_uniform;
+
+    fn small_cfg(seed: u64) -> NetConfig {
+        NetConfig {
+            seed,
+            quiescence_window: 16,
+            ..NetConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_fleet_converges_and_conserves() {
+        let inst = paper_uniform(6, 60, 11);
+        let out = run_fleet(
+            &inst,
+            &EctPairBalance,
+            &small_cfg(7),
+            CoordOpts {
+                max_runtime: 2_000_000,
+                ..CoordOpts::default()
+            },
+            None,
+        );
+        assert!(!out.timed_out, "fleet stalled: {:?}", out.violations);
+        assert!(out.conserved, "violations: {:?}", out.violations);
+        assert_eq!(out.parked, 6);
+        assert!(out.exchanges > 0);
+        assert!(out.sweeps >= 1);
+    }
+
+    #[test]
+    fn deterministic_fleet_is_reproducible() {
+        let inst = paper_uniform(4, 40, 3);
+        let opts = CoordOpts {
+            max_runtime: 2_000_000,
+            ..CoordOpts::default()
+        };
+        let a = run_fleet(&inst, &EctPairBalance, &small_cfg(9), opts, None);
+        let b = run_fleet(&inst, &EctPairBalance, &small_cfg(9), opts, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_survives_message_loss() {
+        let inst = paper_uniform(4, 40, 5);
+        let plan = FaultPlan {
+            drop_permille: 100,
+            dup_permille: 50,
+            ..FaultPlan::none()
+        };
+        let out = run_fleet(
+            &inst,
+            &EctPairBalance,
+            &small_cfg(13),
+            CoordOpts {
+                max_runtime: 4_000_000,
+                ..CoordOpts::default()
+            },
+            Some(plan),
+        );
+        assert!(!out.timed_out, "fleet stalled: {:?}", out.violations);
+        assert!(out.conserved, "violations: {:?}", out.violations);
+    }
+
+    #[test]
+    fn round_robin_deal_tiles_the_universe() {
+        let inst = paper_uniform(5, 33, 2);
+        let hands = deal_round_robin(&inst);
+        let mut seen = vec![false; 33];
+        for hand in &hands {
+            for &j in hand {
+                assert!(!seen[j.idx()], "job dealt twice");
+                seen[j.idx()] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -36,32 +36,44 @@ pub enum Event {
 /// An event with its schedule key. Ordered by `(time, seq)` so
 /// [`BinaryHeap`] pops the earliest event, FIFO within an instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Scheduled {
+struct Scheduled<E> {
     time: u64,
     seq: u64,
-    event: Event,
+    event: E,
 }
 
-impl Ord for Scheduled {
+impl<E: Eq> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
-impl PartialOrd for Scheduled {
+impl<E: Eq> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// A min-heap of [`Event`]s keyed by `(time, seq)`.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
+/// A min-heap of events keyed by `(time, seq)`. The payload defaults to
+/// [`Event`] (the simulator's schedule); the deterministic
+/// [`crate::transport::QueueTransport`] instantiates it with its own
+/// event type to carry control frames alongside deliveries.
+#[derive(Debug)]
+pub struct EventQueue<E: Eq = Event> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
     next_seq: u64,
 }
 
-impl EventQueue {
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         Self::default()
@@ -69,7 +81,7 @@ impl EventQueue {
 
     /// Schedules `event` at virtual time `time`. Events at equal times
     /// pop in push order.
-    pub fn push(&mut self, time: u64, event: Event) {
+    pub fn push(&mut self, time: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Scheduled { time, seq, event }));
@@ -77,8 +89,13 @@ impl EventQueue {
 
     /// Pops the earliest event as `(time, event)`, or `None` when the
     /// simulation has run dry.
-    pub fn pop(&mut self) -> Option<(u64, Event)> {
+    pub fn pop(&mut self) -> Option<(u64, E)> {
         self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+    }
+
+    /// The earliest scheduled time, without popping.
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(s)| s.time)
     }
 
     /// Number of pending events.

@@ -56,17 +56,32 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod codec;
 pub mod config;
+pub mod daemon;
 pub mod event;
 pub mod fault;
 pub mod latency;
 pub mod msg;
+pub mod node;
+pub mod proto;
 pub mod sim;
+pub mod tcp;
+pub mod transport;
 
 pub use agent::{Agent, AgentState, TransferIntent};
+pub use codec::{CtrlMsg, Frame};
 pub use config::NetConfig;
+pub use daemon::{
+    deal_round_robin, run_fleet, run_loopback_fleet, run_node, CoordOpts, Coordinator,
+    FaultPlanOpt, FleetOutcome, LoopbackOpts,
+};
 pub use event::{Event, EventQueue};
 pub use fault::{CrashSemantics, FaultPlan, LinkPartition};
 pub use latency::LatencyModel;
 pub use msg::{Envelope, JobMove, Msg, ReqId, TransferPlan};
+pub use node::{NodeRuntime, NodeStats, CTRL_EPOCH};
+pub use proto::ProtoCtx;
 pub use sim::{replicate_net, run_net, NetRun, NetSim, NetSummary};
+pub use tcp::{BoundListener, TcpOpts, TcpStats, TcpTransport};
+pub use transport::{FaultyTransport, QueueTransport, Transport, TransportEvent};

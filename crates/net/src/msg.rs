@@ -90,7 +90,13 @@ pub enum Msg {
     Offer,
     /// The target locks itself to this exchange (it will reject other
     /// offers until the exchange completes or its lease expires).
-    Accept,
+    Accept {
+        /// The target's job holding at accept time, so an initiator that
+        /// cannot see the target's state (a daemon over real sockets)
+        /// can plan the pair. The simulator leaves it empty — its
+        /// planner reads the shared assignment directly.
+        jobs: Vec<JobId>,
+    },
     /// The target is busy with another exchange; the initiator gives up
     /// this attempt.
     Reject,
@@ -121,7 +127,7 @@ impl Msg {
             Msg::ProbeRequest => MsgKind::ProbeRequest,
             Msg::ProbeResponse { .. } => MsgKind::ProbeResponse,
             Msg::Offer => MsgKind::Offer,
-            Msg::Accept => MsgKind::Accept,
+            Msg::Accept { .. } => MsgKind::Accept,
             Msg::Reject => MsgKind::Reject,
             Msg::Prepare { .. } => MsgKind::Prepare,
             Msg::Prepared => MsgKind::Prepared,
@@ -146,6 +152,88 @@ pub struct Envelope {
     pub sent_at: u64,
 }
 
+impl TransferPlan {
+    /// Validates a plan that crossed a trust boundary (arrived over a
+    /// real socket): every id in range and every job mentioned at most
+    /// once. The simulator never calls this — its plans are
+    /// constructed, not received — but a daemon must, because acting on
+    /// a hostile plan would corrupt custody instead of merely wasting
+    /// an exchange.
+    pub fn validate(&self, num_machines: usize, num_jobs: usize) -> Result<()> {
+        let mut seen = vec![false; num_jobs];
+        for mv in &self.moves {
+            if mv.job.idx() >= num_jobs {
+                return Err(LbError::MalformedMessage {
+                    reason: format!("plan moves job {} out of range {num_jobs}", mv.job.idx()),
+                });
+            }
+            if mv.from.idx() >= num_machines || mv.to.idx() >= num_machines {
+                return Err(LbError::MalformedMessage {
+                    reason: format!(
+                        "plan move of job {} names machine out of range {num_machines}",
+                        mv.job.idx()
+                    ),
+                });
+            }
+            if seen[mv.job.idx()] {
+                return Err(LbError::MalformedMessage {
+                    reason: format!("plan moves job {} twice", mv.job.idx()),
+                });
+            }
+            seen[mv.job.idx()] = true;
+        }
+        Ok(())
+    }
+}
+
+impl Envelope {
+    /// Validates an envelope that crossed a trust boundary: addressing
+    /// in range, sender not talking to itself, and any carried job ids
+    /// or plans well-formed. Drivers fed from a wire *count and drop*
+    /// envelopes failing this instead of handing them to the protocol
+    /// body (see [`crate::proto`]); the deterministic simulator skips
+    /// it because it only delivers envelopes it built itself.
+    pub fn validate(&self, num_machines: usize, num_jobs: usize) -> Result<()> {
+        let bad_machine = |machine: MachineId| LbError::MalformedMessage {
+            reason: format!(
+                "envelope names machine {} out of range {num_machines}",
+                machine.idx()
+            ),
+        };
+        if self.from.idx() >= num_machines {
+            return Err(bad_machine(self.from));
+        }
+        if self.to.idx() >= num_machines {
+            return Err(bad_machine(self.to));
+        }
+        if self.from == self.to {
+            return Err(LbError::MalformedMessage {
+                reason: format!("machine {} sent to itself", self.from.idx()),
+            });
+        }
+        if self.req.origin.idx() >= num_machines {
+            return Err(bad_machine(self.req.origin));
+        }
+        match &self.msg {
+            Msg::Accept { jobs } => {
+                for &j in jobs {
+                    if j.idx() >= num_jobs {
+                        return Err(LbError::MalformedMessage {
+                            reason: format!(
+                                "accept snapshot names job {} out of range {num_jobs}",
+                                j.idx()
+                            ),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Msg::Prepare { plan } => plan.validate(num_machines, num_jobs),
+            _ => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,7 +244,7 @@ mod tests {
             Msg::ProbeRequest,
             Msg::ProbeResponse { load: 3 },
             Msg::Offer,
-            Msg::Accept,
+            Msg::Accept { jobs: Vec::new() },
             Msg::Reject,
             Msg::Prepare {
                 plan: TransferPlan::default(),
@@ -168,6 +256,94 @@ mod tests {
         let mut idxs: Vec<usize> = msgs.iter().map(|m| m.kind().idx()).collect();
         idxs.sort_unstable();
         assert_eq!(idxs, (0..MsgKind::COUNT).collect::<Vec<_>>());
+    }
+
+    fn env(msg: Msg) -> Envelope {
+        Envelope {
+            from: MachineId(0),
+            to: MachineId(1),
+            req: ReqId {
+                origin: MachineId(0),
+                serial: 1,
+            },
+            msg,
+            sent_at: 0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(env(Msg::ProbeRequest).validate(2, 4).is_ok());
+        assert!(env(Msg::Accept {
+            jobs: vec![JobId::from_idx(0), JobId::from_idx(3)],
+        })
+        .validate(2, 4)
+        .is_ok());
+        let plan = TransferPlan {
+            moves: vec![JobMove {
+                job: JobId::from_idx(2),
+                from: MachineId(0),
+                to: MachineId(1),
+            }],
+        };
+        assert!(env(Msg::Prepare { plan }).validate(2, 4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_addressing() {
+        let mut e = env(Msg::ProbeRequest);
+        e.from = MachineId(9);
+        assert!(matches!(
+            e.validate(2, 4),
+            Err(LbError::MalformedMessage { .. })
+        ));
+        let mut e = env(Msg::ProbeRequest);
+        e.to = e.from;
+        assert!(matches!(
+            e.validate(2, 4),
+            Err(LbError::MalformedMessage { .. })
+        ));
+        let mut e = env(Msg::ProbeRequest);
+        e.req.origin = MachineId(7);
+        assert!(matches!(
+            e.validate(2, 4),
+            Err(LbError::MalformedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_snapshot() {
+        let e = env(Msg::Accept {
+            jobs: vec![JobId::from_idx(99)],
+        });
+        assert!(matches!(
+            e.validate(2, 4),
+            Err(LbError::MalformedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_hostile_plans() {
+        let mv = |job: usize, from: usize, to: usize| JobMove {
+            job: JobId::from_idx(job),
+            from: MachineId::from_idx(from),
+            to: MachineId::from_idx(to),
+        };
+        // Job out of range.
+        let plan = TransferPlan {
+            moves: vec![mv(99, 0, 1)],
+        };
+        assert!(plan.validate(2, 4).is_err());
+        // Machine out of range.
+        let plan = TransferPlan {
+            moves: vec![mv(0, 0, 9)],
+        };
+        assert!(plan.validate(2, 4).is_err());
+        // Duplicate job (would double-apply at commit).
+        let plan = TransferPlan {
+            moves: vec![mv(1, 0, 1), mv(1, 1, 0)],
+        };
+        assert!(plan.validate(2, 4).is_err());
     }
 
     #[test]

@@ -1,0 +1,758 @@
+//! One daemon node: the protocol body over a real (or deterministic)
+//! [`Transport`], with **local** job custody.
+//!
+//! Where the simulator's agents share one [`lb_model::Assignment`], a
+//! [`NodeRuntime`] owns only its holding: the set of jobs currently in
+//! its custody. Every machine regenerates the same [`Instance`] from
+//! the shared workload flags and seed, so job and machine *identities*
+//! are global; job *ownership* moves only through the two-phase
+//! exchange or a coordinator custody edict.
+//!
+//! # Distributed custody (no shared state to hide behind)
+//!
+//! The simulator can be sloppy about *when* each half of an exchange
+//! applies — both halves hit one assignment. A daemon cannot:
+//!
+//! * the **target** applies its half exactly when it applies `Commit`
+//!   (and remembers the serial per peer);
+//! * the **initiator** applies its half only when the target's `Ack`
+//!   arrives ([`crate::proto::ProtoCtx::on_commit_acked`]);
+//! * a target acks an unmatched `Commit` only if it *remembers
+//!   applying that serial* — otherwise it answers `Reject`, and the
+//!   initiator aborts the exchange unapplied
+//!   ([`crate::proto::ProtoCtx::reject_aborts_commit`]). This closes
+//!   the two-generals hole where a lease expiry discards a prepared
+//!   intent and the initiator would otherwise apply a transfer the
+//!   target never made.
+//! * commit-phase retries get an effectively unbounded budget: once
+//!   `Commit` is sent the exchange must resolve forward (re-ack or
+//!   disclaim), and a peer that never answers is resolved by the
+//!   coordinator's death machinery instead
+//!   ([`CtrlMsg::PeerDead`] aborts the conversation with nothing
+//!   applied; the custody sweep re-homes whatever died).
+//!
+//! Every envelope from the wire is validated
+//! ([`crate::msg::Envelope::validate`]) and every plan filtered against
+//! known custody before use — a malformed or hostile peer costs
+//! counters, never a crash and never a custody violation.
+//!
+//! # Freeze-on-sweep
+//!
+//! A conservation check over live traffic would tear: a job legally
+//! appears in two holdings between a target's commit-apply and the
+//! initiator's ack-apply. Nodes therefore answer
+//! [`CtrlMsg::QueryHoldings`] only once fully idle (no conversation,
+//! no pending intent) and **freeze** until [`CtrlMsg::Resume`] — so a
+//! sweep's snapshots are mutually consistent and the union either
+//! covers the universe exactly once or someone truly lost custody.
+
+use crate::agent::{Agent, AgentState};
+use crate::codec::CtrlMsg;
+use crate::config::NetConfig;
+use crate::msg::{Envelope, JobMove, Msg, ReqId, TransferPlan};
+use crate::proto::{self, ProtoCtx};
+use crate::transport::{Transport, TransportEvent};
+use lb_core::PairwiseBalancer;
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Timer-epoch sentinel for the node's control heartbeat (reports,
+/// housekeeping). Agent epochs count up from zero and never reach it.
+pub const CTRL_EPOCH: u64 = u64::MAX;
+
+/// Counters a node accumulates (what [`CtrlMsg::Report`] ships).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Completed exchanges where this node was the target.
+    pub exchanges: u64,
+    /// Completed target-side exchanges that moved at least one job.
+    pub effective: u64,
+    /// Jobs received through completed exchanges (both roles).
+    pub jobs_moved: u64,
+    /// Protocol messages sent.
+    pub msgs_sent: u64,
+    /// Consecutive completed exchanges that moved nothing (the node's
+    /// local quiescence signal).
+    pub quiet: u64,
+    /// Envelopes dropped by validation (malformed or hostile).
+    pub malformed: u64,
+    /// Request/lease timeouts fired.
+    pub timeouts: u64,
+    /// Commits the target disclaimed (aborted unapplied).
+    pub disclaimed: u64,
+    /// Jobs adopted through coordinator custody edicts.
+    pub adopted: u64,
+}
+
+/// What drives a node's [`NodeRuntime::on_event`] loop to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Balancing normally.
+    Running,
+    /// Answered a custody sweep; waiting for [`CtrlMsg::Resume`].
+    Frozen,
+    /// [`CtrlMsg::Shutdown`] received; draining the in-flight
+    /// conversation before parting with custody.
+    Draining,
+    /// Goodbye sent; the event loop may exit.
+    Done,
+}
+
+/// One machine's daemon runtime: agent + local custody + control-plane
+/// client, generic over the [`Transport`] underneath.
+pub struct NodeRuntime<'i> {
+    me: MachineId,
+    coordinator: MachineId,
+    inst: &'i Instance,
+    balancer: &'i dyn PairwiseBalancer,
+    cfg: &'i NetConfig,
+    report_every: u64,
+    agent: Agent,
+    /// `holds[j]` — job `j` is in this node's custody.
+    holds: Vec<bool>,
+    load: Time,
+    num_held: u64,
+    /// Per peer: the serial of the last commit this node applied as
+    /// target (the idempotence memory for duplicate commits).
+    last_applied: Vec<Option<u64>>,
+    /// Peers the coordinator declared dead.
+    dead: Vec<bool>,
+    rng: StdRng,
+    stats: NodeStats,
+    phase: Phase,
+    /// A sweep token waiting for the node to go idle before answering.
+    pending_query: Option<u64>,
+}
+
+impl<'i> NodeRuntime<'i> {
+    /// A node for machine `me` holding `initial` jobs. `coordinator` is
+    /// the control-plane address (by convention
+    /// `MachineId::from_idx(inst.num_machines())`).
+    pub fn new(
+        me: MachineId,
+        inst: &'i Instance,
+        balancer: &'i dyn PairwiseBalancer,
+        cfg: &'i NetConfig,
+        initial: &[JobId],
+        coordinator: MachineId,
+    ) -> Self {
+        let m = inst.num_machines();
+        let mut node = Self {
+            me,
+            coordinator,
+            inst,
+            balancer,
+            cfg,
+            report_every: cfg.think().saturating_mul(8).max(8),
+            agent: Agent::new(),
+            holds: vec![false; inst.num_jobs()],
+            load: 0,
+            num_held: 0,
+            last_applied: vec![None; m],
+            dead: vec![false; m],
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(me.idx() as u64).wrapping_add(1)),
+            stats: NodeStats::default(),
+            phase: Phase::Running,
+            pending_query: None,
+        };
+        for &j in initial {
+            node.add_job(j);
+        }
+        node
+    }
+
+    /// Arms the initial wake and heartbeat timers; call once before the
+    /// event loop.
+    pub fn start<T: Transport>(&mut self, tx: &mut T) {
+        let think = self.cfg.think();
+        let jitter = self.rng.gen_range(1..=think.max(1));
+        tx.schedule_timer(self.me, jitter, self.agent.epoch);
+        tx.schedule_timer(self.me, self.report_every, CTRL_EPOCH);
+    }
+
+    /// Whether the event loop can exit (custody handed off).
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The node's current holding, ascending.
+    pub fn holdings(&self) -> Vec<JobId> {
+        self.holds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h)
+            .map(|(j, _)| JobId::from_idx(j))
+            .collect()
+    }
+
+    /// The node's current load under the instance's cost model.
+    pub fn load(&self) -> Time {
+        self.load
+    }
+
+    fn add_job(&mut self, j: JobId) {
+        if !self.holds[j.idx()] {
+            self.holds[j.idx()] = true;
+            self.num_held += 1;
+            self.load = self.load.saturating_add(self.inst.cost(self.me, j));
+        }
+    }
+
+    fn remove_job(&mut self, j: JobId) {
+        if self.holds[j.idx()] {
+            self.holds[j.idx()] = false;
+            self.num_held -= 1;
+            self.load = self.load.saturating_sub(self.inst.cost(self.me, j));
+        }
+    }
+
+    /// Feeds one transport event through the node. Call from the event
+    /// loop with every `poll` result.
+    pub fn on_event<T: Transport>(&mut self, ev: TransportEvent, tx: &mut T) {
+        match ev {
+            TransportEvent::Timer { machine, epoch } => {
+                if machine != self.me {
+                    return;
+                }
+                if epoch == CTRL_EPOCH {
+                    self.send_report(tx);
+                    tx.schedule_timer(self.me, self.report_every, CTRL_EPOCH);
+                } else if epoch == self.agent.epoch
+                    && matches!(self.phase, Phase::Running | Phase::Draining)
+                {
+                    self.drive(tx, |agent, ctx| proto::on_timer(agent, ctx.node_id(), ctx));
+                }
+            }
+            TransportEvent::Deliver(env) => {
+                if env
+                    .validate(self.inst.num_machines(), self.inst.num_jobs())
+                    .is_err()
+                    || env.to != self.me
+                {
+                    self.stats.malformed += 1;
+                    return;
+                }
+                if self.dead[env.from.idx()] {
+                    // Declared-dead peers are out of the conversation;
+                    // the sweep already re-homed their custody, so late
+                    // frames must not re-enter the protocol.
+                    return;
+                }
+                self.drive(tx, |agent, ctx| {
+                    proto::on_msg(agent, ctx.node_id(), env, ctx)
+                });
+            }
+            TransportEvent::Ctrl { from, msg, .. } => {
+                if from != self.coordinator {
+                    self.stats.malformed += 1;
+                    return;
+                }
+                self.on_ctrl(msg, tx);
+            }
+            // Connectivity transitions are the supervisors' business;
+            // the protocol's timers already handle an unreachable peer.
+            TransportEvent::PeerUp { .. } | TransportEvent::PeerDown { .. } => {}
+        }
+        self.settle(tx);
+    }
+
+    /// Runs a protocol handler with the agent split off and this node
+    /// as the [`ProtoCtx`].
+    fn drive<T, F>(&mut self, tx: &mut T, f: F)
+    where
+        T: Transport,
+        F: FnOnce(&mut Agent, &mut NodeCtx<'_, 'i, T>),
+    {
+        let mut agent = std::mem::take(&mut self.agent);
+        {
+            let mut ctx = NodeCtx { node: self, tx };
+            f(&mut agent, &mut ctx);
+        }
+        self.agent = agent;
+    }
+
+    /// Post-event housekeeping: answer a deferred sweep once idle, park
+    /// custody once a drain completes.
+    fn settle<T: Transport>(&mut self, tx: &mut T) {
+        let idle = matches!(self.agent.state, AgentState::Idle) && self.agent.intent.is_none();
+        if !idle {
+            return;
+        }
+        if let Some(token) = self.pending_query.take() {
+            self.answer_query(token, tx);
+        }
+        if self.phase == Phase::Draining {
+            self.park(tx);
+        }
+    }
+
+    fn answer_query<T: Transport>(&mut self, token: u64, tx: &mut T) {
+        // Freeze first: the snapshot is only trustworthy if no exchange
+        // starts or completes here until the coordinator says Resume.
+        if self.phase == Phase::Running {
+            self.phase = Phase::Frozen;
+            self.agent.transition(AgentState::Offline);
+        }
+        let jobs = self.holdings();
+        tx.send_ctrl(self.me, self.coordinator, CtrlMsg::Holdings { token, jobs });
+    }
+
+    fn park<T: Transport>(&mut self, tx: &mut T) {
+        self.agent.transition(AgentState::Offline);
+        self.agent.intent = None;
+        let jobs = self.holdings();
+        tx.send_ctrl(self.me, self.coordinator, CtrlMsg::Goodbye { jobs });
+        self.phase = Phase::Done;
+    }
+
+    fn send_report<T: Transport>(&mut self, tx: &mut T) {
+        let msg = CtrlMsg::Report {
+            exchanges: self.stats.exchanges,
+            effective: self.stats.effective,
+            jobs_moved: self.stats.jobs_moved,
+            msgs_sent: self.stats.msgs_sent,
+            quiet: self.stats.quiet,
+            load: self.load,
+            holdings: self.num_held,
+        };
+        tx.send_ctrl(self.me, self.coordinator, msg);
+    }
+
+    fn on_ctrl<T: Transport>(&mut self, msg: CtrlMsg, tx: &mut T) {
+        match msg {
+            CtrlMsg::QueryHoldings { token } => {
+                let idle =
+                    matches!(self.agent.state, AgentState::Idle) && self.agent.intent.is_none();
+                if idle || self.phase != Phase::Running {
+                    self.answer_query(token, tx);
+                } else {
+                    self.pending_query = Some(token);
+                }
+            }
+            CtrlMsg::Resume => {
+                if self.phase == Phase::Frozen {
+                    self.phase = Phase::Running;
+                    let epoch = self.agent.transition(AgentState::Idle);
+                    let think = self.cfg.think();
+                    let pause = self.rng.gen_range(1..=think.max(1));
+                    tx.schedule_timer(self.me, pause, epoch);
+                }
+            }
+            CtrlMsg::PeerDead { machine } => {
+                if machine.idx() < self.dead.len() {
+                    self.dead[machine.idx()] = true;
+                }
+                // Abort any conversation with the dead peer, applying
+                // nothing: whatever custody question the half-open
+                // exchange leaves behind is the sweep's to settle.
+                let with_dead = match self.agent.state {
+                    AgentState::AwaitProbe { peer, .. }
+                    | AgentState::AwaitAccept { peer, .. }
+                    | AgentState::AwaitPrepared { peer, .. }
+                    | AgentState::AwaitAck { peer, .. }
+                    | AgentState::Engaged { peer, .. } => peer == machine,
+                    _ => false,
+                };
+                if with_dead && self.phase == Phase::Running {
+                    self.agent.intent = None;
+                    let epoch = self.agent.transition(AgentState::Idle);
+                    let think = self.cfg.think();
+                    let pause = self.rng.gen_range(1..=think.max(1));
+                    tx.schedule_timer(self.me, pause, epoch);
+                }
+            }
+            CtrlMsg::Adopt { jobs } => {
+                for j in jobs {
+                    if j.idx() < self.holds.len() && !self.holds[j.idx()] {
+                        self.add_job(j);
+                        self.stats.adopted += 1;
+                    }
+                }
+            }
+            CtrlMsg::Shutdown => match self.phase {
+                // A frozen node is idle by construction: part at once.
+                Phase::Frozen => self.park(tx),
+                // A running node drains its conversation first; the
+                // `settle` hook parts it on the next idle moment.
+                Phase::Running => self.phase = Phase::Draining,
+                Phase::Draining | Phase::Done => {}
+            },
+            // Hello never surfaces (transport-internal); the rest are
+            // node → coordinator messages a node should never receive.
+            CtrlMsg::Hello { .. }
+            | CtrlMsg::Report { .. }
+            | CtrlMsg::Holdings { .. }
+            | CtrlMsg::Goodbye { .. } => {
+                self.stats.malformed += 1;
+            }
+        }
+    }
+}
+
+/// The daemon's [`ProtoCtx`]: local custody, real clocks, distributed
+/// two-phase policies (see the module docs).
+struct NodeCtx<'a, 'i, T> {
+    node: &'a mut NodeRuntime<'i>,
+    tx: &'a mut T,
+}
+
+impl<T: Transport> NodeCtx<'_, '_, T> {
+    fn node_id(&self) -> MachineId {
+        self.node.me
+    }
+
+    /// Applies the half of `plan` that concerns this node. Both sides
+    /// run the same function: moves *into* me add custody, moves *out
+    /// of* me release it, everything else is a bystander entry (possible
+    /// only in hostile plans — the validation already filtered them).
+    fn apply_my_half(&mut self, plan: &TransferPlan) -> u64 {
+        let me = self.node.me;
+        let mut applied = 0;
+        for mv in &plan.moves {
+            if mv.to == me && !self.node.holds[mv.job.idx()] {
+                self.node.add_job(mv.job);
+                applied += 1;
+            } else if mv.from == me && mv.to != me && self.node.holds[mv.job.idx()] {
+                self.node.remove_job(mv.job);
+                applied += 1;
+            }
+        }
+        applied
+    }
+}
+
+impl<T: Transport> ProtoCtx for NodeCtx<'_, '_, T> {
+    fn send(&mut self, from: MachineId, to: MachineId, msg: Msg, req: ReqId) {
+        self.node.stats.msgs_sent += 1;
+        let sent_at = self.tx.now();
+        self.tx.send(Envelope {
+            from,
+            to,
+            req,
+            msg,
+            sent_at,
+        });
+    }
+
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
+        self.tx.schedule_timer(machine, delay, epoch);
+    }
+
+    fn timeout_for(&self, attempt: u32) -> u64 {
+        // NetConfig's backoff shifts by the attempt; clamp so an
+        // unbounded commit-phase retry count cannot overflow the shift.
+        self.node.cfg.timeout_for(attempt.min(16))
+    }
+
+    fn lease(&self) -> u64 {
+        self.node.cfg.lease()
+    }
+
+    fn retry_budget(&self, committed: bool) -> u32 {
+        if committed {
+            // A sent Commit must resolve forward (ack or disclaim);
+            // only the coordinator's PeerDead breaks the loop.
+            u32::MAX - 1
+        } else {
+            self.node.cfg.max_retries
+        }
+    }
+
+    fn idle_pause(&mut self) -> u64 {
+        let think = self.node.cfg.think();
+        self.node.rng.gen_range(1..=think.max(1))
+    }
+
+    fn pick_peer(&mut self, me: MachineId, epoch: u64) -> Option<MachineId> {
+        if self.node.phase != Phase::Running {
+            // Draining or frozen: no new conversations, no re-armed
+            // wake — `settle` decides what happens to an idle agent.
+            return None;
+        }
+        let m = self.node.inst.num_machines();
+        let peers: Vec<MachineId> = (0..m)
+            .map(MachineId::from_idx)
+            .filter(|&p| p != me && !self.node.dead[p.idx()])
+            .collect();
+        if peers.is_empty() {
+            let think = self.node.cfg.think();
+            self.tx.schedule_timer(me, think, epoch);
+            return None;
+        }
+        Some(peers[self.node.rng.gen_range(0..peers.len())])
+    }
+
+    fn local_load(&self, _me: MachineId) -> Time {
+        self.node.load
+    }
+
+    fn engage_snapshot(&mut self, _me: MachineId) -> Vec<JobId> {
+        self.node.holdings()
+    }
+
+    /// Plans the pair on a scratch assignment built from the two known
+    /// holdings. The plan is clipped to jobs this node or the peer
+    /// actually holds — a job neither holds (possible when a third
+    /// machine's custody leaks into the scratch dump) must never enter
+    /// a plan, because applying it would mint custody out of thin air.
+    fn plan_moves(&mut self, me: MachineId, peer: MachineId, peer_jobs: &[JobId]) -> TransferPlan {
+        let node = &mut *self.node;
+        let m = node.inst.num_machines();
+        // Jobs outside both holdings are parked on a machine that is
+        // neither side of the pair, so they cannot influence the
+        // balancer's view of the pair's loads. With m == 2 there is no
+        // third machine; strays then sit on `me`'s scratch slot and the
+        // clip below keeps them out of the plan regardless.
+        let dump = (0..m)
+            .map(MachineId::from_idx)
+            .find(|&d| d != me && d != peer)
+            .unwrap_or(me);
+        let mut scratch = Assignment::all_on(node.inst, dump);
+        let mut batch: MigrationBatch = node.holdings().into_iter().map(|j| (j, me)).collect();
+        for &j in peer_jobs {
+            if !node.holds[j.idx()] {
+                batch.push(j, peer);
+            }
+        }
+        scratch.apply_migrations(node.inst, &batch);
+        let changed = node.balancer.balance(node.inst, &mut scratch, me, peer);
+        if !changed {
+            return TransferPlan::default();
+        }
+        let known = |j: JobId| node.holds[j.idx()] || peer_jobs.contains(&j);
+        let mut moves = Vec::new();
+        for &j in scratch.jobs_on(peer) {
+            if node.holds[j.idx()] && known(j) {
+                moves.push(JobMove {
+                    job: j,
+                    from: me,
+                    to: peer,
+                });
+            }
+        }
+        for &j in scratch.jobs_on(me) {
+            if !node.holds[j.idx()] && peer_jobs.contains(&j) {
+                moves.push(JobMove {
+                    job: j,
+                    from: peer,
+                    to: me,
+                });
+            }
+        }
+        TransferPlan { moves }
+    }
+
+    fn apply_plan(
+        &mut self,
+        _me: MachineId,
+        peer: MachineId,
+        serial: u64,
+        plan: &TransferPlan,
+    ) -> (bool, u64) {
+        let applied = self.apply_my_half(plan);
+        if peer.idx() < self.node.last_applied.len() {
+            self.node.last_applied[peer.idx()] = Some(serial);
+        }
+        self.node.stats.jobs_moved += applied;
+        (applied > 0, applied)
+    }
+
+    fn unmatched_commit_acks(&mut self, _me: MachineId, from: MachineId, serial: u64) -> bool {
+        from.idx() < self.node.last_applied.len()
+            && self.node.last_applied[from.idx()] == Some(serial)
+    }
+
+    fn reject_aborts_commit(&self) -> bool {
+        true
+    }
+
+    fn on_commit_acked(&mut self, _me: MachineId, plan: &TransferPlan) {
+        let applied = self.apply_my_half(plan);
+        self.node.stats.jobs_moved += applied;
+    }
+
+    fn on_commit_disclaimed(&mut self, _me: MachineId, _peer: MachineId, _serial: u64) {
+        self.node.stats.disclaimed += 1;
+    }
+
+    fn on_timeout(&mut self, _agent: MachineId, _peer: MachineId, _attempt: u32) {
+        self.node.stats.timeouts += 1;
+    }
+
+    fn on_complete(
+        &mut self,
+        _initiator: MachineId,
+        _target: MachineId,
+        changed: bool,
+        _moved: u64,
+    ) {
+        self.node.stats.exchanges += 1;
+        if changed {
+            self.node.stats.effective += 1;
+            self.node.stats.quiet = 0;
+        } else {
+            self.node.stats.quiet += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::transport::QueueTransport;
+    use lb_core::EctPairBalance;
+    use lb_workloads::uniform::paper_uniform;
+
+    fn fixture(inst: &Instance) -> (NodeRuntime<'_>, &'static NetConfig) {
+        let cfg: &'static NetConfig = Box::leak(Box::new(NetConfig::default()));
+        let balancer: &'static EctPairBalance = &EctPairBalance;
+        let hand: Vec<JobId> = (0..inst.num_jobs() / 2).map(JobId::from_idx).collect();
+        let node = NodeRuntime::new(
+            MachineId::from_idx(0),
+            inst,
+            balancer,
+            cfg,
+            &hand,
+            MachineId::from_idx(inst.num_machines()),
+        );
+        (node, cfg)
+    }
+
+    fn env(from: usize, to: usize, serial: u64, msg: Msg) -> Envelope {
+        Envelope {
+            from: MachineId::from_idx(from),
+            to: MachineId::from_idx(to),
+            req: ReqId {
+                origin: MachineId::from_idx(from),
+                serial,
+            },
+            msg,
+            sent_at: 0,
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_and_dropped() {
+        let inst = paper_uniform(4, 16, 1);
+        let (mut node, _) = fixture(&inst);
+        let mut tx = QueueTransport::new(&inst, LatencyModel::Constant(1), 0);
+        let before = node.holdings();
+        // Self-addressed, mis-addressed, and out-of-range-payload
+        // frames: all dropped, none panic, custody untouched.
+        node.on_event(TransportEvent::Deliver(env(0, 0, 1, Msg::Offer)), &mut tx);
+        node.on_event(TransportEvent::Deliver(env(1, 2, 1, Msg::Offer)), &mut tx);
+        node.on_event(
+            TransportEvent::Deliver(env(
+                1,
+                0,
+                1,
+                Msg::Accept {
+                    jobs: vec![JobId::from_idx(inst.num_jobs() + 5)],
+                },
+            )),
+            &mut tx,
+        );
+        assert_eq!(node.stats().malformed, 3);
+        assert_eq!(node.holdings(), before);
+    }
+
+    #[test]
+    fn hostile_plan_moves_never_mint_custody() {
+        let inst = paper_uniform(4, 16, 2);
+        let (mut node, _) = fixture(&inst);
+        let mut tx = QueueTransport::new(&inst, LatencyModel::Constant(1), 0);
+        let before = node.holdings();
+        // A plan whose moves concern machines 2 and 3 entirely — a
+        // correctly-formed frame this node must apply *its half* of,
+        // which is empty. Route it through the full Offer -> Prepare ->
+        // Commit target path.
+        node.on_event(TransportEvent::Deliver(env(1, 0, 7, Msg::Offer)), &mut tx);
+        let bystander_plan = TransferPlan {
+            moves: vec![JobMove {
+                job: JobId::from_idx(15),
+                from: MachineId::from_idx(2),
+                to: MachineId::from_idx(3),
+            }],
+        };
+        node.on_event(
+            TransportEvent::Deliver(env(
+                1,
+                0,
+                7,
+                Msg::Prepare {
+                    plan: bystander_plan,
+                },
+            )),
+            &mut tx,
+        );
+        node.on_event(TransportEvent::Deliver(env(1, 0, 7, Msg::Commit)), &mut tx);
+        assert_eq!(node.holdings(), before, "bystander moves must not apply");
+        assert_eq!(node.stats().exchanges, 1, "the exchange still completes");
+        assert_eq!(node.stats().jobs_moved, 0);
+    }
+
+    #[test]
+    fn unapplied_commit_is_disclaimed_not_acked() {
+        let inst = paper_uniform(4, 16, 3);
+        let (mut node, _) = fixture(&inst);
+        let mut tx = QueueTransport::new(&inst, LatencyModel::Constant(1), 0);
+        // A Commit for a serial this node never applied (no intent, no
+        // last_applied record): the daemon policy answers Reject.
+        node.on_event(TransportEvent::Deliver(env(1, 0, 99, Msg::Commit)), &mut tx);
+        let mut reply = None;
+        while let Some((_, ev)) = tx.poll() {
+            if let TransportEvent::Deliver(e) = ev {
+                if e.to == MachineId::from_idx(1) {
+                    reply = Some(e.msg.clone());
+                }
+            }
+        }
+        assert_eq!(
+            reply,
+            Some(Msg::Reject),
+            "unknown commit must be disclaimed"
+        );
+    }
+
+    #[test]
+    fn duplicate_commit_for_applied_serial_is_reacked() {
+        let inst = paper_uniform(4, 16, 4);
+        let (mut node, _) = fixture(&inst);
+        let mut tx = QueueTransport::new(&inst, LatencyModel::Constant(1), 0);
+        // Full target-side exchange so serial 7 lands in last_applied.
+        node.on_event(TransportEvent::Deliver(env(1, 0, 7, Msg::Offer)), &mut tx);
+        node.on_event(
+            TransportEvent::Deliver(env(
+                1,
+                0,
+                7,
+                Msg::Prepare {
+                    plan: TransferPlan::default(),
+                },
+            )),
+            &mut tx,
+        );
+        node.on_event(TransportEvent::Deliver(env(1, 0, 7, Msg::Commit)), &mut tx);
+        let held = node.holdings();
+        // The Ack was lost; the initiator retries the Commit. The node
+        // must re-ack idempotently without re-applying.
+        node.on_event(TransportEvent::Deliver(env(1, 0, 7, Msg::Commit)), &mut tx);
+        assert_eq!(node.holdings(), held);
+        let mut acks = 0;
+        while let Some((_, ev)) = tx.poll() {
+            if let TransportEvent::Deliver(e) = ev {
+                if e.to == MachineId::from_idx(1) && e.msg == Msg::Ack {
+                    acks += 1;
+                }
+            }
+        }
+        assert_eq!(acks, 2, "one ack per commit delivery");
+    }
+}

@@ -1,0 +1,469 @@
+//! The transport-independent protocol body.
+//!
+//! Everything the paper's pairwise-exchange protocol *does* — probe a
+//! peer, offer, accept, run the two-phase prepare/commit transfer,
+//! retry with capped backoff, recover from every lost message through
+//! epoch-guarded timers — lives here as free functions over an
+//! [`Agent`] plus a [`ProtoCtx`]. The context supplies what differs
+//! between hosts:
+//!
+//! * the **deterministic simulator** ([`crate::sim::NetSim`]) drives
+//!   every agent of the fleet in one process against the virtual-time
+//!   event queue and a *shared* assignment, with all randomness on the
+//!   run's single RNG stream — byte-identical to the pre-extraction
+//!   engine;
+//! * a **daemon node** ([`crate::node::NodeRuntime`]) drives one agent
+//!   over a real [`crate::transport::Transport`] (TCP sockets, real
+//!   clocks), owns only its local job custody, and plans exchanges
+//!   against the peer's job snapshot shipped in [`Msg::Accept`].
+//!
+//! The handlers are strictly **per-agent**: a message or timer only
+//! ever mutates the receiving agent; every cross-machine effect goes
+//! through [`ProtoCtx::send`] or through the context's state hooks.
+//! That property is what lets one body serve both a fleet-in-a-process
+//! simulator and a process-per-machine daemon (the holochain
+//! "switchboard" pattern: one protocol, swappable networks).
+//!
+//! # Policy hooks
+//!
+//! Two deliberate behavioral knobs are context policy, not body logic,
+//! because shared-state and distributed custody want different answers:
+//!
+//! * [`ProtoCtx::unmatched_commit_acks`] — what a target answers to a
+//!   `Commit` that matches no pending intent. The simulator re-acks
+//!   unconditionally (custody lives in the shared assignment, so a
+//!   false positive cannot diverge state). A daemon acks only serials
+//!   it *actually applied* and disclaims the rest with `Reject`, so an
+//!   initiator never applies its half of an exchange the target threw
+//!   away at lease expiry.
+//! * [`ProtoCtx::reject_aborts_commit`] — whether a `Reject` that
+//!   arrives while awaiting `Ack` aborts the exchange unapplied. Off in
+//!   the simulator (preserving the historical interleaving behavior),
+//!   on in daemons (it is the disclaim path above).
+
+use crate::agent::{Agent, AgentState, TransferIntent};
+use crate::msg::{Envelope, Msg, ReqId, TransferPlan};
+use lb_model::prelude::*;
+
+/// Host services the protocol body runs against. See the module docs
+/// for the two implementations and the policy hooks.
+pub trait ProtoCtx {
+    /// Hands a message to the network (the impl decides fate: latency,
+    /// loss, framing — the body never assumes delivery).
+    fn send(&mut self, from: MachineId, to: MachineId, msg: Msg, req: ReqId);
+    /// Arms a timer for `machine` after `delay` ticks, tagged with the
+    /// agent epoch that must still be current when it fires.
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64);
+
+    /// Timeout for retry attempt `attempt` (capped exponential backoff).
+    fn timeout_for(&self, attempt: u32) -> u64;
+    /// How long an accepting target holds its exchange lease.
+    fn lease(&self) -> u64;
+    /// Retry budget for a request phase. `committed` distinguishes the
+    /// commit phase: a daemon stretches it (the target may already have
+    /// applied), the simulator keeps one budget for all phases.
+    fn retry_budget(&self, committed: bool) -> u32;
+
+    /// Length of the next idle think pause (randomized to break
+    /// phase-lock livelock; see [`go_idle`]).
+    fn idle_pause(&mut self) -> u64;
+    /// Picks the peer for a fresh exchange attempt, or `None` when no
+    /// peer is currently available — in which case the context itself
+    /// decides whether to re-arm the wake (`epoch` tags it) or wind the
+    /// run down.
+    fn pick_peer(&mut self, me: MachineId, epoch: u64) -> Option<MachineId>;
+
+    /// This machine's current load (what `ProbeResponse` reports).
+    fn local_load(&self, me: MachineId) -> Time;
+    /// The job snapshot an accepting target ships in [`Msg::Accept`] so
+    /// the initiator can plan the pair. The simulator returns an empty
+    /// vector (its planner reads the shared assignment directly); a
+    /// daemon returns its local holding.
+    fn engage_snapshot(&mut self, me: MachineId) -> Vec<JobId>;
+    /// Computes the exchange plan for `(me, peer)`. `peer_jobs` is the
+    /// snapshot from the peer's `Accept` (ignored by the simulator).
+    fn plan_moves(&mut self, me: MachineId, peer: MachineId, peer_jobs: &[JobId]) -> TransferPlan;
+    /// Applies a committed plan on the target side; returns
+    /// `(any move applied, moves applied)`. `peer`/`serial` identify
+    /// the exchange so a daemon can remember which serials it actually
+    /// applied (the memory behind
+    /// [`ProtoCtx::unmatched_commit_acks`]).
+    fn apply_plan(
+        &mut self,
+        me: MachineId,
+        peer: MachineId,
+        serial: u64,
+        plan: &TransferPlan,
+    ) -> (bool, u64);
+
+    /// Whether a `Commit` matching no pending intent is re-acked
+    /// (`true`, the simulator's shared-state answer) or disclaimed with
+    /// `Reject` (`false` from a daemon that never applied the serial).
+    fn unmatched_commit_acks(&mut self, me: MachineId, from: MachineId, serial: u64) -> bool {
+        let _ = (me, from, serial);
+        true
+    }
+    /// Whether a matching `Reject` while awaiting `Ack` aborts the
+    /// exchange unapplied (daemon) or is ignored (simulator).
+    fn reject_aborts_commit(&self) -> bool {
+        false
+    }
+    /// The initiator's `Ack` arrived: the target has applied `plan`.
+    /// Daemons apply their own half of the exchange here; the simulator
+    /// already applied everything target-side.
+    fn on_commit_acked(&mut self, me: MachineId, plan: &TransferPlan) {
+        let _ = (me, plan);
+    }
+    /// The target disclaimed a committed exchange (see
+    /// [`ProtoCtx::reject_aborts_commit`]); nothing was applied on
+    /// either side.
+    fn on_commit_disclaimed(&mut self, me: MachineId, peer: MachineId, serial: u64) {
+        let _ = (me, peer, serial);
+    }
+
+    /// A phase timed out (`attempt` retries so far; 0 for a lease
+    /// expiry) — observability only.
+    fn on_timeout(&mut self, agent: MachineId, peer: MachineId, attempt: u32);
+    /// A target applied a commit: the exchange completed.
+    fn on_complete(&mut self, initiator: MachineId, target: MachineId, changed: bool, moved: u64);
+}
+
+/// Returns the agent to `Idle` and arms its next initiation wake.
+///
+/// The pause is randomized rather than fixed: with constant latencies a
+/// fixed pause makes every agent's probe/offer/reject cycle exactly
+/// periodic, and an unlucky initial phase alignment then rejects
+/// *every* offer forever (a lockstep livelock the first smoke test
+/// actually hit). Randomizing the pause drifts the phases apart, so
+/// accept windows always reopen.
+pub fn go_idle<C: ProtoCtx>(agent: &mut Agent, me: MachineId, ctx: &mut C) {
+    let epoch = agent.transition(AgentState::Idle);
+    let pause = ctx.idle_pause();
+    ctx.schedule_timer(me, pause, epoch);
+}
+
+/// An agent timer fired (its epoch already validated by the driver):
+/// the agent's state decides whether this is an initiation wake, a
+/// request timeout, or an exchange-lease expiry.
+pub fn on_timer<C: ProtoCtx>(agent: &mut Agent, me: MachineId, ctx: &mut C) {
+    match agent.state {
+        AgentState::Idle => initiate(agent, me, ctx),
+        AgentState::AwaitProbe { peer, attempt, .. } => {
+            on_request_timeout(agent, me, peer, attempt, Msg::ProbeRequest, ctx);
+        }
+        AgentState::AwaitAccept { peer, attempt, .. } => {
+            on_request_timeout(agent, me, peer, attempt, Msg::Offer, ctx);
+        }
+        AgentState::AwaitPrepared {
+            peer,
+            serial,
+            attempt,
+        } => {
+            on_intent_timeout(agent, me, peer, serial, attempt, false, ctx);
+        }
+        AgentState::AwaitAck {
+            peer,
+            serial,
+            attempt,
+        } => {
+            on_intent_timeout(agent, me, peer, serial, attempt, true, ctx);
+        }
+        AgentState::Engaged { peer, .. } => {
+            // The initiator went quiet: release the lease so the
+            // machine can exchange again, discarding any prepared but
+            // never-committed intent — the crash-safety rule that lets
+            // an initiator die between Prepare and Commit without
+            // stranding custody.
+            ctx.on_timeout(me, peer, 0);
+            agent.intent = None;
+            go_idle(agent, me, ctx);
+        }
+        AgentState::Offline => {}
+    }
+}
+
+/// An idle agent's wake fired: probe a peer (if the context can name
+/// one).
+pub fn initiate<C: ProtoCtx>(agent: &mut Agent, me: MachineId, ctx: &mut C) {
+    let Some(peer) = ctx.pick_peer(me, agent.epoch) else {
+        return; // the context re-armed the wake or is winding down
+    };
+    let serial = agent.fresh_serial();
+    let req = ReqId { origin: me, serial };
+    let epoch = agent.transition(AgentState::AwaitProbe {
+        peer,
+        serial,
+        attempt: 0,
+    });
+    ctx.send(me, peer, Msg::ProbeRequest, req);
+    ctx.schedule_timer(me, ctx.timeout_for(0), epoch);
+}
+
+/// A request timed out: retry the phase with a fresh serial under
+/// backoff, or give up once the retry budget is spent.
+fn on_request_timeout<C: ProtoCtx>(
+    agent: &mut Agent,
+    me: MachineId,
+    peer: MachineId,
+    attempt: u32,
+    resend: Msg,
+    ctx: &mut C,
+) {
+    ctx.on_timeout(me, peer, attempt);
+    if attempt >= ctx.retry_budget(false) {
+        go_idle(agent, me, ctx);
+        return;
+    }
+    let next_attempt = attempt + 1;
+    let serial = agent.fresh_serial();
+    let req = ReqId { origin: me, serial };
+    let state = match resend {
+        Msg::ProbeRequest => AgentState::AwaitProbe {
+            peer,
+            serial,
+            attempt: next_attempt,
+        },
+        _ => AgentState::AwaitAccept {
+            peer,
+            serial,
+            attempt: next_attempt,
+        },
+    };
+    let epoch = agent.transition(state);
+    ctx.send(me, peer, resend, req);
+    ctx.schedule_timer(me, ctx.timeout_for(next_attempt), epoch);
+}
+
+/// A `Prepare` or `Commit` went unanswered. Unlike the probe/offer
+/// phases these re-send the logged intent under the **same** serial —
+/// they continue one exchange, they do not open a new conversation.
+/// Once the retry budget is spent the initiator drops the intent and
+/// idles: nothing was applied on this side, and the target either never
+/// prepared (nothing to undo) or will release its lease (un-committed
+/// intent discarded) or has applied the commit (it owns the result) —
+/// jobs are conserved in every case.
+fn on_intent_timeout<C: ProtoCtx>(
+    agent: &mut Agent,
+    me: MachineId,
+    peer: MachineId,
+    serial: u64,
+    attempt: u32,
+    committed: bool,
+    ctx: &mut C,
+) {
+    ctx.on_timeout(me, peer, attempt);
+    if attempt >= ctx.retry_budget(committed) {
+        agent.intent = None;
+        go_idle(agent, me, ctx);
+        return;
+    }
+    let next_attempt = attempt + 1;
+    let resend = if committed {
+        Msg::Commit
+    } else {
+        let Some(intent) = agent.intent_matching(peer, serial) else {
+            // Intent lost (cannot normally happen): abandon cleanly.
+            go_idle(agent, me, ctx);
+            return;
+        };
+        Msg::Prepare {
+            plan: intent.plan.clone(),
+        }
+    };
+    let state = if committed {
+        AgentState::AwaitAck {
+            peer,
+            serial,
+            attempt: next_attempt,
+        }
+    } else {
+        AgentState::AwaitPrepared {
+            peer,
+            serial,
+            attempt: next_attempt,
+        }
+    };
+    let epoch = agent.transition(state);
+    let req = ReqId { origin: me, serial };
+    ctx.send(me, peer, resend, req);
+    ctx.schedule_timer(me, ctx.timeout_for(next_attempt), epoch);
+}
+
+/// A message was delivered to `me` (the driver has already validated
+/// addressing and, for daemons, decoded and sanity-checked the frame).
+pub fn on_msg<C: ProtoCtx>(agent: &mut Agent, me: MachineId, env: Envelope, ctx: &mut C) {
+    match env.msg {
+        Msg::ProbeRequest => {
+            // Load queries are stateless: answer whatever we're doing.
+            let load = ctx.local_load(me);
+            ctx.send(me, env.from, Msg::ProbeResponse { load }, env.req);
+        }
+        Msg::ProbeResponse { .. } => {
+            let AgentState::AwaitProbe { peer, serial, .. } = agent.state else {
+                return;
+            };
+            if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                return; // stale or duplicated response
+            }
+            // The peer answered: propose the exchange. The offer keeps
+            // the conversation's ReqId; the retry budget restarts for
+            // the new phase.
+            let epoch = agent.transition(AgentState::AwaitAccept {
+                peer,
+                serial,
+                attempt: 0,
+            });
+            ctx.send(me, peer, Msg::Offer, env.req);
+            ctx.schedule_timer(me, ctx.timeout_for(0), epoch);
+        }
+        Msg::Offer => {
+            if agent.accepts_offer_from(env.from) {
+                // A *new* conversation invalidates any intent left from
+                // an older serial with the same peer; a re-offer of the
+                // current conversation keeps its prepared intent.
+                if agent.intent_matching(env.from, env.req.serial).is_none() {
+                    agent.intent = None;
+                }
+                let jobs = ctx.engage_snapshot(me);
+                let epoch = agent.transition(AgentState::Engaged {
+                    peer: env.from,
+                    serial: env.req.serial,
+                });
+                ctx.send(me, env.from, Msg::Accept { jobs }, env.req);
+                ctx.schedule_timer(me, ctx.lease(), epoch);
+            } else {
+                ctx.send(me, env.from, Msg::Reject, env.req);
+            }
+        }
+        Msg::Accept { jobs } => {
+            let AgentState::AwaitAccept { peer, serial, .. } = agent.state else {
+                return;
+            };
+            if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                return; // stale accept; the sender's lease will expire
+            }
+            // Phase one: compute the plan, log the intent, ship it.
+            // Nothing is applied yet on either side. An *empty* plan
+            // still runs the full handshake so the completed exchange
+            // is counted on the target — quiescence detection counts
+            // completed no-op exchanges.
+            let plan = ctx.plan_moves(me, peer, &jobs);
+            agent.intent = Some(TransferIntent {
+                peer,
+                serial,
+                plan: plan.clone(),
+                committed: false,
+            });
+            let epoch = agent.transition(AgentState::AwaitPrepared {
+                peer,
+                serial,
+                attempt: 0,
+            });
+            ctx.send(me, peer, Msg::Prepare { plan }, env.req);
+            ctx.schedule_timer(me, ctx.timeout_for(0), epoch);
+        }
+        Msg::Reject => match agent.state {
+            AgentState::AwaitAccept { peer, serial, .. }
+                if env.from == peer && env.req.origin == me && env.req.serial == serial =>
+            {
+                go_idle(agent, me, ctx);
+            }
+            AgentState::AwaitAck { peer, serial, .. }
+                if ctx.reject_aborts_commit()
+                    && env.from == peer
+                    && env.req.origin == me
+                    && env.req.serial == serial =>
+            {
+                // The target disclaimed the serial: it never applied
+                // (its lease expired before the commit landed), so the
+                // exchange aborts with nothing applied on either side.
+                agent.intent = None;
+                ctx.on_commit_disclaimed(me, peer, serial);
+                go_idle(agent, me, ctx);
+            }
+            _ => {}
+        },
+        Msg::Prepare { plan } => {
+            // Target side: log the intent and hold it under the lease.
+            // Only an engaged target for exactly this conversation
+            // prepares; otherwise the lease has expired and the
+            // initiator's Prepare retries will too.
+            let AgentState::Engaged { peer, serial } = agent.state else {
+                return;
+            };
+            if env.from != peer || env.req.serial != serial {
+                return;
+            }
+            agent.intent = Some(TransferIntent {
+                peer,
+                serial,
+                plan,
+                committed: false,
+            });
+            // Re-arm the lease: the clock protects the *prepared*
+            // intent now.
+            let epoch = agent.transition(AgentState::Engaged { peer, serial });
+            ctx.send(me, peer, Msg::Prepared, env.req);
+            ctx.schedule_timer(me, ctx.lease(), epoch);
+        }
+        Msg::Prepared => {
+            let AgentState::AwaitPrepared { peer, serial, .. } = agent.state else {
+                return; // duplicate or stale
+            };
+            if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                return;
+            }
+            // Phase two: the target holds the plan durably — commit.
+            // From here on the exchange may have been applied, so the
+            // intent is marked committed and only resolves forward.
+            if let Some(intent) = agent.intent.as_mut() {
+                intent.committed = true;
+            }
+            let epoch = agent.transition(AgentState::AwaitAck {
+                peer,
+                serial,
+                attempt: 0,
+            });
+            ctx.send(me, peer, Msg::Commit, env.req);
+            ctx.schedule_timer(me, ctx.timeout_for(0), epoch);
+        }
+        Msg::Commit => {
+            // Target side: apply the prepared intent exactly once.
+            if agent.intent_matching(env.from, env.req.serial).is_some() {
+                let Some(intent) = agent.intent.take() else {
+                    return; // unreachable: matched above
+                };
+                let (changed, jobs_moved) =
+                    ctx.apply_plan(me, env.from, env.req.serial, &intent.plan);
+                ctx.send(me, env.from, Msg::Ack, env.req);
+                go_idle(agent, me, ctx);
+                ctx.on_complete(env.from, me, changed, jobs_moved);
+            } else if ctx.unmatched_commit_acks(me, env.from, env.req.serial) {
+                // No pending intent: this commit was already applied
+                // (duplicate / retry after a lost Ack). Re-ack
+                // idempotently; never re-apply.
+                ctx.send(me, env.from, Msg::Ack, env.req);
+            } else {
+                // The context cannot vouch the serial was ever applied
+                // (daemon whose lease discarded the intent): disclaim,
+                // so the initiator aborts instead of applying its half
+                // of an exchange that never happened.
+                ctx.send(me, env.from, Msg::Reject, env.req);
+            }
+        }
+        Msg::Ack => {
+            let AgentState::AwaitAck { peer, serial, .. } = agent.state else {
+                return; // stale ack (already resolved)
+            };
+            if env.from != peer || env.req.origin != me || env.req.serial != serial {
+                return;
+            }
+            // The exchange is fully resolved on the target; apply the
+            // initiator's half (daemon contexts) and forget the intent.
+            if let Some(intent) = agent.intent.take() {
+                ctx.on_commit_acked(me, &intent.plan);
+            }
+            go_idle(agent, me, ctx);
+        }
+    }
+}

@@ -12,6 +12,13 @@
 //! on the pair — `Dlb2cBalance` gives the message-passing port of DLB2C
 //! (Algorithm 7), `EctPairBalance` the OJTB-style port (Algorithm 3).
 //!
+//! The protocol *body* — every probe/offer/accept/prepare/commit
+//! handler, the retry and lease machinery — lives in [`crate::proto`]
+//! and is shared verbatim with the real-socket daemon; this module
+//! supplies the deterministic host: the event queue, the virtual
+//! clock, the fault injection at send time, and the shared-assignment
+//! implementation of [`ProtoCtx`].
+//!
 //! # Two-phase job custody
 //!
 //! The balancer's move list is **not** applied where it is computed.
@@ -56,11 +63,12 @@
 //! `tests/net_determinism.rs` asserts trace-digest equality across
 //! repeated runs and across rayon thread-pool sizes.
 
-use crate::agent::{Agent, AgentState, TransferIntent};
+use crate::agent::{Agent, AgentState};
 use crate::config::NetConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::CrashSemantics;
 use crate::msg::{Envelope, JobMove, Msg, ReqId, TransferPlan};
+use crate::proto::{self, ProtoCtx};
 use lb_core::PairwiseBalancer;
 use lb_distsim::probe::{NetMsgProbe, NetMsgStats, SeriesProbe};
 use lb_distsim::{
@@ -143,14 +151,15 @@ pub struct NetSummary {
     pub jobs_resynced: u64,
 }
 
-/// The simulator: composable with any [`ProbeHub`] (see [`run_net`] for
-/// the batteries-included entry point).
-pub struct NetSim<'a, 'b> {
+/// Everything of the simulator *except* the agents: the virtual host
+/// the protocol body runs against. Split out so the run loop can lend a
+/// single agent to [`crate::proto`] (`&mut Agent`) while the context
+/// ([`SimCtx`]) borrows the rest of the simulator mutably.
+struct SimInner<'a, 'b> {
     core: SimCore<'a>,
     balancer: &'b dyn PairwiseBalancer,
     cfg: &'b NetConfig,
     queue: EventQueue,
-    agents: Vec<Agent>,
     now: u64,
     next_topo: usize,
     /// Custody leases of failed machines: `(machine, expiry time)`.
@@ -169,6 +178,13 @@ pub struct NetSim<'a, 'b> {
     hasher: DefaultHasher,
 }
 
+/// The simulator: composable with any [`ProbeHub`] (see [`run_net`] for
+/// the batteries-included entry point).
+pub struct NetSim<'a, 'b> {
+    agents: Vec<Agent>,
+    inner: SimInner<'a, 'b>,
+}
+
 impl<'a, 'b> NetSim<'a, 'b> {
     /// A simulator over `asg`, balancing with `balancer` under `cfg`.
     pub fn new(
@@ -179,24 +195,26 @@ impl<'a, 'b> NetSim<'a, 'b> {
     ) -> Self {
         let m = inst.num_machines();
         Self {
-            core: SimCore::new(inst, asg, cfg.seed),
-            balancer,
-            cfg,
-            queue: EventQueue::new(),
             agents: vec![Agent::new(); m],
-            now: 0,
-            next_topo: 0,
-            reclaims: Vec::new(),
-            msgs_sent: 0,
-            exchanges: 0,
-            effective: 0,
-            jobs_moved_total: 0,
-            jobs_at_risk: 0,
-            jobs_reclaimed: 0,
-            jobs_resynced: 0,
-            quiet: 0,
-            pending_stop: None,
-            hasher: DefaultHasher::new(),
+            inner: SimInner {
+                core: SimCore::new(inst, asg, cfg.seed),
+                balancer,
+                cfg,
+                queue: EventQueue::new(),
+                now: 0,
+                next_topo: 0,
+                reclaims: Vec::new(),
+                msgs_sent: 0,
+                exchanges: 0,
+                effective: 0,
+                jobs_moved_total: 0,
+                jobs_at_risk: 0,
+                jobs_reclaimed: 0,
+                jobs_resynced: 0,
+                quiet: 0,
+                pending_stop: None,
+                hasher: DefaultHasher::new(),
+            },
         }
     }
 
@@ -206,36 +224,39 @@ impl<'a, 'b> NetSim<'a, 'b> {
     /// ([`LbError::NoOnlineMachines`]: jobs await reclamation but no
     /// machine will ever be online again).
     pub fn run(&mut self, probes: &mut ProbeHub) -> Result<NetSummary> {
-        probes.on_start(&self.core);
+        let inner = &mut self.inner;
+        probes.on_start(&inner.core);
         // Initial wakes, jittered inside [1, think] to de-synchronize
         // the fleet (machine index order, so the draws are reproducible).
-        let think = self.cfg.think();
-        for i in 0..self.core.inst.num_machines() {
+        let think = inner.cfg.think();
+        for i in 0..inner.core.inst.num_machines() {
             let machine = MachineId::from_idx(i);
-            if self.core.topology.is_online(machine) {
-                let delay = self.core.rng.gen_range(1..=think);
-                self.schedule_timer(machine, delay, self.agents[i].epoch);
+            if inner.core.topology.is_online(machine) {
+                let delay = inner.core.rng.gen_range(1..=think);
+                inner.schedule_timer(machine, delay, self.agents[i].epoch);
             }
         }
         let mut outcome = RunOutcome::Quiescent; // queue drained = nothing to do
-        while let Some((t, ev)) = self.queue.pop() {
-            if t > self.cfg.max_time {
+        while let Some((t, ev)) = self.inner.queue.pop() {
+            if t > self.inner.cfg.max_time {
                 outcome = RunOutcome::BudgetExhausted;
                 break;
             }
             self.apply_topology_up_to(t, probes)?;
-            self.now = self.now.max(t);
-            self.digest_event(t, &ev);
+            self.inner.now = self.inner.now.max(t);
+            self.inner.digest_event(t, &ev);
             match ev {
                 Event::Timer { machine, epoch } => {
                     if epoch == self.agents[machine.idx()].epoch {
-                        self.handle_timer(machine, probes);
+                        self.dispatch(machine, probes, |agent, ctx| {
+                            proto::on_timer(agent, machine, ctx);
+                        });
                     }
                 }
                 Event::Deliver(env) => {
-                    if !self.core.topology.is_online(env.to) {
+                    if !self.inner.core.topology.is_online(env.to) {
                         probes.emit(
-                            &self.core,
+                            &self.inner.core,
                             &SimEvent::MsgDropped {
                                 from: env.from,
                                 to: env.to,
@@ -243,14 +264,19 @@ impl<'a, 'b> NetSim<'a, 'b> {
                             },
                         );
                     } else {
-                        self.handle_msg(env, probes);
+                        let me = env.to;
+                        self.dispatch(me, probes, |agent, ctx| {
+                            proto::on_msg(agent, me, env, ctx);
+                        });
                     }
                 }
             }
-            if self.msgs_sent >= self.cfg.max_msgs {
-                self.pending_stop.get_or_insert(RunOutcome::BudgetExhausted);
+            if self.inner.msgs_sent >= self.inner.cfg.max_msgs {
+                self.inner
+                    .pending_stop
+                    .get_or_insert(RunOutcome::BudgetExhausted);
             }
-            if let Some(stop) = self.pending_stop.take() {
+            if let Some(stop) = self.inner.pending_stop.take() {
                 outcome = stop;
                 break;
             }
@@ -258,45 +284,48 @@ impl<'a, 'b> NetSim<'a, 'b> {
         // Late churn events and pending reclamations still apply
         // (mirrors `drive_with_plan`).
         self.apply_topology_up_to(u64::MAX, probes)?;
-        probes.on_finish(&self.core);
-        self.hasher.write_u64(self.exchanges);
-        self.hasher.write_u64(self.msgs_sent);
+        let inner = &mut self.inner;
+        probes.on_finish(&inner.core);
+        inner.hasher.write_u64(inner.exchanges);
+        inner.hasher.write_u64(inner.msgs_sent);
         Ok(NetSummary {
             outcome,
-            end_time: self.now,
-            exchanges: self.exchanges,
-            effective_exchanges: self.effective,
-            jobs_moved: self.jobs_moved_total,
-            final_makespan: self.core.makespan(),
-            trace_digest: self.hasher.finish(),
-            jobs_at_risk: self.jobs_at_risk,
-            jobs_reclaimed: self.jobs_reclaimed,
-            jobs_resynced: self.jobs_resynced,
+            end_time: inner.now,
+            exchanges: inner.exchanges,
+            effective_exchanges: inner.effective,
+            jobs_moved: inner.jobs_moved_total,
+            final_makespan: inner.core.makespan(),
+            trace_digest: inner.hasher.finish(),
+            jobs_at_risk: inner.jobs_at_risk,
+            jobs_reclaimed: inner.jobs_reclaimed,
+            jobs_resynced: inner.jobs_resynced,
         })
     }
 
     /// Messages handed to the network so far (send attempts, duplicates
     /// included).
     pub fn msgs_sent(&self) -> u64 {
-        self.msgs_sent
+        self.inner.msgs_sent
     }
 
-    fn digest_event(&mut self, t: u64, ev: &Event) {
-        self.hasher.write_u64(t);
-        match ev {
-            Event::Timer { machine, epoch } => {
-                self.hasher.write_u8(0);
-                self.hasher.write_u64(machine.idx() as u64);
-                self.hasher.write_u64(*epoch);
-            }
-            Event::Deliver(env) => {
-                self.hasher.write_u8(1);
-                self.hasher.write_u64(env.from.idx() as u64);
-                self.hasher.write_u64(env.to.idx() as u64);
-                self.hasher.write_u64(env.req.serial);
-                self.hasher.write_u8(env.msg.kind().idx() as u8);
-            }
+    /// Lends agent `machine` to a protocol handler alongside a
+    /// [`SimCtx`] over the rest of the simulator. The agent is taken out
+    /// of the vector for the duration (handlers only ever touch the
+    /// receiving agent, so the hole is never observed) and put back
+    /// afterwards.
+    fn dispatch<F>(&mut self, machine: MachineId, probes: &mut ProbeHub, f: F)
+    where
+        F: FnOnce(&mut Agent, &mut SimCtx<'_, '_, 'a, 'b>),
+    {
+        let mut agent = std::mem::take(&mut self.agents[machine.idx()]);
+        {
+            let mut ctx = SimCtx {
+                sim: &mut self.inner,
+                probes,
+            };
+            f(&mut agent, &mut ctx);
         }
+        self.agents[machine.idx()] = agent;
     }
 
     /// Applies topology events and due custody reclamations with time
@@ -304,11 +333,12 @@ impl<'a, 'b> NetSim<'a, 'b> {
     /// rejoin at the lease's expiry instant still re-syncs).
     fn apply_topology_up_to(&mut self, t: u64, probes: &mut ProbeHub) -> Result<()> {
         loop {
-            let events = self.cfg.faults.sorted_topology_events();
-            let next_te = (self.next_topo < events.len())
-                .then(|| events[self.next_topo].0)
+            let events = self.inner.cfg.faults.sorted_topology_events();
+            let next_te = (self.inner.next_topo < events.len())
+                .then(|| events[self.inner.next_topo].0)
                 .filter(|&te| te <= t);
             let next_rc = self
+                .inner
                 .reclaims
                 .iter()
                 .enumerate()
@@ -319,17 +349,20 @@ impl<'a, 'b> NetSim<'a, 'b> {
                 (None, None) => return Ok(()),
                 (Some(te), Some((_, due))) if te <= due => self.apply_one_topo(te, probes)?,
                 (Some(te), None) => self.apply_one_topo(te, probes)?,
-                (None, Some((i, _))) | (Some(_), Some((i, _))) => self.reclaim_one(i, probes)?,
+                (None, Some((i, _))) | (Some(_), Some((i, _))) => {
+                    self.inner.reclaim_one(i, probes)?
+                }
             }
         }
     }
 
     fn apply_one_topo(&mut self, te: u64, probes: &mut ProbeHub) -> Result<()> {
-        let (_, ev) = self.cfg.faults.sorted_topology_events()[self.next_topo];
-        self.next_topo += 1;
+        let inner = &mut self.inner;
+        let (_, ev) = inner.cfg.faults.sorted_topology_events()[inner.next_topo];
+        inner.next_topo += 1;
         let jobs_scattered = match ev {
             TopologyEvent::Fail(machine) => {
-                self.core.set_online(machine, false);
+                inner.core.set_online(machine, false);
                 let agent = &mut self.agents[machine.idx()];
                 agent.transition(AgentState::Offline);
                 // The crash loses the in-flight exchange (a logged but
@@ -337,26 +370,28 @@ impl<'a, 'b> NetSim<'a, 'b> {
                 // machine's *jobs* stay parked on it under the custody
                 // lease instead of teleporting to survivors.
                 agent.intent = None;
-                self.jobs_at_risk += self.core.asg.num_jobs_on(machine) as u64;
-                self.reclaims.retain(|&(m, _)| m != machine);
-                self.reclaims
-                    .push((machine, te.saturating_add(self.cfg.job_lease())));
+                inner.jobs_at_risk += inner.core.asg.num_jobs_on(machine) as u64;
+                inner.reclaims.retain(|&(m, _)| m != machine);
+                inner
+                    .reclaims
+                    .push((machine, te.saturating_add(inner.cfg.job_lease())));
                 0
             }
             TopologyEvent::Rejoin(machine) => {
-                self.core.set_online(machine, true);
+                inner.core.set_online(machine, true);
                 let agent = &mut self.agents[machine.idx()];
                 let epoch = agent.transition(AgentState::Idle);
                 agent.intent = None;
-                let base = te.max(self.now);
-                let think = self.cfg.think();
-                self.queue
+                let base = te.max(inner.now);
+                let think = inner.cfg.think();
+                inner
+                    .queue
                     .push(base + think, Event::Timer { machine, epoch });
-                self.resolve_rejoin_custody(machine, probes)?
+                inner.resolve_rejoin_custody(machine, probes)?
             }
         };
         probes.emit(
-            &self.core,
+            &inner.core,
             &SimEvent::Topology {
                 event: ev,
                 jobs_scattered,
@@ -364,7 +399,9 @@ impl<'a, 'b> NetSim<'a, 'b> {
         );
         Ok(())
     }
+}
 
+impl<'a, 'b> SimInner<'a, 'b> {
     /// A machine rejoined while (possibly) holding a custody lease.
     /// Resolves the lease per the plan's [`CrashSemantics`]; returns the
     /// jobs re-homed off the machine, for the `Topology` event.
@@ -479,476 +516,20 @@ impl<'a, 'b> NetSim<'a, 'b> {
             .push(self.now + delay.max(1), Event::Timer { machine, epoch });
     }
 
-    /// Returns the agent to `Idle` and arms its next initiation wake.
-    ///
-    /// The pause is drawn uniformly from `[1, think]` rather than fixed:
-    /// with constant latencies a fixed pause makes every agent's
-    /// probe/offer/reject cycle exactly periodic, and an unlucky initial
-    /// phase alignment then rejects *every* offer forever (a lockstep
-    /// livelock the first smoke test actually hit). Randomizing the
-    /// pause drifts the phases apart, so accept windows always reopen.
-    fn go_idle(&mut self, machine: MachineId) {
-        let epoch = self.agents[machine.idx()].transition(AgentState::Idle);
-        let pause = self.core.rng.gen_range(1..=self.cfg.think());
-        self.schedule_timer(machine, pause, epoch);
-    }
-
-    fn handle_timer(&mut self, machine: MachineId, probes: &mut ProbeHub) {
-        match self.agents[machine.idx()].state {
-            AgentState::Idle => self.initiate(machine, probes),
-            AgentState::AwaitProbe { peer, attempt, .. } => {
-                self.on_request_timeout(machine, peer, attempt, Msg::ProbeRequest, probes);
+    fn digest_event(&mut self, t: u64, ev: &Event) {
+        self.hasher.write_u64(t);
+        match ev {
+            Event::Timer { machine, epoch } => {
+                self.hasher.write_u8(0);
+                self.hasher.write_u64(machine.idx() as u64);
+                self.hasher.write_u64(*epoch);
             }
-            AgentState::AwaitAccept { peer, attempt, .. } => {
-                self.on_request_timeout(machine, peer, attempt, Msg::Offer, probes);
-            }
-            AgentState::AwaitPrepared {
-                peer,
-                serial,
-                attempt,
-            } => {
-                self.on_intent_timeout(machine, peer, serial, attempt, false, probes);
-            }
-            AgentState::AwaitAck {
-                peer,
-                serial,
-                attempt,
-            } => {
-                self.on_intent_timeout(machine, peer, serial, attempt, true, probes);
-            }
-            AgentState::Engaged { peer, .. } => {
-                // The initiator went quiet: release the lease so the
-                // machine can exchange again, discarding any prepared
-                // but never-committed intent — the crash-safety rule
-                // that lets an initiator die between Prepare and Commit
-                // without stranding custody.
-                probes.emit(
-                    &self.core,
-                    &SimEvent::ExchangeTimedOut {
-                        agent: machine,
-                        peer,
-                        attempt: 0,
-                    },
-                );
-                self.agents[machine.idx()].intent = None;
-                self.go_idle(machine);
-            }
-            AgentState::Offline => {}
-        }
-    }
-
-    /// A request timed out: retry the phase with a fresh serial under
-    /// backoff, or give up once the retry budget is spent.
-    fn on_request_timeout(
-        &mut self,
-        machine: MachineId,
-        peer: MachineId,
-        attempt: u32,
-        resend: Msg,
-        probes: &mut ProbeHub,
-    ) {
-        probes.emit(
-            &self.core,
-            &SimEvent::ExchangeTimedOut {
-                agent: machine,
-                peer,
-                attempt,
-            },
-        );
-        if attempt >= self.cfg.max_retries {
-            self.go_idle(machine);
-            return;
-        }
-        let next_attempt = attempt + 1;
-        let serial = self.agents[machine.idx()].fresh_serial();
-        let req = ReqId {
-            origin: machine,
-            serial,
-        };
-        let state = match resend {
-            Msg::ProbeRequest => AgentState::AwaitProbe {
-                peer,
-                serial,
-                attempt: next_attempt,
-            },
-            _ => AgentState::AwaitAccept {
-                peer,
-                serial,
-                attempt: next_attempt,
-            },
-        };
-        let epoch = self.agents[machine.idx()].transition(state);
-        self.send(machine, peer, resend, req, probes);
-        self.schedule_timer(machine, self.cfg.timeout_for(next_attempt), epoch);
-    }
-
-    /// A `Prepare` or `Commit` went unanswered. Unlike the probe/offer
-    /// phases these re-send the logged intent under the **same** serial
-    /// — they continue one exchange, they do not open a new
-    /// conversation. Once the retry budget is spent the initiator drops
-    /// the intent and idles: nothing was applied on this side, and the
-    /// target either never prepared (nothing to undo) or will release
-    /// its lease (un-committed intent discarded) or has applied the
-    /// commit (it owns the result) — jobs are conserved in every case.
-    fn on_intent_timeout(
-        &mut self,
-        machine: MachineId,
-        peer: MachineId,
-        serial: u64,
-        attempt: u32,
-        committed: bool,
-        probes: &mut ProbeHub,
-    ) {
-        probes.emit(
-            &self.core,
-            &SimEvent::ExchangeTimedOut {
-                agent: machine,
-                peer,
-                attempt,
-            },
-        );
-        let agent = &mut self.agents[machine.idx()];
-        if attempt >= self.cfg.max_retries {
-            agent.intent = None;
-            self.go_idle(machine);
-            return;
-        }
-        let next_attempt = attempt + 1;
-        let resend = if committed {
-            Msg::Commit
-        } else {
-            let Some(intent) = agent.intent_matching(peer, serial) else {
-                // Intent lost (cannot normally happen): abandon cleanly.
-                self.go_idle(machine);
-                return;
-            };
-            Msg::Prepare {
-                plan: intent.plan.clone(),
-            }
-        };
-        let state = if committed {
-            AgentState::AwaitAck {
-                peer,
-                serial,
-                attempt: next_attempt,
-            }
-        } else {
-            AgentState::AwaitPrepared {
-                peer,
-                serial,
-                attempt: next_attempt,
-            }
-        };
-        let epoch = self.agents[machine.idx()].transition(state);
-        let req = ReqId {
-            origin: machine,
-            serial,
-        };
-        self.send(machine, peer, resend, req, probes);
-        self.schedule_timer(machine, self.cfg.timeout_for(next_attempt), epoch);
-    }
-
-    /// An idle agent's wake fired: probe a random online peer.
-    fn initiate(&mut self, machine: MachineId, probes: &mut ProbeHub) {
-        if self.core.topology.num_online() < 2 {
-            // Nobody to talk to. If churn may still revive someone, keep
-            // waking; otherwise the process is over (pending custody
-            // reclamations flush after the loop).
-            let events = self.cfg.faults.sorted_topology_events();
-            if self.next_topo >= events.len() {
-                self.pending_stop.get_or_insert(RunOutcome::Quiescent);
-            } else {
-                let epoch = self.agents[machine.idx()].epoch;
-                self.schedule_timer(machine, self.cfg.think(), epoch);
-            }
-            return;
-        }
-        let peers: Vec<MachineId> = self
-            .core
-            .topology
-            .online_iter()
-            .filter(|&p| p != machine)
-            .collect();
-        let peer = peers[self.core.rng.gen_range(0..peers.len())];
-        let serial = self.agents[machine.idx()].fresh_serial();
-        let req = ReqId {
-            origin: machine,
-            serial,
-        };
-        let epoch = self.agents[machine.idx()].transition(AgentState::AwaitProbe {
-            peer,
-            serial,
-            attempt: 0,
-        });
-        self.send(machine, peer, Msg::ProbeRequest, req, probes);
-        self.schedule_timer(machine, self.cfg.timeout_for(0), epoch);
-    }
-
-    /// Runs the balancer on the pair **without applying anything**:
-    /// snapshots both job lists, lets the balancer rewrite the pair,
-    /// diffs, then reverts every move. The returned plan is what
-    /// `Prepare` ships and what the target applies at commit.
-    fn plan_pair_moves(&mut self, a: MachineId, b: MachineId) -> TransferPlan {
-        let before_a: Vec<JobId> = self.core.asg.jobs_on(a).to_vec();
-        let before_b: Vec<JobId> = self.core.asg.jobs_on(b).to_vec();
-        let changed = self.balancer.balance(self.core.inst, self.core.asg, a, b);
-        if !changed {
-            return TransferPlan::default();
-        }
-        let mut moves = Vec::new();
-        for &j in self.core.asg.jobs_on(b) {
-            if before_a.contains(&j) {
-                moves.push(JobMove {
-                    job: j,
-                    from: a,
-                    to: b,
-                });
-            }
-        }
-        for &j in self.core.asg.jobs_on(a) {
-            if before_b.contains(&j) {
-                moves.push(JobMove {
-                    job: j,
-                    from: b,
-                    to: a,
-                });
-            }
-        }
-        // Revert: custody only changes when the target commits.
-        let revert: MigrationBatch = moves.iter().map(|mv| (mv.job, mv.from)).collect();
-        self.core.asg.apply_migrations(self.core.inst, &revert);
-        TransferPlan { moves }
-    }
-
-    /// Applies a committed plan, move by move, each move guarded: a job
-    /// no longer owned by its recorded `from` (reclaimed while the
-    /// handshake was in flight) is skipped, as is a move whose
-    /// destination is offline (jobs never move *onto* a dead machine —
-    /// dead machines only drain, which keeps the one-shot reclamation at
-    /// lease expiry airtight). Returns `(any move applied, moves
-    /// applied)`.
-    fn apply_plan(&mut self, plan: &TransferPlan) -> (bool, u64) {
-        // Every job appears at most once per plan (the two legs of an
-        // exchange are disjoint job sets), so the guards are independent
-        // of each other and can all be evaluated against the pre-commit
-        // state before the surviving moves commit as one wave.
-        let batch: MigrationBatch = plan
-            .moves
-            .iter()
-            .filter(|mv| {
-                self.core.asg.machine_of(mv.job) == mv.from && self.core.topology.is_online(mv.to)
-            })
-            .map(|mv| (mv.job, mv.to))
-            .collect();
-        let moved = batch.len() as u64;
-        self.core.asg.apply_migrations(self.core.inst, &batch);
-        (moved > 0, moved)
-    }
-
-    /// The target applied a commit (or an exchange completed without
-    /// one): account the completed exchange and run the round-keyed stop
-    /// checks.
-    fn complete_exchange(
-        &mut self,
-        initiator: MachineId,
-        target: MachineId,
-        changed: bool,
-        jobs_moved: u64,
-        probes: &mut ProbeHub,
-    ) {
-        probes.emit(
-            &self.core,
-            &SimEvent::Exchange {
-                a: initiator,
-                b: target,
-                changed,
-                jobs_moved,
-            },
-        );
-        self.core.round += 1;
-        self.exchanges += 1;
-        if changed {
-            self.effective += 1;
-            self.jobs_moved_total += jobs_moved;
-            self.quiet = 0;
-        } else {
-            self.quiet += 1;
-        }
-        if let Some(stop) = probes.after_round(&self.core) {
-            self.pending_stop.get_or_insert(stop.into());
-        }
-        if self.cfg.quiescence_window > 0 && self.quiet >= self.cfg.quiescence_window {
-            self.pending_stop
-                .get_or_insert(StopReason::Quiescent.into());
-        }
-        if self.exchanges >= self.cfg.max_exchanges {
-            self.pending_stop.get_or_insert(RunOutcome::BudgetExhausted);
-        }
-    }
-
-    fn handle_msg(&mut self, env: Envelope, probes: &mut ProbeHub) {
-        let me = env.to;
-        match env.msg {
-            Msg::ProbeRequest => {
-                // Load queries are stateless: answer whatever we're doing.
-                let load = self.core.asg.load(me);
-                self.send(me, env.from, Msg::ProbeResponse { load }, env.req, probes);
-            }
-            Msg::ProbeResponse { .. } => {
-                let AgentState::AwaitProbe { peer, serial, .. } = self.agents[me.idx()].state
-                else {
-                    return;
-                };
-                if env.from != peer || env.req.origin != me || env.req.serial != serial {
-                    return; // stale or duplicated response
-                }
-                // The peer answered: propose the exchange. The offer
-                // keeps the conversation's ReqId; the retry budget
-                // restarts for the new phase.
-                let epoch = self.agents[me.idx()].transition(AgentState::AwaitAccept {
-                    peer,
-                    serial,
-                    attempt: 0,
-                });
-                self.send(me, peer, Msg::Offer, env.req, probes);
-                self.schedule_timer(me, self.cfg.timeout_for(0), epoch);
-            }
-            Msg::Offer => {
-                if self.agents[me.idx()].accepts_offer_from(env.from) {
-                    let agent = &mut self.agents[me.idx()];
-                    // A *new* conversation invalidates any intent left
-                    // from an older serial with the same peer; a
-                    // re-offer of the current conversation keeps its
-                    // prepared intent.
-                    if agent.intent_matching(env.from, env.req.serial).is_none() {
-                        agent.intent = None;
-                    }
-                    let epoch = agent.transition(AgentState::Engaged {
-                        peer: env.from,
-                        serial: env.req.serial,
-                    });
-                    self.send(me, env.from, Msg::Accept, env.req, probes);
-                    self.schedule_timer(me, self.cfg.lease(), epoch);
-                } else {
-                    self.send(me, env.from, Msg::Reject, env.req, probes);
-                }
-            }
-            Msg::Accept => {
-                let AgentState::AwaitAccept { peer, serial, .. } = self.agents[me.idx()].state
-                else {
-                    return;
-                };
-                if env.from != peer || env.req.origin != me || env.req.serial != serial {
-                    return; // stale accept; the sender's lease will expire
-                }
-                // Phase one: compute the plan, log the intent, ship it.
-                // Nothing is applied yet on either side. An *empty* plan
-                // still runs the full handshake so the completed
-                // exchange is counted on the target — quiescence
-                // detection counts completed no-op exchanges.
-                let plan = self.plan_pair_moves(me, peer);
-                self.agents[me.idx()].intent = Some(TransferIntent {
-                    peer,
-                    serial,
-                    plan: plan.clone(),
-                    committed: false,
-                });
-                let epoch = self.agents[me.idx()].transition(AgentState::AwaitPrepared {
-                    peer,
-                    serial,
-                    attempt: 0,
-                });
-                self.send(me, peer, Msg::Prepare { plan }, env.req, probes);
-                self.schedule_timer(me, self.cfg.timeout_for(0), epoch);
-            }
-            Msg::Reject => {
-                let AgentState::AwaitAccept { peer, serial, .. } = self.agents[me.idx()].state
-                else {
-                    return;
-                };
-                if env.from == peer && env.req.origin == me && env.req.serial == serial {
-                    self.go_idle(me);
-                }
-            }
-            Msg::Prepare { plan } => {
-                // Target side: log the intent and hold it under the
-                // lease. Only an engaged target for exactly this
-                // conversation prepares; otherwise the lease has expired
-                // and the initiator's Prepare retries will too.
-                let AgentState::Engaged { peer, serial } = self.agents[me.idx()].state else {
-                    return;
-                };
-                if env.from != peer || env.req.serial != serial {
-                    return;
-                }
-                let agent = &mut self.agents[me.idx()];
-                agent.intent = Some(TransferIntent {
-                    peer,
-                    serial,
-                    plan,
-                    committed: false,
-                });
-                // Re-arm the lease: the clock protects the *prepared*
-                // intent now.
-                let epoch = agent.transition(AgentState::Engaged { peer, serial });
-                self.send(me, peer, Msg::Prepared, env.req, probes);
-                self.schedule_timer(me, self.cfg.lease(), epoch);
-            }
-            Msg::Prepared => {
-                let AgentState::AwaitPrepared { peer, serial, .. } = self.agents[me.idx()].state
-                else {
-                    return; // duplicate or stale
-                };
-                if env.from != peer || env.req.origin != me || env.req.serial != serial {
-                    return;
-                }
-                // Phase two: the target holds the plan durably — commit.
-                // From here on the exchange may have been applied, so the
-                // intent is marked committed and only resolves forward.
-                if let Some(intent) = self.agents[me.idx()].intent.as_mut() {
-                    intent.committed = true;
-                }
-                let epoch = self.agents[me.idx()].transition(AgentState::AwaitAck {
-                    peer,
-                    serial,
-                    attempt: 0,
-                });
-                self.send(me, peer, Msg::Commit, env.req, probes);
-                self.schedule_timer(me, self.cfg.timeout_for(0), epoch);
-            }
-            Msg::Commit => {
-                // Target side: apply the prepared intent exactly once.
-                if self.agents[me.idx()]
-                    .intent_matching(env.from, env.req.serial)
-                    .is_some()
-                {
-                    let plan = self.agents[me.idx()]
-                        .intent
-                        .take()
-                        .expect("matched above")
-                        .plan;
-                    let (changed, jobs_moved) = self.apply_plan(&plan);
-                    self.send(me, env.from, Msg::Ack, env.req, probes);
-                    self.go_idle(me);
-                    self.complete_exchange(env.from, me, changed, jobs_moved, probes);
-                } else {
-                    // No pending intent: this commit was already applied
-                    // (duplicate / retry after a lost Ack) or its lease
-                    // expired. Re-ack idempotently; never re-apply.
-                    self.send(me, env.from, Msg::Ack, env.req, probes);
-                }
-            }
-            Msg::Ack => {
-                let AgentState::AwaitAck { peer, serial, .. } = self.agents[me.idx()].state else {
-                    return; // stale ack (already resolved)
-                };
-                if env.from != peer || env.req.origin != me || env.req.serial != serial {
-                    return;
-                }
-                // The exchange is fully resolved on the target; forget
-                // the intent.
-                self.agents[me.idx()].intent = None;
-                self.go_idle(me);
+            Event::Deliver(env) => {
+                self.hasher.write_u8(1);
+                self.hasher.write_u64(env.from.idx() as u64);
+                self.hasher.write_u64(env.to.idx() as u64);
+                self.hasher.write_u64(env.req.serial);
+                self.hasher.write_u8(env.msg.kind().idx() as u8);
             }
         }
     }
@@ -1006,6 +587,190 @@ impl<'a, 'b> NetSim<'a, 'b> {
     /// the probability is zero.
     fn roll(&mut self, permille: u16) -> bool {
         permille > 0 && self.core.rng.gen_range(0..1000) < u32::from(permille)
+    }
+}
+
+/// The simulator's [`ProtoCtx`]: virtual clock, shared assignment,
+/// single RNG stream. Every policy answer here reproduces the
+/// pre-extraction engine bit for bit — the RNG draw order (peer pick,
+/// send fate, idle jitter) is part of the determinism contract and is
+/// pinned by the digest tests.
+struct SimCtx<'c, 'p, 'a, 'b> {
+    sim: &'c mut SimInner<'a, 'b>,
+    probes: &'c mut ProbeHub<'p>,
+}
+
+impl ProtoCtx for SimCtx<'_, '_, '_, '_> {
+    fn send(&mut self, from: MachineId, to: MachineId, msg: Msg, req: ReqId) {
+        self.sim.send(from, to, msg, req, self.probes);
+    }
+
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
+        self.sim.schedule_timer(machine, delay, epoch);
+    }
+
+    fn timeout_for(&self, attempt: u32) -> u64 {
+        self.sim.cfg.timeout_for(attempt)
+    }
+
+    fn lease(&self) -> u64 {
+        self.sim.cfg.lease()
+    }
+
+    fn retry_budget(&self, _committed: bool) -> u32 {
+        self.sim.cfg.max_retries
+    }
+
+    fn idle_pause(&mut self) -> u64 {
+        let think = self.sim.cfg.think();
+        self.sim.core.rng.gen_range(1..=think)
+    }
+
+    fn pick_peer(&mut self, me: MachineId, epoch: u64) -> Option<MachineId> {
+        let sim = &mut *self.sim;
+        if sim.core.topology.num_online() < 2 {
+            // Nobody to talk to. If churn may still revive someone, keep
+            // waking; otherwise the process is over (pending custody
+            // reclamations flush after the loop).
+            let events = sim.cfg.faults.sorted_topology_events();
+            if sim.next_topo >= events.len() {
+                sim.pending_stop.get_or_insert(RunOutcome::Quiescent);
+            } else {
+                sim.schedule_timer(me, sim.cfg.think(), epoch);
+            }
+            return None;
+        }
+        let peers: Vec<MachineId> = sim
+            .core
+            .topology
+            .online_iter()
+            .filter(|&p| p != me)
+            .collect();
+        Some(peers[sim.core.rng.gen_range(0..peers.len())])
+    }
+
+    fn local_load(&self, me: MachineId) -> Time {
+        self.sim.core.asg.load(me)
+    }
+
+    fn engage_snapshot(&mut self, _me: MachineId) -> Vec<JobId> {
+        // The planner reads the shared assignment directly; the Accept
+        // carries no snapshot in simulation.
+        Vec::new()
+    }
+
+    /// Runs the balancer on the pair **without applying anything**:
+    /// snapshots both job lists, lets the balancer rewrite the pair,
+    /// diffs, then reverts every move. The returned plan is what
+    /// `Prepare` ships and what the target applies at commit.
+    fn plan_moves(&mut self, a: MachineId, b: MachineId, _peer_jobs: &[JobId]) -> TransferPlan {
+        let sim = &mut *self.sim;
+        let before_a: Vec<JobId> = sim.core.asg.jobs_on(a).to_vec();
+        let before_b: Vec<JobId> = sim.core.asg.jobs_on(b).to_vec();
+        let changed = sim.balancer.balance(sim.core.inst, sim.core.asg, a, b);
+        if !changed {
+            return TransferPlan::default();
+        }
+        let mut moves = Vec::new();
+        for &j in sim.core.asg.jobs_on(b) {
+            if before_a.contains(&j) {
+                moves.push(JobMove {
+                    job: j,
+                    from: a,
+                    to: b,
+                });
+            }
+        }
+        for &j in sim.core.asg.jobs_on(a) {
+            if before_b.contains(&j) {
+                moves.push(JobMove {
+                    job: j,
+                    from: b,
+                    to: a,
+                });
+            }
+        }
+        // Revert: custody only changes when the target commits.
+        let revert: MigrationBatch = moves.iter().map(|mv| (mv.job, mv.from)).collect();
+        sim.core.asg.apply_migrations(sim.core.inst, &revert);
+        TransferPlan { moves }
+    }
+
+    /// Applies a committed plan, move by move, each move guarded: a job
+    /// no longer owned by its recorded `from` (reclaimed while the
+    /// handshake was in flight) is skipped, as is a move whose
+    /// destination is offline (jobs never move *onto* a dead machine —
+    /// dead machines only drain, which keeps the one-shot reclamation at
+    /// lease expiry airtight). Returns `(any move applied, moves
+    /// applied)`.
+    fn apply_plan(
+        &mut self,
+        _me: MachineId,
+        _peer: MachineId,
+        _serial: u64,
+        plan: &TransferPlan,
+    ) -> (bool, u64) {
+        let sim = &mut *self.sim;
+        // Every job appears at most once per plan (the two legs of an
+        // exchange are disjoint job sets), so the guards are independent
+        // of each other and can all be evaluated against the pre-commit
+        // state before the surviving moves commit as one wave.
+        let batch: MigrationBatch = plan
+            .moves
+            .iter()
+            .filter(|mv| {
+                sim.core.asg.machine_of(mv.job) == mv.from && sim.core.topology.is_online(mv.to)
+            })
+            .map(|mv| (mv.job, mv.to))
+            .collect();
+        let moved = batch.len() as u64;
+        sim.core.asg.apply_migrations(sim.core.inst, &batch);
+        (moved > 0, moved)
+    }
+
+    fn on_timeout(&mut self, agent: MachineId, peer: MachineId, attempt: u32) {
+        self.probes.emit(
+            &self.sim.core,
+            &SimEvent::ExchangeTimedOut {
+                agent,
+                peer,
+                attempt,
+            },
+        );
+    }
+
+    /// The target applied a commit (or an exchange completed without
+    /// one): account the completed exchange and run the round-keyed stop
+    /// checks.
+    fn on_complete(&mut self, initiator: MachineId, target: MachineId, changed: bool, moved: u64) {
+        let sim = &mut *self.sim;
+        self.probes.emit(
+            &sim.core,
+            &SimEvent::Exchange {
+                a: initiator,
+                b: target,
+                changed,
+                jobs_moved: moved,
+            },
+        );
+        sim.core.round += 1;
+        sim.exchanges += 1;
+        if changed {
+            sim.effective += 1;
+            sim.jobs_moved_total += moved;
+            sim.quiet = 0;
+        } else {
+            sim.quiet += 1;
+        }
+        if let Some(stop) = self.probes.after_round(&sim.core) {
+            sim.pending_stop.get_or_insert(stop.into());
+        }
+        if sim.cfg.quiescence_window > 0 && sim.quiet >= sim.cfg.quiescence_window {
+            sim.pending_stop.get_or_insert(StopReason::Quiescent.into());
+        }
+        if sim.exchanges >= sim.cfg.max_exchanges {
+            sim.pending_stop.get_or_insert(RunOutcome::BudgetExhausted);
+        }
     }
 }
 

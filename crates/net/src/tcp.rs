@@ -1,0 +1,535 @@
+//! Real-socket transport: length-prefixed TCP with per-peer reconnect
+//! supervisors.
+//!
+//! One [`TcpTransport`] serves one machine (a `decent-lb daemon`
+//! process). Connections are **unidirectional**: every machine dials
+//! one outbound connection to each peer it sends to, and accepts any
+//! number of inbound connections it receives from — no tie-breaking,
+//! no connection sharing, and TCP's ordering gives the per-pair FIFO
+//! the [`Transport`] contract asks for.
+//!
+//! Threads (`std::net` + `std::thread`; the container has no async
+//! runtime, and a fleet of tens of machines doesn't need one):
+//!
+//! * an **acceptor** listening for inbound connections, spawning one
+//!   reader per connection;
+//! * **readers** decoding frames and pushing them to the poll channel,
+//!   tagged with the `Hello` identity their connection opened with;
+//! * one **supervisor per outbound peer**, owning connect → handshake →
+//!   write loop with capped exponential backoff between attempts.
+//!
+//! # Robustness semantics
+//!
+//! * A frame handed to a *down* peer is dropped (counted), not queued:
+//!   the protocol's timers already own loss recovery, and buffering
+//!   against a dead peer would deliver arbitrarily stale probes after
+//!   minutes of backoff. Send-into-backoff therefore surfaces exactly
+//!   like simulator message loss — as `ExchangeTimedOut` retries.
+//! * Every outbound connection opens with [`CtrlMsg::Hello`] carrying
+//!   the sender's machine id and **session** (incarnation number). The
+//!   receiving side remembers the highest session per peer and rejects
+//!   frames from older ones ([`LbError::StaleSession`] accounting): a
+//!   restarted peer's first frame retires its previous incarnation, so
+//!   two-phase custody never acts on pre-restart state.
+//! * A malformed frame (bad decode, bad `Hello`, oversized length)
+//!   kills only its connection — the stream can't be resynced — and is
+//!   counted; the supervisor on the other side redials. A hostile peer
+//!   can waste sockets, not crash the daemon.
+
+use crate::codec::{read_frame, write_frame, CtrlMsg, Frame};
+use crate::event::EventQueue;
+use crate::msg::Envelope;
+use crate::transport::{Transport, TransportEvent};
+use lb_model::prelude::*;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`TcpTransport`]. The defaults suit localhost
+/// loopback; real deployments mostly want a larger backoff cap.
+#[derive(Debug, Clone)]
+pub struct TcpOpts {
+    /// First reconnect delay after a failed dial (milliseconds).
+    pub backoff_base_ms: u64,
+    /// Reconnect delay ceiling (milliseconds).
+    pub backoff_cap_ms: u64,
+    /// Dial timeout per connection attempt (milliseconds).
+    pub connect_timeout_ms: u64,
+    /// How long [`Transport::poll`] waits for traffic before returning
+    /// `None` (milliseconds).
+    pub poll_wait_ms: u64,
+}
+
+impl Default for TcpOpts {
+    fn default() -> Self {
+        Self {
+            backoff_base_ms: 50,
+            backoff_cap_ms: 1600,
+            connect_timeout_ms: 500,
+            poll_wait_ms: 25,
+        }
+    }
+}
+
+/// Delivery-side counters a daemon reports (all monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Frames rejected because their connection's session was older
+    /// than the newest seen from that peer.
+    pub stale_rejected: u64,
+    /// Connections killed by undecodable or misaddressed frames.
+    pub malformed: u64,
+    /// Frames dropped at send time because the peer's supervisor was in
+    /// backoff (the TCP analogue of simulator message loss).
+    pub send_dropped: u64,
+    /// Successful outbound (re)connections.
+    pub connects: u64,
+}
+
+/// A bound listener, split from transport start-up so a fleet can bind
+/// ephemeral ports first, collect every `local_addr`, and only then
+/// start transports that know the full address map.
+pub struct BoundListener {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl BoundListener {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Self> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| LbError::Transport(format!("bind {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| LbError::Transport(format!("local_addr: {e}")))?;
+        Ok(Self { listener, addr })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+enum InEvent {
+    Frame {
+        peer: MachineId,
+        session: u64,
+        frame: Frame,
+    },
+    PeerUp(MachineId),
+    PeerDown(MachineId),
+    Malformed,
+}
+
+/// The per-process real-socket transport. See the module docs for the
+/// thread and robustness model.
+pub struct TcpTransport {
+    me: MachineId,
+    session: u64,
+    start: Instant,
+    timers: EventQueue<(MachineId, u64)>,
+    rx: Receiver<InEvent>,
+    /// Clone handed to every supervisor so their PeerUp/PeerDown land
+    /// in the poll channel.
+    tx: Sender<InEvent>,
+    addrs: Vec<SocketAddr>,
+    writers: Vec<Option<Sender<Frame>>>,
+    sup_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    latest_session: Vec<u64>,
+    stats: TcpStats,
+    shutdown: Arc<AtomicBool>,
+    opts: TcpOpts,
+}
+
+impl TcpTransport {
+    /// Starts the transport for machine `me`: `listener` receives the
+    /// fleet's inbound traffic, `addrs[i]` is where machine `i` listens
+    /// (the address map every process shares), `session` is this
+    /// process's incarnation number — anything monotone across restarts
+    /// of the same machine id.
+    ///
+    /// Supervisors dial lazily: a peer's connection is only opened when
+    /// something is first sent to it.
+    pub fn start(
+        me: MachineId,
+        listener: BoundListener,
+        addrs: Vec<SocketAddr>,
+        session: u64,
+        opts: TcpOpts,
+    ) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        spawn_acceptor(
+            listener.listener,
+            tx.clone(),
+            Arc::clone(&shutdown),
+            addrs.len(),
+        );
+        let mut writers = Vec::new();
+        writers.resize_with(addrs.len(), || None);
+        let mut sup_handles = Vec::new();
+        sup_handles.resize_with(addrs.len(), || None);
+        Self {
+            me,
+            session,
+            start: Instant::now(),
+            timers: EventQueue::new(),
+            rx,
+            tx,
+            latest_session: vec![0; addrs.len()],
+            addrs,
+            writers,
+            sup_handles,
+            stats: TcpStats::default(),
+            shutdown,
+            opts,
+        }
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// The machine this transport serves.
+    pub fn me(&self) -> MachineId {
+        self.me
+    }
+
+    fn writer_for(&mut self, to: MachineId) -> Option<&Sender<Frame>> {
+        let idx = to.idx();
+        if idx >= self.addrs.len() {
+            return None;
+        }
+        if self.writers[idx].is_none() {
+            let (ftx, frx) = std::sync::mpsc::channel();
+            let handle = spawn_supervisor(
+                self.me,
+                to,
+                self.addrs[idx],
+                self.session,
+                frx,
+                self.tx.clone(),
+                Arc::clone(&self.shutdown),
+                self.opts.clone(),
+            );
+            self.writers[idx] = Some(ftx);
+            self.sup_handles[idx] = Some(handle);
+        }
+        self.writers[idx].as_ref()
+    }
+
+    fn push_frame(&mut self, to: MachineId, frame: Frame) {
+        let delivered = match self.writer_for(to) {
+            Some(w) => w.send(frame).is_ok(),
+            None => false,
+        };
+        if !delivered {
+            self.stats.send_dropped += 1;
+        }
+    }
+
+    fn translate(&mut self, ev: InEvent) -> Option<TransportEvent> {
+        match ev {
+            InEvent::Frame {
+                peer,
+                session,
+                frame,
+            } => {
+                let idx = peer.idx();
+                if idx >= self.latest_session.len() {
+                    self.stats.malformed += 1;
+                    return None;
+                }
+                if session < self.latest_session[idx] {
+                    // An old incarnation's bytes surfacing after a
+                    // restart: LbError::StaleSession semantics, counted
+                    // and dropped before the protocol can see them.
+                    self.stats.stale_rejected += 1;
+                    return None;
+                }
+                self.latest_session[idx] = session;
+                match frame {
+                    Frame::Proto(env) => {
+                        if env.to != self.me {
+                            self.stats.malformed += 1;
+                            return None;
+                        }
+                        Some(TransportEvent::Deliver(env))
+                    }
+                    Frame::Ctrl { from, to, msg } => {
+                        if to != self.me {
+                            self.stats.malformed += 1;
+                            return None;
+                        }
+                        if matches!(msg, CtrlMsg::Hello { .. }) {
+                            // Handshakes are consumed by the reader;
+                            // one inside an established stream is just
+                            // redundant.
+                            return None;
+                        }
+                        Some(TransportEvent::Ctrl { from, to, msg })
+                    }
+                }
+            }
+            InEvent::PeerUp(peer) => {
+                self.stats.connects += 1;
+                Some(TransportEvent::PeerUp {
+                    machine: self.me,
+                    peer,
+                })
+            }
+            InEvent::PeerDown(peer) => Some(TransportEvent::PeerDown {
+                machine: self.me,
+                peer,
+            }),
+            InEvent::Malformed => {
+                self.stats.malformed += 1;
+                None
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn now(&mut self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn send(&mut self, env: Envelope) {
+        let to = env.to;
+        self.push_frame(to, Frame::Proto(env));
+    }
+
+    fn send_ctrl(&mut self, from: MachineId, to: MachineId, msg: CtrlMsg) {
+        self.push_frame(to, Frame::Ctrl { from, to, msg });
+    }
+
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
+        let at = self.now() + delay.max(1);
+        self.timers.push(at, (machine, epoch));
+    }
+
+    fn poll(&mut self) -> Option<(u64, TransportEvent)> {
+        loop {
+            let now = self.now();
+            if let Some(t) = self.timers.next_time() {
+                if t <= now {
+                    let (t, (machine, epoch)) = self.timers.pop().expect("peeked");
+                    return Some((t, TransportEvent::Timer { machine, epoch }));
+                }
+            }
+            let horizon = self
+                .timers
+                .next_time()
+                .map(|t| t.saturating_sub(now))
+                .unwrap_or(self.opts.poll_wait_ms)
+                .min(self.opts.poll_wait_ms)
+                .max(1);
+            match self.rx.recv_timeout(Duration::from_millis(horizon)) {
+                Ok(ev) => {
+                    if let Some(out) = self.translate(ev) {
+                        let t = self.now();
+                        return Some((t, out));
+                    }
+                    // Stale/malformed/handshake noise: keep polling
+                    // inside this call.
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // A timer may have come due during the wait; one
+                    // more loop iteration fires it, otherwise hand
+                    // control back.
+                    if self.timers.next_time().is_some_and(|t| t <= self.now()) {
+                        continue;
+                    }
+                    return None;
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    fn poll_is_momentary(&self) -> bool {
+        true
+    }
+
+    fn drain(&mut self) {
+        // Dropping the senders lets each supervisor finish writing the
+        // frames already queued to it (`recv_timeout` keeps yielding
+        // buffered frames before reporting `Disconnected`), then exit.
+        // Joining makes the flush synchronous — a daemon's parting
+        // `Goodbye` is on the wire before the process may exit. A
+        // supervisor stuck in backoff returns as soon as it sees the
+        // hangup, so a dead peer cannot stall the drain past one poll
+        // interval.
+        for w in &mut self.writers {
+            *w = None;
+        }
+        for h in &mut self.sup_handles {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: Sender<InEvent>,
+    shutdown: Arc<AtomicBool>,
+    num_ids: usize,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || read_loop(stream, tx, num_ids));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+/// Reads frames off one inbound connection until EOF or a framing
+/// error. The first frame must be a `Hello`; its identity tags every
+/// frame after it.
+fn read_loop(stream: TcpStream, tx: Sender<InEvent>, num_ids: usize) {
+    stream.set_nonblocking(false).ok();
+    let mut reader = BufReader::new(stream);
+    let (peer, session) = match read_frame(&mut reader) {
+        Ok(Some(Frame::Ctrl {
+            msg: CtrlMsg::Hello { machine, session },
+            ..
+        })) if machine.idx() < num_ids => (machine, session),
+        Ok(None) => return, // dialed and hung up; nothing to report
+        _ => {
+            let _ = tx.send(InEvent::Malformed);
+            return;
+        }
+    };
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => {
+                if tx
+                    .send(InEvent::Frame {
+                        peer,
+                        session,
+                        frame,
+                    })
+                    .is_err()
+                {
+                    return; // transport gone
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(_) => {
+                let _ = tx.send(InEvent::Malformed);
+                return;
+            }
+        }
+    }
+}
+
+/// Owns the outbound connection to one peer: dial, handshake, forward
+/// frames; on any failure, tear down and redial under capped
+/// exponential backoff. Frames arriving while disconnected are drained
+/// and discarded — see the module docs for why.
+#[allow(clippy::too_many_arguments)]
+fn spawn_supervisor(
+    me: MachineId,
+    peer: MachineId,
+    addr: SocketAddr,
+    session: u64,
+    frames: Receiver<Frame>,
+    tx: Sender<InEvent>,
+    shutdown: Arc<AtomicBool>,
+    opts: TcpOpts,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut attempt: u32 = 0;
+        while !shutdown.load(Ordering::SeqCst) {
+            let stream = TcpStream::connect_timeout(
+                &addr,
+                Duration::from_millis(opts.connect_timeout_ms.max(1)),
+            );
+            let mut stream = match stream {
+                Ok(s) => s,
+                Err(_) => {
+                    let backoff = opts
+                        .backoff_base_ms
+                        .checked_shl(attempt.min(16))
+                        .unwrap_or(u64::MAX)
+                        .min(opts.backoff_cap_ms)
+                        .max(1);
+                    attempt = attempt.saturating_add(1);
+                    // Back off, discarding frames addressed to the
+                    // unreachable peer as they arrive (their loss is
+                    // the protocol's timeout path).
+                    let deadline = Instant::now() + Duration::from_millis(backoff);
+                    while Instant::now() < deadline {
+                        match frames.try_recv() {
+                            Ok(_) => {}
+                            Err(TryRecvError::Empty) => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(TryRecvError::Disconnected) => return,
+                        }
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                    continue;
+                }
+            };
+            stream.set_nodelay(true).ok();
+            let hello = Frame::Ctrl {
+                from: me,
+                to: peer,
+                msg: CtrlMsg::Hello {
+                    machine: me,
+                    session,
+                },
+            };
+            if write_frame(&mut stream, &hello).is_err() {
+                continue;
+            }
+            attempt = 0;
+            let _ = tx.send(InEvent::PeerUp(peer));
+            loop {
+                match frames.recv_timeout(Duration::from_millis(200)) {
+                    Ok(frame) => {
+                        if write_frame(&mut stream, &frame).is_err() {
+                            let _ = tx.send(InEvent::PeerDown(peer));
+                            break; // redial
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        }
+    })
+}

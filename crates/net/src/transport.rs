@@ -1,0 +1,280 @@
+//! The `Transport` abstraction: how frames and timers reach a node.
+//!
+//! The protocol body ([`crate::proto`]) is already host-agnostic; this
+//! trait abstracts the *delivery* layer underneath a daemon node so the
+//! same [`crate::node::NodeRuntime`] runs over:
+//!
+//! * [`QueueTransport`] — the deterministic in-process switchboard:
+//!   every machine's traffic through one `(time, seq)`-ordered
+//!   [`EventQueue`] with a sampled latency per frame, reproducible from
+//!   a seed. This is what the conformance suite and the deterministic
+//!   daemon tests drive — the simulator's delivery semantics, exposed
+//!   as a transport.
+//! * [`crate::tcp::TcpTransport`] — real length-prefixed TCP with
+//!   per-peer reconnect supervisors (one per process; the switchboard
+//!   collapses to "my traffic only").
+//! * [`FaultyTransport`] — a wrapper over either, applying a
+//!   [`FaultPlan`]'s drops, duplications, and partitions at send time
+//!   from its own seeded RNG, so `decent-lb chaos` can inject identical
+//!   fault schedules into virtual and real sockets.
+//!
+//! A transport is a *switchboard*: `send`/`schedule_timer` take the
+//! acting machine explicitly and `poll` returns events tagged for their
+//! target. The in-process transports host every machine; a TCP
+//! transport hosts one and simply never surfaces events for others.
+
+use crate::codec::CtrlMsg;
+use crate::event::EventQueue;
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+use crate::msg::Envelope;
+use lb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a transport hands back from [`Transport::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// A protocol message arrived for `env.to`.
+    Deliver(Envelope),
+    /// A timer armed via [`Transport::schedule_timer`] fired. The
+    /// driver checks `epoch` against the agent (or recognizes a control
+    /// sentinel) — the transport only keeps time.
+    Timer {
+        /// The machine whose timer fired.
+        machine: MachineId,
+        /// The epoch recorded when the timer was armed.
+        epoch: u64,
+    },
+    /// A control-plane message arrived for `to`.
+    Ctrl {
+        /// The sender.
+        from: MachineId,
+        /// The destination.
+        to: MachineId,
+        /// The payload.
+        msg: CtrlMsg,
+    },
+    /// A peer's connection came up (TCP only; the in-process transports
+    /// never emit it).
+    PeerUp {
+        /// The machine observing the connection.
+        machine: MachineId,
+        /// The peer that connected.
+        peer: MachineId,
+    },
+    /// A peer's connection went down and its supervisor entered backoff
+    /// (TCP only).
+    PeerDown {
+        /// The machine observing the disconnection.
+        machine: MachineId,
+        /// The peer that disconnected.
+        peer: MachineId,
+    },
+}
+
+/// A frame-and-timer delivery service for protocol drivers.
+pub trait Transport {
+    /// The transport clock: virtual ticks for the deterministic
+    /// transports, elapsed real milliseconds for TCP. Only differences
+    /// and orderings of this value are meaningful.
+    fn now(&mut self) -> u64;
+
+    /// Hands a protocol envelope to the network. Delivery is *not*
+    /// guaranteed — the protocol's timers own recovery — but frames
+    /// between one ordered pair that do arrive arrive in send order.
+    fn send(&mut self, env: Envelope);
+
+    /// Hands a control-plane message to the network (same ordering
+    /// contract as [`Transport::send`]).
+    fn send_ctrl(&mut self, from: MachineId, to: MachineId, msg: CtrlMsg);
+
+    /// Arms a timer for `machine` after `delay` clock units, tagged
+    /// with `epoch` for the driver's staleness check.
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64);
+
+    /// The next event, or `None` when nothing is ready: for the
+    /// deterministic transports that means the schedule ran dry; a real
+    /// transport blocks up to a bounded wait and returns `None` on a
+    /// quiet interval, so drivers loop.
+    fn poll(&mut self) -> Option<(u64, TransportEvent)>;
+
+    /// Whether a `None` from [`Transport::poll`] means "nothing *yet*"
+    /// (`true` — a real transport; keep looping) or "nothing *ever
+    /// again*" (`false`, the default — a deterministic queue that ran
+    /// dry; a driver loop should stop).
+    fn poll_is_momentary(&self) -> bool {
+        false
+    }
+
+    /// Flushes buffered outbound frames before a *clean* exit, blocking
+    /// until they are on the wire (bounded by the transport's own write
+    /// paths). Deterministic transports deliver synchronously, so the
+    /// default is a no-op; a real transport must get its last words out
+    /// — a daemon's parting `Goodbye` races process exit otherwise.
+    /// Crash paths skip this on purpose: dying abruptly *means* losing
+    /// buffered frames.
+    fn drain(&mut self) {}
+}
+
+/// The deterministic switchboard transport: all machines in one
+/// process, one event queue, one RNG stream for latency sampling.
+///
+/// Events pop in `(time, seq)` order exactly like the simulator's
+/// queue, so a fleet of [`crate::node::NodeRuntime`]s over a
+/// `QueueTransport` is a reproducible distributed system — the
+/// conformance harness runs the same scenarios here and over real
+/// sockets.
+pub struct QueueTransport<'i> {
+    inst: &'i Instance,
+    latency: LatencyModel,
+    queue: EventQueue<TransportEvent>,
+    rng: StdRng,
+    now: u64,
+}
+
+impl<'i> QueueTransport<'i> {
+    /// A switchboard over `inst`'s machines with the given latency
+    /// model, seeded deterministically.
+    pub fn new(inst: &'i Instance, latency: LatencyModel, seed: u64) -> Self {
+        Self {
+            inst,
+            latency,
+            queue: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+        }
+    }
+
+    fn deliver_at(&mut self, from: MachineId, to: MachineId) -> u64 {
+        let m = self.inst.num_machines();
+        let lat = if from.idx() >= m || to.idx() >= m {
+            // A control-plane edge: the coordinator's id sits outside
+            // the instance, so topology-aware models cannot classify
+            // the link. Fixed unit latency, no RNG draw.
+            1
+        } else {
+            self.latency.sample(self.inst, from, to, &mut self.rng)
+        };
+        self.now + lat
+    }
+}
+
+impl Transport for QueueTransport<'_> {
+    fn now(&mut self) -> u64 {
+        self.now
+    }
+
+    fn send(&mut self, env: Envelope) {
+        let at = self.deliver_at(env.from, env.to);
+        self.queue.push(at, TransportEvent::Deliver(env));
+    }
+
+    fn send_ctrl(&mut self, from: MachineId, to: MachineId, msg: CtrlMsg) {
+        let at = self.deliver_at(from, to);
+        self.queue.push(at, TransportEvent::Ctrl { from, to, msg });
+    }
+
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
+        self.queue.push(
+            self.now + delay.max(1),
+            TransportEvent::Timer { machine, epoch },
+        );
+    }
+
+    fn poll(&mut self) -> Option<(u64, TransportEvent)> {
+        let (t, ev) = self.queue.pop()?;
+        self.now = self.now.max(t);
+        Some((t, ev))
+    }
+}
+
+/// Fault injection over any transport: drops, duplications, and timed
+/// partitions from a [`FaultPlan`], decided at send time from the
+/// wrapper's own seeded RNG (so the same plan and seed produce the same
+/// fault schedule over the deterministic queue and over live sockets).
+///
+/// Only *protocol* frames are harmed. The control plane rides through
+/// untouched: chaos tests target the exchange protocol's robustness,
+/// and the coordinator's custody bookkeeping must stay observable while
+/// it does.
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    rng: StdRng,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, harming sends per `plan` with randomness from
+    /// `seed`.
+    pub fn new(inner: T, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// Frames discarded by drop rolls or partitions so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Extra copies injected by duplication rolls so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// The wrapped transport.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    fn roll(&mut self, permille: u16) -> bool {
+        permille > 0 && self.rng.gen_range(0..1000) < u32::from(permille)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn now(&mut self) -> u64 {
+        self.inner.now()
+    }
+
+    fn send(&mut self, env: Envelope) {
+        let now = self.inner.now();
+        let cut = self.plan.partitioned(now, env.from, env.to);
+        if cut || self.roll(self.plan.drop_permille) {
+            self.dropped += 1;
+            return;
+        }
+        if self.roll(self.plan.dup_permille) {
+            self.duplicated += 1;
+            self.inner.send(env.clone());
+        }
+        self.inner.send(env);
+    }
+
+    fn send_ctrl(&mut self, from: MachineId, to: MachineId, msg: CtrlMsg) {
+        self.inner.send_ctrl(from, to, msg);
+    }
+
+    fn schedule_timer(&mut self, machine: MachineId, delay: u64, epoch: u64) {
+        self.inner.schedule_timer(machine, delay, epoch);
+    }
+
+    fn poll(&mut self) -> Option<(u64, TransportEvent)> {
+        self.inner.poll()
+    }
+
+    fn poll_is_momentary(&self) -> bool {
+        self.inner.poll_is_momentary()
+    }
+
+    fn drain(&mut self) {
+        self.inner.drain()
+    }
+}

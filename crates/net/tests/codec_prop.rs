@@ -1,0 +1,177 @@
+//! Property tests for the wire codec: every frame the daemon can emit
+//! must round-trip byte-exactly, and every mangled frame — truncated at
+//! any point, or carrying trailing garbage — must be *rejected*, never
+//! misparsed and never panicking. The codec is the trust boundary of
+//! the real-socket transport: arbitrary bytes come straight off a
+//! `TcpStream` into it.
+
+use lb_model::prelude::*;
+use lb_net::codec::{decode_frame, encode_frame, CtrlMsg, Frame};
+use lb_net::msg::{Envelope, JobMove, Msg, ReqId, TransferPlan};
+use proptest::prelude::*;
+
+fn arb_machine() -> impl Strategy<Value = MachineId> {
+    (0u32..64).prop_map(MachineId)
+}
+
+fn arb_job() -> impl Strategy<Value = JobId> {
+    (0u32..4096).prop_map(JobId)
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobId>> {
+    proptest::collection::vec(arb_job(), 0..24)
+}
+
+fn arb_plan() -> impl Strategy<Value = TransferPlan> {
+    proptest::collection::vec(
+        (arb_job(), arb_machine(), arb_machine()).prop_map(|(job, from, to)| JobMove {
+            job,
+            from,
+            to,
+        }),
+        0..16,
+    )
+    .prop_map(|moves| TransferPlan { moves })
+}
+
+/// Every `Msg` variant, including boundary payloads.
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        Just(Msg::ProbeRequest),
+        any::<u64>().prop_map(|load| Msg::ProbeResponse { load }),
+        Just(Msg::Offer),
+        arb_jobs().prop_map(|jobs| Msg::Accept { jobs }),
+        Just(Msg::Reject),
+        arb_plan().prop_map(|plan| Msg::Prepare { plan }),
+        Just(Msg::Prepared),
+        Just(Msg::Commit),
+        Just(Msg::Ack),
+    ]
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (
+        arb_machine(),
+        arb_machine(),
+        arb_machine(),
+        any::<u64>(),
+        arb_msg(),
+        any::<u64>(),
+    )
+        .prop_map(|(from, to, origin, serial, msg, sent_at)| Envelope {
+            from,
+            to,
+            req: ReqId { origin, serial },
+            msg,
+            sent_at,
+        })
+}
+
+/// Every `CtrlMsg` variant.
+fn arb_ctrl() -> impl Strategy<Value = CtrlMsg> {
+    prop_oneof![
+        (arb_machine(), any::<u64>())
+            .prop_map(|(machine, session)| CtrlMsg::Hello { machine, session }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(exchanges, effective, jobs_moved, msgs_sent, quiet, load, holdings)| {
+                    CtrlMsg::Report {
+                        exchanges,
+                        effective,
+                        jobs_moved,
+                        msgs_sent,
+                        quiet,
+                        load,
+                        holdings,
+                    }
+                }
+            ),
+        any::<u64>().prop_map(|token| CtrlMsg::QueryHoldings { token }),
+        (any::<u64>(), arb_jobs()).prop_map(|(token, jobs)| CtrlMsg::Holdings { token, jobs }),
+        arb_machine().prop_map(|machine| CtrlMsg::PeerDead { machine }),
+        arb_jobs().prop_map(|jobs| CtrlMsg::Adopt { jobs }),
+        Just(CtrlMsg::Shutdown),
+        arb_jobs().prop_map(|jobs| CtrlMsg::Goodbye { jobs }),
+        Just(CtrlMsg::Resume),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        arb_envelope().prop_map(Frame::Proto),
+        (arb_machine(), arb_machine(), arb_ctrl()).prop_map(|(from, to, msg)| Frame::Ctrl {
+            from,
+            to,
+            msg
+        }),
+    ]
+}
+
+proptest! {
+    /// Encode → decode is the identity for every representable frame.
+    #[test]
+    fn every_frame_round_trips(frame in arb_frame()) {
+        let bytes = encode_frame(&frame);
+        let back = decode_frame(&bytes).expect("well-formed frame must decode");
+        prop_assert_eq!(frame, back);
+    }
+
+    /// Chopping any suffix off a valid frame yields a decode error —
+    /// not a short parse, not a panic.
+    #[test]
+    fn every_truncation_is_rejected(frame in arb_frame(), cut in any::<proptest::sample::Index>()) {
+        let bytes = encode_frame(&frame);
+        prop_assume!(!bytes.is_empty());
+        let keep = cut.index(bytes.len()); // 0 <= keep < len: strictly shorter
+        prop_assert!(
+            decode_frame(&bytes[..keep]).is_err(),
+            "truncated to {keep}/{} bytes but still decoded",
+            bytes.len()
+        );
+    }
+
+    /// Appending any non-empty garbage to a valid frame is rejected:
+    /// the length-prefixed framing means a payload must be consumed
+    /// exactly.
+    #[test]
+    fn trailing_garbage_is_rejected(
+        frame in arb_frame(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut bytes = encode_frame(&frame);
+        bytes.extend_from_slice(&garbage);
+        prop_assert!(decode_frame(&bytes).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder (it may, rarely,
+    /// parse — one-byte frames like ProbeRequest are legitimately
+    /// dense in the space).
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Framed writer/reader round-trip over an in-memory stream,
+    /// including clean-EOF detection after the last frame.
+    #[test]
+    fn framed_stream_round_trips(frames in proptest::collection::vec(arb_frame(), 0..8)) {
+        let mut buf = Vec::new();
+        for f in &frames {
+            lb_net::codec::write_frame(&mut buf, f).expect("write to Vec");
+        }
+        let mut r = &buf[..];
+        let mut back = Vec::new();
+        while let Some(f) = lb_net::codec::read_frame(&mut r).expect("read back") {
+            back.push(f);
+        }
+        prop_assert_eq!(frames, back);
+    }
+}

@@ -1,0 +1,116 @@
+//! Real-socket fleet tests: N daemon nodes on `127.0.0.1`, each with
+//! its own `TcpTransport` and thread, the coordinator on its own
+//! socket. Everything the deterministic fleet tests assert — custody
+//! conservation, clean shutdown — must survive actual TCP, actual
+//! clocks, and (here) injected frame loss and an abruptly killed node.
+
+use lb_core::EctPairBalance;
+use lb_model::prelude::*;
+use lb_net::daemon::{run_loopback_fleet, CoordOpts, FaultPlanOpt, LoopbackOpts};
+use lb_net::NetConfig;
+use lb_workloads::uniform::paper_uniform;
+
+fn tcp_cfg(seed: u64) -> NetConfig {
+    NetConfig {
+        seed,
+        // Transport ticks are milliseconds here; keep the protocol's
+        // pacing snappy so tests finish in seconds.
+        timeout: 40,
+        backoff_cap: 400,
+        think_time: 4,
+        lease_time: 300,
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn loopback_fleet_conserves_custody() {
+    let inst = paper_uniform(4, 48, 21);
+    let out = run_loopback_fleet(
+        &inst,
+        &EctPairBalance,
+        &tcp_cfg(3),
+        LoopbackOpts {
+            coord: CoordOpts {
+                stable_quiet: 4,
+                death_timeout: 3_000,
+                heartbeat: 25,
+                max_runtime: 30_000,
+            },
+            ..LoopbackOpts::default()
+        },
+    )
+    .expect("bind loopback listeners");
+    assert!(!out.timed_out, "fleet stalled: {:?}", out.violations);
+    assert!(out.conserved, "violations: {:?}", out.violations);
+    assert_eq!(out.parked, 4, "every node should park its custody");
+    assert_eq!(out.deaths, 0);
+    assert!(out.exchanges > 0, "no exchanges completed over TCP");
+    assert!(out.msgs_per_sec > 0.0);
+}
+
+#[test]
+fn loopback_fleet_survives_frame_loss() {
+    let inst = paper_uniform(3, 30, 8);
+    let out = run_loopback_fleet(
+        &inst,
+        &EctPairBalance,
+        &tcp_cfg(11),
+        LoopbackOpts {
+            coord: CoordOpts {
+                stable_quiet: 4,
+                death_timeout: 5_000,
+                heartbeat: 25,
+                max_runtime: 45_000,
+            },
+            faults: Some(FaultPlanOpt {
+                drop_permille: 100,
+                dup_permille: 50,
+            }),
+            ..LoopbackOpts::default()
+        },
+    )
+    .expect("bind loopback listeners");
+    assert!(
+        !out.timed_out,
+        "fleet stalled under loss: {:?}",
+        out.violations
+    );
+    assert!(out.conserved, "violations: {:?}", out.violations);
+    assert_eq!(out.parked, 3);
+}
+
+#[test]
+fn loopback_fleet_survives_killed_node() {
+    let inst = paper_uniform(4, 40, 13);
+    let victim = MachineId::from_idx(2);
+    let out = run_loopback_fleet(
+        &inst,
+        &EctPairBalance,
+        &tcp_cfg(17),
+        LoopbackOpts {
+            coord: CoordOpts {
+                // High stability bar keeps the fleet busy past the
+                // kill; short death timeout keeps the test fast.
+                stable_quiet: 8,
+                death_timeout: 700,
+                heartbeat: 25,
+                max_runtime: 45_000,
+            },
+            kill: Some((victim, 150)),
+            ..LoopbackOpts::default()
+        },
+    )
+    .expect("bind loopback listeners");
+    assert!(
+        !out.timed_out,
+        "fleet never reconverged: {:?}",
+        out.violations
+    );
+    assert_eq!(out.deaths, 1, "coordinator should declare the victim dead");
+    assert!(out.conserved, "violations: {:?}", out.violations);
+    assert_eq!(out.parked, 3, "three survivors part cleanly");
+    // The victim held jobs when it died (round-robin deal guarantees
+    // it); every one of them must have been re-homed.
+    assert!(out.adopted > 0, "no orphans were adopted");
+}

@@ -1,0 +1,33 @@
+//! Temporary byte-identity snapshot (pre-refactor baseline).
+
+use lb_core::Dlb2cBalance;
+use lb_model::prelude::*;
+use lb_net::{run_net, FaultPlan, LatencyModel, NetConfig};
+
+#[test]
+fn snapshot_digests() {
+    let mut out = String::new();
+    for seed in 0..6u64 {
+        let inst = lb_workloads::uniform::paper_uniform(12, 120, seed);
+        let mut asg = Assignment::all_on(&inst, MachineId(0));
+        let cfg = NetConfig {
+            seed,
+            latency: LatencyModel::UniformJitter { min: 1, max: 9 },
+            faults: FaultPlan {
+                drop_permille: 120,
+                dup_permille: 60,
+                ..FaultPlan::none()
+            },
+            quiescence_window: 64,
+            max_msgs: 400_000,
+            ..NetConfig::default()
+        };
+        let run = run_net(&inst, &mut asg, &Dlb2cBalance, &cfg).unwrap();
+        out.push_str(&format!(
+            "{seed} {} {} {} {} {}\n",
+            run.trace_digest, run.exchanges, run.final_makespan, run.msg.sent, run.end_time
+        ));
+    }
+    std::fs::write("/tmp/net_digest_snapshot.txt", &out).unwrap();
+    println!("{out}");
+}

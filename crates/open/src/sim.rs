@@ -578,10 +578,8 @@ impl<'a> OpenProtocol<'a> {
                 held[j.idx()] = held[j.idx()].saturating_add(1);
             }
         }
-        for r in &self.running {
-            if let Some((j, _)) = r {
-                held[j.idx()] = held[j.idx()].saturating_add(1);
-            }
+        for (j, _) in self.running.iter().flatten() {
+            held[j.idx()] = held[j.idx()].saturating_add(1);
         }
         for p in &self.parked {
             for &j in p {

@@ -9,8 +9,8 @@
 //! * arrival generation draws from its own RNG stream, so a generated
 //!   run and a replay of its own arrivals are byte-identical.
 
-use lb_distsim::topology::{TopologyEvent, TopologyPlan};
 use lb_distsim::stream_rng;
+use lb_distsim::topology::{TopologyEvent, TopologyPlan};
 use lb_model::prelude::*;
 use lb_open::{
     run_open, run_open_with_arrivals, run_open_with_plan, ArrivalProcess, ChurnSemantics,

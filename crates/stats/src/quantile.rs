@@ -275,7 +275,7 @@ mod tests {
         assert_eq!(d.quantile(0.5), Some(0));
         assert_eq!(d.quantile(0.75), Some(0));
         let p100 = d.quantile(1.0).unwrap();
-        assert!(p100 >= 4 && p100 <= 5, "{p100}");
+        assert!((4..=5).contains(&p100), "{p100}");
         assert_eq!(d.max(), Some(5));
     }
 

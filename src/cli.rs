@@ -35,6 +35,7 @@ use std::fmt::Write as _;
 
 pub mod campaign;
 pub mod chaos;
+pub mod daemon;
 pub mod open;
 
 /// Result alias for CLI operations (the model prelude shadows `Result`).
@@ -157,6 +158,7 @@ impl Cli {
             "serve-sim" => self.run_serve_sim(),
             "campaign" => self.run_campaign_cmd(),
             "chaos" => self.run_chaos(),
+            "daemon" => self.run_daemon(),
             "generate" => self.run_generate(),
             "bounds" => self.run_bounds(),
             "markov" => self.run_markov(),
@@ -836,6 +838,28 @@ pub fn usage() -> String {
                (graceful is the anti-oracle: it reproduces the\n\
                pre-custody crash bug on demand)\n\
                --replay artifact.json   re-run a written reproducer\n\
+               --transport tcp   inject seeded drop/duplication rates\n\
+               over real loopback sockets (a FaultyTransport wrapped\n\
+               around each node's TcpTransport) and audit custody\n\
+       daemon  real-socket daemon fleet on localhost: N nodes balancing\n\
+               over TCP plus the custody coordinator; reports\n\
+               exchanges/sec, msgs/sec, and the conservation verdict\n\
+               (non-zero exit on a timeout or custody violation)\n\
+               [--nodes N] [--jobs N] [--seed S] [--algo dlb2c|mjtb|\n\
+               unrelated] [--workload uniform|two-cluster|typed|dense]\n\
+               [--transport tcp|queue]  queue = the same fleet on the\n\
+                            deterministic switchboard (reproducible)\n\
+               [--drop PERMILLE] [--dup PERMILLE]  frame loss/duplication\n\
+               [--kill M@MS]  abandon machine M's node thread at MS\n\
+                            (in-process SIGKILL; TCP only)\n\
+               [--timeout T] [--retries N] [--backoff-cap T] [--think T]\n\
+               [--lease T] [--stable-quiet Q] [--death-timeout MS]\n\
+               [--heartbeat-every MS] [--max-runtime MS]\n\
+               multi-process fleet (one OS process per machine, fixed\n\
+               ports 127.0.0.1:P+i, coordinator on P+m; all processes\n\
+               regenerate the instance from identical flags):\n\
+               --role node --node-index I --base-port P\n\
+               --role coordinator --base-port P\n\
        generate  write a workload as instance JSON (--out file); load it\n\
                  anywhere else with --instance file\n\
        bounds  print the lower bounds for a generated workload\n\

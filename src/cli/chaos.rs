@@ -60,7 +60,9 @@ pub fn chaos_usage() -> String {
      \x20 [--churn-semantics graceful|crash-stop|crash-recovery] [--lease T]\n\
      \x20 [--machines M] [--jobs N] [--rho R]\n\
      \x20 common: [--name base] [--out-dir dir]\n\
-     \x20 --replay artifact.json   re-run a written reproducer\n"
+     \x20 --replay artifact.json   re-run a written reproducer\n\
+     \x20 --transport tcp   real-socket chaos: seeded drop/dup rates over\n\
+     \x20                   loopback daemons (accepts the daemon knobs)\n"
         .to_string()
 }
 
@@ -510,6 +512,11 @@ impl Cli {
         if let Some(path) = self.options.get("replay") {
             return self.run_chaos_replay(&path.clone());
         }
+        if self.get_str("transport", "sim") == "tcp" {
+            // Real-socket chaos: seeded drop/dup rates injected over the
+            // loopback daemon fleet (see `cli::daemon`).
+            return self.run_chaos_tcp();
+        }
         match self.get_str("mode", "net").as_str() {
             "net" => {}
             "open" => return self.run_chaos_open(),
@@ -859,7 +866,8 @@ impl Cli {
             for v in &trial_out.violations {
                 let _ = writeln!(out, "trial {first}: {v}");
             }
-            let shrunk = shrink_schedule(events, |cand| !ctx.run(*seed, cand).violations.is_empty());
+            let shrunk =
+                shrink_schedule(events, |cand| !ctx.run(*seed, cand).violations.is_empty());
             let final_out = ctx.run(*seed, &shrunk.events);
             let event_values: Vec<Value> = shrunk.events.iter().map(event_value).collect();
             let violations: Vec<Value> = final_out

@@ -1,0 +1,624 @@
+//! The `decent-lb daemon` subcommand: a real-socket daemon fleet on
+//! localhost — N balancing nodes plus the custody coordinator —
+//! reporting throughput (exchanges/sec, msgs/sec) and the custody
+//! conservation verdict. Three topologies share one protocol body:
+//!
+//! * default: one process, one thread and one `TcpTransport` per node,
+//!   real frames over `127.0.0.1` ([`run_loopback_fleet`]);
+//! * `--transport queue`: the same fleet over the deterministic
+//!   switchboard ([`run_fleet`]) — reproducible from `--seed`;
+//! * `--role node|coordinator` with `--base-port P`: one OS process per
+//!   machine on fixed ports (the CI `daemon-smoke` topology). Every
+//!   process regenerates the identical instance from the same workload
+//!   flags and seed, so nothing is serialized between them.
+//!
+//! The command exits non-zero when the run times out or the final
+//! custody audit finds a violation, so CI can gate on it directly.
+
+use super::{Cli, CliError, CliResult};
+use crate::algorithms::{Dlb2cBalance, PairwiseBalancer, TypedPairBalance, UnrelatedPairBalance};
+use crate::net::daemon::{
+    deal_round_robin, run_fleet, run_loopback_fleet, run_node, CoordOpts, Coordinator,
+    FaultPlanOpt, FleetOutcome, LoopbackOpts,
+};
+use crate::net::{BoundListener, FaultyTransport, NodeRuntime, TcpOpts, TcpTransport, Transport};
+use crate::prelude::*;
+use crate::stats::csv::CsvCell;
+use crate::stats::runner::SimRunner;
+use crate::workloads::{two_cluster, typed, uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Focused usage text appended to daemon option errors.
+pub fn daemon_usage() -> String {
+    "usage: decent-lb daemon [--nodes N] [--jobs N] [--seed S]\n\
+     \x20 [--transport tcp|queue] [--algo dlb2c|mjtb|unrelated]\n\
+     \x20 [--drop PERMILLE] [--dup PERMILLE] [--kill MACHINE@MS]\n\
+     \x20 [--timeout T] [--retries N] [--backoff-cap T] [--think T] [--lease T]\n\
+     \x20 [--stable-quiet Q] [--death-timeout MS] [--heartbeat-every MS]\n\
+     \x20 [--max-runtime MS]\n\
+     \x20 workload: --workload uniform|two-cluster|typed|dense (--nodes N is\n\
+     \x20           shorthand for --workload uniform --machines N)\n\
+     \x20 multi-process fleet (one OS process per machine, fixed ports):\n\
+     \x20 --role node --node-index I --base-port P\n\
+     \x20 --role coordinator --base-port P\n"
+        .to_string()
+}
+
+/// Renders a [`FleetOutcome`] the same way for every daemon topology.
+fn fleet_report(out: &FleetOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "elapsed {} ms: {} exchanges ({} effective), {} jobs moved, {} msgs",
+        out.elapsed, out.exchanges, out.effective, out.jobs_moved, out.msgs_sent
+    );
+    let _ = writeln!(
+        s,
+        "throughput: {:.1} exchanges/sec, {:.1} msgs/sec",
+        out.exchanges_per_sec, out.msgs_per_sec
+    );
+    let _ = writeln!(
+        s,
+        "custody: {}; {} sweep(s), {} death(s), {} adopted, {} parked",
+        if out.conserved {
+            "conserved"
+        } else {
+            "VIOLATED"
+        },
+        out.sweeps,
+        out.deaths,
+        out.adopted,
+        out.parked
+    );
+    for v in &out.violations {
+        let _ = writeln!(s, "  violation: {v}");
+    }
+    s
+}
+
+/// The fixed-port address book of a multi-process fleet: machine `i`
+/// on `base_port + i`, the coordinator on `base_port + m`.
+fn daemon_addrs(base_port: u16, m: usize) -> CliResult<Vec<std::net::SocketAddr>> {
+    let last = base_port as usize + m;
+    if last > u16::MAX as usize {
+        return Err(CliError(format!(
+            "--base-port {base_port} + {m} machines overflows the port range\n{}",
+            daemon_usage()
+        )));
+    }
+    Ok((0..=m)
+        .map(|i| std::net::SocketAddr::from(([127, 0, 0, 1], (base_port as usize + i) as u16)))
+        .collect())
+}
+
+impl Cli {
+    /// Entry point for `decent-lb daemon`.
+    pub(super) fn run_daemon(&self) -> CliResult<String> {
+        match self.options.get("role").map(String::as_str) {
+            None => self.run_daemon_fleet(),
+            Some("node") => self.run_daemon_node(),
+            Some("coordinator") => self.run_daemon_coordinator(),
+            Some(other) => Err(CliError(format!(
+                "unknown daemon role '{other}' (node | coordinator)\n{}",
+                daemon_usage()
+            ))),
+        }
+    }
+
+    /// The daemon workload. Regenerated from flags only (never a file),
+    /// so every process of a multi-process fleet derives the same
+    /// instance from the same command line.
+    fn daemon_instance(&self, default_nodes: usize) -> CliResult<Instance> {
+        if self.options.contains_key("instance") || self.options.contains_key("scenario") {
+            return Err(CliError(format!(
+                "daemon regenerates its workload from flags so every process \
+                 agrees; --instance/--scenario are not supported here\n{}",
+                daemon_usage()
+            )));
+        }
+        let seed: u64 = self.get("seed", 42)?;
+        let nodes: usize = self.get("nodes", default_nodes)?;
+        let jobs: usize = self.get("jobs", nodes.saturating_mul(12))?;
+        match self.get_str("workload", "uniform").as_str() {
+            "uniform" => {
+                let m: usize = self.get("machines", nodes)?;
+                Ok(uniform::paper_uniform(m, jobs, seed))
+            }
+            "two-cluster" => {
+                let m1: usize = self.get("m1", 3)?;
+                let m2: usize = self.get("m2", 2)?;
+                Ok(two_cluster::paper_two_cluster(m1, m2, jobs, seed))
+            }
+            "typed" => {
+                let m: usize = self.get("machines", nodes)?;
+                let k: usize = self.get("types", 2)?;
+                Ok(typed::typed_uniform(m, jobs, k, 1, 1000, seed))
+            }
+            "dense" => {
+                let m: usize = self.get("machines", nodes)?;
+                Ok(uniform::dense_uniform(m, jobs, 1, 1000, seed))
+            }
+            other => Err(CliError(format!(
+                "unknown workload '{other}' (uniform | two-cluster | typed | dense)\n{}",
+                daemon_usage()
+            ))),
+        }
+    }
+
+    fn daemon_balancer(&self) -> CliResult<&'static (dyn PairwiseBalancer + Sync)> {
+        match self.get_str("algo", "dlb2c").as_str() {
+            "dlb2c" => Ok(&Dlb2cBalance),
+            "mjtb" => Ok(&TypedPairBalance),
+            "unrelated" => Ok(&UnrelatedPairBalance),
+            other => Err(CliError(format!(
+                "unknown algorithm '{other}' (dlb2c | mjtb | unrelated)\n{}",
+                daemon_usage()
+            ))),
+        }
+    }
+
+    /// Protocol pacing for daemons. Transport ticks are milliseconds
+    /// over TCP, so the defaults are wall-clock-flavored (snappier than
+    /// the simulator's virtual-tick defaults).
+    fn daemon_net_config(&self) -> CliResult<NetConfig> {
+        let defaults = NetConfig::default();
+        Ok(NetConfig {
+            seed: self.get("seed", 42)?,
+            timeout: self.get("timeout", 40)?,
+            max_retries: self.get("retries", defaults.max_retries)?,
+            backoff_cap: self.get("backoff-cap", 400)?,
+            think_time: self.get("think", 4)?,
+            lease_time: self.get("lease", 300)?,
+            ..defaults
+        })
+    }
+
+    fn daemon_coord_opts(&self) -> CliResult<CoordOpts> {
+        Ok(CoordOpts {
+            stable_quiet: self.get("stable-quiet", 4)?,
+            death_timeout: self.get("death-timeout", 3_000)?,
+            heartbeat: self.get("heartbeat-every", 25)?,
+            max_runtime: self.get("max-runtime", 30_000)?,
+        })
+    }
+
+    /// Parses `--drop`/`--dup` into the loopback fault plan (`None`
+    /// when both are zero).
+    fn daemon_faults(&self) -> CliResult<Option<FaultPlanOpt>> {
+        let drop_permille: u16 = self.get("drop", 0)?;
+        let dup_permille: u16 = self.get("dup", 0)?;
+        if drop_permille > 1000 || dup_permille > 1000 {
+            return Err(CliError(format!(
+                "--drop/--dup are per-mille rates in 0..=1000\n{}",
+                daemon_usage()
+            )));
+        }
+        Ok(if drop_permille == 0 && dup_permille == 0 {
+            None
+        } else {
+            Some(FaultPlanOpt {
+                drop_permille,
+                dup_permille,
+            })
+        })
+    }
+
+    /// Parses `--kill MACHINE@MS` (abandon that node's thread at the
+    /// given transport time — the in-process `SIGKILL`).
+    fn daemon_kill(&self, m: usize) -> CliResult<Option<(MachineId, u64)>> {
+        let Some(spec) = self.options.get("kill") else {
+            return Ok(None);
+        };
+        let parsed = spec.split_once('@').and_then(|(machine, at)| {
+            Some((machine.parse::<usize>().ok()?, at.parse::<u64>().ok()?))
+        });
+        let Some((machine, at)) = parsed else {
+            return Err(CliError(format!(
+                "--kill wants MACHINE@MS (e.g. 2@150), got '{spec}'\n{}",
+                daemon_usage()
+            )));
+        };
+        if machine >= m {
+            return Err(CliError(format!(
+                "--kill machine {machine} out of range (fleet has {m})\n{}",
+                daemon_usage()
+            )));
+        }
+        Ok(Some((MachineId::from_idx(machine), at)))
+    }
+
+    /// Wraps a finished run into the CLI result: non-zero exit on a
+    /// timeout or a custody violation, with the full report attached.
+    fn daemon_verdict(&self, header: String, out: &FleetOutcome) -> CliResult<String> {
+        let text = format!("{header}{}", fleet_report(out));
+        if out.timed_out {
+            return Err(CliError(format!(
+                "{text}fleet timed out before a clean shutdown"
+            )));
+        }
+        if !out.conserved {
+            return Err(CliError(format!("{text}custody audit failed")));
+        }
+        Ok(text)
+    }
+
+    /// The default topology: the whole fleet in this process.
+    fn run_daemon_fleet(&self) -> CliResult<String> {
+        let inst = self.daemon_instance(4)?;
+        let m = inst.num_machines();
+        if m < 2 {
+            return Err(CliError(format!(
+                "daemon needs at least 2 machines\n{}",
+                daemon_usage()
+            )));
+        }
+        let balancer = self.daemon_balancer()?;
+        let cfg = self.daemon_net_config()?;
+        let coord = self.daemon_coord_opts()?;
+        let faults = self.daemon_faults()?;
+        let kill = self.daemon_kill(m)?;
+        let transport = self.get_str("transport", "tcp");
+        let out = match transport.as_str() {
+            "tcp" => run_loopback_fleet(
+                &inst,
+                balancer,
+                &cfg,
+                LoopbackOpts {
+                    coord,
+                    faults,
+                    kill,
+                },
+            )
+            .map_err(|e| CliError(format!("daemon fleet: {e}")))?,
+            "queue" => {
+                if kill.is_some() {
+                    return Err(CliError(format!(
+                        "--kill needs --transport tcp (the deterministic fleet \
+                         models churn via chaos fault plans instead)\n{}",
+                        daemon_usage()
+                    )));
+                }
+                let plan = faults.map(|f| FaultPlan {
+                    drop_permille: f.drop_permille,
+                    dup_permille: f.dup_permille,
+                    ..FaultPlan::none()
+                });
+                run_fleet(&inst, balancer, &cfg, coord, plan)
+            }
+            other => {
+                return Err(CliError(format!(
+                    "unknown transport '{other}' (tcp | queue)\n{}",
+                    daemon_usage()
+                )))
+            }
+        };
+        let header = format!(
+            "daemon fleet: {m} nodes + coordinator over {transport} loopback; \
+             {} jobs, seed {}\n",
+            inst.num_jobs(),
+            cfg.seed
+        );
+        self.daemon_verdict(header, &out)
+    }
+
+    /// `--role node`: one machine of a multi-process fleet.
+    fn run_daemon_node(&self) -> CliResult<String> {
+        let inst = self.daemon_instance(4)?;
+        let m = inst.num_machines();
+        let index: usize = match self.options.get("node-index") {
+            Some(_) => self.get("node-index", 0)?,
+            None => {
+                return Err(CliError(format!(
+                    "--role node needs --node-index\n{}",
+                    daemon_usage()
+                )))
+            }
+        };
+        if index >= m {
+            return Err(CliError(format!(
+                "--node-index {index} out of range (fleet has {m})\n{}",
+                daemon_usage()
+            )));
+        }
+        let base_port: u16 = self.get("base-port", 0u16)?;
+        if base_port == 0 {
+            return Err(CliError(format!(
+                "--role node needs --base-port\n{}",
+                daemon_usage()
+            )));
+        }
+        let addrs = daemon_addrs(base_port, m)?;
+        let balancer = self.daemon_balancer()?;
+        let cfg = self.daemon_net_config()?;
+        let coord = self.daemon_coord_opts()?;
+        let me = MachineId::from_idx(index);
+        let listener = BoundListener::bind(&addrs[index].to_string())
+            .map_err(|e| CliError(format!("node {index}: {e}")))?;
+        let tcp = TcpTransport::start(me, listener, addrs, 1, TcpOpts::default());
+        let hands = deal_round_robin(&inst);
+        let mut node = NodeRuntime::new(
+            me,
+            &inst,
+            balancer,
+            &cfg,
+            &hands[index],
+            MachineId::from_idx(m),
+        );
+        let deadline = coord.max_runtime.saturating_add(2_000);
+        let clean = match self.daemon_faults()? {
+            Some(f) => {
+                let plan = FaultPlan {
+                    drop_permille: f.drop_permille,
+                    dup_permille: f.dup_permille,
+                    ..FaultPlan::none()
+                };
+                let mut tx = FaultyTransport::new(tcp, plan, cfg.seed.wrapping_add(index as u64));
+                run_node(&mut node, &mut tx, deadline, None)
+            }
+            None => {
+                let mut tx = tcp;
+                run_node(&mut node, &mut tx, deadline, None)
+            }
+        };
+        let stats = node.stats();
+        if clean {
+            Ok(format!(
+                "node {index}: parted cleanly ({} exchanges, {} msgs sent, \
+                 {} malformed dropped)\n",
+                stats.exchanges, stats.msgs_sent, stats.malformed
+            ))
+        } else {
+            Err(CliError(format!(
+                "node {index}: deadline passed without a clean part \
+                 ({} exchanges, {} msgs sent)",
+                stats.exchanges, stats.msgs_sent
+            )))
+        }
+    }
+
+    /// `--role coordinator`: the control plane of a multi-process
+    /// fleet. Prints the final audit and exits non-zero on violations.
+    fn run_daemon_coordinator(&self) -> CliResult<String> {
+        let inst = self.daemon_instance(4)?;
+        let m = inst.num_machines();
+        let base_port: u16 = self.get("base-port", 0u16)?;
+        if base_port == 0 {
+            return Err(CliError(format!(
+                "--role coordinator needs --base-port\n{}",
+                daemon_usage()
+            )));
+        }
+        let addrs = daemon_addrs(base_port, m)?;
+        let cfg = self.daemon_net_config()?;
+        let opts = self.daemon_coord_opts()?;
+        let coord_id = MachineId::from_idx(m);
+        let listener = BoundListener::bind(&addrs[m].to_string())
+            .map_err(|e| CliError(format!("coordinator: {e}")))?;
+        let mut tx = TcpTransport::start(coord_id, listener, addrs, 1, TcpOpts::default());
+        let mut coord = Coordinator::new(&inst, &cfg, opts);
+        coord.start(&mut tx);
+        while !coord.is_done() {
+            if let Some((_, ev)) = tx.poll() {
+                coord.on_event(ev, &mut tx);
+            }
+            // Silence is fine over TCP: the heartbeat timer keeps the
+            // loop moving and enforces max_runtime.
+        }
+        tx.drain();
+        let out = coord.outcome(&mut tx);
+        let header = format!(
+            "coordinator: {m} nodes on ports {}..={}; {} jobs, seed {}\n",
+            base_port,
+            base_port as usize + m,
+            inst.num_jobs(),
+            cfg.seed
+        );
+        self.daemon_verdict(header, &out)
+    }
+
+    /// `chaos --transport tcp`: seeded random drop/duplication rates
+    /// injected over *real sockets* — each trial runs a full loopback
+    /// fleet through [`FaultyTransport`]-wrapped `TcpTransport`s and
+    /// audits custody at the end. Trials run sequentially (each already
+    /// owns a thread per node); any violation or stall fails the
+    /// command.
+    pub(super) fn run_chaos_tcp(&self) -> CliResult<String> {
+        let trials: u64 = self.get("trials", 4)?;
+        if trials == 0 {
+            return Err(CliError(format!(
+                "--trials must be >= 1\n{}",
+                daemon_usage()
+            )));
+        }
+        let base_seed: u64 = self.get("seed", 42)?;
+        let inst = self.daemon_instance(3)?;
+        if inst.num_machines() < 2 {
+            return Err(CliError(format!(
+                "chaos needs at least 2 machines\n{}",
+                daemon_usage()
+            )));
+        }
+        let balancer = self.daemon_balancer()?;
+        let base_cfg = self.daemon_net_config()?;
+        let coord = self.daemon_coord_opts()?;
+        let name = self.get_str("name", "chaos_tcp");
+        let runner = match self.options.get("out-dir") {
+            Some(dir) => SimRunner::try_with_dir(&name, dir)
+                .map_err(|e| CliError(format!("cannot create --out-dir {dir}: {e}")))?,
+            None => {
+                let dir = std::env::var_os("LB_RESULTS_DIR")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| std::path::PathBuf::from("results"));
+                SimRunner::try_with_dir(&name, &dir)
+                    .map_err(|e| CliError(format!("cannot create results directory: {e}")))?
+            }
+        };
+        let mut csv = runner
+            .try_csv(&[
+                "trial",
+                "seed",
+                "drop_permille",
+                "dup_permille",
+                "exchanges",
+                "msgs_sent",
+                "deaths",
+                "conserved",
+                "violations",
+            ])
+            .map_err(|e| CliError(format!("create chaos CSV: {e}")))?;
+        let mut out = String::new();
+        let mut failing = 0u64;
+        for trial in 0..trials {
+            let seed = base_seed.wrapping_add(trial.wrapping_mul(0x9e37_79b9));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let drop_permille = rng.gen_range(10..=150u64) as u16;
+            let dup_permille = rng.gen_range(0..=80u64) as u16;
+            let cfg = NetConfig {
+                seed,
+                ..base_cfg.clone()
+            };
+            let run = run_loopback_fleet(
+                &inst,
+                balancer,
+                &cfg,
+                LoopbackOpts {
+                    coord,
+                    faults: Some(FaultPlanOpt {
+                        drop_permille,
+                        dup_permille,
+                    }),
+                    kill: None,
+                },
+            )
+            .map_err(|e| CliError(format!("trial {trial}: {e}")))?;
+            let ok = run.conserved && !run.timed_out;
+            if !ok {
+                failing += 1;
+            }
+            csv.row(&[
+                CsvCell::Uint(trial),
+                CsvCell::Uint(seed),
+                CsvCell::Uint(u64::from(drop_permille)),
+                CsvCell::Uint(u64::from(dup_permille)),
+                CsvCell::Uint(run.exchanges),
+                CsvCell::Uint(run.msgs_sent),
+                CsvCell::Uint(run.deaths),
+                CsvCell::Str(if run.conserved { "yes" } else { "NO" }.to_string()),
+                CsvCell::Uint(run.violations.len() as u64),
+            ])
+            .map_err(|e| CliError(format!("write chaos CSV row: {e}")))?;
+            let _ = writeln!(
+                out,
+                "trial {trial}: drop {drop_permille}‰ dup {dup_permille}‰ -> \
+                 {} exchanges, {:.1} msgs/sec, {}",
+                run.exchanges,
+                run.msgs_per_sec,
+                if ok {
+                    "conserved".to_string()
+                } else if run.timed_out {
+                    "TIMED OUT".to_string()
+                } else {
+                    format!("VIOLATED ({})", run.violations.join("; "))
+                }
+            );
+        }
+        csv.finish()
+            .map_err(|e| CliError(format!("write chaos CSV: {e}")))?;
+        let summary = format!(
+            "chaos --transport tcp: {trials} trials over real sockets \
+             ({} machines, {} jobs), {failing} failing; wrote {}.csv under {}\n",
+            inst.num_machines(),
+            inst.num_jobs(),
+            runner.name(),
+            runner.dir().display()
+        );
+        if failing > 0 {
+            return Err(CliError(format!("{out}{summary}")));
+        }
+        Ok(format!("{out}{summary}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Cli;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn daemon_queue_fleet_conserves() {
+        // The deterministic switchboard variant: same protocol body as
+        // TCP, reproducible, no sockets — the cheap smoke test.
+        let c = cli(&[
+            "daemon",
+            "--transport",
+            "queue",
+            "--nodes",
+            "3",
+            "--jobs",
+            "18",
+            "--max-runtime",
+            "2000000",
+        ]);
+        let out = c.run().expect("queue fleet runs clean");
+        assert!(out.contains("custody: conserved"), "{out}");
+        assert!(out.contains("exchanges/sec"), "{out}");
+        assert!(out.contains("3 nodes + coordinator"), "{out}");
+    }
+
+    #[test]
+    fn daemon_queue_fleet_is_reproducible() {
+        let run = || {
+            cli(&[
+                "daemon",
+                "--transport",
+                "queue",
+                "--nodes",
+                "3",
+                "--jobs",
+                "18",
+                "--seed",
+                "9",
+                "--max-runtime",
+                "2000000",
+            ])
+            .run()
+            .expect("queue fleet runs clean")
+        };
+        assert_eq!(run(), run(), "deterministic fleet output must repeat");
+    }
+
+    #[test]
+    fn daemon_tcp_fleet_conserves() {
+        let c = cli(&["daemon", "--nodes", "3", "--jobs", "18", "--seed", "5"]);
+        let out = c.run().expect("tcp loopback fleet runs clean");
+        assert!(out.contains("tcp loopback"), "{out}");
+        assert!(out.contains("custody: conserved"), "{out}");
+    }
+
+    #[test]
+    fn daemon_rejects_bad_options() {
+        for args in [
+            &["daemon", "--role", "overlord"][..],
+            &["daemon", "--transport", "carrier-pigeon"][..],
+            &["daemon", "--kill", "nonsense"][..],
+            &["daemon", "--kill", "9@100", "--nodes", "3"][..],
+            &["daemon", "--transport", "queue", "--kill", "1@50"][..],
+            &["daemon", "--drop", "1500"][..],
+            &["daemon", "--role", "node", "--base-port", "19000"][..],
+            &["daemon", "--role", "node", "--node-index", "0"][..],
+            &["daemon", "--role", "coordinator"][..],
+            &["daemon", "--nodes", "1"][..],
+            &["daemon", "--workload", "cloud"][..],
+            &["daemon", "--algo", "quantum"][..],
+            &["daemon", "--instance", "x.json"][..],
+        ] {
+            let c = cli(args);
+            assert!(c.run().is_err(), "{args:?} should be rejected");
+        }
+    }
+}

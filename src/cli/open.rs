@@ -788,7 +788,8 @@ mod tests {
 
     #[test]
     fn serve_sim_churn_reports_restarts_and_passes_the_audit() {
-        let dir = std::env::temp_dir().join(format!("decent-lb-cli-serve-churn-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("decent-lb-cli-serve-churn-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         for semantics in ["crash-stop", "crash-recovery"] {
             let c = cli(&[
@@ -825,8 +826,14 @@ mod tests {
             let fields: Vec<&str> = data.split(',').collect();
             let restarts: u64 = fields[fields.len() - 3].parse().unwrap();
             let stranded: u64 = fields[fields.len() - 1].parse().unwrap();
-            assert!(restarts >= 1, "{semantics}: failure must kill the runner: {data}");
-            assert_eq!(stranded, 0, "{semantics}: machine rejoins, run drains: {data}");
+            assert!(
+                restarts >= 1,
+                "{semantics}: failure must kill the runner: {data}"
+            );
+            assert_eq!(
+                stranded, 0,
+                "{semantics}: machine rejoins, run drains: {data}"
+            );
             let _ = std::fs::remove_dir_all(&dir);
         }
     }

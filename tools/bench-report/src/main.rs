@@ -26,6 +26,12 @@
 //! time-to-stable (virtual ticks and wall nanoseconds to quiescence) on
 //! the paper's two-cluster workload, perfect network and 15% loss.
 //!
+//! A `daemon` section sizes the real-socket transport: a loopback fleet
+//! of live TCP daemons (one thread + one `TcpTransport` per machine,
+//! coordinator inline — the engine behind `decent-lb daemon`) balancing
+//! the paper's uniform workload to a clean custody-conserving shutdown,
+//! reported as wall-clock msgs/sec and exchanges/sec.
+//!
 //! The two largest tiers (m = 10⁵, 10⁶) additionally measure the
 //! **migration wave**: round-scale (m-move) cold-working-set waves —
 //! the shape one full exchange round or a crash-recovery scatter hands
@@ -67,7 +73,7 @@ use lb_distsim::simcore::SimCore;
 use lb_distsim::{run_gossip, GossipConfig, PairSchedule};
 use lb_markov::sweep::{paper_grid, stationary_sweep, SweepSettings};
 use lb_model::prelude::*;
-use lb_net::{run_net, FaultPlan, NetConfig};
+use lb_net::{run_loopback_fleet, run_net, CoordOpts, FaultPlan, LoopbackOpts, NetConfig};
 use lb_open::{run_open, ArrivalProcess, OpenConfig, Pairing};
 use lb_stats::{run_campaign, CampaignSpec};
 use lb_workloads::initial::random_assignment;
@@ -386,6 +392,69 @@ fn measure_net(drop_permille: u16, cfg: &Config) -> serde_json::Value {
     })
 }
 
+/// The real-socket tier: a loopback fleet of live TCP daemons driven to
+/// a clean custody-conserving shutdown, timed on the wall clock. Unlike
+/// [`measure_net`] (virtual ticks through the deterministic queue),
+/// this exercises the full socket path — framing, per-peer supervisor
+/// threads, the control-plane sweep — so the throughput figures are
+/// what a `decent-lb daemon` deployment on localhost actually delivers.
+fn measure_daemon(cfg: &Config) -> serde_json::Value {
+    let (m, jobs) = if cfg.quick {
+        (4usize, 48usize)
+    } else {
+        (8, 96)
+    };
+    let inst = paper_uniform(m, jobs, 42);
+    let reps = if cfg.quick { 1u64 } else { 3 };
+    let (mut exchanges, mut msgs, mut elapsed_ms) = (0u64, 0u64, 0u64);
+    for rep in 0..reps {
+        let net_cfg = NetConfig {
+            seed: 42 + rep,
+            timeout: 40,
+            backoff_cap: 400,
+            think_time: 4,
+            lease_time: 300,
+            ..NetConfig::default()
+        };
+        let opts = LoopbackOpts {
+            coord: CoordOpts {
+                stable_quiet: 4,
+                death_timeout: 3_000,
+                heartbeat: 25,
+                max_runtime: 30_000,
+            },
+            ..LoopbackOpts::default()
+        };
+        let out =
+            run_loopback_fleet(&inst, &Dlb2cBalance, &net_cfg, opts).expect("loopback fleet start");
+        assert!(
+            out.conserved && !out.timed_out,
+            "daemon bench fleet must shut down cleanly with custody conserved"
+        );
+        exchanges += out.exchanges;
+        msgs += out.msgs_sent;
+        elapsed_ms += out.elapsed;
+    }
+    let secs = (elapsed_ms as f64 / 1e3).max(1e-9);
+    let exchanges_per_sec = exchanges as f64 / secs;
+    let msgs_per_sec = msgs as f64 / secs;
+    eprintln!(
+        "daemon m={m}: {reps} fleet run(s), {exchanges} exchanges / {msgs} msgs \
+         in {elapsed_ms} ms ({exchanges_per_sec:.1} exchanges/s, {msgs_per_sec:.1} msgs/s)"
+    );
+    json!({
+        "machines": m,
+        "jobs": jobs,
+        "reps": reps,
+        "transport": "tcp-loopback",
+        "elapsed_ms": elapsed_ms,
+        "exchanges": exchanges,
+        "msgs_sent": msgs,
+        "exchanges_per_sec": exchanges_per_sec,
+        "msgs_per_sec": msgs_per_sec,
+    })
+}
+
 /// The open-system BENCH tier: drains one Poisson arrival per machine
 /// (so the m = 10⁵ row is the acceptance figure — 10⁵ arrivals at
 /// m = 10⁵ with tails reported) through the full serve-sim event loop
@@ -622,6 +691,7 @@ fn main() {
         .iter()
         .map(|&m| measure_open(m, &cfg))
         .collect();
+    let daemon = measure_daemon(&cfg);
     // Honest cache/TLB context: the per-move and per-round figures above
     // depend on the host's paging regime, so record it next to them
     // instead of letting readers assume a configuration.
@@ -651,6 +721,7 @@ fn main() {
         "sizes": sizes,
         "net": net,
         "open": open,
+        "daemon": daemon,
     });
     // `Display` (with `{:#}` for pretty) works under both the real
     // serde_json and the offline stub, unlike `to_string_pretty`.

@@ -2,10 +2,11 @@
 //!
 //! Implements the subset this workspace uses as a plain random-input test
 //! driver: [`Strategy`] with `prop_map`/`prop_flat_map`, range and tuple
-//! strategies, [`Just`], `collection::vec`, the [`proptest!`] macro, and the
-//! `prop_assert*` macros (mapped to `assert*`, so failures panic with the
-//! offending case's values visible in the backtrace). No shrinking and no
-//! regression-file persistence — `*.proptest-regressions` files are ignored.
+//! strategies, [`Just`], [`any`], [`prop_oneof!`], `collection::vec`,
+//! `sample::Index`, the [`proptest!`] macro, and the `prop_assert*` macros
+//! (mapped to `assert*`, so failures panic with the offending case's values
+//! visible in the backtrace). No shrinking and no regression-file
+//! persistence — `*.proptest-regressions` files are ignored.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -137,6 +138,100 @@ tuple_strategy!(A.0, B.1);
 tuple_strategy!(A.0, B.1, C.2);
 tuple_strategy!(A.0, B.1, C.2, D.3);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+
+/// Types with a canonical "anything goes" strategy (`proptest::any`).
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_gen!(u8, u16, u32, u64, usize, i32, i64, bool, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (`proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A uniformly random pick among boxed same-valued strategies (what
+/// [`prop_oneof!`] builds).
+pub struct Union<V> {
+    branches: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `branches`; one is drawn uniformly per generation.
+    pub fn new(branches: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one arm");
+        Union { branches }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let pick = rng.gen_range(0..self.branches.len());
+        self.branches[pick].generate(rng)
+    }
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// Unlike real proptest, arm weights (`n => strat`) are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Collection sampling helpers (`proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, StdRng};
+    use rand::Rng;
+
+    /// An index into a collection whose length is only known at use
+    /// time: `index(len)` maps the drawn entropy into `0..len`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This draw's position within a collection of length `len`
+        /// (which must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.gen())
+        }
+    }
+}
 
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
@@ -275,8 +370,8 @@ macro_rules! prop_assume {
 
 /// The usual glob-import surface (`use proptest::prelude::*`).
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{any, Any, Arbitrary, Just, ProptestConfig, Strategy, Union};
 }
 
 #[cfg(test)]
